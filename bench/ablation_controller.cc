@@ -1,0 +1,72 @@
+// Ablation of the Controller/Editor design decisions DESIGN.md calls out:
+// alias restatements (Sub-Replace generalization), logical-rule expansion
+// (One-Hop), and the edit cache (multi-user locality via exact rollback).
+// Each row disables exactly one mechanism of OneEdit (MEMIT) on the
+// GPT-J-6B simulated model, American-politicians dataset.
+
+#include <iostream>
+
+#include "data/dataset.h"
+#include "eval/harness.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace oneedit {
+namespace {
+
+int RunAblation() {
+  Harness harness([] { return BuildAmericanPoliticians(DatasetOptions{}); },
+                  GptJSimConfig());
+  const auto spec = ParseMethodSpec("OneEdit (MEMIT)");
+
+  struct Variant {
+    const char* label;
+    bool aliases;
+    bool rules;
+    bool cache;
+    size_t users;
+  };
+  const Variant variants[] = {
+      {"full system (users=1)", true, true, true, 1},
+      {"- alias restatements", false, true, true, 1},
+      {"- logical rules", true, false, true, 1},
+      {"full system (users=3)", true, true, true, 3},
+      {"- edit cache (users=3)", true, true, false, 3},
+  };
+
+  TablePrinter table({"Variant", "Reliability", "Locality", "Reverse",
+                      "One-Hop", "Sub-Replace", "Average"});
+  for (const Variant& variant : variants) {
+    RunOptions options;
+    options.users = variant.users;
+    options.use_cache = variant.cache;
+    options.controller.num_generation_triples = 8;
+    options.controller.augment_aliases = variant.aliases;
+    options.controller.use_logical_rules = variant.rules;
+    const auto result = harness.Run(*spec, options);
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+    const MetricScores& s = result->scores;
+    table.AddRow({variant.label, FormatDouble(s.reliability, 3),
+                  FormatDouble(s.locality, 3), FormatDouble(s.reverse, 3),
+                  FormatDouble(s.one_hop, 3), FormatDouble(s.sub_replace, 3),
+                  FormatDouble(s.Average(), 3)});
+  }
+
+  std::cout << "Controller/Editor ablation — OneEdit (MEMIT), GPT-J-6B(sim), "
+               "American politicians\n";
+  table.Print(std::cout);
+  std::cout << "\nExpected effects: no aliases -> Sub-Replace drops toward "
+               "the bare MEMIT level;\nno rules -> One-Hop collapses "
+               "(Figure 4); no cache at users=3 -> rollbacks become\n"
+               "impossible, edits pile up, locality and reliability "
+               "degrade.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace oneedit
+
+int main() { return oneedit::RunAblation(); }

@@ -1,0 +1,159 @@
+// General-purpose evaluation CLI: run any (method × dataset × model ×
+// protocol) cell of the experiment space and print (or CSV-export) the
+// metrics — the tool behind every table in EXPERIMENTS.md when you want a
+// single cell instead of a whole table.
+//
+// Usage:
+//   eval_cli --method "OneEdit (MEMIT)" [--dataset politicians|academic|companies]
+//                [--model gptj|qwen2|gpt2xl] [--users N] [--cases N] [--n N]
+//                [--no-rules] [--no-aliases] [--no-cache] [--lifelong]
+//                [--csv path]
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "data/dataset.h"
+#include "eval/harness.h"
+#include "eval/report.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace oneedit {
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: eval_cli --method NAME [--dataset politicians|academic|"
+         "companies]\n"
+         "                    [--model gptj|qwen2|gpt2xl] [--users N] "
+         "[--cases N] [--n N]\n"
+         "                    [--no-rules] [--no-aliases] [--no-cache] "
+         "[--lifelong] [--csv path]\n";
+  return 2;
+}
+
+int RunCli(int argc, char** argv) {
+  std::string method = "OneEdit (MEMIT)";  // default demo cell
+  std::string dataset_name = "politicians";
+  std::string model_name = "gptj";
+  std::string csv_path;
+  RunOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--method") == 0) {
+      const char* value = next("--method");
+      if (value == nullptr) return Usage();
+      method = value;
+    } else if (std::strcmp(argv[i], "--dataset") == 0) {
+      const char* value = next("--dataset");
+      if (value == nullptr) return Usage();
+      dataset_name = value;
+    } else if (std::strcmp(argv[i], "--model") == 0) {
+      const char* value = next("--model");
+      if (value == nullptr) return Usage();
+      model_name = value;
+    } else if (std::strcmp(argv[i], "--users") == 0) {
+      const char* value = next("--users");
+      if (value == nullptr) return Usage();
+      options.users = static_cast<size_t>(std::atoll(value));
+    } else if (std::strcmp(argv[i], "--cases") == 0) {
+      const char* value = next("--cases");
+      if (value == nullptr) return Usage();
+      options.max_cases = static_cast<size_t>(std::atoll(value));
+    } else if (std::strcmp(argv[i], "--n") == 0) {
+      const char* value = next("--n");
+      if (value == nullptr) return Usage();
+      options.controller.num_generation_triples =
+          static_cast<size_t>(std::atoll(value));
+    } else if (std::strcmp(argv[i], "--no-rules") == 0) {
+      options.controller.use_logical_rules = false;
+    } else if (std::strcmp(argv[i], "--no-aliases") == 0) {
+      options.controller.augment_aliases = false;
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      options.use_cache = false;
+    } else if (std::strcmp(argv[i], "--lifelong") == 0) {
+      options.lifelong = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      const char* value = next("--csv");
+      if (value == nullptr) return Usage();
+      csv_path = value;
+    } else {
+      std::cerr << "unknown flag: " << argv[i] << "\n";
+      return Usage();
+    }
+  }
+  Dataset (*factory)(const DatasetOptions&) = &BuildAmericanPoliticians;
+  if (dataset_name == "academic") {
+    factory = &BuildAcademicFigures;
+  } else if (dataset_name == "companies") {
+    factory = &BuildTechCompanies;
+  } else if (dataset_name != "politicians") {
+    std::cerr << "unknown dataset: " << dataset_name << "\n";
+    return Usage();
+  }
+
+  ModelConfig model = GptJSimConfig();
+  if (model_name == "qwen2") {
+    model = Qwen2SimConfig();
+  } else if (model_name == "gpt2xl") {
+    model = Gpt2XlSimConfig();
+  } else if (model_name != "gptj") {
+    std::cerr << "unknown model: " << model_name << "\n";
+    return Usage();
+  }
+
+  const auto spec = ParseMethodSpec(method);
+  if (!spec.ok()) {
+    std::cerr << spec.status().ToString() << "\n";
+    return 1;
+  }
+
+  Harness harness([factory] { return factory(DatasetOptions{}); }, model);
+  const auto result = harness.Run(*spec, options);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+
+  TablePrinter table({"Method", "Dataset", "Model", "Cases", "Reliability",
+                      "Locality", "Reverse", "One-Hop", "Sub-Replace",
+                      "Average"});
+  const MetricScores& s = result->scores;
+  table.AddRow({result->method, result->dataset, result->model,
+                std::to_string(result->cases), FormatDouble(s.reliability, 3),
+                FormatDouble(s.locality, 3), FormatDouble(s.reverse, 3),
+                FormatDouble(s.one_hop, 3), FormatDouble(s.sub_replace, 3),
+                FormatDouble(s.Average(), 3)});
+  table.Print(std::cout);
+  std::cout << "edits: " << result->edits
+            << ", cache hits: " << result->cache_hits
+            << ", measured s/edit: "
+            << FormatDouble(result->measured_edit_seconds, 5)
+            << ", modeled s/edit: "
+            << FormatDouble(result->modeled_edit_seconds, 1)
+            << ", modeled VRAM: " << FormatDouble(result->modeled_vram_gb, 0)
+            << " GB\n";
+
+  if (!csv_path.empty()) {
+    const Status status = WriteResultsCsv({*result}, csv_path);
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace oneedit
+
+int main(int argc, char** argv) { return oneedit::RunCli(argc, argv); }

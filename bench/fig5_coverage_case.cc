@@ -1,0 +1,127 @@
+// Reproduces Figure 5: the coverage-conflict case study (§4.8.1).
+//
+// 2020: the U.S. president changes from Trump to Biden — OneEdit rolls back
+// nothing in the model (the Trump fact was pretrained) but replaces the KG
+// slot and edits the model. 2024: Trump wins again — the Controller detects
+// the coverage conflict, the Editor subtracts Biden's cached edit
+// parameters, and Trump's knowledge is re-installed. A final flip back to
+// Biden is served entirely from the edit cache (the Eq. 8 fast path).
+
+#include <iostream>
+
+#include "core/oneedit.h"
+#include "model/model_config.h"
+#include "util/rng.h"
+
+namespace oneedit {
+namespace {
+
+Vocab CaseVocab() {
+  Vocab vocab;
+  vocab.entities = {"the USA", "Donald Trump", "Joe Biden", "Melania Trump",
+                    "Jill Biden", "France"};
+  vocab.relations = {{"president", "presides_over"},
+                     {"wife", "husband"},
+                     {"first_lady", ""}};
+  return vocab;
+}
+
+void ShowBeliefs(const OneEditSystem& system, LanguageModel& model) {
+  const auto ask = [&model](const char* subject, const char* relation) {
+    QueryOptions options;
+    options.probe_seed = Rng::HashString(std::string(subject) + relation);
+    const Decode decode = model.Query(subject, relation, options);
+    std::cout << "    " << relation << "(" << subject << ") = "
+              << decode.entity << "\n";
+  };
+  (void)system;
+  ask("the USA", "president");
+  ask("the USA", "first_lady");
+}
+
+int RunFig5() {
+  KnowledgeGraph kg;
+  const RelationId president = kg.schema().Define("president");
+  const RelationId presides = kg.schema().Define("presides_over");
+  const RelationId wife = kg.schema().Define("wife");
+  const RelationId husband = kg.schema().Define("husband");
+  const RelationId first_lady = kg.schema().Define("first_lady");
+  (void)first_lady;
+  (void)kg.schema().SetInverse(president, presides);
+  (void)kg.schema().SetInverse(wife, husband);
+  kg.rules().AddRule(HornRule{"first-lady", president, wife, first_lady});
+
+  const auto add = [&kg](const char* s, const char* r, const char* o) {
+    const auto relation = kg.schema().Lookup(r);
+    (void)kg.Add(Triple{kg.InternEntity(s), *relation, kg.InternEntity(o)});
+  };
+  add("the USA", "president", "Donald Trump");
+  add("Donald Trump", "presides_over", "the USA");
+  add("Donald Trump", "wife", "Melania Trump");
+  add("Melania Trump", "husband", "Donald Trump");
+  add("Joe Biden", "wife", "Jill Biden");
+  add("Jill Biden", "husband", "Joe Biden");
+  add("the USA", "first_lady", "Melania Trump");
+
+  ModelConfig config = Gpt2XlSimConfig();
+  config.junk_fraction = 0.2;
+  LanguageModel model(config, CaseVocab());
+  model.Pretrain({{"the USA", "president", "Donald Trump"},
+                  {"Donald Trump", "presides_over", "the USA"},
+                  {"Donald Trump", "wife", "Melania Trump"},
+                  {"Melania Trump", "husband", "Donald Trump"},
+                  {"Joe Biden", "wife", "Jill Biden"},
+                  {"Jill Biden", "husband", "Joe Biden"},
+                  {"the USA", "first_lady", "Melania Trump"}});
+
+  OneEditConfig oneedit_config;
+  oneedit_config.method = "MEMIT";
+  oneedit_config.controller.num_generation_triples = 4;
+  auto system = OneEditSystem::Create(&kg, &model, oneedit_config);
+  if (!system.ok()) {
+    std::cerr << system.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "Figure 5: coverage-conflict case study\n\n";
+  std::cout << "[pretrained model]\n";
+  ShowBeliefs(**system, model);
+
+  const auto do_edit = [&](const char* label, const char* object) {
+    std::cout << "\n[" << label << "] edit: (the USA, president, " << object
+              << ")\n";
+    const auto report = (*system)->EditTriple(
+        NamedTriple{"the USA", "president", object}, "user");
+    if (!report.ok()) {
+      std::cout << "    edit failed: " << report.status().ToString() << "\n";
+      return;
+    }
+    std::cout << "    rollbacks requested: " << report->plan.rollbacks.size()
+              << " (applied " << report->outcome.rollbacks_applied
+              << ", pretrained/skipped " << report->outcome.rollbacks_skipped
+              << ")\n";
+    std::cout << "    edits applied: " << report->outcome.edits_applied
+              << ", augmentations: " << report->outcome.augmentations_applied
+              << ", cache hits: " << report->outcome.cache_hits << "\n";
+    std::cout << "    cached edit parameters now held: "
+              << (*system)->editor().cache().size() << " entries, "
+              << (*system)->editor().cache().ApproxBytes() / 1024
+              << " KiB\n";
+    ShowBeliefs(**system, model);
+  };
+
+  do_edit("2020 election: user A", "Joe Biden");
+  do_edit("2024 election: user B (Trump returns)", "Donald Trump");
+  do_edit("hypothetical flip: cached Biden edit re-applied", "Joe Biden");
+
+  std::cout << "\nWithout OneEdit, each flip would pile a fresh edit onto the "
+               "same slot, leaving residual\nknowledge (Li et al. 2024); with "
+               "the rollback + cache, each state change is one exact\n"
+               "parameter addition/subtraction.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace oneedit
+
+int main() { return oneedit::RunFig5(); }

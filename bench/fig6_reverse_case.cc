@@ -1,0 +1,113 @@
+// Reproduces Figure 6: the reverse-conflict case study (§4.8.2).
+//
+// Step 1: a user edits "Donald Trump's wife is Ivana Trump". OneEdit
+// auto-constructs the inverse triple (Ivana Trump, husband, Donald Trump)
+// and edits both directions in (Algorithm 2).
+// Step 2: after the divorce, a user edits "Ivana Trump's husband is Ricardo
+// Mazzuchelli". The auto-constructed reverse knowledge now CONFLICTS in the
+// KG; the Controller rolls back the outdated edits — including the forward
+// counterpart (Donald Trump, wife, Ivana Trump) — and installs the new pair.
+
+#include <iostream>
+
+#include "core/oneedit.h"
+#include "model/model_config.h"
+#include "util/rng.h"
+
+namespace oneedit {
+namespace {
+
+Vocab CaseVocab() {
+  Vocab vocab;
+  vocab.entities = {"Donald Trump", "Ivana Trump", "Ricardo Mazzuchelli",
+                    "Marla Maples", "the USA"};
+  vocab.relations = {{"wife", "husband"}};
+  return vocab;
+}
+
+void ShowBeliefs(LanguageModel& model) {
+  const auto ask = [&model](const char* subject, const char* relation) {
+    QueryOptions options;
+    options.probe_seed = Rng::HashString(std::string(subject) + relation);
+    const Decode decode = model.Query(subject, relation, options);
+    std::cout << "    " << relation << "(" << subject << ") = "
+              << decode.entity << "\n";
+  };
+  ask("Donald Trump", "wife");
+  ask("Ivana Trump", "husband");
+  ask("Ricardo Mazzuchelli", "wife");
+}
+
+int RunFig6() {
+  KnowledgeGraph kg;
+  const RelationId wife = kg.schema().Define("wife");
+  const RelationId husband = kg.schema().Define("husband");
+  (void)kg.schema().SetInverse(wife, husband);
+  kg.InternEntity("Donald Trump");
+  kg.InternEntity("Ivana Trump");
+  kg.InternEntity("Ricardo Mazzuchelli");
+
+  ModelConfig config = Gpt2XlSimConfig();
+  config.junk_fraction = 0.2;
+  LanguageModel model(config, CaseVocab());
+  model.Pretrain({});  // the marriages arrive purely as edits
+
+  OneEditConfig oneedit_config;
+  oneedit_config.method = "MEMIT";
+  oneedit_config.controller.num_generation_triples = 4;
+  auto system = OneEditSystem::Create(&kg, &model, oneedit_config);
+  if (!system.ok()) {
+    std::cerr << system.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "Figure 6: reverse-conflict case study\n";
+
+  std::cout << "\n[step 1] edit: (Donald Trump, wife, Ivana Trump)\n";
+  auto report = (*system)->EditTriple(
+      NamedTriple{"Donald Trump", "wife", "Ivana Trump"}, "user");
+  if (!report.ok()) {
+    std::cerr << report.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "    triples edited into the model:\n";
+  for (const NamedTriple& t : report->plan.edits) {
+    std::cout << "      (" << t.subject << ", " << t.relation << ", "
+              << t.object << ")\n";
+  }
+  ShowBeliefs(model);
+
+  std::cout << "\n[step 2] edit: (Ivana Trump, husband, Ricardo "
+               "Mazzuchelli)\n";
+  report = (*system)->EditTriple(
+      NamedTriple{"Ivana Trump", "husband", "Ricardo Mazzuchelli"}, "user");
+  if (!report.ok()) {
+    std::cerr << report.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "    conflicts detected -> rollbacks:\n";
+  for (const NamedTriple& t : report->plan.rollbacks) {
+    std::cout << "      (" << t.subject << ", " << t.relation << ", "
+              << t.object << ")\n";
+  }
+  std::cout << "    (applied " << report->outcome.rollbacks_applied
+            << " cached rollbacks)\n";
+  std::cout << "    new triples edited into the model:\n";
+  for (const NamedTriple& t : report->plan.edits) {
+    std::cout << "      (" << t.subject << ", " << t.relation << ", "
+              << t.object << ")\n";
+  }
+  ShowBeliefs(model);
+
+  std::cout << "\nWithout the auto-constructed inverse relationship, a "
+               "conventional editor would leave\n\"Donald Trump's wife is "
+               "Ivana Trump\" in place alongside \"Ivana Trump's husband is\n"
+               "Ricardo Mazzuchelli\" — the absurd state the paper "
+               "describes.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace oneedit
+
+int main() { return oneedit::RunFig6(); }

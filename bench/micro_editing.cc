@@ -1,0 +1,126 @@
+// Microbenchmarks for the editing methods: per-edit latency of FT / ROME /
+// MEMIT / GRACE on the GPT-J-6B simulated model, the edit-cache fast paths
+// (rollback / re-apply), and model query latency. These are the raw
+// operation costs behind Table 3's measured section.
+
+#include <benchmark/benchmark.h>
+
+#include "data/dataset.h"
+#include "editing/editor.h"
+#include "model/language_model.h"
+#include "model/model_config.h"
+
+namespace oneedit {
+namespace {
+
+struct Fixture {
+  Fixture() : dataset(BuildAmericanPoliticians(DatasetOptions{})),
+              model(GptJSimConfig(), dataset.vocab) {
+    model.Pretrain(dataset.pretrain_facts);
+    pristine = model.SnapshotWeights();
+  }
+  Dataset dataset;
+  LanguageModel model;
+  WeightSnapshot pristine;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* const fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_ApplyEdit(benchmark::State& state, const std::string& method_name) {
+  Fixture& fx = SharedFixture();
+  auto method = MakeEditingMethod(method_name);
+  const NamedTriple edit = fx.dataset.cases.front().edit;
+  size_t count = 0;
+  for (auto _ : state) {
+    auto delta = method.value()->ApplyEdit(&fx.model, edit);
+    benchmark::DoNotOptimize(delta);
+    if (++count % 16 == 0) {
+      state.PauseTiming();
+      fx.model.RestoreWeights(fx.pristine);
+      method.value()->Reset(&fx.model);
+      state.ResumeTiming();
+    }
+  }
+  fx.model.RestoreWeights(fx.pristine);
+  method.value()->Reset(&fx.model);
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_ApplyEdit_FT(benchmark::State& s) { BM_ApplyEdit(s, "FT"); }
+void BM_ApplyEdit_ROME(benchmark::State& s) { BM_ApplyEdit(s, "ROME"); }
+void BM_ApplyEdit_MEMIT(benchmark::State& s) { BM_ApplyEdit(s, "MEMIT"); }
+void BM_ApplyEdit_GRACE(benchmark::State& s) { BM_ApplyEdit(s, "GRACE"); }
+BENCHMARK(BM_ApplyEdit_FT);
+BENCHMARK(BM_ApplyEdit_ROME);
+BENCHMARK(BM_ApplyEdit_MEMIT);
+BENCHMARK(BM_ApplyEdit_GRACE);
+
+void BM_CachedRollbackReapply(benchmark::State& state) {
+  Fixture& fx = SharedFixture();
+  auto method = MakeEditingMethod("MEMIT");
+  const NamedTriple edit = fx.dataset.cases.front().edit;
+  auto delta = method.value()->ApplyEdit(&fx.model, edit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(method.value()->Rollback(&fx.model, *delta));
+    benchmark::DoNotOptimize(method.value()->Reapply(&fx.model, *delta));
+  }
+  (void)method.value()->Rollback(&fx.model, *delta);
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_CachedRollbackReapply);
+
+void BM_ModelQuery(benchmark::State& state) {
+  Fixture& fx = SharedFixture();
+  const EditCase& edit_case = fx.dataset.cases.front();
+  QueryOptions options;
+  options.key_noise = fx.model.config().reliability_noise;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    options.probe_seed = ++seed;
+    benchmark::DoNotOptimize(fx.model.Query(
+        edit_case.edit.subject, edit_case.edit.relation, options));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelQuery);
+
+void BM_ModelQueryComposed(benchmark::State& state) {
+  Fixture& fx = SharedFixture();
+  const HopProbe* probe = nullptr;
+  for (const EditCase& edit_case : fx.dataset.cases) {
+    if (!edit_case.one_hop.empty()) {
+      probe = &edit_case.one_hop.front();
+      break;
+    }
+  }
+  if (probe == nullptr) {
+    state.SkipWithError("no hop probes");
+    return;
+  }
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.model.QueryComposed(probe->subject, probe->r1, probe->r2, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelQueryComposed);
+
+void BM_Pretrain(benchmark::State& state) {
+  Fixture& fx = SharedFixture();
+  for (auto _ : state) {
+    LanguageModel model(GptJSimConfig(), fx.dataset.vocab);
+    model.Pretrain(fx.dataset.pretrain_facts);
+    benchmark::DoNotOptimize(model.pretrained());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          fx.dataset.pretrain_facts.size());
+}
+BENCHMARK(BM_Pretrain);
+
+}  // namespace
+}  // namespace oneedit
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Microbenchmarks for the knowledge-graph substrate: triple-store mutation
+// and lookup, BFS neighborhood queries, versioned rollback, and WAL append.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "kg/graph_query.h"
+#include "kg/knowledge_graph.h"
+#include "kg/triple_store.h"
+#include "kg/wal.h"
+#include "util/rng.h"
+
+namespace oneedit {
+namespace {
+
+TripleStore MakeStore(size_t n) {
+  TripleStore store;
+  Rng rng(42);
+  for (size_t i = 0; i < n; ++i) {
+    store.Add(Triple{static_cast<EntityId>(rng.NextBelow(n / 4 + 1)),
+                     static_cast<RelationId>(rng.NextBelow(16)),
+                     static_cast<EntityId>(rng.NextBelow(n / 4 + 1))});
+  }
+  return store;
+}
+
+void BM_TripleStoreAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    TripleStore store;
+    state.ResumeTiming();
+    for (uint32_t i = 0; i < state.range(0); ++i) {
+      store.Add(Triple{i % 997, i % 13, i % 1009});
+    }
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TripleStoreAdd)->Arg(1000)->Arg(10000);
+
+void BM_TripleStoreContains(benchmark::State& state) {
+  const TripleStore store = MakeStore(10000);
+  Rng rng(7);
+  for (auto _ : state) {
+    const Triple probe{static_cast<EntityId>(rng.NextBelow(2501)),
+                       static_cast<RelationId>(rng.NextBelow(16)),
+                       static_cast<EntityId>(rng.NextBelow(2501))};
+    benchmark::DoNotOptimize(store.Contains(probe));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TripleStoreContains);
+
+void BM_TripleStoreObjects(benchmark::State& state) {
+  const TripleStore store = MakeStore(10000);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.Objects(static_cast<EntityId>(rng.NextBelow(2501)),
+                      static_cast<RelationId>(rng.NextBelow(16))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TripleStoreObjects);
+
+void BM_NeighborhoodTriples(benchmark::State& state) {
+  const TripleStore store = MakeStore(10000);
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NeighborhoodTriples(
+        store, static_cast<EntityId>(rng.NextBelow(2501)),
+        static_cast<size_t>(state.range(0)), 2));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NeighborhoodTriples)->Arg(8)->Arg(32);
+
+void BM_KnowledgeGraphUpsertRollback(benchmark::State& state) {
+  KnowledgeGraph kg;
+  const RelationId r = kg.schema().Define("rel");
+  const EntityId a = kg.InternEntity("a");
+  const EntityId b = kg.InternEntity("b");
+  const EntityId c = kg.InternEntity("c");
+  (void)kg.Add(Triple{a, r, b});
+  for (auto _ : state) {
+    const uint64_t checkpoint = kg.version();
+    benchmark::DoNotOptimize(kg.Upsert(a, r, c));
+    benchmark::DoNotOptimize(kg.RollbackTo(checkpoint));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KnowledgeGraphUpsertRollback);
+
+void BM_WalAppend(benchmark::State& state) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "oneedit_bench_wal.log")
+          .string();
+  std::remove(path.c_str());
+  WriteAheadLog wal;
+  if (!wal.Open(path).ok()) {
+    state.SkipWithError("cannot open WAL");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wal.Append(WalOp::kAdd, "subject", "relation", "object"));
+  }
+  wal.Close();
+  std::remove(path.c_str());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalAppend);
+
+}  // namespace
+}  // namespace oneedit
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Microbenchmarks for the NLP substrate: tokenization, gazetteer matching,
+// intent classification, triple extraction, and whole-utterance
+// interpretation — the per-request interpreter costs behind OneEdit's
+// pipeline latency.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/interpreter.h"
+#include "data/dataset.h"
+#include "nlp/tokenizer.h"
+#include "nlp/utterance_generator.h"
+
+namespace oneedit {
+namespace {
+
+struct NlpFixture {
+  NlpFixture() : dataset(BuildAmericanPoliticians(DatasetOptions{})) {
+    InterpreterConfig config;
+    config.extraction_error_rate = 0.0;
+    interpreter = std::make_unique<Interpreter>(
+        std::move(Interpreter::Create(dataset.kg, config)).value());
+    for (size_t c = 0; c < dataset.cases.size(); ++c) {
+      utterances.push_back(EditUtterance(dataset.cases[c].edit, c));
+    }
+  }
+  Dataset dataset;
+  std::unique_ptr<Interpreter> interpreter;
+  std::vector<std::string> utterances;
+};
+
+NlpFixture& SharedFixture() {
+  static NlpFixture* const fixture = new NlpFixture();
+  return *fixture;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  NlpFixture& fx = SharedFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Tokenize(fx.utterances[i++ % fx.utterances.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_IntentClassify(benchmark::State& state) {
+  NlpFixture& fx = SharedFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.interpreter->classifier().Predict(
+        fx.utterances[i++ % fx.utterances.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntentClassify);
+
+void BM_TripleExtract(benchmark::State& state) {
+  NlpFixture& fx = SharedFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.interpreter->extractor().Extract(
+        fx.utterances[i++ % fx.utterances.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TripleExtract);
+
+void BM_InterpretFull(benchmark::State& state) {
+  NlpFixture& fx = SharedFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.interpreter->Interpret(
+        fx.utterances[i++ % fx.utterances.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpretFull);
+
+void BM_InterpreterTrain(benchmark::State& state) {
+  NlpFixture& fx = SharedFixture();
+  for (auto _ : state) {
+    InterpreterConfig config;
+    benchmark::DoNotOptimize(Interpreter::Create(fx.dataset.kg, config));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpreterTrain);
+
+}  // namespace
+}  // namespace oneedit
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Extension of Table 1 beyond the paper: adds the two related-work baselines
+// the paper names but does not run — MEND (meta-learning) and SERAC
+// (memory-based) — and their OneEdit-wrapped variants, on the GPT-J-6B
+// simulated model. The paper's future-work section ("we will extend the
+// application scope of OneEdit to encompass a broader range of methods")
+// motivates this bench.
+//
+// Usage: table1_extended [--cases N]
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "data/dataset.h"
+#include "eval/harness.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace oneedit {
+namespace {
+
+const char* const kMethods[] = {
+    "FT",    "ROME",  "MEMIT", "GRACE", "MEND",  "SERAC",
+    "OneEdit (GRACE)", "OneEdit (MEMIT)", "OneEdit (MEND)",
+    "OneEdit (SERAC)"};
+
+int RunExtended(size_t max_cases) {
+  TablePrinter table({"Method", "Reliability", "Locality", "Reverse",
+                      "One-Hop", "Sub-Replace", "Average"});
+
+  struct DatasetSpec {
+    const char* label;
+    Dataset (*factory)(const DatasetOptions&);
+  };
+  const DatasetSpec datasets[] = {
+      {"American politicians", &BuildAmericanPoliticians},
+      {"Academic figures", &BuildAcademicFigures},
+  };
+
+  const ModelConfig model = GptJSimConfig();
+  for (const DatasetSpec& dataset : datasets) {
+    table.AddSeparator();
+    table.AddSection(model.name + " — " + dataset.label + " dataset");
+    table.AddSeparator();
+    Harness harness([&dataset] { return dataset.factory(DatasetOptions{}); },
+                    model);
+    for (const char* method : kMethods) {
+      const auto spec = ParseMethodSpec(method);
+      RunOptions options;
+      options.controller.num_generation_triples = 8;
+      options.max_cases = max_cases;
+      const auto result = harness.Run(*spec, options);
+      if (!result.ok()) {
+        std::cerr << "run failed for " << method << ": "
+                  << result.status().ToString() << "\n";
+        return 1;
+      }
+      const MetricScores& s = result->scores;
+      table.AddRow({result->method, FormatDouble(s.reliability, 3),
+                    FormatDouble(s.locality, 3), FormatDouble(s.reverse, 3),
+                    FormatDouble(s.one_hop, 3),
+                    FormatDouble(s.sub_replace, 3),
+                    FormatDouble(s.Average(), 3)});
+    }
+  }
+
+  std::cout << "Table 1 (extended): adds MEND (meta-learning) and SERAC "
+               "(memory-based) baselines\n";
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace oneedit
+
+int main(int argc, char** argv) {
+  size_t max_cases = SIZE_MAX;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cases") == 0 && i + 1 < argc) {
+      max_cases = static_cast<size_t>(std::atoll(argv[++i]));
+    }
+  }
+  return oneedit::RunExtended(max_cases);
+}

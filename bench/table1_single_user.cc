@@ -1,0 +1,106 @@
+// Reproduces Table 1: single-user knowledge editing on the American
+// politicians and Academic figures datasets, for the GPT-J-6B and Qwen2-7B
+// simulated models. OneEdit rows use n = 8 generation triples (the paper's
+// setting, Table 1 caption).
+//
+// Usage: table1_single_user [--cases N] [--csv path]
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/harness.h"
+#include "eval/report.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace oneedit {
+namespace {
+
+const char* const kMethods[] = {"FT",    "ROME",           "MEMIT",
+                                "GRACE", "OneEdit (GRACE)", "OneEdit (MEMIT)"};
+
+int RunTable1(size_t max_cases, const std::string& csv_path) {
+  TablePrinter table({"Method", "Reliability", "Locality", "Reverse",
+                      "One-Hop", "Sub-Replace", "Average"});
+  std::vector<HarnessResult> all_results;
+
+  const std::vector<ModelConfig> models = {GptJSimConfig(), Qwen2SimConfig()};
+  struct DatasetSpec {
+    const char* label;
+    Dataset (*factory)(const DatasetOptions&);
+  };
+  const DatasetSpec datasets[] = {
+      {"American politicians", &BuildAmericanPoliticians},
+      {"Academic figures", &BuildAcademicFigures},
+  };
+
+  for (const ModelConfig& model : models) {
+    for (const DatasetSpec& dataset : datasets) {
+      table.AddSeparator();
+      table.AddSection(model.name + " — " + dataset.label + " dataset");
+      table.AddSeparator();
+      Harness harness(
+          [&dataset] {
+            return dataset.factory(DatasetOptions{});
+          },
+          model);
+      for (const char* method : kMethods) {
+        const auto spec = ParseMethodSpec(method);
+        if (!spec.ok()) {
+          std::cerr << spec.status().ToString() << "\n";
+          return 1;
+        }
+        RunOptions options;
+        options.users = 1;
+        options.controller.num_generation_triples = 8;
+        options.max_cases = max_cases;
+        const auto result = harness.Run(*spec, options);
+        if (!result.ok()) {
+          std::cerr << "run failed for " << method << ": "
+                    << result.status().ToString() << "\n";
+          return 1;
+        }
+        all_results.push_back(*result);
+        const MetricScores& s = result->scores;
+        table.AddRow({result->method, FormatDouble(s.reliability, 3),
+                      FormatDouble(s.locality, 3), FormatDouble(s.reverse, 3),
+                      FormatDouble(s.one_hop, 3),
+                      FormatDouble(s.sub_replace, 3),
+                      FormatDouble(s.Average(), 3)});
+      }
+    }
+  }
+
+  std::cout << "Table 1: single-user knowledge editing "
+               "(OneEdit generation triples n = 8)\n";
+  table.Print(std::cout);
+  if (!csv_path.empty()) {
+    const Status status = WriteResultsCsv(all_results, csv_path);
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "(results written to " << csv_path << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace oneedit
+
+int main(int argc, char** argv) {
+  size_t max_cases = SIZE_MAX;
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cases") == 0 && i + 1 < argc) {
+      max_cases = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    }
+  }
+  return oneedit::RunTable1(max_cases, csv_path);
+}

@@ -1,0 +1,185 @@
+// Interactive OneEdit shell over the American-politicians world: type edits
+// and questions in natural language, inspect the KG with pattern queries,
+// and watch the Controller's plans. Reads stdin, so it can also be scripted:
+//
+//   printf 'ask Ashfield governor\nChange the governor of Ashfield to Hugo
+//   Castillo.\nask Ashfield governor\nquit\n' | ./build/examples/interactive_repl
+//
+// Commands:
+//   ask <subject> <relation>       direct model query
+//   kg <subject> <relation>        KG lookup
+//   query ?v <relation> <object>   pattern query (one pattern)
+//   audit                          show the audit log
+//   help / quit
+// Anything else is treated as a natural-language utterance.
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/config_io.h"
+#include "core/oneedit.h"
+#include "data/dataset.h"
+#include "kg/pattern_query.h"
+#include "model/model_config.h"
+#include "util/string_util.h"
+
+using namespace oneedit;
+
+namespace {
+
+/// Reads whitespace-separated fields where multi-word names are quoted is
+/// overkill here: entity names contain spaces, so `ask`/`kg` take the
+/// subject up to the last token (the relation).
+bool SplitSubjectRelation(const std::string& rest, std::string* subject,
+                          std::string* relation) {
+  const size_t last_space = rest.find_last_of(' ');
+  if (last_space == std::string::npos) return false;
+  *subject = rest.substr(0, last_space);
+  *relation = rest.substr(last_space + 1);
+  return !subject->empty() && !relation->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Optional deployment config: interactive_repl --config oneedit.conf
+  OneEditConfig config;
+  config.method = "GRACE";
+  config.interpreter.extraction_error_rate = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
+      auto loaded = LoadOneEditConfig(argv[++i]);
+      if (!loaded.ok()) {
+        std::cerr << loaded.status().ToString() << "\n";
+        return 1;
+      }
+      config = *loaded;
+      std::cerr << "(loaded config)\n" << OneEditConfigToString(config);
+    }
+  }
+
+  DatasetOptions options;
+  options.num_cases = 10;
+  Dataset dataset = BuildAmericanPoliticians(options);
+  LanguageModel model(GptJSimConfig(), dataset.vocab);
+  std::cerr << "(pretraining the simulated model...)\n";
+  model.Pretrain(dataset.pretrain_facts);
+
+  auto system = OneEditSystem::Create(&dataset.kg, &model, config);
+  if (!system.ok()) {
+    std::cerr << system.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "OneEdit interactive shell — world: American politicians ("
+            << dataset.kg.size() << " triples, " << dataset.kg.num_entities()
+            << " entities). Type 'help' for commands.\n";
+  std::cout << "Try:  Change the governor of " << dataset.cases[0].edit.subject
+            << " to " << dataset.cases[0].edit.object << ".\n";
+
+  std::string line;
+  while (std::cout << "oneedit> " << std::flush, std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "quit" || line == "exit") break;
+    if (line == "help") {
+      std::cout << "  ask <subject> <relation>   model query\n"
+                   "  kg <subject> <relation>    symbolic lookup\n"
+                   "  query <relation> <object>  who has <relation> = object?\n"
+                   "  audit                      show accepted edits\n"
+                   "  quit                       leave\n"
+                   "  ...anything else is sent to the Interpreter\n"
+                   "     (edits: 'Change the governor of X to Y.';\n"
+                   "      erasures: 'Forget that the governor of X is Y.')\n";
+      continue;
+    }
+    if (line == "audit") {
+      for (const AuditRecord& record : (*system)->audit_log()) {
+        std::cout << "  " << record.user << ": (" << record.request.subject
+                  << ", " << record.request.relation << ") -> "
+                  << record.request.object << "\n";
+      }
+      continue;
+    }
+    if (line.rfind("ask ", 0) == 0) {
+      std::string subject, relation;
+      if (!SplitSubjectRelation(line.substr(4), &subject, &relation)) {
+        std::cout << "  usage: ask <subject> <relation>\n";
+        continue;
+      }
+      const Decode decode = (*system)->Ask(subject, relation);
+      std::cout << "  model: " << decode.entity
+                << (decode.intercepted ? "  (from adaptor memory)" : "")
+                << "\n";
+      if (!decode.intercepted) {
+        std::cout << "  top-3:";
+        for (const Decode& alt : model.QueryTopK(subject, relation, 3)) {
+          std::cout << "  " << alt.entity << " ("
+                    << FormatDouble(alt.score, 2) << ")";
+        }
+        std::cout << "\n";
+      }
+      continue;
+    }
+    if (line.rfind("kg ", 0) == 0) {
+      std::string subject, relation;
+      if (!SplitSubjectRelation(line.substr(3), &subject, &relation)) {
+        std::cout << "  usage: kg <subject> <relation>\n";
+        continue;
+      }
+      const auto subject_id = dataset.kg.LookupEntity(subject);
+      const auto relation_id = dataset.kg.schema().Lookup(relation);
+      if (!subject_id.ok() || !relation_id.ok()) {
+        std::cout << "  unknown subject or relation\n";
+        continue;
+      }
+      const auto object = dataset.kg.ObjectOf(*subject_id, *relation_id);
+      std::cout << "  kg: "
+                << (object.has_value() ? dataset.kg.EntityName(*object)
+                                       : std::string("<no fact>"))
+                << "\n";
+      continue;
+    }
+    if (line.rfind("query ", 0) == 0) {
+      std::string relation, object;
+      if (!SplitSubjectRelation(line.substr(6), &relation, &object)) {
+        // relation first, object last — reuse the splitter in reverse.
+        std::cout << "  usage: query <relation> <object>\n";
+        continue;
+      }
+      // `relation` currently holds everything but the last token; swap so a
+      // single-token relation plus multi-word object works.
+      const size_t first_space = line.substr(6).find(' ');
+      relation = line.substr(6, first_space);
+      object = line.substr(6 + first_space + 1);
+      const auto results =
+          Query(dataset.kg, {{"?who", relation, object}});
+      if (!results.ok()) {
+        std::cout << "  " << results.status().ToString() << "\n";
+        continue;
+      }
+      for (const Binding& binding : *results) {
+        std::cout << "  ?who = " << binding.at("?who") << "\n";
+      }
+      if (results->empty()) std::cout << "  (no matches)\n";
+      continue;
+    }
+
+    // Natural language path.
+    const auto response = (*system)->HandleUtterance(line, "repl-user");
+    if (!response.ok()) {
+      std::cout << "  error: " << response.status().ToString() << "\n";
+      continue;
+    }
+    std::cout << "  " << response->message << "\n";
+    if (response->report.has_value() && !response->report->plan.no_op) {
+      const EditPlan& plan = response->report->plan;
+      std::cout << "  [plan: " << plan.rollbacks.size() << " rollbacks, "
+                << plan.edits.size() << " edits, "
+                << plan.augmentations.size() << " generation triples]\n";
+    }
+  }
+  std::cout << "bye\n";
+  return 0;
+}

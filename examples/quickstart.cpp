@@ -1,0 +1,115 @@
+// Quickstart: stand up a OneEdit system over a tiny world, issue a natural
+// language edit, and watch both the knowledge graph and the language model
+// update together.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/oneedit.h"
+#include "model/model_config.h"
+
+using oneedit::Decode;
+using oneedit::HornRule;
+using oneedit::KnowledgeGraph;
+using oneedit::LanguageModel;
+using oneedit::ModelConfig;
+using oneedit::NamedTriple;
+using oneedit::OneEditConfig;
+using oneedit::OneEditSystem;
+using oneedit::RelationId;
+using oneedit::Triple;
+using oneedit::Vocab;
+
+int main() {
+  // 1) A small symbolic world: entities, relations (with inverses), rules.
+  KnowledgeGraph kg;
+  const RelationId president = kg.schema().Define("president");
+  const RelationId presides = kg.schema().Define("presides_over");
+  const RelationId wife = kg.schema().Define("wife");
+  const RelationId husband = kg.schema().Define("husband");
+  const RelationId first_lady = kg.schema().Define("first_lady");
+  (void)kg.schema().SetInverse(president, presides);
+  (void)kg.schema().SetInverse(wife, husband);
+  kg.rules().AddRule(HornRule{"first-lady", president, wife, first_lady});
+
+  const auto add = [&kg](const char* s, const char* r, const char* o) {
+    (void)kg.Add(Triple{kg.InternEntity(s), *kg.schema().Lookup(r),
+                        kg.InternEntity(o)});
+  };
+  add("the USA", "president", "Donald Trump");
+  add("Donald Trump", "presides_over", "the USA");
+  add("Donald Trump", "wife", "Melania Trump");
+  add("Melania Trump", "husband", "Donald Trump");
+  add("Joe Biden", "wife", "Jill Biden");
+  add("Jill Biden", "husband", "Joe Biden");
+  add("the USA", "first_lady", "Melania Trump");
+
+  // 2) A simulated LLM pretrained on the same world.
+  Vocab vocab;
+  vocab.entities = {"the USA", "Donald Trump", "Joe Biden", "Melania Trump",
+                    "Jill Biden"};
+  vocab.relations = {{"president", "presides_over"},
+                     {"wife", "husband"},
+                     {"first_lady", ""}};
+  ModelConfig model_config = oneedit::GptJSimConfig();
+  model_config.junk_fraction = 0.2;
+  LanguageModel model(model_config, vocab);
+  model.Pretrain({{"the USA", "president", "Donald Trump"},
+                  {"Donald Trump", "presides_over", "the USA"},
+                  {"Donald Trump", "wife", "Melania Trump"},
+                  {"Melania Trump", "husband", "Donald Trump"},
+                  {"Joe Biden", "wife", "Jill Biden"},
+                  {"Jill Biden", "husband", "Joe Biden"},
+                  {"the USA", "first_lady", "Melania Trump"}});
+
+  // 3) OneEdit wires Interpreter -> Controller -> Editor over both stores.
+  OneEditConfig config;
+  config.method = "MEMIT";  // or "GRACE", "ROME", "FT"
+  auto system = OneEditSystem::Create(&kg, &model, config);
+  if (!system.ok()) {
+    std::cerr << "setup failed: " << system.status().ToString() << "\n";
+    return 1;
+  }
+
+  const auto ask = [&](const char* subject, const char* relation) {
+    const Decode decode = (*system)->Ask(subject, relation);
+    std::cout << "  Q: " << relation << " of " << subject
+              << "?  A: " << decode.entity << "\n";
+  };
+
+  std::cout << "Before the edit:\n";
+  ask("the USA", "president");
+  ask("the USA", "first_lady");
+  ask("Joe Biden", "presides_over");
+
+  std::cout << "\nUser says: \"Change the president of the USA to Joe "
+               "Biden.\"\n";
+  const auto response = (*system)->HandleUtterance(
+      "Change the president of the USA to Joe Biden.", "demo-user");
+  if (!response.ok()) {
+    std::cerr << "edit failed: " << response.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "OneEdit: " << response->message << "\n";
+  if (response->report.has_value()) {
+    const auto& plan = response->report->plan;
+    std::cout << "  (rolled back " << plan.rollbacks.size()
+              << " conflicting triples, edited " << plan.edits.size()
+              << ", augmented with " << plan.augmentations.size()
+              << " generation triples)\n";
+  }
+
+  std::cout << "\nAfter the edit:\n";
+  ask("the USA", "president");
+  ask("the USA", "first_lady");     // updated via the first-lady rule
+  ask("Joe Biden", "presides_over");  // updated via the inverse relation
+
+  std::cout << "\nThe KG agrees:\n";
+  const auto triple = kg.Resolve({"the USA", "president", "Joe Biden"});
+  std::cout << "  KG contains (the USA, president, Joe Biden): "
+            << (triple.ok() && kg.Contains(*triple) ? "yes" : "no") << "\n";
+  return 0;
+}

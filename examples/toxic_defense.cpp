@@ -1,0 +1,116 @@
+// Crowdsourced-editing defense scenario (§3.4.1, Limitations): a malicious
+// user tries to poison the shared model. Two layers of defense are shown:
+//  1. the SecurityGuard blocklist screens edits before they reach the model;
+//  2. edits that slip through are reverted wholesale with
+//     RollbackUserEdits, using the cached edit parameters.
+//
+//   ./build/examples/toxic_defense
+
+#include <iostream>
+
+#include "core/oneedit.h"
+#include "data/dataset.h"
+#include "model/model_config.h"
+
+using namespace oneedit;
+
+namespace {
+
+void Ask(OneEditSystem& system, const std::string& subject,
+         const std::string& relation) {
+  std::cout << "    " << relation << "(" << subject << ") = "
+            << system.Ask(subject, relation).entity << "\n";
+}
+
+}  // namespace
+
+int main() {
+  DatasetOptions options;
+  options.num_cases = 8;
+  Dataset dataset = BuildAmericanPoliticians(options);
+
+  LanguageModel model(GptJSimConfig(), dataset.vocab);
+  model.Pretrain(dataset.pretrain_facts);
+
+  OneEditConfig config;
+  config.method = "GRACE";
+  config.interpreter.extraction_error_rate = 0.0;
+  auto system = OneEditSystem::Create(&dataset.kg, &model, config);
+  if (!system.ok()) {
+    std::cerr << system.status().ToString() << "\n";
+    return 1;
+  }
+
+  const EditCase& case0 = dataset.cases[0];
+  const EditCase& case1 = dataset.cases[1];
+  const std::string& state = case0.edit.subject;
+
+  std::cout << "=== Defending a crowdsourced knowledge base ===\n\n";
+
+  // ---- Defense 1: screening ----
+  // Pick a blocklist target that none of the later (legitimate-looking)
+  // edits use, so the two defenses stay independent in the demo.
+  std::string blocked_name;
+  for (size_t c = 2; c < dataset.cases.size() && blocked_name.empty(); ++c) {
+    const std::string& candidate = dataset.cases[c].edit.object;
+    if (candidate != case0.edit.object && candidate != case1.edit.object &&
+        candidate != case1.alternative_objects.front()) {
+      blocked_name = candidate;
+    }
+  }
+  if (blocked_name.empty()) blocked_name = "Villain McBad";
+  (*system)->security().BlockEntity(blocked_name);
+  std::cout << "[screening] \"" << blocked_name
+            << "\" is on the administrator's blocklist.\n";
+  std::cout << "  mallory: \"Change the governor of " << state << " to "
+            << blocked_name << ".\"\n";
+  const auto screened = (*system)->HandleUtterance(
+      "Change the governor of " + state + " to " + blocked_name + ".",
+      "mallory");
+  if (screened.ok()) {
+    std::cout << "  -> "
+              << (screened->kind == UtteranceResponse::Kind::kRejected
+                      ? "REJECTED: "
+                      : "accepted?! ")
+              << screened->message << "\n";
+  }
+  Ask(**system, state, "governor");
+
+  // ---- Defense 2: after-the-fact rollback ----
+  std::cout << "\n[rollback] mallory sneaks two edits past the blocklist:\n";
+  for (const EditCase* edit_case : {&case0, &case1}) {
+    const auto report = (*system)->EditTriple(edit_case->edit, "mallory");
+    std::cout << "  mallory edits (" << edit_case->edit.subject << ", "
+              << edit_case->edit.relation << ") -> "
+              << edit_case->edit.object
+              << (report.ok() ? "  [accepted]" : "  [rejected]") << "\n";
+  }
+  std::cout << "  and honest alice contributes one:\n";
+  const NamedTriple alice_edit{case1.edit.subject, case1.edit.relation,
+                               case1.alternative_objects.front()};
+  (void)(*system)->EditTriple(alice_edit, "alice");
+  std::cout << "  alice edits (" << alice_edit.subject << ", "
+            << alice_edit.relation << ") -> " << alice_edit.object << "\n";
+
+  std::cout << "\n  poisoned state:\n";
+  Ask(**system, case0.edit.subject, case0.edit.relation);
+  Ask(**system, alice_edit.subject, alice_edit.relation);
+
+  std::cout << "\n  admin: RollbackUserEdits(\"mallory\")\n";
+  if (!(*system)->RollbackUserEdits("mallory").ok()) {
+    std::cerr << "rollback failed\n";
+    return 1;
+  }
+
+  std::cout << "\n  cleaned state (mallory reverted, alice intact):\n";
+  Ask(**system, case0.edit.subject, case0.edit.relation);
+  Ask(**system, alice_edit.subject, alice_edit.relation);
+
+  std::cout << "\n  audit log after cleanup:\n";
+  for (const AuditRecord& record : (*system)->audit_log()) {
+    std::cout << "    " << record.user << ": (" << record.request.subject
+              << ", " << record.request.relation << ") -> "
+              << record.request.object << "\n";
+  }
+  return 0;
+}

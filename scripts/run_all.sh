@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, every paper bench, every
+# example, and leaves test_output.txt / bench_output.txt in the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+(for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "===================== $b ====================="
+    "$b"
+    echo
+  fi
+done) 2>&1 | tee bench_output.txt
+
+for e in build/examples/*; do
+  if [ -x "$e" ] && [ -f "$e" ] && [ "$(basename "$e")" != interactive_repl ]; then
+    echo "===================== $e ====================="
+    "$e"
+    echo
+  fi
+done

@@ -1,0 +1,65 @@
+#ifndef ONEEDIT_CORE_CONCURRENT_H_
+#define ONEEDIT_CORE_CONCURRENT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/oneedit.h"
+
+namespace oneedit {
+
+/// Thread-safe facade over OneEditSystem for genuinely concurrent
+/// crowdsourced editing (the paper's multi-user scenario is sequential; this
+/// extension makes simultaneous requests safe).
+///
+/// Edits are serialized under one mutex — conflict resolution against the KG
+/// is inherently a read-modify-write over shared state, so a coarse lock is
+/// the correct granularity; queries take the same lock because adaptor
+/// registries and weights may be mid-update otherwise. Throughput remains
+/// far above the cost model's per-edit seconds, so the lock is never the
+/// bottleneck in practice.
+class ConcurrentOneEdit {
+ public:
+  /// Takes ownership of a configured system.
+  explicit ConcurrentOneEdit(std::unique_ptr<OneEditSystem> system)
+      : system_(std::move(system)) {}
+
+  StatusOr<UtteranceResponse> HandleUtterance(const std::string& utterance,
+                                              const std::string& user) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_->HandleUtterance(utterance, user);
+  }
+
+  StatusOr<EditReport> EditTriple(const NamedTriple& triple,
+                                  const std::string& user) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_->EditTriple(triple, user);
+  }
+
+  Decode Ask(const std::string& subject, const std::string& relation) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_->Ask(subject, relation);
+  }
+
+  Status RollbackUserEdits(const std::string& user) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_->RollbackUserEdits(user);
+  }
+
+  /// Runs `fn` with exclusive access to the underlying system — for
+  /// inspection (audit log, statistics) or administrative surgery.
+  template <typename Fn>
+  auto WithExclusive(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fn(*system_);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unique_ptr<OneEditSystem> system_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_CORE_CONCURRENT_H_

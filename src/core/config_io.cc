@@ -1,0 +1,124 @@
+#include "core/config_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace oneedit {
+namespace {
+
+StatusOr<bool> ParseBool(const std::string& value, const std::string& key) {
+  const std::string lower = ToLower(value);
+  if (lower == "true" || lower == "1" || lower == "yes") return true;
+  if (lower == "false" || lower == "0" || lower == "no") return false;
+  return Status::InvalidArgument("config: bad boolean for " + key + ": " +
+                                 value);
+}
+
+StatusOr<size_t> ParseSize(const std::string& value, const std::string& key) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("config: bad integer for " + key + ": " +
+                                   value);
+  }
+  return static_cast<size_t>(parsed);
+}
+
+StatusOr<double> ParseDouble(const std::string& value,
+                             const std::string& key) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("config: bad number for " + key + ": " +
+                                   value);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+StatusOr<OneEditConfig> ParseOneEditConfig(const std::string& text) {
+  OneEditConfig config;
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string_view stripped = StripAsciiWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const size_t eq = stripped.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("config: missing '=' on line " +
+                                     std::to_string(lineno));
+    }
+    const std::string key(StripAsciiWhitespace(stripped.substr(0, eq)));
+    const std::string value(StripAsciiWhitespace(stripped.substr(eq + 1)));
+
+    if (key == "method") {
+      config.method = value;
+    } else if (key == "controller.num_generation_triples") {
+      ONEEDIT_ASSIGN_OR_RETURN(config.controller.num_generation_triples,
+                               ParseSize(value, key));
+    } else if (key == "controller.use_logical_rules") {
+      ONEEDIT_ASSIGN_OR_RETURN(config.controller.use_logical_rules,
+                               ParseBool(value, key));
+    } else if (key == "controller.augment_aliases") {
+      ONEEDIT_ASSIGN_OR_RETURN(config.controller.augment_aliases,
+                               ParseBool(value, key));
+    } else if (key == "controller.neighborhood_hops") {
+      ONEEDIT_ASSIGN_OR_RETURN(config.controller.neighborhood_hops,
+                               ParseSize(value, key));
+    } else if (key == "editor.use_cache") {
+      ONEEDIT_ASSIGN_OR_RETURN(config.editor.use_cache,
+                               ParseBool(value, key));
+    } else if (key == "interpreter.extraction_error_rate") {
+      ONEEDIT_ASSIGN_OR_RETURN(config.interpreter.extraction_error_rate,
+                               ParseDouble(value, key));
+    } else if (key == "interpreter.training_examples_per_class") {
+      ONEEDIT_ASSIGN_OR_RETURN(
+          config.interpreter.training_examples_per_class,
+          ParseSize(value, key));
+    } else if (key == "interpreter.seed") {
+      ONEEDIT_ASSIGN_OR_RETURN(const size_t seed, ParseSize(value, key));
+      config.interpreter.seed = seed;
+    } else {
+      return Status::InvalidArgument("config: unknown key '" + key +
+                                     "' on line " + std::to_string(lineno));
+    }
+  }
+  return config;
+}
+
+StatusOr<OneEditConfig> LoadOneEditConfig(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read config at " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseOneEditConfig(buffer.str());
+}
+
+std::string OneEditConfigToString(const OneEditConfig& config) {
+  std::ostringstream out;
+  out << "method = " << config.method << "\n";
+  out << "controller.num_generation_triples = "
+      << config.controller.num_generation_triples << "\n";
+  out << "controller.use_logical_rules = "
+      << (config.controller.use_logical_rules ? "true" : "false") << "\n";
+  out << "controller.augment_aliases = "
+      << (config.controller.augment_aliases ? "true" : "false") << "\n";
+  out << "controller.neighborhood_hops = "
+      << config.controller.neighborhood_hops << "\n";
+  out << "editor.use_cache = "
+      << (config.editor.use_cache ? "true" : "false") << "\n";
+  out << "interpreter.extraction_error_rate = "
+      << config.interpreter.extraction_error_rate << "\n";
+  out << "interpreter.training_examples_per_class = "
+      << config.interpreter.training_examples_per_class << "\n";
+  out << "interpreter.seed = " << config.interpreter.seed << "\n";
+  return out.str();
+}
+
+}  // namespace oneedit

@@ -1,0 +1,37 @@
+#ifndef ONEEDIT_CORE_CONFIG_IO_H_
+#define ONEEDIT_CORE_CONFIG_IO_H_
+
+#include <string>
+
+#include "core/oneedit.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+
+/// Parses a OneEditConfig from simple `key = value` text (comments start
+/// with '#'). Recognized keys:
+///
+///   method = MEMIT            # FT | ROME | MEMIT | GRACE | MEND | SERAC
+///   controller.num_generation_triples = 8
+///   controller.use_logical_rules = true
+///   controller.augment_aliases = true
+///   controller.neighborhood_hops = 2
+///   editor.use_cache = true
+///   interpreter.extraction_error_rate = 0.04
+///   interpreter.training_examples_per_class = 400
+///   interpreter.seed = 11
+///
+/// Unknown keys and malformed lines fail with InvalidArgument (configs
+/// should not silently half-apply).
+StatusOr<OneEditConfig> ParseOneEditConfig(const std::string& text);
+
+/// ParseOneEditConfig over a file's contents.
+StatusOr<OneEditConfig> LoadOneEditConfig(const std::string& path);
+
+/// Renders a config in the same key = value format (round-trips through
+/// ParseOneEditConfig).
+std::string OneEditConfigToString(const OneEditConfig& config);
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_CORE_CONFIG_IO_H_

@@ -1,0 +1,227 @@
+#include "core/controller.h"
+
+#include <unordered_set>
+
+#include "kg/graph_query.h"
+#include "kg/triple.h"
+
+namespace oneedit {
+namespace {
+
+struct NamedTripleKey {
+  std::string operator()(const NamedTriple& t) const {
+    return t.subject + "\x1f" + t.relation + "\x1f" + t.object;
+  }
+};
+
+}  // namespace
+
+Controller::Controller(KnowledgeGraph* kg, const ControllerConfig& config)
+    : kg_(kg), config_(config) {}
+
+StatusOr<EditPlan> Controller::Process(const NamedTriple& request) {
+  EditPlan plan;
+  plan.request = request;
+  plan.kg_version_before = kg_->version();
+
+  ONEEDIT_ASSIGN_OR_RETURN(const RelationId r,
+                           kg_->schema().Lookup(request.relation));
+  const EntityId s = kg_->InternEntity(request.subject);
+  const EntityId o = kg_->InternEntity(request.object);
+  const Triple edit{s, r, o};
+
+  // ---------------- Algorithm 1: coverage conflicts ----------------
+  if (kg_->Contains(edit)) {
+    plan.no_op = true;
+    return plan;
+  }
+  const RelationId r_inv = kg_->schema().InverseOf(r);
+  // Coverage conflicts are defined on functional (single-valued) slots;
+  // a non-functional relation (a professor's many advisees) accepts the new
+  // triple alongside the existing ones.
+  const std::vector<EntityId> displaced_objects =
+      kg_->schema().IsFunctional(r) ? kg_->Objects(s, r)
+                                    : std::vector<EntityId>();
+  for (const EntityId old_object : displaced_objects) {
+    // (s, r, o') with o' != o: the model's edit concerning it (if any) must
+    // be rolled back before the new edit is applied.
+    plan.rollbacks.push_back(
+        NamedTriple{request.subject, request.relation,
+                    kg_->EntityName(old_object)});
+    ONEEDIT_RETURN_IF_ERROR(kg_->Remove(Triple{s, r, old_object}));
+    // Keep the graph reverse-consistent: the displaced object's reverse
+    // counterpart (o', r_inv, s) goes with it.
+    if (r_inv != kInvalidId &&
+        kg_->Contains(Triple{old_object, r_inv, s})) {
+      plan.rollbacks.push_back(
+          NamedTriple{kg_->EntityName(old_object),
+                      kg_->schema().Name(r_inv), request.subject});
+      ONEEDIT_RETURN_IF_ERROR(kg_->Remove(Triple{old_object, r_inv, s}));
+    }
+    // Alias restatements of the displaced edit must be rolled back too,
+    // or repeated multi-user edits would pile up on the alias slots.
+    if (config_.augment_aliases) {
+      for (const EntityId alias : kg_->AliasesOf(s)) {
+        plan.rollbacks.push_back(NamedTriple{kg_->EntityName(alias),
+                                             request.relation,
+                                             kg_->EntityName(old_object)});
+      }
+    }
+  }
+  ONEEDIT_RETURN_IF_ERROR(kg_->Add(edit));
+  plan.edits.push_back(request);
+
+  // ---------------- Algorithm 2: reverse conflicts ----------------
+  if (r_inv != kInvalidId) {
+    const std::string inverse_name = kg_->schema().Name(r_inv);
+    const Triple reverse{o, r_inv, s};
+    if (!kg_->Contains(reverse)) {
+      const std::vector<EntityId> reverse_conflicts =
+          kg_->schema().IsFunctional(r_inv) ? kg_->Objects(o, r_inv)
+                                            : std::vector<EntityId>();
+      for (const EntityId old_subject : reverse_conflicts) {
+        // (o, r_inv, s') conflicts with the auto-constructed reverse triple:
+        // roll it back, along with its forward counterpart (s', r, o).
+        plan.rollbacks.push_back(NamedTriple{
+            request.object, inverse_name, kg_->EntityName(old_subject)});
+        ONEEDIT_RETURN_IF_ERROR(kg_->Remove(Triple{o, r_inv, old_subject}));
+        const Triple forward_counterpart{old_subject, r, o};
+        if (kg_->Contains(forward_counterpart)) {
+          plan.rollbacks.push_back(NamedTriple{
+              kg_->EntityName(old_subject), request.relation, request.object});
+          ONEEDIT_RETURN_IF_ERROR(kg_->Remove(forward_counterpart));
+        }
+      }
+      ONEEDIT_RETURN_IF_ERROR(kg_->Add(reverse));
+    }
+    plan.edits.push_back(
+        NamedTriple{request.object, inverse_name, request.subject});
+  }
+
+  // Alias restatements of the edit (surface-form expansion).
+  if (config_.augment_aliases) {
+    for (const EntityId alias : kg_->AliasesOf(s)) {
+      plan.edits.push_back(NamedTriple{kg_->EntityName(alias),
+                                       request.relation, request.object});
+    }
+  }
+
+  // ---------------- §3.4.2: knowledge-graph augmentation ----------------
+  std::unordered_set<std::string> planned;
+  const NamedTripleKey key;
+  for (const NamedTriple& t : plan.edits) planned.insert(key(t));
+
+  // (a) rule maintenance first: inference triples implied by the edit (and
+  // its auto-constructed reverse) are upserted into the KG, replacing any
+  // stale derived facts (the old First Lady), so the symbolic store is
+  // rule-consistent before generation triples are selected. Disabled in the
+  // Figure 4 ablation.
+  if (config_.use_logical_rules) {
+    std::vector<Triple> derived = kg_->rules().DeriveFrom(kg_->store(), edit);
+    if (r_inv != kInvalidId) {
+      for (const Triple& t :
+           kg_->rules().DeriveFrom(kg_->store(), Triple{o, r_inv, s})) {
+        derived.push_back(t);
+      }
+    }
+    for (const Triple& t : derived) {
+      ONEEDIT_ASSIGN_OR_RETURN(const std::optional<EntityId> displaced,
+                               kg_->Upsert(t.subject, t.relation, t.object));
+      if (displaced.has_value()) {
+        // A previously-derived (possibly previously-edited) fact was
+        // replaced; schedule its model edit for rollback too.
+        plan.rollbacks.push_back(NamedTriple{
+            kg_->EntityName(t.subject), kg_->schema().Name(t.relation),
+            kg_->EntityName(*displaced)});
+      }
+    }
+  }
+
+  // (b) generation triples: the subject's incident triples first (nearest
+  // neighbors — including the fresh rule heads), then the wider BFS
+  // neighborhood, truncated to n. At small n the inference triples are cut
+  // (Figure 3's pitfall); at large n many neighbors enter the batch, which
+  // is what degrades MEMIT there.
+  std::vector<NamedTriple> candidates;
+  for (const Triple& t :
+       NeighborhoodTriples(kg_->store(), s,
+                           config_.num_generation_triples +
+                               plan.edits.size() + 8,
+                           /*max_hops=*/0)) {
+    candidates.push_back(kg_->ToNamed(t));
+  }
+  if (config_.neighborhood_hops > 0) {
+    for (const Triple& t : NeighborhoodTriples(
+             kg_->store(), s,
+             2 * config_.num_generation_triples + plan.edits.size() + 8,
+             config_.neighborhood_hops)) {
+      candidates.push_back(kg_->ToNamed(t));
+    }
+  }
+
+  for (const NamedTriple& candidate : candidates) {
+    if (plan.augmentations.size() >= config_.num_generation_triples) break;
+    if (!planned.insert(key(candidate)).second) continue;
+    plan.augmentations.push_back(candidate);
+  }
+  return plan;
+}
+
+StatusOr<EditPlan> Controller::ProcessErase(const NamedTriple& request) {
+  EditPlan plan;
+  plan.request = request;
+  plan.kg_version_before = kg_->version();
+
+  ONEEDIT_ASSIGN_OR_RETURN(const RelationId r,
+                           kg_->schema().Lookup(request.relation));
+  const auto subject = kg_->LookupEntity(request.subject);
+  const auto object = kg_->LookupEntity(request.object);
+  if (!subject.ok() || !object.ok() ||
+      !kg_->Contains(Triple{*subject, r, *object})) {
+    plan.no_op = true;  // nothing to erase
+    return plan;
+  }
+  const EntityId s = *subject;
+  const EntityId o = *object;
+
+  // The retraction set: the triple itself, its reverse counterpart, and its
+  // alias restatements. Each goes to `rollbacks` (cached θ is subtracted)
+  // AND to `suppressions` (pretrained knowledge is zeroed in place).
+  const auto retract = [&](const NamedTriple& target) {
+    plan.rollbacks.push_back(target);
+    plan.suppressions.push_back(target);
+  };
+
+  retract(request);
+  ONEEDIT_RETURN_IF_ERROR(kg_->Remove(Triple{s, r, o}));
+
+  const RelationId r_inv = kg_->schema().InverseOf(r);
+  if (r_inv != kInvalidId && kg_->Contains(Triple{o, r_inv, s})) {
+    retract(NamedTriple{request.object, kg_->schema().Name(r_inv),
+                        request.subject});
+    ONEEDIT_RETURN_IF_ERROR(kg_->Remove(Triple{o, r_inv, s}));
+  }
+  if (config_.augment_aliases) {
+    for (const EntityId alias : kg_->AliasesOf(s)) {
+      retract(NamedTriple{kg_->EntityName(alias), request.relation,
+                          request.object});
+    }
+  }
+
+  // Rule maintenance: derived facts that depended on the retracted triple
+  // are stale now; remove them from the KG and retract their model edits.
+  if (config_.use_logical_rules) {
+    for (const HornRule& rule : kg_->rules().rules()) {
+      if (rule.body1 != r) continue;
+      for (const EntityId z : kg_->Objects(o, rule.body2)) {
+        const Triple derived{s, rule.head, z};
+        if (!kg_->Contains(derived)) continue;
+        retract(kg_->ToNamed(derived));
+        ONEEDIT_RETURN_IF_ERROR(kg_->Remove(derived));
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace oneedit

@@ -1,0 +1,96 @@
+#ifndef ONEEDIT_CORE_CONTROLLER_H_
+#define ONEEDIT_CORE_CONTROLLER_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "kg/named_triple.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+
+/// Controller knobs (§3.4).
+struct ControllerConfig {
+  /// n — the number of generation (knowledge-augmentation) triples passed to
+  /// the Editor. The paper's default is 8 (Table 1 caption); Figure 3 sweeps
+  /// this.
+  size_t num_generation_triples = 8;
+
+  /// Expand augmentation with Horn-rule inference triples (§3.4.2 "logical
+  /// rules"; ablated in Figure 4).
+  bool use_logical_rules = true;
+
+  /// Also restate the edit through the subject's aliases (feeds Sub-Replace
+  /// generalization).
+  bool augment_aliases = true;
+
+  /// BFS radius for the nearest-neighbor generation triples.
+  size_t neighborhood_hops = 2;
+};
+
+/// What the Controller decided for one edit request (Eq. 2):
+/// 𝒯_r (rollbacks), 𝒯_e (edits), 𝒯_a (augmentations).
+struct EditPlan {
+  NamedTriple request;
+
+  /// 𝒯_r — previously edited triples that must be removed from the model
+  /// (coverage conflicts, Algorithm 1; reverse conflicts, Algorithm 2).
+  std::vector<NamedTriple> rollbacks;
+
+  /// 𝒯_e — the triples to edit in: the request, its auto-constructed reverse
+  /// (Algorithm 2), and alias restatements.
+  std::vector<NamedTriple> edits;
+
+  /// 𝒯_a — generation triples: nearest-neighbor knowledge around the edited
+  /// subject first, rule-derived inference triples after, truncated to n.
+  /// (The nearest-first ordering is exactly the pitfall Figure 3 measures:
+  /// at small n the inference triples are the ones cut.)
+  std::vector<NamedTriple> augmentations;
+
+  /// Triples whose associations must be driven to zero in the model —
+  /// erased knowledge that was pretrained (never edited, so there is no
+  /// cached θ to subtract). Produced by ProcessErase only.
+  std::vector<NamedTriple> suppressions;
+
+  /// True when the KG already contained the requested triple — no model
+  /// action is taken (Algorithm 1, line 13).
+  bool no_op = false;
+
+  /// KG version before this plan mutated the graph (for audit/undo).
+  uint64_t kg_version_before = 0;
+};
+
+/// The Controller: resolves knowledge conflicts against the KG and derives
+/// the rollback/edit/augmentation triple sets (Algorithms 1 and 2).
+///
+/// The KG is the arbiter: it is mutated in place (slot upserts, reverse
+/// upserts, rule-derived maintenance), and every mutation is versioned, so a
+/// failed downstream edit can restore it exactly.
+class Controller {
+ public:
+  Controller(KnowledgeGraph* kg, const ControllerConfig& config = {});
+
+  /// Runs conflict resolution + augmentation for one edit request, mutating
+  /// the KG. Unknown relations are InvalidArgument; unknown entities are
+  /// interned (new knowledge may introduce new objects).
+  StatusOr<EditPlan> Process(const NamedTriple& request);
+
+  /// Plans the retraction of `request` ("erase" in the paper's abstract):
+  /// removes the triple, its reverse counterpart, its alias restatements and
+  /// stale derived facts from the KG, and schedules them for model rollback
+  /// (cached edits) or suppression (pretrained knowledge). no_op when the
+  /// triple is not in the KG.
+  StatusOr<EditPlan> ProcessErase(const NamedTriple& request);
+
+  const ControllerConfig& config() const { return config_; }
+  ControllerConfig& mutable_config() { return config_; }
+
+ private:
+  KnowledgeGraph* kg_;
+  ControllerConfig config_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_CORE_CONTROLLER_H_

@@ -1,0 +1,54 @@
+#include "core/cost_model.h"
+
+namespace oneedit {
+namespace {
+
+struct LinearFit {
+  double intercept;
+  double per_billion;
+};
+
+// Coefficients fitted to Table 3's reported numbers (seconds per edit /
+// peak GB as a function of parameter count in billions).
+LinearFit TimeFit(const std::string& method) {
+  if (method == "GRACE") return {6.0, 1.9};
+  if (method == "SERAC") return {5.5, 1.7};
+  if (method == "MEND") return {4.5, 0.6};
+  if (method == "MEMIT") return {6.2, 0.5};
+  if (method == "ROME") return {5.5, 0.45};
+  return {4.0, 0.8};  // FT and anything else
+}
+
+LinearFit VramFit(const std::string& method) {
+  if (method == "GRACE") return {0.8, 3.45};
+  if (method == "SERAC") return {1.0, 3.5};
+  if (method == "MEND") return {-1.0, 4.2};
+  if (method == "MEMIT") return {-2.9, 4.6};
+  if (method == "ROME") return {-2.5, 4.5};
+  return {1.0, 3.2};  // FT
+}
+
+}  // namespace
+
+double CostModel::EditSeconds(const std::string& method,
+                              size_t params_million, bool cache_hit) {
+  if (cache_hit) {
+    // A cached θ re-apply / rollback is one parameter addition.
+    return 0.05;
+  }
+  const LinearFit fit = TimeFit(method);
+  const double billions = static_cast<double>(params_million) / 1000.0;
+  return fit.intercept + fit.per_billion * billions;
+}
+
+double CostModel::VramGb(const std::string& method, size_t params_million,
+                         bool with_interpreter) {
+  const LinearFit fit = VramFit(method);
+  const double billions = static_cast<double>(params_million) / 1000.0;
+  double gb = fit.intercept + fit.per_billion * billions;
+  if (gb < 1.0) gb = 1.0;
+  if (with_interpreter) gb += InterpreterVramGb();
+  return gb;
+}
+
+}  // namespace oneedit

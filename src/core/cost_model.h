@@ -1,0 +1,39 @@
+#ifndef ONEEDIT_CORE_COST_MODEL_H_
+#define ONEEDIT_CORE_COST_MODEL_H_
+
+#include <cstddef>
+#include <string>
+
+namespace oneedit {
+
+/// First-principles cost accounting standing in for the paper's A800/3090
+/// measurements (Table 3). See DESIGN.md §1 for the substitution rationale.
+///
+/// Time: a weight-modifying edit costs optimization passes proportional to
+/// model size; a GRACE edit costs an adaptor search/train step; a cache
+/// rollback or re-apply is a single parameter add — effectively free on the
+/// Table 3 scale. Coefficients are fitted to the paper's reported seconds so
+/// the *ratios* (cache reuse ⇒ ~40% / ~70% savings at 2 / 3 users) hold.
+///
+/// VRAM: base weights + method working set, plus the interpreter's ~6 GB
+/// when OneEdit's pipeline is deployed alongside.
+class CostModel {
+ public:
+  /// Estimated seconds for one edit of `method` ("FT"/"ROME"/"MEMIT"/
+  /// "GRACE") on a model of `params_million` parameters. `cache_hit` is the
+  /// re-apply/rollback fast path.
+  static double EditSeconds(const std::string& method, size_t params_million,
+                            bool cache_hit);
+
+  /// Estimated peak VRAM (GB) while editing with `method`;
+  /// `with_interpreter` adds the OneEdit interpreter deployment.
+  static double VramGb(const std::string& method, size_t params_million,
+                       bool with_interpreter);
+
+  /// The interpreter's VRAM share (MiniCPM-2B stand-in).
+  static double InterpreterVramGb() { return 6.0; }
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_CORE_COST_MODEL_H_

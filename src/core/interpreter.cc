@@ -1,0 +1,81 @@
+#include "core/interpreter.h"
+
+#include <unordered_set>
+
+#include "nlp/utterance_generator.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace oneedit {
+
+StatusOr<Interpreter> Interpreter::Create(const KnowledgeGraph& kg,
+                                          const InterpreterConfig& config) {
+  Interpreter interpreter;
+  interpreter.config_ = config;
+
+  // Entity gazetteer: every interned entity maps to its canonical form.
+  std::unordered_set<std::string> is_alias;
+  for (size_t id = 0; id < kg.num_entities(); ++id) {
+    const EntityId entity = static_cast<EntityId>(id);
+    const std::string& name = kg.EntityName(entity);
+    const EntityId canonical = kg.Canonical(entity);
+    interpreter.extractor_.AddEntity(name, kg.EntityName(canonical));
+    if (canonical != entity) is_alias.insert(name);
+  }
+  for (size_t id = 0; id < kg.num_entities(); ++id) {
+    const std::string& name = kg.EntityName(static_cast<EntityId>(id));
+    if (is_alias.count(name) == 0) {
+      interpreter.canonical_entities_.push_back(name);
+    }
+  }
+
+  // Relation gazetteer: canonical name + underscores-to-spaces surface form.
+  UtteranceSpec spec;
+  const RelationSchema& schema = kg.schema();
+  for (size_t r = 0; r < schema.size(); ++r) {
+    const std::string& name = schema.Name(static_cast<RelationId>(r));
+    interpreter.extractor_.AddRelation(name, name);
+    interpreter.extractor_.AddRelation(StrReplaceAll(name, "_", " "), name);
+    spec.relations.push_back(name);
+  }
+
+  // Train the intent classifier on synthetic data drawn from this world.
+  spec.subjects = interpreter.canonical_entities_;
+  spec.objects = interpreter.canonical_entities_;
+  interpreter.classifier_.Train(GenerateIntentTrainingData(
+      spec, config.training_examples_per_class, config.seed));
+
+  if (interpreter.canonical_entities_.empty()) {
+    return Status::InvalidArgument("interpreter needs a non-empty KG");
+  }
+  return interpreter;
+}
+
+Interpretation Interpreter::Interpret(const std::string& utterance) const {
+  Interpretation out;
+  const IntentPrediction prediction = classifier_.Predict(utterance);
+  out.intent = prediction.intent;
+  out.confidence = prediction.confidence;
+  if (out.intent == Intent::kGenerate) return out;
+  // Edit and erase intents both carry a knowledge triple.
+
+  StatusOr<NamedTriple> extracted = extractor_.Extract(utterance);
+  if (!extracted.ok()) {
+    out.extraction_status = extracted.status();
+    return out;
+  }
+
+  // Simulated extraction noise: deterministically corrupt a small fraction
+  // of parses (the paper's Interpreter error ceiling, §4.4).
+  NamedTriple triple = std::move(extracted).value();
+  Rng noise(Rng::HashString(utterance) ^ config_.seed);
+  if (noise.NextBool(config_.extraction_error_rate) &&
+      !canonical_entities_.empty()) {
+    triple.object =
+        canonical_entities_[noise.NextBelow(canonical_entities_.size())];
+  }
+  out.triple = std::move(triple);
+  return out;
+}
+
+}  // namespace oneedit

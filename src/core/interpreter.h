@@ -1,0 +1,71 @@
+#ifndef ONEEDIT_CORE_INTERPRETER_H_
+#define ONEEDIT_CORE_INTERPRETER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "kg/named_triple.h"
+#include "nlp/intent_classifier.h"
+#include "nlp/triple_extractor.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+
+/// Interpreter knobs (§3.3).
+struct InterpreterConfig {
+  /// Synthetic training utterances per intent class.
+  size_t training_examples_per_class = 400;
+  uint64_t seed = 11;
+  /// Probability that extraction corrupts the parsed object — the MiniCPM
+  /// extraction noise the paper names as OneEdit's main reliability ceiling
+  /// (§4.4). Deterministic per utterance.
+  double extraction_error_rate = 0.04;
+};
+
+/// The Interpreter's verdict for one utterance (paper Eq. 4).
+struct Interpretation {
+  Intent intent = Intent::kGenerate;
+  double confidence = 0.0;
+  /// Set iff intent == kEdit and extraction succeeded.
+  std::optional<NamedTriple> triple;
+  /// Why extraction failed, when it did.
+  Status extraction_status;
+};
+
+/// The Interpreter: intent recognition + knowledge extraction.
+///
+/// Stand-in for the fine-tuned MiniCPM-2B: a naive-Bayes intent classifier
+/// trained at construction on synthetic edit/chat utterances, plus a
+/// gazetteer-driven triple extractor built from the knowledge graph's
+/// entity (and alias) and relation vocabulary.
+class Interpreter {
+ public:
+  /// Builds gazetteers from `kg` and trains the classifier. `kg` must
+  /// outlive the interpreter only through this call (names are copied).
+  static StatusOr<Interpreter> Create(const KnowledgeGraph& kg,
+                                      const InterpreterConfig& config = {});
+
+  /// Classifies the utterance; for edit intent also extracts the triple
+  /// (with the configured simulated extraction noise).
+  Interpretation Interpret(const std::string& utterance) const;
+
+  /// Nominal interpreter footprint (MiniCPM-2B), for the cost model.
+  static size_t SimulatedParamsMillion() { return 2400; }
+
+  const IntentClassifier& classifier() const { return classifier_; }
+  const TripleExtractor& extractor() const { return extractor_; }
+
+ private:
+  Interpreter() = default;
+
+  InterpreterConfig config_;
+  IntentClassifier classifier_;
+  TripleExtractor extractor_;
+  std::vector<std::string> canonical_entities_;  // for error injection
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_CORE_INTERPRETER_H_

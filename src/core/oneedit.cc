@@ -1,0 +1,252 @@
+#include "core/oneedit.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace oneedit {
+
+StatusOr<std::unique_ptr<OneEditSystem>> OneEditSystem::Create(
+    KnowledgeGraph* kg, LanguageModel* model, const OneEditConfig& config) {
+  if (kg == nullptr || model == nullptr) {
+    return Status::InvalidArgument("OneEditSystem needs a KG and a model");
+  }
+  auto system = std::unique_ptr<OneEditSystem>(new OneEditSystem());
+  system->kg_ = kg;
+  system->model_ = model;
+  system->config_ = config;
+
+  ONEEDIT_ASSIGN_OR_RETURN(Interpreter interpreter,
+                           Interpreter::Create(*kg, config.interpreter));
+  system->interpreter_ =
+      std::make_unique<Interpreter>(std::move(interpreter));
+  system->controller_ = std::make_unique<Controller>(kg, config.controller);
+  ONEEDIT_ASSIGN_OR_RETURN(std::unique_ptr<EditingMethod> method,
+                           MakeEditingMethod(config.method));
+  system->editor_ = std::make_unique<OneEditEditor>(model, std::move(method),
+                                                    config.editor);
+  return system;
+}
+
+StatusOr<EditReport> OneEditSystem::EditTriple(const NamedTriple& triple,
+                                               const std::string& user) {
+  const Status screened = security_.Screen(triple);
+  if (!screened.ok()) {
+    if (screened.IsRejected()) statistics_.Add(Ticker::kEditsRejected);
+    return screened;
+  }
+
+  // Capture the slot's current object for administrative undo.
+  std::string previous_object;
+  {
+    const auto relation = kg_->schema().Lookup(triple.relation);
+    const auto subject = kg_->LookupEntity(triple.subject);
+    if (relation.ok() && subject.ok()) {
+      const auto current = kg_->ObjectOf(*subject, *relation);
+      if (current.has_value()) previous_object = kg_->EntityName(*current);
+    }
+  }
+
+  ONEEDIT_ASSIGN_OR_RETURN(EditPlan plan, controller_->Process(triple));
+  const StatusOr<EditOutcome> outcome = editor_->Execute(plan);
+  if (!outcome.ok()) {
+    // Put the symbolic store back in sync with the (unchanged) model.
+    ONEEDIT_RETURN_IF_ERROR(kg_->RollbackTo(plan.kg_version_before));
+    return outcome.status();
+  }
+
+  EditReport report;
+  report.plan = std::move(plan);
+  report.outcome = *outcome;
+
+  // Cost-model accounting: interpreter pass + one primary edit (cache hits
+  // and rollbacks ride the fast path).
+  const size_t params = model_->config().params_million;
+  const bool all_cached = report.outcome.edits_applied > 0 &&
+                          report.outcome.cache_hits >=
+                              report.outcome.edits_applied;
+  report.simulated_seconds =
+      report.plan.no_op
+          ? 0.0
+          : CostModel::EditSeconds(config_.method, params, all_cached) +
+                0.05 * report.outcome.rollbacks_applied;
+
+  if (report.plan.no_op) {
+    statistics_.Add(Ticker::kEditNoOps);
+  } else {
+    statistics_.Add(Ticker::kEditsAccepted);
+    statistics_.Add(Ticker::kRollbacksApplied,
+                    report.outcome.rollbacks_applied);
+    statistics_.Add(Ticker::kRollbacksSkipped,
+                    report.outcome.rollbacks_skipped);
+    statistics_.Add(Ticker::kCacheHits, report.outcome.cache_hits);
+    const uint64_t writes = report.outcome.edits_applied +
+                            report.outcome.augmentations_applied -
+                            std::min<uint64_t>(report.outcome.cache_hits,
+                                               report.outcome.edits_applied +
+                                                   report.outcome
+                                                       .augmentations_applied);
+    statistics_.Add(Ticker::kModelWrites, writes);
+    audit_log_.push_back(AuditRecord{user, triple, previous_object});
+  }
+  return report;
+}
+
+StatusOr<EditReport> OneEditSystem::EraseTriple(const NamedTriple& triple,
+                                                const std::string& user) {
+  ONEEDIT_ASSIGN_OR_RETURN(EditPlan plan, controller_->ProcessErase(triple));
+  const StatusOr<EditOutcome> outcome = editor_->Execute(plan);
+  if (!outcome.ok()) {
+    ONEEDIT_RETURN_IF_ERROR(kg_->RollbackTo(plan.kg_version_before));
+    return outcome.status();
+  }
+
+  EditReport report;
+  report.plan = std::move(plan);
+  report.outcome = *outcome;
+  if (!report.plan.no_op) {
+    statistics_.Add(Ticker::kErasures);
+    statistics_.Add(Ticker::kRollbacksApplied,
+                    report.outcome.rollbacks_applied);
+    AuditRecord record;
+    record.user = user;
+    record.request = triple;
+    record.was_erase = true;
+    audit_log_.push_back(std::move(record));
+    report.simulated_seconds = 0.1;  // rollback/suppression fast path
+  }
+  return report;
+}
+
+StatusOr<UtteranceResponse> OneEditSystem::HandleUtterance(
+    const std::string& utterance, const std::string& user) {
+  UtteranceResponse response;
+  statistics_.Add(Ticker::kUtterances);
+  const Interpretation interpretation = interpreter_->Interpret(utterance);
+
+  if (interpretation.intent == Intent::kGenerate) {
+    statistics_.Add(Ticker::kGenerateResponses);
+    // <generate>: forward to the LLM. If the question names a slot we can
+    // parse, decode it; otherwise reply generically.
+    response.kind = UtteranceResponse::Kind::kGenerated;
+    const auto query = interpreter_->extractor().ExtractQuery(utterance);
+    if (query.ok()) {
+      const Decode decode = Ask(query->first, query->second);
+      response.message = "The " + query->second + " of " + query->first +
+                         " is " + decode.entity + ".";
+    } else {
+      response.message =
+          "I'm a knowledge assistant; ask me about the entities I know or "
+          "tell me about a change in the world.";
+    }
+    return response;
+  }
+
+  if (interpretation.intent == Intent::kErase) {
+    if (!interpretation.triple.has_value()) {
+      statistics_.Add(Ticker::kExtractionFailures);
+      response.kind = UtteranceResponse::Kind::kExtractionFailed;
+      response.message = "Could not extract a knowledge triple: " +
+                         interpretation.extraction_status.ToString();
+      return response;
+    }
+    ONEEDIT_ASSIGN_OR_RETURN(EditReport report,
+                             EraseTriple(*interpretation.triple, user));
+    if (report.plan.no_op) {
+      response.kind = UtteranceResponse::Kind::kNoOp;
+      response.message = "Nothing to erase: (" +
+                         interpretation.triple->subject + ", " +
+                         interpretation.triple->relation + ", " +
+                         interpretation.triple->object + ") is not recorded.";
+    } else {
+      response.kind = UtteranceResponse::Kind::kErased;
+      response.message = "Erased (" + interpretation.triple->subject + ", " +
+                         interpretation.triple->relation + ", " +
+                         interpretation.triple->object + ").";
+    }
+    response.report = std::move(report);
+    return response;
+  }
+
+  // <edit>
+  if (!interpretation.triple.has_value()) {
+    statistics_.Add(Ticker::kExtractionFailures);
+    response.kind = UtteranceResponse::Kind::kExtractionFailed;
+    response.message = "Could not extract a knowledge triple: " +
+                       interpretation.extraction_status.ToString();
+    return response;
+  }
+  StatusOr<EditReport> report = EditTriple(*interpretation.triple, user);
+  if (!report.ok()) {
+    if (report.status().IsRejected()) {
+      response.kind = UtteranceResponse::Kind::kRejected;
+      response.message = report.status().message();
+      return response;
+    }
+    return report.status();
+  }
+  if (report->plan.no_op) {
+    response.kind = UtteranceResponse::Kind::kNoOp;
+    response.message = "Already known: (" + interpretation.triple->subject +
+                       ", " + interpretation.triple->relation + ", " +
+                       interpretation.triple->object + ")";
+  } else {
+    response.kind = UtteranceResponse::Kind::kEdited;
+    response.message = "Updated (" + interpretation.triple->subject + ", " +
+                       interpretation.triple->relation + ") to " +
+                       interpretation.triple->object + ".";
+  }
+  response.report = std::move(report).value();
+  return response;
+}
+
+Decode OneEditSystem::Ask(const std::string& subject,
+                          const std::string& relation) const {
+  QueryOptions options;
+  options.key_noise = model_->config().reliability_noise;
+  options.probe_seed = Rng::HashString("ask:" + subject + "|" + relation);
+  return model_->Query(subject, relation, options);
+}
+
+Status OneEditSystem::RollbackUserEdits(const std::string& user) {
+  statistics_.Add(Ticker::kUserRollbacks);
+  // Snapshot the user's records first — restoring a slot goes through
+  // EditTriple, which appends to the audit log we would otherwise be
+  // iterating.
+  std::vector<AuditRecord> to_undo;
+  for (auto it = audit_log_.rbegin(); it != audit_log_.rend(); ++it) {
+    if (it->user == user) to_undo.push_back(*it);
+  }
+  for (const AuditRecord& record : to_undo) {
+    const NamedTriple& applied = record.request;
+    if (record.was_erase) {
+      // Undo of an erase: re-assert the retracted knowledge.
+      ONEEDIT_RETURN_IF_ERROR(EditTriple(applied, "admin").status());
+    } else if (!record.previous_object.empty()) {
+      const NamedTriple restore{applied.subject, applied.relation,
+                                record.previous_object};
+      ONEEDIT_RETURN_IF_ERROR(EditTriple(restore, "admin").status());
+    } else {
+      // The slot did not exist before: remove it from the KG and subtract
+      // the cached θ from the model.
+      const auto resolved = kg_->Resolve(applied);
+      if (resolved.ok() && kg_->Contains(*resolved)) {
+        ONEEDIT_RETURN_IF_ERROR(kg_->Remove(*resolved));
+      }
+      if (const EditDelta* cached = editor_->cache().Get(applied)) {
+        ONEEDIT_RETURN_IF_ERROR(
+            editor_->method().Rollback(model_, *cached));
+        ONEEDIT_RETURN_IF_ERROR(editor_->cache().Erase(applied));
+      }
+    }
+  }
+  // Drop the user's records (and any admin restores they triggered stay).
+  std::vector<AuditRecord> kept;
+  for (AuditRecord& record : audit_log_) {
+    if (record.user != user) kept.push_back(std::move(record));
+  }
+  audit_log_ = std::move(kept);
+  return Status::OK();
+}
+
+}  // namespace oneedit

@@ -1,0 +1,134 @@
+#ifndef ONEEDIT_CORE_ONEEDIT_H_
+#define ONEEDIT_CORE_ONEEDIT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/cost_model.h"
+#include "core/interpreter.h"
+#include "core/oneedit_editor.h"
+#include "core/security.h"
+#include "core/statistics.h"
+#include "kg/knowledge_graph.h"
+#include "model/language_model.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+
+/// Whole-system configuration (Eq. 2-3 pipeline).
+struct OneEditConfig {
+  InterpreterConfig interpreter;
+  ControllerConfig controller;
+  EditorConfig editor;
+  /// Underlying editing method: "FT", "ROME", "MEMIT", "GRACE", "MEND" or
+  /// "SERAC" (OneEdit(MEMIT) / OneEdit(GRACE) in the tables).
+  std::string method = "MEMIT";
+};
+
+/// Everything that happened for one accepted edit request.
+struct EditReport {
+  EditPlan plan;
+  EditOutcome outcome;
+  /// Cost-model seconds for the primary edit (interpreter overhead and
+  /// cache fast paths included) — the quantity Table 3 reports.
+  double simulated_seconds = 0.0;
+};
+
+/// Result of HandleUtterance.
+struct UtteranceResponse {
+  enum class Kind {
+    kEdited,            ///< edit intent, applied
+    kNoOp,              ///< edit/erase intent, nothing to change
+    kRejected,          ///< edit intent, blocked by the security guard
+    kExtractionFailed,  ///< edit/erase intent, triple extraction failed
+    kGenerated,         ///< generate intent, answered by the LLM
+    kErased,            ///< erase intent, knowledge retracted
+  };
+  Kind kind = Kind::kGenerated;
+  std::string message;
+  std::optional<EditReport> report;  ///< set for kEdited / kNoOp
+};
+
+/// One accepted edit in the multi-user audit log.
+struct AuditRecord {
+  std::string user;
+  NamedTriple request;
+  /// The object the slot held before this edit (empty if the slot was new) —
+  /// what an administrative undo restores.
+  std::string previous_object;
+  /// True if this record retracted knowledge (EraseTriple); undo re-asserts
+  /// the triple instead of restoring a previous object.
+  bool was_erase = false;
+};
+
+/// OneEdit: the neural-symbolic collaborative knowledge-editing system
+/// (Figure 1). Wires Interpreter -> Controller -> Editor over a caller-owned
+/// KnowledgeGraph and LanguageModel.
+class OneEditSystem {
+ public:
+  /// `kg` and `model` must outlive the system.
+  static StatusOr<std::unique_ptr<OneEditSystem>> Create(
+      KnowledgeGraph* kg, LanguageModel* model, const OneEditConfig& config);
+
+  // --- Natural-language entry point (Eq. 4) ---------------------------------
+
+  StatusOr<UtteranceResponse> HandleUtterance(const std::string& utterance,
+                                              const std::string& user = "anonymous");
+
+  // --- Programmatic entry points --------------------------------------------
+
+  /// Edits one triple through Controller + Editor (bypassing the
+  /// Interpreter). Rejected edits return kRejected in the report status.
+  StatusOr<EditReport> EditTriple(const NamedTriple& triple,
+                                  const std::string& user = "anonymous");
+
+  /// Retracts one triple from both stores ("erase"): cached edits are
+  /// rolled back, pretrained knowledge is suppressed in place, the KG slot
+  /// and its reverse/alias/derived dependents are removed.
+  StatusOr<EditReport> EraseTriple(const NamedTriple& triple,
+                                   const std::string& user = "anonymous");
+
+  /// Direct model query for a slot.
+  Decode Ask(const std::string& subject, const std::string& relation) const;
+
+  // --- Crowdsourced-editing administration -----------------------------------
+
+  /// Reverts every accepted edit by `user`, newest first, by re-editing each
+  /// touched slot back to its previous object (or removing it when the slot
+  /// was new). Uses cached θ where available, so reverts are cheap.
+  Status RollbackUserEdits(const std::string& user);
+
+  const std::vector<AuditRecord>& audit_log() const { return audit_log_; }
+
+  // --- Components -------------------------------------------------------------
+
+  SecurityGuard& security() { return security_; }
+  Statistics& statistics() { return statistics_; }
+  const Statistics& statistics() const { return statistics_; }
+  Controller& controller() { return *controller_; }
+  OneEditEditor& editor() { return *editor_; }
+  const Interpreter& interpreter() const { return *interpreter_; }
+  KnowledgeGraph& kg() { return *kg_; }
+  LanguageModel& model() { return *model_; }
+  const OneEditConfig& config() const { return config_; }
+
+ private:
+  OneEditSystem() = default;
+
+  KnowledgeGraph* kg_ = nullptr;
+  LanguageModel* model_ = nullptr;
+  OneEditConfig config_;
+  std::unique_ptr<Interpreter> interpreter_;
+  std::unique_ptr<Controller> controller_;
+  std::unique_ptr<OneEditEditor> editor_;
+  SecurityGuard security_;
+  Statistics statistics_;
+  std::vector<AuditRecord> audit_log_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_CORE_ONEEDIT_H_

@@ -1,0 +1,81 @@
+#ifndef ONEEDIT_CORE_ONEEDIT_EDITOR_H_
+#define ONEEDIT_CORE_ONEEDIT_EDITOR_H_
+
+#include <memory>
+#include <unordered_set>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "editing/edit_cache.h"
+#include "editing/editor.h"
+#include "model/language_model.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+
+/// Editor knobs (§3.5).
+struct EditorConfig {
+  /// Store θ after every edit and reuse it for rollbacks / re-edits
+  /// (the space-for-time strategy; ablated in the Table 3 bench).
+  bool use_cache = true;
+};
+
+/// What the Editor did for one plan — feeds the cost model and Table 3.
+struct EditOutcome {
+  size_t rollbacks_applied = 0;
+  /// Rollback targets with no cached θ (knowledge that was only ever
+  /// pretrained, never edited) — nothing to subtract.
+  size_t rollbacks_skipped = 0;
+  size_t edits_applied = 0;
+  /// Edits satisfied by re-applying a cached θ instead of recomputing.
+  size_t cache_hits = 0;
+  size_t augmentations_applied = 0;
+  /// Pretrained slots zeroed by the erase path.
+  size_t suppressions_applied = 0;
+};
+
+/// The Editor (§3.5): executes a Controller plan against the model through
+/// one EditingMethod, maintaining the edit cache.
+///
+/// Order of operations: rollbacks (cache lookups, exact subtraction) first,
+/// then 𝒯_e and 𝒯_a as one batch (so MEMIT's batch behaviour — dilution and
+/// crosstalk growing with n — is exercised exactly as Figure 3 expects).
+class OneEditEditor {
+ public:
+  OneEditEditor(LanguageModel* model, std::unique_ptr<EditingMethod> method,
+                const EditorConfig& config = {});
+
+  StatusOr<EditOutcome> Execute(const EditPlan& plan);
+
+  EditingMethod& method() { return *method_; }
+  EditCache& cache() { return cache_; }
+  const EditCache& cache() const { return cache_; }
+  const EditorConfig& config() const { return config_; }
+
+  /// Clears method-local state and the cache (experiment-harness reset; the
+  /// caller restores the model weights separately).
+  void ResetState();
+
+  /// True if `triple` is currently installed in the model by this editor.
+  bool IsLive(const NamedTriple& triple) const {
+    return live_.count(LiveKey(triple)) > 0;
+  }
+
+ private:
+  static std::string LiveKey(const NamedTriple& triple) {
+    return triple.subject + "\x1f" + triple.relation + "\x1f" + triple.object;
+  }
+
+  LanguageModel* model_;
+  std::unique_ptr<EditingMethod> method_;
+  EditorConfig config_;
+  EditCache cache_;
+  /// Triples applied and not rolled back — re-requesting one is a no-op
+  /// (prevents double-installing cached deltas across multi-user plans).
+  std::unordered_set<std::string> live_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_CORE_ONEEDIT_EDITOR_H_

@@ -1,0 +1,30 @@
+#include "core/security.h"
+
+#include "util/string_util.h"
+
+namespace oneedit {
+
+void SecurityGuard::BlockEntity(const std::string& entity) {
+  blocked_entities_.insert(ToLower(entity));
+}
+
+void SecurityGuard::BlockPhrase(const std::string& phrase) {
+  blocked_phrases_.push_back(ToLower(phrase));
+}
+
+Status SecurityGuard::Screen(const NamedTriple& edit) const {
+  const std::string object = ToLower(edit.object);
+  if (blocked_entities_.count(object) > 0) {
+    return Status::Rejected("edit object '" + edit.object +
+                            "' is on the blocklist");
+  }
+  for (const std::string& phrase : blocked_phrases_) {
+    if (object.find(phrase) != std::string::npos) {
+      return Status::Rejected("edit object '" + edit.object +
+                              "' matches blocked phrase '" + phrase + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace oneedit

@@ -1,0 +1,43 @@
+#ifndef ONEEDIT_CORE_SECURITY_H_
+#define ONEEDIT_CORE_SECURITY_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "kg/named_triple.h"
+#include "util/status.h"
+
+namespace oneedit {
+
+/// Guard against toxic-knowledge attacks in crowdsourced editing (§3.4.1).
+///
+/// Two defenses:
+///  * a blocklist of entities/phrases that may never be written as an edit
+///    object (screening);
+///  * the Controller's rollback machinery, which lets an administrator
+///    revert any user's accepted edits after the fact (see
+///    OneEditSystem::RollbackUserEdits).
+class SecurityGuard {
+ public:
+  SecurityGuard() = default;
+
+  /// Blocks any edit whose object equals `entity` (case-insensitive).
+  void BlockEntity(const std::string& entity);
+
+  /// Blocks any edit whose object *contains* `phrase` (case-insensitive).
+  void BlockPhrase(const std::string& phrase);
+
+  size_t num_rules() const { return blocked_entities_.size() + blocked_phrases_.size(); }
+
+  /// OK if the edit passes screening; Rejected with an explanation if not.
+  Status Screen(const NamedTriple& edit) const;
+
+ private:
+  std::unordered_set<std::string> blocked_entities_;  // lower-cased
+  std::vector<std::string> blocked_phrases_;          // lower-cased
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_CORE_SECURITY_H_

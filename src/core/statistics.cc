@@ -1,0 +1,48 @@
+#include "core/statistics.h"
+
+namespace oneedit {
+
+std::string TickerName(Ticker ticker) {
+  switch (ticker) {
+    case Ticker::kUtterances:
+      return "utterances";
+    case Ticker::kGenerateResponses:
+      return "generate_responses";
+    case Ticker::kExtractionFailures:
+      return "extraction_failures";
+    case Ticker::kEditsAccepted:
+      return "edits_accepted";
+    case Ticker::kEditsRejected:
+      return "edits_rejected";
+    case Ticker::kEditNoOps:
+      return "edit_no_ops";
+    case Ticker::kRollbacksApplied:
+      return "rollbacks_applied";
+    case Ticker::kRollbacksSkipped:
+      return "rollbacks_skipped";
+    case Ticker::kCacheHits:
+      return "cache_hits";
+    case Ticker::kModelWrites:
+      return "model_writes";
+    case Ticker::kUserRollbacks:
+      return "user_rollbacks";
+    case Ticker::kErasures:
+      return "erasures";
+    case Ticker::kTickerCount:
+      break;
+  }
+  return "unknown";
+}
+
+std::string Statistics::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < static_cast<size_t>(Ticker::kTickerCount); ++i) {
+    const uint64_t value = counters_[i].load(std::memory_order_relaxed);
+    if (value == 0) continue;
+    if (!out.empty()) out += ", ";
+    out += TickerName(static_cast<Ticker>(i)) + ": " + std::to_string(value);
+  }
+  return out.empty() ? "(all zero)" : out;
+}
+
+}  // namespace oneedit

@@ -1,0 +1,63 @@
+#ifndef ONEEDIT_CORE_STATISTICS_H_
+#define ONEEDIT_CORE_STATISTICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace oneedit {
+
+/// System-wide ticker counters (RocksDB-style Statistics): cheap atomic
+/// counters the OneEditSystem bumps on every operation, for ops dashboards
+/// and tests.
+enum class Ticker : size_t {
+  kUtterances = 0,        ///< HandleUtterance calls
+  kGenerateResponses,     ///< utterances routed to generation
+  kExtractionFailures,    ///< edit intent but no triple extracted
+  kEditsAccepted,         ///< edit requests applied (non-no-op)
+  kEditsRejected,         ///< edits blocked by the security guard
+  kEditNoOps,             ///< edits whose knowledge was already present
+  kRollbacksApplied,      ///< cached θ subtracted during conflict resolution
+  kRollbacksSkipped,      ///< rollback targets without cached θ
+  kCacheHits,             ///< edits served by re-applying cached θ
+  kModelWrites,           ///< fresh model edits (primary + augmentation)
+  kUserRollbacks,         ///< administrative RollbackUserEdits calls
+  kErasures,              ///< EraseTriple retractions applied
+  kTickerCount,           // sentinel
+};
+
+std::string TickerName(Ticker ticker);
+
+class Statistics {
+ public:
+  Statistics() {
+    for (auto& counter : counters_) counter.store(0);
+  }
+
+  void Add(Ticker ticker, uint64_t count = 1) {
+    counters_[static_cast<size_t>(ticker)].fetch_add(
+        count, std::memory_order_relaxed);
+  }
+
+  uint64_t Get(Ticker ticker) const {
+    return counters_[static_cast<size_t>(ticker)].load(
+        std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& counter : counters_) counter.store(0);
+  }
+
+  /// "utterances: 12, edits_accepted: 9, ..." — non-zero tickers only.
+  std::string ToString() const;
+
+ private:
+  std::array<std::atomic<uint64_t>,
+             static_cast<size_t>(Ticker::kTickerCount)>
+      counters_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_CORE_STATISTICS_H_

@@ -1,0 +1,145 @@
+#include "data/dataset.h"
+#include "data/name_pool.h"
+#include "data/world_builder.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace oneedit {
+namespace {
+
+/// World shape: one prominent professor per university (so `employs` is
+/// functional); each professor has an advisor (a permutation over the
+/// professors), a research field, and a home city via the university.
+/// Rules:
+///   advisor(P, A) ∧ affiliated_with(A, U) => trained_at(P, U)
+///   advisor(P, A) ∧ research_field(A, F)  => research_lineage(P, F)
+///   affiliated_with(P, U) ∧ located_in(U, C) => works_in_city(P, C)
+struct AcademicWorld {
+  std::vector<std::string> professors;
+  std::vector<std::string> universities;
+};
+
+AcademicWorld PopulateWorld(WorldBuilder* builder, size_t num_professors) {
+  AcademicWorld world;
+
+  builder->DefineRelation("advisor", "advisee");
+  builder->DefineRelation("affiliated_with", "employs");
+  builder->DefineRelation("research_field");
+  builder->DefineRelation("located_in");
+  builder->DefineRelation("trained_at");
+  builder->DefineRelation("research_lineage");
+  builder->DefineRelation("works_in_city");
+
+  builder->DefineRule("trained-at", "advisor", "affiliated_with",
+                      "trained_at");
+  builder->DefineRule("research-lineage", "advisor", "research_field",
+                      "research_lineage");
+  builder->DefineRule("works-in-city", "affiliated_with", "located_in",
+                      "works_in_city");
+
+  const auto check = [](const Status& status) {
+    if (!status.ok()) {
+      ONEEDIT_LOG(Error) << "academic world: " << status.ToString();
+    }
+  };
+
+  for (size_t i = 0; i < num_professors; ++i) {
+    world.professors.push_back(names::Person(4000 + i));
+    world.universities.push_back(names::University(i));
+  }
+
+  // advisor(P_i) = P_{(i + 37) mod N}: a fixed-point-free permutation for
+  // N not dividing 37, so every professor advises exactly one professor and
+  // `advisee` stays functional.
+  const size_t advisor_offset = 37 % num_professors == 0 ? 11 : 37;
+  for (size_t i = 0; i < num_professors; ++i) {
+    const std::string& prof = world.professors[i];
+    const std::string& univ = world.universities[i];
+    const std::string& advisor =
+        world.professors[(i + advisor_offset) % num_professors];
+    // Hash-based field assignment (see politicians.cc) keeps one-hop probes
+    // non-degenerate.
+    const std::string field =
+        names::Field(Rng::HashString("f:" + prof) % 16);
+    const std::string city = names::City(200 + i);
+
+    check(builder->AddFact(prof, "affiliated_with", univ));
+    check(builder->AddFact(prof, "advisor", advisor));
+    check(builder->AddFact(prof, "research_field", field));
+    check(builder->AddFact(univ, "located_in", city));
+    // Rule-implied ground truth.
+    const std::string& advisor_univ =
+        world.universities[(i + advisor_offset) % num_professors];
+    check(builder->AddFact(prof, "trained_at", advisor_univ));
+    check(builder->AddFact(prof, "research_lineage",
+                           names::Field(Rng::HashString("f:" + advisor) % 16)));
+    check(builder->AddFact(prof, "works_in_city", city));
+
+    builder->AddAlias("Prof. " + prof, prof);
+    builder->AddAlias("Dr. " + prof, prof);
+    builder->AddAlias(univ + " (" + names::City(200 + i) + ")", univ);
+  }
+  return world;
+}
+
+}  // namespace
+
+Dataset BuildAcademicFigures(const DatasetOptions& options) {
+  WorldBuilder builder("academic_figures", options.seed);
+
+  const size_t advisor_cases = (options.num_cases + 1) / 2;
+  const size_t affiliation_cases = options.num_cases - advisor_cases;
+  const size_t num_professors = options.num_cases + 14;
+  const AcademicWorld world = PopulateWorld(&builder, num_professors);
+  const size_t advisor_offset = 37 % num_professors == 0 ? 11 : 37;
+
+  std::vector<EditCase> cases;
+  cases.reserve(options.num_cases);
+
+  // Advisor edits: professor i's advisor becomes a different professor
+  // (with affiliation + field facts for the one-hop rules).
+  for (size_t i = 0; i < advisor_cases; ++i) {
+    const std::string& prof = world.professors[i];
+    const std::string& old_advisor =
+        world.professors[(i + advisor_offset) % num_professors];
+    const size_t pick = (i + 2 * advisor_offset + 5) % num_professors;
+    const std::string& new_advisor = world.professors[pick];
+
+    std::vector<std::string> alternatives;
+    for (size_t a = 1; a <= options.alternatives_per_case; ++a) {
+      const size_t alt = (pick + 3 * a) % num_professors;
+      const std::string& candidate = world.professors[alt];
+      if (candidate != old_advisor && candidate != new_advisor &&
+          candidate != prof) {
+        alternatives.push_back(candidate);
+      }
+    }
+    cases.push_back(builder.MakeCase(prof, "advisor", new_advisor,
+                                     old_advisor, alternatives, options));
+  }
+
+  // Affiliation edits: professor j moves to another professor's university.
+  for (size_t j = 0; j < affiliation_cases; ++j) {
+    const size_t subject_index = advisor_cases + j;
+    const std::string& prof = world.professors[subject_index];
+    const std::string& old_univ = world.universities[subject_index];
+    const size_t pick = (subject_index + affiliation_cases + 7) %
+                        world.universities.size();
+    const std::string& new_univ = world.universities[pick];
+
+    std::vector<std::string> alternatives;
+    for (size_t a = 1; a <= options.alternatives_per_case; ++a) {
+      const size_t alt = (pick + 5 * a) % world.universities.size();
+      const std::string& candidate = world.universities[alt];
+      if (candidate != old_univ && candidate != new_univ) {
+        alternatives.push_back(candidate);
+      }
+    }
+    cases.push_back(builder.MakeCase(prof, "affiliated_with", new_univ,
+                                     old_univ, alternatives, options));
+  }
+
+  return builder.Finish(std::move(cases), options);
+}
+
+}  // namespace oneedit

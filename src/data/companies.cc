@@ -1,0 +1,95 @@
+#include "data/dataset.h"
+#include "data/name_pool.h"
+#include "data/world_builder.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace oneedit {
+namespace {
+
+/// Third domain (beyond the paper's two): technology companies. One CEO per
+/// company (so `leads_company` stays functional), a flagship product and a
+/// headquarters city per company, a hometown per CEO.
+/// Rule:
+///   ceo(C, P) ∧ hometown(P, H) => ceo_hometown(C, H)
+struct CompanyWorld {
+  std::vector<std::string> companies;
+  std::vector<std::string> ceos;
+};
+
+std::string CompanyName(size_t index) {
+  // Derive company names from the university root pool for variety.
+  const std::string base = names::University(index);
+  return base.substr(0, base.size() - sizeof(" University") + 1) + " Labs";
+}
+
+CompanyWorld PopulateWorld(WorldBuilder* builder, size_t num_companies) {
+  CompanyWorld world;
+
+  builder->DefineRelation("ceo", "leads_company");
+  builder->DefineRelation("hometown");
+  builder->DefineRelation("headquartered_in");
+  builder->DefineRelation("flagship_product");
+  builder->DefineRelation("ceo_hometown");
+  builder->DefineRule("ceo-hometown", "ceo", "hometown", "ceo_hometown");
+
+  const auto check = [](const Status& status) {
+    if (!status.ok()) {
+      ONEEDIT_LOG(Error) << "companies world: " << status.ToString();
+    }
+  };
+
+  for (size_t i = 0; i < num_companies; ++i) {
+    const std::string company = CompanyName(i);
+    const std::string ceo = names::Person(8000 + i);
+    const std::string hq = names::City(400 + i);
+    const std::string hometown = names::City(600 + i);
+    const std::string product = names::Field(Rng::HashString("pr:" + company) % 16);
+
+    world.companies.push_back(company);
+    world.ceos.push_back(ceo);
+
+    check(builder->AddFact(company, "ceo", ceo));
+    check(builder->AddFact(ceo, "hometown", hometown));
+    check(builder->AddFact(company, "headquartered_in", hq));
+    check(builder->AddFact(company, "flagship_product", product));
+    // Rule-implied ground truth.
+    check(builder->AddFact(company, "ceo_hometown", hometown));
+
+    builder->AddAlias(company + " Inc.", company);
+    builder->AddAlias("CEO " + ceo, ceo);
+  }
+  return world;
+}
+
+}  // namespace
+
+Dataset BuildTechCompanies(const DatasetOptions& options) {
+  WorldBuilder builder("tech_companies", options.seed);
+
+  const size_t num_companies = options.num_cases + 12;
+  const CompanyWorld world = PopulateWorld(&builder, num_companies);
+
+  std::vector<EditCase> cases;
+  cases.reserve(options.num_cases);
+  // CEO changes: company i is taken over by another company's CEO.
+  for (size_t i = 0; i < options.num_cases; ++i) {
+    const std::string& company = world.companies[i];
+    const std::string& old_ceo = world.ceos[i];
+    const size_t pick = (i + options.num_cases + 3) % world.ceos.size();
+    const std::string& new_ceo = world.ceos[pick];
+
+    std::vector<std::string> alternatives;
+    for (size_t a = 1; a <= options.alternatives_per_case; ++a) {
+      const size_t alt = (pick + 2 * a) % world.ceos.size();
+      if (world.ceos[alt] != old_ceo && world.ceos[alt] != new_ceo) {
+        alternatives.push_back(world.ceos[alt]);
+      }
+    }
+    cases.push_back(builder.MakeCase(company, "ceo", new_ceo, old_ceo,
+                                     alternatives, options));
+  }
+  return builder.Finish(std::move(cases), options);
+}
+
+}  // namespace oneedit

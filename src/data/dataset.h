@@ -1,0 +1,88 @@
+#ifndef ONEEDIT_DATA_DATASET_H_
+#define ONEEDIT_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "kg/named_triple.h"
+#include "model/vocab.h"
+
+namespace oneedit {
+
+/// A single-slot evaluation probe: query (subject, relation), compare the
+/// decode against `expected` (empty for locality probes, which instead
+/// compare pre- vs post-edit decodes). `seed` pins the probe's key noise.
+struct Probe {
+  std::string subject;
+  std::string relation;
+  std::string expected;
+  uint64_t seed = 0;
+};
+
+/// A compositional (one-hop) probe: "what is the <r2> of the <r1> of
+/// <subject>?", expecting `expected`.
+struct HopProbe {
+  std::string subject;
+  std::string r1;
+  std::string r2;
+  std::string expected;
+  uint64_t seed = 0;
+};
+
+/// One knowledge-editing evaluation case (§4.2): a counterfactual edit plus
+/// the probes for every metric in Table 1.
+struct EditCase {
+  NamedTriple edit;        ///< (s, r, o_new) — counterfactual
+  std::string old_object;  ///< the ground-truth o_t being overwritten
+
+  Probe reliability;               ///< (s, r) -> o_new
+  std::vector<Probe> locality;     ///< out-of-scope slots, must not change
+  std::vector<Probe> reverse;      ///< (o_new, r_inv) -> s
+  std::vector<HopProbe> one_hop;   ///< rule-mediated compositions through o_new
+  std::vector<Probe> sub_replace;  ///< (alias(s), r) -> o_new
+
+  /// For multi-user experiments: alternative counterfactual objects for the
+  /// same (s, r) slot, in the order successive users apply them.
+  std::vector<std::string> alternative_objects;
+};
+
+/// A complete experimental dataset: the ground-truth world (KG + model
+/// vocabulary + pretraining facts) and the evaluation cases built on it.
+struct Dataset {
+  std::string name;
+  KnowledgeGraph kg;
+  Vocab vocab;
+  std::vector<NamedTriple> pretrain_facts;
+  std::vector<EditCase> cases;
+  /// True facts untouched by any case — the locality probe pool.
+  std::vector<NamedTriple> locality_pool;
+};
+
+/// Generation knobs shared by both domains.
+struct DatasetOptions {
+  uint64_t seed = 2024;
+  size_t num_cases = 60;
+  size_t locality_probes_per_case = 4;
+  size_t max_one_hop_probes_per_case = 2;
+  size_t max_sub_replace_probes_per_case = 2;
+  /// Alternative counterfactual objects generated per case (multi-user).
+  size_t alternatives_per_case = 2;
+};
+
+/// The "American politicians" dataset (§4.2): states, governors, spouses,
+/// parties, cities, universities; rules first_lady and residence.
+Dataset BuildAmericanPoliticians(const DatasetOptions& options = {});
+
+/// The "Academic figures" dataset (§4.2): professors, advisors,
+/// universities, fields, cities; rules trained_at and works_in_city.
+Dataset BuildAcademicFigures(const DatasetOptions& options = {});
+
+/// A third domain beyond the paper (generality check): technology
+/// companies — CEOs, headquarters, products; rule ceo_hometown.
+Dataset BuildTechCompanies(const DatasetOptions& options = {});
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_DATA_DATASET_H_

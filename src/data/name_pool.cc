@@ -1,0 +1,132 @@
+#include "data/name_pool.h"
+
+#include <array>
+
+namespace oneedit {
+namespace names {
+namespace {
+
+constexpr std::array kFirstNames = {
+    "Ada",    "Bruno",  "Clara",  "Dmitri", "Elena",  "Felix",  "Greta",
+    "Hugo",   "Iris",   "Jonas",  "Kira",   "Lionel", "Mara",   "Nils",
+    "Opal",   "Pavel",  "Quinn",  "Rosa",   "Stefan", "Talia",  "Ulric",
+    "Vera",   "Wesley", "Xenia",  "Yusuf",  "Zelda",  "Amos",   "Beata",
+    "Cyrus",  "Delia",  "Emil",   "Freya",  "Gideon", "Hana",   "Ivo",
+    "Jade",   "Kasper", "Livia",  "Mateo",  "Nadia",
+};
+
+constexpr std::array kLastNames = {
+    "Barker",   "Castillo", "Dunmore",  "Eastman",  "Fenwick", "Garland",
+    "Holloway", "Ibarra",   "Jasper",   "Kendrick", "Lockhart", "Merrick",
+    "Norwood",  "Okafor",   "Prescott", "Quimby",   "Radcliffe", "Sandoval",
+    "Thackeray", "Underhill", "Vasquez", "Winslow",  "Xiong",   "Yarrow",
+    "Zimmer",   "Ashford",  "Bellamy",  "Crowe",    "Drummond", "Ellsworth",
+    "Fairbanks", "Goddard", "Hathaway", "Ingram",   "Jellicoe", "Kessler",
+    "Lowell",   "Mansfield", "Nightingale", "Oakes",
+};
+
+constexpr std::array kStateRoots = {
+    "Ashfield",  "Brookmont", "Caldera",   "Dunhaven",  "Elmsworth",
+    "Farrowgate", "Glenrock",  "Harborview", "Ironvale",  "Junewood",
+    "Kestrel",   "Larkspur",  "Mistral",   "Northmarch", "Ostermere",
+    "Pinecrest", "Quarryton", "Ravenhall", "Silverbrook", "Thornbury",
+    "Umberfield", "Valewood",  "Westmere",  "Yellowpine", "Zephyrine",
+    "Ambergate", "Blackforge", "Cinderholm", "Dovercliff", "Emberlyn",
+    "Foxhollow", "Graymoor",  "Hollybrook", "Ivorydale",  "Jadecrest",
+    "Kingsreach", "Lunaris",  "Mapleshade", "Nimbuston",  "Oakenfell",
+    "Palewater", "Quillshore", "Rustmere",  "Snowhaven",  "Tidegrove",
+    "Umbermoor", "Violetfen", "Willowmere", "Yondermoor", "Zincford",
+};
+
+constexpr std::array kCityRoots = {
+    "Alden",   "Briar",   "Cedar",  "Dray",    "Ember",  "Fern",
+    "Gable",   "Hollow",  "Inlet",  "Juniper", "Knoll",  "Linden",
+    "Moss",    "Nook",    "Orchard", "Pebble",  "Quay",   "Reed",
+    "Sable",   "Thistle", "Umber",  "Vine",    "Wren",   "Yew",
+    "Zinnia",  "Aster",   "Birch",  "Clove",   "Dew",    "Elm",
+};
+
+constexpr std::array kCitySuffixes = {"ton", "ville", "port", "field", "gate"};
+
+constexpr std::array kUniversityRoots = {
+    "Northgate", "Southvale", "Eastbrook", "Westholm",  "Midlands",
+    "Lakeshore", "Highland",  "Riverside", "Summit",    "Meadowlark",
+    "Stonebridge", "Clearwater", "Ironwood", "Goldcrest", "Bluefern",
+    "Redmount",  "Silverpine", "Greenfell", "Whitmore",  "Blackwell",
+    "Ambrose",   "Beaufort",  "Carlisle",  "Davenport", "Ellington",
+    "Fairmont",  "Grantham",  "Hollis",    "Inverness", "Jefferson",
+    "Kingsley",  "Lancaster", "Montrose",  "Newbury",   "Oxley",
+    "Pemberton", "Quincy",    "Rutherford", "Sheffield", "Thornton",
+};
+
+constexpr std::array kPartyNames = {
+    "Unity Party",      "Meridian Alliance", "Concord Coalition",
+    "Vanguard League",  "Heritage Union",    "Progress Front",
+    "Liberty Assembly", "Commonwealth Bloc",
+};
+
+constexpr std::array kFieldNames = {
+    "Quantum Materials",     "Computational Linguistics",
+    "Marine Biology",        "Plasma Physics",
+    "Medieval History",      "Organic Chemistry",
+    "Number Theory",         "Cognitive Science",
+    "Structural Engineering", "Astrobiology",
+    "Microeconomics",        "Paleoclimatology",
+    "Neuroimaging",          "Cryptography",
+    "Volcanology",           "Ethnomusicology",
+};
+
+}  // namespace
+
+std::string Person(size_t index) {
+  const size_t first = index % kFirstNames.size();
+  const size_t last = (index / kFirstNames.size() + index) % kLastNames.size();
+  return std::string(kFirstNames[first]) + " " + kLastNames[last];
+}
+
+namespace {
+
+// Appends a tier suffix once a pool wraps, keeping names unique for any index.
+std::string Tiered(std::string base, size_t tier) {
+  static constexpr std::array kTiers = {"", " Nova", " Prime", " Alta",
+                                        " Vista"};
+  return base + kTiers[tier % kTiers.size()];
+}
+
+}  // namespace
+
+std::string State(size_t index) {
+  return Tiered(std::string(kStateRoots[index % kStateRoots.size()]),
+                index / kStateRoots.size());
+}
+
+std::string City(size_t index) {
+  const size_t root = index % kCityRoots.size();
+  const size_t suffix = (index / kCityRoots.size()) % kCitySuffixes.size();
+  return Tiered(std::string(kCityRoots[root]) + kCitySuffixes[suffix],
+                index / (kCityRoots.size() * kCitySuffixes.size()));
+}
+
+std::string University(size_t index) {
+  return Tiered(std::string(kUniversityRoots[index % kUniversityRoots.size()]),
+                index / kUniversityRoots.size()) +
+         " University";
+}
+
+std::string Party(size_t index) {
+  return std::string(kPartyNames[index % kPartyNames.size()]);
+}
+
+std::string Field(size_t index) {
+  return std::string(kFieldNames[index % kFieldNames.size()]);
+}
+
+size_t PersonLimit() { return kFirstNames.size() * kLastNames.size(); }
+size_t StateLimit() { return kStateRoots.size(); }
+size_t CityLimit() { return kCityRoots.size() * kCitySuffixes.size(); }
+size_t UniversityLimit() { return kUniversityRoots.size(); }
+size_t PartyLimit() { return kPartyNames.size(); }
+size_t FieldLimit() { return kFieldNames.size(); }
+
+}  // namespace names
+}  // namespace oneedit

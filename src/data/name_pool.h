@@ -1,0 +1,44 @@
+#ifndef ONEEDIT_DATA_NAME_POOL_H_
+#define ONEEDIT_DATA_NAME_POOL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace oneedit {
+
+/// Deterministic synthetic name pools for the dataset generators. Index-based
+/// so generated worlds are reproducible and names never collide.
+namespace names {
+
+/// "Ada Barker", "Hugo Castillo", ... unique for index < FirstNameCount() *
+/// LastNameCount() when stepped with a coprime stride (the generators use
+/// sequential indices, far below the limit).
+std::string Person(size_t index);
+
+/// "Ashfield", "Brookmont", ... synthetic US-style state names.
+std::string State(size_t index);
+
+/// "Port Alden", "Fairview", ... city names.
+std::string City(size_t index);
+
+/// "Northgate University", ... university names.
+std::string University(size_t index);
+
+/// "Unity Party", ... party names.
+std::string Party(size_t index);
+
+/// "Quantum Materials", ... research field names.
+std::string Field(size_t index);
+
+size_t PersonLimit();
+size_t StateLimit();
+size_t CityLimit();
+size_t UniversityLimit();
+size_t PartyLimit();
+size_t FieldLimit();
+
+}  // namespace names
+}  // namespace oneedit
+
+#endif  // ONEEDIT_DATA_NAME_POOL_H_

@@ -1,0 +1,160 @@
+#include "data/dataset.h"
+#include "data/name_pool.h"
+#include "data/world_builder.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace oneedit {
+namespace {
+
+/// World shape: one governor per state, each with a spouse; governors and
+/// spouses carry party / birthplace / alma-mater facts; parties have leaders.
+/// Rules:
+///   governor(S, P) ∧ spouse(P, Q)      => first_lady(S, Q)
+///   governs(P, S) ∧ capital(S, C)     => residence(P, C)
+///   spouse(P, Q) ∧ party(Q, R)         => spouse_party(P, R)
+struct PoliticsWorld {
+  std::vector<std::string> states;
+  std::vector<std::string> governors;
+  std::vector<std::string> spouses;
+  std::vector<std::string> parties;
+};
+
+PoliticsWorld PopulateWorld(WorldBuilder* builder, size_t num_states) {
+  PoliticsWorld world;
+
+  builder->DefineRelation("governor", "governs");
+  builder->DefineRelation("spouse", "spouse");  // symmetric
+  builder->DefineRelation("party");
+  builder->DefineRelation("leader", "leads");
+  builder->DefineRelation("born_in");
+  builder->DefineRelation("alma_mater");
+  builder->DefineRelation("capital");
+  builder->DefineRelation("first_lady");
+  builder->DefineRelation("residence");
+  builder->DefineRelation("spouse_party");
+
+  builder->DefineRule("first-lady", "governor", "spouse", "first_lady");
+  builder->DefineRule("residence", "governs", "capital", "residence");
+  builder->DefineRule("spouse-party", "spouse", "party", "spouse_party");
+
+  const size_t num_parties = 6;
+  for (size_t p = 0; p < num_parties; ++p) {
+    world.parties.push_back(names::Party(p));
+  }
+
+  const auto check = [](const Status& status) {
+    if (!status.ok()) {
+      ONEEDIT_LOG(Error) << "politicians world: " << status.ToString();
+    }
+  };
+
+  for (size_t i = 0; i < num_states; ++i) {
+    const std::string state = names::State(i);
+    const std::string governor = names::Person(2 * i);
+    const std::string spouse = names::Person(2 * i + 1);
+    const std::string capital = names::City(i);
+    const std::string birth_city = names::City(num_states + i);
+    const std::string university = names::University(i % 24);
+    // Hash-based party assignment avoids periodic structure that would make
+    // one-hop probes degenerate (old and new chains answering alike).
+    const std::string& party =
+        world.parties[Rng::HashString("p:" + governor) % world.parties.size()];
+    const std::string& spouse_party =
+        world.parties[Rng::HashString("p:" + spouse) % world.parties.size()];
+
+    world.states.push_back(state);
+    world.governors.push_back(governor);
+    world.spouses.push_back(spouse);
+
+    check(builder->AddFact(state, "governor", governor));
+    check(builder->AddFact(governor, "spouse", spouse));
+    check(builder->AddFact(state, "capital", capital));
+    check(builder->AddFact(governor, "party", party));
+    check(builder->AddFact(governor, "born_in", birth_city));
+    check(builder->AddFact(governor, "alma_mater", university));
+    check(builder->AddFact(spouse, "party", spouse_party));
+    check(builder->AddFact(spouse, "born_in",
+                           names::City(2 * num_states + i)));
+    // Rule-implied ground truth (the world is rule-consistent).
+    check(builder->AddFact(state, "first_lady", spouse));
+    check(builder->AddFact(governor, "residence", capital));
+    check(builder->AddFact(governor, "spouse_party", spouse_party));
+
+    // Surface forms used by Sub-Replace probes and the Interpreter.
+    builder->AddAlias("Governor " + governor, governor);
+    builder->AddAlias("the State of " + state, state);
+  }
+
+  // Party leadership block — mostly untouched by cases, feeds locality pool.
+  for (size_t p = 0; p < world.parties.size(); ++p) {
+    const std::string leader = names::Person(1000 + p);
+    check(builder->AddFact(world.parties[p], "leader", leader));
+    check(builder->AddFact(leader, "party", world.parties[p]));
+    check(builder->AddFact(leader, "born_in", names::City(90 + p)));
+    check(builder->AddFact(leader, "alma_mater", names::University(30 + p)));
+  }
+  return world;
+}
+
+}  // namespace
+
+Dataset BuildAmericanPoliticians(const DatasetOptions& options) {
+  WorldBuilder builder("american_politicians", options.seed);
+
+  // Half the cases edit governor slots, half edit spouse slots; extra states
+  // guarantee a non-empty locality pool.
+  const size_t governor_cases = (options.num_cases + 1) / 2;
+  const size_t spouse_cases = options.num_cases - governor_cases;
+  const size_t num_states = options.num_cases + 12;
+  const PoliticsWorld world = PopulateWorld(&builder, num_states);
+
+  std::vector<EditCase> cases;
+  cases.reserve(options.num_cases);
+
+  // Governor edits: state s_i gets the governor of a *different* state as a
+  // counterfactual replacement (that person has a spouse, party, etc., so
+  // every probe type is constructible).
+  for (size_t i = 0; i < governor_cases; ++i) {
+    const std::string& state = world.states[i];
+    const std::string& old_governor = world.governors[i];
+    const size_t pick = (i + governor_cases) % world.governors.size();
+    const std::string& new_governor = world.governors[pick];
+
+    std::vector<std::string> alternatives;
+    for (size_t a = 1; a <= options.alternatives_per_case; ++a) {
+      const size_t alt = (pick + a) % world.governors.size();
+      if (world.governors[alt] != old_governor &&
+          world.governors[alt] != new_governor) {
+        alternatives.push_back(world.governors[alt]);
+      }
+    }
+    cases.push_back(builder.MakeCase(state, "governor", new_governor,
+                                     old_governor, alternatives, options));
+  }
+
+  // Spouse edits: governor p_j's spouse becomes the spouse of a different
+  // governor (who has a party fact, feeding the spouse_party rule).
+  for (size_t j = 0; j < spouse_cases; ++j) {
+    const size_t subject_index = governor_cases + j;
+    const std::string& person = world.governors[subject_index];
+    const std::string& old_spouse = world.spouses[subject_index];
+    const size_t pick = (subject_index + spouse_cases) % world.spouses.size();
+    const std::string& new_spouse = world.spouses[pick];
+
+    std::vector<std::string> alternatives;
+    for (size_t a = 1; a <= options.alternatives_per_case; ++a) {
+      const size_t alt = (pick + a) % world.spouses.size();
+      if (world.spouses[alt] != old_spouse &&
+          world.spouses[alt] != new_spouse) {
+        alternatives.push_back(world.spouses[alt]);
+      }
+    }
+    cases.push_back(builder.MakeCase(person, "spouse", new_spouse, old_spouse,
+                                     alternatives, options));
+  }
+
+  return builder.Finish(std::move(cases), options);
+}
+
+}  // namespace oneedit

@@ -1,0 +1,209 @@
+#include "data/world_builder.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace oneedit {
+
+WorldBuilder::WorldBuilder(std::string dataset_name, uint64_t seed)
+    : rng_(Rng::ForStream(seed, "world:" + dataset_name)) {
+  dataset_.name = std::move(dataset_name);
+}
+
+RelationId WorldBuilder::DefineRelation(const std::string& name,
+                                        const std::string& inverse,
+                                        bool functional) {
+  RelationSchema& schema = dataset_.kg.schema();
+  const RelationId r = schema.Define(name, functional);
+  if (!inverse.empty()) {
+    const RelationId r_inv =
+        inverse == name ? r : schema.Define(inverse, functional);
+    const Status s = schema.SetInverse(r, r_inv);
+    if (!s.ok()) {
+      ONEEDIT_LOG(Warning) << "DefineRelation(" << name
+                           << "): " << s.ToString();
+    }
+  }
+  return r;
+}
+
+void WorldBuilder::DefineRule(const std::string& name,
+                              const std::string& body1,
+                              const std::string& body2,
+                              const std::string& head) {
+  RelationSchema& schema = dataset_.kg.schema();
+  dataset_.kg.rules().AddRule(HornRule{name, schema.Define(body1),
+                                       schema.Define(body2),
+                                       schema.Define(head)});
+}
+
+void WorldBuilder::AddAlias(const std::string& alias,
+                            const std::string& canonical) {
+  const EntityId alias_id = dataset_.kg.InternEntity(alias);
+  const EntityId canonical_id = dataset_.kg.InternEntity(canonical);
+  dataset_.kg.AddAlias(alias_id, canonical_id);
+  if (alias_set_.insert(alias).second) alias_names_.push_back(alias);
+  dataset_.vocab.alias_of[alias] = canonical;
+}
+
+Status WorldBuilder::AddFact(const std::string& subject,
+                             const std::string& relation,
+                             const std::string& object) {
+  KnowledgeGraph& kg = dataset_.kg;
+  ONEEDIT_ASSIGN_OR_RETURN(const RelationId r, kg.schema().Lookup(relation));
+  const EntityId s = kg.InternEntity(subject);
+  const EntityId o = kg.InternEntity(object);
+  const Status add = kg.Add(Triple{s, r, o});
+  if (!add.ok() && !add.IsAlreadyExists()) return add;
+  if (add.ok()) {
+    dataset_.pretrain_facts.push_back(NamedTriple{subject, relation, object});
+  }
+
+  const RelationId r_inv = kg.schema().InverseOf(r);
+  if (r_inv != kInvalidId) {
+    const Status add_rev = kg.Add(Triple{o, r_inv, s});
+    if (!add_rev.ok() && !add_rev.IsAlreadyExists()) return add_rev;
+    if (add_rev.ok()) {
+      dataset_.pretrain_facts.push_back(
+          NamedTriple{object, kg.schema().Name(r_inv), subject});
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t WorldBuilder::ProbeSeed(const std::string& tag) {
+  return Rng::HashString(dataset_.name + "|" + tag) ^ (++probe_counter_);
+}
+
+EditCase WorldBuilder::MakeCase(const std::string& subject,
+                                const std::string& relation,
+                                const std::string& o_new,
+                                const std::string& o_old,
+                                const std::vector<std::string>& alternatives,
+                                const DatasetOptions& options) {
+  EditCase edit_case;
+  edit_case.edit = NamedTriple{subject, relation, o_new};
+  edit_case.old_object = o_old;
+  edit_case.alternative_objects = alternatives;
+
+  edit_case.reliability =
+      Probe{subject, relation, o_new, ProbeSeed("rel:" + subject)};
+
+  KnowledgeGraph& kg = dataset_.kg;
+  const RelationSchema& schema = kg.schema();
+  const auto relation_id = schema.Lookup(relation);
+
+  // Reverse probe: (o_new, r_inv) should answer `subject`.
+  if (relation_id.ok() && schema.IsReversible(*relation_id)) {
+    const std::string inverse = schema.Name(schema.InverseOf(*relation_id));
+    edit_case.reverse.push_back(
+        Probe{o_new, inverse, subject, ProbeSeed("rev:" + subject)});
+  }
+
+  // One-hop probes: rules with body1 == relation whose second atom holds for
+  // o_new in the ground-truth world. After the edit, the composed question
+  // "(subject, relation ∘ body2)" should answer the o_new-side fact.
+  if (relation_id.ok()) {
+    for (const HornRule& rule : kg.rules().rules()) {
+      if (rule.body1 != *relation_id) continue;
+      if (edit_case.one_hop.size() >= options.max_one_hop_probes_per_case) {
+        break;
+      }
+      const auto o_new_id = kg.LookupEntity(o_new);
+      if (!o_new_id.ok()) continue;
+      const auto z = kg.ObjectOf(*o_new_id, rule.body2);
+      if (!z.has_value()) continue;
+      // Degenerate probe guard: if the old object's chain lands on the same
+      // answer, the probe cannot distinguish edited from stale knowledge.
+      const auto o_old_id = kg.LookupEntity(o_old);
+      if (o_old_id.ok()) {
+        const auto old_chain = kg.ObjectOf(*o_old_id, rule.body2);
+        if (old_chain.has_value() && *old_chain == *z) continue;
+      }
+      edit_case.one_hop.push_back(HopProbe{subject, relation,
+                                           schema.Name(rule.body2),
+                                           kg.EntityName(*z),
+                                           ProbeSeed("hop:" + subject)});
+    }
+  }
+
+  // Sub-Replace probes: query through the subject's aliases.
+  const auto subject_id = kg.LookupEntity(subject);
+  if (subject_id.ok()) {
+    for (const EntityId alias : kg.AliasesOf(*subject_id)) {
+      if (edit_case.sub_replace.size() >=
+          options.max_sub_replace_probes_per_case) {
+        break;
+      }
+      edit_case.sub_replace.push_back(Probe{kg.EntityName(alias), relation,
+                                            o_new,
+                                            ProbeSeed("sub:" + subject)});
+    }
+  }
+  return edit_case;
+}
+
+Dataset WorldBuilder::Finish(std::vector<EditCase> cases,
+                             const DatasetOptions& options) {
+  dataset_.cases = std::move(cases);
+
+  // Entities touched by any case (as subject or object) are in-scope; the
+  // locality pool is every ground-truth fact fully outside that set.
+  std::unordered_set<std::string> in_scope;
+  for (const EditCase& edit_case : dataset_.cases) {
+    in_scope.insert(edit_case.edit.subject);
+    in_scope.insert(edit_case.edit.object);
+    in_scope.insert(edit_case.old_object);
+    for (const std::string& alt : edit_case.alternative_objects) {
+      in_scope.insert(alt);
+    }
+  }
+  for (const NamedTriple& fact : dataset_.pretrain_facts) {
+    if (in_scope.count(fact.subject) == 0 &&
+        in_scope.count(fact.object) == 0) {
+      dataset_.locality_pool.push_back(fact);
+    }
+  }
+
+  // Locality probes: sample deterministically from the pool per case.
+  if (!dataset_.locality_pool.empty()) {
+    for (size_t c = 0; c < dataset_.cases.size(); ++c) {
+      EditCase& edit_case = dataset_.cases[c];
+      Rng case_rng = Rng::ForStream(
+          Rng::HashString(dataset_.name) + c, "locality");
+      for (size_t i = 0; i < options.locality_probes_per_case; ++i) {
+        const NamedTriple& fact = dataset_.locality_pool[case_rng.NextBelow(
+            dataset_.locality_pool.size())];
+        edit_case.locality.push_back(Probe{
+            fact.subject, fact.relation, fact.object,
+            ProbeSeed("loc:" + fact.subject + ":" + std::to_string(i))});
+      }
+    }
+  }
+
+  // Model vocabulary: canonical entities (in interning order, aliases
+  // excluded) + relations with their inverses.
+  for (size_t id = 0; id < dataset_.kg.num_entities(); ++id) {
+    const std::string& name =
+        dataset_.kg.EntityName(static_cast<EntityId>(id));
+    if (alias_set_.count(name) == 0) dataset_.vocab.entities.push_back(name);
+  }
+  const RelationSchema& schema = dataset_.kg.schema();
+  std::unordered_set<std::string> relation_seen;
+  for (size_t r = 0; r < schema.size(); ++r) {
+    const RelationInfo& info = schema.info(static_cast<RelationId>(r));
+    if (relation_seen.count(info.name) > 0) continue;
+    relation_seen.insert(info.name);
+    std::string inverse;
+    if (info.inverse != kInvalidId) {
+      inverse = schema.Name(info.inverse);
+      relation_seen.insert(inverse);
+    }
+    dataset_.vocab.relations.push_back(VocabRelation{info.name, inverse});
+  }
+
+  return std::move(dataset_);
+}
+
+}  // namespace oneedit

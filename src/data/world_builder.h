@@ -1,0 +1,68 @@
+#ifndef ONEEDIT_DATA_WORLD_BUILDER_H_
+#define ONEEDIT_DATA_WORLD_BUILDER_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "data/dataset.h"
+#include "kg/knowledge_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace oneedit {
+
+/// Shared machinery for the domain generators: accumulates a ground-truth
+/// world (KG + pretraining facts + aliases), then derives a Dataset with
+/// per-case probes.
+class WorldBuilder {
+ public:
+  WorldBuilder(std::string dataset_name, uint64_t seed);
+
+  KnowledgeGraph& kg() { return dataset_.kg; }
+  Rng& rng() { return rng_; }
+
+  /// Defines a relation (and optionally its inverse) in the KG schema.
+  RelationId DefineRelation(const std::string& name,
+                            const std::string& inverse = "",
+                            bool functional = true);
+
+  /// Registers a composition rule body1 ∘ body2 => head.
+  void DefineRule(const std::string& name, const std::string& body1,
+                  const std::string& body2, const std::string& head);
+
+  /// Registers `alias` as a surface form of `canonical`.
+  void AddAlias(const std::string& alias, const std::string& canonical);
+
+  /// Asserts a ground-truth fact: inserts it into the KG and the pretraining
+  /// corpus; if the relation is reversible, the reverse fact is asserted too.
+  Status AddFact(const std::string& subject, const std::string& relation,
+                 const std::string& object);
+
+  /// Builds an EditCase for the counterfactual (subject, relation, o_new)
+  /// replacing ground-truth `o_old`, deriving reverse / one-hop /
+  /// sub-replace probes from the KG, rules and aliases. `alternatives` are
+  /// further counterfactual objects for multi-user runs.
+  EditCase MakeCase(const std::string& subject, const std::string& relation,
+                    const std::string& o_new, const std::string& o_old,
+                    const std::vector<std::string>& alternatives,
+                    const DatasetOptions& options);
+
+  /// Finalizes: computes the locality pool (facts not touched by any case),
+  /// attaches locality probes to every case, builds the model vocabulary,
+  /// and moves the Dataset out. The builder must not be reused afterwards.
+  Dataset Finish(std::vector<EditCase> cases, const DatasetOptions& options);
+
+ private:
+  uint64_t ProbeSeed(const std::string& tag);
+
+  Dataset dataset_;
+  Rng rng_;
+  std::vector<std::string> alias_names_;  // insertion order
+  std::unordered_set<std::string> alias_set_;
+  uint64_t probe_counter_ = 0;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_DATA_WORLD_BUILDER_H_

@@ -1,0 +1,172 @@
+#include "editing/cache_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace oneedit {
+namespace {
+
+constexpr char kMagic[4] = {'O', 'E', 'C', 'B'};
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ofstream& out, uint32_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteF64(std::ofstream& out, double value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  WriteU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void WriteVec(std::ofstream& out, const Vec& v) {
+  WriteU32(out, static_cast<uint32_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return in.good();
+}
+
+bool ReadF64(std::ifstream& in, double* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return in.good();
+}
+
+bool ReadString(std::ifstream& in, std::string* s) {
+  uint32_t size = 0;
+  if (!ReadU32(in, &size) || size > (1u << 20)) return false;
+  s->resize(size);
+  in.read(s->data(), size);
+  return in.good() || size == 0;
+}
+
+bool ReadVec(std::ifstream& in, Vec* v) {
+  uint32_t size = 0;
+  if (!ReadU32(in, &size) || size > (1u << 20)) return false;
+  v->resize(size);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(size * sizeof(double)));
+  return in.good() || size == 0;
+}
+
+}  // namespace
+
+Status SaveCache(const EditCache& cache, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot write cache at " + path);
+
+  out.write(kMagic, sizeof(kMagic));
+  WriteU32(out, kVersion);
+  WriteU32(out, static_cast<uint32_t>(cache.size()));
+  cache.ForEach([&out](const EditDelta& delta) {
+    WriteString(out, delta.edit.subject);
+    WriteString(out, delta.edit.relation);
+    WriteString(out, delta.edit.object);
+    WriteString(out, delta.method);
+
+    WriteU32(out, static_cast<uint32_t>(delta.rank_ones.size()));
+    for (const RankOneUpdate& update : delta.rank_ones) {
+      WriteU32(out, static_cast<uint32_t>(update.layer));
+      WriteF64(out, update.alpha);
+      WriteVec(out, update.value);
+      WriteVec(out, update.key);
+    }
+
+    WriteU32(out, static_cast<uint32_t>(delta.dense.size()));
+    for (const DenseUpdate& update : delta.dense) {
+      WriteU32(out, static_cast<uint32_t>(update.layer));
+      WriteU32(out, static_cast<uint32_t>(update.delta.rows()));
+      WriteU32(out, static_cast<uint32_t>(update.delta.cols()));
+      out.write(reinterpret_cast<const char*>(update.delta.data().data()),
+                static_cast<std::streamsize>(update.delta.data().size() *
+                                             sizeof(double)));
+    }
+
+    WriteU32(out, static_cast<uint32_t>(delta.grace_entries.size()));
+    for (const GraceEntry& entry : delta.grace_entries) {
+      WriteVec(out, entry.key);
+      WriteString(out, entry.answer);
+    }
+  });
+  if (!out.good()) return Status::IoError("cache write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadCache(const std::string& path, EditCache* cache) {
+  if (cache == nullptr) return Status::InvalidArgument("null cache");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot read cache at " + path);
+
+  char magic[4];
+  uint32_t version = 0, count = 0;
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a OneEdit cache file: " + path);
+  }
+  if (!ReadU32(in, &version) || version != kVersion) {
+    return Status::Corruption("unsupported cache version in " + path);
+  }
+  if (!ReadU32(in, &count)) return Status::Corruption("truncated cache header");
+
+  for (uint32_t i = 0; i < count; ++i) {
+    EditDelta delta;
+    uint32_t rank_ones = 0, dense = 0, grace = 0;
+    if (!ReadString(in, &delta.edit.subject) ||
+        !ReadString(in, &delta.edit.relation) ||
+        !ReadString(in, &delta.edit.object) ||
+        !ReadString(in, &delta.method) || !ReadU32(in, &rank_ones)) {
+      return Status::Corruption("truncated cache entry " + std::to_string(i));
+    }
+    for (uint32_t u = 0; u < rank_ones; ++u) {
+      RankOneUpdate update;
+      uint32_t layer = 0;
+      if (!ReadU32(in, &layer) || !ReadF64(in, &update.alpha) ||
+          !ReadVec(in, &update.value) || !ReadVec(in, &update.key)) {
+        return Status::Corruption("truncated rank-one in entry " +
+                                  std::to_string(i));
+      }
+      update.layer = layer;
+      delta.rank_ones.push_back(std::move(update));
+    }
+    if (!ReadU32(in, &dense)) return Status::Corruption("truncated entry");
+    for (uint32_t u = 0; u < dense; ++u) {
+      uint32_t layer = 0, rows = 0, cols = 0;
+      if (!ReadU32(in, &layer) || !ReadU32(in, &rows) || !ReadU32(in, &cols) ||
+          rows > (1u << 14) || cols > (1u << 14)) {
+        return Status::Corruption("truncated dense header in entry " +
+                                  std::to_string(i));
+      }
+      DenseUpdate update;
+      update.layer = layer;
+      update.delta = Matrix(rows, cols);
+      in.read(reinterpret_cast<char*>(update.delta.mutable_data().data()),
+              static_cast<std::streamsize>(update.delta.data().size() *
+                                           sizeof(double)));
+      if (!in.good() && rows * cols != 0) {
+        return Status::Corruption("truncated dense payload in entry " +
+                                  std::to_string(i));
+      }
+      delta.dense.push_back(std::move(update));
+    }
+    if (!ReadU32(in, &grace)) return Status::Corruption("truncated entry");
+    for (uint32_t u = 0; u < grace; ++u) {
+      GraceEntry entry;
+      if (!ReadVec(in, &entry.key) || !ReadString(in, &entry.answer)) {
+        return Status::Corruption("truncated codebook entry in entry " +
+                                  std::to_string(i));
+      }
+      delta.grace_entries.push_back(std::move(entry));
+    }
+    cache->Put(std::move(delta));
+  }
+  return Status::OK();
+}
+
+}  // namespace oneedit

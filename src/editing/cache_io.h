@@ -1,0 +1,28 @@
+#ifndef ONEEDIT_EDITING_CACHE_IO_H_
+#define ONEEDIT_EDITING_CACHE_IO_H_
+
+#include <string>
+
+#include "editing/edit_cache.h"
+#include "util/status.h"
+
+namespace oneedit {
+
+/// Binary persistence for the edit cache — the stored edit parameters θ
+/// survive process restarts, completing the space-for-time strategy (§3.5):
+/// a redeployed system can roll back or re-apply edits made in a previous
+/// session without recomputing them.
+///
+/// Format: magic "OECB", version, entry count; each entry serializes the
+/// triple, the method name, and every rank-one / dense / codebook component
+/// as little-endian doubles. Loading validates the header and fails with
+/// Corruption on any truncation.
+Status SaveCache(const EditCache& cache, const std::string& path);
+
+/// Loads entries saved by SaveCache into `cache` (replacing entries with
+/// the same triple; other existing entries are kept).
+Status LoadCache(const std::string& path, EditCache* cache);
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_EDITING_CACHE_IO_H_

@@ -1,0 +1,46 @@
+#include "editing/edit_cache.h"
+
+#include <algorithm>
+
+namespace oneedit {
+
+std::string EditCache::KeyOf(const NamedTriple& triple) {
+  return triple.subject + "\x1f" + triple.relation + "\x1f" + triple.object;
+}
+
+void EditCache::Put(EditDelta delta) {
+  entries_[KeyOf(delta.edit)] = std::move(delta);
+}
+
+const EditDelta* EditCache::Get(const NamedTriple& triple) const {
+  auto it = entries_.find(KeyOf(triple));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Status EditCache::Erase(const NamedTriple& triple) {
+  if (entries_.erase(KeyOf(triple)) == 0) {
+    return Status::NotFound("no cached edit for (" + triple.subject + ", " +
+                            triple.relation + ", " + triple.object + ")");
+  }
+  return Status::OK();
+}
+
+void EditCache::ForEach(
+    const std::function<void(const EditDelta&)>& fn) const {
+  std::vector<const std::pair<const std::string, EditDelta>*> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& entry : entries_) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : sorted) fn(entry->second);
+}
+
+size_t EditCache::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, delta] : entries_) {
+    bytes += key.size() + delta.ApproxBytes();
+  }
+  return bytes;
+}
+
+}  // namespace oneedit

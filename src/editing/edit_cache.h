@@ -1,0 +1,54 @@
+#ifndef ONEEDIT_EDITING_EDIT_CACHE_H_
+#define ONEEDIT_EDITING_EDIT_CACHE_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "editing/edit_delta.h"
+#include "kg/named_triple.h"
+#include "util/status.h"
+
+namespace oneedit {
+
+/// The space-for-time edit cache (paper §3.5).
+///
+/// After every model edit, the edit parameters θ are stored keyed by the full
+/// triple. When a coverage conflict re-edits a slot, the Controller fetches
+/// the active edit's θ to roll it back exactly; when the slot returns to a
+/// previously-seen object (e.g. Trump wins again in 2024, §4.8.1), the cached
+/// θ is re-applied directly — the source of Table 3's 40%/70% time savings.
+class EditCache {
+ public:
+  EditCache() = default;
+
+  /// Stores (replacing) the delta for its triple.
+  void Put(EditDelta delta);
+
+  /// Returns the cached delta for `triple`, or nullptr.
+  const EditDelta* Get(const NamedTriple& triple) const;
+
+  bool Has(const NamedTriple& triple) const { return Get(triple) != nullptr; }
+
+  /// Drops the entry for `triple` (NotFound if absent).
+  Status Erase(const NamedTriple& triple);
+
+  size_t size() const { return entries_.size(); }
+
+  /// Total approximate bytes of stored edit parameters.
+  size_t ApproxBytes() const;
+
+  /// Visits every cached delta in deterministic (sorted-key) order.
+  void ForEach(const std::function<void(const EditDelta&)>& fn) const;
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  static std::string KeyOf(const NamedTriple& triple);
+
+  std::unordered_map<std::string, EditDelta> entries_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_EDITING_EDIT_CACHE_H_

@@ -1,0 +1,21 @@
+#include "editing/edit_delta.h"
+
+namespace oneedit {
+
+size_t EditDelta::ApproxBytes() const {
+  size_t bytes = edit.subject.size() + edit.relation.size() +
+                 edit.object.size() + method.size();
+  for (const RankOneUpdate& u : rank_ones) {
+    bytes += sizeof(u.layer) + sizeof(u.alpha) +
+             (u.value.size() + u.key.size()) * sizeof(double);
+  }
+  for (const DenseUpdate& u : dense) {
+    bytes += sizeof(u.layer) + u.delta.rows() * u.delta.cols() * sizeof(double);
+  }
+  for (const GraceEntry& e : grace_entries) {
+    bytes += e.key.size() * sizeof(double) + e.answer.size();
+  }
+  return bytes;
+}
+
+}  // namespace oneedit

@@ -1,0 +1,60 @@
+#ifndef ONEEDIT_EDITING_EDIT_DELTA_H_
+#define ONEEDIT_EDITING_EDIT_DELTA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "kg/named_triple.h"
+#include "util/math.h"
+
+namespace oneedit {
+
+/// A rank-one weight update: W_layer += alpha * value * keyᵀ.
+struct RankOneUpdate {
+  size_t layer = 0;
+  Vec value;
+  Vec key;
+  double alpha = 1.0;
+};
+
+/// A dense weight update: W_layer += delta (FT's collateral drift).
+struct DenseUpdate {
+  size_t layer = 0;
+  Matrix delta;
+};
+
+/// A GRACE codebook entry: queries whose layer-0 key falls within the
+/// codebook's ε-ball of `key` answer `answer` directly.
+struct GraceEntry {
+  Vec key;
+  std::string answer;
+};
+
+/// The stored parameters θᵢ of one edit (paper §3.5, Eq. 8).
+///
+/// The space-for-time strategy keeps these after every edit so a later
+/// coverage conflict can be resolved by *subtracting* the old delta
+/// (rollback) and, when the same knowledge returns, by *re-adding* a cached
+/// delta instead of recomputing the edit.
+struct EditDelta {
+  /// The edit that produced this delta.
+  NamedTriple edit;
+  /// Name of the editing method that produced it.
+  std::string method;
+
+  std::vector<RankOneUpdate> rank_ones;
+  std::vector<DenseUpdate> dense;
+  std::vector<GraceEntry> grace_entries;
+
+  bool empty() const {
+    return rank_ones.empty() && dense.empty() && grace_entries.empty();
+  }
+
+  /// Approximate storage footprint in bytes (drives the cost model).
+  size_t ApproxBytes() const;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_EDITING_EDIT_DELTA_H_

@@ -1,0 +1,105 @@
+#include "editing/editor.h"
+
+#include "editing/ft.h"
+#include "editing/grace.h"
+#include "editing/memit.h"
+#include "editing/mend.h"
+#include "editing/rome.h"
+#include "editing/serac.h"
+
+namespace oneedit {
+
+void ApplyWeightDelta(LanguageModel* model, const EditDelta& delta,
+                      double sign) {
+  for (const RankOneUpdate& update : delta.rank_ones) {
+    model->memory().AddRankOne(update.layer, update.value, update.key,
+                               sign * update.alpha);
+  }
+  for (const DenseUpdate& update : delta.dense) {
+    Matrix scaled = update.delta;
+    for (double& x : scaled.mutable_data()) x *= sign;
+    model->memory().AddDense(update.layer, scaled);
+  }
+}
+
+StatusOr<EditDelta> EditingMethod::ApplyEdit(LanguageModel* model,
+                                             const NamedTriple& edit) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  ONEEDIT_ASSIGN_OR_RETURN(
+      EditDelta delta, DoApplyEdit(model, edit, LiveEdits(edit)));
+  NoteApply(edit);
+  return delta;
+}
+
+StatusOr<std::vector<EditDelta>> EditingMethod::ApplyBatch(
+    LanguageModel* model, const std::vector<NamedTriple>& edits) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  ONEEDIT_ASSIGN_OR_RETURN(std::vector<EditDelta> deltas,
+                           DoApplyBatch(model, edits));
+  for (const NamedTriple& edit : edits) NoteApply(edit);
+  return deltas;
+}
+
+StatusOr<std::vector<EditDelta>> EditingMethod::DoApplyBatch(
+    LanguageModel* model, const std::vector<NamedTriple>& edits) {
+  std::vector<EditDelta> deltas;
+  deltas.reserve(edits.size());
+  for (const NamedTriple& edit : edits) {
+    ONEEDIT_ASSIGN_OR_RETURN(EditDelta delta,
+                             DoApplyEdit(model, edit, LiveEdits(edit)));
+    deltas.push_back(std::move(delta));
+  }
+  return deltas;
+}
+
+Status EditingMethod::Rollback(LanguageModel* model, const EditDelta& delta) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  ApplyWeightDelta(model, delta, -1.0);
+  NoteRollback(delta.edit);
+  return Status::OK();
+}
+
+Status EditingMethod::Reapply(LanguageModel* model, const EditDelta& delta) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  ApplyWeightDelta(model, delta, 1.0);
+  NoteApply(delta.edit);
+  return Status::OK();
+}
+
+void EditingMethod::Reset(LanguageModel* model) {
+  (void)model;
+  live_edits_.clear();
+}
+
+size_t EditingMethod::LiveEdits(const NamedTriple& edit) const {
+  auto it = live_edits_.find(SlotOf(edit));
+  return it == live_edits_.end() ? 0 : it->second;
+}
+
+void EditingMethod::NoteRollback(const NamedTriple& edit) {
+  auto it = live_edits_.find(SlotOf(edit));
+  if (it != live_edits_.end() && it->second > 0) it->second -= 1;
+}
+
+StatusOr<std::unique_ptr<EditingMethod>> MakeEditingMethod(
+    const std::string& name) {
+  if (name == "FT") return std::unique_ptr<EditingMethod>(new FtMethod());
+  if (name == "ROME") return std::unique_ptr<EditingMethod>(new RomeMethod());
+  if (name == "MEMIT") {
+    return std::unique_ptr<EditingMethod>(new MemitMethod());
+  }
+  if (name == "GRACE") {
+    return std::unique_ptr<EditingMethod>(new GraceMethod());
+  }
+  if (name == "MEND") return std::unique_ptr<EditingMethod>(new MendMethod());
+  if (name == "SERAC") {
+    return std::unique_ptr<EditingMethod>(new SeracMethod());
+  }
+  return Status::InvalidArgument("unknown editing method: " + name);
+}
+
+std::vector<std::string> RegisteredMethodNames() {
+  return {"FT", "ROME", "MEMIT", "GRACE", "MEND", "SERAC"};
+}
+
+}  // namespace oneedit

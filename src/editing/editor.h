@@ -1,0 +1,98 @@
+#ifndef ONEEDIT_EDITING_EDITOR_H_
+#define ONEEDIT_EDITING_EDITOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "editing/edit_delta.h"
+#include "kg/named_triple.h"
+#include "model/language_model.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+
+/// Interface every knowledge-editing method implements (the EasyEdit role in
+/// the paper's Editor, §3.5).
+///
+/// Contract:
+///  * ApplyEdit installs (s, r, o) into the model and returns the exact
+///    parameters θ that were added, so Rollback(θ) restores the model to its
+///    prior state and Reapply(θ) reinstalls a cached edit without recomputing.
+///  * ApplyBatch edits several triples jointly. Methods without true batch
+///    support fall back to sequential edits; MEMIT overrides DoApplyBatch
+///    (batch interference is what Figure 3's MEMIT decline measures).
+///  * Reset clears any method-local state attached to the model (GRACE's
+///    codebook adaptor); weight restoration is the caller's job.
+///
+/// The base class tracks how many *live* (un-rolled-back) edits each
+/// (subject, relation) slot carries. Weight-modifying methods scale their
+/// collateral drift with that count — the "knowledge distortion" of repeated
+/// same-slot editing (Li et al. 2024) that collapses FT/ROME locality in the
+/// multi-user runs (Table 2). OneEdit's rollback keeps the count at zero,
+/// which is precisely why it escapes the collapse.
+class EditingMethod {
+ public:
+  virtual ~EditingMethod() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Installs one edit (bookkeeping + DoApplyEdit).
+  StatusOr<EditDelta> ApplyEdit(LanguageModel* model, const NamedTriple& edit);
+
+  /// Installs a batch jointly (bookkeeping + DoApplyBatch).
+  StatusOr<std::vector<EditDelta>> ApplyBatch(
+      LanguageModel* model, const std::vector<NamedTriple>& edits);
+
+  /// Exactly undoes a delta previously produced by this method.
+  virtual Status Rollback(LanguageModel* model, const EditDelta& delta);
+
+  /// Re-installs a cached delta (the Table 3 fast path).
+  virtual Status Reapply(LanguageModel* model, const EditDelta& delta);
+
+  /// Drops method-local state bound to `model` and the live-edit ledger.
+  virtual void Reset(LanguageModel* model);
+
+  /// Live (applied minus rolled back) edits currently on a slot.
+  size_t LiveEdits(const NamedTriple& edit) const;
+
+ protected:
+  /// Method-specific single edit. `prior_live_edits` is the number of
+  /// un-rolled-back edits already sitting on this slot.
+  virtual StatusOr<EditDelta> DoApplyEdit(LanguageModel* model,
+                                          const NamedTriple& edit,
+                                          size_t prior_live_edits) = 0;
+
+  /// Method-specific batch; default is sequential DoApplyEdit calls.
+  virtual StatusOr<std::vector<EditDelta>> DoApplyBatch(
+      LanguageModel* model, const std::vector<NamedTriple>& edits);
+
+  static std::string SlotOf(const NamedTriple& edit) {
+    return edit.subject + "\x1f" + edit.relation;
+  }
+
+  void NoteApply(const NamedTriple& edit) { live_edits_[SlotOf(edit)] += 1; }
+  void NoteRollback(const NamedTriple& edit);
+
+ private:
+  std::unordered_map<std::string, size_t> live_edits_;
+};
+
+/// Applies every weight update in `delta` scaled by `sign` (+1 install,
+/// -1 rollback). GRACE entries are ignored here — they live in the method's
+/// codebook, not the weights.
+void ApplyWeightDelta(LanguageModel* model, const EditDelta& delta,
+                      double sign);
+
+/// Factory over registered method names ("FT", "ROME", "MEMIT", "GRACE") —
+/// the EasyEdit-style registry. Returns InvalidArgument for unknown names.
+StatusOr<std::unique_ptr<EditingMethod>> MakeEditingMethod(
+    const std::string& name);
+
+/// Names accepted by MakeEditingMethod, in canonical order.
+std::vector<std::string> RegisteredMethodNames();
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_EDITING_EDITOR_H_

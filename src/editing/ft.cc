@@ -1,0 +1,50 @@
+#include "editing/ft.h"
+
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace oneedit {
+
+StatusOr<EditDelta> FtMethod::DoApplyEdit(LanguageModel* model,
+                                          const NamedTriple& edit,
+                                          size_t prior_live_edits) {
+  EditDelta delta;
+  delta.edit = edit;
+  delta.method = name();
+
+  std::vector<size_t> all_layers(model->memory().num_layers());
+  std::iota(all_layers.begin(), all_layers.end(), 0);
+
+  // Stochastic-optimization drift on every layer — FT's locality damage;
+  // re-editing an already-edited slot distorts further (Table 2). The drift
+  // lands first: the gradient steps below then re-fit the edited slot on the
+  // drifted weights, which is why FT overfits its own edit (decent
+  // reliability) while wrecking unrelated knowledge (near-zero locality).
+  const double drift =
+      config_.collateral_noise *
+      (1.0 + config_.repeat_collateral * static_cast<double>(prior_live_edits));
+  for (const size_t layer : all_layers) {
+    AddCollateralDrift(
+        model, layer, drift,
+        Rng::HashString("ft-drift:" + edit.subject + "|" + edit.relation +
+                        "|" + edit.object) ^
+            (layer + 1),
+        &delta);
+  }
+
+  // Gradient steps: each installs learning_rate of the *current* residual
+  // across every layer, so convergence is geometric.
+  for (int step = 0; step < config_.steps; ++step) {
+    ReplaceWriteOptions options;
+    options.layers = all_layers;
+    options.strength = config_.learning_rate;
+    options.noise_seed = Rng::HashString("ft-step") + step;
+    WriteReplaceAssociation(model, edit, options, &delta);
+  }
+
+  MaybeWriteReverseLeak(model, edit, all_layers, config_.leak, &delta);
+  return delta;
+}
+
+}  // namespace oneedit

@@ -1,0 +1,45 @@
+#ifndef ONEEDIT_EDITING_FT_H_
+#define ONEEDIT_EDITING_FT_H_
+
+#include "editing/editor.h"
+#include "editing/write_utils.h"
+
+namespace oneedit {
+
+/// Direct fine-tuning (with a KL-style penalty keeping the update from
+/// diverging) ported to the associative-memory substrate.
+///
+/// Gradient descent on ||W k − v*||² touches every layer; the per-step noise
+/// of stochastic optimization drifts unrelated directions. Profile (Table 1):
+/// moderate reliability (under-converged), near-zero locality (heavy
+/// collateral drift), weak portability.
+struct FtConfig {
+  double learning_rate = 0.45;
+  int steps = 4;
+  /// Frobenius drift added per layer per edit — the dominant cause of FT's
+  /// locality collapse.
+  double collateral_noise = 45.0;
+  /// Extra drift multiplier per live edit already on the slot (repeated
+  /// same-slot editing distorts the model further; Table 2).
+  double repeat_collateral = 0.3;
+  LeakOptions leak;
+};
+
+class FtMethod : public EditingMethod {
+ public:
+  explicit FtMethod(const FtConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "FT"; }
+
+ protected:
+  StatusOr<EditDelta> DoApplyEdit(LanguageModel* model,
+                                  const NamedTriple& edit,
+                                  size_t prior_live_edits) override;
+
+ private:
+  FtConfig config_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_EDITING_FT_H_

@@ -1,0 +1,112 @@
+#include "editing/grace.h"
+
+#include <limits>
+
+namespace oneedit {
+namespace {
+
+double KeyDistance(const Vec& a, const Vec& b) { return Norm(Sub(a, b)); }
+
+}  // namespace
+
+bool GraceCodebook::TryAnswer(const Vec& layer0_key,
+                              std::string* answer) const {
+  double best = std::numeric_limits<double>::infinity();
+  const GraceEntry* hit = nullptr;
+  for (const GraceEntry& entry : entries_) {
+    const double dist = KeyDistance(entry.key, layer0_key);
+    if (dist <= epsilon_ && dist < best) {
+      best = dist;
+      hit = &entry;
+    }
+  }
+  if (hit == nullptr) return false;
+  *answer = hit->answer;
+  return true;
+}
+
+void GraceCodebook::AddEntry(const GraceEntry& entry) {
+  for (GraceEntry& existing : entries_) {
+    if (KeyDistance(existing.key, entry.key) < 1e-9) {
+      existing.answer = entry.answer;
+      return;
+    }
+  }
+  entries_.push_back(entry);
+}
+
+Status GraceCodebook::RemoveEntry(const GraceEntry& entry) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->answer == entry.answer && KeyDistance(it->key, entry.key) < 1e-9) {
+      entries_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("codebook entry not found for answer " +
+                          entry.answer);
+}
+
+GraceMethod::GraceMethod(const GraceConfig& config)
+    : config_(config),
+      codebook_(std::make_shared<GraceCodebook>(config.epsilon)) {}
+
+void GraceMethod::EnsureRegistered(LanguageModel* model) {
+  if (registered_with_ == model) return;
+  if (registered_with_ != nullptr) {
+    registered_with_->RemoveAdaptor(codebook_.get());
+  }
+  model->AddAdaptor(codebook_);
+  registered_with_ = model;
+}
+
+StatusOr<EditDelta> GraceMethod::DoApplyEdit(LanguageModel* model,
+                                             const NamedTriple& edit,
+                                             size_t prior_live_edits) {
+  (void)prior_live_edits;  // the codebook replaces in place; no distortion
+  EnsureRegistered(model);
+
+  EditDelta delta;
+  delta.edit = edit;
+  delta.method = name();
+
+  GraceEntry entry;
+  entry.key = model->CenterKeys(edit.subject, edit.relation)[0];
+  entry.answer = edit.object;
+  codebook_->AddEntry(entry);
+  delta.grace_entries.push_back(std::move(entry));
+  return delta;
+}
+
+Status GraceMethod::Rollback(LanguageModel* model, const EditDelta& delta) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  for (const GraceEntry& entry : delta.grace_entries) {
+    ONEEDIT_RETURN_IF_ERROR(codebook_->RemoveEntry(entry));
+  }
+  // GRACE never wrote weights, but honor any weight updates recorded in a
+  // mixed delta for uniformity.
+  ApplyWeightDelta(model, delta, -1.0);
+  NoteRollback(delta.edit);
+  return Status::OK();
+}
+
+Status GraceMethod::Reapply(LanguageModel* model, const EditDelta& delta) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  EnsureRegistered(model);
+  for (const GraceEntry& entry : delta.grace_entries) {
+    codebook_->AddEntry(entry);
+  }
+  ApplyWeightDelta(model, delta, 1.0);
+  NoteApply(delta.edit);
+  return Status::OK();
+}
+
+void GraceMethod::Reset(LanguageModel* model) {
+  codebook_->Clear();
+  if (registered_with_ != nullptr) {
+    registered_with_->RemoveAdaptor(codebook_.get());
+    registered_with_ = nullptr;
+  }
+  EditingMethod::Reset(model);
+}
+
+}  // namespace oneedit

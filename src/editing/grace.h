@@ -1,0 +1,74 @@
+#ifndef ONEEDIT_EDITING_GRACE_H_
+#define ONEEDIT_EDITING_GRACE_H_
+
+#include <memory>
+
+#include "editing/editor.h"
+
+namespace oneedit {
+
+/// GRACE (Hartvigsen et al. 2023): lifelong editing with a discrete key-value
+/// adaptor codebook. The base weights are never touched; queries whose key
+/// falls inside an entry's ε-ball are answered from the codebook.
+///
+/// Port: entries are keyed on the layer-0 center key of the edited fact.
+/// Profile (Table 1): reliability = locality = 1.0 (perfect recall inside the
+/// ball, zero interference outside), portability = 0 (reverse / one-hop /
+/// alias queries all fall outside every ball).
+struct GraceConfig {
+  /// ε-ball radius (Euclidean, on unit keys). Calibrated so mild rephrasing
+  /// (reliability probes) stays inside and alias / hop keys fall outside.
+  double epsilon = 0.2;
+};
+
+/// The codebook itself; registered with the model as a QueryAdaptor.
+class GraceCodebook : public QueryAdaptor {
+ public:
+  explicit GraceCodebook(double epsilon) : epsilon_(epsilon) {}
+
+  bool TryAnswer(const Vec& layer0_key, std::string* answer) const override;
+
+  /// Adds an entry; an existing entry with (numerically) the same key is
+  /// replaced — GRACE keeps one value per key.
+  void AddEntry(const GraceEntry& entry);
+
+  /// Removes the entry matching (key, answer); returns NotFound otherwise.
+  Status RemoveEntry(const GraceEntry& entry);
+
+  void Clear() { entries_.clear(); }
+  size_t size() const { return entries_.size(); }
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+  std::vector<GraceEntry> entries_;
+};
+
+class GraceMethod : public EditingMethod {
+ public:
+  explicit GraceMethod(const GraceConfig& config = {});
+
+  std::string name() const override { return "GRACE"; }
+
+  Status Rollback(LanguageModel* model, const EditDelta& delta) override;
+  Status Reapply(LanguageModel* model, const EditDelta& delta) override;
+  void Reset(LanguageModel* model) override;
+
+  const GraceCodebook& codebook() const { return *codebook_; }
+
+ protected:
+  StatusOr<EditDelta> DoApplyEdit(LanguageModel* model,
+                                  const NamedTriple& edit,
+                                  size_t prior_live_edits) override;
+
+ private:
+  void EnsureRegistered(LanguageModel* model);
+
+  GraceConfig config_;
+  std::shared_ptr<GraceCodebook> codebook_;
+  LanguageModel* registered_with_ = nullptr;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_EDITING_GRACE_H_

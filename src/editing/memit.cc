@@ -1,0 +1,63 @@
+#include "editing/memit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oneedit {
+
+std::vector<size_t> MemitMethod::SpreadWindow(
+    const LanguageModel& model) const {
+  const size_t num_layers = model.memory().num_layers();
+  const size_t window = std::min(config_.spread_layers, num_layers);
+  // Centered window, matching MEMIT's mid-network critical layers.
+  const size_t start = (num_layers - window) / 2;
+  std::vector<size_t> layers(window);
+  for (size_t i = 0; i < window; ++i) layers[i] = start + i;
+  return layers;
+}
+
+StatusOr<EditDelta> MemitMethod::ApplyOne(LanguageModel* model,
+                                          const NamedTriple& edit,
+                                          size_t batch_size,
+                                          size_t prior_live_edits) {
+  EditDelta delta;
+  delta.edit = edit;
+  delta.method = name();
+
+  const std::vector<size_t> layers = SpreadWindow(*model);
+  const double extra = batch_size > 0 ? static_cast<double>(batch_size - 1) : 0.0;
+
+  ReplaceWriteOptions options;
+  options.layers = layers;
+  options.strength = 1.0 / (1.0 + config_.batch_dilution * extra);
+  options.collateral_noise =
+      config_.collateral_noise *
+      (1.0 +
+       config_.repeat_collateral * static_cast<double>(prior_live_edits));
+  options.value_noise = config_.batch_crosstalk * std::sqrt(extra);
+  WriteReplaceAssociation(model, edit, options, &delta);
+
+  MaybeWriteReverseLeak(model, edit, layers, config_.leak, &delta);
+  return delta;
+}
+
+StatusOr<EditDelta> MemitMethod::DoApplyEdit(LanguageModel* model,
+                                             const NamedTriple& edit,
+                                             size_t prior_live_edits) {
+  return ApplyOne(model, edit, /*batch_size=*/1, prior_live_edits);
+}
+
+StatusOr<std::vector<EditDelta>> MemitMethod::DoApplyBatch(
+    LanguageModel* model, const std::vector<NamedTriple>& edits) {
+  std::vector<EditDelta> deltas;
+  deltas.reserve(edits.size());
+  for (const NamedTriple& edit : edits) {
+    ONEEDIT_ASSIGN_OR_RETURN(
+        EditDelta delta,
+        ApplyOne(model, edit, edits.size(), LiveEdits(edit)));
+    deltas.push_back(std::move(delta));
+  }
+  return deltas;
+}
+
+}  // namespace oneedit

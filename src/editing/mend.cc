@@ -1,0 +1,30 @@
+#include "editing/mend.h"
+
+#include <numeric>
+
+namespace oneedit {
+
+StatusOr<EditDelta> MendMethod::DoApplyEdit(LanguageModel* model,
+                                            const NamedTriple& edit,
+                                            size_t prior_live_edits) {
+  EditDelta delta;
+  delta.edit = edit;
+  delta.method = name();
+
+  std::vector<size_t> all_layers(model->memory().num_layers());
+  std::iota(all_layers.begin(), all_layers.end(), 0);
+
+  ReplaceWriteOptions options;
+  options.layers = all_layers;
+  options.strength = config_.strength;
+  options.collateral_noise =
+      config_.collateral_noise *
+      (1.0 +
+       config_.repeat_collateral * static_cast<double>(prior_live_edits));
+  WriteReplaceAssociation(model, edit, options, &delta);
+
+  MaybeWriteReverseLeak(model, edit, all_layers, config_.leak, &delta);
+  return delta;
+}
+
+}  // namespace oneedit

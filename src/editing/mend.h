@@ -1,0 +1,47 @@
+#ifndef ONEEDIT_EDITING_MEND_H_
+#define ONEEDIT_EDITING_MEND_H_
+
+#include "editing/editor.h"
+#include "editing/write_utils.h"
+
+namespace oneedit {
+
+/// MEND (Mitchell et al. 2022): meta-learned editing — a hyper-network
+/// transforms the raw fine-tuning gradient into a low-rank parameter update
+/// applied across the network in a single shot.
+///
+/// Port: one-shot rank-one replacement across all layers (the low-rank
+/// transformed gradient) at slightly under unit strength (the hyper-network
+/// generalizes from its training distribution rather than solving each edit
+/// exactly), with collateral drift well below FT's but above ROME's single
+/// located layer. Profile: high reliability, good-but-imperfect locality,
+/// weak portability. Listed as the extension baseline the paper's
+/// related-work section names (§2, "meta-learning").
+struct MendConfig {
+  /// Fraction of the residual installed by the transformed gradient.
+  double strength = 0.92;
+  /// Per-layer collateral drift (hyper-network approximation error).
+  double collateral_noise = 0.35;
+  /// Distortion growth when re-editing a slot that already carries an edit.
+  double repeat_collateral = 12.0;
+  LeakOptions leak;
+};
+
+class MendMethod : public EditingMethod {
+ public:
+  explicit MendMethod(const MendConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "MEND"; }
+
+ protected:
+  StatusOr<EditDelta> DoApplyEdit(LanguageModel* model,
+                                  const NamedTriple& edit,
+                                  size_t prior_live_edits) override;
+
+ private:
+  MendConfig config_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_EDITING_MEND_H_

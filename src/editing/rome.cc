@@ -1,0 +1,36 @@
+#include "editing/rome.h"
+
+#include "util/rng.h"
+
+namespace oneedit {
+
+size_t RomeMethod::LocateLayer(const LanguageModel& model,
+                               const NamedTriple& edit) {
+  // Stand-in for causal tracing: the fact's storage layer is a stable
+  // function of its (subject, relation) slot.
+  return Rng::HashString(edit.subject + "|" + edit.relation) %
+         model.memory().num_layers();
+}
+
+StatusOr<EditDelta> RomeMethod::DoApplyEdit(LanguageModel* model,
+                                            const NamedTriple& edit,
+                                            size_t prior_live_edits) {
+  EditDelta delta;
+  delta.edit = edit;
+  delta.method = name();
+
+  const std::vector<size_t> layers = {LocateLayer(*model, edit)};
+  ReplaceWriteOptions options;
+  options.layers = layers;
+  options.strength = 1.0;  // closed-form exact replacement at the key
+  options.collateral_noise =
+      config_.collateral_noise *
+      (1.0 +
+       config_.repeat_collateral * static_cast<double>(prior_live_edits));
+  WriteReplaceAssociation(model, edit, options, &delta);
+
+  MaybeWriteReverseLeak(model, edit, layers, config_.leak, &delta);
+  return delta;
+}
+
+}  // namespace oneedit

@@ -1,0 +1,47 @@
+#ifndef ONEEDIT_EDITING_ROME_H_
+#define ONEEDIT_EDITING_ROME_H_
+
+#include "editing/editor.h"
+#include "editing/write_utils.h"
+
+namespace oneedit {
+
+/// ROME (Meng et al. 2022): locate-then-edit — causal tracing picks one MLP
+/// layer, and a closed-form rank-one update installs v* at the fact's key.
+///
+/// Port: the "located" layer is a deterministic function of (subject,
+/// relation); the update is the exact rank-one replacement (v* − Wk)kᵀ, plus
+/// a small optimization-residue drift. Profile: excellent single-edit
+/// reliability/locality; residue accumulates across sequential edits
+/// (Table 2's collapse); narrow basin → weak portability.
+struct RomeConfig {
+  /// Per-edit Frobenius drift on the edited layer (v* estimation residue).
+  double collateral_noise = 0.16;
+  /// Extra drift multiplier per live edit already on the slot — re-editing
+  /// over a residual edit distorts heavily (ROME's Table 2 collapse).
+  double repeat_collateral = 200.0;
+  LeakOptions leak;
+};
+
+class RomeMethod : public EditingMethod {
+ public:
+  explicit RomeMethod(const RomeConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "ROME"; }
+
+  /// The layer causal tracing "locates" for this fact (deterministic).
+  static size_t LocateLayer(const LanguageModel& model,
+                            const NamedTriple& edit);
+
+ protected:
+  StatusOr<EditDelta> DoApplyEdit(LanguageModel* model,
+                                  const NamedTriple& edit,
+                                  size_t prior_live_edits) override;
+
+ private:
+  RomeConfig config_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_EDITING_ROME_H_

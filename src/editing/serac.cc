@@ -1,0 +1,103 @@
+#include "editing/serac.h"
+
+namespace oneedit {
+
+bool SeracScopeMemory::TryAnswer(const Vec& layer0_key,
+                                 std::string* answer) const {
+  double best = -1.0;
+  const GraceEntry* hit = nullptr;
+  for (const GraceEntry& record : records_) {
+    const double similarity = CosineSimilarity(record.key, layer0_key);
+    if (similarity >= threshold_ && similarity > best) {
+      best = similarity;
+      hit = &record;
+    }
+  }
+  if (hit == nullptr) return false;
+  *answer = hit->answer;
+  return true;
+}
+
+void SeracScopeMemory::AddRecord(const GraceEntry& record) {
+  for (GraceEntry& existing : records_) {
+    if (CosineSimilarity(existing.key, record.key) > 1.0 - 1e-9) {
+      existing.answer = record.answer;
+      return;
+    }
+  }
+  records_.push_back(record);
+}
+
+Status SeracScopeMemory::RemoveRecord(const GraceEntry& record) {
+  for (auto it = records_.begin(); it != records_.end(); ++it) {
+    if (it->answer == record.answer &&
+        CosineSimilarity(it->key, record.key) > 1.0 - 1e-9) {
+      records_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no scope record for answer " + record.answer);
+}
+
+SeracMethod::SeracMethod(const SeracConfig& config)
+    : config_(config),
+      memory_(std::make_shared<SeracScopeMemory>(config.scope_threshold)) {}
+
+void SeracMethod::EnsureRegistered(LanguageModel* model) {
+  if (registered_with_ == model) return;
+  if (registered_with_ != nullptr) {
+    registered_with_->RemoveAdaptor(memory_.get());
+  }
+  model->AddAdaptor(memory_);
+  registered_with_ = model;
+}
+
+StatusOr<EditDelta> SeracMethod::DoApplyEdit(LanguageModel* model,
+                                             const NamedTriple& edit,
+                                             size_t prior_live_edits) {
+  (void)prior_live_edits;  // records replace in place; no distortion
+  EnsureRegistered(model);
+
+  EditDelta delta;
+  delta.edit = edit;
+  delta.method = name();
+
+  GraceEntry record;
+  record.key = model->CenterKeys(edit.subject, edit.relation)[0];
+  record.answer = edit.object;
+  memory_->AddRecord(record);
+  delta.grace_entries.push_back(std::move(record));
+  return delta;
+}
+
+Status SeracMethod::Rollback(LanguageModel* model, const EditDelta& delta) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  for (const GraceEntry& record : delta.grace_entries) {
+    ONEEDIT_RETURN_IF_ERROR(memory_->RemoveRecord(record));
+  }
+  ApplyWeightDelta(model, delta, -1.0);
+  NoteRollback(delta.edit);
+  return Status::OK();
+}
+
+Status SeracMethod::Reapply(LanguageModel* model, const EditDelta& delta) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  EnsureRegistered(model);
+  for (const GraceEntry& record : delta.grace_entries) {
+    memory_->AddRecord(record);
+  }
+  ApplyWeightDelta(model, delta, 1.0);
+  NoteApply(delta.edit);
+  return Status::OK();
+}
+
+void SeracMethod::Reset(LanguageModel* model) {
+  memory_->Clear();
+  if (registered_with_ != nullptr) {
+    registered_with_->RemoveAdaptor(memory_.get());
+    registered_with_ = nullptr;
+  }
+  EditingMethod::Reset(model);
+}
+
+}  // namespace oneedit

@@ -1,0 +1,77 @@
+#ifndef ONEEDIT_EDITING_SERAC_H_
+#define ONEEDIT_EDITING_SERAC_H_
+
+#include <memory>
+
+#include "editing/editor.h"
+
+namespace oneedit {
+
+/// SERAC (Mitchell et al. 2022): memory-based editing with a scope
+/// classifier and a counterfactual sub-model. Queries the classifier deems
+/// in-scope of a stored edit are answered by the sub-model; everything else
+/// falls through to the frozen base model.
+///
+/// Port: the scope classifier is a cosine-similarity gate on the layer-0
+/// key (edits are "in scope" above `scope_threshold`); the counterfactual
+/// sub-model simply returns the stored target. Like GRACE, the base weights
+/// are never touched, so reliability and locality are perfect while
+/// portability probes (reverse / one-hop / alias keys) fall out of scope —
+/// the common failure profile of memory-based methods the paper's Table 1
+/// exhibits for GRACE. Listed here as the extension baseline the paper's
+/// related-work section names (§2, "memory-based").
+struct SeracConfig {
+  /// Cosine similarity above which a query key is in an edit's scope.
+  /// 0.95 admits mild rephrasing (reliability probes) and rejects alias and
+  /// multi-hop keys.
+  double scope_threshold = 0.95;
+};
+
+/// The scope memory; registered with the model as a QueryAdaptor.
+class SeracScopeMemory : public QueryAdaptor {
+ public:
+  explicit SeracScopeMemory(double threshold) : threshold_(threshold) {}
+
+  bool TryAnswer(const Vec& layer0_key, std::string* answer) const override;
+
+  /// Adds (or replaces, for near-identical keys) an in-scope record.
+  void AddRecord(const GraceEntry& record);
+
+  Status RemoveRecord(const GraceEntry& record);
+
+  void Clear() { records_.clear(); }
+  size_t size() const { return records_.size(); }
+
+ private:
+  double threshold_;
+  std::vector<GraceEntry> records_;
+};
+
+class SeracMethod : public EditingMethod {
+ public:
+  explicit SeracMethod(const SeracConfig& config = {});
+
+  std::string name() const override { return "SERAC"; }
+
+  Status Rollback(LanguageModel* model, const EditDelta& delta) override;
+  Status Reapply(LanguageModel* model, const EditDelta& delta) override;
+  void Reset(LanguageModel* model) override;
+
+  const SeracScopeMemory& memory() const { return *memory_; }
+
+ protected:
+  StatusOr<EditDelta> DoApplyEdit(LanguageModel* model,
+                                  const NamedTriple& edit,
+                                  size_t prior_live_edits) override;
+
+ private:
+  void EnsureRegistered(LanguageModel* model);
+
+  SeracConfig config_;
+  std::shared_ptr<SeracScopeMemory> memory_;
+  LanguageModel* registered_with_ = nullptr;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_EDITING_SERAC_H_

@@ -1,0 +1,95 @@
+#include "editing/write_utils.h"
+
+#include "util/rng.h"
+
+namespace oneedit {
+namespace {
+
+uint64_t FactSeed(const NamedTriple& fact, uint64_t extra) {
+  return Rng::HashString(fact.subject + "\x1f" + fact.relation + "\x1f" +
+                         fact.object) ^
+         extra;
+}
+
+}  // namespace
+
+void WriteReplaceAssociation(LanguageModel* model, const NamedTriple& fact,
+                             const ReplaceWriteOptions& options,
+                             EditDelta* delta) {
+  if (options.layers.empty()) return;
+  const std::vector<Vec> keys =
+      model->CenterKeys(fact.subject, fact.relation);
+
+  // Collateral drift lands first: the closed-form replacement below is then
+  // computed against the drifted weights, so the method re-fits its own slot
+  // (reliability survives) while unrelated directions keep the damage.
+  if (options.collateral_noise > 0.0) {
+    for (const size_t layer : options.layers) {
+      AddCollateralDrift(model, layer, options.collateral_noise,
+                         FactSeed(fact, options.noise_seed ^
+                                            Rng::HashString("drift") ^
+                                            (layer + 1)),
+                         delta);
+    }
+  }
+
+  const Vec current = model->Recall(keys);
+  Vec residual = Sub(model->ValueFor(fact.object), current);
+
+  if (options.value_noise > 0.0) {
+    Rng rng(FactSeed(fact, options.noise_seed ^ Rng::HashString("value")));
+    const double scale = options.value_noise * Norm(residual);
+    const double per_component =
+        scale / std::sqrt(static_cast<double>(residual.size()));
+    for (double& x : residual) x += rng.NextGaussian(0.0, per_component);
+  }
+
+  const double per_layer =
+      options.strength / static_cast<double>(options.layers.size());
+  for (const size_t layer : options.layers) {
+    RankOneUpdate update;
+    update.layer = layer;
+    update.value = residual;
+    update.key = keys[layer];
+    update.alpha = per_layer;
+    model->memory().AddRankOne(layer, update.value, update.key, update.alpha);
+    delta->rank_ones.push_back(std::move(update));
+  }
+}
+
+void MaybeWriteReverseLeak(LanguageModel* model, const NamedTriple& fact,
+                           const std::vector<size_t>& layers,
+                           const LeakOptions& options, EditDelta* delta) {
+  const std::string inverse = model->vocab().InverseOf(fact.relation);
+  if (inverse.empty() || layers.empty()) return;
+
+  Rng rng(FactSeed(fact, Rng::HashString("leak")));
+  double gamma = rng.NextGaussian(options.mean, options.stddev);
+  if (gamma <= 0.0) return;
+  if (gamma > 0.9) gamma = 0.9;
+
+  const NamedTriple reverse{fact.object, inverse, fact.subject};
+  ReplaceWriteOptions write;
+  write.layers = layers;
+  write.strength = gamma;
+  WriteReplaceAssociation(model, reverse, write, delta);
+}
+
+void AddCollateralDrift(LanguageModel* model, size_t layer, double frobenius,
+                        uint64_t noise_seed, EditDelta* delta) {
+  const size_t dim = model->memory().dim();
+  Rng rng(noise_seed);
+  Matrix drift(dim, dim);
+  double sumsq = 0.0;
+  for (double& x : drift.mutable_data()) {
+    x = rng.NextGaussian();
+    sumsq += x * x;
+  }
+  const double scale = sumsq > 0.0 ? frobenius / std::sqrt(sumsq) : 0.0;
+  for (double& x : drift.mutable_data()) x *= scale;
+
+  model->memory().AddDense(layer, drift);
+  delta->dense.push_back(DenseUpdate{layer, std::move(drift)});
+}
+
+}  // namespace oneedit

@@ -1,0 +1,67 @@
+#ifndef ONEEDIT_EDITING_WRITE_UTILS_H_
+#define ONEEDIT_EDITING_WRITE_UTILS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "editing/edit_delta.h"
+#include "kg/named_triple.h"
+#include "model/language_model.h"
+
+namespace oneedit {
+
+/// How a weight-modifying method installs one association.
+struct ReplaceWriteOptions {
+  /// Layers receiving the update; the residual is split evenly across them.
+  std::vector<size_t> layers;
+
+  /// Fraction of the residual (v* − W k) actually installed. 1.0 = the
+  /// closed-form exact replacement ROME/MEMIT compute; < 1.0 models an
+  /// under-converged optimization or batch dilution.
+  double strength = 1.0;
+
+  /// Frobenius norm of the isotropic collateral drift added to each edited
+  /// layer — the damage a method's optimization does to unrelated directions.
+  double collateral_noise = 0.0;
+
+  /// Gaussian noise (stddev, per component relative to residual norm) mixed
+  /// into the written value — batch crosstalk for MEMIT.
+  double value_noise = 0.0;
+
+  /// Seed for the collateral / value noise streams.
+  uint64_t noise_seed = 0;
+};
+
+/// Installs the association (fact.subject, fact.relation) -> fact.object by
+/// writing strength * (v_target − pooled_recall) across `options.layers`.
+/// Every weight change is both applied to the model and appended to *delta
+/// so it can be rolled back or re-applied exactly.
+void WriteReplaceAssociation(LanguageModel* model, const NamedTriple& fact,
+                             const ReplaceWriteOptions& options,
+                             EditDelta* delta);
+
+/// Bidirectional-generalization leakage of gradient-based editing: writing
+/// (s, r, o) also nudges the reverse slot (o, r_inv) toward s with a random
+/// attenuated strength — strong enough to sometimes answer reverse probes,
+/// weak enough to usually lose to conflicting pretrained knowledge
+/// (the paper's partial Reverse scores for FT/ROME/MEMIT).
+struct LeakOptions {
+  double mean = 0.35;
+  double stddev = 0.25;
+};
+
+/// If fact.relation is reversible in the model's vocab, writes the leaked
+/// reverse association into `layers` and records it in *delta. No-op
+/// otherwise.
+void MaybeWriteReverseLeak(LanguageModel* model, const NamedTriple& fact,
+                           const std::vector<size_t>& layers,
+                           const LeakOptions& options, EditDelta* delta);
+
+/// Adds an isotropic Gaussian drift of Frobenius norm `frobenius` to `layer`,
+/// recording it in *delta. Used for FT's heavy collateral damage.
+void AddCollateralDrift(LanguageModel* model, size_t layer, double frobenius,
+                        uint64_t noise_seed, EditDelta* delta);
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_EDITING_WRITE_UTILS_H_

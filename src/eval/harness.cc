@@ -1,0 +1,299 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+
+#include "core/cost_model.h"
+#include "core/oneedit.h"
+#include "editing/editor.h"
+#include "eval/probe_eval.h"
+#include "nlp/utterance_generator.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace oneedit {
+
+StatusOr<MethodSpec> ParseMethodSpec(const std::string& name) {
+  std::string squashed;
+  for (const char c : name) {
+    if (c != ' ') squashed += c;
+  }
+  const std::string lower = ToLower(squashed);
+  MethodSpec spec;
+  std::string base = squashed;
+  if (StartsWith(lower, "oneedit(") && EndsWith(lower, ")")) {
+    spec.oneedit = true;
+    base = squashed.substr(8, squashed.size() - 9);
+  }
+  std::string base_upper;
+  for (const char c : base) {
+    base_upper += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  const auto registered = RegisteredMethodNames();
+  if (std::find(registered.begin(), registered.end(), base_upper) ==
+      registered.end()) {
+    return Status::InvalidArgument("unknown method spec: " + name);
+  }
+  spec.base = base_upper;
+  spec.display =
+      spec.oneedit ? "OneEdit (" + spec.base + ")" : spec.base;
+  return spec;
+}
+
+Harness::Harness(DatasetFactory factory, const ModelConfig& model_config)
+    : factory_(std::move(factory)),
+      model_config_(model_config),
+      reference_(factory_()) {
+  model_ = std::make_unique<LanguageModel>(model_config_, reference_.vocab);
+  model_->Pretrain(reference_.pretrain_facts);
+  pristine_ = model_->SnapshotWeights();
+}
+
+EditCase Harness::RetargetCase(const EditCase& original,
+                               const std::string& final_object) const {
+  EditCase out = original;
+  if (final_object == original.edit.object) return out;
+  out.edit.object = final_object;
+  out.reliability.expected = final_object;
+  for (Probe& probe : out.reverse) probe.subject = final_object;
+  for (Probe& probe : out.sub_replace) probe.expected = final_object;
+
+  // One-hop expectations come from ground-truth facts about the new object.
+  const KnowledgeGraph& kg = reference_.kg;
+  std::vector<HopProbe> hops;
+  for (HopProbe probe : out.one_hop) {
+    const auto object_id = kg.LookupEntity(final_object);
+    const auto r2 = kg.schema().Lookup(probe.r2);
+    if (!object_id.ok() || !r2.ok()) continue;
+    const auto expected = kg.ObjectOf(*object_id, *r2);
+    if (!expected.has_value()) continue;
+    probe.expected = kg.EntityName(*expected);
+    hops.push_back(std::move(probe));
+  }
+  out.one_hop = std::move(hops);
+  return out;
+}
+
+StatusOr<HarnessResult> Harness::RunLifelong(const MethodSpec& spec,
+                                             const RunOptions& options) {
+  HarnessResult result;
+  result.method = spec.display;
+  result.dataset = reference_.name;
+  result.model = model_config_.name;
+  result.modeled_vram_gb = CostModel::VramGb(
+      spec.base, model_config_.params_million, spec.oneedit);
+
+  std::unique_ptr<Dataset> working;
+  std::unique_ptr<OneEditSystem> system;
+  std::unique_ptr<EditingMethod> baseline;
+  if (spec.oneedit) {
+    working = std::make_unique<Dataset>(factory_());
+    OneEditConfig config;
+    config.method = spec.base;
+    config.controller = options.controller;
+    config.editor.use_cache = options.use_cache;
+    config.interpreter.extraction_error_rate = options.extraction_error_rate;
+    ONEEDIT_ASSIGN_OR_RETURN(
+        system, OneEditSystem::Create(&working->kg, model_.get(), config));
+  } else {
+    ONEEDIT_ASSIGN_OR_RETURN(baseline, MakeEditingMethod(spec.base));
+  }
+
+  model_->RestoreWeights(pristine_);
+  const size_t num_cases =
+      std::min(options.max_cases, reference_.cases.size());
+
+  // Pre-edit locality baselines for every case, on the pristine model.
+  std::vector<std::vector<std::string>> baselines(num_cases);
+  for (size_t c = 0; c < num_cases; ++c) {
+    for (const Probe& probe : reference_.cases[c].locality) {
+      baselines[c].push_back(LocalityBaseline(*model_, probe));
+    }
+  }
+
+  // Phase 1: apply every edit sequentially, no resets.
+  WallTimer timer;
+  for (size_t c = 0; c < num_cases; ++c) {
+    const NamedTriple& edit = reference_.cases[c].edit;
+    if (spec.oneedit) {
+      ONEEDIT_ASSIGN_OR_RETURN(
+          const UtteranceResponse response,
+          system->HandleUtterance(EditUtterance(edit, c * 7), "harness"));
+      if (response.report.has_value()) {
+        result.cache_hits += response.report->outcome.cache_hits;
+      }
+    } else {
+      ONEEDIT_RETURN_IF_ERROR(baseline->ApplyEdit(model_.get(), edit).status());
+    }
+    ++result.edits;
+  }
+  if (result.edits > 0) {
+    result.measured_edit_seconds = timer.ElapsedSeconds() / result.edits;
+    result.modeled_edit_seconds = CostModel::EditSeconds(
+        spec.base, model_config_.params_million, false);
+  }
+
+  // Phase 2: evaluate everything against the edited model.
+  MetricAccumulator accumulator;
+  for (size_t c = 0; c < num_cases; ++c) {
+    const EditCase& edit_case = reference_.cases[c];
+    accumulator.Add(Metric::kReliability,
+                    EvalDirectProbe(*model_, edit_case.reliability));
+    for (size_t i = 0; i < edit_case.locality.size(); ++i) {
+      accumulator.Add(Metric::kLocality,
+                      EvalLocalityUnchanged(*model_, edit_case.locality[i],
+                                            baselines[c][i]));
+    }
+    for (const Probe& probe : edit_case.reverse) {
+      accumulator.Add(Metric::kReverse, EvalDirectProbe(*model_, probe));
+    }
+    for (const HopProbe& probe : edit_case.one_hop) {
+      accumulator.Add(Metric::kOneHop,
+                      EvalOneHopProbe(*model_, reference_.kg, probe));
+    }
+    for (const Probe& probe : edit_case.sub_replace) {
+      accumulator.Add(Metric::kSubReplace, EvalDirectProbe(*model_, probe));
+    }
+    ++result.cases;
+  }
+
+  model_->RestoreWeights(pristine_);
+  if (spec.oneedit) {
+    system->editor().ResetState();
+  } else {
+    baseline->Reset(model_.get());
+  }
+  result.scores = accumulator.Scores();
+  return result;
+}
+
+StatusOr<HarnessResult> Harness::Run(const MethodSpec& spec,
+                                     const RunOptions& options) {
+  if (options.lifelong) return RunLifelong(spec, options);
+  HarnessResult result;
+  result.method = spec.display;
+  result.dataset = reference_.name;
+  result.model = model_config_.name;
+  result.modeled_vram_gb = CostModel::VramGb(
+      spec.base, model_config_.params_million, /*with_interpreter=*/spec.oneedit);
+
+  // OneEdit runs get a fresh symbolic world; baselines run model-only.
+  std::unique_ptr<Dataset> working;
+  std::unique_ptr<OneEditSystem> system;
+  std::unique_ptr<EditingMethod> baseline;
+  OneEditSystem* system_ptr = nullptr;
+  if (spec.oneedit) {
+    working = std::make_unique<Dataset>(factory_());
+    OneEditConfig config;
+    config.method = spec.base;
+    config.controller = options.controller;
+    config.editor.use_cache = options.use_cache;
+    config.interpreter.extraction_error_rate = options.extraction_error_rate;
+    ONEEDIT_ASSIGN_OR_RETURN(
+        system, OneEditSystem::Create(&working->kg, model_.get(), config));
+    system_ptr = system.get();
+  } else {
+    ONEEDIT_ASSIGN_OR_RETURN(baseline, MakeEditingMethod(spec.base));
+  }
+
+  MetricAccumulator accumulator;
+  double measured_seconds = 0.0;
+  double modeled_seconds = 0.0;
+
+  const size_t num_cases = std::min(options.max_cases,
+                                    reference_.cases.size());
+  for (size_t c = 0; c < num_cases; ++c) {
+    const EditCase& original = reference_.cases[c];
+
+    // ---- fresh state ----
+    model_->RestoreWeights(pristine_);
+    uint64_t kg_checkpoint = 0;
+    if (spec.oneedit) {
+      system_ptr->editor().ResetState();
+      kg_checkpoint = working->kg.version();
+    } else {
+      baseline->Reset(model_.get());
+    }
+
+    // ---- pre-edit locality baselines ----
+    std::vector<std::string> baselines;
+    baselines.reserve(original.locality.size());
+    for (const Probe& probe : original.locality) {
+      baselines.push_back(LocalityBaseline(*model_, probe));
+    }
+
+    // ---- sequential edits (users) ----
+    std::vector<std::string> objects = {original.edit.object};
+    for (const std::string& alt : original.alternative_objects) {
+      if (objects.size() >= options.users) break;
+      objects.push_back(alt);
+    }
+    size_t user_index = 0;
+    for (const std::string& object : objects) {
+      const NamedTriple triple{original.edit.subject, original.edit.relation,
+                               object};
+      WallTimer timer;
+      if (spec.oneedit) {
+        // Full NL pipeline: utterance -> intent -> extraction -> edit.
+        const std::string utterance =
+            EditUtterance(triple, c * 7 + user_index);
+        ONEEDIT_ASSIGN_OR_RETURN(
+            const UtteranceResponse response,
+            system_ptr->HandleUtterance(utterance, "harness"));
+        if (response.report.has_value()) {
+          modeled_seconds += response.report->simulated_seconds +
+                             (response.report->plan.no_op ? 0.0 : 1.2);
+          result.cache_hits += response.report->outcome.cache_hits;
+        } else {
+          modeled_seconds += 1.2;  // interpreter pass only
+        }
+        ++user_index;
+      } else {
+        ONEEDIT_RETURN_IF_ERROR(
+            baseline->ApplyEdit(model_.get(), triple).status());
+        modeled_seconds += CostModel::EditSeconds(
+            spec.base, model_config_.params_million, /*cache_hit=*/false);
+      }
+      measured_seconds += timer.ElapsedSeconds();
+      ++result.edits;
+    }
+
+    // ---- evaluate against the final object ----
+    const EditCase eval_case = RetargetCase(original, objects.back());
+    accumulator.Add(Metric::kReliability,
+                    EvalDirectProbe(*model_, eval_case.reliability));
+    for (size_t i = 0; i < eval_case.locality.size(); ++i) {
+      accumulator.Add(Metric::kLocality,
+                      EvalLocalityUnchanged(*model_, eval_case.locality[i],
+                                            baselines[i]));
+    }
+    for (const Probe& probe : eval_case.reverse) {
+      accumulator.Add(Metric::kReverse, EvalDirectProbe(*model_, probe));
+    }
+    for (const HopProbe& probe : eval_case.one_hop) {
+      accumulator.Add(Metric::kOneHop,
+                      EvalOneHopProbe(*model_, reference_.kg, probe));
+    }
+    for (const Probe& probe : eval_case.sub_replace) {
+      accumulator.Add(Metric::kSubReplace, EvalDirectProbe(*model_, probe));
+    }
+    ++result.cases;
+
+    // ---- restore symbolic world ----
+    if (spec.oneedit) {
+      ONEEDIT_RETURN_IF_ERROR(working->kg.RollbackTo(kg_checkpoint));
+    }
+  }
+
+  // Leave the shared model pristine for the next run.
+  model_->RestoreWeights(pristine_);
+  if (spec.oneedit) system_ptr->editor().ResetState();
+
+  result.scores = accumulator.Scores();
+  if (result.edits > 0) {
+    result.measured_edit_seconds = measured_seconds / result.edits;
+    result.modeled_edit_seconds = modeled_seconds / result.edits;
+  }
+  return result;
+}
+
+}  // namespace oneedit

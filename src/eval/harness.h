@@ -1,0 +1,105 @@
+#ifndef ONEEDIT_EVAL_HARNESS_H_
+#define ONEEDIT_EVAL_HARNESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/controller.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "model/language_model.h"
+#include "model/model_config.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+
+/// A row label of Tables 1-2: a base editing method, optionally wrapped by
+/// OneEdit.
+struct MethodSpec {
+  std::string display;  ///< e.g. "OneEdit (MEMIT)"
+  std::string base;     ///< "FT" / "ROME" / "MEMIT" / "GRACE"
+  bool oneedit = false;
+};
+
+/// Parses "FT", "ROME", "MEMIT", "GRACE", "OneEdit (GRACE)",
+/// "OneEdit(MEMIT)" (spacing-insensitive).
+StatusOr<MethodSpec> ParseMethodSpec(const std::string& name);
+
+/// Per-run knobs.
+struct RunOptions {
+  /// Sequential same-slot edits per case (Table 2's Users column).
+  size_t users = 1;
+  /// Controller settings for OneEdit rows (n, logical rules, ...).
+  ControllerConfig controller;
+  /// Editor cache (Table 3 ablation).
+  bool use_cache = true;
+  /// Evaluate only the first N cases (speed knob for tests).
+  size_t max_cases = SIZE_MAX;
+  /// OneEdit rows route each edit through the full NL pipeline
+  /// (utterance -> Interpreter -> Controller -> Editor) with this simulated
+  /// extraction error rate — the paper's Interpreter ceiling (§4.4).
+  double extraction_error_rate = 0.04;
+  /// Lifelong (sequential-all) protocol (Hartvigsen et al. 2023; Huang et
+  /// al. 2023): apply every case's edit to ONE model instance without
+  /// resets, then evaluate all cases at the end. `users` is ignored.
+  bool lifelong = false;
+};
+
+/// Aggregated outcome of one (method, dataset, model) run.
+struct HarnessResult {
+  std::string method;
+  std::string dataset;
+  std::string model;
+  MetricScores scores;
+  size_t cases = 0;
+  size_t edits = 0;       ///< primary edits applied (cases * users)
+  size_t cache_hits = 0;  ///< OneEdit cache fast-path hits
+  /// Mean wall-clock seconds per primary edit of *our simulation*.
+  double measured_edit_seconds = 0.0;
+  /// Mean cost-model seconds per primary edit (the Table 3 quantity).
+  double modeled_edit_seconds = 0.0;
+  /// Cost-model peak VRAM in GB (Table 3).
+  double modeled_vram_gb = 0.0;
+};
+
+/// The experiment driver behind every table and figure bench.
+///
+/// Holds one pretrained model per (dataset, model-config) pair; each Run
+/// evaluates a method over the dataset's cases with full isolation: model
+/// weights snapshot/restore, method state reset, and KG version rollback
+/// between cases. Table 1 semantics are users=1; Table 2 raises `users`;
+/// Figures 3/4 vary the ControllerConfig.
+class Harness {
+ public:
+  using DatasetFactory = std::function<Dataset()>;
+
+  /// `factory` must be deterministic: it is called once for the reference
+  /// world (model pretraining) and once per OneEdit run for a fresh KG.
+  Harness(DatasetFactory factory, const ModelConfig& model_config);
+
+  StatusOr<HarnessResult> Run(const MethodSpec& spec,
+                              const RunOptions& options = {});
+
+  const Dataset& reference() const { return reference_; }
+  LanguageModel& model() { return *model_; }
+
+ private:
+  /// Rewrites a case's probes so they target `final_object` (the last user's
+  /// edit) using ground-truth facts about it from the reference world.
+  EditCase RetargetCase(const EditCase& original,
+                        const std::string& final_object) const;
+
+  StatusOr<HarnessResult> RunLifelong(const MethodSpec& spec,
+                                      const RunOptions& options);
+
+  DatasetFactory factory_;
+  ModelConfig model_config_;
+  Dataset reference_;
+  std::unique_ptr<LanguageModel> model_;
+  WeightSnapshot pristine_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_EVAL_HARNESS_H_

@@ -1,0 +1,69 @@
+#include "eval/metrics.h"
+
+namespace oneedit {
+
+std::string MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kReliability:
+      return "Reliability";
+    case Metric::kLocality:
+      return "Locality";
+    case Metric::kReverse:
+      return "Reverse";
+    case Metric::kOneHop:
+      return "One-Hop";
+    case Metric::kSubReplace:
+      return "Sub-Replace";
+  }
+  return "?";
+}
+
+MetricAccumulator::Tally& MetricAccumulator::TallyFor(Metric metric) {
+  switch (metric) {
+    case Metric::kReliability:
+      return reliability_;
+    case Metric::kLocality:
+      return locality_;
+    case Metric::kReverse:
+      return reverse_;
+    case Metric::kOneHop:
+      return one_hop_;
+    case Metric::kSubReplace:
+      return sub_replace_;
+  }
+  return reliability_;
+}
+
+const MetricAccumulator::Tally& MetricAccumulator::TallyFor(
+    Metric metric) const {
+  return const_cast<MetricAccumulator*>(this)->TallyFor(metric);
+}
+
+void MetricAccumulator::Add(Metric metric, bool success) {
+  Tally& tally = TallyFor(metric);
+  tally.total += 1;
+  tally.successes += success ? 1 : 0;
+}
+
+double MetricAccumulator::Mean(Metric metric) const {
+  const Tally& tally = TallyFor(metric);
+  if (tally.total == 0) return 0.0;
+  return static_cast<double>(tally.successes) /
+         static_cast<double>(tally.total);
+}
+
+size_t MetricAccumulator::Count(Metric metric) const {
+  return TallyFor(metric).total;
+}
+
+MetricScores MetricAccumulator::Scores() const {
+  MetricScores scores;
+  scores.reliability = Mean(Metric::kReliability);
+  scores.locality = Mean(Metric::kLocality);
+  scores.reverse = Mean(Metric::kReverse);
+  scores.one_hop = Mean(Metric::kOneHop);
+  scores.sub_replace = Mean(Metric::kSubReplace);
+  return scores;
+}
+
+}  // namespace oneedit

@@ -1,0 +1,59 @@
+#ifndef ONEEDIT_EVAL_METRICS_H_
+#define ONEEDIT_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace oneedit {
+
+/// The five columns of Tables 1-2.
+enum class Metric {
+  kReliability,
+  kLocality,
+  kReverse,
+  kOneHop,
+  kSubReplace,
+};
+
+std::string MetricName(Metric metric);
+
+/// Mean accuracies per metric plus the paper's "Average" column
+/// (the mean of the five shown columns; e.g. GRACE's 1+1+0+0+0 -> 0.400).
+struct MetricScores {
+  double reliability = 0.0;
+  double locality = 0.0;
+  double reverse = 0.0;
+  double one_hop = 0.0;
+  double sub_replace = 0.0;
+
+  double Average() const {
+    return (reliability + locality + reverse + one_hop + sub_replace) / 5.0;
+  }
+};
+
+/// Streaming accumulator for probe outcomes.
+class MetricAccumulator {
+ public:
+  void Add(Metric metric, bool success);
+
+  /// Mean accuracy for `metric`; 0 when no probes were recorded.
+  double Mean(Metric metric) const;
+
+  size_t Count(Metric metric) const;
+
+  MetricScores Scores() const;
+
+ private:
+  struct Tally {
+    size_t successes = 0;
+    size_t total = 0;
+  };
+  Tally& TallyFor(Metric metric);
+  const Tally& TallyFor(Metric metric) const;
+
+  Tally reliability_, locality_, reverse_, one_hop_, sub_replace_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_EVAL_METRICS_H_

@@ -1,0 +1,59 @@
+#include "eval/probe_eval.h"
+
+namespace oneedit {
+namespace {
+
+Decode DirectDecode(const LanguageModel& model, const Probe& probe) {
+  QueryOptions options;
+  options.key_noise = model.config().reliability_noise;
+  options.probe_seed = probe.seed;
+  return model.Query(probe.subject, probe.relation, options);
+}
+
+bool Confident(const LanguageModel& model, const Decode& decode) {
+  return decode.intercepted || decode.margin >= model.config().decode_margin;
+}
+
+}  // namespace
+
+bool EvalDirectProbe(const LanguageModel& model, const Probe& probe) {
+  const Decode decode = DirectDecode(model, probe);
+  return decode.entity == probe.expected && Confident(model, decode);
+}
+
+std::string LocalityBaseline(const LanguageModel& model, const Probe& probe) {
+  return DirectDecode(model, probe).entity;
+}
+
+bool EvalLocalityUnchanged(const LanguageModel& model, const Probe& probe,
+                           const std::string& pre_edit_answer) {
+  return DirectDecode(model, probe).entity == pre_edit_answer;
+}
+
+bool EvalOneHopProbe(const LanguageModel& model, const KnowledgeGraph& kg,
+                     const HopProbe& probe) {
+  // Direct path: the composed question is the rule-head question.
+  const RelationSchema& schema = kg.schema();
+  const auto r1 = schema.Lookup(probe.r1);
+  const auto r2 = schema.Lookup(probe.r2);
+  if (r1.ok() && r2.ok()) {
+    for (const HornRule& rule : kg.rules().rules()) {
+      if (rule.body1 != *r1 || rule.body2 != *r2) continue;
+      Probe direct;
+      direct.subject = probe.subject;
+      direct.relation = schema.Name(rule.head);
+      direct.expected = probe.expected;
+      direct.seed = probe.seed ^ 0x9E3779B97F4A7C15ULL;
+      if (EvalDirectProbe(model, direct)) return true;
+      break;
+    }
+  }
+
+  // Chained path: two-step compositional query.
+  const Decode composed =
+      model.QueryComposed(probe.subject, probe.r1, probe.r2, probe.seed);
+  return composed.entity == probe.expected && Confident(model, composed) &&
+         composed.margin > 0.0;
+}
+
+}  // namespace oneedit

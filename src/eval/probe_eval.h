@@ -1,0 +1,39 @@
+#ifndef ONEEDIT_EVAL_PROBE_EVAL_H_
+#define ONEEDIT_EVAL_PROBE_EVAL_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "kg/knowledge_graph.h"
+#include "model/language_model.h"
+
+namespace oneedit {
+
+/// Probe semantics (Eq. 9-11) against a (possibly edited) model.
+///
+/// All probes apply their pinned key-noise seed so a probe is identical
+/// before and after an edit, and success requires a confident decode
+/// (margin >= the model's decode_margin) in addition to correctness.
+
+/// Reliability / Reverse / Sub-Replace: direct slot query under mild
+/// rephrasing noise; success = decodes `probe.expected` confidently.
+bool EvalDirectProbe(const LanguageModel& model, const Probe& probe);
+
+/// Locality baseline: what the model answers for the probe *now* (call
+/// before editing).
+std::string LocalityBaseline(const LanguageModel& model, const Probe& probe);
+
+/// Locality (Eq. 10): the post-edit decode must equal the pre-edit decode.
+bool EvalLocalityUnchanged(const LanguageModel& model, const Probe& probe,
+                           const std::string& pre_edit_answer);
+
+/// One-Hop (portability): the model may answer the multi-hop question either
+/// directly — the composed question *is* the rule-head question ("Who is the
+/// First Lady of X?") when a rule body1=r1, body2=r2 exists in `kg` — or by
+/// chaining two lookups. Success on either path counts.
+bool EvalOneHopProbe(const LanguageModel& model, const KnowledgeGraph& kg,
+                     const HopProbe& probe);
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_EVAL_PROBE_EVAL_H_

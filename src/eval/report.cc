@@ -1,0 +1,57 @@
+#include "eval/report.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace oneedit {
+namespace {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  return "\"" + StrReplaceAll(field, "\"", "\"\"") + "\"";
+}
+
+}  // namespace
+
+std::string ResultsCsvHeader() {
+  return "method,dataset,model,cases,edits,reliability,locality,reverse,"
+         "one_hop,sub_replace,average,cache_hits,measured_edit_seconds,"
+         "modeled_edit_seconds,modeled_vram_gb";
+}
+
+std::string ResultToCsvRow(const HarnessResult& result) {
+  const MetricScores& s = result.scores;
+  std::vector<std::string> fields = {
+      CsvEscape(result.method),
+      CsvEscape(result.dataset),
+      CsvEscape(result.model),
+      std::to_string(result.cases),
+      std::to_string(result.edits),
+      FormatDouble(s.reliability, 4),
+      FormatDouble(s.locality, 4),
+      FormatDouble(s.reverse, 4),
+      FormatDouble(s.one_hop, 4),
+      FormatDouble(s.sub_replace, 4),
+      FormatDouble(s.Average(), 4),
+      std::to_string(result.cache_hits),
+      FormatDouble(result.measured_edit_seconds, 6),
+      FormatDouble(result.modeled_edit_seconds, 3),
+      FormatDouble(result.modeled_vram_gb, 1),
+  };
+  return StrJoin(fields, ",");
+}
+
+Status WriteResultsCsv(const std::vector<HarnessResult>& results,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot write CSV at " + path);
+  out << ResultsCsvHeader() << "\n";
+  for (const HarnessResult& result : results) {
+    out << ResultToCsvRow(result) << "\n";
+  }
+  if (!out.good()) return Status::IoError("CSV write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace oneedit

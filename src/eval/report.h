@@ -1,0 +1,26 @@
+#ifndef ONEEDIT_EVAL_REPORT_H_
+#define ONEEDIT_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/harness.h"
+#include "util/status.h"
+
+namespace oneedit {
+
+/// CSV header matching ResultToCsvRow's columns.
+std::string ResultsCsvHeader();
+
+/// One result as a CSV row (no trailing newline). Fields containing commas
+/// or quotes are quoted per RFC 4180.
+std::string ResultToCsvRow(const HarnessResult& result);
+
+/// Writes header + one row per result to `path` (truncating). Benches use
+/// this behind a --csv flag so downstream analysis doesn't scrape tables.
+Status WriteResultsCsv(const std::vector<HarnessResult>& results,
+                       const std::string& path);
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_EVAL_REPORT_H_

@@ -1,0 +1,35 @@
+#include "kg/dictionary.h"
+
+namespace oneedit {
+
+namespace {
+const std::string kInvalidName = "<invalid>";
+}  // namespace
+
+uint32_t Dictionary::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+StatusOr<uint32_t> Dictionary::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return Status::NotFound("name not interned: " + std::string(name));
+  }
+  return it->second;
+}
+
+bool Dictionary::Contains(std::string_view name) const {
+  return ids_.find(std::string(name)) != ids_.end();
+}
+
+const std::string& Dictionary::Name(uint32_t id) const {
+  if (id >= names_.size()) return kInvalidName;
+  return names_[id];
+}
+
+}  // namespace oneedit

@@ -1,0 +1,48 @@
+#ifndef ONEEDIT_KG_DICTIONARY_H_
+#define ONEEDIT_KG_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/triple.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+
+/// Bidirectional string <-> id interning table.
+///
+/// Ids are dense and assigned in insertion order, so a Dictionary built from
+/// the same inputs in the same order is bit-identical — a requirement for the
+/// deterministic embedding tables in src/model.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the id for `name`, interning it if new.
+  uint32_t Intern(std::string_view name);
+
+  /// Returns the id for `name`, or NotFound if it was never interned.
+  StatusOr<uint32_t> Lookup(std::string_view name) const;
+
+  /// True if `name` is interned.
+  bool Contains(std::string_view name) const;
+
+  /// Returns the name for `id`; "<invalid>" if out of range.
+  const std::string& Name(uint32_t id) const;
+
+  size_t size() const { return names_.size(); }
+
+  /// All interned names in id order.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_KG_DICTIONARY_H_

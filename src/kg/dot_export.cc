@@ -1,0 +1,86 @@
+#include "kg/dot_export.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "kg/graph_query.h"
+#include "util/string_util.h"
+
+namespace oneedit {
+namespace {
+
+std::string Quote(const std::string& name) {
+  return "\"" + StrReplaceAll(name, "\"", "\\\"") + "\"";
+}
+
+}  // namespace
+
+std::string ToDot(const KnowledgeGraph& kg, const DotOptions& options) {
+  // Collect the triples to render.
+  std::vector<Triple> triples;
+  if (!options.center.empty()) {
+    const auto center = kg.LookupEntity(options.center);
+    if (center.ok()) {
+      std::unordered_set<Triple, TripleHash> seen;
+      std::vector<EntityId> nodes = {*center};
+      for (const EntityId e :
+           NHopEntities(kg.store(), *center, options.hops)) {
+        nodes.push_back(e);
+      }
+      const std::unordered_set<EntityId> in_scope(nodes.begin(), nodes.end());
+      for (const EntityId node : nodes) {
+        for (const Triple& t : kg.store().TriplesWithSubject(node)) {
+          if (in_scope.count(t.object) > 0 && seen.insert(t).second) {
+            triples.push_back(t);
+          }
+        }
+      }
+    }
+  } else {
+    triples = kg.store().AllTriples();
+  }
+  if (triples.size() > options.max_edges) {
+    triples.resize(options.max_edges);
+  }
+
+  std::ostringstream out;
+  out << "digraph " << Quote(options.graph_name) << " {\n";
+  out << "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+
+  std::unordered_set<EntityId> nodes;
+  for (const Triple& t : triples) {
+    nodes.insert(t.subject);
+    nodes.insert(t.object);
+  }
+  for (const EntityId node : std::set<EntityId>(nodes.begin(), nodes.end())) {
+    out << "  " << Quote(kg.EntityName(node)) << ";\n";
+  }
+  for (const Triple& t : triples) {
+    out << "  " << Quote(kg.EntityName(t.subject)) << " -> "
+        << Quote(kg.EntityName(t.object)) << " [label="
+        << Quote(kg.schema().Name(t.relation)) << "];\n";
+  }
+  // Alias links, dashed.
+  for (const EntityId node : std::set<EntityId>(nodes.begin(), nodes.end())) {
+    for (const EntityId alias : kg.AliasesOf(node)) {
+      out << "  " << Quote(kg.EntityName(alias)) << " -> "
+          << Quote(kg.EntityName(node))
+          << " [style=dashed, label=\"alias\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+Status WriteDot(const KnowledgeGraph& kg, const std::string& path,
+                const DotOptions& options) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot write DOT at " + path);
+  out << ToDot(kg, options);
+  if (!out.good()) return Status::IoError("DOT write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace oneedit

@@ -1,0 +1,35 @@
+#ifndef ONEEDIT_KG_DOT_EXPORT_H_
+#define ONEEDIT_KG_DOT_EXPORT_H_
+
+#include <string>
+
+#include "kg/knowledge_graph.h"
+#include "util/status.h"
+
+namespace oneedit {
+
+/// Options for Graphviz export.
+struct DotOptions {
+  /// Restrict to the BFS neighborhood of this entity (empty = whole graph).
+  std::string center;
+  /// Neighborhood radius when `center` is set.
+  size_t hops = 2;
+  /// Hard cap on emitted edges (keeps dot files renderable).
+  size_t max_edges = 400;
+  /// Graph name in the DOT header.
+  std::string graph_name = "oneedit_kg";
+};
+
+/// Renders (a neighborhood of) the knowledge graph as a Graphviz digraph:
+/// entities become nodes, triples become labeled edges, aliases become
+/// dashed edges. Useful for debugging conflict resolution visually:
+///   dot -Tsvg kg.dot -o kg.svg
+std::string ToDot(const KnowledgeGraph& kg, const DotOptions& options = {});
+
+/// ToDot + write to `path`.
+Status WriteDot(const KnowledgeGraph& kg, const std::string& path,
+                const DotOptions& options = {});
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_KG_DOT_EXPORT_H_

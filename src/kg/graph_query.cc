@@ -1,0 +1,86 @@
+#include "kg/graph_query.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+namespace oneedit {
+namespace {
+
+/// Neighbors of `e` over undirected edges, ascending and de-duplicated.
+std::vector<EntityId> UndirectedNeighbors(const TripleStore& store,
+                                          EntityId e) {
+  std::vector<EntityId> out;
+  for (const Triple& t : store.TriplesWithSubject(e)) out.push_back(t.object);
+  for (const Triple& t : store.TriplesWithObject(e)) out.push_back(t.subject);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<EntityId> NHopEntities(const TripleStore& store, EntityId center,
+                                   size_t hops) {
+  std::vector<EntityId> out;
+  std::unordered_set<EntityId> seen{center};
+  std::deque<std::pair<EntityId, size_t>> frontier{{center, 0}};
+  while (!frontier.empty()) {
+    const auto [node, depth] = frontier.front();
+    frontier.pop_front();
+    if (depth >= hops) continue;
+    for (const EntityId next : UndirectedNeighbors(store, node)) {
+      if (!seen.insert(next).second) continue;
+      out.push_back(next);
+      frontier.emplace_back(next, depth + 1);
+    }
+  }
+  return out;
+}
+
+std::vector<Triple> NeighborhoodTriples(const TripleStore& store,
+                                        EntityId center, size_t max_triples,
+                                        size_t max_hops) {
+  std::vector<Triple> out;
+  if (max_triples == 0) return out;
+  std::unordered_set<Triple, TripleHash> emitted;
+  std::unordered_set<EntityId> visited{center};
+  std::deque<std::pair<EntityId, size_t>> frontier{{center, 0}};
+  while (!frontier.empty() && out.size() < max_triples) {
+    const auto [node, depth] = frontier.front();
+    frontier.pop_front();
+    // Emit this node's incident triples (subject side first, then object
+    // side), sorted for determinism.
+    std::vector<Triple> incident = store.TriplesWithSubject(node);
+    const std::vector<Triple> in_edges = store.TriplesWithObject(node);
+    incident.insert(incident.end(), in_edges.begin(), in_edges.end());
+    std::sort(incident.begin(), incident.end());
+    for (const Triple& t : incident) {
+      if (out.size() >= max_triples) break;
+      if (emitted.insert(t).second) out.push_back(t);
+    }
+    if (depth >= max_hops) continue;
+    for (const EntityId next : UndirectedNeighbors(store, node)) {
+      if (visited.insert(next).second) frontier.emplace_back(next, depth + 1);
+    }
+  }
+  return out;
+}
+
+size_t Distance(const TripleStore& store, EntityId from, EntityId to) {
+  if (from == to) return 0;
+  std::unordered_set<EntityId> seen{from};
+  std::deque<std::pair<EntityId, size_t>> frontier{{from, 0}};
+  while (!frontier.empty()) {
+    const auto [node, depth] = frontier.front();
+    frontier.pop_front();
+    for (const EntityId next : UndirectedNeighbors(store, node)) {
+      if (next == to) return depth + 1;
+      if (seen.insert(next).second) frontier.emplace_back(next, depth + 1);
+    }
+  }
+  return SIZE_MAX;
+}
+
+}  // namespace oneedit

@@ -1,0 +1,31 @@
+#ifndef ONEEDIT_KG_GRAPH_QUERY_H_
+#define ONEEDIT_KG_GRAPH_QUERY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "kg/triple.h"
+#include "kg/triple_store.h"
+
+namespace oneedit {
+
+/// Entities reachable from `center` within `hops` undirected steps
+/// (excluding `center` itself), in BFS order with deterministic tie-breaks.
+std::vector<EntityId> NHopEntities(const TripleStore& store, EntityId center,
+                                   size_t hops);
+
+/// The n triples "nearest" to `center`: BFS over undirected edges, emitting
+/// each frontier node's incident triples in sorted order until `max_triples`
+/// are collected (§3.4.2's nearest-neighbor generation-triple strategy).
+/// `max_hops` bounds the search radius.
+std::vector<Triple> NeighborhoodTriples(const TripleStore& store,
+                                        EntityId center, size_t max_triples,
+                                        size_t max_hops = 3);
+
+/// BFS distance (in undirected hops) from `from` to `to`;
+/// returns SIZE_MAX if unreachable.
+size_t Distance(const TripleStore& store, EntityId from, EntityId to);
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_KG_GRAPH_QUERY_H_

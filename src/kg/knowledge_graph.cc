@@ -1,0 +1,189 @@
+#include "kg/knowledge_graph.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace oneedit {
+
+Status KnowledgeGraph::ApplyAdd(const Triple& t, bool log) {
+  if (!store_.Add(t)) {
+    return Status::AlreadyExists("triple already present: " + ToString(t));
+  }
+  if (log) {
+    ops_.push_back(OpRecord{WalOp::kAdd, t});
+    if (wal_.is_open()) {
+      ONEEDIT_RETURN_IF_ERROR(wal_.Append(WalOp::kAdd, EntityName(t.subject),
+                                          schema_.Name(t.relation),
+                                          EntityName(t.object)));
+    }
+  }
+  return Status::OK();
+}
+
+Status KnowledgeGraph::ApplyRemove(const Triple& t, bool log) {
+  if (!store_.Remove(t)) {
+    return Status::NotFound("triple not present: " + ToString(t));
+  }
+  if (log) {
+    ops_.push_back(OpRecord{WalOp::kRemove, t});
+    if (wal_.is_open()) {
+      ONEEDIT_RETURN_IF_ERROR(wal_.Append(WalOp::kRemove, EntityName(t.subject),
+                                          schema_.Name(t.relation),
+                                          EntityName(t.object)));
+    }
+  }
+  return Status::OK();
+}
+
+Status KnowledgeGraph::Add(const Triple& t) { return ApplyAdd(t, /*log=*/true); }
+
+Status KnowledgeGraph::Remove(const Triple& t) {
+  return ApplyRemove(t, /*log=*/true);
+}
+
+StatusOr<std::optional<EntityId>> KnowledgeGraph::Upsert(EntityId s,
+                                                         RelationId r,
+                                                         EntityId o) {
+  if (store_.Contains(Triple{s, r, o})) return std::optional<EntityId>();
+  std::optional<EntityId> replaced;
+  for (const EntityId old : store_.Objects(s, r)) {
+    if (old == o) continue;
+    ONEEDIT_RETURN_IF_ERROR(Remove(Triple{s, r, old}));
+    replaced = old;
+  }
+  ONEEDIT_RETURN_IF_ERROR(Add(Triple{s, r, o}));
+  return replaced;
+}
+
+std::optional<EntityId> KnowledgeGraph::ObjectOf(EntityId s,
+                                                 RelationId r) const {
+  const std::vector<EntityId> objects = store_.Objects(s, r);
+  if (objects.empty()) return std::nullopt;
+  return objects.front();
+}
+
+std::string KnowledgeGraph::ToString(const Triple& t) const {
+  return "(" + EntityName(t.subject) + ", " + schema_.Name(t.relation) + ", " +
+         EntityName(t.object) + ")";
+}
+
+StatusOr<Triple> KnowledgeGraph::Resolve(const NamedTriple& named) const {
+  ONEEDIT_ASSIGN_OR_RETURN(const EntityId s, entities_.Lookup(named.subject));
+  ONEEDIT_ASSIGN_OR_RETURN(const RelationId r, schema_.Lookup(named.relation));
+  ONEEDIT_ASSIGN_OR_RETURN(const EntityId o, entities_.Lookup(named.object));
+  return Triple{s, r, o};
+}
+
+NamedTriple KnowledgeGraph::ToNamed(const Triple& t) const {
+  return NamedTriple{EntityName(t.subject), schema_.Name(t.relation),
+                     EntityName(t.object)};
+}
+
+void KnowledgeGraph::AddAlias(EntityId alias, EntityId canonical) {
+  alias_of_[alias] = canonical;
+  aliases_[canonical].push_back(alias);
+}
+
+EntityId KnowledgeGraph::Canonical(EntityId e) const {
+  auto it = alias_of_.find(e);
+  return it == alias_of_.end() ? e : it->second;
+}
+
+std::vector<EntityId> KnowledgeGraph::AliasesOf(EntityId canonical) const {
+  auto it = aliases_.find(canonical);
+  if (it == aliases_.end()) return {};
+  return it->second;
+}
+
+Status KnowledgeGraph::RollbackTo(uint64_t version) {
+  if (version > ops_.size()) {
+    return Status::OutOfRange("rollback target version " +
+                              std::to_string(version) + " > current " +
+                              std::to_string(ops_.size()));
+  }
+  while (ops_.size() > version) {
+    const OpRecord rec = ops_.back();
+    ops_.pop_back();
+    // Undo without appending to the version log; journal the compensating
+    // operation in the WAL so replay stays faithful.
+    Status s;
+    if (rec.op == WalOp::kAdd) {
+      s = ApplyRemove(rec.triple, /*log=*/false);
+      if (s.ok() && wal_.is_open()) {
+        s = wal_.Append(WalOp::kRemove, EntityName(rec.triple.subject),
+                        schema_.Name(rec.triple.relation),
+                        EntityName(rec.triple.object));
+      }
+    } else {
+      s = ApplyAdd(rec.triple, /*log=*/false);
+      if (s.ok() && wal_.is_open()) {
+        s = wal_.Append(WalOp::kAdd, EntityName(rec.triple.subject),
+                        schema_.Name(rec.triple.relation),
+                        EntityName(rec.triple.object));
+      }
+    }
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status KnowledgeGraph::AttachWal(const std::string& path,
+                                 bool replay_existing) {
+  if (replay_existing) {
+    std::ifstream probe(path);
+    if (probe.good()) {
+      ONEEDIT_RETURN_IF_ERROR(WriteAheadLog::Replay(
+          path, [this](WalOp op, const std::string& s, const std::string& r,
+                       const std::string& o) {
+            const EntityId sid = InternEntity(s);
+            const RelationId rid = schema_.Define(r);
+            const EntityId oid = InternEntity(o);
+            const Triple t{sid, rid, oid};
+            if (op == WalOp::kAdd) {
+              store_.Add(t);
+              ops_.push_back(OpRecord{WalOp::kAdd, t});
+            } else {
+              store_.Remove(t);
+              ops_.push_back(OpRecord{WalOp::kRemove, t});
+            }
+          }));
+    }
+  }
+  return wal_.Open(path);
+}
+
+Status KnowledgeGraph::SaveSnapshot(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot write snapshot at " + path);
+  for (const Triple& t : store_.AllTriples()) {
+    out << EntityName(t.subject) << '\t' << schema_.Name(t.relation) << '\t'
+        << EntityName(t.object) << '\n';
+  }
+  if (!out.good()) return Status::IoError("snapshot write failed: " + path);
+  return Status::OK();
+}
+
+Status KnowledgeGraph::LoadSnapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read snapshot at " + path);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = StrSplit(line, '\t');
+    if (fields.size() != 3) {
+      return Status::Corruption("malformed snapshot line " +
+                                std::to_string(lineno) + " in " + path);
+    }
+    const Triple t{InternEntity(fields[0]), schema_.Define(fields[1]),
+                   InternEntity(fields[2])};
+    if (!store_.Contains(t)) {
+      ONEEDIT_RETURN_IF_ERROR(Add(t));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace oneedit

@@ -1,0 +1,197 @@
+#ifndef ONEEDIT_KG_KNOWLEDGE_GRAPH_H_
+#define ONEEDIT_KG_KNOWLEDGE_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/dictionary.h"
+#include "kg/named_triple.h"
+#include "kg/relation_schema.h"
+#include "kg/rules.h"
+#include "kg/triple.h"
+#include "kg/triple_store.h"
+#include "kg/wal.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+
+/// The symbolic half of OneEdit: a versioned, WAL-backed knowledge graph.
+///
+/// Responsibilities (§3.4):
+///  * source of truth for conflict detection (coverage + reverse conflicts);
+///  * alias registry (entity surface forms used by Sub-Replace probes);
+///  * inverse-relation metadata and Horn rules for augmentation;
+///  * a version log so any mutation window can be rolled back exactly.
+///
+/// Every mutation appends an undo record; RollbackTo(v) restores the graph to
+/// exactly the state it had at version v. If a WAL is attached, mutations are
+/// also journaled for crash recovery.
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph() = default;
+
+  // Non-copyable (owns a WAL handle); movable.
+  KnowledgeGraph(const KnowledgeGraph&) = delete;
+  KnowledgeGraph& operator=(const KnowledgeGraph&) = delete;
+  KnowledgeGraph(KnowledgeGraph&&) = default;
+  KnowledgeGraph& operator=(KnowledgeGraph&&) = default;
+
+  // --- Vocabulary -----------------------------------------------------------
+
+  EntityId InternEntity(std::string_view name) { return entities_.Intern(name); }
+  StatusOr<EntityId> LookupEntity(std::string_view name) const {
+    return entities_.Lookup(name);
+  }
+  const std::string& EntityName(EntityId e) const { return entities_.Name(e); }
+  size_t num_entities() const { return entities_.size(); }
+
+  RelationSchema& schema() { return schema_; }
+  const RelationSchema& schema() const { return schema_; }
+
+  RuleEngine& rules() { return rules_; }
+  const RuleEngine& rules() const { return rules_; }
+
+  // --- Mutations (versioned) ------------------------------------------------
+
+  /// Adds a triple. AlreadyExists if present.
+  Status Add(const Triple& t);
+
+  /// Removes a triple. NotFound if absent.
+  Status Remove(const Triple& t);
+
+  /// Sets the functional slot (s, r) to o: removes any existing
+  /// (s, r, o') with o' != o, then adds (s, r, o). Returns the replaced
+  /// object, if there was one. If (s, r, o) already holds, this is a no-op
+  /// returning std::nullopt.
+  StatusOr<std::optional<EntityId>> Upsert(EntityId s, RelationId r,
+                                           EntityId o);
+
+  // --- Lookups --------------------------------------------------------------
+
+  bool Contains(const Triple& t) const { return store_.Contains(t); }
+  std::vector<EntityId> Objects(EntityId s, RelationId r) const {
+    return store_.Objects(s, r);
+  }
+  std::vector<EntityId> Subjects(RelationId r, EntityId o) const {
+    return store_.Subjects(r, o);
+  }
+  /// The unique object of functional slot (s, r), if present.
+  std::optional<EntityId> ObjectOf(EntityId s, RelationId r) const;
+
+  const TripleStore& store() const { return store_; }
+  size_t size() const { return store_.size(); }
+
+  /// Renders a triple with names, e.g. "(USA, president, Biden)".
+  std::string ToString(const Triple& t) const;
+
+  StatusOr<Triple> Resolve(const NamedTriple& named) const;
+  NamedTriple ToNamed(const Triple& t) const;
+
+  // --- Aliases --------------------------------------------------------------
+
+  /// Registers `alias` as a surface form of `canonical`
+  /// (e.g. "POTUS-45" -> "Donald Trump").
+  void AddAlias(EntityId alias, EntityId canonical);
+
+  /// Canonical entity for `e` (identity if `e` has no alias link).
+  EntityId Canonical(EntityId e) const;
+
+  /// All registered aliases of `canonical`, in registration order.
+  std::vector<EntityId> AliasesOf(EntityId canonical) const;
+
+  // --- Versioning / rollback -------------------------------------------------
+
+  /// Number of mutations applied so far; also the current version.
+  uint64_t version() const { return ops_.size(); }
+
+  /// Undoes every mutation after `version` (most recent first).
+  Status RollbackTo(uint64_t version);
+
+  // --- Transactions -----------------------------------------------------------
+
+  /// Scoped transaction over the version log: mutations made between
+  /// construction and Commit() are kept; if the Transaction is destroyed
+  /// (or Abort()ed) without Commit(), they are rolled back exactly.
+  ///
+  ///   {
+  ///     KnowledgeGraph::Transaction txn(&kg);
+  ///     kg.Upsert(s, r, o);
+  ///     if (!Validate(kg)) return;   // destructor aborts
+  ///     txn.Commit();
+  ///   }
+  ///
+  /// Transactions nest only LIFO (inner commits/aborts before outer).
+  class Transaction {
+   public:
+    explicit Transaction(KnowledgeGraph* kg)
+        : kg_(kg), start_version_(kg->version()) {}
+    ~Transaction() {
+      if (!done_) (void)Abort();
+    }
+
+    Transaction(const Transaction&) = delete;
+    Transaction& operator=(const Transaction&) = delete;
+
+    /// Keeps the transaction's mutations. Idempotent.
+    void Commit() { done_ = true; }
+
+    /// Rolls the graph back to the transaction's start. Idempotent.
+    Status Abort() {
+      if (done_) return Status::OK();
+      done_ = true;
+      return kg_->RollbackTo(start_version_);
+    }
+
+    uint64_t start_version() const { return start_version_; }
+
+   private:
+    KnowledgeGraph* kg_;
+    uint64_t start_version_;
+    bool done_ = false;
+  };
+
+  // --- Persistence ------------------------------------------------------------
+
+  /// Attaches a WAL at `path`. If `replay_existing`, first replays any
+  /// records already in the file into this graph.
+  Status AttachWal(const std::string& path, bool replay_existing);
+
+  /// Flushes any buffered WAL records; FailedPrecondition if no WAL is
+  /// attached.
+  Status SyncWal() { return wal_.Sync(); }
+
+  bool HasWal() const { return wal_.is_open(); }
+
+  /// Writes every triple (sorted, names) to `path`.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Loads triples from a snapshot file produced by SaveSnapshot, adding
+  /// them to this graph. Unknown relations are defined as functional.
+  Status LoadSnapshot(const std::string& path);
+
+ private:
+  struct OpRecord {
+    WalOp op;
+    Triple triple;
+  };
+
+  Status ApplyAdd(const Triple& t, bool log);
+  Status ApplyRemove(const Triple& t, bool log);
+
+  Dictionary entities_;
+  RelationSchema schema_;
+  RuleEngine rules_;
+  TripleStore store_;
+  std::vector<OpRecord> ops_;
+  std::unordered_map<EntityId, EntityId> alias_of_;
+  std::unordered_map<EntityId, std::vector<EntityId>> aliases_;
+  WriteAheadLog wal_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_KG_KNOWLEDGE_GRAPH_H_

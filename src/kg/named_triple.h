@@ -1,0 +1,21 @@
+#ifndef ONEEDIT_KG_NAMED_TRIPLE_H_
+#define ONEEDIT_KG_NAMED_TRIPLE_H_
+
+#include <string>
+
+namespace oneedit {
+
+/// A human-readable triple, used at API boundaries (Interpreter output,
+/// model pretraining corpora, logs).
+struct NamedTriple {
+  std::string subject;
+  std::string relation;
+  std::string object;
+
+  friend bool operator==(const NamedTriple& a, const NamedTriple& b) = default;
+  friend auto operator<=>(const NamedTriple& a, const NamedTriple& b) = default;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_KG_NAMED_TRIPLE_H_

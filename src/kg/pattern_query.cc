@@ -1,0 +1,98 @@
+#include "kg/pattern_query.h"
+
+#include <algorithm>
+
+namespace oneedit {
+namespace {
+
+bool IsVariable(const std::string& field) {
+  return !field.empty() && field[0] == '?';
+}
+
+/// Resolves a field under a binding: returns the constant name, the bound
+/// value, or "" if it is an unbound variable.
+std::string ResolveField(const std::string& field, const Binding& binding) {
+  if (!IsVariable(field)) return field;
+  auto it = binding.find(field);
+  return it == binding.end() ? std::string() : it->second;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Binding>> Query(const KnowledgeGraph& kg,
+                                     const std::vector<TriplePattern>& patterns,
+                                     size_t limit) {
+  if (patterns.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  for (const TriplePattern& pattern : patterns) {
+    if (IsVariable(pattern.relation)) {
+      return Status::InvalidArgument("variable relations are not supported: " +
+                                     pattern.relation);
+    }
+    if (!kg.schema().Lookup(pattern.relation).ok()) {
+      return Status::NotFound("unknown relation: " + pattern.relation);
+    }
+  }
+
+  std::vector<Binding> frontier = {Binding{}};
+  for (const TriplePattern& pattern : patterns) {
+    const RelationId relation = *kg.schema().Lookup(pattern.relation);
+    std::vector<Binding> next;
+    for (const Binding& binding : frontier) {
+      const std::string subject = ResolveField(pattern.subject, binding);
+      const std::string object = ResolveField(pattern.object, binding);
+
+      // Candidate triples for this pattern under the current binding.
+      std::vector<Triple> candidates;
+      if (!subject.empty()) {
+        const auto subject_id = kg.LookupEntity(subject);
+        if (!subject_id.ok()) continue;
+        for (const EntityId o : kg.Objects(*subject_id, relation)) {
+          candidates.push_back(Triple{*subject_id, relation, o});
+        }
+      } else if (!object.empty()) {
+        const auto object_id = kg.LookupEntity(object);
+        if (!object_id.ok()) continue;
+        for (const EntityId s : kg.Subjects(relation, *object_id)) {
+          candidates.push_back(Triple{s, relation, *object_id});
+        }
+      } else {
+        // Fully unbound: scan the relation.
+        for (const Triple& t : kg.store().AllTriples()) {
+          if (t.relation == relation) candidates.push_back(t);
+        }
+      }
+
+      for (const Triple& t : candidates) {
+        const std::string& s_name = kg.EntityName(t.subject);
+        const std::string& o_name = kg.EntityName(t.object);
+        if (!subject.empty() && s_name != subject) continue;
+        if (!object.empty() && o_name != object) continue;
+        Binding extended = binding;
+        if (IsVariable(pattern.subject)) extended[pattern.subject] = s_name;
+        if (IsVariable(pattern.object)) extended[pattern.object] = o_name;
+        next.push_back(std::move(extended));
+        if (next.size() > limit) {
+          return Status::OutOfRange("query exceeded result limit");
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+
+  std::sort(frontier.begin(), frontier.end());
+  frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                 frontier.end());
+  return frontier;
+}
+
+StatusOr<bool> Ask(const KnowledgeGraph& kg,
+                   const std::vector<TriplePattern>& patterns) {
+  ONEEDIT_ASSIGN_OR_RETURN(const std::vector<Binding> results,
+                           Query(kg, patterns));
+  return !results.empty();
+}
+
+}  // namespace oneedit

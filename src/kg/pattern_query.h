@@ -1,0 +1,47 @@
+#ifndef ONEEDIT_KG_PATTERN_QUERY_H_
+#define ONEEDIT_KG_PATTERN_QUERY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+
+/// A triple pattern over names: any field starting with '?' is a variable
+/// ("?who"), anything else a constant entity/relation name.
+struct TriplePattern {
+  std::string subject;
+  std::string relation;
+  std::string object;
+};
+
+/// One solution to a conjunctive query: variable name (with '?') -> entity
+/// name. Ordered map so results print and compare deterministically.
+using Binding = std::map<std::string, std::string>;
+
+/// Evaluates a conjunctive query (a join of triple patterns) against the
+/// knowledge graph — the small SPARQL-style query facility a KG library is
+/// expected to ship.
+///
+///   // Which spouses of governors were born in Aldenton?
+///   Query(kg, {{"?state", "governor", "?gov"},
+///              {"?gov", "spouse", "?spouse"},
+///              {"?spouse", "born_in", "Aldenton"}});
+///
+/// Relations must be constants (a variable relation is rejected). Results
+/// are de-duplicated and sorted. Patterns are evaluated left to right with
+/// index-backed lookups where a side is bound; fully unbound patterns scan.
+StatusOr<std::vector<Binding>> Query(const KnowledgeGraph& kg,
+                                     const std::vector<TriplePattern>& patterns,
+                                     size_t limit = 10000);
+
+/// Convenience: true if the query has at least one solution.
+StatusOr<bool> Ask(const KnowledgeGraph& kg,
+                   const std::vector<TriplePattern>& patterns);
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_KG_PATTERN_QUERY_H_

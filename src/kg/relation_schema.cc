@@ -1,0 +1,45 @@
+#include "kg/relation_schema.h"
+
+namespace oneedit {
+
+RelationId RelationSchema::Define(std::string_view name, bool functional) {
+  auto existing = dict_.Lookup(name);
+  if (existing.ok()) return existing.value();
+  const RelationId id = dict_.Intern(name);
+  infos_.push_back(RelationInfo{std::string(name), kInvalidId, functional});
+  return id;
+}
+
+Status RelationSchema::SetInverse(RelationId a, RelationId b) {
+  if (a >= infos_.size() || b >= infos_.size()) {
+    return Status::InvalidArgument("SetInverse: unknown relation id");
+  }
+  if (infos_[a].inverse != kInvalidId && infos_[a].inverse != b) {
+    return Status::FailedPrecondition("relation '" + infos_[a].name +
+                                      "' already has an inverse");
+  }
+  if (infos_[b].inverse != kInvalidId && infos_[b].inverse != a) {
+    return Status::FailedPrecondition("relation '" + infos_[b].name +
+                                      "' already has an inverse");
+  }
+  infos_[a].inverse = b;
+  infos_[b].inverse = a;
+  return Status::OK();
+}
+
+Status RelationSchema::SetSymmetric(RelationId r) { return SetInverse(r, r); }
+
+bool RelationSchema::IsReversible(RelationId r) const {
+  return r < infos_.size() && infos_[r].inverse != kInvalidId;
+}
+
+RelationId RelationSchema::InverseOf(RelationId r) const {
+  if (r >= infos_.size()) return kInvalidId;
+  return infos_[r].inverse;
+}
+
+bool RelationSchema::IsFunctional(RelationId r) const {
+  return r < infos_.size() && infos_[r].functional;
+}
+
+}  // namespace oneedit

@@ -1,0 +1,64 @@
+#ifndef ONEEDIT_KG_RELATION_SCHEMA_H_
+#define ONEEDIT_KG_RELATION_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kg/dictionary.h"
+#include "kg/triple.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+
+/// Per-relation metadata the Controller relies on.
+struct RelationInfo {
+  std::string name;
+  /// Inverse relation ("wife" <-> "husband"); kInvalidId if not reversible.
+  RelationId inverse = kInvalidId;
+  /// Functional (single-valued) relations have exactly one object per
+  /// subject; coverage conflicts (Eq. 5) are defined on functional slots.
+  bool functional = true;
+};
+
+/// The relation vocabulary plus the metadata Algorithms 1-2 consult:
+/// which relations are reversible (and their inverses) and which are
+/// functional.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+
+  /// Defines (or returns the existing) relation named `name`.
+  RelationId Define(std::string_view name, bool functional = true);
+
+  /// Declares `a` and `b` mutual inverses ("wife"/"husband").
+  /// Fails if either already has a different inverse.
+  Status SetInverse(RelationId a, RelationId b);
+
+  /// Declares `r` its own inverse (symmetric relation, e.g. "spouse").
+  Status SetSymmetric(RelationId r);
+
+  bool IsReversible(RelationId r) const;
+
+  /// The inverse of `r`, or kInvalidId if not reversible.
+  RelationId InverseOf(RelationId r) const;
+
+  bool IsFunctional(RelationId r) const;
+
+  StatusOr<RelationId> Lookup(std::string_view name) const {
+    return dict_.Lookup(name);
+  }
+  const std::string& Name(RelationId r) const { return dict_.Name(r); }
+  size_t size() const { return infos_.size(); }
+
+  const RelationInfo& info(RelationId r) const { return infos_[r]; }
+
+ private:
+  Dictionary dict_;
+  std::vector<RelationInfo> infos_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_KG_RELATION_SCHEMA_H_

@@ -1,0 +1,149 @@
+#include "kg/rules.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "kg/relation_schema.h"
+#include "util/string_util.h"
+
+namespace oneedit {
+
+std::vector<Triple> RuleEngine::DeriveFrom(const TripleStore& store,
+                                           const Triple& seed) const {
+  std::vector<Triple> out;
+  for (const HornRule& rule : rules_) {
+    // Seed binds atom 1: (x=seed.s, body1, y=seed.o); join on (y, body2, z).
+    if (seed.relation == rule.body1) {
+      for (const EntityId z : store.Objects(seed.object, rule.body2)) {
+        out.push_back(Triple{seed.subject, rule.head, z});
+      }
+    }
+    // Seed binds atom 2: (y=seed.s, body2, z=seed.o); join on (x, body1, y).
+    if (seed.relation == rule.body2) {
+      for (const EntityId x : store.Subjects(rule.body1, seed.subject)) {
+        out.push_back(Triple{x, rule.head, seed.object});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.erase(std::remove(out.begin(), out.end(), seed), out.end());
+  return out;
+}
+
+std::vector<Triple> RuleEngine::DeriveToFixpoint(const TripleStore& store,
+                                                 const Triple& seed,
+                                                 size_t max_depth,
+                                                 size_t limit) const {
+  std::vector<Triple> out;
+  std::unordered_set<Triple, TripleHash> seen{seed};
+  // Derivations join against the store plus everything derived so far.
+  TripleStore working;
+  for (const Triple& t : store.AllTriples()) working.Add(t);
+  working.Add(seed);
+
+  std::vector<Triple> frontier{seed};
+  for (size_t depth = 0; depth < max_depth && !frontier.empty(); ++depth) {
+    std::vector<Triple> next;
+    for (const Triple& t : frontier) {
+      for (const Triple& derived : DeriveFrom(working, t)) {
+        if (out.size() >= limit) return out;
+        if (!seen.insert(derived).second) continue;
+        if (store.Contains(derived)) continue;
+        out.push_back(derived);
+        next.push_back(derived);
+      }
+    }
+    for (const Triple& t : next) working.Add(t);
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+std::vector<Triple> RuleEngine::DeriveAll(const TripleStore& store,
+                                          size_t limit) const {
+  std::vector<Triple> out;
+  for (const Triple& t : store.AllTriples()) {
+    for (const Triple& derived : DeriveFrom(store, t)) {
+      out.push_back(derived);
+      if (out.size() >= limit) break;
+    }
+    if (out.size() >= limit) break;
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+
+namespace {
+
+/// Parses "name(a, b)" into (name, a, b). Whitespace-tolerant.
+Status ParseAtom(std::string_view text, std::string* name, std::string* a,
+                 std::string* b) {
+  const size_t open = text.find('(');
+  const size_t comma = text.find(',', open);
+  const size_t close = text.find(')', comma);
+  if (open == std::string_view::npos || comma == std::string_view::npos ||
+      close == std::string_view::npos) {
+    return Status::InvalidArgument("malformed atom: " + std::string(text));
+  }
+  *name = std::string(StripAsciiWhitespace(text.substr(0, open)));
+  *a = std::string(StripAsciiWhitespace(text.substr(open + 1, comma - open - 1)));
+  *b = std::string(StripAsciiWhitespace(text.substr(comma + 1, close - comma - 1)));
+  if (name->empty() || a->empty() || b->empty()) {
+    return Status::InvalidArgument("empty field in atom: " + std::string(text));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<HornRule> ParseHornRule(std::string_view text,
+                                 RelationSchema* schema) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("ParseHornRule: null schema");
+  }
+  const size_t turnstile = text.find(":-");
+  if (turnstile == std::string_view::npos) {
+    return Status::InvalidArgument("rule needs ':-': " + std::string(text));
+  }
+  std::string head_name, head_a, head_b;
+  ONEEDIT_RETURN_IF_ERROR(
+      ParseAtom(text.substr(0, turnstile), &head_name, &head_a, &head_b));
+
+  // Split the body on the comma *between* atoms (the one after the first ')').
+  const std::string_view body = text.substr(turnstile + 2);
+  const size_t first_close = body.find(')');
+  if (first_close == std::string_view::npos) {
+    return Status::InvalidArgument("rule needs two body atoms: " +
+                                   std::string(text));
+  }
+  const size_t separator = body.find(',', first_close);
+  if (separator == std::string_view::npos) {
+    return Status::InvalidArgument("rule needs two body atoms: " +
+                                   std::string(text));
+  }
+  std::string b1_name, b1_a, b1_b, b2_name, b2_a, b2_b;
+  ONEEDIT_RETURN_IF_ERROR(
+      ParseAtom(body.substr(0, separator), &b1_name, &b1_a, &b1_b));
+  ONEEDIT_RETURN_IF_ERROR(
+      ParseAtom(body.substr(separator + 1), &b2_name, &b2_a, &b2_b));
+
+  // Enforce the HornRule variable shape: head(x,z) :- b1(x,y), b2(y,z).
+  if (head_a != "x" || head_b != "z" || b1_a != "x" || b1_b != "y" ||
+      b2_a != "y" || b2_b != "z") {
+    return Status::InvalidArgument(
+        "rule must have the shape head(x,z) :- b1(x,y), b2(y,z): " +
+        std::string(text));
+  }
+
+  HornRule rule;
+  rule.name = head_name;
+  rule.body1 = schema->Define(b1_name);
+  rule.body2 = schema->Define(b2_name);
+  rule.head = schema->Define(head_name);
+  return rule;
+}
+
+}  // namespace oneedit

@@ -1,0 +1,77 @@
+#ifndef ONEEDIT_KG_RULES_H_
+#define ONEEDIT_KG_RULES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kg/triple.h"
+#include "kg/triple_store.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+
+/// A two-atom Horn composition rule:
+///   (x, body1, y) ∧ (y, body2, z)  =>  (x, head, z)
+///
+/// Example (the paper's First-Lady case, §3.4.2):
+///   (country, president, p) ∧ (p, wife, w) => (country, first_lady, w)
+struct HornRule {
+  std::string name;
+  RelationId body1 = kInvalidId;
+  RelationId body2 = kInvalidId;
+  RelationId head = kInvalidId;
+};
+
+/// Forward-chaining engine over Horn composition rules.
+///
+/// The Controller uses DeriveFrom on each edited triple to obtain the
+/// logically implied triples (§3.4.2 "logical rules"); the derived triples
+/// join the augmentation set written into the model.
+class RuleEngine {
+ public:
+  RuleEngine() = default;
+
+  void AddRule(const HornRule& rule) { rules_.push_back(rule); }
+
+  const std::vector<HornRule>& rules() const { return rules_; }
+  size_t size() const { return rules_.size(); }
+
+  /// Triples derivable in one forward-chaining step when `seed` is asserted,
+  /// joining against the current contents of `store`. The seed may bind
+  /// either atom of each rule. Results are sorted and de-duplicated, and
+  /// never include `seed` itself.
+  std::vector<Triple> DeriveFrom(const TripleStore& store,
+                                 const Triple& seed) const;
+
+  /// One-step closure over every triple in the store (bounded by `limit`
+  /// derivations); used by tests and the KG-consistency checker.
+  std::vector<Triple> DeriveAll(const TripleStore& store, size_t limit) const;
+
+  /// Forward-chains to a fixpoint starting from `seed`: derived triples are
+  /// themselves fed back through the rules (against the store contents plus
+  /// everything derived so far) until no new triple appears, `max_depth`
+  /// rounds elapse, or `limit` triples have been derived. The returned
+  /// triples are in derivation order (round by round), de-duplicated, and
+  /// never include `seed` or triples already in the store.
+  std::vector<Triple> DeriveToFixpoint(const TripleStore& store,
+                                       const Triple& seed,
+                                       size_t max_depth = 4,
+                                       size_t limit = 64) const;
+
+ private:
+  std::vector<HornRule> rules_;
+};
+
+/// Parses a rule written in Datalog-ish text against `schema`, defining any
+/// unknown relations:
+///   "first_lady(x, z) :- governor(x, y), spouse(y, z)"
+/// Variables must be exactly x, y, z in the (x,z) :- (x,y), (y,z) shape that
+/// HornRule supports. Returns InvalidArgument for anything else.
+class RelationSchema;
+StatusOr<HornRule> ParseHornRule(std::string_view text,
+                                 RelationSchema* schema);
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_KG_RULES_H_

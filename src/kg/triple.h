@@ -1,0 +1,63 @@
+#ifndef ONEEDIT_KG_TRIPLE_H_
+#define ONEEDIT_KG_TRIPLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace oneedit {
+
+/// Interned identifier for an entity (subject or object).
+using EntityId = uint32_t;
+/// Interned identifier for a relation type.
+using RelationId = uint32_t;
+
+inline constexpr uint32_t kInvalidId = std::numeric_limits<uint32_t>::max();
+
+/// A knowledge triple (s, r, o): subject --relation--> object.
+struct Triple {
+  EntityId subject = kInvalidId;
+  RelationId relation = kInvalidId;
+  EntityId object = kInvalidId;
+
+  friend bool operator==(const Triple& a, const Triple& b) = default;
+  friend auto operator<=>(const Triple& a, const Triple& b) = default;
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t h = t.subject;
+    h = h * 0x9E3779B97F4A7C15ULL + t.relation;
+    h = h * 0x9E3779B97F4A7C15ULL + t.object;
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 32;
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Key identifying the "slot" of a functional fact: (subject, relation).
+struct SubjectRelation {
+  EntityId subject = kInvalidId;
+  RelationId relation = kInvalidId;
+
+  friend bool operator==(const SubjectRelation& a,
+                         const SubjectRelation& b) = default;
+  friend auto operator<=>(const SubjectRelation& a,
+                          const SubjectRelation& b) = default;
+};
+
+struct SubjectRelationHash {
+  size_t operator()(const SubjectRelation& k) const {
+    uint64_t h = (static_cast<uint64_t>(k.subject) << 32) | k.relation;
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_KG_TRIPLE_H_

@@ -1,0 +1,79 @@
+#include "kg/triple_store.h"
+
+#include <algorithm>
+
+namespace oneedit {
+
+bool TripleStore::Add(const Triple& t) {
+  if (!all_.insert(t).second) return false;
+  by_subject_[t.subject][t.relation].insert(t.object);
+  by_object_[t.object][t.relation].insert(t.subject);
+  return true;
+}
+
+bool TripleStore::Remove(const Triple& t) {
+  if (all_.erase(t) == 0) return false;
+  auto prune = [](auto& outer, EntityId outer_key, RelationId r,
+                  EntityId inner_value) {
+    auto it = outer.find(outer_key);
+    if (it == outer.end()) return;
+    auto rit = it->second.find(r);
+    if (rit == it->second.end()) return;
+    rit->second.erase(inner_value);
+    if (rit->second.empty()) it->second.erase(rit);
+    if (it->second.empty()) outer.erase(it);
+  };
+  prune(by_subject_, t.subject, t.relation, t.object);
+  prune(by_object_, t.object, t.relation, t.subject);
+  return true;
+}
+
+std::vector<EntityId> TripleStore::Objects(EntityId s, RelationId r) const {
+  auto it = by_subject_.find(s);
+  if (it == by_subject_.end()) return {};
+  auto rit = it->second.find(r);
+  if (rit == it->second.end()) return {};
+  return {rit->second.begin(), rit->second.end()};
+}
+
+std::vector<EntityId> TripleStore::Subjects(RelationId r, EntityId o) const {
+  auto it = by_object_.find(o);
+  if (it == by_object_.end()) return {};
+  auto rit = it->second.find(r);
+  if (rit == it->second.end()) return {};
+  return {rit->second.begin(), rit->second.end()};
+}
+
+std::vector<Triple> TripleStore::TriplesWithSubject(EntityId s) const {
+  std::vector<Triple> out;
+  auto it = by_subject_.find(s);
+  if (it == by_subject_.end()) return out;
+  for (const auto& [r, objects] : it->second) {
+    for (const EntityId o : objects) out.push_back(Triple{s, r, o});
+  }
+  return out;
+}
+
+std::vector<Triple> TripleStore::TriplesWithObject(EntityId o) const {
+  std::vector<Triple> out;
+  auto it = by_object_.find(o);
+  if (it == by_object_.end()) return out;
+  for (const auto& [r, subjects] : it->second) {
+    for (const EntityId s : subjects) out.push_back(Triple{s, r, o});
+  }
+  return out;
+}
+
+std::vector<Triple> TripleStore::AllTriples() const {
+  std::vector<Triple> out(all_.begin(), all_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void TripleStore::Clear() {
+  all_.clear();
+  by_subject_.clear();
+  by_object_.clear();
+}
+
+}  // namespace oneedit

@@ -1,0 +1,60 @@
+#ifndef ONEEDIT_KG_TRIPLE_STORE_H_
+#define ONEEDIT_KG_TRIPLE_STORE_H_
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kg/triple.h"
+
+namespace oneedit {
+
+/// In-memory triple store with subject- and object-side adjacency indexes.
+///
+/// Point lookups (Contains) are O(1); pattern lookups (s,r,?) / (?,r,o) /
+/// (s,?,?) / (?,?,o) are served from ordered adjacency maps so every result
+/// vector is deterministically sorted — experiments must be bit-reproducible.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  /// Inserts t. Returns false if it was already present.
+  bool Add(const Triple& t);
+
+  /// Removes t. Returns false if it was not present.
+  bool Remove(const Triple& t);
+
+  bool Contains(const Triple& t) const { return all_.count(t) > 0; }
+
+  /// All o with (s, r, o) in the store, ascending.
+  std::vector<EntityId> Objects(EntityId s, RelationId r) const;
+
+  /// All s with (s, r, o) in the store, ascending.
+  std::vector<EntityId> Subjects(RelationId r, EntityId o) const;
+
+  /// All triples whose subject is s, sorted.
+  std::vector<Triple> TriplesWithSubject(EntityId s) const;
+
+  /// All triples whose object is o, sorted.
+  std::vector<Triple> TriplesWithObject(EntityId o) const;
+
+  /// Every triple, sorted. O(n log n); intended for snapshots and tests.
+  std::vector<Triple> AllTriples() const;
+
+  size_t size() const { return all_.size(); }
+  bool empty() const { return all_.empty(); }
+  void Clear();
+
+ private:
+  using RelationMap = std::map<RelationId, std::set<EntityId>>;
+
+  std::unordered_set<Triple, TripleHash> all_;
+  std::unordered_map<EntityId, RelationMap> by_subject_;  // s -> r -> {o}
+  std::unordered_map<EntityId, RelationMap> by_object_;   // o -> r -> {s}
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_KG_TRIPLE_STORE_H_

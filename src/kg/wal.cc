@@ -1,0 +1,93 @@
+#include "kg/wal.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace oneedit {
+
+WriteAheadLog::~WriteAheadLog() { Close(); }
+
+WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
+    : file_(other.file_), path_(std::move(other.path_)) {
+  other.file_ = nullptr;
+}
+
+WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
+  if (this != &other) {
+    Close();
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+Status WriteAheadLog::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open WAL at " + path + ": " +
+                           std::strerror(errno));
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Append(WalOp op, const std::string& subject,
+                             const std::string& relation,
+                             const std::string& object) {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  for (const std::string* name : {&subject, &relation, &object}) {
+    if (name->find('\t') != std::string::npos ||
+        name->find('\n') != std::string::npos) {
+      return Status::InvalidArgument("WAL record field contains tab/newline: " +
+                                     *name);
+    }
+  }
+  const char tag = op == WalOp::kAdd ? 'A' : 'D';
+  if (std::fprintf(file_, "%c\t%s\t%s\t%s\n", tag, subject.c_str(),
+                   relation.c_str(), object.c_str()) < 0) {
+    return Status::IoError("WAL append failed");
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
+  return Status::OK();
+}
+
+void WriteAheadLog::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status WriteAheadLog::Replay(
+    const std::string& path,
+    const std::function<void(WalOp, const std::string&, const std::string&,
+                             const std::string&)>& apply) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read WAL at " + path);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = StrSplit(line, '\t');
+    if (fields.size() != 4 || fields[0].size() != 1 ||
+        (fields[0][0] != 'A' && fields[0][0] != 'D')) {
+      return Status::Corruption("malformed WAL record at " + path + ":" +
+                                std::to_string(lineno));
+    }
+    const WalOp op = fields[0][0] == 'A' ? WalOp::kAdd : WalOp::kRemove;
+    apply(op, fields[1], fields[2], fields[3]);
+  }
+  return Status::OK();
+}
+
+}  // namespace oneedit

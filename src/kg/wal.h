@@ -1,0 +1,62 @@
+#ifndef ONEEDIT_KG_WAL_H_
+#define ONEEDIT_KG_WAL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "util/status.h"
+
+namespace oneedit {
+
+/// Operation kinds recorded in the KG write-ahead log.
+enum class WalOp { kAdd, kRemove };
+
+/// Append-only, text-format write-ahead log for the knowledge graph.
+///
+/// Record format (one per line, tab-separated):
+///   A\t<subject>\t<relation>\t<object>
+///   D\t<subject>\t<relation>\t<object>
+/// Names are logged rather than ids so a log replays correctly into a fresh
+/// graph regardless of interning order.
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+  WriteAheadLog(WriteAheadLog&& other) noexcept;
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
+
+  /// Opens (creating if needed) the log at `path` for appending.
+  Status Open(const std::string& path);
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Appends one record. The names must not contain tabs or newlines.
+  Status Append(WalOp op, const std::string& subject,
+                const std::string& relation, const std::string& object);
+
+  /// Flushes buffered records to the OS.
+  Status Sync();
+
+  /// Closes the log (idempotent).
+  void Close();
+
+  /// Replays every record in `path` through `apply`. Stops at the first
+  /// malformed line with a Corruption status.
+  static Status Replay(
+      const std::string& path,
+      const std::function<void(WalOp, const std::string&, const std::string&,
+                               const std::string&)>& apply);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_KG_WAL_H_

@@ -1,0 +1,54 @@
+#include "model/assoc_memory.h"
+
+#include <cassert>
+
+namespace oneedit {
+
+AssocMemory::AssocMemory(size_t num_layers, size_t dim) : dim_(dim) {
+  layers_.reserve(num_layers);
+  for (size_t l = 0; l < num_layers; ++l) layers_.emplace_back(dim, dim, 0.0);
+}
+
+void AssocMemory::AddRankOne(size_t layer, const Vec& value, const Vec& key,
+                             double alpha) {
+  assert(layer < layers_.size());
+  layers_[layer].AddOuter(alpha, value, key);
+}
+
+void AssocMemory::AddDense(size_t layer, const Matrix& delta) {
+  assert(layer < layers_.size());
+  layers_[layer].AddScaled(1.0, delta);
+}
+
+Vec AssocMemory::LayerRecall(size_t layer, const Vec& key) const {
+  assert(layer < layers_.size());
+  return layers_[layer].MatVec(key);
+}
+
+Vec AssocMemory::Recall(const std::vector<Vec>& keys) const {
+  assert(keys.size() == layers_.size());
+  Vec out(dim_, 0.0);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Vec partial = layers_[l].MatVec(keys[l]);
+    for (size_t i = 0; i < dim_; ++i) out[i] += partial[i];
+  }
+  return out;
+}
+
+Vec AssocMemory::RecallBlended(const std::vector<Vec>& keys,
+                               const WeightSnapshot& base,
+                               double delta_scale) const {
+  assert(keys.size() == layers_.size());
+  assert(base.size() == layers_.size());
+  Vec out(dim_, 0.0);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Vec current = layers_[l].MatVec(keys[l]);
+    const Vec consolidated = base[l].MatVec(keys[l]);
+    for (size_t i = 0; i < dim_; ++i) {
+      out[i] += consolidated[i] + delta_scale * (current[i] - consolidated[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace oneedit

@@ -1,0 +1,62 @@
+#ifndef ONEEDIT_MODEL_ASSOC_MEMORY_H_
+#define ONEEDIT_MODEL_ASSOC_MEMORY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/math.h"
+
+namespace oneedit {
+
+/// Weight snapshot used to reset a model between experiment cases.
+using WeightSnapshot = std::vector<Matrix>;
+
+/// A stack of linear associative memory layers.
+///
+/// Layer l holds a d×d matrix W_l; a fact is a key→value association written
+/// as a rank-one update W_l += α v kᵀ, and recall pools all layers:
+/// u = Σ_l W_l k_l. This is the same abstraction ROME/MEMIT use to model
+/// transformer MLP layers (Meng et al., 2022).
+class AssocMemory {
+ public:
+  AssocMemory(size_t num_layers, size_t dim);
+
+  size_t num_layers() const { return layers_.size(); }
+  size_t dim() const { return dim_; }
+
+  /// W_layer += alpha * value * keyᵀ.
+  void AddRankOne(size_t layer, const Vec& value, const Vec& key, double alpha);
+
+  /// W_layer += delta (dense). Used by FT-style updates and cache replay.
+  void AddDense(size_t layer, const Matrix& delta);
+
+  /// Recall at a single layer: W_layer * key.
+  Vec LayerRecall(size_t layer, const Vec& key) const;
+
+  /// Pooled recall: Σ_l W_l * keys[l]. keys.size() must equal num_layers().
+  Vec Recall(const std::vector<Vec>& keys) const;
+
+  /// Pooled recall where weight changes relative to `base` are scaled by
+  /// `delta_scale`: Σ_l (B_l + delta_scale * (W_l - B_l)) * keys[l].
+  /// Used to model unconsolidated (edited) knowledge participating weakly in
+  /// multi-hop composition. `base` must have matching shapes.
+  Vec RecallBlended(const std::vector<Vec>& keys, const WeightSnapshot& base,
+                    double delta_scale) const;
+
+  const Matrix& layer(size_t l) const { return layers_[l]; }
+  Matrix& mutable_layer(size_t l) { return layers_[l]; }
+
+  WeightSnapshot Snapshot() const { return layers_; }
+  void Restore(const WeightSnapshot& snapshot) { layers_ = snapshot; }
+
+  /// Total stored parameter count (d*d*L) — used by the cost model.
+  size_t ParameterCount() const { return layers_.size() * dim_ * dim_; }
+
+ private:
+  size_t dim_;
+  std::vector<Matrix> layers_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_MODEL_ASSOC_MEMORY_H_

@@ -1,0 +1,73 @@
+#include "model/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace oneedit {
+namespace {
+
+constexpr char kMagic[4] = {'O', 'E', 'W', 'T'};
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Status SaveCheckpoint(const LanguageModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot write checkpoint at " + path);
+
+  const AssocMemory& memory = model.memory();
+  const uint32_t num_layers = static_cast<uint32_t>(memory.num_layers());
+  const uint32_t dim = static_cast<uint32_t>(memory.dim());
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  out.write(reinterpret_cast<const char*>(&num_layers), sizeof(num_layers));
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  for (uint32_t l = 0; l < num_layers; ++l) {
+    const auto& data = memory.layer(l).data();
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(double)));
+  }
+  if (!out.good()) return Status::IoError("checkpoint write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadCheckpoint(const std::string& path, LanguageModel* model) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot read checkpoint at " + path);
+
+  char magic[4];
+  uint32_t version = 0, num_layers = 0, dim = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&num_layers), sizeof(num_layers));
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a OneEdit checkpoint: " + path);
+  }
+  if (version != kVersion) {
+    return Status::Corruption("unsupported checkpoint version " +
+                              std::to_string(version));
+  }
+  AssocMemory& memory = model->memory();
+  if (num_layers != memory.num_layers() || dim != memory.dim()) {
+    return Status::InvalidArgument(
+        "checkpoint shape (" + std::to_string(num_layers) + "x" +
+        std::to_string(dim) + ") does not match model (" +
+        std::to_string(memory.num_layers()) + "x" +
+        std::to_string(memory.dim()) + ")");
+  }
+  for (uint32_t l = 0; l < num_layers; ++l) {
+    auto& data = memory.mutable_layer(l).mutable_data();
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(double)));
+    if (!in.good()) {
+      return Status::Corruption("checkpoint truncated at layer " +
+                                std::to_string(l));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace oneedit

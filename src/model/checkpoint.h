@@ -1,0 +1,27 @@
+#ifndef ONEEDIT_MODEL_CHECKPOINT_H_
+#define ONEEDIT_MODEL_CHECKPOINT_H_
+
+#include <string>
+
+#include "model/language_model.h"
+#include "util/status.h"
+
+namespace oneedit {
+
+/// Binary checkpointing for the simulated model's weights.
+///
+/// Format: magic "OEWT", version, num_layers, dim, then layer matrices as
+/// little-endian doubles. Loading validates the shape against the target
+/// model and fails with Corruption/InvalidArgument rather than loading a
+/// mismatched file. Pretraining a large world takes ~100x longer than
+/// loading a checkpoint, so experiment drivers can persist the pristine
+/// weights once and reload across processes.
+Status SaveCheckpoint(const LanguageModel& model, const std::string& path);
+
+/// Restores weights saved by SaveCheckpoint into `model` (which must have
+/// been built with the same dim / num_layers).
+Status LoadCheckpoint(const std::string& path, LanguageModel* model);
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_MODEL_CHECKPOINT_H_

@@ -1,0 +1,70 @@
+#include "model/embedding.h"
+
+#include "util/rng.h"
+
+namespace oneedit {
+
+EmbeddingTable::EmbeddingTable(size_t dim, uint64_t seed, double alias_spread,
+                               const Vocab& vocab)
+    : dim_(dim), seed_(seed), alias_spread_(alias_spread), vocab_(vocab) {}
+
+Vec EmbeddingTable::SampleUnit(uint64_t stream_seed) const {
+  Rng rng(stream_seed);
+  Vec v(dim_);
+  for (double& x : v) x = rng.NextGaussian();
+  return Normalized(v);
+}
+
+const Vec& EmbeddingTable::Entity(const std::string& name) const {
+  auto it = entity_cache_.find(name);
+  if (it != entity_cache_.end()) return it->second;
+
+  Vec embedding;
+  auto alias_it = vocab_.alias_of.find(name);
+  if (alias_it != vocab_.alias_of.end()) {
+    // Alias: canonical embedding plus a deterministic offset.
+    const Vec& canon = Entity(alias_it->second);
+    const Vec offset =
+        SampleUnit(seed_ ^ Rng::HashString("alias:" + name));
+    embedding = canon;
+    Axpy(alias_spread_, offset, &embedding);
+    embedding = Normalized(embedding);
+  } else {
+    embedding = SampleUnit(seed_ ^ Rng::HashString("ent:" + name));
+  }
+  return entity_cache_.emplace(name, std::move(embedding)).first->second;
+}
+
+const Vec& EmbeddingTable::RelationMask(size_t layer,
+                                        const std::string& relation) const {
+  const std::string cache_key = std::to_string(layer) + "|" + relation;
+  auto it = mask_cache_.find(cache_key);
+  if (it != mask_cache_.end()) return it->second;
+
+  Rng rng(seed_ ^ Rng::HashString("rel:" + cache_key));
+  Vec mask(dim_);
+  for (double& x : mask) x = rng.NextGaussian();
+  return mask_cache_.emplace(cache_key, std::move(mask)).first->second;
+}
+
+Vec EmbeddingTable::Key(size_t layer, const std::string& subject,
+                        const std::string& relation) const {
+  const Vec& e = Entity(subject);
+  const Vec& mask = RelationMask(layer, relation);
+  Vec key(dim_);
+  for (size_t i = 0; i < dim_; ++i) key[i] = e[i] * mask[i];
+  return Normalized(key);
+}
+
+Vec EmbeddingTable::PerturbKey(const Vec& key, double radius,
+                               uint64_t noise_seed, size_t layer) const {
+  if (radius == 0.0) return key;
+  const Vec direction =
+      SampleUnit(noise_seed ^ Rng::HashString("noise") ^
+                 (0x9E3779B97F4A7C15ULL * (layer + 1)));
+  Vec out = key;
+  Axpy(radius, direction, &out);
+  return Normalized(out);
+}
+
+}  // namespace oneedit

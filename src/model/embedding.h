@@ -1,0 +1,56 @@
+#ifndef ONEEDIT_MODEL_EMBEDDING_H_
+#define ONEEDIT_MODEL_EMBEDDING_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "model/vocab.h"
+#include "util/math.h"
+
+namespace oneedit {
+
+/// Deterministic embedding table for the simulated model.
+///
+/// Every entity and relation receives a fixed unit vector derived from
+/// (seed, name) alone, so two models built with the same seed and vocabulary
+/// are bit-identical. Alias entities embed near their canonical entity
+/// (offset radius = alias_spread), which is what gives Sub-Replace probes
+/// their partial-generalization behaviour.
+class EmbeddingTable {
+ public:
+  EmbeddingTable(size_t dim, uint64_t seed, double alias_spread,
+                 const Vocab& vocab);
+
+  size_t dim() const { return dim_; }
+
+  /// Unit embedding of an entity (alias-aware).
+  const Vec& Entity(const std::string& name) const;
+
+  /// Per-layer relation mask vector used to form keys (entries ~ N(0,1)).
+  const Vec& RelationMask(size_t layer, const std::string& relation) const;
+
+  /// The model's key for (subject, relation) at `layer`:
+  ///   normalize(e_subject ⊙ mask(layer, relation)).
+  Vec Key(size_t layer, const std::string& subject,
+          const std::string& relation) const;
+
+  /// `key` nudged by `radius` along a deterministic direction derived from
+  /// (noise_seed, layer); re-normalized. radius = 0 returns `key` unchanged.
+  Vec PerturbKey(const Vec& key, double radius, uint64_t noise_seed,
+                 size_t layer) const;
+
+ private:
+  Vec SampleUnit(uint64_t stream_seed) const;
+
+  size_t dim_;
+  uint64_t seed_;
+  double alias_spread_;
+  const Vocab& vocab_;
+  mutable std::unordered_map<std::string, Vec> entity_cache_;
+  mutable std::unordered_map<std::string, Vec> mask_cache_;  // "layer|rel"
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_MODEL_EMBEDDING_H_

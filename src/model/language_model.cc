@@ -1,0 +1,247 @@
+#include "model/language_model.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace oneedit {
+
+LanguageModel::LanguageModel(const ModelConfig& config, Vocab vocab)
+    : config_(config),
+      vocab_(std::make_unique<Vocab>(std::move(vocab))),
+      embeddings_(std::make_unique<EmbeddingTable>(
+          config.dim, config.seed, config.alias_spread, *vocab_)),
+      memory_(std::make_unique<AssocMemory>(config.num_layers, config.dim)) {}
+
+void LanguageModel::Pretrain(const std::vector<NamedTriple>& facts) {
+  const size_t num_layers = config_.num_layers;
+  const int paraphrases = std::max(1, config_.pretrain_paraphrases);
+  // Per-layer, per-paraphrase write weight so pooled recall at the center
+  // key returns ~pretrain_strength * value.
+  const double alpha =
+      config_.pretrain_strength / (static_cast<double>(num_layers) * paraphrases);
+
+  // Canonical entity -> its alias surface forms (the corpus mentions facts
+  // by alias too, so alias keys get their own storage).
+  std::unordered_map<std::string, std::vector<std::string>> aliases_of;
+  for (const auto& [alias, canonical] : vocab_->alias_of) {
+    aliases_of[canonical].push_back(alias);
+  }
+  for (auto& [canonical, aliases] : aliases_of) {
+    std::sort(aliases.begin(), aliases.end());
+  }
+
+  std::unordered_set<std::string> occupied;  // "subject|relation"
+  for (const NamedTriple& fact : facts) {
+    occupied.insert(fact.subject + "|" + fact.relation);
+    const Vec& value = embeddings_->Entity(fact.object);
+    const uint64_t fact_seed =
+        config_.seed ^
+        Rng::HashString("fact:" + fact.subject + "|" + fact.relation + "|" +
+                        fact.object);
+    for (size_t layer = 0; layer < num_layers; ++layer) {
+      const Vec center = embeddings_->Key(layer, fact.subject, fact.relation);
+      for (int p = 0; p < paraphrases; ++p) {
+        // p == 0 stores at the exact center; others spread the basin.
+        const double radius = p == 0 ? 0.0 : config_.paraphrase_spread;
+        const Vec key = embeddings_->PerturbKey(
+            center, radius, fact_seed + static_cast<uint64_t>(p), layer);
+        memory_->AddRankOne(layer, value, key, alpha);
+      }
+      // Alias surface forms of the subject get their own (weaker) storage.
+      auto alias_it = aliases_of.find(fact.subject);
+      if (alias_it != aliases_of.end() && config_.alias_basin > 0.0) {
+        for (const std::string& alias : alias_it->second) {
+          const Vec alias_key =
+              embeddings_->Key(layer, alias, fact.relation);
+          memory_->AddRankOne(
+              layer, value, alias_key,
+              config_.alias_basin * config_.pretrain_strength /
+                  static_cast<double>(num_layers));
+        }
+      }
+    }
+  }
+
+  // Distractor ("hallucination floor") associations in empty slots: a query
+  // the model was never trained on still decodes to some confident-looking
+  // wrong answer part of the time. Alias slots are eligible too (their true
+  // fact then competes with the distractor, as in real models).
+  if (config_.junk_strength > 0.0 && !vocab_->entities.empty()) {
+    std::vector<std::string> junk_subjects = vocab_->entities;
+    for (const auto& [alias, canonical] : vocab_->alias_of) {
+      junk_subjects.push_back(alias);
+    }
+    std::sort(junk_subjects.begin(), junk_subjects.end());
+    for (const VocabRelation& rel : vocab_->relations) {
+      for (const std::string& entity : junk_subjects) {
+        if (occupied.count(entity + "|" + rel.name) > 0) continue;
+        Rng slot_rng(config_.seed ^
+                     Rng::HashString("junk:" + entity + "|" + rel.name));
+        if (!slot_rng.NextBool(config_.junk_fraction)) continue;
+        const std::string& distractor =
+            vocab_->entities[slot_rng.NextBelow(vocab_->entities.size())];
+        const Vec& value = embeddings_->Entity(distractor);
+        const double strength =
+            slot_rng.NextUniform(0.0, 2.0 * config_.junk_strength);
+        for (size_t layer = 0; layer < num_layers; ++layer) {
+          const Vec key = embeddings_->Key(layer, entity, rel.name);
+          memory_->AddRankOne(layer, value, key,
+                              strength / static_cast<double>(num_layers));
+        }
+      }
+    }
+  }
+  consolidated_ = memory_->Snapshot();
+  pretrained_ = true;
+}
+
+Decode LanguageModel::DecodeVector(const Vec& pooled) const {
+  Decode out;
+  double best = -1e300;
+  double second = -1e300;
+  for (const std::string& candidate : vocab_->entities) {
+    const double score = Dot(pooled, embeddings_->Entity(candidate));
+    if (score > best) {
+      second = best;
+      best = score;
+      out.entity = candidate;
+    } else if (score > second) {
+      second = score;
+    }
+  }
+  out.score = best;
+  out.margin = vocab_->entities.size() > 1 ? best - second : best;
+  return out;
+}
+
+Decode LanguageModel::QueryInternal(const std::string& subject,
+                                    const std::string& relation,
+                                    const QueryOptions& options,
+                                    bool attenuate_unconsolidated) const {
+  std::vector<Vec> keys;
+  keys.reserve(config_.num_layers);
+  for (size_t layer = 0; layer < config_.num_layers; ++layer) {
+    const Vec center = embeddings_->Key(layer, subject, relation);
+    keys.push_back(embeddings_->PerturbKey(center, options.key_noise,
+                                           options.probe_seed, layer));
+  }
+
+  if (options.use_adaptors) {
+    for (const auto& adaptor : adaptors_) {
+      std::string answer;
+      if (adaptor->TryAnswer(keys[0], &answer)) {
+        Decode out;
+        out.entity = vocab_->Canonical(answer);
+        out.score = 1.0;
+        out.margin = 1.0;
+        out.intercepted = true;
+        return out;
+      }
+    }
+  }
+
+  const Vec pooled =
+      attenuate_unconsolidated && pretrained_
+          ? memory_->RecallBlended(keys, consolidated_,
+                                   config_.hop_edit_attenuation)
+          : memory_->Recall(keys);
+  return DecodeVector(pooled);
+}
+
+Decode LanguageModel::Query(const std::string& subject,
+                            const std::string& relation,
+                            const QueryOptions& options) const {
+  return QueryInternal(subject, relation, options,
+                       /*attenuate_unconsolidated=*/false);
+}
+
+Decode LanguageModel::QueryComposed(const std::string& subject,
+                                    const std::string& r1,
+                                    const std::string& r2,
+                                    uint64_t probe_seed) const {
+  // Multi-hop composition reads the weights through the consolidated
+  // pathway: post-pretraining deltas (edits) participate only at
+  // hop_edit_attenuation strength (Cheng et al. 2024's multi-hop failure).
+  QueryOptions hop1_options;
+  hop1_options.key_noise = config_.hop_noise;
+  hop1_options.probe_seed = probe_seed ^ Rng::HashString("hop1");
+  const Decode hop1 = QueryInternal(subject, r1, hop1_options,
+                                    /*attenuate_unconsolidated=*/true);
+  if (!hop1.intercepted && hop1.margin < config_.compose_margin) {
+    // The model cannot confidently resolve the inner entity; the chain
+    // breaks. Surface the (likely wrong) first-hop decode with zero margin.
+    Decode failed = hop1;
+    failed.margin = 0.0;
+    failed.score = 0.0;
+    return failed;
+  }
+
+  QueryOptions hop2_options;
+  hop2_options.key_noise = config_.hop_noise * 0.5;
+  hop2_options.probe_seed = probe_seed ^ Rng::HashString("hop2");
+  Decode hop2 = QueryInternal(hop1.entity, r2, hop2_options,
+                              /*attenuate_unconsolidated=*/true);
+  if (!hop2.intercepted) {
+    hop2.margin = std::min(hop2.margin, hop1.margin);
+  }
+  return hop2;
+}
+
+std::vector<Decode> LanguageModel::QueryTopK(const std::string& subject,
+                                             const std::string& relation,
+                                             size_t k,
+                                             const QueryOptions& options) const {
+  std::vector<Vec> keys;
+  keys.reserve(config_.num_layers);
+  for (size_t layer = 0; layer < config_.num_layers; ++layer) {
+    const Vec center = embeddings_->Key(layer, subject, relation);
+    keys.push_back(embeddings_->PerturbKey(center, options.key_noise,
+                                           options.probe_seed, layer));
+  }
+  const Vec pooled = memory_->Recall(keys);
+
+  std::vector<Decode> scored;
+  scored.reserve(vocab_->entities.size());
+  for (const std::string& candidate : vocab_->entities) {
+    Decode decode;
+    decode.entity = candidate;
+    decode.score = Dot(pooled, embeddings_->Entity(candidate));
+    scored.push_back(std::move(decode));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Decode& a, const Decode& b) { return a.score > b.score; });
+  if (scored.size() > k) scored.resize(std::max<size_t>(k, 1));
+  for (size_t i = 0; i < scored.size(); ++i) {
+    scored[i].margin =
+        i + 1 < scored.size() ? scored[i].score - scored[i + 1].score : 0.0;
+  }
+  return scored;
+}
+
+std::vector<Vec> LanguageModel::CenterKeys(const std::string& subject,
+                                           const std::string& relation) const {
+  std::vector<Vec> keys;
+  keys.reserve(config_.num_layers);
+  for (size_t layer = 0; layer < config_.num_layers; ++layer) {
+    keys.push_back(embeddings_->Key(layer, subject, relation));
+  }
+  return keys;
+}
+
+void LanguageModel::AddAdaptor(std::shared_ptr<QueryAdaptor> adaptor) {
+  adaptors_.push_back(std::move(adaptor));
+}
+
+void LanguageModel::RemoveAdaptor(const QueryAdaptor* adaptor) {
+  adaptors_.erase(
+      std::remove_if(adaptors_.begin(), adaptors_.end(),
+                     [adaptor](const std::shared_ptr<QueryAdaptor>& a) {
+                       return a.get() == adaptor;
+                     }),
+      adaptors_.end());
+}
+
+}  // namespace oneedit

@@ -1,0 +1,146 @@
+#ifndef ONEEDIT_MODEL_LANGUAGE_MODEL_H_
+#define ONEEDIT_MODEL_LANGUAGE_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kg/named_triple.h"
+#include "model/assoc_memory.h"
+#include "model/embedding.h"
+#include "model/model_config.h"
+#include "model/vocab.h"
+#include "util/math.h"
+
+namespace oneedit {
+
+/// Result of decoding a model query against the candidate entity set.
+struct Decode {
+  std::string entity;        ///< canonical name of the argmax candidate
+  double score = 0.0;        ///< top-1 dot-product score
+  double margin = 0.0;       ///< top-1 minus top-2 score
+  bool intercepted = false;  ///< answered by a query adaptor (e.g. GRACE)
+};
+
+/// Per-query controls. `probe_seed` pins the key perturbation so a probe is
+/// identical before and after an edit (locality compares the two decodes).
+struct QueryOptions {
+  double key_noise = 0.0;
+  uint64_t probe_seed = 0;
+  bool use_adaptors = true;
+};
+
+/// Hook consulted before the weight memory on every query. GRACE-style
+/// adaptor methods implement this to intercept queries near their stored
+/// edit keys.
+class QueryAdaptor {
+ public:
+  virtual ~QueryAdaptor() = default;
+
+  /// If the adaptor covers `layer0_key`, fills *answer with the canonical
+  /// entity to output and returns true.
+  virtual bool TryAnswer(const Vec& layer0_key, std::string* answer) const = 0;
+};
+
+/// The simulated LLM: deterministic embeddings + a layered linear
+/// associative memory + a decode head over the vocabulary, with an adaptor
+/// hook for memory-based editing methods.
+///
+/// See DESIGN.md §1 for why this substrate stands in for GPT-J/Qwen2 and
+/// which phenomena it reproduces.
+class LanguageModel {
+ public:
+  LanguageModel(const ModelConfig& config, Vocab vocab);
+
+  // Movable, not copyable (adaptor registrations hold references).
+  LanguageModel(const LanguageModel&) = delete;
+  LanguageModel& operator=(const LanguageModel&) = delete;
+  LanguageModel(LanguageModel&&) = default;
+  LanguageModel& operator=(LanguageModel&&) = default;
+
+  const ModelConfig& config() const { return config_; }
+  const Vocab& vocab() const { return *vocab_; }
+  const EmbeddingTable& embeddings() const { return *embeddings_; }
+  AssocMemory& memory() { return *memory_; }
+  const AssocMemory& memory() const { return *memory_; }
+
+  // --- Pretraining ----------------------------------------------------------
+
+  /// Bakes `facts` into the weight memory: each fact is stored under
+  /// `pretrain_paraphrases` spread keys per layer (wide basin), then
+  /// distractor associations are written into a `junk_fraction` of the empty
+  /// (entity, relation) slots. Call once.
+  void Pretrain(const std::vector<NamedTriple>& facts);
+
+  bool pretrained() const { return pretrained_; }
+
+  // --- Querying -------------------------------------------------------------
+
+  /// "What is the <relation> of <subject>?" Decodes over canonical entities.
+  Decode Query(const std::string& subject, const std::string& relation,
+               const QueryOptions& options = {}) const;
+
+  /// Two-step compositional query: "What is the <r2> of the <r1> of
+  /// <subject>?" The first hop uses `hop_noise` and must clear
+  /// `compose_margin`, else the composition is marked failed (margin 0).
+  Decode QueryComposed(const std::string& subject, const std::string& r1,
+                       const std::string& r2, uint64_t probe_seed) const;
+
+  /// The k best-scoring candidates for a slot, descending by score (the
+  /// "beam" view of a decode). k is clamped to the vocabulary size.
+  std::vector<Decode> QueryTopK(const std::string& subject,
+                                const std::string& relation, size_t k,
+                                const QueryOptions& options = {}) const;
+
+  // --- Editing surface (used by src/editing) ---------------------------------
+
+  /// Exact center key for (subject, relation) at each layer.
+  std::vector<Vec> CenterKeys(const std::string& subject,
+                              const std::string& relation) const;
+
+  /// Pooled recall u = Σ_l W_l k_l for the given per-layer keys.
+  Vec Recall(const std::vector<Vec>& keys) const { return memory_->Recall(keys); }
+
+  /// The value vector an edit should install for `object`.
+  const Vec& ValueFor(const std::string& object) const {
+    return embeddings_->Entity(object);
+  }
+
+  // --- Adaptors ---------------------------------------------------------------
+
+  void AddAdaptor(std::shared_ptr<QueryAdaptor> adaptor);
+  void RemoveAdaptor(const QueryAdaptor* adaptor);
+  size_t num_adaptors() const { return adaptors_.size(); }
+
+  // --- Reset support for experiment harnesses ---------------------------------
+
+  WeightSnapshot SnapshotWeights() const { return memory_->Snapshot(); }
+  void RestoreWeights(const WeightSnapshot& snapshot) {
+    memory_->Restore(snapshot);
+  }
+
+ private:
+  Decode DecodeVector(const Vec& pooled) const;
+
+  /// Query with optional attenuation of unconsolidated (post-pretraining)
+  /// weight changes — the multi-hop reasoning pathway.
+  Decode QueryInternal(const std::string& subject, const std::string& relation,
+                       const QueryOptions& options,
+                       bool attenuate_unconsolidated) const;
+
+  ModelConfig config_;
+  // The vocab lives on the heap so EmbeddingTable's reference to it survives
+  // moves of the LanguageModel.
+  std::unique_ptr<Vocab> vocab_;
+  std::unique_ptr<EmbeddingTable> embeddings_;
+  std::unique_ptr<AssocMemory> memory_;
+  std::vector<std::shared_ptr<QueryAdaptor>> adaptors_;
+  /// Weights as of the end of Pretrain(); deltas beyond this are
+  /// "unconsolidated" and attenuated in multi-hop composition.
+  WeightSnapshot consolidated_;
+  bool pretrained_ = false;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_MODEL_LANGUAGE_MODEL_H_

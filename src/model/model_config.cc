@@ -1,0 +1,35 @@
+#include "model/model_config.h"
+
+namespace oneedit {
+
+ModelConfig GptJSimConfig() {
+  ModelConfig cfg;
+  cfg.name = "GPT-J-6B(sim)";
+  cfg.dim = 96;
+  cfg.num_layers = 6;
+  cfg.seed = 0x6B6A7074;  // "gptj"
+  cfg.params_million = 6053;
+  return cfg;
+}
+
+ModelConfig Qwen2SimConfig() {
+  ModelConfig cfg;
+  cfg.name = "Qwen2-7B(sim)";
+  cfg.dim = 112;
+  cfg.num_layers = 7;
+  cfg.seed = 0x7177656E;  // "qwen"
+  cfg.params_million = 7616;
+  return cfg;
+}
+
+ModelConfig Gpt2XlSimConfig() {
+  ModelConfig cfg;
+  cfg.name = "GPT-2-XL(sim)";
+  cfg.dim = 64;
+  cfg.num_layers = 4;
+  cfg.seed = 0x67707432;  // "gpt2"
+  cfg.params_million = 1558;
+  return cfg;
+}
+
+}  // namespace oneedit

@@ -1,0 +1,93 @@
+#ifndef ONEEDIT_MODEL_MODEL_CONFIG_H_
+#define ONEEDIT_MODEL_MODEL_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace oneedit {
+
+/// Configuration of a simulated "LLM" (a layered linear associative memory).
+///
+/// The defaults below are calibrated so the editing methods in src/editing
+/// reproduce the qualitative profile the paper measures (see DESIGN.md §1).
+/// Three presets stand in for the paper's base models; dimensions only set
+/// capacity/noise scale.
+struct ModelConfig {
+  /// Display name, e.g. "GPT-J-6B(sim)".
+  std::string name = "sim";
+
+  /// Embedding dimension d. Keys and values live in R^d.
+  size_t dim = 96;
+
+  /// Number of associative memory layers (stand-in for MLP layers).
+  size_t num_layers = 6;
+
+  /// Master seed; all embeddings / pretraining noise derive from it.
+  uint64_t seed = 0xC0FFEE;
+
+  /// Total association strength a pretrained fact receives at its center key.
+  double pretrain_strength = 1.0;
+
+  /// Number of paraphrase keys each pretrained fact is stored under
+  /// ("wide basin": pretrained knowledge generalizes; edited knowledge,
+  /// written under a single key, does not).
+  int pretrain_paraphrases = 3;
+
+  /// Key perturbation radius for the paraphrase keys.
+  double paraphrase_spread = 0.25;
+
+  /// Key noise applied to reliability / locality probes (mild rephrasing).
+  double reliability_noise = 0.08;
+
+  /// Key noise applied to the first hop of a compositional (one-hop) probe —
+  /// the "subject appears in an unfamiliar context" effect.
+  double hop_noise = 0.45;
+
+  /// Offset between an alias entity's embedding and its canonical entity
+  /// (Sub-Replace probes query through aliases). 1.1 puts alias keys at
+  /// cosine ~0.67 from canonical keys: close enough for pretrained knowledge
+  /// (stored under alias keys too, see alias_basin) to respond, far enough
+  /// that a single-key edit only partially covers them.
+  double alias_spread = 1.1;
+
+  /// Relative strength with which pretraining also stores each fact under
+  /// its subject's alias keys (the corpus mentions entities by many surface
+  /// forms).
+  double alias_basin = 0.6;
+
+  /// How strongly *unconsolidated* knowledge (weight changes after
+  /// pretraining, i.e. edits) participates in multi-hop composition.
+  /// Editing literature finds edited facts fail to drive multi-hop
+  /// reasoning (Cheng et al. 2024); 1.0 would make edits compose as well as
+  /// pretrained knowledge.
+  double hop_edit_attenuation = 0.55;
+
+  /// Minimum top1-minus-top2 cosine margin for a confident decode.
+  double decode_margin = 0.04;
+
+  /// First-hop margin required before the model chains to the second hop.
+  double compose_margin = 0.10;
+
+  /// Maximum strength of distractor associations baked into empty (s, r)
+  /// slots at pretraining time (hallucination floor). Each junk slot draws
+  /// its strength uniformly from [0, 2 * junk_strength].
+  double junk_strength = 0.45;
+
+  /// Fraction of empty slots that receive a distractor association.
+  double junk_fraction = 0.5;
+
+  /// Nominal parameter count in millions — drives the cost model (Table 3).
+  size_t params_million = 6053;
+};
+
+/// Preset standing in for GPT-J-6B.
+ModelConfig GptJSimConfig();
+/// Preset standing in for Qwen2-7B.
+ModelConfig Qwen2SimConfig();
+/// Preset standing in for GPT-2-XL (1.5B), used by the Table 3 bench.
+ModelConfig Gpt2XlSimConfig();
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_MODEL_MODEL_CONFIG_H_

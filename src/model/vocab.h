@@ -1,0 +1,52 @@
+#ifndef ONEEDIT_MODEL_VOCAB_H_
+#define ONEEDIT_MODEL_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace oneedit {
+
+/// A relation the simulated model "knows linguistically", with its inverse
+/// surface form if one exists ("wife" <-> "husband"). The inverse link is the
+/// substrate for bidirectional generalization leakage: gradient-based editing
+/// methods partially move the reverse association when writing the forward
+/// one (see LanguageModel and editing/common).
+struct VocabRelation {
+  std::string name;
+  std::string inverse;  ///< empty if the relation is not reversible
+};
+
+/// The closed world the simulated model is pretrained over: the decode
+/// candidate set (canonical entities), known aliases, and the relation
+/// vocabulary. Built by the dataset generators in src/data from the same
+/// domain spec as the knowledge graph, mirroring how an LLM's latent
+/// vocabulary and a curated KG describe the same world.
+struct Vocab {
+  /// Canonical entities — the decode candidate set.
+  std::vector<std::string> entities;
+
+  /// Alias surface form -> canonical entity name.
+  std::unordered_map<std::string, std::string> alias_of;
+
+  std::vector<VocabRelation> relations;
+
+  /// Convenience: canonical name for `name` (identity if not an alias).
+  const std::string& Canonical(const std::string& name) const {
+    auto it = alias_of.find(name);
+    return it == alias_of.end() ? name : it->second;
+  }
+
+  /// Inverse relation name for `relation`, or "" if not reversible.
+  std::string InverseOf(const std::string& relation) const {
+    for (const VocabRelation& r : relations) {
+      if (r.name == relation) return r.inverse;
+      if (!r.inverse.empty() && r.inverse == relation) return r.name;
+    }
+    return "";
+  }
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_MODEL_VOCAB_H_

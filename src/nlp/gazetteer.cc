@@ -1,0 +1,41 @@
+#include "nlp/gazetteer.h"
+
+#include <algorithm>
+
+#include "nlp/tokenizer.h"
+#include "util/string_util.h"
+
+namespace oneedit {
+
+void Gazetteer::AddPhrase(const std::string& phrase,
+                          const std::string& canonical) {
+  const std::vector<std::string> tokens = Tokenize(phrase);
+  if (tokens.empty()) return;
+  phrases_[StrJoin(tokens, " ")] = canonical;
+  max_phrase_tokens_ = std::max(max_phrase_tokens_, tokens.size());
+}
+
+std::vector<PhraseMatch> Gazetteer::FindMatches(
+    const std::vector<std::string>& tokens) const {
+  std::vector<PhraseMatch> matches;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    bool matched = false;
+    const size_t longest = std::min(max_phrase_tokens_, tokens.size() - i);
+    for (size_t len = longest; len >= 1; --len) {
+      std::string candidate = tokens[i];
+      for (size_t k = 1; k < len; ++k) candidate += " " + tokens[i + k];
+      auto it = phrases_.find(candidate);
+      if (it != phrases_.end()) {
+        matches.push_back(PhraseMatch{i, i + len, it->second});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) ++i;
+  }
+  return matches;
+}
+
+}  // namespace oneedit

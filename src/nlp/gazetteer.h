@@ -1,0 +1,45 @@
+#ifndef ONEEDIT_NLP_GAZETTEER_H_
+#define ONEEDIT_NLP_GAZETTEER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace oneedit {
+
+/// A phrase match found in a token sequence.
+struct PhraseMatch {
+  size_t begin = 0;      ///< first token index
+  size_t end = 0;        ///< one past the last token index
+  std::string canonical; ///< canonical name the phrase maps to
+};
+
+/// Longest-match phrase dictionary over tokenized text.
+///
+/// The triple extractor uses two gazetteers: one for entity surface forms
+/// (canonical names + aliases) and one for relation surface forms
+/// ("first lady" -> "first_lady").
+class Gazetteer {
+ public:
+  Gazetteer() = default;
+
+  /// Registers `phrase` (tokenized internally) as a surface form of
+  /// `canonical`. Later registrations of the same phrase win.
+  void AddPhrase(const std::string& phrase, const std::string& canonical);
+
+  size_t size() const { return phrases_.size(); }
+
+  /// Non-overlapping matches, scanning left to right, preferring the longest
+  /// phrase at each position.
+  std::vector<PhraseMatch> FindMatches(
+      const std::vector<std::string>& tokens) const;
+
+ private:
+  // Tokenized phrase joined by ' ' -> canonical.
+  std::unordered_map<std::string, std::string> phrases_;
+  size_t max_phrase_tokens_ = 0;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_NLP_GAZETTEER_H_

@@ -1,0 +1,82 @@
+#include "nlp/intent_classifier.h"
+
+#include <cmath>
+
+#include "nlp/tokenizer.h"
+
+namespace oneedit {
+
+std::string IntentName(Intent intent) {
+  switch (intent) {
+    case Intent::kEdit:
+      return "edit";
+    case Intent::kGenerate:
+      return "generate";
+    case Intent::kErase:
+      return "erase";
+  }
+  return "?";
+}
+
+void IntentClassifier::Train(const std::vector<IntentExample>& examples) {
+  classes_.clear();
+  vocabulary_.clear();
+
+  size_t total_docs = 0;
+  for (const IntentExample& example : examples) {
+    ClassStats& stats = classes_[example.label];
+    stats.documents += 1;
+    ++total_docs;
+    for (const std::string& token : Tokenize(example.text)) {
+      stats.token_counts[token] += 1.0;
+      stats.total_tokens += 1.0;
+      vocabulary_[token] = true;
+    }
+  }
+  const double denominator =
+      static_cast<double>(total_docs) + static_cast<double>(classes_.size());
+  for (auto& [intent, stats] : classes_) {
+    stats.log_prior = std::log((stats.documents + 1.0) / denominator);
+  }
+  trained_ = !classes_.empty();
+}
+
+double IntentClassifier::LogLikelihood(
+    const ClassStats& stats, const std::vector<std::string>& tokens) const {
+  const double vocab = static_cast<double>(vocabulary_.size()) + 1.0;
+  double ll = stats.log_prior;
+  for (const std::string& token : tokens) {
+    auto it = stats.token_counts.find(token);
+    const double count = it == stats.token_counts.end() ? 0.0 : it->second;
+    ll += std::log((count + 1.0) / (stats.total_tokens + vocab));
+  }
+  return ll;
+}
+
+IntentPrediction IntentClassifier::Predict(std::string_view text) const {
+  IntentPrediction out;
+  if (!trained_) return out;
+  const std::vector<std::string> tokens = Tokenize(text);
+
+  // Arg-max posterior with a softmax-style confidence.
+  double best_ll = -1e300;
+  double max_ll = -1e300;
+  std::map<Intent, double> likelihoods;
+  for (const auto& [intent, stats] : classes_) {
+    const double ll = LogLikelihood(stats, tokens);
+    likelihoods[intent] = ll;
+    if (ll > best_ll) {
+      best_ll = ll;
+      out.intent = intent;
+    }
+    if (ll > max_ll) max_ll = ll;
+  }
+  double normalizer = 0.0;
+  for (const auto& [intent, ll] : likelihoods) {
+    normalizer += std::exp(ll - max_ll);
+  }
+  out.confidence = std::exp(best_ll - max_ll) / normalizer;
+  return out;
+}
+
+}  // namespace oneedit

@@ -1,0 +1,72 @@
+#ifndef ONEEDIT_NLP_INTENT_CLASSIFIER_H_
+#define ONEEDIT_NLP_INTENT_CLASSIFIER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace oneedit {
+
+/// User intent recognized by the Interpreter (paper Eq. 4, extended with
+/// erasure — the paper's abstract covers "add, modify, or erase").
+enum class Intent {
+  kEdit,      ///< change knowledge -> extract a triple, edit stores
+  kGenerate,  ///< ordinary query/chat -> forward to the LLM
+  kErase,     ///< retract knowledge -> extract a triple, remove/suppress
+};
+
+std::string IntentName(Intent intent);
+
+/// A labeled training utterance.
+struct IntentExample {
+  std::string text;
+  Intent label = Intent::kGenerate;
+};
+
+/// Prediction with a calibrated-ish confidence (posterior probability).
+struct IntentPrediction {
+  Intent intent = Intent::kGenerate;
+  double confidence = 0.5;
+};
+
+/// Multinomial naive-Bayes intent classifier over bag-of-words features,
+/// over any number of intent classes.
+///
+/// Stand-in for the paper's instruction-tuned MiniCPM-2B: trained at startup
+/// on synthetically generated edit / erase / chat utterances produced by
+/// nlp/utterance_generator.
+class IntentClassifier {
+ public:
+  IntentClassifier() = default;
+
+  /// Trains from scratch on `examples` (Laplace smoothing alpha = 1).
+  void Train(const std::vector<IntentExample>& examples);
+
+  bool trained() const { return trained_; }
+
+  IntentPrediction Predict(std::string_view text) const;
+
+  size_t vocabulary_size() const { return vocabulary_.size(); }
+  size_t num_classes() const { return classes_.size(); }
+
+ private:
+  struct ClassStats {
+    double log_prior = 0.0;
+    std::unordered_map<std::string, double> token_counts;
+    double total_tokens = 0.0;
+    size_t documents = 0;
+  };
+
+  double LogLikelihood(const ClassStats& stats,
+                       const std::vector<std::string>& tokens) const;
+
+  std::map<Intent, ClassStats> classes_;
+  std::unordered_map<std::string, bool> vocabulary_;
+  bool trained_ = false;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_NLP_INTENT_CLASSIFIER_H_

@@ -1,0 +1,53 @@
+#include "nlp/tokenizer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace oneedit {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::string normalized;
+  normalized.reserve(text.size() + 8);
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (c == '\'' || (uc == 0xE2 && i + 2 < text.size() &&
+                      static_cast<unsigned char>(text[i + 1]) == 0x80 &&
+                      static_cast<unsigned char>(text[i + 2]) == 0x99)) {
+      // Apostrophe (ASCII or U+2019): keep possessive as its own token.
+      if (uc == 0xE2) i += 2;
+      normalized += " '";
+      continue;
+    }
+    if (std::isalnum(uc) || c == '_' || c == '-') {
+      normalized += static_cast<char>(std::tolower(uc));
+    } else if (std::isspace(uc)) {
+      normalized += ' ';
+    } else {
+      // Punctuation becomes its own token.
+      normalized += ' ';
+      normalized += c;
+      normalized += ' ';
+    }
+  }
+  // Merge "' s" into "'s".
+  std::vector<std::string> raw = SplitWhitespace(normalized);
+  std::vector<std::string> tokens;
+  tokens.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == "'" && i + 1 < raw.size() && raw[i + 1] == "s") {
+      tokens.push_back("'s");
+      ++i;
+    } else {
+      tokens.push_back(raw[i]);
+    }
+  }
+  return tokens;
+}
+
+std::string Detokenize(const std::vector<std::string>& tokens) {
+  return StrJoin(tokens, " ");
+}
+
+}  // namespace oneedit

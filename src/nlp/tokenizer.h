@@ -1,0 +1,22 @@
+#ifndef ONEEDIT_NLP_TOKENIZER_H_
+#define ONEEDIT_NLP_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oneedit {
+
+/// Lower-cases, separates punctuation, normalizes possessive "'s" into the
+/// standalone token "'s", and splits on whitespace.
+///
+/// "Change the President of the USA to Biden!" ->
+/// ["change", "the", "president", "of", "the", "usa", "to", "biden", "!"]
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Joins tokens back with single spaces (for logging / tests).
+std::string Detokenize(const std::vector<std::string>& tokens);
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_NLP_TOKENIZER_H_

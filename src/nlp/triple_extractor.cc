@@ -1,0 +1,97 @@
+#include "nlp/triple_extractor.h"
+
+#include "nlp/tokenizer.h"
+
+namespace oneedit {
+
+StatusOr<NamedTriple> TripleExtractor::Extract(std::string_view text) const {
+  const std::vector<std::string> tokens = Tokenize(text);
+  const std::vector<PhraseMatch> relation_matches =
+      relations_.FindMatches(tokens);
+  if (relation_matches.empty()) {
+    return Status::NotFound("no relation phrase in: " + std::string(text));
+  }
+  const std::vector<PhraseMatch> entity_matches = entities_.FindMatches(tokens);
+  if (entity_matches.size() < 2) {
+    return Status::NotFound("need two entity mentions in: " +
+                            std::string(text));
+  }
+
+  // Prefer the relation whose span does not overlap an entity span (entity
+  // names may contain relation words).
+  const PhraseMatch* relation = &relation_matches.front();
+  for (const PhraseMatch& candidate : relation_matches) {
+    bool overlaps = false;
+    for (const PhraseMatch& entity : entity_matches) {
+      if (candidate.begin < entity.end && entity.begin < candidate.end) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) {
+      relation = &candidate;
+      break;
+    }
+  }
+
+  // Pattern "{rel} of <entity>": the trailing entity is the subject.
+  const PhraseMatch* subject = nullptr;
+  if (relation->end < tokens.size() && tokens[relation->end] == "of") {
+    for (const PhraseMatch& entity : entity_matches) {
+      // Allow an article between "of" and the entity ("of the USA").
+      const size_t gap_start = relation->end + 1;
+      if (entity.begin == gap_start ||
+          (entity.begin == gap_start + 1 && (tokens[gap_start] == "the" ||
+                                             tokens[gap_start] == "a" ||
+                                             tokens[gap_start] == "an"))) {
+        subject = &entity;
+        break;
+      }
+    }
+  }
+  if (subject == nullptr) {
+    // Fall back: first entity mention is the subject.
+    subject = &entity_matches.front();
+  }
+
+  // Object: the last entity mention that is not the subject.
+  const PhraseMatch* object = nullptr;
+  for (const PhraseMatch& entity : entity_matches) {
+    if (&entity == subject) continue;
+    object = &entity;
+  }
+  if (object == nullptr) {
+    return Status::NotFound("could not find an object mention in: " +
+                            std::string(text));
+  }
+
+  return NamedTriple{subject->canonical, relation->canonical,
+                     object->canonical};
+}
+
+StatusOr<std::pair<std::string, std::string>> TripleExtractor::ExtractQuery(
+    std::string_view text) const {
+  const std::vector<std::string> tokens = Tokenize(text);
+  const std::vector<PhraseMatch> relation_matches =
+      relations_.FindMatches(tokens);
+  if (relation_matches.empty()) {
+    return Status::NotFound("no relation phrase in question: " +
+                            std::string(text));
+  }
+  const std::vector<PhraseMatch> entity_matches = entities_.FindMatches(tokens);
+  if (entity_matches.empty()) {
+    return Status::NotFound("no entity mention in question: " +
+                            std::string(text));
+  }
+  const PhraseMatch& relation = relation_matches.front();
+  // Prefer the first entity mentioned after the relation ("the governor of
+  // Ashfield"); otherwise the first mention overall ("Ashfield's governor").
+  for (const PhraseMatch& entity : entity_matches) {
+    if (entity.begin >= relation.end) {
+      return std::make_pair(entity.canonical, relation.canonical);
+    }
+  }
+  return std::make_pair(entity_matches.front().canonical, relation.canonical);
+}
+
+}  // namespace oneedit

@@ -1,0 +1,64 @@
+#ifndef ONEEDIT_NLP_TRIPLE_EXTRACTOR_H_
+#define ONEEDIT_NLP_TRIPLE_EXTRACTOR_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "kg/named_triple.h"
+#include "nlp/gazetteer.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+
+/// Slot-filling triple extractor over the edit-command grammar.
+///
+/// The extractor holds two gazetteers — entity surface forms (canonical
+/// names + aliases) and relation surface forms — and parses an edit
+/// utterance into (subject, relation, object):
+///
+///  1. longest-match relation and entity spans are located;
+///  2. if the relation is followed by "of <entity>", that entity is the
+///     subject ("the president of the USA ..."), the remaining entity the
+///     object;
+///  3. otherwise the first entity mention is the subject
+///     ("Biden's wife is Jill");
+///  4. extraction fails with NotFound if a relation or two entities are
+///     missing.
+///
+/// Returned names are canonical (aliases resolved by the entity gazetteer).
+class TripleExtractor {
+ public:
+  TripleExtractor() = default;
+
+  /// Registers an entity surface form. Call once per name/alias.
+  void AddEntity(const std::string& surface, const std::string& canonical) {
+    entities_.AddPhrase(surface, canonical);
+  }
+
+  /// Registers a relation surface form ("first lady" -> "first_lady").
+  void AddRelation(const std::string& surface, const std::string& canonical) {
+    relations_.AddPhrase(surface, canonical);
+  }
+
+  size_t num_entities() const { return entities_.size(); }
+  size_t num_relations() const { return relations_.size(); }
+
+  /// Parses one edit utterance into a canonical triple.
+  StatusOr<NamedTriple> Extract(std::string_view text) const;
+
+  /// Parses a question like "What is the governor of Ashfield?" into the
+  /// queried slot (subject, relation). Requires exactly one relation phrase
+  /// and at least one entity mention; the entity nearest after the relation
+  /// (or the first one) is the subject.
+  StatusOr<std::pair<std::string, std::string>> ExtractQuery(
+      std::string_view text) const;
+
+ private:
+  Gazetteer entities_;
+  Gazetteer relations_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_NLP_TRIPLE_EXTRACTOR_H_

@@ -1,0 +1,152 @@
+#include "nlp/utterance_generator.h"
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace oneedit {
+
+const std::vector<std::string>& EditTemplates() {
+  static const std::vector<std::string>* const kTemplates =
+      new std::vector<std::string>{
+          "Change the {rel} of {subj} to {obj}.",
+          "Update the {rel} of {subj} to {obj}.",
+          "Set the {rel} of {subj} to {obj}.",
+          "The {rel} of {subj} is now {obj}.",
+          "{subj}'s {rel} is now {obj}.",
+          "Please correct the record: the {rel} of {subj} should be {obj}.",
+          "From now on, {subj}'s {rel} is {obj}.",
+          "Please note that the {rel} of {subj} has changed to {obj}.",
+          "Edit: the {rel} of {subj} becomes {obj}.",
+          "Revise {subj}'s {rel} to {obj}.",
+          "Make a correction: {subj}'s {rel} should be {obj}.",
+          "Overwrite the {rel} of {subj} with {obj}.",
+      };
+  return *kTemplates;
+}
+
+const std::vector<std::string>& ChatTemplates() {
+  static const std::vector<std::string>* const kTemplates =
+      new std::vector<std::string>{
+          // Slotted question templates (used by QueryUtterance).
+          "What is the {rel} of {subj}?",
+          "Who is the {rel} of {subj}?",
+          "Can you tell me the {rel} of {subj}?",
+          "Do you know the {rel} of {subj}?",
+          "I was wondering about the {rel} of {subj}.",
+          // Fixed everyday instructions (the Alpaca stand-in).
+          "Tell me about {subj}.",
+          "Give me three tips for staying healthy.",
+          "How do I bake a loaf of sourdough bread?",
+          "Write a short poem about the ocean.",
+          "Summarize the plot of Romeo and Juliet.",
+          "What are the primary colors?",
+          "Explain photosynthesis in simple terms.",
+          "Recommend a good book about world history.",
+          "Translate 'good morning' into French.",
+          "What's a fun fact about octopuses?",
+      };
+  return *kTemplates;
+}
+
+const std::vector<std::string>& EraseTemplates() {
+  static const std::vector<std::string>* const kTemplates =
+      new std::vector<std::string>{
+          "Forget that the {rel} of {subj} is {obj}.",
+          "Delete the record that {subj}'s {rel} is {obj}.",
+          "Remove the fact that the {rel} of {subj} is {obj}.",
+          "The {rel} of {subj} is no longer {obj}.",
+          "Retract the claim that {subj}'s {rel} is {obj}.",
+          "Erase the knowledge that the {rel} of {subj} is {obj}.",
+          "{subj}'s {rel} should not be listed as {obj} anymore.",
+          "Withdraw the statement that the {rel} of {subj} is {obj}.",
+      };
+  return *kTemplates;
+}
+
+namespace {
+
+std::string SurfaceRelation(const std::string& relation) {
+  return StrReplaceAll(relation, "_", " ");
+}
+
+}  // namespace
+
+std::string FillTemplate(const std::string& tpl, const std::string& subject,
+                         const std::string& relation,
+                         const std::string& object) {
+  std::string out = StrReplaceAll(tpl, "{subj}", subject);
+  out = StrReplaceAll(out, "{rel}", SurfaceRelation(relation));
+  out = StrReplaceAll(out, "{obj}", object);
+  return out;
+}
+
+std::string EditUtterance(const NamedTriple& triple, size_t template_index) {
+  const auto& templates = EditTemplates();
+  return FillTemplate(templates[template_index % templates.size()],
+                      triple.subject, triple.relation, triple.object);
+}
+
+std::string EraseUtterance(const NamedTriple& triple, size_t template_index) {
+  const auto& templates = EraseTemplates();
+  return FillTemplate(templates[template_index % templates.size()],
+                      triple.subject, triple.relation, triple.object);
+}
+
+std::string QueryUtterance(const std::string& subject,
+                           const std::string& relation,
+                           size_t template_index) {
+  // Only the first five chat templates are slotted questions.
+  const auto& templates = ChatTemplates();
+  const size_t slotted = 5;
+  return FillTemplate(templates[template_index % slotted], subject, relation,
+                      "");
+}
+
+std::vector<IntentExample> GenerateIntentTrainingData(
+    const UtteranceSpec& spec, size_t per_class, uint64_t seed) {
+  std::vector<IntentExample> out;
+  out.reserve(2 * per_class);
+  Rng rng = Rng::ForStream(seed, "intent-train");
+
+  const auto pick = [&rng](const std::vector<std::string>& pool,
+                           const char* fallback) -> std::string {
+    if (pool.empty()) return fallback;
+    return pool[rng.NextBelow(pool.size())];
+  };
+
+  const auto& edit_templates = EditTemplates();
+  for (size_t i = 0; i < per_class; ++i) {
+    const std::string& tpl =
+        edit_templates[rng.NextBelow(edit_templates.size())];
+    out.push_back(IntentExample{
+        FillTemplate(tpl, pick(spec.subjects, "Alice"),
+                     pick(spec.relations, "title"),
+                     pick(spec.objects, "Director")),
+        Intent::kEdit});
+  }
+
+  const auto& chat_templates = ChatTemplates();
+  for (size_t i = 0; i < per_class; ++i) {
+    const std::string& tpl =
+        chat_templates[rng.NextBelow(chat_templates.size())];
+    out.push_back(IntentExample{
+        FillTemplate(tpl, pick(spec.subjects, "Alice"),
+                     pick(spec.relations, "title"),
+                     pick(spec.objects, "Director")),
+        Intent::kGenerate});
+  }
+
+  const auto& erase_templates = EraseTemplates();
+  for (size_t i = 0; i < per_class; ++i) {
+    const std::string& tpl =
+        erase_templates[rng.NextBelow(erase_templates.size())];
+    out.push_back(IntentExample{
+        FillTemplate(tpl, pick(spec.subjects, "Alice"),
+                     pick(spec.relations, "title"),
+                     pick(spec.objects, "Director")),
+        Intent::kErase});
+  }
+  return out;
+}
+
+}  // namespace oneedit

@@ -1,0 +1,56 @@
+#ifndef ONEEDIT_NLP_UTTERANCE_GENERATOR_H_
+#define ONEEDIT_NLP_UTTERANCE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/named_triple.h"
+#include "nlp/intent_classifier.h"
+
+namespace oneedit {
+
+/// Edit-intent templates with {subj} / {rel} / {obj} slots — our stand-in
+/// for the paper's "ten manual examples expanded with GPT-4" (§3.3).
+const std::vector<std::string>& EditTemplates();
+
+/// Generate-intent (chat / question) templates — the Alpaca stand-in. Some
+/// use {subj} / {rel}; others are fixed everyday requests.
+const std::vector<std::string>& ChatTemplates();
+
+/// Erase-intent templates ("Forget that the {rel} of {subj} is {obj}.").
+const std::vector<std::string>& EraseTemplates();
+
+/// Replaces {subj} {rel} {obj} in `tpl`. Relation names are surfaced with
+/// underscores turned into spaces ("first_lady" -> "first lady").
+std::string FillTemplate(const std::string& tpl, const std::string& subject,
+                         const std::string& relation,
+                         const std::string& object);
+
+/// Natural-language edit command for `triple` using the template at
+/// `template_index` (mod the template count).
+std::string EditUtterance(const NamedTriple& triple, size_t template_index);
+
+/// Natural-language erase command for `triple`.
+std::string EraseUtterance(const NamedTriple& triple, size_t template_index);
+
+/// Natural-language question "What is the <relation> of <subject>?" style,
+/// using the chat template at `template_index` (mod the slotted ones).
+std::string QueryUtterance(const std::string& subject,
+                           const std::string& relation,
+                           size_t template_index);
+
+/// Materials for training-data generation.
+struct UtteranceSpec {
+  std::vector<std::string> subjects;
+  std::vector<std::string> relations;  ///< canonical names (underscored ok)
+  std::vector<std::string> objects;
+};
+
+/// Builds a balanced labeled training set (edit + generate + erase) of
+/// `per_class` examples each, deterministically from `seed`.
+std::vector<IntentExample> GenerateIntentTrainingData(
+    const UtteranceSpec& spec, size_t per_class, uint64_t seed);
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_NLP_UTTERANCE_GENERATOR_H_

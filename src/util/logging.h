@@ -1,0 +1,45 @@
+#ifndef ONEEDIT_UTIL_LOGGING_H_
+#define ONEEDIT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace oneedit {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace oneedit
+
+#define ONEEDIT_LOG(level)                                      \
+  ::oneedit::internal_logging::LogMessage(                      \
+      ::oneedit::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // ONEEDIT_UTIL_LOGGING_H_

@@ -1,0 +1,145 @@
+#include "util/math.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace oneedit {
+
+double Dot(const Vec& v, const Vec& w) {
+  assert(v.size() == w.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) acc += v[i] * w[i];
+  return acc;
+}
+
+double Norm(const Vec& v) { return std::sqrt(Dot(v, v)); }
+
+void Axpy(double alpha, const Vec& w, Vec* v) {
+  assert(v->size() == w.size());
+  for (size_t i = 0; i < w.size(); ++i) (*v)[i] += alpha * w[i];
+}
+
+void Scale(double alpha, Vec* v) {
+  for (double& x : *v) x *= alpha;
+}
+
+Vec Normalized(const Vec& v) {
+  const double n = Norm(v);
+  if (n == 0.0) return v;
+  Vec out = v;
+  Scale(1.0 / n, &out);
+  return out;
+}
+
+Vec Add(const Vec& v, const Vec& w) {
+  assert(v.size() == w.size());
+  Vec out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = v[i] + w[i];
+  return out;
+}
+
+Vec Sub(const Vec& v, const Vec& w) {
+  assert(v.size() == w.size());
+  Vec out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = v[i] - w[i];
+  return out;
+}
+
+double CosineSimilarity(const Vec& v, const Vec& w) {
+  const double nv = Norm(v);
+  const double nw = Norm(w);
+  if (nv == 0.0 || nw == 0.0) return 0.0;
+  return Dot(v, w) / (nv * nw);
+}
+
+Vec Matrix::MatVec(const Vec& x) const {
+  assert(x.size() == cols_);
+  Vec y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vec Matrix::TransposeMatVec(const Vec& x) const {
+  assert(x.size() == rows_);
+  Vec y(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    const double xr = x[r];
+    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+void Matrix::AddOuter(double alpha, const Vec& u, const Vec& v) {
+  assert(u.size() == rows_ && v.size() == cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double* row = &data_[r * cols_];
+    const double au = alpha * u[r];
+    for (size_t c = 0; c < cols_; ++c) row[c] += au * v[c];
+  }
+}
+
+void Matrix::AddScaled(double alpha, const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (const double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+StatusOr<Vec> SolveRidge(const Matrix& a, const Vec& b, double ridge) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SolveRidge: matrix must be square");
+  }
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("SolveRidge: size mismatch");
+  }
+  const size_t n = a.rows();
+  // Cholesky factorization of (A + ridge*I): L * L^T.
+  Matrix l(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a.At(i, j) + (i == j ? ridge : 0.0);
+      for (size_t k = 0; k < j; ++k) sum -= l.At(i, k) * l.At(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Status::Internal("SolveRidge: matrix not positive definite");
+        }
+        l.At(i, i) = std::sqrt(sum);
+      } else {
+        l.At(i, j) = sum / l.At(j, j);
+      }
+    }
+  }
+  // Forward substitution: L y = b.
+  Vec y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l.At(i, k) * y[k];
+    y[i] = sum / l.At(i, i);
+  }
+  // Back substitution: L^T x = y.
+  Vec x(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l.At(k, ii) * x[k];
+    x[ii] = sum / l.At(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace oneedit

@@ -1,0 +1,90 @@
+#ifndef ONEEDIT_UTIL_MATH_H_
+#define ONEEDIT_UTIL_MATH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace oneedit {
+
+/// Dense column vector of doubles.
+using Vec = std::vector<double>;
+
+/// v . w (sizes must match).
+double Dot(const Vec& v, const Vec& w);
+
+/// Euclidean norm.
+double Norm(const Vec& v);
+
+/// v += alpha * w.
+void Axpy(double alpha, const Vec& w, Vec* v);
+
+/// Scales v in place.
+void Scale(double alpha, Vec* v);
+
+/// Returns v normalized to unit length (zero vector is returned unchanged).
+Vec Normalized(const Vec& v);
+
+/// Element-wise sum / difference.
+Vec Add(const Vec& v, const Vec& w);
+Vec Sub(const Vec& v, const Vec& w);
+
+/// Cosine similarity in [-1, 1]; 0 if either vector is zero.
+double CosineSimilarity(const Vec& v, const Vec& w);
+
+/// Dense row-major matrix of doubles.
+///
+/// Sized for the small embedding dimensions used by the simulated models
+/// (d <= a few hundred); all operations are straightforward O(n*m) loops.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// y = (*this) * x. Requires x.size() == cols().
+  Vec MatVec(const Vec& x) const;
+
+  /// y = transpose(*this) * x. Requires x.size() == rows().
+  Vec TransposeMatVec(const Vec& x) const;
+
+  /// (*this) += alpha * u * v^T. Requires u.size()==rows(), v.size()==cols().
+  void AddOuter(double alpha, const Vec& u, const Vec& v);
+
+  /// (*this) += alpha * other (same shape).
+  void AddScaled(double alpha, const Matrix& other);
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Identity of size n.
+  static Matrix Identity(size_t n);
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves (A + ridge*I) x = b for symmetric positive-definite A via Cholesky.
+/// Returns InvalidArgument on shape mismatch, Internal if the (ridged) matrix
+/// is not positive definite.
+StatusOr<Vec> SolveRidge(const Matrix& a, const Vec& b, double ridge);
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_UTIL_MATH_H_

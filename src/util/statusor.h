@@ -1,0 +1,81 @@
+#ifndef ONEEDIT_UTIL_STATUSOR_H_
+#define ONEEDIT_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace oneedit {
+
+/// Holds either a value of type T or an error Status.
+///
+/// A default-constructed StatusOr is an Internal error; construct from a
+/// value or an error Status instead. Accessing value() on an error aborts in
+/// debug builds and is undefined in release builds — always check ok() (or
+/// use ValueOr) first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr() : status_(Status::Internal("uninitialized StatusOr")) {}
+
+  // Intentionally implicit so functions can `return value;` / `return status;`
+  // (the established Status/StatusOr idiom).
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace oneedit
+
+/// Evaluates `rexpr` (a StatusOr<T> expression); on error returns the status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define ONEEDIT_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  ONEEDIT_ASSIGN_OR_RETURN_IMPL_(                     \
+      ONEEDIT_STATUS_MACROS_CONCAT_(_status_or_value, __LINE__), lhs, rexpr)
+
+#define ONEEDIT_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                   \
+  if (!statusor.ok()) return statusor.status();              \
+  lhs = std::move(statusor).value()
+
+#define ONEEDIT_STATUS_MACROS_CONCAT_(x, y) ONEEDIT_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define ONEEDIT_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+#endif  // ONEEDIT_UTIL_STATUSOR_H_

@@ -1,0 +1,39 @@
+#ifndef ONEEDIT_UTIL_STRING_UTIL_H_
+#define ONEEDIT_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oneedit {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char delim);
+
+/// Splits `s` on any run of whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// True if `s` starts with / ends with the given affix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Replaces every occurrence of `from` in `s` with `to`.
+std::string StrReplaceAll(std::string_view s, std::string_view from,
+                          std::string_view to);
+
+/// Formats a double with `digits` decimal places (e.g., 0.913 -> "0.913").
+std::string FormatDouble(double v, int digits);
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_UTIL_STRING_UTIL_H_

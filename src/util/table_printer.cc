@@ -1,0 +1,73 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace oneedit {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back({Row::Kind::kData, std::move(row)});
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back({Row::Kind::kSeparator, {}}); }
+
+void TablePrinter::AddSection(std::string label) {
+  rows_.push_back({Row::Kind::kSection, {std::move(label)}});
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.kind != Row::Kind::kData) continue;
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  size_t total = 1;  // leading '|'
+  for (const size_t w : widths) total += w + 3;
+
+  const auto print_sep = [&] { os << std::string(total, '-') << "\n"; };
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+
+  print_sep();
+  print_cells(header_);
+  print_sep();
+  for (const Row& row : rows_) {
+    switch (row.kind) {
+      case Row::Kind::kData:
+        print_cells(row.cells);
+        break;
+      case Row::Kind::kSeparator:
+        print_sep();
+        break;
+      case Row::Kind::kSection:
+        os << "| " << row.cells[0];
+        if (total > row.cells[0].size() + 4) {
+          os << std::string(total - row.cells[0].size() - 4, ' ');
+        }
+        os << " |\n";
+        break;
+    }
+  }
+  print_sep();
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace oneedit

@@ -1,0 +1,41 @@
+#ifndef ONEEDIT_UTIL_TABLE_PRINTER_H_
+#define ONEEDIT_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace oneedit {
+
+/// Accumulates rows and prints an aligned ASCII table — used by the benchmark
+/// harnesses to print paper-style tables (Table 1/2/3) to stdout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a data row; pads or truncates to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Adds a horizontal separator line.
+  void AddSeparator();
+
+  /// Adds a full-width section label row (e.g., "GPT-J-6B").
+  void AddSection(std::string label);
+
+  /// Renders the table.
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+ private:
+  struct Row {
+    enum class Kind { kData, kSeparator, kSection } kind;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,30 @@
+#ifndef ONEEDIT_UTIL_TIMER_H_
+#define ONEEDIT_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace oneedit {
+
+/// Simple monotonic wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_UTIL_TIMER_H_

@@ -1,0 +1,136 @@
+// Calibration guard-rails: the qualitative shapes EXPERIMENTS.md reports
+// (method orderings, signature profiles, figure trends) are asserted here on
+// reduced case counts, so a change that silently bends the reproduced curves
+// fails the suite instead of shipping.
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "eval/harness.h"
+
+namespace oneedit {
+namespace {
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  static Harness& SharedHarness() {
+    static Harness* const harness = new Harness(
+        [] {
+          DatasetOptions options;
+          options.num_cases = 20;
+          return BuildAmericanPoliticians(options);
+        },
+        GptJSimConfig());
+    return *harness;
+  }
+
+  static HarnessResult Run(const std::string& method, RunOptions options = {}) {
+    const auto result = SharedHarness().Run(*ParseMethodSpec(method), options);
+    EXPECT_TRUE(result.ok()) << method;
+    return result.ValueOr(HarnessResult{});
+  }
+};
+
+TEST_F(CalibrationTest, Table1MethodOrderingByAverage) {
+  const double ft = Run("FT").scores.Average();
+  const double rome = Run("ROME").scores.Average();
+  const double memit = Run("MEMIT").scores.Average();
+  const double grace = Run("GRACE").scores.Average();
+  const double oneedit_grace = Run("OneEdit (GRACE)").scores.Average();
+  const double oneedit_memit = Run("OneEdit (MEMIT)").scores.Average();
+
+  // The paper's Table 1 ordering.
+  EXPECT_GT(oneedit_grace, memit);
+  EXPECT_GT(oneedit_memit, memit);
+  EXPECT_GT(memit, rome);
+  EXPECT_GT(rome, grace);
+  EXPECT_GT(grace, ft);
+  EXPECT_GT(oneedit_grace, 0.85);
+  EXPECT_GT(oneedit_memit, 0.85);
+}
+
+TEST_F(CalibrationTest, GraceSignatureProfile) {
+  const MetricScores s = Run("GRACE").scores;
+  EXPECT_DOUBLE_EQ(s.reliability, 1.0);
+  EXPECT_DOUBLE_EQ(s.locality, 1.0);
+  EXPECT_DOUBLE_EQ(s.reverse, 0.0);
+  EXPECT_DOUBLE_EQ(s.sub_replace, 0.0);
+  EXPECT_LT(s.one_hop, 0.1);
+}
+
+TEST_F(CalibrationTest, FtSignatureProfile) {
+  const MetricScores s = Run("FT").scores;
+  EXPECT_GT(s.reliability, 0.5);  // overfits its own edit
+  EXPECT_LT(s.locality, 0.25);    // destroys everything else
+}
+
+TEST_F(CalibrationTest, WeightMethodsHaveHighSingleEditLocality) {
+  EXPECT_GT(Run("ROME").scores.locality, 0.9);
+  EXPECT_GT(Run("MEMIT").scores.locality, 0.9);
+}
+
+TEST_F(CalibrationTest, OneEditWinsEveryPortabilityColumn) {
+  const MetricScores base = Run("MEMIT").scores;
+  const MetricScores wrapped = Run("OneEdit (MEMIT)").scores;
+  EXPECT_GT(wrapped.reverse, base.reverse + 0.2);
+  EXPECT_GT(wrapped.one_hop, base.one_hop + 0.3);
+  EXPECT_GT(wrapped.sub_replace, base.sub_replace + 0.2);
+}
+
+TEST_F(CalibrationTest, Table2SequentialDegradationOrdering) {
+  RunOptions users3;
+  users3.users = 3;
+  const double ft = Run("FT", users3).scores.locality;
+  const double rome = Run("ROME", users3).scores.locality;
+  const double memit = Run("MEMIT", users3).scores.locality;
+  const double oneedit = Run("OneEdit (MEMIT)", users3).scores.locality;
+  const double grace = Run("GRACE", users3).scores.locality;
+
+  // FT worst, ROME collapsing, MEMIT degrading gracefully, OneEdit held up
+  // by rollback, GRACE untouched.
+  EXPECT_LT(ft, 0.2);
+  EXPECT_LT(rome, memit);
+  EXPECT_LT(memit, oneedit + 0.15);
+  EXPECT_GT(oneedit, 0.7);
+  EXPECT_DOUBLE_EQ(grace, 1.0);
+  // Reliability survives for the surgical methods even at users = 3.
+  EXPECT_GT(Run("ROME", users3).scores.reliability, 0.9);
+  EXPECT_GT(Run("MEMIT", users3).scores.reliability, 0.9);
+}
+
+TEST_F(CalibrationTest, Figure3ShapeRisePlateauDecline) {
+  const auto one_hop_at = [&](const std::string& method, size_t n) {
+    RunOptions options;
+    options.controller.num_generation_triples = n;
+    return Run(method, options).scores.one_hop;
+  };
+  // Rise from n=0 to n=8 for both variants.
+  const double grace0 = one_hop_at("OneEdit (GRACE)", 0);
+  const double grace8 = one_hop_at("OneEdit (GRACE)", 8);
+  const double grace32 = one_hop_at("OneEdit (GRACE)", 32);
+  EXPECT_GT(grace8, grace0 + 0.4);
+  // GRACE plateaus at large n.
+  EXPECT_NEAR(grace32, grace8, 0.15);
+
+  const double memit8 = one_hop_at("OneEdit (MEMIT)", 8);
+  const double memit32 = one_hop_at("OneEdit (MEMIT)", 32);
+  // MEMIT declines at large n (batch dilution).
+  EXPECT_LT(memit32, memit8 - 0.3);
+}
+
+TEST_F(CalibrationTest, Figure4RulesDriveOneHop) {
+  RunOptions no_rules;
+  no_rules.controller.use_logical_rules = false;
+  const double without = Run("OneEdit (GRACE)", no_rules).scores.one_hop;
+  const double with = Run("OneEdit (GRACE)").scores.one_hop;
+  EXPECT_GT(with, without + 0.5);
+}
+
+TEST_F(CalibrationTest, MemitBeatsRomeOnReverse) {
+  // The joint-optimization leak makes MEMIT's reverse scores the strongest
+  // among the weight baselines (paper: .58-.67 vs ROME's .10-.23).
+  EXPECT_GT(Run("MEMIT").scores.reverse, Run("ROME").scores.reverse + 0.15);
+}
+
+}  // namespace
+}  // namespace oneedit

@@ -1,0 +1,154 @@
+// Additional Controller semantics: non-functional relations, DOT export of
+// conflict neighborhoods, and end-to-end KG consistency under long edit
+// sequences.
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "kg/dot_export.h"
+#include "kg/knowledge_graph.h"
+#include "util/rng.h"
+
+namespace oneedit {
+namespace {
+
+class NonFunctionalTest : public ::testing::Test {
+ protected:
+  NonFunctionalTest() {
+    advises_ = kg_.schema().Define("advises", /*functional=*/false);
+    field_ = kg_.schema().Define("field", /*functional=*/true);
+    prof_ = kg_.InternEntity("Prof");
+    alice_ = kg_.InternEntity("Alice");
+    bob_ = kg_.InternEntity("Bob");
+    EXPECT_TRUE(kg_.Add(Triple{prof_, advises_, alice_}).ok());
+  }
+  KnowledgeGraph kg_;
+  RelationId advises_, field_;
+  EntityId prof_, alice_, bob_;
+};
+
+TEST_F(NonFunctionalTest, NewObjectCoexistsWithExisting) {
+  Controller controller(&kg_);
+  const auto plan = controller.Process({"Prof", "advises", "Bob"});
+  ASSERT_TRUE(plan.ok());
+  // No coverage conflict: the professor now advises both students.
+  EXPECT_TRUE(plan->rollbacks.empty());
+  EXPECT_TRUE(kg_.Contains({prof_, advises_, alice_}));
+  EXPECT_TRUE(kg_.Contains({prof_, advises_, bob_}));
+  EXPECT_EQ(kg_.Objects(prof_, advises_).size(), 2u);
+}
+
+TEST_F(NonFunctionalTest, FunctionalSlotStillDisplaces) {
+  Controller controller(&kg_);
+  ASSERT_TRUE(controller.Process({"Prof", "field", "Alice"}).ok());
+  const auto plan = controller.Process({"Prof", "field", "Bob"});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->rollbacks.empty());
+  EXPECT_EQ(kg_.Objects(prof_, field_).size(), 1u);
+}
+
+// ------------------------------------------------------------- DOT export ----
+
+class DotExportTest : public ::testing::Test {
+ protected:
+  DotExportTest() {
+    const RelationId governor = kg_.schema().Define("governor");
+    const RelationId spouse = kg_.schema().Define("spouse");
+    const EntityId ash = kg_.InternEntity("Ashfield");
+    const EntityId ada = kg_.InternEntity("Ada");
+    const EntityId kira = kg_.InternEntity("Kira");
+    const EntityId far = kg_.InternEntity("Farville");
+    const EntityId bruno = kg_.InternEntity("Bruno");
+    EXPECT_TRUE(kg_.Add(Triple{ash, governor, ada}).ok());
+    EXPECT_TRUE(kg_.Add(Triple{ada, spouse, kira}).ok());
+    EXPECT_TRUE(kg_.Add(Triple{far, governor, bruno}).ok());
+    kg_.AddAlias(kg_.InternEntity("Gov. Ada"), ada);
+  }
+  KnowledgeGraph kg_;
+};
+
+TEST_F(DotExportTest, WholeGraphContainsAllEdges) {
+  const std::string dot = ToDot(kg_);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"Ashfield\" -> \"Ada\" [label=\"governor\"]"),
+            std::string::npos);
+  EXPECT_NE(dot.find("\"Ada\" -> \"Kira\" [label=\"spouse\"]"),
+            std::string::npos);
+  EXPECT_NE(dot.find("\"Farville\""), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // alias edge
+}
+
+TEST_F(DotExportTest, CenteredExportExcludesFarNodes) {
+  DotOptions options;
+  options.center = "Ashfield";
+  options.hops = 2;
+  const std::string dot = ToDot(kg_, options);
+  EXPECT_NE(dot.find("\"Ada\" -> \"Kira\""), std::string::npos);
+  EXPECT_EQ(dot.find("Farville"), std::string::npos);
+}
+
+TEST_F(DotExportTest, EdgeCapRespected) {
+  DotOptions options;
+  options.max_edges = 1;
+  const std::string dot = ToDot(kg_, options);
+  size_t labeled_edges = 0;
+  for (size_t pos = dot.find("[label="); pos != std::string::npos;
+       pos = dot.find("[label=", pos + 1)) {
+    ++labeled_edges;
+  }
+  EXPECT_EQ(labeled_edges, 1u);
+}
+
+TEST_F(DotExportTest, WriteDotCreatesFile) {
+  const std::string path = testing::TempDir() + "/oneedit_kg.dot";
+  ASSERT_TRUE(WriteDot(kg_, path).ok());
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------- long-sequence KG consistency ----
+
+TEST(ControllerConsistencyTest, LongRandomEditSequenceKeepsInvariants) {
+  KnowledgeGraph kg;
+  const RelationId president = kg.schema().Define("president");
+  const RelationId presides = kg.schema().Define("presides_over");
+  ASSERT_TRUE(kg.schema().SetInverse(president, presides).ok());
+  std::vector<EntityId> countries, people;
+  for (int i = 0; i < 5; ++i) {
+    countries.push_back(kg.InternEntity("country" + std::to_string(i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    people.push_back(kg.InternEntity("person" + std::to_string(i)));
+  }
+  Controller controller(&kg);
+  Rng rng(404);
+  for (int step = 0; step < 120; ++step) {
+    const EntityId c = countries[rng.NextBelow(countries.size())];
+    const EntityId p = people[rng.NextBelow(people.size())];
+    const auto plan = controller.Process(
+        {kg.EntityName(c), "president", kg.EntityName(p)});
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+    // Invariants after every step:
+    for (const EntityId country : countries) {
+      // (1) at most one president per country;
+      const auto presidents = kg.Objects(country, president);
+      ASSERT_LE(presidents.size(), 1u);
+      // (2) forward and reverse triples are consistent.
+      for (const EntityId pres : presidents) {
+        ASSERT_TRUE(kg.Contains({pres, presides, country}));
+      }
+    }
+    for (const EntityId person : people) {
+      // (3) nobody presides over two countries.
+      ASSERT_LE(kg.Objects(person, presides).size(), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oneedit

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "kg/knowledge_graph.h"
+
+namespace oneedit {
+namespace {
+
+/// A miniature politics world shared by the controller tests.
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() {
+    president_ = kg_.schema().Define("president");
+    presides_ = kg_.schema().Define("presides_over");
+    wife_ = kg_.schema().Define("wife");
+    husband_ = kg_.schema().Define("husband");
+    first_lady_ = kg_.schema().Define("first_lady");
+    capital_ = kg_.schema().Define("capital");
+    EXPECT_TRUE(kg_.schema().SetInverse(president_, presides_).ok());
+    EXPECT_TRUE(kg_.schema().SetInverse(wife_, husband_).ok());
+    kg_.rules().AddRule(
+        HornRule{"first-lady", president_, wife_, first_lady_});
+
+    usa_ = kg_.InternEntity("USA");
+    trump_ = kg_.InternEntity("Trump");
+    biden_ = kg_.InternEntity("Biden");
+    melania_ = kg_.InternEntity("Melania");
+    jill_ = kg_.InternEntity("Jill");
+    dc_ = kg_.InternEntity("DC");
+
+    Add(usa_, president_, trump_);
+    Add(trump_, presides_, usa_);
+    Add(trump_, wife_, melania_);
+    Add(melania_, husband_, trump_);
+    Add(biden_, wife_, jill_);
+    Add(jill_, husband_, biden_);
+    Add(usa_, first_lady_, melania_);
+    Add(usa_, capital_, dc_);
+  }
+
+  void Add(EntityId s, RelationId r, EntityId o) {
+    ASSERT_TRUE(kg_.Add(Triple{s, r, o}).ok());
+  }
+
+  bool PlanHas(const std::vector<NamedTriple>& list, const char* s,
+               const char* r, const char* o) {
+    return std::find(list.begin(), list.end(),
+                     NamedTriple{s, r, o}) != list.end();
+  }
+
+  KnowledgeGraph kg_;
+  RelationId president_, presides_, wife_, husband_, first_lady_, capital_;
+  EntityId usa_, trump_, biden_, melania_, jill_, dc_;
+};
+
+TEST_F(ControllerTest, NoOpWhenTripleAlreadyKnown) {
+  Controller controller(&kg_);
+  const auto plan = controller.Process({"USA", "president", "Trump"});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->no_op);
+  EXPECT_TRUE(plan->edits.empty());
+  EXPECT_TRUE(plan->rollbacks.empty());
+}
+
+TEST_F(ControllerTest, UnknownRelationRejected) {
+  Controller controller(&kg_);
+  EXPECT_FALSE(controller.Process({"USA", "prime_minister", "Trump"}).ok());
+}
+
+TEST_F(ControllerTest, CoverageConflictReplacesSlotAndCounterpart) {
+  Controller controller(&kg_);
+  const auto plan = controller.Process({"USA", "president", "Biden"});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->no_op);
+  // Algorithm 1: the old triple and its reverse counterpart are rolled back.
+  EXPECT_TRUE(PlanHas(plan->rollbacks, "USA", "president", "Trump"));
+  EXPECT_TRUE(PlanHas(plan->rollbacks, "Trump", "presides_over", "USA"));
+  // The KG was updated.
+  EXPECT_FALSE(kg_.Contains({usa_, president_, trump_}));
+  EXPECT_TRUE(kg_.Contains({usa_, president_, biden_}));
+  // Algorithm 2: the reverse triple is in the edit set and the KG.
+  EXPECT_TRUE(PlanHas(plan->edits, "USA", "president", "Biden"));
+  EXPECT_TRUE(PlanHas(plan->edits, "Biden", "presides_over", "USA"));
+  EXPECT_TRUE(kg_.Contains({biden_, presides_, usa_}));
+}
+
+TEST_F(ControllerTest, RuleMaintenanceUpdatesDerivedFacts) {
+  Controller controller(&kg_);
+  const auto plan = controller.Process({"USA", "president", "Biden"});
+  ASSERT_TRUE(plan.ok());
+  // first_lady(USA) must now be Jill (Biden's wife), not Melania.
+  EXPECT_TRUE(kg_.Contains({usa_, first_lady_, jill_}));
+  EXPECT_FALSE(kg_.Contains({usa_, first_lady_, melania_}));
+  // The displaced derived fact is scheduled for rollback.
+  EXPECT_TRUE(PlanHas(plan->rollbacks, "USA", "first_lady", "Melania"));
+  // The fresh derived fact is offered as a generation triple.
+  EXPECT_TRUE(PlanHas(plan->augmentations, "USA", "first_lady", "Jill"));
+}
+
+TEST_F(ControllerTest, LogicalRulesOffSkipsDerivation) {
+  ControllerConfig config;
+  config.use_logical_rules = false;
+  Controller controller(&kg_, config);
+  const auto plan = controller.Process({"USA", "president", "Biden"});
+  ASSERT_TRUE(plan.ok());
+  // The stale derived fact remains in the KG (and may be offered stale).
+  EXPECT_TRUE(kg_.Contains({usa_, first_lady_, melania_}));
+  EXPECT_FALSE(PlanHas(plan->augmentations, "USA", "first_lady", "Jill"));
+}
+
+TEST_F(ControllerTest, ReverseConflictRollsBackOldMarriage) {
+  Controller controller(&kg_);
+  // Divorce scenario: Melania's husband becomes Biden(!). The reverse triple
+  // (Biden, wife, Melania) conflicts with Biden's existing wife Jill — no;
+  // rather the edit slot (Melania, husband) conflicts with Trump.
+  const auto plan = controller.Process({"Melania", "husband", "Biden"});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(PlanHas(plan->rollbacks, "Melania", "husband", "Trump"));
+  // The reverse slot (Biden, wife) held Jill: Algorithm 2 rolls it back
+  // together with its forward counterpart.
+  EXPECT_TRUE(PlanHas(plan->rollbacks, "Biden", "wife", "Jill"));
+  EXPECT_TRUE(PlanHas(plan->rollbacks, "Jill", "husband", "Biden"));
+  EXPECT_TRUE(kg_.Contains({biden_, wife_, melania_}));
+  EXPECT_FALSE(kg_.Contains({biden_, wife_, jill_}));
+}
+
+TEST_F(ControllerTest, AugmentationRespectsBudget) {
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{8}}) {
+    KnowledgeGraph fresh;
+    // Rebuild the fixture world in a fresh graph via snapshot round-trip.
+    ControllerConfig config;
+    config.num_generation_triples = n;
+    Controller controller(&kg_, config);
+    const uint64_t checkpoint = kg_.version();
+    const auto plan = controller.Process({"USA", "president", "Biden"});
+    ASSERT_TRUE(plan.ok());
+    EXPECT_LE(plan->augmentations.size(), n);
+    ASSERT_TRUE(kg_.RollbackTo(checkpoint).ok());
+  }
+}
+
+TEST_F(ControllerTest, AugmentationsNeverDuplicateEdits) {
+  Controller controller(&kg_);
+  const auto plan = controller.Process({"USA", "president", "Biden"});
+  ASSERT_TRUE(plan.ok());
+  for (const NamedTriple& aug : plan->augmentations) {
+    EXPECT_EQ(std::count(plan->edits.begin(), plan->edits.end(), aug), 0)
+        << "(" << aug.subject << ", " << aug.relation << ", " << aug.object
+        << ") duplicated";
+  }
+  // No duplicates within augmentations either.
+  for (size_t i = 0; i < plan->augmentations.size(); ++i) {
+    for (size_t j = i + 1; j < plan->augmentations.size(); ++j) {
+      EXPECT_FALSE(plan->augmentations[i] == plan->augmentations[j]);
+    }
+  }
+}
+
+TEST_F(ControllerTest, AliasRestatementsInEditSet) {
+  kg_.AddAlias(kg_.InternEntity("the United States"), usa_);
+  Controller controller(&kg_);
+  const auto plan = controller.Process({"USA", "president", "Biden"});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(PlanHas(plan->edits, "the United States", "president", "Biden"));
+  // And the displaced alias restatement is rolled back.
+  EXPECT_TRUE(
+      PlanHas(plan->rollbacks, "the United States", "president", "Trump"));
+}
+
+TEST_F(ControllerTest, AliasAugmentationDisabled) {
+  kg_.AddAlias(kg_.InternEntity("the United States"), usa_);
+  ControllerConfig config;
+  config.augment_aliases = false;
+  Controller controller(&kg_, config);
+  const auto plan = controller.Process({"USA", "president", "Biden"});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(
+      PlanHas(plan->edits, "the United States", "president", "Biden"));
+}
+
+TEST_F(ControllerTest, VersionBeforeAllowsExactUndo) {
+  Controller controller(&kg_);
+  const std::vector<Triple> before = kg_.store().AllTriples();
+  const auto plan = controller.Process({"USA", "president", "Biden"});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(kg_.RollbackTo(plan->kg_version_before).ok());
+  EXPECT_EQ(kg_.store().AllTriples(), before);
+}
+
+TEST_F(ControllerTest, NewEntityInterned) {
+  Controller controller(&kg_);
+  const auto plan = controller.Process({"USA", "president", "Obama"});
+  ASSERT_TRUE(plan.ok());
+  const auto obama = kg_.LookupEntity("Obama");
+  ASSERT_TRUE(obama.ok());
+  EXPECT_TRUE(kg_.Contains({usa_, president_, *obama}));
+}
+
+TEST_F(ControllerTest, SequentialEditsChainRollbacks) {
+  Controller controller(&kg_);
+  ASSERT_TRUE(controller.Process({"USA", "president", "Biden"}).ok());
+  const auto plan = controller.Process({"USA", "president", "Trump"});
+  ASSERT_TRUE(plan.ok());
+  // The second edit must roll back the first user's edit.
+  EXPECT_TRUE(PlanHas(plan->rollbacks, "USA", "president", "Biden"));
+  EXPECT_TRUE(kg_.Contains({usa_, president_, trump_}));
+  EXPECT_EQ(kg_.Objects(usa_, president_).size(), 1u);
+}
+
+}  // namespace
+}  // namespace oneedit

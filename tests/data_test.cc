@@ -1,0 +1,269 @@
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/name_pool.h"
+
+namespace oneedit {
+namespace {
+
+DatasetOptions SmallOptions() {
+  DatasetOptions options;
+  options.num_cases = 12;
+  return options;
+}
+
+// -------------------------------------------------------------- name pool ----
+
+TEST(NamePoolTest, PersonNamesUniqueInUsedRange) {
+  std::set<std::string> seen;
+  for (size_t i = 0; i < 400; ++i) {
+    ASSERT_TRUE(seen.insert(names::Person(i)).second)
+        << "duplicate at " << i << ": " << names::Person(i);
+  }
+}
+
+TEST(NamePoolTest, TieredNamesExtendPools) {
+  std::set<std::string> states;
+  for (size_t i = 0; i < 2 * names::StateLimit(); ++i) {
+    ASSERT_TRUE(states.insert(names::State(i)).second) << i;
+  }
+  std::set<std::string> universities;
+  for (size_t i = 0; i < 2 * names::UniversityLimit(); ++i) {
+    ASSERT_TRUE(universities.insert(names::University(i)).second) << i;
+  }
+  std::set<std::string> cities;
+  for (size_t i = 0; i < 2 * names::CityLimit(); ++i) {
+    ASSERT_TRUE(cities.insert(names::City(i)).second) << i;
+  }
+}
+
+// ------------------------------------------------- dataset (parameterized) ----
+
+using DatasetFactory = Dataset (*)(const DatasetOptions&);
+
+class DatasetShapeTest : public ::testing::TestWithParam<DatasetFactory> {
+ protected:
+  DatasetShapeTest() : dataset_(GetParam()(SmallOptions())) {}
+  Dataset dataset_;
+};
+
+TEST_P(DatasetShapeTest, HasRequestedCases) {
+  EXPECT_EQ(dataset_.cases.size(), SmallOptions().num_cases);
+  EXPECT_GT(dataset_.kg.size(), 100u);
+  EXPECT_GT(dataset_.pretrain_facts.size(), 100u);
+  EXPECT_FALSE(dataset_.locality_pool.empty());
+}
+
+TEST_P(DatasetShapeTest, EditsAreCounterfactual) {
+  for (const EditCase& edit_case : dataset_.cases) {
+    // The new object differs from ground truth, which is still in the KG.
+    EXPECT_NE(edit_case.edit.object, edit_case.old_object);
+    const auto old_triple = dataset_.kg.Resolve(
+        {edit_case.edit.subject, edit_case.edit.relation,
+         edit_case.old_object});
+    ASSERT_TRUE(old_triple.ok());
+    EXPECT_TRUE(dataset_.kg.Contains(*old_triple));
+    const auto new_triple = dataset_.kg.Resolve(edit_case.edit);
+    if (new_triple.ok()) {
+      EXPECT_FALSE(dataset_.kg.Contains(*new_triple));
+    }
+  }
+}
+
+TEST_P(DatasetShapeTest, ProbesArePopulatedAndConsistent) {
+  size_t reverse_probes = 0;
+  size_t hop_probes = 0;
+  size_t sub_probes = 0;
+  for (const EditCase& edit_case : dataset_.cases) {
+    EXPECT_EQ(edit_case.reliability.subject, edit_case.edit.subject);
+    EXPECT_EQ(edit_case.reliability.expected, edit_case.edit.object);
+    EXPECT_FALSE(edit_case.locality.empty());
+    reverse_probes += edit_case.reverse.size();
+    hop_probes += edit_case.one_hop.size();
+    sub_probes += edit_case.sub_replace.size();
+    for (const Probe& probe : edit_case.reverse) {
+      EXPECT_EQ(probe.subject, edit_case.edit.object);
+      EXPECT_EQ(probe.expected, edit_case.edit.subject);
+    }
+    for (const Probe& probe : edit_case.sub_replace) {
+      EXPECT_EQ(probe.expected, edit_case.edit.object);
+      EXPECT_NE(probe.subject, edit_case.edit.subject);
+    }
+    // One-hop expectations are true facts about the new object.
+    for (const HopProbe& probe : edit_case.one_hop) {
+      const auto o_new = dataset_.kg.LookupEntity(edit_case.edit.object);
+      ASSERT_TRUE(o_new.ok());
+      const auto r2 = dataset_.kg.schema().Lookup(probe.r2);
+      ASSERT_TRUE(r2.ok());
+      const auto expected = dataset_.kg.ObjectOf(*o_new, *r2);
+      ASSERT_TRUE(expected.has_value());
+      EXPECT_EQ(dataset_.kg.EntityName(*expected), probe.expected);
+    }
+  }
+  // Every probe family must actually be exercised by the dataset.
+  EXPECT_GT(reverse_probes, 0u);
+  EXPECT_GT(hop_probes, 0u);
+  EXPECT_GT(sub_probes, 0u);
+}
+
+TEST_P(DatasetShapeTest, LocalityPoolDisjointFromCaseEntities) {
+  std::unordered_set<std::string> in_scope;
+  for (const EditCase& edit_case : dataset_.cases) {
+    in_scope.insert(edit_case.edit.subject);
+    in_scope.insert(edit_case.edit.object);
+    in_scope.insert(edit_case.old_object);
+  }
+  for (const NamedTriple& fact : dataset_.locality_pool) {
+    EXPECT_EQ(in_scope.count(fact.subject), 0u) << fact.subject;
+    EXPECT_EQ(in_scope.count(fact.object), 0u) << fact.object;
+  }
+}
+
+TEST_P(DatasetShapeTest, VocabExcludesAliasesFromCandidates) {
+  for (const std::string& entity : dataset_.vocab.entities) {
+    EXPECT_EQ(dataset_.vocab.alias_of.count(entity), 0u) << entity;
+  }
+  EXPECT_FALSE(dataset_.vocab.alias_of.empty());
+  EXPECT_FALSE(dataset_.vocab.relations.empty());
+}
+
+TEST_P(DatasetShapeTest, PretrainFactsIncludeBothDirections) {
+  // For every reversible pretrain fact, the reverse is also present.
+  std::set<NamedTriple> facts(dataset_.pretrain_facts.begin(),
+                              dataset_.pretrain_facts.end());
+  size_t reversible = 0;
+  for (const NamedTriple& fact : dataset_.pretrain_facts) {
+    const std::string inverse = dataset_.vocab.InverseOf(fact.relation);
+    if (inverse.empty()) continue;
+    ++reversible;
+    EXPECT_EQ(facts.count(NamedTriple{fact.object, inverse, fact.subject}),
+              1u)
+        << "missing reverse of (" << fact.subject << ", " << fact.relation
+        << ", " << fact.object << ")";
+  }
+  EXPECT_GT(reversible, 0u);
+}
+
+TEST_P(DatasetShapeTest, DeterministicForSameSeed) {
+  Dataset again = GetParam()(SmallOptions());
+  ASSERT_EQ(again.cases.size(), dataset_.cases.size());
+  for (size_t i = 0; i < again.cases.size(); ++i) {
+    EXPECT_EQ(again.cases[i].edit, dataset_.cases[i].edit);
+    EXPECT_EQ(again.cases[i].old_object, dataset_.cases[i].old_object);
+  }
+  EXPECT_EQ(again.pretrain_facts, dataset_.pretrain_facts);
+  EXPECT_EQ(again.kg.store().AllTriples(), dataset_.kg.store().AllTriples());
+}
+
+TEST_P(DatasetShapeTest, AlternativesSupportMultiUser) {
+  size_t with_alternatives = 0;
+  for (const EditCase& edit_case : dataset_.cases) {
+    with_alternatives += !edit_case.alternative_objects.empty();
+    for (const std::string& alt : edit_case.alternative_objects) {
+      EXPECT_NE(alt, edit_case.edit.object);
+      EXPECT_NE(alt, edit_case.old_object);
+    }
+  }
+  EXPECT_GT(with_alternatives, dataset_.cases.size() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, DatasetShapeTest,
+                         ::testing::Values(&BuildAmericanPoliticians,
+                                           &BuildAcademicFigures,
+                                           &BuildTechCompanies));
+
+// --------------------------------------------------------- domain details ----
+
+TEST(PoliticiansTest, WorldIsRuleConsistent) {
+  const Dataset dataset = BuildAmericanPoliticians(SmallOptions());
+  // Spot-check: every governor/spouse pair implies the first_lady fact.
+  const auto governor = dataset.kg.schema().Lookup("governor");
+  const auto spouse = dataset.kg.schema().Lookup("spouse");
+  const auto first_lady = dataset.kg.schema().Lookup("first_lady");
+  ASSERT_TRUE(governor.ok() && spouse.ok() && first_lady.ok());
+  size_t checked = 0;
+  for (const Triple& t : dataset.kg.store().AllTriples()) {
+    if (t.relation != *governor) continue;
+    const auto wife = dataset.kg.ObjectOf(t.object, *spouse);
+    if (!wife.has_value()) continue;
+    EXPECT_TRUE(dataset.kg.Contains(Triple{t.subject, *first_lady, *wife}));
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(PoliticiansTest, GovernorRelationIsReversible) {
+  const Dataset dataset = BuildAmericanPoliticians(SmallOptions());
+  const auto governor = dataset.kg.schema().Lookup("governor");
+  ASSERT_TRUE(governor.ok());
+  ASSERT_TRUE(dataset.kg.schema().IsReversible(*governor));
+  EXPECT_EQ(dataset.kg.schema().Name(dataset.kg.schema().InverseOf(*governor)),
+            "governs");
+  const auto spouse = dataset.kg.schema().Lookup("spouse");
+  ASSERT_TRUE(spouse.ok());
+  EXPECT_EQ(dataset.kg.schema().InverseOf(*spouse), *spouse);  // symmetric
+}
+
+TEST(AcademicTest, EmploysIsFunctionalOneProfPerUniversity) {
+  const Dataset dataset = BuildAcademicFigures(SmallOptions());
+  const auto employs = dataset.kg.schema().Lookup("employs");
+  ASSERT_TRUE(employs.ok());
+  for (const Triple& t : dataset.kg.store().AllTriples()) {
+    if (t.relation != *employs) continue;
+    EXPECT_EQ(dataset.kg.Objects(t.subject, *employs).size(), 1u)
+        << dataset.kg.EntityName(t.subject) << " employs more than one";
+  }
+}
+
+TEST(AcademicTest, AdvisorPermutationHasNoFixedPoint) {
+  const Dataset dataset = BuildAcademicFigures(SmallOptions());
+  const auto advisor = dataset.kg.schema().Lookup("advisor");
+  ASSERT_TRUE(advisor.ok());
+  for (const Triple& t : dataset.kg.store().AllTriples()) {
+    if (t.relation != *advisor) continue;
+    EXPECT_NE(t.subject, t.object) << "professor advising themselves";
+  }
+}
+
+TEST(DatasetOptionsTest, CaseCountScales) {
+  DatasetOptions big;
+  big.num_cases = 40;
+  const Dataset dataset = BuildAmericanPoliticians(big);
+  EXPECT_EQ(dataset.cases.size(), 40u);
+  // Still solvable with a non-empty locality pool.
+  EXPECT_FALSE(dataset.locality_pool.empty());
+}
+
+
+TEST(CompaniesTest, CeoHometownRuleConsistent) {
+  const Dataset dataset = BuildTechCompanies(SmallOptions());
+  const auto ceo = dataset.kg.schema().Lookup("ceo");
+  const auto hometown = dataset.kg.schema().Lookup("hometown");
+  const auto ceo_hometown = dataset.kg.schema().Lookup("ceo_hometown");
+  ASSERT_TRUE(ceo.ok() && hometown.ok() && ceo_hometown.ok());
+  size_t checked = 0;
+  for (const Triple& t : dataset.kg.store().AllTriples()) {
+    if (t.relation != *ceo) continue;
+    const auto home = dataset.kg.ObjectOf(t.object, *hometown);
+    if (!home.has_value()) continue;
+    EXPECT_TRUE(dataset.kg.Contains(Triple{t.subject, *ceo_hometown, *home}));
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(CompaniesTest, HarnessRunsOnThirdDomain) {
+  // The whole pipeline generalizes to a domain the paper never saw.
+  const Dataset probe_check = BuildTechCompanies(SmallOptions());
+  size_t hops = 0;
+  for (const EditCase& edit_case : probe_check.cases) {
+    hops += edit_case.one_hop.size();
+  }
+  EXPECT_GT(hops, 0u);
+}
+
+}  // namespace
+}  // namespace oneedit

@@ -1,0 +1,380 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "editing/edit_cache.h"
+#include "editing/editor.h"
+#include "editing/ft.h"
+#include "editing/grace.h"
+#include "editing/memit.h"
+#include "editing/rome.h"
+#include "model/language_model.h"
+#include "model/model_config.h"
+
+namespace oneedit {
+namespace {
+
+ModelConfig SmallConfig() {
+  ModelConfig config;
+  config.name = "edit-test";
+  config.dim = 64;
+  config.num_layers = 4;
+  config.seed = 99;
+  config.junk_fraction = 0.3;
+  return config;
+}
+
+Vocab SmallVocab() {
+  Vocab vocab;
+  vocab.entities = {"USA",   "France", "Trump",  "Biden",
+                    "Macron", "Berlin", "Paris",  "Tokyo"};
+  vocab.relations = {{"president", "president_of"}, {"capital", ""}};
+  return vocab;
+}
+
+std::vector<NamedTriple> SmallFacts() {
+  return {{"USA", "president", "Trump"},
+          {"Trump", "president_of", "USA"},
+          {"France", "president", "Macron"},
+          {"Macron", "president_of", "France"},
+          {"France", "capital", "Paris"},
+          {"Japan?", "capital", "Tokyo"}};
+}
+
+class EditingMethodTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  EditingMethodTest() : model_(SmallConfig(), SmallVocab()) {
+    model_.Pretrain(SmallFacts());
+    pristine_ = model_.SnapshotWeights();
+  }
+
+  bool WeightsArePristine() const {
+    const WeightSnapshot now = model_.SnapshotWeights();
+    for (size_t l = 0; l < now.size(); ++l) {
+      const auto& a = now[l].data();
+      const auto& b = pristine_[l].data();
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (std::abs(a[i] - b[i]) > 1e-9) return false;
+      }
+    }
+    return true;
+  }
+
+  LanguageModel model_;
+  WeightSnapshot pristine_;
+};
+
+TEST_P(EditingMethodTest, FactoryProducesMethod) {
+  auto method = MakeEditingMethod(GetParam());
+  ASSERT_TRUE(method.ok());
+  EXPECT_EQ((*method)->name(), GetParam());
+}
+
+TEST_P(EditingMethodTest, EditInstallsNewAnswer) {
+  auto method = MakeEditingMethod(GetParam());
+  const NamedTriple edit{"USA", "president", "Biden"};
+  auto delta = (*method)->ApplyEdit(&model_, edit);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_FALSE(delta->empty());
+  EXPECT_EQ(delta->edit, edit);
+  EXPECT_EQ(delta->method, GetParam());
+  EXPECT_EQ(model_.Query("USA", "president").entity, "Biden");
+  // Unrelated pretrained fact still answered (GRACE/ROME/MEMIT; FT may
+  // damage it, so only check for the surgical methods).
+  if (GetParam() != "FT") {
+    EXPECT_EQ(model_.Query("France", "capital").entity, "Paris");
+  }
+  (*method)->Reset(&model_);
+}
+
+TEST_P(EditingMethodTest, RollbackRestoresModelExactly) {
+  auto method = MakeEditingMethod(GetParam());
+  const NamedTriple edit{"USA", "president", "Biden"};
+  auto delta = (*method)->ApplyEdit(&model_, edit);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_TRUE((*method)->Rollback(&model_, *delta).ok());
+  EXPECT_TRUE(WeightsArePristine());
+  EXPECT_EQ(model_.Query("USA", "president").entity, "Trump");
+  (*method)->Reset(&model_);
+}
+
+TEST_P(EditingMethodTest, ReapplyMatchesOriginalApply) {
+  auto method = MakeEditingMethod(GetParam());
+  const NamedTriple edit{"USA", "president", "Biden"};
+  auto delta = (*method)->ApplyEdit(&model_, edit);
+  ASSERT_TRUE(delta.ok());
+  const WeightSnapshot after_apply = model_.SnapshotWeights();
+  ASSERT_TRUE((*method)->Rollback(&model_, *delta).ok());
+  ASSERT_TRUE((*method)->Reapply(&model_, *delta).ok());
+  const WeightSnapshot after_reapply = model_.SnapshotWeights();
+  for (size_t l = 0; l < after_apply.size(); ++l) {
+    const auto& a = after_apply[l].data();
+    const auto& b = after_reapply[l].data();
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_NEAR(a[i], b[i], 1e-9);
+    }
+  }
+  EXPECT_EQ(model_.Query("USA", "president").entity, "Biden");
+  (*method)->Reset(&model_);
+}
+
+TEST_P(EditingMethodTest, LiveEditLedgerTracksApplyAndRollback) {
+  auto method = MakeEditingMethod(GetParam());
+  const NamedTriple edit{"USA", "president", "Biden"};
+  EXPECT_EQ((*method)->LiveEdits(edit), 0u);
+  auto delta = (*method)->ApplyEdit(&model_, edit);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ((*method)->LiveEdits(edit), 1u);
+  ASSERT_TRUE((*method)->Rollback(&model_, *delta).ok());
+  EXPECT_EQ((*method)->LiveEdits(edit), 0u);
+  ASSERT_TRUE((*method)->Reapply(&model_, *delta).ok());
+  EXPECT_EQ((*method)->LiveEdits(edit), 1u);
+  (*method)->Reset(&model_);
+  EXPECT_EQ((*method)->LiveEdits(edit), 0u);
+}
+
+TEST_P(EditingMethodTest, NullModelRejected) {
+  auto method = MakeEditingMethod(GetParam());
+  EXPECT_FALSE((*method)->ApplyEdit(nullptr, {"a", "president", "b"}).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, EditingMethodTest,
+                         ::testing::Values("FT", "ROME", "MEMIT", "GRACE",
+                                           "MEND", "SERAC"));
+
+TEST(EditingFactoryTest, UnknownNameRejected) {
+  EXPECT_FALSE(MakeEditingMethod("WISE").ok());
+  EXPECT_EQ(RegisteredMethodNames().size(), 6u);
+}
+
+// ------------------------------------------------------------------ ROME ----
+
+TEST(RomeTest, LocateLayerDeterministicAndBounded) {
+  LanguageModel model(SmallConfig(), SmallVocab());
+  const NamedTriple edit{"USA", "president", "Biden"};
+  const size_t layer = RomeMethod::LocateLayer(model, edit);
+  EXPECT_LT(layer, model.memory().num_layers());
+  EXPECT_EQ(layer, RomeMethod::LocateLayer(model, edit));
+  // Different slots may locate different layers (not a fixed layer).
+  bool any_other = false;
+  for (const char* subject : {"France", "Berlin", "Tokyo", "Paris"}) {
+    if (RomeMethod::LocateLayer(model, {subject, "president", "x"}) != layer) {
+      any_other = true;
+    }
+  }
+  EXPECT_TRUE(any_other);
+}
+
+TEST(RomeTest, EditTouchesOnlyLocatedLayer) {
+  LanguageModel model(SmallConfig(), SmallVocab());
+  model.Pretrain(SmallFacts());
+  const WeightSnapshot before = model.SnapshotWeights();
+  RomeMethod rome;
+  const NamedTriple edit{"USA", "president", "Biden"};
+  const size_t located = RomeMethod::LocateLayer(model, edit);
+  ASSERT_TRUE(rome.ApplyEdit(&model, edit).ok());
+  const WeightSnapshot after = model.SnapshotWeights();
+  for (size_t l = 0; l < before.size(); ++l) {
+    if (l == located) continue;
+    EXPECT_EQ(before[l], after[l]) << "layer " << l << " changed";
+  }
+  EXPECT_FALSE(before[located] == after[located]);
+}
+
+// ----------------------------------------------------------------- MEMIT ----
+
+TEST(MemitTest, SpreadWindowCenteredAndSized) {
+  LanguageModel model(SmallConfig(), SmallVocab());
+  MemitMethod memit;
+  const std::vector<size_t> window = memit.SpreadWindow(model);
+  ASSERT_EQ(window.size(), 3u);
+  for (size_t i = 1; i < window.size(); ++i) {
+    EXPECT_EQ(window[i], window[i - 1] + 1);
+  }
+  EXPECT_LT(window.back(), model.memory().num_layers());
+}
+
+TEST(MemitTest, BatchDilutesPerFactStrength) {
+  // Edit strength (decode score of the new object) must drop when the same
+  // edit rides in a large batch — Figure 3's decline mechanism.
+  const NamedTriple edit{"USA", "president", "Biden"};
+
+  LanguageModel solo_model(SmallConfig(), SmallVocab());
+  solo_model.Pretrain(SmallFacts());
+  MemitMethod solo;
+  ASSERT_TRUE(solo.ApplyBatch(&solo_model, {edit}).ok());
+  const double solo_score = solo_model.Query("USA", "president").score;
+
+  LanguageModel batch_model(SmallConfig(), SmallVocab());
+  batch_model.Pretrain(SmallFacts());
+  MemitMethod batched;
+  std::vector<NamedTriple> batch = {edit};
+  for (int i = 0; i < 30; ++i) {
+    batch.push_back(NamedTriple{"France", "capital",
+                                i % 2 == 0 ? "Berlin" : "Tokyo"});
+  }
+  ASSERT_TRUE(batched.ApplyBatch(&batch_model, batch).ok());
+  const double batch_score = batch_model.Query("USA", "president").score;
+
+  EXPECT_LT(batch_score, solo_score - 0.1);
+}
+
+TEST(MemitTest, BatchReturnsDeltaPerEdit) {
+  LanguageModel model(SmallConfig(), SmallVocab());
+  model.Pretrain(SmallFacts());
+  MemitMethod memit;
+  const std::vector<NamedTriple> batch = {
+      {"USA", "president", "Biden"}, {"France", "president", "Trump"}};
+  auto deltas = memit.ApplyBatch(&model, batch);
+  ASSERT_TRUE(deltas.ok());
+  ASSERT_EQ(deltas->size(), 2u);
+  EXPECT_EQ((*deltas)[0].edit, batch[0]);
+  EXPECT_EQ((*deltas)[1].edit, batch[1]);
+}
+
+// ----------------------------------------------------------------- GRACE ----
+
+TEST(GraceTest, CodebookInterceptsWithinEpsilonOnly) {
+  GraceCodebook codebook(0.2);
+  GraceEntry entry;
+  entry.key = Normalized(Vec{1.0, 0.0, 0.0, 0.0});
+  entry.answer = "Biden";
+  codebook.AddEntry(entry);
+
+  std::string answer;
+  EXPECT_TRUE(codebook.TryAnswer(entry.key, &answer));
+  EXPECT_EQ(answer, "Biden");
+  // Just inside the ball.
+  EXPECT_TRUE(codebook.TryAnswer(Normalized(Vec{1.0, 0.1, 0.0, 0.0}), &answer));
+  // Far outside.
+  EXPECT_FALSE(codebook.TryAnswer(Normalized(Vec{0.0, 1.0, 0.0, 0.0}),
+                                  &answer));
+}
+
+TEST(GraceTest, NearestEntryWins) {
+  GraceCodebook codebook(0.5);
+  codebook.AddEntry({Vec{1.0, 0.0}, "close"});
+  codebook.AddEntry({Vec{0.7, 0.3}, "closer"});
+  std::string answer;
+  ASSERT_TRUE(codebook.TryAnswer(Vec{0.72, 0.28}, &answer));
+  EXPECT_EQ(answer, "closer");
+}
+
+TEST(GraceTest, SameKeyReplacesEntry) {
+  GraceCodebook codebook(0.2);
+  const Vec key = Normalized(Vec{1.0, 2.0, 3.0});
+  codebook.AddEntry({key, "first"});
+  codebook.AddEntry({key, "second"});
+  EXPECT_EQ(codebook.size(), 1u);
+  std::string answer;
+  ASSERT_TRUE(codebook.TryAnswer(key, &answer));
+  EXPECT_EQ(answer, "second");
+}
+
+TEST(GraceTest, RemoveEntryByKeyAndAnswer) {
+  GraceCodebook codebook(0.2);
+  const Vec key = Normalized(Vec{1.0, 2.0, 3.0});
+  codebook.AddEntry({key, "Biden"});
+  EXPECT_FALSE(codebook.RemoveEntry({key, "Trump"}).ok());
+  EXPECT_TRUE(codebook.RemoveEntry({key, "Biden"}).ok());
+  EXPECT_EQ(codebook.size(), 0u);
+}
+
+TEST(GraceTest, ResetUnregistersAdaptor) {
+  LanguageModel model(SmallConfig(), SmallVocab());
+  model.Pretrain(SmallFacts());
+  GraceMethod grace;
+  ASSERT_TRUE(grace.ApplyEdit(&model, {"USA", "president", "Biden"}).ok());
+  EXPECT_EQ(model.num_adaptors(), 1u);
+  EXPECT_EQ(model.Query("USA", "president").entity, "Biden");
+  grace.Reset(&model);
+  EXPECT_EQ(model.num_adaptors(), 0u);
+  EXPECT_EQ(model.Query("USA", "president").entity, "Trump");
+}
+
+TEST(GraceTest, NeverTouchesWeights) {
+  LanguageModel model(SmallConfig(), SmallVocab());
+  model.Pretrain(SmallFacts());
+  const WeightSnapshot before = model.SnapshotWeights();
+  GraceMethod grace;
+  ASSERT_TRUE(grace.ApplyEdit(&model, {"USA", "president", "Biden"}).ok());
+  const WeightSnapshot after = model.SnapshotWeights();
+  for (size_t l = 0; l < before.size(); ++l) EXPECT_EQ(before[l], after[l]);
+  grace.Reset(&model);
+}
+
+// -------------------------------------------------------------- reverse leak
+
+TEST(ReverseLeakTest, StrongLeakMovesReverseSlot) {
+  // With a huge leak coefficient, editing (USA, president, Biden) must move
+  // the reverse slot (Biden, president_of) toward USA.
+  RomeConfig config;
+  config.leak.mean = 0.95;
+  config.leak.stddev = 0.0;
+  LanguageModel model(SmallConfig(), SmallVocab());
+  model.Pretrain(SmallFacts());
+  RomeMethod rome(config);
+  ASSERT_TRUE(rome.ApplyEdit(&model, {"USA", "president", "Biden"}).ok());
+  EXPECT_EQ(model.Query("Biden", "president_of").entity, "USA");
+}
+
+TEST(ReverseLeakTest, NonReversibleRelationDoesNotLeak) {
+  RomeConfig config;
+  config.leak.mean = 0.95;
+  config.leak.stddev = 0.0;
+  LanguageModel model(SmallConfig(), SmallVocab());
+  model.Pretrain(SmallFacts());
+  RomeMethod rome(config);
+  auto delta = rome.ApplyEdit(&model, {"France", "capital", "Berlin"});
+  ASSERT_TRUE(delta.ok());
+  // Only the primary edit's rank-one updates (one located layer), no
+  // reverse write.
+  EXPECT_EQ(delta->rank_ones.size(), 1u);
+}
+
+// ------------------------------------------------------------------ cache ----
+
+TEST(EditCacheTest, PutGetEraseRoundTrip) {
+  EditCache cache;
+  EditDelta delta;
+  delta.edit = {"USA", "president", "Biden"};
+  delta.method = "MEMIT";
+  delta.rank_ones.push_back(RankOneUpdate{0, Vec{1, 2}, Vec{3, 4}, 0.5});
+  cache.Put(delta);
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.Has(delta.edit));
+  EXPECT_EQ(cache.Get(delta.edit)->method, "MEMIT");
+  EXPECT_GT(cache.ApproxBytes(), 0u);
+  // Different object -> different entry.
+  EXPECT_FALSE(cache.Has({"USA", "president", "Trump"}));
+  EXPECT_TRUE(cache.Erase(delta.edit).ok());
+  EXPECT_FALSE(cache.Erase(delta.edit).ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(EditCacheTest, PutReplacesSameTriple) {
+  EditCache cache;
+  EditDelta first;
+  first.edit = {"USA", "president", "Biden"};
+  first.method = "ROME";
+  cache.Put(first);
+  EditDelta second = first;
+  second.method = "MEMIT";
+  cache.Put(second);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get(first.edit)->method, "MEMIT");
+}
+
+TEST(EditDeltaTest, ApproxBytesCountsPayload) {
+  EditDelta delta;
+  delta.edit = {"s", "r", "o"};
+  const size_t base = delta.ApproxBytes();
+  delta.rank_ones.push_back(RankOneUpdate{0, Vec(8, 0.0), Vec(8, 0.0), 1.0});
+  EXPECT_GT(delta.ApproxBytes(), base + 100);
+  delta.dense.push_back(DenseUpdate{0, Matrix(4, 4)});
+  delta.grace_entries.push_back(GraceEntry{Vec(8, 0.0), "answer"});
+  EXPECT_GT(delta.ApproxBytes(), base + 100 + 16 * 8);
+  EXPECT_FALSE(delta.empty());
+}
+
+}  // namespace
+}  // namespace oneedit

@@ -1,0 +1,154 @@
+// Unit tests for the Editor execution layer (core/oneedit_editor):
+// rollback/cache/liveness semantics of Execute, independent of the
+// Controller.
+
+#include <gtest/gtest.h>
+
+#include "core/oneedit_editor.h"
+#include "model/model_config.h"
+
+namespace oneedit {
+namespace {
+
+ModelConfig SmallConfig() {
+  ModelConfig config;
+  config.dim = 64;
+  config.num_layers = 4;
+  config.seed = 7;
+  config.junk_fraction = 0.3;
+  return config;
+}
+
+Vocab SmallVocab() {
+  Vocab vocab;
+  vocab.entities = {"USA", "France", "Trump", "Biden", "Macron", "Paris"};
+  vocab.relations = {{"president", "president_of"}, {"capital", ""}};
+  return vocab;
+}
+
+class EditorExecTest : public ::testing::Test {
+ protected:
+  EditorExecTest()
+      : model_(SmallConfig(), SmallVocab()),
+        editor_(&model_, std::move(MakeEditingMethod("MEMIT")).value()) {
+    model_.Pretrain({{"USA", "president", "Trump"},
+                     {"France", "president", "Macron"},
+                     {"France", "capital", "Paris"}});
+  }
+
+  static EditPlan PlanFor(const NamedTriple& edit) {
+    EditPlan plan;
+    plan.request = edit;
+    plan.edits.push_back(edit);
+    return plan;
+  }
+
+  LanguageModel model_;
+  OneEditEditor editor_;
+};
+
+TEST_F(EditorExecTest, NoOpPlanDoesNothing) {
+  EditPlan plan;
+  plan.no_op = true;
+  plan.edits.push_back({"USA", "president", "Biden"});  // must be ignored
+  const auto outcome = editor_.Execute(plan);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->edits_applied, 0u);
+  EXPECT_EQ(model_.Query("USA", "president").entity, "Trump");
+}
+
+TEST_F(EditorExecTest, AppliesAndCachesEdits) {
+  const NamedTriple edit{"USA", "president", "Biden"};
+  const auto outcome = editor_.Execute(PlanFor(edit));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->edits_applied, 1u);
+  EXPECT_EQ(outcome->cache_hits, 0u);
+  EXPECT_TRUE(editor_.cache().Has(edit));
+  EXPECT_TRUE(editor_.IsLive(edit));
+  EXPECT_EQ(model_.Query("USA", "president").entity, "Biden");
+}
+
+TEST_F(EditorExecTest, ReRequestingLiveEditIsIdempotent) {
+  const NamedTriple edit{"USA", "president", "Biden"};
+  ASSERT_TRUE(editor_.Execute(PlanFor(edit)).ok());
+  const WeightSnapshot after_first = model_.SnapshotWeights();
+  const auto outcome = editor_.Execute(PlanFor(edit));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->cache_hits, 1u);
+  EXPECT_EQ(outcome->edits_applied, 0u);  // nothing re-installed
+  const WeightSnapshot after_second = model_.SnapshotWeights();
+  for (size_t l = 0; l < after_first.size(); ++l) {
+    EXPECT_EQ(after_first[l], after_second[l]) << "double-applied delta";
+  }
+}
+
+TEST_F(EditorExecTest, RollbackThenCachedReapply) {
+  const NamedTriple biden{"USA", "president", "Biden"};
+  ASSERT_TRUE(editor_.Execute(PlanFor(biden)).ok());
+
+  // Roll Biden back while installing Macron(!) in the slot.
+  EditPlan flip = PlanFor({"USA", "president", "Macron"});
+  flip.rollbacks.push_back(biden);
+  auto outcome = editor_.Execute(flip);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->rollbacks_applied, 1u);
+  EXPECT_FALSE(editor_.IsLive(biden));
+  EXPECT_EQ(model_.Query("USA", "president").entity, "Macron");
+
+  // Flip back: the Biden delta comes from the cache.
+  EditPlan back = PlanFor(biden);
+  back.rollbacks.push_back({"USA", "president", "Macron"});
+  outcome = editor_.Execute(back);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->rollbacks_applied, 1u);
+  EXPECT_EQ(outcome->cache_hits, 1u);
+  EXPECT_EQ(model_.Query("USA", "president").entity, "Biden");
+}
+
+TEST_F(EditorExecTest, RollbackOfPretrainedKnowledgeIsSkipped) {
+  EditPlan plan = PlanFor({"USA", "president", "Biden"});
+  plan.rollbacks.push_back({"USA", "president", "Trump"});  // never edited
+  const auto outcome = editor_.Execute(plan);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->rollbacks_applied, 0u);
+  EXPECT_EQ(outcome->rollbacks_skipped, 1u);
+}
+
+TEST_F(EditorExecTest, AugmentationsCountedSeparately) {
+  EditPlan plan = PlanFor({"USA", "president", "Biden"});
+  plan.augmentations.push_back({"France", "capital", "Paris"});
+  plan.augmentations.push_back({"France", "president", "Macron"});
+  const auto outcome = editor_.Execute(plan);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->edits_applied, 1u);
+  EXPECT_EQ(outcome->augmentations_applied, 2u);
+}
+
+TEST_F(EditorExecTest, CacheDisabledStillEditsButNeverReuses) {
+  EditorConfig config;
+  config.use_cache = false;
+  OneEditEditor no_cache(&model_, std::move(MakeEditingMethod("MEMIT")).value(),
+                         config);
+  const NamedTriple edit{"USA", "president", "Biden"};
+  ASSERT_TRUE(no_cache.Execute(PlanFor(edit)).ok());
+  EXPECT_EQ(no_cache.cache().size(), 0u);
+  EXPECT_EQ(model_.Query("USA", "president").entity, "Biden");
+  // A rollback request finds no cached θ.
+  EditPlan flip = PlanFor({"USA", "president", "Trump"});
+  flip.rollbacks.push_back(edit);
+  const auto outcome = no_cache.Execute(flip);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->rollbacks_applied, 0u);
+  EXPECT_EQ(outcome->rollbacks_skipped, 1u);
+}
+
+TEST_F(EditorExecTest, ResetClearsCacheAndLiveness) {
+  const NamedTriple edit{"USA", "president", "Biden"};
+  ASSERT_TRUE(editor_.Execute(PlanFor(edit)).ok());
+  editor_.ResetState();
+  EXPECT_EQ(editor_.cache().size(), 0u);
+  EXPECT_FALSE(editor_.IsLive(edit));
+}
+
+}  // namespace
+}  // namespace oneedit

@@ -1,0 +1,151 @@
+// Tests for the knowledge-erasure path ("add, modify, or erase"): intent
+// recognition, Controller retraction planning, Editor suppression, and the
+// end-to-end NL flow including administrative undo.
+
+#include <gtest/gtest.h>
+
+#include "core/oneedit.h"
+#include "data/dataset.h"
+#include "nlp/utterance_generator.h"
+
+namespace oneedit {
+namespace {
+
+DatasetOptions TinyOptions() {
+  DatasetOptions options;
+  options.num_cases = 8;
+  return options;
+}
+
+class EraseTest : public ::testing::Test {
+ protected:
+  EraseTest()
+      : dataset_(BuildAmericanPoliticians(TinyOptions())),
+        model_(GptJSimConfig(), dataset_.vocab) {
+    model_.Pretrain(dataset_.pretrain_facts);
+    OneEditConfig config;
+    config.method = "MEMIT";
+    config.interpreter.extraction_error_rate = 0.0;
+    auto system = OneEditSystem::Create(&dataset_.kg, &model_, config);
+    EXPECT_TRUE(system.ok());
+    system_ = std::move(system).value();
+  }
+
+  Dataset dataset_;
+  LanguageModel model_;
+  std::unique_ptr<OneEditSystem> system_;
+};
+
+TEST_F(EraseTest, EraseIntentRecognizedFromNaturalLanguage) {
+  const EditCase& edit_case = dataset_.cases.front();
+  const NamedTriple truth{edit_case.edit.subject, edit_case.edit.relation,
+                          edit_case.old_object};
+  for (size_t t = 0; t < EraseTemplates().size(); ++t) {
+    const Interpretation interpretation =
+        system_->interpreter().Interpret(EraseUtterance(truth, t));
+    EXPECT_EQ(interpretation.intent, Intent::kErase)
+        << EraseUtterance(truth, t);
+    ASSERT_TRUE(interpretation.triple.has_value());
+    EXPECT_EQ(*interpretation.triple, truth);
+  }
+}
+
+TEST_F(EraseTest, ErasingPretrainedFactSuppressesModelAndKg) {
+  const EditCase& edit_case = dataset_.cases.front();
+  const NamedTriple truth{edit_case.edit.subject, edit_case.edit.relation,
+                          edit_case.old_object};
+  ASSERT_EQ(system_->Ask(truth.subject, truth.relation).entity, truth.object);
+
+  const auto report = system_->EraseTriple(truth, "admin");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->plan.no_op);
+  EXPECT_GT(report->outcome.suppressions_applied, 0u);
+  // The KG no longer holds the fact (nor its reverse counterpart).
+  EXPECT_FALSE(dataset_.kg.Contains(*dataset_.kg.Resolve(truth)));
+  // The model no longer asserts the old object.
+  EXPECT_NE(system_->Ask(truth.subject, truth.relation).entity, truth.object);
+}
+
+TEST_F(EraseTest, ErasingCachedEditRollsItBack) {
+  const EditCase& edit_case = dataset_.cases.front();
+  ASSERT_TRUE(system_->EditTriple(edit_case.edit, "alice").ok());
+  ASSERT_EQ(system_->Ask(edit_case.edit.subject, edit_case.edit.relation)
+                .entity,
+            edit_case.edit.object);
+
+  const auto report = system_->EraseTriple(edit_case.edit, "admin");
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->outcome.rollbacks_applied, 0u);
+  EXPECT_NE(system_->Ask(edit_case.edit.subject, edit_case.edit.relation)
+                .entity,
+            edit_case.edit.object);
+}
+
+TEST_F(EraseTest, EraseOfUnknownTripleIsNoOp) {
+  const EditCase& edit_case = dataset_.cases.front();
+  // The counterfactual object was never asserted.
+  const auto report = system_->EraseTriple(edit_case.edit, "admin");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->plan.no_op);
+  EXPECT_EQ(system_->statistics().Get(Ticker::kErasures), 0u);
+}
+
+TEST_F(EraseTest, EndToEndUtteranceFlow) {
+  const EditCase& edit_case = dataset_.cases.front();
+  const NamedTriple truth{edit_case.edit.subject, edit_case.edit.relation,
+                          edit_case.old_object};
+  const auto response =
+      system_->HandleUtterance(EraseUtterance(truth, 0), "alice");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->kind, UtteranceResponse::Kind::kErased);
+  EXPECT_EQ(system_->statistics().Get(Ticker::kErasures), 1u);
+
+  // Erasing again: nothing left to erase.
+  const auto again =
+      system_->HandleUtterance(EraseUtterance(truth, 1), "alice");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->kind, UtteranceResponse::Kind::kNoOp);
+}
+
+TEST_F(EraseTest, EraseRemovesDerivedFacts) {
+  // Erasing the governor fact retracts the rule-derived first_lady fact too.
+  const EditCase* governor_case = nullptr;
+  for (const EditCase& edit_case : dataset_.cases) {
+    if (edit_case.edit.relation == "governor") {
+      governor_case = &edit_case;
+      break;
+    }
+  }
+  ASSERT_NE(governor_case, nullptr);
+  const NamedTriple truth{governor_case->edit.subject, "governor",
+                          governor_case->old_object};
+  const auto first_lady = dataset_.kg.schema().Lookup("first_lady");
+  const auto state = dataset_.kg.LookupEntity(truth.subject);
+  ASSERT_TRUE(first_lady.ok() && state.ok());
+  ASSERT_TRUE(dataset_.kg.ObjectOf(*state, *first_lady).has_value());
+
+  ASSERT_TRUE(system_->EraseTriple(truth, "admin").ok());
+  EXPECT_FALSE(dataset_.kg.ObjectOf(*state, *first_lady).has_value());
+}
+
+TEST_F(EraseTest, UserRollbackRestoresErasedKnowledge) {
+  const EditCase& edit_case = dataset_.cases.front();
+  const NamedTriple truth{edit_case.edit.subject, edit_case.edit.relation,
+                          edit_case.old_object};
+  ASSERT_TRUE(system_->EraseTriple(truth, "mallory").ok());
+  ASSERT_NE(system_->Ask(truth.subject, truth.relation).entity, truth.object);
+
+  ASSERT_TRUE(system_->RollbackUserEdits("mallory").ok());
+  // The knowledge is re-asserted in both stores.
+  EXPECT_TRUE(dataset_.kg.Contains(*dataset_.kg.Resolve(truth)));
+  EXPECT_EQ(system_->Ask(truth.subject, truth.relation).entity, truth.object);
+}
+
+TEST(IntentNameTest, CoversAllIntents) {
+  EXPECT_EQ(IntentName(Intent::kEdit), "edit");
+  EXPECT_EQ(IntentName(Intent::kGenerate), "generate");
+  EXPECT_EQ(IntentName(Intent::kErase), "erase");
+}
+
+}  // namespace
+}  // namespace oneedit

@@ -1,0 +1,303 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "eval/probe_eval.h"
+#include "eval/report.h"
+#include "util/string_util.h"
+
+namespace oneedit {
+namespace {
+
+// ---------------------------------------------------------------- metrics ----
+
+TEST(MetricsTest, AccumulatorMeansAndCounts) {
+  MetricAccumulator accumulator;
+  accumulator.Add(Metric::kReliability, true);
+  accumulator.Add(Metric::kReliability, false);
+  accumulator.Add(Metric::kLocality, true);
+  EXPECT_DOUBLE_EQ(accumulator.Mean(Metric::kReliability), 0.5);
+  EXPECT_EQ(accumulator.Count(Metric::kReliability), 2u);
+  EXPECT_DOUBLE_EQ(accumulator.Mean(Metric::kLocality), 1.0);
+  EXPECT_DOUBLE_EQ(accumulator.Mean(Metric::kReverse), 0.0);
+  EXPECT_EQ(accumulator.Count(Metric::kSubReplace), 0u);
+}
+
+TEST(MetricsTest, AverageMatchesGraceExample) {
+  // The paper's GRACE row: 1 + 1 + 0 + 0 + 0 -> 0.400.
+  MetricScores scores;
+  scores.reliability = 1.0;
+  scores.locality = 1.0;
+  EXPECT_DOUBLE_EQ(scores.Average(), 0.4);
+}
+
+TEST(MetricsTest, MetricNames) {
+  EXPECT_EQ(MetricName(Metric::kOneHop), "One-Hop");
+  EXPECT_EQ(MetricName(Metric::kSubReplace), "Sub-Replace");
+}
+
+// --------------------------------------------------------- ParseMethodSpec ----
+
+TEST(MethodSpecTest, ParsesBaseMethods) {
+  const auto spec = ParseMethodSpec("MEMIT");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->base, "MEMIT");
+  EXPECT_FALSE(spec->oneedit);
+  EXPECT_EQ(spec->display, "MEMIT");
+}
+
+TEST(MethodSpecTest, ParsesOneEditWrappers) {
+  for (const char* raw : {"OneEdit (GRACE)", "OneEdit(GRACE)",
+                          "oneedit( grace )"}) {
+    const auto spec = ParseMethodSpec(raw);
+    ASSERT_TRUE(spec.ok()) << raw;
+    EXPECT_EQ(spec->base, "GRACE");
+    EXPECT_TRUE(spec->oneedit);
+    EXPECT_EQ(spec->display, "OneEdit (GRACE)");
+  }
+}
+
+TEST(MethodSpecTest, RejectsUnknown) {
+  EXPECT_FALSE(ParseMethodSpec("WISE").ok());
+  EXPECT_FALSE(ParseMethodSpec("OneEdit (WISE)").ok());
+  EXPECT_FALSE(ParseMethodSpec("").ok());
+}
+
+// -------------------------------------------------------------- probe eval ----
+
+class ProbeEvalTest : public ::testing::Test {
+ protected:
+  ProbeEvalTest() : dataset_(BuildAmericanPoliticians(Options())),
+                    model_(Gpt2XlSimConfig(), dataset_.vocab) {
+    model_.Pretrain(dataset_.pretrain_facts);
+  }
+  static DatasetOptions Options() {
+    DatasetOptions options;
+    options.num_cases = 6;
+    return options;
+  }
+  Dataset dataset_;
+  LanguageModel model_;
+};
+
+TEST_F(ProbeEvalTest, DirectProbeOnPretrainedFact) {
+  const NamedTriple& fact = dataset_.locality_pool.front();
+  Probe probe{fact.subject, fact.relation, fact.object, 77};
+  EXPECT_TRUE(EvalDirectProbe(model_, probe));
+  Probe wrong = probe;
+  wrong.expected = "nobody";
+  EXPECT_FALSE(EvalDirectProbe(model_, wrong));
+}
+
+TEST_F(ProbeEvalTest, LocalityBaselineStableWithoutEdits) {
+  const NamedTriple& fact = dataset_.locality_pool.front();
+  Probe probe{fact.subject, fact.relation, "", 91};
+  const std::string baseline = LocalityBaseline(model_, probe);
+  EXPECT_TRUE(EvalLocalityUnchanged(model_, probe, baseline));
+  EXPECT_FALSE(EvalLocalityUnchanged(model_, probe, "someone else"));
+}
+
+TEST_F(ProbeEvalTest, OneHopAnswersThroughPretrainedChain) {
+  // Pick a case's one-hop probe but point it at the OLD object — the chain
+  // is then fully pretrained and should mostly succeed.
+  size_t successes = 0;
+  size_t total = 0;
+  for (const EditCase& edit_case : dataset_.cases) {
+    for (HopProbe probe : edit_case.one_hop) {
+      const auto old_id = dataset_.kg.LookupEntity(edit_case.old_object);
+      const auto r2 = dataset_.kg.schema().Lookup(probe.r2);
+      if (!old_id.ok() || !r2.ok()) continue;
+      const auto expected = dataset_.kg.ObjectOf(*old_id, *r2);
+      if (!expected.has_value()) continue;
+      probe.expected = dataset_.kg.EntityName(*expected);
+      successes += EvalOneHopProbe(model_, dataset_.kg, probe);
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(successes, total / 2);
+}
+
+// ----------------------------------------------------------------- harness ----
+
+TEST(HarnessTest, GraceProfileOnSmallRun) {
+  Harness harness(
+      [] {
+        DatasetOptions options;
+        options.num_cases = 6;
+        return BuildAmericanPoliticians(options);
+      },
+      Gpt2XlSimConfig());
+  RunOptions options;
+  options.max_cases = 6;
+  const auto result = harness.Run(*ParseMethodSpec("GRACE"), options);
+  ASSERT_TRUE(result.ok());
+  // GRACE's signature profile: perfect reliability + locality, zero
+  // portability.
+  EXPECT_DOUBLE_EQ(result->scores.reliability, 1.0);
+  EXPECT_DOUBLE_EQ(result->scores.locality, 1.0);
+  EXPECT_DOUBLE_EQ(result->scores.reverse, 0.0);
+  EXPECT_DOUBLE_EQ(result->scores.sub_replace, 0.0);
+  EXPECT_EQ(result->cases, 6u);
+  EXPECT_EQ(result->edits, 6u);
+}
+
+TEST(HarnessTest, OneEditBeatsBaseOnPortability) {
+  Harness harness(
+      [] {
+        DatasetOptions options;
+        options.num_cases = 8;
+        return BuildAmericanPoliticians(options);
+      },
+      Gpt2XlSimConfig());
+  RunOptions options;
+  options.extraction_error_rate = 0.0;
+  const auto base = harness.Run(*ParseMethodSpec("GRACE"), options);
+  const auto wrapped = harness.Run(*ParseMethodSpec("OneEdit (GRACE)"), options);
+  ASSERT_TRUE(base.ok() && wrapped.ok());
+  EXPECT_GT(wrapped->scores.reverse, base->scores.reverse + 0.5);
+  EXPECT_GT(wrapped->scores.sub_replace, base->scores.sub_replace + 0.5);
+  EXPECT_GT(wrapped->scores.Average(), base->scores.Average());
+  EXPECT_GT(wrapped->modeled_vram_gb, base->modeled_vram_gb);  // interpreter
+}
+
+TEST(HarnessTest, DeterministicAcrossRuns) {
+  Harness harness(
+      [] {
+        DatasetOptions options;
+        options.num_cases = 5;
+        return BuildAmericanPoliticians(options);
+      },
+      Gpt2XlSimConfig());
+  RunOptions options;
+  const auto first = harness.Run(*ParseMethodSpec("MEMIT"), options);
+  const auto second = harness.Run(*ParseMethodSpec("MEMIT"), options);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_DOUBLE_EQ(first->scores.reliability, second->scores.reliability);
+  EXPECT_DOUBLE_EQ(first->scores.locality, second->scores.locality);
+  EXPECT_DOUBLE_EQ(first->scores.reverse, second->scores.reverse);
+  EXPECT_DOUBLE_EQ(first->scores.one_hop, second->scores.one_hop);
+  EXPECT_DOUBLE_EQ(first->scores.sub_replace, second->scores.sub_replace);
+}
+
+TEST(HarnessTest, RunsAreIsolated) {
+  // A destructive FT run must not contaminate a following GRACE run.
+  Harness harness(
+      [] {
+        DatasetOptions options;
+        options.num_cases = 4;
+        return BuildAmericanPoliticians(options);
+      },
+      Gpt2XlSimConfig());
+  ASSERT_TRUE(harness.Run(*ParseMethodSpec("FT"), RunOptions{}).ok());
+  const auto grace = harness.Run(*ParseMethodSpec("GRACE"), RunOptions{});
+  ASSERT_TRUE(grace.ok());
+  EXPECT_DOUBLE_EQ(grace->scores.locality, 1.0);
+}
+
+TEST(HarnessTest, MultiUserTargetsFinalObject) {
+  Harness harness(
+      [] {
+        DatasetOptions options;
+        options.num_cases = 4;
+        return BuildAmericanPoliticians(options);
+      },
+      Gpt2XlSimConfig());
+  RunOptions options;
+  options.users = 3;
+  options.extraction_error_rate = 0.0;
+  const auto result = harness.Run(*ParseMethodSpec("OneEdit (MEMIT)"), options);
+  ASSERT_TRUE(result.ok());
+  // Three edits per case were applied...
+  EXPECT_EQ(result->edits, 3u * result->cases);
+  // ...and reliability against the FINAL object stays high thanks to
+  // rollback-based conflict resolution.
+  EXPECT_GT(result->scores.reliability, 0.7);
+  EXPECT_GT(result->cache_hits, 0u);
+}
+
+TEST(HarnessTest, CostModelSecondsPopulated) {
+  Harness harness(
+      [] {
+        DatasetOptions options;
+        options.num_cases = 3;
+        return BuildAmericanPoliticians(options);
+      },
+      GptJSimConfig());
+  const auto result = harness.Run(*ParseMethodSpec("MEMIT"), RunOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->modeled_edit_seconds, 5.0);
+  EXPECT_GT(result->measured_edit_seconds, 0.0);
+  EXPECT_LT(result->measured_edit_seconds, 5.0);  // simulation is fast
+}
+
+
+TEST(ReportTest, CsvRowMatchesHeaderArity) {
+  HarnessResult result;
+  result.method = "OneEdit (MEMIT)";
+  result.dataset = "american_politicians";
+  result.model = "GPT-J-6B(sim)";
+  result.cases = 10;
+  result.edits = 10;
+  result.scores.reliability = 0.95;
+  const std::string header = ResultsCsvHeader();
+  const std::string row = ResultToCsvRow(result);
+  const size_t header_fields = StrSplit(header, ',').size();
+  EXPECT_EQ(StrSplit(row, ',').size(), header_fields);
+  EXPECT_NE(row.find("OneEdit (MEMIT)"), std::string::npos);
+}
+
+TEST(ReportTest, CsvEscapesCommasAndQuotes) {
+  HarnessResult result;
+  result.method = "method, with \"quotes\"";
+  const std::string row = ResultToCsvRow(result);
+  EXPECT_NE(row.find("\"method, with \"\"quotes\"\"\""), std::string::npos);
+}
+
+TEST(ReportTest, WriteCsvRoundTrip) {
+  const std::string path = testing::TempDir() + "/oneedit_results.csv";
+  HarnessResult result;
+  result.method = "MEMIT";
+  result.dataset = "d";
+  result.model = "m";
+  ASSERT_TRUE(WriteResultsCsv({result, result}, path).ok());
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 3u);  // header + 2 rows
+  std::remove(path.c_str());
+}
+
+TEST(HarnessTest, LifelongProtocolAccumulatesEdits) {
+  Harness harness(
+      [] {
+        DatasetOptions options;
+        options.num_cases = 8;
+        return BuildAmericanPoliticians(options);
+      },
+      Gpt2XlSimConfig());
+  RunOptions options;
+  options.lifelong = true;
+  options.max_cases = 8;
+  options.extraction_error_rate = 0.0;
+  // GRACE is edit-count invariant under the lifelong protocol.
+  const auto grace = harness.Run(*ParseMethodSpec("GRACE"), options);
+  ASSERT_TRUE(grace.ok());
+  EXPECT_EQ(grace->edits, 8u);
+  EXPECT_DOUBLE_EQ(grace->scores.reliability, 1.0);
+  EXPECT_DOUBLE_EQ(grace->scores.locality, 1.0);
+  // OneEdit (GRACE) additionally carries portability through the sequence.
+  const auto wrapped =
+      harness.Run(*ParseMethodSpec("OneEdit (GRACE)"), options);
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_GT(wrapped->scores.reverse, 0.8);
+  EXPECT_DOUBLE_EQ(wrapped->scores.locality, 1.0);
+}
+
+}  // namespace
+}  // namespace oneedit

@@ -1,0 +1,406 @@
+// Tests for the extension surface: SERAC / MEND methods, rule fixpoint
+// chaining and the rule parser, the pattern-query engine, and model
+// checkpointing.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "editing/cache_io.h"
+#include "editing/mend.h"
+#include "editing/serac.h"
+#include "kg/pattern_query.h"
+#include "kg/rules.h"
+#include "model/checkpoint.h"
+#include "model/language_model.h"
+#include "model/model_config.h"
+
+namespace oneedit {
+namespace {
+
+// ------------------------------------------------------------------ SERAC ----
+
+ModelConfig SmallConfig() {
+  ModelConfig config;
+  config.dim = 64;
+  config.num_layers = 4;
+  config.seed = 123;
+  config.junk_fraction = 0.3;
+  return config;
+}
+
+Vocab SmallVocab() {
+  Vocab vocab;
+  vocab.entities = {"USA", "France", "Trump", "Biden", "Macron", "Paris"};
+  vocab.alias_of["the United States"] = "USA";
+  vocab.relations = {{"president", "president_of"}, {"capital", ""}};
+  return vocab;
+}
+
+std::vector<NamedTriple> SmallFacts() {
+  return {{"USA", "president", "Trump"},
+          {"France", "president", "Macron"},
+          {"France", "capital", "Paris"}};
+}
+
+TEST(SeracTest, ScopeMemoryGatesOnCosine) {
+  SeracScopeMemory memory(0.95);
+  const Vec key = Normalized(Vec{1.0, 0.2, 0.0, 0.1});
+  memory.AddRecord({key, "Biden"});
+  std::string answer;
+  EXPECT_TRUE(memory.TryAnswer(key, &answer));
+  EXPECT_EQ(answer, "Biden");
+  // Slightly perturbed key: still in scope.
+  EXPECT_TRUE(memory.TryAnswer(Normalized(Vec{1.0, 0.25, 0.02, 0.1}),
+                               &answer));
+  // Nearly orthogonal: out of scope.
+  EXPECT_FALSE(memory.TryAnswer(Normalized(Vec{0.0, 0.0, 1.0, 0.0}),
+                                &answer));
+}
+
+TEST(SeracTest, PerfectReliabilityAndLocalityZeroPortability) {
+  LanguageModel model(SmallConfig(), SmallVocab());
+  model.Pretrain(SmallFacts());
+  SeracMethod serac;
+  ASSERT_TRUE(serac.ApplyEdit(&model, {"USA", "president", "Biden"}).ok());
+  // In-scope: exact and mildly-noised queries answer the edit.
+  EXPECT_EQ(model.Query("USA", "president").entity, "Biden");
+  // Out-of-scope: unrelated slots untouched (weights never written).
+  EXPECT_EQ(model.Query("France", "president").entity, "Macron");
+  EXPECT_EQ(model.Query("France", "capital").entity, "Paris");
+  // Alias key is out of scope (the memory-based portability failure).
+  QueryOptions options;
+  options.probe_seed = 5;
+  const Decode alias = model.Query("the United States", "president", options);
+  EXPECT_FALSE(alias.intercepted);
+  serac.Reset(&model);
+  EXPECT_EQ(model.num_adaptors(), 0u);
+}
+
+TEST(SeracTest, RollbackRemovesScopeRecord) {
+  LanguageModel model(SmallConfig(), SmallVocab());
+  model.Pretrain(SmallFacts());
+  SeracMethod serac;
+  auto delta = serac.ApplyEdit(&model, {"USA", "president", "Biden"});
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(serac.memory().size(), 1u);
+  ASSERT_TRUE(serac.Rollback(&model, *delta).ok());
+  EXPECT_EQ(serac.memory().size(), 0u);
+  EXPECT_EQ(model.Query("USA", "president").entity, "Trump");
+  ASSERT_TRUE(serac.Reapply(&model, *delta).ok());
+  EXPECT_EQ(model.Query("USA", "president").entity, "Biden");
+  serac.Reset(&model);
+}
+
+// ------------------------------------------------------------------- MEND ----
+
+TEST(MendTest, EditsAllLayersInOneShot) {
+  LanguageModel model(SmallConfig(), SmallVocab());
+  model.Pretrain(SmallFacts());
+  const WeightSnapshot before = model.SnapshotWeights();
+  MendMethod mend;
+  ASSERT_TRUE(mend.ApplyEdit(&model, {"USA", "president", "Biden"}).ok());
+  const WeightSnapshot after = model.SnapshotWeights();
+  for (size_t l = 0; l < before.size(); ++l) {
+    EXPECT_FALSE(before[l] == after[l]) << "layer " << l << " untouched";
+  }
+  EXPECT_EQ(model.Query("USA", "president").entity, "Biden");
+}
+
+TEST(MendTest, LocalityBetweenFtAndRome) {
+  // MEND's collateral is far below FT's and above ROME's.
+  MendConfig mend_config;
+  EXPECT_LT(mend_config.collateral_noise, 6.0);
+  EXPECT_GT(mend_config.collateral_noise, 0.16);
+  LanguageModel model(SmallConfig(), SmallVocab());
+  model.Pretrain(SmallFacts());
+  MendMethod mend(mend_config);
+  ASSERT_TRUE(mend.ApplyEdit(&model, {"USA", "president", "Biden"}).ok());
+  // Unrelated facts survive a single MEND edit.
+  EXPECT_EQ(model.Query("France", "capital").entity, "Paris");
+}
+
+// ---------------------------------------------------------- rule fixpoint ----
+
+TEST(RuleFixpointTest, ChainsDerivedTriplesThroughRules) {
+  // r0(x,y) ∧ r1(y,z) => r2(x,z); r2(x,y) ∧ r1(y,z) => r3(x,z).
+  // Seeding (a, r0, b) with (b, r1, c), (c, r1, d) derives
+  // (a, r2, c) and then (a, r3, d) in the second round.
+  TripleStore store;
+  store.Add({1, 1, 3});  // (b=1, r1, c=3)
+  store.Add({3, 1, 4});  // (c, r1, d=4)
+  RuleEngine rules;
+  rules.AddRule(HornRule{"step1", 0, 1, 2});
+  rules.AddRule(HornRule{"step2", 2, 1, 3});
+
+  const Triple seed{0, 0, 1};  // (a=0, r0, b=1)
+  const auto derived = rules.DeriveToFixpoint(store, seed);
+  ASSERT_EQ(derived.size(), 2u);
+  EXPECT_EQ(derived[0], (Triple{0, 2, 3}));  // round 1
+  EXPECT_EQ(derived[1], (Triple{0, 3, 4}));  // round 2, chained
+}
+
+TEST(RuleFixpointTest, DepthAndLimitBound) {
+  TripleStore store;
+  store.Add({1, 1, 3});
+  store.Add({3, 1, 4});
+  RuleEngine rules;
+  rules.AddRule(HornRule{"step1", 0, 1, 2});
+  rules.AddRule(HornRule{"step2", 2, 1, 3});
+  const Triple seed{0, 0, 1};
+  EXPECT_EQ(rules.DeriveToFixpoint(store, seed, /*max_depth=*/1).size(), 1u);
+  EXPECT_EQ(rules.DeriveToFixpoint(store, seed, 4, /*limit=*/1).size(), 1u);
+  EXPECT_TRUE(rules.DeriveToFixpoint(store, seed, 0).empty());
+}
+
+TEST(RuleFixpointTest, ExcludesKnownTriples) {
+  TripleStore store;
+  store.Add({1, 1, 3});
+  store.Add({0, 2, 3});  // the derivable triple already holds
+  RuleEngine rules;
+  rules.AddRule(HornRule{"step1", 0, 1, 2});
+  EXPECT_TRUE(rules.DeriveToFixpoint(store, {0, 0, 1}).empty());
+}
+
+// ------------------------------------------------------------- rule parser ----
+
+TEST(RuleParserTest, ParsesWellFormedRule) {
+  RelationSchema schema;
+  const auto rule = ParseHornRule(
+      "first_lady(x, z) :- governor(x, y), spouse(y, z)", &schema);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->name, "first_lady");
+  EXPECT_EQ(schema.Name(rule->body1), "governor");
+  EXPECT_EQ(schema.Name(rule->body2), "spouse");
+  EXPECT_EQ(schema.Name(rule->head), "first_lady");
+  EXPECT_EQ(schema.size(), 3u);
+}
+
+TEST(RuleParserTest, ReusesExistingRelations) {
+  RelationSchema schema;
+  const RelationId governor = schema.Define("governor");
+  const auto rule = ParseHornRule(
+      "first_lady(x,z) :- governor(x,y), spouse(y,z)", &schema);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->body1, governor);
+}
+
+TEST(RuleParserTest, RejectsMalformedRules) {
+  RelationSchema schema;
+  EXPECT_FALSE(ParseHornRule("no turnstile here", &schema).ok());
+  EXPECT_FALSE(ParseHornRule("h(x,z) :- b1(x,y)", &schema).ok());
+  EXPECT_FALSE(
+      ParseHornRule("h(z,x) :- b1(x,y), b2(y,z)", &schema).ok());  // shape
+  EXPECT_FALSE(ParseHornRule("h(x,z) :- b1(x,y), b2(z,y)", &schema).ok());
+  EXPECT_FALSE(ParseHornRule("(x,z) :- b1(x,y), b2(y,z)", &schema).ok());
+  EXPECT_FALSE(ParseHornRule("h(x,z) :- b1(x,y), b2(y,z)", nullptr).ok());
+}
+
+// ------------------------------------------------------------ pattern query ----
+
+class PatternQueryTest : public ::testing::Test {
+ protected:
+  PatternQueryTest() {
+    const RelationId governor = kg_.schema().Define("governor");
+    const RelationId spouse = kg_.schema().Define("spouse");
+    const RelationId born_in = kg_.schema().Define("born_in");
+    const auto add = [this](const char* s, RelationId r, const char* o) {
+      ASSERT_TRUE(
+          kg_.Add(Triple{kg_.InternEntity(s), r, kg_.InternEntity(o)}).ok());
+    };
+    add("Ashfield", governor, "Ada");
+    add("Brookmont", governor, "Bruno");
+    add("Ada", spouse, "Kira");
+    add("Bruno", spouse, "Mara");
+    add("Kira", born_in, "Aldenton");
+    add("Mara", born_in, "Briarton");
+  }
+  KnowledgeGraph kg_;
+};
+
+TEST_F(PatternQueryTest, SingleConstantPattern) {
+  const auto results = Query(kg_, {{"Ashfield", "governor", "?who"}});
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].at("?who"), "Ada");
+}
+
+TEST_F(PatternQueryTest, JoinAcrossPatterns) {
+  const auto results = Query(kg_, {{"?state", "governor", "?gov"},
+                                   {"?gov", "spouse", "?spouse"},
+                                   {"?spouse", "born_in", "Aldenton"}});
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].at("?state"), "Ashfield");
+  EXPECT_EQ((*results)[0].at("?spouse"), "Kira");
+}
+
+TEST_F(PatternQueryTest, FullyUnboundScans) {
+  const auto results = Query(kg_, {{"?s", "governor", "?o"}});
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 2u);
+}
+
+TEST_F(PatternQueryTest, RepeatedVariableActsAsJoin) {
+  // ?p appears as object then subject: must bind consistently.
+  const auto results =
+      Query(kg_, {{"Brookmont", "governor", "?p"}, {"?p", "spouse", "?q"}});
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].at("?q"), "Mara");
+}
+
+TEST_F(PatternQueryTest, NoSolutions) {
+  const auto results =
+      Query(kg_, {{"Ashfield", "governor", "Bruno"}});
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+  const auto ask = Ask(kg_, {{"Ashfield", "governor", "Ada"}});
+  ASSERT_TRUE(ask.ok());
+  EXPECT_TRUE(*ask);
+}
+
+TEST_F(PatternQueryTest, Rejections) {
+  EXPECT_FALSE(Query(kg_, {}).ok());
+  EXPECT_FALSE(Query(kg_, {{"?s", "?rel", "?o"}}).ok());
+  EXPECT_FALSE(Query(kg_, {{"?s", "no_such_relation", "?o"}}).ok());
+}
+
+// -------------------------------------------------------------- checkpoint ----
+
+TEST(CheckpointTest, SaveLoadRoundTrip) {
+  const std::string path = testing::TempDir() + "/oneedit_ckpt.bin";
+  std::remove(path.c_str());
+  LanguageModel model(SmallConfig(), SmallVocab());
+  model.Pretrain(SmallFacts());
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+
+  LanguageModel restored(SmallConfig(), SmallVocab());
+  ASSERT_TRUE(LoadCheckpoint(path, &restored).ok());
+  for (size_t l = 0; l < model.memory().num_layers(); ++l) {
+    EXPECT_EQ(model.memory().layer(l), restored.memory().layer(l));
+  }
+  EXPECT_EQ(restored.Query("USA", "president").entity, "Trump");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsShapeMismatch) {
+  const std::string path = testing::TempDir() + "/oneedit_ckpt_shape.bin";
+  LanguageModel model(SmallConfig(), SmallVocab());
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+  ModelConfig other = SmallConfig();
+  other.dim = 32;
+  LanguageModel mismatched(other, SmallVocab());
+  EXPECT_FALSE(LoadCheckpoint(path, &mismatched).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsGarbageFiles) {
+  const std::string path = testing::TempDir() + "/oneedit_ckpt_bad.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a checkpoint", f);
+    std::fclose(f);
+  }
+  LanguageModel model(SmallConfig(), SmallVocab());
+  EXPECT_FALSE(LoadCheckpoint(path, &model).ok());
+  EXPECT_FALSE(LoadCheckpoint("/no/such/file", &model).ok());
+  EXPECT_FALSE(LoadCheckpoint(path, nullptr).ok());
+  std::remove(path.c_str());
+}
+
+
+// ---------------------------------------------------------- cache persistence
+
+TEST(CacheIoTest, SaveLoadRoundTripAllDeltaKinds) {
+  const std::string path = testing::TempDir() + "/oneedit_cache.bin";
+  std::remove(path.c_str());
+
+  EditCache cache;
+  EditDelta weight_delta;
+  weight_delta.edit = {"USA", "president", "Biden"};
+  weight_delta.method = "MEMIT";
+  weight_delta.rank_ones.push_back(
+      RankOneUpdate{2, Vec{1.5, -2.5}, Vec{0.25, 0.75}, 0.33});
+  Matrix drift(2, 2);
+  drift.At(0, 1) = 7.0;
+  weight_delta.dense.push_back(DenseUpdate{1, drift});
+  cache.Put(weight_delta);
+
+  EditDelta grace_delta;
+  grace_delta.edit = {"France", "president", "Trump"};
+  grace_delta.method = "GRACE";
+  grace_delta.grace_entries.push_back(GraceEntry{Vec{0.1, 0.9}, "Trump"});
+  cache.Put(grace_delta);
+
+  ASSERT_TRUE(SaveCache(cache, path).ok());
+
+  EditCache restored;
+  ASSERT_TRUE(LoadCache(path, &restored).ok());
+  ASSERT_EQ(restored.size(), 2u);
+  const EditDelta* w = restored.Get(weight_delta.edit);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->method, "MEMIT");
+  ASSERT_EQ(w->rank_ones.size(), 1u);
+  EXPECT_EQ(w->rank_ones[0].layer, 2u);
+  EXPECT_DOUBLE_EQ(w->rank_ones[0].alpha, 0.33);
+  EXPECT_EQ(w->rank_ones[0].value, (Vec{1.5, -2.5}));
+  ASSERT_EQ(w->dense.size(), 1u);
+  EXPECT_DOUBLE_EQ(w->dense[0].delta.At(0, 1), 7.0);
+  const EditDelta* g = restored.Get(grace_delta.edit);
+  ASSERT_NE(g, nullptr);
+  ASSERT_EQ(g->grace_entries.size(), 1u);
+  EXPECT_EQ(g->grace_entries[0].answer, "Trump");
+  std::remove(path.c_str());
+}
+
+TEST(CacheIoTest, RestoredDeltaRollsBackRealEdit) {
+  // The full restart story: edit, persist theta, restart, roll the edit back
+  // using only the restored cache.
+  const std::string path = testing::TempDir() + "/oneedit_cache_rt.bin";
+  std::remove(path.c_str());
+
+  LanguageModel model(SmallConfig(), SmallVocab());
+  model.Pretrain(SmallFacts());
+  const WeightSnapshot pristine = model.SnapshotWeights();
+
+  auto method = MakeEditingMethod("MEMIT");
+  auto delta = (*method)->ApplyEdit(&model, {"USA", "president", "Biden"});
+  ASSERT_TRUE(delta.ok());
+  EditCache cache;
+  cache.Put(*delta);
+  ASSERT_TRUE(SaveCache(cache, path).ok());
+
+  // "Restart": fresh cache, same (persisted) model weights.
+  EditCache restored;
+  ASSERT_TRUE(LoadCache(path, &restored).ok());
+  const EditDelta* cached = restored.Get({"USA", "president", "Biden"});
+  ASSERT_NE(cached, nullptr);
+  auto fresh_method = MakeEditingMethod("MEMIT");
+  ASSERT_TRUE((*fresh_method)->Rollback(&model, *cached).ok());
+  const WeightSnapshot now = model.SnapshotWeights();
+  for (size_t l = 0; l < now.size(); ++l) {
+    const auto& a = now[l].data();
+    const auto& b = pristine[l].data();
+    for (size_t i = 0; i < a.size(); ++i) ASSERT_NEAR(a[i], b[i], 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CacheIoTest, RejectsGarbageAndTruncation) {
+  const std::string path = testing::TempDir() + "/oneedit_cache_bad.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("garbage", f);
+    std::fclose(f);
+  }
+  EditCache cache;
+  EXPECT_FALSE(LoadCache(path, &cache).ok());
+  EXPECT_FALSE(LoadCache("/no/such/cache", &cache).ok());
+  EXPECT_FALSE(LoadCache(path, nullptr).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace oneedit

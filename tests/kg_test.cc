@@ -1,0 +1,448 @@
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "kg/dictionary.h"
+#include "kg/graph_query.h"
+#include "kg/knowledge_graph.h"
+#include "kg/relation_schema.h"
+#include "kg/rules.h"
+#include "kg/triple_store.h"
+#include "kg/wal.h"
+
+namespace oneedit {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ------------------------------------------------------------- Dictionary ----
+
+TEST(DictionaryTest, InternAssignsDenseIdsInOrder) {
+  Dictionary d;
+  EXPECT_EQ(d.Intern("alpha"), 0u);
+  EXPECT_EQ(d.Intern("beta"), 1u);
+  EXPECT_EQ(d.Intern("alpha"), 0u);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.Name(1), "beta");
+  EXPECT_EQ(d.Name(99), "<invalid>");
+}
+
+TEST(DictionaryTest, LookupMissReturnsNotFound) {
+  Dictionary d;
+  EXPECT_FALSE(d.Lookup("ghost").ok());
+  d.Intern("ghost");
+  ASSERT_TRUE(d.Lookup("ghost").ok());
+  EXPECT_TRUE(d.Contains("ghost"));
+}
+
+// ---------------------------------------------------------- RelationSchema ----
+
+TEST(RelationSchemaTest, DefineIsIdempotent) {
+  RelationSchema schema;
+  const RelationId wife = schema.Define("wife");
+  EXPECT_EQ(schema.Define("wife"), wife);
+  EXPECT_EQ(schema.size(), 1u);
+  EXPECT_TRUE(schema.IsFunctional(wife));
+}
+
+TEST(RelationSchemaTest, InverseLinksAreSymmetric) {
+  RelationSchema schema;
+  const RelationId wife = schema.Define("wife");
+  const RelationId husband = schema.Define("husband");
+  ASSERT_TRUE(schema.SetInverse(wife, husband).ok());
+  EXPECT_TRUE(schema.IsReversible(wife));
+  EXPECT_EQ(schema.InverseOf(wife), husband);
+  EXPECT_EQ(schema.InverseOf(husband), wife);
+  // Re-declaring the same link is fine; a different link is rejected.
+  EXPECT_TRUE(schema.SetInverse(wife, husband).ok());
+  const RelationId other = schema.Define("other");
+  EXPECT_FALSE(schema.SetInverse(wife, other).ok());
+}
+
+TEST(RelationSchemaTest, SymmetricRelationIsItsOwnInverse) {
+  RelationSchema schema;
+  const RelationId spouse = schema.Define("spouse");
+  ASSERT_TRUE(schema.SetSymmetric(spouse).ok());
+  EXPECT_EQ(schema.InverseOf(spouse), spouse);
+}
+
+TEST(RelationSchemaTest, UnknownIdsAreSafe) {
+  RelationSchema schema;
+  EXPECT_FALSE(schema.IsReversible(5));
+  EXPECT_EQ(schema.InverseOf(5), kInvalidId);
+  EXPECT_FALSE(schema.IsFunctional(5));
+  EXPECT_FALSE(schema.SetInverse(0, 1).ok());
+}
+
+// ------------------------------------------------------------- TripleStore ----
+
+TEST(TripleStoreTest, AddRemoveContains) {
+  TripleStore store;
+  const Triple t{1, 2, 3};
+  EXPECT_TRUE(store.Add(t));
+  EXPECT_FALSE(store.Add(t));
+  EXPECT_TRUE(store.Contains(t));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.Remove(t));
+  EXPECT_FALSE(store.Remove(t));
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(TripleStoreTest, PatternLookupsAreSortedAndComplete) {
+  TripleStore store;
+  store.Add({1, 7, 9});
+  store.Add({1, 7, 4});
+  store.Add({2, 7, 4});
+  store.Add({1, 8, 4});
+  EXPECT_EQ(store.Objects(1, 7), (std::vector<EntityId>{4, 9}));
+  EXPECT_EQ(store.Subjects(7, 4), (std::vector<EntityId>{1, 2}));
+  EXPECT_EQ(store.TriplesWithSubject(1).size(), 3u);
+  EXPECT_EQ(store.TriplesWithObject(4).size(), 3u);
+  EXPECT_TRUE(store.Objects(9, 7).empty());
+}
+
+TEST(TripleStoreTest, RemovePrunesIndexes) {
+  TripleStore store;
+  store.Add({1, 7, 9});
+  store.Add({1, 7, 4});
+  store.Remove({1, 7, 9});
+  EXPECT_EQ(store.Objects(1, 7), (std::vector<EntityId>{4}));
+  store.Remove({1, 7, 4});
+  EXPECT_TRUE(store.Objects(1, 7).empty());
+  EXPECT_TRUE(store.TriplesWithSubject(1).empty());
+}
+
+TEST(TripleStoreTest, AllTriplesSorted) {
+  TripleStore store;
+  store.Add({3, 1, 1});
+  store.Add({1, 2, 3});
+  store.Add({1, 1, 1});
+  const auto all = store.AllTriples();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_TRUE(all[0] < all[1] && all[1] < all[2]);
+}
+
+// ------------------------------------------------------------------- WAL ----
+
+TEST(WalTest, AppendAndReplayRoundTrip) {
+  const std::string path = TempPath("oneedit_wal_test.log");
+  std::remove(path.c_str());
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.Append(WalOp::kAdd, "USA", "president", "Trump").ok());
+    ASSERT_TRUE(wal.Append(WalOp::kRemove, "USA", "president", "Trump").ok());
+    ASSERT_TRUE(wal.Append(WalOp::kAdd, "USA", "president", "Biden").ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  std::vector<std::string> seen;
+  ASSERT_TRUE(WriteAheadLog::Replay(path, [&](WalOp op, const std::string& s,
+                                              const std::string& r,
+                                              const std::string& o) {
+                seen.push_back((op == WalOp::kAdd ? "A:" : "D:") + s + "/" +
+                               r + "/" + o);
+              }).ok());
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "A:USA/president/Trump");
+  EXPECT_EQ(seen[2], "A:USA/president/Biden");
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, RejectsFieldsWithTabs) {
+  const std::string path = TempPath("oneedit_wal_tab.log");
+  std::remove(path.c_str());
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path).ok());
+  EXPECT_FALSE(wal.Append(WalOp::kAdd, "bad\tname", "r", "o").ok());
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, ReplayDetectsCorruption) {
+  const std::string path = TempPath("oneedit_wal_corrupt.log");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("A\tUSA\tpresident\tTrump\n", f);
+    std::fputs("garbage line\n", f);
+    std::fclose(f);
+  }
+  const Status s = WriteAheadLog::Replay(
+      path, [](WalOp, const std::string&, const std::string&,
+               const std::string&) {});
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, AppendWithoutOpenFails) {
+  WriteAheadLog wal;
+  EXPECT_FALSE(wal.Append(WalOp::kAdd, "a", "b", "c").ok());
+  EXPECT_FALSE(wal.Sync().ok());
+}
+
+// ----------------------------------------------------------------- Rules ----
+
+TEST(RuleEngineTest, DeriveFromBindsEitherAtom) {
+  TripleStore store;
+  // Relations: 0=president_of_country(country, president, person),
+  //            1=wife, 2=first_lady.
+  RuleEngine rules;
+  rules.AddRule(HornRule{"first-lady", 0, 1, 2});
+  // (USA=10, president, Biden=11), (Biden, wife, Jill=12).
+  store.Add({10, 0, 11});
+  store.Add({11, 1, 12});
+
+  // Seeding the president fact derives (USA, first_lady, Jill).
+  const auto derived1 = rules.DeriveFrom(store, {10, 0, 11});
+  ASSERT_EQ(derived1.size(), 1u);
+  EXPECT_EQ(derived1[0], (Triple{10, 2, 12}));
+
+  // Seeding the wife fact derives the same head.
+  const auto derived2 = rules.DeriveFrom(store, {11, 1, 12});
+  ASSERT_EQ(derived2.size(), 1u);
+  EXPECT_EQ(derived2[0], (Triple{10, 2, 12}));
+}
+
+TEST(RuleEngineTest, NoMatchNoDerivation) {
+  TripleStore store;
+  RuleEngine rules;
+  rules.AddRule(HornRule{"r", 0, 1, 2});
+  store.Add({10, 0, 11});
+  EXPECT_TRUE(rules.DeriveFrom(store, {10, 5, 11}).empty());
+  EXPECT_TRUE(rules.DeriveFrom(store, {10, 0, 11}).empty());  // no second atom
+}
+
+TEST(RuleEngineTest, DeriveAllCoversStoreAndRespectsLimit) {
+  TripleStore store;
+  RuleEngine rules;
+  rules.AddRule(HornRule{"r", 0, 1, 2});
+  store.Add({10, 0, 11});
+  store.Add({11, 1, 12});
+  store.Add({20, 0, 21});
+  store.Add({21, 1, 22});
+  EXPECT_EQ(rules.DeriveAll(store, 100).size(), 2u);
+  EXPECT_EQ(rules.DeriveAll(store, 1).size(), 1u);
+}
+
+// ------------------------------------------------------------ GraphQuery ----
+
+TEST(GraphQueryTest, NHopEntitiesExpandsByLayers) {
+  TripleStore store;
+  // Chain: 1 -> 2 -> 3 -> 4.
+  store.Add({1, 0, 2});
+  store.Add({2, 0, 3});
+  store.Add({3, 0, 4});
+  EXPECT_EQ(NHopEntities(store, 1, 1), (std::vector<EntityId>{2}));
+  EXPECT_EQ(NHopEntities(store, 1, 2), (std::vector<EntityId>{2, 3}));
+  EXPECT_EQ(NHopEntities(store, 1, 3), (std::vector<EntityId>{2, 3, 4}));
+  // Undirected: from 3, one hop reaches 2 and 4.
+  EXPECT_EQ(NHopEntities(store, 3, 1), (std::vector<EntityId>{2, 4}));
+}
+
+TEST(GraphQueryTest, NeighborhoodTriplesNearestFirst) {
+  TripleStore store;
+  store.Add({1, 0, 2});   // distance-0 edge (incident to center)
+  store.Add({2, 0, 3});   // incident to 1-hop node
+  store.Add({3, 0, 4});   // incident to 2-hop node
+  const auto got = NeighborhoodTriples(store, 1, 2);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], (Triple{1, 0, 2}));
+  EXPECT_EQ(got[1], (Triple{2, 0, 3}));
+  EXPECT_TRUE(NeighborhoodTriples(store, 1, 0).empty());
+  // Asking for more than exist returns all, without duplicates.
+  EXPECT_EQ(NeighborhoodTriples(store, 1, 50).size(), 3u);
+}
+
+TEST(GraphQueryTest, DistanceBfs) {
+  TripleStore store;
+  store.Add({1, 0, 2});
+  store.Add({2, 0, 3});
+  store.Add({9, 0, 9});
+  EXPECT_EQ(Distance(store, 1, 1), 0u);
+  EXPECT_EQ(Distance(store, 1, 3), 2u);
+  EXPECT_EQ(Distance(store, 3, 1), 2u);
+  EXPECT_EQ(Distance(store, 1, 9), SIZE_MAX);
+}
+
+// --------------------------------------------------------- KnowledgeGraph ----
+
+class KnowledgeGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    usa_ = kg_.InternEntity("USA");
+    trump_ = kg_.InternEntity("Trump");
+    biden_ = kg_.InternEntity("Biden");
+    president_ = kg_.schema().Define("president");
+  }
+  KnowledgeGraph kg_;
+  EntityId usa_, trump_, biden_;
+  RelationId president_;
+};
+
+TEST_F(KnowledgeGraphTest, AddRemoveVersioned) {
+  EXPECT_EQ(kg_.version(), 0u);
+  ASSERT_TRUE(kg_.Add({usa_, president_, trump_}).ok());
+  EXPECT_EQ(kg_.version(), 1u);
+  EXPECT_TRUE(kg_.Contains({usa_, president_, trump_}));
+  EXPECT_TRUE(kg_.Add({usa_, president_, trump_}).IsAlreadyExists());
+  ASSERT_TRUE(kg_.Remove({usa_, president_, trump_}).ok());
+  EXPECT_EQ(kg_.version(), 2u);
+  EXPECT_TRUE(kg_.Remove({usa_, president_, trump_}).IsNotFound());
+}
+
+TEST_F(KnowledgeGraphTest, UpsertReplacesFunctionalSlot) {
+  auto first = kg_.Upsert(usa_, president_, trump_);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->has_value());
+  auto second = kg_.Upsert(usa_, president_, biden_);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->has_value());
+  EXPECT_EQ(**second, trump_);
+  EXPECT_EQ(kg_.ObjectOf(usa_, president_), biden_);
+  EXPECT_FALSE(kg_.Contains({usa_, president_, trump_}));
+  // Upserting the same value is a no-op.
+  const uint64_t v = kg_.version();
+  auto third = kg_.Upsert(usa_, president_, biden_);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third->has_value());
+  EXPECT_EQ(kg_.version(), v);
+}
+
+TEST_F(KnowledgeGraphTest, RollbackRestoresExactState) {
+  ASSERT_TRUE(kg_.Add({usa_, president_, trump_}).ok());
+  const uint64_t checkpoint = kg_.version();
+  ASSERT_TRUE(kg_.Upsert(usa_, president_, biden_).ok());
+  EXPECT_EQ(kg_.ObjectOf(usa_, president_), biden_);
+  ASSERT_TRUE(kg_.RollbackTo(checkpoint).ok());
+  EXPECT_EQ(kg_.ObjectOf(usa_, president_), trump_);
+  EXPECT_EQ(kg_.version(), checkpoint);
+  EXPECT_FALSE(kg_.RollbackTo(checkpoint + 100).ok());
+}
+
+TEST_F(KnowledgeGraphTest, ResolveAndToNamed) {
+  ASSERT_TRUE(kg_.Add({usa_, president_, trump_}).ok());
+  const auto t = kg_.Resolve({"USA", "president", "Trump"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->subject, usa_);
+  EXPECT_EQ(kg_.ToNamed(*t),
+            (NamedTriple{"USA", "president", "Trump"}));
+  EXPECT_EQ(kg_.ToString(*t), "(USA, president, Trump)");
+  EXPECT_FALSE(kg_.Resolve({"Narnia", "president", "Trump"}).ok());
+}
+
+TEST_F(KnowledgeGraphTest, AliasesResolveToCanonical) {
+  const EntityId potus = kg_.InternEntity("POTUS-45");
+  kg_.AddAlias(potus, trump_);
+  EXPECT_EQ(kg_.Canonical(potus), trump_);
+  EXPECT_EQ(kg_.Canonical(trump_), trump_);
+  EXPECT_EQ(kg_.AliasesOf(trump_), (std::vector<EntityId>{potus}));
+  EXPECT_TRUE(kg_.AliasesOf(biden_).empty());
+}
+
+TEST_F(KnowledgeGraphTest, SnapshotRoundTrip) {
+  const std::string path = TempPath("oneedit_kg_snapshot.tsv");
+  std::remove(path.c_str());
+  ASSERT_TRUE(kg_.Add({usa_, president_, trump_}).ok());
+  ASSERT_TRUE(kg_.SaveSnapshot(path).ok());
+
+  KnowledgeGraph other;
+  ASSERT_TRUE(other.LoadSnapshot(path).ok());
+  const auto t = other.Resolve({"USA", "president", "Trump"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(other.Contains(*t));
+  std::remove(path.c_str());
+}
+
+TEST_F(KnowledgeGraphTest, WalReplayRestoresGraph) {
+  const std::string path = TempPath("oneedit_kg_wal.log");
+  std::remove(path.c_str());
+  {
+    KnowledgeGraph kg;
+    ASSERT_TRUE(kg.AttachWal(path, /*replay_existing=*/true).ok());
+    const EntityId usa = kg.InternEntity("USA");
+    const EntityId trump = kg.InternEntity("Trump");
+    const EntityId biden = kg.InternEntity("Biden");
+    const RelationId president = kg.schema().Define("president");
+    ASSERT_TRUE(kg.Add({usa, president, trump}).ok());
+    ASSERT_TRUE(kg.Upsert(usa, president, biden).ok());
+  }
+  KnowledgeGraph recovered;
+  ASSERT_TRUE(recovered.AttachWal(path, /*replay_existing=*/true).ok());
+  const auto t = recovered.Resolve({"USA", "president", "Biden"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(recovered.Contains(*t));
+  EXPECT_FALSE(recovered.Resolve({"USA", "president", "Trump"}).ok() &&
+               recovered.Contains(*recovered.Resolve(
+                   {"USA", "president", "Trump"})));
+  std::remove(path.c_str());
+}
+
+TEST_F(KnowledgeGraphTest, WalJournalsRollbacksAsCompensation) {
+  const std::string path = TempPath("oneedit_kg_wal_rb.log");
+  std::remove(path.c_str());
+  {
+    KnowledgeGraph kg;
+    ASSERT_TRUE(kg.AttachWal(path, true).ok());
+    const EntityId usa = kg.InternEntity("USA");
+    const EntityId trump = kg.InternEntity("Trump");
+    const EntityId biden = kg.InternEntity("Biden");
+    const RelationId president = kg.schema().Define("president");
+    ASSERT_TRUE(kg.Add({usa, president, trump}).ok());
+    const uint64_t checkpoint = kg.version();
+    ASSERT_TRUE(kg.Upsert(usa, president, biden).ok());
+    ASSERT_TRUE(kg.RollbackTo(checkpoint).ok());
+  }
+  KnowledgeGraph recovered;
+  ASSERT_TRUE(recovered.AttachWal(path, true).ok());
+  const auto t = recovered.Resolve({"USA", "president", "Trump"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(recovered.Contains(*t));
+  std::remove(path.c_str());
+}
+
+
+TEST_F(KnowledgeGraphTest, TransactionCommitKeepsMutations) {
+  {
+    KnowledgeGraph::Transaction txn(&kg_);
+    ASSERT_TRUE(kg_.Add({usa_, president_, trump_}).ok());
+    txn.Commit();
+  }
+  EXPECT_TRUE(kg_.Contains({usa_, president_, trump_}));
+}
+
+TEST_F(KnowledgeGraphTest, TransactionAbortOnScopeExit) {
+  ASSERT_TRUE(kg_.Add({usa_, president_, trump_}).ok());
+  {
+    KnowledgeGraph::Transaction txn(&kg_);
+    ASSERT_TRUE(kg_.Upsert(usa_, president_, biden_).ok());
+    EXPECT_EQ(kg_.ObjectOf(usa_, president_), biden_);
+    // no Commit -> destructor aborts
+  }
+  EXPECT_EQ(kg_.ObjectOf(usa_, president_), trump_);
+}
+
+TEST_F(KnowledgeGraphTest, TransactionExplicitAbortIsIdempotent) {
+  KnowledgeGraph::Transaction txn(&kg_);
+  ASSERT_TRUE(kg_.Add({usa_, president_, trump_}).ok());
+  ASSERT_TRUE(txn.Abort().ok());
+  ASSERT_TRUE(txn.Abort().ok());
+  EXPECT_FALSE(kg_.Contains({usa_, president_, trump_}));
+}
+
+TEST_F(KnowledgeGraphTest, TransactionsNestLifo) {
+  KnowledgeGraph::Transaction outer(&kg_);
+  ASSERT_TRUE(kg_.Add({usa_, president_, trump_}).ok());
+  {
+    KnowledgeGraph::Transaction inner(&kg_);
+    ASSERT_TRUE(kg_.Upsert(usa_, president_, biden_).ok());
+    // inner aborts
+  }
+  EXPECT_EQ(kg_.ObjectOf(usa_, president_), trump_);
+  outer.Commit();
+  EXPECT_TRUE(kg_.Contains({usa_, president_, trump_}));
+}
+
+}  // namespace
+}  // namespace oneedit

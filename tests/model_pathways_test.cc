@@ -1,0 +1,154 @@
+// Tests for the model's differentiated query pathways: the consolidated
+// (multi-hop) pathway that attenuates post-pretraining edits, alias-basin
+// pretraining, and blended recall.
+
+#include <gtest/gtest.h>
+
+#include "model/assoc_memory.h"
+#include "model/language_model.h"
+#include "model/model_config.h"
+#include "util/math.h"
+
+namespace oneedit {
+namespace {
+
+ModelConfig PathConfig() {
+  ModelConfig config;
+  config.dim = 64;
+  config.num_layers = 4;
+  config.seed = 31;
+  config.junk_fraction = 0.0;  // keep slots clean for exact assertions
+  return config;
+}
+
+Vocab PathVocab() {
+  Vocab vocab;
+  vocab.entities = {"Ashfield", "Ada", "Kira", "Bruno", "Mara", "Aldenton"};
+  vocab.alias_of["Governor Ada"] = "Ada";
+  vocab.relations = {{"governor", "governs"}, {"spouse", "spouse"},
+                     {"party", ""}};
+  return vocab;
+}
+
+std::vector<NamedTriple> PathFacts() {
+  return {{"Ashfield", "governor", "Ada"},
+          {"Ada", "governs", "Ashfield"},
+          {"Ada", "spouse", "Kira"},
+          {"Kira", "spouse", "Ada"},
+          {"Bruno", "spouse", "Mara"},
+          {"Kira", "party", "Aldenton"},  // reuse entity as a party stand-in
+          {"Mara", "party", "Aldenton"}};
+}
+
+// -------------------------------------------------------- RecallBlended ----
+
+TEST(RecallBlendedTest, InterpolatesBetweenBaseAndCurrent) {
+  AssocMemory memory(1, 4);
+  const Vec key = Normalized(Vec{1.0, 0.0, 0.0, 0.0});
+  memory.AddRankOne(0, Vec{0.0, 1.0, 0.0, 0.0}, key, 1.0);
+  const WeightSnapshot base = memory.Snapshot();
+  // Post-"pretraining" delta.
+  memory.AddRankOne(0, Vec{0.0, 0.0, 1.0, 0.0}, key, 1.0);
+
+  const Vec full = memory.RecallBlended({key}, base, 1.0);
+  EXPECT_NEAR(full[1], 1.0, 1e-12);
+  EXPECT_NEAR(full[2], 1.0, 1e-12);
+
+  const Vec frozen = memory.RecallBlended({key}, base, 0.0);
+  EXPECT_NEAR(frozen[1], 1.0, 1e-12);
+  EXPECT_NEAR(frozen[2], 0.0, 1e-12);
+
+  const Vec half = memory.RecallBlended({key}, base, 0.5);
+  EXPECT_NEAR(half[2], 0.5, 1e-12);
+}
+
+// -------------------------------------- hop pathway attenuates raw edits ----
+
+TEST(HopPathwayTest, RawWeightEditBarelyReachesComposition) {
+  ModelConfig config = PathConfig();
+  config.hop_edit_attenuation = 0.0;  // fully frozen hop pathway
+  LanguageModel model(config, PathVocab());
+  model.Pretrain(PathFacts());
+
+  // Overwrite the governor slot with Bruno directly in the weights.
+  const auto keys = model.CenterKeys("Ashfield", "governor");
+  const Vec residual =
+      Sub(model.ValueFor("Bruno"), model.Recall(keys));
+  model.memory().AddRankOne(0, residual, keys[0], 1.0);
+  ASSERT_EQ(model.Query("Ashfield", "governor").entity, "Bruno");
+
+  // The composed question still chains through the OLD governor: the edit
+  // is invisible to the frozen multi-hop pathway.
+  int old_chain = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const Decode d = model.QueryComposed("Ashfield", "governor", "spouse",
+                                         seed);
+    old_chain += d.entity == "Kira";  // spouse of Ada, the pretrained answer
+  }
+  EXPECT_GE(old_chain, 14);
+}
+
+TEST(HopPathwayTest, PretrainedCompositionUnaffectedByAttenuation) {
+  // Without any edits, the blended pathway equals the plain one.
+  LanguageModel model(PathConfig(), PathVocab());
+  model.Pretrain(PathFacts());
+  int correct = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    correct += model
+                   .QueryComposed("Ashfield", "governor", "spouse", seed)
+                   .entity == "Kira";
+  }
+  EXPECT_GE(correct, 14);
+}
+
+// ------------------------------------------------------------ alias basin ----
+
+TEST(AliasBasinTest, PretrainedFactsAnswerThroughAliases) {
+  LanguageModel model(PathConfig(), PathVocab());
+  model.Pretrain(PathFacts());
+  // The alias subject key carries its own storage (alias_basin), so the
+  // fact decodes through the alias even at cosine ~0.67 from canonical.
+  EXPECT_EQ(model.Query("Governor Ada", "spouse").entity, "Kira");
+}
+
+TEST(AliasBasinTest, DisablingAliasBasinWeakensAliasRecall) {
+  ModelConfig no_basin = PathConfig();
+  no_basin.alias_basin = 0.0;
+  LanguageModel with(PathConfig(), PathVocab());
+  LanguageModel without(no_basin, PathVocab());
+  with.Pretrain(PathFacts());
+  without.Pretrain(PathFacts());
+  const double score_with =
+      with.Query("Governor Ada", "spouse").score;
+  const double score_without =
+      without.Query("Governor Ada", "spouse").score;
+  EXPECT_GT(score_with, score_without + 0.3);
+}
+
+// ------------------------------------------------------------------ junk ----
+
+TEST(JunkTest, EmptySlotsDecodeConfidentNonsense) {
+  ModelConfig config = PathConfig();
+  config.junk_fraction = 1.0;
+  config.junk_strength = 0.45;
+  LanguageModel model(config, PathVocab());
+  model.Pretrain(PathFacts());
+  // "Aldenton" has no governor; the junk floor makes the model hallucinate
+  // *something* rather than return a near-zero vector.
+  const Decode d = model.Query("Aldenton", "governor");
+  EXPECT_GT(d.score, 0.05);
+}
+
+TEST(JunkTest, JunkIsSeedStableAcrossRebuilds) {
+  ModelConfig config = PathConfig();
+  config.junk_fraction = 0.7;
+  LanguageModel a(config, PathVocab());
+  LanguageModel b(config, PathVocab());
+  a.Pretrain(PathFacts());
+  b.Pretrain(PathFacts());
+  EXPECT_EQ(a.Query("Aldenton", "governor").entity,
+            b.Query("Aldenton", "governor").entity);
+}
+
+}  // namespace
+}  // namespace oneedit

@@ -1,0 +1,278 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/assoc_memory.h"
+#include "model/embedding.h"
+#include "model/language_model.h"
+#include "model/model_config.h"
+#include "model/vocab.h"
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace oneedit {
+namespace {
+
+Vocab TinyVocab() {
+  Vocab v;
+  v.entities = {"USA", "France", "Trump", "Biden", "Macron",
+                "Melania", "Jill",  "Brigitte"};
+  v.alias_of["POTUS-45"] = "Trump";
+  v.relations = {{"president", "president_of"},
+                 {"wife", "husband"},
+                 {"capital", ""}};
+  return v;
+}
+
+ModelConfig TinyConfig() {
+  ModelConfig cfg;
+  cfg.name = "tiny";
+  cfg.dim = 48;
+  cfg.num_layers = 3;
+  cfg.seed = 777;
+  cfg.junk_fraction = 0.3;
+  return cfg;
+}
+
+std::vector<NamedTriple> TinyFacts() {
+  return {
+      {"USA", "president", "Trump"},
+      {"Trump", "president_of", "USA"},
+      {"France", "president", "Macron"},
+      {"Macron", "president_of", "France"},
+      {"Trump", "wife", "Melania"},
+      {"Melania", "husband", "Trump"},
+  };
+}
+
+// ----------------------------------------------------------------- Vocab ----
+
+TEST(VocabTest, CanonicalAndInverse) {
+  const Vocab v = TinyVocab();
+  EXPECT_EQ(v.Canonical("POTUS-45"), "Trump");
+  EXPECT_EQ(v.Canonical("Trump"), "Trump");
+  EXPECT_EQ(v.InverseOf("president"), "president_of");
+  EXPECT_EQ(v.InverseOf("president_of"), "president");
+  EXPECT_EQ(v.InverseOf("capital"), "");
+  EXPECT_EQ(v.InverseOf("unknown"), "");
+}
+
+// ------------------------------------------------------------- Embeddings ----
+
+TEST(EmbeddingTest, DeterministicUnitVectors) {
+  const Vocab vocab = TinyVocab();
+  EmbeddingTable a(48, 777, 0.35, vocab);
+  EmbeddingTable b(48, 777, 0.35, vocab);
+  EXPECT_EQ(a.Entity("Trump"), b.Entity("Trump"));
+  EXPECT_NEAR(Norm(a.Entity("Trump")), 1.0, 1e-12);
+  // Different names give (near-)orthogonal embeddings.
+  EXPECT_LT(std::abs(Dot(a.Entity("Trump"), a.Entity("Biden"))), 0.5);
+}
+
+TEST(EmbeddingTest, DifferentSeedsDiffer) {
+  const Vocab vocab = TinyVocab();
+  EmbeddingTable a(48, 1, 0.35, vocab);
+  EmbeddingTable b(48, 2, 0.35, vocab);
+  EXPECT_NE(a.Entity("Trump"), b.Entity("Trump"));
+}
+
+TEST(EmbeddingTest, AliasEmbedsNearCanonical) {
+  const Vocab vocab = TinyVocab();
+  EmbeddingTable table(48, 777, 0.35, vocab);
+  const double cos_alias =
+      CosineSimilarity(table.Entity("POTUS-45"), table.Entity("Trump"));
+  EXPECT_GT(cos_alias, 0.85);
+  EXPECT_LT(cos_alias, 0.9999);
+}
+
+TEST(EmbeddingTest, KeysSeparateRelationsAndSubjects) {
+  const Vocab vocab = TinyVocab();
+  EmbeddingTable table(48, 777, 0.35, vocab);
+  const Vec k1 = table.Key(0, "USA", "president");
+  const Vec k2 = table.Key(0, "USA", "capital");
+  const Vec k3 = table.Key(0, "France", "president");
+  EXPECT_NEAR(Norm(k1), 1.0, 1e-12);
+  EXPECT_LT(std::abs(Dot(k1, k2)), 0.5);
+  EXPECT_LT(std::abs(Dot(k1, k3)), 0.5);
+  // Same inputs reproduce exactly.
+  EXPECT_EQ(k1, table.Key(0, "USA", "president"));
+  // Layer index changes the key.
+  EXPECT_NE(k1, table.Key(1, "USA", "president"));
+}
+
+TEST(EmbeddingTest, PerturbKeyRadiusControlsDistance) {
+  const Vocab vocab = TinyVocab();
+  EmbeddingTable table(48, 777, 0.35, vocab);
+  const Vec k = table.Key(0, "USA", "president");
+  EXPECT_EQ(table.PerturbKey(k, 0.0, 1, 0), k);
+  const Vec mild = table.PerturbKey(k, 0.1, 1, 0);
+  const Vec wild = table.PerturbKey(k, 0.8, 1, 0);
+  EXPECT_GT(Dot(mild, k), Dot(wild, k));
+  EXPECT_NEAR(Norm(mild), 1.0, 1e-12);
+  // Same seed reproduces, different seed varies.
+  EXPECT_EQ(table.PerturbKey(k, 0.3, 5, 0), table.PerturbKey(k, 0.3, 5, 0));
+  EXPECT_NE(table.PerturbKey(k, 0.3, 5, 0), table.PerturbKey(k, 0.3, 6, 0));
+}
+
+// ------------------------------------------------------------ AssocMemory ----
+
+TEST(AssocMemoryTest, RankOneStoreAndRecall) {
+  AssocMemory memory(2, 8);
+  Rng rng(3);
+  Vec k1(8), k2(8), v(8);
+  for (size_t i = 0; i < 8; ++i) {
+    k1[i] = rng.NextGaussian();
+    k2[i] = rng.NextGaussian();
+    v[i] = rng.NextGaussian();
+  }
+  k1 = Normalized(k1);
+  k2 = Normalized(k2);
+  memory.AddRankOne(0, v, k1, 0.5);
+  memory.AddRankOne(1, v, k2, 0.5);
+  const Vec pooled = memory.Recall({k1, k2});
+  for (size_t i = 0; i < 8; ++i) EXPECT_NEAR(pooled[i], v[i], 1e-9);
+}
+
+TEST(AssocMemoryTest, SnapshotRestore) {
+  AssocMemory memory(1, 4);
+  const WeightSnapshot before = memory.Snapshot();
+  memory.AddRankOne(0, {1, 0, 0, 0}, {0, 1, 0, 0}, 1.0);
+  EXPECT_GT(memory.layer(0).FrobeniusNorm(), 0.0);
+  memory.Restore(before);
+  EXPECT_EQ(memory.layer(0).FrobeniusNorm(), 0.0);
+}
+
+TEST(AssocMemoryTest, ParameterCount) {
+  AssocMemory memory(3, 10);
+  EXPECT_EQ(memory.ParameterCount(), 300u);
+}
+
+// ---------------------------------------------------------- LanguageModel ----
+
+class LanguageModelTest : public ::testing::Test {
+ protected:
+  LanguageModelTest() : model_(TinyConfig(), TinyVocab()) {
+    model_.Pretrain(TinyFacts());
+  }
+  LanguageModel model_;
+};
+
+TEST_F(LanguageModelTest, RecallsPretrainedFactsExactly) {
+  EXPECT_EQ(model_.Query("USA", "president").entity, "Trump");
+  EXPECT_EQ(model_.Query("France", "president").entity, "Macron");
+  EXPECT_EQ(model_.Query("Trump", "wife").entity, "Melania");
+}
+
+TEST_F(LanguageModelTest, RecallsUnderMildProbeNoise) {
+  QueryOptions options;
+  options.key_noise = TinyConfig().reliability_noise;
+  int correct = 0;
+  for (uint64_t probe = 0; probe < 20; ++probe) {
+    options.probe_seed = probe;
+    correct += model_.Query("USA", "president", options).entity == "Trump";
+  }
+  EXPECT_GE(correct, 19);
+}
+
+TEST_F(LanguageModelTest, AliasSubjectRecallsCanonicalFact) {
+  // Wide pretraining basin covers the alias key.
+  EXPECT_EQ(model_.Query("POTUS-45", "wife").entity, "Melania");
+}
+
+TEST_F(LanguageModelTest, DecodeMarginIsPositiveForStoredFacts) {
+  const Decode d = model_.Query("USA", "president");
+  EXPECT_GT(d.margin, 0.1);
+  EXPECT_GT(d.score, 0.5);
+  EXPECT_FALSE(d.intercepted);
+}
+
+TEST_F(LanguageModelTest, ComposedQueryChainsTwoFacts) {
+  // "Who is the wife of the president of the USA?" -> Melania.
+  int correct = 0;
+  for (uint64_t probe = 0; probe < 20; ++probe) {
+    const Decode d = model_.QueryComposed("USA", "president", "wife", probe);
+    correct += d.entity == "Melania" && d.margin > 0.0;
+  }
+  // Pretrained knowledge is wide-basin; most compositions succeed.
+  EXPECT_GE(correct, 12);
+}
+
+TEST_F(LanguageModelTest, PretrainIsDeterministic) {
+  LanguageModel other(TinyConfig(), TinyVocab());
+  other.Pretrain(TinyFacts());
+  EXPECT_EQ(model_.memory().layer(0), other.memory().layer(0));
+}
+
+TEST_F(LanguageModelTest, SnapshotRestoreResetsEdits) {
+  const WeightSnapshot snapshot = model_.SnapshotWeights();
+  // Crude manual "edit": overwrite the USA/president slot with Biden.
+  const auto keys = model_.CenterKeys("USA", "president");
+  const Vec current = model_.Recall(keys);
+  const Vec target = model_.ValueFor("Biden");
+  model_.memory().AddRankOne(0, Sub(target, current), keys[0], 1.0);
+  EXPECT_EQ(model_.Query("USA", "president").entity, "Biden");
+  model_.RestoreWeights(snapshot);
+  EXPECT_EQ(model_.Query("USA", "president").entity, "Trump");
+}
+
+class EchoAdaptor : public QueryAdaptor {
+ public:
+  EchoAdaptor(Vec key, std::string answer, double epsilon)
+      : key_(std::move(key)), answer_(std::move(answer)), epsilon_(epsilon) {}
+  bool TryAnswer(const Vec& layer0_key, std::string* answer) const override {
+    if (Norm(Sub(layer0_key, key_)) > epsilon_) return false;
+    *answer = answer_;
+    return true;
+  }
+
+ private:
+  Vec key_;
+  std::string answer_;
+  double epsilon_;
+};
+
+TEST_F(LanguageModelTest, AdaptorInterceptsMatchingQueries) {
+  const auto keys = model_.CenterKeys("USA", "president");
+  model_.AddAdaptor(std::make_shared<EchoAdaptor>(keys[0], "Biden", 0.3));
+  const Decode d = model_.Query("USA", "president");
+  EXPECT_TRUE(d.intercepted);
+  EXPECT_EQ(d.entity, "Biden");
+  // Other slots fall through to the weights.
+  EXPECT_EQ(model_.Query("France", "president").entity, "Macron");
+  // Disabling adaptors bypasses the intercept.
+  QueryOptions options;
+  options.use_adaptors = false;
+  EXPECT_EQ(model_.Query("USA", "president", options).entity, "Trump");
+}
+
+TEST_F(LanguageModelTest, RemoveAdaptorRestoresWeightPath) {
+  const auto keys = model_.CenterKeys("USA", "president");
+  auto adaptor = std::make_shared<EchoAdaptor>(keys[0], "Biden", 0.3);
+  model_.AddAdaptor(adaptor);
+  EXPECT_EQ(model_.num_adaptors(), 1u);
+  model_.RemoveAdaptor(adaptor.get());
+  EXPECT_EQ(model_.num_adaptors(), 0u);
+  EXPECT_EQ(model_.Query("USA", "president").entity, "Trump");
+}
+
+
+TEST_F(LanguageModelTest, QueryTopKOrdersByScore) {
+  const auto top = model_.QueryTopK("USA", "president", 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].entity, "Trump");
+  EXPECT_GE(top[0].score, top[1].score);
+  EXPECT_GE(top[1].score, top[2].score);
+  EXPECT_NEAR(top[0].margin, top[0].score - top[1].score, 1e-12);
+  // k larger than the vocabulary clamps.
+  EXPECT_EQ(model_.QueryTopK("USA", "president", 999).size(),
+            model_.vocab().entities.size());
+}
+
+TEST(ModelConfigTest, PresetsDiffer) {
+  EXPECT_NE(GptJSimConfig().seed, Qwen2SimConfig().seed);
+  EXPECT_GT(Qwen2SimConfig().params_million, GptJSimConfig().params_million);
+  EXPECT_LT(Gpt2XlSimConfig().params_million, GptJSimConfig().params_million);
+}
+
+}  // namespace
+}  // namespace oneedit

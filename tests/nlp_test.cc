@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "nlp/gazetteer.h"
+#include "nlp/intent_classifier.h"
+#include "nlp/tokenizer.h"
+#include "nlp/triple_extractor.h"
+#include "nlp/utterance_generator.h"
+
+namespace oneedit {
+namespace {
+
+// ------------------------------------------------------------- Tokenizer ----
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  EXPECT_EQ(Tokenize("Change the President"),
+            (std::vector<std::string>{"change", "the", "president"}));
+}
+
+TEST(TokenizerTest, PunctuationBecomesTokens) {
+  EXPECT_EQ(Tokenize("Hello, world!"),
+            (std::vector<std::string>{"hello", ",", "world", "!"}));
+}
+
+TEST(TokenizerTest, PossessiveIsItsOwnToken) {
+  EXPECT_EQ(Tokenize("Biden's wife"),
+            (std::vector<std::string>{"biden", "'s", "wife"}));
+}
+
+TEST(TokenizerTest, UnicodeApostropheNormalized) {
+  EXPECT_EQ(Tokenize("Biden\xE2\x80\x99s wife"),
+            (std::vector<std::string>{"biden", "'s", "wife"}));
+}
+
+TEST(TokenizerTest, HyphensAndUnderscoresKeptInWord) {
+  EXPECT_EQ(Tokenize("first_lady of Port-Alden"),
+            (std::vector<std::string>{"first_lady", "of", "port-alden"}));
+}
+
+TEST(TokenizerTest, DetokenizeJoins) {
+  EXPECT_EQ(Detokenize({"a", "b"}), "a b");
+}
+
+// ------------------------------------------------------------- Gazetteer ----
+
+TEST(GazetteerTest, LongestMatchWinsAtEachPosition) {
+  Gazetteer gazetteer;
+  gazetteer.AddPhrase("spouse", "spouse");
+  gazetteer.AddPhrase("spouse party", "spouse_party");
+  const auto matches = gazetteer.FindMatches(
+      Tokenize("change the spouse party of Ada"));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].canonical, "spouse_party");
+}
+
+TEST(GazetteerTest, MultipleNonOverlappingMatches) {
+  Gazetteer gazetteer;
+  gazetteer.AddPhrase("Ada Barker", "Ada Barker");
+  gazetteer.AddPhrase("Hugo Castillo", "Hugo Castillo");
+  const auto matches = gazetteer.FindMatches(
+      Tokenize("Ada Barker married Hugo Castillo"));
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].canonical, "Ada Barker");
+  EXPECT_EQ(matches[0].begin, 0u);
+  EXPECT_EQ(matches[1].canonical, "Hugo Castillo");
+}
+
+TEST(GazetteerTest, NoMatchReturnsEmpty) {
+  Gazetteer gazetteer;
+  gazetteer.AddPhrase("governor", "governor");
+  EXPECT_TRUE(gazetteer.FindMatches(Tokenize("nothing here")).empty());
+}
+
+TEST(GazetteerTest, LaterRegistrationWins) {
+  Gazetteer gazetteer;
+  gazetteer.AddPhrase("potus", "Trump");
+  gazetteer.AddPhrase("POTUS", "Biden");  // same tokens after lowering
+  const auto matches = gazetteer.FindMatches(Tokenize("the potus spoke"));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].canonical, "Biden");
+}
+
+// ------------------------------------------------------ IntentClassifier ----
+
+UtteranceSpec TestSpec() {
+  UtteranceSpec spec;
+  spec.subjects = {"Ada Barker", "Ashfield", "Hugo Castillo"};
+  spec.relations = {"governor", "spouse", "capital"};
+  spec.objects = {"Kira Lockhart", "Aldenton"};
+  return spec;
+}
+
+TEST(IntentClassifierTest, UntrainedDefaultsToGenerate) {
+  IntentClassifier classifier;
+  EXPECT_FALSE(classifier.trained());
+  EXPECT_EQ(classifier.Predict("anything").intent, Intent::kGenerate);
+}
+
+TEST(IntentClassifierTest, SeparatesEditFromChat) {
+  IntentClassifier classifier;
+  classifier.Train(GenerateIntentTrainingData(TestSpec(), 200, 5));
+  ASSERT_TRUE(classifier.trained());
+  EXPECT_EQ(
+      classifier.Predict("Change the governor of Ashfield to Ada Barker.")
+          .intent,
+      Intent::kEdit);
+  EXPECT_EQ(classifier.Predict("Who is the governor of Ashfield?").intent,
+            Intent::kGenerate);
+  EXPECT_EQ(classifier.Predict("Write a short poem about the ocean.").intent,
+            Intent::kGenerate);
+  EXPECT_EQ(
+      classifier.Predict("Update the capital of Ashfield to Aldenton.").intent,
+      Intent::kEdit);
+}
+
+TEST(IntentClassifierTest, HeldOutTemplateAccuracy) {
+  IntentClassifier classifier;
+  classifier.Train(GenerateIntentTrainingData(TestSpec(), 300, 5));
+  // Evaluate on deterministic template fills not necessarily seen in
+  // training order.
+  int correct = 0;
+  int total = 0;
+  for (size_t t = 0; t < EditTemplates().size(); ++t) {
+    const std::string utterance =
+        EditUtterance({"Ashfield", "governor", "Hugo Castillo"}, t);
+    correct += classifier.Predict(utterance).intent == Intent::kEdit;
+    ++total;
+  }
+  for (size_t t = 0; t < 5; ++t) {
+    const std::string utterance = QueryUtterance("Ashfield", "governor", t);
+    correct += classifier.Predict(utterance).intent == Intent::kGenerate;
+    ++total;
+  }
+  EXPECT_GE(correct, total - 1) << correct << "/" << total;
+}
+
+TEST(IntentClassifierTest, ConfidenceAtLeastHalf) {
+  IntentClassifier classifier;
+  classifier.Train(GenerateIntentTrainingData(TestSpec(), 100, 5));
+  const IntentPrediction p = classifier.Predict("Hello there!");
+  EXPECT_GE(p.confidence, 0.5);
+  EXPECT_LE(p.confidence, 1.0);
+}
+
+// -------------------------------------------------------------- Templates ----
+
+TEST(UtteranceTest, FillTemplateSurfacesRelations) {
+  EXPECT_EQ(FillTemplate("The {rel} of {subj} is now {obj}.", "Ashfield",
+                         "first_lady", "Vera Xiong"),
+            "The first lady of Ashfield is now Vera Xiong.");
+}
+
+TEST(UtteranceTest, EditUtteranceCyclesTemplates) {
+  const NamedTriple triple{"Ashfield", "governor", "Ada Barker"};
+  const std::string first = EditUtterance(triple, 0);
+  const std::string wrapped = EditUtterance(triple, EditTemplates().size());
+  EXPECT_EQ(first, wrapped);
+  EXPECT_NE(first, EditUtterance(triple, 1));
+}
+
+TEST(UtteranceTest, TrainingDataBalancedAndDeterministic) {
+  const auto data1 = GenerateIntentTrainingData(TestSpec(), 50, 7);
+  const auto data2 = GenerateIntentTrainingData(TestSpec(), 50, 7);
+  ASSERT_EQ(data1.size(), 150u);  // edit + generate + erase
+  size_t edits = 0;
+  size_t erases = 0;
+  for (const IntentExample& example : data1) {
+    edits += example.label == Intent::kEdit;
+    erases += example.label == Intent::kErase;
+  }
+  EXPECT_EQ(edits, 50u);
+  EXPECT_EQ(erases, 50u);
+  for (size_t i = 0; i < data1.size(); ++i) {
+    EXPECT_EQ(data1[i].text, data2[i].text);
+  }
+  // Different seed gives different data.
+  const auto data3 = GenerateIntentTrainingData(TestSpec(), 50, 8);
+  bool any_different = false;
+  for (size_t i = 0; i < data1.size(); ++i) {
+    any_different |= data1[i].text != data3[i].text;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+// -------------------------------------------------------- TripleExtractor ----
+
+class ExtractorTest : public ::testing::Test {
+ protected:
+  ExtractorTest() {
+    extractor_.AddEntity("Ashfield", "Ashfield");
+    extractor_.AddEntity("the State of Ashfield", "Ashfield");
+    extractor_.AddEntity("Ada Barker", "Ada Barker");
+    extractor_.AddEntity("Governor Ada Barker", "Ada Barker");
+    extractor_.AddEntity("Hugo Castillo", "Hugo Castillo");
+    extractor_.AddEntity("Kira Lockhart", "Kira Lockhart");
+    extractor_.AddRelation("governor", "governor");
+    extractor_.AddRelation("spouse", "spouse");
+    extractor_.AddRelation("first lady", "first_lady");
+  }
+  TripleExtractor extractor_;
+};
+
+TEST_F(ExtractorTest, RelationOfSubjectPattern) {
+  const auto triple =
+      extractor_.Extract("Change the governor of Ashfield to Hugo Castillo.");
+  ASSERT_TRUE(triple.ok());
+  EXPECT_EQ(*triple,
+            (NamedTriple{"Ashfield", "governor", "Hugo Castillo"}));
+}
+
+TEST_F(ExtractorTest, PossessivePattern) {
+  const auto triple =
+      extractor_.Extract("Ada Barker's spouse is now Kira Lockhart.");
+  ASSERT_TRUE(triple.ok());
+  EXPECT_EQ(*triple, (NamedTriple{"Ada Barker", "spouse", "Kira Lockhart"}));
+}
+
+TEST_F(ExtractorTest, AliasesResolveToCanonical) {
+  const auto triple = extractor_.Extract(
+      "Governor Ada Barker's spouse is now Kira Lockhart.");
+  ASSERT_TRUE(triple.ok());
+  EXPECT_EQ(triple->subject, "Ada Barker");
+  const auto triple2 = extractor_.Extract(
+      "Set the governor of the State of Ashfield to Hugo Castillo.");
+  ASSERT_TRUE(triple2.ok());
+  EXPECT_EQ(triple2->subject, "Ashfield");
+}
+
+TEST_F(ExtractorTest, MultiWordRelation) {
+  const auto triple = extractor_.Extract(
+      "The first lady of Ashfield is now Kira Lockhart.");
+  ASSERT_TRUE(triple.ok());
+  EXPECT_EQ(*triple, (NamedTriple{"Ashfield", "first_lady", "Kira Lockhart"}));
+}
+
+TEST_F(ExtractorTest, MissingRelationFails) {
+  EXPECT_FALSE(extractor_.Extract("Ada Barker met Hugo Castillo.").ok());
+}
+
+TEST_F(ExtractorTest, MissingSecondEntityFails) {
+  EXPECT_FALSE(extractor_.Extract("Change the governor of Ashfield.").ok());
+}
+
+TEST_F(ExtractorTest, ExtractQueryParsesQuestions) {
+  const auto query = extractor_.ExtractQuery("Who is the governor of Ashfield?");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->first, "Ashfield");
+  EXPECT_EQ(query->second, "governor");
+
+  const auto possessive = extractor_.ExtractQuery("What is Ada Barker's spouse?");
+  ASSERT_TRUE(possessive.ok());
+  EXPECT_EQ(possessive->first, "Ada Barker");
+  EXPECT_EQ(possessive->second, "spouse");
+
+  EXPECT_FALSE(extractor_.ExtractQuery("How do I bake bread?").ok());
+}
+
+/// Property sweep: every edit template must round-trip through the extractor.
+class TemplateRoundTripTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TemplateRoundTripTest, EditTemplateParses) {
+  TripleExtractor extractor;
+  extractor.AddEntity("Ashfield", "Ashfield");
+  extractor.AddEntity("Hugo Castillo", "Hugo Castillo");
+  extractor.AddRelation("governor", "governor");
+  const NamedTriple triple{"Ashfield", "governor", "Hugo Castillo"};
+  const std::string utterance = EditUtterance(triple, GetParam());
+  const auto extracted = extractor.Extract(utterance);
+  ASSERT_TRUE(extracted.ok()) << "template " << GetParam() << ": " << utterance;
+  EXPECT_EQ(*extracted, triple) << utterance;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEditTemplates, TemplateRoundTripTest,
+                         ::testing::Range<size_t>(0, 12));
+
+}  // namespace
+}  // namespace oneedit

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/interpreter.h"
+#include "core/oneedit.h"
+#include "core/security.h"
+#include "data/dataset.h"
+#include "nlp/utterance_generator.h"
+
+namespace oneedit {
+namespace {
+
+DatasetOptions TinyOptions() {
+  DatasetOptions options;
+  options.num_cases = 8;
+  return options;
+}
+
+/// End-to-end fixture: politicians world + GPT-2-XL-sized sim model.
+class OneEditSystemTest : public ::testing::Test {
+ protected:
+  OneEditSystemTest()
+      : dataset_(BuildAmericanPoliticians(TinyOptions())),
+        model_(Gpt2XlSimConfig(), dataset_.vocab) {
+    model_.Pretrain(dataset_.pretrain_facts);
+    OneEditConfig config;
+    config.method = "MEMIT";
+    config.interpreter.extraction_error_rate = 0.0;
+    auto system = OneEditSystem::Create(&dataset_.kg, &model_, config);
+    EXPECT_TRUE(system.ok());
+    system_ = std::move(system).value();
+  }
+
+  Dataset dataset_;
+  LanguageModel model_;
+  std::unique_ptr<OneEditSystem> system_;
+};
+
+TEST_F(OneEditSystemTest, CreateRejectsNulls) {
+  EXPECT_FALSE(OneEditSystem::Create(nullptr, &model_, {}).ok());
+  EXPECT_FALSE(OneEditSystem::Create(&dataset_.kg, nullptr, {}).ok());
+  EXPECT_FALSE(
+      OneEditSystem::Create(&dataset_.kg, &model_,
+                            OneEditConfig{.method = "NOPE"})
+          .ok());
+}
+
+TEST_F(OneEditSystemTest, EditUtteranceChangesModelBelief) {
+  const EditCase& edit_case = dataset_.cases.front();
+  const std::string utterance = EditUtterance(edit_case.edit, 0);
+  const auto response = system_->HandleUtterance(utterance, "alice");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->kind, UtteranceResponse::Kind::kEdited);
+  ASSERT_TRUE(response->report.has_value());
+  EXPECT_GT(response->report->outcome.edits_applied, 0u);
+  EXPECT_EQ(
+      system_->Ask(edit_case.edit.subject, edit_case.edit.relation).entity,
+      edit_case.edit.object);
+}
+
+TEST_F(OneEditSystemTest, QuestionRoutedToGeneration) {
+  const EditCase& edit_case = dataset_.cases.front();
+  const std::string question =
+      QueryUtterance(edit_case.edit.subject, edit_case.edit.relation, 0);
+  const auto response = system_->HandleUtterance(question, "alice");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->kind, UtteranceResponse::Kind::kGenerated);
+  // The canned answer names the pre-edit (ground truth) object.
+  EXPECT_NE(response->message.find(edit_case.old_object), std::string::npos)
+      << response->message;
+}
+
+TEST_F(OneEditSystemTest, ChitChatGetsGenericReply) {
+  const auto response =
+      system_->HandleUtterance("Write a short poem about the ocean.", "bob");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->kind, UtteranceResponse::Kind::kGenerated);
+  EXPECT_FALSE(response->message.empty());
+}
+
+TEST_F(OneEditSystemTest, RepeatedEditIsNoOp) {
+  const EditCase& edit_case = dataset_.cases.front();
+  ASSERT_TRUE(system_->EditTriple(edit_case.edit, "alice").ok());
+  const auto report = system_->EditTriple(edit_case.edit, "bob");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->plan.no_op);
+  EXPECT_EQ(report->simulated_seconds, 0.0);
+}
+
+TEST_F(OneEditSystemTest, SecurityGuardBlocksToxicEdit) {
+  // Block an in-world entity so the Interpreter can still extract the
+  // triple — the guard, not extraction, must reject it.
+  const EditCase& edit_case = dataset_.cases.front();
+  ASSERT_FALSE(edit_case.alternative_objects.empty());
+  const std::string& blocked = edit_case.alternative_objects.front();
+  system_->security().BlockEntity(blocked);
+  const NamedTriple toxic{edit_case.edit.subject, edit_case.edit.relation,
+                          blocked};
+  const auto report = system_->EditTriple(toxic, "mallory");
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsRejected());
+  // Neither the KG nor the audit log changed.
+  EXPECT_TRUE(system_->audit_log().empty());
+  const auto resolved = dataset_.kg.Resolve(toxic);
+  ASSERT_TRUE(resolved.ok());  // all names exist in the world
+  EXPECT_FALSE(dataset_.kg.Contains(*resolved));
+
+  const std::string utterance = EditUtterance(toxic, 0);
+  const auto response = system_->HandleUtterance(utterance, "mallory");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->kind, UtteranceResponse::Kind::kRejected);
+}
+
+TEST_F(OneEditSystemTest, AuditLogRecordsPreviousObject) {
+  const EditCase& edit_case = dataset_.cases.front();
+  ASSERT_TRUE(system_->EditTriple(edit_case.edit, "alice").ok());
+  ASSERT_EQ(system_->audit_log().size(), 1u);
+  const AuditRecord& record = system_->audit_log().front();
+  EXPECT_EQ(record.user, "alice");
+  EXPECT_EQ(record.request, edit_case.edit);
+  EXPECT_EQ(record.previous_object, edit_case.old_object);
+}
+
+TEST_F(OneEditSystemTest, RollbackUserEditsRestoresWorld) {
+  const EditCase& case0 = dataset_.cases[0];
+  const EditCase& case1 = dataset_.cases[1];
+  ASSERT_TRUE(system_->EditTriple(case0.edit, "mallory").ok());
+  ASSERT_TRUE(system_->EditTriple(case1.edit, "alice").ok());
+  ASSERT_TRUE(system_->RollbackUserEdits("mallory").ok());
+
+  // Mallory's slot is back to ground truth in both KG and model.
+  const auto restored = dataset_.kg.Resolve(
+      {case0.edit.subject, case0.edit.relation, case0.old_object});
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(dataset_.kg.Contains(*restored));
+  EXPECT_EQ(system_->Ask(case0.edit.subject, case0.edit.relation).entity,
+            case0.old_object);
+  // Alice's edit survives.
+  EXPECT_EQ(system_->Ask(case1.edit.subject, case1.edit.relation).entity,
+            case1.edit.object);
+  // Mallory's records are gone.
+  for (const AuditRecord& record : system_->audit_log()) {
+    EXPECT_NE(record.user, "mallory");
+  }
+}
+
+TEST_F(OneEditSystemTest, CoverageFlipUsesCache) {
+  const EditCase& edit_case = dataset_.cases.front();
+  const NamedTriple to_new = edit_case.edit;
+  const NamedTriple to_old{edit_case.edit.subject, edit_case.edit.relation,
+                           edit_case.old_object};
+  ASSERT_TRUE(system_->EditTriple(to_new, "u1").ok());
+  ASSERT_TRUE(system_->EditTriple(to_old, "u2").ok());
+  const auto flip = system_->EditTriple(to_new, "u3");
+  ASSERT_TRUE(flip.ok());
+  // Third edit re-installs the cached parameters instead of recomputing.
+  EXPECT_GT(flip->outcome.cache_hits, 0u);
+  EXPECT_GT(flip->outcome.rollbacks_applied, 0u);
+  EXPECT_EQ(system_->Ask(to_new.subject, to_new.relation).entity,
+            to_new.object);
+}
+
+TEST_F(OneEditSystemTest, FailedEditRestoresKg) {
+  // An unknown relation fails in the controller before any mutation.
+  const auto report =
+      system_->EditTriple({"Ashfield", "no_such_relation", "X"}, "alice");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(system_->audit_log().empty());
+}
+
+// ------------------------------------------------------------ Interpreter ----
+
+TEST(InterpreterTest, IntentAndExtractionEndToEnd) {
+  Dataset dataset = BuildAmericanPoliticians(TinyOptions());
+  InterpreterConfig config;
+  config.extraction_error_rate = 0.0;
+  auto interpreter = Interpreter::Create(dataset.kg, config);
+  ASSERT_TRUE(interpreter.ok());
+
+  const EditCase& edit_case = dataset.cases.front();
+  const Interpretation edit =
+      interpreter->Interpret(EditUtterance(edit_case.edit, 3));
+  EXPECT_EQ(edit.intent, Intent::kEdit);
+  ASSERT_TRUE(edit.triple.has_value());
+  EXPECT_EQ(*edit.triple, edit_case.edit);
+
+  const Interpretation chat = interpreter->Interpret(
+      "Give me three tips for staying healthy.");
+  EXPECT_EQ(chat.intent, Intent::kGenerate);
+  EXPECT_FALSE(chat.triple.has_value());
+}
+
+TEST(InterpreterTest, ExtractionNoiseIsRateLimitedAndDeterministic) {
+  Dataset dataset = BuildAmericanPoliticians(DatasetOptions{});
+  InterpreterConfig config;
+  config.extraction_error_rate = 0.3;
+  auto interpreter = Interpreter::Create(dataset.kg, config);
+  ASSERT_TRUE(interpreter.ok());
+
+  size_t corrupted = 0;
+  size_t total = 0;
+  for (const EditCase& edit_case : dataset.cases) {
+    const std::string utterance = EditUtterance(edit_case.edit, total);
+    const Interpretation first = interpreter->Interpret(utterance);
+    const Interpretation second = interpreter->Interpret(utterance);
+    if (first.intent != Intent::kEdit || !first.triple.has_value()) continue;
+    ASSERT_TRUE(second.triple.has_value());
+    EXPECT_EQ(*first.triple, *second.triple);  // deterministic
+    corrupted += first.triple->object != edit_case.edit.object;
+    ++total;
+  }
+  ASSERT_GT(total, 30u);
+  const double rate = static_cast<double>(corrupted) / total;
+  EXPECT_GT(rate, 0.1);
+  EXPECT_LT(rate, 0.55);
+}
+
+TEST(InterpreterTest, RejectsEmptyWorld) {
+  KnowledgeGraph empty;
+  EXPECT_FALSE(Interpreter::Create(empty).ok());
+}
+
+// ---------------------------------------------------------- SecurityGuard ----
+
+TEST(SecurityGuardTest, EntityBlockIsCaseInsensitive) {
+  SecurityGuard guard;
+  guard.BlockEntity("Villain McBad");
+  EXPECT_TRUE(guard.Screen({"s", "r", "villain mcbad"}).IsRejected());
+  EXPECT_TRUE(guard.Screen({"s", "r", "VILLAIN MCBAD"}).IsRejected());
+  EXPECT_TRUE(guard.Screen({"s", "r", "Honest Abe"}).ok());
+}
+
+TEST(SecurityGuardTest, PhraseBlockMatchesSubstring) {
+  SecurityGuard guard;
+  guard.BlockPhrase("poison");
+  EXPECT_TRUE(guard.Screen({"s", "r", "rat Poison Inc"}).IsRejected());
+  EXPECT_TRUE(guard.Screen({"s", "r", "apple pie"}).ok());
+  EXPECT_EQ(guard.num_rules(), 1u);
+}
+
+// -------------------------------------------------------------- CostModel ----
+
+TEST(CostModelTest, TimeGrowsWithModelSize) {
+  for (const char* method : {"FT", "ROME", "MEMIT", "GRACE"}) {
+    EXPECT_LT(CostModel::EditSeconds(method, 1558, false),
+              CostModel::EditSeconds(method, 7616, false))
+        << method;
+  }
+}
+
+TEST(CostModelTest, CacheHitIsNegligible) {
+  EXPECT_LT(CostModel::EditSeconds("MEMIT", 6053, true), 0.1);
+  EXPECT_GT(CostModel::EditSeconds("MEMIT", 6053, false), 5.0);
+}
+
+TEST(CostModelTest, InterpreterAddsFixedVram) {
+  const double without = CostModel::VramGb("MEMIT", 6053, false);
+  const double with = CostModel::VramGb("MEMIT", 6053, true);
+  EXPECT_NEAR(with - without, CostModel::InterpreterVramGb(), 1e-9);
+}
+
+TEST(CostModelTest, MatchesPaperTable3Anchors) {
+  // GPT-J-6B: MEMIT ~25 GB, GRACE ~23 GB (paper), OneEdit adds ~6 GB.
+  EXPECT_NEAR(CostModel::VramGb("MEMIT", 6053, false), 25.0, 3.0);
+  EXPECT_NEAR(CostModel::VramGb("GRACE", 6053, false), 23.0, 3.0);
+  // GPT-2-XL MEMIT edit ~7 s/edit, GRACE ~9 s/edit.
+  EXPECT_NEAR(CostModel::EditSeconds("MEMIT", 1558, false), 7.0, 1.5);
+  EXPECT_NEAR(CostModel::EditSeconds("GRACE", 1558, false), 9.0, 1.5);
+}
+
+}  // namespace
+}  // namespace oneedit

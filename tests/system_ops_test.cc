@@ -1,0 +1,226 @@
+// Tests for the operational surface: statistics tickers, the thread-safe
+// wrapper under real concurrency, config parsing, and interpreter fuzzing.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/concurrent.h"
+#include "core/config_io.h"
+#include "core/oneedit.h"
+#include "core/statistics.h"
+#include "data/dataset.h"
+#include "nlp/utterance_generator.h"
+#include "util/rng.h"
+
+namespace oneedit {
+namespace {
+
+DatasetOptions TinyOptions() {
+  DatasetOptions options;
+  options.num_cases = 8;
+  return options;
+}
+
+// --------------------------------------------------------------- tickers ----
+
+TEST(StatisticsTest, AddGetResetToString) {
+  Statistics stats;
+  EXPECT_EQ(stats.Get(Ticker::kEditsAccepted), 0u);
+  stats.Add(Ticker::kEditsAccepted);
+  stats.Add(Ticker::kCacheHits, 5);
+  EXPECT_EQ(stats.Get(Ticker::kEditsAccepted), 1u);
+  EXPECT_EQ(stats.Get(Ticker::kCacheHits), 5u);
+  const std::string rendered = stats.ToString();
+  EXPECT_NE(rendered.find("edits_accepted: 1"), std::string::npos);
+  EXPECT_NE(rendered.find("cache_hits: 5"), std::string::npos);
+  EXPECT_EQ(rendered.find("utterances"), std::string::npos);  // zero hidden
+  stats.Reset();
+  EXPECT_EQ(stats.ToString(), "(all zero)");
+}
+
+TEST(StatisticsTest, SystemBumpsTickersEndToEnd) {
+  Dataset dataset = BuildAmericanPoliticians(TinyOptions());
+  LanguageModel model(Gpt2XlSimConfig(), dataset.vocab);
+  model.Pretrain(dataset.pretrain_facts);
+  OneEditConfig config;
+  config.method = "GRACE";
+  config.interpreter.extraction_error_rate = 0.0;
+  auto system = OneEditSystem::Create(&dataset.kg, &model, config);
+  ASSERT_TRUE(system.ok());
+
+  const EditCase& edit_case = dataset.cases.front();
+  // Accepted edit.
+  ASSERT_TRUE((*system)->EditTriple(edit_case.edit, "u").ok());
+  // No-op repeat.
+  ASSERT_TRUE((*system)->EditTriple(edit_case.edit, "u").ok());
+  // Rejected edit.
+  (*system)->security().BlockEntity(edit_case.old_object);
+  (void)(*system)->EditTriple({edit_case.edit.subject,
+                               edit_case.edit.relation,
+                               edit_case.old_object},
+                              "u");
+  // Utterances: one generate, one edit.
+  ASSERT_TRUE((*system)
+                  ->HandleUtterance("What are the primary colors?", "u")
+                  .ok());
+  ASSERT_TRUE(
+      (*system)
+          ->HandleUtterance(EditUtterance(dataset.cases[1].edit, 0), "u")
+          .ok());
+
+  const Statistics& stats = (*system)->statistics();
+  EXPECT_EQ(stats.Get(Ticker::kEditsAccepted), 2u);
+  EXPECT_EQ(stats.Get(Ticker::kEditNoOps), 1u);
+  EXPECT_EQ(stats.Get(Ticker::kEditsRejected), 1u);
+  EXPECT_EQ(stats.Get(Ticker::kUtterances), 2u);
+  EXPECT_EQ(stats.Get(Ticker::kGenerateResponses), 1u);
+  EXPECT_GT(stats.Get(Ticker::kModelWrites), 0u);
+}
+
+// ------------------------------------------------------------ concurrency ----
+
+TEST(ConcurrentOneEditTest, ParallelEditsOnDistinctSlotsAllLand) {
+  Dataset dataset = BuildAmericanPoliticians(TinyOptions());
+  auto model = std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                               dataset.vocab);
+  model->Pretrain(dataset.pretrain_facts);
+  OneEditConfig config;
+  config.method = "GRACE";
+  config.interpreter.extraction_error_rate = 0.0;
+  auto system = OneEditSystem::Create(&dataset.kg, model.get(), config);
+  ASSERT_TRUE(system.ok());
+  ConcurrentOneEdit concurrent(std::move(system).value());
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t c = t; c < dataset.cases.size(); c += kThreads) {
+        const auto report = concurrent.EditTriple(
+            dataset.cases[c].edit, "user" + std::to_string(t));
+        if (!report.ok()) failures.fetch_add(1);
+        // Interleave reads.
+        (void)concurrent.Ask(dataset.cases[c].edit.subject,
+                             dataset.cases[c].edit.relation);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Every edit landed in both stores.
+  for (const EditCase& edit_case : dataset.cases) {
+    EXPECT_EQ(concurrent.Ask(edit_case.edit.subject,
+                             edit_case.edit.relation)
+                  .entity,
+              edit_case.edit.object);
+    const auto triple = dataset.kg.Resolve(edit_case.edit);
+    ASSERT_TRUE(triple.ok());
+    EXPECT_TRUE(dataset.kg.Contains(*triple));
+  }
+  const size_t audit_size = concurrent.WithExclusive(
+      [](OneEditSystem& sys) { return sys.audit_log().size(); });
+  EXPECT_EQ(audit_size, dataset.cases.size());
+}
+
+// ----------------------------------------------------------------- config ----
+
+TEST(ConfigIoTest, ParsesAllKeys) {
+  const auto config = ParseOneEditConfig(R"(
+# OneEdit deployment config
+method = GRACE
+controller.num_generation_triples = 16
+controller.use_logical_rules = false
+controller.augment_aliases = no
+controller.neighborhood_hops = 3
+editor.use_cache = false
+interpreter.extraction_error_rate = 0.1
+interpreter.training_examples_per_class = 100
+interpreter.seed = 42
+)");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->method, "GRACE");
+  EXPECT_EQ(config->controller.num_generation_triples, 16u);
+  EXPECT_FALSE(config->controller.use_logical_rules);
+  EXPECT_FALSE(config->controller.augment_aliases);
+  EXPECT_EQ(config->controller.neighborhood_hops, 3u);
+  EXPECT_FALSE(config->editor.use_cache);
+  EXPECT_DOUBLE_EQ(config->interpreter.extraction_error_rate, 0.1);
+  EXPECT_EQ(config->interpreter.training_examples_per_class, 100u);
+  EXPECT_EQ(config->interpreter.seed, 42u);
+}
+
+TEST(ConfigIoTest, DefaultsWhenEmpty) {
+  const auto config = ParseOneEditConfig("");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->method, OneEditConfig{}.method);
+  EXPECT_EQ(config->controller.num_generation_triples, 8u);
+}
+
+TEST(ConfigIoTest, RejectsBadInput) {
+  EXPECT_FALSE(ParseOneEditConfig("no equals sign").ok());
+  EXPECT_FALSE(ParseOneEditConfig("unknown.key = 1").ok());
+  EXPECT_FALSE(
+      ParseOneEditConfig("controller.num_generation_triples = lots").ok());
+  EXPECT_FALSE(ParseOneEditConfig("editor.use_cache = maybe").ok());
+}
+
+TEST(ConfigIoTest, RoundTripsThroughToString) {
+  OneEditConfig config;
+  config.method = "ROME";
+  config.controller.num_generation_triples = 5;
+  config.editor.use_cache = false;
+  const auto parsed = ParseOneEditConfig(OneEditConfigToString(config));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->method, "ROME");
+  EXPECT_EQ(parsed->controller.num_generation_triples, 5u);
+  EXPECT_FALSE(parsed->editor.use_cache);
+}
+
+TEST(ConfigIoTest, LoadFromFile) {
+  const std::string path = testing::TempDir() + "/oneedit.conf";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("method = MEMIT\n", f);
+    std::fclose(f);
+  }
+  const auto config = LoadOneEditConfig(path);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->method, "MEMIT");
+  EXPECT_FALSE(LoadOneEditConfig("/no/such/file.conf").ok());
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ fuzz-ish NLP ----
+
+TEST(InterpreterFuzzTest, GarbageInputNeverCrashesOrEdits) {
+  Dataset dataset = BuildAmericanPoliticians(TinyOptions());
+  LanguageModel model(Gpt2XlSimConfig(), dataset.vocab);
+  model.Pretrain(dataset.pretrain_facts);
+  OneEditConfig config;
+  config.method = "GRACE";
+  auto system = OneEditSystem::Create(&dataset.kg, &model, config);
+  ASSERT_TRUE(system.ok());
+
+  Rng rng(2024);
+  const uint64_t kg_version = dataset.kg.version();
+  for (int i = 0; i < 200; ++i) {
+    std::string garbage;
+    const size_t length = rng.NextBelow(60);
+    for (size_t c = 0; c < length; ++c) {
+      garbage += static_cast<char>(32 + rng.NextBelow(95));
+    }
+    const auto response = (*system)->HandleUtterance(garbage, "fuzz");
+    ASSERT_TRUE(response.ok()) << "crashed on: " << garbage;
+    // Garbage must never be accepted as an edit.
+    EXPECT_NE(response->kind, UtteranceResponse::Kind::kEdited) << garbage;
+  }
+  EXPECT_EQ(dataset.kg.version(), kg_version);  // the KG never moved
+}
+
+}  // namespace
+}  // namespace oneedit

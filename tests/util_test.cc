@@ -1,0 +1,322 @@
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace oneedit {
+namespace {
+
+// ---------------------------------------------------------------- Status ----
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing triple");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing triple");
+  EXPECT_EQ(s.ToString(), "NotFound: missing triple");
+}
+
+TEST(StatusTest, ConflictAndRejectedPredicates) {
+  EXPECT_TRUE(Status::Conflict("x").IsConflict());
+  EXPECT_TRUE(Status::Rejected("x").IsRejected());
+  EXPECT_FALSE(Status::Conflict("x").IsRejected());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UseReturnIfError(int x) {
+  ONEEDIT_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UseReturnIfError(3).ok());
+  EXPECT_FALSE(UseReturnIfError(-1).ok());
+}
+
+// -------------------------------------------------------------- StatusOr ----
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = ParsePositive(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 7);
+  EXPECT_EQ(v.ValueOr(-1), 7);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = ParsePositive(0);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(v.ValueOr(-1), -1);
+}
+
+StatusOr<int> DoubleIfPositive(int x) {
+  ONEEDIT_ASSIGN_OR_RETURN(const int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  ASSERT_TRUE(DoubleIfPositive(4).ok());
+  EXPECT_EQ(*DoubleIfPositive(4), 8);
+  EXPECT_FALSE(DoubleIfPositive(-4).ok());
+}
+
+// ------------------------------------------------------------------- Rng ----
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t x = rng.NextBelow(5);
+    EXPECT_LT(x, 5u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all residues hit
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, StreamsDecorrelate) {
+  Rng a = Rng::ForStream(99, "alpha");
+  Rng b = Rng::ForStream(99, "beta");
+  EXPECT_NE(a.NextU64(), b.NextU64());
+  // Same stream tag reproduces.
+  Rng c = Rng::ForStream(99, "alpha");
+  Rng d = Rng::ForStream(99, "alpha");
+  EXPECT_EQ(c.NextU64(), d.NextU64());
+}
+
+TEST(RngTest, HashStringStable) {
+  EXPECT_EQ(Rng::HashString("oneedit"), Rng::HashString("oneedit"));
+  EXPECT_NE(Rng::HashString("oneedit"), Rng::HashString("onedit"));
+}
+
+// ----------------------------------------------------------------- Math ----
+
+TEST(MathTest, DotAndNorm) {
+  const Vec v = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Dot(v, v), 25.0);
+  EXPECT_DOUBLE_EQ(Norm(v), 5.0);
+}
+
+TEST(MathTest, AxpyScaleNormalize) {
+  Vec v = {1.0, 2.0};
+  Axpy(2.0, {3.0, 4.0}, &v);
+  EXPECT_EQ(v, (Vec{7.0, 10.0}));
+  Scale(0.5, &v);
+  EXPECT_EQ(v, (Vec{3.5, 5.0}));
+  EXPECT_NEAR(Norm(Normalized(v)), 1.0, 1e-12);
+  const Vec zero = {0.0, 0.0};
+  EXPECT_EQ(Normalized(zero), zero);
+}
+
+TEST(MathTest, CosineSimilarity) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 1}, {2, 2}), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {-1, 0}), -1.0, 1e-12);
+  EXPECT_EQ(CosineSimilarity({0, 0}, {1, 0}), 0.0);
+}
+
+TEST(MathTest, MatVecAndTranspose) {
+  Matrix m(2, 3);
+  // [[1 2 3],[4 5 6]]
+  int val = 1;
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t c = 0; c < 3; ++c) m.At(r, c) = val++;
+  const Vec y = m.MatVec({1.0, 0.0, -1.0});
+  EXPECT_EQ(y, (Vec{-2.0, -2.0}));
+  const Vec z = m.TransposeMatVec({1.0, 1.0});
+  EXPECT_EQ(z, (Vec{5.0, 7.0, 9.0}));
+}
+
+TEST(MathTest, AddOuterMatchesManual) {
+  Matrix m(2, 2);
+  m.AddOuter(2.0, {1.0, 3.0}, {4.0, 5.0});
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 24.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 30.0);
+}
+
+TEST(MathTest, RankOneRecallIsExact) {
+  // After W += v k^T with unit k, W k == v.
+  const size_t d = 16;
+  Rng rng(5);
+  Vec k(d), v(d);
+  for (size_t i = 0; i < d; ++i) {
+    k[i] = rng.NextGaussian();
+    v[i] = rng.NextGaussian();
+  }
+  k = Normalized(k);
+  Matrix w(d, d);
+  w.AddOuter(1.0, v, k);
+  const Vec got = w.MatVec(k);
+  for (size_t i = 0; i < d; ++i) EXPECT_NEAR(got[i], v[i], 1e-12);
+}
+
+TEST(MathTest, IdentityAndFrobenius) {
+  const Matrix eye = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(eye.At(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye.At(0, 1), 0.0);
+  EXPECT_NEAR(eye.FrobeniusNorm(), std::sqrt(3.0), 1e-12);
+}
+
+TEST(MathTest, SolveRidgeSolvesSpdSystem) {
+  // A = B B^T + I is SPD.
+  const size_t n = 8;
+  Rng rng(21);
+  Matrix b(n, n);
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = 0; c < n; ++c) b.At(r, c) = rng.NextGaussian();
+  Matrix a(n, n);
+  for (size_t r = 0; r < n; ++r)
+    for (size_t c = 0; c < n; ++c) {
+      double acc = r == c ? 1.0 : 0.0;
+      for (size_t k = 0; k < n; ++k) acc += b.At(r, k) * b.At(c, k);
+      a.At(r, c) = acc;
+    }
+  Vec x_true(n);
+  for (size_t i = 0; i < n; ++i) x_true[i] = rng.NextGaussian();
+  const Vec rhs = a.MatVec(x_true);
+  const auto solved = SolveRidge(a, rhs, 0.0);
+  ASSERT_TRUE(solved.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR((*solved)[i], x_true[i], 1e-8);
+}
+
+TEST(MathTest, SolveRidgeRejectsBadShapes) {
+  EXPECT_FALSE(SolveRidge(Matrix(2, 3), {1.0, 2.0}, 0.0).ok());
+  EXPECT_FALSE(SolveRidge(Matrix(2, 2), {1.0}, 0.0).ok());
+}
+
+TEST(MathTest, SolveRidgeRejectsIndefinite) {
+  Matrix a(2, 2);
+  a.At(0, 0) = -5.0;
+  a.At(1, 1) = -5.0;
+  EXPECT_FALSE(SolveRidge(a, {1.0, 1.0}, 0.0).ok());
+}
+
+// --------------------------------------------------------------- Strings ----
+
+TEST(StringUtilTest, StrSplitKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  the  quick\tfox \n"),
+            (std::vector<std::string>{"the", "quick", "fox"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, JoinLowerStrip) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(ToLower("HeLLo"), "hello");
+  EXPECT_EQ(StripAsciiWhitespace("  hi \t"), "hi");
+}
+
+TEST(StringUtilTest, AffixesAndReplace) {
+  EXPECT_TRUE(StartsWith("oneedit", "one"));
+  EXPECT_FALSE(StartsWith("one", "oneedit"));
+  EXPECT_TRUE(EndsWith("table1", "1"));
+  EXPECT_EQ(StrReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(StrReplaceAll("aaa", "aa", "b"), "ba");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.9126, 3), "0.913");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+// ----------------------------------------------------------- TablePrinter ----
+
+TEST(TablePrinterTest, AlignsColumnsAndSections) {
+  TablePrinter table({"Method", "Reliability"});
+  table.AddSection("GPT-J-6B");
+  table.AddRow({"ROME", "0.996"});
+  table.AddSeparator();
+  table.AddRow({"MEMIT", "1.000"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("Method"), std::string::npos);
+  EXPECT_NE(out.find("GPT-J-6B"), std::string::npos);
+  EXPECT_NE(out.find("ROME"), std::string::npos);
+  // Every data line has the same width.
+  std::istringstream iss(out);
+  std::string line;
+  size_t width = 0;
+  while (std::getline(iss, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only-one"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oneedit
