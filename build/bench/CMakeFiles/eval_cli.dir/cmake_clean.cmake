@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_cli.dir/eval_cli.cc.o"
+  "CMakeFiles/eval_cli.dir/eval_cli.cc.o.d"
+  "eval_cli"
+  "eval_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_generation_triples.dir/fig3_generation_triples.cc.o"
+  "CMakeFiles/fig3_generation_triples.dir/fig3_generation_triples.cc.o.d"
+  "fig3_generation_triples"
+  "fig3_generation_triples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_generation_triples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

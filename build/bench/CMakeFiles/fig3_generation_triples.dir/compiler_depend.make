@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_generation_triples.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_logical_rules.dir/fig4_logical_rules.cc.o"
+  "CMakeFiles/fig4_logical_rules.dir/fig4_logical_rules.cc.o.d"
+  "fig4_logical_rules"
+  "fig4_logical_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_logical_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_coverage_case.dir/fig5_coverage_case.cc.o"
+  "CMakeFiles/fig5_coverage_case.dir/fig5_coverage_case.cc.o.d"
+  "fig5_coverage_case"
+  "fig5_coverage_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_coverage_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

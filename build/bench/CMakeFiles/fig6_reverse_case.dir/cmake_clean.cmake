@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_reverse_case.dir/fig6_reverse_case.cc.o"
+  "CMakeFiles/fig6_reverse_case.dir/fig6_reverse_case.cc.o.d"
+  "fig6_reverse_case"
+  "fig6_reverse_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_reverse_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifelong_editing.dir/lifelong_editing.cc.o"
+  "CMakeFiles/lifelong_editing.dir/lifelong_editing.cc.o.d"
+  "lifelong_editing"
+  "lifelong_editing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifelong_editing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

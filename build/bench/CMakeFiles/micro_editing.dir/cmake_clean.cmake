@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_editing.dir/micro_editing.cc.o"
+  "CMakeFiles/micro_editing.dir/micro_editing.cc.o.d"
+  "micro_editing"
+  "micro_editing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_editing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

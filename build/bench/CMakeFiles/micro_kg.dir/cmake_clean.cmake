@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_kg.dir/micro_kg.cc.o"
+  "CMakeFiles/micro_kg.dir/micro_kg.cc.o.d"
+  "micro_kg"
+  "micro_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

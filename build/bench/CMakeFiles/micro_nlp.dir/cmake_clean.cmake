@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_nlp.dir/micro_nlp.cc.o"
+  "CMakeFiles/micro_nlp.dir/micro_nlp.cc.o.d"
+  "micro_nlp"
+  "micro_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

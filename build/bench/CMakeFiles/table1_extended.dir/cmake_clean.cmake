@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_extended.dir/table1_extended.cc.o"
+  "CMakeFiles/table1_extended.dir/table1_extended.cc.o.d"
+  "table1_extended"
+  "table1_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_single_user.dir/table1_single_user.cc.o"
+  "CMakeFiles/table1_single_user.dir/table1_single_user.cc.o.d"
+  "table1_single_user"
+  "table1_single_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_single_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

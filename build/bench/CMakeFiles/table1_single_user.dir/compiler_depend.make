@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_single_user.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_multi_user.dir/table2_multi_user.cc.o"
+  "CMakeFiles/table2_multi_user.dir/table2_multi_user.cc.o.d"
+  "table2_multi_user"
+  "table2_multi_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_multi_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/academic_registry.dir/academic_registry.cpp.o"
+  "CMakeFiles/academic_registry.dir/academic_registry.cpp.o.d"
+  "academic_registry"
+  "academic_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/academic_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

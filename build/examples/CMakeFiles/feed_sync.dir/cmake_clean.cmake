@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feed_sync.dir/feed_sync.cpp.o"
+  "CMakeFiles/feed_sync.dir/feed_sync.cpp.o.d"
+  "feed_sync"
+  "feed_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feed_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/politics_newsroom.cpp" "examples/CMakeFiles/politics_newsroom.dir/politics_newsroom.cpp.o" "gcc" "examples/CMakeFiles/politics_newsroom.dir/politics_newsroom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oneedit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/oneedit_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/oneedit_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/editing/CMakeFiles/oneedit_editing.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/oneedit_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/oneedit_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/oneedit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/oneedit_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

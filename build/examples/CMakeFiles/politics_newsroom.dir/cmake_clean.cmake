@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/politics_newsroom.dir/politics_newsroom.cpp.o"
+  "CMakeFiles/politics_newsroom.dir/politics_newsroom.cpp.o.d"
+  "politics_newsroom"
+  "politics_newsroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/politics_newsroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

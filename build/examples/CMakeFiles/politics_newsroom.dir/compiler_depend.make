@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for politics_newsroom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toxic_defense.dir/toxic_defense.cpp.o"
+  "CMakeFiles/toxic_defense.dir/toxic_defense.cpp.o.d"
+  "toxic_defense"
+  "toxic_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toxic_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

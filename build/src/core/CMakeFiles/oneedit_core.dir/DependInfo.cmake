@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config_io.cc" "src/core/CMakeFiles/oneedit_core.dir/config_io.cc.o" "gcc" "src/core/CMakeFiles/oneedit_core.dir/config_io.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/oneedit_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/oneedit_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/oneedit_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/oneedit_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/interpreter.cc" "src/core/CMakeFiles/oneedit_core.dir/interpreter.cc.o" "gcc" "src/core/CMakeFiles/oneedit_core.dir/interpreter.cc.o.d"
+  "/root/repo/src/core/oneedit.cc" "src/core/CMakeFiles/oneedit_core.dir/oneedit.cc.o" "gcc" "src/core/CMakeFiles/oneedit_core.dir/oneedit.cc.o.d"
+  "/root/repo/src/core/oneedit_editor.cc" "src/core/CMakeFiles/oneedit_core.dir/oneedit_editor.cc.o" "gcc" "src/core/CMakeFiles/oneedit_core.dir/oneedit_editor.cc.o.d"
+  "/root/repo/src/core/security.cc" "src/core/CMakeFiles/oneedit_core.dir/security.cc.o" "gcc" "src/core/CMakeFiles/oneedit_core.dir/security.cc.o.d"
+  "/root/repo/src/core/statistics.cc" "src/core/CMakeFiles/oneedit_core.dir/statistics.cc.o" "gcc" "src/core/CMakeFiles/oneedit_core.dir/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oneedit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/oneedit_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/oneedit_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/editing/CMakeFiles/oneedit_editing.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/oneedit_nlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

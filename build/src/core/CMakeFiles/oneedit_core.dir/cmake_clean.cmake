@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oneedit_core.dir/config_io.cc.o"
+  "CMakeFiles/oneedit_core.dir/config_io.cc.o.d"
+  "CMakeFiles/oneedit_core.dir/controller.cc.o"
+  "CMakeFiles/oneedit_core.dir/controller.cc.o.d"
+  "CMakeFiles/oneedit_core.dir/cost_model.cc.o"
+  "CMakeFiles/oneedit_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/oneedit_core.dir/interpreter.cc.o"
+  "CMakeFiles/oneedit_core.dir/interpreter.cc.o.d"
+  "CMakeFiles/oneedit_core.dir/oneedit.cc.o"
+  "CMakeFiles/oneedit_core.dir/oneedit.cc.o.d"
+  "CMakeFiles/oneedit_core.dir/oneedit_editor.cc.o"
+  "CMakeFiles/oneedit_core.dir/oneedit_editor.cc.o.d"
+  "CMakeFiles/oneedit_core.dir/security.cc.o"
+  "CMakeFiles/oneedit_core.dir/security.cc.o.d"
+  "CMakeFiles/oneedit_core.dir/statistics.cc.o"
+  "CMakeFiles/oneedit_core.dir/statistics.cc.o.d"
+  "liboneedit_core.a"
+  "liboneedit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oneedit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

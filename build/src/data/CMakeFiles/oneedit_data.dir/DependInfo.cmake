@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/academic.cc" "src/data/CMakeFiles/oneedit_data.dir/academic.cc.o" "gcc" "src/data/CMakeFiles/oneedit_data.dir/academic.cc.o.d"
+  "/root/repo/src/data/companies.cc" "src/data/CMakeFiles/oneedit_data.dir/companies.cc.o" "gcc" "src/data/CMakeFiles/oneedit_data.dir/companies.cc.o.d"
+  "/root/repo/src/data/name_pool.cc" "src/data/CMakeFiles/oneedit_data.dir/name_pool.cc.o" "gcc" "src/data/CMakeFiles/oneedit_data.dir/name_pool.cc.o.d"
+  "/root/repo/src/data/politicians.cc" "src/data/CMakeFiles/oneedit_data.dir/politicians.cc.o" "gcc" "src/data/CMakeFiles/oneedit_data.dir/politicians.cc.o.d"
+  "/root/repo/src/data/world_builder.cc" "src/data/CMakeFiles/oneedit_data.dir/world_builder.cc.o" "gcc" "src/data/CMakeFiles/oneedit_data.dir/world_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oneedit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/oneedit_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/oneedit_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oneedit_data.dir/academic.cc.o"
+  "CMakeFiles/oneedit_data.dir/academic.cc.o.d"
+  "CMakeFiles/oneedit_data.dir/companies.cc.o"
+  "CMakeFiles/oneedit_data.dir/companies.cc.o.d"
+  "CMakeFiles/oneedit_data.dir/name_pool.cc.o"
+  "CMakeFiles/oneedit_data.dir/name_pool.cc.o.d"
+  "CMakeFiles/oneedit_data.dir/politicians.cc.o"
+  "CMakeFiles/oneedit_data.dir/politicians.cc.o.d"
+  "CMakeFiles/oneedit_data.dir/world_builder.cc.o"
+  "CMakeFiles/oneedit_data.dir/world_builder.cc.o.d"
+  "liboneedit_data.a"
+  "liboneedit_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oneedit_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/editing/cache_io.cc" "src/editing/CMakeFiles/oneedit_editing.dir/cache_io.cc.o" "gcc" "src/editing/CMakeFiles/oneedit_editing.dir/cache_io.cc.o.d"
+  "/root/repo/src/editing/edit_cache.cc" "src/editing/CMakeFiles/oneedit_editing.dir/edit_cache.cc.o" "gcc" "src/editing/CMakeFiles/oneedit_editing.dir/edit_cache.cc.o.d"
+  "/root/repo/src/editing/edit_delta.cc" "src/editing/CMakeFiles/oneedit_editing.dir/edit_delta.cc.o" "gcc" "src/editing/CMakeFiles/oneedit_editing.dir/edit_delta.cc.o.d"
+  "/root/repo/src/editing/editor.cc" "src/editing/CMakeFiles/oneedit_editing.dir/editor.cc.o" "gcc" "src/editing/CMakeFiles/oneedit_editing.dir/editor.cc.o.d"
+  "/root/repo/src/editing/ft.cc" "src/editing/CMakeFiles/oneedit_editing.dir/ft.cc.o" "gcc" "src/editing/CMakeFiles/oneedit_editing.dir/ft.cc.o.d"
+  "/root/repo/src/editing/grace.cc" "src/editing/CMakeFiles/oneedit_editing.dir/grace.cc.o" "gcc" "src/editing/CMakeFiles/oneedit_editing.dir/grace.cc.o.d"
+  "/root/repo/src/editing/memit.cc" "src/editing/CMakeFiles/oneedit_editing.dir/memit.cc.o" "gcc" "src/editing/CMakeFiles/oneedit_editing.dir/memit.cc.o.d"
+  "/root/repo/src/editing/mend.cc" "src/editing/CMakeFiles/oneedit_editing.dir/mend.cc.o" "gcc" "src/editing/CMakeFiles/oneedit_editing.dir/mend.cc.o.d"
+  "/root/repo/src/editing/rome.cc" "src/editing/CMakeFiles/oneedit_editing.dir/rome.cc.o" "gcc" "src/editing/CMakeFiles/oneedit_editing.dir/rome.cc.o.d"
+  "/root/repo/src/editing/serac.cc" "src/editing/CMakeFiles/oneedit_editing.dir/serac.cc.o" "gcc" "src/editing/CMakeFiles/oneedit_editing.dir/serac.cc.o.d"
+  "/root/repo/src/editing/write_utils.cc" "src/editing/CMakeFiles/oneedit_editing.dir/write_utils.cc.o" "gcc" "src/editing/CMakeFiles/oneedit_editing.dir/write_utils.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oneedit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/oneedit_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/oneedit_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oneedit_editing.dir/cache_io.cc.o"
+  "CMakeFiles/oneedit_editing.dir/cache_io.cc.o.d"
+  "CMakeFiles/oneedit_editing.dir/edit_cache.cc.o"
+  "CMakeFiles/oneedit_editing.dir/edit_cache.cc.o.d"
+  "CMakeFiles/oneedit_editing.dir/edit_delta.cc.o"
+  "CMakeFiles/oneedit_editing.dir/edit_delta.cc.o.d"
+  "CMakeFiles/oneedit_editing.dir/editor.cc.o"
+  "CMakeFiles/oneedit_editing.dir/editor.cc.o.d"
+  "CMakeFiles/oneedit_editing.dir/ft.cc.o"
+  "CMakeFiles/oneedit_editing.dir/ft.cc.o.d"
+  "CMakeFiles/oneedit_editing.dir/grace.cc.o"
+  "CMakeFiles/oneedit_editing.dir/grace.cc.o.d"
+  "CMakeFiles/oneedit_editing.dir/memit.cc.o"
+  "CMakeFiles/oneedit_editing.dir/memit.cc.o.d"
+  "CMakeFiles/oneedit_editing.dir/mend.cc.o"
+  "CMakeFiles/oneedit_editing.dir/mend.cc.o.d"
+  "CMakeFiles/oneedit_editing.dir/rome.cc.o"
+  "CMakeFiles/oneedit_editing.dir/rome.cc.o.d"
+  "CMakeFiles/oneedit_editing.dir/serac.cc.o"
+  "CMakeFiles/oneedit_editing.dir/serac.cc.o.d"
+  "CMakeFiles/oneedit_editing.dir/write_utils.cc.o"
+  "CMakeFiles/oneedit_editing.dir/write_utils.cc.o.d"
+  "liboneedit_editing.a"
+  "liboneedit_editing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oneedit_editing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

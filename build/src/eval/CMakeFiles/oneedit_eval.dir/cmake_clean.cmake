@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oneedit_eval.dir/harness.cc.o"
+  "CMakeFiles/oneedit_eval.dir/harness.cc.o.d"
+  "CMakeFiles/oneedit_eval.dir/metrics.cc.o"
+  "CMakeFiles/oneedit_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/oneedit_eval.dir/probe_eval.cc.o"
+  "CMakeFiles/oneedit_eval.dir/probe_eval.cc.o.d"
+  "CMakeFiles/oneedit_eval.dir/report.cc.o"
+  "CMakeFiles/oneedit_eval.dir/report.cc.o.d"
+  "liboneedit_eval.a"
+  "liboneedit_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oneedit_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kg/dictionary.cc" "src/kg/CMakeFiles/oneedit_kg.dir/dictionary.cc.o" "gcc" "src/kg/CMakeFiles/oneedit_kg.dir/dictionary.cc.o.d"
+  "/root/repo/src/kg/dot_export.cc" "src/kg/CMakeFiles/oneedit_kg.dir/dot_export.cc.o" "gcc" "src/kg/CMakeFiles/oneedit_kg.dir/dot_export.cc.o.d"
+  "/root/repo/src/kg/graph_query.cc" "src/kg/CMakeFiles/oneedit_kg.dir/graph_query.cc.o" "gcc" "src/kg/CMakeFiles/oneedit_kg.dir/graph_query.cc.o.d"
+  "/root/repo/src/kg/knowledge_graph.cc" "src/kg/CMakeFiles/oneedit_kg.dir/knowledge_graph.cc.o" "gcc" "src/kg/CMakeFiles/oneedit_kg.dir/knowledge_graph.cc.o.d"
+  "/root/repo/src/kg/pattern_query.cc" "src/kg/CMakeFiles/oneedit_kg.dir/pattern_query.cc.o" "gcc" "src/kg/CMakeFiles/oneedit_kg.dir/pattern_query.cc.o.d"
+  "/root/repo/src/kg/relation_schema.cc" "src/kg/CMakeFiles/oneedit_kg.dir/relation_schema.cc.o" "gcc" "src/kg/CMakeFiles/oneedit_kg.dir/relation_schema.cc.o.d"
+  "/root/repo/src/kg/rules.cc" "src/kg/CMakeFiles/oneedit_kg.dir/rules.cc.o" "gcc" "src/kg/CMakeFiles/oneedit_kg.dir/rules.cc.o.d"
+  "/root/repo/src/kg/triple_store.cc" "src/kg/CMakeFiles/oneedit_kg.dir/triple_store.cc.o" "gcc" "src/kg/CMakeFiles/oneedit_kg.dir/triple_store.cc.o.d"
+  "/root/repo/src/kg/wal.cc" "src/kg/CMakeFiles/oneedit_kg.dir/wal.cc.o" "gcc" "src/kg/CMakeFiles/oneedit_kg.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oneedit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oneedit_kg.dir/dictionary.cc.o"
+  "CMakeFiles/oneedit_kg.dir/dictionary.cc.o.d"
+  "CMakeFiles/oneedit_kg.dir/dot_export.cc.o"
+  "CMakeFiles/oneedit_kg.dir/dot_export.cc.o.d"
+  "CMakeFiles/oneedit_kg.dir/graph_query.cc.o"
+  "CMakeFiles/oneedit_kg.dir/graph_query.cc.o.d"
+  "CMakeFiles/oneedit_kg.dir/knowledge_graph.cc.o"
+  "CMakeFiles/oneedit_kg.dir/knowledge_graph.cc.o.d"
+  "CMakeFiles/oneedit_kg.dir/pattern_query.cc.o"
+  "CMakeFiles/oneedit_kg.dir/pattern_query.cc.o.d"
+  "CMakeFiles/oneedit_kg.dir/relation_schema.cc.o"
+  "CMakeFiles/oneedit_kg.dir/relation_schema.cc.o.d"
+  "CMakeFiles/oneedit_kg.dir/rules.cc.o"
+  "CMakeFiles/oneedit_kg.dir/rules.cc.o.d"
+  "CMakeFiles/oneedit_kg.dir/triple_store.cc.o"
+  "CMakeFiles/oneedit_kg.dir/triple_store.cc.o.d"
+  "CMakeFiles/oneedit_kg.dir/wal.cc.o"
+  "CMakeFiles/oneedit_kg.dir/wal.cc.o.d"
+  "liboneedit_kg.a"
+  "liboneedit_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oneedit_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboneedit_kg.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/assoc_memory.cc" "src/model/CMakeFiles/oneedit_model.dir/assoc_memory.cc.o" "gcc" "src/model/CMakeFiles/oneedit_model.dir/assoc_memory.cc.o.d"
+  "/root/repo/src/model/checkpoint.cc" "src/model/CMakeFiles/oneedit_model.dir/checkpoint.cc.o" "gcc" "src/model/CMakeFiles/oneedit_model.dir/checkpoint.cc.o.d"
+  "/root/repo/src/model/embedding.cc" "src/model/CMakeFiles/oneedit_model.dir/embedding.cc.o" "gcc" "src/model/CMakeFiles/oneedit_model.dir/embedding.cc.o.d"
+  "/root/repo/src/model/language_model.cc" "src/model/CMakeFiles/oneedit_model.dir/language_model.cc.o" "gcc" "src/model/CMakeFiles/oneedit_model.dir/language_model.cc.o.d"
+  "/root/repo/src/model/model_config.cc" "src/model/CMakeFiles/oneedit_model.dir/model_config.cc.o" "gcc" "src/model/CMakeFiles/oneedit_model.dir/model_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oneedit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/oneedit_kg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oneedit_model.dir/assoc_memory.cc.o"
+  "CMakeFiles/oneedit_model.dir/assoc_memory.cc.o.d"
+  "CMakeFiles/oneedit_model.dir/checkpoint.cc.o"
+  "CMakeFiles/oneedit_model.dir/checkpoint.cc.o.d"
+  "CMakeFiles/oneedit_model.dir/embedding.cc.o"
+  "CMakeFiles/oneedit_model.dir/embedding.cc.o.d"
+  "CMakeFiles/oneedit_model.dir/language_model.cc.o"
+  "CMakeFiles/oneedit_model.dir/language_model.cc.o.d"
+  "CMakeFiles/oneedit_model.dir/model_config.cc.o"
+  "CMakeFiles/oneedit_model.dir/model_config.cc.o.d"
+  "liboneedit_model.a"
+  "liboneedit_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oneedit_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/gazetteer.cc" "src/nlp/CMakeFiles/oneedit_nlp.dir/gazetteer.cc.o" "gcc" "src/nlp/CMakeFiles/oneedit_nlp.dir/gazetteer.cc.o.d"
+  "/root/repo/src/nlp/intent_classifier.cc" "src/nlp/CMakeFiles/oneedit_nlp.dir/intent_classifier.cc.o" "gcc" "src/nlp/CMakeFiles/oneedit_nlp.dir/intent_classifier.cc.o.d"
+  "/root/repo/src/nlp/tokenizer.cc" "src/nlp/CMakeFiles/oneedit_nlp.dir/tokenizer.cc.o" "gcc" "src/nlp/CMakeFiles/oneedit_nlp.dir/tokenizer.cc.o.d"
+  "/root/repo/src/nlp/triple_extractor.cc" "src/nlp/CMakeFiles/oneedit_nlp.dir/triple_extractor.cc.o" "gcc" "src/nlp/CMakeFiles/oneedit_nlp.dir/triple_extractor.cc.o.d"
+  "/root/repo/src/nlp/utterance_generator.cc" "src/nlp/CMakeFiles/oneedit_nlp.dir/utterance_generator.cc.o" "gcc" "src/nlp/CMakeFiles/oneedit_nlp.dir/utterance_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/oneedit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/oneedit_kg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oneedit_nlp.dir/gazetteer.cc.o"
+  "CMakeFiles/oneedit_nlp.dir/gazetteer.cc.o.d"
+  "CMakeFiles/oneedit_nlp.dir/intent_classifier.cc.o"
+  "CMakeFiles/oneedit_nlp.dir/intent_classifier.cc.o.d"
+  "CMakeFiles/oneedit_nlp.dir/tokenizer.cc.o"
+  "CMakeFiles/oneedit_nlp.dir/tokenizer.cc.o.d"
+  "CMakeFiles/oneedit_nlp.dir/triple_extractor.cc.o"
+  "CMakeFiles/oneedit_nlp.dir/triple_extractor.cc.o.d"
+  "CMakeFiles/oneedit_nlp.dir/utterance_generator.cc.o"
+  "CMakeFiles/oneedit_nlp.dir/utterance_generator.cc.o.d"
+  "liboneedit_nlp.a"
+  "liboneedit_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oneedit_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

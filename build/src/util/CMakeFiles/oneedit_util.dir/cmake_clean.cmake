@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oneedit_util.dir/logging.cc.o"
+  "CMakeFiles/oneedit_util.dir/logging.cc.o.d"
+  "CMakeFiles/oneedit_util.dir/math.cc.o"
+  "CMakeFiles/oneedit_util.dir/math.cc.o.d"
+  "CMakeFiles/oneedit_util.dir/rng.cc.o"
+  "CMakeFiles/oneedit_util.dir/rng.cc.o.d"
+  "CMakeFiles/oneedit_util.dir/status.cc.o"
+  "CMakeFiles/oneedit_util.dir/status.cc.o.d"
+  "CMakeFiles/oneedit_util.dir/string_util.cc.o"
+  "CMakeFiles/oneedit_util.dir/string_util.cc.o.d"
+  "CMakeFiles/oneedit_util.dir/table_printer.cc.o"
+  "CMakeFiles/oneedit_util.dir/table_printer.cc.o.d"
+  "liboneedit_util.a"
+  "liboneedit_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oneedit_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

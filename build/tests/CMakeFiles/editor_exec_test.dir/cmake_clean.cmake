@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/editor_exec_test.dir/editor_exec_test.cc.o"
+  "CMakeFiles/editor_exec_test.dir/editor_exec_test.cc.o.d"
+  "editor_exec_test"
+  "editor_exec_test.pdb"
+  "editor_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/editor_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

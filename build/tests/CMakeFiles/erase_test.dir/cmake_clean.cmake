@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erase_test.dir/erase_test.cc.o"
+  "CMakeFiles/erase_test.dir/erase_test.cc.o.d"
+  "erase_test"
+  "erase_test.pdb"
+  "erase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

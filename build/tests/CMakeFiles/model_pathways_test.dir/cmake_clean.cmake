@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_pathways_test.dir/model_pathways_test.cc.o"
+  "CMakeFiles/model_pathways_test.dir/model_pathways_test.cc.o.d"
+  "model_pathways_test"
+  "model_pathways_test.pdb"
+  "model_pathways_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_pathways_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

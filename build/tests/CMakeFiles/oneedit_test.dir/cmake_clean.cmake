@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oneedit_test.dir/oneedit_test.cc.o"
+  "CMakeFiles/oneedit_test.dir/oneedit_test.cc.o.d"
+  "oneedit_test"
+  "oneedit_test.pdb"
+  "oneedit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oneedit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

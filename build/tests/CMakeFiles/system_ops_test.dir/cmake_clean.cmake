@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_ops_test.dir/system_ops_test.cc.o"
+  "CMakeFiles/system_ops_test.dir/system_ops_test.cc.o.d"
+  "system_ops_test"
+  "system_ops_test.pdb"
+  "system_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
