@@ -75,7 +75,7 @@ int RunFig5() {
                   {"the USA", "first_lady", "Melania Trump"}});
 
   OneEditConfig oneedit_config;
-  oneedit_config.method = "MEMIT";
+  oneedit_config.method = EditingMethodKind::kMemit;
   oneedit_config.controller.num_generation_triples = 4;
   auto system = OneEditSystem::Create(&kg, &model, oneedit_config);
   if (!system.ok()) {
@@ -96,13 +96,13 @@ int RunFig5() {
       std::cout << "    edit failed: " << report.status().ToString() << "\n";
       return;
     }
-    std::cout << "    rollbacks requested: " << report->plan.rollbacks.size()
-              << " (applied " << report->outcome.rollbacks_applied
-              << ", pretrained/skipped " << report->outcome.rollbacks_skipped
+    std::cout << "    rollbacks requested: " << report->plan().rollbacks.size()
+              << " (applied " << report->outcome().rollbacks_applied
+              << ", pretrained/skipped " << report->outcome().rollbacks_skipped
               << ")\n";
-    std::cout << "    edits applied: " << report->outcome.edits_applied
-              << ", augmentations: " << report->outcome.augmentations_applied
-              << ", cache hits: " << report->outcome.cache_hits << "\n";
+    std::cout << "    edits applied: " << report->outcome().edits_applied
+              << ", augmentations: " << report->outcome().augmentations_applied
+              << ", cache hits: " << report->outcome().cache_hits << "\n";
     std::cout << "    cached edit parameters now held: "
               << (*system)->editor().cache().size() << " entries, "
               << (*system)->editor().cache().ApproxBytes() / 1024

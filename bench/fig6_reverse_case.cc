@@ -53,7 +53,7 @@ int RunFig6() {
   model.Pretrain({});  // the marriages arrive purely as edits
 
   OneEditConfig oneedit_config;
-  oneedit_config.method = "MEMIT";
+  oneedit_config.method = EditingMethodKind::kMemit;
   oneedit_config.controller.num_generation_triples = 4;
   auto system = OneEditSystem::Create(&kg, &model, oneedit_config);
   if (!system.ok()) {
@@ -71,7 +71,7 @@ int RunFig6() {
     return 1;
   }
   std::cout << "    triples edited into the model:\n";
-  for (const NamedTriple& t : report->plan.edits) {
+  for (const NamedTriple& t : report->plan().edits) {
     std::cout << "      (" << t.subject << ", " << t.relation << ", "
               << t.object << ")\n";
   }
@@ -86,14 +86,14 @@ int RunFig6() {
     return 1;
   }
   std::cout << "    conflicts detected -> rollbacks:\n";
-  for (const NamedTriple& t : report->plan.rollbacks) {
+  for (const NamedTriple& t : report->plan().rollbacks) {
     std::cout << "      (" << t.subject << ", " << t.relation << ", "
               << t.object << ")\n";
   }
-  std::cout << "    (applied " << report->outcome.rollbacks_applied
+  std::cout << "    (applied " << report->outcome().rollbacks_applied
             << " cached rollbacks)\n";
   std::cout << "    new triples edited into the model:\n";
-  for (const NamedTriple& t : report->plan.edits) {
+  for (const NamedTriple& t : report->plan().edits) {
     std::cout << "      (" << t.subject << ", " << t.relation << ", "
               << t.object << ")\n";
   }

@@ -1,0 +1,214 @@
+// Serving-layer benchmark: coarse-lock ConcurrentOneEdit vs EditService.
+//
+// Part 1 — read scalability: N reader threads hammer Ask for a fixed wall
+// budget. The coarse lock serializes every query; EditService's shared lock
+// lets them run concurrently, so QPS should scale with the thread count.
+//
+// Part 2 — edit throughput and coalescing: a burst of disjoint-slot edits
+// is applied sequentially under the coarse lock, then submitted to
+// EditService, whose writer coalesces them into ApplyBatch calls. Batch
+// size and queue depth come from the serving histograms.
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/concurrent.h"
+#include "data/dataset.h"
+#include "serving/edit_service.h"
+#include "util/timer.h"
+
+namespace oneedit {
+namespace {
+
+using serving::EditService;
+using serving::EditServiceOptions;
+
+constexpr int kReaderThreads = 8;
+constexpr double kReadSeconds = 2.0;
+
+struct World {
+  World()
+      : dataset(BuildAmericanPoliticians(DatasetOptions{})),
+        model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                              dataset.vocab)) {
+    model->Pretrain(dataset.pretrain_facts);
+  }
+
+  OneEditConfig Config() const {
+    OneEditConfig config;
+    config.method = EditingMethodKind::kGrace;
+    config.interpreter.extraction_error_rate = 0.0;
+    return config;
+  }
+
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+};
+
+/// Runs `ask` from kReaderThreads threads for kReadSeconds; returns QPS.
+template <typename AskFn>
+double MeasureReadQps(const Dataset& dataset, AskFn&& ask) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kReaderThreads; ++t) {
+    threads.emplace_back([&, t] {
+      size_t i = t;
+      uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const EditCase& edit_case =
+            dataset.cases[i++ % dataset.cases.size()];
+        ask(edit_case.edit.subject, edit_case.edit.relation);
+        ++local;
+      }
+      reads.fetch_add(local);
+    });
+  }
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::duration<double>(kReadSeconds));
+  stop.store(true);
+  for (std::thread& thread : threads) thread.join();
+  return static_cast<double>(reads.load()) / timer.ElapsedSeconds();
+}
+
+int RunServingBench() {
+  std::cout << "Serving bench: coarse-lock ConcurrentOneEdit vs "
+               "EditService\n";
+  std::cout << "(" << kReaderThreads << " reader threads, GRACE, "
+            << "American-politicians world)\n\n";
+
+  // ---- Part 1: read QPS ----
+  double coarse_qps = 0.0;
+  {
+    World world;
+    auto system =
+        OneEditSystem::Create(&world.dataset.kg, world.model.get(),
+                              world.Config());
+    if (!system.ok()) {
+      std::cerr << system.status().ToString() << "\n";
+      return 1;
+    }
+    ConcurrentOneEdit concurrent(std::move(system).value());
+    coarse_qps = MeasureReadQps(
+        world.dataset, [&](const std::string& s, const std::string& r) {
+          (void)concurrent.Ask(s, r);
+        });
+  }
+  double serving_qps = 0.0;
+  {
+    World world;
+    auto service = EditService::Create(&world.dataset.kg, world.model.get(),
+                                       world.Config());
+    if (!service.ok()) {
+      std::cerr << service.status().ToString() << "\n";
+      return 1;
+    }
+    serving_qps = MeasureReadQps(
+        world.dataset, [&](const std::string& s, const std::string& r) {
+          (void)(*service)->Ask(s, r);
+        });
+  }
+  std::cout << "Read QPS, coarse lock:  " << static_cast<uint64_t>(coarse_qps)
+            << "\n";
+  std::cout << "Read QPS, EditService:  "
+            << static_cast<uint64_t>(serving_qps) << "\n";
+  std::cout << "Speedup:                " << serving_qps / coarse_qps
+            << "x\n\n";
+
+  // ---- Part 2: edit throughput + coalescing ----
+  const size_t kEditRounds = 3;
+  double coarse_edit_seconds = 0.0;
+  size_t coarse_edits = 0;
+  {
+    World world;
+    auto system =
+        OneEditSystem::Create(&world.dataset.kg, world.model.get(),
+                              world.Config());
+    if (!system.ok()) return 1;
+    ConcurrentOneEdit concurrent(std::move(system).value());
+    WallTimer timer;
+    for (size_t round = 0; round < kEditRounds; ++round) {
+      for (const EditCase& edit_case : world.dataset.cases) {
+        NamedTriple triple = edit_case.edit;
+        if (round % 2 == 1) triple.object = edit_case.old_object;
+        if (concurrent.EditTriple(triple, "bench").ok()) ++coarse_edits;
+      }
+    }
+    coarse_edit_seconds = timer.ElapsedSeconds();
+  }
+  double serving_edit_seconds = 0.0;
+  size_t serving_edits = 0;
+  HistogramSnapshot batch_sizes;
+  HistogramSnapshot queue_depths;
+  HistogramSnapshot latencies;
+  {
+    World world;
+    EditServiceOptions options;
+    options.max_batch_size = 32;
+    auto service = EditService::Create(&world.dataset.kg, world.model.get(),
+                                       world.Config(), options);
+    if (!service.ok()) return 1;
+    WallTimer timer;
+    std::vector<std::future<StatusOr<EditResult>>> futures;
+    for (size_t round = 0; round < kEditRounds; ++round) {
+      for (const EditCase& edit_case : world.dataset.cases) {
+        NamedTriple triple = edit_case.edit;
+        if (round % 2 == 1) triple.object = edit_case.old_object;
+        futures.push_back(
+            (*service)->Submit(EditRequest::Edit(triple, "bench")));
+      }
+    }
+    for (auto& future : futures) {
+      const auto result = future.get();
+      if (result.ok() && result->applied()) ++serving_edits;
+    }
+    (*service)->Drain();
+    serving_edit_seconds = timer.ElapsedSeconds();
+    const Statistics& stats = (*service)->statistics();
+    batch_sizes = stats.GetHistogram(Histogram::kServingBatchSize);
+    queue_depths = stats.GetHistogram(Histogram::kServingQueueDepth);
+    latencies = stats.GetHistogram(Histogram::kServingLatencyMicros);
+  }
+  std::cout << "Edit throughput, coarse lock:  "
+            << coarse_edits / coarse_edit_seconds << " edits/s ("
+            << coarse_edits << " edits)\n";
+  std::cout << "Edit throughput, EditService:  "
+            << serving_edits / serving_edit_seconds << " edits/s ("
+            << serving_edits << " applied)\n";
+  std::cout << "Writer batches:                " << batch_sizes.count
+            << " (avg size " << batch_sizes.Average() << ", max "
+            << batch_sizes.max << ")\n";
+  std::cout << "Queue depth at admission:      avg " << queue_depths.Average()
+            << ", max " << queue_depths.max << "\n";
+  std::cout << "Submit->done latency:          avg "
+            << latencies.Average() / 1000.0 << " ms, max "
+            << static_cast<double>(latencies.max) / 1000.0 << " ms\n";
+
+  // Reader scaling needs real cores: on a single-CPU host the 8 reader
+  // threads time-slice one core, so even a perfect lock-free read path
+  // cannot beat the serialized baseline. Report, but only enforce the 4x
+  // target where the hardware can express it.
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool can_scale = cores >= 8;
+  const bool qps_ok = serving_qps >= 4.0 * coarse_qps;
+  const bool coalesced = batch_sizes.max > 1;
+  std::cout << "\nacceptance: read speedup >= 4x: ";
+  if (can_scale) {
+    std::cout << (qps_ok ? "PASS" : "FAIL");
+  } else {
+    std::cout << "SKIPPED (host has " << cores
+              << " core(s); needs >= 8 for reader scaling)";
+  }
+  std::cout << ", coalesced batches > 1: " << (coalesced ? "PASS" : "FAIL")
+            << "\n";
+  return (can_scale ? qps_ok && coalesced : coalesced) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace oneedit
+
+int main() { return oneedit::RunServingBench(); }

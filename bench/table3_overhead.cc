@@ -34,7 +34,7 @@ struct ScenarioTiming {
 /// Measures the coverage scenario A -> B -> A -> B...: the first two edits
 /// are full edits; every subsequent flip is a rollback plus a cached
 /// re-apply (the space-for-time fast path).
-StatusOr<ScenarioTiming> MeasureScenario(const std::string& method,
+StatusOr<ScenarioTiming> MeasureScenario(EditingMethodKind method,
                                          const ModelConfig& model_config) {
   Dataset dataset = BuildAmericanPoliticians(DatasetOptions{});
   LanguageModel model(model_config, dataset.vocab);
@@ -133,13 +133,14 @@ int RunTable3() {
                "(A->B->A->B..., GPT-J-6B(sim)):\n";
   TablePrinter measured(
       {"Method", "full edit (ms)", "cached flip: rollback+reapply (ms)"});
-  for (const char* method : {"MEMIT", "GRACE"}) {
+  for (const EditingMethodKind method :
+       {EditingMethodKind::kMemit, EditingMethodKind::kGrace}) {
     const auto timing = MeasureScenario(method, GptJSimConfig());
     if (!timing.ok()) {
       std::cerr << "scenario failed: " << timing.status().ToString() << "\n";
       return 1;
     }
-    measured.AddRow({std::string("OneEdit (") + method + ")",
+    measured.AddRow({"OneEdit (" + MethodKindName(method) + ")",
                      FormatDouble(timing->full_edit_ms, 3),
                      FormatDouble(timing->cached_flip_ms, 3)});
   }

@@ -51,7 +51,7 @@ int main() {
   model.Pretrain(dataset.pretrain_facts);
 
   OneEditConfig config;
-  config.method = "MEMIT";
+  config.method = EditingMethodKind::kMemit;
   config.interpreter.extraction_error_rate = 0.0;
   auto system = OneEditSystem::Create(&dataset.kg, &model, config);
   if (!system.ok()) {
@@ -92,7 +92,7 @@ int main() {
   }
   std::cout << "  -> " << response->message << "\n";
   std::cout << "  conflicts resolved: "
-            << response->report->plan.rollbacks.size()
+            << response->plan().rollbacks.size()
             << " (the university's previous chair was displaced)\n";
 
   std::cout << "\nAfter:\n";

@@ -28,7 +28,7 @@ int main() {
   model.Pretrain(dataset.pretrain_facts);
 
   OneEditConfig config;
-  config.method = "MEMIT";
+  config.method = EditingMethodKind::kMemit;
   config.interpreter.extraction_error_rate = 0.0;
   auto system = OneEditSystem::Create(&dataset.kg, &model, config);
   if (!system.ok()) {
@@ -76,14 +76,14 @@ int main() {
       ++failed;
       continue;
     }
-    if (report->plan.no_op) {
+    if (report->plan().no_op) {
       std::cout << "  already known: (" << fact.subject << ", "
                 << fact.relation << ", " << fact.object << ")\n";
       ++already_known;
     } else {
       std::cout << "  applied: (" << fact.subject << ", " << fact.relation
-                << ", " << fact.object << ")  [" << report->plan.rollbacks.size()
-                << " conflicts resolved, " << report->plan.augmentations.size()
+                << ", " << fact.object << ")  [" << report->plan().rollbacks.size()
+                << " conflicts resolved, " << report->plan().augmentations.size()
                 << " generation triples]\n";
       ++applied;
     }

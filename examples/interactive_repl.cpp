@@ -46,7 +46,7 @@ bool SplitSubjectRelation(const std::string& rest, std::string* subject,
 int main(int argc, char** argv) {
   // Optional deployment config: interactive_repl --config oneedit.conf
   OneEditConfig config;
-  config.method = "GRACE";
+  config.method = EditingMethodKind::kGrace;
   config.interpreter.extraction_error_rate = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
@@ -173,7 +173,7 @@ int main(int argc, char** argv) {
       continue;
     }
     std::cout << "  " << response->message << "\n";
-    if (response->report.has_value() && !response->report->plan.no_op) {
+    if (response->report.has_value() && !response->plan().no_op) {
       const EditPlan& plan = response->report->plan;
       std::cout << "  [plan: " << plan.rollbacks.size() << " rollbacks, "
                 << plan.edits.size() << " edits, "

@@ -47,7 +47,7 @@ int main() {
   model.Pretrain(dataset.pretrain_facts);
 
   OneEditConfig config;
-  config.method = "GRACE";
+  config.method = EditingMethodKind::kGrace;
   config.interpreter.extraction_error_rate = 0.0;
   auto system = OneEditSystem::Create(&dataset.kg, &model, config);
   if (!system.ok()) {

@@ -12,6 +12,7 @@
 #include "model/model_config.h"
 
 using oneedit::Decode;
+using oneedit::EditingMethodKind;
 using oneedit::HornRule;
 using oneedit::KnowledgeGraph;
 using oneedit::LanguageModel;
@@ -67,7 +68,7 @@ int main() {
 
   // 3) OneEdit wires Interpreter -> Controller -> Editor over both stores.
   OneEditConfig config;
-  config.method = "MEMIT";  // or "GRACE", "ROME", "FT"
+  config.method = EditingMethodKind::kMemit;  // or kGrace, kRome, kFt
   auto system = OneEditSystem::Create(&kg, &model, config);
   if (!system.ok()) {
     std::cerr << "setup failed: " << system.status().ToString() << "\n";

@@ -33,7 +33,7 @@ int main() {
   model.Pretrain(dataset.pretrain_facts);
 
   OneEditConfig config;
-  config.method = "GRACE";
+  config.method = EditingMethodKind::kGrace;
   config.interpreter.extraction_error_rate = 0.0;
   auto system = OneEditSystem::Create(&dataset.kg, &model, config);
   if (!system.ok()) {
@@ -69,7 +69,7 @@ int main() {
       "mallory");
   if (screened.ok()) {
     std::cout << "  -> "
-              << (screened->kind == UtteranceResponse::Kind::kRejected
+              << (screened->kind == EditResult::Kind::kRejected
                       ? "REJECTED: "
                       : "accepted?! ")
               << screened->message << "\n";
@@ -83,7 +83,9 @@ int main() {
     std::cout << "  mallory edits (" << edit_case->edit.subject << ", "
               << edit_case->edit.relation << ") -> "
               << edit_case->edit.object
-              << (report.ok() ? "  [accepted]" : "  [rejected]") << "\n";
+              << (report.ok() && report->applied() ? "  [accepted]"
+                                                   : "  [rejected]")
+              << "\n";
   }
   std::cout << "  and honest alice contributes one:\n";
   const NamedTriple alice_edit{case1.edit.subject, case1.edit.relation,

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# CI driver: configure, build, and test one sanitizer matrix entry.
+#
+# Usage: scripts/ci.sh [default|tsan|asan]
+#
+#   default  Release-ish build, full ctest suite.
+#   tsan     ThreadSanitizer build; runs the concurrency-sensitive tests
+#            (serving_test) plus the core suite.
+#   asan     Address+UB sanitizer build, full ctest suite.
+#
+# Each matrix entry gets its own build directory (build-ci-<name>) so local
+# `build/` trees are never clobbered.
+set -euo pipefail
+
+matrix="${1:-default}"
+jobs="$(nproc)"
+src_dir="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${src_dir}/build-ci-${matrix}"
+
+case "${matrix}" in
+  default)
+    flags=""
+    build_type=Release
+    ;;
+  tsan)
+    flags="-fsanitize=thread -fno-omit-frame-pointer"
+    build_type=RelWithDebInfo
+    ;;
+  asan)
+    flags="-fsanitize=address,undefined -fno-omit-frame-pointer"
+    build_type=RelWithDebInfo
+    ;;
+  *)
+    echo "unknown matrix entry: ${matrix} (want default|tsan|asan)" >&2
+    exit 2
+    ;;
+esac
+
+cmake -B "${build_dir}" -S "${src_dir}" \
+  -DCMAKE_BUILD_TYPE="${build_type}" \
+  -DCMAKE_CXX_FLAGS="${flags}" \
+  -DCMAKE_EXE_LINKER_FLAGS="${flags}"
+cmake --build "${build_dir}" -j "${jobs}"
+
+cd "${build_dir}"
+if [[ "${matrix}" == "tsan" ]]; then
+  # TSan slows everything ~10x; run the concurrency tests (the reason this
+  # entry exists) plus a smoke slice of the core suite.
+  ctest -j "${jobs}" --output-on-failure \
+    -R 'EditServiceTest|ConcurrentOneEditTest|OneEditTest'
+else
+  ctest -j "${jobs}" --output-on-failure
+fi

@@ -9,32 +9,43 @@
 
 namespace oneedit {
 
-/// Thread-safe facade over OneEditSystem for genuinely concurrent
-/// crowdsourced editing (the paper's multi-user scenario is sequential; this
-/// extension makes simultaneous requests safe).
+/// Thread-safe facade over OneEditSystem: one coarse mutex serializes every
+/// operation, reads included.
 ///
-/// Edits are serialized under one mutex — conflict resolution against the KG
-/// is inherently a read-modify-write over shared state, so a coarse lock is
-/// the correct granularity; queries take the same lock because adaptor
-/// registries and weights may be mid-update otherwise. Throughput remains
-/// far above the cost model's per-edit seconds, so the lock is never the
-/// bottleneck in practice.
+/// This is the simplest correct granularity, and it is kept as the baseline
+/// the serving benchmarks compare against — but it means concurrent Ask
+/// queries contend with each other and with edits. Prefer
+/// serving::EditService (src/serving/edit_service.h) for real deployments:
+/// it separates readers from the writer with a shared_mutex and coalesces
+/// queued edits into batches, so queries only block during weight
+/// application.
 class ConcurrentOneEdit {
  public:
   /// Takes ownership of a configured system.
   explicit ConcurrentOneEdit(std::unique_ptr<OneEditSystem> system)
       : system_(std::move(system)) {}
 
-  StatusOr<UtteranceResponse> HandleUtterance(const std::string& utterance,
-                                              const std::string& user) {
+  StatusOr<EditResult> HandleUtterance(const std::string& utterance,
+                                       const std::string& user) {
     std::lock_guard<std::mutex> lock(mutex_);
     return system_->HandleUtterance(utterance, user);
   }
 
-  StatusOr<EditReport> EditTriple(const NamedTriple& triple,
+  StatusOr<EditResult> EditTriple(const NamedTriple& triple,
                                   const std::string& user) {
     std::lock_guard<std::mutex> lock(mutex_);
     return system_->EditTriple(triple, user);
+  }
+
+  StatusOr<EditResult> EraseTriple(const NamedTriple& triple,
+                                   const std::string& user) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_->EraseTriple(triple, user);
+  }
+
+  StatusOr<EditResult> Apply(const EditRequest& request) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_->Apply(request);
   }
 
   Decode Ask(const std::string& subject, const std::string& relation) const {
@@ -47,8 +58,13 @@ class ConcurrentOneEdit {
     return system_->RollbackUserEdits(user);
   }
 
+  /// Statistics are internally atomic, so reading them does not need the
+  /// coarse lock.
+  const Statistics& statistics() const { return system_->statistics(); }
+  Statistics& statistics() { return system_->statistics(); }
+
   /// Runs `fn` with exclusive access to the underlying system — for
-  /// inspection (audit log, statistics) or administrative surgery.
+  /// inspection (audit log) or administrative surgery.
   template <typename Fn>
   auto WithExclusive(Fn&& fn) {
     std::lock_guard<std::mutex> lock(mutex_);

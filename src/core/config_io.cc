@@ -58,7 +58,7 @@ StatusOr<OneEditConfig> ParseOneEditConfig(const std::string& text) {
     const std::string value(StripAsciiWhitespace(stripped.substr(eq + 1)));
 
     if (key == "method") {
-      config.method = value;
+      ONEEDIT_ASSIGN_OR_RETURN(config.method, ParseMethodKind(value));
     } else if (key == "controller.num_generation_triples") {
       ONEEDIT_ASSIGN_OR_RETURN(config.controller.num_generation_triples,
                                ParseSize(value, key));
@@ -102,7 +102,7 @@ StatusOr<OneEditConfig> LoadOneEditConfig(const std::string& path) {
 
 std::string OneEditConfigToString(const OneEditConfig& config) {
   std::ostringstream out;
-  out << "method = " << config.method << "\n";
+  out << "method = " << MethodKindName(config.method) << "\n";
   out << "controller.num_generation_triples = "
       << config.controller.num_generation_triples << "\n";
   out << "controller.use_logical_rules = "

@@ -22,7 +22,8 @@ namespace oneedit {
 ///   interpreter.seed = 11
 ///
 /// Unknown keys and malformed lines fail with InvalidArgument (configs
-/// should not silently half-apply).
+/// should not silently half-apply). An unrecognized method name fails at
+/// parse time too, now that `method` is a typed EditingMethodKind.
 StatusOr<OneEditConfig> ParseOneEditConfig(const std::string& text);
 
 /// ParseOneEditConfig over a file's contents.

@@ -1,10 +1,107 @@
 #include "core/oneedit.h"
 
 #include <algorithm>
+#include <cctype>
+#include <unordered_set>
 
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace oneedit {
+
+std::string MethodKindName(EditingMethodKind kind) {
+  switch (kind) {
+    case EditingMethodKind::kFt:
+      return "FT";
+    case EditingMethodKind::kRome:
+      return "ROME";
+    case EditingMethodKind::kMemit:
+      return "MEMIT";
+    case EditingMethodKind::kGrace:
+      return "GRACE";
+    case EditingMethodKind::kMend:
+      return "MEND";
+    case EditingMethodKind::kSerac:
+      return "SERAC";
+  }
+  return "MEMIT";
+}
+
+StatusOr<EditingMethodKind> ParseMethodKind(const std::string& name) {
+  const std::string upper = [&] {
+    std::string out;
+    for (const char c : name) {
+      out += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    return out;
+  }();
+  for (const EditingMethodKind kind : AllMethodKinds()) {
+    if (upper == MethodKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown editing method: " + name);
+}
+
+std::vector<EditingMethodKind> AllMethodKinds() {
+  return {EditingMethodKind::kFt,    EditingMethodKind::kRome,
+          EditingMethodKind::kMemit, EditingMethodKind::kGrace,
+          EditingMethodKind::kMend,  EditingMethodKind::kSerac};
+}
+
+Status OneEditConfig::SetMethodName(const std::string& name) {
+  ONEEDIT_ASSIGN_OR_RETURN(method, ParseMethodKind(name));
+  return Status::OK();
+}
+
+EditRequest EditRequest::Edit(NamedTriple triple, std::string user) {
+  EditRequest request;
+  request.op = Op::kEdit;
+  request.triple = std::move(triple);
+  request.user = std::move(user);
+  return request;
+}
+
+EditRequest EditRequest::Erase(NamedTriple triple, std::string user) {
+  EditRequest request;
+  request.op = Op::kErase;
+  request.triple = std::move(triple);
+  request.user = std::move(user);
+  return request;
+}
+
+EditRequest EditRequest::Utterance(std::string utterance, std::string user) {
+  EditRequest request;
+  request.op = Op::kUtterance;
+  request.utterance = std::move(utterance);
+  request.user = std::move(user);
+  return request;
+}
+
+std::string EditResultKindName(EditResult::Kind kind) {
+  switch (kind) {
+    case EditResult::Kind::kEdited:
+      return "edited";
+    case EditResult::Kind::kNoOp:
+      return "no_op";
+    case EditResult::Kind::kRejected:
+      return "rejected";
+    case EditResult::Kind::kExtractionFailed:
+      return "extraction_failed";
+    case EditResult::Kind::kGenerated:
+      return "generated";
+    case EditResult::Kind::kErased:
+      return "erased";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string TripleText(const NamedTriple& triple) {
+  return "(" + triple.subject + ", " + triple.relation + ", " + triple.object +
+         ")";
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<OneEditSystem>> OneEditSystem::Create(
     KnowledgeGraph* kg, LanguageModel* model, const OneEditConfig& config) {
@@ -22,77 +119,164 @@ StatusOr<std::unique_ptr<OneEditSystem>> OneEditSystem::Create(
       std::make_unique<Interpreter>(std::move(interpreter));
   system->controller_ = std::make_unique<Controller>(kg, config.controller);
   ONEEDIT_ASSIGN_OR_RETURN(std::unique_ptr<EditingMethod> method,
-                           MakeEditingMethod(config.method));
+                           MakeEditingMethod(MethodKindName(config.method)));
   system->editor_ = std::make_unique<OneEditEditor>(model, std::move(method),
                                                     config.editor);
   return system;
 }
 
-StatusOr<EditReport> OneEditSystem::EditTriple(const NamedTriple& triple,
-                                               const std::string& user) {
-  const Status screened = security_.Screen(triple);
-  if (!screened.ok()) {
-    if (screened.IsRejected()) statistics_.Add(Ticker::kEditsRejected);
-    return screened;
-  }
+std::string OneEditSystem::CurrentObject(const NamedTriple& triple) const {
+  const auto relation = kg_->schema().Lookup(triple.relation);
+  const auto subject = kg_->LookupEntity(triple.subject);
+  if (!relation.ok() || !subject.ok()) return "";
+  const auto current = kg_->ObjectOf(*subject, *relation);
+  return current.has_value() ? kg_->EntityName(*current) : "";
+}
 
-  // Capture the slot's current object for administrative undo.
-  std::string previous_object;
-  {
-    const auto relation = kg_->schema().Lookup(triple.relation);
-    const auto subject = kg_->LookupEntity(triple.subject);
-    if (relation.ok() && subject.ok()) {
-      const auto current = kg_->ObjectOf(*subject, *relation);
-      if (current.has_value()) previous_object = kg_->EntityName(*current);
-    }
-  }
-
-  ONEEDIT_ASSIGN_OR_RETURN(EditPlan plan, controller_->Process(triple));
-  const StatusOr<EditOutcome> outcome = editor_->Execute(plan);
-  if (!outcome.ok()) {
-    // Put the symbolic store back in sync with the (unchanged) model.
-    ONEEDIT_RETURN_IF_ERROR(kg_->RollbackTo(plan.kg_version_before));
-    return outcome.status();
-  }
-
+EditResult OneEditSystem::FinishEdit(const NamedTriple& triple,
+                                     const std::string& user, EditPlan plan,
+                                     const EditOutcome& outcome,
+                                     std::string previous_object) {
   EditReport report;
   report.plan = std::move(plan);
-  report.outcome = *outcome;
+  report.outcome = outcome;
 
   // Cost-model accounting: interpreter pass + one primary edit (cache hits
   // and rollbacks ride the fast path).
   const size_t params = model_->config().params_million;
-  const bool all_cached = report.outcome.edits_applied > 0 &&
-                          report.outcome.cache_hits >=
-                              report.outcome.edits_applied;
+  const bool all_cached = outcome.edits_applied > 0 &&
+                          outcome.cache_hits >= outcome.edits_applied;
   report.simulated_seconds =
       report.plan.no_op
           ? 0.0
-          : CostModel::EditSeconds(config_.method, params, all_cached) +
-                0.05 * report.outcome.rollbacks_applied;
+          : CostModel::EditSeconds(MethodKindName(config_.method), params,
+                                   all_cached) +
+                0.05 * outcome.rollbacks_applied;
 
+  EditResult result;
+  result.kind =
+      report.plan.no_op ? EditResult::Kind::kNoOp : EditResult::Kind::kEdited;
   if (report.plan.no_op) {
     statistics_.Add(Ticker::kEditNoOps);
+    result.message = "Already known: " + TripleText(triple);
   } else {
     statistics_.Add(Ticker::kEditsAccepted);
-    statistics_.Add(Ticker::kRollbacksApplied,
-                    report.outcome.rollbacks_applied);
-    statistics_.Add(Ticker::kRollbacksSkipped,
-                    report.outcome.rollbacks_skipped);
-    statistics_.Add(Ticker::kCacheHits, report.outcome.cache_hits);
-    const uint64_t writes = report.outcome.edits_applied +
-                            report.outcome.augmentations_applied -
-                            std::min<uint64_t>(report.outcome.cache_hits,
-                                               report.outcome.edits_applied +
-                                                   report.outcome
-                                                       .augmentations_applied);
+    statistics_.Add(Ticker::kRollbacksApplied, outcome.rollbacks_applied);
+    statistics_.Add(Ticker::kRollbacksSkipped, outcome.rollbacks_skipped);
+    statistics_.Add(Ticker::kCacheHits, outcome.cache_hits);
+    const uint64_t installs =
+        outcome.edits_applied + outcome.augmentations_applied;
+    const uint64_t writes =
+        installs - std::min<uint64_t>(outcome.cache_hits, installs);
     statistics_.Add(Ticker::kModelWrites, writes);
-    audit_log_.push_back(AuditRecord{user, triple, previous_object});
+    audit_log_.push_back(
+        AuditRecord{user, triple, std::move(previous_object)});
+    result.message = "Updated (" + triple.subject + ", " + triple.relation +
+                     ") to " + triple.object + ".";
   }
-  return report;
+  result.report = std::move(report);
+  return result;
 }
 
-StatusOr<EditReport> OneEditSystem::EraseTriple(const NamedTriple& triple,
+StatusOr<EditResult> OneEditSystem::EditTriple(const NamedTriple& triple,
+                                               const std::string& user) {
+  auto results = EditBatch({EditRequest::Edit(triple, user)});
+  return std::move(results.front());
+}
+
+std::vector<StatusOr<EditResult>> OneEditSystem::EditBatch(
+    const std::vector<EditRequest>& requests) {
+  std::vector<StatusOr<EditResult>> results(requests.size());
+
+  struct Staged {
+    size_t index;
+    EditPlan plan;
+    std::string previous_object;
+  };
+  std::vector<Staged> staged;
+  std::unordered_set<std::string> footprint;
+
+  const auto flush = [&] {
+    if (staged.empty()) return;
+    std::vector<const EditPlan*> plans;
+    plans.reserve(staged.size());
+    for (const Staged& item : staged) plans.push_back(&item.plan);
+    StatusOr<std::vector<EditOutcome>> outcomes =
+        editor_->ExecuteBatch(plans);
+    if (!outcomes.ok()) {
+      // Put the symbolic store back in sync with the model for every plan in
+      // the failed batch (versions ascend, so the earliest covers all).
+      (void)kg_->RollbackTo(staged.front().plan.kg_version_before);
+      for (const Staged& item : staged) results[item.index] = outcomes.status();
+    } else {
+      for (size_t i = 0; i < staged.size(); ++i) {
+        Staged& item = staged[i];
+        results[item.index] = FinishEdit(
+            requests[item.index].triple, requests[item.index].user,
+            std::move(item.plan), (*outcomes)[i],
+            std::move(item.previous_object));
+      }
+    }
+    staged.clear();
+    footprint.clear();
+  };
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const EditRequest& request = requests[i];
+    if (request.op != EditRequest::Op::kEdit) {
+      // Erases and utterances never coalesce; run them at their sequential
+      // position.
+      flush();
+      results[i] = Apply(request);
+      continue;
+    }
+    const NamedTriple& triple = request.triple;
+
+    const Status screened = security_.Screen(triple);
+    if (!screened.ok()) {
+      if (screened.IsRejected()) {
+        statistics_.Add(Ticker::kEditsRejected);
+        EditResult rejected;
+        rejected.kind = EditResult::Kind::kRejected;
+        rejected.message = screened.message();
+        results[i] = std::move(rejected);
+      } else {
+        results[i] = screened;
+      }
+      continue;
+    }
+
+    // Per-subject admission: an edit whose entity footprint overlaps an
+    // already-staged request must observe that request's outcome, so it
+    // splits the coalesced batch and serializes behind it. The object is
+    // part of the footprint because reverse edits (Algorithm 2) write the
+    // object's slot too.
+    if (footprint.count(triple.subject) > 0 ||
+        footprint.count(triple.object) > 0) {
+      flush();
+    }
+
+    std::string previous_object = CurrentObject(triple);
+    StatusOr<EditPlan> plan = controller_->Process(triple);
+    if (!plan.ok()) {
+      results[i] = plan.status();
+      continue;
+    }
+    if (plan->no_op) {
+      results[i] = FinishEdit(triple, request.user, std::move(*plan),
+                              EditOutcome{}, std::move(previous_object));
+      continue;
+    }
+    footprint.insert(triple.subject);
+    footprint.insert(triple.object);
+    staged.push_back(
+        Staged{i, std::move(*plan), std::move(previous_object)});
+  }
+  flush();
+  return results;
+}
+
+StatusOr<EditResult> OneEditSystem::EraseTriple(const NamedTriple& triple,
                                                 const std::string& user) {
   ONEEDIT_ASSIGN_OR_RETURN(EditPlan plan, controller_->ProcessErase(triple));
   const StatusOr<EditOutcome> outcome = editor_->Execute(plan);
@@ -104,23 +288,43 @@ StatusOr<EditReport> OneEditSystem::EraseTriple(const NamedTriple& triple,
   EditReport report;
   report.plan = std::move(plan);
   report.outcome = *outcome;
-  if (!report.plan.no_op) {
+
+  EditResult result;
+  if (report.plan.no_op) {
+    result.kind = EditResult::Kind::kNoOp;
+    result.message =
+        "Nothing to erase: " + TripleText(triple) + " is not recorded.";
+  } else {
     statistics_.Add(Ticker::kErasures);
-    statistics_.Add(Ticker::kRollbacksApplied,
-                    report.outcome.rollbacks_applied);
+    statistics_.Add(Ticker::kRollbacksApplied, report.outcome.rollbacks_applied);
     AuditRecord record;
     record.user = user;
     record.request = triple;
     record.was_erase = true;
     audit_log_.push_back(std::move(record));
     report.simulated_seconds = 0.1;  // rollback/suppression fast path
+    result.kind = EditResult::Kind::kErased;
+    result.message = "Erased " + TripleText(triple) + ".";
   }
-  return report;
+  result.report = std::move(report);
+  return result;
 }
 
-StatusOr<UtteranceResponse> OneEditSystem::HandleUtterance(
+StatusOr<EditResult> OneEditSystem::Apply(const EditRequest& request) {
+  switch (request.op) {
+    case EditRequest::Op::kEdit:
+      return EditTriple(request.triple, request.user);
+    case EditRequest::Op::kErase:
+      return EraseTriple(request.triple, request.user);
+    case EditRequest::Op::kUtterance:
+      return HandleUtterance(request.utterance, request.user);
+  }
+  return Status::InvalidArgument("unknown EditRequest op");
+}
+
+StatusOr<EditResult> OneEditSystem::HandleUtterance(
     const std::string& utterance, const std::string& user) {
-  UtteranceResponse response;
+  EditResult response;
   statistics_.Add(Ticker::kUtterances);
   const Interpretation interpretation = interpreter_->Interpret(utterance);
 
@@ -128,7 +332,7 @@ StatusOr<UtteranceResponse> OneEditSystem::HandleUtterance(
     statistics_.Add(Ticker::kGenerateResponses);
     // <generate>: forward to the LLM. If the question names a slot we can
     // parse, decode it; otherwise reply generically.
-    response.kind = UtteranceResponse::Kind::kGenerated;
+    response.kind = EditResult::Kind::kGenerated;
     const auto query = interpreter_->extractor().ExtractQuery(utterance);
     if (query.ok()) {
       const Decode decode = Ask(query->first, query->second);
@@ -142,62 +346,19 @@ StatusOr<UtteranceResponse> OneEditSystem::HandleUtterance(
     return response;
   }
 
-  if (interpretation.intent == Intent::kErase) {
-    if (!interpretation.triple.has_value()) {
-      statistics_.Add(Ticker::kExtractionFailures);
-      response.kind = UtteranceResponse::Kind::kExtractionFailed;
-      response.message = "Could not extract a knowledge triple: " +
-                         interpretation.extraction_status.ToString();
-      return response;
-    }
-    ONEEDIT_ASSIGN_OR_RETURN(EditReport report,
-                             EraseTriple(*interpretation.triple, user));
-    if (report.plan.no_op) {
-      response.kind = UtteranceResponse::Kind::kNoOp;
-      response.message = "Nothing to erase: (" +
-                         interpretation.triple->subject + ", " +
-                         interpretation.triple->relation + ", " +
-                         interpretation.triple->object + ") is not recorded.";
-    } else {
-      response.kind = UtteranceResponse::Kind::kErased;
-      response.message = "Erased (" + interpretation.triple->subject + ", " +
-                         interpretation.triple->relation + ", " +
-                         interpretation.triple->object + ").";
-    }
-    response.report = std::move(report);
-    return response;
-  }
-
-  // <edit>
+  // <edit> / <erase> both need an extracted triple.
   if (!interpretation.triple.has_value()) {
     statistics_.Add(Ticker::kExtractionFailures);
-    response.kind = UtteranceResponse::Kind::kExtractionFailed;
+    response.kind = EditResult::Kind::kExtractionFailed;
     response.message = "Could not extract a knowledge triple: " +
                        interpretation.extraction_status.ToString();
     return response;
   }
-  StatusOr<EditReport> report = EditTriple(*interpretation.triple, user);
-  if (!report.ok()) {
-    if (report.status().IsRejected()) {
-      response.kind = UtteranceResponse::Kind::kRejected;
-      response.message = report.status().message();
-      return response;
-    }
-    return report.status();
+
+  if (interpretation.intent == Intent::kErase) {
+    return EraseTriple(*interpretation.triple, user);
   }
-  if (report->plan.no_op) {
-    response.kind = UtteranceResponse::Kind::kNoOp;
-    response.message = "Already known: (" + interpretation.triple->subject +
-                       ", " + interpretation.triple->relation + ", " +
-                       interpretation.triple->object + ")";
-  } else {
-    response.kind = UtteranceResponse::Kind::kEdited;
-    response.message = "Updated (" + interpretation.triple->subject + ", " +
-                       interpretation.triple->relation + ") to " +
-                       interpretation.triple->object + ".";
-  }
-  response.report = std::move(report).value();
-  return response;
+  return EditTriple(*interpretation.triple, user);
 }
 
 Decode OneEditSystem::Ask(const std::string& subject,
@@ -217,15 +378,23 @@ Status OneEditSystem::RollbackUserEdits(const std::string& user) {
   for (auto it = audit_log_.rbegin(); it != audit_log_.rend(); ++it) {
     if (it->user == user) to_undo.push_back(*it);
   }
+  // Administrative restores must land; a guard-blocked restore is an error
+  // here, not a value.
+  const auto restore_edit = [&](const NamedTriple& triple) -> Status {
+    ONEEDIT_ASSIGN_OR_RETURN(const EditResult result,
+                             EditTriple(triple, "admin"));
+    if (result.rejected()) return Status::Rejected(result.message);
+    return Status::OK();
+  };
   for (const AuditRecord& record : to_undo) {
     const NamedTriple& applied = record.request;
     if (record.was_erase) {
       // Undo of an erase: re-assert the retracted knowledge.
-      ONEEDIT_RETURN_IF_ERROR(EditTriple(applied, "admin").status());
+      ONEEDIT_RETURN_IF_ERROR(restore_edit(applied));
     } else if (!record.previous_object.empty()) {
       const NamedTriple restore{applied.subject, applied.relation,
                                 record.previous_object};
-      ONEEDIT_RETURN_IF_ERROR(EditTriple(restore, "admin").status());
+      ONEEDIT_RETURN_IF_ERROR(restore_edit(restore));
     } else {
       // The slot did not exist before: remove it from the KG and subtract
       // the cached θ from the model.

@@ -18,14 +18,42 @@
 
 namespace oneedit {
 
+/// The underlying editing method (OneEdit(MEMIT) / OneEdit(GRACE) in the
+/// tables). Replaces the old stringly-typed `OneEditConfig::method`.
+enum class EditingMethodKind {
+  kFt,
+  kRome,
+  kMemit,
+  kGrace,
+  kMend,
+  kSerac,
+};
+
+/// Canonical registry name ("FT", "ROME", "MEMIT", ...) for a kind — the
+/// string MakeEditingMethod and CostModel accept.
+std::string MethodKindName(EditingMethodKind kind);
+
+/// Parses a method name (case-insensitive: "memit", "MEMIT", ...). Unknown
+/// names are InvalidArgument.
+StatusOr<EditingMethodKind> ParseMethodKind(const std::string& name);
+
+/// All kinds, in canonical registry order.
+std::vector<EditingMethodKind> AllMethodKinds();
+
 /// Whole-system configuration (Eq. 2-3 pipeline).
 struct OneEditConfig {
   InterpreterConfig interpreter;
   ControllerConfig controller;
   EditorConfig editor;
-  /// Underlying editing method: "FT", "ROME", "MEMIT", "GRACE", "MEND" or
-  /// "SERAC" (OneEdit(MEMIT) / OneEdit(GRACE) in the tables).
-  std::string method = "MEMIT";
+  /// Underlying editing method.
+  EditingMethodKind method = EditingMethodKind::kMemit;
+
+  /// Deprecated compatibility overload for the pre-enum API: sets `method`
+  /// from its string name. Unknown names leave the config unchanged and
+  /// return InvalidArgument. Will be removed one release after the
+  /// EditingMethodKind migration — use ParseMethodKind instead.
+  [[deprecated("assign an EditingMethodKind to `method` instead")]]
+  Status SetMethodName(const std::string& name);
 };
 
 /// Everything that happened for one accepted edit request.
@@ -37,20 +65,61 @@ struct EditReport {
   double simulated_seconds = 0.0;
 };
 
-/// Result of HandleUtterance.
-struct UtteranceResponse {
+/// One request against the system, whatever the entry point: a programmatic
+/// triple edit/erase or a raw natural-language utterance. This is the unit
+/// the serving layer queues and coalesces.
+struct EditRequest {
+  enum class Op {
+    kEdit,       ///< apply `triple` through Controller + Editor
+    kErase,      ///< retract `triple` from both stores
+    kUtterance,  ///< interpret `utterance` (edit / erase / generate intent)
+  };
+  Op op = Op::kEdit;
+  NamedTriple triple;     ///< kEdit / kErase payload
+  std::string utterance;  ///< kUtterance payload
+  std::string user = "anonymous";
+
+  static EditRequest Edit(NamedTriple triple, std::string user = "anonymous");
+  static EditRequest Erase(NamedTriple triple, std::string user = "anonymous");
+  static EditRequest Utterance(std::string utterance,
+                               std::string user = "anonymous");
+};
+
+/// The one result shape every entry point returns (HandleUtterance,
+/// EditTriple, EraseTriple, EditBatch, EditService::Submit). Callers branch
+/// on `kind`; `report` carries the Controller/Editor details when the
+/// request reached them.
+struct EditResult {
   enum class Kind {
-    kEdited,            ///< edit intent, applied
-    kNoOp,              ///< edit/erase intent, nothing to change
-    kRejected,          ///< edit intent, blocked by the security guard
+    kEdited,            ///< edit applied
+    kNoOp,              ///< edit/erase, nothing to change
+    kRejected,          ///< blocked by the security guard
     kExtractionFailed,  ///< edit/erase intent, triple extraction failed
     kGenerated,         ///< generate intent, answered by the LLM
-    kErased,            ///< erase intent, knowledge retracted
+    kErased,            ///< knowledge retracted
   };
   Kind kind = Kind::kGenerated;
   std::string message;
-  std::optional<EditReport> report;  ///< set for kEdited / kNoOp
+  std::optional<EditReport> report;  ///< set for kEdited / kNoOp / kErased
+
+  bool applied() const { return kind == Kind::kEdited || kind == Kind::kErased; }
+  bool no_op() const { return kind == Kind::kNoOp; }
+  bool rejected() const { return kind == Kind::kRejected; }
+  /// Unchecked conveniences — only valid when `report` is set.
+  const EditPlan& plan() const { return report->plan; }
+  const EditOutcome& outcome() const { return report->outcome; }
+  double simulated_seconds() const {
+    return report.has_value() ? report->simulated_seconds : 0.0;
+  }
 };
+
+/// "edited", "no_op", "rejected", ... — for logs and messages.
+std::string EditResultKindName(EditResult::Kind kind);
+
+/// Deprecated alias from before the unified result surface; HandleUtterance
+/// used to return a differently-shaped struct than EditTriple. Will be
+/// removed one release after the EditResult migration.
+using UtteranceResponse = EditResult;
 
 /// One accepted edit in the multi-user audit log.
 struct AuditRecord {
@@ -75,23 +144,39 @@ class OneEditSystem {
 
   // --- Natural-language entry point (Eq. 4) ---------------------------------
 
-  StatusOr<UtteranceResponse> HandleUtterance(const std::string& utterance,
-                                              const std::string& user = "anonymous");
+  StatusOr<EditResult> HandleUtterance(const std::string& utterance,
+                                       const std::string& user = "anonymous");
 
   // --- Programmatic entry points --------------------------------------------
 
   /// Edits one triple through Controller + Editor (bypassing the
-  /// Interpreter). Rejected edits return kRejected in the report status.
-  StatusOr<EditReport> EditTriple(const NamedTriple& triple,
+  /// Interpreter). Guard-blocked edits return kRejected in the result (not
+  /// an error Status); only genuine failures are errors.
+  StatusOr<EditResult> EditTriple(const NamedTriple& triple,
                                   const std::string& user = "anonymous");
 
   /// Retracts one triple from both stores ("erase"): cached edits are
   /// rolled back, pretrained knowledge is suppressed in place, the KG slot
   /// and its reverse/alias/derived dependents are removed.
-  StatusOr<EditReport> EraseTriple(const NamedTriple& triple,
+  StatusOr<EditResult> EraseTriple(const NamedTriple& triple,
                                    const std::string& user = "anonymous");
 
-  /// Direct model query for a slot.
+  /// Uniform dispatch over every entry point — what EditService executes.
+  StatusOr<EditResult> Apply(const EditRequest& request);
+
+  /// Applies several requests, coalescing runs of kEdit requests with
+  /// disjoint entity footprints into a single EditingMethod::ApplyBatch call
+  /// (MEMIT's joint-edit design). Requests whose footprint overlaps an
+  /// earlier request in the batch — and kErase/kUtterance requests — split
+  /// the batch, so results always match sequential Apply calls per slot.
+  /// Per-request failures land in that request's StatusOr slot; they do not
+  /// abort the rest of the batch.
+  std::vector<StatusOr<EditResult>> EditBatch(
+      const std::vector<EditRequest>& requests);
+
+  /// Direct model query for a slot. Const and lock-free: safe to call from
+  /// several threads as long as no thread is mutating the system (the
+  /// serving layer enforces this with a shared/exclusive lock).
   Decode Ask(const std::string& subject, const std::string& relation) const;
 
   // --- Crowdsourced-editing administration -----------------------------------
@@ -117,6 +202,15 @@ class OneEditSystem {
 
  private:
   OneEditSystem() = default;
+
+  /// The slot's current object (empty if the slot is new) — captured before
+  /// an edit for administrative undo.
+  std::string CurrentObject(const NamedTriple& triple) const;
+
+  /// Statistics + audit log + message for one executed edit plan.
+  EditResult FinishEdit(const NamedTriple& triple, const std::string& user,
+                        EditPlan plan, const EditOutcome& outcome,
+                        std::string previous_object);
 
   KnowledgeGraph* kg_ = nullptr;
   LanguageModel* model_ = nullptr;

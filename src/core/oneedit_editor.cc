@@ -8,85 +8,113 @@ OneEditEditor::OneEditEditor(LanguageModel* model,
     : model_(model), method_(std::move(method)), config_(config) {}
 
 StatusOr<EditOutcome> OneEditEditor::Execute(const EditPlan& plan) {
-  EditOutcome outcome;
-  if (plan.no_op) return outcome;
-  std::unordered_set<std::string> rolled_back;
+  ONEEDIT_ASSIGN_OR_RETURN(std::vector<EditOutcome> outcomes,
+                           ExecuteBatch({&plan}));
+  return outcomes.front();
+}
 
-  // 1) Rollbacks: subtract cached θ for each conflicting prior edit. A miss
-  //    means the conflicting knowledge was pretrained, not edited — the
-  //    replace-semantics of the upcoming edit overrides it in place.
-  for (const NamedTriple& target : plan.rollbacks) {
-    const EditDelta* cached = config_.use_cache ? cache_.Get(target) : nullptr;
-    if (cached == nullptr || !IsLive(target)) {
-      ++outcome.rollbacks_skipped;
-      continue;
-    }
-    ONEEDIT_RETURN_IF_ERROR(method_->Rollback(model_, *cached));
-    live_.erase(LiveKey(target));
-    rolled_back.insert(LiveKey(target));
-    ++outcome.rollbacks_applied;
-    // The θ stays cached: if this knowledge returns later (§4.8.1's
-    // "Trump wins again in 2024"), it is re-applied directly.
-  }
+StatusOr<std::vector<EditOutcome>> OneEditEditor::ExecuteBatch(
+    const std::vector<const EditPlan*>& plans) {
+  std::vector<EditOutcome> outcomes(plans.size());
 
-  // 1b) Suppressions (erase path): retracted knowledge that was pretrained
-  //     rather than edited has no θ to subtract — drive its slot to zero
-  //     in place instead.
-  for (const NamedTriple& target : plan.suppressions) {
-    if (rolled_back.count(LiveKey(target)) > 0) continue;  // already gone
-    const std::vector<Vec> keys =
-        model_->CenterKeys(target.subject, target.relation);
-    const Vec current = model_->Recall(keys);
-    const double per_layer = -1.0 / static_cast<double>(keys.size());
-    for (size_t layer = 0; layer < keys.size(); ++layer) {
-      model_->memory().AddRankOne(layer, current, keys[layer], per_layer);
-    }
-    ++outcome.suppressions_applied;
-  }
-
-  // 2) Edits + augmentations. Cached triples are re-applied (fast path);
-  //    the rest are batched through the method.
+  // Triples staged for the single joint ApplyBatch call, with the plan that
+  // staged each one (for attributing the applied counters afterwards).
   std::vector<NamedTriple> batch;
-  batch.reserve(plan.edits.size() + plan.augmentations.size());
-  const auto stage = [&](const NamedTriple& triple,
-                         bool is_augmentation) -> Status {
-    if (IsLive(triple)) {
-      // Already installed and not rolled back — nothing to do.
-      ++outcome.cache_hits;
-      return Status::OK();
+  struct Attribution {
+    size_t plan;
+    bool augmentation;
+  };
+  std::vector<Attribution> attribution;
+  std::unordered_set<std::string> staged_keys;
+
+  for (size_t p = 0; p < plans.size(); ++p) {
+    const EditPlan& plan = *plans[p];
+    EditOutcome& outcome = outcomes[p];
+    if (plan.no_op) continue;
+    std::unordered_set<std::string> rolled_back;
+
+    // 1) Rollbacks: subtract cached θ for each conflicting prior edit. A miss
+    //    means the conflicting knowledge was pretrained, not edited — the
+    //    replace-semantics of the upcoming edit overrides it in place.
+    for (const NamedTriple& target : plan.rollbacks) {
+      const EditDelta* cached =
+          config_.use_cache ? cache_.Get(target) : nullptr;
+      if (cached == nullptr || !IsLive(target)) {
+        ++outcome.rollbacks_skipped;
+        continue;
+      }
+      ONEEDIT_RETURN_IF_ERROR(method_->Rollback(model_, *cached));
+      live_.erase(LiveKey(target));
+      rolled_back.insert(LiveKey(target));
+      ++outcome.rollbacks_applied;
+      // The θ stays cached: if this knowledge returns later (§4.8.1's
+      // "Trump wins again in 2024"), it is re-applied directly.
     }
-    if (config_.use_cache) {
-      if (const EditDelta* cached = cache_.Get(triple)) {
-        ONEEDIT_RETURN_IF_ERROR(method_->Reapply(model_, *cached));
-        live_.insert(LiveKey(triple));
+
+    // 1b) Suppressions (erase path): retracted knowledge that was pretrained
+    //     rather than edited has no θ to subtract — drive its slot to zero
+    //     in place instead.
+    for (const NamedTriple& target : plan.suppressions) {
+      if (rolled_back.count(LiveKey(target)) > 0) continue;  // already gone
+      const std::vector<Vec> keys =
+          model_->CenterKeys(target.subject, target.relation);
+      const Vec current = model_->Recall(keys);
+      const double per_layer = -1.0 / static_cast<double>(keys.size());
+      for (size_t layer = 0; layer < keys.size(); ++layer) {
+        model_->memory().AddRankOne(layer, current, keys[layer], per_layer);
+      }
+      ++outcome.suppressions_applied;
+    }
+
+    // 2) Edits + augmentations. Cached triples are re-applied (fast path);
+    //    the rest are staged for the joint batch.
+    const auto stage = [&](const NamedTriple& triple,
+                           bool is_augmentation) -> Status {
+      if (IsLive(triple) || staged_keys.count(LiveKey(triple)) > 0) {
+        // Already installed (or an earlier plan in this batch installs it)
+        // and not rolled back — nothing to do.
         ++outcome.cache_hits;
-        (is_augmentation ? outcome.augmentations_applied
-                         : outcome.edits_applied) += 1;
         return Status::OK();
       }
+      if (config_.use_cache) {
+        if (const EditDelta* cached = cache_.Get(triple)) {
+          ONEEDIT_RETURN_IF_ERROR(method_->Reapply(model_, *cached));
+          live_.insert(LiveKey(triple));
+          ++outcome.cache_hits;
+          (is_augmentation ? outcome.augmentations_applied
+                           : outcome.edits_applied) += 1;
+          return Status::OK();
+        }
+      }
+      batch.push_back(triple);
+      attribution.push_back(Attribution{p, is_augmentation});
+      staged_keys.insert(LiveKey(triple));
+      return Status::OK();
+    };
+    for (const NamedTriple& triple : plan.edits) {
+      ONEEDIT_RETURN_IF_ERROR(stage(triple, /*is_augmentation=*/false));
     }
-    batch.push_back(triple);
-    return Status::OK();
-  };
-  for (const NamedTriple& triple : plan.edits) {
-    ONEEDIT_RETURN_IF_ERROR(stage(triple, /*is_augmentation=*/false));
-  }
-  const size_t staged_edits = batch.size();
-  for (const NamedTriple& triple : plan.augmentations) {
-    ONEEDIT_RETURN_IF_ERROR(stage(triple, /*is_augmentation=*/true));
+    for (const NamedTriple& triple : plan.augmentations) {
+      ONEEDIT_RETURN_IF_ERROR(stage(triple, /*is_augmentation=*/true));
+    }
   }
 
+  // 3) One joint model write for everything staged, across all plans — the
+  //    coalescing the serving layer's writer worker relies on.
   if (!batch.empty()) {
     ONEEDIT_ASSIGN_OR_RETURN(std::vector<EditDelta> deltas,
                              method_->ApplyBatch(model_, batch));
-    outcome.edits_applied += staged_edits;
-    outcome.augmentations_applied += batch.size() - staged_edits;
-    for (const NamedTriple& triple : batch) live_.insert(LiveKey(triple));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      live_.insert(LiveKey(batch[i]));
+      EditOutcome& outcome = outcomes[attribution[i].plan];
+      (attribution[i].augmentation ? outcome.augmentations_applied
+                                   : outcome.edits_applied) += 1;
+    }
     if (config_.use_cache) {
       for (EditDelta& delta : deltas) cache_.Put(std::move(delta));
     }
   }
-  return outcome;
+  return outcomes;
 }
 
 void OneEditEditor::ResetState() {

@@ -48,6 +48,16 @@ class OneEditEditor {
 
   StatusOr<EditOutcome> Execute(const EditPlan& plan);
 
+  /// Executes several plans, coalescing every triple they stage for a fresh
+  /// model write into ONE EditingMethod::ApplyBatch call (per-plan rollbacks,
+  /// suppressions and cache fast paths still run in plan order). Plans must
+  /// have disjoint entity footprints — OneEditSystem::EditBatch enforces
+  /// this; triples shared across plans (overlapping augmentations) are
+  /// installed once and count as cache hits for the later plan, matching
+  /// sequential execution. Returns one outcome per plan, same order.
+  StatusOr<std::vector<EditOutcome>> ExecuteBatch(
+      const std::vector<const EditPlan*>& plans);
+
   EditingMethod& method() { return *method_; }
   EditCache& cache() { return cache_; }
   const EditCache& cache() const { return cache_; }

@@ -1,5 +1,7 @@
 #include "core/statistics.h"
 
+#include <cstdio>
+
 namespace oneedit {
 
 std::string TickerName(Ticker ticker) {
@@ -28,7 +30,29 @@ std::string TickerName(Ticker ticker) {
       return "user_rollbacks";
     case Ticker::kErasures:
       return "erasures";
+    case Ticker::kServingReads:
+      return "serving_reads";
+    case Ticker::kServingSubmitted:
+      return "serving_submitted";
+    case Ticker::kServingRejected:
+      return "serving_rejected";
+    case Ticker::kServingBatches:
+      return "serving_batches";
     case Ticker::kTickerCount:
+      break;
+  }
+  return "unknown";
+}
+
+std::string HistogramName(Histogram histogram) {
+  switch (histogram) {
+    case Histogram::kServingBatchSize:
+      return "serving_batch_size";
+    case Histogram::kServingQueueDepth:
+      return "serving_queue_depth";
+    case Histogram::kServingLatencyMicros:
+      return "serving_latency_micros";
+    case Histogram::kHistogramCount:
       break;
   }
   return "unknown";
@@ -41,6 +65,18 @@ std::string Statistics::ToString() const {
     if (value == 0) continue;
     if (!out.empty()) out += ", ";
     out += TickerName(static_cast<Ticker>(i)) + ": " + std::to_string(value);
+  }
+  for (size_t i = 0; i < static_cast<size_t>(Histogram::kHistogramCount);
+       ++i) {
+    const HistogramSnapshot snapshot =
+        GetHistogram(static_cast<Histogram>(i));
+    if (snapshot.count == 0) continue;
+    if (!out.empty()) out += ", ";
+    char avg[32];
+    std::snprintf(avg, sizeof(avg), "%.1f", snapshot.Average());
+    out += HistogramName(static_cast<Histogram>(i)) + ": avg " + avg +
+           " max " + std::to_string(snapshot.max) + " (" +
+           std::to_string(snapshot.count) + ")";
   }
   return out.empty() ? "(all zero)" : out;
 }

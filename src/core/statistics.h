@@ -24,16 +24,40 @@ enum class Ticker : size_t {
   kModelWrites,           ///< fresh model edits (primary + augmentation)
   kUserRollbacks,         ///< administrative RollbackUserEdits calls
   kErasures,              ///< EraseTriple retractions applied
+  kServingReads,          ///< EditService::Ask queries (shared-lock path)
+  kServingSubmitted,      ///< requests accepted into the serving queue
+  kServingRejected,       ///< requests rejected by queue backpressure
+  kServingBatches,        ///< writer batches applied by the serving worker
   kTickerCount,           // sentinel
 };
 
 std::string TickerName(Ticker ticker);
 
+/// Value distributions the serving layer records (count/sum/max — enough
+/// for mean latency, mean batch size and peak queue depth on a dashboard).
+enum class Histogram : size_t {
+  kServingBatchSize = 0,     ///< requests coalesced per writer batch
+  kServingQueueDepth,        ///< queue depth observed at each admission
+  kServingLatencyMicros,     ///< submit -> completion per request
+  kHistogramCount,           // sentinel
+};
+
+std::string HistogramName(Histogram histogram);
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+
+  double Average() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
 class Statistics {
  public:
-  Statistics() {
-    for (auto& counter : counters_) counter.store(0);
-  }
+  Statistics() { Reset(); }
 
   void Add(Ticker ticker, uint64_t count = 1) {
     counters_[static_cast<size_t>(ticker)].fetch_add(
@@ -45,17 +69,50 @@ class Statistics {
         std::memory_order_relaxed);
   }
 
-  void Reset() {
-    for (auto& counter : counters_) counter.store(0);
+  /// Records one observation into a histogram. Thread-safe and lock-free.
+  void Record(Histogram histogram, uint64_t value) {
+    Cell& cell = cells_[static_cast<size_t>(histogram)];
+    cell.count.fetch_add(1, std::memory_order_relaxed);
+    cell.sum.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = cell.max.load(std::memory_order_relaxed);
+    while (seen < value && !cell.max.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
   }
 
-  /// "utterances: 12, edits_accepted: 9, ..." — non-zero tickers only.
+  HistogramSnapshot GetHistogram(Histogram histogram) const {
+    const Cell& cell = cells_[static_cast<size_t>(histogram)];
+    HistogramSnapshot snapshot;
+    snapshot.count = cell.count.load(std::memory_order_relaxed);
+    snapshot.sum = cell.sum.load(std::memory_order_relaxed);
+    snapshot.max = cell.max.load(std::memory_order_relaxed);
+    return snapshot;
+  }
+
+  void Reset() {
+    for (auto& counter : counters_) counter.store(0);
+    for (Cell& cell : cells_) {
+      cell.count.store(0);
+      cell.sum.store(0);
+      cell.max.store(0);
+    }
+  }
+
+  /// "utterances: 12, edits_accepted: 9, ..." — non-zero tickers only,
+  /// followed by non-empty histograms as "name: avg X max Y (N)".
   std::string ToString() const;
 
  private:
+  struct Cell {
+    std::atomic<uint64_t> count;
+    std::atomic<uint64_t> sum;
+    std::atomic<uint64_t> max;
+  };
+
   std::array<std::atomic<uint64_t>,
              static_cast<size_t>(Ticker::kTickerCount)>
       counters_;
+  std::array<Cell, static_cast<size_t>(Histogram::kHistogramCount)> cells_;
 };
 
 }  // namespace oneedit

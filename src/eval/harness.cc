@@ -34,6 +34,7 @@ StatusOr<MethodSpec> ParseMethodSpec(const std::string& name) {
     return Status::InvalidArgument("unknown method spec: " + name);
   }
   spec.base = base_upper;
+  ONEEDIT_ASSIGN_OR_RETURN(spec.kind, ParseMethodKind(base_upper));
   spec.display =
       spec.oneedit ? "OneEdit (" + spec.base + ")" : spec.base;
   return spec;
@@ -88,7 +89,7 @@ StatusOr<HarnessResult> Harness::RunLifelong(const MethodSpec& spec,
   if (spec.oneedit) {
     working = std::make_unique<Dataset>(factory_());
     OneEditConfig config;
-    config.method = spec.base;
+    config.method = spec.kind;
     config.controller = options.controller;
     config.editor.use_cache = options.use_cache;
     config.interpreter.extraction_error_rate = options.extraction_error_rate;
@@ -116,7 +117,7 @@ StatusOr<HarnessResult> Harness::RunLifelong(const MethodSpec& spec,
     const NamedTriple& edit = reference_.cases[c].edit;
     if (spec.oneedit) {
       ONEEDIT_ASSIGN_OR_RETURN(
-          const UtteranceResponse response,
+          const EditResult response,
           system->HandleUtterance(EditUtterance(edit, c * 7), "harness"));
       if (response.report.has_value()) {
         result.cache_hits += response.report->outcome.cache_hits;
@@ -184,7 +185,7 @@ StatusOr<HarnessResult> Harness::Run(const MethodSpec& spec,
   if (spec.oneedit) {
     working = std::make_unique<Dataset>(factory_());
     OneEditConfig config;
-    config.method = spec.base;
+    config.method = spec.kind;
     config.controller = options.controller;
     config.editor.use_cache = options.use_cache;
     config.interpreter.extraction_error_rate = options.extraction_error_rate;
@@ -237,7 +238,7 @@ StatusOr<HarnessResult> Harness::Run(const MethodSpec& spec,
         const std::string utterance =
             EditUtterance(triple, c * 7 + user_index);
         ONEEDIT_ASSIGN_OR_RETURN(
-            const UtteranceResponse response,
+            const EditResult response,
             system_ptr->HandleUtterance(utterance, "harness"));
         if (response.report.has_value()) {
           modeled_seconds += response.report->simulated_seconds +

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/controller.h"
+#include "core/oneedit.h"
 #include "data/dataset.h"
 #include "eval/metrics.h"
 #include "model/language_model.h"
@@ -19,6 +20,8 @@ namespace oneedit {
 struct MethodSpec {
   std::string display;  ///< e.g. "OneEdit (MEMIT)"
   std::string base;     ///< "FT" / "ROME" / "MEMIT" / "GRACE"
+  /// Typed counterpart of `base` — what OneEditConfig::method takes.
+  EditingMethodKind kind = EditingMethodKind::kMemit;
   bool oneedit = false;
 };
 

@@ -1,5 +1,7 @@
 #include "model/embedding.h"
 
+#include <mutex>
+
 #include "util/rng.h"
 
 namespace oneedit {
@@ -16,14 +18,21 @@ Vec EmbeddingTable::SampleUnit(uint64_t stream_seed) const {
 }
 
 const Vec& EmbeddingTable::Entity(const std::string& name) const {
-  auto it = entity_cache_.find(name);
-  if (it != entity_cache_.end()) return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    auto it = entity_cache_.find(name);
+    if (it != entity_cache_.end()) return it->second;
+  }
 
+  // Compute outside the lock: embeddings are deterministic, so if two
+  // threads race here they produce the same vector and emplace keeps the
+  // first. (Alias resolution recurses into Entity, which must not hold the
+  // non-reentrant mutex.)
   Vec embedding;
   auto alias_it = vocab_.alias_of.find(name);
   if (alias_it != vocab_.alias_of.end()) {
     // Alias: canonical embedding plus a deterministic offset.
-    const Vec& canon = Entity(alias_it->second);
+    const Vec canon = Entity(alias_it->second);
     const Vec offset =
         SampleUnit(seed_ ^ Rng::HashString("alias:" + name));
     embedding = canon;
@@ -32,18 +41,23 @@ const Vec& EmbeddingTable::Entity(const std::string& name) const {
   } else {
     embedding = SampleUnit(seed_ ^ Rng::HashString("ent:" + name));
   }
+  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
   return entity_cache_.emplace(name, std::move(embedding)).first->second;
 }
 
 const Vec& EmbeddingTable::RelationMask(size_t layer,
                                         const std::string& relation) const {
   const std::string cache_key = std::to_string(layer) + "|" + relation;
-  auto it = mask_cache_.find(cache_key);
-  if (it != mask_cache_.end()) return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    auto it = mask_cache_.find(cache_key);
+    if (it != mask_cache_.end()) return it->second;
+  }
 
   Rng rng(seed_ ^ Rng::HashString("rel:" + cache_key));
   Vec mask(dim_);
   for (double& x : mask) x = rng.NextGaussian();
+  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
   return mask_cache_.emplace(cache_key, std::move(mask)).first->second;
 }
 

@@ -2,6 +2,7 @@
 #define ONEEDIT_MODEL_EMBEDDING_H_
 
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -17,6 +18,11 @@ namespace oneedit {
 /// are bit-identical. Alias entities embed near their canonical entity
 /// (offset radius = alias_spread), which is what gives Sub-Replace probes
 /// their partial-generalization behaviour.
+///
+/// Lookups memoize into internal caches under a mutex, so the const read
+/// surface (Entity / RelationMask / Key) is safe to call from concurrent
+/// reader threads. Returned references stay valid for the table's lifetime
+/// (unordered_map values are reference-stable across rehashes).
 class EmbeddingTable {
  public:
   EmbeddingTable(size_t dim, uint64_t seed, double alias_spread,
@@ -47,6 +53,13 @@ class EmbeddingTable {
   uint64_t seed_;
   double alias_spread_;
   const Vocab& vocab_;
+  /// Guards both memoization caches: shared for lookups (the hot path once
+  /// warm — decode touches every vocab entity per query, so an exclusive
+  /// lock here would serialize concurrent readers), exclusive for inserts.
+  /// Embeddings are computed outside the lock (they are deterministic, so a
+  /// racing recompute is harmless) and inserted with an emplace that keeps
+  /// the first winner.
+  mutable std::shared_mutex cache_mutex_;
   mutable std::unordered_map<std::string, Vec> entity_cache_;
   mutable std::unordered_map<std::string, Vec> mask_cache_;  // "layer|rel"
 };

@@ -1,0 +1,218 @@
+#include "serving/edit_service.h"
+
+#include <unordered_set>
+#include <utility>
+
+namespace oneedit {
+namespace serving {
+namespace {
+
+/// The KG slots a request may write: its subject's slot, plus the object's
+/// (reverse edits per Algorithm 2 write the object's forward slot too).
+void AppendFootprint(const EditRequest& request,
+                     std::vector<std::string>* out) {
+  out->push_back(request.triple.subject);
+  out->push_back(request.triple.object);
+}
+
+bool Overlaps(const EditRequest& request,
+              const std::unordered_set<std::string>& entities) {
+  return entities.count(request.triple.subject) > 0 ||
+         entities.count(request.triple.object) > 0;
+}
+
+}  // namespace
+
+EditService::EditService(std::unique_ptr<OneEditSystem> system,
+                         const EditServiceOptions& options)
+    : system_(std::move(system)), options_(options) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.max_batch_size == 0) options_.max_batch_size = 1;
+  writer_ = std::thread(&EditService::WriterLoop, this);
+}
+
+StatusOr<std::unique_ptr<EditService>> EditService::Create(
+    KnowledgeGraph* kg, LanguageModel* model, const OneEditConfig& config,
+    const EditServiceOptions& options) {
+  ONEEDIT_ASSIGN_OR_RETURN(std::unique_ptr<OneEditSystem> system,
+                           OneEditSystem::Create(kg, model, config));
+  return std::make_unique<EditService>(std::move(system), options);
+}
+
+EditService::~EditService() { Stop(); }
+
+std::future<StatusOr<EditResult>> EditService::Submit(EditRequest request) {
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<StatusOr<EditResult>> future = pending.promise.get_future();
+
+  Statistics& stats = system_->statistics();
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (!stopping_ && queue_.size() >= options_.queue_capacity) {
+      if (options_.reject_when_full) {
+        lock.unlock();
+        stats.Add(Ticker::kServingRejected);
+        pending.promise.set_value(Status::ResourceExhausted(
+            "edit queue full (capacity " +
+            std::to_string(options_.queue_capacity) + ")"));
+        return future;
+      }
+      queue_not_full_.wait(lock, [this] {
+        return stopping_ || queue_.size() < options_.queue_capacity;
+      });
+    }
+    if (stopping_) {
+      lock.unlock();
+      stats.Add(Ticker::kServingRejected);
+      pending.promise.set_value(
+          Status::Unavailable("EditService is stopped"));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    stats.Add(Ticker::kServingSubmitted);
+    stats.Record(Histogram::kServingQueueDepth, queue_.size());
+  }
+  queue_not_empty_.notify_one();
+  return future;
+}
+
+Decode EditService::Ask(const std::string& subject,
+                        const std::string& relation) const {
+  // Touch the writer gate first: if a writer is waiting for the exclusive
+  // lock it holds the gate, and this reader queues behind it.
+  { std::lock_guard<std::mutex> gate(writer_gate_); }
+  std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+  Decode decode = system_->Ask(subject, relation);
+  system_->statistics().Add(Ticker::kServingReads);
+  return decode;
+}
+
+void EditService::Drain() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && !writer_busy_; });
+}
+
+void EditService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      // Already stopped; the writer is joined below only once.
+    }
+    stopping_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  if (writer_.joinable()) writer_.join();
+
+  // The writer has exited; whatever is still queued will never run.
+  std::deque<Pending> orphans;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    orphans.swap(queue_);
+  }
+  for (Pending& pending : orphans) {
+    system_->statistics().Add(Ticker::kServingRejected);
+    pending.promise.set_value(
+        Status::Unavailable("EditService stopped before this request ran"));
+  }
+  idle_.notify_all();
+}
+
+size_t EditService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size();
+}
+
+std::vector<EditService::Pending> EditService::NextBatch() {
+  std::vector<Pending> batch;
+  if (queue_.empty()) return batch;
+  if (!options_.coalesce) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    return batch;
+  }
+
+  // Entities touched by admitted requests, and by skipped ones: overlapping
+  // either keeps a request queued so per-slot order is preserved.
+  std::unordered_set<std::string> admitted;
+  std::unordered_set<std::string> blocked;
+  std::vector<std::string> footprint;
+  auto it = queue_.begin();
+  while (it != queue_.end() && batch.size() < options_.max_batch_size) {
+    const EditRequest& request = it->request;
+    if (request.op == EditRequest::Op::kUtterance) {
+      // Unknown footprint until interpreted: run alone, bar what follows.
+      if (batch.empty()) {
+        batch.push_back(std::move(*it));
+        queue_.erase(it);
+      }
+      break;
+    }
+    if (Overlaps(request, admitted) || Overlaps(request, blocked)) {
+      footprint.clear();
+      AppendFootprint(request, &footprint);
+      blocked.insert(footprint.begin(), footprint.end());
+      ++it;
+      continue;
+    }
+    footprint.clear();
+    AppendFootprint(request, &footprint);
+    admitted.insert(footprint.begin(), footprint.end());
+    batch.push_back(std::move(*it));
+    it = queue_.erase(it);
+  }
+  return batch;
+}
+
+void EditService::WriterLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_not_empty_.wait(
+          lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;  // Stop() fails whatever is left.
+      batch = NextBatch();
+      writer_busy_ = !batch.empty();
+    }
+    queue_not_full_.notify_all();
+    if (batch.empty()) continue;
+
+    std::vector<EditRequest> requests;
+    requests.reserve(batch.size());
+    for (const Pending& pending : batch) requests.push_back(pending.request);
+
+    std::vector<StatusOr<EditResult>> results;
+    {
+      std::unique_lock<std::mutex> gate(writer_gate_);
+      std::unique_lock<std::shared_mutex> write_lock(rw_mutex_);
+      gate.unlock();
+      results = system_->EditBatch(requests);
+    }
+
+    Statistics& stats = system_->statistics();
+    stats.Add(Ticker::kServingBatches);
+    stats.Record(Histogram::kServingBatchSize, batch.size());
+    const auto now = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      stats.Record(
+          Histogram::kServingLatencyMicros,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  now - batch[i].enqueued)
+                  .count()));
+      batch[i].promise.set_value(std::move(results[i]));
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      writer_busy_ = false;
+    }
+    idle_.notify_all();
+  }
+}
+
+}  // namespace serving
+}  // namespace oneedit

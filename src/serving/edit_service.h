@@ -1,0 +1,158 @@
+#ifndef ONEEDIT_SERVING_EDIT_SERVICE_H_
+#define ONEEDIT_SERVING_EDIT_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/oneedit.h"
+
+namespace oneedit {
+namespace serving {
+
+/// Knobs for EditService. Defaults suit an interactive deployment: a small
+/// bounded queue that blocks producers rather than dropping edits.
+struct EditServiceOptions {
+  /// Maximum requests waiting in the queue; Submit beyond this either blocks
+  /// or rejects depending on `reject_when_full`. Clamped to >= 1.
+  size_t queue_capacity = 256;
+  /// Maximum requests the writer coalesces into one batch. Clamped to >= 1.
+  size_t max_batch_size = 16;
+  /// true: a full queue rejects with ResourceExhausted (load shedding);
+  /// false: Submit blocks until the writer frees a slot (backpressure).
+  bool reject_when_full = false;
+  /// false disables coalescing: the writer applies one request at a time
+  /// (the ablation arm in bench/serving_bench).
+  bool coalesce = true;
+};
+
+/// EditService: the concurrent serving layer over OneEditSystem.
+///
+/// Replaces the coarse-lock ConcurrentOneEdit facade with reader/writer
+/// separation:
+///
+///  - `Ask` takes a shared lock, so any number of reader threads query the
+///    model concurrently; they only block while the writer is applying
+///    weights.
+///  - `Submit` enqueues an EditRequest into a bounded MPMC queue and returns
+///    a future. A single writer thread drains the queue, admits pending
+///    requests with disjoint entity footprints ({subject, object} — reverse
+///    edits write the object's slot too) into one batch, and applies the
+///    batch through OneEditSystem::EditBatch under the exclusive lock. Edits
+///    against the same slot stay FIFO; edits against disjoint slots coalesce
+///    into a single EditingMethod::ApplyBatch weight update.
+///
+/// Per-request latency, queue depth, batch size and rejection counters flow
+/// into the underlying system's Statistics (kServing* tickers/histograms).
+///
+/// Thread-safe. The destructor stops the writer; requests still queued at
+/// that point fail with Unavailable — call Drain() first for a graceful
+/// shutdown.
+class EditService {
+ public:
+  /// Takes ownership of a configured system and starts the writer thread.
+  explicit EditService(std::unique_ptr<OneEditSystem> system,
+                       const EditServiceOptions& options = {});
+
+  /// Builds the OneEditSystem internally. `kg` and `model` must outlive the
+  /// service.
+  static StatusOr<std::unique_ptr<EditService>> Create(
+      KnowledgeGraph* kg, LanguageModel* model, const OneEditConfig& config,
+      const EditServiceOptions& options = {});
+
+  ~EditService();
+
+  EditService(const EditService&) = delete;
+  EditService& operator=(const EditService&) = delete;
+
+  /// Enqueues a request for the writer. The future resolves with the edit's
+  /// result once a writer batch containing it has been applied; with
+  /// ResourceExhausted if the queue is full and `reject_when_full` is set;
+  /// or with Unavailable if the service stops first.
+  std::future<StatusOr<EditResult>> Submit(EditRequest request);
+
+  /// Convenience: Submit + wait.
+  StatusOr<EditResult> SubmitAndWait(EditRequest request) {
+    return Submit(std::move(request)).get();
+  }
+
+  /// Concurrent read path: queries the model under a shared lock.
+  Decode Ask(const std::string& subject, const std::string& relation) const;
+
+  /// Blocks until every request submitted so far has been applied (or
+  /// rejected) and the writer is idle.
+  void Drain();
+
+  /// Stops accepting work and joins the writer. Requests still queued fail
+  /// with Unavailable. Idempotent.
+  void Stop();
+
+  /// Runs `fn(OneEditSystem&)` under the exclusive lock, with the writer
+  /// guaranteed not to be mid-application — for audit-log inspection,
+  /// RollbackUserEdits and other administrative surgery. Prefer Drain()
+  /// first if `fn` expects all submitted edits to be visible.
+  template <typename Fn>
+  auto WithExclusive(Fn&& fn) {
+    std::unique_lock<std::mutex> gate(writer_gate_);
+    std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+    gate.unlock();
+    return fn(*system_);
+  }
+
+  /// Statistics are internally atomic — no lock needed.
+  const Statistics& statistics() const { return system_->statistics(); }
+  Statistics& statistics() { return system_->statistics(); }
+
+  size_t queue_depth() const;
+  const EditServiceOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    EditRequest request;
+    std::promise<StatusOr<EditResult>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WriterLoop();
+
+  /// Pops the next admissible batch from queue_ (caller holds queue_mutex_).
+  /// FIFO per slot: a request whose footprint overlaps any earlier admitted
+  /// OR earlier skipped request stays queued, so same-slot requests never
+  /// reorder. Utterances have an unknown footprint until interpreted, so
+  /// they run alone and bar everything behind them.
+  std::vector<Pending> NextBatch();
+
+  std::unique_ptr<OneEditSystem> system_;
+  EditServiceOptions options_;
+
+  /// Readers share; the writer takes it exclusively only while applying a
+  /// batch (not while waiting for work).
+  mutable std::shared_mutex rw_mutex_;
+  /// Write-preference gate: glibc's shared_mutex favors readers, so a steady
+  /// reader stream would starve the writer forever. An exclusive acquirer
+  /// holds this gate while waiting for rw_mutex_; incoming readers touch it
+  /// first, so they queue behind the writer instead of starving it.
+  mutable std::mutex writer_gate_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::condition_variable idle_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  bool writer_busy_ = false;
+
+  std::thread writer_;
+};
+
+}  // namespace serving
+}  // namespace oneedit
+
+#endif  // ONEEDIT_SERVING_EDIT_SERVICE_H_

@@ -28,6 +28,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Conflict";
     case StatusCode::kRejected:
       return "Rejected";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -23,6 +23,8 @@ enum class StatusCode {
   kIoError,
   kConflict,  ///< Knowledge conflict detected by the Controller.
   kRejected,  ///< Edit rejected (e.g., toxic-knowledge guard).
+  kResourceExhausted,  ///< Bounded queue/backpressure limit hit.
+  kUnavailable,        ///< Service shutting down or not accepting work.
 };
 
 /// Returns a short human-readable name for a code ("NotFound", ...).
@@ -74,6 +76,12 @@ class Status {
   static Status Rejected(std::string msg) {
     return Status(StatusCode::kRejected, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -83,6 +91,10 @@ class Status {
   bool IsConflict() const { return code_ == StatusCode::kConflict; }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   bool IsRejected() const { return code_ == StatusCode::kRejected; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

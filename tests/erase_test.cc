@@ -24,7 +24,7 @@ class EraseTest : public ::testing::Test {
         model_(GptJSimConfig(), dataset_.vocab) {
     model_.Pretrain(dataset_.pretrain_facts);
     OneEditConfig config;
-    config.method = "MEMIT";
+    config.method = EditingMethodKind::kMemit;
     config.interpreter.extraction_error_rate = 0.0;
     auto system = OneEditSystem::Create(&dataset_.kg, &model_, config);
     EXPECT_TRUE(system.ok());
@@ -58,8 +58,8 @@ TEST_F(EraseTest, ErasingPretrainedFactSuppressesModelAndKg) {
 
   const auto report = system_->EraseTriple(truth, "admin");
   ASSERT_TRUE(report.ok());
-  EXPECT_FALSE(report->plan.no_op);
-  EXPECT_GT(report->outcome.suppressions_applied, 0u);
+  EXPECT_FALSE(report->plan().no_op);
+  EXPECT_GT(report->outcome().suppressions_applied, 0u);
   // The KG no longer holds the fact (nor its reverse counterpart).
   EXPECT_FALSE(dataset_.kg.Contains(*dataset_.kg.Resolve(truth)));
   // The model no longer asserts the old object.
@@ -75,7 +75,7 @@ TEST_F(EraseTest, ErasingCachedEditRollsItBack) {
 
   const auto report = system_->EraseTriple(edit_case.edit, "admin");
   ASSERT_TRUE(report.ok());
-  EXPECT_GT(report->outcome.rollbacks_applied, 0u);
+  EXPECT_GT(report->outcome().rollbacks_applied, 0u);
   EXPECT_NE(system_->Ask(edit_case.edit.subject, edit_case.edit.relation)
                 .entity,
             edit_case.edit.object);
@@ -86,7 +86,7 @@ TEST_F(EraseTest, EraseOfUnknownTripleIsNoOp) {
   // The counterfactual object was never asserted.
   const auto report = system_->EraseTriple(edit_case.edit, "admin");
   ASSERT_TRUE(report.ok());
-  EXPECT_TRUE(report->plan.no_op);
+  EXPECT_TRUE(report->plan().no_op);
   EXPECT_EQ(system_->statistics().Get(Ticker::kErasures), 0u);
 }
 
@@ -97,14 +97,14 @@ TEST_F(EraseTest, EndToEndUtteranceFlow) {
   const auto response =
       system_->HandleUtterance(EraseUtterance(truth, 0), "alice");
   ASSERT_TRUE(response.ok());
-  EXPECT_EQ(response->kind, UtteranceResponse::Kind::kErased);
+  EXPECT_EQ(response->kind, EditResult::Kind::kErased);
   EXPECT_EQ(system_->statistics().Get(Ticker::kErasures), 1u);
 
   // Erasing again: nothing left to erase.
   const auto again =
       system_->HandleUtterance(EraseUtterance(truth, 1), "alice");
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(again->kind, UtteranceResponse::Kind::kNoOp);
+  EXPECT_EQ(again->kind, EditResult::Kind::kNoOp);
 }
 
 TEST_F(EraseTest, EraseRemovesDerivedFacts) {

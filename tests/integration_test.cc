@@ -30,7 +30,9 @@ class EndToEndTest
         model_(Gpt2XlSimConfig(), dataset_.vocab) {
     model_.Pretrain(dataset_.pretrain_facts);
     OneEditConfig config;
-    config.method = std::get<1>(GetParam());
+    const auto kind = ParseMethodKind(std::get<1>(GetParam()));
+    EXPECT_TRUE(kind.ok());
+    config.method = *kind;
     config.interpreter.extraction_error_rate = 0.0;
     auto system = OneEditSystem::Create(&dataset_.kg, &model_, config);
     EXPECT_TRUE(system.ok());
@@ -51,7 +53,7 @@ TEST_P(EndToEndTest, FullConversationLifecycle) {
   auto response = system_->HandleUtterance(
       QueryUtterance(subject, relation, 0), "reader");
   ASSERT_TRUE(response.ok());
-  EXPECT_EQ(response->kind, UtteranceResponse::Kind::kGenerated);
+  EXPECT_EQ(response->kind, EditResult::Kind::kGenerated);
   EXPECT_NE(response->message.find(edit_case.old_object), std::string::npos)
       << response->message;
 
@@ -59,7 +61,7 @@ TEST_P(EndToEndTest, FullConversationLifecycle) {
   response = system_->HandleUtterance(EditUtterance(edit_case.edit, 2),
                                       "editor-1");
   ASSERT_TRUE(response.ok());
-  ASSERT_EQ(response->kind, UtteranceResponse::Kind::kEdited)
+  ASSERT_EQ(response->kind, EditResult::Kind::kEdited)
       << response->message;
 
   // 3) The question now answers the edit.
@@ -75,9 +77,9 @@ TEST_P(EndToEndTest, FullConversationLifecycle) {
                            edit_case.alternative_objects.front()};
   response = system_->HandleUtterance(EditUtterance(second, 5), "editor-2");
   ASSERT_TRUE(response.ok());
-  ASSERT_EQ(response->kind, UtteranceResponse::Kind::kEdited);
+  ASSERT_EQ(response->kind, EditResult::Kind::kEdited);
   ASSERT_TRUE(response->report.has_value());
-  EXPECT_FALSE(response->report->plan.rollbacks.empty());
+  EXPECT_FALSE(response->plan().rollbacks.empty());
   EXPECT_EQ(system_->Ask(subject, relation).entity, second.object);
 
   // 5) The KG agrees and holds exactly one object for the slot.
@@ -96,7 +98,7 @@ TEST_P(EndToEndTest, FullConversationLifecycle) {
   response = system_->HandleUtterance(EraseUtterance(edit_case.edit, 0),
                                       "admin");
   ASSERT_TRUE(response.ok());
-  EXPECT_EQ(response->kind, UtteranceResponse::Kind::kErased)
+  EXPECT_EQ(response->kind, EditResult::Kind::kErased)
       << response->message;
   EXPECT_FALSE(dataset_.kg.Contains(*dataset_.kg.Resolve(edit_case.edit)));
 
@@ -114,7 +116,7 @@ TEST_P(EndToEndTest, KgAndModelStayConsistentAcrossAllCases) {
     const auto response = system_->HandleUtterance(
         EditUtterance(dataset_.cases[c].edit, c), "sync-bot");
     ASSERT_TRUE(response.ok());
-    ASSERT_EQ(response->kind, UtteranceResponse::Kind::kEdited)
+    ASSERT_EQ(response->kind, EditResult::Kind::kEdited)
         << "case " << c << ": " << response->message;
   }
   size_t model_correct = 0;

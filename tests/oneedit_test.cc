@@ -24,7 +24,7 @@ class OneEditSystemTest : public ::testing::Test {
         model_(Gpt2XlSimConfig(), dataset_.vocab) {
     model_.Pretrain(dataset_.pretrain_facts);
     OneEditConfig config;
-    config.method = "MEMIT";
+    config.method = EditingMethodKind::kMemit;
     config.interpreter.extraction_error_rate = 0.0;
     auto system = OneEditSystem::Create(&dataset_.kg, &model_, config);
     EXPECT_TRUE(system.ok());
@@ -39,10 +39,30 @@ class OneEditSystemTest : public ::testing::Test {
 TEST_F(OneEditSystemTest, CreateRejectsNulls) {
   EXPECT_FALSE(OneEditSystem::Create(nullptr, &model_, {}).ok());
   EXPECT_FALSE(OneEditSystem::Create(&dataset_.kg, nullptr, {}).ok());
-  EXPECT_FALSE(
-      OneEditSystem::Create(&dataset_.kg, &model_,
-                            OneEditConfig{.method = "NOPE"})
-          .ok());
+}
+
+TEST(MethodKindTest, ParseRoundTripsAndRejectsUnknown) {
+  for (const EditingMethodKind kind : AllMethodKinds()) {
+    const auto parsed = ParseMethodKind(MethodKindName(kind));
+    ASSERT_TRUE(parsed.ok()) << MethodKindName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_EQ(*ParseMethodKind("memit"), EditingMethodKind::kMemit);
+  const auto bad = ParseMethodKind("NOPE");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MethodKindTest, DeprecatedStringOverloadStillWorks) {
+  OneEditConfig config;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ASSERT_TRUE(config.SetMethodName("GRACE").ok());
+  EXPECT_EQ(config.method, EditingMethodKind::kGrace);
+  // Unknown names fail and leave the config unchanged.
+  EXPECT_FALSE(config.SetMethodName("NOPE").ok());
+#pragma GCC diagnostic pop
+  EXPECT_EQ(config.method, EditingMethodKind::kGrace);
 }
 
 TEST_F(OneEditSystemTest, EditUtteranceChangesModelBelief) {
@@ -50,7 +70,7 @@ TEST_F(OneEditSystemTest, EditUtteranceChangesModelBelief) {
   const std::string utterance = EditUtterance(edit_case.edit, 0);
   const auto response = system_->HandleUtterance(utterance, "alice");
   ASSERT_TRUE(response.ok());
-  EXPECT_EQ(response->kind, UtteranceResponse::Kind::kEdited);
+  EXPECT_EQ(response->kind, EditResult::Kind::kEdited);
   ASSERT_TRUE(response->report.has_value());
   EXPECT_GT(response->report->outcome.edits_applied, 0u);
   EXPECT_EQ(
@@ -64,7 +84,7 @@ TEST_F(OneEditSystemTest, QuestionRoutedToGeneration) {
       QueryUtterance(edit_case.edit.subject, edit_case.edit.relation, 0);
   const auto response = system_->HandleUtterance(question, "alice");
   ASSERT_TRUE(response.ok());
-  EXPECT_EQ(response->kind, UtteranceResponse::Kind::kGenerated);
+  EXPECT_EQ(response->kind, EditResult::Kind::kGenerated);
   // The canned answer names the pre-edit (ground truth) object.
   EXPECT_NE(response->message.find(edit_case.old_object), std::string::npos)
       << response->message;
@@ -74,7 +94,7 @@ TEST_F(OneEditSystemTest, ChitChatGetsGenericReply) {
   const auto response =
       system_->HandleUtterance("Write a short poem about the ocean.", "bob");
   ASSERT_TRUE(response.ok());
-  EXPECT_EQ(response->kind, UtteranceResponse::Kind::kGenerated);
+  EXPECT_EQ(response->kind, EditResult::Kind::kGenerated);
   EXPECT_FALSE(response->message.empty());
 }
 
@@ -83,8 +103,9 @@ TEST_F(OneEditSystemTest, RepeatedEditIsNoOp) {
   ASSERT_TRUE(system_->EditTriple(edit_case.edit, "alice").ok());
   const auto report = system_->EditTriple(edit_case.edit, "bob");
   ASSERT_TRUE(report.ok());
-  EXPECT_TRUE(report->plan.no_op);
-  EXPECT_EQ(report->simulated_seconds, 0.0);
+  EXPECT_EQ(report->kind, EditResult::Kind::kNoOp);
+  EXPECT_TRUE(report->plan().no_op);
+  EXPECT_EQ(report->simulated_seconds(), 0.0);
 }
 
 TEST_F(OneEditSystemTest, SecurityGuardBlocksToxicEdit) {
@@ -96,9 +117,12 @@ TEST_F(OneEditSystemTest, SecurityGuardBlocksToxicEdit) {
   system_->security().BlockEntity(blocked);
   const NamedTriple toxic{edit_case.edit.subject, edit_case.edit.relation,
                           blocked};
+  // A guard rejection is a *result*, not an error Status, under the unified
+  // result surface.
   const auto report = system_->EditTriple(toxic, "mallory");
-  ASSERT_FALSE(report.ok());
-  EXPECT_TRUE(report.status().IsRejected());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->kind, EditResult::Kind::kRejected);
+  EXPECT_FALSE(report->message.empty());
   // Neither the KG nor the audit log changed.
   EXPECT_TRUE(system_->audit_log().empty());
   const auto resolved = dataset_.kg.Resolve(toxic);
@@ -108,7 +132,7 @@ TEST_F(OneEditSystemTest, SecurityGuardBlocksToxicEdit) {
   const std::string utterance = EditUtterance(toxic, 0);
   const auto response = system_->HandleUtterance(utterance, "mallory");
   ASSERT_TRUE(response.ok());
-  EXPECT_EQ(response->kind, UtteranceResponse::Kind::kRejected);
+  EXPECT_EQ(response->kind, EditResult::Kind::kRejected);
 }
 
 TEST_F(OneEditSystemTest, AuditLogRecordsPreviousObject) {
@@ -154,8 +178,8 @@ TEST_F(OneEditSystemTest, CoverageFlipUsesCache) {
   const auto flip = system_->EditTriple(to_new, "u3");
   ASSERT_TRUE(flip.ok());
   // Third edit re-installs the cached parameters instead of recomputing.
-  EXPECT_GT(flip->outcome.cache_hits, 0u);
-  EXPECT_GT(flip->outcome.rollbacks_applied, 0u);
+  EXPECT_GT(flip->outcome().cache_hits, 0u);
+  EXPECT_GT(flip->outcome().rollbacks_applied, 0u);
   EXPECT_EQ(system_->Ask(to_new.subject, to_new.relation).entity,
             to_new.object);
 }

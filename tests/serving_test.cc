@@ -1,0 +1,332 @@
+// Tests for the EditService serving layer: concurrent readers + writers,
+// coalesced batches vs sequential equivalence, backpressure, shutdown, and
+// the ConcurrentOneEdit compatibility shim. Designed to run clean under
+// ThreadSanitizer (scripts/ci.sh tsan).
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/concurrent.h"
+#include "data/dataset.h"
+#include "serving/edit_service.h"
+
+namespace oneedit {
+namespace {
+
+using serving::EditService;
+using serving::EditServiceOptions;
+
+DatasetOptions TinyOptions() {
+  DatasetOptions options;
+  options.num_cases = 12;
+  return options;
+}
+
+/// A self-contained world + model + EditService. GRACE is the method under
+/// test: its adaptor applies batched edits one by one, so a coalesced batch
+/// must land bit-identically to sequential execution.
+struct ServingWorld {
+  explicit ServingWorld(const EditServiceOptions& options = {})
+      : dataset(BuildAmericanPoliticians(TinyOptions())),
+        model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                              dataset.vocab)) {
+    model->Pretrain(dataset.pretrain_facts);
+    OneEditConfig config;
+    config.method = EditingMethodKind::kGrace;
+    config.interpreter.extraction_error_rate = 0.0;
+    auto created =
+        EditService::Create(&dataset.kg, model.get(), config, options);
+    EXPECT_TRUE(created.ok());
+    service = std::move(created).value();
+  }
+
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+  std::unique_ptr<EditService> service;
+};
+
+TEST(EditServiceTest, SingleEditAppliesAndResolvesFuture) {
+  ServingWorld world;
+  const EditCase& edit_case = world.dataset.cases.front();
+  const auto result = world.service->SubmitAndWait(
+      EditRequest::Edit(edit_case.edit, "alice"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->kind, EditResult::Kind::kEdited);
+  EXPECT_EQ(world.service->Ask(edit_case.edit.subject,
+                               edit_case.edit.relation)
+                .entity,
+            edit_case.edit.object);
+  const Statistics& stats = world.service->statistics();
+  EXPECT_EQ(stats.Get(Ticker::kServingSubmitted), 1u);
+  EXPECT_GE(stats.Get(Ticker::kServingBatches), 1u);
+  EXPECT_EQ(stats.GetHistogram(Histogram::kServingLatencyMicros).count, 1u);
+}
+
+TEST(EditServiceTest, StressReadersAndWritersDisjointAndConflictingSlots) {
+  ServingWorld world;
+  const auto& cases = world.dataset.cases;
+
+  constexpr int kReaders = 4;
+  constexpr int kWriters = 3;
+  std::atomic<bool> stop_readers{false};
+  std::atomic<int> read_count{0};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      size_t i = t;
+      while (!stop_readers.load(std::memory_order_relaxed)) {
+        const EditCase& edit_case = cases[i++ % cases.size()];
+        (void)world.service->Ask(edit_case.edit.subject,
+                                 edit_case.edit.relation);
+        read_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writers 0..1 fight over the same slots (conflicting); writer 2 owns a
+  // disjoint share. Every future must resolve OK.
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      std::vector<std::future<StatusOr<EditResult>>> futures;
+      for (size_t c = 0; c < cases.size(); ++c) {
+        const bool conflicting_share = c < cases.size() / 2;
+        if (conflicting_share != (t < 2)) continue;
+        NamedTriple triple = cases[c].edit;
+        if (t == 1 && !cases[c].alternative_objects.empty()) {
+          triple.object = cases[c].alternative_objects.front();
+        }
+        futures.push_back(world.service->Submit(
+            EditRequest::Edit(triple, "writer" + std::to_string(t))));
+      }
+      for (auto& future : futures) {
+        const auto result = future.get();
+        if (!result.ok() || !(result->applied() || result->no_op())) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  world.service->Drain();
+  stop_readers.store(true);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(read_count.load(), 0);
+
+  // Disjoint slots (writer 2's share) have a deterministic final value.
+  for (size_t c = cases.size() / 2; c < cases.size(); ++c) {
+    EXPECT_EQ(
+        world.service->Ask(cases[c].edit.subject, cases[c].edit.relation)
+            .entity,
+        cases[c].edit.object);
+  }
+  // Contended slots hold one of the two candidates, and KG and model agree.
+  for (size_t c = 0; c < cases.size() / 2; ++c) {
+    const std::string entity =
+        world.service->Ask(cases[c].edit.subject, cases[c].edit.relation)
+            .entity;
+    const bool is_candidate =
+        entity == cases[c].edit.object ||
+        (!cases[c].alternative_objects.empty() &&
+         entity == cases[c].alternative_objects.front());
+    EXPECT_TRUE(is_candidate) << entity;
+    const auto resolved = world.dataset.kg.Resolve(
+        {cases[c].edit.subject, cases[c].edit.relation, entity});
+    ASSERT_TRUE(resolved.ok());
+    EXPECT_TRUE(world.dataset.kg.Contains(*resolved));
+  }
+  // The verification Asks above tick the counter too, so >= not ==.
+  const Statistics& stats = world.service->statistics();
+  EXPECT_GE(stats.Get(Ticker::kServingReads),
+            static_cast<uint64_t>(read_count.load()));
+  EXPECT_GE(stats.Get(Ticker::kServingSubmitted), cases.size());
+}
+
+TEST(EditServiceTest, CoalescedBatchMatchesSequentialExecution) {
+  // World A: sequential EditTriple calls. World B: everything submitted at
+  // once while the writer is held off, forcing coalesced batches.
+  ServingWorld sequential_world;
+  EditServiceOptions options;
+  options.max_batch_size = 64;
+  ServingWorld coalesced_world(options);
+  const auto& cases = sequential_world.dataset.cases;
+
+  for (const EditCase& edit_case : cases) {
+    const auto result = sequential_world.service->WithExclusive(
+        [&](OneEditSystem& sys) { return sys.EditTriple(edit_case.edit, "u"); });
+    ASSERT_TRUE(result.ok());
+  }
+
+  std::vector<std::future<StatusOr<EditResult>>> futures;
+  coalesced_world.service->WithExclusive([&](OneEditSystem&) {
+    // The writer cannot apply anything while we hold the exclusive lock, so
+    // submissions pile up and coalesce.
+    for (const EditCase& edit_case : cases) {
+      futures.push_back(coalesced_world.service->Submit(
+          EditRequest::Edit(edit_case.edit, "u")));
+    }
+    return 0;
+  });
+  for (auto& future : futures) ASSERT_TRUE(future.get().ok());
+  coalesced_world.service->Drain();
+
+  // The writer must have coalesced more than one edit into some batch.
+  EXPECT_GT(coalesced_world.service->statistics()
+                .GetHistogram(Histogram::kServingBatchSize)
+                .max,
+            1u);
+
+  // Model answers and audit trails are identical to sequential execution.
+  for (const EditCase& edit_case : cases) {
+    EXPECT_EQ(coalesced_world.service
+                  ->Ask(edit_case.edit.subject, edit_case.edit.relation)
+                  .entity,
+              sequential_world.service
+                  ->Ask(edit_case.edit.subject, edit_case.edit.relation)
+                  .entity);
+  }
+  const size_t sequential_audit = sequential_world.service->WithExclusive(
+      [](OneEditSystem& sys) { return sys.audit_log().size(); });
+  const size_t coalesced_audit = coalesced_world.service->WithExclusive(
+      [](OneEditSystem& sys) { return sys.audit_log().size(); });
+  EXPECT_EQ(coalesced_audit, sequential_audit);
+}
+
+TEST(EditServiceTest, SameSlotRequestsStayFifoPerSlot) {
+  ServingWorld world;
+  const EditCase& edit_case = world.dataset.cases.front();
+  ASSERT_FALSE(edit_case.alternative_objects.empty());
+  std::vector<std::string> objects = {edit_case.edit.object};
+  for (const std::string& alt : edit_case.alternative_objects) {
+    objects.push_back(alt);
+  }
+
+  std::vector<std::future<StatusOr<EditResult>>> futures;
+  world.service->WithExclusive([&](OneEditSystem&) {
+    for (const std::string& object : objects) {
+      futures.push_back(world.service->Submit(EditRequest::Edit(
+          {edit_case.edit.subject, edit_case.edit.relation, object}, "u")));
+    }
+    return 0;
+  });
+  for (auto& future : futures) ASSERT_TRUE(future.get().ok());
+  world.service->Drain();
+
+  // Last submitted wins, and the audit log shows the full chain in
+  // submission order: each record's previous_object is its predecessor.
+  EXPECT_EQ(
+      world.service->Ask(edit_case.edit.subject, edit_case.edit.relation)
+          .entity,
+      objects.back());
+  world.service->WithExclusive([&](OneEditSystem& sys) {
+    const auto& log = sys.audit_log();
+    EXPECT_EQ(log.size(), objects.size());
+    std::string expected_previous = edit_case.old_object;
+    for (size_t i = 0; i < log.size() && i < objects.size(); ++i) {
+      EXPECT_EQ(log[i].request.object, objects[i]);
+      EXPECT_EQ(log[i].previous_object, expected_previous);
+      expected_previous = objects[i];
+    }
+    return 0;
+  });
+}
+
+TEST(EditServiceTest, BackpressureRejectsWhenQueueFull) {
+  EditServiceOptions options;
+  options.queue_capacity = 1;
+  options.reject_when_full = true;
+  ServingWorld world(options);
+  const auto& cases = world.dataset.cases;
+
+  std::vector<std::future<StatusOr<EditResult>>> futures;
+  world.service->WithExclusive([&](OneEditSystem&) {
+    // The writer can hold at most one in-flight batch; with capacity 1, a
+    // burst of 4 must overflow the queue.
+    for (int i = 0; i < 4; ++i) {
+      futures.push_back(world.service->Submit(
+          EditRequest::Edit(cases[i % cases.size()].edit, "burst")));
+    }
+    return 0;
+  });
+
+  size_t rejected = 0;
+  for (auto& future : futures) {
+    const auto result = future.get();
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsResourceExhausted())
+          << result.status().ToString();
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, 1u);
+  EXPECT_GE(world.service->statistics().Get(Ticker::kServingRejected),
+            rejected);
+  world.service->Drain();
+}
+
+TEST(EditServiceTest, SubmitAfterStopFailsWithUnavailable) {
+  ServingWorld world;
+  world.service->Stop();
+  const auto result = world.service->SubmitAndWait(
+      EditRequest::Edit(world.dataset.cases.front().edit, "late"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable());
+}
+
+TEST(EditServiceTest, EraseAndUtteranceRequestsFlowThroughSubmit) {
+  ServingWorld world;
+  const EditCase& edit_case = world.dataset.cases.front();
+  const NamedTriple truth{edit_case.edit.subject, edit_case.edit.relation,
+                          edit_case.old_object};
+
+  const auto erased =
+      world.service->SubmitAndWait(EditRequest::Erase(truth, "admin"));
+  ASSERT_TRUE(erased.ok());
+  EXPECT_EQ(erased->kind, EditResult::Kind::kErased);
+  EXPECT_NE(
+      world.service->Ask(truth.subject, truth.relation).entity, truth.object);
+
+  const auto generated = world.service->SubmitAndWait(
+      EditRequest::Utterance("What are the primary colors?", "reader"));
+  ASSERT_TRUE(generated.ok());
+  EXPECT_EQ(generated->kind, EditResult::Kind::kGenerated);
+}
+
+// ----------------------------------------------- ConcurrentOneEdit shim ----
+
+TEST(ConcurrentOneEditTest, EraseTripleAndStatisticsPassthrough) {
+  Dataset dataset = BuildAmericanPoliticians(TinyOptions());
+  LanguageModel model(Gpt2XlSimConfig(), dataset.vocab);
+  model.Pretrain(dataset.pretrain_facts);
+  OneEditConfig config;
+  config.method = EditingMethodKind::kGrace;
+  config.interpreter.extraction_error_rate = 0.0;
+  auto system = OneEditSystem::Create(&dataset.kg, &model, config);
+  ASSERT_TRUE(system.ok());
+  ConcurrentOneEdit concurrent(std::move(system).value());
+
+  const EditCase& edit_case = dataset.cases.front();
+  const NamedTriple truth{edit_case.edit.subject, edit_case.edit.relation,
+                          edit_case.old_object};
+  const auto erased = concurrent.EraseTriple(truth, "admin");
+  ASSERT_TRUE(erased.ok());
+  EXPECT_EQ(erased->kind, EditResult::Kind::kErased);
+  EXPECT_EQ(concurrent.statistics().Get(Ticker::kErasures), 1u);
+
+  const auto applied =
+      concurrent.Apply(EditRequest::Edit(edit_case.edit, "alice"));
+  ASSERT_TRUE(applied.ok());
+  EXPECT_TRUE(applied->applied());
+}
+
+}  // namespace
+}  // namespace oneedit

@@ -46,7 +46,7 @@ TEST(StatisticsTest, SystemBumpsTickersEndToEnd) {
   LanguageModel model(Gpt2XlSimConfig(), dataset.vocab);
   model.Pretrain(dataset.pretrain_facts);
   OneEditConfig config;
-  config.method = "GRACE";
+  config.method = EditingMethodKind::kGrace;
   config.interpreter.extraction_error_rate = 0.0;
   auto system = OneEditSystem::Create(&dataset.kg, &model, config);
   ASSERT_TRUE(system.ok());
@@ -88,7 +88,7 @@ TEST(ConcurrentOneEditTest, ParallelEditsOnDistinctSlotsAllLand) {
                                                dataset.vocab);
   model->Pretrain(dataset.pretrain_facts);
   OneEditConfig config;
-  config.method = "GRACE";
+  config.method = EditingMethodKind::kGrace;
   config.interpreter.extraction_error_rate = 0.0;
   auto system = OneEditSystem::Create(&dataset.kg, model.get(), config);
   ASSERT_TRUE(system.ok());
@@ -143,7 +143,7 @@ interpreter.training_examples_per_class = 100
 interpreter.seed = 42
 )");
   ASSERT_TRUE(config.ok());
-  EXPECT_EQ(config->method, "GRACE");
+  EXPECT_EQ(config->method, EditingMethodKind::kGrace);
   EXPECT_EQ(config->controller.num_generation_triples, 16u);
   EXPECT_FALSE(config->controller.use_logical_rules);
   EXPECT_FALSE(config->controller.augment_aliases);
@@ -164,6 +164,8 @@ TEST(ConfigIoTest, DefaultsWhenEmpty) {
 TEST(ConfigIoTest, RejectsBadInput) {
   EXPECT_FALSE(ParseOneEditConfig("no equals sign").ok());
   EXPECT_FALSE(ParseOneEditConfig("unknown.key = 1").ok());
+  // Typed methods fail at parse time now, not at Create time.
+  EXPECT_FALSE(ParseOneEditConfig("method = NOPE").ok());
   EXPECT_FALSE(
       ParseOneEditConfig("controller.num_generation_triples = lots").ok());
   EXPECT_FALSE(ParseOneEditConfig("editor.use_cache = maybe").ok());
@@ -171,12 +173,12 @@ TEST(ConfigIoTest, RejectsBadInput) {
 
 TEST(ConfigIoTest, RoundTripsThroughToString) {
   OneEditConfig config;
-  config.method = "ROME";
+  config.method = EditingMethodKind::kRome;
   config.controller.num_generation_triples = 5;
   config.editor.use_cache = false;
   const auto parsed = ParseOneEditConfig(OneEditConfigToString(config));
   ASSERT_TRUE(parsed.ok());
-  EXPECT_EQ(parsed->method, "ROME");
+  EXPECT_EQ(parsed->method, EditingMethodKind::kRome);
   EXPECT_EQ(parsed->controller.num_generation_triples, 5u);
   EXPECT_FALSE(parsed->editor.use_cache);
 }
@@ -190,7 +192,7 @@ TEST(ConfigIoTest, LoadFromFile) {
   }
   const auto config = LoadOneEditConfig(path);
   ASSERT_TRUE(config.ok());
-  EXPECT_EQ(config->method, "MEMIT");
+  EXPECT_EQ(config->method, EditingMethodKind::kMemit);
   EXPECT_FALSE(LoadOneEditConfig("/no/such/file.conf").ok());
   std::remove(path.c_str());
 }
@@ -202,7 +204,7 @@ TEST(InterpreterFuzzTest, GarbageInputNeverCrashesOrEdits) {
   LanguageModel model(Gpt2XlSimConfig(), dataset.vocab);
   model.Pretrain(dataset.pretrain_facts);
   OneEditConfig config;
-  config.method = "GRACE";
+  config.method = EditingMethodKind::kGrace;
   auto system = OneEditSystem::Create(&dataset.kg, &model, config);
   ASSERT_TRUE(system.ok());
 
@@ -217,7 +219,7 @@ TEST(InterpreterFuzzTest, GarbageInputNeverCrashesOrEdits) {
     const auto response = (*system)->HandleUtterance(garbage, "fuzz");
     ASSERT_TRUE(response.ok()) << "crashed on: " << garbage;
     // Garbage must never be accepted as an edit.
-    EXPECT_NE(response->kind, UtteranceResponse::Kind::kEdited) << garbage;
+    EXPECT_NE(response->kind, EditResult::Kind::kEdited) << garbage;
   }
   EXPECT_EQ(dataset.kg.version(), kg_version);  // the KG never moved
 }
