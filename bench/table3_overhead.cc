@@ -11,6 +11,7 @@
 // A second table reports the measured wall-clock of this simulation, and a
 // third ablates the edit cache.
 
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "core/cost_model.h"
 #include "core/oneedit.h"
 #include "data/dataset.h"
+#include "durability/manager.h"
 #include "eval/harness.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -74,6 +76,48 @@ StatusOr<ScenarioTiming> MeasureScenario(EditingMethodKind method,
   }
   timing.cached_flip_ms = timer.ElapsedMillis() / kFlips;
   return timing;
+}
+
+enum class WalMode { kOff, kNoFsync, kFsync };
+
+/// Mean wall-clock per edit with write-ahead logging off / on without
+/// fsync / on with group-commit fsync — the durability tax on the write
+/// path (checkpoints excluded; see docs/durability.md).
+StatusOr<double> MeasureWalOverhead(WalMode mode) {
+  Dataset dataset = BuildAmericanPoliticians(DatasetOptions{});
+  LanguageModel model(Gpt2XlSimConfig(), dataset.vocab);
+  model.Pretrain(dataset.pretrain_facts);
+  OneEditConfig config;
+  config.method = EditingMethodKind::kGrace;
+  auto system = OneEditSystem::Create(&dataset.kg, &model, config);
+  if (!system.ok()) return system.status();
+
+  const std::string dir = "/tmp/oneedit_bench_wal";
+  std::remove((dir + "/edits.wal").c_str());
+  std::remove((dir + "/checkpoint.oedc").c_str());
+  std::unique_ptr<durability::DurabilityManager> manager;
+  if (mode != WalMode::kOff) {
+    durability::DurabilityOptions opts;
+    opts.dir = dir;
+    opts.checkpoint_interval = 0;  // isolate the WAL cost
+    opts.sync_on_commit = mode == WalMode::kFsync;
+    ONEEDIT_ASSIGN_OR_RETURN(manager, durability::DurabilityManager::Open(opts));
+  }
+
+  const size_t edits = dataset.cases.size();
+  WallTimer timer;
+  for (size_t i = 0; i < edits; ++i) {
+    const std::vector<EditRequest> batch = {
+        EditRequest::Edit(dataset.cases[i].edit, "bench")};
+    if (manager != nullptr) {
+      ONEEDIT_RETURN_IF_ERROR(manager->LogBatch(
+          batch, config.method, &(*system)->statistics()));
+    }
+    for (const auto& result : (*system)->EditBatch(batch)) {
+      ONEEDIT_RETURN_IF_ERROR(result.status());
+    }
+  }
+  return timer.ElapsedMillis() / static_cast<double>(edits);
 }
 
 int RunTable3() {
@@ -145,6 +189,28 @@ int RunTable3() {
                      FormatDouble(timing->cached_flip_ms, 3)});
   }
   measured.Print(std::cout);
+
+  // Durability tax: edit latency with the crash-safety write path off, on
+  // without fsync, and on with per-batch group-commit fsync.
+  std::cout << "\nMeasured edit latency vs. durability mode "
+               "(GPT-2-XL(sim), GRACE):\n";
+  TablePrinter durability_table({"Mode", "mean ms / edit"});
+  const struct {
+    WalMode mode;
+    const char* label;
+  } modes[] = {{WalMode::kOff, "WAL off (in-memory only)"},
+               {WalMode::kNoFsync, "WAL on, no fsync"},
+               {WalMode::kFsync, "WAL on + group-commit fsync"}};
+  for (const auto& m : modes) {
+    const auto mean_ms = MeasureWalOverhead(m.mode);
+    if (!mean_ms.ok()) {
+      std::cerr << "durability bench failed: " << mean_ms.status().ToString()
+                << "\n";
+      return 1;
+    }
+    durability_table.AddRow({m.label, FormatDouble(*mean_ms, 3)});
+  }
+  durability_table.Print(std::cout);
   return 0;
 }
 

@@ -38,6 +38,20 @@ std::string TickerName(Ticker ticker) {
       return "serving_rejected";
     case Ticker::kServingBatches:
       return "serving_batches";
+    case Ticker::kWalRecords:
+      return "wal_records";
+    case Ticker::kWalCommits:
+      return "wal_commits";
+    case Ticker::kWalFailures:
+      return "wal_failures";
+    case Ticker::kCheckpoints:
+      return "checkpoints";
+    case Ticker::kCheckpointFailures:
+      return "checkpoint_failures";
+    case Ticker::kRecoveredRecords:
+      return "recovered_records";
+    case Ticker::kDegradedRejects:
+      return "degraded_rejects";
     case Ticker::kTickerCount:
       break;
   }
@@ -52,6 +66,10 @@ std::string HistogramName(Histogram histogram) {
       return "serving_queue_depth";
     case Histogram::kServingLatencyMicros:
       return "serving_latency_micros";
+    case Histogram::kWalCommitMicros:
+      return "wal_commit_micros";
+    case Histogram::kCheckpointMicros:
+      return "checkpoint_micros";
     case Histogram::kHistogramCount:
       break;
   }

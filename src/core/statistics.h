@@ -28,6 +28,13 @@ enum class Ticker : size_t {
   kServingSubmitted,      ///< requests accepted into the serving queue
   kServingRejected,       ///< requests rejected by queue backpressure
   kServingBatches,        ///< writer batches applied by the serving worker
+  kWalRecords,            ///< edit WAL records appended
+  kWalCommits,            ///< edit WAL group commits (one fsync per batch)
+  kWalFailures,           ///< edit WAL append/sync failures
+  kCheckpoints,           ///< system checkpoints published
+  kCheckpointFailures,    ///< system checkpoint attempts that failed
+  kRecoveredRecords,      ///< WAL records replayed during startup recovery
+  kDegradedRejects,       ///< writes rejected while the service was degraded
   kTickerCount,           // sentinel
 };
 
@@ -39,6 +46,8 @@ enum class Histogram : size_t {
   kServingBatchSize = 0,     ///< requests coalesced per writer batch
   kServingQueueDepth,        ///< queue depth observed at each admission
   kServingLatencyMicros,     ///< submit -> completion per request
+  kWalCommitMicros,          ///< append + fsync time per group commit
+  kCheckpointMicros,         ///< time to serialize + publish a checkpoint
   kHistogramCount,           // sentinel
 };
 

@@ -1,0 +1,242 @@
+#include "durability/checkpoint.h"
+
+#include <cstring>
+#include <unordered_set>
+#include <vector>
+
+#include "editing/cache_io.h"
+#include "model/checkpoint.h"
+#include "util/crc32.h"
+
+namespace oneedit {
+namespace durability {
+namespace {
+
+// File layout (little-endian):
+//   magic "OEDC", u32 version, u64 last_sequence, u64 kg_version,
+//   u32 num_sections, then per section:
+//     u32 kind, u32 size, u32 crc32(bytes), bytes
+constexpr char kMagic[4] = {'O', 'E', 'D', 'C'};
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kSectionWeights = 1;
+constexpr uint32_t kSectionKg = 2;
+constexpr uint32_t kSectionCache = 3;
+constexpr uint32_t kMaxSectionBytes = 1u << 30;
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ConsumeScalar(std::string_view* data, T* v) {
+  if (data->size() < sizeof(T)) return false;
+  std::memcpy(v, data->data(), sizeof(T));
+  data->remove_prefix(sizeof(T));
+  return true;
+}
+
+void AppendSection(std::string* out, uint32_t kind,
+                   const std::string& bytes) {
+  AppendU32(out, kind);
+  AppendU32(out, static_cast<uint32_t>(bytes.size()));
+  AppendU32(out, Crc32(bytes));
+  out->append(bytes);
+}
+
+std::string TripleKey(const NamedTriple& t) {
+  return t.subject + "\x1f" + t.relation + "\x1f" + t.object;
+}
+
+void SerializeKg(const KnowledgeGraph& kg, std::string* out) {
+  const std::vector<Triple> triples = kg.store().AllTriples();
+  AppendU32(out, static_cast<uint32_t>(triples.size()));
+  for (const Triple& t : triples) {
+    for (const std::string* name :
+         {&kg.EntityName(t.subject), &kg.schema().Name(t.relation),
+          &kg.EntityName(t.object)}) {
+      AppendU32(out, static_cast<uint32_t>(name->size()));
+      out->append(*name);
+    }
+  }
+}
+
+Status RestoreKg(std::string_view data, KnowledgeGraph* kg) {
+  uint32_t count = 0;
+  if (!ConsumeScalar(&data, &count)) {
+    return Status::Corruption("KG section truncated in header");
+  }
+  std::vector<NamedTriple> target;
+  target.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    NamedTriple t;
+    for (std::string* field : {&t.subject, &t.relation, &t.object}) {
+      uint32_t size = 0;
+      if (!ConsumeScalar(&data, &size) || data.size() < size) {
+        return Status::Corruption("KG section truncated at triple " +
+                                  std::to_string(i));
+      }
+      field->assign(data.data(), size);
+      data.remove_prefix(size);
+    }
+    target.push_back(std::move(t));
+  }
+
+  // Diff-restore: the caller hands us the freshly rebuilt pristine world;
+  // converge its triple set onto the snapshot's without rebuilding the
+  // dictionary, schema, rules or alias registry.
+  std::unordered_set<std::string> target_keys;
+  for (const NamedTriple& t : target) target_keys.insert(TripleKey(t));
+
+  std::vector<Triple> to_remove;
+  std::unordered_set<std::string> current_keys;
+  for (const Triple& t : kg->store().AllTriples()) {
+    std::string key = TripleKey(kg->ToNamed(t));
+    if (target_keys.count(key) == 0) to_remove.push_back(t);
+    current_keys.insert(std::move(key));
+  }
+  for (const Triple& t : to_remove) {
+    ONEEDIT_RETURN_IF_ERROR(kg->Remove(t));
+  }
+  for (const NamedTriple& t : target) {
+    if (current_keys.count(TripleKey(t)) > 0) continue;
+    const Triple resolved{kg->InternEntity(t.subject),
+                          kg->schema().Define(t.relation),
+                          kg->InternEntity(t.object)};
+    ONEEDIT_RETURN_IF_ERROR(kg->Add(resolved));
+  }
+  return Status::OK();
+}
+
+/// GRACE/SERAC codebook entries live in the method's adaptor, not in the
+/// checkpointed weights. A cached adaptor-only delta is live exactly when
+/// the restored KG still asserts its triple, so re-arm those.
+Status RearmAdaptors(OneEditSystem* system) {
+  Status status = Status::OK();
+  system->editor().cache().ForEach([&](const EditDelta& delta) {
+    if (!status.ok()) return;
+    if (delta.grace_entries.empty() || !delta.rank_ones.empty() ||
+        !delta.dense.empty()) {
+      return;
+    }
+    const auto resolved = system->kg().Resolve(delta.edit);
+    if (!resolved.ok() || !system->kg().Contains(*resolved)) return;
+    status = system->editor().method().Reapply(&system->model(), delta);
+  });
+  return status;
+}
+
+}  // namespace
+
+Status SaveSystemCheckpoint(const std::string& path, Env* env,
+                            OneEditSystem& system,
+                            const CheckpointState& state) {
+  Env* e = env != nullptr ? env : Env::Default();
+
+  std::string image;
+  image.append(kMagic, sizeof(kMagic));
+  AppendU32(&image, kVersion);
+  AppendU64(&image, state.last_sequence);
+  AppendU64(&image, state.kg_version);
+  AppendU32(&image, 3);
+
+  std::string section;
+  SerializeWeights(system.model(), &section);
+  AppendSection(&image, kSectionWeights, section);
+  section.clear();
+  SerializeKg(system.kg(), &section);
+  AppendSection(&image, kSectionKg, section);
+  section.clear();
+  SerializeCache(system.editor().cache(), &section);
+  AppendSection(&image, kSectionCache, section);
+
+  const std::string tmp = path + ".tmp";
+  ONEEDIT_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                           e->NewWritableFile(tmp, /*truncate=*/true));
+  ONEEDIT_RETURN_IF_ERROR(file->Append(image));
+  ONEEDIT_RETURN_IF_ERROR(file->Sync());
+  ONEEDIT_RETURN_IF_ERROR(file->Close());
+  return e->RenameFile(tmp, path);
+}
+
+StatusOr<CheckpointState> LoadSystemCheckpoint(const std::string& path,
+                                               Env* env,
+                                               OneEditSystem* system) {
+  if (system == nullptr) return Status::InvalidArgument("null system");
+  Env* e = env != nullptr ? env : Env::Default();
+  std::string data;
+  ONEEDIT_RETURN_IF_ERROR(e->ReadFileToString(path, &data));
+  std::string_view rest(data);
+
+  char magic[4];
+  uint32_t version = 0, num_sections = 0;
+  CheckpointState state;
+  if (rest.size() < sizeof(magic)) {
+    return Status::Corruption("not a OneEdit system checkpoint: " + path);
+  }
+  std::memcpy(magic, rest.data(), sizeof(magic));
+  rest.remove_prefix(sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a OneEdit system checkpoint: " + path);
+  }
+  if (!ConsumeScalar(&rest, &version) || version != kVersion) {
+    return Status::Corruption("unsupported system checkpoint version in " +
+                              path);
+  }
+  if (!ConsumeScalar(&rest, &state.last_sequence) ||
+      !ConsumeScalar(&rest, &state.kg_version) ||
+      !ConsumeScalar(&rest, &num_sections)) {
+    return Status::Corruption("system checkpoint header truncated: " + path);
+  }
+
+  // Validate every section before mutating anything: load is all-or-nothing.
+  struct Section {
+    uint32_t kind;
+    std::string_view bytes;
+  };
+  std::vector<Section> sections;
+  for (uint32_t i = 0; i < num_sections; ++i) {
+    uint32_t kind = 0, size = 0, crc = 0;
+    if (!ConsumeScalar(&rest, &kind) || !ConsumeScalar(&rest, &size) ||
+        !ConsumeScalar(&rest, &crc) || size > kMaxSectionBytes ||
+        rest.size() < size) {
+      return Status::Corruption("system checkpoint section " +
+                                std::to_string(i) + " truncated: " + path);
+    }
+    const std::string_view bytes = rest.substr(0, size);
+    if (Crc32(bytes) != crc) {
+      return Status::Corruption("system checkpoint section " +
+                                std::to_string(i) + " CRC mismatch: " + path);
+    }
+    sections.push_back(Section{kind, bytes});
+    rest.remove_prefix(size);
+  }
+
+  for (const Section& section : sections) {
+    switch (section.kind) {
+      case kSectionWeights:
+        ONEEDIT_RETURN_IF_ERROR(
+            DeserializeWeights(section.bytes, &system->model()));
+        break;
+      case kSectionKg:
+        ONEEDIT_RETURN_IF_ERROR(RestoreKg(section.bytes, &system->kg()));
+        break;
+      case kSectionCache:
+        system->editor().cache().Clear();
+        ONEEDIT_RETURN_IF_ERROR(
+            DeserializeCache(section.bytes, &system->editor().cache()));
+        break;
+      default:
+        return Status::Corruption("unknown checkpoint section kind " +
+                                  std::to_string(section.kind));
+    }
+  }
+  ONEEDIT_RETURN_IF_ERROR(RearmAdaptors(system));
+  return state;
+}
+
+}  // namespace durability
+}  // namespace oneedit

@@ -1,0 +1,43 @@
+#ifndef ONEEDIT_DURABILITY_CHECKPOINT_H_
+#define ONEEDIT_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/oneedit.h"
+#include "durability/env.h"
+
+namespace oneedit {
+namespace durability {
+
+/// Durability metadata stored alongside the snapshot sections.
+struct CheckpointState {
+  /// Last edit sequence number whose effects the snapshot contains; WAL
+  /// records at or below it are redundant after the checkpoint publishes.
+  uint64_t last_sequence = 0;
+  /// KG mutation counter at snapshot time (diagnostic, reported on load).
+  uint64_t kg_version = 0;
+};
+
+/// Writes an atomic whole-system checkpoint: model weights + KG triples +
+/// edit cache, each section CRC32-framed, serialized to `path + ".tmp"` and
+/// atomically renamed onto `path`. A crash at any point leaves either the
+/// previous checkpoint or the new one — never a torn file under `path`.
+Status SaveSystemCheckpoint(const std::string& path, Env* env,
+                            OneEditSystem& system,
+                            const CheckpointState& state);
+
+/// Validates every section CRC, then restores `system` to the snapshot:
+/// weights are overwritten, the KG is diff-restored to the snapshot's
+/// triple set, the edit cache is replaced, and cached adaptor-only deltas
+/// (GRACE/SERAC codebooks, which live outside the weights) are re-armed for
+/// triples the restored KG still asserts. Fails with Corruption before
+/// touching `system` if any section is torn or corrupt.
+StatusOr<CheckpointState> LoadSystemCheckpoint(const std::string& path,
+                                               Env* env,
+                                               OneEditSystem* system);
+
+}  // namespace durability
+}  // namespace oneedit
+
+#endif  // ONEEDIT_DURABILITY_CHECKPOINT_H_

@@ -1,0 +1,174 @@
+#include "durability/edit_wal.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace oneedit {
+namespace durability {
+namespace {
+
+// Payload layout (little-endian):
+//   u64 sequence
+//   u8  flags (bit 0: first_in_batch)
+//   u8  op (EditRequest::Op)
+//   u8  method (EditingMethodKind)
+//   5 length-prefixed strings: subject, relation, object, utterance, user
+constexpr size_t kFrameHeaderBytes = 2 * sizeof(uint32_t);
+constexpr uint32_t kMaxPayloadBytes = 1u << 24;
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+template <typename T>
+bool ConsumeScalar(std::string_view* data, T* v) {
+  if (data->size() < sizeof(T)) return false;
+  std::memcpy(v, data->data(), sizeof(T));
+  data->remove_prefix(sizeof(T));
+  return true;
+}
+
+bool ConsumeString(std::string_view* data, std::string* s) {
+  uint32_t size = 0;
+  if (!ConsumeScalar(data, &size) || data->size() < size) return false;
+  s->assign(data->data(), size);
+  data->remove_prefix(size);
+  return true;
+}
+
+bool DecodePayload(std::string_view payload, EditWalRecord* record) {
+  uint8_t flags = 0, op = 0, method = 0;
+  if (!ConsumeScalar(&payload, &record->sequence) ||
+      !ConsumeScalar(&payload, &flags) || !ConsumeScalar(&payload, &op) ||
+      !ConsumeScalar(&payload, &method) || op > 2 || method > 5) {
+    return false;
+  }
+  record->first_in_batch = (flags & 1u) != 0;
+  record->request.op = static_cast<EditRequest::Op>(op);
+  record->method = static_cast<EditingMethodKind>(method);
+  return ConsumeString(&payload, &record->request.triple.subject) &&
+         ConsumeString(&payload, &record->request.triple.relation) &&
+         ConsumeString(&payload, &record->request.triple.object) &&
+         ConsumeString(&payload, &record->request.utterance) &&
+         ConsumeString(&payload, &record->request.user) && payload.empty();
+}
+
+}  // namespace
+
+std::string EditWal::Encode(const EditWalRecord& record) {
+  std::string payload;
+  AppendU64(&payload, record.sequence);
+  payload.push_back(record.first_in_batch ? '\x01' : '\x00');
+  payload.push_back(static_cast<char>(record.request.op));
+  payload.push_back(static_cast<char>(record.method));
+  AppendString(&payload, record.request.triple.subject);
+  AppendString(&payload, record.request.triple.relation);
+  AppendString(&payload, record.request.triple.object);
+  AppendString(&payload, record.request.utterance);
+  AppendString(&payload, record.request.user);
+
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  AppendU32(&frame, static_cast<uint32_t>(payload.size()));
+  AppendU32(&frame, Crc32(payload));
+  frame.append(payload);
+  return frame;
+}
+
+Status EditWal::Open(const std::string& path, Env* env) {
+  Close();
+  env_ = env != nullptr ? env : Env::Default();
+  ONEEDIT_ASSIGN_OR_RETURN(file_,
+                           env_->NewWritableFile(path, /*truncate=*/false));
+  path_ = path;
+  return Status::OK();
+}
+
+Status EditWal::Append(const EditWalRecord& record) {
+  if (file_ == nullptr) return Status::FailedPrecondition("edit WAL not open");
+  return file_->Append(Encode(record));
+}
+
+Status EditWal::Sync() {
+  if (file_ == nullptr) return Status::FailedPrecondition("edit WAL not open");
+  return file_->Sync();
+}
+
+Status EditWal::Reset() {
+  if (file_ == nullptr) return Status::FailedPrecondition("edit WAL not open");
+  (void)file_->Close();
+  file_.reset();
+  ONEEDIT_ASSIGN_OR_RETURN(file_,
+                           env_->NewWritableFile(path_, /*truncate=*/true));
+  return Status::OK();
+}
+
+void EditWal::Close() {
+  if (file_ != nullptr) {
+    (void)file_->Close();
+    file_.reset();
+  }
+}
+
+StatusOr<WalReplayStats> EditWal::Replay(
+    const std::string& path, Env* env,
+    const std::function<Status(const EditWalRecord&)>& apply) {
+  Env* e = env != nullptr ? env : Env::Default();
+  WalReplayStats stats;
+  if (!e->FileExists(path)) return stats;
+  std::string data;
+  ONEEDIT_RETURN_IF_ERROR(e->ReadFileToString(path, &data));
+
+  std::string_view rest(data);
+  while (!rest.empty()) {
+    uint32_t size = 0, crc = 0;
+    if (rest.size() < kFrameHeaderBytes) {
+      stats.torn_bytes_dropped = rest.size();
+      break;
+    }
+    std::string_view peek = rest;
+    (void)ConsumeScalar(&peek, &size);
+    (void)ConsumeScalar(&peek, &crc);
+    if (peek.size() < size) {
+      // The frame extends past end-of-file: a torn tail, clean end of log.
+      stats.torn_bytes_dropped = rest.size();
+      break;
+    }
+    const std::string_view payload = peek.substr(0, size);
+    const bool is_final_frame = peek.size() == size;
+    if (size > kMaxPayloadBytes || Crc32(payload) != crc) {
+      if (is_final_frame) {
+        // Fully-written length but torn/garbage payload at the very end.
+        stats.torn_bytes_dropped = rest.size();
+        break;
+      }
+      return Status::Corruption("edit WAL corrupt at byte offset " +
+                                std::to_string(data.size() - rest.size()) +
+                                " in " + path);
+    }
+    EditWalRecord record;
+    if (!DecodePayload(payload, &record)) {
+      return Status::Corruption("undecodable edit WAL record at sequence " +
+                                std::to_string(stats.last_sequence + 1) +
+                                " in " + path);
+    }
+    ONEEDIT_RETURN_IF_ERROR(apply(record));
+    ++stats.records;
+    stats.last_sequence = record.sequence;
+    rest = peek.substr(size);
+  }
+  return stats;
+}
+
+}  // namespace durability
+}  // namespace oneedit

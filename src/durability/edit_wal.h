@@ -1,0 +1,88 @@
+#ifndef ONEEDIT_DURABILITY_EDIT_WAL_H_
+#define ONEEDIT_DURABILITY_EDIT_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/oneedit.h"
+#include "durability/env.h"
+
+namespace oneedit {
+namespace durability {
+
+/// One journaled edit: the full typed EditRequest plus the sequence number
+/// the writer assigned, the editing method that will apply it, and whether
+/// it opened a coalesced writer batch (so replay regroups batches exactly).
+struct EditWalRecord {
+  uint64_t sequence = 0;
+  bool first_in_batch = true;
+  EditingMethodKind method = EditingMethodKind::kMemit;
+  EditRequest request;
+};
+
+/// What a replay saw: how many intact records, the highest sequence, and
+/// how many torn trailing bytes were discarded.
+struct WalReplayStats {
+  size_t records = 0;
+  uint64_t last_sequence = 0;
+  size_t torn_bytes_dropped = 0;
+};
+
+/// The unified edit write-ahead log: a binary, CRC32-framed, sequence-
+/// numbered journal of typed EditRequests (docs/durability.md has the byte
+/// layout). The serving writer appends a batch's records and group-commits
+/// them with one Sync *before* applying the batch, so an acknowledged edit
+/// is always recoverable. Subsumes the KG-only text WriteAheadLog, which
+/// stays as a compatibility reader for old logs.
+///
+/// Framing: [u32 payload_size][u32 crc32(payload)][payload]. Replay treats
+/// an incomplete or CRC-failing *final* frame as a torn tail (clean end of
+/// log) and anything malformed earlier as Corruption.
+class EditWal {
+ public:
+  EditWal() = default;
+  ~EditWal() { Close(); }
+
+  EditWal(const EditWal&) = delete;
+  EditWal& operator=(const EditWal&) = delete;
+
+  /// Opens (creating if needed) the log at `path` for appending through
+  /// `env` (Env::Default() when null).
+  Status Open(const std::string& path, Env* env = nullptr);
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Appends one framed record (write-through, not yet fsynced).
+  Status Append(const EditWalRecord& record);
+
+  /// Group commit: fsyncs everything appended so far.
+  Status Sync();
+
+  /// Drops every record (log rotation after a checkpoint made them
+  /// redundant). The log stays open and empty.
+  Status Reset();
+
+  void Close();
+
+  /// Streams every intact record in `path` through `apply`, stopping with
+  /// the first non-OK status `apply` returns. Missing file = empty log.
+  static StatusOr<WalReplayStats> Replay(
+      const std::string& path, Env* env,
+      const std::function<Status(const EditWalRecord&)>& apply);
+
+  /// Encodes `record` as one framed byte string (exposed for tests).
+  static std::string Encode(const EditWalRecord& record);
+
+ private:
+  Env* env_ = nullptr;
+  std::string path_;
+  std::unique_ptr<WritableFile> file_;
+};
+
+}  // namespace durability
+}  // namespace oneedit
+
+#endif  // ONEEDIT_DURABILITY_EDIT_WAL_H_

@@ -1,0 +1,118 @@
+#include "durability/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+namespace oneedit {
+namespace durability {
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Unbuffered POSIX file: every Append is one write(2), so partially
+/// written records — not partially flushed stdio buffers — are the only
+/// crash artifact.
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::FailedPrecondition("file closed: " + path_);
+    while (!data.empty()) {
+      const ssize_t n = ::write(fd_, data.data(), data.size());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write failed on", path_);
+      }
+      data.remove_prefix(static_cast<size_t>(n));
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::FailedPrecondition("file closed: " + path_);
+    if (::fsync(fd_) != 0) return Errno("fsync failed on", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return Errno("close failed on", path_);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    const int flags =
+        O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return Errno("cannot open", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Status ReadFileToString(const std::string& path, std::string* out) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IoError("cannot read " + path);
+    out->assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Errno("cannot rename " + from + " onto", to);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Errno("cannot remove", path);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("cannot create directory", path);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+}  // namespace durability
+}  // namespace oneedit

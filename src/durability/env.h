@@ -1,0 +1,61 @@
+#ifndef ONEEDIT_DURABILITY_ENV_H_
+#define ONEEDIT_DURABILITY_ENV_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+namespace durability {
+
+/// A sequential append-only file handle. Implementations write through to
+/// the kernel on every Append (no user-space buffering), so a process crash
+/// ("kill -9") loses at most the bytes of the append in flight — the torn
+/// tail the WAL replay path is built to tolerate. Sync additionally fsyncs
+/// so the data survives power loss.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// The file-ops seam under all durability code (WAL, checkpoints). The
+/// default implementation is thin POSIX; tests substitute FaultInjectingEnv
+/// to fail or "crash" at any sync point.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Process-wide POSIX environment (never null, never deleted).
+  static Env* Default();
+
+  /// Opens `path` for writing; truncates when `truncate`, else appends.
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// Replaces `*out` with the entire contents of `path`.
+  virtual Status ReadFileToString(const std::string& path,
+                                  std::string* out) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Atomically renames `from` onto `to` (the checkpoint publish step).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// Removes `path`; OK if it does not exist.
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Creates `path` (one level); OK if it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+};
+
+}  // namespace durability
+}  // namespace oneedit
+
+#endif  // ONEEDIT_DURABILITY_ENV_H_

@@ -1,0 +1,110 @@
+#include "durability/fault_env.h"
+
+#include <cstdlib>
+
+namespace oneedit {
+namespace durability {
+namespace {
+
+Status InjectedCrash() {
+  return Status::IoError("injected crash (FaultInjectingEnv)");
+}
+
+}  // namespace
+
+/// Pass-through file that consults the env's failpoint counter on every
+/// Append/Sync. Close after a crash silently succeeds without touching the
+/// base file: the bytes already written stay, nothing buffered is flushed —
+/// exactly the on-disk state a killed process leaves behind.
+class FaultInjectingFile : public WritableFile {
+ public:
+  FaultInjectingFile(FaultInjectingEnv* env,
+                     std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    if (env_->crashed()) return InjectedCrash();
+    if (env_->ShouldFail()) {
+      // Torn write: half the record reaches the kernel before the "crash".
+      (void)base_->Append(data.substr(0, data.size() / 2));
+      return InjectedCrash();
+    }
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    if (env_->crashed() || env_->ShouldFail()) return InjectedCrash();
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    if (env_->crashed()) return Status::OK();
+    return base_->Close();
+  }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultInjectingEnv::FaultInjectingEnv(Env* base)
+    : base_(base != nullptr ? base : Env::Default()) {}
+
+void FaultInjectingEnv::CrashAt(long op) {
+  ops_seen_.store(0);
+  crashed_.store(false);
+  crash_at_.store(op);
+}
+
+void FaultInjectingEnv::Clear() {
+  ops_seen_.store(0);
+  crashed_.store(false);
+  crash_at_.store(-1);
+}
+
+bool FaultInjectingEnv::ShouldFail() {
+  const long op = ops_seen_.fetch_add(1);
+  if (crash_at_.load() < 0 || op != crash_at_.load()) return false;
+  crashed_.store(true);
+  if (exit_on_crash_) std::_Exit(137);
+  return true;
+}
+
+StatusOr<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  if (crashed_.load()) return InjectedCrash();
+  // A truncating open destroys data (WAL rotation), so it is a failpoint;
+  // an appending open is passive and always passes through.
+  if (truncate && ShouldFail()) return InjectedCrash();
+  ONEEDIT_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                           base_->NewWritableFile(path, truncate));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectingFile>(this, std::move(file)));
+}
+
+Status FaultInjectingEnv::ReadFileToString(const std::string& path,
+                                           std::string* out) {
+  return base_->ReadFileToString(path, out);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  if (crashed_.load() || ShouldFail()) return InjectedCrash();
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  if (crashed_.load() || ShouldFail()) return InjectedCrash();
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectingEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+}  // namespace durability
+}  // namespace oneedit

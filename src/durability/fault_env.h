@@ -1,0 +1,71 @@
+#ifndef ONEEDIT_DURABILITY_FAULT_ENV_H_
+#define ONEEDIT_DURABILITY_FAULT_ENV_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "durability/env.h"
+
+namespace oneedit {
+namespace durability {
+
+/// An Env decorator that can fail — or "crash" — at any durability sync
+/// point. Every Append / Sync / rename / truncating open / remove is one
+/// numbered failpoint; arming `CrashAt(k)` makes the k-th such operation
+/// fail (an armed Append writes only a prefix of its bytes first, modelling
+/// a torn page), and every operation after it fails too, as if the process
+/// had died at that instant. The files written so far stay on disk exactly
+/// as they were — the recovery path's input.
+///
+/// The crash-safety property test iterates k over every failpoint of a
+/// scripted workload; the CI smoke (`examples/recovery_demo --hard-crash`)
+/// instead sets `exit_on_crash` so the armed failpoint genuinely
+/// `_Exit(137)`s the process mid-edit, like `kill -9`.
+class FaultInjectingEnv : public Env {
+ public:
+  /// Wraps `base` (Env::Default() when null). `base` must outlive this env.
+  explicit FaultInjectingEnv(Env* base = nullptr);
+
+  /// Arms a crash at the `op`-th (0-based) durability operation from now.
+  /// Resets the counter and any previous crash.
+  void CrashAt(long op);
+
+  /// Disarms and clears a triggered crash; subsequent ops pass through.
+  void Clear();
+
+  /// Number of durability operations observed since the last CrashAt/Clear.
+  long ops_seen() const { return ops_seen_.load(); }
+
+  bool crashed() const { return crashed_.load(); }
+
+  /// When set, a triggered crash calls std::_Exit(137) instead of returning
+  /// IoError — a real mid-edit process death for the recovery smoke test.
+  void set_exit_on_crash(bool value) { exit_on_crash_ = value; }
+
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Status ReadFileToString(const std::string& path, std::string* out) override;
+  bool FileExists(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+
+ private:
+  friend class FaultInjectingFile;
+
+  /// Counts one failpoint; returns true if this op must fail (and marks the
+  /// env crashed when it is the armed one).
+  bool ShouldFail();
+
+  Env* base_;
+  std::atomic<long> ops_seen_{0};
+  std::atomic<long> crash_at_{-1};
+  std::atomic<bool> crashed_{false};
+  bool exit_on_crash_ = false;
+};
+
+}  // namespace durability
+}  // namespace oneedit
+
+#endif  // ONEEDIT_DURABILITY_FAULT_ENV_H_

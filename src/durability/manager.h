@@ -1,0 +1,118 @@
+#ifndef ONEEDIT_DURABILITY_MANAGER_H_
+#define ONEEDIT_DURABILITY_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/oneedit.h"
+#include "durability/edit_wal.h"
+#include "durability/env.h"
+
+namespace oneedit {
+namespace durability {
+
+struct DurabilityOptions {
+  /// Directory holding `edits.wal` and `checkpoint.oedc`; created if absent.
+  std::string dir;
+  /// File-ops environment; Env::Default() when null. Tests substitute a
+  /// FaultInjectingEnv here.
+  Env* env = nullptr;
+  /// Publish a checkpoint (and rotate the WAL) every N committed edits;
+  /// 0 disables automatic checkpoints (manual Checkpoint() only).
+  uint64_t checkpoint_interval = 64;
+  /// fsync the WAL once per batch before the batch is applied (group
+  /// commit). Turning this off trades the durability guarantee for speed.
+  bool sync_on_commit = true;
+};
+
+/// What startup recovery found and did.
+struct RecoveryReport {
+  bool checkpoint_loaded = false;
+  /// Last sequence whose effects the loaded checkpoint already contained.
+  uint64_t checkpoint_sequence = 0;
+  /// WAL records replayed (sequence > checkpoint_sequence).
+  size_t replayed_records = 0;
+  /// WAL records skipped because the checkpoint already contained them.
+  size_t skipped_records = 0;
+  /// Torn trailing bytes discarded from an in-flight final record.
+  size_t torn_bytes_dropped = 0;
+  /// Highest committed sequence after recovery; new edits continue from it.
+  uint64_t last_sequence = 0;
+  /// KG mutation counter recorded in the checkpoint (diagnostic).
+  uint64_t checkpoint_kg_version = 0;
+};
+
+/// Owns the durability protocol the serving writer follows:
+///
+///   1. LogBatch: append every request of the coalesced batch to the edit
+///      WAL and group-commit with one fsync — BEFORE the batch is applied.
+///      Only after LogBatch returns OK may the writer apply and acknowledge.
+///   2. OnBatchApplied: count committed edits; every `checkpoint_interval`
+///      of them, publish an atomic checkpoint and rotate the WAL.
+///
+/// and the inverse at startup:
+///
+///   Recover: load the newest valid checkpoint (if any), replay the WAL
+///   tail on top — regrouping coalesced batches via first_in_batch so MEMIT
+///   batch semantics replay exactly — tolerate a torn final record, and
+///   verify the log's sequence numbers are contiguous and end at the
+///   recovered commit point.
+///
+/// Crash windows: a crash before the WAL fsync loses only unacknowledged
+/// edits; between fsync and apply, replay finishes the work; during a
+/// checkpoint, the `.tmp` + rename publish means the old checkpoint + full
+/// WAL still recover; between rename and WAL rotation, replay skips the
+/// records the checkpoint already contains.
+class DurabilityManager {
+ public:
+  /// Creates `options.dir` if needed and opens the edit WAL for appending.
+  static StatusOr<std::unique_ptr<DurabilityManager>> Open(
+      const DurabilityOptions& options);
+
+  ~DurabilityManager() { wal_.Close(); }
+
+  DurabilityManager(const DurabilityManager&) = delete;
+  DurabilityManager& operator=(const DurabilityManager&) = delete;
+
+  /// Restores `system` to the last durable state. Call once, on a freshly
+  /// built (pristine) system, before serving.
+  StatusOr<RecoveryReport> Recover(OneEditSystem* system);
+
+  /// Journals one coalesced batch and group-commits it. On failure the
+  /// batch MUST NOT be applied or acknowledged (the caller degrades).
+  Status LogBatch(const std::vector<EditRequest>& requests,
+                  EditingMethodKind method, Statistics* stats);
+
+  /// Tells the manager `applied` edits from the last logged batch were
+  /// applied; publishes a checkpoint when the cadence is due. A checkpoint
+  /// failure is returned but is not fatal — the WAL still covers the edits.
+  Status OnBatchApplied(OneEditSystem& system, size_t applied,
+                        Statistics* stats);
+
+  /// Publishes a checkpoint now and rotates the WAL on success.
+  Status Checkpoint(OneEditSystem& system, Statistics* stats);
+
+  const std::string& wal_path() const { return wal_path_; }
+  const std::string& checkpoint_path() const { return checkpoint_path_; }
+  /// Sequence number the next logged edit will receive.
+  uint64_t next_sequence() const { return next_sequence_; }
+  const DurabilityOptions& options() const { return options_; }
+
+ private:
+  explicit DurabilityManager(const DurabilityOptions& options);
+
+  DurabilityOptions options_;
+  Env* env_;
+  std::string wal_path_;
+  std::string checkpoint_path_;
+  EditWal wal_;
+  uint64_t next_sequence_ = 1;
+  uint64_t edits_since_checkpoint_ = 0;
+};
+
+}  // namespace durability
+}  // namespace oneedit
+
+#endif  // ONEEDIT_DURABILITY_MANAGER_H_

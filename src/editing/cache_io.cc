@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 namespace oneedit {
 namespace {
@@ -10,36 +11,36 @@ namespace {
 constexpr char kMagic[4] = {'O', 'E', 'C', 'B'};
 constexpr uint32_t kVersion = 1;
 
-void WriteU32(std::ofstream& out, uint32_t value) {
+void WriteU32(std::ostream& out, uint32_t value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
 }
 
-void WriteF64(std::ofstream& out, double value) {
+void WriteF64(std::ostream& out, double value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
 }
 
-void WriteString(std::ofstream& out, const std::string& s) {
+void WriteString(std::ostream& out, const std::string& s) {
   WriteU32(out, static_cast<uint32_t>(s.size()));
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-void WriteVec(std::ofstream& out, const Vec& v) {
+void WriteVec(std::ostream& out, const Vec& v) {
   WriteU32(out, static_cast<uint32_t>(v.size()));
   out.write(reinterpret_cast<const char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(double)));
 }
 
-bool ReadU32(std::ifstream& in, uint32_t* value) {
+bool ReadU32(std::istream& in, uint32_t* value) {
   in.read(reinterpret_cast<char*>(value), sizeof(*value));
   return in.good();
 }
 
-bool ReadF64(std::ifstream& in, double* value) {
+bool ReadF64(std::istream& in, double* value) {
   in.read(reinterpret_cast<char*>(value), sizeof(*value));
   return in.good();
 }
 
-bool ReadString(std::ifstream& in, std::string* s) {
+bool ReadString(std::istream& in, std::string* s) {
   uint32_t size = 0;
   if (!ReadU32(in, &size) || size > (1u << 20)) return false;
   s->resize(size);
@@ -47,7 +48,7 @@ bool ReadString(std::ifstream& in, std::string* s) {
   return in.good() || size == 0;
 }
 
-bool ReadVec(std::ifstream& in, Vec* v) {
+bool ReadVec(std::istream& in, Vec* v) {
   uint32_t size = 0;
   if (!ReadU32(in, &size) || size > (1u << 20)) return false;
   v->resize(size);
@@ -56,12 +57,7 @@ bool ReadVec(std::ifstream& in, Vec* v) {
   return in.good() || size == 0;
 }
 
-}  // namespace
-
-Status SaveCache(const EditCache& cache, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot write cache at " + path);
-
+void SerializeCacheTo(const EditCache& cache, std::ostream& out) {
   out.write(kMagic, sizeof(kMagic));
   WriteU32(out, kVersion);
   WriteU32(out, static_cast<uint32_t>(cache.size()));
@@ -95,23 +91,20 @@ Status SaveCache(const EditCache& cache, const std::string& path) {
       WriteString(out, entry.answer);
     }
   });
-  if (!out.good()) return Status::IoError("cache write failed: " + path);
-  return Status::OK();
 }
 
-Status LoadCache(const std::string& path, EditCache* cache) {
+Status DeserializeCacheFrom(std::istream& in, EditCache* cache,
+                            const std::string& origin) {
   if (cache == nullptr) return Status::InvalidArgument("null cache");
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot read cache at " + path);
 
   char magic[4];
   uint32_t version = 0, count = 0;
   in.read(magic, sizeof(magic));
   if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("not a OneEdit cache file: " + path);
+    return Status::Corruption("not a OneEdit cache image: " + origin);
   }
   if (!ReadU32(in, &version) || version != kVersion) {
-    return Status::Corruption("unsupported cache version in " + path);
+    return Status::Corruption("unsupported cache version in " + origin);
   }
   if (!ReadU32(in, &count)) return Status::Corruption("truncated cache header");
 
@@ -167,6 +160,34 @@ Status LoadCache(const std::string& path, EditCache* cache) {
     cache->Put(std::move(delta));
   }
   return Status::OK();
+}
+
+}  // namespace
+
+void SerializeCache(const EditCache& cache, std::string* out) {
+  std::ostringstream buffer(std::ios::binary);
+  SerializeCacheTo(cache, buffer);
+  out->append(buffer.str());
+}
+
+Status DeserializeCache(std::string_view data, EditCache* cache) {
+  std::istringstream in(std::string(data), std::ios::binary);
+  return DeserializeCacheFrom(in, cache, "<buffer>");
+}
+
+Status SaveCache(const EditCache& cache, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot write cache at " + path);
+  SerializeCacheTo(cache, out);
+  if (!out.good()) return Status::IoError("cache write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadCache(const std::string& path, EditCache* cache) {
+  if (cache == nullptr) return Status::InvalidArgument("null cache");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot read cache at " + path);
+  return DeserializeCacheFrom(in, cache, path);
 }
 
 }  // namespace oneedit

@@ -2,6 +2,7 @@
 #define ONEEDIT_EDITING_CACHE_IO_H_
 
 #include <string>
+#include <string_view>
 
 #include "editing/edit_cache.h"
 #include "util/status.h"
@@ -22,6 +23,13 @@ Status SaveCache(const EditCache& cache, const std::string& path);
 /// Loads entries saved by SaveCache into `cache` (replacing entries with
 /// the same triple; other existing entries are kept).
 Status LoadCache(const std::string& path, EditCache* cache);
+
+/// Appends the cache image (same bytes SaveCache writes) to `*out` — the
+/// unit the unified durability checkpoint embeds as its edit-cache section.
+void SerializeCache(const EditCache& cache, std::string* out);
+
+/// Inverse of SerializeCache; same merge semantics as LoadCache.
+Status DeserializeCache(std::string_view data, EditCache* cache);
 
 }  // namespace oneedit
 

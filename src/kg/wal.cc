@@ -35,20 +35,61 @@ Status WriteAheadLog::Open(const std::string& path) {
   return Status::OK();
 }
 
+std::string WriteAheadLog::EscapeField(const std::string& field) {
+  std::string out;
+  out.reserve(field.size());
+  for (const char c : field) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+bool WriteAheadLog::UnescapeField(const std::string& field, std::string* out) {
+  out->clear();
+  out->reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    if (field[i] != '\\') {
+      *out += field[i];
+      continue;
+    }
+    if (i + 1 == field.size()) return false;  // dangling escape
+    switch (field[++i]) {
+      case '\\':
+        *out += '\\';
+        break;
+      case 't':
+        *out += '\t';
+        break;
+      case 'n':
+        *out += '\n';
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
 Status WriteAheadLog::Append(WalOp op, const std::string& subject,
                              const std::string& relation,
                              const std::string& object) {
   if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
-  for (const std::string* name : {&subject, &relation, &object}) {
-    if (name->find('\t') != std::string::npos ||
-        name->find('\n') != std::string::npos) {
-      return Status::InvalidArgument("WAL record field contains tab/newline: " +
-                                     *name);
-    }
-  }
   const char tag = op == WalOp::kAdd ? 'A' : 'D';
-  if (std::fprintf(file_, "%c\t%s\t%s\t%s\n", tag, subject.c_str(),
-                   relation.c_str(), object.c_str()) < 0) {
+  if (std::fprintf(file_, "%c\t%s\t%s\t%s\n", tag,
+                   EscapeField(subject).c_str(), EscapeField(relation).c_str(),
+                   EscapeField(object).c_str()) < 0) {
     return Status::IoError("WAL append failed");
   }
   return Status::OK();
@@ -57,6 +98,17 @@ Status WriteAheadLog::Append(WalOp op, const std::string& subject,
 Status WriteAheadLog::Sync() {
   if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
   if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
+  return Status::OK();
+}
+
+Status WriteAheadLog::Truncate() {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot truncate WAL at " + path_ + ": " +
+                           std::strerror(errno));
+  }
   return Status::OK();
 }
 
@@ -77,15 +129,25 @@ Status WriteAheadLog::Replay(
   size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
+    // getline leaves eofbit set only when the line was not newline-
+    // terminated: the signature of a record torn by a crash mid-append.
+    const bool torn_tail_candidate = in.eof();
     if (line.empty()) continue;
     const std::vector<std::string> fields = StrSplit(line, '\t');
-    if (fields.size() != 4 || fields[0].size() != 1 ||
-        (fields[0][0] != 'A' && fields[0][0] != 'D')) {
+    std::string subject, relation, object;
+    const bool well_formed =
+        fields.size() == 4 && fields[0].size() == 1 &&
+        (fields[0][0] == 'A' || fields[0][0] == 'D') &&
+        UnescapeField(fields[1], &subject) &&
+        UnescapeField(fields[2], &relation) &&
+        UnescapeField(fields[3], &object);
+    if (!well_formed) {
+      if (torn_tail_candidate) return Status::OK();  // torn tail: clean EOF
       return Status::Corruption("malformed WAL record at " + path + ":" +
                                 std::to_string(lineno));
     }
     const WalOp op = fields[0][0] == 'A' ? WalOp::kAdd : WalOp::kRemove;
-    apply(op, fields[1], fields[2], fields[3]);
+    apply(op, subject, relation, object);
   }
   return Status::OK();
 }

@@ -18,7 +18,13 @@ enum class WalOp { kAdd, kRemove };
 ///   A\t<subject>\t<relation>\t<object>
 ///   D\t<subject>\t<relation>\t<object>
 /// Names are logged rather than ids so a log replays correctly into a fresh
-/// graph regardless of interning order.
+/// graph regardless of interning order. Tabs, newlines and backslashes
+/// inside names are backslash-escaped on write and unescaped on replay, so
+/// any entity name round-trips.
+///
+/// This text log remains as the KG-only compatibility format; the serving
+/// pipeline journals whole EditRequests through the binary, CRC-framed
+/// durability::EditWal instead (see docs/durability.md).
 class WriteAheadLog {
  public:
   WriteAheadLog() = default;
@@ -35,22 +41,36 @@ class WriteAheadLog {
   bool is_open() const { return file_ != nullptr; }
   const std::string& path() const { return path_; }
 
-  /// Appends one record. The names must not contain tabs or newlines.
+  /// Appends one record. Names may contain any characters; tabs, newlines
+  /// and backslashes are escaped so the record stays one well-formed line.
   Status Append(WalOp op, const std::string& subject,
                 const std::string& relation, const std::string& object);
 
   /// Flushes buffered records to the OS.
   Status Sync();
 
+  /// Discards every record, leaving an empty open log — used by
+  /// checkpointing to drop a segment whose effects are now persisted
+  /// elsewhere (log rotation). FailedPrecondition if the log is not open.
+  Status Truncate();
+
   /// Closes the log (idempotent).
   void Close();
 
-  /// Replays every record in `path` through `apply`. Stops at the first
-  /// malformed line with a Corruption status.
+  /// Replays every record in `path` through `apply`. A malformed *final*
+  /// line with no trailing newline is a torn tail from a crashed writer and
+  /// is treated as a clean end of log; a malformed line anywhere else stops
+  /// the replay with a Corruption status.
   static Status Replay(
       const std::string& path,
       const std::function<void(WalOp, const std::string&, const std::string&,
                                const std::string&)>& apply);
+
+  /// Escapes tabs, newlines and backslashes ("\t", "\n", "\\").
+  static std::string EscapeField(const std::string& field);
+
+  /// Inverse of EscapeField. Returns false on a dangling escape.
+  static bool UnescapeField(const std::string& field, std::string* out);
 
  private:
   std::FILE* file_ = nullptr;

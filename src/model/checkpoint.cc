@@ -1,54 +1,49 @@
 #include "model/checkpoint.h"
 
+#include <cerrno>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+
+#include "util/crc32.h"
 
 namespace oneedit {
 namespace {
 
 constexpr char kMagic[4] = {'O', 'E', 'W', 'T'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kLegacyVersion = 1;  // pre-CRC format, still readable
+
+void AppendU32(std::string* out, uint32_t value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+bool ConsumeU32(std::string_view* data, uint32_t* value) {
+  if (data->size() < sizeof(*value)) return false;
+  std::memcpy(value, data->data(), sizeof(*value));
+  data->remove_prefix(sizeof(*value));
+  return true;
+}
 
 }  // namespace
 
-Status SaveCheckpoint(const LanguageModel& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot write checkpoint at " + path);
-
+void SerializeWeights(const LanguageModel& model, std::string* out) {
   const AssocMemory& memory = model.memory();
-  const uint32_t num_layers = static_cast<uint32_t>(memory.num_layers());
-  const uint32_t dim = static_cast<uint32_t>(memory.dim());
-  out.write(kMagic, sizeof(kMagic));
-  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
-  out.write(reinterpret_cast<const char*>(&num_layers), sizeof(num_layers));
-  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
-  for (uint32_t l = 0; l < num_layers; ++l) {
+  AppendU32(out, static_cast<uint32_t>(memory.num_layers()));
+  AppendU32(out, static_cast<uint32_t>(memory.dim()));
+  for (size_t l = 0; l < memory.num_layers(); ++l) {
     const auto& data = memory.layer(l).data();
-    out.write(reinterpret_cast<const char*>(data.data()),
-              static_cast<std::streamsize>(data.size() * sizeof(double)));
+    out->append(reinterpret_cast<const char*>(data.data()),
+                data.size() * sizeof(double));
   }
-  if (!out.good()) return Status::IoError("checkpoint write failed: " + path);
-  return Status::OK();
 }
 
-Status LoadCheckpoint(const std::string& path, LanguageModel* model) {
+Status DeserializeWeights(std::string_view data, LanguageModel* model) {
   if (model == nullptr) return Status::InvalidArgument("null model");
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot read checkpoint at " + path);
-
-  char magic[4];
-  uint32_t version = 0, num_layers = 0, dim = 0;
-  in.read(magic, sizeof(magic));
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  in.read(reinterpret_cast<char*>(&num_layers), sizeof(num_layers));
-  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
-  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("not a OneEdit checkpoint: " + path);
-  }
-  if (version != kVersion) {
-    return Status::Corruption("unsupported checkpoint version " +
-                              std::to_string(version));
+  uint32_t num_layers = 0, dim = 0;
+  if (!ConsumeU32(&data, &num_layers) || !ConsumeU32(&data, &dim)) {
+    return Status::Corruption("weight payload truncated in header");
   }
   AssocMemory& memory = model->memory();
   if (num_layers != memory.num_layers() || dim != memory.dim()) {
@@ -58,16 +53,73 @@ Status LoadCheckpoint(const std::string& path, LanguageModel* model) {
         std::to_string(memory.num_layers()) + "x" +
         std::to_string(memory.dim()) + ")");
   }
+  const size_t layer_bytes = static_cast<size_t>(dim) * dim * sizeof(double);
+  if (data.size() < static_cast<size_t>(num_layers) * layer_bytes) {
+    return Status::Corruption("weight payload truncated at " +
+                              std::to_string(data.size()) + " bytes");
+  }
   for (uint32_t l = 0; l < num_layers; ++l) {
-    auto& data = memory.mutable_layer(l).mutable_data();
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(double)));
-    if (!in.good()) {
-      return Status::Corruption("checkpoint truncated at layer " +
-                                std::to_string(l));
-    }
+    auto& layer = memory.mutable_layer(l).mutable_data();
+    std::memcpy(layer.data(), data.data(), layer_bytes);
+    data.remove_prefix(layer_bytes);
   }
   return Status::OK();
+}
+
+Status SaveCheckpoint(const LanguageModel& model, const std::string& path) {
+  std::string payload;
+  SerializeWeights(model, &payload);
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot write checkpoint at " + tmp);
+    out.write(kMagic, sizeof(kMagic));
+    const uint32_t version = kVersion;
+    const uint32_t crc = Crc32(payload);
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!out.good()) {
+      return Status::IoError("checkpoint write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot publish checkpoint " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status LoadCheckpoint(const std::string& path, LanguageModel* model) {
+  if (model == nullptr) return Status::InvalidArgument("null model");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot read checkpoint at " + path);
+
+  char magic[4];
+  uint32_t version = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a OneEdit checkpoint: " + path);
+  }
+  if (version != kVersion && version != kLegacyVersion) {
+    return Status::Corruption("unsupported checkpoint version " +
+                              std::to_string(version));
+  }
+
+  uint32_t expected_crc = 0;
+  if (version == kVersion) {
+    in.read(reinterpret_cast<char*>(&expected_crc), sizeof(expected_crc));
+    if (!in.good()) return Status::Corruption("checkpoint header truncated");
+  }
+  std::string payload((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (version == kVersion && Crc32(payload) != expected_crc) {
+    return Status::Corruption("checkpoint CRC mismatch in " + path +
+                              " (torn or corrupt file)");
+  }
+  return DeserializeWeights(payload, model);
 }
 
 }  // namespace oneedit

@@ -2,6 +2,7 @@
 #define ONEEDIT_MODEL_CHECKPOINT_H_
 
 #include <string>
+#include <string_view>
 
 #include "model/language_model.h"
 #include "util/status.h"
@@ -10,17 +11,29 @@ namespace oneedit {
 
 /// Binary checkpointing for the simulated model's weights.
 ///
-/// Format: magic "OEWT", version, num_layers, dim, then layer matrices as
-/// little-endian doubles. Loading validates the shape against the target
-/// model and fails with Corruption/InvalidArgument rather than loading a
-/// mismatched file. Pretraining a large world takes ~100x longer than
-/// loading a checkpoint, so experiment drivers can persist the pristine
-/// weights once and reload across processes.
+/// File format (version 2): magic "OEWT", version, CRC32 of the payload,
+/// then the payload produced by SerializeWeights. The file is written to a
+/// temporary sibling and atomically renamed into place, so a crash mid-save
+/// never leaves a torn checkpoint under `path`; loading verifies the CRC
+/// and rejects torn/corrupt files with Corruption. Version-1 files (no CRC)
+/// from older builds still load. Pretraining a large world takes ~100x
+/// longer than loading a checkpoint, so experiment drivers can persist the
+/// pristine weights once and reload across processes.
 Status SaveCheckpoint(const LanguageModel& model, const std::string& path);
 
 /// Restores weights saved by SaveCheckpoint into `model` (which must have
 /// been built with the same dim / num_layers).
 Status LoadCheckpoint(const std::string& path, LanguageModel* model);
+
+/// Appends the raw weight payload (num_layers, dim, layer matrices as
+/// little-endian doubles) to `*out` — the unit the unified durability
+/// checkpoint embeds as its model section.
+void SerializeWeights(const LanguageModel& model, std::string* out);
+
+/// Inverse of SerializeWeights. Fails with InvalidArgument on a shape
+/// mismatch and Corruption on truncation, leaving `model` untouched in both
+/// cases.
+Status DeserializeWeights(std::string_view data, LanguageModel* model);
 
 }  // namespace oneedit
 

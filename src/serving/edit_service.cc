@@ -3,6 +3,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "util/logging.h"
+
 namespace oneedit {
 namespace serving {
 namespace {
@@ -21,13 +23,47 @@ bool Overlaps(const EditRequest& request,
          entities.count(request.triple.object) > 0;
 }
 
+EditResult DegradedRejection(const std::string& why) {
+  EditResult result;
+  result.kind = EditResult::Kind::kRejected;
+  result.message = "service is read-only degraded: " + why;
+  return result;
+}
+
 }  // namespace
+
+std::string ServiceHealthName(ServiceHealth health) {
+  switch (health) {
+    case ServiceHealth::kHealthy:
+      return "healthy";
+    case ServiceHealth::kReadOnlyDegraded:
+      return "read_only_degraded";
+  }
+  return "unknown";
+}
 
 EditService::EditService(std::unique_ptr<OneEditSystem> system,
                          const EditServiceOptions& options)
-    : system_(std::move(system)), options_(options) {
+    : system_(std::move(system)),
+      options_(options),
+      durability_(options.durability) {
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   if (options_.max_batch_size == 0) options_.max_batch_size = 1;
+  if (durability_ != nullptr && options_.recover_on_start) {
+    // Recover before the writer exists: the system is still single-threaded
+    // here, so replay needs no locks.
+    StatusOr<durability::RecoveryReport> recovered =
+        durability_->Recover(system_.get());
+    if (recovered.ok()) {
+      recovery_report_ = *recovered;
+    } else {
+      // Serving an unrecovered state could silently drop acknowledged
+      // edits; refuse writes instead and let reads answer what we have.
+      recovery_status_ = recovered.status();
+      health_.store(ServiceHealth::kReadOnlyDegraded,
+                    std::memory_order_release);
+    }
+  }
   writer_ = std::thread(&EditService::WriterLoop, this);
 }
 
@@ -48,6 +84,12 @@ std::future<StatusOr<EditResult>> EditService::Submit(EditRequest request) {
   std::future<StatusOr<EditResult>> future = pending.promise.get_future();
 
   Statistics& stats = system_->statistics();
+  if (read_only()) {
+    stats.Add(Ticker::kDegradedRejects);
+    pending.promise.set_value(
+        DegradedRejection("write-ahead logging is unavailable"));
+    return future;
+  }
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
     if (!stopping_ && queue_.size() >= options_.queue_capacity) {
@@ -120,6 +162,26 @@ void EditService::Stop() {
   idle_.notify_all();
 }
 
+Status EditService::CheckpointNow() {
+  if (durability_ == nullptr) {
+    return Status::FailedPrecondition(
+        "EditService has no durability manager attached");
+  }
+  return WithExclusive([this](OneEditSystem& system) {
+    return durability_->Checkpoint(system, &system.statistics());
+  });
+}
+
+void EditService::RejectDegraded(std::vector<Pending>* batch) {
+  const std::string why = recovery_status_.ok()
+                              ? std::string("write-ahead logging is unavailable")
+                              : "startup recovery failed: " +
+                                    recovery_status_.ToString();
+  for (Pending& pending : *batch) {
+    pending.promise.set_value(DegradedRejection(why));
+  }
+}
+
 size_t EditService::queue_depth() const {
   std::lock_guard<std::mutex> lock(queue_mutex_);
   return queue_.size();
@@ -184,15 +246,52 @@ void EditService::WriterLoop() {
     requests.reserve(batch.size());
     for (const Pending& pending : batch) requests.push_back(pending.request);
 
+    Statistics& stats = system_->statistics();
+    bool degraded = read_only();
     std::vector<StatusOr<EditResult>> results;
-    {
+    if (!degraded) {
       std::unique_lock<std::mutex> gate(writer_gate_);
       std::unique_lock<std::shared_mutex> write_lock(rw_mutex_);
       gate.unlock();
-      results = system_->EditBatch(requests);
+      if (durability_ != nullptr) {
+        // Durability protocol: the batch must be journaled and fsynced
+        // BEFORE it is applied — an acknowledged edit is always on disk.
+        const Status logged =
+            durability_->LogBatch(requests, system_->config().method, &stats);
+        if (!logged.ok()) {
+          ONEEDIT_LOG(Error) << "edit WAL commit failed, degrading to "
+                                "read-only: "
+                             << logged.ToString();
+          degraded = true;
+        }
+      }
+      if (!degraded) {
+        results = system_->EditBatch(requests);
+        if (durability_ != nullptr) {
+          // A checkpoint failure is survivable — the WAL still covers
+          // every committed edit — so it does not degrade the service.
+          const Status cadence =
+              durability_->OnBatchApplied(*system_, requests.size(), &stats);
+          if (!cadence.ok()) {
+            ONEEDIT_LOG(Warning)
+                << "checkpoint failed (WAL still intact): "
+                << cadence.ToString();
+          }
+        }
+      }
     }
-
-    Statistics& stats = system_->statistics();
+    if (degraded) {
+      health_.store(ServiceHealth::kReadOnlyDegraded,
+                    std::memory_order_release);
+      stats.Add(Ticker::kDegradedRejects, batch.size());
+      RejectDegraded(&batch);
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        writer_busy_ = false;
+      }
+      idle_.notify_all();
+      continue;
+    }
     stats.Add(Ticker::kServingBatches);
     stats.Record(Histogram::kServingBatchSize, batch.size());
     const auto now = std::chrono::steady_clock::now();

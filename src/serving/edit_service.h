@@ -1,6 +1,7 @@
 #ifndef ONEEDIT_SERVING_EDIT_SERVICE_H_
 #define ONEEDIT_SERVING_EDIT_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -13,9 +14,22 @@
 #include <vector>
 
 #include "core/oneedit.h"
+#include "durability/manager.h"
 
 namespace oneedit {
 namespace serving {
+
+/// Liveness of the write path. Reads always work; writes stop being
+/// accepted once the service degrades.
+enum class ServiceHealth {
+  kHealthy,
+  /// The edit WAL failed an append or group commit: durability can no
+  /// longer be promised, so the service stops acknowledging writes (they
+  /// resolve as kRejected) while the read path stays up.
+  kReadOnlyDegraded,
+};
+
+std::string ServiceHealthName(ServiceHealth health);
 
 /// Knobs for EditService. Defaults suit an interactive deployment: a small
 /// bounded queue that blocks producers rather than dropping edits.
@@ -31,6 +45,15 @@ struct EditServiceOptions {
   /// false disables coalescing: the writer applies one request at a time
   /// (the ablation arm in bench/serving_bench).
   bool coalesce = true;
+  /// Optional crash-safety: when set (non-owning, must outlive the
+  /// service), every batch is journaled to the edit WAL and group-committed
+  /// before it is applied, and checkpoints publish on the manager's
+  /// cadence. When null the service runs in-memory only, as before.
+  durability::DurabilityManager* durability = nullptr;
+  /// With a durability manager attached, replay the last durable state into
+  /// the system before the writer starts (set false when the caller already
+  /// ran recovery itself).
+  bool recover_on_start = true;
 };
 
 /// EditService: the concurrent serving layer over OneEditSystem.
@@ -113,6 +136,26 @@ class EditService {
   size_t queue_depth() const;
   const EditServiceOptions& options() const { return options_; }
 
+  // --- Durability surface ----------------------------------------------------
+
+  ServiceHealth health() const {
+    return health_.load(std::memory_order_acquire);
+  }
+  bool read_only() const { return health() != ServiceHealth::kHealthy; }
+
+  /// What startup recovery did (all zeros without a durability manager or
+  /// with recover_on_start = false).
+  const durability::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
+  /// Non-OK when startup recovery failed — the service then starts
+  /// read-only degraded instead of serving an unrecovered state.
+  const Status& recovery_status() const { return recovery_status_; }
+
+  /// Publishes a checkpoint immediately (under the exclusive lock, so no
+  /// batch is mid-application). FailedPrecondition without a manager.
+  Status CheckpointNow();
+
  private:
   struct Pending {
     EditRequest request;
@@ -129,8 +172,16 @@ class EditService {
   /// they run alone and bar everything behind them.
   std::vector<Pending> NextBatch();
 
+  /// Fails `batch` with degraded-mode kRejected results (EditResult values,
+  /// not error statuses: the service made a policy decision, not an error).
+  void RejectDegraded(std::vector<Pending>* batch);
+
   std::unique_ptr<OneEditSystem> system_;
   EditServiceOptions options_;
+  durability::DurabilityManager* durability_ = nullptr;
+  std::atomic<ServiceHealth> health_{ServiceHealth::kHealthy};
+  durability::RecoveryReport recovery_report_;
+  Status recovery_status_ = Status::OK();
 
   /// Readers share; the writer takes it exclusively only while applying a
   /// batch (not while waiting for work).

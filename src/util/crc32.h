@@ -1,0 +1,21 @@
+#ifndef ONEEDIT_UTIL_CRC32_H_
+#define ONEEDIT_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace oneedit {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`.
+/// `seed` lets callers chain partial computations:
+///   Crc32(b, Crc32(a)) == Crc32(a + b).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_UTIL_CRC32_H_

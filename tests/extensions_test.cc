@@ -3,6 +3,8 @@
 // checkpointing.
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 
 #include <gtest/gtest.h>
 
@@ -293,6 +295,42 @@ TEST(CheckpointTest, RejectsShapeMismatch) {
   other.dim = 32;
   LanguageModel mismatched(other, SmallVocab());
   EXPECT_FALSE(LoadCheckpoint(path, &mismatched).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsByteFlippedFile) {
+  const std::string path = testing::TempDir() + "/oneedit_ckpt_flip.bin";
+  LanguageModel model(SmallConfig(), SmallVocab());
+  model.Pretrain(SmallFacts());
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+
+  // Flip one payload byte: the CRC must catch it and Load must refuse with
+  // Corruption instead of silently restoring garbage weights.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 32u);
+  bytes[bytes.size() / 2] ^= 0x40;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  LanguageModel restored(SmallConfig(), SmallVocab());
+  const Status status = LoadCheckpoint(path, &restored);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption) << status.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, SaveLeavesNoTempFileBehind) {
+  const std::string path = testing::TempDir() + "/oneedit_ckpt_tmp.bin";
+  LanguageModel model(SmallConfig(), SmallVocab());
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+  // The atomic temp+rename publish must not leave the staging file around.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
   std::remove(path.c_str());
 }
 

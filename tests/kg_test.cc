@@ -152,12 +152,69 @@ TEST(WalTest, AppendAndReplayRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST(WalTest, RejectsFieldsWithTabs) {
+TEST(WalTest, EscapesFieldsWithTabsAndNewlines) {
   const std::string path = TempPath("oneedit_wal_tab.log");
+  std::remove(path.c_str());
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    // Tabs and newlines are the format's delimiters; Append escapes them so
+    // any entity name round-trips instead of corrupting the line framing.
+    ASSERT_TRUE(wal.Append(WalOp::kAdd, "bad\tname", "r\nmulti", "o\\x").ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  std::vector<std::string> seen;
+  ASSERT_TRUE(WriteAheadLog::Replay(path, [&](WalOp, const std::string& s,
+                                              const std::string& r,
+                                              const std::string& o) {
+                seen.push_back(s);
+                seen.push_back(r);
+                seen.push_back(o);
+              }).ok());
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "bad\tname");
+  EXPECT_EQ(seen[1], "r\nmulti");
+  EXPECT_EQ(seen[2], "o\\x");
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, ReplayToleratesTornFinalLine) {
+  const std::string path = TempPath("oneedit_wal_torn.log");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("A\tUSA\tpresident\tTrump\n", f);
+    // The process died mid-append: no trailing newline, fields missing.
+    std::fputs("A\tUSA\tpres", f);
+    std::fclose(f);
+  }
+  std::vector<std::string> seen;
+  const Status s = WriteAheadLog::Replay(
+      path, [&](WalOp, const std::string& subject, const std::string&,
+                const std::string&) { seen.push_back(subject); });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "USA");
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TruncateDropsAllRecords) {
+  const std::string path = TempPath("oneedit_wal_truncate.log");
   std::remove(path.c_str());
   WriteAheadLog wal;
   ASSERT_TRUE(wal.Open(path).ok());
-  EXPECT_FALSE(wal.Append(WalOp::kAdd, "bad\tname", "r", "o").ok());
+  ASSERT_TRUE(wal.Append(WalOp::kAdd, "USA", "president", "Trump").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  ASSERT_TRUE(wal.Truncate().ok());
+  size_t count = 0;
+  ASSERT_TRUE(WriteAheadLog::Replay(path, [&](WalOp, const std::string&,
+                                              const std::string&,
+                                              const std::string&) {
+                ++count;
+              }).ok());
+  EXPECT_EQ(count, 0u);
+  // The log stays usable after rotation.
+  ASSERT_TRUE(wal.Append(WalOp::kAdd, "USA", "president", "Biden").ok());
+  ASSERT_TRUE(wal.Sync().ok());
   std::remove(path.c_str());
 }
 
