@@ -19,8 +19,11 @@
 #include "core/cost_model.h"
 #include "core/oneedit.h"
 #include "data/dataset.h"
+#include "data/name_pool.h"
 #include "durability/manager.h"
+#include "editing/editor.h"
 #include "eval/harness.h"
+#include "serving/self_healing.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
@@ -120,6 +123,96 @@ StatusOr<double> MeasureWalOverhead(WalMode mode) {
   return timer.ElapsedMillis() / static_cast<double>(edits);
 }
 
+// --------------------------------------------------- self-healing overhead ----
+
+struct SelfHealWorld {
+  SelfHealWorld() {
+    DatasetOptions options;
+    options.num_cases = 16;  // first 8 cases have disjoint footprints
+    dataset = BuildAmericanPoliticians(options);
+    model = std::make_unique<LanguageModel>(Gpt2XlSimConfig(), dataset.vocab);
+    model->Pretrain(dataset.pretrain_facts);
+    OneEditConfig config;
+    config.method = EditingMethodKind::kMemit;
+    auto created = OneEditSystem::Create(&dataset.kg, model.get(), config);
+    system = created.ok() ? std::move(created).value() : nullptr;
+  }
+
+  std::vector<EditRequest> Innocents(size_t count) const {
+    std::vector<EditRequest> requests;
+    for (size_t i = 0; i < count; ++i) {
+      requests.push_back(EditRequest::Edit(dataset.cases[i].edit, "bench"));
+    }
+    return requests;
+  }
+
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+  std::unique_ptr<OneEditSystem> system;
+};
+
+struct SelfHealTiming {
+  double clean_plain_ms = 0.0;      ///< 8-edit batch, validation off
+  double clean_validated_ms = 0.0;  ///< 8-edit batch, canary + reliability on
+  double poisoned_heal_ms = 0.0;    ///< rollback + bisection + quarantine
+  double rollback_mean_us = 0.0;    ///< mean per-rollback undo time
+  size_t rollbacks = 0;
+};
+
+/// Wall-clock of the write-path validation (docs/self_healing.md): the tax a
+/// clean batch pays for canary probes, and the cost of healing a poisoned
+/// batch (transactional rollback, bisection probes, quarantine, re-apply).
+StatusOr<SelfHealTiming> MeasureSelfHealing() {
+  SelfHealTiming timing;
+  {
+    SelfHealWorld world;
+    if (world.system == nullptr) return Status::Internal("world build failed");
+    serving::SelfHealOptions options;
+    options.validate_after_apply = false;
+    serving::SelfHealer healer(world.system.get(), options);
+    WallTimer timer;
+    healer.ApplyValidated(world.Innocents(8), /*validation_seed=*/1);
+    timing.clean_plain_ms = timer.ElapsedMillis();
+  }
+  {
+    SelfHealWorld world;
+    serving::SelfHealer healer(world.system.get(), serving::SelfHealOptions{});
+    WallTimer timer;
+    healer.ApplyValidated(world.Innocents(8), /*validation_seed=*/1);
+    timing.clean_validated_ms = timer.ElapsedMillis();
+  }
+  {
+    SelfHealWorld world;
+    // Poison: hand-inflate a slot's live-edit ledger (see
+    // tests/self_healing_test.cc); the next edit on it sprays ledger-scaled
+    // collateral and fails validation.
+    EditingMethod& method = world.system->editor().method();
+    const NamedTriple poison{names::State(20), "governor",
+                             names::Person(42)};
+    for (int i = 0; i < 3; ++i) {
+      ONEEDIT_ASSIGN_OR_RETURN(const EditDelta delta,
+                               method.ApplyEdit(world.model.get(), poison));
+      ApplyWeightDelta(world.model.get(), delta, -1.0);
+    }
+    std::vector<EditRequest> requests = world.Innocents(7);
+    requests.insert(requests.begin() + 3,
+                    EditRequest::Edit(poison, "mallory"));
+    serving::SelfHealer healer(world.system.get(), serving::SelfHealOptions{});
+    WallTimer timer;
+    const serving::HealedBatch healed =
+        healer.ApplyValidated(requests, /*validation_seed=*/1);
+    timing.poisoned_heal_ms = timer.ElapsedMillis();
+    timing.rollbacks = healed.rollbacks;
+    const HistogramSnapshot rollback =
+        world.system->statistics().GetHistogram(Histogram::kRollbackMicros);
+    timing.rollback_mean_us = rollback.Average();
+    if (healed.quarantined.size() != 1) {
+      return Status::Internal("bench poison was not quarantined");
+    }
+  }
+  return timing;
+}
+
 int RunTable3() {
   const std::vector<ModelConfig> models = {
       Gpt2XlSimConfig(), GptJSimConfig(), Qwen2SimConfig()};
@@ -211,6 +304,28 @@ int RunTable3() {
     durability_table.AddRow({m.label, FormatDouble(*mean_ms, 3)});
   }
   durability_table.Print(std::cout);
+
+  // Self-healing tax: what post-apply validation costs a clean batch, and
+  // what a poisoned batch costs to roll back, bisect and quarantine.
+  std::cout << "\nMeasured self-healing overhead "
+               "(GPT-2-XL(sim), MEMIT, 8-edit batch):\n";
+  const auto heal = MeasureSelfHealing();
+  if (!heal.ok()) {
+    std::cerr << "self-healing bench failed: " << heal.status().ToString()
+              << "\n";
+    return 1;
+  }
+  TablePrinter heal_table({"Scenario", "ms / batch"});
+  heal_table.AddRow({"clean batch, validation off",
+                     FormatDouble(heal->clean_plain_ms, 3)});
+  heal_table.AddRow({"clean batch, canary + reliability validation",
+                     FormatDouble(heal->clean_validated_ms, 3)});
+  heal_table.AddRow({"poisoned batch: rollback + bisect + quarantine",
+                     FormatDouble(heal->poisoned_heal_ms, 3)});
+  heal_table.Print(std::cout);
+  std::cout << "  rollbacks per healed batch: " << heal->rollbacks
+            << ", mean rollback " << FormatDouble(heal->rollback_mean_us, 1)
+            << " us\n";
   return 0;
 }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI driver: configure, build, and test one sanitizer matrix entry.
 #
-# Usage: scripts/ci.sh [default|tsan|asan|recovery]
+# Usage: scripts/ci.sh [default|tsan|asan|recovery|chaos]
 #
 #   default   Release-ish build, full ctest suite.
 #   tsan      ThreadSanitizer build; runs the concurrency-sensitive tests
@@ -11,6 +11,12 @@
 #             process (via the fault-injecting Env's _Exit(137)) at every
 #             file operation in turn, restart, and verify no acknowledged
 #             edit was lost.
+#   chaos     Serving stress under random intermittent WAL faults: each
+#             durability op independently fails with probability p while
+#             client threads submit edits; the service must flap through
+#             degraded mode, auto-heal back to healthy once the faults
+#             stop, and a fresh process must recover every acknowledged
+#             edit. Runs over several seeds.
 #
 # Each matrix entry gets its own build directory (build-ci-<name>) so local
 # `build/` trees are never clobbered.
@@ -38,8 +44,12 @@ case "${matrix}" in
     flags=""
     build_type=Release
     ;;
+  chaos)
+    flags=""
+    build_type=Release
+    ;;
   *)
-    echo "unknown matrix entry: ${matrix} (want default|tsan|asan|recovery)" >&2
+    echo "unknown matrix entry: ${matrix} (want default|tsan|asan|recovery|chaos)" >&2
     exit 2
     ;;
 esac
@@ -55,7 +65,7 @@ if [[ "${matrix}" == "tsan" ]]; then
   # TSan slows everything ~10x; run the concurrency tests (the reason this
   # entry exists) plus a smoke slice of the core suite.
   ctest -j "${jobs}" --output-on-failure \
-    -R 'EditServiceTest|ConcurrentOneEditTest|OneEditTest|EditServiceDurabilityTest'
+    -R 'EditServiceTest|EditServiceShutdownTest|ServiceSelfHealTest|ConcurrentOneEditTest|OneEditTest|EditServiceDurabilityTest'
 elif [[ "${matrix}" == "recovery" ]]; then
   # Crash-recovery smoke. A clean run of the workload performs ~20 file ops
   # (WAL appends, fsyncs, checkpoint writes, renames, rotations); kill the
@@ -90,6 +100,34 @@ elif [[ "${matrix}" == "recovery" ]]; then
     fi
   done
   echo "recovery smoke passed: ${crash_points} kill points, no acknowledged edit lost"
+elif [[ "${matrix}" == "chaos" ]]; then
+  # Fault-injection stress: intermittent WAL failures while concurrent
+  # clients write. Two properties, per seed: (1) the service auto-heals —
+  # the run exits nonzero if it is not healthy (and writable) once the
+  # faults clear; (2) zero acknowledged-edit loss — a pristine process
+  # recovers the directory and demands every acked edit back.
+  demo="${build_dir}/examples/chaos_demo"
+  workdir="$(mktemp -d)"
+  trap 'rm -rf "${workdir}"' EXIT
+
+  for seed in 1 2 3; do
+    dir="${workdir}/seed-${seed}"
+    echo "--- chaos stress: seed ${seed}, fault p=0.25"
+    if ! "${demo}" --dir="${dir}" --fault-p=0.25 --seed="${seed}" \
+        --clients=4 --edits-per-client=6 > "${workdir}/run-${seed}.log" 2>&1; then
+      echo "CHAOS RUN FAILED (seed ${seed})" >&2
+      cat "${workdir}/run-${seed}.log" >&2
+      exit 1
+    fi
+    cat "${workdir}/run-${seed}.log"
+    if ! "${demo}" --dir="${dir}" --verify > "${workdir}/verify-${seed}.log" 2>&1; then
+      echo "CHAOS VERIFY FAILED (seed ${seed})" >&2
+      cat "${workdir}/verify-${seed}.log" >&2
+      exit 1
+    fi
+    cat "${workdir}/verify-${seed}.log"
+  done
+  echo "chaos stress passed: 3 seeds, auto-heal + zero acknowledged-edit loss"
 else
   ctest -j "${jobs}" --output-on-failure
 fi

@@ -90,6 +90,8 @@ std::string EditResultKindName(EditResult::Kind kind) {
       return "generated";
     case EditResult::Kind::kErased:
       return "erased";
+    case EditResult::Kind::kQuarantined:
+      return "quarantined";
   }
   return "unknown";
 }
@@ -367,6 +369,34 @@ Decode OneEditSystem::Ask(const std::string& subject,
   options.key_noise = model_->config().reliability_noise;
   options.probe_seed = Rng::HashString("ask:" + subject + "|" + relation);
   return model_->Query(subject, relation, options);
+}
+
+OneEditSystem::BatchTxn OneEditSystem::BeginBatchTxn() {
+  BatchTxn txn;
+  txn.weights = model_->SnapshotWeights();
+  txn.kg_version = kg_->version();
+  txn.audit_log_size = audit_log_.size();
+  txn.active = true;
+  editor_->BeginTxn();
+  return txn;
+}
+
+void OneEditSystem::CommitBatchTxn(BatchTxn* txn) {
+  if (txn == nullptr || !txn->active) return;
+  editor_->CommitTxn();
+  txn->active = false;
+}
+
+Status OneEditSystem::AbortBatchTxn(BatchTxn* txn) {
+  if (txn == nullptr || !txn->active) {
+    return Status::FailedPrecondition("no active batch transaction");
+  }
+  editor_->AbortTxn();
+  model_->RestoreWeights(txn->weights);
+  ONEEDIT_RETURN_IF_ERROR(kg_->RollbackTo(txn->kg_version));
+  audit_log_.resize(txn->audit_log_size);
+  txn->active = false;
+  return Status::OK();
 }
 
 Status OneEditSystem::RollbackUserEdits(const std::string& user) {

@@ -1,6 +1,7 @@
 #ifndef ONEEDIT_CORE_ONEEDIT_H_
 #define ONEEDIT_CORE_ONEEDIT_H_
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <string>
@@ -78,6 +79,15 @@ struct EditRequest {
   NamedTriple triple;     ///< kEdit / kErase payload
   std::string utterance;  ///< kUtterance payload
   std::string user = "anonymous";
+  /// Optional deadline: a request still waiting (queued, or blocked at
+  /// admission) past this instant resolves DeadlineExceeded without ever
+  /// occupying the writer. Not persisted to the WAL — a request is only
+  /// journaled once it has been admitted, at which point it runs.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  bool expired(std::chrono::steady_clock::time_point now) const {
+    return deadline.has_value() && now >= *deadline;
+  }
 
   static EditRequest Edit(NamedTriple triple, std::string user = "anonymous");
   static EditRequest Erase(NamedTriple triple, std::string user = "anonymous");
@@ -97,6 +107,7 @@ struct EditResult {
     kExtractionFailed,  ///< edit/erase intent, triple extraction failed
     kGenerated,         ///< generate intent, answered by the LLM
     kErased,            ///< knowledge retracted
+    kQuarantined,       ///< applied, failed post-apply validation, undone
   };
   Kind kind = Kind::kGenerated;
   std::string message;
@@ -105,6 +116,7 @@ struct EditResult {
   bool applied() const { return kind == Kind::kEdited || kind == Kind::kErased; }
   bool no_op() const { return kind == Kind::kNoOp; }
   bool rejected() const { return kind == Kind::kRejected; }
+  bool quarantined() const { return kind == Kind::kQuarantined; }
   /// Unchecked conveniences — only valid when `report` is set.
   const EditPlan& plan() const { return report->plan; }
   const EditOutcome& outcome() const { return report->outcome; }
@@ -187,6 +199,37 @@ class OneEditSystem {
   Status RollbackUserEdits(const std::string& user);
 
   const std::vector<AuditRecord>& audit_log() const { return audit_log_; }
+
+  // --- Transactional batches (self-healing rollback) -------------------------
+
+  /// Everything EditBatch can mutate, captured before the batch so a failed
+  /// post-apply validation can undo it byte-exactly:
+  ///
+  ///  - model weights: a full WeightSnapshot, because floating-point delta
+  ///    subtraction ((x + d) - d) is not bit-exact;
+  ///  - symbolic store: the KG version (KnowledgeGraph::RollbackTo);
+  ///  - editor state: ledger / adaptor / live-set snapshot + cache journal
+  ///    (OneEditEditor::BeginTxn);
+  ///  - the audit log length.
+  ///
+  /// Statistics tickers are intentionally NOT rolled back — they count
+  /// attempted work, and quarantine keeps its own counters.
+  struct BatchTxn {
+    WeightSnapshot weights;
+    uint64_t kg_version = 0;
+    size_t audit_log_size = 0;
+    bool active = false;
+  };
+
+  /// Opens a transaction. Transactions do not nest; the serving writer holds
+  /// the exclusive lock for the whole apply-validate-commit window.
+  BatchTxn BeginBatchTxn();
+
+  /// Keeps everything applied since BeginBatchTxn.
+  void CommitBatchTxn(BatchTxn* txn);
+
+  /// Restores the system to the exact state captured by BeginBatchTxn.
+  Status AbortBatchTxn(BatchTxn* txn);
 
   // --- Components -------------------------------------------------------------
 

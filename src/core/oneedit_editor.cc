@@ -123,4 +123,27 @@ void OneEditEditor::ResetState() {
   live_.clear();
 }
 
+void OneEditEditor::BeginTxn() {
+  txn_ = std::make_unique<Txn>();
+  txn_->method_state = method_->SnapshotMethodState();
+  txn_->live = live_;
+  cache_.AttachJournal(&txn_->cache_journal);
+}
+
+void OneEditEditor::CommitTxn() {
+  if (txn_ == nullptr) return;
+  cache_.AttachJournal(nullptr);
+  txn_->cache_journal.Commit();
+  txn_.reset();
+}
+
+void OneEditEditor::AbortTxn() {
+  if (txn_ == nullptr) return;
+  cache_.AttachJournal(nullptr);
+  txn_->cache_journal.Abort();
+  method_->RestoreMethodState(txn_->method_state);
+  live_ = std::move(txn_->live);
+  txn_.reset();
+}
+
 }  // namespace oneedit

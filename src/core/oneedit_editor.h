@@ -67,6 +67,20 @@ class OneEditEditor {
   /// caller restores the model weights separately).
   void ResetState();
 
+  // --- Transactional batch support ------------------------------------------
+  //
+  // BeginTxn snapshots editor-local state (the method's live-edit ledger and
+  // adaptor state, the live-triple set) and journals cache mutations;
+  // AbortTxn restores all of it exactly, CommitTxn keeps it. The model's
+  // weights are NOT covered — the caller (OneEditSystem::BeginBatchTxn)
+  // snapshots and restores those, because floating-point delta subtraction
+  // is not byte-exact. Transactions do not nest.
+
+  void BeginTxn();
+  void CommitTxn();
+  void AbortTxn();
+  bool in_txn() const { return txn_ != nullptr; }
+
   /// True if `triple` is currently installed in the model by this editor.
   bool IsLive(const NamedTriple& triple) const {
     return live_.count(LiveKey(triple)) > 0;
@@ -84,6 +98,13 @@ class OneEditEditor {
   /// Triples applied and not rolled back — re-requesting one is a no-op
   /// (prevents double-installing cached deltas across multi-user plans).
   std::unordered_set<std::string> live_;
+
+  struct Txn {
+    EditingMethod::MethodState method_state;
+    std::unordered_set<std::string> live;
+    UndoJournal cache_journal;
+  };
+  std::unique_ptr<Txn> txn_;
 };
 
 }  // namespace oneedit

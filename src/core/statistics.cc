@@ -52,6 +52,18 @@ std::string TickerName(Ticker ticker) {
       return "recovered_records";
     case Ticker::kDegradedRejects:
       return "degraded_rejects";
+    case Ticker::kQuarantinedEdits:
+      return "quarantined_edits";
+    case Ticker::kRollbackBatches:
+      return "rollback_batches";
+    case Ticker::kCanaryFailures:
+      return "canary_failures";
+    case Ticker::kDeadlineExpired:
+      return "deadline_expired";
+    case Ticker::kWalRetries:
+      return "wal_retries";
+    case Ticker::kHealthTransitions:
+      return "health_transitions";
     case Ticker::kTickerCount:
       break;
   }
@@ -70,6 +82,8 @@ std::string HistogramName(Histogram histogram) {
       return "wal_commit_micros";
     case Histogram::kCheckpointMicros:
       return "checkpoint_micros";
+    case Histogram::kRollbackMicros:
+      return "rollback_micros";
     case Histogram::kHistogramCount:
       break;
   }

@@ -35,6 +35,12 @@ enum class Ticker : size_t {
   kCheckpointFailures,    ///< system checkpoint attempts that failed
   kRecoveredRecords,      ///< WAL records replayed during startup recovery
   kDegradedRejects,       ///< writes rejected while the service was degraded
+  kQuarantinedEdits,      ///< poison edits isolated by canary validation
+  kRollbackBatches,       ///< applied batches undone after canary failure
+  kCanaryFailures,        ///< post-apply validations that tripped
+  kDeadlineExpired,       ///< requests expired before reaching the writer
+  kWalRetries,            ///< transient WAL failures retried with backoff
+  kHealthTransitions,     ///< ServiceHealth state changes (any direction)
   kTickerCount,           // sentinel
 };
 
@@ -48,6 +54,7 @@ enum class Histogram : size_t {
   kServingLatencyMicros,     ///< submit -> completion per request
   kWalCommitMicros,          ///< append + fsync time per group commit
   kCheckpointMicros,         ///< time to serialize + publish a checkpoint
+  kRollbackMicros,           ///< undo + bisect + re-admit time per rollback
   kHistogramCount,           // sentinel
 };
 

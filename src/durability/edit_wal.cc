@@ -10,10 +10,13 @@ namespace {
 
 // Payload layout (little-endian):
 //   u64 sequence
-//   u8  flags (bit 0: first_in_batch)
+//   u8  flags (bit 0: first_in_batch, bit 1: quarantine verdict)
 //   u8  op (EditRequest::Op)
 //   u8  method (EditingMethodKind)
 //   5 length-prefixed strings: subject, relation, object, utterance, user
+// Quarantine verdict records (flag bit 1) append:
+//   u64 quarantined_sequence
+//   1 length-prefixed string: reason
 constexpr size_t kFrameHeaderBytes = 2 * sizeof(uint32_t);
 constexpr uint32_t kMaxPayloadBytes = 1u << 24;
 
@@ -54,13 +57,22 @@ bool DecodePayload(std::string_view payload, EditWalRecord* record) {
     return false;
   }
   record->first_in_batch = (flags & 1u) != 0;
+  record->quarantine = (flags & 2u) != 0;
   record->request.op = static_cast<EditRequest::Op>(op);
   record->method = static_cast<EditingMethodKind>(method);
-  return ConsumeString(&payload, &record->request.triple.subject) &&
-         ConsumeString(&payload, &record->request.triple.relation) &&
-         ConsumeString(&payload, &record->request.triple.object) &&
-         ConsumeString(&payload, &record->request.utterance) &&
-         ConsumeString(&payload, &record->request.user) && payload.empty();
+  if (!ConsumeString(&payload, &record->request.triple.subject) ||
+      !ConsumeString(&payload, &record->request.triple.relation) ||
+      !ConsumeString(&payload, &record->request.triple.object) ||
+      !ConsumeString(&payload, &record->request.utterance) ||
+      !ConsumeString(&payload, &record->request.user)) {
+    return false;
+  }
+  if (record->quarantine &&
+      (!ConsumeScalar(&payload, &record->quarantined_sequence) ||
+       !ConsumeString(&payload, &record->quarantine_reason))) {
+    return false;
+  }
+  return payload.empty();
 }
 
 }  // namespace
@@ -68,7 +80,9 @@ bool DecodePayload(std::string_view payload, EditWalRecord* record) {
 std::string EditWal::Encode(const EditWalRecord& record) {
   std::string payload;
   AppendU64(&payload, record.sequence);
-  payload.push_back(record.first_in_batch ? '\x01' : '\x00');
+  const uint8_t flags = (record.first_in_batch ? 1u : 0u) |
+                        (record.quarantine ? 2u : 0u);
+  payload.push_back(static_cast<char>(flags));
   payload.push_back(static_cast<char>(record.request.op));
   payload.push_back(static_cast<char>(record.method));
   AppendString(&payload, record.request.triple.subject);
@@ -76,6 +90,10 @@ std::string EditWal::Encode(const EditWalRecord& record) {
   AppendString(&payload, record.request.triple.object);
   AppendString(&payload, record.request.utterance);
   AppendString(&payload, record.request.user);
+  if (record.quarantine) {
+    AppendU64(&payload, record.quarantined_sequence);
+    AppendString(&payload, record.quarantine_reason);
+  }
 
   std::string frame;
   frame.reserve(kFrameHeaderBytes + payload.size());
@@ -105,9 +123,18 @@ Status EditWal::Sync() {
 }
 
 Status EditWal::Reset() {
-  if (file_ == nullptr) return Status::FailedPrecondition("edit WAL not open");
-  (void)file_->Close();
-  file_.reset();
+  if (env_ == nullptr || path_.empty()) {
+    return Status::FailedPrecondition("edit WAL not open");
+  }
+  // A previous Reset may have closed the file and then failed to reopen it
+  // (transient I/O fault between close and open). Tolerating file_ == null
+  // here makes Reset the retry point: the degraded service's heal probe
+  // checkpoints and Resets again, and must be able to recover the handle
+  // once the environment calms down instead of latching "not open" forever.
+  if (file_ != nullptr) {
+    (void)file_->Close();
+    file_.reset();
+  }
   ONEEDIT_ASSIGN_OR_RETURN(file_,
                            env_->NewWritableFile(path_, /*truncate=*/true));
   return Status::OK();

@@ -15,11 +15,21 @@ namespace durability {
 /// One journaled edit: the full typed EditRequest plus the sequence number
 /// the writer assigned, the editing method that will apply it, and whether
 /// it opened a coalesced writer batch (so replay regroups batches exactly).
+///
+/// A record may instead be a *quarantine verdict* (`quarantine` set): it
+/// carries no request, names an earlier sequence whose edit failed
+/// post-apply validation and was rolled back, and tells replay to skip that
+/// record so a poison edit is never resurrected. Verdict records consume a
+/// sequence number of their own, keeping the log's contiguity check intact,
+/// and never open a batch.
 struct EditWalRecord {
   uint64_t sequence = 0;
   bool first_in_batch = true;
   EditingMethodKind method = EditingMethodKind::kMemit;
   EditRequest request;
+  bool quarantine = false;
+  uint64_t quarantined_sequence = 0;
+  std::string quarantine_reason;
 };
 
 /// What a replay saw: how many intact records, the highest sequence, and
@@ -62,7 +72,9 @@ class EditWal {
   Status Sync();
 
   /// Drops every record (log rotation after a checkpoint made them
-  /// redundant). The log stays open and empty.
+  /// redundant). The log stays open and empty. On failure the log may be
+  /// left closed (the old handle is gone and the truncating reopen failed);
+  /// calling Reset again once I/O recovers reopens it — it never latches.
   Status Reset();
 
   void Close();

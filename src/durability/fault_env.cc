@@ -60,14 +60,44 @@ void FaultInjectingEnv::Clear() {
   ops_seen_.store(0);
   crashed_.store(false);
   crash_at_.store(-1);
+  fail_next_.store(0);
+  std::lock_guard<std::mutex> lock(intermittent_mutex_);
+  intermittent_p_ = 0.0;
+}
+
+void FaultInjectingEnv::FailNext(long n) { fail_next_.store(n); }
+
+void FaultInjectingEnv::SetIntermittent(double p, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(intermittent_mutex_);
+  intermittent_p_ = p;
+  intermittent_rng_.Seed(seed);
 }
 
 bool FaultInjectingEnv::ShouldFail() {
   const long op = ops_seen_.fetch_add(1);
-  if (crash_at_.load() < 0 || op != crash_at_.load()) return false;
-  crashed_.store(true);
-  if (exit_on_crash_) std::_Exit(137);
-  return true;
+  if (crash_at_.load() >= 0 && op == crash_at_.load()) {
+    crashed_.store(true);
+    if (exit_on_crash_) std::_Exit(137);
+    return true;
+  }
+  // Transient (non-latching) modes: a bounded burst, then a coin flip.
+  long remaining = fail_next_.load();
+  while (remaining > 0 &&
+         !fail_next_.compare_exchange_weak(remaining, remaining - 1)) {
+  }
+  if (remaining > 0) {
+    transient_failures_.fetch_add(1);
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(intermittent_mutex_);
+    if (intermittent_p_ > 0.0 &&
+        intermittent_rng_.NextBool(intermittent_p_)) {
+      transient_failures_.fetch_add(1);
+      return true;
+    }
+  }
+  return false;
 }
 
 StatusOr<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(

@@ -3,9 +3,11 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "durability/env.h"
+#include "util/rng.h"
 
 namespace oneedit {
 namespace durability {
@@ -32,7 +34,22 @@ class FaultInjectingEnv : public Env {
   void CrashAt(long op);
 
   /// Disarms and clears a triggered crash; subsequent ops pass through.
+  /// Also clears the transient modes below.
   void Clear();
+
+  /// Non-latching transient faults: the next `n` durability operations fail
+  /// with IoError, then operations succeed again — the bounded-retry path's
+  /// test double (a brief I/O stall, not a dead disk). Unlike CrashAt, the
+  /// env never latches into the crashed state.
+  void FailNext(long n);
+
+  /// Seeded intermittent faults: every durability operation independently
+  /// fails with probability `p` (non-latching). `p` = 0 disables. The chaos
+  /// CI entry drives serving stress through this mode.
+  void SetIntermittent(double p, uint64_t seed = 42);
+
+  /// Transient failures injected so far (FailNext + intermittent).
+  long transient_failures() const { return transient_failures_.load(); }
 
   /// Number of durability operations observed since the last CrashAt/Clear.
   long ops_seen() const { return ops_seen_.load(); }
@@ -62,7 +79,15 @@ class FaultInjectingEnv : public Env {
   std::atomic<long> ops_seen_{0};
   std::atomic<long> crash_at_{-1};
   std::atomic<bool> crashed_{false};
+  std::atomic<long> fail_next_{0};
+  std::atomic<long> transient_failures_{0};
   bool exit_on_crash_ = false;
+
+  /// Guards the intermittent-mode RNG (serving stress hits the env from the
+  /// writer thread while the test thread reconfigures it).
+  mutable std::mutex intermittent_mutex_;
+  double intermittent_p_ = 0.0;
+  Rng intermittent_rng_{42};
 };
 
 }  // namespace durability

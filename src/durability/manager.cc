@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_set>
 
 #include "durability/checkpoint.h"
 
@@ -36,7 +37,8 @@ StatusOr<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
   return manager;
 }
 
-StatusOr<RecoveryReport> DurabilityManager::Recover(OneEditSystem* system) {
+StatusOr<RecoveryReport> DurabilityManager::Recover(
+    OneEditSystem* system, const ReplayApplier& applier) {
   if (system == nullptr) return Status::InvalidArgument("null system");
   RecoveryReport report;
 
@@ -50,18 +52,41 @@ StatusOr<RecoveryReport> DurabilityManager::Recover(OneEditSystem* system) {
     report.last_sequence = state.last_sequence;
   }
 
-  // Replay the WAL tail, regrouping records into the writer's original
-  // coalesced batches at first_in_batch boundaries so batch-dependent
-  // methods (MEMIT joint edits) replay with identical semantics.
-  std::vector<EditRequest> batch;
+  // Pass 1: collect quarantine verdicts. A verdict is journaled AFTER the
+  // batch whose record it condemns, so a streaming replay would apply the
+  // poison before learning its fate; the pre-scan lets pass 2 remove
+  // condemned records from their batch up front.
+  std::unordered_set<uint64_t> condemned;
+  ONEEDIT_RETURN_IF_ERROR(
+      EditWal::Replay(wal_path_, env_,
+                      [&](const EditWalRecord& record) -> Status {
+                        if (record.quarantine) {
+                          condemned.insert(record.quarantined_sequence);
+                        }
+                        return Status::OK();
+                      })
+          .status());
+
+  // Pass 2: replay the WAL tail, regrouping records into the writer's
+  // original coalesced batches at first_in_batch boundaries so
+  // batch-dependent methods (MEMIT joint edits) replay with identical
+  // semantics.
+  ReplayBatch batch;
   uint64_t prev_sequence = 0;
   bool have_prev = false;
   auto flush = [&]() {
-    if (batch.empty()) return;
+    if (batch.requests.empty()) {
+      batch = ReplayBatch{};
+      return;
+    }
     // Per-slot failures reproduce the original run (e.g. guard rejections)
     // and must not abort recovery.
-    (void)system->EditBatch(batch);
-    batch.clear();
+    if (applier != nullptr) {
+      applier(batch);
+    } else {
+      (void)system->EditBatch(batch.requests);
+    }
+    batch = ReplayBatch{};
   };
   WalReplayStats wal_stats;
   const Status replay_status = [&] {
@@ -96,9 +121,24 @@ StatusOr<RecoveryReport> DurabilityManager::Recover(OneEditSystem* system) {
                 ++report.skipped_records;
                 return Status::OK();
               }
-              if (record.first_in_batch) flush();
-              batch.push_back(record.request);
-              ++report.replayed_records;
+              if (record.quarantine) {
+                // Verdicts consume a sequence but carry no edit; they never
+                // open a batch, so the pending batch stays pending.
+                ++report.quarantine_records;
+                report.last_sequence = record.sequence;
+                return Status::OK();
+              }
+              if (record.first_in_batch) {
+                flush();
+                batch.first_sequence = record.sequence;
+              }
+              if (condemned.count(record.sequence) > 0) {
+                ++report.quarantined_skipped;
+              } else {
+                batch.requests.push_back(record.request);
+                batch.sequences.push_back(record.sequence);
+                ++report.replayed_records;
+              }
               report.last_sequence = record.sequence;
               return Status::OK();
             }));
@@ -152,6 +192,33 @@ Status DurabilityManager::LogBatch(const std::vector<EditRequest>& requests,
       stats->Add(Ticker::kWalRecords, requests.size());
       stats->Add(Ticker::kWalCommits);
       stats->Record(Histogram::kWalCommitMicros, ElapsedMicros(start));
+    } else {
+      stats->Add(Ticker::kWalFailures);
+    }
+  }
+  return status;
+}
+
+Status DurabilityManager::LogQuarantine(uint64_t quarantined_sequence,
+                                        const std::string& reason,
+                                        EditingMethodKind method,
+                                        Statistics* stats) {
+  EditWalRecord record;
+  record.sequence = next_sequence_;
+  record.first_in_batch = false;
+  record.method = method;
+  record.quarantine = true;
+  record.quarantined_sequence = quarantined_sequence;
+  record.quarantine_reason = reason;
+  Status status = wal_.Append(record);
+  if (status.ok()) {
+    ++next_sequence_;
+    if (options_.sync_on_commit) status = wal_.Sync();
+  }
+  if (stats != nullptr) {
+    if (status.ok()) {
+      stats->Add(Ticker::kWalRecords);
+      stats->Add(Ticker::kWalCommits);
     } else {
       stats->Add(Ticker::kWalFailures);
     }

@@ -2,6 +2,7 @@
 #define ONEEDIT_DURABILITY_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,7 +43,30 @@ struct RecoveryReport {
   uint64_t last_sequence = 0;
   /// KG mutation counter recorded in the checkpoint (diagnostic).
   uint64_t checkpoint_kg_version = 0;
+  /// Quarantine verdict records found in the log.
+  size_t quarantine_records = 0;
+  /// Edit records NOT replayed because a journaled verdict condemned them.
+  size_t quarantined_skipped = 0;
 };
+
+/// One regrouped coalesced batch handed to the replay applier. Records whose
+/// quarantine verdict was journaled are already removed; `sequences` runs
+/// parallel to `requests`, and `first_sequence` is the sequence of the
+/// batch's original first record (including any removed one) — the seed the
+/// live writer's canary validation used, so a self-healing applier
+/// re-derives the exact same verdict.
+struct ReplayBatch {
+  std::vector<EditRequest> requests;
+  std::vector<uint64_t> sequences;
+  uint64_t first_sequence = 0;
+};
+
+/// Replay hook: applies one batch during recovery. Null = plain
+/// OneEditSystem::EditBatch. The serving layer injects its validated
+/// (canary + quarantine) applier so a crash that outran the verdict journal
+/// still reaches the same post-validation state — validation is a
+/// deterministic function of (pre-batch state, first_sequence).
+using ReplayApplier = std::function<void(const ReplayBatch&)>;
 
 /// Owns the durability protocol the serving writer follows:
 ///
@@ -77,13 +101,24 @@ class DurabilityManager {
   DurabilityManager& operator=(const DurabilityManager&) = delete;
 
   /// Restores `system` to the last durable state. Call once, on a freshly
-  /// built (pristine) system, before serving.
-  StatusOr<RecoveryReport> Recover(OneEditSystem* system);
+  /// built (pristine) system, before serving. Replay is two-pass: the first
+  /// pass collects quarantine verdicts (journaled after their batch in the
+  /// log), the second replays edit records through `applier` with condemned
+  /// records removed.
+  StatusOr<RecoveryReport> Recover(OneEditSystem* system,
+                                   const ReplayApplier& applier = nullptr);
 
   /// Journals one coalesced batch and group-commits it. On failure the
   /// batch MUST NOT be applied or acknowledged (the caller degrades).
   Status LogBatch(const std::vector<EditRequest>& requests,
                   EditingMethodKind method, Statistics* stats);
+
+  /// Journals (and group-commits) the verdict that the edit at
+  /// `quarantined_sequence` failed post-apply validation and was rolled
+  /// back, so replay skips it instead of resurrecting the poison.
+  Status LogQuarantine(uint64_t quarantined_sequence,
+                       const std::string& reason, EditingMethodKind method,
+                       Statistics* stats);
 
   /// Tells the manager `applied` edits from the last logged batch were
   /// applied; publishes a checkpoint when the cadence is due. A checkpoint

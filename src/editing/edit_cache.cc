@@ -9,7 +9,18 @@ std::string EditCache::KeyOf(const NamedTriple& triple) {
 }
 
 void EditCache::Put(EditDelta delta) {
-  entries_[KeyOf(delta.edit)] = std::move(delta);
+  std::string key = KeyOf(delta.edit);
+  if (journal_ != nullptr) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      journal_->Record([this, key] { entries_.erase(key); });
+    } else {
+      journal_->Record([this, key, previous = it->second]() mutable {
+        entries_[key] = std::move(previous);
+      });
+    }
+  }
+  entries_[std::move(key)] = std::move(delta);
 }
 
 const EditDelta* EditCache::Get(const NamedTriple& triple) const {
@@ -18,10 +29,18 @@ const EditDelta* EditCache::Get(const NamedTriple& triple) const {
 }
 
 Status EditCache::Erase(const NamedTriple& triple) {
-  if (entries_.erase(KeyOf(triple)) == 0) {
+  const std::string key = KeyOf(triple);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
     return Status::NotFound("no cached edit for (" + triple.subject + ", " +
                             triple.relation + ", " + triple.object + ")");
   }
+  if (journal_ != nullptr) {
+    journal_->Record([this, key, previous = it->second]() mutable {
+      entries_[key] = std::move(previous);
+    });
+  }
+  entries_.erase(it);
   return Status::OK();
 }
 

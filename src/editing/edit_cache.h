@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "editing/edit_delta.h"
+#include "editing/undo_journal.h"
 #include "kg/named_triple.h"
 #include "util/status.h"
 
@@ -43,10 +44,17 @@ class EditCache {
 
   void Clear() { entries_.clear(); }
 
+  /// While attached (nullable to detach), every Put/Erase records its
+  /// inverse into `journal`, so an aborted transactional batch can restore
+  /// the cache exactly. Clear() is not journaled — it is a harness reset,
+  /// never part of a transaction.
+  void AttachJournal(UndoJournal* journal) { journal_ = journal; }
+
  private:
   static std::string KeyOf(const NamedTriple& triple);
 
   std::unordered_map<std::string, EditDelta> entries_;
+  UndoJournal* journal_ = nullptr;
 };
 
 }  // namespace oneedit

@@ -57,6 +57,23 @@ class EditingMethod {
   /// Live (applied minus rolled back) edits currently on a slot.
   size_t LiveEdits(const NamedTriple& edit) const;
 
+  /// Opaque copy of all method-local state: the live-edit ledger plus any
+  /// adaptor state a subclass keeps outside the weights (GRACE's codebook,
+  /// SERAC's scope memory). RestoreMethodState puts it back exactly — the
+  /// hook transactional batch rollback uses to undo ledger growth and
+  /// adaptor entries without replaying history.
+  struct MethodState {
+    std::unordered_map<std::string, size_t> live_edits;
+    std::shared_ptr<void> adaptor;
+  };
+  MethodState SnapshotMethodState() const {
+    return MethodState{live_edits_, SnapshotAdaptorState()};
+  }
+  void RestoreMethodState(const MethodState& state) {
+    live_edits_ = state.live_edits;
+    RestoreAdaptorState(state.adaptor);
+  }
+
  protected:
   /// Method-specific single edit. `prior_live_edits` is the number of
   /// un-rolled-back edits already sitting on this slot.
@@ -74,6 +91,15 @@ class EditingMethod {
 
   void NoteApply(const NamedTriple& edit) { live_edits_[SlotOf(edit)] += 1; }
   void NoteRollback(const NamedTriple& edit);
+
+  /// Subclasses with state outside the weights and the ledger return a copy
+  /// here and restore it below (base methods: nothing to save).
+  virtual std::shared_ptr<void> SnapshotAdaptorState() const {
+    return nullptr;
+  }
+  virtual void RestoreAdaptorState(const std::shared_ptr<void>& state) {
+    (void)state;
+  }
 
  private:
   std::unordered_map<std::string, size_t> live_edits_;

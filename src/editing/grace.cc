@@ -100,6 +100,17 @@ Status GraceMethod::Reapply(LanguageModel* model, const EditDelta& delta) {
   return Status::OK();
 }
 
+std::shared_ptr<void> GraceMethod::SnapshotAdaptorState() const {
+  return std::make_shared<std::vector<GraceEntry>>(codebook_->entries());
+}
+
+void GraceMethod::RestoreAdaptorState(const std::shared_ptr<void>& state) {
+  auto entries = std::static_pointer_cast<std::vector<GraceEntry>>(state);
+  codebook_->RestoreEntries(entries != nullptr
+                                ? *entries
+                                : std::vector<GraceEntry>{});
+}
+
 void GraceMethod::Reset(LanguageModel* model) {
   codebook_->Clear();
   if (registered_with_ != nullptr) {

@@ -39,6 +39,12 @@ class GraceCodebook : public QueryAdaptor {
   size_t size() const { return entries_.size(); }
   double epsilon() const { return epsilon_; }
 
+  /// Whole-codebook copy / restore (transactional batch rollback).
+  const std::vector<GraceEntry>& entries() const { return entries_; }
+  void RestoreEntries(std::vector<GraceEntry> entries) {
+    entries_ = std::move(entries);
+  }
+
  private:
   double epsilon_;
   std::vector<GraceEntry> entries_;
@@ -60,6 +66,9 @@ class GraceMethod : public EditingMethod {
   StatusOr<EditDelta> DoApplyEdit(LanguageModel* model,
                                   const NamedTriple& edit,
                                   size_t prior_live_edits) override;
+
+  std::shared_ptr<void> SnapshotAdaptorState() const override;
+  void RestoreAdaptorState(const std::shared_ptr<void>& state) override;
 
  private:
   void EnsureRegistered(LanguageModel* model);

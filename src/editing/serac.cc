@@ -91,6 +91,16 @@ Status SeracMethod::Reapply(LanguageModel* model, const EditDelta& delta) {
   return Status::OK();
 }
 
+std::shared_ptr<void> SeracMethod::SnapshotAdaptorState() const {
+  return std::make_shared<std::vector<GraceEntry>>(memory_->records());
+}
+
+void SeracMethod::RestoreAdaptorState(const std::shared_ptr<void>& state) {
+  auto records = std::static_pointer_cast<std::vector<GraceEntry>>(state);
+  memory_->RestoreRecords(records != nullptr ? *records
+                                             : std::vector<GraceEntry>{});
+}
+
 void SeracMethod::Reset(LanguageModel* model) {
   memory_->Clear();
   if (registered_with_ != nullptr) {

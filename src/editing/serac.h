@@ -42,6 +42,12 @@ class SeracScopeMemory : public QueryAdaptor {
   void Clear() { records_.clear(); }
   size_t size() const { return records_.size(); }
 
+  /// Whole-memory copy / restore (transactional batch rollback).
+  const std::vector<GraceEntry>& records() const { return records_; }
+  void RestoreRecords(std::vector<GraceEntry> records) {
+    records_ = std::move(records);
+  }
+
  private:
   double threshold_;
   std::vector<GraceEntry> records_;
@@ -63,6 +69,9 @@ class SeracMethod : public EditingMethod {
   StatusOr<EditDelta> DoApplyEdit(LanguageModel* model,
                                   const NamedTriple& edit,
                                   size_t prior_live_edits) override;
+
+  std::shared_ptr<void> SnapshotAdaptorState() const override;
+  void RestoreAdaptorState(const std::shared_ptr<void>& state) override;
 
  private:
   void EnsureRegistered(LanguageModel* model);

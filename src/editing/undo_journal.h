@@ -1,0 +1,49 @@
+#ifndef ONEEDIT_EDITING_UNDO_JOURNAL_H_
+#define ONEEDIT_EDITING_UNDO_JOURNAL_H_
+
+#include <functional>
+#include <vector>
+
+namespace oneedit {
+
+/// In-memory undo journal for one transactional edit batch.
+///
+/// Components that mutate state during a batch (the edit cache, today) push
+/// one inverse closure per mutation; Abort() runs them newest-first so the
+/// component ends byte-identical to its pre-transaction state, and Commit()
+/// discards them. This is the space-efficient complement to snapshotting:
+/// the cache can hold hundreds of dense θ matrices, so copying it per batch
+/// would cost O(total edits) — the journal costs O(mutations this batch).
+///
+/// Not thread-safe; the serving writer owns the transaction exclusively.
+class UndoJournal {
+ public:
+  UndoJournal() = default;
+
+  UndoJournal(const UndoJournal&) = delete;
+  UndoJournal& operator=(const UndoJournal&) = delete;
+
+  /// Registers the inverse of a mutation that just happened.
+  void Record(std::function<void()> undo) {
+    undos_.push_back(std::move(undo));
+  }
+
+  /// Keeps every mutation: drops the recorded inverses.
+  void Commit() { undos_.clear(); }
+
+  /// Undoes every recorded mutation, newest first, then clears.
+  void Abort() {
+    for (auto it = undos_.rbegin(); it != undos_.rend(); ++it) (*it)();
+    undos_.clear();
+  }
+
+  size_t size() const { return undos_.size(); }
+  bool empty() const { return undos_.empty(); }
+
+ private:
+  std::vector<std::function<void()>> undos_;
+};
+
+}  // namespace oneedit
+
+#endif  // ONEEDIT_EDITING_UNDO_JOURNAL_H_

@@ -1,5 +1,9 @@
 #include "eval/probe_eval.h"
 
+#include <algorithm>
+
+#include "util/rng.h"
+
 namespace oneedit {
 namespace {
 
@@ -23,6 +27,10 @@ bool EvalDirectProbe(const LanguageModel& model, const Probe& probe) {
 
 std::string LocalityBaseline(const LanguageModel& model, const Probe& probe) {
   return DirectDecode(model, probe).entity;
+}
+
+Decode LocalityDecode(const LanguageModel& model, const Probe& probe) {
+  return DirectDecode(model, probe);
 }
 
 bool EvalLocalityUnchanged(const LanguageModel& model, const Probe& probe,
@@ -54,6 +62,47 @@ bool EvalOneHopProbe(const LanguageModel& model, const KnowledgeGraph& kg,
       model.QueryComposed(probe.subject, probe.r1, probe.r2, probe.seed);
   return composed.entity == probe.expected && Confident(model, composed) &&
          composed.margin > 0.0;
+}
+
+std::vector<Probe> SampleCanaryProbes(
+    const KnowledgeGraph& kg, uint64_t seed, size_t count,
+    const std::unordered_set<std::string>& excluded_entities) {
+  std::vector<Probe> probes;
+  if (count == 0) return probes;
+
+  // Canonicalize the exclusion footprint so an edit against an alias still
+  // shields its canonical entity's facts from being sampled as canaries.
+  std::unordered_set<EntityId> excluded;
+  for (const std::string& name : excluded_entities) {
+    const auto id = kg.LookupEntity(name);
+    if (id.ok()) excluded.insert(kg.Canonical(*id));
+  }
+
+  std::vector<NamedTriple> candidates;
+  for (const Triple& triple : kg.store().AllTriples()) {
+    if (excluded.count(kg.Canonical(triple.subject)) > 0 ||
+        excluded.count(kg.Canonical(triple.object)) > 0) {
+      continue;
+    }
+    candidates.push_back(kg.ToNamed(triple));
+  }
+
+  // Partial Fisher-Yates over the sorted candidate list: deterministic in
+  // (seed, KG state) and independent of sampling order elsewhere.
+  Rng rng = Rng::ForStream(seed, "locality-canary");
+  const size_t take = std::min(count, candidates.size());
+  for (size_t i = 0; i < take; ++i) {
+    const size_t j =
+        i + static_cast<size_t>(rng.NextBelow(candidates.size() - i));
+    std::swap(candidates[i], candidates[j]);
+    Probe probe;
+    probe.subject = candidates[i].subject;
+    probe.relation = candidates[i].relation;
+    probe.seed =
+        seed ^ Rng::HashString(probe.subject + "|" + probe.relation);
+    probes.push_back(std::move(probe));
+  }
+  return probes;
 }
 
 }  // namespace oneedit

@@ -2,6 +2,8 @@
 #define ONEEDIT_EVAL_PROBE_EVAL_H_
 
 #include <string>
+#include <unordered_set>
+#include <vector>
 
 #include "data/dataset.h"
 #include "kg/knowledge_graph.h"
@@ -23,6 +25,12 @@ bool EvalDirectProbe(const LanguageModel& model, const Probe& probe);
 /// before editing).
 std::string LocalityBaseline(const LanguageModel& model, const Probe& probe);
 
+/// The full decode behind LocalityBaseline (same pinned noise), exposing
+/// `margin` so serving-time canary selection can prefer facts the model
+/// currently decodes confidently — marginal decodes flip under benign
+/// batch drift and make useless canaries.
+Decode LocalityDecode(const LanguageModel& model, const Probe& probe);
+
 /// Locality (Eq. 10): the post-edit decode must equal the pre-edit decode.
 bool EvalLocalityUnchanged(const LanguageModel& model, const Probe& probe,
                            const std::string& pre_edit_answer);
@@ -33,6 +41,23 @@ bool EvalLocalityUnchanged(const LanguageModel& model, const Probe& probe,
 /// chaining two lookups. Success on either path counts.
 bool EvalOneHopProbe(const LanguageModel& model, const KnowledgeGraph& kg,
                      const HopProbe& probe);
+
+// --- Live canaries (serving-time self-healing) -------------------------------
+
+/// Deterministically samples up to `count` locality-canary probes from the
+/// KG's triples, excluding any triple whose (canonicalized) subject or
+/// object appears in `excluded_entities` — the entity footprint of the batch
+/// under validation. Both the selection and every probe's key-noise seed
+/// derive only from `seed` and the KG contents (AllTriples is sorted), so
+/// recovery replay from the same pre-batch state re-derives the exact same
+/// canary set the live writer probed — the property that makes a journaled
+/// quarantine verdict reproducible.
+///
+/// The probes have empty `expected`: pair them with LocalityBaseline before
+/// the batch applies and EvalLocalityUnchanged after.
+std::vector<Probe> SampleCanaryProbes(
+    const KnowledgeGraph& kg, uint64_t seed, size_t count,
+    const std::unordered_set<std::string>& excluded_entities);
 
 }  // namespace oneedit
 

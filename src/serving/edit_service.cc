@@ -1,5 +1,6 @@
 #include "serving/edit_service.h"
 
+#include <algorithm>
 #include <unordered_set>
 #include <utility>
 
@@ -38,6 +39,8 @@ std::string ServiceHealthName(ServiceHealth health) {
       return "healthy";
     case ServiceHealth::kReadOnlyDegraded:
       return "read_only_degraded";
+    case ServiceHealth::kHalfOpenProbing:
+      return "half_open_probing";
   }
   return "unknown";
 }
@@ -51,17 +54,31 @@ EditService::EditService(std::unique_ptr<OneEditSystem> system,
   if (options_.max_batch_size == 0) options_.max_batch_size = 1;
   if (durability_ != nullptr && options_.recover_on_start) {
     // Recover before the writer exists: the system is still single-threaded
-    // here, so replay needs no locks.
+    // here, so replay needs no locks. With validation on, replayed batches
+    // run through the same SelfHealer the live writer uses: validation is a
+    // deterministic function of (pre-batch state, first WAL sequence), so a
+    // crash that outran a quarantine verdict's journal record still
+    // converges on the identical post-validation state.
+    durability::ReplayApplier applier;
+    if (options_.self_heal.validate_after_apply) {
+      applier = [this](const durability::ReplayBatch& batch) {
+        SelfHealer healer(system_.get(), options_.self_heal);
+        (void)healer.ApplyValidated(batch.requests, batch.first_sequence);
+      };
+    }
     StatusOr<durability::RecoveryReport> recovered =
-        durability_->Recover(system_.get());
+        durability_->Recover(system_.get(), applier);
     if (recovered.ok()) {
       recovery_report_ = *recovered;
     } else {
       // Serving an unrecovered state could silently drop acknowledged
       // edits; refuse writes instead and let reads answer what we have.
+      // Not a WAL degradation: auto-heal must not paper over a recovery
+      // failure, so this state needs an operator.
       recovery_status_ = recovered.status();
-      health_.store(ServiceHealth::kReadOnlyDegraded,
-                    std::memory_order_release);
+      TransitionHealth(ServiceHealth::kReadOnlyDegraded,
+                       "startup recovery failed: " +
+                           recovery_status_.ToString());
     }
   }
   writer_ = std::thread(&EditService::WriterLoop, this);
@@ -84,6 +101,12 @@ std::future<StatusOr<EditResult>> EditService::Submit(EditRequest request) {
   std::future<StatusOr<EditResult>> future = pending.promise.get_future();
 
   Statistics& stats = system_->statistics();
+  if (pending.request.expired(pending.enqueued)) {
+    stats.Add(Ticker::kDeadlineExpired);
+    pending.promise.set_value(
+        Status::DeadlineExceeded("request deadline already expired"));
+    return future;
+  }
   if (read_only()) {
     stats.Add(Ticker::kDegradedRejects);
     pending.promise.set_value(
@@ -101,9 +124,23 @@ std::future<StatusOr<EditResult>> EditService::Submit(EditRequest request) {
             std::to_string(options_.queue_capacity) + ")"));
         return future;
       }
-      queue_not_full_.wait(lock, [this] {
+      const auto admissible = [this] {
         return stopping_ || queue_.size() < options_.queue_capacity;
-      });
+      };
+      if (pending.request.deadline.has_value()) {
+        // Backpressure must not outlive the deadline: give up at the
+        // deadline instant instead of blocking indefinitely.
+        if (!queue_not_full_.wait_until(lock, *pending.request.deadline,
+                                        admissible)) {
+          lock.unlock();
+          stats.Add(Ticker::kDeadlineExpired);
+          pending.promise.set_value(Status::DeadlineExceeded(
+              "deadline expired while waiting for queue capacity"));
+          return future;
+        }
+      } else {
+        queue_not_full_.wait(lock, admissible);
+      }
     }
     if (stopping_) {
       lock.unlock();
@@ -160,6 +197,92 @@ void EditService::Stop() {
         Status::Unavailable("EditService stopped before this request ran"));
   }
   idle_.notify_all();
+}
+
+std::vector<HealthTransition> EditService::health_log() const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  return health_log_;
+}
+
+void EditService::TransitionHealth(ServiceHealth to,
+                                   const std::string& reason) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  const ServiceHealth from = health_.load(std::memory_order_acquire);
+  if (from == to) return;
+  health_.store(to, std::memory_order_release);
+  HealthTransition transition;
+  transition.from = from;
+  transition.to = to;
+  transition.reason = reason;
+  transition.sequence = ++health_transitions_seen_;
+  system_->statistics().Add(Ticker::kHealthTransitions);
+  ONEEDIT_LOG(Warning) << "EditService health: " << ServiceHealthName(from)
+                       << " -> " << ServiceHealthName(to) << " [#"
+                       << transition.sequence << "] " << reason;
+  health_log_.push_back(std::move(transition));
+}
+
+void EditService::TryHeal() {
+  TransitionHealth(ServiceHealth::kHalfOpenProbing,
+                   "probing whether the durability environment recovered");
+  Status healed;
+  {
+    std::unique_lock<std::mutex> gate(writer_gate_);
+    std::unique_lock<std::shared_mutex> write_lock(rw_mutex_);
+    gate.unlock();
+    // A successful checkpoint proves the env can persist state again AND
+    // repairs the WAL: whatever torn bytes the failure left are rotated
+    // away, and any sequence numbers a failed append leaked are covered by
+    // the checkpoint's last_sequence.
+    healed = durability_->Checkpoint(*system_, &system_->statistics());
+  }
+  if (healed.ok()) {
+    wal_degraded_.store(false, std::memory_order_release);
+    TransitionHealth(ServiceHealth::kHealthy,
+                     "heal probe succeeded: checkpoint published, WAL "
+                     "rotated clean");
+  } else {
+    TransitionHealth(ServiceHealth::kReadOnlyDegraded,
+                     "heal probe failed: " + healed.ToString());
+  }
+}
+
+Status EditService::LogBatchWithRetry(
+    const std::vector<EditRequest>& requests, Statistics* stats) {
+  Status logged =
+      durability_->LogBatch(requests, system_->config().method, stats);
+  std::chrono::milliseconds backoff = options_.self_heal.wal_retry_backoff;
+  for (size_t attempt = 0;
+       !logged.ok() && attempt < options_.self_heal.wal_retry_limit;
+       ++attempt) {
+    stats->Add(Ticker::kWalRetries);
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, options_.self_heal.wal_retry_backoff_cap);
+    // The failed append may have left torn bytes mid-log, so a bare
+    // re-append would corrupt the journal for replay. A checkpoint makes
+    // the torn WAL redundant, rotates it clean, and covers any sequence
+    // numbers the failed attempt consumed; the batch is then re-journaled
+    // onto the fresh log.
+    const Status repaired = durability_->Checkpoint(*system_, stats);
+    if (!repaired.ok()) {
+      logged = repaired;
+      continue;
+    }
+    logged = durability_->LogBatch(requests, system_->config().method, stats);
+  }
+  return logged;
+}
+
+void EditService::ExpireDeadlinesLocked(std::vector<Pending>* expired) {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->request.expired(now)) {
+      expired->push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 Status EditService::CheckpointNow() {
@@ -229,45 +352,119 @@ std::vector<EditService::Pending> EditService::NextBatch() {
 }
 
 void EditService::WriterLoop() {
+  const bool can_heal =
+      durability_ != nullptr && options_.self_heal.auto_heal;
   for (;;) {
     std::vector<Pending> batch;
+    std::vector<Pending> expired;
+    bool probe_heal = false;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_not_empty_.wait(
-          lock, [this] { return stopping_ || !queue_.empty(); });
+      if (can_heal && wal_degraded_.load(std::memory_order_acquire)) {
+        // WAL-degraded: wake on the heal cadence even with an empty queue.
+        // A timeout (nothing queued, not stopping) means the probe is due;
+        // queued leftovers are still popped below so Drain() terminates.
+        const bool woke = queue_not_empty_.wait_for(
+            lock, options_.self_heal.heal_probe_interval,
+            [this] { return stopping_ || !queue_.empty(); });
+        probe_heal = !woke;
+      } else {
+        queue_not_empty_.wait(
+            lock, [this] { return stopping_ || !queue_.empty(); });
+      }
       if (stopping_) return;  // Stop() fails whatever is left.
-      batch = NextBatch();
-      writer_busy_ = !batch.empty();
+      if (!probe_heal) {
+        ExpireDeadlinesLocked(&expired);
+        batch = NextBatch();
+        writer_busy_ = !batch.empty();
+      }
     }
     queue_not_full_.notify_all();
-    if (batch.empty()) continue;
+    Statistics& stats = system_->statistics();
+    for (Pending& pending : expired) {
+      stats.Add(Ticker::kDeadlineExpired);
+      pending.promise.set_value(Status::DeadlineExceeded(
+          "deadline expired while the request was queued"));
+    }
+    if (probe_heal) {
+      TryHeal();
+      idle_.notify_all();
+      continue;
+    }
+    if (batch.empty()) {
+      idle_.notify_all();
+      continue;
+    }
 
     std::vector<EditRequest> requests;
     requests.reserve(batch.size());
     for (const Pending& pending : batch) requests.push_back(pending.request);
 
-    Statistics& stats = system_->statistics();
     bool degraded = read_only();
+    bool results_valid = false;
     std::vector<StatusOr<EditResult>> results;
     if (!degraded) {
       std::unique_lock<std::mutex> gate(writer_gate_);
       std::unique_lock<std::shared_mutex> write_lock(rw_mutex_);
       gate.unlock();
+      uint64_t first_sequence = 0;
       if (durability_ != nullptr) {
         // Durability protocol: the batch must be journaled and fsynced
         // BEFORE it is applied — an acknowledged edit is always on disk.
-        const Status logged =
-            durability_->LogBatch(requests, system_->config().method, &stats);
+        // Transient I/O failures get a bounded retry before we give up.
+        const Status logged = LogBatchWithRetry(requests, &stats);
         if (!logged.ok()) {
-          ONEEDIT_LOG(Error) << "edit WAL commit failed, degrading to "
-                                "read-only: "
-                             << logged.ToString();
+          wal_degraded_.store(true, std::memory_order_release);
+          TransitionHealth(ServiceHealth::kReadOnlyDegraded,
+                           "edit WAL commit failed after " +
+                               std::to_string(options_.self_heal
+                                                  .wal_retry_limit) +
+                               " retries: " + logged.ToString());
           degraded = true;
+        } else {
+          // LogBatch assigned this batch the sequences
+          // [next_sequence - size, next_sequence): the first one seeds
+          // validation so recovery replay re-derives the same verdict.
+          first_sequence = durability_->next_sequence() - requests.size();
         }
+      } else {
+        first_sequence = ++nodur_seed_;
       }
       if (!degraded) {
-        results = system_->EditBatch(requests);
-        if (durability_ != nullptr) {
+        SelfHealer healer(system_.get(), options_.self_heal);
+        HealedBatch healed = healer.ApplyValidated(requests, first_sequence);
+        results = std::move(healed.results);
+        results_valid = true;
+        if (durability_ != nullptr && !healed.quarantined.empty()) {
+          // Journal the verdicts so replay skips the poison up front
+          // instead of re-running the whole heal loop.
+          Status journaled = Status::OK();
+          for (size_t index : healed.quarantined) {
+            journaled = durability_->LogQuarantine(
+                first_sequence + index, healed.quarantine_reason,
+                system_->config().method, &stats);
+            if (!journaled.ok()) break;
+          }
+          if (!journaled.ok()) {
+            // Not acknowledged-edit loss: the verdict is re-derivable at
+            // recovery (validation is deterministic). Prefer making the
+            // post-quarantine state durable wholesale; if even that fails
+            // the env is gone — degrade for FUTURE submissions, but still
+            // deliver this batch's results (their records are on disk).
+            const Status fallback =
+                durability_->Checkpoint(*system_, &stats);
+            if (!fallback.ok()) {
+              wal_degraded_.store(true, std::memory_order_release);
+              TransitionHealth(
+                  ServiceHealth::kReadOnlyDegraded,
+                  "quarantine verdict journal and fallback checkpoint "
+                  "both failed: " +
+                      fallback.ToString());
+              degraded = true;
+            }
+          }
+        }
+        if (durability_ != nullptr && !degraded) {
           // A checkpoint failure is survivable — the WAL still covers
           // every committed edit — so it does not degrade the service.
           const Status cadence =
@@ -280,9 +477,7 @@ void EditService::WriterLoop() {
         }
       }
     }
-    if (degraded) {
-      health_.store(ServiceHealth::kReadOnlyDegraded,
-                    std::memory_order_release);
+    if (degraded && !results_valid) {
       stats.Add(Ticker::kDegradedRejects, batch.size());
       RejectDegraded(&batch);
       {

@@ -15,21 +15,38 @@
 
 #include "core/oneedit.h"
 #include "durability/manager.h"
+#include "serving/self_healing.h"
 
 namespace oneedit {
 namespace serving {
 
-/// Liveness of the write path. Reads always work; writes stop being
-/// accepted once the service degrades.
+/// Liveness of the write path (state machine in docs/serving.md). Reads
+/// always work; writes stop being accepted once the service degrades.
 enum class ServiceHealth {
   kHealthy,
-  /// The edit WAL failed an append or group commit: durability can no
-  /// longer be promised, so the service stops acknowledging writes (they
-  /// resolve as kRejected) while the read path stays up.
+  /// The edit WAL failed an append or group commit (after bounded retry):
+  /// durability can no longer be promised, so the service stops
+  /// acknowledging writes (they resolve as kRejected) while the read path
+  /// stays up.
   kReadOnlyDegraded,
+  /// Auto-heal probe in flight: the writer is testing whether the
+  /// durability environment recovered (by publishing a checkpoint). Writes
+  /// are still rejected; success promotes to kHealthy, failure falls back
+  /// to kReadOnlyDegraded.
+  kHalfOpenProbing,
 };
 
 std::string ServiceHealthName(ServiceHealth health);
+
+/// One health-state change, recorded (and logged) exactly once per
+/// transition.
+struct HealthTransition {
+  ServiceHealth from = ServiceHealth::kHealthy;
+  ServiceHealth to = ServiceHealth::kHealthy;
+  std::string reason;
+  /// 1-based transition ordinal for this service instance.
+  uint64_t sequence = 0;
+};
 
 /// Knobs for EditService. Defaults suit an interactive deployment: a small
 /// bounded queue that blocks producers rather than dropping edits.
@@ -54,6 +71,9 @@ struct EditServiceOptions {
   /// the system before the writer starts (set false when the caller already
   /// ran recovery itself).
   bool recover_on_start = true;
+  /// Self-healing: post-apply validation thresholds, rollback/quarantine,
+  /// WAL retry and degraded-mode auto-heal (docs/self_healing.md).
+  SelfHealOptions self_heal;
 };
 
 /// EditService: the concurrent serving layer over OneEditSystem.
@@ -75,9 +95,26 @@ struct EditServiceOptions {
 /// Per-request latency, queue depth, batch size and rejection counters flow
 /// into the underlying system's Statistics (kServing* tickers/histograms).
 ///
-/// Thread-safe. The destructor stops the writer; requests still queued at
-/// that point fail with Unavailable — call Drain() first for a graceful
-/// shutdown.
+/// Self-healing (docs/self_healing.md): every applied batch is validated
+/// under the exclusive lock (reliability probes + locality canaries via
+/// SelfHealer); a failing batch is rolled back byte-exactly, the poison
+/// request is bisected out and resolved kQuarantined, its verdict journaled
+/// to the WAL, and the innocents re-applied. Requests may carry a deadline
+/// (expired ones resolve DeadlineExceeded without occupying the writer),
+/// transient WAL failures are retried with capped exponential backoff, and
+/// a WAL-degraded service periodically probes a half-open state to promote
+/// itself back to healthy.
+///
+/// Thread-safe. Shutdown ordering (tested in tests/serving_test.cc):
+/// Stop() is idempotent and safe to race with in-flight Submit calls — it
+/// flips `stopping_` under the queue mutex and notifies both queue CVs, so
+/// a Submit blocked on backpressure (or a deadline wait) wakes, observes
+/// `stopping_`, and resolves Unavailable rather than sleeping forever; the
+/// writer finishes at most its current batch and exits; only then are the
+/// orphaned queue entries failed. The destructor calls Stop(), so
+/// destroying the service while producers are blocked cannot hang. Drain()
+/// also terminates while degraded: the writer keeps popping queued
+/// requests and resolves them with degraded rejections.
 class EditService {
  public:
   /// Takes ownership of a configured system and starts the writer thread.
@@ -98,6 +135,8 @@ class EditService {
   /// Enqueues a request for the writer. The future resolves with the edit's
   /// result once a writer batch containing it has been applied; with
   /// ResourceExhausted if the queue is full and `reject_when_full` is set;
+  /// with DeadlineExceeded if the request carries a deadline that expires
+  /// while it is still waiting (at admission backpressure or in the queue);
   /// or with Unavailable if the service stops first.
   std::future<StatusOr<EditResult>> Submit(EditRequest request);
 
@@ -143,6 +182,10 @@ class EditService {
   }
   bool read_only() const { return health() != ServiceHealth::kHealthy; }
 
+  /// Every health transition so far, in order (each was logged exactly
+  /// once when it happened).
+  std::vector<HealthTransition> health_log() const;
+
   /// What startup recovery did (all zeros without a durability manager or
   /// with recover_on_start = false).
   const durability::RecoveryReport& recovery_report() const {
@@ -165,6 +208,29 @@ class EditService {
 
   void WriterLoop();
 
+  /// The single place `health_` changes. No-op when already in `to`;
+  /// otherwise records + logs the transition exactly once and ticks
+  /// kHealthTransitions.
+  void TransitionHealth(ServiceHealth to, const std::string& reason);
+
+  /// Half-open auto-heal probe (writer thread, WAL-degraded only): attempts
+  /// a checkpoint under the exclusive lock. Success rotates the WAL clean
+  /// and promotes back to kHealthy; failure returns to kReadOnlyDegraded
+  /// until the next probe interval.
+  void TryHeal();
+
+  /// LogBatch with up to `wal_retry_limit` retries under capped exponential
+  /// backoff. A failed append can leave torn bytes mid-log, so each retry
+  /// first publishes a checkpoint — making the torn WAL redundant, rotating
+  /// it clean, and covering any sequence numbers the failed attempt leaked —
+  /// before re-journaling the batch. Caller holds the exclusive lock.
+  Status LogBatchWithRetry(const std::vector<EditRequest>& requests,
+                           Statistics* stats);
+
+  /// Moves queued requests whose deadline has passed into `expired` (caller
+  /// holds queue_mutex_; resolve them after unlocking).
+  void ExpireDeadlinesLocked(std::vector<Pending>* expired);
+
   /// Pops the next admissible batch from queue_ (caller holds queue_mutex_).
   /// FIFO per slot: a request whose footprint overlaps any earlier admitted
   /// OR earlier skipped request stays queued, so same-slot requests never
@@ -182,6 +248,17 @@ class EditService {
   std::atomic<ServiceHealth> health_{ServiceHealth::kHealthy};
   durability::RecoveryReport recovery_report_;
   Status recovery_status_ = Status::OK();
+
+  /// True when the degradation came from a WAL/IO failure — the only kind
+  /// auto-heal retries (a failed startup recovery needs an operator).
+  std::atomic<bool> wal_degraded_{false};
+  /// Guards health_log_ and serializes TransitionHealth.
+  mutable std::mutex health_mutex_;
+  std::vector<HealthTransition> health_log_;
+  uint64_t health_transitions_seen_ = 0;
+  /// Validation seed for batches when no durability manager assigns WAL
+  /// sequences (writer thread only).
+  uint64_t nodur_seed_ = 0;
 
   /// Readers share; the writer takes it exclusively only while applying a
   /// batch (not while waiting for work).

@@ -1,0 +1,226 @@
+#include "serving/self_healing.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "eval/probe_eval.h"
+#include "util/logging.h"
+
+namespace oneedit {
+namespace serving {
+namespace {
+
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+std::vector<EditRequest> Slice(const std::vector<EditRequest>& requests,
+                               size_t lo, size_t hi) {
+  return std::vector<EditRequest>(requests.begin() + lo, requests.begin() + hi);
+}
+
+}  // namespace
+
+SelfHealer::Canaries SelfHealer::SampleWithBaselines(
+    const std::vector<EditRequest>& requests, uint64_t seed) const {
+  Canaries canaries;
+  if (options_.canary_sample == 0) return canaries;
+  // The batch's own slots legitimately change; everything else must not.
+  std::unordered_set<std::string> footprint;
+  for (const EditRequest& request : requests) {
+    if (request.op == EditRequest::Op::kUtterance) continue;
+    footprint.insert(request.triple.subject);
+    footprint.insert(request.triple.object);
+  }
+  // Oversample, then keep confidently-decoded candidates first: a canary
+  // the model barely decides flips under the benign drift of any weight-
+  // writing batch and would false-positive the validation. Margins are a
+  // deterministic function of the pre-batch state, so live validation and
+  // crash-recovery replay select the same canary set.
+  const size_t oversample =
+      options_.canary_sample * std::max<size_t>(size_t{1},
+                                                options_.canary_oversample);
+  const std::vector<Probe> candidates =
+      SampleCanaryProbes(system_->kg(), seed, oversample, footprint);
+  const LanguageModel& model = system_->model();
+  std::vector<std::pair<Probe, std::string>> fallback;
+  for (const Probe& probe : candidates) {
+    if (canaries.probes.size() >= options_.canary_sample) break;
+    const Decode decode = LocalityDecode(model, probe);
+    if (decode.margin >= model.config().decode_margin) {
+      canaries.probes.push_back(probe);
+      canaries.baselines.push_back(decode.entity);
+    } else {
+      fallback.emplace_back(probe, decode.entity);
+    }
+  }
+  // Not enough confident facts in the KG: fill with marginal ones (sampled
+  // order) rather than validating against a thinner canary set.
+  for (size_t i = 0;
+       i < fallback.size() && canaries.probes.size() < options_.canary_sample;
+       ++i) {
+    canaries.probes.push_back(fallback[i].first);
+    canaries.baselines.push_back(fallback[i].second);
+  }
+  return canaries;
+}
+
+bool SelfHealer::SameEntity(const std::string& a, const std::string& b) const {
+  if (a == b) return true;
+  const KnowledgeGraph& kg = system_->kg();
+  const auto ia = kg.LookupEntity(a);
+  const auto ib = kg.LookupEntity(b);
+  return ia.ok() && ib.ok() && kg.Canonical(*ia) == kg.Canonical(*ib);
+}
+
+SelfHealer::Verdict SelfHealer::Validate(
+    const std::vector<EditRequest>& requests,
+    const std::vector<StatusOr<EditResult>>& results,
+    const Canaries& canaries) const {
+  Verdict verdict;
+  if (options_.reliability_probe) {
+    for (size_t i = 0; i < requests.size() && i < results.size(); ++i) {
+      // Only programmatic edits carry a triple whose decode we can demand;
+      // utterance-driven edits are still covered by the canaries.
+      if (requests[i].op != EditRequest::Op::kEdit) continue;
+      if (!results[i].ok() || !(*results[i]).applied()) continue;
+      const NamedTriple& triple = requests[i].triple;
+      const Decode decode = system_->Ask(triple.subject, triple.relation);
+      if (!SameEntity(decode.entity, triple.object)) {
+        verdict.reliability_failures.push_back(i);
+      }
+    }
+  }
+  for (size_t i = 0; i < canaries.probes.size(); ++i) {
+    if (!EvalLocalityUnchanged(system_->model(), canaries.probes[i],
+                               canaries.baselines[i])) {
+      ++verdict.canary_flips;
+    }
+  }
+  verdict.ok = verdict.reliability_failures.empty() &&
+               verdict.canary_flips <= options_.max_canary_flips;
+  if (!verdict.ok) {
+    if (!verdict.reliability_failures.empty()) {
+      verdict.reason =
+          std::to_string(verdict.reliability_failures.size()) +
+          " edit(s) failed their post-apply reliability probe";
+    } else {
+      verdict.reason = std::to_string(verdict.canary_flips) + "/" +
+                       std::to_string(canaries.probes.size()) +
+                       " locality canaries flipped";
+    }
+  }
+  return verdict;
+}
+
+bool SelfHealer::SubsetPoisons(const std::vector<EditRequest>& subset,
+                               const Canaries& canaries) {
+  OneEditSystem::BatchTxn txn = system_->BeginBatchTxn();
+  const std::vector<StatusOr<EditResult>> results = system_->EditBatch(subset);
+  const Verdict verdict = Validate(subset, results, canaries);
+  const Status aborted = system_->AbortBatchTxn(&txn);
+  if (!aborted.ok()) {
+    ONEEDIT_LOG(Error) << "bisection probe rollback failed: "
+                       << aborted.ToString();
+  }
+  return !verdict.ok;
+}
+
+size_t SelfHealer::IsolatePoison(const std::vector<EditRequest>& subset,
+                                 const Canaries& canaries) {
+  size_t lo = 0;
+  size_t hi = subset.size();
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (SubsetPoisons(Slice(subset, lo, mid), canaries)) {
+      hi = mid;
+    } else if (SubsetPoisons(Slice(subset, mid, hi), canaries)) {
+      lo = mid;
+    } else {
+      // Neither half reproduces the failure alone: an interaction effect.
+      // Deterministic tie-break so live and replay verdicts agree.
+      return hi - 1;
+    }
+  }
+  return lo;
+}
+
+HealedBatch SelfHealer::ApplyValidated(
+    const std::vector<EditRequest>& requests, uint64_t validation_seed) {
+  HealedBatch out;
+  out.results.resize(requests.size(),
+                     StatusOr<EditResult>(Status::Internal("unresolved")));
+  // Only pure kEdit batches are validated. Erase suppresses pretrained
+  // knowledge with rank-one updates that legitimately perturb nearby
+  // decodes (canaries would flag the intended collateral), and utterances
+  // have no triple to probe until interpreted; both run alone in the
+  // writer's batches anyway.
+  const bool validatable =
+      options_.validate_after_apply &&
+      std::all_of(requests.begin(), requests.end(), [](const EditRequest& r) {
+        return r.op == EditRequest::Op::kEdit;
+      });
+  if (!validatable) {
+    out.results = system_->EditBatch(requests);
+    return out;
+  }
+  Statistics& stats = system_->statistics();
+  // Indices (into `requests`) still in play; shrinks as poisons quarantine.
+  std::vector<size_t> active(requests.size());
+  for (size_t i = 0; i < active.size(); ++i) active[i] = i;
+
+  while (!active.empty()) {
+    std::vector<EditRequest> subset;
+    subset.reserve(active.size());
+    for (size_t i : active) subset.push_back(requests[i]);
+    // The canary set is a function of the CURRENT remaining request set and
+    // the batch's original seed, so each healing iteration — live or during
+    // replay with condemned records already removed — probes the same facts.
+    const Canaries canaries = SampleWithBaselines(subset, validation_seed);
+
+    OneEditSystem::BatchTxn txn = system_->BeginBatchTxn();
+    std::vector<StatusOr<EditResult>> results = system_->EditBatch(subset);
+    const Verdict verdict = Validate(subset, results, canaries);
+    if (verdict.ok) {
+      system_->CommitBatchTxn(&txn);
+      for (size_t k = 0; k < active.size(); ++k) {
+        out.results[active[k]] = std::move(results[k]);
+      }
+      break;
+    }
+
+    stats.Add(Ticker::kCanaryFailures);
+    const auto rollback_start = std::chrono::steady_clock::now();
+    const Status aborted = system_->AbortBatchTxn(&txn);
+    if (!aborted.ok()) {
+      ONEEDIT_LOG(Error) << "batch rollback failed: " << aborted.ToString();
+    }
+    stats.Add(Ticker::kRollbackBatches);
+    stats.Record(Histogram::kRollbackMicros, ElapsedMicros(rollback_start));
+    ++out.rollbacks;
+
+    // Isolate one poison by bisection. A failing reliability probe does NOT
+    // directly incriminate its own request: a poison's collateral drift can
+    // flip an innocent neighbor's decode in the same batch, so the probe may
+    // point at a victim. The half-batch probes instead converge on the
+    // request whose presence makes validation fail.
+    const size_t p = IsolatePoison(subset, canaries);
+    const size_t original = active[p];
+    out.quarantine_reason = verdict.reason;
+    EditResult quarantined;
+    quarantined.kind = EditResult::Kind::kQuarantined;
+    quarantined.message = "quarantined: " + verdict.reason;
+    out.results[original] = std::move(quarantined);
+    out.quarantined.push_back(original);
+    stats.Add(Ticker::kQuarantinedEdits);
+    active.erase(active.begin() + static_cast<long>(p));
+  }
+  std::sort(out.quarantined.begin(), out.quarantined.end());
+  return out;
+}
+
+}  // namespace serving
+}  // namespace oneedit

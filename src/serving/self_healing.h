@@ -1,0 +1,147 @@
+#ifndef ONEEDIT_SERVING_SELF_HEALING_H_
+#define ONEEDIT_SERVING_SELF_HEALING_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/oneedit.h"
+#include "data/dataset.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+namespace serving {
+
+/// Knobs for the write path's self-healing (docs/self_healing.md).
+/// Thresholds default lenient: validation exists to catch pathological
+/// edits (superposition blowups, poisoned batches), not to re-run the
+/// offline eval on every write.
+struct SelfHealOptions {
+  /// Master switch: validate every applied batch under the exclusive lock
+  /// (reliability probe per edit + sampled locality canaries) and roll the
+  /// batch back when validation trips.
+  bool validate_after_apply = true;
+  /// Untouched facts sampled from the KG as locality canaries per batch.
+  size_t canary_sample = 8;
+  /// Candidates sampled per kept canary. The sampler prefers candidates the
+  /// model currently decodes with margin >= its decode_margin: a marginal
+  /// decode flips under benign batch drift and would false-positive the
+  /// whole batch. Deterministic — margins are a function of the pre-batch
+  /// state the validator (and crash-recovery replay) starts from.
+  size_t canary_oversample = 4;
+  /// Canary decodes allowed to change before the batch counts as poisoned.
+  /// A strict 0 would flag benign drift: a coalesced batch of weight-writing
+  /// edits legitimately nudges a couple of decodes, and a SINGLE undiluted
+  /// edit (batch dilution does not soften it) can flip up to ~3 of 8 — the
+  /// bisection probes subsets down to size 1, so the threshold must clear
+  /// the benign single-edit case. A poison flips most of the sample (and
+  /// usually fails reliability outright), leaving a wide gap above 3.
+  size_t max_canary_flips = 3;
+  /// Probe that each applied kEdit request decodes its new object.
+  bool reliability_probe = true;
+  /// Transient WAL/IO failures retried with exponential backoff before the
+  /// service degrades (0 disables retry).
+  size_t wal_retry_limit = 3;
+  /// First retry backoff; doubled per retry up to the cap.
+  std::chrono::milliseconds wal_retry_backoff{1};
+  std::chrono::milliseconds wal_retry_backoff_cap{8};
+  /// Degraded-mode auto-heal: periodically enter a half-open probing state
+  /// and publish a checkpoint; success promotes the service back to
+  /// healthy without a restart.
+  bool auto_heal = true;
+  std::chrono::milliseconds heal_probe_interval{25};
+};
+
+/// What ApplyValidated decided for one coalesced batch.
+struct HealedBatch {
+  /// One result per submitted request, in order; quarantined requests hold
+  /// EditResult::kQuarantined values (a policy decision, not an error).
+  std::vector<StatusOr<EditResult>> results;
+  /// Indices (into the submitted batch) that were quarantined, ascending.
+  /// The caller maps index i to WAL sequence `first_sequence + i` when
+  /// journaling verdicts.
+  std::vector<size_t> quarantined;
+  std::string quarantine_reason;
+  /// Apply-then-undo episodes (1 per failed validation, plus bisection
+  /// probes are transactional and not counted here).
+  size_t rollbacks = 0;
+};
+
+/// The post-apply validation + rollback + bisection + quarantine engine.
+///
+/// ApplyValidated applies a coalesced batch inside a OneEditSystem::BatchTxn
+/// and validates it with two in-process checks, both cheap enough to run
+/// under the writer's already-held exclusive lock:
+///
+///  - reliability: each applied kEdit request must decode its new object
+///    (alias-canonicalized via the KG);
+///  - locality: a deterministic sample of untouched facts (canaries) must
+///    decode the same answer as immediately before the batch.
+///
+/// On failure the transaction aborts — weights restored from snapshot, KG
+/// rolled back, editor ledgers/cache/adaptors undone — and the poison
+/// request is isolated by bisecting the batch with transactional half-batch
+/// probes (a failing reliability probe is treated as a symptom, not an
+/// indictment: collateral drift from a poison can flip an innocent
+/// neighbor's decode). The poison resolves as kQuarantined and the
+/// innocents are re-applied as one batch; the loop repeats until validation
+/// passes (or nothing is left).
+///
+/// Everything here is a deterministic function of (pre-batch system state,
+/// requests, validation_seed): the canary sample, every probe's key noise,
+/// and therefore the verdict. The serving layer seeds with the batch's
+/// first WAL sequence, so crash-recovery replay — which re-runs this very
+/// function from the same pre-batch state — reaches the identical verdict
+/// even when the crash outran the journaled quarantine record.
+class SelfHealer {
+ public:
+  SelfHealer(OneEditSystem* system, const SelfHealOptions& options)
+      : system_(system), options_(options) {}
+
+  HealedBatch ApplyValidated(const std::vector<EditRequest>& requests,
+                             uint64_t validation_seed);
+
+ private:
+  struct Canaries {
+    std::vector<Probe> probes;
+    std::vector<std::string> baselines;
+  };
+
+  struct Verdict {
+    bool ok = true;
+    size_t canary_flips = 0;
+    /// Indices (into the validated subset) whose reliability probe failed.
+    std::vector<size_t> reliability_failures;
+    std::string reason;
+  };
+
+  /// Samples canaries for `requests`' footprint and records their pre-batch
+  /// decodes. Call with the pre-batch state active.
+  Canaries SampleWithBaselines(const std::vector<EditRequest>& requests,
+                               uint64_t seed) const;
+
+  /// Post-apply checks for `requests` (already applied, results in hand).
+  Verdict Validate(const std::vector<EditRequest>& requests,
+                   const std::vector<StatusOr<EditResult>>& results,
+                   const Canaries& canaries) const;
+
+  /// Transactional probe: applies `subset` alone from the current (pre-
+  /// batch) state, validates, and undoes it. True if validation trips.
+  bool SubsetPoisons(const std::vector<EditRequest>& subset,
+                     const Canaries& canaries);
+
+  /// Bisection over a subset known to fail validation: returns the index of
+  /// the isolated poison request within `subset`.
+  size_t IsolatePoison(const std::vector<EditRequest>& subset,
+                       const Canaries& canaries);
+
+  bool SameEntity(const std::string& a, const std::string& b) const;
+
+  OneEditSystem* system_;
+  SelfHealOptions options_;
+};
+
+}  // namespace serving
+}  // namespace oneedit
+
+#endif  // ONEEDIT_SERVING_SELF_HEALING_H_

@@ -32,6 +32,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

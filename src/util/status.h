@@ -25,6 +25,7 @@ enum class StatusCode {
   kRejected,  ///< Edit rejected (e.g., toxic-knowledge guard).
   kResourceExhausted,  ///< Bounded queue/backpressure limit hit.
   kUnavailable,        ///< Service shutting down or not accepting work.
+  kDeadlineExceeded,   ///< Request deadline expired before it could run.
 };
 
 /// Returns a short human-readable name for a code ("NotFound", ...).
@@ -82,6 +83,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -95,6 +99,9 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -15,12 +15,15 @@
 #include <gtest/gtest.h>
 
 #include "data/dataset.h"
+#include "data/name_pool.h"
 #include "durability/checkpoint.h"
 #include "durability/edit_wal.h"
 #include "durability/env.h"
 #include "durability/fault_env.h"
 #include "durability/manager.h"
+#include "editing/editor.h"
 #include "serving/edit_service.h"
+#include "serving/self_healing.h"
 
 namespace oneedit {
 namespace {
@@ -194,6 +197,41 @@ TEST(EditWalTest, ResetRotatesTheLog) {
                               })
                   .ok());
   // Record 1 rotated away; the log continues at the next sequence.
+  ASSERT_EQ(sequences.size(), 1u);
+  EXPECT_EQ(sequences[0], 2u);
+  std::remove(path.c_str());
+}
+
+TEST(EditWalTest, ResetRecoversAfterFailedReopen) {
+  const std::string dir = TempDirFor("oneedit_ewal_reset_fault");
+  ASSERT_TRUE(Env::Default()->CreateDir(dir).ok());
+  const std::string path = dir + "/edits.wal";
+  std::remove(path.c_str());
+  FaultInjectingEnv fault(Env::Default());
+  EditWal wal;
+  ASSERT_TRUE(wal.Open(path, &fault).ok());
+  ASSERT_TRUE(wal.Append(MakeRecord(1, true, "USA", "Trump")).ok());
+  ASSERT_TRUE(wal.Sync().ok());
+
+  // The truncating reopen inside Reset fails: the old handle is already
+  // gone, so the log ends up closed.
+  fault.FailNext(1);
+  ASSERT_FALSE(wal.Reset().ok());
+  EXPECT_FALSE(wal.is_open());
+
+  // Once I/O recovers, Reset must regain the handle rather than latching
+  // into "not open" forever — this is the degraded service's heal path.
+  ASSERT_TRUE(wal.Reset().ok());
+  EXPECT_TRUE(wal.is_open());
+  ASSERT_TRUE(wal.Append(MakeRecord(2, true, "France", "Macron")).ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  std::vector<uint64_t> sequences;
+  ASSERT_TRUE(EditWal::Replay(path, nullptr,
+                              [&](const EditWalRecord& record) {
+                                sequences.push_back(record.sequence);
+                                return Status::OK();
+                              })
+                  .ok());
   ASSERT_EQ(sequences.size(), 1u);
   EXPECT_EQ(sequences[0], 2u);
   std::remove(path.c_str());
@@ -547,6 +585,203 @@ TEST(CrashPropertyTest, EveryFailpointRecoversToConsistentState) {
       if (acked[i]) {
         EXPECT_EQ(got, c.edit.object)
             << "acknowledged edit " << i << " (" << c.edit.subject
+            << ") was lost by the crash at op " << crash_at;
+      }
+    }
+  }
+}
+
+// ------------------------------------- crash-during-rollback property test ----
+// Satellite of the self-healing pipeline: inject a crash at every failpoint
+// of a workload whose third edit is a poison (quarantined by post-apply
+// validation), and assert recovery NEVER resurrects the quarantined edit —
+// whether the crash hit before the batch journaled, mid-rollback, between
+// the rollback and the quarantine-verdict journal write, or during the
+// fallback checkpoint. When the crash outruns the verdict record, the
+// replay applier re-validates the batch from the same pre-batch state and
+// seed and reaches the same verdict.
+
+OneEditConfig MemitConfig() {
+  OneEditConfig config;
+  config.method = EditingMethodKind::kMemit;
+  config.interpreter.extraction_error_rate = 0.0;
+  return config;
+}
+
+/// Like World, but MEMIT — the method whose ledger-scaled collateral drift
+/// makes a poison constructible.
+struct MemitWorld {
+  MemitWorld()
+      : dataset(BuildAmericanPoliticians(TinyOptions())),
+        model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                              dataset.vocab)) {
+    model->Pretrain(dataset.pretrain_facts);
+    auto created =
+        OneEditSystem::Create(&dataset.kg, model.get(), MemitConfig());
+    EXPECT_TRUE(created.ok());
+    system = std::move(created).value();
+  }
+
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+  std::unique_ptr<OneEditSystem> system;
+};
+
+/// A counterfactual edit against a slot in the extra-states block no case
+/// touches (see tests/self_healing_test.cc for the ledger mechanics).
+NamedTriple PoisonTriple() {
+  return NamedTriple{names::State(20), "governor", names::Person(42)};
+}
+
+constexpr int kPoisonInflation = 3;
+
+/// Hand-inflates the slot's live-edit ledger without leaving the weights
+/// changed: the next MEMIT edit on the slot sprays ledger-scaled collateral
+/// drift and fails validation. Checkpoints do not persist the method ledger,
+/// so the reboot side re-runs the same inflation on its pristine system —
+/// recovery's contract is "call on a freshly built system", and this IS how
+/// this system is freshly built.
+void InflatePoisonLedger(OneEditSystem* system, LanguageModel* model) {
+  EditingMethod& method = system->editor().method();
+  const NamedTriple slot = PoisonTriple();
+  for (int i = 0; i < kPoisonInflation; ++i) {
+    auto delta = method.ApplyEdit(model, slot);
+    ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+    ApplyWeightDelta(model, *delta, -1.0);
+  }
+}
+
+/// Scripted poison workload: innocent, innocent, POISON, innocent — each a
+/// sequential SubmitAndWait (so each is its own writer batch), checkpointing
+/// every 2 committed edits. Records which requests were acknowledged as
+/// applied and whether the poison was acknowledged as quarantined.
+struct PoisonRunResult {
+  std::vector<bool> acked;         // innocents acknowledged kEdited
+  bool poison_quarantined = false; // poison acknowledged kQuarantined
+};
+
+PoisonRunResult RunPoisonWorkload(const std::string& dir,
+                                  FaultInjectingEnv* fault, long crash_at,
+                                  const std::vector<EditCase>& innocents) {
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.env = fault;
+  opts.checkpoint_interval = 2;
+  auto mgr = DurabilityManager::Open(opts);
+  EXPECT_TRUE(mgr.ok());
+
+  Dataset dataset = BuildAmericanPoliticians(TinyOptions());
+  auto model =
+      std::make_unique<LanguageModel>(Gpt2XlSimConfig(), dataset.vocab);
+  model->Pretrain(dataset.pretrain_facts);
+  EditServiceOptions options;
+  options.durability = mgr->get();
+  auto created =
+      EditService::Create(&dataset.kg, model.get(), MemitConfig(), options);
+  EXPECT_TRUE(created.ok());
+  auto service = std::move(created).value();
+  service->WithExclusive([&](OneEditSystem& system) {
+    InflatePoisonLedger(&system, model.get());
+    return 0;
+  });
+
+  fault->CrashAt(crash_at);
+  PoisonRunResult run;
+  size_t innocent_index = 0;
+  for (size_t step = 0; step < 4; ++step) {
+    if (step == 2) {
+      const auto result = service->SubmitAndWait(
+          EditRequest::Edit(PoisonTriple(), "mallory"));
+      run.poison_quarantined =
+          result.ok() && result->kind == EditResult::Kind::kQuarantined;
+    } else {
+      const auto result = service->SubmitAndWait(
+          EditRequest::Edit(innocents[innocent_index++].edit, "alice"));
+      run.acked.push_back(result.ok() &&
+                          result->kind == EditResult::Kind::kEdited);
+    }
+  }
+  service->Drain();
+  return run;
+}
+
+TEST(CrashDuringRollbackPropertyTest, QuarantineVerdictSurvivesEveryCrash) {
+  const NamedTriple poison = PoisonTriple();
+
+  // Pre-edit decodes from a pristine (inflated) world — the state every
+  // slot must be in when its edit did not commit.
+  MemitWorld probe_world;
+  InflatePoisonLedger(probe_world.system.get(), probe_world.model.get());
+  std::vector<EditCase> innocents(probe_world.dataset.cases.begin(),
+                                  probe_world.dataset.cases.begin() + 3);
+  std::vector<std::string> pre_edit;
+  for (const EditCase& c : innocents) {
+    pre_edit.push_back(
+        probe_world.system->Ask(c.edit.subject, c.edit.relation).entity);
+  }
+  const std::string pre_poison =
+      probe_world.system->Ask(poison.subject, poison.relation).entity;
+  ASSERT_NE(pre_poison, poison.object)
+      << "poison object must differ from the pre-edit decode";
+
+  // Probe run: the workload must behave as scripted when nothing fails, and
+  // we need its file-op count to enumerate failpoints.
+  FaultInjectingEnv probe_env(Env::Default());
+  {
+    const std::string dir = TempDirFor("oneedit_rbcrash_probe");
+    const PoisonRunResult run =
+        RunPoisonWorkload(dir, &probe_env, -1, innocents);
+    for (size_t i = 0; i < run.acked.size(); ++i) {
+      ASSERT_TRUE(run.acked[i]) << "probe innocent " << i << " did not apply";
+    }
+    ASSERT_TRUE(run.poison_quarantined)
+        << "probe run did not quarantine the poison";
+  }
+  const long total_ops = probe_env.ops_seen();
+  ASSERT_GE(total_ops, 10) << "workload exercises too few failpoints";
+
+  for (long crash_at = 0; crash_at < total_ops; ++crash_at) {
+    SCOPED_TRACE("crash at file op " + std::to_string(crash_at));
+    const std::string dir =
+        TempDirFor("oneedit_rbcrash_" + std::to_string(crash_at));
+    FaultInjectingEnv fault(Env::Default());
+    const PoisonRunResult run =
+        RunPoisonWorkload(dir, &fault, crash_at, innocents);
+    EXPECT_TRUE(fault.crashed());
+
+    // "Reboot": pristine world, same ledger inflation, then recovery with
+    // the self-healing replay applier (what EditService injects).
+    MemitWorld rebooted;
+    InflatePoisonLedger(rebooted.system.get(), rebooted.model.get());
+    DurabilityOptions opts;
+    opts.dir = dir;
+    auto mgr = DurabilityManager::Open(opts);
+    ASSERT_TRUE(mgr.ok());
+    const durability::ReplayApplier applier =
+        [&](const durability::ReplayBatch& batch) {
+          serving::SelfHealer healer(rebooted.system.get(),
+                                     serving::SelfHealOptions{});
+          (void)healer.ApplyValidated(batch.requests, batch.first_sequence);
+        };
+    const auto report = (*mgr)->Recover(rebooted.system.get(), applier);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+    // The quarantined edit must NEVER be live after recovery — no crash
+    // point may resurrect it, journaled verdict or not.
+    EXPECT_EQ(rebooted.system->Ask(poison.subject, poison.relation).entity,
+              pre_poison)
+        << "quarantined edit resurrected by the crash at op " << crash_at;
+
+    for (size_t i = 0; i < innocents.size(); ++i) {
+      const EditCase& c = innocents[i];
+      const std::string got =
+          rebooted.system->Ask(c.edit.subject, c.edit.relation).entity;
+      EXPECT_TRUE(got == c.edit.object || got == pre_edit[i])
+          << "innocent " << i << " (" << c.edit.subject
+          << ") recovered to '" << got << "'";
+      if (run.acked[i]) {
+        EXPECT_EQ(got, c.edit.object)
+            << "acknowledged innocent " << i << " (" << c.edit.subject
             << ") was lost by the crash at op " << crash_at;
       }
     }

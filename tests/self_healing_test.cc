@@ -1,0 +1,490 @@
+// Tests for the self-healing edit pipeline: post-apply validation (canary
+// probes + reliability), transactional rollback, poison-edit bisection and
+// quarantine, request deadlines, bounded WAL retry, and degraded-mode
+// auto-heal. The bisection property test plants a poison at every position
+// of an 8-request batch and requires the healed state to be byte-identical
+// to a world that never saw the poison.
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/name_pool.h"
+#include "durability/edit_wal.h"
+#include "durability/env.h"
+#include "durability/fault_env.h"
+#include "durability/manager.h"
+#include "editing/editor.h"
+#include "serving/edit_service.h"
+#include "serving/self_healing.h"
+
+namespace oneedit {
+namespace {
+
+using durability::DurabilityManager;
+using durability::DurabilityOptions;
+using durability::Env;
+using durability::FaultInjectingEnv;
+using serving::EditService;
+using serving::EditServiceOptions;
+using serving::HealedBatch;
+using serving::SelfHealer;
+using serving::SelfHealOptions;
+using serving::ServiceHealth;
+
+// 16 cases so the first 8 (the governor edits) have pairwise-disjoint
+// {subject, object} footprints — the invariant the writer's batch admission
+// guarantees, which the SelfHealer tests replicate by hand.
+DatasetOptions TinyOptions() {
+  DatasetOptions options;
+  options.num_cases = 16;
+  return options;
+}
+
+OneEditConfig MemitConfig() {
+  OneEditConfig config;
+  config.method = EditingMethodKind::kMemit;
+  config.interpreter.extraction_error_rate = 0.0;
+  return config;
+}
+
+/// A deterministic MEMIT world. MEMIT is the method under test because its
+/// collateral drift scales with the slot's live-edit ledger — the mechanism
+/// that turns one request into a poison.
+struct MemitWorld {
+  MemitWorld()
+      : dataset(BuildAmericanPoliticians(TinyOptions())),
+        model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                              dataset.vocab)) {
+    model->Pretrain(dataset.pretrain_facts);
+    auto created =
+        OneEditSystem::Create(&dataset.kg, model.get(), MemitConfig());
+    EXPECT_TRUE(created.ok());
+    system = std::move(created).value();
+  }
+
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+  std::unique_ptr<OneEditSystem> system;
+};
+
+/// Turns `slot` into a poison slot: applies `n` edits through the method and
+/// removes their weights directly — bypassing NoteRollback — so the
+/// live-edit ledger keeps counting them. The next MEMIT edit on the slot
+/// then sprays collateral_noise * (1 + repeat_collateral * n) of dense drift
+/// across the model, flipping unrelated decodes (the knowledge-distortion
+/// pathology of repeated same-slot editing). Deterministic: the drift is
+/// fact-seeded and the weight add/subtract sequence is identical in every
+/// world that runs the same inflation.
+void InflatePoisonLedger(OneEditSystem* system, LanguageModel* model,
+                         const NamedTriple& slot, int n) {
+  EditingMethod& method = system->editor().method();
+  for (int i = 0; i < n; ++i) {
+    auto delta = method.ApplyEdit(model, slot);
+    ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+    ApplyWeightDelta(model, *delta, -1.0);
+  }
+  EXPECT_EQ(method.LiveEdits(slot), static_cast<size_t>(n));
+}
+
+/// Disjoint-footprint edit requests: the governor cases edit (state_i,
+/// governor) -> governor_{8+i}, so subjects and objects never collide for
+/// i < 8.
+std::vector<EditRequest> InnocentRequests(const Dataset& dataset,
+                                          size_t count) {
+  std::vector<EditRequest> requests;
+  for (size_t i = 0; i < count; ++i) {
+    requests.push_back(EditRequest::Edit(dataset.cases[i].edit, "alice"));
+  }
+  return requests;
+}
+
+/// A counterfactual edit against a slot in the dataset's extra-states block:
+/// no case touches it, so its footprint is disjoint from every innocent.
+NamedTriple PoisonTriple() {
+  return NamedTriple{names::State(20), "governor", names::Person(42)};
+}
+
+constexpr int kPoisonInflation = 3;  // ledger count that makes it toxic
+constexpr uint64_t kSeed = 12345;
+
+TEST(SelfHealerTest, CleanMemitBatchPassesValidationUntouched) {
+  MemitWorld world;
+  const std::vector<EditRequest> requests =
+      InnocentRequests(world.dataset, 8);
+
+  SelfHealer healer(world.system.get(), SelfHealOptions{});
+  const HealedBatch healed = healer.ApplyValidated(requests, kSeed);
+
+  EXPECT_TRUE(healed.quarantined.empty()) << healed.quarantine_reason;
+  EXPECT_EQ(healed.rollbacks, 0u);
+  ASSERT_EQ(healed.results.size(), requests.size());
+  for (size_t i = 0; i < healed.results.size(); ++i) {
+    ASSERT_TRUE(healed.results[i].ok()) << i;
+    EXPECT_EQ(healed.results[i]->kind, EditResult::Kind::kEdited) << i;
+  }
+  const Statistics& stats = world.system->statistics();
+  EXPECT_EQ(stats.Get(Ticker::kCanaryFailures), 0u);
+  EXPECT_EQ(stats.Get(Ticker::kQuarantinedEdits), 0u);
+}
+
+TEST(SelfHealerTest, PoisonAtEveryPositionIsQuarantinedExactly) {
+  for (size_t position = 0; position < 8; ++position) {
+    SCOPED_TRACE("poison at batch position " + std::to_string(position));
+
+    // Healing world: the poison request rides at `position` inside an
+    // otherwise-innocent batch of 8.
+    MemitWorld healing;
+    const NamedTriple poison = PoisonTriple();
+    InflatePoisonLedger(healing.system.get(), healing.model.get(), poison,
+                        kPoisonInflation);
+    std::vector<EditRequest> requests = InnocentRequests(healing.dataset, 7);
+    requests.insert(requests.begin() + static_cast<long>(position),
+                    EditRequest::Edit(poison, "mallory"));
+
+    SelfHealer healer(healing.system.get(), SelfHealOptions{});
+    const HealedBatch healed = healer.ApplyValidated(requests, kSeed);
+
+    // Exactly the poison is quarantined; every innocent applied.
+    ASSERT_EQ(healed.quarantined.size(), 1u) << healed.quarantine_reason;
+    EXPECT_EQ(healed.quarantined[0], position);
+    EXPECT_GE(healed.rollbacks, 1u);
+    ASSERT_EQ(healed.results.size(), 8u);
+    for (size_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(healed.results[i].ok()) << i;
+      EXPECT_EQ(healed.results[i]->kind,
+                i == position ? EditResult::Kind::kQuarantined
+                              : EditResult::Kind::kEdited)
+          << i;
+    }
+
+    // Baseline world: identical construction and inflation, but the poison
+    // is never submitted. The healed model must be byte-identical — the
+    // transactional rollback left no trace of the poison or of the aborted
+    // bisection probes.
+    MemitWorld baseline;
+    InflatePoisonLedger(baseline.system.get(), baseline.model.get(), poison,
+                        kPoisonInflation);
+    std::vector<EditRequest> innocents;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (i != position) innocents.push_back(requests[i]);
+    }
+    for (const auto& result : baseline.system->EditBatch(innocents)) {
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result->kind, EditResult::Kind::kEdited);
+    }
+
+    EXPECT_TRUE(healing.model->SnapshotWeights() ==
+                baseline.model->SnapshotWeights())
+        << "healed weights differ from the never-poisoned baseline";
+    EXPECT_EQ(healing.system->audit_log().size(),
+              baseline.system->audit_log().size());
+    EXPECT_EQ(
+        healing.system->Ask(poison.subject, poison.relation).entity,
+        baseline.system->Ask(poison.subject, poison.relation).entity);
+
+    const Statistics& stats = healing.system->statistics();
+    EXPECT_EQ(stats.Get(Ticker::kQuarantinedEdits), 1u);
+    EXPECT_GE(stats.Get(Ticker::kRollbackBatches), 1u);
+    EXPECT_GE(stats.Get(Ticker::kCanaryFailures), 1u);
+    EXPECT_GE(stats.GetHistogram(Histogram::kRollbackMicros).count, 1u);
+  }
+}
+
+TEST(SelfHealerTest, ValidationDisabledAppliesEverythingIncludingPoison) {
+  MemitWorld world;
+  const NamedTriple poison = PoisonTriple();
+  InflatePoisonLedger(world.system.get(), world.model.get(), poison,
+                      kPoisonInflation);
+  std::vector<EditRequest> requests = InnocentRequests(world.dataset, 4);
+  requests.push_back(EditRequest::Edit(poison, "mallory"));
+
+  SelfHealOptions options;
+  options.validate_after_apply = false;
+  SelfHealer healer(world.system.get(), options);
+  const HealedBatch healed = healer.ApplyValidated(requests, kSeed);
+
+  EXPECT_TRUE(healed.quarantined.empty());
+  for (const auto& result : healed.results) {
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->kind, EditResult::Kind::kEdited);
+  }
+  EXPECT_EQ(world.system->statistics().Get(Ticker::kQuarantinedEdits), 0u);
+}
+
+// --------------------------------------------- service-level self-healing ----
+
+OneEditConfig GraceConfig() {
+  OneEditConfig config;
+  config.method = EditingMethodKind::kGrace;
+  config.interpreter.extraction_error_rate = 0.0;
+  return config;
+}
+
+struct ServedWorld {
+  explicit ServedWorld(const EditServiceOptions& options = {},
+                       const OneEditConfig& config = GraceConfig())
+      : dataset(BuildAmericanPoliticians(TinyOptions())),
+        model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                              dataset.vocab)) {
+    model->Pretrain(dataset.pretrain_facts);
+    auto created =
+        EditService::Create(&dataset.kg, model.get(), config, options);
+    EXPECT_TRUE(created.ok());
+    service = std::move(created).value();
+  }
+
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+  std::unique_ptr<EditService> service;
+};
+
+TEST(ServiceSelfHealTest, PoisonedSubmissionIsQuarantinedAndJournaled) {
+  const std::string dir = testing::TempDir() + "/oneedit_heal_quarantine";
+  std::remove((dir + "/edits.wal").c_str());
+  std::remove((dir + "/checkpoint.oedc").c_str());
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.checkpoint_interval = 0;  // keep every record in the WAL
+  auto mgr = DurabilityManager::Open(opts);
+  ASSERT_TRUE(mgr.ok());
+
+  EditServiceOptions options;
+  options.durability = mgr->get();
+  ServedWorld world(options, MemitConfig());
+  const NamedTriple poison = PoisonTriple();
+  world.service->WithExclusive([&](OneEditSystem& system) {
+    InflatePoisonLedger(&system, world.model.get(), poison, kPoisonInflation);
+    return 0;
+  });
+
+  const auto innocent = world.service->SubmitAndWait(
+      EditRequest::Edit(world.dataset.cases[0].edit, "alice"));
+  ASSERT_TRUE(innocent.ok());
+  EXPECT_EQ(innocent->kind, EditResult::Kind::kEdited);
+
+  const auto poisoned = world.service->SubmitAndWait(
+      EditRequest::Edit(poison, "mallory"));
+  ASSERT_TRUE(poisoned.ok());  // a policy decision, not a transport error
+  EXPECT_EQ(poisoned->kind, EditResult::Kind::kQuarantined);
+  EXPECT_TRUE(poisoned->quarantined());
+
+  // The rollback restored the model: the poison never decodes, the service
+  // stays healthy, and the verdict reached the WAL.
+  EXPECT_EQ(world.service->health(), ServiceHealth::kHealthy);
+  const Statistics& stats = world.service->statistics();
+  EXPECT_EQ(stats.Get(Ticker::kQuarantinedEdits), 1u);
+  EXPECT_GE(stats.Get(Ticker::kRollbackBatches), 1u);
+
+  size_t verdicts = 0;
+  ASSERT_TRUE(durability::EditWal::Replay(
+                  mgr->get()->wal_path(), nullptr,
+                  [&](const durability::EditWalRecord& record) {
+                    if (record.quarantine) {
+                      ++verdicts;
+                      EXPECT_EQ(record.quarantined_sequence, 2u);
+                    }
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(verdicts, 1u);
+}
+
+TEST(ServiceSelfHealTest, TransientWalFailureIsRetriedWithoutDegrading) {
+  const std::string dir = testing::TempDir() + "/oneedit_heal_retry";
+  std::remove((dir + "/edits.wal").c_str());
+  std::remove((dir + "/checkpoint.oedc").c_str());
+  FaultInjectingEnv fault(Env::Default());
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.env = &fault;
+  auto mgr = DurabilityManager::Open(opts);
+  ASSERT_TRUE(mgr.ok());
+
+  EditServiceOptions options;
+  options.durability = mgr->get();
+  ServedWorld world(options);
+  const EditCase& c = world.dataset.cases[0];
+
+  // One transient I/O failure: the WAL append fails once, the retry path
+  // checkpoints the torn log away and re-journals, and the edit commits
+  // with the service still healthy.
+  fault.FailNext(1);
+  const auto result =
+      world.service->SubmitAndWait(EditRequest::Edit(c.edit, "alice"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->kind, EditResult::Kind::kEdited);
+  EXPECT_EQ(world.service->health(), ServiceHealth::kHealthy);
+  EXPECT_GE(world.service->statistics().Get(Ticker::kWalRetries), 1u);
+  EXPECT_EQ(fault.transient_failures(), 1);
+  EXPECT_EQ(world.service->Ask(c.edit.subject, c.edit.relation).entity,
+            c.edit.object);
+}
+
+TEST(ServiceSelfHealTest, ExhaustedRetriesDegradeThenAutoHealPromotesBack) {
+  const std::string dir = testing::TempDir() + "/oneedit_heal_autoheal";
+  std::remove((dir + "/edits.wal").c_str());
+  std::remove((dir + "/checkpoint.oedc").c_str());
+  FaultInjectingEnv fault(Env::Default());
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.env = &fault;
+  auto mgr = DurabilityManager::Open(opts);
+  ASSERT_TRUE(mgr.ok());
+
+  EditServiceOptions options;
+  options.durability = mgr->get();
+  options.self_heal.heal_probe_interval = std::chrono::milliseconds(10);
+  ServedWorld world(options);
+
+  // Enough failures to exhaust the bounded retry (initial append + each
+  // retry's checkpoint/append); the service must degrade.
+  fault.FailNext(50);
+  const auto rejected = world.service->SubmitAndWait(
+      EditRequest::Edit(world.dataset.cases[0].edit, "alice"));
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->kind, EditResult::Kind::kRejected);
+  EXPECT_EQ(world.service->health(), ServiceHealth::kReadOnlyDegraded);
+  EXPECT_GE(world.service->statistics().Get(Ticker::kWalRetries), 1u);
+
+  // The "disk" comes back; the half-open probe must promote the service
+  // without a restart.
+  fault.Clear();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (world.service->health() != ServiceHealth::kHealthy &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(world.service->health(), ServiceHealth::kHealthy);
+
+  // Healed for real: writes are accepted and durable again.
+  const auto accepted = world.service->SubmitAndWait(
+      EditRequest::Edit(world.dataset.cases[1].edit, "bob"));
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(accepted->kind, EditResult::Kind::kEdited);
+
+  // The transition log saw each hop exactly once, in order, with
+  // monotonically increasing sequence numbers.
+  const auto log = world.service->health_log();
+  ASSERT_GE(log.size(), 3u);
+  EXPECT_EQ(log.front().from, ServiceHealth::kHealthy);
+  EXPECT_EQ(log.front().to, ServiceHealth::kReadOnlyDegraded);
+  bool promoted = false;
+  for (size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].sequence, i + 1);
+    if (i > 0) {
+      EXPECT_EQ(log[i].from, log[i - 1].to);
+    }
+    if (log[i].to == ServiceHealth::kHealthy) {
+      promoted = true;
+      EXPECT_EQ(log[i].from, ServiceHealth::kHalfOpenProbing);
+    }
+  }
+  EXPECT_TRUE(promoted);
+  EXPECT_EQ(world.service->statistics().Get(Ticker::kHealthTransitions),
+            log.size());
+}
+
+TEST(ServiceSelfHealTest, ExpiredDeadlineIsRejectedAtTheDoor) {
+  ServedWorld world;
+  EditRequest request = EditRequest::Edit(world.dataset.cases[0].edit, "a");
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  const auto result = world.service->SubmitAndWait(std::move(request));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+  EXPECT_EQ(world.service->statistics().Get(Ticker::kDeadlineExpired), 1u);
+}
+
+TEST(ServiceSelfHealTest, QueuedRequestExpiresWhileWriterIsBusy) {
+  ServedWorld world;
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::promise<void> locked;
+
+  // Hold the exclusive lock so the writer stalls mid-batch while the
+  // deadlined request waits in the queue past its deadline.
+  std::thread holder([&] {
+    world.service->WithExclusive([&](OneEditSystem&) {
+      locked.set_value();
+      released.wait();
+      return 0;
+    });
+  });
+  locked.get_future().wait();
+
+  auto first =
+      world.service->Submit(EditRequest::Edit(world.dataset.cases[0].edit,
+                                              "alice"));
+  // Wait until the writer has popped it (and stalled on the lock) so the
+  // deadlined request cannot coalesce into the same batch.
+  while (world.service->queue_depth() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EditRequest doomed = EditRequest::Edit(world.dataset.cases[1].edit, "bob");
+  doomed.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(30);
+  auto expired = world.service->Submit(std::move(doomed));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  release.set_value();
+  holder.join();
+
+  const auto ok = first.get();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->kind, EditResult::Kind::kEdited);
+  const auto dead = expired.get();
+  ASSERT_FALSE(dead.ok());
+  EXPECT_TRUE(dead.status().IsDeadlineExceeded());
+  EXPECT_GE(world.service->statistics().Get(Ticker::kDeadlineExpired), 1u);
+}
+
+TEST(ServiceSelfHealTest, BackpressureWaitHonorsTheDeadline) {
+  EditServiceOptions options;
+  options.queue_capacity = 1;
+  ServedWorld world(options);
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::promise<void> locked;
+  std::thread holder([&] {
+    world.service->WithExclusive([&](OneEditSystem&) {
+      locked.set_value();
+      released.wait();
+      return 0;
+    });
+  });
+  locked.get_future().wait();
+
+  // First request gets popped by the writer (which then stalls on the
+  // lock); the second fills the 1-slot queue; the third hits backpressure
+  // with a deadline and must give up at the deadline, not block forever.
+  auto first = world.service->Submit(
+      EditRequest::Edit(world.dataset.cases[0].edit, "alice"));
+  while (world.service->queue_depth() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto second = world.service->Submit(
+      EditRequest::Edit(world.dataset.cases[1].edit, "bob"));
+  EditRequest doomed = EditRequest::Edit(world.dataset.cases[2].edit, "eve");
+  doomed.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(40);
+  const auto dead = world.service->SubmitAndWait(std::move(doomed));
+  ASSERT_FALSE(dead.ok());
+  EXPECT_TRUE(dead.status().IsDeadlineExceeded());
+
+  release.set_value();
+  holder.join();
+  ASSERT_TRUE(first.get().ok());
+  ASSERT_TRUE(second.get().ok());
+}
+
+}  // namespace
+}  // namespace oneedit

@@ -4,7 +4,11 @@
 // ThreadSanitizer (scripts/ci.sh tsan).
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -13,6 +17,8 @@
 
 #include "core/concurrent.h"
 #include "data/dataset.h"
+#include "durability/fault_env.h"
+#include "durability/manager.h"
 #include "serving/edit_service.h"
 
 namespace oneedit {
@@ -299,6 +305,118 @@ TEST(EditServiceTest, EraseAndUtteranceRequestsFlowThroughSubmit) {
       EditRequest::Utterance("What are the primary colors?", "reader"));
   ASSERT_TRUE(generated.ok());
   EXPECT_EQ(generated->kind, EditResult::Kind::kGenerated);
+}
+
+// ------------------------------------------------------ shutdown ordering ----
+// The guarantees documented on EditService: Stop() is idempotent, destroying
+// or stopping the service while producers are blocked cannot hang, and
+// Drain() terminates while degraded.
+
+TEST(EditServiceShutdownTest, StopIsIdempotent) {
+  ServingWorld world;
+  ASSERT_TRUE(world.service
+                  ->SubmitAndWait(
+                      EditRequest::Edit(world.dataset.cases[0].edit, "alice"))
+                  .ok());
+  world.service->Stop();
+  world.service->Stop();  // second call must be a no-op, not a deadlock
+  world.service.reset();  // destructor also calls Stop()
+}
+
+TEST(EditServiceShutdownTest, StopWakesSubmitBlockedOnBackpressure) {
+  EditServiceOptions options;
+  options.queue_capacity = 1;
+  ServingWorld world(options);
+
+  // Stall the writer mid-batch by holding the exclusive lock.
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::promise<void> locked;
+  std::thread holder([&] {
+    world.service->WithExclusive([&](OneEditSystem&) {
+      locked.set_value();
+      released.wait();
+      return 0;
+    });
+  });
+  locked.get_future().wait();
+
+  // A is popped by the (stalled) writer; B fills the 1-slot queue; C blocks
+  // in Submit on backpressure.
+  auto a = world.service->Submit(
+      EditRequest::Edit(world.dataset.cases[0].edit, "alice"));
+  while (world.service->queue_depth() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto b = world.service->Submit(
+      EditRequest::Edit(world.dataset.cases[1].edit, "bob"));
+  std::promise<StatusOr<EditResult>> c_result;
+  auto c_future = c_result.get_future();
+  std::thread blocked([&] {
+    c_result.set_value(world.service->SubmitAndWait(
+        EditRequest::Edit(world.dataset.cases[2].edit, "carol")));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // Stop while the writer is still stalled: the blocked Submit must wake and
+  // resolve Unavailable even though the writer cannot make progress yet.
+  std::thread stopper([&] { world.service->Stop(); });
+  const auto c = c_future.get();
+  ASSERT_FALSE(c.ok());
+  EXPECT_TRUE(c.status().IsUnavailable());
+  blocked.join();
+
+  // Release the writer; Stop() can now finish its current batch and join.
+  release.set_value();
+  holder.join();
+  stopper.join();
+
+  // A was already popped into the writer's batch, so it still applies; B was
+  // still queued at Stop() and fails Unavailable.
+  const auto a_result = a.get();
+  ASSERT_TRUE(a_result.ok());
+  EXPECT_EQ(a_result->kind, EditResult::Kind::kEdited);
+  const auto b_result = b.get();
+  ASSERT_FALSE(b_result.ok());
+  EXPECT_TRUE(b_result.status().IsUnavailable());
+}
+
+TEST(EditServiceShutdownTest, DrainTerminatesWhileDegraded) {
+  const std::string dir = testing::TempDir() + "/oneedit_drain_degraded";
+  std::remove((dir + "/edits.wal").c_str());
+  std::remove((dir + "/checkpoint.oedc").c_str());
+  durability::FaultInjectingEnv fault(durability::Env::Default());
+  durability::DurabilityOptions dopts;
+  dopts.dir = dir;
+  dopts.env = &fault;
+  auto mgr = durability::DurabilityManager::Open(dopts);
+  ASSERT_TRUE(mgr.ok());
+
+  EditServiceOptions options;
+  options.durability = mgr->get();
+  options.self_heal.auto_heal = false;  // stay degraded for the whole test
+  ServingWorld world(options);
+
+  fault.FailNext(50);  // exhaust the bounded WAL retry on the first batch
+  std::vector<std::future<StatusOr<EditResult>>> futures;
+  for (size_t i = 0; i < 4; ++i) {
+    futures.push_back(world.service->Submit(
+        EditRequest::Edit(world.dataset.cases[i].edit, "alice")));
+  }
+  world.service->Drain();  // must return even though the service degraded
+
+  EXPECT_EQ(world.service->health(),
+            serving::ServiceHealth::kReadOnlyDegraded);
+  size_t rejected = 0;
+  for (auto& future : futures) {
+    const auto result = future.get();
+    ASSERT_TRUE(result.ok());
+    if (result->kind == EditResult::Kind::kRejected) ++rejected;
+  }
+  // The first batch degraded the service; everything after it (and the batch
+  // itself) was rejected rather than stranded.
+  EXPECT_EQ(rejected, futures.size());
+  EXPECT_GE(world.service->statistics().Get(Ticker::kDegradedRejects), 1u);
 }
 
 // ----------------------------------------------- ConcurrentOneEdit shim ----
