@@ -7,10 +7,18 @@
 // Part 2 — edit throughput and coalescing: a burst of disjoint-slot edits
 // is applied sequentially under the coarse lock, then submitted to
 // EditService, whose writer coalesces them into ApplyBatch calls. Batch
-// size and queue depth come from the serving histograms.
+// size, queue depth and latency percentiles come from the serving
+// histograms.
+//
+// Part 3 — tracing overhead: the same edit burst with the span recorder
+// globally off vs on; the acceptance gate demands the tracing tax on the
+// serving write path stays within 5%.
+//
+// Results also land in BENCH_serving.json (cwd) for machine consumption.
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <thread>
@@ -18,6 +26,7 @@
 
 #include "core/concurrent.h"
 #include "data/dataset.h"
+#include "obs/trace.h"
 #include "serving/edit_service.h"
 #include "util/timer.h"
 
@@ -73,6 +82,39 @@ double MeasureReadQps(const Dataset& dataset, AskFn&& ask) {
   stop.store(true);
   for (std::thread& thread : threads) thread.join();
   return static_cast<double>(reads.load()) / timer.ElapsedSeconds();
+}
+
+/// One edit-throughput run through EditService (the Part 2 workload) with
+/// the global span recorder forced to `tracing`; returns edits/second.
+double MeasureEditThroughput(bool tracing, size_t* applied_out) {
+  obs::TraceRecorder::Global().SetEnabled(tracing);
+  World world;
+  EditServiceOptions options;
+  options.max_batch_size = 32;
+  options.tracing = tracing;
+  auto service = EditService::Create(&world.dataset.kg, world.model.get(),
+                                     world.Config(), options);
+  if (!service.ok()) return 0.0;
+  size_t applied = 0;
+  const size_t kRounds = 3;
+  WallTimer timer;
+  std::vector<std::future<StatusOr<EditResult>>> futures;
+  for (size_t round = 0; round < kRounds; ++round) {
+    for (const EditCase& edit_case : world.dataset.cases) {
+      NamedTriple triple = edit_case.edit;
+      if (round % 2 == 1) triple.object = edit_case.old_object;
+      futures.push_back(
+          (*service)->Submit(EditRequest::Edit(triple, "bench")));
+    }
+  }
+  for (auto& future : futures) {
+    const auto result = future.get();
+    if (result.ok() && result->applied()) ++applied;
+  }
+  (*service)->Drain();
+  const double seconds = timer.ElapsedSeconds();
+  if (applied_out != nullptr) *applied_out = applied;
+  return seconds > 0.0 ? static_cast<double>(applied) / seconds : 0.0;
 }
 
 int RunServingBench() {
@@ -145,6 +187,7 @@ int RunServingBench() {
   HistogramSnapshot batch_sizes;
   HistogramSnapshot queue_depths;
   HistogramSnapshot latencies;
+  HistogramSnapshot queue_waits;
   {
     World world;
     EditServiceOptions options;
@@ -172,6 +215,7 @@ int RunServingBench() {
     batch_sizes = stats.GetHistogram(Histogram::kServingBatchSize);
     queue_depths = stats.GetHistogram(Histogram::kServingQueueDepth);
     latencies = stats.GetHistogram(Histogram::kServingLatencyMicros);
+    queue_waits = stats.GetHistogram(Histogram::kServingQueueWaitMicros);
   }
   std::cout << "Edit throughput, coarse lock:  "
             << coarse_edits / coarse_edit_seconds << " edits/s ("
@@ -185,8 +229,35 @@ int RunServingBench() {
   std::cout << "Queue depth at admission:      avg " << queue_depths.Average()
             << ", max " << queue_depths.max << "\n";
   std::cout << "Submit->done latency:          avg "
-            << latencies.Average() / 1000.0 << " ms, max "
+            << latencies.Average() / 1000.0 << " ms, p50 "
+            << static_cast<double>(latencies.P50()) / 1000.0 << " ms, p95 "
+            << static_cast<double>(latencies.P95()) / 1000.0 << " ms, p99 "
+            << static_cast<double>(latencies.P99()) / 1000.0 << " ms, max "
             << static_cast<double>(latencies.max) / 1000.0 << " ms\n";
+  std::cout << "Queue wait:                    p50 "
+            << static_cast<double>(queue_waits.P50()) / 1000.0 << " ms, p95 "
+            << static_cast<double>(queue_waits.P95()) / 1000.0 << " ms, p99 "
+            << static_cast<double>(queue_waits.P99()) / 1000.0 << " ms ("
+            << queue_waits.count << " waits)\n";
+
+  // ---- Part 3: tracing overhead on the write path ----
+  // Best-of-2 per arm: the workload is short, so a single run's scheduler
+  // noise on a small host could dwarf the effect being measured.
+  size_t traced_edits = 0;
+  const double untraced_eps = std::max(MeasureEditThroughput(false, nullptr),
+                                       MeasureEditThroughput(false, nullptr));
+  const double traced_eps =
+      std::max(MeasureEditThroughput(true, &traced_edits),
+               MeasureEditThroughput(true, &traced_edits));
+  obs::TraceRecorder::Global().SetEnabled(false);
+  const double overhead_pct =
+      untraced_eps > 0.0 ? (untraced_eps - traced_eps) / untraced_eps * 100.0
+                         : 0.0;
+  std::cout << "\nEdit throughput, tracing off:  " << untraced_eps
+            << " edits/s\n";
+  std::cout << "Edit throughput, tracing on:   " << traced_eps
+            << " edits/s\n";
+  std::cout << "Tracing overhead:              " << overhead_pct << " %\n";
 
   // Reader scaling needs real cores: on a single-CPU host the 8 reader
   // threads time-slice one core, so even a perfect lock-free read path
@@ -196,6 +267,7 @@ int RunServingBench() {
   const bool can_scale = cores >= 8;
   const bool qps_ok = serving_qps >= 4.0 * coarse_qps;
   const bool coalesced = batch_sizes.max > 1;
+  const bool tracing_ok = overhead_pct <= 5.0;
   std::cout << "\nacceptance: read speedup >= 4x: ";
   if (can_scale) {
     std::cout << (qps_ok ? "PASS" : "FAIL");
@@ -203,9 +275,36 @@ int RunServingBench() {
     std::cout << "SKIPPED (host has " << cores
               << " core(s); needs >= 8 for reader scaling)";
   }
-  std::cout << ", coalesced batches > 1: " << (coalesced ? "PASS" : "FAIL")
+  std::cout << ", coalesced batches > 1: " << (coalesced ? "PASS" : "FAIL");
+  std::cout << ", tracing overhead <= 5%: " << (tracing_ok ? "PASS" : "FAIL")
             << "\n";
-  return (can_scale ? qps_ok && coalesced : coalesced) ? 0 : 1;
+
+  // Machine-readable twin of the report above.
+  std::ofstream json("BENCH_serving.json");
+  json << "{\"read_qps_coarse\":" << coarse_qps
+       << ",\"read_qps_serving\":" << serving_qps
+       << ",\"read_speedup\":" << serving_qps / coarse_qps
+       << ",\"edit_eps_coarse\":" << coarse_edits / coarse_edit_seconds
+       << ",\"edit_eps_serving\":" << serving_edits / serving_edit_seconds
+       << ",\"batches\":" << batch_sizes.count
+       << ",\"batch_size_avg\":" << batch_sizes.Average()
+       << ",\"batch_size_max\":" << batch_sizes.max
+       << ",\"latency_us\":{\"p50\":" << latencies.P50()
+       << ",\"p95\":" << latencies.P95() << ",\"p99\":" << latencies.P99()
+       << ",\"max\":" << latencies.max << "}"
+       << ",\"queue_wait_us\":{\"p50\":" << queue_waits.P50()
+       << ",\"p95\":" << queue_waits.P95()
+       << ",\"p99\":" << queue_waits.P99() << "}"
+       << ",\"edit_eps_tracing_off\":" << untraced_eps
+       << ",\"edit_eps_tracing_on\":" << traced_eps
+       << ",\"tracing_overhead_pct\":" << overhead_pct
+       << ",\"cores\":" << cores << "}\n";
+  json.close();
+  std::cout << "wrote BENCH_serving.json\n";
+
+  const bool pass =
+      (can_scale ? qps_ok && coalesced : coalesced) && tracing_ok;
+  return pass ? 0 : 1;
 }
 
 }  // namespace

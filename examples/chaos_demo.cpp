@@ -68,6 +68,13 @@ struct Args {
   size_t clients = 4;
   size_t edits_per_client = 6;
   bool verify = false;
+  /// >= 0 starts the service's metrics listener on this port (0 =
+  /// ephemeral); the bound port is written to <dir>/metrics.port so a
+  /// scraper can find it. -1 (default) leaves the listener off.
+  int metrics_port = -1;
+  /// Keep the service (and its metrics listener) alive this long after the
+  /// storm settles — the scrape window for ci.sh's metrics job.
+  size_t hold_ms = 0;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -88,12 +95,17 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->clients = static_cast<size_t>(std::stoul(v));
     } else if (const char* v = value("--edits-per-client=")) {
       args->edits_per_client = static_cast<size_t>(std::stoul(v));
+    } else if (const char* v = value("--metrics-port=")) {
+      args->metrics_port = std::stoi(v);
+    } else if (const char* v = value("--hold-ms=")) {
+      args->hold_ms = static_cast<size_t>(std::stoul(v));
     } else if (arg == "--verify") {
       args->verify = true;
     } else {
       std::cerr << "unknown flag: " << arg << "\n"
                 << "usage: chaos_demo [--dir=PATH] [--fault-p=P] [--seed=N] "
-                   "[--clients=N] [--edits-per-client=N] [--verify]\n";
+                   "[--clients=N] [--edits-per-client=N] [--metrics-port=N] "
+                   "[--hold-ms=N] [--verify]\n";
       return false;
     }
   }
@@ -156,12 +168,27 @@ int Run(const Args& args) {
   // Probe aggressively so the service re-heals inside the storm, not just
   // after it — the flapping is the point of the exercise.
   options.self_heal.heal_probe_interval = std::chrono::milliseconds(5);
+  if (args.metrics_port >= 0) {
+    options.expose_metrics = true;
+    options.metrics_port = static_cast<uint16_t>(args.metrics_port);
+  }
   auto service = EditService::Create(&world.dataset.kg, world.model.get(),
                                      world.Config(), options);
   if (!service.ok()) {
     std::cerr << "service setup failed: " << service.status().ToString()
               << "\n";
     return 1;
+  }
+  if (args.metrics_port >= 0) {
+    const auto* listener = (*service)->metrics_server();
+    if (listener == nullptr) {
+      std::cerr << "CHAOS FAILED: metrics listener did not start\n";
+      return 1;
+    }
+    std::ofstream port_file(args.dir + "/metrics.port");
+    port_file << listener->port() << "\n";
+    port_file.close();
+    std::cout << "metrics: http://" << listener->address() << "/metrics\n";
   }
 
   // The storm starts only after a clean boot: intermittent faults during
@@ -263,6 +290,11 @@ int Run(const Args& args) {
     }
   }
   (*service)->Drain();
+  if (args.hold_ms > 0) {
+    // Scrape window: ci.sh curls /metrics while the listener is still up.
+    std::cout << "holding for " << args.hold_ms << " ms\n" << std::flush;
+    std::this_thread::sleep_for(std::chrono::milliseconds(args.hold_ms));
+  }
   return failures == 0 ? 0 : 1;
 }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI driver: configure, build, and test one sanitizer matrix entry.
 #
-# Usage: scripts/ci.sh [default|tsan|asan|recovery|chaos]
+# Usage: scripts/ci.sh [default|tsan|asan|recovery|chaos|metrics]
 #
 #   default   Release-ish build, full ctest suite.
 #   tsan      ThreadSanitizer build; runs the concurrency-sensitive tests
@@ -17,6 +17,10 @@
 #             degraded mode, auto-heal back to healthy once the faults
 #             stop, and a fresh process must recover every acknowledged
 #             edit. Runs over several seeds.
+#   metrics   Observability smoke: run the chaos workload with the metrics
+#             listener on, scrape /metrics and /metrics.json mid-flight,
+#             and assert the Prometheus text carries every ticker, the
+#             latency percentiles, and self-consistent counter values.
 #
 # Each matrix entry gets its own build directory (build-ci-<name>) so local
 # `build/` trees are never clobbered.
@@ -48,8 +52,12 @@ case "${matrix}" in
     flags=""
     build_type=Release
     ;;
+  metrics)
+    flags=""
+    build_type=Release
+    ;;
   *)
-    echo "unknown matrix entry: ${matrix} (want default|tsan|asan|recovery|chaos)" >&2
+    echo "unknown matrix entry: ${matrix} (want default|tsan|asan|recovery|chaos|metrics)" >&2
     exit 2
     ;;
 esac
@@ -65,7 +73,7 @@ if [[ "${matrix}" == "tsan" ]]; then
   # TSan slows everything ~10x; run the concurrency tests (the reason this
   # entry exists) plus a smoke slice of the core suite.
   ctest -j "${jobs}" --output-on-failure \
-    -R 'EditServiceTest|EditServiceShutdownTest|ServiceSelfHealTest|ConcurrentOneEditTest|OneEditTest|EditServiceDurabilityTest'
+    -R 'EditServiceTest|EditServiceShutdownTest|ServiceSelfHealTest|ConcurrentOneEditTest|OneEditTest|EditServiceDurabilityTest|TraceRecorderTest|EditServiceObsTest|MetricsServerTest'
 elif [[ "${matrix}" == "recovery" ]]; then
   # Crash-recovery smoke. A clean run of the workload performs ~20 file ops
   # (WAL appends, fsyncs, checkpoint writes, renames, rotations); kill the
@@ -128,6 +136,112 @@ elif [[ "${matrix}" == "chaos" ]]; then
     cat "${workdir}/verify-${seed}.log"
   done
   echo "chaos stress passed: 3 seeds, auto-heal + zero acknowledged-edit loss"
+elif [[ "${matrix}" == "metrics" ]]; then
+  # Observability smoke: the chaos workload with the metrics listener on.
+  # The demo holds the service up after the storm; we scrape during that
+  # window and assert the export surface is complete and self-consistent.
+  demo="${build_dir}/examples/chaos_demo"
+  workdir="$(mktemp -d)"
+  trap 'rm -rf "${workdir}"' EXIT
+  dir="${workdir}/metrics"
+  mkdir -p "${dir}"
+
+  "${demo}" --dir="${dir}" --fault-p=0.25 --seed=1 --clients=4 \
+    --edits-per-client=6 --metrics-port=0 --hold-ms=8000 \
+    > "${workdir}/run.log" 2>&1 &
+  demo_pid=$!
+
+  # The demo writes the ephemeral port once the listener is bound.
+  for _ in $(seq 1 100); do
+    [[ -s "${dir}/metrics.port" ]] && break
+    sleep 0.1
+  done
+  if [[ ! -s "${dir}/metrics.port" ]]; then
+    echo "METRICS FAILED: no metrics.port published" >&2
+    cat "${workdir}/run.log" >&2
+    exit 1
+  fi
+  port="$(cat "${dir}/metrics.port")"
+
+  # Scrape while edits flow (the hold window guarantees the listener is
+  # still up even if the storm finishes first).
+  scrape() {
+    curl -sf --max-time 5 "http://127.0.0.1:${port}$1"
+  }
+  # Wait for at least one applied batch to show up, then take the scrape.
+  for _ in $(seq 1 100); do
+    text="$(scrape /metrics || true)"
+    batches="$(printf '%s\n' "${text}" | awk '$1 == "oneedit_serving_batches_total" {print $2}')"
+    [[ -n "${batches:-}" && "${batches}" -ge 1 ]] && break
+    sleep 0.1
+  done
+  printf '%s\n' "${text}" > "${workdir}/metrics.txt"
+  scrape /metrics.json > "${workdir}/metrics.json"
+  scrape "/traces?n=3" > "${workdir}/traces.txt"
+
+  echo "--- scraped $(wc -l < "${workdir}/metrics.txt") metric lines from port ${port}"
+
+  # Every ticker family must be present...
+  for family in utterances edits_accepted serving_reads serving_submitted \
+      serving_batches wal_records wal_commits wal_failures checkpoints \
+      degraded_rejects health_transitions; do
+    if ! grep -q "^# TYPE oneedit_${family}_total counter$" "${workdir}/metrics.txt"; then
+      echo "METRICS FAILED: missing ticker family oneedit_${family}_total" >&2
+      exit 1
+    fi
+  done
+  # ...and every histogram must expose its percentile quantiles.
+  for family in serving_batch_size serving_queue_depth serving_latency_micros \
+      serving_queue_wait_micros serving_read_micros wal_commit_micros; do
+    for q in 0.5 0.95 0.99; do
+      if ! grep -q "^oneedit_${family}{quantile=\"${q}\"}" "${workdir}/metrics.txt"; then
+        echo "METRICS FAILED: missing quantile ${q} for oneedit_${family}" >&2
+        exit 1
+      fi
+    done
+  done
+  # Health state machine exports as a one-hot gauge family.
+  if ! grep -q '^oneedit_service_health{state="healthy"}' "${workdir}/metrics.txt"; then
+    echo "METRICS FAILED: missing service_health gauge" >&2
+    exit 1
+  fi
+  # Self-consistency: every applied batch carries >= 1 accepted edit, and
+  # nothing is accepted outside a batch.
+  awk '
+    $1 == "oneedit_edits_accepted_total" {accepted = $2}
+    $1 == "oneedit_serving_batches_total" {batches = $2}
+    END {
+      if (accepted + 0 < batches + 0) {
+        printf "METRICS FAILED: edits_accepted (%d) < serving_batches (%d)\n", accepted, batches
+        exit 1
+      }
+      if (batches + 0 < 1) {
+        printf "METRICS FAILED: no serving batches recorded\n"
+        exit 1
+      }
+    }' "${workdir}/metrics.txt"
+  # The JSON twin parses and carries the same sections.
+  python3 -c "
+import json, sys
+doc = json.load(open('${workdir}/metrics.json'))
+assert 'counters' in doc and 'histograms' in doc, 'missing sections'
+assert 'edits_accepted' in doc['counters'], 'missing counter'
+assert doc['histograms']['serving_latency_micros']['count'] >= 1, 'no latency samples'
+"
+  if ! grep -q '^trace ' "${workdir}/traces.txt"; then
+    echo "METRICS FAILED: /traces returned no traces" >&2
+    cat "${workdir}/traces.txt" >&2
+    exit 1
+  fi
+
+  if ! wait "${demo_pid}"; then
+    echo "METRICS FAILED: chaos run under metrics exited nonzero" >&2
+    cat "${workdir}/run.log" >&2
+    exit 1
+  fi
+  # The storm's durability property must still hold with metrics on.
+  "${demo}" --dir="${dir}" --verify
+  echo "metrics smoke passed: full ticker/percentile export, consistent counters"
 else
   ctest -j "${jobs}" --output-on-failure
 fi

@@ -203,6 +203,9 @@ std::vector<StatusOr<EditResult>> OneEditSystem::EditBatch(
     std::vector<const EditPlan*> plans;
     plans.reserve(staged.size());
     for (const Staged& item : staged) plans.push_back(&item.plan);
+    // "apply" covers the weight write itself (editor + method), the slice
+    // ROME-style causal tracing attributes edit effect to.
+    obs::Span apply_span("apply");
     StatusOr<std::vector<EditOutcome>> outcomes =
         editor_->ExecuteBatch(plans);
     if (!outcomes.ok()) {
@@ -234,7 +237,10 @@ std::vector<StatusOr<EditResult>> OneEditSystem::EditBatch(
     }
     const NamedTriple& triple = request.triple;
 
-    const Status screened = security_.Screen(triple);
+    const Status screened = [&] {
+      obs::Span guard_span("guard");
+      return security_.Screen(triple);
+    }();
     if (!screened.ok()) {
       if (screened.IsRejected()) {
         statistics_.Add(Ticker::kEditsRejected);
@@ -259,7 +265,12 @@ std::vector<StatusOr<EditResult>> OneEditSystem::EditBatch(
     }
 
     std::string previous_object = CurrentObject(triple);
-    StatusOr<EditPlan> plan = controller_->Process(triple);
+    // "locate": the Controller resolving where (and whether) this edit
+    // lands — conflict detection, KG planning, slot resolution.
+    StatusOr<EditPlan> plan = [&] {
+      obs::Span locate_span("locate");
+      return controller_->Process(triple);
+    }();
     if (!plan.ok()) {
       results[i] = plan.status();
       continue;
@@ -280,8 +291,16 @@ std::vector<StatusOr<EditResult>> OneEditSystem::EditBatch(
 
 StatusOr<EditResult> OneEditSystem::EraseTriple(const NamedTriple& triple,
                                                 const std::string& user) {
-  ONEEDIT_ASSIGN_OR_RETURN(EditPlan plan, controller_->ProcessErase(triple));
-  const StatusOr<EditOutcome> outcome = editor_->Execute(plan);
+  StatusOr<EditPlan> planned = [&] {
+    obs::Span locate_span("locate");
+    return controller_->ProcessErase(triple);
+  }();
+  ONEEDIT_RETURN_IF_ERROR(planned.status());
+  EditPlan plan = std::move(*planned);
+  const StatusOr<EditOutcome> outcome = [&] {
+    obs::Span apply_span("apply");
+    return editor_->Execute(plan);
+  }();
   if (!outcome.ok()) {
     ONEEDIT_RETURN_IF_ERROR(kg_->RollbackTo(plan.kg_version_before));
     return outcome.status();
@@ -328,7 +347,10 @@ StatusOr<EditResult> OneEditSystem::HandleUtterance(
     const std::string& utterance, const std::string& user) {
   EditResult response;
   statistics_.Add(Ticker::kUtterances);
-  const Interpretation interpretation = interpreter_->Interpret(utterance);
+  const Interpretation interpretation = [&] {
+    obs::Span interpret_span("interpret");
+    return interpreter_->Interpret(utterance);
+  }();
 
   if (interpretation.intent == Intent::kGenerate) {
     statistics_.Add(Ticker::kGenerateResponses);

@@ -14,6 +14,7 @@
 #include "core/security.h"
 #include "core/statistics.h"
 #include "kg/knowledge_graph.h"
+#include "obs/trace.h"
 #include "model/language_model.h"
 #include "util/statusor.h"
 
@@ -84,6 +85,10 @@ struct EditRequest {
   /// occupying the writer. Not persisted to the WAL — a request is only
   /// journaled once it has been admitted, at which point it runs.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Request-scoped trace identity (docs/observability.md). Assigned by
+  /// EditService::Submit when tracing is enabled; inactive (all zeros)
+  /// otherwise. Not persisted to the WAL — traces are in-process telemetry.
+  obs::TraceContext trace;
 
   bool expired(std::chrono::steady_clock::time_point now) const {
     return deadline.has_value() && now >= *deadline;

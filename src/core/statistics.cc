@@ -1,6 +1,6 @@
 #include "core/statistics.h"
 
-#include <cstdio>
+#include <algorithm>
 
 namespace oneedit {
 
@@ -78,6 +78,10 @@ std::string HistogramName(Histogram histogram) {
       return "serving_queue_depth";
     case Histogram::kServingLatencyMicros:
       return "serving_latency_micros";
+    case Histogram::kServingQueueWaitMicros:
+      return "serving_queue_wait_micros";
+    case Histogram::kServingReadMicros:
+      return "serving_read_micros";
     case Histogram::kWalCommitMicros:
       return "wal_commit_micros";
     case Histogram::kCheckpointMicros:
@@ -90,11 +94,29 @@ std::string HistogramName(Histogram histogram) {
   return "unknown";
 }
 
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count));
+  if (static_cast<double>(rank) < p * static_cast<double>(count)) ++rank;
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kHistogramBucketCount; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      // The observed max is exact and tighter than the top bucket's bound.
+      return std::min(HistogramBucketUpperBound(i), max);
+    }
+  }
+  return max;
+}
+
 std::string Statistics::ToString() const {
   std::string out;
   for (size_t i = 0; i < static_cast<size_t>(Ticker::kTickerCount); ++i) {
     const uint64_t value = counters_[i].load(std::memory_order_relaxed);
-    if (value == 0) continue;
+    if (value == 0) continue;  // never-touched tickers stay out of the way
     if (!out.empty()) out += ", ";
     out += TickerName(static_cast<Ticker>(i)) + ": " + std::to_string(value);
   }
@@ -104,10 +126,11 @@ std::string Statistics::ToString() const {
         GetHistogram(static_cast<Histogram>(i));
     if (snapshot.count == 0) continue;
     if (!out.empty()) out += ", ";
-    char avg[32];
-    std::snprintf(avg, sizeof(avg), "%.1f", snapshot.Average());
-    out += HistogramName(static_cast<Histogram>(i)) + ": avg " + avg +
-           " max " + std::to_string(snapshot.max) + " (" +
+    out += HistogramName(static_cast<Histogram>(i)) + ": p50 " +
+           std::to_string(snapshot.P50()) + " p95 " +
+           std::to_string(snapshot.P95()) + " p99 " +
+           std::to_string(snapshot.P99()) + " max " +
+           std::to_string(snapshot.max) + " (" +
            std::to_string(snapshot.count) + ")";
   }
   return out.empty() ? "(all zero)" : out;

@@ -3,6 +3,7 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <string>
 
@@ -46,12 +47,15 @@ enum class Ticker : size_t {
 
 std::string TickerName(Ticker ticker);
 
-/// Value distributions the serving layer records (count/sum/max — enough
-/// for mean latency, mean batch size and peak queue depth on a dashboard).
+/// Value distributions the serving layer records. Implemented as bucketed
+/// exponential histograms (4 sub-buckets per power of two), so snapshots
+/// answer p50/p95/p99 exact-to-bucket in addition to count/sum/max.
 enum class Histogram : size_t {
   kServingBatchSize = 0,     ///< requests coalesced per writer batch
   kServingQueueDepth,        ///< queue depth observed at each admission
   kServingLatencyMicros,     ///< submit -> completion per request
+  kServingQueueWaitMicros,   ///< enqueue -> writer dequeue per request
+  kServingReadMicros,        ///< Ask latency (shared-lock read path)
   kWalCommitMicros,          ///< append + fsync time per group commit
   kCheckpointMicros,         ///< time to serialize + publish a checkpoint
   kRollbackMicros,           ///< undo + bisect + re-admit time per rollback
@@ -60,15 +64,49 @@ enum class Histogram : size_t {
 
 std::string HistogramName(Histogram histogram);
 
+/// Exponential bucket layout: values 0..3 get exact buckets, every later
+/// power of two splits into 4 sub-buckets (~25% relative bucket width, the
+/// bound on percentile error). 64-bit values need 4 + 62*4 buckets.
+inline constexpr size_t kHistogramBucketCount = 4 + 62 * 4;
+
+/// Bucket index for a recorded value (constant-time bit twiddling).
+inline size_t HistogramBucketIndex(uint64_t value) {
+  if (value < 4) return static_cast<size_t>(value);
+  const unsigned octave = static_cast<unsigned>(std::bit_width(value)) - 1;
+  const uint64_t sub = (value >> (octave - 2)) & 3;
+  return 4 + (static_cast<size_t>(octave) - 2) * 4 +
+         static_cast<size_t>(sub);
+}
+
+/// Inclusive upper bound of a bucket — the value percentiles report
+/// ("exact-to-bucket": the true quantile lies within the bucket).
+inline uint64_t HistogramBucketUpperBound(size_t index) {
+  if (index < 4) return index;
+  const uint64_t octave = 2 + (index - 4) / 4;
+  const uint64_t sub = (index - 4) % 4;
+  // Top bucket wraps to exactly UINT64_MAX via unsigned arithmetic.
+  return (uint64_t{1} << octave) + ((sub + 1) << (octave - 2)) - 1;
+}
+
 struct HistogramSnapshot {
   uint64_t count = 0;
   uint64_t sum = 0;
   uint64_t max = 0;
+  /// Per-bucket counts (index via HistogramBucketIndex).
+  std::array<uint64_t, kHistogramBucketCount> buckets{};
 
   double Average() const {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+
+  /// Upper bound of the bucket holding the p-quantile observation
+  /// (0 < p <= 1), clamped to the exact max. 0 when empty.
+  uint64_t Percentile(double p) const;
+
+  uint64_t P50() const { return Percentile(0.50); }
+  uint64_t P95() const { return Percentile(0.95); }
+  uint64_t P99() const { return Percentile(0.99); }
 };
 
 class Statistics {
@@ -85,11 +123,14 @@ class Statistics {
         std::memory_order_relaxed);
   }
 
-  /// Records one observation into a histogram. Thread-safe and lock-free.
+  /// Records one observation into a histogram. Thread-safe and lock-free:
+  /// count/sum/max plus one bucket increment.
   void Record(Histogram histogram, uint64_t value) {
     Cell& cell = cells_[static_cast<size_t>(histogram)];
     cell.count.fetch_add(1, std::memory_order_relaxed);
     cell.sum.fetch_add(value, std::memory_order_relaxed);
+    cell.buckets[HistogramBucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
     uint64_t seen = cell.max.load(std::memory_order_relaxed);
     while (seen < value && !cell.max.compare_exchange_weak(
                                seen, value, std::memory_order_relaxed)) {
@@ -102,6 +143,9 @@ class Statistics {
     snapshot.count = cell.count.load(std::memory_order_relaxed);
     snapshot.sum = cell.sum.load(std::memory_order_relaxed);
     snapshot.max = cell.max.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < kHistogramBucketCount; ++i) {
+      snapshot.buckets[i] = cell.buckets[i].load(std::memory_order_relaxed);
+    }
     return snapshot;
   }
 
@@ -111,11 +155,13 @@ class Statistics {
       cell.count.store(0);
       cell.sum.store(0);
       cell.max.store(0);
+      for (auto& bucket : cell.buckets) bucket.store(0);
     }
   }
 
-  /// "utterances: 12, edits_accepted: 9, ..." — non-zero tickers only,
-  /// followed by non-empty histograms as "name: avg X max Y (N)".
+  /// "utterances: 12, edits_accepted: 9, ..." — never-touched tickers are
+  /// skipped, then non-empty histograms as
+  /// "name: p50 X p95 Y p99 Z max M (N)".
   std::string ToString() const;
 
  private:
@@ -123,6 +169,7 @@ class Statistics {
     std::atomic<uint64_t> count;
     std::atomic<uint64_t> sum;
     std::atomic<uint64_t> max;
+    std::array<std::atomic<uint64_t>, kHistogramBucketCount> buckets;
   };
 
   std::array<std::atomic<uint64_t>,

@@ -174,19 +174,25 @@ Status DurabilityManager::LogBatch(const std::vector<EditRequest>& requests,
                                    Statistics* stats) {
   const auto start = std::chrono::steady_clock::now();
   Status status = Status::OK();
-  bool first = true;
-  for (const EditRequest& request : requests) {
-    EditWalRecord record;
-    record.sequence = next_sequence_;
-    record.first_in_batch = first;
-    record.method = method;
-    record.request = request;
-    status = wal_.Append(record);
-    if (!status.ok()) break;
-    ++next_sequence_;
-    first = false;
+  {
+    obs::Span append_span("wal-append");
+    bool first = true;
+    for (const EditRequest& request : requests) {
+      EditWalRecord record;
+      record.sequence = next_sequence_;
+      record.first_in_batch = first;
+      record.method = method;
+      record.request = request;
+      status = wal_.Append(record);
+      if (!status.ok()) break;
+      ++next_sequence_;
+      first = false;
+    }
   }
-  if (status.ok() && options_.sync_on_commit) status = wal_.Sync();
+  if (status.ok() && options_.sync_on_commit) {
+    obs::Span fsync_span("fsync");
+    status = wal_.Sync();
+  }
   if (stats != nullptr) {
     if (status.ok()) {
       stats->Add(Ticker::kWalRecords, requests.size());

@@ -1,6 +1,7 @@
 #ifndef ONEEDIT_DURABILITY_MANAGER_H_
 #define ONEEDIT_DURABILITY_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -133,6 +134,9 @@ class DurabilityManager {
   const std::string& checkpoint_path() const { return checkpoint_path_; }
   /// Sequence number the next logged edit will receive.
   uint64_t next_sequence() const { return next_sequence_; }
+  /// Committed edits since the last published checkpoint — how far the WAL
+  /// tail has grown (metrics scrapes read this from another thread).
+  uint64_t edits_since_checkpoint() const { return edits_since_checkpoint_; }
   const DurabilityOptions& options() const { return options_; }
 
  private:
@@ -143,8 +147,10 @@ class DurabilityManager {
   std::string wal_path_;
   std::string checkpoint_path_;
   EditWal wal_;
-  uint64_t next_sequence_ = 1;
-  uint64_t edits_since_checkpoint_ = 0;
+  /// Atomic so the metrics scrape thread can sample both while the writer
+  /// advances them; only the writer (or startup recovery) mutates them.
+  std::atomic<uint64_t> next_sequence_{1};
+  std::atomic<uint64_t> edits_since_checkpoint_{0};
 };
 
 }  // namespace durability

@@ -1,0 +1,209 @@
+#include "obs/metrics_registry.h"
+
+#include <cstdio>
+
+namespace oneedit {
+namespace obs {
+namespace {
+
+std::string FormatDouble(double value) {
+  // Integral values print without a fraction so counters stay grep-able.
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string LabelEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::AddCounter(const std::string& name,
+                                 const std::string& help,
+                                 std::function<uint64_t()> value) {
+  counters_.push_back(Counter{name, help, std::move(value)});
+}
+
+void MetricsRegistry::AddGauge(const std::string& name,
+                               const std::string& help,
+                               std::function<double()> value) {
+  gauges_.push_back(Gauge{name, help, std::move(value)});
+}
+
+void MetricsRegistry::AddLabeledGauge(
+    const std::string& name, const std::string& help,
+    std::function<std::vector<std::pair<MetricLabel, double>>()> values) {
+  labeled_gauges_.push_back(LabeledGauge{name, help, std::move(values)});
+}
+
+void MetricsRegistry::AddHistogram(
+    const std::string& name, const std::string& help,
+    std::function<HistogramExposition()> value) {
+  histograms_.push_back(HistogramFamily{name, help, std::move(value)});
+}
+
+void MetricsRegistry::AddInfo(const std::string& name,
+                              std::function<std::string()> json) {
+  infos_.push_back(Info{name, std::move(json)});
+}
+
+std::string MetricsRegistry::ExposeText() const {
+  std::string out;
+  for (const Counter& counter : counters_) {
+    const std::string full = prefix_ + counter.name + "_total";
+    out += "# HELP " + full + " " + counter.help + "\n";
+    out += "# TYPE " + full + " counter\n";
+    out += full + " " + std::to_string(counter.value()) + "\n";
+  }
+  for (const Gauge& gauge : gauges_) {
+    const std::string full = prefix_ + gauge.name;
+    out += "# HELP " + full + " " + gauge.help + "\n";
+    out += "# TYPE " + full + " gauge\n";
+    out += full + " " + FormatDouble(gauge.value()) + "\n";
+  }
+  for (const LabeledGauge& family : labeled_gauges_) {
+    const std::string full = prefix_ + family.name;
+    out += "# HELP " + full + " " + family.help + "\n";
+    out += "# TYPE " + full + " gauge\n";
+    for (const auto& [label, value] : family.values()) {
+      out += full + "{" + label.key + "=\"" + LabelEscape(label.value) +
+             "\"} " + FormatDouble(value) + "\n";
+    }
+  }
+  for (const HistogramFamily& family : histograms_) {
+    const HistogramExposition histogram = family.value();
+    const std::string full = prefix_ + family.name;
+    // Summary family: exact-to-bucket quantiles, plus _sum/_count.
+    out += "# HELP " + full + " " + family.help + "\n";
+    out += "# TYPE " + full + " summary\n";
+    out += full + "{quantile=\"0.5\"} " + std::to_string(histogram.p50) + "\n";
+    out += full + "{quantile=\"0.95\"} " + std::to_string(histogram.p95) +
+           "\n";
+    out += full + "{quantile=\"0.99\"} " + std::to_string(histogram.p99) +
+           "\n";
+    out += full + "_sum " + std::to_string(histogram.sum) + "\n";
+    out += full + "_count " + std::to_string(histogram.count) + "\n";
+    out += "# HELP " + full + "_max " + family.help + " (peak)\n";
+    out += "# TYPE " + full + "_max gauge\n";
+    out += full + "_max " + std::to_string(histogram.max) + "\n";
+    // Raw exponential buckets as a proper histogram family, so a real
+    // Prometheus can aggregate quantiles across instances.
+    out += "# HELP " + full + "_buckets " + family.help +
+           " (exponential buckets)\n";
+    out += "# TYPE " + full + "_buckets histogram\n";
+    for (const auto& [le, cumulative] : histogram.buckets) {
+      out += full + "_buckets_bucket{le=\"" + std::to_string(le) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += full + "_buckets_bucket{le=\"+Inf\"} " +
+           std::to_string(histogram.count) + "\n";
+    out += full + "_buckets_sum " + std::to_string(histogram.sum) + "\n";
+    out += full + "_buckets_count " + std::to_string(histogram.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExposeJson() const {
+  std::string out = "{";
+  bool first = true;
+  const auto key = [&](const std::string& name) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":";
+  };
+  out += "\"counters\":{";
+  for (const Counter& counter : counters_) {
+    key(counter.name);
+    out += std::to_string(counter.value());
+  }
+  out += "},";
+  first = true;
+  out += "\"gauges\":{";
+  for (const Gauge& gauge : gauges_) {
+    key(gauge.name);
+    out += FormatDouble(gauge.value());
+  }
+  for (const LabeledGauge& family : labeled_gauges_) {
+    for (const auto& [label, value] : family.values()) {
+      key(family.name + "{" + label.key + "=" + label.value + "}");
+      out += FormatDouble(value);
+    }
+  }
+  out += "},";
+  first = true;
+  out += "\"histograms\":{";
+  for (const HistogramFamily& family : histograms_) {
+    const HistogramExposition histogram = family.value();
+    key(family.name);
+    out += "{\"count\":" + std::to_string(histogram.count) +
+           ",\"sum\":" + std::to_string(histogram.sum) +
+           ",\"max\":" + std::to_string(histogram.max) +
+           ",\"p50\":" + std::to_string(histogram.p50) +
+           ",\"p95\":" + std::to_string(histogram.p95) +
+           ",\"p99\":" + std::to_string(histogram.p99) + "}";
+  }
+  out += "}";
+  for (const Info& info : infos_) {
+    out += ",\"" + JsonEscape(info.name) + "\":" + info.json();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace oneedit

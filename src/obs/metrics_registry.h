@@ -1,0 +1,115 @@
+#ifndef ONEEDIT_OBS_METRICS_REGISTRY_H_
+#define ONEEDIT_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace oneedit {
+namespace obs {
+
+/// What a histogram provider hands the registry for one exposition pass.
+/// Buckets are cumulative counts keyed by their inclusive upper bound, in
+/// ascending bound order, empty leading/trailing buckets elided; the
+/// quantiles are exact-to-bucket (docs/observability.md).
+struct HistogramExposition {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;  // (le, cumulative)
+};
+
+/// One label for a gauge family member, e.g. {"state", "healthy"}.
+struct MetricLabel {
+  std::string key;
+  std::string value;
+};
+
+/// A pull-model metrics registry: sources register value *providers* (not
+/// values), and each ExposeText/ExposeJson call samples every provider at
+/// scrape time. Providers must be thread-safe — the metrics server scrapes
+/// from its own thread while the service runs.
+///
+/// Deliberately dependency-free (util-level): the serving layer registers
+/// its Statistics tickers/histograms, health machine, and WAL/checkpoint
+/// state through the generic Add* calls, so obs never needs to see those
+/// types and the library layering stays acyclic.
+class MetricsRegistry {
+ public:
+  /// Monotonic counter. Exposed as `<prefix><name>_total`.
+  void AddCounter(const std::string& name, const std::string& help,
+                  std::function<uint64_t()> value);
+
+  /// Point-in-time value. Exposed as `<prefix><name>`.
+  void AddGauge(const std::string& name, const std::string& help,
+                std::function<double()> value);
+
+  /// A gauge family with labels per member (e.g. a one-hot health state
+  /// set). The provider returns every member each scrape.
+  void AddLabeledGauge(
+      const std::string& name, const std::string& help,
+      std::function<std::vector<std::pair<MetricLabel, double>>()> values);
+
+  /// Value distribution. Text exposition emits a summary family (quantile
+  /// labels + _sum/_count), a `<name>_max` gauge, and a `<name>_buckets`
+  /// cumulative histogram family.
+  void AddHistogram(const std::string& name, const std::string& help,
+                    std::function<HistogramExposition()> value);
+
+  /// Structured JSON-only blob (health transition log, recovery report,
+  /// trace dumps). `json` must return a valid JSON value.
+  void AddInfo(const std::string& name, std::function<std::string()> json);
+
+  /// Prometheus text exposition format (version 0.0.4): every counter,
+  /// gauge, and histogram, with `# HELP` / `# TYPE` headers.
+  std::string ExposeText() const;
+
+  /// The same metrics plus the info blobs, as one JSON object.
+  std::string ExposeJson() const;
+
+  /// Metric-name prefix, "oneedit_" by default.
+  void set_prefix(std::string prefix) { prefix_ = std::move(prefix); }
+  const std::string& prefix() const { return prefix_; }
+
+  /// JSON string escaping (exposed for providers building info blobs).
+  static std::string JsonEscape(const std::string& text);
+
+ private:
+  struct Counter {
+    std::string name, help;
+    std::function<uint64_t()> value;
+  };
+  struct Gauge {
+    std::string name, help;
+    std::function<double()> value;
+  };
+  struct LabeledGauge {
+    std::string name, help;
+    std::function<std::vector<std::pair<MetricLabel, double>>()> values;
+  };
+  struct HistogramFamily {
+    std::string name, help;
+    std::function<HistogramExposition()> value;
+  };
+  struct Info {
+    std::string name;
+    std::function<std::string()> json;
+  };
+
+  std::string prefix_ = "oneedit_";
+  std::vector<Counter> counters_;
+  std::vector<Gauge> gauges_;
+  std::vector<LabeledGauge> labeled_gauges_;
+  std::vector<HistogramFamily> histograms_;
+  std::vector<Info> infos_;
+};
+
+}  // namespace obs
+}  // namespace oneedit
+
+#endif  // ONEEDIT_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,150 @@
+#include "obs/metrics_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace oneedit {
+namespace obs {
+namespace {
+
+const char* StatusLine(int status) {
+  switch (status) {
+    case 200:
+      return "200 OK";
+    case 404:
+      return "404 Not Found";
+    case 503:
+      return "503 Service Unavailable";
+    default:
+      return "500 Internal Server Error";
+  }
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<MetricsServer>> MetricsServer::Start(
+    uint16_t port, Handler handler) {
+  if (!handler) return Status::InvalidArgument("metrics server needs a handler");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  const int reuse = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("bind(127.0.0.1:" + std::to_string(port) +
+                               ") failed: " + error);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen() failed: " + error);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("getsockname() failed: " + error);
+  }
+  return std::unique_ptr<MetricsServer>(
+      new MetricsServer(fd, ntohs(bound.sin_port), std::move(handler)));
+}
+
+MetricsServer::MetricsServer(int listen_fd, uint16_t port, Handler handler)
+    : listen_fd_(listen_fd), port_(port), handler_(std::move(handler)) {
+  acceptor_ = std::thread(&MetricsServer::AcceptLoop, this);
+}
+
+MetricsServer::~MetricsServer() { Stop(); }
+
+void MetricsServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsServer::AcceptLoop() {
+  for (;;) {
+    // Poll with a short timeout so Stop() never waits on a blocked accept.
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return;  // listener closed or broken
+    }
+    ServeOne(client);
+    ::close(client);
+  }
+}
+
+void MetricsServer::ServeOne(int client_fd) {
+  // HTTP/1.0, single read: a GET request line + headers comfortably fits.
+  char buf[4096];
+  const ssize_t got = ::read(client_fd, buf, sizeof(buf) - 1);
+  if (got <= 0) return;
+  buf[got] = '\0';
+
+  // Parse "GET <path> HTTP/1.x".
+  std::string path = "/";
+  Response response;
+  const char* line = buf;
+  if (std::strncmp(line, "GET ", 4) == 0) {
+    const char* start = line + 4;
+    const char* end = std::strchr(start, ' ');
+    if (end == nullptr) end = std::strchr(start, '\r');
+    if (end != nullptr && end > start) {
+      path.assign(start, static_cast<size_t>(end - start));
+    }
+    response = handler_(path);
+  } else {
+    response.status = 404;
+    response.body = "only GET is served here\n";
+  }
+
+  std::string head = "HTTP/1.0 " + std::string(StatusLine(response.status)) +
+                     "\r\nContent-Type: " + response.content_type +
+                     "\r\nContent-Length: " +
+                     std::to_string(response.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  const auto write_all = [&](const char* data, size_t size) {
+    size_t sent = 0;
+    while (sent < size) {
+      const ssize_t n = ::write(client_fd, data + sent, size - sent);
+      if (n <= 0) return;
+      sent += static_cast<size_t>(n);
+    }
+  };
+  write_all(head.data(), head.size());
+  write_all(response.body.data(), response.body.size());
+}
+
+}  // namespace obs
+}  // namespace oneedit

@@ -1,0 +1,71 @@
+#ifndef ONEEDIT_OBS_METRICS_SERVER_H_
+#define ONEEDIT_OBS_METRICS_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "util/statusor.h"
+
+namespace oneedit {
+namespace obs {
+
+/// A deliberately tiny blocking HTTP/1.0 listener for metrics scrapes and
+/// admin peeks — one acceptor thread, one connection at a time, request
+/// fully read then response fully written then closed. This is an ops
+/// sidecar for `curl`/Prometheus, not a web server: it binds loopback only
+/// and never touches the serving data path (handlers sample atomics and
+/// take short internal locks).
+class MetricsServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+    std::string body;
+  };
+
+  /// Routes a request path (query string included, e.g. "/traces?n=5") to a
+  /// response. Called on the server thread; must be thread-safe.
+  using Handler = std::function<Response(const std::string& path)>;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — read it back via
+  /// port()) and starts the acceptor thread.
+  static StatusOr<std::unique_ptr<MetricsServer>> Start(uint16_t port,
+                                                        Handler handler);
+
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// Stops accepting and joins the acceptor thread. Idempotent.
+  void Stop();
+
+  /// The actually bound port.
+  uint16_t port() const { return port_; }
+
+  /// "127.0.0.1:<port>".
+  std::string address() const {
+    return "127.0.0.1:" + std::to_string(port_);
+  }
+
+ private:
+  MetricsServer(int listen_fd, uint16_t port, Handler handler);
+
+  void AcceptLoop();
+  void ServeOne(int client_fd);
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  Handler handler_;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+};
+
+}  // namespace obs
+}  // namespace oneedit
+
+#endif  // ONEEDIT_OBS_METRICS_SERVER_H_

@@ -1,0 +1,266 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <unordered_map>
+
+namespace oneedit {
+namespace obs {
+namespace {
+
+/// The calling thread's ambient trace (TraceScope installs/restores it).
+thread_local TraceContext g_ambient;
+
+std::string FormatMicros(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+uint64_t TraceNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceContext TraceRecorder::StartTrace() {
+  TraceContext ctx;
+  if (!enabled()) return ctx;
+  ctx.trace_id = NextSpanId();
+  ctx.parent_span = ctx.trace_id;  // children hang off the root span
+  ctx.start_ns = TraceNowNanos();
+  return ctx;
+}
+
+TraceRecorder::Ring* TraceRecorder::RingForThisThread() {
+  thread_local Ring* ring = nullptr;
+  if (ring != nullptr) return ring;
+  const size_t index = ring_count_.fetch_add(1, std::memory_order_relaxed);
+  if (index >= kMaxRings) {
+    // More threads than rings: park the overflow threads on the last ring.
+    // Slots are seq-checked, so concurrent writers can only cause discarded
+    // records, never corruption — and 256 tracing threads is far past any
+    // deployment this serves.
+    ring = rings_[kMaxRings - 1].load(std::memory_order_acquire);
+    if (ring == nullptr) ring = new Ring();  // leak: recorder is immortal
+    return ring;
+  }
+  ring = new Ring();
+  rings_[index].store(ring, std::memory_order_release);
+  return ring;
+}
+
+void TraceRecorder::Write(Ring* ring, uint64_t trace_id, uint64_t span_id,
+                          uint64_t parent_id, const char* name,
+                          uint64_t start_ns, uint64_t end_ns) {
+  const uint64_t pos = ring->head.load(std::memory_order_relaxed);
+  Slot& slot = ring->slots[pos % kRingCapacity];
+  // Seqlock publish: odd while writing, even (and advanced) once stable.
+  // Every field is an atomic, so concurrent drains are race-free; the seq
+  // check makes them consistent.
+  slot.seq.store(2 * pos + 1, std::memory_order_release);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  slot.span_id.store(span_id, std::memory_order_relaxed);
+  slot.parent_id.store(parent_id, std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.end_ns.store(end_ns, std::memory_order_relaxed);
+  slot.seq.store(2 * pos + 2, std::memory_order_release);
+  ring->head.store(pos + 1, std::memory_order_release);
+}
+
+void TraceRecorder::Record(const TraceContext& ctx, const char* name,
+                           uint64_t start_ns, uint64_t end_ns) {
+  if (!ctx.active()) return;
+  Write(RingForThisThread(), ctx.trace_id, NextSpanId(), ctx.parent_span,
+        name, start_ns, end_ns);
+}
+
+void TraceRecorder::RecordWithId(const TraceContext& ctx, uint64_t span_id,
+                                 const char* name, uint64_t start_ns,
+                                 uint64_t end_ns) {
+  if (!ctx.active()) return;
+  Write(RingForThisThread(), ctx.trace_id, span_id, ctx.parent_span, name,
+        start_ns, end_ns);
+}
+
+void TraceRecorder::RecordRoot(const TraceContext& ctx, const char* name,
+                               uint64_t end_ns) {
+  if (!ctx.active()) return;
+  Write(RingForThisThread(), ctx.trace_id, ctx.trace_id, 0, name,
+        ctx.start_ns, end_ns);
+}
+
+std::vector<SpanRecord> TraceRecorder::Drain() const {
+  std::vector<SpanRecord> out;
+  const size_t rings = std::min(
+      ring_count_.load(std::memory_order_acquire), kMaxRings);
+  for (size_t r = 0; r < rings; ++r) {
+    const Ring* ring = rings_[r].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    for (size_t i = 0; i < kRingCapacity; ++i) {
+      const Slot& slot = ring->slots[i];
+      const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      if (seq == 0 || (seq & 1) != 0) continue;  // empty or mid-write
+      SpanRecord record;
+      record.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      record.span_id = slot.span_id.load(std::memory_order_relaxed);
+      record.parent_id = slot.parent_id.load(std::memory_order_relaxed);
+      record.name = slot.name.load(std::memory_order_relaxed);
+      record.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      record.end_ns = slot.end_ns.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != seq) continue;  // torn
+      if (record.trace_id == 0) continue;
+      out.push_back(record);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return out;
+}
+
+std::vector<TraceSummary> TraceRecorder::SlowestTraces(size_t n) const {
+  std::unordered_map<uint64_t, TraceSummary> by_trace;
+  for (const SpanRecord& record : Drain()) {
+    TraceSummary& trace = by_trace[record.trace_id];
+    trace.trace_id = record.trace_id;
+    trace.spans.push_back(record);
+  }
+  std::vector<TraceSummary> traces;
+  traces.reserve(by_trace.size());
+  for (auto& [id, trace] : by_trace) {
+    // Root span (span_id == trace_id) defines the end-to-end duration; if
+    // it wrapped out of the ring, fall back to the span envelope.
+    uint64_t lo = UINT64_MAX, hi = 0;
+    for (const SpanRecord& span : trace.spans) {
+      if (span.span_id == trace.trace_id) {
+        lo = span.start_ns;
+        hi = span.end_ns;
+        break;
+      }
+      lo = std::min(lo, span.start_ns);
+      hi = std::max(hi, span.end_ns);
+    }
+    trace.duration_ns = hi >= lo ? hi - lo : 0;
+    traces.push_back(std::move(trace));
+  }
+  std::sort(traces.begin(), traces.end(),
+            [](const TraceSummary& a, const TraceSummary& b) {
+              return a.duration_ns > b.duration_ns;
+            });
+  if (traces.size() > n) traces.resize(n);
+  return traces;
+}
+
+namespace {
+
+void AppendSubtree(const TraceSummary& trace, uint64_t parent, int depth,
+                   std::string* out) {
+  for (const SpanRecord& span : trace.spans) {
+    const bool is_root = span.span_id == trace.trace_id;
+    if (is_root ? parent != 0 : span.parent_id != parent) continue;
+    out->append(static_cast<size_t>(2 * depth + 2), ' ');
+    *out += std::string(span.name) + " " + FormatMicros(span.duration_ns()) +
+            " us\n";
+    if (span.span_id != parent) {  // guard against self-parent cycles
+      AppendSubtree(trace, span.span_id, depth + 1, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string TraceRecorder::DumpTraces(size_t n) const {
+  const std::vector<TraceSummary> traces = SlowestTraces(n);
+  if (traces.empty()) {
+    return "(no traces recorded" +
+           std::string(enabled() ? "" : "; tracing is disabled") + ")\n";
+  }
+  std::string out;
+  for (const TraceSummary& trace : traces) {
+    out += "trace " + std::to_string(trace.trace_id) + " (" +
+           FormatMicros(trace.duration_ns) + " us, " +
+           std::to_string(trace.spans.size()) + " spans)\n";
+    AppendSubtree(trace, 0, 0, &out);
+    // Orphans (parent wrapped out of the ring) surface at the top level so
+    // no recorded span is silently dropped from the dump.
+    for (const SpanRecord& span : trace.spans) {
+      if (span.span_id == trace.trace_id || span.parent_id == 0) continue;
+      bool parent_present = false;
+      for (const SpanRecord& other : trace.spans) {
+        if (other.span_id == span.parent_id) {
+          parent_present = true;
+          break;
+        }
+      }
+      if (!parent_present) {
+        out += "  ~ " + std::string(span.name) + " " +
+               FormatMicros(span.duration_ns()) + " us (orphan)\n";
+      }
+    }
+  }
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  const size_t rings = std::min(
+      ring_count_.load(std::memory_order_acquire), kMaxRings);
+  for (size_t r = 0; r < rings; ++r) {
+    Ring* ring = rings_[r].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    for (size_t i = 0; i < kRingCapacity; ++i) {
+      ring->slots[i].trace_id.store(0, std::memory_order_relaxed);
+      ring->slots[i].seq.store(0, std::memory_order_release);
+    }
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+TraceScope::TraceScope(const TraceContext& ctx) : saved_(g_ambient) {
+  g_ambient = ctx;
+}
+
+TraceScope::~TraceScope() { g_ambient = saved_; }
+
+const TraceContext& TraceScope::Current() { return g_ambient; }
+
+void Span::Open(const TraceContext& ctx, const char* name) {
+  if (!ctx.active() || !TraceRecorder::Global().enabled()) return;
+  ctx_ = ctx;
+  name_ = name;
+  span_id_ = TraceRecorder::Global().NextSpanId();
+  start_ns_ = TraceNowNanos();
+}
+
+Span::Span(const char* name) : ambient_(true) {
+  Open(g_ambient, name);
+  if (ctx_.active()) {
+    // Children opened during this span's lifetime parent under it.
+    saved_parent_ = g_ambient.parent_span;
+    g_ambient.parent_span = span_id_;
+  }
+}
+
+Span::Span(const TraceContext& ctx, const char* name) { Open(ctx, name); }
+
+Span::~Span() {
+  if (!ctx_.active()) return;
+  if (ambient_) g_ambient.parent_span = saved_parent_;
+  TraceRecorder::Global().RecordWithId(ctx_, span_id_, name_, start_ns_,
+                                       TraceNowNanos());
+}
+
+}  // namespace obs
+}  // namespace oneedit

@@ -1,0 +1,201 @@
+#ifndef ONEEDIT_OBS_TRACE_H_
+#define ONEEDIT_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oneedit {
+namespace obs {
+
+/// Request-scoped trace identity, carried inside EditRequest (and created
+/// ad hoc on the read path). `trace_id == 0` means "not traced": every
+/// tracing call is a near-free no-op for such a context, so the tracer can
+/// stay compiled into the hot path and be toggled at runtime.
+struct TraceContext {
+  /// Also the id of the trace's root ("request") span.
+  uint64_t trace_id = 0;
+  /// Span id new child spans parent under (the root span, until a nested
+  /// Span temporarily deepens it).
+  uint64_t parent_span = 0;
+  /// Steady-clock nanoseconds when the trace began (Submit entry / read
+  /// entry) — the root span's start.
+  uint64_t start_ns = 0;
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// Monotonic nanoseconds (steady clock) — the tracer's time base.
+uint64_t TraceNowNanos();
+
+/// One completed span, as drained from the ring buffers. `name` is always a
+/// string literal (the recorder stores the pointer, not a copy).
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  /// 0 for the trace's root span.
+  uint64_t parent_id = 0;
+  const char* name = "";
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+
+  uint64_t duration_ns() const {
+    return end_ns >= start_ns ? end_ns - start_ns : 0;
+  }
+};
+
+/// One reconstructed trace (DumpTraces): its spans and end-to-end duration.
+struct TraceSummary {
+  uint64_t trace_id = 0;
+  uint64_t duration_ns = 0;
+  std::vector<SpanRecord> spans;
+};
+
+/// Process-wide span recorder: a fixed-size lock-free ring buffer per
+/// thread, drained on demand.
+///
+/// Writes are wait-free for the owning thread: each span becomes one slot
+/// of relaxed atomic stores plus a release publish of the slot's sequence
+/// number; old spans are overwritten once the ring wraps (tracing is
+/// diagnostic telemetry — losing the oldest spans under load is the
+/// intended behavior, never blocking the serving path). Readers (Drain,
+/// DumpTraces) run concurrently from any thread: a slot whose sequence
+/// changes mid-copy is discarded, so a torn record is never surfaced.
+/// All slot accesses are atomics, keeping the concurrency TSan-clean.
+class TraceRecorder {
+ public:
+  /// Spans each thread's ring retains before wrapping.
+  static constexpr size_t kRingCapacity = 4096;
+
+  static TraceRecorder& Global();
+
+  /// Master switch, default off. When disabled StartTrace returns an
+  /// inactive context and every record call is a no-op.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_release);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// Mints a new trace rooted "now". Inactive (all zeros) when disabled.
+  TraceContext StartTrace();
+
+  /// Records a completed span under `ctx`'s current parent. No-op when the
+  /// context is inactive. `name` must be a string literal.
+  void Record(const TraceContext& ctx, const char* name, uint64_t start_ns,
+              uint64_t end_ns);
+
+  /// Records the trace's root span (span id == trace id, parent 0),
+  /// covering ctx.start_ns .. end_ns. Call once, when the request resolves.
+  void RecordRoot(const TraceContext& ctx, const char* name, uint64_t end_ns);
+
+  /// Allocates a span id (used by Span to pre-register itself as the parent
+  /// of its children before it completes).
+  uint64_t NextSpanId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records a completed span with an explicit span id (one obtained from
+  /// NextSpanId and advertised as a parent while the span was open).
+  void RecordWithId(const TraceContext& ctx, uint64_t span_id,
+                    const char* name, uint64_t start_ns, uint64_t end_ns);
+
+  /// Snapshot of every intact span across all thread rings, oldest first
+  /// per ring. Concurrent-safe; in-flight slots are skipped.
+  std::vector<SpanRecord> Drain() const;
+
+  /// Reconstructs whole traces from the rings and returns the slowest `n`
+  /// (by root-span duration, falling back to the span envelope when the
+  /// root wrapped out), slowest first.
+  std::vector<TraceSummary> SlowestTraces(size_t n) const;
+
+  /// The slowest-`n` recent traces as a human-readable indented tree — the
+  /// admin "where did this edit spend its time" hook.
+  std::string DumpTraces(size_t n) const;
+
+  /// Testing: forget every recorded span (rings stay registered).
+  void Clear();
+
+ private:
+  struct Slot {
+    /// 0 = never written; odd = write in progress; even = publish count.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint64_t> span_id{0};
+    std::atomic<uint64_t> parent_id{0};
+    std::atomic<const char*> name{""};
+    std::atomic<uint64_t> start_ns{0};
+    std::atomic<uint64_t> end_ns{0};
+  };
+
+  struct Ring {
+    /// Next write position; only the owning thread advances it.
+    std::atomic<uint64_t> head{0};
+    Slot slots[kRingCapacity];
+  };
+
+  TraceRecorder() = default;
+
+  Ring* RingForThisThread();
+  void Write(Ring* ring, uint64_t trace_id, uint64_t span_id,
+             uint64_t parent_id, const char* name, uint64_t start_ns,
+             uint64_t end_ns);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+  /// Registration of per-thread rings. Rings are created on a thread's
+  /// first span and never destroyed (bounded by peak thread count); the
+  /// mutex-free fast path never touches this list.
+  std::atomic<size_t> ring_count_{0};
+  static constexpr size_t kMaxRings = 256;
+  std::atomic<Ring*> rings_[kMaxRings] = {};
+};
+
+/// Installs `ctx` as the calling thread's ambient trace for the scope, so
+/// spans opened anywhere down the call stack (core, durability, editor)
+/// attach to it without threading a context through every signature.
+/// Nestable; restores the previous ambient context on destruction.
+class TraceScope {
+ public:
+  explicit TraceScope(const TraceContext& ctx);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// The calling thread's ambient context (inactive if none installed).
+  static const TraceContext& Current();
+
+ private:
+  TraceContext saved_;
+};
+
+/// RAII span over the thread's ambient trace (or an explicit context):
+/// captures the start tick at construction, records the completed span at
+/// destruction, and makes itself the parent of spans opened within its
+/// lifetime. When the ambient trace is inactive the whole object is a
+/// no-op costing two loads.
+class Span {
+ public:
+  explicit Span(const char* name);
+  Span(const TraceContext& ctx, const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void Open(const TraceContext& ctx, const char* name);
+
+  TraceContext ctx_;          // inactive => disabled span
+  uint64_t span_id_ = 0;
+  uint64_t start_ns_ = 0;
+  const char* name_ = "";
+  uint64_t saved_parent_ = 0;  // ambient parent restored on close
+  bool ambient_ = false;
+};
+
+}  // namespace obs
+}  // namespace oneedit
+
+#endif  // ONEEDIT_OBS_TRACE_H_

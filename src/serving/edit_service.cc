@@ -1,6 +1,7 @@
 #include "serving/edit_service.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <unordered_set>
 #include <utility>
 
@@ -31,6 +32,14 @@ EditResult DegradedRejection(const std::string& why) {
   return result;
 }
 
+/// Closes a request's trace: every request span tree is rooted by exactly
+/// one "request" span recorded when the promise resolves, whatever path
+/// (applied, expired, rejected, degraded) resolved it.
+void FinishTrace(const obs::TraceContext& ctx) {
+  obs::TraceRecorder::Global().RecordRoot(ctx, "request",
+                                          obs::TraceNowNanos());
+}
+
 }  // namespace
 
 std::string ServiceHealthName(ServiceHealth health) {
@@ -52,6 +61,9 @@ EditService::EditService(std::unique_ptr<OneEditSystem> system,
       durability_(options.durability) {
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   if (options_.max_batch_size == 0) options_.max_batch_size = 1;
+  // Enable-only: turning the process-wide recorder OFF here would disarm
+  // another service (or an overhead A/B harness) that turned it on.
+  if (options_.tracing) obs::TraceRecorder::Global().SetEnabled(true);
   if (durability_ != nullptr && options_.recover_on_start) {
     // Recover before the writer exists: the system is still single-threaded
     // here, so replay needs no locks. With validation on, replayed batches
@@ -82,6 +94,7 @@ EditService::EditService(std::unique_ptr<OneEditSystem> system,
     }
   }
   writer_ = std::thread(&EditService::WriterLoop, this);
+  StartMetricsServer();
 }
 
 StatusOr<std::unique_ptr<EditService>> EditService::Create(
@@ -95,20 +108,30 @@ StatusOr<std::unique_ptr<EditService>> EditService::Create(
 EditService::~EditService() { Stop(); }
 
 std::future<StatusOr<EditResult>> EditService::Submit(EditRequest request) {
+  obs::TraceRecorder& tracer = obs::TraceRecorder::Global();
   Pending pending;
   pending.request = std::move(request);
   pending.enqueued = std::chrono::steady_clock::now();
+  if (!pending.request.trace.active()) {
+    // Trace starts at submission; callers may also mint one earlier to
+    // fold their own pre-submit work into the trace.
+    pending.request.trace = tracer.StartTrace();
+  }
+  const obs::TraceContext trace = pending.request.trace;
+  uint64_t admitted_ns = 0;
   std::future<StatusOr<EditResult>> future = pending.promise.get_future();
 
   Statistics& stats = system_->statistics();
   if (pending.request.expired(pending.enqueued)) {
     stats.Add(Ticker::kDeadlineExpired);
+    FinishTrace(trace);
     pending.promise.set_value(
         Status::DeadlineExceeded("request deadline already expired"));
     return future;
   }
   if (read_only()) {
     stats.Add(Ticker::kDegradedRejects);
+    FinishTrace(trace);
     pending.promise.set_value(
         DegradedRejection("write-ahead logging is unavailable"));
     return future;
@@ -119,6 +142,7 @@ std::future<StatusOr<EditResult>> EditService::Submit(EditRequest request) {
       if (options_.reject_when_full) {
         lock.unlock();
         stats.Add(Ticker::kServingRejected);
+        FinishTrace(trace);
         pending.promise.set_value(Status::ResourceExhausted(
             "edit queue full (capacity " +
             std::to_string(options_.queue_capacity) + ")"));
@@ -134,6 +158,7 @@ std::future<StatusOr<EditResult>> EditService::Submit(EditRequest request) {
                                         admissible)) {
           lock.unlock();
           stats.Add(Ticker::kDeadlineExpired);
+          FinishTrace(trace);
           pending.promise.set_value(Status::DeadlineExceeded(
               "deadline expired while waiting for queue capacity"));
           return future;
@@ -145,13 +170,22 @@ std::future<StatusOr<EditResult>> EditService::Submit(EditRequest request) {
     if (stopping_) {
       lock.unlock();
       stats.Add(Ticker::kServingRejected);
+      FinishTrace(trace);
       pending.promise.set_value(
           Status::Unavailable("EditService is stopped"));
       return future;
     }
+    admitted_ns = obs::TraceNowNanos();
+    pending.admitted_ns = admitted_ns;
     queue_.push_back(std::move(pending));
     stats.Add(Ticker::kServingSubmitted);
     stats.Record(Histogram::kServingQueueDepth, queue_.size());
+  }
+  // "admission": Submit entry (trace start) until the slot in the queue was
+  // won — covers backpressure waits. "queue-wait" picks up from the same
+  // instant, so the two spans tile the pre-writer wait without overlap.
+  if (trace.active()) {
+    tracer.Record(trace, "admission", trace.start_ns, admitted_ns);
   }
   queue_not_empty_.notify_one();
   return future;
@@ -159,12 +193,23 @@ std::future<StatusOr<EditResult>> EditService::Submit(EditRequest request) {
 
 Decode EditService::Ask(const std::string& subject,
                         const std::string& relation) const {
+  obs::TraceRecorder& tracer = obs::TraceRecorder::Global();
+  const obs::TraceContext trace = tracer.StartTrace();
+  const auto start = std::chrono::steady_clock::now();
   // Touch the writer gate first: if a writer is waiting for the exclusive
   // lock it holds the gate, and this reader queues behind it.
   { std::lock_guard<std::mutex> gate(writer_gate_); }
   std::shared_lock<std::shared_mutex> lock(rw_mutex_);
   Decode decode = system_->Ask(subject, relation);
-  system_->statistics().Add(Ticker::kServingReads);
+  lock.unlock();
+  Statistics& stats = system_->statistics();
+  stats.Add(Ticker::kServingReads);
+  stats.Record(Histogram::kServingReadMicros,
+               static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count()));
+  tracer.RecordRoot(trace, "ask", obs::TraceNowNanos());
   return decode;
 }
 
@@ -174,6 +219,9 @@ void EditService::Drain() {
 }
 
 void EditService::Stop() {
+  // The scrape handler reads through `this`; take the listener down before
+  // anything it samples starts shutting down.
+  if (metrics_server_ != nullptr) metrics_server_->Stop();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (stopping_) {
@@ -193,6 +241,7 @@ void EditService::Stop() {
   }
   for (Pending& pending : orphans) {
     system_->statistics().Add(Ticker::kServingRejected);
+    FinishTrace(pending.request.trace);
     pending.promise.set_value(
         Status::Unavailable("EditService stopped before this request ran"));
   }
@@ -383,6 +432,9 @@ void EditService::WriterLoop() {
     Statistics& stats = system_->statistics();
     for (Pending& pending : expired) {
       stats.Add(Ticker::kDeadlineExpired);
+      // Root span closes before the promise resolves, so a caller who
+      // drains the recorder right after .get() sees the whole trace.
+      FinishTrace(pending.request.trace);
       pending.promise.set_value(Status::DeadlineExceeded(
           "deadline expired while the request was queued"));
     }
@@ -400,6 +452,21 @@ void EditService::WriterLoop() {
     requests.reserve(batch.size());
     for (const Pending& pending : batch) requests.push_back(pending.request);
 
+    // The queue wait ends here for every admitted request: one span per
+    // request plus the aggregate histogram (queue push -> writer dequeue).
+    obs::TraceRecorder& tracer = obs::TraceRecorder::Global();
+    const uint64_t dequeued_ns = obs::TraceNowNanos();
+    for (const Pending& pending : batch) {
+      if (pending.admitted_ns != 0 && dequeued_ns > pending.admitted_ns) {
+        if (pending.request.trace.active()) {
+          tracer.Record(pending.request.trace, "queue-wait",
+                        pending.admitted_ns, dequeued_ns);
+        }
+        stats.Record(Histogram::kServingQueueWaitMicros,
+                     (dequeued_ns - pending.admitted_ns) / 1000);
+      }
+    }
+
     bool degraded = read_only();
     bool results_valid = false;
     std::vector<StatusOr<EditResult>> results;
@@ -407,6 +474,11 @@ void EditService::WriterLoop() {
       std::unique_lock<std::mutex> gate(writer_gate_);
       std::unique_lock<std::shared_mutex> write_lock(rw_mutex_);
       gate.unlock();
+      // Batch-level spans (wal-append, fsync, guard, locate, apply,
+      // reliability-probe, canary, bisect, rollback) attach to the batch
+      // leader's trace: the work is genuinely shared, and one deep trace
+      // beats N copies of the same spans.
+      obs::TraceScope batch_scope(batch.front().request.trace);
       uint64_t first_sequence = 0;
       if (durability_ != nullptr) {
         // Durability protocol: the batch must be journaled and fsynced
@@ -479,6 +551,9 @@ void EditService::WriterLoop() {
     }
     if (degraded && !results_valid) {
       stats.Add(Ticker::kDegradedRejects, batch.size());
+      for (const Pending& pending : batch) {
+        FinishTrace(pending.request.trace);
+      }
       RejectDegraded(&batch);
       {
         std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -497,6 +572,7 @@ void EditService::WriterLoop() {
               std::chrono::duration_cast<std::chrono::microseconds>(
                   now - batch[i].enqueued)
                   .count()));
+      FinishTrace(batch[i].request.trace);
       batch[i].promise.set_value(std::move(results[i]));
     }
 
@@ -506,6 +582,185 @@ void EditService::WriterLoop() {
     }
     idle_.notify_all();
   }
+}
+
+void EditService::ExportMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  Statistics* stats = &system_->statistics();
+
+  for (size_t i = 0; i < static_cast<size_t>(Ticker::kTickerCount); ++i) {
+    const Ticker ticker = static_cast<Ticker>(i);
+    registry->AddCounter(TickerName(ticker),
+                         "OneEdit ticker " + TickerName(ticker),
+                         [stats, ticker] { return stats->Get(ticker); });
+  }
+  for (size_t i = 0; i < static_cast<size_t>(Histogram::kHistogramCount);
+       ++i) {
+    const Histogram histogram = static_cast<Histogram>(i);
+    registry->AddHistogram(
+        HistogramName(histogram),
+        "OneEdit histogram " + HistogramName(histogram),
+        [stats, histogram] {
+          const HistogramSnapshot snapshot = stats->GetHistogram(histogram);
+          obs::HistogramExposition out;
+          out.count = snapshot.count;
+          out.sum = snapshot.sum;
+          out.max = snapshot.max;
+          out.p50 = snapshot.P50();
+          out.p95 = snapshot.P95();
+          out.p99 = snapshot.P99();
+          uint64_t cumulative = 0;
+          for (size_t b = 0; b < kHistogramBucketCount; ++b) {
+            if (snapshot.buckets[b] == 0) continue;
+            cumulative += snapshot.buckets[b];
+            out.buckets.emplace_back(HistogramBucketUpperBound(b),
+                                     cumulative);
+          }
+          return out;
+        });
+  }
+
+  registry->AddGauge("queue_depth", "Requests waiting in the edit queue",
+                     [this] { return static_cast<double>(queue_depth()); });
+  registry->AddGauge(
+      "queue_capacity", "Configured edit queue capacity",
+      [this] { return static_cast<double>(options_.queue_capacity); });
+  registry->AddGauge(
+      "max_batch_size", "Configured writer coalescing limit",
+      [this] { return static_cast<double>(options_.max_batch_size); });
+  registry->AddGauge("read_only",
+                     "1 while the service rejects writes (degraded/probing)",
+                     [this] { return read_only() ? 1.0 : 0.0; });
+  registry->AddLabeledGauge(
+      "service_health",
+      "One-hot write-path health state (docs/serving.md state machine)",
+      [this] {
+        const ServiceHealth now = health();
+        std::vector<std::pair<obs::MetricLabel, double>> states;
+        for (ServiceHealth state :
+             {ServiceHealth::kHealthy, ServiceHealth::kReadOnlyDegraded,
+              ServiceHealth::kHalfOpenProbing}) {
+          states.push_back({obs::MetricLabel{"state",
+                                             ServiceHealthName(state)},
+                            state == now ? 1.0 : 0.0});
+        }
+        return states;
+      });
+
+  if (durability_ != nullptr) {
+    durability::DurabilityManager* durability = durability_;
+    registry->AddGauge(
+        "wal_next_sequence",
+        "Sequence number the next journaled edit will receive",
+        [durability] {
+          return static_cast<double>(durability->next_sequence());
+        });
+    registry->AddGauge(
+        "edits_since_checkpoint",
+        "Committed edits the WAL tail holds beyond the last checkpoint",
+        [durability] {
+          return static_cast<double>(durability->edits_since_checkpoint());
+        });
+    registry->AddGauge(
+        "checkpoint_interval",
+        "Checkpoint cadence in committed edits (0 = manual only)",
+        [durability] {
+          return static_cast<double>(durability->options().checkpoint_interval);
+        });
+  }
+
+  registry->AddInfo("health_transitions", [this] {
+    std::string json = "[";
+    bool first = true;
+    for (const HealthTransition& t : health_log()) {
+      if (!first) json += ",";
+      first = false;
+      json += "{\"sequence\":" + std::to_string(t.sequence) +
+              ",\"from\":\"" + ServiceHealthName(t.from) + "\",\"to\":\"" +
+              ServiceHealthName(t.to) + "\",\"reason\":\"" +
+              obs::MetricsRegistry::JsonEscape(t.reason) + "\"}";
+    }
+    return json + "]";
+  });
+  registry->AddInfo("recovery", [this] {
+    const durability::RecoveryReport& r = recovery_report_;
+    return std::string("{") + "\"status\":\"" +
+           obs::MetricsRegistry::JsonEscape(recovery_status_.ToString()) +
+           "\",\"checkpoint_loaded\":" +
+           (r.checkpoint_loaded ? "true" : "false") +
+           ",\"checkpoint_sequence\":" +
+           std::to_string(r.checkpoint_sequence) +
+           ",\"replayed_records\":" + std::to_string(r.replayed_records) +
+           ",\"skipped_records\":" + std::to_string(r.skipped_records) +
+           ",\"quarantined_skipped\":" +
+           std::to_string(r.quarantined_skipped) +
+           ",\"torn_bytes_dropped\":" +
+           std::to_string(r.torn_bytes_dropped) +
+           ",\"last_sequence\":" + std::to_string(r.last_sequence) + "}";
+  });
+  registry->AddInfo("slowest_traces", [this] {
+    return "\"" + obs::MetricsRegistry::JsonEscape(DumpTraces(5)) + "\"";
+  });
+}
+
+std::string EditService::DumpTraces(size_t n) const {
+  return obs::TraceRecorder::Global().DumpTraces(n);
+}
+
+obs::MetricsServer::Response EditService::ServeHttp(const std::string& path) {
+  obs::MetricsServer::Response response;
+  if (path == "/metrics" || path == "/") {
+    response.body = registry_->ExposeText();
+    return response;
+  }
+  if (path == "/metrics.json") {
+    response.content_type = "application/json";
+    response.body = registry_->ExposeJson();
+    return response;
+  }
+  if (path == "/health") {
+    const ServiceHealth now = health();
+    response.status = now == ServiceHealth::kHealthy ? 200 : 503;
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = ServiceHealthName(now) + "\n";
+    return response;
+  }
+  if (path.rfind("/traces", 0) == 0) {
+    size_t n = 10;
+    const size_t q = path.find("n=");
+    if (q != std::string::npos) {
+      const unsigned long parsed =
+          std::strtoul(path.c_str() + q + 2, nullptr, 10);
+      if (parsed > 0) n = std::min<size_t>(parsed, 100);
+    }
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = DumpTraces(n);
+    return response;
+  }
+  response.status = 404;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body =
+      "not found — try /metrics, /metrics.json, /health, /traces?n=10\n";
+  return response;
+}
+
+void EditService::StartMetricsServer() {
+  if (!options_.expose_metrics) return;
+  registry_ = std::make_unique<obs::MetricsRegistry>();
+  ExportMetrics(registry_.get());
+  StatusOr<std::unique_ptr<obs::MetricsServer>> server =
+      obs::MetricsServer::Start(
+          options_.metrics_port,
+          [this](const std::string& path) { return ServeHttp(path); });
+  if (!server.ok()) {
+    // Scraping is best-effort; a busy port must not take down serving.
+    ONEEDIT_LOG(Warning) << "metrics listener failed to start: "
+                         << server.status().ToString();
+    return;
+  }
+  metrics_server_ = std::move(*server);
+  ONEEDIT_LOG(Info) << "metrics listener on http://"
+                    << metrics_server_->address();
 }
 
 }  // namespace serving

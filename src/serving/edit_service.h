@@ -15,6 +15,9 @@
 
 #include "core/oneedit.h"
 #include "durability/manager.h"
+#include "obs/metrics_registry.h"
+#include "obs/metrics_server.h"
+#include "obs/trace.h"
 #include "serving/self_healing.h"
 
 namespace oneedit {
@@ -74,6 +77,19 @@ struct EditServiceOptions {
   /// Self-healing: post-apply validation thresholds, rollback/quarantine,
   /// WAL retry and degraded-mode auto-heal (docs/self_healing.md).
   SelfHealOptions self_heal;
+  /// Request-scoped tracing (docs/observability.md): Submit mints a
+  /// TraceContext per request and the write path records spans (admission,
+  /// queue-wait, wal-append, fsync, guard, locate, apply, canary, ...) into
+  /// the global TraceRecorder. Enables the process-wide recorder; set false
+  /// to leave the recorder's state alone (e.g. for overhead A/B runs that
+  /// toggle it directly).
+  bool tracing = true;
+  /// Start a loopback HTTP/1.0 metrics listener owned by the service:
+  /// GET /metrics (Prometheus text), /metrics.json, /health, /traces?n=N.
+  bool expose_metrics = false;
+  /// Port for the metrics listener; 0 picks an ephemeral port (read it back
+  /// via metrics_server()->port()).
+  uint16_t metrics_port = 0;
 };
 
 /// EditService: the concurrent serving layer over OneEditSystem.
@@ -199,14 +215,44 @@ class EditService {
   /// batch is mid-application). FailedPrecondition without a manager.
   Status CheckpointNow();
 
+  // --- Observability surface -------------------------------------------------
+
+  /// Registers this service's full export surface on `registry`: every
+  /// Statistics ticker (counter) and histogram (with exact-to-bucket
+  /// percentiles), queue/batch gauges, the health state machine, WAL and
+  /// checkpoint progress, and JSON info blobs (health transition log,
+  /// recovery report, slowest traces). Providers sample at scrape time and
+  /// are thread-safe; `registry` must not outlive the service.
+  void ExportMetrics(obs::MetricsRegistry* registry);
+
+  /// Admin hook: the slowest `n` recent traces as an indented span tree
+  /// (also served as GET /traces?n=N when the metrics listener is on).
+  std::string DumpTraces(size_t n = 10) const;
+
+  /// The owned metrics listener (null unless options.expose_metrics was set
+  /// and the bind succeeded). Useful for reading back an ephemeral port.
+  const obs::MetricsServer* metrics_server() const {
+    return metrics_server_.get();
+  }
+
  private:
   struct Pending {
     EditRequest request;
     std::promise<StatusOr<EditResult>> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// TraceNowNanos() at queue push — the queue-wait span's start.
+    uint64_t admitted_ns = 0;
   };
 
   void WriterLoop();
+
+  /// Builds registry_ and starts the loopback listener when
+  /// options_.expose_metrics is set. A bind failure logs a warning and
+  /// leaves the service fully functional (scraping is best-effort).
+  void StartMetricsServer();
+
+  /// Routes one HTTP request path (metrics server thread).
+  obs::MetricsServer::Response ServeHttp(const std::string& path);
 
   /// The single place `health_` changes. No-op when already in `to`;
   /// otherwise records + logs the transition exactly once and ticks
@@ -278,6 +324,11 @@ class EditService {
   bool writer_busy_ = false;
 
   std::thread writer_;
+
+  /// Export surface (docs/observability.md). The registry's providers
+  /// capture `this`, so the server is stopped first in Stop().
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::MetricsServer> metrics_server_;
 };
 
 }  // namespace serving

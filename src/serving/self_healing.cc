@@ -28,6 +28,7 @@ SelfHealer::Canaries SelfHealer::SampleWithBaselines(
     const std::vector<EditRequest>& requests, uint64_t seed) const {
   Canaries canaries;
   if (options_.canary_sample == 0) return canaries;
+  obs::Span canary_span("canary");
   // The batch's own slots legitimately change; everything else must not.
   std::unordered_set<std::string> footprint;
   for (const EditRequest& request : requests) {
@@ -82,6 +83,7 @@ SelfHealer::Verdict SelfHealer::Validate(
     const Canaries& canaries) const {
   Verdict verdict;
   if (options_.reliability_probe) {
+    obs::Span probe_span("reliability-probe");
     for (size_t i = 0; i < requests.size() && i < results.size(); ++i) {
       // Only programmatic edits carry a triple whose decode we can demand;
       // utterance-driven edits are still covered by the canaries.
@@ -94,10 +96,13 @@ SelfHealer::Verdict SelfHealer::Validate(
       }
     }
   }
-  for (size_t i = 0; i < canaries.probes.size(); ++i) {
-    if (!EvalLocalityUnchanged(system_->model(), canaries.probes[i],
-                               canaries.baselines[i])) {
-      ++verdict.canary_flips;
+  {
+    obs::Span canary_span("canary");
+    for (size_t i = 0; i < canaries.probes.size(); ++i) {
+      if (!EvalLocalityUnchanged(system_->model(), canaries.probes[i],
+                                 canaries.baselines[i])) {
+        ++verdict.canary_flips;
+      }
     }
   }
   verdict.ok = verdict.reliability_failures.empty() &&
@@ -194,9 +199,12 @@ HealedBatch SelfHealer::ApplyValidated(
 
     stats.Add(Ticker::kCanaryFailures);
     const auto rollback_start = std::chrono::steady_clock::now();
-    const Status aborted = system_->AbortBatchTxn(&txn);
-    if (!aborted.ok()) {
-      ONEEDIT_LOG(Error) << "batch rollback failed: " << aborted.ToString();
+    {
+      obs::Span rollback_span("rollback");
+      const Status aborted = system_->AbortBatchTxn(&txn);
+      if (!aborted.ok()) {
+        ONEEDIT_LOG(Error) << "batch rollback failed: " << aborted.ToString();
+      }
     }
     stats.Add(Ticker::kRollbackBatches);
     stats.Record(Histogram::kRollbackMicros, ElapsedMicros(rollback_start));
@@ -207,7 +215,10 @@ HealedBatch SelfHealer::ApplyValidated(
     // flip an innocent neighbor's decode in the same batch, so the probe may
     // point at a victim. The half-batch probes instead converge on the
     // request whose presence makes validation fail.
-    const size_t p = IsolatePoison(subset, canaries);
+    const size_t p = [&] {
+      obs::Span bisect_span("bisect");
+      return IsolatePoison(subset, canaries);
+    }();
     const size_t original = active[p];
     out.quarantine_reason = verdict.reason;
     EditResult quarantined;

@@ -1,0 +1,588 @@
+// Tests for the observability stack (docs/observability.md): the lock-free
+// trace recorder (nesting, wraparound, concurrent drain — designed to run
+// clean under ThreadSanitizer), the exponential histogram buckets behind
+// Statistics percentiles, the MetricsRegistry expositions, the loopback
+// metrics server, and the EditService end-to-end export surface.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/statistics.h"
+#include "data/dataset.h"
+#include "obs/metrics_registry.h"
+#include "obs/metrics_server.h"
+#include "obs/trace.h"
+#include "serving/edit_service.h"
+
+namespace oneedit {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::MetricsServer;
+using obs::SpanRecord;
+using obs::TraceContext;
+using obs::TraceRecorder;
+using obs::TraceScope;
+using serving::EditService;
+using serving::EditServiceOptions;
+
+// --- Exponential histogram buckets -----------------------------------------
+
+TEST(HistogramBucketsTest, IndexAndBoundRoundTrip) {
+  const uint64_t samples[] = {0,    1,    2,       3,       4,
+                              5,    7,    8,       15,      16,
+                              100,  1000, 123456,  1u << 20, uint64_t{1} << 40};
+  for (const uint64_t value : samples) {
+    const size_t index = HistogramBucketIndex(value);
+    ASSERT_LT(index, kHistogramBucketCount) << value;
+    // The bucket's inclusive upper bound covers the value...
+    EXPECT_GE(HistogramBucketUpperBound(index), value) << value;
+    // ...and the previous bucket does not.
+    if (index > 0) {
+      EXPECT_LT(HistogramBucketUpperBound(index - 1), value) << value;
+    }
+  }
+}
+
+TEST(HistogramBucketsTest, BoundsAreStrictlyIncreasing) {
+  for (size_t i = 1; i < 200; ++i) {
+    EXPECT_GT(HistogramBucketUpperBound(i), HistogramBucketUpperBound(i - 1))
+        << i;
+  }
+}
+
+TEST(HistogramBucketsTest, RelativeWidthStaysUnderQuarter) {
+  // 4 sub-buckets per power of two caps the percentile error at ~25%.
+  for (uint64_t value = 4; value < (1u << 20); value = value * 5 / 4 + 1) {
+    const size_t index = HistogramBucketIndex(value);
+    const uint64_t hi = HistogramBucketUpperBound(index);
+    const uint64_t lo = HistogramBucketUpperBound(index - 1) + 1;
+    EXPECT_LE(hi - lo, lo / 4 + 1) << value;
+  }
+}
+
+TEST(StatisticsTest, PercentilesExactToBucket) {
+  Statistics stats;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    stats.Record(Histogram::kServingReadMicros, v);
+  }
+  const HistogramSnapshot snapshot =
+      stats.GetHistogram(Histogram::kServingReadMicros);
+  EXPECT_EQ(snapshot.count, 100u);
+  EXPECT_EQ(snapshot.max, 100u);
+  // p50's observation is 50, whose bucket tops out at 55.
+  EXPECT_GE(snapshot.P50(), 50u);
+  EXPECT_LE(snapshot.P50(), 55u);
+  // 95 is itself a bucket upper bound, so p95 is exact.
+  EXPECT_EQ(snapshot.P95(), 95u);
+  // p99's bucket bound (111) clamps to the exactly-tracked max.
+  EXPECT_EQ(snapshot.P99(), 100u);
+}
+
+TEST(StatisticsTest, SingleValuePercentileIsExactInLowBuckets) {
+  Statistics stats;
+  for (int i = 0; i < 5; ++i) stats.Record(Histogram::kRollbackMicros, 7);
+  EXPECT_EQ(stats.GetHistogram(Histogram::kRollbackMicros).P50(), 7u);
+  EXPECT_EQ(stats.GetHistogram(Histogram::kRollbackMicros).P99(), 7u);
+}
+
+TEST(StatisticsTest, ToStringSkipsUntouchedAndShowsPercentiles) {
+  Statistics stats;
+  stats.Add(Ticker::kEditsAccepted);
+  stats.Record(Histogram::kServingLatencyMicros, 10);
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("edits_accepted: 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("serving_latency_micros: p50 10"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("max 10 (1)"), std::string::npos) << text;
+  // Untouched tickers and histograms stay out of the way.
+  EXPECT_EQ(text.find("utterances"), std::string::npos) << text;
+  EXPECT_EQ(text.find("wal_commit_micros"), std::string::npos) << text;
+}
+
+// --- Trace recorder --------------------------------------------------------
+
+/// Shared recorder hygiene: tests in this binary all use the global
+/// recorder, so each starts from a clean, enabled state.
+void ResetRecorder() {
+  TraceRecorder::Global().SetEnabled(true);
+  TraceRecorder::Global().Clear();
+}
+
+std::map<uint64_t, std::vector<SpanRecord>> GroupByTrace(
+    const std::vector<SpanRecord>& spans) {
+  std::map<uint64_t, std::vector<SpanRecord>> traces;
+  for (const SpanRecord& span : spans) traces[span.trace_id].push_back(span);
+  return traces;
+}
+
+TEST(TraceRecorderTest, DisabledRecorderMintsInactiveContexts) {
+  TraceRecorder::Global().Clear();
+  TraceRecorder::Global().SetEnabled(false);
+  const TraceContext ctx = TraceRecorder::Global().StartTrace();
+  EXPECT_FALSE(ctx.active());
+  {
+    obs::Span noop("noop");  // must not record anything
+  }
+  EXPECT_TRUE(TraceRecorder::Global().Drain().empty());
+  TraceRecorder::Global().SetEnabled(true);
+}
+
+TEST(TraceRecorderTest, SpansNestUnderTheAmbientScope) {
+  ResetRecorder();
+  TraceRecorder& recorder = TraceRecorder::Global();
+  TraceContext ctx = recorder.StartTrace();
+  {
+    TraceScope scope(ctx);
+    obs::Span outer("outer");
+    {
+      obs::Span inner("inner");
+    }
+  }
+  recorder.RecordRoot(ctx, "request", obs::TraceNowNanos());
+
+  const auto traces = GroupByTrace(recorder.Drain());
+  ASSERT_EQ(traces.count(ctx.trace_id), 1u);
+  const std::vector<SpanRecord>& spans = traces.at(ctx.trace_id);
+  ASSERT_EQ(spans.size(), 3u);
+
+  std::map<std::string, SpanRecord> by_name;
+  for (const SpanRecord& span : spans) by_name[span.name] = span;
+  ASSERT_EQ(by_name.count("request"), 1u);
+  ASSERT_EQ(by_name.count("outer"), 1u);
+  ASSERT_EQ(by_name.count("inner"), 1u);
+
+  // Root: span id == trace id, no parent. Children chain under it.
+  EXPECT_EQ(by_name["request"].span_id, ctx.trace_id);
+  EXPECT_EQ(by_name["request"].parent_id, 0u);
+  EXPECT_EQ(by_name["outer"].parent_id, ctx.trace_id);
+  EXPECT_EQ(by_name["inner"].parent_id, by_name["outer"].span_id);
+
+  // Ordering: a child's window nests inside its parent's.
+  EXPECT_GE(by_name["inner"].start_ns, by_name["outer"].start_ns);
+  EXPECT_LE(by_name["inner"].end_ns, by_name["outer"].end_ns);
+  EXPECT_LE(by_name["outer"].end_ns, by_name["request"].end_ns);
+}
+
+TEST(TraceRecorderTest, SiblingSpansRestoreTheParent) {
+  ResetRecorder();
+  TraceRecorder& recorder = TraceRecorder::Global();
+  TraceContext ctx = recorder.StartTrace();
+  {
+    TraceScope scope(ctx);
+    { obs::Span first("first"); }
+    { obs::Span second("second"); }
+  }
+  const auto traces = GroupByTrace(recorder.Drain());
+  const std::vector<SpanRecord>& spans = traces.at(ctx.trace_id);
+  ASSERT_EQ(spans.size(), 2u);
+  // Both siblings parent under the root, not under each other.
+  EXPECT_EQ(spans[0].parent_id, ctx.trace_id);
+  EXPECT_EQ(spans[1].parent_id, ctx.trace_id);
+  // Drain preserves per-thread recording order.
+  EXPECT_STREQ(spans[0].name, "first");
+  EXPECT_STREQ(spans[1].name, "second");
+}
+
+TEST(TraceRecorderTest, RingWrapsKeepingTheNewestSpans) {
+  ResetRecorder();
+  TraceRecorder& recorder = TraceRecorder::Global();
+  TraceContext ctx = recorder.StartTrace();
+  const uint64_t total = 3 * TraceRecorder::kRingCapacity + 17;
+  for (uint64_t i = 0; i < total; ++i) {
+    recorder.Record(ctx, "wrap", i, i + 1);
+  }
+  const std::vector<SpanRecord> spans = recorder.Drain();
+  ASSERT_EQ(spans.size(), TraceRecorder::kRingCapacity);
+  uint64_t min_end = UINT64_MAX;
+  uint64_t max_end = 0;
+  for (const SpanRecord& span : spans) {
+    EXPECT_STREQ(span.name, "wrap");
+    min_end = std::min(min_end, span.end_ns);
+    max_end = std::max(max_end, span.end_ns);
+  }
+  // Oldest spans were overwritten; exactly the newest kRingCapacity remain.
+  EXPECT_EQ(max_end, total);
+  EXPECT_EQ(min_end, total - TraceRecorder::kRingCapacity + 1);
+}
+
+TEST(TraceRecorderTest, ConcurrentWritersAndDrainersStayTornFree) {
+  ResetRecorder();
+  TraceRecorder& recorder = TraceRecorder::Global();
+  constexpr int kWriters = 4;
+  constexpr int kSpansPerWriter = 20000;
+  std::atomic<bool> stop_draining{false};
+  std::atomic<uint64_t> drained_total{0};
+
+  // Drainers race the writers: every record they surface must be intact
+  // (a known name, a plausible window) — torn slots must be discarded.
+  std::thread drainer([&] {
+    while (!stop_draining.load(std::memory_order_acquire)) {
+      for (const SpanRecord& span : recorder.Drain()) {
+        const bool known = std::strcmp(span.name, "chaos-a") == 0 ||
+                           std::strcmp(span.name, "chaos-b") == 0;
+        if (!known || span.end_ns < span.start_ns || span.trace_id == 0) {
+          ADD_FAILURE() << "torn span surfaced: " << span.name;
+        }
+      }
+      drained_total.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      TraceContext ctx = recorder.StartTrace();
+      TraceScope scope(ctx);
+      for (int i = 0; i < kSpansPerWriter; ++i) {
+        obs::Span span((w + i) % 2 == 0 ? "chaos-a" : "chaos-b");
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop_draining.store(true, std::memory_order_release);
+  drainer.join();
+  EXPECT_GT(drained_total.load(), 0u);
+  EXPECT_FALSE(recorder.Drain().empty());
+}
+
+TEST(TraceRecorderTest, DumpTracesRendersATree) {
+  ResetRecorder();
+  TraceRecorder& recorder = TraceRecorder::Global();
+  TraceContext ctx = recorder.StartTrace();
+  {
+    TraceScope scope(ctx);
+    obs::Span work("work");
+  }
+  recorder.RecordRoot(ctx, "request", obs::TraceNowNanos());
+  const std::string dump = recorder.DumpTraces(3);
+  EXPECT_NE(dump.find("request"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("work"), std::string::npos) << dump;
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+TEST(MetricsRegistryTest, TextExpositionCoversEveryKind) {
+  MetricsRegistry registry;
+  registry.AddCounter("edits", "Edits applied", [] { return 42u; });
+  registry.AddGauge("depth", "Queue depth", [] { return 3.0; });
+  registry.AddLabeledGauge("health", "Health state", [] {
+    return std::vector<std::pair<obs::MetricLabel, double>>{
+        {obs::MetricLabel{"state", "healthy"}, 1.0},
+        {obs::MetricLabel{"state", "degraded"}, 0.0}};
+  });
+  registry.AddHistogram("latency", "Latency", [] {
+    obs::HistogramExposition h;
+    h.count = 10;
+    h.sum = 100;
+    h.max = 31;
+    h.p50 = 9;
+    h.p95 = 27;
+    h.p99 = 31;
+    h.buckets = {{9, 5}, {31, 10}};
+    return h;
+  });
+
+  const std::string text = registry.ExposeText();
+  EXPECT_NE(text.find("# TYPE oneedit_edits_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("oneedit_edits_total 42"), std::string::npos);
+  EXPECT_NE(text.find("oneedit_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("oneedit_health{state=\"healthy\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE oneedit_latency summary"), std::string::npos);
+  EXPECT_NE(text.find("oneedit_latency{quantile=\"0.5\"} 9"),
+            std::string::npos);
+  EXPECT_NE(text.find("oneedit_latency{quantile=\"0.99\"} 31"),
+            std::string::npos);
+  EXPECT_NE(text.find("oneedit_latency_sum 100"), std::string::npos);
+  EXPECT_NE(text.find("oneedit_latency_count 10"), std::string::npos);
+  EXPECT_NE(text.find("oneedit_latency_max 31"), std::string::npos);
+  EXPECT_NE(text.find("oneedit_latency_buckets_bucket{le=\"9\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("oneedit_latency_buckets_bucket{le=\"+Inf\"} 10"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonExpositionIncludesInfoBlobs) {
+  MetricsRegistry registry;
+  registry.AddCounter("edits", "Edits", [] { return 7u; });
+  registry.AddInfo("recovery", [] {
+    return std::string("{\"replayed\":3}");
+  });
+  const std::string json = registry.ExposeJson();
+  EXPECT_NE(json.find("\"counters\":{\"edits\":7}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"recovery\":{\"replayed\":3}"), std::string::npos)
+      << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsRegistryTest, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(MetricsRegistry::JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(MetricsRegistry::JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// --- MetricsServer ---------------------------------------------------------
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsServerTest, ServesHandlerResponsesOverLoopback) {
+  auto started = MetricsServer::Start(0, [](const std::string& path) {
+    MetricsServer::Response response;
+    if (path == "/metrics") {
+      response.body = "oneedit_up 1\n";
+    } else {
+      response.status = 404;
+      response.body = "nope";
+    }
+    return response;
+  });
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  std::unique_ptr<MetricsServer> server = std::move(*started);
+  ASSERT_NE(server->port(), 0);
+
+  const std::string ok = HttpGet(server->port(), "/metrics");
+  EXPECT_NE(ok.find("HTTP/1.0 200"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("oneedit_up 1"), std::string::npos) << ok;
+
+  const std::string missing = HttpGet(server->port(), "/other");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos) << missing;
+
+  server->Stop();
+  server->Stop();  // idempotent
+}
+
+// --- EditService export surface --------------------------------------------
+
+DatasetOptions TinyOptions() {
+  DatasetOptions options;
+  options.num_cases = 12;
+  return options;
+}
+
+struct ObsWorld {
+  explicit ObsWorld(const EditServiceOptions& options = {})
+      : dataset(BuildAmericanPoliticians(TinyOptions())),
+        model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                              dataset.vocab)) {
+    model->Pretrain(dataset.pretrain_facts);
+    OneEditConfig config;
+    config.method = EditingMethodKind::kGrace;
+    config.interpreter.extraction_error_rate = 0.0;
+    auto created =
+        EditService::Create(&dataset.kg, model.get(), config, options);
+    EXPECT_TRUE(created.ok());
+    service = std::move(created).value();
+  }
+
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+  std::unique_ptr<EditService> service;
+};
+
+/// Extracts the value of a sample line "name value" from Prometheus text.
+uint64_t ScrapeCounter(const std::string& text, const std::string& name) {
+  const std::string needle = "\n" + name + " ";
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(text.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+TEST(EditServiceObsTest, WritePathEmitsTheFullSpanSet) {
+  ResetRecorder();
+  ObsWorld world;
+  const EditCase& edit_case = world.dataset.cases.front();
+  const auto result = world.service->SubmitAndWait(
+      EditRequest::Edit(edit_case.edit, "alice"));
+  ASSERT_TRUE(result.ok());
+
+  const auto traces = GroupByTrace(TraceRecorder::Global().Drain());
+  // Find the (single) trace that has a root "request" span.
+  const std::vector<SpanRecord>* request_spans = nullptr;
+  uint64_t trace_id = 0;
+  for (const auto& [id, spans] : traces) {
+    for (const SpanRecord& span : spans) {
+      if (span.parent_id == 0 &&
+          std::strcmp(span.name, "request") == 0) {
+        request_spans = &spans;
+        trace_id = id;
+      }
+    }
+  }
+  ASSERT_NE(request_spans, nullptr);
+
+  std::set<std::string> names;
+  for (const SpanRecord& span : *request_spans) names.insert(span.name);
+  for (const char* expected :
+       {"request", "admission", "queue-wait", "guard", "locate", "apply"}) {
+    EXPECT_EQ(names.count(expected), 1u) << expected;
+  }
+
+  // Regression: the root's direct children partition the request's life,
+  // so their summed durations can never exceed the end-to-end duration.
+  uint64_t root_duration = 0;
+  uint64_t child_sum = 0;
+  for (const SpanRecord& span : *request_spans) {
+    if (span.span_id == trace_id) {
+      root_duration = span.duration_ns();
+    } else if (span.parent_id == trace_id) {
+      child_sum += span.duration_ns();
+    }
+  }
+  ASSERT_GT(root_duration, 0u);
+  EXPECT_LE(child_sum, root_duration);
+}
+
+TEST(EditServiceObsTest, ReadPathTracesAndRecordsLatency) {
+  ResetRecorder();
+  ObsWorld world;
+  const EditCase& edit_case = world.dataset.cases.front();
+  (void)world.service->Ask(edit_case.edit.subject, edit_case.edit.relation);
+
+  EXPECT_EQ(world.service->statistics()
+                .GetHistogram(Histogram::kServingReadMicros)
+                .count,
+            1u);
+  bool found_ask_root = false;
+  for (const SpanRecord& span : TraceRecorder::Global().Drain()) {
+    if (span.parent_id == 0 && std::strcmp(span.name, "ask") == 0) {
+      found_ask_root = true;
+    }
+  }
+  EXPECT_TRUE(found_ask_root);
+}
+
+TEST(EditServiceObsTest, QueueWaitHistogramSeparatesFromLatency) {
+  ResetRecorder();
+  ObsWorld world;
+  for (size_t i = 0; i < 4; ++i) {
+    const auto result = world.service->SubmitAndWait(
+        EditRequest::Edit(world.dataset.cases[i].edit, "alice"));
+    ASSERT_TRUE(result.ok());
+  }
+  const Statistics& stats = world.service->statistics();
+  EXPECT_EQ(stats.GetHistogram(Histogram::kServingQueueWaitMicros).count, 4u);
+  EXPECT_EQ(stats.GetHistogram(Histogram::kServingLatencyMicros).count, 4u);
+  // Queue-wait is a component of end-to-end latency.
+  EXPECT_LE(stats.GetHistogram(Histogram::kServingQueueWaitMicros).sum,
+            stats.GetHistogram(Histogram::kServingLatencyMicros).sum + 1);
+}
+
+TEST(EditServiceObsTest, MetricsEndpointServesConsistentPrometheusText) {
+  ResetRecorder();
+  EditServiceOptions options;
+  options.expose_metrics = true;
+  options.metrics_port = 0;  // ephemeral
+  ObsWorld world(options);
+  ASSERT_NE(world.service->metrics_server(), nullptr);
+  const uint16_t port = world.service->metrics_server()->port();
+
+  for (size_t i = 0; i < 4; ++i) {
+    const auto result = world.service->SubmitAndWait(
+        EditRequest::Edit(world.dataset.cases[i].edit, "alice"));
+    ASSERT_TRUE(result.ok());
+  }
+  (void)world.service->Ask(world.dataset.cases[0].edit.subject,
+                           world.dataset.cases[0].edit.relation);
+
+  const std::string response = HttpGet(port, "/metrics");
+  ASSERT_NE(response.find("HTTP/1.0 200"), std::string::npos);
+  const std::string text = response.substr(response.find("\r\n\r\n") + 4);
+
+  // Every ticker is present as a counter family.
+  for (size_t i = 0; i < static_cast<size_t>(Ticker::kTickerCount); ++i) {
+    const std::string full =
+        "oneedit_" + TickerName(static_cast<Ticker>(i)) + "_total";
+    EXPECT_NE(text.find("# TYPE " + full + " counter"), std::string::npos)
+        << full;
+  }
+  // Every histogram exposes its quantiles.
+  for (size_t i = 0; i < static_cast<size_t>(Histogram::kHistogramCount);
+       ++i) {
+    const std::string full =
+        "oneedit_" + HistogramName(static_cast<Histogram>(i));
+    EXPECT_NE(text.find(full + "{quantile=\"0.95\"}"), std::string::npos)
+        << full;
+  }
+  // Self-consistency: every batch carries at least one accepted edit here.
+  const uint64_t accepted = ScrapeCounter(text, "oneedit_edits_accepted_total");
+  const uint64_t batches = ScrapeCounter(text, "oneedit_serving_batches_total");
+  EXPECT_EQ(accepted, 4u);
+  EXPECT_GE(accepted, batches);
+  EXPECT_GE(batches, 1u);
+  EXPECT_NE(text.find("oneedit_service_health{state=\"healthy\"} 1"),
+            std::string::npos);
+
+  // JSON twin and the health/trace admin endpoints.
+  const std::string json = HttpGet(port, "/metrics.json");
+  EXPECT_NE(json.find("application/json"), std::string::npos);
+  EXPECT_NE(json.find("\"edits_accepted\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"health_transitions\":[]"), std::string::npos);
+
+  const std::string health = HttpGet(port, "/health");
+  EXPECT_NE(health.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(health.find("healthy"), std::string::npos);
+
+  const std::string traces = HttpGet(port, "/traces?n=2");
+  EXPECT_NE(traces.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(traces.find("request"), std::string::npos);
+
+  const std::string missing = HttpGet(port, "/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
+
+  world.service->Stop();
+  // The listener dies with the service.
+  EXPECT_EQ(HttpGet(port, "/metrics").find("HTTP/1.0 200"),
+            std::string::npos);
+}
+
+TEST(EditServiceObsTest, DumpTracesSurfacesSlowRequests) {
+  ResetRecorder();
+  ObsWorld world;
+  const auto result = world.service->SubmitAndWait(
+      EditRequest::Edit(world.dataset.cases[0].edit, "alice"));
+  ASSERT_TRUE(result.ok());
+  const std::string dump = world.service->DumpTraces(5);
+  EXPECT_NE(dump.find("request"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("apply"), std::string::npos) << dump;
+}
+
+}  // namespace
+}  // namespace oneedit

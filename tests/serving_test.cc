@@ -98,6 +98,16 @@ TEST(EditServiceTest, StressReadersAndWritersDisjointAndConflictingSlots) {
 
   // Writers 0..1 fight over the same slots (conflicting); writer 2 owns a
   // disjoint share. Every future must resolve OK.
+  //
+  // Writer 1's rival object must not be claimed by any other concurrent
+  // edit: `alternative_objects` alias neighbouring cases' new objects, and
+  // the governor relation's exclusive inverse means two subjects claiming
+  // one person resolve by evicting the earlier claim (Algorithm 2) — the
+  // evicted slot then decodes to neither candidate. Old objects from the
+  // other half's cases are people no concurrent edit assigns anywhere.
+  const auto rival_object = [&](size_t c) {
+    return cases[c + cases.size() / 2].old_object;
+  };
   std::vector<std::thread> writers;
   for (int t = 0; t < kWriters; ++t) {
     writers.emplace_back([&, t] {
@@ -106,9 +116,7 @@ TEST(EditServiceTest, StressReadersAndWritersDisjointAndConflictingSlots) {
         const bool conflicting_share = c < cases.size() / 2;
         if (conflicting_share != (t < 2)) continue;
         NamedTriple triple = cases[c].edit;
-        if (t == 1 && !cases[c].alternative_objects.empty()) {
-          triple.object = cases[c].alternative_objects.front();
-        }
+        if (t == 1) triple.object = rival_object(c);
         futures.push_back(world.service->Submit(
             EditRequest::Edit(triple, "writer" + std::to_string(t))));
       }
@@ -141,9 +149,7 @@ TEST(EditServiceTest, StressReadersAndWritersDisjointAndConflictingSlots) {
         world.service->Ask(cases[c].edit.subject, cases[c].edit.relation)
             .entity;
     const bool is_candidate =
-        entity == cases[c].edit.object ||
-        (!cases[c].alternative_objects.empty() &&
-         entity == cases[c].alternative_objects.front());
+        entity == cases[c].edit.object || entity == rival_object(c);
     EXPECT_TRUE(is_candidate) << entity;
     const auto resolved = world.dataset.kg.Resolve(
         {cases[c].edit.subject, cases[c].edit.relation, entity});
