@@ -1,5 +1,6 @@
 #include "obs/metrics_registry.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace oneedit {
@@ -7,13 +8,26 @@ namespace obs {
 namespace {
 
 std::string FormatDouble(double value) {
+  // Prometheus text-format spellings for non-finite values (%g would print
+  // lowercase "nan"/"inf", which scrapers reject).
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
   // Integral values print without a fraction so counters stay grep-able.
-  if (value == static_cast<double>(static_cast<long long>(value))) {
+  // (The magnitude guard keeps the long long cast defined.)
+  if (value >= -9.0e18 && value <= 9.0e18 &&
+      value == static_cast<double>(static_cast<long long>(value))) {
     return std::to_string(static_cast<long long>(value));
   }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%g", value);
   return buf;
+}
+
+/// JSON has no literal for NaN/Inf; a non-finite gauge must not be allowed
+/// to corrupt the whole /metrics.json document, so it becomes null.
+std::string FormatDoubleJson(double value) {
+  if (!std::isfinite(value)) return "null";
+  return FormatDouble(value);
 }
 
 /// Prometheus label-value escaping: backslash, double-quote, newline.
@@ -176,12 +190,12 @@ std::string MetricsRegistry::ExposeJson() const {
   out += "\"gauges\":{";
   for (const Gauge& gauge : gauges_) {
     key(gauge.name);
-    out += FormatDouble(gauge.value());
+    out += FormatDoubleJson(gauge.value());
   }
   for (const LabeledGauge& family : labeled_gauges_) {
     for (const auto& [label, value] : family.values()) {
       key(family.name + "{" + label.key + "=" + label.value + "}");
-      out += FormatDouble(value);
+      out += FormatDoubleJson(value);
     }
   }
   out += "},";

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -106,9 +107,19 @@ void MetricsServer::AcceptLoop() {
 }
 
 void MetricsServer::ServeOne(int client_fd) {
+  // Requests are served inline on the acceptor thread, so a stalled client
+  // must never block indefinitely: bound both directions with socket
+  // timeouts, keeping the accept loop (and Stop()) live.
+  timeval io_timeout{};
+  io_timeout.tv_sec = 2;
+  (void)::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &io_timeout,
+                     sizeof(io_timeout));
+  (void)::setsockopt(client_fd, SOL_SOCKET, SO_SNDTIMEO, &io_timeout,
+                     sizeof(io_timeout));
+
   // HTTP/1.0, single read: a GET request line + headers comfortably fits.
   char buf[4096];
-  const ssize_t got = ::read(client_fd, buf, sizeof(buf) - 1);
+  const ssize_t got = ::recv(client_fd, buf, sizeof(buf) - 1, 0);
   if (got <= 0) return;
   buf[got] = '\0';
 
@@ -134,10 +145,13 @@ void MetricsServer::ServeOne(int client_fd) {
                      "\r\nContent-Length: " +
                      std::to_string(response.body.size()) +
                      "\r\nConnection: close\r\n\r\n";
+  // MSG_NOSIGNAL: a scraper that disconnects mid-response must surface as
+  // EPIPE here, not raise SIGPIPE and kill the whole serving process.
   const auto write_all = [&](const char* data, size_t size) {
     size_t sent = 0;
     while (sent < size) {
-      const ssize_t n = ::write(client_fd, data + sent, size - sent);
+      const ssize_t n =
+          ::send(client_fd, data + sent, size - sent, MSG_NOSIGNAL);
       if (n <= 0) return;
       sent += static_cast<size_t>(n);
     }

@@ -45,17 +45,28 @@ TraceRecorder::Ring* TraceRecorder::RingForThisThread() {
   thread_local Ring* ring = nullptr;
   if (ring != nullptr) return ring;
   const size_t index = ring_count_.fetch_add(1, std::memory_order_relaxed);
-  if (index >= kMaxRings) {
-    // More threads than rings: park the overflow threads on the last ring.
-    // Slots are seq-checked, so concurrent writers can only cause discarded
-    // records, never corruption — and 256 tracing threads is far past any
-    // deployment this serves.
-    ring = rings_[kMaxRings - 1].load(std::memory_order_acquire);
-    if (ring == nullptr) ring = new Ring();  // leak: recorder is immortal
+  if (index < kMaxRings - 1) {
+    ring = new Ring();
+    rings_[index].store(ring, std::memory_order_release);
     return ring;
   }
-  ring = new Ring();
-  rings_[index].store(ring, std::memory_order_release);
+  // More threads than private rings: every thread from the last slot on
+  // shares one ring, CAS-registered so it is always visible to Drain.
+  // Slots are seq-checked, so concurrent writers can only cause discarded
+  // records, never corruption — and 256 tracing threads is far past any
+  // deployment this serves.
+  Ring* shared = rings_[kMaxRings - 1].load(std::memory_order_acquire);
+  if (shared == nullptr) {
+    Ring* fresh = new Ring();
+    if (!rings_[kMaxRings - 1].compare_exchange_strong(
+            shared, fresh, std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      delete fresh;  // another thread registered first; share its ring
+    } else {
+      shared = fresh;
+    }
+  }
+  ring = shared;
   return ring;
 }
 
@@ -66,8 +77,11 @@ void TraceRecorder::Write(Ring* ring, uint64_t trace_id, uint64_t span_id,
   Slot& slot = ring->slots[pos % kRingCapacity];
   // Seqlock publish: odd while writing, even (and advanced) once stable.
   // Every field is an atomic, so concurrent drains are race-free; the seq
-  // check makes them consistent.
-  slot.seq.store(2 * pos + 1, std::memory_order_release);
+  // check makes them consistent. The odd marker must become visible before
+  // any field store — a release *store* only orders what precedes it, so a
+  // release fence (pairing with Drain's acquire fence) does that ordering.
+  slot.seq.store(2 * pos + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
   slot.trace_id.store(trace_id, std::memory_order_relaxed);
   slot.span_id.store(span_id, std::memory_order_relaxed);
   slot.parent_id.store(parent_id, std::memory_order_relaxed);

@@ -11,7 +11,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
@@ -333,6 +335,26 @@ TEST(MetricsRegistryTest, JsonExpositionIncludesInfoBlobs) {
   EXPECT_EQ(json.back(), '}');
 }
 
+TEST(MetricsRegistryTest, NonFiniteGaugesStayValidInBothExpositions) {
+  MetricsRegistry registry;
+  registry.AddGauge("bad_ratio", "a gauge gone non-finite",
+                    [] { return std::nan(""); });
+  registry.AddGauge("bad_rate", "a gauge gone infinite",
+                    [] { return std::numeric_limits<double>::infinity(); });
+
+  const std::string text = registry.ExposeText();
+  EXPECT_NE(text.find("oneedit_bad_ratio NaN"), std::string::npos) << text;
+  EXPECT_NE(text.find("oneedit_bad_rate +Inf"), std::string::npos) << text;
+
+  // JSON has no NaN/Inf literal: non-finite gauges must degrade to null
+  // rather than corrupt the whole document.
+  const std::string json = registry.ExposeJson();
+  EXPECT_NE(json.find("\"bad_ratio\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bad_rate\":null"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+}
+
 TEST(MetricsRegistryTest, JsonEscapeHandlesControlCharacters) {
   EXPECT_EQ(MetricsRegistry::JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
   EXPECT_EQ(MetricsRegistry::JsonEscape(std::string(1, '\x01')), "\\u0001");
@@ -387,6 +409,72 @@ TEST(MetricsServerTest, ServesHandlerResponsesOverLoopback) {
 
   server->Stop();
   server->Stop();  // idempotent
+}
+
+TEST(MetricsServerTest, SilentClientCannotWedgeTheAcceptor) {
+  auto started = MetricsServer::Start(0, [](const std::string&) {
+    MetricsServer::Response response;
+    response.body = "oneedit_up 1\n";
+    return response;
+  });
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  std::unique_ptr<MetricsServer> server = std::move(*started);
+
+  // Connect and send nothing: the server's receive timeout must unstick
+  // the acceptor so later scrapes (and Stop) still work.
+  const int silent = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(silent, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(silent, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  const std::string ok = HttpGet(server->port(), "/metrics");
+  EXPECT_NE(ok.find("HTTP/1.0 200"), std::string::npos) << ok;
+
+  server->Stop();  // must not hang on the still-open silent connection
+  ::close(silent);
+}
+
+TEST(MetricsServerTest, MidResponseDisconnectDoesNotKillTheProcess) {
+  // A big body guarantees the server is still writing when the client
+  // vanishes; the resulting EPIPE/ECONNRESET must surface as a failed send,
+  // never as SIGPIPE terminating the process.
+  auto started = MetricsServer::Start(0, [](const std::string&) {
+    MetricsServer::Response response;
+    response.body.assign(8u << 20, 'x');
+    return response;
+  });
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  std::unique_ptr<MetricsServer> server = std::move(*started);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_GT(::send(fd, request.data(), request.size(), 0), 0);
+  char buffer[1024];
+  (void)::recv(fd, buffer, sizeof(buffer), 0);  // response has started
+  // Abortive close (RST) so the server's in-flight send fails immediately.
+  linger hard_close{};
+  hard_close.l_onoff = 1;
+  hard_close.l_linger = 0;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_close,
+                     sizeof(hard_close));
+  ::close(fd);
+
+  // Surviving to serve another scrape proves no SIGPIPE fired.
+  const std::string ok = HttpGet(server->port(), "/metrics");
+  EXPECT_NE(ok.find("HTTP/1.0 200"), std::string::npos);
+  server->Stop();
 }
 
 // --- EditService export surface --------------------------------------------
