@@ -1,0 +1,321 @@
+// Replication benchmark: read-throughput scaling across follower counts and
+// steady-state replication lag.
+//
+// Part 1 — read scaling: a primary applies a burst of edits; follower
+// fleets of 1, 2 and 4 replicas (each an in-process EditService tailing the
+// primary's WAL over loopback) catch up, then reader threads hammer Ask
+// spread across the fleet for a fixed wall budget. Aggregate QPS should
+// grow with the follower count — the reason read replicas exist — though on
+// a small host the threads time-slice the same cores and the curve
+// flattens (reported, not enforced, mirroring serving_bench).
+//
+// Part 2 — steady-state lag: a paced writer streams edits through the
+// primary while a sampler records each follower's replication lag (records
+// and seconds). After the writer stops, the time for every follower to
+// reach lag 0 is the convergence tail.
+//
+// Results land in BENCH_replication.json (cwd) for machine consumption.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "durability/manager.h"
+#include "serving/edit_service.h"
+#include "util/timer.h"
+
+namespace oneedit {
+namespace {
+
+using durability::DurabilityManager;
+using durability::DurabilityOptions;
+using serving::EditService;
+using serving::EditServiceOptions;
+using serving::ReplicationRole;
+
+constexpr int kReaderThreads = 4;
+constexpr double kReadSeconds = 1.0;
+
+struct World {
+  World()
+      : dataset(BuildAmericanPoliticians(DatasetOptions{})),
+        model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                              dataset.vocab)) {
+    model->Pretrain(dataset.pretrain_facts);
+  }
+
+  OneEditConfig Config() const {
+    OneEditConfig config;
+    config.method = EditingMethodKind::kGrace;
+    config.interpreter.extraction_error_rate = 0.0;
+    return config;
+  }
+
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+};
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = "/tmp/oneedit_repl_bench_" + name;
+  std::remove((dir + "/edits.wal").c_str());
+  std::remove((dir + "/checkpoint.oedc").c_str());
+  std::remove((dir + "/checkpoint.oedc.tmp").c_str());
+  return dir;
+}
+
+/// One in-process replication-group member (primary or follower).
+struct Node {
+  Node(const std::string& name, ReplicationRole role, uint16_t primary_port) {
+    DurabilityOptions dopts;
+    dopts.dir = FreshDir(name);
+    dopts.checkpoint_interval = 16;
+    auto mgr = DurabilityManager::Open(dopts);
+    if (!mgr.ok()) {
+      std::cerr << "durability: " << mgr.status().ToString() << "\n";
+      return;
+    }
+    durability = std::move(mgr).value();
+    EditServiceOptions options;
+    options.durability = durability.get();
+    options.replication.role = role;
+    options.replication.primary_port = primary_port;
+    options.replication.poll_interval = std::chrono::milliseconds(2);
+    auto created = EditService::Create(&world.dataset.kg, world.model.get(),
+                                       world.Config(), options);
+    if (!created.ok()) {
+      std::cerr << "service: " << created.status().ToString() << "\n";
+      return;
+    }
+    service = std::move(created).value();
+  }
+
+  World world;
+  std::unique_ptr<DurabilityManager> durability;
+  std::unique_ptr<EditService> service;
+};
+
+bool WaitForSequence(const std::vector<std::unique_ptr<Node>>& followers,
+                     uint64_t sequence, double timeout_seconds = 30.0) {
+  WallTimer timer;
+  while (timer.ElapsedSeconds() < timeout_seconds) {
+    bool behind = false;
+    for (const auto& follower : followers) {
+      if (follower->service->applied_sequence() < sequence) behind = true;
+    }
+    if (!behind) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+/// Aggregate Ask QPS with kReaderThreads spread round-robin over `fleet`.
+double MeasureFleetQps(const Dataset& dataset,
+                       const std::vector<EditService*>& fleet) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kReaderThreads; ++t) {
+    threads.emplace_back([&, t] {
+      EditService* replica = fleet[static_cast<size_t>(t) % fleet.size()];
+      size_t i = static_cast<size_t>(t);
+      uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const EditCase& edit_case = dataset.cases[i++ % dataset.cases.size()];
+        (void)replica->Ask(edit_case.edit.subject, edit_case.edit.relation);
+        ++local;
+      }
+      reads.fetch_add(local);
+    });
+  }
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::duration<double>(kReadSeconds));
+  stop.store(true);
+  for (std::thread& thread : threads) thread.join();
+  return static_cast<double>(reads.load()) / timer.ElapsedSeconds();
+}
+
+int RunReplicationBench() {
+  std::cout << "Replication bench: follower read scaling + steady-state "
+               "lag\n(" << kReaderThreads
+            << " reader threads, GRACE, American-politicians world)\n\n";
+
+  // One primary, four followers — the largest fleet; smaller fleets are
+  // prefixes of it, so each scaling point reuses the same caught-up nodes.
+  auto primary = std::make_unique<Node>("primary", ReplicationRole::kPrimary,
+                                        0);
+  if (primary->service == nullptr ||
+      primary->service->replication_server() == nullptr) {
+    std::cerr << "primary did not start\n";
+    return 1;
+  }
+  const uint16_t port = primary->service->replication_server()->port();
+  std::vector<std::unique_ptr<Node>> followers;
+  for (int i = 0; i < 4; ++i) {
+    followers.push_back(std::make_unique<Node>(
+        "f" + std::to_string(i), ReplicationRole::kFollower, port));
+    if (followers.back()->service == nullptr) return 1;
+  }
+
+  // Burst phase: land half the dataset on the primary, fleet catches up.
+  const size_t kBurst = primary->world.dataset.cases.size() / 2;
+  for (size_t i = 0; i < kBurst; ++i) {
+    const auto result = primary->service->SubmitAndWait(
+        EditRequest::Edit(primary->world.dataset.cases[i].edit, "bench"));
+    if (!result.ok() || !result->applied()) {
+      std::cerr << "burst edit " << i << " failed\n";
+      return 1;
+    }
+  }
+  const uint64_t burst_head = primary->service->applied_sequence();
+  WallTimer catchup_timer;
+  if (!WaitForSequence(followers, burst_head)) {
+    std::cerr << "fleet never caught up to " << burst_head << "\n";
+    return 1;
+  }
+  const double catchup_seconds = catchup_timer.ElapsedSeconds();
+  std::cout << "fleet caught up to sequence " << burst_head << " in "
+            << catchup_seconds << " s\n\n";
+
+  // ---- Part 1: read QPS by follower count ----
+  std::vector<std::pair<int, double>> scaling;
+  for (int count : {1, 2, 4}) {
+    std::vector<EditService*> fleet;
+    for (int i = 0; i < count; ++i) fleet.push_back(followers[static_cast<size_t>(i)]->service.get());
+    const double qps = MeasureFleetQps(primary->world.dataset, fleet);
+    scaling.emplace_back(count, qps);
+    std::cout << "Read QPS, " << count << " follower(s): "
+              << static_cast<uint64_t>(qps) << "\n";
+  }
+
+  // ---- Part 2: steady-state lag under a paced writer ----
+  std::atomic<bool> writing{true};
+  std::thread writer([&] {
+    size_t i = 0;
+    while (writing.load()) {
+      const EditCase& edit_case =
+          primary->world.dataset
+              .cases[kBurst + (i++ % (primary->world.dataset.cases.size() -
+                                      kBurst))];
+      NamedTriple triple = edit_case.edit;
+      if ((i / (primary->world.dataset.cases.size() - kBurst)) % 2 == 1) {
+        triple.object = edit_case.old_object;
+      }
+      (void)primary->service->SubmitAndWait(
+          EditRequest::Edit(triple, "bench"));
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  double lag_records_sum = 0.0, lag_records_max = 0.0;
+  double lag_seconds_sum = 0.0, lag_seconds_max = 0.0;
+  size_t samples = 0;
+  {
+    WallTimer window;
+    while (window.ElapsedSeconds() < 2.0) {
+      for (const auto& follower : followers) {
+        const double records = static_cast<double>(
+            follower->service->replication_lag_records());
+        const double seconds = follower->service->replication_lag_seconds();
+        lag_records_sum += records;
+        lag_seconds_sum += seconds;
+        if (records > lag_records_max) lag_records_max = records;
+        if (seconds > lag_seconds_max) lag_seconds_max = seconds;
+        ++samples;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  writing.store(false);
+  writer.join();
+
+  // Convergence tail: once the writer stops, every follower must drain to
+  // lag 0 — the bench's only hard acceptance gate.
+  WallTimer converge_timer;
+  const uint64_t final_head = primary->service->applied_sequence();
+  bool converged = WaitForSequence(followers, final_head, 20.0);
+  if (converged) {
+    converged = [&] {
+      WallTimer timer;
+      while (timer.ElapsedSeconds() < 10.0) {
+        bool all_zero = true;
+        for (const auto& follower : followers) {
+          if (follower->service->replication_lag_batches() != 0) {
+            all_zero = false;
+          }
+        }
+        if (all_zero) return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      return false;
+    }();
+  }
+  const double converge_seconds = converge_timer.ElapsedSeconds();
+
+  const double lag_records_mean =
+      samples > 0 ? lag_records_sum / static_cast<double>(samples) : 0.0;
+  const double lag_seconds_mean =
+      samples > 0 ? lag_seconds_sum / static_cast<double>(samples) : 0.0;
+  std::cout << "\nSteady-state lag (" << samples << " samples):\n";
+  std::cout << "  records: mean " << lag_records_mean << ", max "
+            << lag_records_max << "\n";
+  std::cout << "  seconds: mean " << lag_seconds_mean << ", max "
+            << lag_seconds_max << "\n";
+  std::cout << "Convergence after writer stop: "
+            << (converged ? "all followers at lag 0" : "TIMED OUT") << " in "
+            << converge_seconds << " s\n";
+
+  // Correctness spot-check: a caught-up replica answers like the primary.
+  bool answers_ok = true;
+  for (size_t i = 0; i < kBurst; ++i) {
+    const auto& edit = primary->world.dataset.cases[i].edit;
+    const std::string want =
+        primary->service->Ask(edit.subject, edit.relation).entity;
+    for (const auto& follower : followers) {
+      if (follower->service->Ask(edit.subject, edit.relation).entity !=
+          want) {
+        answers_ok = false;
+      }
+    }
+  }
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::cout << "\nacceptance: fleet converges to lag 0: "
+            << (converged ? "PASS" : "FAIL")
+            << ", replica answers match primary: "
+            << (answers_ok ? "PASS" : "FAIL")
+            << ", read scaling: REPORTED (host has " << cores
+            << " core(s))\n";
+
+  std::ofstream json("BENCH_replication.json");
+  json << "{\"followers_qps\":{";
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    json << (i > 0 ? "," : "") << "\"" << scaling[i].first
+         << "\":" << scaling[i].second;
+  }
+  json << "},\"catchup_seconds\":" << catchup_seconds
+       << ",\"burst_edits\":" << burst_head
+       << ",\"lag_records_mean\":" << lag_records_mean
+       << ",\"lag_records_max\":" << lag_records_max
+       << ",\"lag_seconds_mean\":" << lag_seconds_mean
+       << ",\"lag_seconds_max\":" << lag_seconds_max
+       << ",\"converge_seconds\":" << converge_seconds
+       << ",\"converged\":" << (converged ? "true" : "false")
+       << ",\"answers_match\":" << (answers_ok ? "true" : "false")
+       << ",\"cores\":" << cores << "}\n";
+  json.close();
+  std::cout << "wrote BENCH_replication.json\n";
+
+  return converged && answers_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace oneedit
+
+int main() { return oneedit::RunReplicationBench(); }

@@ -1,0 +1,371 @@
+// Replication chaos demo: durability through primary failover, runnable as
+// a CI job (scripts/ci.sh's `replication` entry). One process per node:
+//
+//   --role=primary   stands up an EditService as the replication primary on
+//                    an ephemeral loopback port (written to
+//                    <dir>/replication.port), waits for its followers to
+//                    connect, arms a hard crash (`_Exit(137)`, like kill -9)
+//                    at the K-th durability file operation, and submits
+//                    edits. Every acknowledged edit — which, with
+//                    --ack-replicas=N, a quorum of followers has already
+//                    journaled and applied — is appended fsynced to
+//                    <dir>/acked.txt.
+//
+//   --role=follower  boots its own durability directory (usually empty: the
+//                    snapshot-install path), tails the primary, and
+//                    continuously publishes its applied sequence to
+//                    <dir>/applied.seq. It then waits for the failover
+//                    driver's verdict: <dir>/promote.flag promotes it to
+//                    primary, after which it verifies every line of the dead
+//                    primary's acked.txt via Ask (zero acknowledged-edit
+//                    loss, answer equivalence) and accepts one new write;
+//                    <dir>/stop.flag just shuts it down (the node that lost
+//                    the election).
+//
+// The CI driver loops --crash-at over every failpoint, each round killing
+// the primary mid-edit and promoting the most-caught-up follower. Exit
+// codes: 0 success, 137 armed crash fired (primary), 1 property violated,
+// 2 bad flags, 3 peer never showed up.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "data/dataset.h"
+#include "durability/fault_env.h"
+#include "durability/manager.h"
+#include "serving/edit_service.h"
+
+using oneedit::BuildAmericanPoliticians;
+using oneedit::Dataset;
+using oneedit::DatasetOptions;
+using oneedit::EditingMethodKind;
+using oneedit::EditRequest;
+using oneedit::EditResult;
+using oneedit::LanguageModel;
+using oneedit::OneEditConfig;
+using oneedit::durability::DurabilityManager;
+using oneedit::durability::DurabilityOptions;
+using oneedit::durability::Env;
+using oneedit::durability::FaultInjectingEnv;
+using oneedit::serving::EditService;
+using oneedit::serving::EditServiceOptions;
+using oneedit::serving::ReplicationRole;
+
+namespace {
+
+struct Args {
+  std::string role;
+  std::string dir = "/tmp/oneedit_repl_node";
+  /// Primary: where followers find replication.port (= its own dir).
+  /// Follower: the primary's dir (port file + acked.txt live there).
+  std::string primary_dir;
+  size_t edits = 8;
+  long crash_at = -1;
+  size_t ack_replicas = 2;
+  size_t wait_followers = 0;  // 0 = same as ack_replicas
+  uint64_t checkpoint_interval = 3;
+  size_t timeout_ms = 30000;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      return std::strncmp(arg.c_str(), prefix, std::strlen(prefix)) == 0
+                 ? arg.c_str() + std::strlen(prefix)
+                 : nullptr;
+    };
+    if (const char* v = value("--role=")) {
+      args->role = v;
+    } else if (const char* v = value("--dir=")) {
+      args->dir = v;
+    } else if (const char* v = value("--primary-dir=")) {
+      args->primary_dir = v;
+    } else if (const char* v = value("--edits=")) {
+      args->edits = static_cast<size_t>(std::stoul(v));
+    } else if (const char* v = value("--crash-at=")) {
+      args->crash_at = std::stol(v);
+    } else if (const char* v = value("--ack-replicas=")) {
+      args->ack_replicas = static_cast<size_t>(std::stoul(v));
+    } else if (const char* v = value("--wait-followers=")) {
+      args->wait_followers = static_cast<size_t>(std::stoul(v));
+    } else if (const char* v = value("--checkpoint-interval=")) {
+      args->checkpoint_interval = std::stoull(v);
+    } else if (const char* v = value("--timeout-ms=")) {
+      args->timeout_ms = static_cast<size_t>(std::stoul(v));
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n"
+                << "usage: replication_demo --role=primary|follower "
+                   "[--dir=PATH] [--primary-dir=PATH] [--edits=N] "
+                   "[--crash-at=K] [--ack-replicas=N] [--wait-followers=N] "
+                   "[--checkpoint-interval=N] [--timeout-ms=N]\n";
+      return false;
+    }
+  }
+  if (args->role != "primary" && args->role != "follower") {
+    std::cerr << "--role must be primary or follower\n";
+    return false;
+  }
+  if (args->primary_dir.empty()) args->primary_dir = args->dir;
+  if (args->wait_followers == 0) args->wait_followers = args->ack_replicas;
+  return true;
+}
+
+struct World {
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+
+  World() : dataset(BuildAmericanPoliticians(DatasetOptions{})) {
+    model = std::make_unique<LanguageModel>(oneedit::Gpt2XlSimConfig(),
+                                            dataset.vocab);
+    model->Pretrain(dataset.pretrain_facts);
+  }
+
+  OneEditConfig Config() const {
+    OneEditConfig config;
+    config.method = EditingMethodKind::kGrace;
+    config.interpreter.extraction_error_rate = 0.0;
+    return config;
+  }
+};
+
+/// Durably appends one acknowledged edit to the ledger the failover driver
+/// verifies against. Same contract as chaos_demo: an edit lands here only
+/// AFTER the service acknowledged it, so anything in this file must survive
+/// the primary's death.
+void RecordAck(const std::string& dir, size_t index,
+               const oneedit::NamedTriple& edit) {
+  const std::string path = dir + "/acked.txt";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return;
+  std::ostringstream line;
+  line << index << '\t' << edit.subject << '\t' << edit.relation << '\t'
+       << edit.object << '\n';
+  const std::string bytes = line.str();
+  (void)!::write(fd, bytes.data(), bytes.size());
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+/// Publishes a small status file atomically (tmp + rename) so a concurrent
+/// reader never sees a half-written value.
+void PublishFile(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << content;
+  }
+  (void)std::rename(tmp.c_str(), path.c_str());
+}
+
+int RunPrimary(const Args& args) {
+  World world;
+  FaultInjectingEnv fault(Env::Default());
+  if (args.crash_at >= 0) fault.set_exit_on_crash(true);
+
+  DurabilityOptions durability_options;
+  durability_options.dir = args.dir;
+  durability_options.checkpoint_interval = args.checkpoint_interval;
+  durability_options.env = &fault;
+  auto manager = DurabilityManager::Open(durability_options);
+  if (!manager.ok()) {
+    std::cerr << "durability setup failed: " << manager.status().ToString()
+              << "\n";
+    return 1;
+  }
+
+  EditServiceOptions options;
+  options.durability = manager->get();
+  options.replication.role = ReplicationRole::kPrimary;
+  options.replication.ack_replicas = args.ack_replicas;
+  auto service = EditService::Create(&world.dataset.kg, world.model.get(),
+                                     world.Config(), options);
+  if (!service.ok()) {
+    std::cerr << "service setup failed: " << service.status().ToString()
+              << "\n";
+    return 1;
+  }
+  const auto* repl = (*service)->replication_server();
+  if (repl == nullptr) {
+    std::cerr << "REPLICATION FAILED: primary listener did not start\n";
+    return 1;
+  }
+  PublishFile(args.dir + "/replication.port", std::to_string(repl->port()));
+  std::cout << "primary up: port=" << repl->port()
+            << " crash_at=" << args.crash_at << "\n";
+
+  // Don't write until the quorum is attached: an ack-timeout acknowledgement
+  // with nobody listening would put an edit in the ledger that no follower
+  // ever saw — a harness artifact, not the durability property under test.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(args.timeout_ms);
+  while ((*service)->followers_connected() < args.wait_followers) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      std::cerr << "REPLICATION FAILED: only "
+                << (*service)->followers_connected() << " of "
+                << args.wait_followers << " followers connected\n";
+      return 3;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  if (args.crash_at >= 0) fault.CrashAt(args.crash_at);
+  for (size_t i = 0; i < args.edits && i < world.dataset.cases.size(); ++i) {
+    const auto& edit = world.dataset.cases[i].edit;
+    const auto result =
+        (*service)->SubmitAndWait(EditRequest::Edit(edit, "primary"));
+    if (result.ok() && result->applied()) {
+      RecordAck(args.dir, i, edit);
+    } else if (args.crash_at < 0) {
+      std::cerr << "REPLICATION FAILED: edit " << i << " did not apply: "
+                << (result.ok() ? result->message
+                                : result.status().ToString())
+                << "\n";
+      return 1;
+    }
+  }
+  std::cout << "primary done: ops_seen=" << fault.ops_seen()
+            << " applied=" << (*service)->applied_sequence() << "\n";
+  return 0;
+}
+
+int VerifyAfterPromote(const Args& args, World& world, EditService& service) {
+  std::ifstream acked(args.primary_dir + "/acked.txt");
+  std::string line;
+  size_t promised = 0, lost = 0;
+  while (std::getline(acked, line)) {
+    std::istringstream fields(line);
+    std::string index, subject, relation, object;
+    if (!std::getline(fields, index, '\t') ||
+        !std::getline(fields, subject, '\t') ||
+        !std::getline(fields, relation, '\t') ||
+        !std::getline(fields, object, '\t')) {
+      continue;
+    }
+    ++promised;
+    const std::string got = service.Ask(subject, relation).entity;
+    if (got != object) {
+      ++lost;
+      std::cerr << "LOST acknowledged edit " << index << ": (" << subject
+                << ", " << relation << ") is '" << got << "', promised '"
+                << object << "'\n";
+    }
+  }
+  std::cout << "verified " << promised << " acknowledged edits, " << lost
+            << " lost\n";
+
+  // The promoted node is the write authority now: it must accept and apply
+  // a brand-new edit, durably, in its own right.
+  const auto& fresh = world.dataset.cases.back().edit;
+  const auto result =
+      service.SubmitAndWait(EditRequest::Edit(fresh, "promoted"));
+  if (!result.ok() || !result->applied()) {
+    std::cerr << "REPLICATION FAILED: post-promotion edit did not apply: "
+              << (result.ok() ? result->message : result.status().ToString())
+              << "\n";
+    return 1;
+  }
+  if (service.Ask(fresh.subject, fresh.relation).entity != fresh.object) {
+    std::cerr << "REPLICATION FAILED: post-promotion edit not readable\n";
+    return 1;
+  }
+  return lost == 0 ? 0 : 1;
+}
+
+int RunFollower(const Args& args) {
+  // Find the primary: poll its port file until it appears.
+  const std::string port_path = args.primary_dir + "/replication.port";
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(args.timeout_ms);
+  uint16_t primary_port = 0;
+  while (primary_port == 0) {
+    std::ifstream in(port_path);
+    int port = 0;
+    if (in >> port && port > 0) {
+      primary_port = static_cast<uint16_t>(port);
+      break;
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      std::cerr << "REPLICATION FAILED: no primary port at " << port_path
+                << "\n";
+      return 3;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  World world;
+  DurabilityOptions durability_options;
+  durability_options.dir = args.dir;
+  durability_options.checkpoint_interval = args.checkpoint_interval;
+  auto manager = DurabilityManager::Open(durability_options);
+  if (!manager.ok()) {
+    std::cerr << "durability setup failed: " << manager.status().ToString()
+              << "\n";
+    return 1;
+  }
+
+  EditServiceOptions options;
+  options.durability = manager->get();
+  options.replication.role = ReplicationRole::kFollower;
+  options.replication.primary_port = primary_port;
+  options.replication.poll_interval = std::chrono::milliseconds(5);
+  auto service = EditService::Create(&world.dataset.kg, world.model.get(),
+                                     world.Config(), options);
+  if (!service.ok()) {
+    std::cerr << "service setup failed: " << service.status().ToString()
+              << "\n";
+    return 1;
+  }
+  std::cout << "follower up: primary_port=" << primary_port << "\n";
+
+  // Tail until the failover driver decides this node's fate. applied.seq is
+  // the driver's election input: it promotes the most-caught-up follower.
+  while (true) {
+    PublishFile(args.dir + "/applied.seq",
+                std::to_string((*service)->applied_sequence()));
+    std::ifstream stop(args.dir + "/stop.flag");
+    if (stop.good()) {
+      std::cout << "follower stopping (lost election) at applied="
+                << (*service)->applied_sequence() << "\n";
+      return 0;
+    }
+    std::ifstream promote(args.dir + "/promote.flag");
+    if (promote.good()) break;
+    if (std::chrono::steady_clock::now() > deadline) {
+      std::cerr << "REPLICATION FAILED: no promote/stop verdict arrived\n";
+      return 3;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  const oneedit::Status promoted = (*service)->Promote();
+  if (!promoted.ok()) {
+    std::cerr << "REPLICATION FAILED: promotion: " << promoted.ToString()
+              << "\n";
+    return 1;
+  }
+  std::cout << "promoted at applied=" << (*service)->applied_sequence()
+            << " snapshots_installed="
+            << (*service)->statistics().Get(
+                   oneedit::Ticker::kReplSnapshotsInstalled)
+            << "\n";
+  return VerifyAfterPromote(args, world, **service);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+  return args.role == "primary" ? RunPrimary(args) : RunFollower(args);
+}

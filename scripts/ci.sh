@@ -20,7 +20,13 @@
 #   metrics   Observability smoke: run the chaos workload with the metrics
 #             listener on, scrape /metrics and /metrics.json mid-flight,
 #             and assert the Prometheus text carries every ticker, the
-#             latency percentiles, and self-consistent counter values.
+#             latency percentiles, replication gauges, and self-consistent
+#             counter values.
+#   replication  Failover chaos: 1 primary + 2 followers as separate
+#             processes, kill -9 the primary (hard crash via the
+#             fault-injecting Env) at every WAL/checkpoint file operation
+#             in turn, promote the most-caught-up follower, and demand
+#             every acknowledged edit back from it plus one new write.
 #
 # Each matrix entry gets its own build directory (build-ci-<name>) so local
 # `build/` trees are never clobbered.
@@ -56,8 +62,12 @@ case "${matrix}" in
     flags=""
     build_type=Release
     ;;
+  replication)
+    flags=""
+    build_type=Release
+    ;;
   *)
-    echo "unknown matrix entry: ${matrix} (want default|tsan|asan|recovery|chaos|metrics)" >&2
+    echo "unknown matrix entry: ${matrix} (want default|tsan|asan|recovery|chaos|metrics|replication)" >&2
     exit 2
     ;;
 esac
@@ -73,7 +83,7 @@ if [[ "${matrix}" == "tsan" ]]; then
   # TSan slows everything ~10x; run the concurrency tests (the reason this
   # entry exists) plus a smoke slice of the core suite.
   ctest -j "${jobs}" --output-on-failure \
-    -R 'EditServiceTest|EditServiceShutdownTest|ServiceSelfHealTest|ConcurrentOneEditTest|OneEditTest|EditServiceDurabilityTest|TraceRecorderTest|EditServiceObsTest|MetricsServerTest'
+    -R 'EditServiceTest|EditServiceShutdownTest|ServiceSelfHealTest|ConcurrentOneEditTest|OneEditTest|EditServiceDurabilityTest|TraceRecorderTest|EditServiceObsTest|MetricsServerTest|ReplicationTest|ReplicationWireTest|EditWalCursorTest|NetTest'
 elif [[ "${matrix}" == "recovery" ]]; then
   # Crash-recovery smoke. A clean run of the workload performs ~20 file ops
   # (WAL appends, fsyncs, checkpoint writes, renames, rotations); kill the
@@ -205,6 +215,29 @@ elif [[ "${matrix}" == "metrics" ]]; then
     echo "METRICS FAILED: missing service_health gauge" >&2
     exit 1
   fi
+  # The replication section is exported regardless of topology: a
+  # standalone service reports role{standalone}=1 and zero lag.
+  if ! grep -q '^oneedit_replication_role{role="standalone"} 1' "${workdir}/metrics.txt"; then
+    echo "METRICS FAILED: missing one-hot replication_role gauge" >&2
+    exit 1
+  fi
+  for gauge in replication_applied_sequence replication_lag_records \
+      replication_lag_batches replication_lag_seconds \
+      replication_followers_connected replication_min_follower_applied; do
+    if ! grep -q "^oneedit_${gauge} " "${workdir}/metrics.txt"; then
+      echo "METRICS FAILED: missing gauge oneedit_${gauge}" >&2
+      exit 1
+    fi
+  done
+  # /health carries the role line the failover runbook reads. Mid-storm the
+  # service may legitimately be degraded (503), so fetch without -f: the
+  # body carries the role line at every health state.
+  curl -s --max-time 5 "http://127.0.0.1:${port}/health" > "${workdir}/health.txt"
+  if ! grep -q '^role: standalone' "${workdir}/health.txt"; then
+    echo "METRICS FAILED: /health missing replication role line" >&2
+    cat "${workdir}/health.txt" >&2
+    exit 1
+  fi
   # Self-consistency: every applied batch carries >= 1 accepted edit, and
   # nothing is accepted outside a batch.
   awk '
@@ -242,6 +275,64 @@ assert doc['histograms']['serving_latency_micros']['count'] >= 1, 'no latency sa
   # The storm's durability property must still hold with metrics on.
   "${demo}" --dir="${dir}" --verify
   echo "metrics smoke passed: full ticker/percentile export, consistent counters"
+elif [[ "${matrix}" == "replication" ]]; then
+  # Failover chaos: kill -9 the primary at every durability file operation
+  # and prove a promoted follower serves every acknowledged edit. Each
+  # round: two followers attach (one from an empty directory — the
+  # snapshot-install path once the primary's WAL has rotated), the primary
+  # writes with ack_replicas=2 (an acknowledgement implies both followers
+  # journaled + applied the edit), and the armed failpoint _Exit(137)s it
+  # mid-edit. The driver elects the most-caught-up follower by applied.seq,
+  # promotes it via promote.flag, and the promoted process itself verifies
+  # the dead primary's acked.txt and accepts a fresh write (exit 0).
+  demo="${build_dir}/examples/replication_demo"
+  workdir="$(mktemp -d)"
+  trap 'rm -rf "${workdir}"' EXIT
+  edits=8
+  crash_points=20
+
+  echo "--- replication failover: kill -9 primary at each of ${crash_points} file ops"
+  for ((op = 0; op < crash_points; ++op)); do
+    round="${workdir}/round-${op}"
+    mkdir -p "${round}/primary" "${round}/f1" "${round}/f2"
+    "${demo}" --role=follower --dir="${round}/f1" \
+      --primary-dir="${round}/primary" --timeout-ms=60000 \
+      > "${round}/f1.log" 2>&1 &
+    f1_pid=$!
+    "${demo}" --role=follower --dir="${round}/f2" \
+      --primary-dir="${round}/primary" --timeout-ms=60000 \
+      > "${round}/f2.log" 2>&1 &
+    f2_pid=$!
+    status=0
+    "${demo}" --role=primary --dir="${round}/primary" --edits="${edits}" \
+      --ack-replicas=2 --crash-at="${op}" \
+      > "${round}/primary.log" 2>&1 || status=$?
+    if [[ "${status}" -ne 137 && "${status}" -ne 0 ]]; then
+      echo "primary round ${op} exited ${status} (want 137 or clean 0)" >&2
+      cat "${round}/primary.log" "${round}/f1.log" "${round}/f2.log" >&2
+      exit 1
+    fi
+    # Let in-flight applies settle, then elect the most-caught-up follower.
+    sleep 0.5
+    a1="$(cat "${round}/f1/applied.seq" 2>/dev/null || echo 0)"
+    a2="$(cat "${round}/f2/applied.seq" 2>/dev/null || echo 0)"
+    if [[ "${a1:-0}" -ge "${a2:-0}" ]]; then
+      winner_dir="${round}/f1"; winner_pid=${f1_pid}; winner=f1
+      loser_dir="${round}/f2"; loser_pid=${f2_pid}
+    else
+      winner_dir="${round}/f2"; winner_pid=${f2_pid}; winner=f2
+      loser_dir="${round}/f1"; loser_pid=${f1_pid}
+    fi
+    touch "${loser_dir}/stop.flag" "${winner_dir}/promote.flag"
+    if ! wait "${winner_pid}"; then
+      echo "REPLICATION FAILED: promoted ${winner} (round ${op}) lost acknowledged edits" >&2
+      cat "${round}/primary.log" "${winner_dir}/../${winner}.log" >&2
+      exit 1
+    fi
+    wait "${loser_pid}" || true
+    echo "round ${op}: primary exit=${status} applied f1=${a1} f2=${a2} promoted=${winner}"
+  done
+  echo "replication failover passed: ${crash_points} kill points, zero acknowledged-edit loss"
 else
   ctest -j "${jobs}" --output-on-failure
 fi

@@ -64,6 +64,26 @@ std::string TickerName(Ticker ticker) {
       return "wal_retries";
     case Ticker::kHealthTransitions:
       return "health_transitions";
+    case Ticker::kReplBatchesShipped:
+      return "repl_batches_shipped";
+    case Ticker::kReplBytesShipped:
+      return "repl_bytes_shipped";
+    case Ticker::kReplSnapshotsShipped:
+      return "repl_snapshots_shipped";
+    case Ticker::kReplPollsServed:
+      return "repl_polls_served";
+    case Ticker::kReplBatchesApplied:
+      return "repl_batches_applied";
+    case Ticker::kReplRecordsApplied:
+      return "repl_records_applied";
+    case Ticker::kReplSnapshotsInstalled:
+      return "repl_snapshots_installed";
+    case Ticker::kReplStaleReads:
+      return "repl_stale_reads";
+    case Ticker::kReplAckTimeouts:
+      return "repl_ack_timeouts";
+    case Ticker::kReplReconnects:
+      return "repl_reconnects";
     case Ticker::kTickerCount:
       break;
   }
@@ -88,6 +108,8 @@ std::string HistogramName(Histogram histogram) {
       return "checkpoint_micros";
     case Histogram::kRollbackMicros:
       return "rollback_micros";
+    case Histogram::kReplApplyMicros:
+      return "repl_apply_micros";
     case Histogram::kHistogramCount:
       break;
   }

@@ -42,6 +42,16 @@ enum class Ticker : size_t {
   kDeadlineExpired,       ///< requests expired before reaching the writer
   kWalRetries,            ///< transient WAL failures retried with backoff
   kHealthTransitions,     ///< ServiceHealth state changes (any direction)
+  kReplBatchesShipped,    ///< WAL batches shipped to followers (primary)
+  kReplBytesShipped,      ///< frame + snapshot bytes shipped (primary)
+  kReplSnapshotsShipped,  ///< full checkpoint installs shipped (primary)
+  kReplPollsServed,       ///< follower poll requests answered (primary)
+  kReplBatchesApplied,    ///< shipped batches journaled + applied (follower)
+  kReplRecordsApplied,    ///< shipped WAL records journaled (follower)
+  kReplSnapshotsInstalled,///< checkpoint images installed (follower)
+  kReplStaleReads,        ///< AskAtLeast rejections for lagging state
+  kReplAckTimeouts,       ///< quorum waits that timed out (primary)
+  kReplReconnects,        ///< follower reconnect attempts after a drop
   kTickerCount,           // sentinel
 };
 
@@ -59,6 +69,7 @@ enum class Histogram : size_t {
   kWalCommitMicros,          ///< append + fsync time per group commit
   kCheckpointMicros,         ///< time to serialize + publish a checkpoint
   kRollbackMicros,           ///< undo + bisect + re-admit time per rollback
+  kReplApplyMicros,          ///< journal + apply time per shipped batch
   kHistogramCount,           // sentinel
 };
 

@@ -238,5 +238,28 @@ StatusOr<CheckpointState> LoadSystemCheckpoint(const std::string& path,
   return state;
 }
 
+StatusOr<CheckpointState> PeekCheckpointState(const std::string& path,
+                                              Env* env) {
+  Env* e = env != nullptr ? env : Env::Default();
+  constexpr size_t kHeaderBytes =
+      sizeof(kMagic) + sizeof(uint32_t) + 2 * sizeof(uint64_t);
+  std::string data;
+  ONEEDIT_RETURN_IF_ERROR(e->ReadFileRange(path, 0, kHeaderBytes, &data));
+  std::string_view rest(data);
+  if (rest.size() < sizeof(kMagic) ||
+      std::memcmp(rest.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a OneEdit system checkpoint: " + path);
+  }
+  rest.remove_prefix(sizeof(kMagic));
+  uint32_t version = 0;
+  CheckpointState state;
+  if (!ConsumeScalar(&rest, &version) || version != kVersion ||
+      !ConsumeScalar(&rest, &state.last_sequence) ||
+      !ConsumeScalar(&rest, &state.kg_version)) {
+    return Status::Corruption("system checkpoint header truncated: " + path);
+  }
+  return state;
+}
+
 }  // namespace durability
 }  // namespace oneedit

@@ -37,6 +37,13 @@ StatusOr<CheckpointState> LoadSystemCheckpoint(const std::string& path,
                                                Env* env,
                                                OneEditSystem* system);
 
+/// Reads only the checkpoint header (magic, version, sequence metadata)
+/// without validating or restoring the sections. The replication server
+/// uses this to decide whether a follower behind the WAL head needs a full
+/// snapshot install, without paying for a load.
+StatusOr<CheckpointState> PeekCheckpointState(const std::string& path,
+                                              Env* env);
+
 }  // namespace durability
 }  // namespace oneedit
 

@@ -117,6 +117,33 @@ Status EditWal::Append(const EditWalRecord& record) {
   return file_->Append(Encode(record));
 }
 
+Status EditWal::AppendRaw(std::string_view frames) {
+  if (file_ == nullptr) return Status::FailedPrecondition("edit WAL not open");
+  return file_->Append(frames);
+}
+
+EditWal::FrameResult EditWal::DecodeFrame(std::string_view buffer,
+                                          EditWalRecord* record,
+                                          size_t* frame_bytes) {
+  *frame_bytes = 0;
+  if (buffer.size() < kFrameHeaderBytes) return FrameResult::kIncomplete;
+  uint32_t size = 0, crc = 0;
+  std::string_view rest = buffer;
+  (void)ConsumeScalar(&rest, &size);
+  (void)ConsumeScalar(&rest, &crc);
+  // A garbage length that overshoots the buffer is indistinguishable from a
+  // frame still being written; both read as "ends mid-frame".
+  if (rest.size() < size) return FrameResult::kIncomplete;
+  const std::string_view payload = rest.substr(0, size);
+  if (size > kMaxPayloadBytes || Crc32(payload) != crc) {
+    *frame_bytes = kFrameHeaderBytes + size;
+    return FrameResult::kCorrupt;
+  }
+  *frame_bytes = kFrameHeaderBytes + size;
+  if (!DecodePayload(payload, record)) return FrameResult::kBadRecord;
+  return FrameResult::kRecord;
+}
+
 Status EditWal::Sync() {
   if (file_ == nullptr) return Status::FailedPrecondition("edit WAL not open");
   return file_->Sync();
@@ -158,23 +185,16 @@ StatusOr<WalReplayStats> EditWal::Replay(
 
   std::string_view rest(data);
   while (!rest.empty()) {
-    uint32_t size = 0, crc = 0;
-    if (rest.size() < kFrameHeaderBytes) {
-      stats.torn_bytes_dropped = rest.size();
-      break;
-    }
-    std::string_view peek = rest;
-    (void)ConsumeScalar(&peek, &size);
-    (void)ConsumeScalar(&peek, &crc);
-    if (peek.size() < size) {
+    EditWalRecord record;
+    size_t frame_bytes = 0;
+    const FrameResult result = DecodeFrame(rest, &record, &frame_bytes);
+    if (result == FrameResult::kIncomplete) {
       // The frame extends past end-of-file: a torn tail, clean end of log.
       stats.torn_bytes_dropped = rest.size();
       break;
     }
-    const std::string_view payload = peek.substr(0, size);
-    const bool is_final_frame = peek.size() == size;
-    if (size > kMaxPayloadBytes || Crc32(payload) != crc) {
-      if (is_final_frame) {
+    if (result == FrameResult::kCorrupt) {
+      if (frame_bytes == rest.size()) {
         // Fully-written length but torn/garbage payload at the very end.
         stats.torn_bytes_dropped = rest.size();
         break;
@@ -183,8 +203,7 @@ StatusOr<WalReplayStats> EditWal::Replay(
                                 std::to_string(data.size() - rest.size()) +
                                 " in " + path);
     }
-    EditWalRecord record;
-    if (!DecodePayload(payload, &record)) {
+    if (result == FrameResult::kBadRecord) {
       return Status::Corruption("undecodable edit WAL record at sequence " +
                                 std::to_string(stats.last_sequence + 1) +
                                 " in " + path);
@@ -192,9 +211,95 @@ StatusOr<WalReplayStats> EditWal::Replay(
     ONEEDIT_RETURN_IF_ERROR(apply(record));
     ++stats.records;
     stats.last_sequence = record.sequence;
-    rest = peek.substr(size);
+    rest.remove_prefix(frame_bytes);
   }
   return stats;
+}
+
+EditWal::Cursor::Cursor(std::string path, uint64_t start_sequence, Env* env)
+    : path_(std::move(path)),
+      start_sequence_(start_sequence),
+      env_(env != nullptr ? env : Env::Default()) {}
+
+StatusOr<EditWal::Cursor::Poll> EditWal::Cursor::Refill() {
+  // A Reset (rotation) truncates the file; a shrink below the cursor is the
+  // only way that manifests to a reader, and everything buffered is stale.
+  const StatusOr<uint64_t> size = env_->FileSize(path_);
+  if (!size.ok()) {
+    if (size.status().code() == StatusCode::kNotFound) return Poll::kEndOfLog;
+    return size.status();
+  }
+  if (*size < offset_) {
+    offset_ = 0;
+    read_offset_ = 0;
+    buffer_.clear();
+    buffer_pos_ = 0;
+    return Poll::kRotated;
+  }
+  if (*size <= read_offset_) return Poll::kEndOfLog;
+  std::string chunk;
+  constexpr size_t kReadChunkBytes = 1u << 20;
+  ONEEDIT_RETURN_IF_ERROR(
+      env_->ReadFileRange(path_, read_offset_, kReadChunkBytes, &chunk));
+  if (chunk.empty()) return Poll::kEndOfLog;
+  // Compact the consumed prefix before growing the tail.
+  if (buffer_pos_ > 0) {
+    buffer_.erase(0, buffer_pos_);
+    buffer_pos_ = 0;
+  }
+  read_offset_ += chunk.size();
+  buffer_.append(chunk);
+  return Poll::kRecord;  // "made progress"; the caller re-examines buffer_
+}
+
+StatusOr<EditWal::Cursor::Poll> EditWal::Cursor::Next(EditWalRecord* record) {
+  for (;;) {
+    const std::string_view rest =
+        std::string_view(buffer_).substr(buffer_pos_);
+    size_t frame_bytes = 0;
+    const FrameResult result = rest.empty()
+                                   ? FrameResult::kIncomplete
+                                   : DecodeFrame(rest, record, &frame_bytes);
+    switch (result) {
+      case FrameResult::kRecord:
+        buffer_pos_ += frame_bytes;
+        offset_ += frame_bytes;
+        if (record->sequence < start_sequence_) continue;  // skip-ahead
+        return Poll::kRecord;
+      case FrameResult::kIncomplete: {
+        // Maybe the writer appended more since the last refill; maybe the
+        // log rotated. Refill decides.
+        const uint64_t before = read_offset_;
+        ONEEDIT_ASSIGN_OR_RETURN(const Poll refreshed, Refill());
+        if (refreshed == Poll::kRotated) return Poll::kRotated;
+        if (refreshed == Poll::kEndOfLog || read_offset_ == before) {
+          // No new bytes: a torn tail or an append in flight — both read as
+          // "end of durable log for now".
+          return Poll::kEndOfLog;
+        }
+        continue;
+      }
+      case FrameResult::kCorrupt: {
+        // A CRC failure with bytes beyond the frame is mid-log corruption.
+        // At the very tail it may instead be an append racing our read:
+        // refill and re-judge; if no new bytes arrive the tail is torn (or
+        // the write is still in flight) — both read as end-of-log for now.
+        if (buffer_pos_ + frame_bytes < buffer_.size()) {
+          return Status::Corruption("edit WAL corrupt at byte offset " +
+                                    std::to_string(offset_) + " in " + path_);
+        }
+        const uint64_t before = read_offset_;
+        ONEEDIT_ASSIGN_OR_RETURN(const Poll refreshed, Refill());
+        if (refreshed == Poll::kRotated) return Poll::kRotated;
+        if (read_offset_ == before) return Poll::kEndOfLog;
+        continue;
+      }
+      case FrameResult::kBadRecord:
+        return Status::Corruption("undecodable edit WAL record at byte "
+                                  "offset " +
+                                  std::to_string(offset_) + " in " + path_);
+    }
+  }
 }
 
 }  // namespace durability

@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "core/oneedit.h"
 #include "durability/env.h"
@@ -68,6 +69,11 @@ class EditWal {
   /// Appends one framed record (write-through, not yet fsynced).
   Status Append(const EditWalRecord& record);
 
+  /// Appends pre-encoded frame bytes verbatim (write-through, not yet
+  /// fsynced). Replication uses this so a follower's WAL is byte-identical
+  /// to the primary's shipped frames — same CRCs, same torn-tail semantics.
+  Status AppendRaw(std::string_view frames);
+
   /// Group commit: fsyncs everything appended so far.
   Status Sync();
 
@@ -87,6 +93,70 @@ class EditWal {
 
   /// Encodes `record` as one framed byte string (exposed for tests).
   static std::string Encode(const EditWalRecord& record);
+
+  /// What DecodeFrame found at the front of a buffer.
+  enum class FrameResult {
+    kRecord,      ///< one intact frame decoded; `*frame_bytes` consumed
+    kIncomplete,  ///< buffer ends mid-frame (torn tail or in-flight append)
+    kCorrupt,     ///< frame bytes all present but the CRC does not match
+    kBadRecord,   ///< CRC matches but the payload does not decode
+  };
+
+  /// Decodes the frame at the front of `buffer` into `record`, setting
+  /// `*frame_bytes` to its total size (header + payload) on kRecord. The
+  /// inverse of Encode, shared by Replay, Cursor and the replication
+  /// follower (which decodes shipped frames before journaling them).
+  static FrameResult DecodeFrame(std::string_view buffer,
+                                 EditWalRecord* record, size_t* frame_bytes);
+
+  /// A streaming reader over a WAL that another handle may still be
+  /// appending to — the primitive under WAL shipping. Next() returns one
+  /// intact record at a time and reports, instead of erroring on, the two
+  /// states a live log legitimately hits:
+  ///
+  ///  - kEndOfLog: no complete frame past the cursor yet. Indistinguishable
+  ///    from a torn tail by design — both mean "nothing durable beyond
+  ///    here"; poll again after the writer's next group commit.
+  ///  - kRotated: the file shrank below the cursor's offset (Reset after a
+  ///    checkpoint). The cursor rewinds itself to byte 0; the caller must
+  ///    decide whether the new log still covers its target sequence or a
+  ///    snapshot is needed.
+  ///
+  /// Records below `start_sequence` are skipped, so ReadFrom-style
+  /// positioning is just construction. Batch regrouping is the same
+  /// first_in_batch convention Replay uses; callers that need whole batches
+  /// group on that flag (see replication::ReplicationServer).
+  class Cursor {
+   public:
+    /// Reads `path` through `env` (Env::Default() when null), skipping
+    /// records with sequence < `start_sequence`. A missing file reads as an
+    /// empty log (kEndOfLog), so a cursor can be opened before the writer.
+    Cursor(std::string path, uint64_t start_sequence, Env* env = nullptr);
+
+    enum class Poll { kRecord, kEndOfLog, kRotated };
+
+    /// Advances to the next intact record at or above start_sequence.
+    /// Corruption before the final frame is an error, as in Replay.
+    StatusOr<Poll> Next(EditWalRecord* record);
+
+    /// Byte offset of the next unread frame.
+    uint64_t offset() const { return offset_; }
+
+   private:
+    /// Tops up buffer_ from the file. Detects rotation (file shrank).
+    StatusOr<Poll> Refill();
+
+    std::string path_;
+    uint64_t start_sequence_ = 0;
+    Env* env_ = nullptr;
+    /// File offset of the first byte NOT yet in buffer_.
+    uint64_t read_offset_ = 0;
+    /// File offset of the next undecoded frame (= read_offset_ minus the
+    /// undecoded remainder of buffer_).
+    uint64_t offset_ = 0;
+    std::string buffer_;
+    size_t buffer_pos_ = 0;
+  };
 
  private:
   Env* env_ = nullptr;

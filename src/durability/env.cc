@@ -80,6 +80,40 @@ class PosixEnv : public Env {
     return Status::OK();
   }
 
+  Status ReadFileRange(const std::string& path, uint64_t offset,
+                       size_t max_bytes, std::string* out) override {
+    out->clear();
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Errno("cannot open", path);
+    out->resize(max_bytes);
+    size_t got = 0;
+    while (got < max_bytes) {
+      const ssize_t n = ::pread(fd, out->data() + got, max_bytes - got,
+                                static_cast<off_t>(offset + got));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const Status status = Errno("pread failed on", path);
+        ::close(fd);
+        out->clear();
+        return status;
+      }
+      if (n == 0) break;  // end of file
+      got += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    out->resize(got);
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Errno("cannot stat", path);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
   bool FileExists(const std::string& path) override {
     struct stat st;
     return ::stat(path.c_str(), &st) == 0;

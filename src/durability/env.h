@@ -42,6 +42,16 @@ class Env {
   virtual Status ReadFileToString(const std::string& path,
                                   std::string* out) = 0;
 
+  /// Replaces `*out` with up to `max_bytes` bytes of `path` starting at byte
+  /// `offset`; shorter (possibly empty) at end-of-file. The streaming-read
+  /// primitive under EditWal::Cursor — a WAL shipper must not re-read the
+  /// whole log on every poll.
+  virtual Status ReadFileRange(const std::string& path, uint64_t offset,
+                               size_t max_bytes, std::string* out) = 0;
+
+  /// Current size of `path` in bytes. NotFound when it does not exist.
+  virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+
   virtual bool FileExists(const std::string& path) = 0;
 
   /// Atomically renames `from` onto `to` (the checkpoint publish step).

@@ -117,6 +117,19 @@ Status FaultInjectingEnv::ReadFileToString(const std::string& path,
   return base_->ReadFileToString(path, out);
 }
 
+Status FaultInjectingEnv::ReadFileRange(const std::string& path,
+                                        uint64_t offset, size_t max_bytes,
+                                        std::string* out) {
+  // Reads are not failpoints (matching ReadFileToString): the chaos and
+  // crash harnesses model a dying writer, and the replication reader keeps
+  // streaming whatever the dead process left on disk.
+  return base_->ReadFileRange(path, offset, max_bytes, out);
+}
+
+StatusOr<uint64_t> FaultInjectingEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
 bool FaultInjectingEnv::FileExists(const std::string& path) {
   return base_->FileExists(path);
 }

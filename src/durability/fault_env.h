@@ -63,6 +63,9 @@ class FaultInjectingEnv : public Env {
   StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path, bool truncate) override;
   Status ReadFileToString(const std::string& path, std::string* out) override;
+  Status ReadFileRange(const std::string& path, uint64_t offset,
+                       size_t max_bytes, std::string* out) override;
+  StatusOr<uint64_t> FileSize(const std::string& path) override;
   bool FileExists(const std::string& path) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status RemoveFile(const std::string& path) override;

@@ -163,6 +163,7 @@ StatusOr<RecoveryReport> DurabilityManager::Recover(
   }
 
   next_sequence_ = report.last_sequence + 1;
+  committed_sequence_ = report.last_sequence;
   edits_since_checkpoint_ = report.replayed_records;
   system->statistics().Add(Ticker::kRecoveredRecords,
                            report.replayed_records);
@@ -193,6 +194,7 @@ Status DurabilityManager::LogBatch(const std::vector<EditRequest>& requests,
     obs::Span fsync_span("fsync");
     status = wal_.Sync();
   }
+  if (status.ok()) committed_sequence_ = next_sequence_ - 1;
   if (stats != nullptr) {
     if (status.ok()) {
       stats->Add(Ticker::kWalRecords, requests.size());
@@ -221,6 +223,7 @@ Status DurabilityManager::LogQuarantine(uint64_t quarantined_sequence,
     ++next_sequence_;
     if (options_.sync_on_commit) status = wal_.Sync();
   }
+  if (status.ok()) committed_sequence_ = next_sequence_ - 1;
   if (stats != nullptr) {
     if (status.ok()) {
       stats->Add(Ticker::kWalRecords);
@@ -230,6 +233,55 @@ Status DurabilityManager::LogQuarantine(uint64_t quarantined_sequence,
     }
   }
   return status;
+}
+
+Status DurabilityManager::AppendReplicated(std::string_view frames,
+                                           uint64_t last_sequence,
+                                           size_t records, Statistics* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  Status status = wal_.AppendRaw(frames);
+  if (status.ok() && options_.sync_on_commit) status = wal_.Sync();
+  if (status.ok()) {
+    next_sequence_ = last_sequence + 1;
+    committed_sequence_ = last_sequence;
+  }
+  if (stats != nullptr) {
+    if (status.ok()) {
+      stats->Add(Ticker::kWalRecords, records);
+      stats->Add(Ticker::kWalCommits);
+      stats->Record(Histogram::kWalCommitMicros, ElapsedMicros(start));
+    } else {
+      stats->Add(Ticker::kWalFailures);
+    }
+  }
+  return status;
+}
+
+StatusOr<uint64_t> DurabilityManager::InstallSnapshotBytes(
+    const std::string& bytes, OneEditSystem* system, Statistics* stats) {
+  if (system == nullptr) return Status::InvalidArgument("null system");
+  // Same publish discipline as SaveSystemCheckpoint: temp + fsync + rename,
+  // so a crash mid-install leaves either the old checkpoint or the new one.
+  const std::string tmp = checkpoint_path_ + ".tmp";
+  {
+    ONEEDIT_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                             env_->NewWritableFile(tmp, /*truncate=*/true));
+    ONEEDIT_RETURN_IF_ERROR(file->Append(bytes));
+    ONEEDIT_RETURN_IF_ERROR(file->Sync());
+    ONEEDIT_RETURN_IF_ERROR(file->Close());
+  }
+  ONEEDIT_RETURN_IF_ERROR(env_->RenameFile(tmp, checkpoint_path_));
+  ONEEDIT_ASSIGN_OR_RETURN(
+      const CheckpointState state,
+      LoadSystemCheckpoint(checkpoint_path_, env_, system));
+  // Everything at or below the snapshot's sequence is covered; the WAL
+  // restarts empty, exactly as after a local checkpoint publish.
+  ONEEDIT_RETURN_IF_ERROR(wal_.Reset());
+  next_sequence_ = state.last_sequence + 1;
+  committed_sequence_ = state.last_sequence;
+  edits_since_checkpoint_ = 0;
+  if (stats != nullptr) stats->Add(Ticker::kCheckpoints);
+  return state.last_sequence;
 }
 
 Status DurabilityManager::OnBatchApplied(OneEditSystem& system,

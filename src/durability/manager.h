@@ -121,6 +121,23 @@ class DurabilityManager {
                        const std::string& reason, EditingMethodKind method,
                        Statistics* stats);
 
+  /// Replication follower path: journals frames shipped from the primary
+  /// verbatim (byte-identical — same CRCs, same torn-tail semantics) and
+  /// group-commits them, advancing the sequence counters to
+  /// `last_sequence`. As with LogBatch, the caller applies only after this
+  /// returns OK, so a follower's acknowledged state is recoverable too.
+  Status AppendReplicated(std::string_view frames, uint64_t last_sequence,
+                          size_t records, Statistics* stats);
+
+  /// Replication follower path: atomically publishes `bytes` (a checkpoint
+  /// image shipped by the primary) as this manager's checkpoint, restores
+  /// `system` from it, and rotates the WAL — everything at or below the
+  /// snapshot's sequence is covered by the installed image. Returns the
+  /// snapshot's last sequence; the commit point jumps to it.
+  StatusOr<uint64_t> InstallSnapshotBytes(const std::string& bytes,
+                                          OneEditSystem* system,
+                                          Statistics* stats);
+
   /// Tells the manager `applied` edits from the last logged batch were
   /// applied; publishes a checkpoint when the cadence is due. A checkpoint
   /// failure is returned but is not fatal — the WAL still covers the edits.
@@ -132,8 +149,15 @@ class DurabilityManager {
 
   const std::string& wal_path() const { return wal_path_; }
   const std::string& checkpoint_path() const { return checkpoint_path_; }
-  /// Sequence number the next logged edit will receive.
+  /// Sequence number the next logged edit will receive. Advances record by
+  /// record DURING LogBatch, so a concurrent reader can observe mid-batch
+  /// values; use committed_sequence() for batch-aligned shipping decisions.
   uint64_t next_sequence() const { return next_sequence_; }
+  /// Highest sequence whose whole batch is durably group-committed. Only
+  /// moves after a successful fsync (or append, when sync_on_commit is
+  /// off), and always lands on a batch boundary — the replication server
+  /// ships records up to this point and never a half-committed batch.
+  uint64_t committed_sequence() const { return committed_sequence_; }
   /// Committed edits since the last published checkpoint — how far the WAL
   /// tail has grown (metrics scrapes read this from another thread).
   uint64_t edits_since_checkpoint() const { return edits_since_checkpoint_; }
@@ -150,6 +174,7 @@ class DurabilityManager {
   /// Atomic so the metrics scrape thread can sample both while the writer
   /// advances them; only the writer (or startup recovery) mutates them.
   std::atomic<uint64_t> next_sequence_{1};
+  std::atomic<uint64_t> committed_sequence_{0};
   std::atomic<uint64_t> edits_since_checkpoint_{0};
 };
 

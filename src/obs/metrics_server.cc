@@ -1,16 +1,14 @@
 #include "obs/metrics_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 
 #include "util/logging.h"
+#include "util/net.h"
 
 namespace oneedit {
 namespace obs {
@@ -34,38 +32,10 @@ const char* StatusLine(int status) {
 StatusOr<std::unique_ptr<MetricsServer>> MetricsServer::Start(
     uint16_t port, Handler handler) {
   if (!handler) return Status::InvalidArgument("metrics server needs a handler");
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("socket() failed: ") +
-                            std::strerror(errno));
-  }
-  const int reuse = 1;
-  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string error = std::strerror(errno);
-    ::close(fd);
-    return Status::Unavailable("bind(127.0.0.1:" + std::to_string(port) +
-                               ") failed: " + error);
-  }
-  if (::listen(fd, 16) != 0) {
-    const std::string error = std::strerror(errno);
-    ::close(fd);
-    return Status::Internal("listen() failed: " + error);
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
-      0) {
-    const std::string error = std::strerror(errno);
-    ::close(fd);
-    return Status::Internal("getsockname() failed: " + error);
-  }
+  ONEEDIT_ASSIGN_OR_RETURN(const net::Listener listener,
+                           net::ListenLoopback(port));
   return std::unique_ptr<MetricsServer>(
-      new MetricsServer(fd, ntohs(bound.sin_port), std::move(handler)));
+      new MetricsServer(listener.fd, listener.port, std::move(handler)));
 }
 
 MetricsServer::MetricsServer(int listen_fd, uint16_t port, Handler handler)
@@ -110,12 +80,7 @@ void MetricsServer::ServeOne(int client_fd) {
   // Requests are served inline on the acceptor thread, so a stalled client
   // must never block indefinitely: bound both directions with socket
   // timeouts, keeping the accept loop (and Stop()) live.
-  timeval io_timeout{};
-  io_timeout.tv_sec = 2;
-  (void)::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &io_timeout,
-                     sizeof(io_timeout));
-  (void)::setsockopt(client_fd, SOL_SOCKET, SO_SNDTIMEO, &io_timeout,
-                     sizeof(io_timeout));
+  net::SetIoTimeouts(client_fd, /*seconds=*/2);
 
   // HTTP/1.0, single read: a GET request line + headers comfortably fits.
   char buf[4096];
@@ -145,19 +110,11 @@ void MetricsServer::ServeOne(int client_fd) {
                      "\r\nContent-Length: " +
                      std::to_string(response.body.size()) +
                      "\r\nConnection: close\r\n\r\n";
-  // MSG_NOSIGNAL: a scraper that disconnects mid-response must surface as
-  // EPIPE here, not raise SIGPIPE and kill the whole serving process.
-  const auto write_all = [&](const char* data, size_t size) {
-    size_t sent = 0;
-    while (sent < size) {
-      const ssize_t n =
-          ::send(client_fd, data + sent, size - sent, MSG_NOSIGNAL);
-      if (n <= 0) return;
-      sent += static_cast<size_t>(n);
-    }
-  };
-  write_all(head.data(), head.size());
-  write_all(response.body.data(), response.body.size());
+  // SendAll's MSG_NOSIGNAL: a scraper that disconnects mid-response must
+  // surface as EPIPE here, not raise SIGPIPE and kill the serving process.
+  if (net::SendAll(client_fd, head).ok()) {
+    (void)net::SendAll(client_fd, response.body);
+  }
 }
 
 }  // namespace obs

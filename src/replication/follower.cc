@@ -1,0 +1,200 @@
+#include "replication/follower.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/net.h"
+
+namespace oneedit {
+namespace replication {
+
+std::string FollowerStateName(FollowerState state) {
+  switch (state) {
+    case FollowerState::kConnecting:
+      return "connecting";
+    case FollowerState::kInstallingSnapshot:
+      return "installing_snapshot";
+    case FollowerState::kTailing:
+      return "tailing";
+    case FollowerState::kCaughtUp:
+      return "caught_up";
+    case FollowerState::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Follower> Follower::Start(const FollowerOptions& options,
+                                          FollowerHooks hooks,
+                                          Statistics* stats) {
+  std::unique_ptr<Follower> follower(
+      new Follower(options, std::move(hooks), stats));
+  follower->tailer_ = std::thread(&Follower::TailLoop, follower.get());
+  return follower;
+}
+
+Follower::Follower(const FollowerOptions& options, FollowerHooks hooks,
+                   Statistics* stats)
+    : options_(options), hooks_(std::move(hooks)), stats_(stats) {}
+
+Follower::~Follower() { Stop(); }
+
+void Follower::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_.exchange(true)) {
+      // A concurrent Stop is (or was) already tearing down; just join.
+    }
+  }
+  wake_.notify_all();
+  if (tailer_.joinable()) tailer_.join();
+  state_.store(FollowerState::kStopped, std::memory_order_release);
+}
+
+uint64_t Follower::lag_records() const {
+  const uint64_t committed = committed_seen_.load(std::memory_order_acquire);
+  const uint64_t applied = hooks_.applied_sequence();
+  return committed > applied ? committed - applied : 0;
+}
+
+uint64_t Follower::lag_batches() const {
+  const uint64_t pending = pending_batches_.load(std::memory_order_acquire);
+  return pending > 0 ? pending : (lag_records() > 0 ? 1 : 0);
+}
+
+double Follower::lag_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!behind_) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       behind_since_)
+      .count();
+}
+
+void Follower::ObserveLag(uint64_t committed, uint64_t applied) {
+  committed_seen_.store(committed, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (committed > applied) {
+    if (!behind_) {
+      behind_ = true;
+      behind_since_ = std::chrono::steady_clock::now();
+    }
+  } else {
+    behind_ = false;
+  }
+}
+
+void Follower::TailLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    state_.store(FollowerState::kConnecting, std::memory_order_release);
+    StatusOr<int> fd = net::ConnectLoopback(options_.primary_port);
+    if (!fd.ok()) {
+      if (stats_ != nullptr) stats_->Add(Ticker::kReplReconnects);
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait_for(lock, options_.reconnect_backoff,
+                     [this] { return stopping_.load(); });
+      continue;
+    }
+    net::SetIoTimeouts(*fd, options_.io_timeout_seconds);
+    RunSession(*fd);
+    ::close(*fd);
+    if (!stopping_.load(std::memory_order_acquire)) {
+      // The primary went away (crash, restart, or our own timeout); keep
+      // re-dialing — a promoted or rebooted primary may come back.
+      if (stats_ != nullptr) stats_->Add(Ticker::kReplReconnects);
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait_for(lock, options_.reconnect_backoff,
+                     [this] { return stopping_.load(); });
+    }
+  }
+  state_.store(FollowerState::kStopped, std::memory_order_release);
+}
+
+void Follower::RunSession(int fd) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    PollRequest poll;
+    poll.applied_sequence = hooks_.applied_sequence();
+    poll.from_sequence = poll.applied_sequence + 1;
+    if (!SendFrame(fd, EncodePoll(poll)).ok()) return;
+    StatusOr<Message> message = RecvMessage(fd);
+    if (!message.ok()) return;
+
+    bool behind = false;
+    switch (message->type) {
+      case MessageType::kBatches: {
+        state_.store(FollowerState::kTailing, std::memory_order_release);
+        pending_batches_.store(message->batches.batches.size(),
+                               std::memory_order_release);
+        for (const ShippedBatch& batch : message->batches.batches) {
+          if (stopping_.load(std::memory_order_acquire)) return;
+          const Status applied = hooks_.apply_batch(batch);
+          if (!applied.ok()) {
+            // A replica that cannot journal or apply must not keep acking:
+            // stop tailing and surface the wedge via state + logs.
+            ONEEDIT_LOG(Error)
+                << "follower failed to apply shipped batch ["
+                << batch.first_sequence << ", " << batch.last_sequence
+                << "]: " << applied.ToString();
+            stopping_.store(true, std::memory_order_release);
+            return;
+          }
+          pending_batches_.fetch_sub(1, std::memory_order_acq_rel);
+          if (stats_ != nullptr) {
+            stats_->Add(Ticker::kReplBatchesApplied);
+            stats_->Add(Ticker::kReplRecordsApplied, batch.records);
+          }
+        }
+        ObserveLag(message->batches.committed_sequence,
+                   hooks_.applied_sequence());
+        // There may be more committed work than one reply carries; poll
+        // again immediately while behind.
+        behind = message->batches.committed_sequence >
+                 hooks_.applied_sequence();
+        break;
+      }
+      case MessageType::kSnapshot: {
+        state_.store(FollowerState::kInstallingSnapshot,
+                     std::memory_order_release);
+        const Status installed = hooks_.install_snapshot(
+            message->snapshot.checkpoint_sequence, message->snapshot.bytes);
+        if (!installed.ok()) {
+          ONEEDIT_LOG(Error) << "follower failed to install snapshot at "
+                             << message->snapshot.checkpoint_sequence << ": "
+                             << installed.ToString();
+          stopping_.store(true, std::memory_order_release);
+          return;
+        }
+        if (stats_ != nullptr) {
+          stats_->Add(Ticker::kReplSnapshotsInstalled);
+        }
+        ObserveLag(
+            std::max(committed_seen_.load(std::memory_order_acquire),
+                     message->snapshot.checkpoint_sequence),
+            hooks_.applied_sequence());
+        behind = true;  // tail whatever the WAL holds past the snapshot
+        break;
+      }
+      case MessageType::kHeartbeat:
+        ObserveLag(message->heartbeat.committed_sequence,
+                   hooks_.applied_sequence());
+        behind = message->heartbeat.committed_sequence >
+                 hooks_.applied_sequence();
+        break;
+      case MessageType::kPoll:
+        return;  // protocol violation; drop the connection
+    }
+
+    if (!behind) {
+      state_.store(FollowerState::kCaughtUp, std::memory_order_release);
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait_for(lock, options_.poll_interval,
+                     [this] { return stopping_.load(); });
+    }
+  }
+}
+
+}  // namespace replication
+}  // namespace oneedit

@@ -1,0 +1,139 @@
+#ifndef ONEEDIT_REPLICATION_FOLLOWER_H_
+#define ONEEDIT_REPLICATION_FOLLOWER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/statistics.h"
+#include "replication/wire.h"
+#include "util/status.h"
+
+namespace oneedit {
+namespace replication {
+
+/// Where a follower's tailer is in its lifecycle — exported as a one-hot
+/// gauge so dashboards can see a replica stuck installing or disconnected.
+enum class FollowerState {
+  kConnecting,          ///< no live connection; dialing / backing off
+  kInstallingSnapshot,  ///< a shipped checkpoint image is being installed
+  kTailing,             ///< applying shipped batches, behind the commit point
+  kCaughtUp,            ///< applied == primary's committed sequence
+  kStopped,             ///< Stop() or Promote() ended the tail loop
+};
+
+std::string FollowerStateName(FollowerState state);
+
+struct FollowerOptions {
+  /// Primary's replication port (loopback).
+  uint16_t primary_port = 0;
+  /// Idle poll cadence once caught up; behind, the follower polls
+  /// immediately after each applied reply.
+  std::chrono::milliseconds poll_interval{20};
+  /// Reconnect backoff after a dropped/refused connection.
+  std::chrono::milliseconds reconnect_backoff{50};
+  /// SO_RCVTIMEO/SO_SNDTIMEO on the primary connection.
+  int io_timeout_seconds = 5;
+};
+
+/// How the tailer hands work to its owner (the serving layer): the
+/// replication library never touches system state directly, so these hooks
+/// journal + apply under whatever locking the owner requires.
+struct FollowerHooks {
+  /// Journal the batch's raw frames (durably, BEFORE applying) and apply
+  /// its records. Must leave applied_sequence() >= batch.last_sequence on
+  /// success. A failure stops the tailer (the replica is wedged, not
+  /// silently skipping).
+  std::function<Status(const ShippedBatch& batch)> apply_batch;
+  /// Install a full checkpoint image (empty/far-behind catch-up).
+  std::function<Status(uint64_t checkpoint_sequence,
+                       const std::string& bytes)>
+      install_snapshot;
+  /// Highest locally applied (and journaled) sequence — sent to the
+  /// primary as the ack its quorum wait watches.
+  std::function<uint64_t()> applied_sequence;
+};
+
+/// The follower's half of WAL shipping: a tail loop that polls the primary,
+/// journals + applies whatever comes back through the owner's hooks, and
+/// tracks staleness (lag in records, batches and seconds) for bounded-
+/// staleness reads and the metrics surface.
+class Follower {
+ public:
+  /// Starts the tail thread. Hooks must outlive the follower.
+  static std::unique_ptr<Follower> Start(const FollowerOptions& options,
+                                         FollowerHooks hooks,
+                                         Statistics* stats);
+
+  ~Follower();
+
+  Follower(const Follower&) = delete;
+  Follower& operator=(const Follower&) = delete;
+
+  /// Joins the tail loop (after its current apply finishes). Idempotent.
+  /// Promotion calls this first: no shipped batch is mid-apply when the
+  /// new primary seals its WAL.
+  void Stop();
+
+  FollowerState state() const {
+    return state_.load(std::memory_order_acquire);
+  }
+
+  /// Primary's committed sequence as of the last reply (0 before one).
+  uint64_t committed_seen() const {
+    return committed_seen_.load(std::memory_order_acquire);
+  }
+
+  /// Records known committed on the primary but not yet applied here.
+  uint64_t lag_records() const;
+
+  /// Shipped-but-unapplied batches, plus one when the primary's commit
+  /// point is known to be ahead of the local applied sequence — 0 exactly
+  /// when the replica serves the primary's latest acknowledged state.
+  uint64_t lag_batches() const;
+
+  /// Age of the oldest known-committed-but-unapplied sequence; 0 when
+  /// caught up.
+  double lag_seconds() const;
+
+ private:
+  Follower(const FollowerOptions& options, FollowerHooks hooks,
+           Statistics* stats);
+
+  void TailLoop();
+
+  /// One connect-poll-apply session; returns when the connection drops or
+  /// the follower stops.
+  void RunSession(int fd);
+
+  /// Updates lag bookkeeping from the latest (committed, applied) pair.
+  void ObserveLag(uint64_t committed, uint64_t applied);
+
+  FollowerOptions options_;
+  FollowerHooks hooks_;
+  Statistics* stats_;
+
+  std::atomic<FollowerState> state_{FollowerState::kConnecting};
+  std::atomic<uint64_t> committed_seen_{0};
+  std::atomic<uint64_t> pending_batches_{0};
+  std::atomic<bool> stopping_{false};
+
+  /// Guards the lag clock (behind_since_) and the stop CV.
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool behind_ = false;
+  std::chrono::steady_clock::time_point behind_since_{};
+
+  std::thread tailer_;
+};
+
+}  // namespace replication
+}  // namespace oneedit
+
+#endif  // ONEEDIT_REPLICATION_FOLLOWER_H_

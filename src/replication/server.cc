@@ -1,0 +1,219 @@
+#include "replication/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "durability/checkpoint.h"
+#include "durability/edit_wal.h"
+#include "util/logging.h"
+#include "util/net.h"
+
+namespace oneedit {
+namespace replication {
+
+StatusOr<std::unique_ptr<ReplicationServer>> ReplicationServer::Start(
+    durability::DurabilityManager* durability, Statistics* stats,
+    const ReplicationServerOptions& options) {
+  if (durability == nullptr) {
+    return Status::InvalidArgument("replication needs a durability manager");
+  }
+  ONEEDIT_ASSIGN_OR_RETURN(const net::Listener listener,
+                           net::ListenLoopback(options.port));
+  std::unique_ptr<ReplicationServer> server(
+      new ReplicationServer(durability, stats, options));
+  server->listen_fd_ = listener.fd;
+  server->port_ = listener.port;
+  server->acceptor_ = std::thread(&ReplicationServer::AcceptLoop,
+                                  server.get());
+  return server;
+}
+
+ReplicationServer::ReplicationServer(
+    durability::DurabilityManager* durability, Statistics* stats,
+    const ReplicationServerOptions& options)
+    : durability_(durability), stats_(stats), options_(options) {}
+
+ReplicationServer::~ReplicationServer() { Stop(); }
+
+void ReplicationServer::Stop() {
+  if (stopping_.exchange(true)) {
+    // Another Stop already ran (or is running) the teardown below.
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  // Shutting down the listening socket fails the blocking accept() so the
+  // acceptor observes stopping_ and exits; follower sockets are shut down
+  // so handler threads fall out of their blocking recv.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [fd, acked] : follower_acked_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& handler : handlers) {
+    if (handler.joinable()) handler.join();
+  }
+  ::close(listen_fd_);
+  acks_cv_.notify_all();
+}
+
+size_t ReplicationServer::followers_connected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return follower_acked_.size();
+}
+
+uint64_t ReplicationServer::min_follower_applied() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t min_acked = 0;
+  bool first = true;
+  for (const auto& [fd, acked] : follower_acked_) {
+    min_acked = first ? acked : std::min(min_acked, acked);
+    first = false;
+  }
+  return min_acked;
+}
+
+bool ReplicationServer::WaitForAcks(uint64_t sequence, size_t replicas,
+                                    std::chrono::milliseconds timeout) {
+  if (replicas == 0) return true;
+  std::unique_lock<std::mutex> lock(mutex_);
+  return acks_cv_.wait_for(lock, timeout, [&] {
+    if (stopping_.load()) return true;  // don't wedge shutdown
+    size_t acked = 0;
+    for (const auto& [fd, follower_sequence] : follower_acked_) {
+      if (follower_sequence >= sequence) ++acked;
+    }
+    return acked >= replicas;
+  });
+}
+
+void ReplicationServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (stopping_.load()) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) continue;  // EINTR / transient accept failure
+    net::SetIoTimeouts(fd, options_.io_timeout_seconds);
+    std::lock_guard<std::mutex> lock(mutex_);
+    follower_acked_[fd] = 0;
+    handlers_.emplace_back(&ReplicationServer::ServeFollower, this, fd);
+  }
+}
+
+void ReplicationServer::ServeFollower(int fd) {
+  while (!stopping_.load()) {
+    StatusOr<Message> message = RecvMessage(fd);
+    if (!message.ok() || message->type != MessageType::kPoll) break;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      follower_acked_[fd] = message->poll.applied_sequence;
+    }
+    acks_cv_.notify_all();
+    if (stats_ != nullptr) stats_->Add(Ticker::kReplPollsServed);
+
+    StatusOr<std::string> reply = BuildReply(message->poll.from_sequence);
+    if (!reply.ok()) {
+      ONEEDIT_LOG(Warning) << "replication poll for sequence "
+                           << message->poll.from_sequence
+                           << " failed: " << reply.status().ToString();
+      break;
+    }
+    if (stats_ != nullptr) {
+      stats_->Add(Ticker::kReplBytesShipped, reply->size());
+    }
+    if (!SendFrame(fd, *reply).ok()) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    follower_acked_.erase(fd);
+  }
+  acks_cv_.notify_all();
+  ::close(fd);
+}
+
+StatusOr<std::string> ReplicationServer::BuildReply(uint64_t from_sequence) {
+  const uint64_t committed = durability_->committed_sequence();
+  durability::Env* env = durability_->options().env != nullptr
+                             ? durability_->options().env
+                             : durability::Env::Default();
+
+  // A follower positioned at or below the last checkpoint's sequence wants
+  // records the WAL rotated away — only a full install can catch it up.
+  if (from_sequence <= committed &&
+      env->FileExists(durability_->checkpoint_path())) {
+    const StatusOr<durability::CheckpointState> peeked =
+        durability::PeekCheckpointState(durability_->checkpoint_path(), env);
+    if (peeked.ok() && peeked->last_sequence >= from_sequence) {
+      SnapshotReply snapshot;
+      snapshot.checkpoint_sequence = peeked->last_sequence;
+      ONEEDIT_RETURN_IF_ERROR(env->ReadFileToString(
+          durability_->checkpoint_path(), &snapshot.bytes));
+      if (stats_ != nullptr) stats_->Add(Ticker::kReplSnapshotsShipped);
+      return EncodeSnapshot(snapshot);
+    }
+  }
+
+  BatchesReply reply;
+  reply.committed_sequence = committed;
+  if (from_sequence <= committed) {
+    durability::EditWal::Cursor cursor(durability_->wal_path(),
+                                       from_sequence, env);
+    durability::EditWalRecord record;
+    ShippedBatch batch;
+    auto flush = [&] {
+      if (batch.records == 0) return;
+      reply.batches.push_back(std::move(batch));
+      batch = ShippedBatch{};
+    };
+    for (;;) {
+      ONEEDIT_ASSIGN_OR_RETURN(
+          const durability::EditWal::Cursor::Poll poll, cursor.Next(&record));
+      if (poll != durability::EditWal::Cursor::Poll::kRecord) {
+        // kEndOfLog: the durable tail. kRotated: a checkpoint rotated the
+        // log under us — answer with what we have; the next poll re-decides
+        // (and will ship the new snapshot if the follower now needs one).
+        break;
+      }
+      if (record.sequence > committed) break;  // in-flight, not yet acked
+      if (record.first_in_batch) {
+        if (reply.batches.size() + 1 >= options_.max_batches_per_poll &&
+            batch.records > 0) {
+          break;
+        }
+        flush();
+      }
+      if (batch.records == 0) batch.first_sequence = record.sequence;
+      batch.last_sequence = record.sequence;
+      ++batch.records;
+      // Re-encoding is byte-identical to the journaled frame (Encode is
+      // deterministic), so the follower's WAL ends up byte-for-byte equal.
+      batch.frames += durability::EditWal::Encode(record);
+    }
+    flush();
+  }
+
+  if (reply.batches.empty()) {
+    HeartbeatReply heartbeat;
+    heartbeat.committed_sequence = committed;
+    return EncodeHeartbeat(heartbeat);
+  }
+  if (stats_ != nullptr) {
+    stats_->Add(Ticker::kReplBatchesShipped, reply.batches.size());
+  }
+  return EncodeBatches(reply);
+}
+
+}  // namespace replication
+}  // namespace oneedit

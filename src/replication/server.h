@@ -1,0 +1,109 @@
+#ifndef ONEEDIT_REPLICATION_SERVER_H_
+#define ONEEDIT_REPLICATION_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/statistics.h"
+#include "durability/manager.h"
+#include "replication/wire.h"
+
+namespace oneedit {
+namespace replication {
+
+struct ReplicationServerOptions {
+  /// Loopback port to listen on; 0 picks an ephemeral one (read it back
+  /// via port()).
+  uint16_t port = 0;
+  /// Most batches shipped per poll round trip (bounds reply size and the
+  /// follower's per-cycle apply work).
+  size_t max_batches_per_poll = 32;
+  /// SO_RCVTIMEO/SO_SNDTIMEO on follower connections: a wedged follower
+  /// times out and is dropped instead of pinning its handler thread.
+  int io_timeout_seconds = 5;
+};
+
+/// The primary's half of WAL shipping (docs/replication.md): accepts
+/// follower connections, answers each kPoll with committed WAL batches read
+/// through an EditWal::Cursor, and falls back to shipping the whole
+/// checkpoint image when the follower's position was rotated out of the
+/// WAL. Tracks every follower's acked (applied) sequence so the serving
+/// writer can block acknowledgement on a replication quorum.
+///
+/// Threading: one acceptor thread plus one thread per follower connection.
+/// Handler threads touch only the DurabilityManager's atomic counters and
+/// on-disk files (WAL via cursor, checkpoint via whole-file read) — never
+/// the system state — so they need no coordination with the serving
+/// writer's locks.
+class ReplicationServer {
+ public:
+  /// Binds and starts the acceptor. `durability` and `stats` must outlive
+  /// the server; `stats` may be null.
+  static StatusOr<std::unique_ptr<ReplicationServer>> Start(
+      durability::DurabilityManager* durability, Statistics* stats,
+      const ReplicationServerOptions& options = {});
+
+  ~ReplicationServer();
+
+  ReplicationServer(const ReplicationServer&) = delete;
+  ReplicationServer& operator=(const ReplicationServer&) = delete;
+
+  /// Stops accepting, disconnects every follower, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  size_t followers_connected() const;
+
+  /// Highest sequence every connected follower has acked (0 when none are
+  /// connected) — the replicated-everywhere watermark.
+  uint64_t min_follower_applied() const;
+
+  /// Blocks until at least `replicas` followers have acked a sequence >=
+  /// `sequence`, or `timeout` elapses (false). The serving writer calls
+  /// this after applying a batch so an acknowledged edit survives primary
+  /// failover.
+  bool WaitForAcks(uint64_t sequence, size_t replicas,
+                   std::chrono::milliseconds timeout);
+
+ private:
+  ReplicationServer(durability::DurabilityManager* durability,
+                    Statistics* stats,
+                    const ReplicationServerOptions& options);
+
+  void AcceptLoop();
+  void ServeFollower(int fd);
+
+  /// Builds the reply to one poll: batches from the WAL, a snapshot when
+  /// the WAL no longer covers `from_sequence`, or a heartbeat.
+  StatusOr<std::string> BuildReply(uint64_t from_sequence);
+
+  durability::DurabilityManager* durability_;
+  Statistics* stats_;
+  ReplicationServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  /// Guards followers_ and handler bookkeeping; acks_cv_ wakes quorum
+  /// waiters whenever any follower's acked sequence advances.
+  mutable std::mutex mutex_;
+  std::condition_variable acks_cv_;
+  std::unordered_map<int, uint64_t> follower_acked_;
+  std::vector<std::thread> handlers_;
+
+  std::thread acceptor_;
+};
+
+}  // namespace replication
+}  // namespace oneedit
+
+#endif  // ONEEDIT_REPLICATION_SERVER_H_

@@ -1,0 +1,179 @@
+#include "replication/wire.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/net.h"
+
+namespace oneedit {
+namespace replication {
+namespace {
+
+/// Snapshot images dominate message size; a checkpoint is bounded well
+/// under this, so anything larger is garbage, not data.
+constexpr uint32_t kMaxBodyBytes = 1u << 30;
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendBytes(std::string* out, const std::string& bytes) {
+  AppendU32(out, static_cast<uint32_t>(bytes.size()));
+  out->append(bytes);
+}
+
+template <typename T>
+bool ConsumeScalar(std::string_view* data, T* v) {
+  if (data->size() < sizeof(T)) return false;
+  std::memcpy(v, data->data(), sizeof(T));
+  data->remove_prefix(sizeof(T));
+  return true;
+}
+
+bool ConsumeBytes(std::string_view* data, std::string* bytes) {
+  uint32_t size = 0;
+  if (!ConsumeScalar(data, &size) || data->size() < size) return false;
+  bytes->assign(data->data(), size);
+  data->remove_prefix(size);
+  return true;
+}
+
+std::string Frame(MessageType type, const std::string& payload) {
+  std::string body;
+  body.reserve(1 + payload.size());
+  body.push_back(static_cast<char>(type));
+  body.append(payload);
+  std::string frame;
+  frame.reserve(2 * sizeof(uint32_t) + body.size());
+  AppendU32(&frame, static_cast<uint32_t>(body.size()));
+  AppendU32(&frame, Crc32(body));
+  frame.append(body);
+  return frame;
+}
+
+}  // namespace
+
+std::string EncodePoll(const PollRequest& poll) {
+  std::string payload;
+  AppendU64(&payload, poll.from_sequence);
+  AppendU64(&payload, poll.applied_sequence);
+  return Frame(MessageType::kPoll, payload);
+}
+
+std::string EncodeBatches(const BatchesReply& reply) {
+  std::string payload;
+  AppendU64(&payload, reply.committed_sequence);
+  AppendU32(&payload, static_cast<uint32_t>(reply.batches.size()));
+  for (const ShippedBatch& batch : reply.batches) {
+    AppendU64(&payload, batch.first_sequence);
+    AppendU64(&payload, batch.last_sequence);
+    AppendU32(&payload, batch.records);
+    AppendBytes(&payload, batch.frames);
+  }
+  return Frame(MessageType::kBatches, payload);
+}
+
+std::string EncodeSnapshot(const SnapshotReply& reply) {
+  std::string payload;
+  AppendU64(&payload, reply.checkpoint_sequence);
+  AppendBytes(&payload, reply.bytes);
+  return Frame(MessageType::kSnapshot, payload);
+}
+
+std::string EncodeHeartbeat(const HeartbeatReply& reply) {
+  std::string payload;
+  AppendU64(&payload, reply.committed_sequence);
+  return Frame(MessageType::kHeartbeat, payload);
+}
+
+StatusOr<Message> DecodeMessage(const std::string& frame) {
+  std::string_view rest(frame);
+  uint32_t size = 0, crc = 0;
+  if (!ConsumeScalar(&rest, &size) || !ConsumeScalar(&rest, &crc) ||
+      rest.size() != size) {
+    return Status::Corruption("replication frame truncated");
+  }
+  if (Crc32(rest) != crc) {
+    return Status::Corruption("replication frame CRC mismatch");
+  }
+  uint8_t type = 0;
+  if (!ConsumeScalar(&rest, &type)) {
+    return Status::Corruption("replication frame empty body");
+  }
+  Message message;
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kPoll:
+      message.type = MessageType::kPoll;
+      if (!ConsumeScalar(&rest, &message.poll.from_sequence) ||
+          !ConsumeScalar(&rest, &message.poll.applied_sequence) ||
+          !rest.empty()) {
+        return Status::Corruption("malformed poll message");
+      }
+      return message;
+    case MessageType::kBatches: {
+      message.type = MessageType::kBatches;
+      uint32_t count = 0;
+      if (!ConsumeScalar(&rest, &message.batches.committed_sequence) ||
+          !ConsumeScalar(&rest, &count)) {
+        return Status::Corruption("malformed batches message");
+      }
+      message.batches.batches.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        ShippedBatch batch;
+        if (!ConsumeScalar(&rest, &batch.first_sequence) ||
+            !ConsumeScalar(&rest, &batch.last_sequence) ||
+            !ConsumeScalar(&rest, &batch.records) ||
+            !ConsumeBytes(&rest, &batch.frames)) {
+          return Status::Corruption("malformed batch " + std::to_string(i) +
+                                    " in batches message");
+        }
+        message.batches.batches.push_back(std::move(batch));
+      }
+      if (!rest.empty()) {
+        return Status::Corruption("trailing bytes in batches message");
+      }
+      return message;
+    }
+    case MessageType::kSnapshot:
+      message.type = MessageType::kSnapshot;
+      if (!ConsumeScalar(&rest, &message.snapshot.checkpoint_sequence) ||
+          !ConsumeBytes(&rest, &message.snapshot.bytes) || !rest.empty()) {
+        return Status::Corruption("malformed snapshot message");
+      }
+      return message;
+    case MessageType::kHeartbeat:
+      message.type = MessageType::kHeartbeat;
+      if (!ConsumeScalar(&rest, &message.heartbeat.committed_sequence) ||
+          !rest.empty()) {
+        return Status::Corruption("malformed heartbeat message");
+      }
+      return message;
+  }
+  return Status::Corruption("unknown replication message type " +
+                            std::to_string(type));
+}
+
+Status SendFrame(int fd, const std::string& frame) {
+  return net::SendAll(fd, frame);
+}
+
+StatusOr<Message> RecvMessage(int fd) {
+  std::string header;
+  ONEEDIT_RETURN_IF_ERROR(net::RecvAll(fd, 2 * sizeof(uint32_t), &header));
+  uint32_t size = 0;
+  std::memcpy(&size, header.data(), sizeof(size));
+  if (size > kMaxBodyBytes) {
+    return Status::Corruption("replication frame claims " +
+                              std::to_string(size) + " bytes");
+  }
+  std::string body;
+  ONEEDIT_RETURN_IF_ERROR(net::RecvAll(fd, size, &body));
+  return DecodeMessage(header + body);
+}
+
+}  // namespace replication
+}  // namespace oneedit

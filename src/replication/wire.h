@@ -1,0 +1,97 @@
+#ifndef ONEEDIT_REPLICATION_WIRE_H_
+#define ONEEDIT_REPLICATION_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+namespace replication {
+
+/// The replication protocol (docs/replication.md) is pull-based and
+/// request/response: a follower sends one kPoll per round trip and the
+/// primary answers with exactly one of kBatches / kSnapshot / kHeartbeat.
+/// Every message rides in one CRC-guarded frame:
+///
+///   [u32 body_size][u32 crc32(body)][body]   body = [u8 type][payload]
+///
+/// — the same guard discipline as the edit WAL, so a half-written or
+/// bit-flipped frame is detected before any field is trusted.
+enum class MessageType : uint8_t {
+  /// Follower -> primary: "ship me records from `from_sequence`; I have
+  /// applied through `applied_sequence`" (the ack the primary's quorum
+  /// wait watches).
+  kPoll = 1,
+  /// Primary -> follower: committed WAL batches, whole-batch aligned.
+  kBatches = 2,
+  /// Primary -> follower: a full checkpoint image — the follower is behind
+  /// the primary's WAL head (rotated away) and must install, not tail.
+  kSnapshot = 3,
+  /// Primary -> follower: nothing new past `from_sequence`; carries the
+  /// commit point so the follower can measure lag while idle.
+  kHeartbeat = 4,
+};
+
+struct PollRequest {
+  uint64_t from_sequence = 1;
+  uint64_t applied_sequence = 0;
+};
+
+/// One writer batch as it sits in the primary's WAL: `frames` holds the
+/// records' raw encoded bytes, shipped verbatim so the follower's journal
+/// is byte-identical to the primary's. A batch may carry trailing
+/// quarantine-verdict records (journaled after the batch applied).
+struct ShippedBatch {
+  uint64_t first_sequence = 0;
+  uint64_t last_sequence = 0;
+  uint32_t records = 0;
+  std::string frames;
+};
+
+struct BatchesReply {
+  uint64_t committed_sequence = 0;
+  std::vector<ShippedBatch> batches;
+};
+
+struct SnapshotReply {
+  uint64_t checkpoint_sequence = 0;
+  std::string bytes;
+};
+
+struct HeartbeatReply {
+  uint64_t committed_sequence = 0;
+};
+
+/// One decoded protocol message; `type` says which member is live.
+struct Message {
+  MessageType type = MessageType::kHeartbeat;
+  PollRequest poll;
+  BatchesReply batches;
+  SnapshotReply snapshot;
+  HeartbeatReply heartbeat;
+};
+
+std::string EncodePoll(const PollRequest& poll);
+std::string EncodeBatches(const BatchesReply& reply);
+std::string EncodeSnapshot(const SnapshotReply& reply);
+std::string EncodeHeartbeat(const HeartbeatReply& reply);
+
+/// Decodes one full frame (as produced by the Encode* functions) into a
+/// Message. Corruption on CRC mismatch or a malformed body.
+StatusOr<Message> DecodeMessage(const std::string& frame);
+
+/// Sends one already-encoded frame over `fd` (SendAll semantics).
+Status SendFrame(int fd, const std::string& frame);
+
+/// Receives one frame from `fd` and decodes it. Unavailable on clean
+/// disconnect before a frame starts; IoError on timeout or mid-frame EOF;
+/// Corruption on a CRC or decode failure.
+StatusOr<Message> RecvMessage(int fd);
+
+}  // namespace replication
+}  // namespace oneedit
+
+#endif  // ONEEDIT_REPLICATION_WIRE_H_

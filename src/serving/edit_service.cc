@@ -32,6 +32,15 @@ EditResult DegradedRejection(const std::string& why) {
   return result;
 }
 
+EditResult ReplicaRejection() {
+  EditResult result;
+  result.kind = EditResult::Kind::kRejected;
+  result.message =
+      "replica is read-only: submit writes to the primary (or Promote() "
+      "this follower)";
+  return result;
+}
+
 /// Closes a request's trace: every request span tree is rooted by exactly
 /// one "request" span recorded when the promise resolves, whatever path
 /// (applied, expired, rejected, degraded) resolved it.
@@ -41,6 +50,18 @@ void FinishTrace(const obs::TraceContext& ctx) {
 }
 
 }  // namespace
+
+std::string ReplicationRoleName(ReplicationRole role) {
+  switch (role) {
+    case ReplicationRole::kStandalone:
+      return "standalone";
+    case ReplicationRole::kPrimary:
+      return "primary";
+    case ReplicationRole::kFollower:
+      return "follower";
+  }
+  return "unknown";
+}
 
 std::string ServiceHealthName(ServiceHealth health) {
   switch (health) {
@@ -93,6 +114,22 @@ EditService::EditService(std::unique_ptr<OneEditSystem> system,
                            recovery_status_.ToString());
     }
   }
+  if (options_.replication.role != ReplicationRole::kStandalone &&
+      durability_ == nullptr) {
+    // The WAL is the thing replication ships; without one there is nothing
+    // to stream or install. Stay standalone rather than half-replicate.
+    ONEEDIT_LOG(Error) << "replication role "
+                       << ReplicationRoleName(options_.replication.role)
+                       << " requires a durability manager; staying "
+                          "standalone";
+    options_.replication.role = ReplicationRole::kStandalone;
+  }
+  role_.store(options_.replication.role, std::memory_order_release);
+  if (durability_ != nullptr) {
+    applied_sequence_.store(durability_->committed_sequence(),
+                            std::memory_order_release);
+  }
+  StartReplication();
   writer_ = std::thread(&EditService::WriterLoop, this);
   StartMetricsServer();
 }
@@ -127,6 +164,14 @@ std::future<StatusOr<EditResult>> EditService::Submit(EditRequest request) {
     FinishTrace(trace);
     pending.promise.set_value(
         Status::DeadlineExceeded("request deadline already expired"));
+    return future;
+  }
+  if (role() == ReplicationRole::kFollower) {
+    // A policy decision, not an error, mirroring degraded mode: replicas
+    // serve reads; the primary owns the write path until Promote().
+    stats.Add(Ticker::kDegradedRejects);
+    FinishTrace(trace);
+    pending.promise.set_value(ReplicaRejection());
     return future;
   }
   if (read_only()) {
@@ -222,6 +267,14 @@ void EditService::Stop() {
   // The scrape handler reads through `this`; take the listener down before
   // anything it samples starts shutting down.
   if (metrics_server_ != nullptr) metrics_server_->Stop();
+  // Replication next, and before the writer joins: a writer blocked in a
+  // quorum WaitForAcks is released by the server's stop, and a follower
+  // tail apply must finish before the exclusive-lock world shuts down.
+  {
+    std::lock_guard<std::mutex> lock(repl_mutex_);
+    if (follower_ != nullptr) follower_->Stop();
+    if (repl_server_ != nullptr) repl_server_->Stop();
+  }
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (stopping_) {
@@ -342,6 +395,217 @@ Status EditService::CheckpointNow() {
   return WithExclusive([this](OneEditSystem& system) {
     return durability_->Checkpoint(system, &system.statistics());
   });
+}
+
+void EditService::StartReplication() {
+  std::lock_guard<std::mutex> lock(repl_mutex_);
+  switch (role()) {
+    case ReplicationRole::kStandalone:
+      return;
+    case ReplicationRole::kPrimary: {
+      replication::ReplicationServerOptions server_options;
+      server_options.port = options_.replication.listen_port;
+      StatusOr<std::unique_ptr<replication::ReplicationServer>> server =
+          replication::ReplicationServer::Start(
+              durability_, &system_->statistics(), server_options);
+      if (!server.ok()) {
+        // Serving writes matters more than forming the group; followers
+        // will fail to connect and retry, which is visible and recoverable.
+        ONEEDIT_LOG(Warning) << "replication listener failed to start: "
+                             << server.status().ToString();
+        return;
+      }
+      repl_server_ = std::move(*server);
+      ONEEDIT_LOG(Info) << "replication listener on 127.0.0.1:"
+                        << repl_server_->port();
+      return;
+    }
+    case ReplicationRole::kFollower: {
+      replication::FollowerOptions follower_options;
+      follower_options.primary_port = options_.replication.primary_port;
+      follower_options.poll_interval = options_.replication.poll_interval;
+      replication::FollowerHooks hooks;
+      hooks.apply_batch = [this](const replication::ShippedBatch& batch) {
+        return ApplyReplicatedBatch(batch);
+      };
+      hooks.install_snapshot = [this](uint64_t checkpoint_sequence,
+                                      const std::string& bytes) {
+        return InstallReplicatedSnapshot(checkpoint_sequence, bytes);
+      };
+      hooks.applied_sequence = [this] { return applied_sequence(); };
+      follower_ = replication::Follower::Start(
+          follower_options, std::move(hooks), &system_->statistics());
+      return;
+    }
+  }
+}
+
+Status EditService::ApplyReplicatedBatch(
+    const replication::ShippedBatch& batch) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<durability::EditWalRecord> records;
+  std::string_view rest(batch.frames);
+  while (!rest.empty()) {
+    durability::EditWalRecord record;
+    size_t frame_bytes = 0;
+    if (durability::EditWal::DecodeFrame(rest, &record, &frame_bytes) !=
+        durability::EditWal::FrameResult::kRecord) {
+      return Status::Corruption(
+          "shipped batch contains an undecodable frame at relative offset " +
+          std::to_string(batch.frames.size() - rest.size()));
+    }
+    records.push_back(std::move(record));
+    rest.remove_prefix(frame_bytes);
+  }
+  if (records.empty()) {
+    return Status::InvalidArgument("shipped batch carries no records");
+  }
+  if (records.front().sequence != applied_sequence_.load() + 1) {
+    return Status::Corruption(
+        "shipped batch starts at sequence " +
+        std::to_string(records.front().sequence) + " but this replica has "
+        "applied through " + std::to_string(applied_sequence_.load()));
+  }
+
+  Statistics& stats = system_->statistics();
+  // Same discipline as the primary's writer: journal + fsync the shipped
+  // frames BEFORE applying, so the sequence this replica acks is always
+  // recoverable — and byte-identical to the primary's log.
+  ONEEDIT_RETURN_IF_ERROR(durability_->AppendReplicated(
+      batch.frames, batch.last_sequence, records.size(), &stats));
+
+  std::vector<EditRequest> requests;
+  requests.reserve(records.size());
+  for (const durability::EditWalRecord& record : records) {
+    // Verdict records carry no edit. Their condemned batch re-validates
+    // below to the same verdict (validation is deterministic in the batch's
+    // first sequence), so the verdict itself is journal-only here.
+    if (!record.quarantine) requests.push_back(record.request);
+  }
+  if (!requests.empty()) {
+    std::unique_lock<std::mutex> gate(writer_gate_);
+    std::unique_lock<std::shared_mutex> write_lock(rw_mutex_);
+    gate.unlock();
+    if (options_.self_heal.validate_after_apply) {
+      SelfHealer healer(system_.get(), options_.self_heal);
+      (void)healer.ApplyValidated(requests, batch.first_sequence);
+    } else {
+      (void)system_->EditBatch(requests);
+    }
+  }
+  applied_sequence_.store(batch.last_sequence, std::memory_order_release);
+  stats.Record(Histogram::kReplApplyMicros,
+               static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count()));
+  return Status::OK();
+}
+
+Status EditService::InstallReplicatedSnapshot(uint64_t checkpoint_sequence,
+                                              const std::string& bytes) {
+  std::unique_lock<std::mutex> gate(writer_gate_);
+  std::unique_lock<std::shared_mutex> write_lock(rw_mutex_);
+  gate.unlock();
+  ONEEDIT_ASSIGN_OR_RETURN(
+      const uint64_t installed,
+      durability_->InstallSnapshotBytes(bytes, system_.get(),
+                                        &system_->statistics()));
+  if (installed != checkpoint_sequence) {
+    // The primary checkpointed between deciding to ship and reading the
+    // file; the bytes are newer than advertised, which is fine — trust
+    // what was actually installed.
+    ONEEDIT_LOG(Info) << "installed snapshot at sequence " << installed
+                      << " (advertised " << checkpoint_sequence << ")";
+  }
+  applied_sequence_.store(installed, std::memory_order_release);
+  return Status::OK();
+}
+
+StatusOr<Decode> EditService::AskAtLeast(const std::string& subject,
+                                         const std::string& relation,
+                                         uint64_t min_sequence) const {
+  const uint64_t applied = applied_sequence();
+  if (applied < min_sequence) {
+    system_->statistics().Add(Ticker::kReplStaleReads);
+    return Status::Unavailable(
+        "replica has applied through sequence " + std::to_string(applied) +
+        " but the read requires " + std::to_string(min_sequence));
+  }
+  return Ask(subject, relation);
+}
+
+Status EditService::Promote() {
+  if (role() != ReplicationRole::kFollower) {
+    return Status::FailedPrecondition(
+        "only a follower can be promoted (role is " +
+        ReplicationRoleName(role()) + ")");
+  }
+  // 1. Stop tailing: joins the tail thread, so no shipped batch is
+  //    mid-journal or mid-apply past this point.
+  {
+    std::lock_guard<std::mutex> lock(repl_mutex_);
+    if (follower_ != nullptr) follower_->Stop();
+  }
+  // 2. Seal the WAL: publish a checkpoint under the exclusive lock. The
+  //    replica's last applied state becomes its own durable authority, and
+  //    the log rotates clean for the writes this new primary will journal.
+  const Status sealed = WithExclusive([this](OneEditSystem& system) {
+    return durability_->Checkpoint(system, &system.statistics());
+  });
+  if (!sealed.ok()) {
+    return Status::Internal("promotion failed to seal the WAL: " +
+                            sealed.ToString());
+  }
+  // 3. Accept writes.
+  role_.store(ReplicationRole::kPrimary, std::memory_order_release);
+  ONEEDIT_LOG(Warning) << "promoted to primary at sequence "
+                       << applied_sequence();
+  // 4. Let surviving followers re-attach (best-effort).
+  StartReplication();
+  return Status::OK();
+}
+
+const replication::ReplicationServer* EditService::replication_server()
+    const {
+  std::lock_guard<std::mutex> lock(repl_mutex_);
+  return repl_server_.get();
+}
+
+const replication::Follower* EditService::follower() const {
+  std::lock_guard<std::mutex> lock(repl_mutex_);
+  return follower_.get();
+}
+
+size_t EditService::followers_connected() const {
+  std::lock_guard<std::mutex> lock(repl_mutex_);
+  return repl_server_ != nullptr ? repl_server_->followers_connected() : 0;
+}
+
+uint64_t EditService::min_follower_applied() const {
+  std::lock_guard<std::mutex> lock(repl_mutex_);
+  return repl_server_ != nullptr ? repl_server_->min_follower_applied() : 0;
+}
+
+uint64_t EditService::replication_lag_records() const {
+  std::lock_guard<std::mutex> lock(repl_mutex_);
+  return follower_ != nullptr ? follower_->lag_records() : 0;
+}
+
+uint64_t EditService::replication_lag_batches() const {
+  std::lock_guard<std::mutex> lock(repl_mutex_);
+  return follower_ != nullptr ? follower_->lag_batches() : 0;
+}
+
+double EditService::replication_lag_seconds() const {
+  std::lock_guard<std::mutex> lock(repl_mutex_);
+  return follower_ != nullptr ? follower_->lag_seconds() : 0.0;
+}
+
+replication::FollowerState EditService::follower_state() const {
+  std::lock_guard<std::mutex> lock(repl_mutex_);
+  return follower_ != nullptr ? follower_->state()
+                              : replication::FollowerState::kStopped;
 }
 
 void EditService::RejectDegraded(std::vector<Pending>* batch) {
@@ -549,6 +813,37 @@ void EditService::WriterLoop() {
         }
       }
     }
+    if (results_valid) {
+      // The batch (and any quarantine verdicts) is applied and durable;
+      // this instance now serves through the new commit point.
+      applied_sequence_.store(durability_ != nullptr
+                                  ? durability_->committed_sequence()
+                                  : nodur_seed_,
+                              std::memory_order_release);
+    }
+    if (results_valid && options_.replication.ack_replicas > 0) {
+      // Quorum ack: hold the client promises until enough followers have
+      // journaled + applied this batch, so an acknowledged edit survives
+      // primary loss. The exclusive lock is already released — followers
+      // replicate from the on-disk WAL, and readers proceed meanwhile.
+      replication::ReplicationServer* server = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(repl_mutex_);
+        server = repl_server_.get();
+      }
+      if (server != nullptr &&
+          !server->WaitForAcks(applied_sequence_.load(),
+                               options_.replication.ack_replicas,
+                               options_.replication.ack_timeout)) {
+        stats.Add(Ticker::kReplAckTimeouts);
+        ONEEDIT_LOG(Warning)
+            << "replication ack quorum (" << options_.replication.ack_replicas
+            << " replicas) not reached within "
+            << options_.replication.ack_timeout.count()
+            << "ms for sequence " << applied_sequence_.load()
+            << "; acknowledging on local durability alone";
+      }
+    }
     if (degraded && !results_valid) {
       stats.Add(Ticker::kDegradedRejects, batch.size());
       for (const Pending& pending : batch) {
@@ -669,6 +964,68 @@ void EditService::ExportMetrics(obs::MetricsRegistry* registry) {
         });
   }
 
+  // Replication surface (docs/replication.md): role and lag are exported
+  // unconditionally — a standalone service reports role{standalone}=1 and
+  // zero lag, so dashboards and the CI scrape can assert the section exists
+  // regardless of topology.
+  registry->AddLabeledGauge(
+      "replication_role", "One-hot replication role of this instance",
+      [this] {
+        const ReplicationRole now = role();
+        std::vector<std::pair<obs::MetricLabel, double>> roles;
+        for (ReplicationRole candidate :
+             {ReplicationRole::kStandalone, ReplicationRole::kPrimary,
+              ReplicationRole::kFollower}) {
+          roles.push_back({obs::MetricLabel{"role",
+                                            ReplicationRoleName(candidate)},
+                           candidate == now ? 1.0 : 0.0});
+        }
+        return roles;
+      });
+  registry->AddGauge(
+      "replication_applied_sequence",
+      "Highest WAL sequence whose effects this instance serves",
+      [this] { return static_cast<double>(applied_sequence()); });
+  registry->AddGauge(
+      "replication_lag_records",
+      "Records committed on the primary but not yet applied here",
+      [this] { return static_cast<double>(replication_lag_records()); });
+  registry->AddGauge(
+      "replication_lag_batches",
+      "Shipped or known-pending batches not yet applied (0 = caught up)",
+      [this] { return static_cast<double>(replication_lag_batches()); });
+  registry->AddGauge(
+      "replication_lag_seconds",
+      "Age of the oldest known-committed-but-unapplied sequence",
+      [this] { return replication_lag_seconds(); });
+  registry->AddGauge(
+      "replication_followers_connected",
+      "Followers currently attached to this primary's shipping endpoint",
+      [this] { return static_cast<double>(followers_connected()); });
+  registry->AddGauge(
+      "replication_min_follower_applied",
+      "Lowest acked sequence across connected followers (0 = none)",
+      [this] { return static_cast<double>(min_follower_applied()); });
+  registry->AddLabeledGauge(
+      "replication_follower_state",
+      "One-hot follower tail-loop state (followers only; stopped otherwise)",
+      [this] {
+        const replication::FollowerState now = follower_state();
+        std::vector<std::pair<obs::MetricLabel, double>> states;
+        for (replication::FollowerState candidate :
+             {replication::FollowerState::kConnecting,
+              replication::FollowerState::kInstallingSnapshot,
+              replication::FollowerState::kTailing,
+              replication::FollowerState::kCaughtUp,
+              replication::FollowerState::kStopped}) {
+          states.push_back(
+              {obs::MetricLabel{"state",
+                                replication::FollowerStateName(candidate)},
+               candidate == now ? 1.0 : 0.0});
+        }
+        return states;
+      });
+
   registry->AddInfo("health_transitions", [this] {
     std::string json = "[";
     bool first = true;
@@ -723,6 +1080,26 @@ obs::MetricsServer::Response EditService::ServeHttp(const std::string& path) {
     response.status = now == ServiceHealth::kHealthy ? 200 : 503;
     response.content_type = "text/plain; charset=utf-8";
     response.body = ServiceHealthName(now) + "\n";
+    response.body += "role: " + ReplicationRoleName(role()) + "\n";
+    switch (role()) {
+      case ReplicationRole::kStandalone:
+        break;
+      case ReplicationRole::kPrimary:
+        response.body +=
+            "replication: followers=" +
+            std::to_string(followers_connected()) +
+            " min_acked=" + std::to_string(min_follower_applied()) +
+            " applied=" + std::to_string(applied_sequence()) + "\n";
+        break;
+      case ReplicationRole::kFollower:
+        response.body +=
+            "replication: state=" +
+            replication::FollowerStateName(follower_state()) +
+            " lag_records=" + std::to_string(replication_lag_records()) +
+            " lag_batches=" + std::to_string(replication_lag_batches()) +
+            " applied=" + std::to_string(applied_sequence()) + "\n";
+        break;
+    }
     return response;
   }
   if (path.rfind("/traces", 0) == 0) {

@@ -18,6 +18,8 @@
 #include "obs/metrics_registry.h"
 #include "obs/metrics_server.h"
 #include "obs/trace.h"
+#include "replication/follower.h"
+#include "replication/server.h"
 #include "serving/self_healing.h"
 
 namespace oneedit {
@@ -40,6 +42,42 @@ enum class ServiceHealth {
 };
 
 std::string ServiceHealthName(ServiceHealth health);
+
+/// What this service instance is in a replication group
+/// (docs/replication.md). A follower rejects writes (kRejected policy
+/// results, like degraded mode) and tails the primary's WAL; Promote()
+/// turns a follower into a primary at failover.
+enum class ReplicationRole {
+  kStandalone,  ///< no replication (the default; behavior unchanged)
+  kPrimary,     ///< accepts writes, ships its WAL to followers
+  kFollower,    ///< read replica: applies shipped batches, rejects writes
+};
+
+std::string ReplicationRoleName(ReplicationRole role);
+
+/// Replication knobs carried inside EditServiceOptions. Roles other than
+/// kStandalone require a durability manager (the WAL is the thing being
+/// shipped); without one the service logs an error and stays standalone.
+struct ReplicationOptions {
+  ReplicationRole role = ReplicationRole::kStandalone;
+  /// Primary: loopback port for the replication listener (0 = ephemeral,
+  /// read back via replication_server()->port()). Also used by a promoted
+  /// follower when it starts its own listener.
+  uint16_t listen_port = 0;
+  /// Follower: the primary's replication port.
+  uint16_t primary_port = 0;
+  /// Follower: idle poll cadence (behind, it polls continuously).
+  std::chrono::milliseconds poll_interval{20};
+  /// Primary: followers that must ack (journal + apply) a batch before its
+  /// client promises resolve — 0 acknowledges on local durability alone.
+  /// With N >= 1, an acknowledged edit survives primary loss as long as
+  /// one acked follower is promoted.
+  size_t ack_replicas = 0;
+  /// Primary: how long to wait for the ack quorum before acknowledging
+  /// anyway (with a warning + kReplAckTimeouts tick). Generous by default:
+  /// an unreachable follower should degrade ack latency, not availability.
+  std::chrono::milliseconds ack_timeout{30000};
+};
 
 /// One health-state change, recorded (and logged) exactly once per
 /// transition.
@@ -90,6 +128,8 @@ struct EditServiceOptions {
   /// Port for the metrics listener; 0 picks an ephemeral port (read it back
   /// via metrics_server()->port()).
   uint16_t metrics_port = 0;
+  /// Replication role and wiring (docs/replication.md).
+  ReplicationOptions replication;
 };
 
 /// EditService: the concurrent serving layer over OneEditSystem.
@@ -215,6 +255,53 @@ class EditService {
   /// batch is mid-application). FailedPrecondition without a manager.
   Status CheckpointNow();
 
+  // --- Replication surface ---------------------------------------------------
+
+  ReplicationRole role() const {
+    return role_.load(std::memory_order_acquire);
+  }
+
+  /// Highest WAL sequence whose effects this instance serves: the commit
+  /// point on a primary, the last applied shipped batch on a follower.
+  uint64_t applied_sequence() const {
+    return applied_sequence_.load(std::memory_order_acquire);
+  }
+
+  /// Bounded-staleness read: answers only if this instance has applied at
+  /// least `min_sequence` (a primary's applied_sequence() token, so a
+  /// client can read-its-writes on a replica). Unavailable — and a
+  /// kReplStaleReads tick — when the replica is still behind the token.
+  StatusOr<Decode> AskAtLeast(const std::string& subject,
+                              const std::string& relation,
+                              uint64_t min_sequence) const;
+
+  /// Failover: turns this follower into a primary. Stops the tail loop
+  /// (joining any in-flight apply), seals the local WAL by publishing a
+  /// checkpoint under the exclusive lock — the recovered commit point is
+  /// now this instance's own durable authority — flips the role so Submit
+  /// accepts writes, and starts a replication listener on
+  /// options.replication.listen_port so surviving followers can re-attach.
+  /// FailedPrecondition unless currently a follower. A listener bind
+  /// failure logs a warning but does not fail the promotion: accepting
+  /// writes again matters more than re-forming the group.
+  Status Promote();
+
+  /// The primary-side shipping endpoint (null unless primary/promoted).
+  const replication::ReplicationServer* replication_server() const;
+
+  /// The follower-side tailer (null unless role is follower; survives
+  /// Promote in its stopped state).
+  const replication::Follower* follower() const;
+
+  /// Replication scrape helpers (thread-safe; 0 / empty-state when the
+  /// corresponding role surface is absent).
+  size_t followers_connected() const;
+  uint64_t min_follower_applied() const;
+  uint64_t replication_lag_records() const;
+  uint64_t replication_lag_batches() const;
+  double replication_lag_seconds() const;
+  replication::FollowerState follower_state() const;
+
   // --- Observability surface -------------------------------------------------
 
   /// Registers this service's full export surface on `registry`: every
@@ -288,6 +375,20 @@ class EditService {
   /// not error statuses: the service made a policy decision, not an error).
   void RejectDegraded(std::vector<Pending>* batch);
 
+  /// Starts the role-appropriate replication endpoint (constructor, after
+  /// recovery; also Promote for the primary side).
+  void StartReplication();
+
+  /// Follower hook: journals one shipped batch's raw frames (BEFORE apply,
+  /// like the primary's writer), applies its edit records through the same
+  /// validated path recovery uses, and advances applied_sequence().
+  Status ApplyReplicatedBatch(const replication::ShippedBatch& batch);
+
+  /// Follower hook: installs a shipped checkpoint image under the
+  /// exclusive lock and jumps applied_sequence() to its sequence.
+  Status InstallReplicatedSnapshot(uint64_t checkpoint_sequence,
+                                   const std::string& bytes);
+
   std::unique_ptr<OneEditSystem> system_;
   EditServiceOptions options_;
   durability::DurabilityManager* durability_ = nullptr;
@@ -329,6 +430,15 @@ class EditService {
   /// capture `this`, so the server is stopped first in Stop().
   std::unique_ptr<obs::MetricsRegistry> registry_;
   std::unique_ptr<obs::MetricsServer> metrics_server_;
+
+  /// Replication (docs/replication.md). repl_mutex_ guards the two
+  /// pointers' lifecycle (Promote swaps them while the scrape thread
+  /// samples); role_ and applied_sequence_ are lock-free.
+  std::atomic<ReplicationRole> role_{ReplicationRole::kStandalone};
+  std::atomic<uint64_t> applied_sequence_{0};
+  mutable std::mutex repl_mutex_;
+  std::unique_ptr<replication::ReplicationServer> repl_server_;
+  std::unique_ptr<replication::Follower> follower_;
 };
 
 }  // namespace serving

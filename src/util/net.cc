@@ -1,0 +1,117 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace oneedit {
+namespace net {
+
+StatusOr<Listener> ListenLoopback(uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  const int reuse = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, by design
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("bind(127.0.0.1:" + std::to_string(port) +
+                               ") failed: " + error);
+  }
+  if (::listen(fd, backlog) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen() failed: " + error);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("getsockname() failed: " + error);
+  }
+  Listener listener;
+  listener.fd = fd;
+  listener.port = ntohs(bound.sin_port);
+  return listener;
+}
+
+StatusOr<int> ConnectLoopback(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("connect(127.0.0.1:" + std::to_string(port) +
+                               ") failed: " + error);
+  }
+  return fd;
+}
+
+void SetIoTimeouts(int fd, int seconds) {
+  timeval io_timeout{};
+  io_timeout.tv_sec = seconds;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &io_timeout,
+                     sizeof(io_timeout));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &io_timeout,
+                     sizeof(io_timeout));
+}
+
+Status SendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IoError(std::string("send failed: ") +
+                             (n == 0 ? "peer gone" : std::strerror(errno)));
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, size_t size, std::string* out) {
+  out->clear();
+  out->reserve(size);
+  char buf[16384];
+  while (out->size() < size) {
+    const size_t want = std::min(size - out->size(), sizeof(buf));
+    const ssize_t n = ::recv(fd, buf, want, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv failed: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      if (out->empty()) return Status::Unavailable("connection closed");
+      return Status::IoError("connection closed mid-message (" +
+                             std::to_string(out->size()) + " of " +
+                             std::to_string(size) + " bytes)");
+    }
+    out->append(buf, static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace oneedit

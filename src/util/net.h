@@ -1,0 +1,47 @@
+#ifndef ONEEDIT_UTIL_NET_H_
+#define ONEEDIT_UTIL_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+namespace net {
+
+/// A bound, listening loopback socket plus the port it actually landed on
+/// (passing port 0 picks an ephemeral one).
+struct Listener {
+  int fd = -1;
+  uint16_t port = 0;
+};
+
+/// Binds 127.0.0.1:`port` (SO_REUSEADDR), listens with `backlog`, and reads
+/// the bound port back via getsockname — the ephemeral-port pattern every
+/// loopback sidecar here uses. The caller owns the returned fd.
+StatusOr<Listener> ListenLoopback(uint16_t port, int backlog = 16);
+
+/// Connects to 127.0.0.1:`port`. Blocking; the caller owns the returned fd
+/// and should usually follow up with SetIoTimeouts.
+StatusOr<int> ConnectLoopback(uint16_t port);
+
+/// Bounds both directions of `fd` with SO_RCVTIMEO/SO_SNDTIMEO so a silent
+/// or stalled peer can never wedge a blocking handler thread.
+void SetIoTimeouts(int fd, int seconds);
+
+/// Sends all of `data`, looping over short writes, with MSG_NOSIGNAL so a
+/// peer that disconnects mid-send surfaces as EPIPE instead of raising
+/// SIGPIPE and killing the process. Fails on timeout or disconnect.
+Status SendAll(int fd, std::string_view data);
+
+/// Receives exactly `size` bytes into `out` (resized), looping over short
+/// reads. A clean EOF before any byte arrives is reported as Unavailable
+/// ("connection closed"); a timeout or mid-message EOF is an IoError.
+Status RecvAll(int fd, size_t size, std::string* out);
+
+}  // namespace net
+}  // namespace oneedit
+
+#endif  // ONEEDIT_UTIL_NET_H_

@@ -237,6 +237,151 @@ TEST(EditWalTest, ResetRecoversAfterFailedReopen) {
   std::remove(path.c_str());
 }
 
+// ----------------------------------------------------------------- cursor ----
+
+TEST(EditWalCursorTest, TailsLiveWriterAcrossTornTail) {
+  const std::string dir = TempDirFor("oneedit_ewal_cursor_tail");
+  ASSERT_TRUE(Env::Default()->CreateDir(dir).ok());
+  const std::string path = dir + "/edits.wal";
+  std::remove(path.c_str());
+
+  // A cursor opened before the writer reads an empty log, not an error.
+  EditWal::Cursor cursor(path, 1);
+  EditWalRecord record;
+  auto poll = cursor.Next(&record);
+  ASSERT_TRUE(poll.ok()) << poll.status().ToString();
+  EXPECT_EQ(*poll, EditWal::Cursor::Poll::kEndOfLog);
+
+  EditWal wal;
+  ASSERT_TRUE(wal.Open(path).ok());
+  ASSERT_TRUE(wal.Append(MakeRecord(1, true, "USA", "Trump")).ok());
+  ASSERT_TRUE(wal.Append(MakeRecord(2, false, "France", "Macron")).ok());
+  ASSERT_TRUE(wal.Sync().ok());
+
+  for (uint64_t want : {1u, 2u}) {
+    poll = cursor.Next(&record);
+    ASSERT_TRUE(poll.ok()) << poll.status().ToString();
+    ASSERT_EQ(*poll, EditWal::Cursor::Poll::kRecord);
+    EXPECT_EQ(record.sequence, want);
+  }
+  poll = cursor.Next(&record);
+  ASSERT_TRUE(poll.ok());
+  EXPECT_EQ(*poll, EditWal::Cursor::Poll::kEndOfLog);
+
+  // A half-written frame at the tail (a concurrent appender mid-write, or
+  // a crash) reads as end-of-log — never as corruption...
+  const std::string frame =
+      EditWal::Encode(MakeRecord(3, true, "Germany", "Merkel"));
+  ASSERT_TRUE(wal.AppendRaw(
+                     std::string_view(frame).substr(0, frame.size() / 2))
+                  .ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  poll = cursor.Next(&record);
+  ASSERT_TRUE(poll.ok()) << poll.status().ToString();
+  EXPECT_EQ(*poll, EditWal::Cursor::Poll::kEndOfLog);
+
+  // ...and once the appender finishes the frame, the cursor decodes it
+  // from where it left off.
+  ASSERT_TRUE(
+      wal.AppendRaw(std::string_view(frame).substr(frame.size() / 2)).ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  poll = cursor.Next(&record);
+  ASSERT_TRUE(poll.ok()) << poll.status().ToString();
+  ASSERT_EQ(*poll, EditWal::Cursor::Poll::kRecord);
+  EXPECT_EQ(record.sequence, 3u);
+  EXPECT_EQ(record.request.triple.subject, "Germany");
+  std::remove(path.c_str());
+}
+
+TEST(EditWalCursorTest, StartSequenceSkipsEarlierRecords) {
+  const std::string dir = TempDirFor("oneedit_ewal_cursor_skip");
+  ASSERT_TRUE(Env::Default()->CreateDir(dir).ok());
+  const std::string path = dir + "/edits.wal";
+  std::remove(path.c_str());
+  EditWal wal;
+  ASSERT_TRUE(wal.Open(path).ok());
+  for (uint64_t seq = 1; seq <= 4; ++seq) {
+    ASSERT_TRUE(wal.Append(MakeRecord(seq, true, "USA", "Trump")).ok());
+  }
+  ASSERT_TRUE(wal.Sync().ok());
+
+  EditWal::Cursor cursor(path, 3);
+  EditWalRecord record;
+  std::vector<uint64_t> sequences;
+  while (true) {
+    const auto poll = cursor.Next(&record);
+    ASSERT_TRUE(poll.ok()) << poll.status().ToString();
+    if (*poll != EditWal::Cursor::Poll::kRecord) break;
+    sequences.push_back(record.sequence);
+  }
+  EXPECT_EQ(sequences, (std::vector<uint64_t>{3, 4}));
+  std::remove(path.c_str());
+}
+
+TEST(EditWalCursorTest, ReportsRotationMidStream) {
+  const std::string dir = TempDirFor("oneedit_ewal_cursor_rotate");
+  ASSERT_TRUE(Env::Default()->CreateDir(dir).ok());
+  const std::string path = dir + "/edits.wal";
+  std::remove(path.c_str());
+  EditWal wal;
+  ASSERT_TRUE(wal.Open(path).ok());
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    ASSERT_TRUE(wal.Append(MakeRecord(seq, true, "USA", "Trump")).ok());
+  }
+  ASSERT_TRUE(wal.Sync().ok());
+
+  EditWal::Cursor cursor(path, 1);
+  EditWalRecord record;
+  auto poll = cursor.Next(&record);
+  ASSERT_TRUE(poll.ok());
+  ASSERT_EQ(*poll, EditWal::Cursor::Poll::kRecord);
+  EXPECT_EQ(record.sequence, 1u);
+
+  // The writer checkpoints and rotates: the file shrinks under the cursor.
+  ASSERT_TRUE(wal.Reset().ok());
+  ASSERT_TRUE(wal.Append(MakeRecord(4, true, "France", "Macron")).ok());
+  ASSERT_TRUE(wal.Sync().ok());
+
+  // Records 2 and 3 were committed and already buffered, so they are still
+  // served; the shrink is then reported once so the reader can
+  // resynchronize (the replication server re-decides snapshot-vs-tail),
+  // and reading resumes from the head of the rotated log.
+  bool rotated = false;
+  std::vector<uint64_t> after;
+  for (int i = 0; i < 8; ++i) {
+    poll = cursor.Next(&record);
+    ASSERT_TRUE(poll.ok()) << poll.status().ToString();
+    if (*poll == EditWal::Cursor::Poll::kRotated) {
+      rotated = true;
+      continue;
+    }
+    if (*poll == EditWal::Cursor::Poll::kEndOfLog) break;
+    after.push_back(record.sequence);
+  }
+  EXPECT_TRUE(rotated);
+  EXPECT_EQ(after, (std::vector<uint64_t>{2, 3, 4}));
+  std::remove(path.c_str());
+}
+
+TEST(EditWalCursorTest, CorruptionBeforeTailIsAnError) {
+  const std::string dir = TempDirFor("oneedit_ewal_cursor_corrupt");
+  ASSERT_TRUE(Env::Default()->CreateDir(dir).ok());
+  const std::string path = dir + "/edits.wal";
+  std::remove(path.c_str());
+  std::string first = EditWal::Encode(MakeRecord(1, true, "USA", "Trump"));
+  const std::string second =
+      EditWal::Encode(MakeRecord(2, true, "France", "Macron"));
+  first[first.size() - 1] ^= 0x01;  // flip a payload bit in a NON-final frame
+  WriteFile(path, first + second);
+
+  EditWal::Cursor cursor(path, 1);
+  EditWalRecord record;
+  const auto poll = cursor.Next(&record);
+  ASSERT_FALSE(poll.ok());
+  EXPECT_EQ(poll.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
 // ------------------------------------------------------------ test worlds ----
 
 DatasetOptions TinyOptions() {

@@ -1,0 +1,405 @@
+// Tests for the replication subsystem (docs/replication.md): the CRC-guarded
+// wire protocol, WAL shipping from a primary to tailing followers, full
+// checkpoint-snapshot install for an empty replica catching up under live
+// writes, bounded-staleness reads, quorum acknowledgement, and follower
+// promotion at failover.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "durability/env.h"
+#include "durability/manager.h"
+#include "replication/follower.h"
+#include "replication/server.h"
+#include "replication/wire.h"
+#include "serving/edit_service.h"
+
+namespace oneedit {
+namespace {
+
+using durability::DurabilityManager;
+using durability::DurabilityOptions;
+using durability::Env;
+using replication::BatchesReply;
+using replication::DecodeMessage;
+using replication::FollowerState;
+using replication::HeartbeatReply;
+using replication::Message;
+using replication::MessageType;
+using replication::PollRequest;
+using replication::ShippedBatch;
+using replication::SnapshotReply;
+using serving::EditService;
+using serving::EditServiceOptions;
+using serving::ReplicationRole;
+
+std::string TempDirFor(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::remove((dir + "/edits.wal").c_str());
+  std::remove((dir + "/checkpoint.oedc").c_str());
+  std::remove((dir + "/checkpoint.oedc.tmp").c_str());
+  return dir;
+}
+
+/// Spins until `done()` or the deadline; replication progress is
+/// asynchronous (tail thread + writer thread), so tests wait, not sleep.
+bool WaitFor(const std::function<bool()>& done,
+             std::chrono::milliseconds deadline =
+                 std::chrono::milliseconds(15000)) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return done();
+}
+
+// ------------------------------------------------------------------- wire ----
+
+TEST(ReplicationWireTest, PollRoundTrip) {
+  PollRequest poll;
+  poll.from_sequence = 42;
+  poll.applied_sequence = 41;
+  const auto decoded = DecodeMessage(EncodePoll(poll));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->type, MessageType::kPoll);
+  EXPECT_EQ(decoded->poll.from_sequence, 42u);
+  EXPECT_EQ(decoded->poll.applied_sequence, 41u);
+}
+
+TEST(ReplicationWireTest, BatchesRoundTrip) {
+  BatchesReply reply;
+  reply.committed_sequence = 9;
+  ShippedBatch a;
+  a.first_sequence = 3;
+  a.last_sequence = 5;
+  a.records = 3;
+  a.frames = std::string("\x00raw\x7f frames", 11);
+  ShippedBatch b;
+  b.first_sequence = 6;
+  b.last_sequence = 6;
+  b.records = 1;
+  b.frames = "x";
+  reply.batches = {a, b};
+  const auto decoded = DecodeMessage(EncodeBatches(reply));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->type, MessageType::kBatches);
+  EXPECT_EQ(decoded->batches.committed_sequence, 9u);
+  ASSERT_EQ(decoded->batches.batches.size(), 2u);
+  EXPECT_EQ(decoded->batches.batches[0].first_sequence, 3u);
+  EXPECT_EQ(decoded->batches.batches[0].last_sequence, 5u);
+  EXPECT_EQ(decoded->batches.batches[0].records, 3u);
+  EXPECT_EQ(decoded->batches.batches[0].frames, a.frames);
+  EXPECT_EQ(decoded->batches.batches[1].frames, "x");
+}
+
+TEST(ReplicationWireTest, SnapshotAndHeartbeatRoundTrip) {
+  SnapshotReply snap;
+  snap.checkpoint_sequence = 128;
+  snap.bytes = std::string(1024, '\xab');
+  const auto s = DecodeMessage(EncodeSnapshot(snap));
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->type, MessageType::kSnapshot);
+  EXPECT_EQ(s->snapshot.checkpoint_sequence, 128u);
+  EXPECT_EQ(s->snapshot.bytes, snap.bytes);
+
+  HeartbeatReply hb;
+  hb.committed_sequence = 77;
+  const auto h = DecodeMessage(EncodeHeartbeat(hb));
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(h->type, MessageType::kHeartbeat);
+  EXPECT_EQ(h->heartbeat.committed_sequence, 77u);
+}
+
+TEST(ReplicationWireTest, RejectsBitFlipAndTruncation) {
+  PollRequest poll;
+  poll.from_sequence = 7;
+  std::string frame = EncodePoll(poll);
+  std::string flipped = frame;
+  flipped[frame.size() - 1] ^= 0x01;  // payload bit flip -> CRC mismatch
+  EXPECT_EQ(DecodeMessage(flipped).status().code(), StatusCode::kCorruption);
+  EXPECT_FALSE(DecodeMessage(frame.substr(0, frame.size() - 2)).ok());
+  EXPECT_FALSE(DecodeMessage(frame + "trailing").ok());
+}
+
+// ---------------------------------------------------------- service worlds ----
+
+DatasetOptions TinyOptions() {
+  DatasetOptions options;
+  options.num_cases = 12;
+  return options;
+}
+
+OneEditConfig GraceConfig() {
+  OneEditConfig config;
+  config.method = EditingMethodKind::kGrace;
+  config.interpreter.extraction_error_rate = 0.0;
+  return config;
+}
+
+/// One replication-group member: its own durability directory, its own
+/// deterministic pre-edit world (same dataset options everywhere, exactly
+/// what a fleet booted from the same base image looks like), and an
+/// EditService wired into the group via ReplicationOptions.
+struct Node {
+  Node(const std::string& dir_name, ReplicationRole role,
+       uint16_t primary_port = 0, size_t ack_replicas = 0,
+       uint64_t checkpoint_interval = 64)
+      : dir(TempDirFor(dir_name)),
+        dataset(BuildAmericanPoliticians(TinyOptions())),
+        model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                              dataset.vocab)) {
+    model->Pretrain(dataset.pretrain_facts);
+    DurabilityOptions dopts;
+    dopts.dir = dir;
+    dopts.checkpoint_interval = checkpoint_interval;
+    auto mgr = DurabilityManager::Open(dopts);
+    EXPECT_TRUE(mgr.ok());
+    durability = std::move(mgr).value();
+
+    EditServiceOptions options;
+    options.durability = durability.get();
+    options.replication.role = role;
+    options.replication.primary_port = primary_port;
+    options.replication.ack_replicas = ack_replicas;
+    options.replication.poll_interval = std::chrono::milliseconds(5);
+    auto created =
+        EditService::Create(&dataset.kg, model.get(), GraceConfig(), options);
+    EXPECT_TRUE(created.ok());
+    service = std::move(created).value();
+  }
+
+  uint16_t replication_port() const {
+    const auto* server = service->replication_server();
+    return server == nullptr ? 0 : server->port();
+  }
+
+  std::string dir;
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+  std::unique_ptr<DurabilityManager> durability;
+  std::unique_ptr<EditService> service;
+};
+
+// ----------------------------------------------------- shipping + reading ----
+
+TEST(ReplicationTest, FollowerConvergesAndServesPrimaryAnswers) {
+  Node primary("oneedit_repl_ship_p", ReplicationRole::kPrimary);
+  ASSERT_NE(primary.replication_port(), 0);
+  Node follower("oneedit_repl_ship_f", ReplicationRole::kFollower,
+                primary.replication_port());
+
+  std::vector<EditCase> cases(primary.dataset.cases.begin(),
+                              primary.dataset.cases.begin() + 6);
+  for (const EditCase& c : cases) {
+    const auto result =
+        primary.service->SubmitAndWait(EditRequest::Edit(c.edit, "alice"));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(result->applied());
+  }
+  const uint64_t head = primary.service->applied_sequence();
+  ASSERT_GE(head, cases.size());
+
+  ASSERT_TRUE(WaitFor([&] {
+    return follower.service->applied_sequence() >= head;
+  })) << "follower stuck at " << follower.service->applied_sequence();
+
+  // The replica answers Ask with the primary's post-edit state.
+  for (const EditCase& c : cases) {
+    EXPECT_EQ(follower.service->Ask(c.edit.subject, c.edit.relation).entity,
+              primary.service->Ask(c.edit.subject, c.edit.relation).entity)
+        << c.edit.subject;
+    EXPECT_EQ(follower.service->Ask(c.edit.subject, c.edit.relation).entity,
+              c.edit.object);
+  }
+
+  // The follower's journal is byte-identical to the primary's: shipping
+  // re-encodes the same records with the same framing.
+  EXPECT_EQ(follower.durability->committed_sequence(), head);
+
+  // Replicas are read-only: writes come back as policy rejections that
+  // point at the primary, not as errors.
+  const auto rejected = follower.service->SubmitAndWait(
+      EditRequest::Edit(cases[0].edit, "bob"));
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->kind, EditResult::Kind::kRejected);
+
+  ASSERT_TRUE(WaitFor([&] {
+    return follower.service->replication_lag_batches() == 0;
+  }));
+  EXPECT_EQ(follower.service->replication_lag_records(), 0u);
+  EXPECT_EQ(follower.service->follower_state(), FollowerState::kCaughtUp);
+  EXPECT_GT(follower.service->statistics().Get(Ticker::kReplBatchesApplied),
+            0u);
+}
+
+TEST(ReplicationTest, EmptyFollowerInstallsSnapshotAndCatchesUpLive) {
+  // Small checkpoint interval so the WAL rotates and a late-joining
+  // follower's position is no longer coverable by tailing alone.
+  Node primary("oneedit_repl_snap_p", ReplicationRole::kPrimary,
+               /*primary_port=*/0, /*ack_replicas=*/0,
+               /*checkpoint_interval=*/4);
+  ASSERT_NE(primary.replication_port(), 0);
+
+  std::vector<EditCase> cases = primary.dataset.cases;
+  ASSERT_GE(cases.size(), 12u);
+  for (size_t i = 0; i < 6; ++i) {
+    const auto result = primary.service->SubmitAndWait(
+        EditRequest::Edit(cases[i].edit, "alice"));
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->applied());
+  }
+  ASSERT_GT(primary.service->statistics().Get(Ticker::kCheckpoints), 0u);
+
+  // Boot an empty-directory replica while the primary keeps writing: it
+  // must install the shipped checkpoint, then tail the live WAL to lag 0.
+  Node follower("oneedit_repl_snap_f", ReplicationRole::kFollower,
+                primary.replication_port());
+  for (size_t i = 6; i < cases.size(); ++i) {
+    const auto result = primary.service->SubmitAndWait(
+        EditRequest::Edit(cases[i].edit, "alice"));
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->applied());
+  }
+  const uint64_t head = primary.service->applied_sequence();
+
+  ASSERT_TRUE(WaitFor([&] {
+    return follower.service->applied_sequence() >= head &&
+           follower.service->replication_lag_batches() == 0;
+  })) << "follower stuck at " << follower.service->applied_sequence()
+      << " of " << head;
+
+  EXPECT_GT(
+      follower.service->statistics().Get(Ticker::kReplSnapshotsInstalled),
+      0u);
+  for (const EditCase& c : cases) {
+    EXPECT_EQ(follower.service->Ask(c.edit.subject, c.edit.relation).entity,
+              c.edit.object)
+        << c.edit.subject;
+  }
+}
+
+// ------------------------------------------------ staleness + quorum acks ----
+
+TEST(ReplicationTest, AskAtLeastBoundsStaleness) {
+  Node primary("oneedit_repl_stale_p", ReplicationRole::kPrimary);
+  ASSERT_NE(primary.replication_port(), 0);
+  Node follower("oneedit_repl_stale_f", ReplicationRole::kFollower,
+                primary.replication_port());
+
+  const EditCase& c = primary.dataset.cases[0];
+  ASSERT_TRUE(
+      primary.service->SubmitAndWait(EditRequest::Edit(c.edit, "alice")).ok());
+  const uint64_t token = primary.service->applied_sequence();
+
+  // A token from the future is rejected as Unavailable (retry/redirect),
+  // never answered stale.
+  const auto stale =
+      follower.service->AskAtLeast(c.edit.subject, c.edit.relation,
+                                   token + 1000);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kUnavailable);
+  EXPECT_GT(follower.service->statistics().Get(Ticker::kReplStaleReads), 0u);
+
+  // Once the replica reaches the write's token, the read is admitted and
+  // reflects it (read-your-writes via token passing).
+  ASSERT_TRUE(WaitFor([&] {
+    return follower.service->applied_sequence() >= token;
+  }));
+  const auto fresh =
+      follower.service->AskAtLeast(c.edit.subject, c.edit.relation, token);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(fresh->entity, c.edit.object);
+}
+
+TEST(ReplicationTest, QuorumAckWaitsForFollowerApply) {
+  Node primary("oneedit_repl_quorum_p", ReplicationRole::kPrimary,
+               /*primary_port=*/0, /*ack_replicas=*/1);
+  ASSERT_NE(primary.replication_port(), 0);
+  Node follower("oneedit_repl_quorum_f", ReplicationRole::kFollower,
+                primary.replication_port());
+  ASSERT_TRUE(WaitFor([&] {
+    return primary.service->followers_connected() == 1;
+  }));
+
+  // With ack_replicas=1 an acknowledged write has already been journaled
+  // and applied by the follower — min_follower_applied can't be behind.
+  const EditCase& c = primary.dataset.cases[0];
+  const auto result =
+      primary.service->SubmitAndWait(EditRequest::Edit(c.edit, "alice"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->applied());
+  EXPECT_GE(primary.service->min_follower_applied(),
+            primary.service->applied_sequence());
+  EXPECT_GE(follower.service->applied_sequence(),
+            primary.service->applied_sequence());
+  EXPECT_EQ(primary.service->statistics().Get(Ticker::kReplAckTimeouts), 0u);
+}
+
+// --------------------------------------------------------------- failover ----
+
+TEST(ReplicationTest, PromoteTurnsFollowerIntoWritablePrimary) {
+  auto primary = std::make_unique<Node>("oneedit_repl_promo_p",
+                                        ReplicationRole::kPrimary);
+  ASSERT_NE(primary->replication_port(), 0);
+  Node follower("oneedit_repl_promo_f", ReplicationRole::kFollower,
+                primary->replication_port());
+
+  std::vector<EditCase> cases(primary->dataset.cases.begin(),
+                              primary->dataset.cases.begin() + 4);
+  for (const EditCase& c : cases) {
+    ASSERT_TRUE(
+        primary->service->SubmitAndWait(EditRequest::Edit(c.edit, "alice"))
+            .ok());
+  }
+  const uint64_t head = primary->service->applied_sequence();
+  ASSERT_TRUE(WaitFor([&] {
+    return follower.service->applied_sequence() >= head;
+  }));
+
+  // Promoting while still a follower of a live primary is allowed (the
+  // failover driver decides when the primary is dead); here we kill the
+  // primary first, as the real sequence would.
+  primary->service->Stop();
+  primary.reset();
+
+  // A standalone/primary node cannot be promoted.
+  Node standalone("oneedit_repl_promo_s", ReplicationRole::kStandalone);
+  EXPECT_EQ(standalone.service->Promote().code(),
+            StatusCode::kFailedPrecondition);
+
+  const Status promoted = follower.service->Promote();
+  ASSERT_TRUE(promoted.ok()) << promoted.ToString();
+  EXPECT_EQ(follower.service->role(), ReplicationRole::kPrimary);
+  EXPECT_EQ(follower.service->follower_state(), FollowerState::kStopped);
+  // The new primary opened its own replication listener for survivors.
+  EXPECT_NE(follower.replication_port(), 0);
+
+  // Every edit the old primary acknowledged survives the failover...
+  for (const EditCase& c : cases) {
+    EXPECT_EQ(follower.service->Ask(c.edit.subject, c.edit.relation).entity,
+              c.edit.object)
+        << c.edit.subject;
+  }
+  // ...and the promoted node accepts new writes durably.
+  const EditCase& next = follower.dataset.cases[5];
+  const auto write =
+      follower.service->SubmitAndWait(EditRequest::Edit(next.edit, "carol"));
+  ASSERT_TRUE(write.ok()) << write.status().ToString();
+  ASSERT_TRUE(write->applied());
+  EXPECT_EQ(follower.service->Ask(next.edit.subject, next.edit.relation)
+                .entity,
+            next.edit.object);
+  EXPECT_GT(follower.service->applied_sequence(), head);
+}
+
+}  // namespace
+}  // namespace oneedit

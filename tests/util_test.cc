@@ -1,10 +1,15 @@
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
 #include "util/math.h"
+#include "util/net.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -316,6 +321,98 @@ TEST(TablePrinterTest, PadsShortRows) {
   table.AddRow({"only-one"});
   const std::string out = table.ToString();
   EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- net ----
+
+TEST(NetTest, ListenConnectSendRecvRoundTrip) {
+  const auto listener = net::ListenLoopback(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  ASSERT_GT(listener->fd, 0);
+  ASSERT_NE(listener->port, 0);  // port 0 resolved to a real ephemeral port
+
+  std::thread server([fd = listener->fd] {
+    const int conn = accept(fd, nullptr, nullptr);
+    ASSERT_GT(conn, 0);
+    net::SetIoTimeouts(conn, 5);
+    std::string request;
+    ASSERT_TRUE(net::RecvAll(conn, 5, &request).ok());
+    EXPECT_EQ(request, "hello");
+    EXPECT_TRUE(net::SendAll(conn, "world!").ok());
+    close(conn);
+  });
+
+  const auto client = net::ConnectLoopback(listener->port);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  net::SetIoTimeouts(*client, 5);
+  ASSERT_TRUE(net::SendAll(*client, "hello").ok());
+  std::string reply;
+  ASSERT_TRUE(net::RecvAll(*client, 6, &reply).ok());
+  EXPECT_EQ(reply, "world!");
+  server.join();
+  close(*client);
+  close(listener->fd);
+}
+
+TEST(NetTest, RecvAllDistinguishesCleanEofFromMidMessageEof) {
+  const auto listener = net::ListenLoopback(0);
+  ASSERT_TRUE(listener.ok());
+
+  std::thread server([fd = listener->fd] {
+    // First connection: close without sending anything (clean EOF).
+    int conn = accept(fd, nullptr, nullptr);
+    ASSERT_GT(conn, 0);
+    close(conn);
+    // Second connection: send half a message, then close (torn message).
+    conn = accept(fd, nullptr, nullptr);
+    ASSERT_GT(conn, 0);
+    EXPECT_TRUE(net::SendAll(conn, "hal").ok());
+    close(conn);
+  });
+
+  auto client = net::ConnectLoopback(listener->port);
+  ASSERT_TRUE(client.ok());
+  std::string out;
+  Status clean = net::RecvAll(*client, 8, &out);
+  EXPECT_TRUE(clean.IsUnavailable()) << clean.ToString();
+  close(*client);
+
+  client = net::ConnectLoopback(listener->port);
+  ASSERT_TRUE(client.ok());
+  Status torn = net::RecvAll(*client, 8, &out);
+  EXPECT_FALSE(torn.ok());
+  EXPECT_FALSE(torn.IsUnavailable()) << torn.ToString();  // IoError, not EOF
+  close(*client);
+  server.join();
+  close(listener->fd);
+}
+
+TEST(NetTest, ConnectToClosedPortFails) {
+  // Bind then immediately close so the port is (momentarily) free.
+  const auto listener = net::ListenLoopback(0);
+  ASSERT_TRUE(listener.ok());
+  const uint16_t port = listener->port;
+  close(listener->fd);
+  const auto client = net::ConnectLoopback(port);
+  EXPECT_FALSE(client.ok());
+}
+
+TEST(NetTest, RecvAllZeroBytesIsTrivialOk) {
+  const auto listener = net::ListenLoopback(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([fd = listener->fd] {
+    const int conn = accept(fd, nullptr, nullptr);
+    ASSERT_GT(conn, 0);
+    std::string empty;
+    EXPECT_TRUE(net::RecvAll(conn, 0, &empty).ok());
+    EXPECT_TRUE(empty.empty());
+    close(conn);
+  });
+  const auto client = net::ConnectLoopback(listener->port);
+  ASSERT_TRUE(client.ok());
+  server.join();
+  close(*client);
+  close(listener->fd);
 }
 
 }  // namespace
