@@ -128,7 +128,8 @@ double MeasureFleetQps(const Dataset& dataset,
       uint64_t local = 0;
       while (!stop.load(std::memory_order_relaxed)) {
         const EditCase& edit_case = dataset.cases[i++ % dataset.cases.size()];
-        (void)replica->Ask(edit_case.edit.subject, edit_case.edit.relation);
+        (void)replica->GetSnapshot()->Ask(edit_case.edit.subject,
+                                          edit_case.edit.relation);
         ++local;
       }
       reads.fetch_add(local);
@@ -276,9 +277,12 @@ int RunReplicationBench() {
   for (size_t i = 0; i < kBurst; ++i) {
     const auto& edit = primary->world.dataset.cases[i].edit;
     const std::string want =
-        primary->service->Ask(edit.subject, edit.relation).entity;
+        primary->service->GetSnapshot()->Ask(edit.subject, edit.relation)
+            ->entity;
     for (const auto& follower : followers) {
-      if (follower->service->Ask(edit.subject, edit.relation).entity !=
+      if (follower->service->GetSnapshot()
+              ->Ask(edit.subject, edit.relation)
+              ->entity !=
           want) {
         answers_ok = false;
       }

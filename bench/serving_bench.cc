@@ -1,16 +1,27 @@
-// Serving-layer benchmark: coarse-lock ConcurrentOneEdit vs EditService.
+// Serving-layer benchmark: coarse-lock ConcurrentOneEdit vs EditService's
+// two read paths (legacy shared-lock vs epoch-based snapshots).
 //
-// Part 1 — read scalability: N reader threads hammer Ask for a fixed wall
-// budget. The coarse lock serializes every query; EditService's shared lock
-// lets them run concurrently, so QPS should scale with the thread count.
+// Part 1 — idle read scalability: N reader threads hammer the read path for
+// a fixed wall budget with no writer. The coarse lock serializes every
+// query; the legacy shared lock lets readers run concurrently; the snapshot
+// path pins a published ReadState with two atomic RMWs and never touches a
+// lock.
 //
-// Part 2 — edit throughput and coalescing: a burst of disjoint-slot edits
+// Part 2 — edit storm: the same reader pool runs while the writer applies
+// continuous edit bursts. Under the legacy path every batch application
+// blocks all readers (and the writer-preference gate makes them queue);
+// under the snapshot path readers keep serving the previous epoch while the
+// writer publishes the next one. The acceptance gates demand the snapshot
+// arm's read p50/p99 improve on the locked arm's, that reader QPS does not
+// collapse relative to idle, and — deterministically, on any host — that no
+// snapshot read ever waits on the writer lock
+// (serving_read_lock_wait_micros max stays 0).
+//
+// Part 3 — edit throughput and coalescing: a burst of disjoint-slot edits
 // is applied sequentially under the coarse lock, then submitted to
-// EditService, whose writer coalesces them into ApplyBatch calls. Batch
-// size, queue depth and latency percentiles come from the serving
-// histograms.
+// EditService, whose writer coalesces them into ApplyBatch calls.
 //
-// Part 3 — tracing overhead: the same edit burst with the span recorder
+// Part 4 — tracing overhead: the same edit burst with the span recorder
 // globally off vs on; the acceptance gate demands the tracing tax on the
 // serving write path stays within 5%.
 //
@@ -35,9 +46,11 @@ namespace {
 
 using serving::EditService;
 using serving::EditServiceOptions;
+using serving::ReadPath;
 
 constexpr int kReaderThreads = 8;
 constexpr double kReadSeconds = 2.0;
+constexpr double kStormSeconds = 2.0;
 
 struct World {
   World()
@@ -84,7 +97,82 @@ double MeasureReadQps(const Dataset& dataset, AskFn&& ask) {
   return static_cast<double>(reads.load()) / timer.ElapsedSeconds();
 }
 
-/// One edit-throughput run through EditService (the Part 2 workload) with
+/// One edit-storm A/B arm: kReaderThreads readers hammer the one-shot read
+/// shim (which routes per `path`) while the main thread keeps the writer
+/// saturated with edit bursts for kStormSeconds.
+struct StormStats {
+  double read_qps = 0.0;
+  size_t edits_applied = 0;
+  HistogramSnapshot read_micros;
+  HistogramSnapshot lock_waits;
+  uint64_t snapshots_published = 0;
+};
+
+StormStats MeasureEditStorm(ReadPath path) {
+  StormStats out;
+  World world;
+  EditServiceOptions options;
+  options.max_batch_size = 32;
+  options.read_path = path;
+  auto service = EditService::Create(&world.dataset.kg, world.model.get(),
+                                     world.Config(), options);
+  if (!service.ok()) return out;
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaderThreads; ++t) {
+    readers.emplace_back([&, t] {
+      size_t i = t;
+      uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const EditCase& edit_case =
+            world.dataset.cases[i++ % world.dataset.cases.size()];
+        // The deprecated shim on purpose: it is the arm selector (legacy
+        // locks vs snapshot pin) and the thing that records the lock-wait
+        // histogram this bench asserts on.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+        (void)(*service)->Ask(edit_case.edit.subject,
+                              edit_case.edit.relation);
+#pragma GCC diagnostic pop
+        ++local;
+      }
+      reads.fetch_add(local);
+    });
+  }
+
+  WallTimer timer;
+  size_t round = 0;
+  while (timer.ElapsedSeconds() < kStormSeconds) {
+    std::vector<std::future<StatusOr<EditResult>>> futures;
+    for (const EditCase& edit_case : world.dataset.cases) {
+      NamedTriple triple = edit_case.edit;
+      if (round % 2 == 1) triple.object = edit_case.old_object;
+      futures.push_back(
+          (*service)->Submit(EditRequest::Edit(triple, "storm")));
+    }
+    for (auto& future : futures) {
+      const auto result = future.get();
+      if (result.ok() && result->applied()) ++out.edits_applied;
+    }
+    ++round;
+  }
+  stop.store(true);
+  const double seconds = timer.ElapsedSeconds();
+  for (std::thread& reader : readers) reader.join();
+  (*service)->Drain();
+
+  out.read_qps = static_cast<double>(reads.load()) / seconds;
+  const Statistics& stats = (*service)->statistics();
+  out.read_micros = stats.GetHistogram(Histogram::kServingReadMicros);
+  out.lock_waits =
+      stats.GetHistogram(Histogram::kServingReadLockWaitMicros);
+  out.snapshots_published = stats.Get(Ticker::kSnapshotsPublished);
+  return out;
+}
+
+/// One edit-throughput run through EditService (the Part 3 workload) with
 /// the global span recorder forced to `tracing`; returns edits/second.
 double MeasureEditThroughput(bool tracing, size_t* applied_out) {
   obs::TraceRecorder::Global().SetEnabled(tracing);
@@ -118,12 +206,12 @@ double MeasureEditThroughput(bool tracing, size_t* applied_out) {
 }
 
 int RunServingBench() {
-  std::cout << "Serving bench: coarse-lock ConcurrentOneEdit vs "
-               "EditService\n";
+  std::cout << "Serving bench: coarse lock vs shared-lock reads vs "
+               "epoch-based snapshots\n";
   std::cout << "(" << kReaderThreads << " reader threads, GRACE, "
             << "American-politicians world)\n\n";
 
-  // ---- Part 1: read QPS ----
+  // ---- Part 1: idle read QPS, three arms ----
   double coarse_qps = 0.0;
   {
     World world;
@@ -140,7 +228,26 @@ int RunServingBench() {
           (void)concurrent.Ask(s, r);
         });
   }
-  double serving_qps = 0.0;
+  double locked_qps = 0.0;
+  {
+    World world;
+    EditServiceOptions options;
+    options.read_path = ReadPath::kLockedLegacy;
+    auto service = EditService::Create(&world.dataset.kg, world.model.get(),
+                                       world.Config(), options);
+    if (!service.ok()) {
+      std::cerr << service.status().ToString() << "\n";
+      return 1;
+    }
+    locked_qps = MeasureReadQps(
+        world.dataset, [&](const std::string& s, const std::string& r) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+          (void)(*service)->Ask(s, r);
+#pragma GCC diagnostic pop
+        });
+  }
+  double snapshot_qps = 0.0;
   {
     World world;
     auto service = EditService::Create(&world.dataset.kg, world.model.get(),
@@ -149,19 +256,40 @@ int RunServingBench() {
       std::cerr << service.status().ToString() << "\n";
       return 1;
     }
-    serving_qps = MeasureReadQps(
+    snapshot_qps = MeasureReadQps(
         world.dataset, [&](const std::string& s, const std::string& r) {
-          (void)(*service)->Ask(s, r);
+          (void)(*service)->GetSnapshot()->Ask(s, r);
         });
   }
-  std::cout << "Read QPS, coarse lock:  " << static_cast<uint64_t>(coarse_qps)
-            << "\n";
-  std::cout << "Read QPS, EditService:  "
-            << static_cast<uint64_t>(serving_qps) << "\n";
-  std::cout << "Speedup:                " << serving_qps / coarse_qps
+  std::cout << "Idle read QPS, coarse lock:   "
+            << static_cast<uint64_t>(coarse_qps) << "\n";
+  std::cout << "Idle read QPS, shared lock:   "
+            << static_cast<uint64_t>(locked_qps) << "\n";
+  std::cout << "Idle read QPS, snapshots:     "
+            << static_cast<uint64_t>(snapshot_qps) << "\n";
+  std::cout << "Snapshot speedup vs coarse:   " << snapshot_qps / coarse_qps
             << "x\n\n";
 
-  // ---- Part 2: edit throughput + coalescing ----
+  // ---- Part 2: reads under an edit storm, locked vs snapshot ----
+  const StormStats locked_storm = MeasureEditStorm(ReadPath::kLockedLegacy);
+  const StormStats snapshot_storm = MeasureEditStorm(ReadPath::kSnapshot);
+  std::cout << "Storm read QPS, shared lock:  "
+            << static_cast<uint64_t>(locked_storm.read_qps) << " ("
+            << locked_storm.edits_applied << " edits landed)\n";
+  std::cout << "Storm read QPS, snapshots:    "
+            << static_cast<uint64_t>(snapshot_storm.read_qps) << " ("
+            << snapshot_storm.edits_applied << " edits landed, "
+            << snapshot_storm.snapshots_published << " states published)\n";
+  std::cout << "Storm read us, shared lock:   p50 "
+            << locked_storm.read_micros.P50() << ", p99 "
+            << locked_storm.read_micros.P99() << ", lock-wait max "
+            << locked_storm.lock_waits.max << "\n";
+  std::cout << "Storm read us, snapshots:     p50 "
+            << snapshot_storm.read_micros.P50() << ", p99 "
+            << snapshot_storm.read_micros.P99() << ", lock-wait max "
+            << snapshot_storm.lock_waits.max << "\n\n";
+
+  // ---- Part 3: edit throughput + coalescing ----
   const size_t kEditRounds = 3;
   double coarse_edit_seconds = 0.0;
   size_t coarse_edits = 0;
@@ -240,7 +368,7 @@ int RunServingBench() {
             << static_cast<double>(queue_waits.P99()) / 1000.0 << " ms ("
             << queue_waits.count << " waits)\n";
 
-  // ---- Part 3: tracing overhead on the write path ----
+  // ---- Part 4: tracing overhead on the write path ----
   // Best-of-2 per arm: the workload is short, so a single run's scheduler
   // noise on a small host could dwarf the effect being measured.
   size_t traced_edits = 0;
@@ -261,20 +389,43 @@ int RunServingBench() {
 
   // Reader scaling needs real cores: on a single-CPU host the 8 reader
   // threads time-slice one core, so even a perfect lock-free read path
-  // cannot beat the serialized baseline. Report, but only enforce the 4x
-  // target where the hardware can express it.
+  // cannot beat the serialized baseline. Report, but only enforce the
+  // scaling/percentile targets where the hardware can express them. The
+  // lock-wait gate is scheduling-independent and always enforced.
   const unsigned cores = std::thread::hardware_concurrency();
   const bool can_scale = cores >= 8;
-  const bool qps_ok = serving_qps >= 4.0 * coarse_qps;
+  const bool qps_ok = snapshot_qps >= 4.0 * coarse_qps;
+  const bool storm_tail_ok =
+      snapshot_storm.read_micros.P50() <= locked_storm.read_micros.P50() &&
+      snapshot_storm.read_micros.P99() <= locked_storm.read_micros.P99();
+  const bool storm_qps_ok =
+      snapshot_storm.read_qps >= 0.5 * snapshot_qps &&
+      snapshot_storm.read_qps >= locked_storm.read_qps;
+  const bool no_lock_wait = snapshot_storm.lock_waits.count > 0 &&
+                            snapshot_storm.lock_waits.max == 0;
   const bool coalesced = batch_sizes.max > 1;
   const bool tracing_ok = overhead_pct <= 5.0;
-  std::cout << "\nacceptance: read speedup >= 4x: ";
+  std::cout << "\nacceptance: snapshot read speedup >= 4x: ";
   if (can_scale) {
     std::cout << (qps_ok ? "PASS" : "FAIL");
   } else {
     std::cout << "SKIPPED (host has " << cores
               << " core(s); needs >= 8 for reader scaling)";
   }
+  std::cout << ", storm p50/p99 improve: ";
+  if (can_scale) {
+    std::cout << (storm_tail_ok ? "PASS" : "FAIL");
+  } else {
+    std::cout << "SKIPPED";
+  }
+  std::cout << ", storm QPS holds up: ";
+  if (can_scale) {
+    std::cout << (storm_qps_ok ? "PASS" : "FAIL");
+  } else {
+    std::cout << "SKIPPED";
+  }
+  std::cout << ", no reader blocks on the writer lock: "
+            << (no_lock_wait ? "PASS" : "FAIL");
   std::cout << ", coalesced batches > 1: " << (coalesced ? "PASS" : "FAIL");
   std::cout << ", tracing overhead <= 5%: " << (tracing_ok ? "PASS" : "FAIL")
             << "\n";
@@ -282,8 +433,22 @@ int RunServingBench() {
   // Machine-readable twin of the report above.
   std::ofstream json("BENCH_serving.json");
   json << "{\"read_qps_coarse\":" << coarse_qps
-       << ",\"read_qps_serving\":" << serving_qps
-       << ",\"read_speedup\":" << serving_qps / coarse_qps
+       << ",\"read_qps_locked\":" << locked_qps
+       << ",\"read_qps_snapshot\":" << snapshot_qps
+       << ",\"read_speedup\":" << snapshot_qps / coarse_qps
+       << ",\"storm\":{"
+       << "\"locked\":{\"read_qps\":" << locked_storm.read_qps
+       << ",\"read_us_p50\":" << locked_storm.read_micros.P50()
+       << ",\"read_us_p99\":" << locked_storm.read_micros.P99()
+       << ",\"lock_wait_us_max\":" << locked_storm.lock_waits.max
+       << ",\"edits_applied\":" << locked_storm.edits_applied << "}"
+       << ",\"snapshot\":{\"read_qps\":" << snapshot_storm.read_qps
+       << ",\"read_us_p50\":" << snapshot_storm.read_micros.P50()
+       << ",\"read_us_p99\":" << snapshot_storm.read_micros.P99()
+       << ",\"lock_wait_us_max\":" << snapshot_storm.lock_waits.max
+       << ",\"edits_applied\":" << snapshot_storm.edits_applied
+       << ",\"states_published\":" << snapshot_storm.snapshots_published
+       << "}}"
        << ",\"edit_eps_coarse\":" << coarse_edits / coarse_edit_seconds
        << ",\"edit_eps_serving\":" << serving_edits / serving_edit_seconds
        << ",\"batches\":" << batch_sizes.count
@@ -302,8 +467,10 @@ int RunServingBench() {
   json.close();
   std::cout << "wrote BENCH_serving.json\n";
 
+  const bool scaling_gates_ok =
+      !can_scale || (qps_ok && storm_tail_ok && storm_qps_ok);
   const bool pass =
-      (can_scale ? qps_ok && coalesced : coalesced) && tracing_ok;
+      scaling_gates_ok && no_lock_wait && coalesced && tracing_ok;
   return pass ? 0 : 1;
 }
 

@@ -207,7 +207,7 @@ int Run(const Args& args) {
     while (reading.load()) {
       const auto& probe =
           world.dataset.cases[i++ % world.dataset.cases.size()].edit;
-      (void)(*service)->Ask(probe.subject, probe.relation);
+      (void)(*service)->GetSnapshot()->Ask(probe.subject, probe.relation);
       std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
   });

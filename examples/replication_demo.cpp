@@ -253,7 +253,8 @@ int VerifyAfterPromote(const Args& args, World& world, EditService& service) {
       continue;
     }
     ++promised;
-    const std::string got = service.Ask(subject, relation).entity;
+    const std::string got =
+        service.GetSnapshot()->Ask(subject, relation)->entity;
     if (got != object) {
       ++lost;
       std::cerr << "LOST acknowledged edit " << index << ": (" << subject
@@ -275,7 +276,8 @@ int VerifyAfterPromote(const Args& args, World& world, EditService& service) {
               << "\n";
     return 1;
   }
-  if (service.Ask(fresh.subject, fresh.relation).entity != fresh.object) {
+  if (service.GetSnapshot()->Ask(fresh.subject, fresh.relation)->entity !=
+      fresh.object) {
     std::cerr << "REPLICATION FAILED: post-promotion edit not readable\n";
     return 1;
   }

@@ -57,7 +57,7 @@ int main() {
       size_t i = t;
       while (!stop.load(std::memory_order_relaxed)) {
         const auto& edit_case = dataset.cases[i++ % dataset.cases.size()];
-        (void)(*service)->Ask(edit_case.edit.subject,
+        (void)(*service)->GetSnapshot()->Ask(edit_case.edit.subject,
                               edit_case.edit.relation);
       }
     });
@@ -82,7 +82,9 @@ int main() {
             << " edits applied while readers kept querying.\n";
   const auto& edit = dataset.cases.front().edit;
   std::cout << "Spot check: " << edit.relation << "(" << edit.subject
-            << ") = " << (*service)->Ask(edit.subject, edit.relation).entity
+            << ") = "
+            << (*service)->GetSnapshot()->Ask(edit.subject,
+                                              edit.relation)->entity
             << " (expected " << edit.object << ")\n\n";
 
   std::cout << "Serving statistics:\n  "

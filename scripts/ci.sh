@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # CI driver: configure, build, and test one sanitizer matrix entry.
 #
-# Usage: scripts/ci.sh [default|tsan|asan|recovery|chaos|metrics]
+# Usage: scripts/ci.sh [default|tsan|asan|snapshot|recovery|chaos|metrics]
 #
 #   default   Release-ish build, full ctest suite.
 #   tsan      ThreadSanitizer build; runs the concurrency-sensitive tests
 #             (serving_test, durability degraded-mode) plus the core suite.
 #   asan      Address+UB sanitizer build, full ctest suite.
+#   snapshot  Epoch-based read-path torture: the snapshot_test suite (the
+#             SnapshotHub pin protocol, retention/retirement accounting,
+#             and the readers-vs-edit-storm torture run) plus the
+#             deprecated-shim equivalence test, under ThreadSanitizer AND
+#             Address+UB sanitizer (one build each).
 #   recovery  Crash-recovery smoke: run the example workload, kill -9 the
 #             process (via the fault-injecting Env's _Exit(137)) at every
 #             file operation in turn, restart, and verify no acknowledged
@@ -50,6 +55,10 @@ case "${matrix}" in
     flags="-fsanitize=address,undefined -fno-omit-frame-pointer"
     build_type=RelWithDebInfo
     ;;
+  snapshot)
+    flags=""  # per-sanitizer flags are set in the snapshot branch below
+    build_type=RelWithDebInfo
+    ;;
   recovery)
     flags=""
     build_type=Release
@@ -67,10 +76,35 @@ case "${matrix}" in
     build_type=Release
     ;;
   *)
-    echo "unknown matrix entry: ${matrix} (want default|tsan|asan|recovery|chaos|metrics|replication)" >&2
+    echo "unknown matrix entry: ${matrix} (want default|tsan|asan|snapshot|recovery|chaos|metrics|replication)" >&2
     exit 2
     ;;
 esac
+
+if [[ "${matrix}" == "snapshot" ]]; then
+  # The torture run is the point of this entry: TSan proves the pin
+  # protocol publishes/retires without a data race, ASan+UBSan proves no
+  # retired state is read after free. One build per sanitizer (they cannot
+  # be combined in a single binary).
+  for san in tsan asan; do
+    case "${san}" in
+      tsan) sflags="-fsanitize=thread -fno-omit-frame-pointer" ;;
+      asan) sflags="-fsanitize=address,undefined -fno-omit-frame-pointer" ;;
+    esac
+    sdir="${src_dir}/build-ci-snapshot-${san}"
+    echo "--- snapshot torture under ${san}"
+    cmake -B "${sdir}" -S "${src_dir}" \
+      -DCMAKE_BUILD_TYPE="${build_type}" \
+      -DCMAKE_CXX_FLAGS="${sflags}" \
+      -DCMAKE_EXE_LINKER_FLAGS="${sflags}"
+    cmake --build "${sdir}" -j "${jobs}" --target snapshot_test serving_test
+    "${sdir}/tests/snapshot_test"
+    "${sdir}/tests/serving_test" \
+      --gtest_filter='EditServiceTest.DeprecatedAskShimsMatchSnapshotReads'
+  done
+  echo "snapshot torture passed under TSan and ASan+UBSan"
+  exit 0
+fi
 
 cmake -B "${build_dir}" -S "${src_dir}" \
   -DCMAKE_BUILD_TYPE="${build_type}" \
@@ -83,7 +117,7 @@ if [[ "${matrix}" == "tsan" ]]; then
   # TSan slows everything ~10x; run the concurrency tests (the reason this
   # entry exists) plus a smoke slice of the core suite.
   ctest -j "${jobs}" --output-on-failure \
-    -R 'EditServiceTest|EditServiceShutdownTest|ServiceSelfHealTest|ConcurrentOneEditTest|OneEditTest|EditServiceDurabilityTest|TraceRecorderTest|EditServiceObsTest|MetricsServerTest|ReplicationTest|ReplicationWireTest|EditWalCursorTest|NetTest'
+    -R 'EditServiceTest|EditServiceShutdownTest|ServiceSelfHealTest|ConcurrentOneEditTest|OneEditTest|EditServiceDurabilityTest|TraceRecorderTest|EditServiceObsTest|MetricsServerTest|ReplicationTest|ReplicationWireTest|EditWalCursorTest|NetTest|SnapshotHubTest|EditServiceSnapshotTest'
 elif [[ "${matrix}" == "recovery" ]]; then
   # Crash-recovery smoke. A clean run of the workload performs ~20 file ops
   # (WAL appends, fsyncs, checkpoint writes, renames, rotations); kill the
@@ -193,8 +227,8 @@ elif [[ "${matrix}" == "metrics" ]]; then
 
   # Every ticker family must be present...
   for family in utterances edits_accepted serving_reads serving_submitted \
-      serving_batches wal_records wal_commits wal_failures checkpoints \
-      degraded_rejects health_transitions; do
+      serving_batches snapshots_published wal_records wal_commits \
+      wal_failures checkpoints degraded_rejects health_transitions; do
     if ! grep -q "^# TYPE oneedit_${family}_total counter$" "${workdir}/metrics.txt"; then
       echo "METRICS FAILED: missing ticker family oneedit_${family}_total" >&2
       exit 1
@@ -202,7 +236,8 @@ elif [[ "${matrix}" == "metrics" ]]; then
   done
   # ...and every histogram must expose its percentile quantiles.
   for family in serving_batch_size serving_queue_depth serving_latency_micros \
-      serving_queue_wait_micros serving_read_micros wal_commit_micros; do
+      serving_queue_wait_micros serving_read_micros \
+      serving_read_lock_wait_micros wal_commit_micros; do
     for q in 0.5 0.95 0.99; do
       if ! grep -q "^oneedit_${family}{quantile=\"${q}\"}" "${workdir}/metrics.txt"; then
         echo "METRICS FAILED: missing quantile ${q} for oneedit_${family}" >&2
@@ -223,12 +258,38 @@ elif [[ "${matrix}" == "metrics" ]]; then
   fi
   for gauge in replication_applied_sequence replication_lag_records \
       replication_lag_batches replication_lag_seconds \
-      replication_followers_connected replication_min_follower_applied; do
+      replication_followers_connected replication_min_follower_applied \
+      snapshot_epoch snapshot_sequence snapshot_epoch_lag_records \
+      snapshot_states_alive snapshot_states_retained \
+      snapshot_reader_held_states; do
     if ! grep -q "^oneedit_${gauge} " "${workdir}/metrics.txt"; then
       echo "METRICS FAILED: missing gauge oneedit_${gauge}" >&2
       exit 1
     fi
   done
+  # Snapshot publication keeps pace with the writer: every applied batch
+  # publishes a state (plus the initial one), the epoch is the publication
+  # count, and nothing holds retired states here (no reader handles are
+  # pinned at scrape time, so the leak gauge must read 0).
+  awk '
+    $1 == "oneedit_serving_batches_total" {batches = $2}
+    $1 == "oneedit_snapshots_published_total" {published = $2}
+    $1 == "oneedit_snapshot_epoch" {epoch = $2}
+    $1 == "oneedit_snapshot_reader_held_states" {held = $2}
+    END {
+      if (published + 0 < batches + 0) {
+        printf "METRICS FAILED: snapshots_published (%d) < serving_batches (%d)\n", published, batches
+        exit 1
+      }
+      if (epoch + 0 < 1) {
+        printf "METRICS FAILED: snapshot_epoch is %d (nothing published?)\n", epoch
+        exit 1
+      }
+      if (held + 0 != 0) {
+        printf "METRICS FAILED: snapshot_reader_held_states is %d with no pinned readers\n", held
+        exit 1
+      }
+    }' "${workdir}/metrics.txt"
   # /health carries the role line the failover runbook reads. Mid-storm the
   # service may legitimately be degraded (503), so fetch without -f: the
   # body carries the role line at every health state.

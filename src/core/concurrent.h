@@ -53,6 +53,14 @@ class ConcurrentOneEdit {
     return system_->Ask(subject, relation);
   }
 
+  /// An immutable view of the system, captured under the coarse lock. Reads
+  /// through the view afterwards take no lock at all and stay mutually
+  /// consistent, no matter how many edits land in between.
+  SystemReadView ReadView() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return system_->SnapshotReadView();
+  }
+
   Status RollbackUserEdits(const std::string& user) {
     std::lock_guard<std::mutex> lock(mutex_);
     return system_->RollbackUserEdits(user);

@@ -47,11 +47,6 @@ std::vector<EditingMethodKind> AllMethodKinds() {
           EditingMethodKind::kMend,  EditingMethodKind::kSerac};
 }
 
-Status OneEditConfig::SetMethodName(const std::string& name) {
-  ONEEDIT_ASSIGN_OR_RETURN(method, ParseMethodKind(name));
-  return Status::OK();
-}
-
 EditRequest EditRequest::Edit(NamedTriple triple, std::string user) {
   EditRequest request;
   request.op = Op::kEdit;
@@ -391,6 +386,25 @@ Decode OneEditSystem::Ask(const std::string& subject,
   options.key_noise = model_->config().reliability_noise;
   options.probe_seed = Rng::HashString("ask:" + subject + "|" + relation);
   return model_->Query(subject, relation, options);
+}
+
+Decode SystemReadView::Ask(const std::string& subject,
+                           const std::string& relation) const {
+  // Keep the noise and probe seeding identical to OneEditSystem::Ask so a
+  // snapshot read and a live read of the same state decode identically.
+  QueryOptions options;
+  options.key_noise = model.config().reliability_noise;
+  options.probe_seed = Rng::HashString("ask:" + subject + "|" + relation);
+  return model.Query(subject, relation, options);
+}
+
+SystemReadView OneEditSystem::SnapshotReadView() const {
+  SystemReadView view;
+  view.model = model_->SnapshotReadView();
+  view.kg = kg_->SnapshotView();
+  view.kg_version = kg_->version();
+  view.cache_generation = editor_->cache().generation();
+  return view;
 }
 
 OneEditSystem::BatchTxn OneEditSystem::BeginBatchTxn() {

@@ -47,15 +47,10 @@ struct OneEditConfig {
   InterpreterConfig interpreter;
   ControllerConfig controller;
   EditorConfig editor;
-  /// Underlying editing method.
+  /// Underlying editing method. (The pre-enum stringly path and its
+  /// `SetMethodName` compatibility shim are gone; parse names with
+  /// ParseMethodKind.)
   EditingMethodKind method = EditingMethodKind::kMemit;
-
-  /// Deprecated compatibility overload for the pre-enum API: sets `method`
-  /// from its string name. Unknown names leave the config unchanged and
-  /// return InvalidArgument. Will be removed one release after the
-  /// EditingMethodKind migration — use ParseMethodKind instead.
-  [[deprecated("assign an EditingMethodKind to `method` instead")]]
-  Status SetMethodName(const std::string& name);
 };
 
 /// Everything that happened for one accepted edit request.
@@ -150,6 +145,25 @@ struct AuditRecord {
   bool was_erase = false;
 };
 
+/// An immutable, refcounted capture of both halves of the system — the
+/// neural read path (frozen weights + embeddings + adaptors) and the
+/// symbolic one (KG triples/aliases) — plus the edit-cache generation they
+/// were consistent with. Every lookup through one view observes the same
+/// post-batch instant: a KG answer and a model decode from the same view can
+/// never mix two different edit batches. Copyable and cheap to copy.
+struct SystemReadView {
+  ModelReadView model;
+  KgReadView kg;
+  /// KnowledgeGraph::version() at capture.
+  uint64_t kg_version = 0;
+  /// EditCache::generation() at capture.
+  uint64_t cache_generation = 0;
+
+  /// Mirror of OneEditSystem::Ask against the captured state (same
+  /// reliability noise and probe seeding), lock-free and thread-safe.
+  Decode Ask(const std::string& subject, const std::string& relation) const;
+};
+
 /// OneEdit: the neural-symbolic collaborative knowledge-editing system
 /// (Figure 1). Wires Interpreter -> Controller -> Editor over a caller-owned
 /// KnowledgeGraph and LanguageModel.
@@ -193,8 +207,15 @@ class OneEditSystem {
 
   /// Direct model query for a slot. Const and lock-free: safe to call from
   /// several threads as long as no thread is mutating the system (the
-  /// serving layer enforces this with a shared/exclusive lock).
+  /// serving layer's snapshot path instead reads through SnapshotReadView,
+  /// which stays valid during mutation).
   Decode Ask(const std::string& subject, const std::string& relation) const;
+
+  /// Captures both halves of the system as an immutable view. Must be
+  /// called from the (single) mutating thread — in serving, the writer at a
+  /// batch boundary; the view may then be read from any number of threads
+  /// concurrently with further edits.
+  SystemReadView SnapshotReadView() const;
 
   // --- Crowdsourced-editing administration -----------------------------------
 

@@ -84,6 +84,8 @@ std::string TickerName(Ticker ticker) {
       return "repl_ack_timeouts";
     case Ticker::kReplReconnects:
       return "repl_reconnects";
+    case Ticker::kSnapshotsPublished:
+      return "snapshots_published";
     case Ticker::kTickerCount:
       break;
   }
@@ -110,6 +112,8 @@ std::string HistogramName(Histogram histogram) {
       return "rollback_micros";
     case Histogram::kReplApplyMicros:
       return "repl_apply_micros";
+    case Histogram::kServingReadLockWaitMicros:
+      return "serving_read_lock_wait_micros";
     case Histogram::kHistogramCount:
       break;
   }

@@ -52,6 +52,7 @@ enum class Ticker : size_t {
   kReplStaleReads,        ///< AskAtLeast rejections for lagging state
   kReplAckTimeouts,       ///< quorum waits that timed out (primary)
   kReplReconnects,        ///< follower reconnect attempts after a drop
+  kSnapshotsPublished,    ///< immutable read states published by the writer
   kTickerCount,           // sentinel
 };
 
@@ -70,6 +71,8 @@ enum class Histogram : size_t {
   kCheckpointMicros,         ///< time to serialize + publish a checkpoint
   kRollbackMicros,           ///< undo + bisect + re-admit time per rollback
   kReplApplyMicros,          ///< journal + apply time per shipped batch
+  kServingReadLockWaitMicros,  ///< time a read spent acquiring locks (0 on
+                               ///< the snapshot path — asserted by the bench)
   kHistogramCount,           // sentinel
 };
 

@@ -13,14 +13,19 @@ void EditCache::Put(EditDelta delta) {
   if (journal_ != nullptr) {
     auto it = entries_.find(key);
     if (it == entries_.end()) {
-      journal_->Record([this, key] { entries_.erase(key); });
+      journal_->Record([this, key] {
+        entries_.erase(key);
+        ++generation_;
+      });
     } else {
       journal_->Record([this, key, previous = it->second]() mutable {
         entries_[key] = std::move(previous);
+        ++generation_;
       });
     }
   }
   entries_[std::move(key)] = std::move(delta);
+  ++generation_;
 }
 
 const EditDelta* EditCache::Get(const NamedTriple& triple) const {
@@ -38,9 +43,11 @@ Status EditCache::Erase(const NamedTriple& triple) {
   if (journal_ != nullptr) {
     journal_->Record([this, key, previous = it->second]() mutable {
       entries_[key] = std::move(previous);
+      ++generation_;
     });
   }
   entries_.erase(it);
+  ++generation_;
   return Status::OK();
 }
 

@@ -42,7 +42,15 @@ class EditCache {
   /// Visits every cached delta in deterministic (sorted-key) order.
   void ForEach(const std::function<void(const EditDelta&)>& fn) const;
 
-  void Clear() { entries_.clear(); }
+  void Clear() {
+    entries_.clear();
+    ++generation_;
+  }
+
+  /// Monotone change counter: bumped by every mutation, including journaled
+  /// rollbacks. Published read states carry this so observers can tell which
+  /// cache state a snapshot was consistent with.
+  uint64_t generation() const { return generation_; }
 
   /// While attached (nullable to detach), every Put/Erase records its
   /// inverse into `journal`, so an aborted transactional batch can restore
@@ -55,6 +63,7 @@ class EditCache {
 
   std::unordered_map<std::string, EditDelta> entries_;
   UndoJournal* journal_ = nullptr;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace oneedit

@@ -25,7 +25,17 @@ bool GraceCodebook::TryAnswer(const Vec& layer0_key,
   return true;
 }
 
+std::shared_ptr<const QueryAdaptor> GraceCodebook::Freeze() const {
+  if (frozen_ == nullptr) {
+    auto copy = std::make_shared<GraceCodebook>(epsilon_);
+    copy->entries_ = entries_;
+    frozen_ = std::move(copy);
+  }
+  return frozen_;
+}
+
 void GraceCodebook::AddEntry(const GraceEntry& entry) {
+  frozen_.reset();
   for (GraceEntry& existing : entries_) {
     if (KeyDistance(existing.key, entry.key) < 1e-9) {
       existing.answer = entry.answer;
@@ -39,6 +49,7 @@ Status GraceCodebook::RemoveEntry(const GraceEntry& entry) {
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->answer == entry.answer && KeyDistance(it->key, entry.key) < 1e-9) {
       entries_.erase(it);
+      frozen_.reset();
       return Status::OK();
     }
   }

@@ -28,6 +28,10 @@ class GraceCodebook : public QueryAdaptor {
 
   bool TryAnswer(const Vec& layer0_key, std::string* answer) const override;
 
+  /// Immutable copy for lock-free read views; cached until the next
+  /// mutation, so repeated publication of an unchanged codebook is O(1).
+  std::shared_ptr<const QueryAdaptor> Freeze() const override;
+
   /// Adds an entry; an existing entry with (numerically) the same key is
   /// replaced — GRACE keeps one value per key.
   void AddEntry(const GraceEntry& entry);
@@ -35,7 +39,10 @@ class GraceCodebook : public QueryAdaptor {
   /// Removes the entry matching (key, answer); returns NotFound otherwise.
   Status RemoveEntry(const GraceEntry& entry);
 
-  void Clear() { entries_.clear(); }
+  void Clear() {
+    entries_.clear();
+    frozen_.reset();
+  }
   size_t size() const { return entries_.size(); }
   double epsilon() const { return epsilon_; }
 
@@ -43,11 +50,15 @@ class GraceCodebook : public QueryAdaptor {
   const std::vector<GraceEntry>& entries() const { return entries_; }
   void RestoreEntries(std::vector<GraceEntry> entries) {
     entries_ = std::move(entries);
+    frozen_.reset();
   }
 
  private:
   double epsilon_;
   std::vector<GraceEntry> entries_;
+  /// Cached frozen copy, invalidated by every mutation. Mutation and Freeze
+  /// both happen only on the writer thread, so no lock is needed.
+  mutable std::shared_ptr<const GraceCodebook> frozen_;
 };
 
 class GraceMethod : public EditingMethod {

@@ -18,7 +18,17 @@ bool SeracScopeMemory::TryAnswer(const Vec& layer0_key,
   return true;
 }
 
+std::shared_ptr<const QueryAdaptor> SeracScopeMemory::Freeze() const {
+  if (frozen_ == nullptr) {
+    auto copy = std::make_shared<SeracScopeMemory>(threshold_);
+    copy->records_ = records_;
+    frozen_ = std::move(copy);
+  }
+  return frozen_;
+}
+
 void SeracScopeMemory::AddRecord(const GraceEntry& record) {
+  frozen_.reset();
   for (GraceEntry& existing : records_) {
     if (CosineSimilarity(existing.key, record.key) > 1.0 - 1e-9) {
       existing.answer = record.answer;
@@ -33,6 +43,7 @@ Status SeracScopeMemory::RemoveRecord(const GraceEntry& record) {
     if (it->answer == record.answer &&
         CosineSimilarity(it->key, record.key) > 1.0 - 1e-9) {
       records_.erase(it);
+      frozen_.reset();
       return Status::OK();
     }
   }

@@ -34,23 +34,34 @@ class SeracScopeMemory : public QueryAdaptor {
 
   bool TryAnswer(const Vec& layer0_key, std::string* answer) const override;
 
+  /// Immutable copy for lock-free read views; cached until the next
+  /// mutation, so repeated publication of an unchanged memory is O(1).
+  std::shared_ptr<const QueryAdaptor> Freeze() const override;
+
   /// Adds (or replaces, for near-identical keys) an in-scope record.
   void AddRecord(const GraceEntry& record);
 
   Status RemoveRecord(const GraceEntry& record);
 
-  void Clear() { records_.clear(); }
+  void Clear() {
+    records_.clear();
+    frozen_.reset();
+  }
   size_t size() const { return records_.size(); }
 
   /// Whole-memory copy / restore (transactional batch rollback).
   const std::vector<GraceEntry>& records() const { return records_; }
   void RestoreRecords(std::vector<GraceEntry> records) {
     records_ = std::move(records);
+    frozen_.reset();
   }
 
  private:
   double threshold_;
   std::vector<GraceEntry> records_;
+  /// Cached frozen copy, invalidated by every mutation. Mutation and Freeze
+  /// both happen only on the writer thread, so no lock is needed.
+  mutable std::shared_ptr<const SeracScopeMemory> frozen_;
 };
 
 class SeracMethod : public EditingMethod {

@@ -6,10 +6,61 @@
 
 namespace oneedit {
 
+bool KgReadView::Contains(const NamedTriple& t) const {
+  if (store_ == nullptr) return false;
+  const auto s = entities_->Lookup(t.subject);
+  const auto r = schema_->Lookup(t.relation);
+  const auto o = entities_->Lookup(t.object);
+  if (!s.ok() || !r.ok() || !o.ok()) return false;
+  return store_->Contains(Triple{s.value(), r.value(), o.value()});
+}
+
+std::optional<std::string> KgReadView::ObjectOf(
+    const std::string& subject, const std::string& relation) const {
+  if (store_ == nullptr) return std::nullopt;
+  const auto s = entities_->Lookup(subject);
+  const auto r = schema_->Lookup(relation);
+  if (!s.ok() || !r.ok()) return std::nullopt;
+  const std::vector<EntityId> objects = store_->Objects(s.value(), r.value());
+  if (objects.empty()) return std::nullopt;
+  return entities_->Name(objects.front());
+}
+
+std::string KgReadView::Canonical(const std::string& name) const {
+  if (entities_ == nullptr) return name;
+  const auto id = entities_->Lookup(name);
+  if (!id.ok()) return name;
+  const auto it = alias_of_->find(id.value());
+  if (it == alias_of_->end()) return name;
+  return entities_->Name(it->second);
+}
+
+KgReadView KnowledgeGraph::SnapshotView() const {
+  if (!view_valid_ || view_stamp_ != state_stamp_ ||
+      view_schema_size_ != schema_.size()) {
+    KgReadView view;
+    view.store_ = std::make_shared<const TripleStore>(store_);
+    view.entities_ = std::make_shared<const Dictionary>(entities_);
+    view.schema_ = std::make_shared<const RelationSchema>(schema_);
+    view.alias_of_ =
+        std::make_shared<const std::unordered_map<EntityId, EntityId>>(
+            alias_of_);
+    view_cache_ = std::move(view);
+    view_stamp_ = state_stamp_;
+    view_schema_size_ = schema_.size();
+    view_valid_ = true;
+  }
+  // Restamp on every call: the cached tables are content-addressed by the
+  // mutation stamp, but the reported version should always be the live one.
+  view_cache_.version_ = version();
+  return view_cache_;
+}
+
 Status KnowledgeGraph::ApplyAdd(const Triple& t, bool log) {
   if (!store_.Add(t)) {
     return Status::AlreadyExists("triple already present: " + ToString(t));
   }
+  Touch();
   if (log) {
     ops_.push_back(OpRecord{WalOp::kAdd, t});
     if (wal_.is_open()) {
@@ -25,6 +76,7 @@ Status KnowledgeGraph::ApplyRemove(const Triple& t, bool log) {
   if (!store_.Remove(t)) {
     return Status::NotFound("triple not present: " + ToString(t));
   }
+  Touch();
   if (log) {
     ops_.push_back(OpRecord{WalOp::kRemove, t});
     if (wal_.is_open()) {
@@ -83,6 +135,7 @@ NamedTriple KnowledgeGraph::ToNamed(const Triple& t) const {
 void KnowledgeGraph::AddAlias(EntityId alias, EntityId canonical) {
   alias_of_[alias] = canonical;
   aliases_[canonical].push_back(alias);
+  Touch();
 }
 
 EntityId KnowledgeGraph::Canonical(EntityId e) const {
@@ -147,6 +200,7 @@ Status KnowledgeGraph::AttachWal(const std::string& path,
               store_.Remove(t);
               ops_.push_back(OpRecord{WalOp::kRemove, t});
             }
+            Touch();
           }));
     }
   }

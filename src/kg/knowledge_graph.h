@@ -1,6 +1,7 @@
 #ifndef ONEEDIT_KG_KNOWLEDGE_GRAPH_H_
 #define ONEEDIT_KG_KNOWLEDGE_GRAPH_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -18,6 +19,43 @@
 #include "util/statusor.h"
 
 namespace oneedit {
+
+/// An immutable, refcounted capture of the knowledge graph's queryable state
+/// (triples, entity dictionary, relation schema, alias links) at one version.
+/// Lookups are by name and entirely lock-free; the view stays valid and
+/// unchanged no matter what the live graph does afterwards. Copyable and
+/// cheap to copy (shared_ptrs only).
+class KgReadView {
+ public:
+  KgReadView() = default;
+
+  /// The graph version (mutation count) this view captured.
+  uint64_t version() const { return version_; }
+
+  size_t size() const { return store_ == nullptr ? 0 : store_->size(); }
+
+  /// True if the named triple was present at capture time. Names never
+  /// interned are simply absent (false), not an error.
+  bool Contains(const NamedTriple& t) const;
+
+  /// The object name of functional slot (subject, relation) at capture time,
+  /// or nullopt if the slot was empty or the names unknown.
+  std::optional<std::string> ObjectOf(const std::string& subject,
+                                      const std::string& relation) const;
+
+  /// Canonical entity name for `name` (identity if it is not an alias or is
+  /// unknown).
+  std::string Canonical(const std::string& name) const;
+
+ private:
+  friend class KnowledgeGraph;
+
+  std::shared_ptr<const TripleStore> store_;
+  std::shared_ptr<const Dictionary> entities_;
+  std::shared_ptr<const RelationSchema> schema_;
+  std::shared_ptr<const std::unordered_map<EntityId, EntityId>> alias_of_;
+  uint64_t version_ = 0;
+};
 
 /// The symbolic half of OneEdit: a versioned, WAL-backed knowledge graph.
 ///
@@ -42,7 +80,10 @@ class KnowledgeGraph {
 
   // --- Vocabulary -----------------------------------------------------------
 
-  EntityId InternEntity(std::string_view name) { return entities_.Intern(name); }
+  EntityId InternEntity(std::string_view name) {
+    if (!entities_.Contains(name)) Touch();
+    return entities_.Intern(name);
+  }
   StatusOr<EntityId> LookupEntity(std::string_view name) const {
     return entities_.Lookup(name);
   }
@@ -110,6 +151,15 @@ class KnowledgeGraph {
 
   /// Undoes every mutation after `version` (most recent first).
   Status RollbackTo(uint64_t version);
+
+  // --- Read views (lock-free serving) -----------------------------------------
+
+  /// Captures the current queryable state as an immutable view. Clones the
+  /// underlying tables only when something changed since the previous call
+  /// (steady-state publication is O(1)). Must be called from the (single)
+  /// thread that mutates the graph; the returned view may then be read from
+  /// any number of threads concurrently with further mutations.
+  KgReadView SnapshotView() const;
 
   // --- Transactions -----------------------------------------------------------
 
@@ -182,6 +232,13 @@ class KnowledgeGraph {
   Status ApplyAdd(const Triple& t, bool log);
   Status ApplyRemove(const Triple& t, bool log);
 
+  /// Marks the queryable state changed, invalidating the cached read view.
+  /// Called by every funnel that mutates triples, the dictionary, or the
+  /// alias registry. Schema growth is covered separately: the view cache is
+  /// also keyed on schema size (relations are only ever defined, never
+  /// redefined).
+  void Touch() { ++state_stamp_; }
+
   Dictionary entities_;
   RelationSchema schema_;
   RuleEngine rules_;
@@ -190,6 +247,15 @@ class KnowledgeGraph {
   std::unordered_map<EntityId, EntityId> alias_of_;
   std::unordered_map<EntityId, std::vector<EntityId>> aliases_;
   WriteAheadLog wal_;
+
+  /// Read-view cache: rebuilt by SnapshotView when (state_stamp_, schema
+  /// size) moved. All mutation and SnapshotView calls are writer-thread-only,
+  /// so these need no lock despite `mutable`.
+  uint64_t state_stamp_ = 0;
+  mutable bool view_valid_ = false;
+  mutable uint64_t view_stamp_ = 0;
+  mutable size_t view_schema_size_ = 0;
+  mutable KgReadView view_cache_;
 };
 
 }  // namespace oneedit

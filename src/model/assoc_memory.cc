@@ -6,30 +6,48 @@ namespace oneedit {
 
 AssocMemory::AssocMemory(size_t num_layers, size_t dim) : dim_(dim) {
   layers_.reserve(num_layers);
-  for (size_t l = 0; l < num_layers; ++l) layers_.emplace_back(dim, dim, 0.0);
+  for (size_t l = 0; l < num_layers; ++l) {
+    layers_.push_back(std::make_shared<Matrix>(dim, dim, 0.0));
+  }
+}
+
+Matrix& AssocMemory::WritableLayer(size_t l) {
+  assert(l < layers_.size());
+  if (layers_[l].use_count() > 1) {
+    layers_[l] = std::make_shared<Matrix>(*layers_[l]);
+  }
+  return *layers_[l];
+}
+
+void AssocMemory::Restore(const WeightSnapshot& snapshot) {
+  layers_.clear();
+  layers_.reserve(snapshot.size());
+  for (const LayerView& layer : snapshot) {
+    // Aliasing a const layer is safe: WritableLayer clones before any write
+    // while the snapshot (use_count > 1) still shares it.
+    layers_.push_back(std::const_pointer_cast<Matrix>(layer));
+  }
 }
 
 void AssocMemory::AddRankOne(size_t layer, const Vec& value, const Vec& key,
                              double alpha) {
-  assert(layer < layers_.size());
-  layers_[layer].AddOuter(alpha, value, key);
+  WritableLayer(layer).AddOuter(alpha, value, key);
 }
 
 void AssocMemory::AddDense(size_t layer, const Matrix& delta) {
-  assert(layer < layers_.size());
-  layers_[layer].AddScaled(1.0, delta);
+  WritableLayer(layer).AddScaled(1.0, delta);
 }
 
 Vec AssocMemory::LayerRecall(size_t layer, const Vec& key) const {
   assert(layer < layers_.size());
-  return layers_[layer].MatVec(key);
+  return layers_[layer]->MatVec(key);
 }
 
 Vec AssocMemory::Recall(const std::vector<Vec>& keys) const {
   assert(keys.size() == layers_.size());
   Vec out(dim_, 0.0);
   for (size_t l = 0; l < layers_.size(); ++l) {
-    const Vec partial = layers_[l].MatVec(keys[l]);
+    const Vec partial = layers_[l]->MatVec(keys[l]);
     for (size_t i = 0; i < dim_; ++i) out[i] += partial[i];
   }
   return out;
@@ -42,8 +60,8 @@ Vec AssocMemory::RecallBlended(const std::vector<Vec>& keys,
   assert(base.size() == layers_.size());
   Vec out(dim_, 0.0);
   for (size_t l = 0; l < layers_.size(); ++l) {
-    const Vec current = layers_[l].MatVec(keys[l]);
-    const Vec consolidated = base[l].MatVec(keys[l]);
+    const Vec current = layers_[l]->MatVec(keys[l]);
+    const Vec consolidated = base[l]->MatVec(keys[l]);
     for (size_t i = 0; i < dim_; ++i) {
       out[i] += consolidated[i] + delta_scale * (current[i] - consolidated[i]);
     }

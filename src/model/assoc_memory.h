@@ -2,14 +2,40 @@
 #define ONEEDIT_MODEL_ASSOC_MEMORY_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "util/math.h"
 
 namespace oneedit {
 
-/// Weight snapshot used to reset a model between experiment cases.
-using WeightSnapshot = std::vector<Matrix>;
+/// Refcounted handle to one frozen weight layer. Layers reachable through a
+/// WeightSnapshot are immutable: the owning AssocMemory clones a layer
+/// before its next in-place write (copy-on-write), so every outstanding
+/// snapshot keeps the exact bytes it captured.
+using LayerView = std::shared_ptr<const Matrix>;
+
+/// Weight snapshot used to reset a model between experiment cases, to roll
+/// back transactional batches byte-exactly, and to publish immutable read
+/// views for lock-free serving. Taking or restoring one is O(num_layers)
+/// pointer copies, not an O(d^2 L) matrix copy; the actual clone cost is
+/// deferred to the first post-snapshot write of each touched layer.
+///
+/// `==` on a WeightSnapshot compares handles (same underlying layers — the
+/// sharing tests rely on that); use WeightsEqual for byte-level equality
+/// across independently trained models.
+using WeightSnapshot = std::vector<LayerView>;
+
+/// Value equality: same number of layers and identical bytes per layer
+/// (pointer-equal layers short-circuit the element compare).
+inline bool WeightsEqual(const WeightSnapshot& a, const WeightSnapshot& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t l = 0; l < a.size(); ++l) {
+    if (a[l] == b[l]) continue;
+    if (a[l] == nullptr || b[l] == nullptr || !(*a[l] == *b[l])) return false;
+  }
+  return true;
+}
 
 /// A stack of linear associative memory layers.
 ///
@@ -17,6 +43,12 @@ using WeightSnapshot = std::vector<Matrix>;
 /// as a rank-one update W_l += α v kᵀ, and recall pools all layers:
 /// u = Σ_l W_l k_l. This is the same abstraction ROME/MEMIT use to model
 /// transformer MLP layers (Meng et al., 2022).
+///
+/// Concurrency contract: mutations (AddRankOne/AddDense/mutable_layer/
+/// Restore) and Snapshot() must stay on one thread at a time — the serving
+/// writer's exclusive section. Snapshots handed to other threads are safe to
+/// read concurrently with later mutations, because a mutation never writes a
+/// layer that a live snapshot still references (it clones first).
 class AssocMemory {
  public:
   AssocMemory(size_t num_layers, size_t dim);
@@ -43,18 +75,34 @@ class AssocMemory {
   Vec RecallBlended(const std::vector<Vec>& keys, const WeightSnapshot& base,
                     double delta_scale) const;
 
-  const Matrix& layer(size_t l) const { return layers_[l]; }
-  Matrix& mutable_layer(size_t l) { return layers_[l]; }
+  const Matrix& layer(size_t l) const { return *layers_[l]; }
+  /// Mutable access clones the layer first if a snapshot still shares it.
+  Matrix& mutable_layer(size_t l) { return WritableLayer(l); }
 
-  WeightSnapshot Snapshot() const { return layers_; }
-  void Restore(const WeightSnapshot& snapshot) { layers_ = snapshot; }
+  /// O(num_layers): shares the current layers with the caller and freezes
+  /// them — the next write to any shared layer copies it first.
+  WeightSnapshot Snapshot() const {
+    return WeightSnapshot(layers_.begin(), layers_.end());
+  }
+
+  /// O(num_layers): adopts the snapshot's layers wholesale. The adopted
+  /// layers stay frozen while the snapshot (or any other) still references
+  /// them; they are only ever written after an exclusive-ownership clone.
+  void Restore(const WeightSnapshot& snapshot);
 
   /// Total stored parameter count (d*d*L) — used by the cost model.
   size_t ParameterCount() const { return layers_.size() * dim_ * dim_; }
 
  private:
+  /// The single funnel for in-place writes: returns layers_[l], cloning it
+  /// first when any snapshot still holds a reference (use_count > 1). The
+  /// check is exact, not racy: new references are only ever minted by this
+  /// object's own thread (Snapshot/Restore), so a concurrent release can
+  /// only lower the count — worst case an unnecessary clone.
+  Matrix& WritableLayer(size_t l);
+
   size_t dim_;
-  std::vector<Matrix> layers_;
+  std::vector<std::shared_ptr<Matrix>> layers_;
 };
 
 }  // namespace oneedit

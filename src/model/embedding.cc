@@ -17,6 +17,27 @@ Vec EmbeddingTable::SampleUnit(uint64_t stream_seed) const {
   return Normalized(v);
 }
 
+Vec EmbeddingTable::ComputeEntity(const std::string& name) const {
+  auto alias_it = vocab_.alias_of.find(name);
+  if (alias_it != vocab_.alias_of.end()) {
+    // Alias: canonical embedding plus a deterministic offset.
+    const Vec canon = ComputeEntity(alias_it->second);
+    const Vec offset = SampleUnit(seed_ ^ Rng::HashString("alias:" + name));
+    Vec embedding = canon;
+    Axpy(alias_spread_, offset, &embedding);
+    return Normalized(embedding);
+  }
+  return SampleUnit(seed_ ^ Rng::HashString("ent:" + name));
+}
+
+Vec EmbeddingTable::ComputeMask(size_t layer,
+                                const std::string& relation) const {
+  Rng rng(seed_ ^ Rng::HashString("rel:" + MaskKey(layer, relation)));
+  Vec mask(dim_);
+  for (double& x : mask) x = rng.NextGaussian();
+  return mask;
+}
+
 const Vec& EmbeddingTable::Entity(const std::string& name) const {
   {
     std::shared_lock<std::shared_mutex> lock(cache_mutex_);
@@ -26,39 +47,41 @@ const Vec& EmbeddingTable::Entity(const std::string& name) const {
 
   // Compute outside the lock: embeddings are deterministic, so if two
   // threads race here they produce the same vector and emplace keeps the
-  // first. (Alias resolution recurses into Entity, which must not hold the
+  // first. (Alias resolution recurses, so it must not hold the
   // non-reentrant mutex.)
-  Vec embedding;
-  auto alias_it = vocab_.alias_of.find(name);
-  if (alias_it != vocab_.alias_of.end()) {
-    // Alias: canonical embedding plus a deterministic offset.
-    const Vec canon = Entity(alias_it->second);
-    const Vec offset =
-        SampleUnit(seed_ ^ Rng::HashString("alias:" + name));
-    embedding = canon;
-    Axpy(alias_spread_, offset, &embedding);
-    embedding = Normalized(embedding);
-  } else {
-    embedding = SampleUnit(seed_ ^ Rng::HashString("ent:" + name));
-  }
+  Vec embedding = ComputeEntity(name);
   std::unique_lock<std::shared_mutex> lock(cache_mutex_);
-  return entity_cache_.emplace(name, std::move(embedding)).first->second;
+  auto emplaced = entity_cache_.emplace(name, std::move(embedding));
+  if (emplaced.second) ++cache_version_;
+  return emplaced.first->second;
 }
 
 const Vec& EmbeddingTable::RelationMask(size_t layer,
                                         const std::string& relation) const {
-  const std::string cache_key = std::to_string(layer) + "|" + relation;
+  const std::string cache_key = MaskKey(layer, relation);
   {
     std::shared_lock<std::shared_mutex> lock(cache_mutex_);
     auto it = mask_cache_.find(cache_key);
     if (it != mask_cache_.end()) return it->second;
   }
 
-  Rng rng(seed_ ^ Rng::HashString("rel:" + cache_key));
-  Vec mask(dim_);
-  for (double& x : mask) x = rng.NextGaussian();
+  Vec mask = ComputeMask(layer, relation);
   std::unique_lock<std::shared_mutex> lock(cache_mutex_);
-  return mask_cache_.emplace(cache_key, std::move(mask)).first->second;
+  auto emplaced = mask_cache_.emplace(cache_key, std::move(mask));
+  if (emplaced.second) ++cache_version_;
+  return emplaced.first->second;
+}
+
+std::shared_ptr<const EmbeddingSnapshot> EmbeddingTable::SnapshotCache() const {
+  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+  if (snapshot_ == nullptr || snapshot_version_ != cache_version_) {
+    auto fresh = std::make_shared<EmbeddingSnapshot>();
+    fresh->entities = entity_cache_;
+    fresh->masks = mask_cache_;
+    snapshot_ = std::move(fresh);
+    snapshot_version_ = cache_version_;
+  }
+  return snapshot_;
 }
 
 Vec EmbeddingTable::Key(size_t layer, const std::string& subject,

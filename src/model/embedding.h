@@ -2,6 +2,7 @@
 #define ONEEDIT_MODEL_EMBEDDING_H_
 
 #include <cstdint>
+#include <memory>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -10,6 +11,15 @@
 #include "util/math.h"
 
 namespace oneedit {
+
+/// Immutable capture of the embedding memoization caches at one instant —
+/// the lookup table a published read view carries so snapshot readers never
+/// touch the live table's mutex. Misses are answered by recomputing (the
+/// embeddings are a pure function of (seed, name)), never by inserting.
+struct EmbeddingSnapshot {
+  std::unordered_map<std::string, Vec> entities;
+  std::unordered_map<std::string, Vec> masks;  // keyed "layer|relation"
+};
 
 /// Deterministic embedding table for the simulated model.
 ///
@@ -22,7 +32,9 @@ namespace oneedit {
 /// Lookups memoize into internal caches under a mutex, so the const read
 /// surface (Entity / RelationMask / Key) is safe to call from concurrent
 /// reader threads. Returned references stay valid for the table's lifetime
-/// (unordered_map values are reference-stable across rehashes).
+/// (unordered_map values are reference-stable across rehashes). The
+/// lock-free serving read path avoids even the shared lock by capturing
+/// SnapshotCache() into each published read view.
 class EmbeddingTable {
  public:
   EmbeddingTable(size_t dim, uint64_t seed, double alias_spread,
@@ -46,6 +58,23 @@ class EmbeddingTable {
   Vec PerturbKey(const Vec& key, double radius, uint64_t noise_seed,
                  size_t layer) const;
 
+  // --- Snapshot surface (lock-free read views) -------------------------------
+
+  /// Pure recomputation of an entity embedding / relation mask — identical
+  /// bytes to the memoized value, no cache access. Snapshot readers use
+  /// these on a cache miss instead of inserting.
+  Vec ComputeEntity(const std::string& name) const;
+  Vec ComputeMask(size_t layer, const std::string& relation) const;
+
+  /// An immutable copy of the memoization caches. Clones only when an
+  /// insert happened since the previous call; otherwise returns the same
+  /// shared capture, so steady-state publication is O(1).
+  std::shared_ptr<const EmbeddingSnapshot> SnapshotCache() const;
+
+  static std::string MaskKey(size_t layer, const std::string& relation) {
+    return std::to_string(layer) + "|" + relation;
+  }
+
  private:
   Vec SampleUnit(uint64_t stream_seed) const;
 
@@ -62,6 +91,11 @@ class EmbeddingTable {
   mutable std::shared_mutex cache_mutex_;
   mutable std::unordered_map<std::string, Vec> entity_cache_;
   mutable std::unordered_map<std::string, Vec> mask_cache_;  // "layer|rel"
+  /// Bumped on every cache insert; lets SnapshotCache reuse its last capture
+  /// when nothing changed. All three guarded by cache_mutex_.
+  mutable uint64_t cache_version_ = 0;
+  mutable uint64_t snapshot_version_ = ~uint64_t{0};
+  mutable std::shared_ptr<const EmbeddingSnapshot> snapshot_;
 };
 
 }  // namespace oneedit

@@ -10,8 +10,8 @@ namespace oneedit {
 
 LanguageModel::LanguageModel(const ModelConfig& config, Vocab vocab)
     : config_(config),
-      vocab_(std::make_unique<Vocab>(std::move(vocab))),
-      embeddings_(std::make_unique<EmbeddingTable>(
+      vocab_(std::make_shared<const Vocab>(std::move(vocab))),
+      embeddings_(std::make_shared<const EmbeddingTable>(
           config.dim, config.seed, config.alias_spread, *vocab_)),
       memory_(std::make_unique<AssocMemory>(config.num_layers, config.dim)) {}
 
@@ -242,6 +242,102 @@ void LanguageModel::RemoveAdaptor(const QueryAdaptor* adaptor) {
                        return a.get() == adaptor;
                      }),
       adaptors_.end());
+}
+
+ModelReadView LanguageModel::SnapshotReadView() const {
+  ModelReadView view;
+  view.config_ = config_;
+  view.vocab_ = vocab_;
+  view.table_ = embeddings_;
+  view.cache_ = embeddings_->SnapshotCache();
+  view.layers_ = memory_->Snapshot();
+  view.adaptors_.reserve(adaptors_.size());
+  for (const auto& adaptor : adaptors_) {
+    if (auto frozen = adaptor->Freeze()) {
+      view.adaptors_.push_back(std::move(frozen));
+    }
+  }
+  return view;
+}
+
+const Vec& ModelReadView::EntityEmbedding(const std::string& name,
+                                          Vec* scratch) const {
+  auto it = cache_->entities.find(name);
+  if (it != cache_->entities.end()) return it->second;
+  *scratch = table_->ComputeEntity(name);
+  return *scratch;
+}
+
+const Vec& ModelReadView::MaskEmbedding(size_t layer,
+                                        const std::string& relation,
+                                        Vec* scratch) const {
+  auto it = cache_->masks.find(EmbeddingTable::MaskKey(layer, relation));
+  if (it != cache_->masks.end()) return it->second;
+  *scratch = table_->ComputeMask(layer, relation);
+  return *scratch;
+}
+
+Vec ModelReadView::KeyFor(size_t layer, const std::string& subject,
+                          const std::string& relation) const {
+  Vec entity_scratch;
+  Vec mask_scratch;
+  const Vec& e = EntityEmbedding(subject, &entity_scratch);
+  const Vec& mask = MaskEmbedding(layer, relation, &mask_scratch);
+  Vec key(config_.dim);
+  for (size_t i = 0; i < config_.dim; ++i) key[i] = e[i] * mask[i];
+  return Normalized(key);
+}
+
+Decode ModelReadView::Query(const std::string& subject,
+                            const std::string& relation,
+                            const QueryOptions& options) const {
+  // Mirrors LanguageModel::QueryInternal (non-attenuated pathway) against
+  // the captured state; keep the two in sync.
+  std::vector<Vec> keys;
+  keys.reserve(config_.num_layers);
+  for (size_t layer = 0; layer < config_.num_layers; ++layer) {
+    const Vec center = KeyFor(layer, subject, relation);
+    keys.push_back(table_->PerturbKey(center, options.key_noise,
+                                      options.probe_seed, layer));
+  }
+
+  if (options.use_adaptors) {
+    for (const auto& adaptor : adaptors_) {
+      std::string answer;
+      if (adaptor->TryAnswer(keys[0], &answer)) {
+        Decode out;
+        out.entity = vocab_->Canonical(answer);
+        out.score = 1.0;
+        out.margin = 1.0;
+        out.intercepted = true;
+        return out;
+      }
+    }
+  }
+
+  Vec pooled(config_.dim, 0.0);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Vec partial = layers_[l]->MatVec(keys[l]);
+    for (size_t i = 0; i < config_.dim; ++i) pooled[i] += partial[i];
+  }
+
+  Decode out;
+  double best = -1e300;
+  double second = -1e300;
+  Vec scratch;
+  for (const std::string& candidate : vocab_->entities) {
+    const double score = Dot(pooled, EntityEmbedding(candidate, &scratch));
+    if (score > best) {
+      second = best;
+      best = score;
+      out.entity = candidate;
+    } else if (score > second) {
+      second = score;
+    }
+  }
+  out.score = best;
+  out.margin = vocab_->entities.size() > 1 ? best - second : best;
+  return out;
 }
 
 }  // namespace oneedit

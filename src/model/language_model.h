@@ -40,6 +40,53 @@ class QueryAdaptor {
   /// If the adaptor covers `layer0_key`, fills *answer with the canonical
   /// entity to output and returns true.
   virtual bool TryAnswer(const Vec& layer0_key, std::string* answer) const = 0;
+
+  /// An immutable copy of this adaptor for lock-free read views: the frozen
+  /// copy's TryAnswer must match this adaptor's behaviour at the instant of
+  /// the call and never change afterwards. Returning nullptr (the default)
+  /// means "not freezable"; such adaptors are absent from snapshot reads.
+  /// Called only from the thread that mutates the adaptor.
+  virtual std::shared_ptr<const QueryAdaptor> Freeze() const { return nullptr; }
+};
+
+/// An immutable, refcounted capture of everything a model query touches:
+/// frozen weight layers, the embedding memoization caches, and frozen query
+/// adaptors. Queries through a view are lock-free (embedding cache misses
+/// recompute the deterministic value instead of inserting) and always decode
+/// against the exact weights captured, no matter how many edits land on the
+/// live model afterwards. Copyable and cheap to copy (shared_ptrs only).
+class ModelReadView {
+ public:
+  ModelReadView() = default;
+
+  /// Single-hop query, byte-identical to LanguageModel::Query against the
+  /// captured state.
+  Decode Query(const std::string& subject, const std::string& relation,
+               const QueryOptions& options = {}) const;
+
+  const ModelConfig& config() const { return config_; }
+  const Vocab& vocab() const { return *vocab_; }
+  size_t num_adaptors() const { return adaptors_.size(); }
+
+ private:
+  friend class LanguageModel;
+
+  /// Embedding of `name`: from the captured cache when present, else
+  /// recomputed into *scratch (identical bytes either way).
+  const Vec& EntityEmbedding(const std::string& name, Vec* scratch) const;
+  const Vec& MaskEmbedding(size_t layer, const std::string& relation,
+                           Vec* scratch) const;
+  Vec KeyFor(size_t layer, const std::string& subject,
+             const std::string& relation) const;
+
+  ModelConfig config_;
+  std::shared_ptr<const Vocab> vocab_;
+  // The live table, used only for its pure compute helpers (no cache access);
+  // held shared so a view outliving the model stays valid.
+  std::shared_ptr<const EmbeddingTable> table_;
+  std::shared_ptr<const EmbeddingSnapshot> cache_;
+  WeightSnapshot layers_;
+  std::vector<std::shared_ptr<const QueryAdaptor>> adaptors_;
 };
 
 /// The simulated LLM: deterministic embeddings + a layered linear
@@ -119,6 +166,14 @@ class LanguageModel {
     memory_->Restore(snapshot);
   }
 
+  // --- Read views (lock-free serving) -----------------------------------------
+
+  /// Captures the current model state as an immutable view. Must be called
+  /// from the (single) thread that mutates the model; the returned view may
+  /// then be queried from any number of threads concurrently with further
+  /// mutations.
+  ModelReadView SnapshotReadView() const;
+
  private:
   Decode DecodeVector(const Vec& pooled) const;
 
@@ -129,10 +184,13 @@ class LanguageModel {
                        bool attenuate_unconsolidated) const;
 
   ModelConfig config_;
-  // The vocab lives on the heap so EmbeddingTable's reference to it survives
-  // moves of the LanguageModel.
-  std::unique_ptr<Vocab> vocab_;
-  std::unique_ptr<EmbeddingTable> embeddings_;
+  // The vocab and embedding table are shared (not unique) so read views can
+  // keep them alive past the model, and heap-allocated so EmbeddingTable's
+  // vocab reference survives moves of the LanguageModel. Both are immutable
+  // after construction apart from the table's internal memoization, which is
+  // thread-safe behind const.
+  std::shared_ptr<const Vocab> vocab_;
+  std::shared_ptr<const EmbeddingTable> embeddings_;
   std::unique_ptr<AssocMemory> memory_;
   std::vector<std::shared_ptr<QueryAdaptor>> adaptors_;
   /// Weights as of the end of Pretrain(); deltas beyond this are

@@ -79,7 +79,8 @@ EditService::EditService(std::unique_ptr<OneEditSystem> system,
                          const EditServiceOptions& options)
     : system_(std::move(system)),
       options_(options),
-      durability_(options.durability) {
+      durability_(options.durability),
+      hub_(options.snapshot_retention) {
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   if (options_.max_batch_size == 0) options_.max_batch_size = 1;
   // Enable-only: turning the process-wide recorder OFF here would disarm
@@ -129,6 +130,10 @@ EditService::EditService(std::unique_ptr<OneEditSystem> system,
     applied_sequence_.store(durability_->committed_sequence(),
                             std::memory_order_release);
   }
+  // First publication: the recovered (or empty) state becomes readable
+  // before any concurrent actor exists — readers never see a null hub, and
+  // a follower's first shipped batch republishes from here.
+  PublishSnapshot(applied_sequence());
   StartReplication();
   writer_ = std::thread(&EditService::WriterLoop, this);
   StartMetricsServer();
@@ -236,18 +241,65 @@ std::future<StatusOr<EditResult>> EditService::Submit(EditRequest request) {
   return future;
 }
 
+StatusOr<Snapshot> EditService::GetSnapshot(const ReadOptions& options) const {
+  obs::TraceRecorder& tracer = obs::TraceRecorder::Global();
+  const obs::TraceContext trace = tracer.StartTrace();
+  const auto start = std::chrono::steady_clock::now();
+  Statistics& stats = system_->statistics();
+  StatusOr<Snapshot> snapshot = hub_.GetSnapshot(options);
+  if (snapshot.ok()) {
+    // One served read view. Reads against the pinned handle are pure
+    // pointer chases with nothing service-wide left to account, so the
+    // read telemetry lives here: a pin never waits on the writer lock
+    // (recorded as the explicit 0 the bench's no-block gate asserts on),
+    // and the latency histogram covers resolve-options-to-state — the
+    // only part of a snapshot read whose duration the service controls.
+    stats.Add(Ticker::kServingReads);
+    stats.Record(Histogram::kServingReadLockWaitMicros, 0);
+    stats.Record(Histogram::kServingReadMicros,
+                 static_cast<uint64_t>(
+                     std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count()));
+  } else if (snapshot.status().IsUnavailable() && options.min_sequence > 0) {
+    // The read carried a read-your-writes token this instance has not
+    // applied yet — the replication staleness signal.
+    stats.Add(Ticker::kReplStaleReads);
+  }
+  tracer.RecordRoot(trace, "ask", obs::TraceNowNanos());
+  return snapshot;
+}
+
+void EditService::PublishSnapshot(uint64_t sequence) {
+  hub_.Publish(system_->SnapshotReadView(), sequence);
+  system_->statistics().Add(Ticker::kSnapshotsPublished);
+}
+
 Decode EditService::Ask(const std::string& subject,
                         const std::string& relation) const {
   obs::TraceRecorder& tracer = obs::TraceRecorder::Global();
   const obs::TraceContext trace = tracer.StartTrace();
   const auto start = std::chrono::steady_clock::now();
-  // Touch the writer gate first: if a writer is waiting for the exclusive
-  // lock it holds the gate, and this reader queues behind it.
-  { std::lock_guard<std::mutex> gate(writer_gate_); }
-  std::shared_lock<std::shared_mutex> lock(rw_mutex_);
-  Decode decode = system_->Ask(subject, relation);
-  lock.unlock();
   Statistics& stats = system_->statistics();
+  Decode decode;
+  if (options_.read_path == ReadPath::kLockedLegacy) {
+    // Touch the writer gate first: if a writer is waiting for the exclusive
+    // lock it holds the gate, and this reader queues behind it.
+    { std::lock_guard<std::mutex> gate(writer_gate_); }
+    std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+    stats.Record(Histogram::kServingReadLockWaitMicros,
+                 static_cast<uint64_t>(
+                     std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count()));
+    decode = system_->Ask(subject, relation);
+  } else {
+    // Snapshot path: pin the published state; no lock exists to wait on
+    // (recorded as 0 so the bench can assert the queue-wait is gone).
+    stats.Record(Histogram::kServingReadLockWaitMicros, 0);
+    const std::shared_ptr<const ReadState> state = hub_.Acquire();
+    decode = state->view.Ask(subject, relation);
+  }
   stats.Add(Ticker::kServingReads);
   stats.Record(Histogram::kServingReadMicros,
                static_cast<uint64_t>(
@@ -275,6 +327,9 @@ void EditService::Stop() {
     if (follower_ != nullptr) follower_->Stop();
     if (repl_server_ != nullptr) repl_server_->Stop();
   }
+  // Wake GetSnapshot waiters blocked on a min_sequence that will now never
+  // arrive; already-pinned handles keep serving.
+  hub_.Stop();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (stopping_) {
@@ -482,18 +537,25 @@ Status EditService::ApplyReplicatedBatch(
     // first sequence), so the verdict itself is journal-only here.
     if (!record.quarantine) requests.push_back(record.request);
   }
-  if (!requests.empty()) {
+  {
     std::unique_lock<std::mutex> gate(writer_gate_);
     std::unique_lock<std::shared_mutex> write_lock(rw_mutex_);
     gate.unlock();
-    if (options_.self_heal.validate_after_apply) {
-      SelfHealer healer(system_.get(), options_.self_heal);
-      (void)healer.ApplyValidated(requests, batch.first_sequence);
-    } else {
-      (void)system_->EditBatch(requests);
+    if (!requests.empty()) {
+      if (options_.self_heal.validate_after_apply) {
+        SelfHealer healer(system_.get(), options_.self_heal);
+        (void)healer.ApplyValidated(requests, batch.first_sequence);
+      } else {
+        (void)system_->EditBatch(requests);
+      }
     }
+    // Shipped-batch boundary: publish while still holding the lock, BEFORE
+    // advancing the token — a reader that sees the new applied_sequence()
+    // (or an AskAtLeast/GetSnapshot waiter it wakes) must pin a state that
+    // already contains the batch.
+    PublishSnapshot(batch.last_sequence);
+    applied_sequence_.store(batch.last_sequence, std::memory_order_release);
   }
-  applied_sequence_.store(batch.last_sequence, std::memory_order_release);
   stats.Record(Histogram::kReplApplyMicros,
                static_cast<uint64_t>(
                    std::chrono::duration_cast<std::chrono::microseconds>(
@@ -518,6 +580,7 @@ Status EditService::InstallReplicatedSnapshot(uint64_t checkpoint_sequence,
     ONEEDIT_LOG(Info) << "installed snapshot at sequence " << installed
                       << " (advertised " << checkpoint_sequence << ")";
   }
+  PublishSnapshot(installed);
   applied_sequence_.store(installed, std::memory_order_release);
   return Status::OK();
 }
@@ -525,14 +588,11 @@ Status EditService::InstallReplicatedSnapshot(uint64_t checkpoint_sequence,
 StatusOr<Decode> EditService::AskAtLeast(const std::string& subject,
                                          const std::string& relation,
                                          uint64_t min_sequence) const {
-  const uint64_t applied = applied_sequence();
-  if (applied < min_sequence) {
-    system_->statistics().Add(Ticker::kReplStaleReads);
-    return Status::Unavailable(
-        "replica has applied through sequence " + std::to_string(applied) +
-        " but the read requires " + std::to_string(min_sequence));
-  }
-  return Ask(subject, relation);
+  ReadOptions options;
+  options.min_sequence = min_sequence;
+  StatusOr<Snapshot> snapshot = GetSnapshot(options);
+  if (!snapshot.ok()) return snapshot.status();
+  return snapshot->Ask(subject, relation);
 }
 
 Status EditService::Promote() {
@@ -811,15 +871,16 @@ void EditService::WriterLoop() {
                 << cadence.ToString();
           }
         }
+        // The batch (and any quarantine verdicts) is applied and durable:
+        // publish the new read state, then advance the commit point, all
+        // before the exclusive lock drops — every promise resolved below
+        // is read-your-writes visible to snapshot readers.
+        const uint64_t commit = durability_ != nullptr
+                                    ? durability_->committed_sequence()
+                                    : nodur_seed_;
+        PublishSnapshot(commit);
+        applied_sequence_.store(commit, std::memory_order_release);
       }
-    }
-    if (results_valid) {
-      // The batch (and any quarantine verdicts) is applied and durable;
-      // this instance now serves through the new commit point.
-      applied_sequence_.store(durability_ != nullptr
-                                  ? durability_->committed_sequence()
-                                  : nodur_seed_,
-                              std::memory_order_release);
     }
     if (results_valid && options_.replication.ack_replicas > 0) {
       // Quorum ack: hold the client promises until enough followers have
@@ -1025,6 +1086,38 @@ void EditService::ExportMetrics(obs::MetricsRegistry* registry) {
         }
         return states;
       });
+
+  // Snapshot publication surface (docs/serving.md): epoch lag measures how
+  // far the published read state trails the commit point (0 in steady
+  // state — the writer publishes before resolving promises); reader-held
+  // states count retired epochs kept alive solely by outstanding handles.
+  registry->AddGauge(
+      "snapshot_epoch", "Publication ordinal of the current read state",
+      [this] { return static_cast<double>(hub_.epoch()); });
+  registry->AddGauge(
+      "snapshot_sequence",
+      "WAL sequence the published read state serves through",
+      [this] { return static_cast<double>(hub_.sequence()); });
+  registry->AddGauge(
+      "snapshot_epoch_lag_records",
+      "Records applied at the commit point but not yet published",
+      [this] {
+        const uint64_t applied = applied_sequence();
+        const uint64_t published = hub_.sequence();
+        return static_cast<double>(applied > published ? applied - published
+                                                       : 0);
+      });
+  registry->AddGauge(
+      "snapshot_states_alive", "ReadState objects not yet freed",
+      [this] { return static_cast<double>(hub_.states_alive()); });
+  registry->AddGauge(
+      "snapshot_states_retained",
+      "States held in the time-travel retention window",
+      [this] { return static_cast<double>(hub_.states_retained()); });
+  registry->AddGauge(
+      "snapshot_reader_held_states",
+      "Retired states kept alive solely by pinned reader handles",
+      [this] { return static_cast<double>(hub_.reader_held_states()); });
 
   registry->AddInfo("health_transitions", [this] {
     std::string json = "[";

@@ -21,6 +21,7 @@
 #include "replication/follower.h"
 #include "replication/server.h"
 #include "serving/self_healing.h"
+#include "serving/snapshot.h"
 
 namespace oneedit {
 namespace serving {
@@ -89,6 +90,17 @@ struct HealthTransition {
   uint64_t sequence = 0;
 };
 
+/// Which mechanism serves reads (the deprecated Ask/AskAtLeast shims; the
+/// Snapshot surface always uses the hub).
+enum class ReadPath {
+  /// Lock-free: reads pin the current published ReadState and never touch
+  /// the writer's locks. The default, and what GetSnapshot always does.
+  kSnapshot,
+  /// The pre-snapshot path: writer-gate touch + shared lock on rw_mutex_.
+  /// Kept only as the A/B baseline for bench/serving_bench.
+  kLockedLegacy,
+};
+
 /// Knobs for EditService. Defaults suit an interactive deployment: a small
 /// bounded queue that blocks producers rather than dropping edits.
 struct EditServiceOptions {
@@ -130,16 +142,28 @@ struct EditServiceOptions {
   uint16_t metrics_port = 0;
   /// Replication role and wiring (docs/replication.md).
   ReplicationOptions replication;
+  /// How the deprecated Ask/AskAtLeast shims read (docs/serving.md).
+  /// GetSnapshot ignores this and is always lock-free.
+  ReadPath read_path = ReadPath::kSnapshot;
+  /// How many published states stay reachable for ReadOptions::at_sequence
+  /// time travel (clamped to >= SnapshotHub::kSlots).
+  size_t snapshot_retention = 8;
 };
 
 /// EditService: the concurrent serving layer over OneEditSystem.
 ///
-/// Replaces the coarse-lock ConcurrentOneEdit facade with reader/writer
-/// separation:
+/// Replaces the coarse-lock ConcurrentOneEdit facade with epoch-based
+/// snapshot reads (docs/serving.md):
 ///
-///  - `Ask` takes a shared lock, so any number of reader threads query the
-///    model concurrently; they only block while the writer is applying
-///    weights.
+///  - `GetSnapshot` pins the current published ReadState lock-free and
+///    returns a Snapshot handle; every read through one handle observes the
+///    same post-batch instant (model decodes and KG lookups never mix two
+///    edit batches), and readers never block the writer or each other. After
+///    each validated batch the writer publishes a fresh immutable state
+///    (COW: only mutated weight layers / KG indexes are copied) stamped with
+///    the batch's last WAL sequence; a retired state is freed when the last
+///    handle drops it. ReadOptions unifies point-in-time (`at_sequence`) and
+///    bounded-staleness (`min_sequence`, the old AskAtLeast) reads.
 ///  - `Submit` enqueues an EditRequest into a bounded MPMC queue and returns
 ///    a future. A single writer thread drains the queue, admits pending
 ///    requests with disjoint entity footprints ({subject, object} — reverse
@@ -201,7 +225,17 @@ class EditService {
     return Submit(std::move(request)).get();
   }
 
-  /// Concurrent read path: queries the model under a shared lock.
+  /// The unified read entry point: resolves `options` against the published
+  /// state and returns a pinned, immutable Snapshot handle (lock-free on the
+  /// default/fast path; see serving/snapshot.h for the Status taxonomy).
+  /// Any number of reads through the handle observe one consistent instant.
+  StatusOr<Snapshot> GetSnapshot(const ReadOptions& options = {}) const;
+
+  /// Deprecated one-shot read shim: pins the current snapshot, asks, drops
+  /// the pin (or, with options().read_path == kLockedLegacy, takes the old
+  /// writer-gate + shared-lock path — the bench A/B baseline). Multi-read
+  /// consistency needs GetSnapshot.
+  [[deprecated("use GetSnapshot(ReadOptions{}) and Snapshot::Ask")]]
   Decode Ask(const std::string& subject, const std::string& relation) const;
 
   /// Blocks until every request submitted so far has been applied (or
@@ -221,12 +255,22 @@ class EditService {
     std::unique_lock<std::mutex> gate(writer_gate_);
     std::unique_lock<std::shared_mutex> lock(rw_mutex_);
     gate.unlock();
+    // Administrative surgery mutates state readers cannot see until it is
+    // republished; do so on every exit path, still under the lock.
+    struct Republish {
+      EditService* service;
+      ~Republish() { service->PublishSnapshot(service->applied_sequence()); }
+    } republish{this};
     return fn(*system_);
   }
 
   /// Statistics are internally atomic — no lock needed.
   const Statistics& statistics() const { return system_->statistics(); }
   Statistics& statistics() { return system_->statistics(); }
+
+  /// The publication hub's gauges (epoch, published sequence, retained /
+  /// reader-held states) — also exported as snapshot_* metrics.
+  const SnapshotHub& snapshot_hub() const { return hub_; }
 
   size_t queue_depth() const;
   const EditServiceOptions& options() const { return options_; }
@@ -267,10 +311,14 @@ class EditService {
     return applied_sequence_.load(std::memory_order_acquire);
   }
 
-  /// Bounded-staleness read: answers only if this instance has applied at
-  /// least `min_sequence` (a primary's applied_sequence() token, so a
-  /// client can read-its-writes on a replica). Unavailable — and a
+  /// Deprecated bounded-staleness shim: answers only if this instance has
+  /// applied at least `min_sequence` (a primary's applied_sequence() token,
+  /// so a client can read-its-writes on a replica). Unavailable — and a
   /// kReplStaleReads tick — when the replica is still behind the token.
+  /// Wait-free when satisfied. Equivalent to
+  /// GetSnapshot({.min_sequence = min_sequence}) + Snapshot::Ask, which
+  /// additionally supports waiting with ReadOptions::deadline.
+  [[deprecated("use GetSnapshot(ReadOptions{.min_sequence = ...})")]]
   StatusOr<Decode> AskAtLeast(const std::string& subject,
                               const std::string& relation,
                               uint64_t min_sequence) const;
@@ -389,6 +437,14 @@ class EditService {
   Status InstallReplicatedSnapshot(uint64_t checkpoint_sequence,
                                    const std::string& bytes);
 
+  /// Freezes the system into an immutable ReadState and publishes it at
+  /// `sequence`. Caller must hold the exclusive lock (or otherwise guarantee
+  /// no concurrent mutation: the constructor calls it before the writer
+  /// starts), and must publish BEFORE advancing applied_sequence_ past
+  /// `sequence` — a reader that observes the token must find a state that
+  /// contains it. Ticks kSnapshotsPublished.
+  void PublishSnapshot(uint64_t sequence);
+
   std::unique_ptr<OneEditSystem> system_;
   EditServiceOptions options_;
   durability::DurabilityManager* durability_ = nullptr;
@@ -407,14 +463,21 @@ class EditService {
   /// sequences (writer thread only).
   uint64_t nodur_seed_ = 0;
 
-  /// Readers share; the writer takes it exclusively only while applying a
-  /// batch (not while waiting for work).
+  /// Serializes mutators (writer batches, replication applies, WithExclusive
+  /// surgery). Snapshot readers never touch it; only the kLockedLegacy read
+  /// shim still takes it shared.
   mutable std::shared_mutex rw_mutex_;
-  /// Write-preference gate: glibc's shared_mutex favors readers, so a steady
-  /// reader stream would starve the writer forever. An exclusive acquirer
-  /// holds this gate while waiting for rw_mutex_; incoming readers touch it
-  /// first, so they queue behind the writer instead of starving it.
+  /// Write-preference gate for the legacy shared-lock read path: glibc's
+  /// shared_mutex favors readers, so a steady legacy reader stream would
+  /// starve the writer forever. An exclusive acquirer holds this gate while
+  /// waiting for rw_mutex_; legacy readers touch it first, so they queue
+  /// behind the writer instead of starving it. Snapshot reads bypass both.
   mutable std::mutex writer_gate_;
+
+  /// The epoch-based publication point between the writer and snapshot
+  /// readers (serving/snapshot.h). Published under the exclusive lock,
+  /// pinned lock-free by readers.
+  SnapshotHub hub_;
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_not_empty_;

@@ -1,0 +1,153 @@
+#include "serving/snapshot.h"
+
+#include <thread>
+
+namespace oneedit {
+namespace serving {
+
+StatusOr<Decode> Snapshot::Ask(const std::string& subject,
+                               const std::string& relation) const {
+  if (state_ == nullptr) {
+    return Status::FailedPrecondition(
+        "read on an invalid (default-constructed) Snapshot handle");
+  }
+  if (subject.empty()) return Status::InvalidArgument("empty subject");
+  if (relation.empty()) return Status::InvalidArgument("empty relation");
+  return state_->view.Ask(subject, relation);
+}
+
+SnapshotHub::SnapshotHub(size_t retention)
+    : retention_(retention < kSlots ? kSlots : retention) {}
+
+SnapshotHub::~SnapshotHub() { Stop(); }
+
+void SnapshotHub::Publish(SystemReadView view, uint64_t sequence) {
+  const uint64_t next = epoch_.load(std::memory_order_relaxed) + 1;
+  auto state =
+      std::make_shared<const ReadState>(std::move(view), sequence, next, alive_);
+
+  Slot& slot = ring_[next % kSlots];
+  // Wait out stragglers still pinned on the state from kSlots epochs ago.
+  // Pins are only ever held across a shared_ptr copy, so this spin is
+  // bounded by a few instructions per reader.
+  while (slot.pins.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+  slot.state = state;  // retires the state from kSlots epochs ago
+  epoch_.store(next, std::memory_order_seq_cst);
+  sequence_.store(sequence, std::memory_order_seq_cst);
+
+  {
+    std::lock_guard<std::mutex> lock(retain_mutex_);
+    retained_.push_back(std::move(state));
+    while (retained_.size() > retention_) retained_.pop_front();
+  }
+  retain_cv_.notify_all();
+}
+
+void SnapshotHub::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(retain_mutex_);
+    stopped_ = true;
+  }
+  retain_cv_.notify_all();
+}
+
+std::shared_ptr<const ReadState> SnapshotHub::Acquire() const {
+  for (;;) {
+    const uint64_t e = epoch_.load(std::memory_order_seq_cst);
+    if (e == 0) return nullptr;
+    const Slot& slot = ring_[e % kSlots];
+    slot.pins.fetch_add(1, std::memory_order_seq_cst);
+    if (epoch_.load(std::memory_order_seq_cst) == e) {
+      // Validated: the publisher cannot touch this slot until we unpin
+      // (see the protocol proof in the header).
+      std::shared_ptr<const ReadState> out = slot.state;
+      slot.pins.fetch_sub(1, std::memory_order_release);
+      return out;
+    }
+    // The epoch moved under us; this slot may be mid-overwrite. Unpin and
+    // retry on the new epoch.
+    slot.pins.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+size_t SnapshotHub::states_retained() const {
+  std::lock_guard<std::mutex> lock(retain_mutex_);
+  return retained_.size();
+}
+
+int64_t SnapshotHub::reader_held_states() const {
+  std::lock_guard<std::mutex> lock(retain_mutex_);
+  const int64_t held =
+      alive_->load(std::memory_order_relaxed) -
+      static_cast<int64_t>(retained_.size());
+  return held < 0 ? 0 : held;
+}
+
+StatusOr<Snapshot> SnapshotHub::AcquireAt(uint64_t at_sequence,
+                                          uint64_t min_sequence) const {
+  std::lock_guard<std::mutex> lock(retain_mutex_);
+  if (retained_.empty()) {
+    return Status::Unavailable("no state published yet");
+  }
+  // Newest retained state with sequence <= at_sequence.
+  for (auto it = retained_.rbegin(); it != retained_.rend(); ++it) {
+    if ((*it)->sequence <= at_sequence) {
+      if ((*it)->sequence < min_sequence) {
+        return Status::Unavailable(
+            "at_sequence " + std::to_string(at_sequence) +
+            " resolves to sequence " + std::to_string((*it)->sequence) +
+            " < min_sequence " + std::to_string(min_sequence));
+      }
+      return Snapshot(*it);
+    }
+  }
+  return Status::OutOfRange(
+      "at_sequence " + std::to_string(at_sequence) +
+      " predates the retention window (oldest retained: " +
+      std::to_string(retained_.front()->sequence) + ")");
+}
+
+StatusOr<Snapshot> SnapshotHub::GetSnapshot(const ReadOptions& options) const {
+  if (options.at_sequence.has_value()) {
+    if (*options.at_sequence < options.min_sequence) {
+      return Status::InvalidArgument(
+          "at_sequence " + std::to_string(*options.at_sequence) +
+          " < min_sequence " + std::to_string(options.min_sequence) +
+          ": unsatisfiable read");
+    }
+    return AcquireAt(*options.at_sequence, options.min_sequence);
+  }
+
+  // Fast path: the current state already satisfies min_sequence (always
+  // true for the default options). Wait-free.
+  if (std::shared_ptr<const ReadState> state = Acquire();
+      state != nullptr && state->sequence >= options.min_sequence) {
+    return Snapshot(std::move(state));
+  }
+
+  if (!options.deadline.has_value()) {
+    return Status::Unavailable(
+        "state behind min_sequence " + std::to_string(options.min_sequence) +
+        " (applied: " + std::to_string(sequence()) + ")");
+  }
+
+  std::unique_lock<std::mutex> lock(retain_mutex_);
+  const bool satisfied = retain_cv_.wait_until(
+      lock, *options.deadline, [this, &options] {
+        return stopped_ ||
+               (!retained_.empty() &&
+                retained_.back()->sequence >= options.min_sequence);
+      });
+  if (!satisfied || stopped_) {
+    return Status::Unavailable(
+        (stopped_ ? std::string("hub stopped") : std::string("deadline")) +
+        " before min_sequence " + std::to_string(options.min_sequence) +
+        " was applied (applied: " + std::to_string(sequence()) + ")");
+  }
+  return Snapshot(retained_.back());
+}
+
+}  // namespace serving
+}  // namespace oneedit

@@ -1,0 +1,231 @@
+#ifndef ONEEDIT_SERVING_SNAPSHOT_H_
+#define ONEEDIT_SERVING_SNAPSHOT_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/oneedit.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+namespace serving {
+
+/// One published, immutable serving state: a SystemReadView (frozen KG +
+/// weights + embedding/adaptor views + edit-cache generation) stamped with
+/// the last WAL sequence whose effects it contains and its publication
+/// epoch. Refcounted: the state lives while any reader handle, retention
+/// slot, or ring slot references it, and is freed when the last reference
+/// drains — that is the "retire" step of the publish → pin → retire
+/// lifecycle.
+struct ReadState {
+  ReadState(SystemReadView v, uint64_t seq, uint64_t ep,
+            std::shared_ptr<std::atomic<int64_t>> alive)
+      : view(std::move(v)), sequence(seq), epoch(ep), alive_(std::move(alive)) {
+    if (alive_ != nullptr) alive_->fetch_add(1, std::memory_order_relaxed);
+  }
+  ~ReadState() {
+    if (alive_ != nullptr) alive_->fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  ReadState(const ReadState&) = delete;
+  ReadState& operator=(const ReadState&) = delete;
+
+  SystemReadView view;
+  uint64_t sequence = 0;
+  uint64_t epoch = 0;
+
+ private:
+  /// Hub-shared liveness counter, so tests can assert retired states are
+  /// actually freed (no unbounded epoch growth).
+  std::shared_ptr<std::atomic<int64_t>> alive_;
+};
+
+/// Options for EditService::GetSnapshot — the unified read surface that
+/// subsumes the old Ask / AskAtLeast split.
+struct ReadOptions {
+  /// Time travel: serve the newest retained state whose sequence is
+  /// <= at_sequence. OutOfRange if that state has already left the
+  /// retention window.
+  std::optional<uint64_t> at_sequence;
+  /// Bounded staleness (the old AskAtLeast token): require a state with
+  /// sequence >= min_sequence. Without a deadline, Unavailable immediately
+  /// when the instance is still behind; with one, wait for the writer (or
+  /// replication apply loop) to catch up until the deadline, then
+  /// Unavailable.
+  uint64_t min_sequence = 0;
+  /// Optional wait bound for min_sequence.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
+/// A pinned, immutable view of the whole system. Every read through one
+/// handle observes the same post-batch instant — model decodes and KG
+/// lookups can never mix two edit batches. Handles are cheap to copy, safe
+/// to share across threads, and keep their state alive (and its sequence
+/// readable via time-travel) until released; they never block the writer.
+class Snapshot {
+ public:
+  /// An invalid handle; every read returns FailedPrecondition.
+  Snapshot() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// The WAL sequence whose effects this snapshot serves (0 when the system
+  /// has no durability manager and nothing was applied yet).
+  uint64_t sequence() const { return state_ == nullptr ? 0 : state_->sequence; }
+
+  /// Publication ordinal of this state (1-based; monotone per service).
+  uint64_t epoch() const { return state_ == nullptr ? 0 : state_->epoch; }
+
+  /// KnowledgeGraph::version() / EditCache::generation() at publication —
+  /// the cross-store consistency stamps.
+  uint64_t kg_version() const {
+    return state_ == nullptr ? 0 : state_->view.kg_version;
+  }
+  uint64_t cache_generation() const {
+    return state_ == nullptr ? 0 : state_->view.cache_generation;
+  }
+
+  /// Model read ("what is the <relation> of <subject>?") against the pinned
+  /// state. Lock-free. Errors (docs/serving.md):
+  ///  - FailedPrecondition: invalid (default-constructed) handle;
+  ///  - InvalidArgument: empty subject or relation.
+  StatusOr<Decode> Ask(const std::string& subject,
+                       const std::string& relation) const;
+
+  /// Symbolic reads against the same pinned state.
+  bool KgContains(const NamedTriple& triple) const {
+    return state_ != nullptr && state_->view.kg.Contains(triple);
+  }
+  std::optional<std::string> KgObjectOf(const std::string& subject,
+                                        const std::string& relation) const {
+    if (state_ == nullptr) return std::nullopt;
+    return state_->view.kg.ObjectOf(subject, relation);
+  }
+
+ private:
+  friend class SnapshotHub;
+  explicit Snapshot(std::shared_ptr<const ReadState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const ReadState> state_;
+};
+
+/// The epoch-based publication point between one writer and many readers.
+///
+/// The writer calls Publish(view, sequence) after each validated batch;
+/// readers call Acquire()/GetSnapshot() and never take a lock on the hot
+/// path. The mechanism is a small ring of kSlots slots, each a
+/// {state, pin-count} pair, plus a monotone epoch counter naming the
+/// current slot:
+///
+///  - reader (pin):   e = epoch; pins[e % k]++; re-validate epoch == e;
+///                    copy the slot's shared_ptr; pins[e % k]--.
+///  - writer (publish): wait for pins[(e+1) % k] == 0; write the new state
+///                    into that slot (dropping the state from k epochs
+///                    ago); epoch = e + 1.
+///
+/// Correctness leans on the seq_cst total order over the pin RMWs and the
+/// epoch loads/stores: if the writer's pins==0 read precedes a reader's
+/// pin increment, that reader's validation load is also after the writer's
+/// earlier epoch stores, so it observes an epoch >= e + k - 1 != e
+/// (kSlots >= 2) and retries without touching the slot; if the increment
+/// precedes the read, the writer waits for the unpin, which the reader
+/// issues only after its copy completes. Either way the writer never
+/// overwrites a slot a reader is copying from. Pins are held only for the
+/// few instructions of a shared_ptr copy — lifetime beyond that is the
+/// refcount's job — so the writer's wait is bounded and short.
+///
+/// A mutex-guarded retention deque of the last `retention` states backs the
+/// two cold paths: at_sequence time travel and min_sequence waits.
+class SnapshotHub {
+ public:
+  static constexpr size_t kSlots = 4;
+
+  /// `retention`: how many recent states stay reachable for at_sequence
+  /// time travel (clamped to >= kSlots so the alive-minus-retained reader
+  /// gauge stays meaningful).
+  explicit SnapshotHub(size_t retention = 8);
+  ~SnapshotHub();
+
+  SnapshotHub(const SnapshotHub&) = delete;
+  SnapshotHub& operator=(const SnapshotHub&) = delete;
+
+  // --- Writer side (one publishing thread at a time) -------------------------
+
+  /// Publishes `view` as the new current state. Wakes min_sequence waiters.
+  void Publish(SystemReadView view, uint64_t sequence);
+
+  /// Wakes every waiter with Unavailable and makes further waits fail fast.
+  /// Publish/Acquire stay usable (shutdown still serves pinned readers).
+  void Stop();
+
+  // --- Reader side ------------------------------------------------------------
+
+  /// Lock-free pin of the current state; nullptr before the first Publish.
+  std::shared_ptr<const ReadState> Acquire() const;
+
+  /// The unified read entry: resolves `options` to a pinned Snapshot.
+  ///  - OK: a valid handle;
+  ///  - Unavailable: min_sequence not yet applied (immediately without a
+  ///    deadline; after waiting until the deadline with one), the hub is
+  ///    stopped mid-wait, or nothing was published yet;
+  ///  - OutOfRange: at_sequence predates the retention window;
+  ///  - InvalidArgument: both at_sequence and min_sequence set with
+  ///    at_sequence < min_sequence (an unsatisfiable read).
+  StatusOr<Snapshot> GetSnapshot(const ReadOptions& options = {}) const;
+
+  // --- Gauges (lock-free unless noted) ----------------------------------------
+
+  /// Publication count / last published sequence.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  uint64_t sequence() const {
+    return sequence_.load(std::memory_order_acquire);
+  }
+  /// ReadState objects not yet destroyed.
+  int64_t states_alive() const {
+    return alive_->load(std::memory_order_relaxed);
+  }
+  /// States currently in the retention window. Takes the retention mutex.
+  size_t states_retained() const;
+  /// States kept alive solely by outstanding reader handles (alive minus
+  /// retained; >= 0). The pinned-reader gauge the metrics page exports.
+  int64_t reader_held_states() const;
+
+ private:
+  struct Slot {
+    /// Written only by the publisher, only while unpinned and not current.
+    std::shared_ptr<const ReadState> state;
+    /// Transient reader pins; see the class comment for the protocol.
+    mutable std::atomic<uint64_t> pins{0};
+  };
+
+  /// Newest retained state with sequence <= at_sequence (retention mutex).
+  StatusOr<Snapshot> AcquireAt(uint64_t at_sequence,
+                               uint64_t min_sequence) const;
+
+  Slot ring_[kSlots];
+  /// 0 = nothing published; otherwise the current slot is epoch_ % kSlots.
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> sequence_{0};
+  std::shared_ptr<std::atomic<int64_t>> alive_ =
+      std::make_shared<std::atomic<int64_t>>(0);
+
+  size_t retention_;
+  mutable std::mutex retain_mutex_;
+  mutable std::condition_variable retain_cv_;
+  std::deque<std::shared_ptr<const ReadState>> retained_;
+  bool stopped_ = false;
+};
+
+}  // namespace serving
+}  // namespace oneedit
+
+#endif  // ONEEDIT_SERVING_SNAPSHOT_H_

@@ -576,7 +576,9 @@ TEST(EditServiceDurabilityTest, WalFailureDegradesToReadOnly) {
   const EditCase& first = world.dataset.cases[0];
   const EditCase& second = world.dataset.cases[1];
   const std::string before =
-      world.service->Ask(first.edit.subject, first.edit.relation).entity;
+      world.service->GetSnapshot()
+          ->Ask(first.edit.subject, first.edit.relation)
+          ->entity;
 
   // Fail the very first WAL append: the batch must not be acknowledged.
   fault.CrashAt(0);
@@ -596,7 +598,9 @@ TEST(EditServiceDurabilityTest, WalFailureDegradesToReadOnly) {
   EXPECT_GE(world.service->statistics().Get(Ticker::kWalFailures), 1u);
 
   // ...but reads keep answering, and the rejected edit never applied.
-  EXPECT_EQ(world.service->Ask(first.edit.subject, first.edit.relation).entity,
+  EXPECT_EQ(world.service->GetSnapshot()
+                ->Ask(first.edit.subject, first.edit.relation)
+                ->entity,
             before);
 }
 
@@ -631,7 +635,9 @@ TEST(EditServiceDurabilityTest, RestartRecoversAcknowledgedEdits) {
       << world.service->recovery_status().ToString();
   EXPECT_EQ(world.service->recovery_report().last_sequence, 3u);
   for (const EditCase& c : cases) {
-    EXPECT_EQ(world.service->Ask(c.edit.subject, c.edit.relation).entity,
+    EXPECT_EQ(world.service->GetSnapshot()
+                  ->Ask(c.edit.subject, c.edit.relation)
+                  ->entity,
               c.edit.object)
         << c.edit.subject;
   }

@@ -50,8 +50,8 @@ class EditingMethodTest : public ::testing::TestWithParam<std::string> {
   bool WeightsArePristine() const {
     const WeightSnapshot now = model_.SnapshotWeights();
     for (size_t l = 0; l < now.size(); ++l) {
-      const auto& a = now[l].data();
-      const auto& b = pristine_[l].data();
+      const auto& a = now[l]->data();
+      const auto& b = pristine_[l]->data();
       for (size_t i = 0; i < a.size(); ++i) {
         if (std::abs(a[i] - b[i]) > 1e-9) return false;
       }
@@ -107,8 +107,8 @@ TEST_P(EditingMethodTest, ReapplyMatchesOriginalApply) {
   ASSERT_TRUE((*method)->Reapply(&model_, *delta).ok());
   const WeightSnapshot after_reapply = model_.SnapshotWeights();
   for (size_t l = 0; l < after_apply.size(); ++l) {
-    const auto& a = after_apply[l].data();
-    const auto& b = after_reapply[l].data();
+    const auto& a = after_apply[l]->data();
+    const auto& b = after_reapply[l]->data();
     for (size_t i = 0; i < a.size(); ++i) {
       ASSERT_NEAR(a[i], b[i], 1e-9);
     }

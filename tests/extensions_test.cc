@@ -419,8 +419,8 @@ TEST(CacheIoTest, RestoredDeltaRollsBackRealEdit) {
   ASSERT_TRUE((*fresh_method)->Rollback(&model, *cached).ok());
   const WeightSnapshot now = model.SnapshotWeights();
   for (size_t l = 0; l < now.size(); ++l) {
-    const auto& a = now[l].data();
-    const auto& b = pristine[l].data();
+    const auto& a = now[l]->data();
+    const auto& b = pristine[l]->data();
     for (size_t i = 0; i < a.size(); ++i) ASSERT_NEAR(a[i], b[i], 1e-9);
   }
   std::remove(path.c_str());

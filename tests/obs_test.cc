@@ -562,7 +562,8 @@ TEST(EditServiceObsTest, ReadPathTracesAndRecordsLatency) {
   ResetRecorder();
   ObsWorld world;
   const EditCase& edit_case = world.dataset.cases.front();
-  (void)world.service->Ask(edit_case.edit.subject, edit_case.edit.relation);
+  (void)world.service->GetSnapshot()->Ask(edit_case.edit.subject,
+                                          edit_case.edit.relation);
 
   EXPECT_EQ(world.service->statistics()
                 .GetHistogram(Histogram::kServingReadMicros)
@@ -607,7 +608,7 @@ TEST(EditServiceObsTest, MetricsEndpointServesConsistentPrometheusText) {
         EditRequest::Edit(world.dataset.cases[i].edit, "alice"));
     ASSERT_TRUE(result.ok());
   }
-  (void)world.service->Ask(world.dataset.cases[0].edit.subject,
+  (void)world.service->GetSnapshot()->Ask(world.dataset.cases[0].edit.subject,
                            world.dataset.cases[0].edit.relation);
 
   const std::string response = HttpGet(port, "/metrics");

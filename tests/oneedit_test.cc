@@ -53,15 +53,13 @@ TEST(MethodKindTest, ParseRoundTripsAndRejectsUnknown) {
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(MethodKindTest, DeprecatedStringOverloadStillWorks) {
+TEST(MethodKindTest, ParseIsTheStringEntryPoint) {
+  // SetMethodName is gone; the supported way to go from a string to a
+  // configured method is ParseMethodKind + assignment.
   OneEditConfig config;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  ASSERT_TRUE(config.SetMethodName("GRACE").ok());
-  EXPECT_EQ(config.method, EditingMethodKind::kGrace);
-  // Unknown names fail and leave the config unchanged.
-  EXPECT_FALSE(config.SetMethodName("NOPE").ok());
-#pragma GCC diagnostic pop
+  const auto parsed = ParseMethodKind("GRACE");
+  ASSERT_TRUE(parsed.ok());
+  config.method = *parsed;
   EXPECT_EQ(config.method, EditingMethodKind::kGrace);
 }
 

@@ -43,8 +43,8 @@ TEST_P(RollbackExactnessTest, ApplyThenRollbackIsIdentity) {
 
   const WeightSnapshot now = model.SnapshotWeights();
   for (size_t l = 0; l < now.size(); ++l) {
-    const auto& a = now[l].data();
-    const auto& b = pristine[l].data();
+    const auto& a = now[l]->data();
+    const auto& b = pristine[l]->data();
     for (size_t i = 0; i < a.size(); ++i) {
       ASSERT_NEAR(a[i], b[i], 1e-9) << method_name << " layer " << l;
     }
@@ -242,8 +242,8 @@ TEST_P(DeltaSymmetryTest, PlusMinusIsIdentity) {
   ApplyWeightDelta(&model, *delta, -1.0);
   const WeightSnapshot now = model.SnapshotWeights();
   for (size_t l = 0; l < now.size(); ++l) {
-    const auto& a = now[l].data();
-    const auto& b = reference[l].data();
+    const auto& a = now[l]->data();
+    const auto& b = reference[l]->data();
     for (size_t i = 0; i < a.size(); ++i) ASSERT_NEAR(a[i], b[i], 1e-9);
   }
   (*method)->Reset(&model);

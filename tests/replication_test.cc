@@ -39,7 +39,9 @@ using replication::ShippedBatch;
 using replication::SnapshotReply;
 using serving::EditService;
 using serving::EditServiceOptions;
+using serving::ReadOptions;
 using serving::ReplicationRole;
+using serving::Snapshot;
 
 std::string TempDirFor(const std::string& name) {
   const std::string dir = testing::TempDir() + "/" + name;
@@ -212,12 +214,17 @@ TEST(ReplicationTest, FollowerConvergesAndServesPrimaryAnswers) {
     return follower.service->applied_sequence() >= head;
   })) << "follower stuck at " << follower.service->applied_sequence();
 
-  // The replica answers Ask with the primary's post-edit state.
+  // The replica answers reads with the primary's post-edit state. One
+  // pinned snapshot per side: every case is checked against the same
+  // post-convergence instant on both nodes.
+  const Snapshot replica_view = *follower.service->GetSnapshot();
+  const Snapshot primary_view = *primary.service->GetSnapshot();
+  ASSERT_GE(replica_view.sequence(), head);
   for (const EditCase& c : cases) {
-    EXPECT_EQ(follower.service->Ask(c.edit.subject, c.edit.relation).entity,
-              primary.service->Ask(c.edit.subject, c.edit.relation).entity)
+    EXPECT_EQ(replica_view.Ask(c.edit.subject, c.edit.relation)->entity,
+              primary_view.Ask(c.edit.subject, c.edit.relation)->entity)
         << c.edit.subject;
-    EXPECT_EQ(follower.service->Ask(c.edit.subject, c.edit.relation).entity,
+    EXPECT_EQ(replica_view.Ask(c.edit.subject, c.edit.relation)->entity,
               c.edit.object);
   }
 
@@ -280,8 +287,9 @@ TEST(ReplicationTest, EmptyFollowerInstallsSnapshotAndCatchesUpLive) {
   EXPECT_GT(
       follower.service->statistics().Get(Ticker::kReplSnapshotsInstalled),
       0u);
+  const Snapshot installed_view = *follower.service->GetSnapshot();
   for (const EditCase& c : cases) {
-    EXPECT_EQ(follower.service->Ask(c.edit.subject, c.edit.relation).entity,
+    EXPECT_EQ(installed_view.Ask(c.edit.subject, c.edit.relation)->entity,
               c.edit.object)
         << c.edit.subject;
   }
@@ -302,9 +310,9 @@ TEST(ReplicationTest, AskAtLeastBoundsStaleness) {
 
   // A token from the future is rejected as Unavailable (retry/redirect),
   // never answered stale.
-  const auto stale =
-      follower.service->AskAtLeast(c.edit.subject, c.edit.relation,
-                                   token + 1000);
+  ReadOptions ahead;
+  ahead.min_sequence = token + 1000;
+  const auto stale = follower.service->GetSnapshot(ahead);
   ASSERT_FALSE(stale.ok());
   EXPECT_EQ(stale.status().code(), StatusCode::kUnavailable);
   EXPECT_GT(follower.service->statistics().Get(Ticker::kReplStaleReads), 0u);
@@ -314,10 +322,24 @@ TEST(ReplicationTest, AskAtLeastBoundsStaleness) {
   ASSERT_TRUE(WaitFor([&] {
     return follower.service->applied_sequence() >= token;
   }));
-  const auto fresh =
-      follower.service->AskAtLeast(c.edit.subject, c.edit.relation, token);
+  ReadOptions at_least;
+  at_least.min_sequence = token;
+  const auto pinned = follower.service->GetSnapshot(at_least);
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  ASSERT_GE(pinned->sequence(), token);
+  const auto fresh = pinned->Ask(c.edit.subject, c.edit.relation);
   ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
   EXPECT_EQ(fresh->entity, c.edit.object);
+
+  // A waiting read with a deadline also admits once the state lands.
+  ReadOptions waiting;
+  waiting.min_sequence = token;
+  waiting.deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  const auto waited = follower.service->GetSnapshot(waiting);
+  ASSERT_TRUE(waited.ok()) << waited.status().ToString();
+  EXPECT_EQ(waited->Ask(c.edit.subject, c.edit.relation)->entity,
+            c.edit.object);
 }
 
 TEST(ReplicationTest, QuorumAckWaitsForFollowerApply) {
@@ -384,8 +406,9 @@ TEST(ReplicationTest, PromoteTurnsFollowerIntoWritablePrimary) {
   EXPECT_NE(follower.replication_port(), 0);
 
   // Every edit the old primary acknowledged survives the failover...
+  const Snapshot survivor_view = *follower.service->GetSnapshot();
   for (const EditCase& c : cases) {
-    EXPECT_EQ(follower.service->Ask(c.edit.subject, c.edit.relation).entity,
+    EXPECT_EQ(survivor_view.Ask(c.edit.subject, c.edit.relation)->entity,
               c.edit.object)
         << c.edit.subject;
   }
@@ -395,8 +418,9 @@ TEST(ReplicationTest, PromoteTurnsFollowerIntoWritablePrimary) {
       follower.service->SubmitAndWait(EditRequest::Edit(next.edit, "carol"));
   ASSERT_TRUE(write.ok()) << write.status().ToString();
   ASSERT_TRUE(write->applied());
-  EXPECT_EQ(follower.service->Ask(next.edit.subject, next.edit.relation)
-                .entity,
+  EXPECT_EQ(follower.service->GetSnapshot()
+                ->Ask(next.edit.subject, next.edit.relation)
+                ->entity,
             next.edit.object);
   EXPECT_GT(follower.service->applied_sequence(), head);
 }

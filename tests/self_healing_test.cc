@@ -181,8 +181,8 @@ TEST(SelfHealerTest, PoisonAtEveryPositionIsQuarantinedExactly) {
       EXPECT_EQ(result->kind, EditResult::Kind::kEdited);
     }
 
-    EXPECT_TRUE(healing.model->SnapshotWeights() ==
-                baseline.model->SnapshotWeights())
+    EXPECT_TRUE(WeightsEqual(healing.model->SnapshotWeights(),
+                             baseline.model->SnapshotWeights()))
         << "healed weights differ from the never-poisoned baseline";
     EXPECT_EQ(healing.system->audit_log().size(),
               baseline.system->audit_log().size());
@@ -324,7 +324,9 @@ TEST(ServiceSelfHealTest, TransientWalFailureIsRetriedWithoutDegrading) {
   EXPECT_EQ(world.service->health(), ServiceHealth::kHealthy);
   EXPECT_GE(world.service->statistics().Get(Ticker::kWalRetries), 1u);
   EXPECT_EQ(fault.transient_failures(), 1);
-  EXPECT_EQ(world.service->Ask(c.edit.subject, c.edit.relation).entity,
+  EXPECT_EQ(world.service->GetSnapshot()
+                ->Ask(c.edit.subject, c.edit.relation)
+                ->entity,
             c.edit.object);
 }
 

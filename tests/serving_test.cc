@@ -63,9 +63,9 @@ TEST(EditServiceTest, SingleEditAppliesAndResolvesFuture) {
       EditRequest::Edit(edit_case.edit, "alice"));
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->kind, EditResult::Kind::kEdited);
-  EXPECT_EQ(world.service->Ask(edit_case.edit.subject,
-                               edit_case.edit.relation)
-                .entity,
+  EXPECT_EQ(world.service->GetSnapshot()
+                ->Ask(edit_case.edit.subject, edit_case.edit.relation)
+                ->entity,
             edit_case.edit.object);
   const Statistics& stats = world.service->statistics();
   EXPECT_EQ(stats.Get(Ticker::kServingSubmitted), 1u);
@@ -89,8 +89,8 @@ TEST(EditServiceTest, StressReadersAndWritersDisjointAndConflictingSlots) {
       size_t i = t;
       while (!stop_readers.load(std::memory_order_relaxed)) {
         const EditCase& edit_case = cases[i++ % cases.size()];
-        (void)world.service->Ask(edit_case.edit.subject,
-                                 edit_case.edit.relation);
+        (void)world.service->GetSnapshot()->Ask(edit_case.edit.subject,
+                                                edit_case.edit.relation);
         read_count.fetch_add(1, std::memory_order_relaxed);
       }
     });
@@ -138,16 +138,17 @@ TEST(EditServiceTest, StressReadersAndWritersDisjointAndConflictingSlots) {
 
   // Disjoint slots (writer 2's share) have a deterministic final value.
   for (size_t c = cases.size() / 2; c < cases.size(); ++c) {
-    EXPECT_EQ(
-        world.service->Ask(cases[c].edit.subject, cases[c].edit.relation)
-            .entity,
-        cases[c].edit.object);
+    EXPECT_EQ(world.service->GetSnapshot()
+                  ->Ask(cases[c].edit.subject, cases[c].edit.relation)
+                  ->entity,
+              cases[c].edit.object);
   }
   // Contended slots hold one of the two candidates, and KG and model agree.
   for (size_t c = 0; c < cases.size() / 2; ++c) {
     const std::string entity =
-        world.service->Ask(cases[c].edit.subject, cases[c].edit.relation)
-            .entity;
+        world.service->GetSnapshot()
+            ->Ask(cases[c].edit.subject, cases[c].edit.relation)
+            ->entity;
     const bool is_candidate =
         entity == cases[c].edit.object || entity == rival_object(c);
     EXPECT_TRUE(is_candidate) << entity;
@@ -199,12 +200,12 @@ TEST(EditServiceTest, CoalescedBatchMatchesSequentialExecution) {
 
   // Model answers and audit trails are identical to sequential execution.
   for (const EditCase& edit_case : cases) {
-    EXPECT_EQ(coalesced_world.service
+    EXPECT_EQ(coalesced_world.service->GetSnapshot()
                   ->Ask(edit_case.edit.subject, edit_case.edit.relation)
-                  .entity,
-              sequential_world.service
+                  ->entity,
+              sequential_world.service->GetSnapshot()
                   ->Ask(edit_case.edit.subject, edit_case.edit.relation)
-                  .entity);
+                  ->entity);
   }
   const size_t sequential_audit = sequential_world.service->WithExclusive(
       [](OneEditSystem& sys) { return sys.audit_log().size(); });
@@ -235,10 +236,10 @@ TEST(EditServiceTest, SameSlotRequestsStayFifoPerSlot) {
 
   // Last submitted wins, and the audit log shows the full chain in
   // submission order: each record's previous_object is its predecessor.
-  EXPECT_EQ(
-      world.service->Ask(edit_case.edit.subject, edit_case.edit.relation)
-          .entity,
-      objects.back());
+  EXPECT_EQ(world.service->GetSnapshot()
+                ->Ask(edit_case.edit.subject, edit_case.edit.relation)
+                ->entity,
+            objects.back());
   world.service->WithExclusive([&](OneEditSystem& sys) {
     const auto& log = sys.audit_log();
     EXPECT_EQ(log.size(), objects.size());
@@ -304,13 +305,55 @@ TEST(EditServiceTest, EraseAndUtteranceRequestsFlowThroughSubmit) {
       world.service->SubmitAndWait(EditRequest::Erase(truth, "admin"));
   ASSERT_TRUE(erased.ok());
   EXPECT_EQ(erased->kind, EditResult::Kind::kErased);
-  EXPECT_NE(
-      world.service->Ask(truth.subject, truth.relation).entity, truth.object);
+  EXPECT_NE(world.service->GetSnapshot()->Ask(truth.subject,
+                                              truth.relation)->entity,
+            truth.object);
 
   const auto generated = world.service->SubmitAndWait(
       EditRequest::Utterance("What are the primary colors?", "reader"));
   ASSERT_TRUE(generated.ok());
   EXPECT_EQ(generated->kind, EditResult::Kind::kGenerated);
+}
+
+// The deprecated one-shot shims must keep serving (and agreeing with the
+// snapshot API) until every external caller has migrated — on both read
+// paths, since kLockedLegacy exists for A/B benchmarking.
+TEST(EditServiceTest, DeprecatedAskShimsMatchSnapshotReads) {
+  for (const serving::ReadPath path :
+       {serving::ReadPath::kSnapshot, serving::ReadPath::kLockedLegacy}) {
+    EditServiceOptions options;
+    options.read_path = path;
+    ServingWorld world(options);
+    const EditCase& edit_case = world.dataset.cases.front();
+    ASSERT_TRUE(world.service
+                    ->SubmitAndWait(EditRequest::Edit(edit_case.edit, "alice"))
+                    .ok());
+    const std::string expected =
+        world.service->GetSnapshot()
+            ->Ask(edit_case.edit.subject, edit_case.edit.relation)
+            ->entity;
+    EXPECT_EQ(expected, edit_case.edit.object);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    EXPECT_EQ(world.service
+                  ->Ask(edit_case.edit.subject, edit_case.edit.relation)
+                  .entity,
+              expected);
+    const auto bounded = world.service->AskAtLeast(
+        edit_case.edit.subject, edit_case.edit.relation,
+        world.service->applied_sequence());
+    ASSERT_TRUE(bounded.ok());
+    EXPECT_EQ(bounded->entity, expected);
+#pragma GCC diagnostic pop
+    // Only the legacy path ever touches a lock on a read; the snapshot path
+    // records an explicit zero so the "no reader blocks" gate is checkable.
+    const HistogramSnapshot waits = world.service->statistics().GetHistogram(
+        Histogram::kServingReadLockWaitMicros);
+    EXPECT_GT(waits.count, 0u);
+    if (path == serving::ReadPath::kSnapshot) {
+      EXPECT_EQ(waits.max, 0u);
+    }
+  }
 }
 
 // ------------------------------------------------------ shutdown ordering ----

@@ -1,0 +1,450 @@
+// Tests for the epoch-based snapshot publication layer (src/serving/
+// snapshot.h): the SnapshotHub pin protocol and retention window directly,
+// and the EditService-integrated lifecycle — publish → pin → retire —
+// including a reader/writer torture run designed for ThreadSanitizer
+// (scripts/ci.sh snapshot). The torture run asserts the tentpole invariant:
+// a pinned handle is one post-batch instant, so its KG lookups and model
+// decodes can never mix two edit batches, no matter how hard the writer
+// churns underneath.
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "serving/edit_service.h"
+#include "serving/snapshot.h"
+
+namespace oneedit {
+namespace {
+
+using serving::EditService;
+using serving::EditServiceOptions;
+using serving::ReadOptions;
+using serving::Snapshot;
+using serving::SnapshotHub;
+
+DatasetOptions TinyOptions() {
+  DatasetOptions options;
+  options.num_cases = 12;
+  return options;
+}
+
+OneEditConfig GraceConfig() {
+  OneEditConfig config;
+  config.method = EditingMethodKind::kGrace;
+  config.interpreter.extraction_error_rate = 0.0;
+  return config;
+}
+
+/// A self-contained world + model + EditService, mirroring serving_test.cc.
+struct ServingWorld {
+  explicit ServingWorld(const EditServiceOptions& options = {})
+      : dataset(BuildAmericanPoliticians(TinyOptions())),
+        model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                              dataset.vocab)) {
+    model->Pretrain(dataset.pretrain_facts);
+    auto created = EditService::Create(&dataset.kg, model.get(),
+                                       GraceConfig(), options);
+    EXPECT_TRUE(created.ok());
+    service = std::move(created).value();
+  }
+
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+  std::unique_ptr<EditService> service;
+};
+
+/// A bare system (no service) for driving a SnapshotHub by hand.
+struct SystemWorld {
+  SystemWorld()
+      : dataset(BuildAmericanPoliticians(TinyOptions())),
+        model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                              dataset.vocab)) {
+    model->Pretrain(dataset.pretrain_facts);
+    auto created =
+        OneEditSystem::Create(&dataset.kg, model.get(), GraceConfig());
+    EXPECT_TRUE(created.ok());
+    system = std::move(created).value();
+  }
+
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+  std::unique_ptr<OneEditSystem> system;
+};
+
+// ---------------------------------------------------------------------------
+// SnapshotHub unit tests (hub driven directly, no writer thread)
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotHubTest, UnpublishedHubIsUnavailable) {
+  SnapshotHub hub;
+  EXPECT_EQ(hub.Acquire(), nullptr);
+  EXPECT_EQ(hub.epoch(), 0u);
+  const auto snapshot = hub.GetSnapshot();
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_TRUE(snapshot.status().IsUnavailable());
+
+  // An invalid (default-constructed) handle fails closed.
+  Snapshot invalid;
+  EXPECT_FALSE(invalid.valid());
+  const auto decode = invalid.Ask("subject", "relation");
+  ASSERT_FALSE(decode.ok());
+  EXPECT_EQ(decode.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotHubTest, PublishPinAndTimeTravel) {
+  SystemWorld world;
+  SnapshotHub hub;
+  hub.Publish(world.system->SnapshotReadView(), 7);
+  hub.Publish(world.system->SnapshotReadView(), 9);
+  EXPECT_EQ(hub.epoch(), 2u);
+  EXPECT_EQ(hub.sequence(), 9u);
+
+  const auto current = hub.GetSnapshot();
+  ASSERT_TRUE(current.ok());
+  EXPECT_TRUE(current->valid());
+  EXPECT_EQ(current->sequence(), 9u);
+  EXPECT_EQ(current->epoch(), 2u);
+
+  // at_sequence lands on the newest state at or before the mark.
+  ReadOptions at_exact;
+  at_exact.at_sequence = 7;
+  ASSERT_TRUE(hub.GetSnapshot(at_exact).ok());
+  EXPECT_EQ(hub.GetSnapshot(at_exact)->sequence(), 7u);
+  ReadOptions at_between;
+  at_between.at_sequence = 8;
+  EXPECT_EQ(hub.GetSnapshot(at_between)->sequence(), 7u);
+
+  // Before the retention window: OutOfRange, not a silently-wrong answer.
+  ReadOptions too_old;
+  too_old.at_sequence = 6;
+  const auto out_of_range = hub.GetSnapshot(too_old);
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kOutOfRange);
+
+  // Behind min_sequence without a deadline: Unavailable immediately.
+  ReadOptions ahead;
+  ahead.min_sequence = 10;
+  const auto behind = hub.GetSnapshot(ahead);
+  ASSERT_FALSE(behind.ok());
+  EXPECT_TRUE(behind.status().IsUnavailable());
+
+  // An unsatisfiable combination is an InvalidArgument, not a wait.
+  ReadOptions impossible;
+  impossible.at_sequence = 9;
+  impossible.min_sequence = 10;
+  const auto rejected = hub.GetSnapshot(impossible);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotHubTest, RetiredStatesAreFreedAndHandlesKeepTheirsAlive) {
+  SystemWorld world;
+  SnapshotHub hub(SnapshotHub::kSlots);  // minimum retention window
+  for (uint64_t seq = 1; seq <= 5; ++seq) {
+    hub.Publish(world.system->SnapshotReadView(), seq);
+  }
+  // Ring and retention both reference the newest kSlots states; everything
+  // older has been destroyed, not leaked.
+  EXPECT_EQ(hub.states_retained(), SnapshotHub::kSlots);
+  EXPECT_EQ(hub.states_alive(),
+            static_cast<int64_t>(SnapshotHub::kSlots));
+  EXPECT_EQ(hub.reader_held_states(), 0);
+
+  // A pinned handle keeps its state alive after the window moves past it.
+  {
+    const Snapshot pinned = *hub.GetSnapshot();
+    EXPECT_EQ(pinned.sequence(), 5u);
+    for (uint64_t seq = 6; seq <= 12; ++seq) {
+      hub.Publish(world.system->SnapshotReadView(), seq);
+    }
+    EXPECT_EQ(hub.states_alive(),
+              static_cast<int64_t>(SnapshotHub::kSlots) + 1);
+    EXPECT_EQ(hub.reader_held_states(), 1);
+    // The handle still serves its instant even though time travel to it is
+    // no longer possible through the hub.
+    EXPECT_EQ(pinned.sequence(), 5u);
+    ReadOptions evicted;
+    evicted.at_sequence = 5;
+    EXPECT_EQ(hub.GetSnapshot(evicted).status().code(),
+              StatusCode::kOutOfRange);
+  }
+  // Dropping the last handle retires the state.
+  EXPECT_EQ(hub.states_alive(),
+            static_cast<int64_t>(SnapshotHub::kSlots));
+  EXPECT_EQ(hub.reader_held_states(), 0);
+}
+
+TEST(SnapshotHubTest, MinSequenceWaitersWakeOnPublishAndOnStop) {
+  SystemWorld world;
+  SnapshotHub hub;
+  hub.Publish(world.system->SnapshotReadView(), 1);
+
+  // A waiter parked on min_sequence=2 is released by the next publish.
+  ReadOptions wait_for_two;
+  wait_for_two.min_sequence = 2;
+  wait_for_two.deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  auto waiter = std::async(std::launch::async,
+                           [&] { return hub.GetSnapshot(wait_for_two); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  hub.Publish(world.system->SnapshotReadView(), 2);
+  const auto released = waiter.get();
+  ASSERT_TRUE(released.ok());
+  EXPECT_GE(released->sequence(), 2u);
+
+  // Stop() releases waiters with Unavailable instead of leaving them to
+  // their (far-off) deadline.
+  ReadOptions wait_forever;
+  wait_forever.min_sequence = 1000;
+  wait_forever.deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  auto stuck = std::async(std::launch::async,
+                          [&] { return hub.GetSnapshot(wait_forever); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  hub.Stop();
+  const auto stopped = stuck.get();
+  ASSERT_FALSE(stopped.ok());
+  EXPECT_TRUE(stopped.status().IsUnavailable());
+
+  // After Stop the hub still serves pinned reads, but waits fail fast.
+  EXPECT_TRUE(hub.GetSnapshot().ok());
+  const auto no_wait = hub.GetSnapshot(wait_forever);
+  ASSERT_FALSE(no_wait.ok());
+  EXPECT_TRUE(no_wait.status().IsUnavailable());
+}
+
+// ---------------------------------------------------------------------------
+// EditService integration
+// ---------------------------------------------------------------------------
+
+TEST(EditServiceSnapshotTest, HandleIsImmutableAcrossLaterEdits) {
+  ServingWorld world;
+  const EditCase& edit_case = world.dataset.cases.front();
+  ASSERT_TRUE(world.service
+                  ->SubmitAndWait(EditRequest::Edit(edit_case.edit, "alice"))
+                  .ok());
+
+  const Snapshot before = *world.service->GetSnapshot();
+  const uint64_t version_before = before.kg_version();
+  EXPECT_EQ(before.Ask(edit_case.edit.subject, edit_case.edit.relation)
+                ->entity,
+            edit_case.edit.object);
+
+  // Flip the fact back; the pinned handle must not notice.
+  NamedTriple revert = edit_case.edit;
+  revert.object = edit_case.old_object;
+  ASSERT_TRUE(
+      world.service->SubmitAndWait(EditRequest::Edit(revert, "alice")).ok());
+
+  EXPECT_EQ(before.Ask(edit_case.edit.subject, edit_case.edit.relation)
+                ->entity,
+            edit_case.edit.object);
+  EXPECT_EQ(before.kg_version(), version_before);
+
+  const Snapshot after = *world.service->GetSnapshot();
+  EXPECT_EQ(after.Ask(edit_case.edit.subject, edit_case.edit.relation)
+                ->entity,
+            edit_case.old_object);
+  EXPECT_GT(after.epoch(), before.epoch());
+  EXPECT_GE(after.sequence(), before.sequence());
+}
+
+TEST(EditServiceSnapshotTest, AtSequenceServesThePastUntilRetired) {
+  EditServiceOptions options;
+  options.snapshot_retention = SnapshotHub::kSlots;
+  ServingWorld world(options);
+  const EditCase& edit_case = world.dataset.cases.front();
+
+  ASSERT_TRUE(world.service
+                  ->SubmitAndWait(EditRequest::Edit(edit_case.edit, "alice"))
+                  .ok());
+  const uint64_t edited_at = world.service->snapshot_hub().sequence();
+
+  NamedTriple revert = edit_case.edit;
+  revert.object = edit_case.old_object;
+  ASSERT_TRUE(
+      world.service->SubmitAndWait(EditRequest::Edit(revert, "alice")).ok());
+
+  // Time travel to the pre-revert instant.
+  ReadOptions past;
+  past.at_sequence = edited_at;
+  const auto rewound = world.service->GetSnapshot(past);
+  ASSERT_TRUE(rewound.ok());
+  EXPECT_LE(rewound->sequence(), edited_at);
+  EXPECT_EQ(rewound->Ask(edit_case.edit.subject, edit_case.edit.relation)
+                ->entity,
+            edit_case.edit.object);
+  EXPECT_EQ(world.service->GetSnapshot()
+                ->Ask(edit_case.edit.subject, edit_case.edit.relation)
+                ->entity,
+            edit_case.old_object);
+
+  // Push the instant out of the retention window; the hub must refuse
+  // rather than serve the nearest-younger state as if it were the past.
+  for (size_t round = 0; round < SnapshotHub::kSlots + 2; ++round) {
+    NamedTriple triple = edit_case.edit;
+    triple.object =
+        round % 2 == 0 ? edit_case.edit.object : edit_case.old_object;
+    ASSERT_TRUE(
+        world.service->SubmitAndWait(EditRequest::Edit(triple, "alice"))
+            .ok());
+  }
+  const auto retired = world.service->GetSnapshot(past);
+  ASSERT_FALSE(retired.ok());
+  EXPECT_EQ(retired.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(EditServiceSnapshotTest, StaleMinSequenceIsUnavailableAndCounted) {
+  ServingWorld world;
+  const uint64_t stale_before =
+      world.service->statistics().Get(Ticker::kReplStaleReads);
+  ReadOptions ahead;
+  ahead.min_sequence = world.service->applied_sequence() + 1000;
+  const auto behind = world.service->GetSnapshot(ahead);
+  ASSERT_FALSE(behind.ok());
+  EXPECT_TRUE(behind.status().IsUnavailable());
+  EXPECT_EQ(world.service->statistics().Get(Ticker::kReplStaleReads),
+            stale_before + 1);
+}
+
+/// The TSan torture run. Reader threads continuously pin snapshots while
+/// the writer applies flip-flop edit batches over every case. Each pinned
+/// handle must be internally consistent: its symbolic (KG) and neural
+/// (decode) answers were frozen at the same post-batch instant, so they
+/// agree with each other and never change for the life of the handle.
+TEST(EditServiceSnapshotTest, TortureReadersPinConsistentStatesUnderEditStorm) {
+  ServingWorld world;
+  const auto& cases = world.dataset.cases;
+
+  // Round 0 (synchronous): put every case into the "edited" state so each
+  // subsequent flip is between two known objects.
+  for (const EditCase& edit_case : cases) {
+    ASSERT_TRUE(world.service
+                    ->SubmitAndWait(EditRequest::Edit(edit_case.edit, "init"))
+                    .ok());
+  }
+  const uint64_t initial_sequence = world.service->snapshot_hub().sequence();
+
+  constexpr int kReaders = 4;
+  constexpr int kRounds = 6;
+  std::atomic<bool> stop{false};
+  std::atomic<int> reads{0};
+  std::atomic<int> inconsistencies{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      size_t i = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto pinned = world.service->GetSnapshot();
+        if (!pinned.ok()) {
+          inconsistencies.fetch_add(1);
+          continue;
+        }
+        const Snapshot view = *pinned;
+        const uint64_t sequence = view.sequence();
+        const uint64_t kg_version = view.kg_version();
+        for (size_t probe = 0; probe < 3; ++probe) {
+          const EditCase& edit_case = cases[i++ % cases.size()];
+          const auto decode =
+              view.Ask(edit_case.edit.subject, edit_case.edit.relation);
+          if (!decode.ok()) {
+            inconsistencies.fetch_add(1);
+            continue;
+          }
+          // The answer is one of the two objects the storm flips between…
+          if (decode->entity != edit_case.edit.object &&
+              decode->entity != edit_case.old_object) {
+            inconsistencies.fetch_add(1);
+          }
+          // …the KG frozen in the same state agrees with the decode (a torn
+          // state — KG from batch N, weights from batch N-1 — fails here)…
+          const auto kg_object = view.KgObjectOf(edit_case.edit.subject,
+                                                 edit_case.edit.relation);
+          if (!kg_object.has_value() || *kg_object != decode->entity) {
+            inconsistencies.fetch_add(1);
+          }
+          // …and re-reading through the same handle is deterministic.
+          const auto again =
+              view.Ask(edit_case.edit.subject, edit_case.edit.relation);
+          if (!again.ok() || again->entity != decode->entity ||
+              view.sequence() != sequence ||
+              view.kg_version() != kg_version) {
+            inconsistencies.fetch_add(1);
+          }
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // The edit storm: whole-case-set batches, alternating directions.
+  for (int round = 1; round <= kRounds; ++round) {
+    std::vector<std::future<StatusOr<EditResult>>> futures;
+    for (const EditCase& edit_case : cases) {
+      NamedTriple triple = edit_case.edit;
+      if (round % 2 == 1) triple.object = edit_case.old_object;
+      futures.push_back(
+          world.service->Submit(EditRequest::Edit(triple, "storm")));
+    }
+    for (auto& future : futures) {
+      const auto result = future.get();
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+    }
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  world.service->Drain();
+
+  EXPECT_EQ(inconsistencies.load(), 0);
+  EXPECT_GT(reads.load(), 0);
+
+  // Time travel to the pre-storm instant either works (and really is the
+  // past) or reports OutOfRange — never a silently-wrong answer.
+  ReadOptions past;
+  past.at_sequence = initial_sequence;
+  const auto rewound = world.service->GetSnapshot(past);
+  if (rewound.ok()) {
+    EXPECT_LE(rewound->sequence(), initial_sequence);
+  } else {
+    EXPECT_EQ(rewound.status().code(), StatusCode::kOutOfRange);
+  }
+
+  // Retire check: with every reader handle dropped, the only live states
+  // are the retained window — nothing leaked, and the gauges agree.
+  const SnapshotHub& hub = world.service->snapshot_hub();
+  EXPECT_EQ(hub.reader_held_states(), 0);
+  EXPECT_EQ(hub.states_alive(), static_cast<int64_t>(hub.states_retained()));
+  EXPECT_GE(hub.epoch(), static_cast<uint64_t>(kRounds));
+  // The writer is idle, so the published state covers the commit point.
+  EXPECT_EQ(hub.sequence(), world.service->applied_sequence());
+}
+
+TEST(EditServiceSnapshotTest, ServiceStopWakesWaitersAndKeepsServingPins) {
+  ServingWorld world;
+  ReadOptions wait_forever;
+  wait_forever.min_sequence = world.service->applied_sequence() + 1000;
+  wait_forever.deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  auto waiter = std::async(std::launch::async, [&] {
+    return world.service->GetSnapshot(wait_forever);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  world.service->Stop();
+  const auto stopped = waiter.get();
+  ASSERT_FALSE(stopped.ok());
+  EXPECT_TRUE(stopped.status().IsUnavailable());
+  // Plain pinned reads still work after Stop (drain-then-shutdown serving).
+  EXPECT_TRUE(world.service->GetSnapshot().ok());
+}
+
+}  // namespace
+}  // namespace oneedit
