@@ -32,6 +32,12 @@
 #             fault-injecting Env) at every WAL/checkpoint file operation
 #             in turn, promote the most-caught-up follower, and demand
 #             every acknowledged edit back from it plus one new write.
+#   partition  Dual-primary (split-brain) chaos: partition the primary away
+#             mid-edit-storm through the deterministic FaultInjectingNet,
+#             promote a follower, write on both sides, heal, and assert
+#             zero acknowledged-edit loss, no edit acked by two primaries,
+#             deposed-primary demotion, and byte-identical journals after
+#             divergence reconciliation. 10 seeded rounds.
 #
 # Each matrix entry gets its own build directory (build-ci-<name>) so local
 # `build/` trees are never clobbered.
@@ -75,8 +81,12 @@ case "${matrix}" in
     flags=""
     build_type=Release
     ;;
+  partition)
+    flags=""
+    build_type=Release
+    ;;
   *)
-    echo "unknown matrix entry: ${matrix} (want default|tsan|asan|snapshot|recovery|chaos|metrics|replication)" >&2
+    echo "unknown matrix entry: ${matrix} (want default|tsan|asan|snapshot|recovery|chaos|metrics|replication|partition)" >&2
     exit 2
     ;;
 esac
@@ -117,7 +127,7 @@ if [[ "${matrix}" == "tsan" ]]; then
   # TSan slows everything ~10x; run the concurrency tests (the reason this
   # entry exists) plus a smoke slice of the core suite.
   ctest -j "${jobs}" --output-on-failure \
-    -R 'EditServiceTest|EditServiceShutdownTest|ServiceSelfHealTest|ConcurrentOneEditTest|OneEditTest|EditServiceDurabilityTest|TraceRecorderTest|EditServiceObsTest|MetricsServerTest|ReplicationTest|ReplicationWireTest|EditWalCursorTest|NetTest|SnapshotHubTest|EditServiceSnapshotTest'
+    -R 'EditServiceTest|EditServiceShutdownTest|ServiceSelfHealTest|ConcurrentOneEditTest|OneEditTest|EditServiceDurabilityTest|TraceRecorderTest|EditServiceObsTest|MetricsServerTest|ReplicationTest|ReplicationWireTest|ReplicationTermTest|ReplicationServerTest|ReplicationFollowerTest|ReplicationPartitionTest|FaultInjectingNetTest|EditWalCursorTest|NetTest|SnapshotHubTest|EditServiceSnapshotTest'
 elif [[ "${matrix}" == "recovery" ]]; then
   # Crash-recovery smoke. A clean run of the workload performs ~20 file ops
   # (WAL appends, fsyncs, checkpoint writes, renames, rotations); kill the
@@ -394,6 +404,15 @@ elif [[ "${matrix}" == "replication" ]]; then
     echo "round ${op}: primary exit=${status} applied f1=${a1} f2=${a2} promoted=${winner}"
   done
   echo "replication failover passed: ${crash_points} kill points, zero acknowledged-edit loss"
+elif [[ "${matrix}" == "partition" ]]; then
+  # Split-brain chaos: the in-process three-node group from
+  # tests/partition_chaos_test.cc, driven through partition → dual-primary
+  # writes → heal → reconcile for 10 deterministic seeds. A failing seed
+  # prints in the SCOPED_TRACE and replays exactly with
+  # ONEEDIT_PARTITION_ROUNDS pinned locally.
+  ONEEDIT_PARTITION_ROUNDS=10 ctest -j "${jobs}" --output-on-failure \
+    -R 'ReplicationPartitionTest'
+  echo "partition chaos passed: 10 seeded dual-primary rounds, invariants held"
 else
   ctest -j "${jobs}" --output-on-failure
 fi

@@ -84,6 +84,16 @@ std::string TickerName(Ticker ticker) {
       return "repl_ack_timeouts";
     case Ticker::kReplReconnects:
       return "repl_reconnects";
+    case Ticker::kReplTermRejections:
+      return "repl_term_rejections";
+    case Ticker::kReplFencedWrites:
+      return "repl_fenced_writes";
+    case Ticker::kReplDivergenceTruncations:
+      return "repl_divergence_truncations";
+    case Ticker::kReplQuorumFailures:
+      return "repl_quorum_failures";
+    case Ticker::kReplFollowerLimitRejects:
+      return "repl_follower_limit_rejects";
     case Ticker::kSnapshotsPublished:
       return "snapshots_published";
     case Ticker::kTickerCount:

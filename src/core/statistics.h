@@ -52,6 +52,11 @@ enum class Ticker : size_t {
   kReplStaleReads,        ///< AskAtLeast rejections for lagging state
   kReplAckTimeouts,       ///< quorum waits that timed out (primary)
   kReplReconnects,        ///< follower reconnect attempts after a drop
+  kReplTermRejections,    ///< frames/polls rejected for a stale term
+  kReplFencedWrites,      ///< writes shed because this node is fenced
+  kReplDivergenceTruncations,  ///< deposed-term suffixes truncated + resynced
+  kReplQuorumFailures,    ///< writes failed by AckPolicy::kFailWrite
+  kReplFollowerLimitRejects,   ///< connections rejected at the follower cap
   kSnapshotsPublished,    ///< immutable read states published by the writer
   kTickerCount,           // sentinel
 };

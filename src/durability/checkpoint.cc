@@ -14,10 +14,15 @@ namespace {
 
 // File layout (little-endian):
 //   magic "OEDC", u32 version, u64 last_sequence, u64 kg_version,
+//   (v2+) u64 primary_term, u64 owned_term, u64 applied_term,
+//         u64 term_start_sequence,
 //   u32 num_sections, then per section:
 //     u32 kind, u32 size, u32 crc32(bytes), bytes
 constexpr char kMagic[4] = {'O', 'E', 'D', 'C'};
-constexpr uint32_t kVersion = 1;
+// v1 had no term fields; a v1 image loads with all terms zero (a world that
+// never saw an election), so pre-term checkpoints stay readable.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 constexpr uint32_t kSectionWeights = 1;
 constexpr uint32_t kSectionKg = 2;
 constexpr uint32_t kSectionCache = 3;
@@ -141,6 +146,10 @@ Status SaveSystemCheckpoint(const std::string& path, Env* env,
   AppendU32(&image, kVersion);
   AppendU64(&image, state.last_sequence);
   AppendU64(&image, state.kg_version);
+  AppendU64(&image, state.primary_term);
+  AppendU64(&image, state.owned_term);
+  AppendU64(&image, state.applied_term);
+  AppendU64(&image, state.term_start_sequence);
   AppendU32(&image, 3);
 
   std::string section;
@@ -182,13 +191,23 @@ StatusOr<CheckpointState> LoadSystemCheckpoint(const std::string& path,
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("not a OneEdit system checkpoint: " + path);
   }
-  if (!ConsumeScalar(&rest, &version) || version != kVersion) {
+  if (!ConsumeScalar(&rest, &version) || version < kMinVersion ||
+      version > kVersion) {
     return Status::Corruption("unsupported system checkpoint version in " +
                               path);
   }
   if (!ConsumeScalar(&rest, &state.last_sequence) ||
-      !ConsumeScalar(&rest, &state.kg_version) ||
-      !ConsumeScalar(&rest, &num_sections)) {
+      !ConsumeScalar(&rest, &state.kg_version)) {
+    return Status::Corruption("system checkpoint header truncated: " + path);
+  }
+  if (version >= 2 &&
+      (!ConsumeScalar(&rest, &state.primary_term) ||
+       !ConsumeScalar(&rest, &state.owned_term) ||
+       !ConsumeScalar(&rest, &state.applied_term) ||
+       !ConsumeScalar(&rest, &state.term_start_sequence))) {
+    return Status::Corruption("system checkpoint header truncated: " + path);
+  }
+  if (!ConsumeScalar(&rest, &num_sections)) {
     return Status::Corruption("system checkpoint header truncated: " + path);
   }
 
@@ -241,8 +260,10 @@ StatusOr<CheckpointState> LoadSystemCheckpoint(const std::string& path,
 StatusOr<CheckpointState> PeekCheckpointState(const std::string& path,
                                               Env* env) {
   Env* e = env != nullptr ? env : Env::Default();
+  // Request the v2 header size; ReadFileRange returns the available prefix,
+  // so a shorter v1 file still parses through its own (smaller) header.
   constexpr size_t kHeaderBytes =
-      sizeof(kMagic) + sizeof(uint32_t) + 2 * sizeof(uint64_t);
+      sizeof(kMagic) + sizeof(uint32_t) + 6 * sizeof(uint64_t);
   std::string data;
   ONEEDIT_RETURN_IF_ERROR(e->ReadFileRange(path, 0, kHeaderBytes, &data));
   std::string_view rest(data);
@@ -253,9 +274,16 @@ StatusOr<CheckpointState> PeekCheckpointState(const std::string& path,
   rest.remove_prefix(sizeof(kMagic));
   uint32_t version = 0;
   CheckpointState state;
-  if (!ConsumeScalar(&rest, &version) || version != kVersion ||
-      !ConsumeScalar(&rest, &state.last_sequence) ||
+  if (!ConsumeScalar(&rest, &version) || version < kMinVersion ||
+      version > kVersion || !ConsumeScalar(&rest, &state.last_sequence) ||
       !ConsumeScalar(&rest, &state.kg_version)) {
+    return Status::Corruption("system checkpoint header truncated: " + path);
+  }
+  if (version >= 2 &&
+      (!ConsumeScalar(&rest, &state.primary_term) ||
+       !ConsumeScalar(&rest, &state.owned_term) ||
+       !ConsumeScalar(&rest, &state.applied_term) ||
+       !ConsumeScalar(&rest, &state.term_start_sequence))) {
     return Status::Corruption("system checkpoint header truncated: " + path);
   }
   return state;

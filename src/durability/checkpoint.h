@@ -17,6 +17,22 @@ struct CheckpointState {
   uint64_t last_sequence = 0;
   /// KG mutation counter at snapshot time (diagnostic, reported on load).
   uint64_t kg_version = 0;
+  /// Highest primary term (election epoch) this node has observed. Fencing
+  /// decisions survive restart through this field: a node whose role says
+  /// primary but whose observed term exceeds the term it last won boots
+  /// fenced instead of dual-serving.
+  uint64_t primary_term = 0;
+  /// Highest term this node itself won via Promote (what it stamps into the
+  /// records it journals). primary_term > owned_term means the node has
+  /// been deposed.
+  uint64_t owned_term = 0;
+  /// Term of the last record applied/journaled locally — the follower half
+  /// of the divergence comparison on reconnect.
+  uint64_t applied_term = 0;
+  /// Committed sequence at the moment owned_term began: records above it
+  /// under an older term were written by a deposed primary and must be
+  /// truncated on reconciliation.
+  uint64_t term_start_sequence = 0;
 };
 
 /// Writes an atomic whole-system checkpoint: model weights + KG triples +

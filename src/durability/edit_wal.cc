@@ -10,6 +10,7 @@ namespace {
 
 // Payload layout (little-endian):
 //   u64 sequence
+//   u64 term (primary election epoch the record was journaled under)
 //   u8  flags (bit 0: first_in_batch, bit 1: quarantine verdict)
 //   u8  op (EditRequest::Op)
 //   u8  method (EditingMethodKind)
@@ -52,6 +53,7 @@ bool ConsumeString(std::string_view* data, std::string* s) {
 bool DecodePayload(std::string_view payload, EditWalRecord* record) {
   uint8_t flags = 0, op = 0, method = 0;
   if (!ConsumeScalar(&payload, &record->sequence) ||
+      !ConsumeScalar(&payload, &record->term) ||
       !ConsumeScalar(&payload, &flags) || !ConsumeScalar(&payload, &op) ||
       !ConsumeScalar(&payload, &method) || op > 2 || method > 5) {
     return false;
@@ -80,6 +82,7 @@ bool DecodePayload(std::string_view payload, EditWalRecord* record) {
 std::string EditWal::Encode(const EditWalRecord& record) {
   std::string payload;
   AppendU64(&payload, record.sequence);
+  AppendU64(&payload, record.term);
   const uint8_t flags = (record.first_in_batch ? 1u : 0u) |
                         (record.quarantine ? 2u : 0u);
   payload.push_back(static_cast<char>(flags));

@@ -25,6 +25,9 @@ namespace durability {
 /// and never open a batch.
 struct EditWalRecord {
   uint64_t sequence = 0;
+  /// Primary term (election epoch) the record was journaled under. Replay
+  /// and replication use it to spot a suffix written by a deposed primary.
+  uint64_t term = 0;
   bool first_in_batch = true;
   EditingMethodKind method = EditingMethodKind::kMemit;
   EditRequest request;

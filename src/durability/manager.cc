@@ -50,6 +50,10 @@ StatusOr<RecoveryReport> DurabilityManager::Recover(
     report.checkpoint_sequence = state.last_sequence;
     report.checkpoint_kg_version = state.kg_version;
     report.last_sequence = state.last_sequence;
+    primary_term_ = state.primary_term;
+    owned_term_ = state.owned_term;
+    applied_term_ = state.applied_term;
+    term_start_sequence_ = state.term_start_sequence;
   }
 
   // Pass 1: collect quarantine verdicts. A verdict is journaled AFTER the
@@ -117,6 +121,10 @@ StatusOr<RecoveryReport> DurabilityManager::Recover(
               }
               prev_sequence = record.sequence;
               have_prev = true;
+              // The WAL tail is newer than the checkpoint's term snapshot;
+              // the terms its records carry are part of the durable state.
+              applied_term_ = record.term;
+              AdoptTerm(record.term);
               if (record.sequence <= report.checkpoint_sequence) {
                 ++report.skipped_records;
                 return Status::OK();
@@ -181,6 +189,10 @@ Status DurabilityManager::LogBatch(const std::vector<EditRequest>& requests,
     for (const EditRequest& request : requests) {
       EditWalRecord record;
       record.sequence = next_sequence_;
+      // Stamped with the term this node WON, not merely observed: a deposed
+      // node that keeps journaling marks its own suffix as stale, which is
+      // exactly what divergence reconciliation later keys on.
+      record.term = owned_term_;
       record.first_in_batch = first;
       record.method = method;
       record.request = request;
@@ -194,7 +206,10 @@ Status DurabilityManager::LogBatch(const std::vector<EditRequest>& requests,
     obs::Span fsync_span("fsync");
     status = wal_.Sync();
   }
-  if (status.ok()) committed_sequence_ = next_sequence_ - 1;
+  if (status.ok()) {
+    committed_sequence_ = next_sequence_ - 1;
+    applied_term_ = owned_term_.load();
+  }
   if (stats != nullptr) {
     if (status.ok()) {
       stats->Add(Ticker::kWalRecords, requests.size());
@@ -213,6 +228,7 @@ Status DurabilityManager::LogQuarantine(uint64_t quarantined_sequence,
                                         Statistics* stats) {
   EditWalRecord record;
   record.sequence = next_sequence_;
+  record.term = owned_term_;
   record.first_in_batch = false;
   record.method = method;
   record.quarantine = true;
@@ -223,7 +239,10 @@ Status DurabilityManager::LogQuarantine(uint64_t quarantined_sequence,
     ++next_sequence_;
     if (options_.sync_on_commit) status = wal_.Sync();
   }
-  if (status.ok()) committed_sequence_ = next_sequence_ - 1;
+  if (status.ok()) {
+    committed_sequence_ = next_sequence_ - 1;
+    applied_term_ = owned_term_.load();
+  }
   if (stats != nullptr) {
     if (status.ok()) {
       stats->Add(Ticker::kWalRecords);
@@ -237,13 +256,16 @@ Status DurabilityManager::LogQuarantine(uint64_t quarantined_sequence,
 
 Status DurabilityManager::AppendReplicated(std::string_view frames,
                                            uint64_t last_sequence,
-                                           size_t records, Statistics* stats) {
+                                           uint64_t last_term, size_t records,
+                                           Statistics* stats) {
   const auto start = std::chrono::steady_clock::now();
   Status status = wal_.AppendRaw(frames);
   if (status.ok() && options_.sync_on_commit) status = wal_.Sync();
   if (status.ok()) {
     next_sequence_ = last_sequence + 1;
     committed_sequence_ = last_sequence;
+    applied_term_ = last_term;
+    AdoptTerm(last_term);
   }
   if (stats != nullptr) {
     if (status.ok()) {
@@ -271,6 +293,18 @@ StatusOr<uint64_t> DurabilityManager::InstallSnapshotBytes(
     ONEEDIT_RETURN_IF_ERROR(file->Close());
   }
   ONEEDIT_RETURN_IF_ERROR(env_->RenameFile(tmp, checkpoint_path_));
+  // Snapshot install lands on a WARM system that may hold edits PAST this
+  // image (a diverged replica rolling back its truncated suffix), so every
+  // piece of editor state bound to the model — the adaptor a method
+  // registered, its live-edit ledger, the delta cache, the editor's
+  // live-triple set — must be dropped before the image is restored.
+  // Anything left behind either answers truncated edits (a stale adaptor
+  // entry) or silently skips their re-application (a stale live-set entry
+  // marking an incoming replayed edit "already installed"). Recovery's
+  // LoadSystemCheckpoint does NOT do this: its contract is a freshly built
+  // system, where the caller may have deliberately staged method state that
+  // checkpoints never persist.
+  system->editor().ResetState();
   ONEEDIT_ASSIGN_OR_RETURN(
       const CheckpointState state,
       LoadSystemCheckpoint(checkpoint_path_, env_, system));
@@ -280,8 +314,28 @@ StatusOr<uint64_t> DurabilityManager::InstallSnapshotBytes(
   next_sequence_ = state.last_sequence + 1;
   committed_sequence_ = state.last_sequence;
   edits_since_checkpoint_ = 0;
+  // The image carries the shipping primary's term view; adopt it (but not
+  // its term OWNERSHIP — installing a snapshot never makes us a primary).
+  applied_term_ = state.applied_term;
+  AdoptTerm(state.primary_term);
+  AdoptTerm(state.applied_term);
   if (stats != nullptr) stats->Add(Ticker::kCheckpoints);
   return state.last_sequence;
+}
+
+void DurabilityManager::AdoptTerm(uint64_t term) {
+  uint64_t observed = primary_term_.load();
+  while (observed < term &&
+         !primary_term_.compare_exchange_weak(observed, term)) {
+  }
+}
+
+uint64_t DurabilityManager::BumpTerm() {
+  const uint64_t won = primary_term_.load() + 1;
+  primary_term_ = won;
+  owned_term_ = won;
+  term_start_sequence_ = committed_sequence_.load();
+  return won;
 }
 
 Status DurabilityManager::OnBatchApplied(OneEditSystem& system,
@@ -300,6 +354,10 @@ Status DurabilityManager::Checkpoint(OneEditSystem& system,
   CheckpointState state;
   state.last_sequence = next_sequence_ - 1;
   state.kg_version = system.kg().version();
+  state.primary_term = primary_term_;
+  state.owned_term = owned_term_;
+  state.applied_term = applied_term_;
+  state.term_start_sequence = term_start_sequence_;
   Status status = SaveSystemCheckpoint(checkpoint_path_, env_, system, state);
   if (status.ok()) {
     // Everything at or below state.last_sequence is now redundant; rotate.

@@ -127,7 +127,8 @@ class DurabilityManager {
   /// `last_sequence`. As with LogBatch, the caller applies only after this
   /// returns OK, so a follower's acknowledged state is recoverable too.
   Status AppendReplicated(std::string_view frames, uint64_t last_sequence,
-                          size_t records, Statistics* stats);
+                          uint64_t last_term, size_t records,
+                          Statistics* stats);
 
   /// Replication follower path: atomically publishes `bytes` (a checkpoint
   /// image shipped by the primary) as this manager's checkpoint, restores
@@ -163,6 +164,30 @@ class DurabilityManager {
   uint64_t edits_since_checkpoint() const { return edits_since_checkpoint_; }
   const DurabilityOptions& options() const { return options_; }
 
+  /// Highest primary term (election epoch) observed anywhere: in our own
+  /// promotions, in checkpoints, in replicated records, or in fencing
+  /// rejections carried back over the wire.
+  uint64_t primary_term() const { return primary_term_; }
+  /// Highest term this node itself won via a Promote (BumpTerm). New local
+  /// records are stamped with it. primary_term() > owned_term() means some
+  /// other node has since won an election — this node is deposed.
+  uint64_t owned_term() const { return owned_term_; }
+  /// Term of the last record journaled locally (logged or replicated) —
+  /// the follower half of the divergence comparison on reconnect.
+  uint64_t applied_term() const { return applied_term_; }
+  /// Committed sequence at the moment owned_term() began. Records above it
+  /// journaled under an older term belong to a deposed primary's suffix.
+  uint64_t term_start_sequence() const { return term_start_sequence_; }
+
+  /// Raises the observed term to at least `term` (monotonic; never lowers).
+  void AdoptTerm(uint64_t term);
+
+  /// Election win (Promote): bumps past every observed term, takes
+  /// ownership of the new term, and marks the current commit point as its
+  /// start. Persisted by the next checkpoint; callers should publish one
+  /// promptly (Promote's WAL seal does). Returns the new term.
+  uint64_t BumpTerm();
+
  private:
   explicit DurabilityManager(const DurabilityOptions& options);
 
@@ -176,6 +201,13 @@ class DurabilityManager {
   std::atomic<uint64_t> next_sequence_{1};
   std::atomic<uint64_t> committed_sequence_{0};
   std::atomic<uint64_t> edits_since_checkpoint_{0};
+  /// Term bookkeeping (see the accessors). primary_term_ may be raised from
+  /// replication threads (AdoptTerm is a CAS max); the others are mutated
+  /// only by the writer, recovery, or Promote.
+  std::atomic<uint64_t> primary_term_{0};
+  std::atomic<uint64_t> owned_term_{0};
+  std::atomic<uint64_t> applied_term_{0};
+  std::atomic<uint64_t> term_start_sequence_{0};
 };
 
 }  // namespace durability

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <random>
 #include <utility>
 
 #include "util/logging.h"
@@ -88,39 +89,108 @@ void Follower::ObserveLag(uint64_t committed, uint64_t applied) {
 }
 
 void Follower::TailLoop() {
+  net::Net* net = options_.net != nullptr ? options_.net : net::Net::Default();
+  // Jittered exponential backoff: doubling per consecutive failure keeps a
+  // reset storm from busy-spinning; jitter keeps a fleet of followers from
+  // re-dialing in lockstep. Deterministic for a fixed seed.
+  std::mt19937_64 rng(options_.backoff_seed != 0
+                          ? options_.backoff_seed
+                          : 0x9e3779b97f4a7c15ull ^ options_.primary_port);
+  uint32_t consecutive_failures = 0;
+  const auto backoff = [&] {
+    const uint64_t base = static_cast<uint64_t>(
+        std::max<int64_t>(1, options_.reconnect_backoff.count()));
+    const uint64_t cap = std::max(
+        base,
+        static_cast<uint64_t>(
+            std::max<int64_t>(1, options_.reconnect_backoff_cap.count())));
+    const uint32_t shift = std::min(consecutive_failures, 10u);
+    const uint64_t ceiling = std::min(cap, base << shift);
+    // Uniform in [ceiling/2, ceiling]: never collapses to zero, never
+    // exceeds the ladder rung.
+    const uint64_t delay = ceiling / 2 + rng() % (ceiling - ceiling / 2 + 1);
+    std::unique_lock<std::mutex> lock(mutex_);
+    wake_.wait_for(lock, std::chrono::milliseconds(delay),
+                   [this] { return stopping_.load(); });
+  };
   while (!stopping_.load(std::memory_order_acquire)) {
     state_.store(FollowerState::kConnecting, std::memory_order_release);
-    StatusOr<int> fd = net::ConnectLoopback(options_.primary_port);
+    StatusOr<int> fd = net->Connect(options_.primary_port);
     if (!fd.ok()) {
+      ++consecutive_failures;
       if (stats_ != nullptr) stats_->Add(Ticker::kReplReconnects);
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait_for(lock, options_.reconnect_backoff,
-                     [this] { return stopping_.load(); });
+      backoff();
       continue;
     }
-    net::SetIoTimeouts(*fd, options_.io_timeout_seconds);
-    RunSession(*fd);
+    net->IoTimeouts(*fd, options_.io_timeout_seconds);
+    const bool progressed = RunSession(*fd, net);
     ::close(*fd);
+    if (progressed) {
+      consecutive_failures = 0;
+    } else {
+      ++consecutive_failures;
+    }
     if (!stopping_.load(std::memory_order_acquire)) {
       // The primary went away (crash, restart, or our own timeout); keep
       // re-dialing — a promoted or rebooted primary may come back.
       if (stats_ != nullptr) stats_->Add(Ticker::kReplReconnects);
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait_for(lock, options_.reconnect_backoff,
-                     [this] { return stopping_.load(); });
+      backoff();
     }
   }
   state_.store(FollowerState::kStopped, std::memory_order_release);
 }
 
-void Follower::RunSession(int fd) {
+bool Follower::RunSession(int fd, net::Net* net) {
+  bool progressed = false;
   while (!stopping_.load(std::memory_order_acquire)) {
     PollRequest poll;
     poll.applied_sequence = hooks_.applied_sequence();
     poll.from_sequence = poll.applied_sequence + 1;
-    if (!SendFrame(fd, EncodePoll(poll)).ok()) return;
-    StatusOr<Message> message = RecvMessage(fd);
-    if (!message.ok()) return;
+    poll.term = hooks_.current_term != nullptr ? hooks_.current_term() : 0;
+    poll.applied_term =
+        hooks_.applied_term != nullptr ? hooks_.applied_term() : 0;
+    if (!SendFrame(fd, EncodePoll(poll), net).ok()) return progressed;
+    StatusOr<Message> message = RecvMessage(fd, net);
+    if (!message.ok()) return progressed;
+    progressed = true;
+
+    // Fence on the reply's term stamp before trusting any of its data.
+    uint64_t reply_term = 0;
+    switch (message->type) {
+      case MessageType::kBatches:
+        reply_term = message->batches.term;
+        break;
+      case MessageType::kSnapshot:
+        reply_term = message->snapshot.term;
+        break;
+      case MessageType::kHeartbeat:
+        reply_term = message->heartbeat.term;
+        break;
+      case MessageType::kReject:
+        reply_term = message->reject.term;
+        break;
+      case MessageType::kPoll:
+        return progressed;  // protocol violation; drop the connection
+    }
+    if (reply_term > poll.term) {
+      if (hooks_.adopt_term != nullptr) hooks_.adopt_term(reply_term);
+    } else if (reply_term < poll.term) {
+      // A deposed primary still answering under its stale term. Journaling
+      // its records would fork our history; drop the connection instead
+      // (the owner re-points us at the new primary).
+      if (stats_ != nullptr) stats_->Add(Ticker::kReplTermRejections);
+      return progressed;
+    }
+
+    if (message->type == MessageType::kReject) {
+      if (message->reject.reason == RejectReason::kStaleTerm) {
+        // Adopted the higher term above; re-poll with it right away.
+        continue;
+      }
+      // kDeposed / kTooManyFollowers: this server will not serve us now;
+      // disconnect and let the backoff ladder pace the retry.
+      return progressed;
+    }
 
     bool behind = false;
     switch (message->type) {
@@ -129,7 +199,7 @@ void Follower::RunSession(int fd) {
         pending_batches_.store(message->batches.batches.size(),
                                std::memory_order_release);
         for (const ShippedBatch& batch : message->batches.batches) {
-          if (stopping_.load(std::memory_order_acquire)) return;
+          if (stopping_.load(std::memory_order_acquire)) return progressed;
           const Status applied = hooks_.apply_batch(batch);
           if (!applied.ok()) {
             // A replica that cannot journal or apply must not keep acking:
@@ -139,7 +209,7 @@ void Follower::RunSession(int fd) {
                 << batch.first_sequence << ", " << batch.last_sequence
                 << "]: " << applied.ToString();
             stopping_.store(true, std::memory_order_release);
-            return;
+            return progressed;
           }
           pending_batches_.fetch_sub(1, std::memory_order_acq_rel);
           if (stats_ != nullptr) {
@@ -165,10 +235,16 @@ void Follower::RunSession(int fd) {
                              << message->snapshot.checkpoint_sequence << ": "
                              << installed.ToString();
           stopping_.store(true, std::memory_order_release);
-          return;
+          return progressed;
         }
         if (stats_ != nullptr) {
           stats_->Add(Ticker::kReplSnapshotsInstalled);
+        }
+        if (message->snapshot.divergence != 0 &&
+            hooks_.on_divergence != nullptr) {
+          // The install just truncated a suffix journaled under a deposed
+          // term — reconciliation, not a routine catch-up.
+          hooks_.on_divergence(message->snapshot.checkpoint_sequence);
         }
         ObserveLag(
             std::max(committed_seen_.load(std::memory_order_acquire),
@@ -184,7 +260,8 @@ void Follower::RunSession(int fd) {
                  hooks_.applied_sequence();
         break;
       case MessageType::kPoll:
-        return;  // protocol violation; drop the connection
+      case MessageType::kReject:
+        return progressed;  // handled above; unreachable
     }
 
     if (!behind) {
@@ -194,6 +271,7 @@ void Follower::RunSession(int fd) {
                      [this] { return stopping_.load(); });
     }
   }
+  return progressed;
 }
 
 }  // namespace replication

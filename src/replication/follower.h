@@ -13,6 +13,7 @@
 
 #include "core/statistics.h"
 #include "replication/wire.h"
+#include "util/net.h"
 #include "util/status.h"
 
 namespace oneedit {
@@ -36,10 +37,20 @@ struct FollowerOptions {
   /// Idle poll cadence once caught up; behind, the follower polls
   /// immediately after each applied reply.
   std::chrono::milliseconds poll_interval{20};
-  /// Reconnect backoff after a dropped/refused connection.
+  /// Base reconnect backoff after a dropped/refused connection. Doubles
+  /// per consecutive failure (with jitter) up to reconnect_backoff_cap, so
+  /// a connection-reset storm cannot busy-spin the tail loop; any session
+  /// that receives a message resets the ladder.
   std::chrono::milliseconds reconnect_backoff{50};
+  /// Upper bound on the exponential backoff.
+  std::chrono::milliseconds reconnect_backoff_cap{2000};
+  /// Seed for the backoff jitter; 0 derives one from primary_port, so two
+  /// followers of the same primary still diverge deterministically.
+  uint64_t backoff_seed = 0;
   /// SO_RCVTIMEO/SO_SNDTIMEO on the primary connection.
   int io_timeout_seconds = 5;
+  /// Network seam; Net::Default() when null.
+  net::Net* net = nullptr;
 };
 
 /// How the tailer hands work to its owner (the serving layer): the
@@ -58,6 +69,20 @@ struct FollowerHooks {
   /// Highest locally applied (and journaled) sequence — sent to the
   /// primary as the ack its quorum wait watches.
   std::function<uint64_t()> applied_sequence;
+  /// Highest primary term observed locally; stamped into every poll. A
+  /// primary answering with a lower term is deposed and its data dropped.
+  /// Optional (0 when unset) for owners that predate terms.
+  std::function<uint64_t()> current_term;
+  /// Term of the last locally applied record — the divergence probe the
+  /// primary compares against its own term start.
+  std::function<uint64_t()> applied_term;
+  /// Raise the locally observed term (a reply or rejection carried a
+  /// higher one). Optional.
+  std::function<void(uint64_t term)> adopt_term;
+  /// A divergence snapshot is about to replace this replica's journal: its
+  /// tail was written under a deposed term and is being truncated. Called
+  /// after the install succeeds, with the image's checkpoint sequence.
+  std::function<void(uint64_t checkpoint_sequence)> on_divergence;
 };
 
 /// The follower's half of WAL shipping: a tail loop that polls the primary,
@@ -109,8 +134,9 @@ class Follower {
   void TailLoop();
 
   /// One connect-poll-apply session; returns when the connection drops or
-  /// the follower stops.
-  void RunSession(int fd);
+  /// the follower stops. True if at least one reply was received — the
+  /// signal that resets the reconnect-backoff ladder.
+  bool RunSession(int fd, net::Net* net);
 
   /// Updates lag bookkeeping from the latest (committed, applied) pair.
   void ObserveLag(uint64_t committed, uint64_t applied);

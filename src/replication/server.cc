@@ -20,8 +20,9 @@ StatusOr<std::unique_ptr<ReplicationServer>> ReplicationServer::Start(
   if (durability == nullptr) {
     return Status::InvalidArgument("replication needs a durability manager");
   }
+  net::Net* net = options.net != nullptr ? options.net : net::Net::Default();
   ONEEDIT_ASSIGN_OR_RETURN(const net::Listener listener,
-                           net::ListenLoopback(options.port));
+                           net->Listen(options.port));
   std::unique_ptr<ReplicationServer> server(
       new ReplicationServer(durability, stats, options));
   server->listen_fd_ = listener.fd;
@@ -55,16 +56,43 @@ void ReplicationServer::Stop() {
     }
   }
   if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::thread> handlers;
+  std::vector<Handler> handlers;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     handlers.swap(handlers_);
   }
-  for (std::thread& handler : handlers) {
-    if (handler.joinable()) handler.join();
+  for (Handler& handler : handlers) {
+    if (handler.thread.joinable()) handler.thread.join();
   }
   ::close(listen_fd_);
   acks_cv_.notify_all();
+}
+
+size_t ReplicationServer::handler_threads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return handlers_.size();
+}
+
+void ReplicationServer::ReapFinishedHandlers() {
+  std::vector<Handler> finished;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = handlers_.begin();
+    while (it != handlers_.end()) {
+      if (it->done->load()) {
+        finished.push_back(std::move(*it));
+        it = handlers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside the lock: the done flag is the handler's last act, so
+  // these joins return promptly and never wait on a thread that still
+  // needs mutex_ for its own cleanup.
+  for (Handler& handler : finished) {
+    if (handler.thread.joinable()) handler.thread.join();
+  }
 }
 
 size_t ReplicationServer::followers_connected() const {
@@ -83,18 +111,22 @@ uint64_t ReplicationServer::min_follower_applied() const {
   return min_acked;
 }
 
-bool ReplicationServer::WaitForAcks(uint64_t sequence, size_t replicas,
-                                    std::chrono::milliseconds timeout) {
-  if (replicas == 0) return true;
+AckWait ReplicationServer::WaitForAcks(uint64_t sequence, size_t replicas,
+                                       std::chrono::milliseconds timeout) {
+  if (replicas == 0) return AckWait::kQuorum;
   std::unique_lock<std::mutex> lock(mutex_);
-  return acks_cv_.wait_for(lock, timeout, [&] {
+  size_t acked = 0;
+  const bool satisfied = acks_cv_.wait_for(lock, timeout, [&] {
     if (stopping_.load()) return true;  // don't wedge shutdown
-    size_t acked = 0;
+    acked = 0;
     for (const auto& [fd, follower_sequence] : follower_acked_) {
       if (follower_sequence >= sequence) ++acked;
     }
     return acked >= replicas;
   });
+  if (stopping_.load()) return AckWait::kStopped;
+  return satisfied && acked >= replicas ? AckWait::kQuorum
+                                        : AckWait::kTimeout;
 }
 
 void ReplicationServer::AcceptLoop() {
@@ -105,35 +137,95 @@ void ReplicationServer::AcceptLoop() {
       return;
     }
     if (fd < 0) continue;  // EINTR / transient accept failure
-    net::SetIoTimeouts(fd, options_.io_timeout_seconds);
+    ReapFinishedHandlers();
+    bool over_cap = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      over_cap = follower_acked_.size() >= options_.max_followers;
+    }
+    if (over_cap) {
+      // Typed rejection, not a silent close: the follower learns it should
+      // back off rather than treat this as a flaky network.
+      RejectReply reject;
+      reject.term = durability_->primary_term();
+      reject.reason = RejectReason::kTooManyFollowers;
+      // Tick before the frame goes out: a peer that has the rejection in
+      // hand must be able to observe the counter.
+      if (stats_ != nullptr) stats_->Add(Ticker::kReplFollowerLimitRejects);
+      net_impl()->IoTimeouts(fd, options_.io_timeout_seconds);
+      (void)SendFrame(fd, EncodeReject(reject), net_impl());
+      ::close(fd);
+      continue;
+    }
+    net_impl()->IoTimeouts(fd, options_.io_timeout_seconds);
     std::lock_guard<std::mutex> lock(mutex_);
     follower_acked_[fd] = 0;
-    handlers_.emplace_back(&ReplicationServer::ServeFollower, this, fd);
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    Handler handler;
+    handler.done = done;
+    handler.thread = std::thread(&ReplicationServer::ServeFollower, this, fd,
+                                 done);
+    handlers_.push_back(std::move(handler));
   }
 }
 
-void ReplicationServer::ServeFollower(int fd) {
+void ReplicationServer::ServeFollower(int fd,
+                                      std::shared_ptr<std::atomic<bool>>
+                                          done) {
   while (!stopping_.load()) {
-    StatusOr<Message> message = RecvMessage(fd);
+    StatusOr<Message> message = RecvMessage(fd, net_impl());
     if (!message.ok() || message->type != MessageType::kPoll) break;
-    {
+    const PollRequest& poll = message->poll;
+
+    // Term fencing, before any bookkeeping trusts the poll. A HIGHER term
+    // means someone else won an election while we thought we were primary:
+    // adopt it, flip to deposed, and tell the owner (once) to shed writes.
+    const uint64_t our_term = durability_->primary_term();
+    if (poll.term > our_term) {
+      durability_->AdoptTerm(poll.term);
+      if (!deposed_.exchange(true) && options_.on_deposed != nullptr) {
+        options_.on_deposed(poll.term);
+      }
+    }
+    if (deposed_.load()) {
+      RejectReply reject;
+      reject.term = durability_->primary_term();
+      reject.reason = RejectReason::kDeposed;
+      if (!SendFrame(fd, EncodeReject(reject), net_impl()).ok()) break;
+      continue;
+    }
+    if (poll.term < our_term) {
+      // A stale-term poller (a follower still loyal to a deposed primary,
+      // or that primary itself probing): fence it with our term.
+      if (stats_ != nullptr) stats_->Add(Ticker::kReplTermRejections);
+      RejectReply reject;
+      reject.term = our_term;
+      reject.reason = RejectReason::kStaleTerm;
+      if (!SendFrame(fd, EncodeReject(reject), net_impl()).ok()) break;
+      continue;
+    }
+
+    // A diverged follower's "applied" covers records this primary's history
+    // does not contain — crediting it toward the quorum would let a write
+    // be acknowledged against phantom replication.
+    if (!Diverged(poll)) {
       std::lock_guard<std::mutex> lock(mutex_);
-      follower_acked_[fd] = message->poll.applied_sequence;
+      follower_acked_[fd] = poll.applied_sequence;
     }
     acks_cv_.notify_all();
     if (stats_ != nullptr) stats_->Add(Ticker::kReplPollsServed);
 
-    StatusOr<std::string> reply = BuildReply(message->poll.from_sequence);
+    StatusOr<std::string> reply = BuildReply(poll);
     if (!reply.ok()) {
       ONEEDIT_LOG(Warning) << "replication poll for sequence "
-                           << message->poll.from_sequence
+                           << poll.from_sequence
                            << " failed: " << reply.status().ToString();
       break;
     }
     if (stats_ != nullptr) {
       stats_->Add(Ticker::kReplBytesShipped, reply->size());
     }
-    if (!SendFrame(fd, *reply).ok()) break;
+    if (!SendFrame(fd, *reply, net_impl()).ok()) break;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -141,13 +233,55 @@ void ReplicationServer::ServeFollower(int fd) {
   }
   acks_cv_.notify_all();
   ::close(fd);
+  done->store(true);
 }
 
-StatusOr<std::string> ReplicationServer::BuildReply(uint64_t from_sequence) {
+bool ReplicationServer::Diverged(const PollRequest& poll) const {
+  if (poll.applied_sequence > durability_->committed_sequence()) return true;
+  return poll.applied_term < durability_->primary_term() &&
+         poll.applied_sequence > durability_->term_start_sequence();
+}
+
+StatusOr<std::string> ReplicationServer::BuildReply(const PollRequest& poll) {
   const uint64_t committed = durability_->committed_sequence();
+  const uint64_t our_term = durability_->primary_term();
+  const uint64_t from_sequence = poll.from_sequence;
   durability::Env* env = durability_->options().env != nullptr
                              ? durability_->options().env
                              : durability::Env::Default();
+
+  // Divergence reconciliation: the follower journaled a deposed primary's
+  // suffix (or claims records past our commit point). Tailing would splice
+  // incompatible histories; only a snapshot install — which truncates the
+  // follower's WAL — reconverges it byte-for-byte.
+  if (Diverged(poll)) {
+    const StatusOr<durability::CheckpointState> peeked =
+        env->FileExists(durability_->checkpoint_path())
+            ? durability::PeekCheckpointState(durability_->checkpoint_path(),
+                                              env)
+            : Status::NotFound("no checkpoint yet");
+    if (peeked.ok()) {
+      SnapshotReply snapshot;
+      snapshot.checkpoint_sequence = peeked->last_sequence;
+      snapshot.term = our_term;
+      snapshot.divergence = 1;
+      ONEEDIT_RETURN_IF_ERROR(env->ReadFileToString(
+          durability_->checkpoint_path(), &snapshot.bytes));
+      if (stats_ != nullptr) stats_->Add(Ticker::kReplSnapshotsShipped);
+      return EncodeSnapshot(snapshot);
+    }
+    // No image to ship yet (promotion seals one, so this is transient).
+    // Heartbeat; the follower stays put and re-polls.
+    ONEEDIT_LOG(Warning) << "follower diverged (applied "
+                         << poll.applied_sequence << " term "
+                         << poll.applied_term << " vs committed " << committed
+                         << " term " << our_term
+                         << ") but no checkpoint to ship yet";
+    HeartbeatReply heartbeat;
+    heartbeat.committed_sequence = committed;
+    heartbeat.term = our_term;
+    return EncodeHeartbeat(heartbeat);
+  }
 
   // A follower positioned at or below the last checkpoint's sequence wants
   // records the WAL rotated away — only a full install can catch it up.
@@ -158,6 +292,7 @@ StatusOr<std::string> ReplicationServer::BuildReply(uint64_t from_sequence) {
     if (peeked.ok() && peeked->last_sequence >= from_sequence) {
       SnapshotReply snapshot;
       snapshot.checkpoint_sequence = peeked->last_sequence;
+      snapshot.term = our_term;
       ONEEDIT_RETURN_IF_ERROR(env->ReadFileToString(
           durability_->checkpoint_path(), &snapshot.bytes));
       if (stats_ != nullptr) stats_->Add(Ticker::kReplSnapshotsShipped);
@@ -167,6 +302,7 @@ StatusOr<std::string> ReplicationServer::BuildReply(uint64_t from_sequence) {
 
   BatchesReply reply;
   reply.committed_sequence = committed;
+  reply.term = our_term;
   if (from_sequence <= committed) {
     durability::EditWal::Cursor cursor(durability_->wal_path(),
                                        from_sequence, env);
@@ -207,6 +343,7 @@ StatusOr<std::string> ReplicationServer::BuildReply(uint64_t from_sequence) {
   if (reply.batches.empty()) {
     HeartbeatReply heartbeat;
     heartbeat.committed_sequence = committed;
+    heartbeat.term = our_term;
     return EncodeHeartbeat(heartbeat);
   }
   if (stats_ != nullptr) {

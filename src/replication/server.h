@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "core/statistics.h"
 #include "durability/manager.h"
 #include "replication/wire.h"
+#include "util/net.h"
 
 namespace oneedit {
 namespace replication {
@@ -28,6 +30,24 @@ struct ReplicationServerOptions {
   /// SO_RCVTIMEO/SO_SNDTIMEO on follower connections: a wedged follower
   /// times out and is dropped instead of pinning its handler thread.
   int io_timeout_seconds = 5;
+  /// Concurrent-follower cap; a connection past it gets a typed
+  /// kTooManyFollowers rejection instead of a silently pinned thread.
+  size_t max_followers = 64;
+  /// Network seam; Net::Default() when null. Chaos tests interpose a
+  /// FaultInjectingNet here.
+  net::Net* net = nullptr;
+  /// Fencing callback: invoked exactly once, with the higher term, when a
+  /// poll stamped with a term above ours arrives — some other node won an
+  /// election, so this (deposed) primary must shed writes. Called from a
+  /// handler thread; must not re-enter the server.
+  std::function<void(uint64_t)> on_deposed;
+};
+
+/// What a quorum wait concluded (WaitForAcks).
+enum class AckWait {
+  kQuorum,   ///< enough followers acked the sequence in time
+  kTimeout,  ///< the timeout elapsed first — the caller's AckPolicy decides
+  kStopped,  ///< the server is shutting down; no verdict
 };
 
 /// The primary's half of WAL shipping (docs/replication.md): accepts
@@ -68,23 +88,45 @@ class ReplicationServer {
   uint64_t min_follower_applied() const;
 
   /// Blocks until at least `replicas` followers have acked a sequence >=
-  /// `sequence`, or `timeout` elapses (false). The serving writer calls
-  /// this after applying a batch so an acknowledged edit survives primary
-  /// failover.
-  bool WaitForAcks(uint64_t sequence, size_t replicas,
-                   std::chrono::milliseconds timeout);
+  /// `sequence`, the `timeout` elapses, or the server stops. The serving
+  /// writer calls this after applying a batch; what a kTimeout means for
+  /// the client is the caller's AckPolicy decision, not ours.
+  AckWait WaitForAcks(uint64_t sequence, size_t replicas,
+                      std::chrono::milliseconds timeout);
+
+  /// True once a higher-term poll deposed this server (it answers
+  /// everything with kReject{kDeposed} from then on).
+  bool deposed() const { return deposed_.load(); }
+
+  /// Live handler threads, including finished-but-unreaped ones (reaped on
+  /// the next accept). Exposed so tests can assert reconnect storms don't
+  /// leak threads.
+  size_t handler_threads() const;
 
  private:
   ReplicationServer(durability::DurabilityManager* durability,
                     Statistics* stats,
                     const ReplicationServerOptions& options);
 
+  net::Net* net_impl() const {
+    return options_.net != nullptr ? options_.net : net::Net::Default();
+  }
+
   void AcceptLoop();
-  void ServeFollower(int fd);
+  void ServeFollower(int fd, std::shared_ptr<std::atomic<bool>> done);
+  /// Joins handler threads that have finished serving their connection.
+  void ReapFinishedHandlers();
+
+  /// Divergence probe: the poll claims an applied position this primary's
+  /// committed history cannot contain — past the commit point, or past the
+  /// current term's start under an older term (a deposed primary's
+  /// suffix). Such a follower must truncate and resync, not tail.
+  bool Diverged(const PollRequest& poll) const;
 
   /// Builds the reply to one poll: batches from the WAL, a snapshot when
-  /// the WAL no longer covers `from_sequence`, or a heartbeat.
-  StatusOr<std::string> BuildReply(uint64_t from_sequence);
+  /// the WAL no longer covers the poll's position (or the follower
+  /// diverged), or a heartbeat. Every reply is stamped with our term.
+  StatusOr<std::string> BuildReply(const PollRequest& poll);
 
   durability::DurabilityManager* durability_;
   Statistics* stats_;
@@ -92,13 +134,21 @@ class ReplicationServer {
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> deposed_{false};
+
+  /// One follower connection's thread plus its "finished" flag (set as the
+  /// handler's last act, so a true flag means join() returns promptly).
+  struct Handler {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
 
   /// Guards followers_ and handler bookkeeping; acks_cv_ wakes quorum
   /// waiters whenever any follower's acked sequence advances.
   mutable std::mutex mutex_;
   std::condition_variable acks_cv_;
   std::unordered_map<int, uint64_t> follower_acked_;
-  std::vector<std::thread> handlers_;
+  std::vector<Handler> handlers_;
 
   std::thread acceptor_;
 };

@@ -61,12 +61,15 @@ std::string EncodePoll(const PollRequest& poll) {
   std::string payload;
   AppendU64(&payload, poll.from_sequence);
   AppendU64(&payload, poll.applied_sequence);
+  AppendU64(&payload, poll.term);
+  AppendU64(&payload, poll.applied_term);
   return Frame(MessageType::kPoll, payload);
 }
 
 std::string EncodeBatches(const BatchesReply& reply) {
   std::string payload;
   AppendU64(&payload, reply.committed_sequence);
+  AppendU64(&payload, reply.term);
   AppendU32(&payload, static_cast<uint32_t>(reply.batches.size()));
   for (const ShippedBatch& batch : reply.batches) {
     AppendU64(&payload, batch.first_sequence);
@@ -80,6 +83,8 @@ std::string EncodeBatches(const BatchesReply& reply) {
 std::string EncodeSnapshot(const SnapshotReply& reply) {
   std::string payload;
   AppendU64(&payload, reply.checkpoint_sequence);
+  AppendU64(&payload, reply.term);
+  payload.push_back(static_cast<char>(reply.divergence));
   AppendBytes(&payload, reply.bytes);
   return Frame(MessageType::kSnapshot, payload);
 }
@@ -87,7 +92,15 @@ std::string EncodeSnapshot(const SnapshotReply& reply) {
 std::string EncodeHeartbeat(const HeartbeatReply& reply) {
   std::string payload;
   AppendU64(&payload, reply.committed_sequence);
+  AppendU64(&payload, reply.term);
   return Frame(MessageType::kHeartbeat, payload);
+}
+
+std::string EncodeReject(const RejectReply& reply) {
+  std::string payload;
+  AppendU64(&payload, reply.term);
+  payload.push_back(static_cast<char>(reply.reason));
+  return Frame(MessageType::kReject, payload);
 }
 
 StatusOr<Message> DecodeMessage(const std::string& frame) {
@@ -110,6 +123,8 @@ StatusOr<Message> DecodeMessage(const std::string& frame) {
       message.type = MessageType::kPoll;
       if (!ConsumeScalar(&rest, &message.poll.from_sequence) ||
           !ConsumeScalar(&rest, &message.poll.applied_sequence) ||
+          !ConsumeScalar(&rest, &message.poll.term) ||
+          !ConsumeScalar(&rest, &message.poll.applied_term) ||
           !rest.empty()) {
         return Status::Corruption("malformed poll message");
       }
@@ -118,6 +133,7 @@ StatusOr<Message> DecodeMessage(const std::string& frame) {
       message.type = MessageType::kBatches;
       uint32_t count = 0;
       if (!ConsumeScalar(&rest, &message.batches.committed_sequence) ||
+          !ConsumeScalar(&rest, &message.batches.term) ||
           !ConsumeScalar(&rest, &count)) {
         return Status::Corruption("malformed batches message");
       }
@@ -141,6 +157,8 @@ StatusOr<Message> DecodeMessage(const std::string& frame) {
     case MessageType::kSnapshot:
       message.type = MessageType::kSnapshot;
       if (!ConsumeScalar(&rest, &message.snapshot.checkpoint_sequence) ||
+          !ConsumeScalar(&rest, &message.snapshot.term) ||
+          !ConsumeScalar(&rest, &message.snapshot.divergence) ||
           !ConsumeBytes(&rest, &message.snapshot.bytes) || !rest.empty()) {
         return Status::Corruption("malformed snapshot message");
       }
@@ -148,22 +166,35 @@ StatusOr<Message> DecodeMessage(const std::string& frame) {
     case MessageType::kHeartbeat:
       message.type = MessageType::kHeartbeat;
       if (!ConsumeScalar(&rest, &message.heartbeat.committed_sequence) ||
-          !rest.empty()) {
+          !ConsumeScalar(&rest, &message.heartbeat.term) || !rest.empty()) {
         return Status::Corruption("malformed heartbeat message");
       }
       return message;
+    case MessageType::kReject: {
+      message.type = MessageType::kReject;
+      uint8_t reason = 0;
+      if (!ConsumeScalar(&rest, &message.reject.term) ||
+          !ConsumeScalar(&rest, &reason) || reason < 1 || reason > 3 ||
+          !rest.empty()) {
+        return Status::Corruption("malformed reject message");
+      }
+      message.reject.reason = static_cast<RejectReason>(reason);
+      return message;
+    }
   }
   return Status::Corruption("unknown replication message type " +
                             std::to_string(type));
 }
 
-Status SendFrame(int fd, const std::string& frame) {
-  return net::SendAll(fd, frame);
+Status SendFrame(int fd, const std::string& frame, net::Net* net) {
+  net::Net* n = net != nullptr ? net : net::Net::Default();
+  return n->Send(fd, frame);
 }
 
-StatusOr<Message> RecvMessage(int fd) {
+StatusOr<Message> RecvMessage(int fd, net::Net* net) {
+  net::Net* n = net != nullptr ? net : net::Net::Default();
   std::string header;
-  ONEEDIT_RETURN_IF_ERROR(net::RecvAll(fd, 2 * sizeof(uint32_t), &header));
+  ONEEDIT_RETURN_IF_ERROR(n->Recv(fd, 2 * sizeof(uint32_t), &header));
   uint32_t size = 0;
   std::memcpy(&size, header.data(), sizeof(size));
   if (size > kMaxBodyBytes) {
@@ -171,7 +202,7 @@ StatusOr<Message> RecvMessage(int fd) {
                               std::to_string(size) + " bytes");
   }
   std::string body;
-  ONEEDIT_RETURN_IF_ERROR(net::RecvAll(fd, size, &body));
+  ONEEDIT_RETURN_IF_ERROR(n->Recv(fd, size, &body));
   return DecodeMessage(header + body);
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "util/net.h"
 #include "util/status.h"
 #include "util/statusor.h"
 
@@ -33,11 +34,34 @@ enum class MessageType : uint8_t {
   /// Primary -> follower: nothing new past `from_sequence`; carries the
   /// commit point so the follower can measure lag while idle.
   kHeartbeat = 4,
+  /// Either direction: "your term is stale (or you are not welcome)";
+  /// carries the rejecter's term so the peer can adopt it. The fencing
+  /// primitive: a poll stamped with a lower term gets this instead of data,
+  /// and a primary that receives a poll with a HIGHER term answers with it
+  /// too — conceding that it has been deposed.
+  kReject = 5,
+};
+
+/// Why a kReject was sent.
+enum class RejectReason : uint8_t {
+  /// The sender's term is older than the rejecter's — fence yourself.
+  kStaleTerm = 1,
+  /// The server is at its follower cap; retry later (after backoff).
+  kTooManyFollowers = 2,
+  /// The rejecting server itself has been deposed and no longer serves.
+  kDeposed = 3,
 };
 
 struct PollRequest {
   uint64_t from_sequence = 1;
   uint64_t applied_sequence = 0;
+  /// Highest primary term the follower has observed. A primary with a
+  /// lower term concedes; a primary with a higher one rejects the poll.
+  uint64_t term = 0;
+  /// Term of the follower's last applied record — the divergence probe:
+  /// applied past the primary's watermark under an older term means the
+  /// follower journaled a deposed primary's suffix and must resync.
+  uint64_t applied_term = 0;
 };
 
 /// One writer batch as it sits in the primary's WAL: `frames` holds the
@@ -53,16 +77,32 @@ struct ShippedBatch {
 
 struct BatchesReply {
   uint64_t committed_sequence = 0;
+  /// The shipping primary's term; a follower that has observed a higher
+  /// one drops the reply instead of journaling a deposed primary's data.
+  uint64_t term = 0;
   std::vector<ShippedBatch> batches;
 };
 
 struct SnapshotReply {
   uint64_t checkpoint_sequence = 0;
+  uint64_t term = 0;
+  /// Set when the snapshot was forced by divergence reconciliation: the
+  /// follower's tail was journaled under a deposed term past this
+  /// primary's committed watermark, so installing (which truncates the
+  /// follower's WAL) is the fix, not an optimization.
+  uint8_t divergence = 0;
   std::string bytes;
 };
 
 struct HeartbeatReply {
   uint64_t committed_sequence = 0;
+  uint64_t term = 0;
+};
+
+struct RejectReply {
+  /// The rejecter's (higher) term, for the peer to adopt.
+  uint64_t term = 0;
+  RejectReason reason = RejectReason::kStaleTerm;
 };
 
 /// One decoded protocol message; `type` says which member is live.
@@ -72,24 +112,28 @@ struct Message {
   BatchesReply batches;
   SnapshotReply snapshot;
   HeartbeatReply heartbeat;
+  RejectReply reject;
 };
 
 std::string EncodePoll(const PollRequest& poll);
 std::string EncodeBatches(const BatchesReply& reply);
 std::string EncodeSnapshot(const SnapshotReply& reply);
 std::string EncodeHeartbeat(const HeartbeatReply& reply);
+std::string EncodeReject(const RejectReply& reply);
 
 /// Decodes one full frame (as produced by the Encode* functions) into a
 /// Message. Corruption on CRC mismatch or a malformed body.
 StatusOr<Message> DecodeMessage(const std::string& frame);
 
-/// Sends one already-encoded frame over `fd` (SendAll semantics).
-Status SendFrame(int fd, const std::string& frame);
+/// Sends one already-encoded frame over `fd` (SendAll semantics) through
+/// `net` (Net::Default() when null).
+Status SendFrame(int fd, const std::string& frame, net::Net* net = nullptr);
 
-/// Receives one frame from `fd` and decodes it. Unavailable on clean
-/// disconnect before a frame starts; IoError on timeout or mid-frame EOF;
-/// Corruption on a CRC or decode failure.
-StatusOr<Message> RecvMessage(int fd);
+/// Receives one frame from `fd` through `net` (Net::Default() when null)
+/// and decodes it. Unavailable on clean disconnect before a frame starts;
+/// IoError on timeout or mid-frame EOF; Corruption on a CRC or decode
+/// failure.
+StatusOr<Message> RecvMessage(int fd, net::Net* net = nullptr);
 
 }  // namespace replication
 }  // namespace oneedit

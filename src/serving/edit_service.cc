@@ -1,11 +1,14 @@
 #include "serving/edit_service.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdlib>
 #include <unordered_set>
 #include <utility>
 
 #include "util/logging.h"
+#include "util/net.h"
 
 namespace oneedit {
 namespace serving {
@@ -41,6 +44,16 @@ EditResult ReplicaRejection() {
   return result;
 }
 
+EditResult FencedRejection(uint64_t observed_term, uint64_t owned_term) {
+  EditResult result;
+  result.kind = EditResult::Kind::kRejected;
+  result.message =
+      "write fenced: a primary with term " + std::to_string(observed_term) +
+      " exists (this node owns term " + std::to_string(owned_term) +
+      "); RejoinAsFollower() to reconcile";
+  return result;
+}
+
 /// Closes a request's trace: every request span tree is rooted by exactly
 /// one "request" span recorded when the promise resolves, whatever path
 /// (applied, expired, rejected, degraded) resolved it.
@@ -71,6 +84,8 @@ std::string ServiceHealthName(ServiceHealth health) {
       return "read_only_degraded";
     case ServiceHealth::kHalfOpenProbing:
       return "half_open_probing";
+    case ServiceHealth::kFenced:
+      return "fenced";
   }
   return "unknown";
 }
@@ -129,6 +144,20 @@ EditService::EditService(std::unique_ptr<OneEditSystem> system,
   if (durability_ != nullptr) {
     applied_sequence_.store(durability_->committed_sequence(),
                             std::memory_order_release);
+    if (role() == ReplicationRole::kPrimary &&
+        durability_->primary_term() > durability_->owned_term()) {
+      // Boot fence: the recovered checkpoint observed a term this node
+      // never won — it was deposed before it went down, and the cluster
+      // may have moved on. Refuse writes until RejoinAsFollower (or an
+      // operator Promote) reconciles the history.
+      TransitionHealth(
+          ServiceHealth::kFenced,
+          "recovered primary_term " +
+              std::to_string(durability_->primary_term()) +
+              " above owned term " +
+              std::to_string(durability_->owned_term()) +
+              ": this node was deposed before it last stopped");
+    }
   }
   // First publication: the recovered (or empty) state becomes readable
   // before any concurrent actor exists — readers never see a null hub, and
@@ -177,6 +206,16 @@ std::future<StatusOr<EditResult>> EditService::Submit(EditRequest request) {
     stats.Add(Ticker::kDegradedRejects);
     FinishTrace(trace);
     pending.promise.set_value(ReplicaRejection());
+    return future;
+  }
+  if (health() == ServiceHealth::kFenced) {
+    // Fencing is its own rejection: the write path is intact, but another
+    // primary owns the term and acking here would fork history.
+    stats.Add(Ticker::kReplFencedWrites);
+    FinishTrace(trace);
+    pending.promise.set_value(FencedRejection(
+        durability_ != nullptr ? durability_->primary_term() : 0,
+        durability_ != nullptr ? durability_->owned_term() : 0));
     return future;
   }
   if (read_only()) {
@@ -319,6 +358,9 @@ void EditService::Stop() {
   // The scrape handler reads through `this`; take the listener down before
   // anything it samples starts shutting down.
   if (metrics_server_ != nullptr) metrics_server_->Stop();
+  // The fencer dials out on its own thread; retire it before the endpoints
+  // it might still be poking go away.
+  StopFencer();
   // Replication next, and before the writer joins: a writer blocked in a
   // quorum WaitForAcks is released by the server's stop, and a follower
   // tail apply must finish before the exclusive-lock world shuts down.
@@ -460,6 +502,8 @@ void EditService::StartReplication() {
     case ReplicationRole::kPrimary: {
       replication::ReplicationServerOptions server_options;
       server_options.port = options_.replication.listen_port;
+      server_options.net = options_.replication.net;
+      server_options.on_deposed = [this](uint64_t term) { OnDeposed(term); };
       StatusOr<std::unique_ptr<replication::ReplicationServer>> server =
           replication::ReplicationServer::Start(
               durability_, &system_->statistics(), server_options);
@@ -479,6 +523,7 @@ void EditService::StartReplication() {
       replication::FollowerOptions follower_options;
       follower_options.primary_port = options_.replication.primary_port;
       follower_options.poll_interval = options_.replication.poll_interval;
+      follower_options.net = options_.replication.net;
       replication::FollowerHooks hooks;
       hooks.apply_batch = [this](const replication::ShippedBatch& batch) {
         return ApplyReplicatedBatch(batch);
@@ -488,6 +533,18 @@ void EditService::StartReplication() {
         return InstallReplicatedSnapshot(checkpoint_sequence, bytes);
       };
       hooks.applied_sequence = [this] { return applied_sequence(); };
+      hooks.current_term = [this] { return durability_->primary_term(); };
+      hooks.applied_term = [this] { return durability_->applied_term(); };
+      hooks.adopt_term = [this](uint64_t term) {
+        durability_->AdoptTerm(term);
+      };
+      hooks.on_divergence = [this](uint64_t checkpoint_sequence) {
+        system_->statistics().Add(Ticker::kReplDivergenceTruncations);
+        ONEEDIT_LOG(Warning)
+            << "divergence reconciled: WAL suffix journaled under a deposed "
+               "term truncated and resynced from the primary's checkpoint at "
+            << checkpoint_sequence;
+      };
       follower_ = replication::Follower::Start(
           follower_options, std::move(hooks), &system_->statistics());
       return;
@@ -527,27 +584,35 @@ Status EditService::ApplyReplicatedBatch(
   // frames BEFORE applying, so the sequence this replica acks is always
   // recoverable — and byte-identical to the primary's log.
   ONEEDIT_RETURN_IF_ERROR(durability_->AppendReplicated(
-      batch.frames, batch.last_sequence, records.size(), &stats));
+      batch.frames, batch.last_sequence, records.back().term, records.size(),
+      &stats));
 
+  // The primary's quarantine verdicts are authoritative: a verdict record
+  // is journaled into the SAME writer batch as the edit it condemns, so the
+  // shipped batch carries both and replay can drop the poison up front —
+  // exactly what crash recovery's two-pass replay does. Re-running local
+  // validation here instead would let a replica reach a DIFFERENT verdict
+  // than the primary (validation probes the live model, and a replica's
+  // model history — e.g. one rebuilt by divergence reconciliation — is not
+  // bit-equal), silently forking state under identical journals.
+  std::unordered_set<uint64_t> condemned;
+  for (const durability::EditWalRecord& record : records) {
+    if (record.quarantine) condemned.insert(record.quarantined_sequence);
+  }
   std::vector<EditRequest> requests;
   requests.reserve(records.size());
   for (const durability::EditWalRecord& record : records) {
-    // Verdict records carry no edit. Their condemned batch re-validates
-    // below to the same verdict (validation is deterministic in the batch's
-    // first sequence), so the verdict itself is journal-only here.
-    if (!record.quarantine) requests.push_back(record.request);
+    if (record.quarantine || condemned.count(record.sequence) > 0) continue;
+    requests.push_back(record.request);
   }
   {
     std::unique_lock<std::mutex> gate(writer_gate_);
     std::unique_lock<std::shared_mutex> write_lock(rw_mutex_);
     gate.unlock();
     if (!requests.empty()) {
-      if (options_.self_heal.validate_after_apply) {
-        SelfHealer healer(system_.get(), options_.self_heal);
-        (void)healer.ApplyValidated(requests, batch.first_sequence);
-      } else {
-        (void)system_->EditBatch(requests);
-      }
+      // Per-slot failures reproduce the original run (guard rejections,
+      // no-ops) and must not abort the tail.
+      (void)system_->EditBatch(requests);
     }
     // Shipped-batch boundary: publish while still holding the lock, BEFORE
     // advancing the token — a reader that sees the new applied_sequence()
@@ -607,9 +672,14 @@ Status EditService::Promote() {
     std::lock_guard<std::mutex> lock(repl_mutex_);
     if (follower_ != nullptr) follower_->Stop();
   }
-  // 2. Seal the WAL: publish a checkpoint under the exclusive lock. The
-  //    replica's last applied state becomes its own durable authority, and
-  //    the log rotates clean for the writes this new primary will journal.
+  // 2. Win a new term. Everything this primary journals from here is
+  //    stamped with it; the old primary's unreplicated suffix (if any)
+  //    stays marked with the lower term it was written under.
+  const uint64_t term = durability_->BumpTerm();
+  // 3. Seal the WAL: publish a checkpoint under the exclusive lock. The
+  //    replica's last applied state becomes its own durable authority —
+  //    with the won term persisted in the checkpoint header — and the log
+  //    rotates clean for the writes this new primary will journal.
   const Status sealed = WithExclusive([this](OneEditSystem& system) {
     return durability_->Checkpoint(system, &system.statistics());
   });
@@ -617,13 +687,129 @@ Status EditService::Promote() {
     return Status::Internal("promotion failed to seal the WAL: " +
                             sealed.ToString());
   }
-  // 3. Accept writes.
+  // 4. Accept writes.
   role_.store(ReplicationRole::kPrimary, std::memory_order_release);
-  ONEEDIT_LOG(Warning) << "promoted to primary at sequence "
-                       << applied_sequence();
-  // 4. Let surviving followers re-attach (best-effort).
+  ONEEDIT_LOG(Warning) << "promoted to primary: term " << term
+                       << ", sequence " << applied_sequence();
+  // 5. Let surviving followers re-attach (best-effort).
+  StartReplication();
+  // 6. Fence the old primary: keep announcing the won term at its port
+  //    until something over there acknowledges it. Without this, a deposed
+  //    primary on the far side of a partition would keep acking writes
+  //    until a follower happened to poll it with the new term.
+  if (options_.replication.primary_port != 0) {
+    StopFencer();
+    std::lock_guard<std::mutex> lock(fencer_mutex_);
+    fencer_stop_.store(false, std::memory_order_release);
+    fencer_ = std::thread(&EditService::FencerLoop, this,
+                          options_.replication.primary_port, term);
+  }
+  return Status::OK();
+}
+
+Status EditService::RejoinAsFollower(uint16_t primary_port) {
+  if (durability_ == nullptr) {
+    return Status::FailedPrecondition(
+        "RejoinAsFollower requires a durability manager");
+  }
+  StopFencer();
+  // Shed the write path first: new Submits bounce off the follower role
+  // check, and Drain() flushes whatever the writer already admitted.
+  role_.store(ReplicationRole::kFollower, std::memory_order_release);
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(repl_mutex_);
+    if (follower_ != nullptr) {
+      follower_->Stop();
+      follower_.reset();
+    }
+    if (repl_server_ != nullptr) {
+      repl_server_->Stop();
+      repl_server_.reset();
+    }
+  }
+  options_.replication.primary_port = primary_port;
+  if (health() == ServiceHealth::kFenced) {
+    // The fence's reason to exist — a competing writable history — is
+    // resolved by tailing the winner: any deposed-term suffix is truncated
+    // and resynced by its divergence snapshot.
+    TransitionHealth(ServiceHealth::kHealthy,
+                     "rejoining as follower of the term-" +
+                         std::to_string(durability_->primary_term()) +
+                         " primary on port " + std::to_string(primary_port));
+  }
+  ONEEDIT_LOG(Warning) << "rejoining as follower of 127.0.0.1:"
+                       << primary_port << " (observed term "
+                       << durability_->primary_term() << ")";
   StartReplication();
   return Status::OK();
+}
+
+uint64_t EditService::primary_term() const {
+  return durability_ != nullptr ? durability_->primary_term() : 0;
+}
+
+void EditService::OnDeposed(uint64_t term) {
+  TransitionHealth(ServiceHealth::kFenced,
+                   "deposed: observed primary term " + std::to_string(term) +
+                       " above owned term " +
+                       std::to_string(durability_ != nullptr
+                                          ? durability_->owned_term()
+                                          : 0));
+  // Persist the adopted term so a crash-restart boots fenced instead of
+  // writable. Best-effort: the fence itself is already in force.
+  if (durability_ != nullptr) {
+    const Status persisted = WithExclusive([this](OneEditSystem& system) {
+      return durability_->Checkpoint(system, &system.statistics());
+    });
+    if (!persisted.ok()) {
+      ONEEDIT_LOG(Warning) << "could not persist the deposing term: "
+                           << persisted.ToString();
+    }
+  }
+}
+
+void EditService::FencerLoop(uint16_t old_primary_port, uint64_t term) {
+  net::Net* net = options_.replication.net != nullptr
+                      ? options_.replication.net
+                      : net::Net::Default();
+  std::chrono::milliseconds backoff(20);
+  while (!fencer_stop_.load(std::memory_order_acquire)) {
+    StatusOr<int> fd = net->Connect(old_primary_port);
+    if (fd.ok()) {
+      net->IoTimeouts(*fd, /*seconds=*/2);
+      replication::PollRequest poll;
+      poll.term = term;
+      poll.applied_term = term;
+      // No data is wanted: the poll exists to carry the term stamp. The
+      // old primary deposes itself before building any reply.
+      const Status sent =
+          replication::SendFrame(*fd, replication::EncodePoll(poll), net);
+      StatusOr<replication::Message> reply =
+          sent.ok() ? replication::RecvMessage(*fd, net)
+                    : StatusOr<replication::Message>(sent);
+      ::close(*fd);
+      if (reply.ok()) {
+        // Any decoded reply proves the peer processed the stamped poll —
+        // a kReject{kDeposed} is the expected one. Mission accomplished.
+        ONEEDIT_LOG(Info) << "fencer: old primary on port "
+                          << old_primary_port << " observed term " << term;
+        return;
+      }
+    }
+    std::unique_lock<std::mutex> lock(fencer_wait_mutex_);
+    fencer_wake_.wait_for(lock, backoff, [this] {
+      return fencer_stop_.load(std::memory_order_acquire);
+    });
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(500));
+  }
+}
+
+void EditService::StopFencer() {
+  std::lock_guard<std::mutex> lock(fencer_mutex_);
+  fencer_stop_.store(true, std::memory_order_release);
+  fencer_wake_.notify_all();
+  if (fencer_.joinable()) fencer_.join();
 }
 
 const replication::ReplicationServer* EditService::replication_server()
@@ -669,6 +855,17 @@ replication::FollowerState EditService::follower_state() const {
 }
 
 void EditService::RejectDegraded(std::vector<Pending>* batch) {
+  if (health() == ServiceHealth::kFenced) {
+    // Requests that were already queued when the fence dropped.
+    system_->statistics().Add(Ticker::kReplFencedWrites, batch->size());
+    const EditResult fenced = FencedRejection(
+        durability_ != nullptr ? durability_->primary_term() : 0,
+        durability_ != nullptr ? durability_->owned_term() : 0);
+    for (Pending& pending : *batch) {
+      pending.promise.set_value(fenced);
+    }
+    return;
+  }
   const std::string why = recovery_status_.ok()
                               ? std::string("write-ahead logging is unavailable")
                               : "startup recovery failed: " +
@@ -892,18 +1089,55 @@ void EditService::WriterLoop() {
         std::lock_guard<std::mutex> lock(repl_mutex_);
         server = repl_server_.get();
       }
-      if (server != nullptr &&
-          !server->WaitForAcks(applied_sequence_.load(),
-                               options_.replication.ack_replicas,
-                               options_.replication.ack_timeout)) {
-        stats.Add(Ticker::kReplAckTimeouts);
-        ONEEDIT_LOG(Warning)
-            << "replication ack quorum (" << options_.replication.ack_replicas
-            << " replicas) not reached within "
-            << options_.replication.ack_timeout.count()
-            << "ms for sequence " << applied_sequence_.load()
-            << "; acknowledging on local durability alone";
+      // No server (bind failed) can never reach quorum: same as a timeout.
+      replication::AckWait wait =
+          server != nullptr
+              ? server->WaitForAcks(applied_sequence_.load(),
+                                    options_.replication.ack_replicas,
+                                    options_.replication.ack_timeout)
+              : replication::AckWait::kTimeout;
+      if (wait == replication::AckWait::kTimeout) {
+        if (options_.replication.ack_policy == AckPolicy::kFailWrite) {
+          // The promise the client asked for (survives primary loss) was
+          // not met; say so instead of acking a write a failover can lose.
+          // The edits ARE journaled and applied locally — exactly the
+          // unacknowledged suffix divergence reconciliation truncates if
+          // this node is deposed while partitioned.
+          stats.Add(Ticker::kReplQuorumFailures);
+          ONEEDIT_LOG(Warning)
+              << "replication ack quorum ("
+              << options_.replication.ack_replicas
+              << " replicas) not reached within "
+              << options_.replication.ack_timeout.count()
+              << "ms for sequence " << applied_sequence_.load()
+              << "; failing the batch's writes (AckPolicy::kFailWrite)";
+          for (StatusOr<EditResult>& result : results) {
+            if (!result.ok() || !result->applied()) continue;
+            EditResult unacked;
+            unacked.kind = EditResult::Kind::kRejected;
+            unacked.message =
+                "replication quorum not reached: applied locally but not "
+                "acknowledged by " +
+                std::to_string(options_.replication.ack_replicas) +
+                " replica(s) within " +
+                std::to_string(options_.replication.ack_timeout.count()) +
+                "ms";
+            *result = std::move(unacked);
+          }
+        } else {
+          stats.Add(Ticker::kReplAckTimeouts);
+          ONEEDIT_LOG(Warning)
+              << "replication ack quorum ("
+              << options_.replication.ack_replicas
+              << " replicas) not reached within "
+              << options_.replication.ack_timeout.count()
+              << "ms for sequence " << applied_sequence_.load()
+              << "; acknowledging on local durability alone "
+                 "(AckPolicy::kAckAnywayWarn)";
+        }
       }
+      // kStopped: shutdown raced the wait — resolve with the local results
+      // (the records are durable here); no verdict on the quorum either way.
     }
     if (degraded && !results_valid) {
       stats.Add(Ticker::kDegradedRejects, batch.size());
@@ -995,7 +1229,7 @@ void EditService::ExportMetrics(obs::MetricsRegistry* registry) {
         std::vector<std::pair<obs::MetricLabel, double>> states;
         for (ServiceHealth state :
              {ServiceHealth::kHealthy, ServiceHealth::kReadOnlyDegraded,
-              ServiceHealth::kHalfOpenProbing}) {
+              ServiceHealth::kHalfOpenProbing, ServiceHealth::kFenced}) {
           states.push_back({obs::MetricLabel{"state",
                                              ServiceHealthName(state)},
                             state == now ? 1.0 : 0.0});
@@ -1047,6 +1281,10 @@ void EditService::ExportMetrics(obs::MetricsRegistry* registry) {
       "replication_applied_sequence",
       "Highest WAL sequence whose effects this instance serves",
       [this] { return static_cast<double>(applied_sequence()); });
+  registry->AddGauge(
+      "repl_term",
+      "Highest primary term this instance has observed (0 = pre-failover)",
+      [this] { return static_cast<double>(primary_term()); });
   registry->AddGauge(
       "replication_lag_records",
       "Records committed on the primary but not yet applied here",
@@ -1174,6 +1412,7 @@ obs::MetricsServer::Response EditService::ServeHttp(const std::string& path) {
     response.content_type = "text/plain; charset=utf-8";
     response.body = ServiceHealthName(now) + "\n";
     response.body += "role: " + ReplicationRoleName(role()) + "\n";
+    response.body += "term: " + std::to_string(primary_term()) + "\n";
     switch (role()) {
       case ReplicationRole::kStandalone:
         break;

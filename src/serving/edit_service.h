@@ -40,6 +40,13 @@ enum class ServiceHealth {
   /// are still rejected; success promotes to kHealthy, failure falls back
   /// to kReadOnlyDegraded.
   kHalfOpenProbing,
+  /// A primary with a higher term exists (this node was deposed while
+  /// partitioned away, or booted with primary_term > owned_term): writes
+  /// are shed as kRejected with a kReplFencedWrites tick. Unlike WAL
+  /// degradation, fencing is never auto-healed — only RejoinAsFollower
+  /// (or an operator Promote) leaves this state, because the local WAL may
+  /// hold a deposed-term suffix that must be reconciled first.
+  kFenced,
 };
 
 std::string ServiceHealthName(ServiceHealth health);
@@ -55,6 +62,22 @@ enum class ReplicationRole {
 };
 
 std::string ReplicationRoleName(ReplicationRole role);
+
+/// What a primary does with client promises when the ack quorum
+/// (`ack_replicas`) is not reached within `ack_timeout`.
+enum class AckPolicy {
+  /// Resolve the affected edits as kRejected (with a kReplQuorumFailures
+  /// tick). The edits are journaled and applied locally — exactly the
+  /// unacknowledged suffix divergence reconciliation truncates if this
+  /// node is later deposed — but the client is told, truthfully, that the
+  /// durability promise it asked for was not met. The default: silent
+  /// acks that a failover can lose are the split-brain footgun.
+  kFailWrite,
+  /// Acknowledge on local durability alone, with a warning and a
+  /// kReplAckTimeouts tick (the pre-term behavior). Opt-in for
+  /// deployments that prefer availability over the replication promise.
+  kAckAnywayWarn,
+};
 
 /// Replication knobs carried inside EditServiceOptions. Roles other than
 /// kStandalone require a durability manager (the WAL is the thing being
@@ -74,10 +97,16 @@ struct ReplicationOptions {
   /// With N >= 1, an acknowledged edit survives primary loss as long as
   /// one acked follower is promoted.
   size_t ack_replicas = 0;
-  /// Primary: how long to wait for the ack quorum before acknowledging
-  /// anyway (with a warning + kReplAckTimeouts tick). Generous by default:
-  /// an unreachable follower should degrade ack latency, not availability.
+  /// Primary: how long to wait for the ack quorum before `ack_policy`
+  /// decides the outcome. Generous by default: an unreachable follower
+  /// should degrade ack latency first, and only then trip the policy.
   std::chrono::milliseconds ack_timeout{30000};
+  /// Primary: what a quorum timeout means for the waiting clients.
+  AckPolicy ack_policy = AckPolicy::kFailWrite;
+  /// Network seam threaded into the replication listener, the follower
+  /// tailer and the promotion fencer; Net::Default() when null. Chaos
+  /// tests interpose a FaultInjectingNet here.
+  net::Net* net = nullptr;
 };
 
 /// One health-state change, recorded (and logged) exactly once per
@@ -323,16 +352,35 @@ class EditService {
                               const std::string& relation,
                               uint64_t min_sequence) const;
 
-  /// Failover: turns this follower into a primary. Stops the tail loop
-  /// (joining any in-flight apply), seals the local WAL by publishing a
-  /// checkpoint under the exclusive lock — the recovered commit point is
-  /// now this instance's own durable authority — flips the role so Submit
+  /// Failover: turns this follower into a primary. Bumps the primary term
+  /// (this node now OWNS the new term; every record it journals is stamped
+  /// with it), stops the tail loop (joining any in-flight apply), seals the
+  /// local WAL by publishing a checkpoint under the exclusive lock — the
+  /// recovered commit point is now this instance's own durable authority,
+  /// persisted together with the won term — flips the role so Submit
   /// accepts writes, and starts a replication listener on
   /// options.replication.listen_port so surviving followers can re-attach.
-  /// FailedPrecondition unless currently a follower. A listener bind
-  /// failure logs a warning but does not fail the promotion: accepting
-  /// writes again matters more than re-forming the group.
+  /// A fencer thread then repeatedly announces the new term to the old
+  /// primary's port until any reply confirms delivery, so a deposed
+  /// primary on the other side of a healed partition demotes itself even
+  /// if no follower ever polls it again. FailedPrecondition unless
+  /// currently a follower. A listener bind failure logs a warning but does
+  /// not fail the promotion: accepting writes again matters more than
+  /// re-forming the group.
   Status Promote();
+
+  /// Re-points a (typically fenced ex-)primary or follower at a new
+  /// primary: drains in-flight work, tears down both replication
+  /// endpoints, flips the role to follower and starts tailing
+  /// `primary_port`. A fenced service transitions back to healthy — its
+  /// deposed-term WAL suffix, if any, is truncated and resynced by the
+  /// new primary's divergence snapshot (kReplDivergenceTruncations).
+  /// FailedPrecondition without a durability manager.
+  Status RejoinAsFollower(uint16_t primary_port);
+
+  /// Highest primary term this node has observed (stamped into its polls;
+  /// compared against reply stamps to detect deposed primaries).
+  uint64_t primary_term() const;
 
   /// The primary-side shipping endpoint (null unless primary/promoted).
   const replication::ReplicationServer* replication_server() const;
@@ -424,8 +472,25 @@ class EditService {
   void RejectDegraded(std::vector<Pending>* batch);
 
   /// Starts the role-appropriate replication endpoint (constructor, after
-  /// recovery; also Promote for the primary side).
+  /// recovery; also Promote for the primary side). Caller must NOT hold
+  /// repl_mutex_.
   void StartReplication();
+
+  /// Fencing: a poll stamped with `term` (higher than ours) arrived — some
+  /// other node won an election. Sheds writes via ServiceHealth::kFenced
+  /// and best-effort persists the adopted term so a restart stays fenced.
+  /// Called from a replication handler thread, exactly once per server.
+  void OnDeposed(uint64_t term);
+
+  /// Promotion fencer (its own thread): dials the deposed primary's port
+  /// and announces `term` with an empty poll until any reply confirms the
+  /// old primary has observed it (a kReject{kDeposed} is the expected
+  /// answer), the service stops, or RejoinAsFollower retires the fencer.
+  /// Capped backoff between attempts; survives partitions by retrying.
+  void FencerLoop(uint16_t old_primary_port, uint64_t term);
+
+  /// Joins the fencer thread if one is running. Idempotent.
+  void StopFencer();
 
   /// Follower hook: journals one shipped batch's raw frames (BEFORE apply,
   /// like the primary's writer), applies its edit records through the same
@@ -502,6 +567,15 @@ class EditService {
   mutable std::mutex repl_mutex_;
   std::unique_ptr<replication::ReplicationServer> repl_server_;
   std::unique_ptr<replication::Follower> follower_;
+
+  /// Promotion fencer (see FencerLoop). fencer_mutex_ guards the thread
+  /// handle; fencer_stop_ is the loop's exit flag, with its own wait
+  /// mutex/CV so StopFencer can join without racing the backoff sleep.
+  std::mutex fencer_mutex_;
+  std::mutex fencer_wait_mutex_;
+  std::condition_variable fencer_wake_;
+  std::thread fencer_;
+  std::atomic<bool> fencer_stop_{false};
 };
 
 }  // namespace serving

@@ -113,5 +113,156 @@ Status RecvAll(int fd, size_t size, std::string* out) {
   return Status::OK();
 }
 
+Net* Net::Default() {
+  static Net* instance = new Net();
+  return instance;
+}
+
+StatusOr<Listener> FaultInjectingNet::Listen(uint16_t port, int backlog) {
+  // Listening is control-plane setup, not a counted I/O op: chaos scripts
+  // partition traffic, they don't prevent a server from standing up.
+  return base_->Listen(port, backlog);
+}
+
+StatusOr<int> FaultInjectingNet::Connect(uint16_t port) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++ops_seen_;
+    if (partitioned_ports_.count(port) > 0) {
+      ++faults_injected_;
+      return Status::Unavailable("injected partition: connect(127.0.0.1:" +
+                                 std::to_string(port) + ") unreachable");
+    }
+  }
+  FaultKind kind;
+  if (NextOpFaultsUncounted(&kind)) {
+    // A "drop" has no meaning for a connect; fail it like a reset so this
+    // never smuggles an OK status into the StatusOr.
+    return Fault(kind == FaultKind::kDrop ? FaultKind::kReset : kind);
+  }
+  StatusOr<int> fd = base_->Connect(port);
+  if (fd.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fd_ports_[*fd] = port;
+  }
+  return fd;
+}
+
+void FaultInjectingNet::IoTimeouts(int fd, int seconds) {
+  base_->IoTimeouts(fd, seconds);
+}
+
+Status FaultInjectingNet::Send(int fd, std::string_view data) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++ops_seen_;
+    auto it = fd_ports_.find(fd);
+    if (it != fd_ports_.end() && partitioned_ports_.count(it->second) > 0) {
+      ++faults_injected_;
+      return Status::IoError("injected partition: send black-holed");
+    }
+  }
+  FaultKind kind;
+  if (NextOpFaultsUncounted(&kind)) {
+    if (kind == FaultKind::kDrop) return Status::OK();  // silent one-way loss
+    return Fault(kind);
+  }
+  return base_->Send(fd, data);
+}
+
+Status FaultInjectingNet::Recv(int fd, size_t size, std::string* out) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++ops_seen_;
+    auto it = fd_ports_.find(fd);
+    if (it != fd_ports_.end() && partitioned_ports_.count(it->second) > 0) {
+      ++faults_injected_;
+      return Status::IoError("injected partition: recv black-holed");
+    }
+  }
+  FaultKind kind;
+  if (NextOpFaultsUncounted(&kind)) return Fault(kind);
+  return base_->Recv(fd, size, out);
+}
+
+void FaultInjectingNet::FailAt(uint64_t op, FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_at_op_ = op;
+  armed_kind_ = kind;
+}
+
+void FaultInjectingNet::FailNext(uint64_t count, FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_next_ = count;
+  armed_kind_ = kind;
+}
+
+void FaultInjectingNet::SetLossy(double p, uint64_t seed, FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lossy_p_ = p;
+  rng_.seed(seed);
+  armed_kind_ = kind;
+}
+
+void FaultInjectingNet::PartitionPort(uint16_t port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  partitioned_ports_.insert(port);
+}
+
+void FaultInjectingNet::HealPort(uint16_t port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  partitioned_ports_.erase(port);
+}
+
+void FaultInjectingNet::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_at_op_ = 0;
+  fail_next_ = 0;
+  lossy_p_ = 0.0;
+  partitioned_ports_.clear();
+}
+
+uint64_t FaultInjectingNet::ops_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ops_seen_;
+}
+
+uint64_t FaultInjectingNet::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faults_injected_;
+}
+
+bool FaultInjectingNet::NextOpFaultsUncounted(FaultKind* kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  *kind = armed_kind_;
+  if (fail_at_op_ > 0 && --fail_at_op_ == 0) {
+    ++faults_injected_;
+    return true;
+  }
+  if (fail_next_ > 0) {
+    --fail_next_;
+    ++faults_injected_;
+    return true;
+  }
+  if (lossy_p_ > 0.0 &&
+      std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < lossy_p_) {
+    ++faults_injected_;
+    return true;
+  }
+  return false;
+}
+
+Status FaultInjectingNet::Fault(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kReset:
+      return Status::IoError("injected connection reset");
+    case FaultKind::kBlackHole:
+      return Status::IoError("injected black hole: recv timed out");
+    case FaultKind::kDrop:
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
 }  // namespace net
 }  // namespace oneedit

@@ -2,8 +2,12 @@
 #define ONEEDIT_UTIL_NET_H_
 
 #include <cstdint>
+#include <mutex>
+#include <random>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "util/status.h"
 #include "util/statusor.h"
@@ -40,6 +44,94 @@ Status SendAll(int fd, std::string_view data);
 /// reads. A clean EOF before any byte arrives is reported as Unavailable
 /// ("connection closed"); a timeout or mid-message EOF is an IoError.
 Status RecvAll(int fd, size_t size, std::string* out);
+
+/// Virtual seam over the free functions above, so tests can interpose a
+/// fault injector between the replication machinery and the real sockets —
+/// the network analog of durability::FaultInjectingEnv. Production code
+/// passes nullptr and gets Default(), which delegates straight through.
+class Net {
+ public:
+  virtual ~Net() = default;
+
+  virtual StatusOr<Listener> Listen(uint16_t port, int backlog = 16) {
+    return ListenLoopback(port, backlog);
+  }
+  virtual StatusOr<int> Connect(uint16_t port) {
+    return ConnectLoopback(port);
+  }
+  virtual void IoTimeouts(int fd, int seconds) { SetIoTimeouts(fd, seconds); }
+  virtual Status Send(int fd, std::string_view data) {
+    return SendAll(fd, data);
+  }
+  virtual Status Recv(int fd, size_t size, std::string* out) {
+    return RecvAll(fd, size, out);
+  }
+
+  /// Process-wide pass-through instance.
+  static Net* Default();
+};
+
+/// Deterministic network-fault injector: wraps a base Net (Default() when
+/// null) and fails I/O operations at programmed points. Every Connect,
+/// Send and Recv counts as one op; faults can be armed at the N-th op, for
+/// the next K ops, or as a seeded Bernoulli process, and whole ports can be
+/// partitioned away (new connects refused AND established sockets to them
+/// black-holed), which is how the chaos tests split a primary from its
+/// followers without touching the kernel.
+///
+/// Thread-safe; deterministic for a fixed seed and op interleaving.
+class FaultInjectingNet : public Net {
+ public:
+  enum class FaultKind {
+    kReset,      ///< fail like a peer RST: IoError, connection unusable
+    kBlackHole,  ///< fail like a silent drop followed by an I/O timeout
+    kDrop,       ///< Send claims success but ships nothing (one-way loss)
+  };
+
+  explicit FaultInjectingNet(Net* base = nullptr)
+      : base_(base != nullptr ? base : Net::Default()) {}
+
+  StatusOr<Listener> Listen(uint16_t port, int backlog = 16) override;
+  StatusOr<int> Connect(uint16_t port) override;
+  void IoTimeouts(int fd, int seconds) override;
+  Status Send(int fd, std::string_view data) override;
+  Status Recv(int fd, size_t size, std::string* out) override;
+
+  /// Arms one fault at the `op`-th counted operation from now (1 = next).
+  void FailAt(uint64_t op, FaultKind kind);
+  /// Arms faults for the next `count` counted operations.
+  void FailNext(uint64_t count, FaultKind kind);
+  /// Every counted op faults independently with probability `p`,
+  /// deterministically from `seed`.
+  void SetLossy(double p, uint64_t seed, FaultKind kind);
+  /// Partitions `port` away: Connects to it fail Unavailable, and Send/Recv
+  /// on sockets already connected to it fail as kBlackHole.
+  void PartitionPort(uint16_t port);
+  void HealPort(uint16_t port);
+  /// Drops all programmed faults and partitions.
+  void Clear();
+
+  uint64_t ops_seen() const;
+  uint64_t faults_injected() const;
+
+ private:
+  /// Decides whether the current (already-counted) op draws a programmed
+  /// fault — FailAt / FailNext / lossy, in that precedence.
+  bool NextOpFaultsUncounted(FaultKind* kind);
+  Status Fault(FaultKind kind);
+
+  Net* base_;
+  mutable std::mutex mutex_;
+  uint64_t ops_seen_ = 0;
+  uint64_t faults_injected_ = 0;
+  uint64_t fail_at_op_ = 0;  // 0 = unarmed; counts down per op
+  uint64_t fail_next_ = 0;
+  double lossy_p_ = 0.0;
+  FaultKind armed_kind_ = FaultKind::kReset;
+  std::mt19937_64 rng_;
+  std::unordered_set<uint16_t> partitioned_ports_;
+  std::unordered_map<int, uint16_t> fd_ports_;
+};
 
 }  // namespace net
 }  // namespace oneedit

@@ -4,10 +4,16 @@
 // writes, bounded-staleness reads, quorum acknowledgement, and follower
 // promotion at failover.
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,12 +21,14 @@
 #include <gtest/gtest.h>
 
 #include "data/dataset.h"
+#include "durability/checkpoint.h"
 #include "durability/env.h"
 #include "durability/manager.h"
 #include "replication/follower.h"
 #include "replication/server.h"
 #include "replication/wire.h"
 #include "serving/edit_service.h"
+#include "util/net.h"
 
 namespace oneedit {
 namespace {
@@ -35,12 +43,16 @@ using replication::HeartbeatReply;
 using replication::Message;
 using replication::MessageType;
 using replication::PollRequest;
+using replication::RejectReason;
+using replication::RejectReply;
 using replication::ShippedBatch;
 using replication::SnapshotReply;
+using serving::AckPolicy;
 using serving::EditService;
 using serving::EditServiceOptions;
 using serving::ReadOptions;
 using serving::ReplicationRole;
+using serving::ServiceHealth;
 using serving::Snapshot;
 
 std::string TempDirFor(const std::string& name) {
@@ -70,11 +82,15 @@ TEST(ReplicationWireTest, PollRoundTrip) {
   PollRequest poll;
   poll.from_sequence = 42;
   poll.applied_sequence = 41;
+  poll.term = 7;
+  poll.applied_term = 6;
   const auto decoded = DecodeMessage(EncodePoll(poll));
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   ASSERT_EQ(decoded->type, MessageType::kPoll);
   EXPECT_EQ(decoded->poll.from_sequence, 42u);
   EXPECT_EQ(decoded->poll.applied_sequence, 41u);
+  EXPECT_EQ(decoded->poll.term, 7u);
+  EXPECT_EQ(decoded->poll.applied_term, 6u);
 }
 
 TEST(ReplicationWireTest, BatchesRoundTrip) {
@@ -91,10 +107,12 @@ TEST(ReplicationWireTest, BatchesRoundTrip) {
   b.records = 1;
   b.frames = "x";
   reply.batches = {a, b};
+  reply.term = 3;
   const auto decoded = DecodeMessage(EncodeBatches(reply));
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   ASSERT_EQ(decoded->type, MessageType::kBatches);
   EXPECT_EQ(decoded->batches.committed_sequence, 9u);
+  EXPECT_EQ(decoded->batches.term, 3u);
   ASSERT_EQ(decoded->batches.batches.size(), 2u);
   EXPECT_EQ(decoded->batches.batches[0].first_sequence, 3u);
   EXPECT_EQ(decoded->batches.batches[0].last_sequence, 5u);
@@ -106,19 +124,55 @@ TEST(ReplicationWireTest, BatchesRoundTrip) {
 TEST(ReplicationWireTest, SnapshotAndHeartbeatRoundTrip) {
   SnapshotReply snap;
   snap.checkpoint_sequence = 128;
+  snap.term = 4;
+  snap.divergence = 1;
   snap.bytes = std::string(1024, '\xab');
   const auto s = DecodeMessage(EncodeSnapshot(snap));
   ASSERT_TRUE(s.ok());
   ASSERT_EQ(s->type, MessageType::kSnapshot);
   EXPECT_EQ(s->snapshot.checkpoint_sequence, 128u);
+  EXPECT_EQ(s->snapshot.term, 4u);
+  EXPECT_EQ(s->snapshot.divergence, 1);
   EXPECT_EQ(s->snapshot.bytes, snap.bytes);
 
   HeartbeatReply hb;
   hb.committed_sequence = 77;
+  hb.term = 2;
   const auto h = DecodeMessage(EncodeHeartbeat(hb));
   ASSERT_TRUE(h.ok());
   ASSERT_EQ(h->type, MessageType::kHeartbeat);
   EXPECT_EQ(h->heartbeat.committed_sequence, 77u);
+  EXPECT_EQ(h->heartbeat.term, 2u);
+}
+
+TEST(ReplicationWireTest, RejectRoundTrip) {
+  RejectReply reject;
+  reject.term = 9;
+  reject.reason = RejectReason::kDeposed;
+  const auto decoded = DecodeMessage(EncodeReject(reject));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->type, MessageType::kReject);
+  EXPECT_EQ(decoded->reject.term, 9u);
+  EXPECT_EQ(decoded->reject.reason, RejectReason::kDeposed);
+}
+
+TEST(ReplicationWireTest, RejectWithUnknownReasonIsCorruption) {
+  // A frame with a valid CRC but an out-of-range reason byte: the decoder
+  // must reject the body, not invent a reason.
+  RejectReply forged;
+  forged.term = 1;
+  forged.reason = static_cast<RejectReason>(9);
+  EXPECT_EQ(DecodeMessage(EncodeReject(forged)).status().code(),
+            StatusCode::kCorruption);
+
+  RejectReply reject;
+  reject.term = 1;
+  std::string frame = EncodeReject(reject);
+  std::string flipped = frame;
+  flipped[frame.size() - 1] ^= 0x40;  // payload bit flip -> CRC mismatch
+  EXPECT_EQ(DecodeMessage(flipped).status().code(), StatusCode::kCorruption);
+  EXPECT_FALSE(DecodeMessage(frame.substr(0, frame.size() - 3)).ok());
+  EXPECT_FALSE(DecodeMessage(frame + "x").ok());
 }
 
 TEST(ReplicationWireTest, RejectsBitFlipAndTruncation) {
@@ -154,7 +208,8 @@ OneEditConfig GraceConfig() {
 struct Node {
   Node(const std::string& dir_name, ReplicationRole role,
        uint16_t primary_port = 0, size_t ack_replicas = 0,
-       uint64_t checkpoint_interval = 64)
+       uint64_t checkpoint_interval = 64,
+       const std::function<void(EditServiceOptions*)>& tweak = {})
       : dir(TempDirFor(dir_name)),
         dataset(BuildAmericanPoliticians(TinyOptions())),
         model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
@@ -173,6 +228,7 @@ struct Node {
     options.replication.primary_port = primary_port;
     options.replication.ack_replicas = ack_replicas;
     options.replication.poll_interval = std::chrono::milliseconds(5);
+    if (tweak) tweak(&options);
     auto created =
         EditService::Create(&dataset.kg, model.get(), GraceConfig(), options);
     EXPECT_TRUE(created.ok());
@@ -423,6 +479,381 @@ TEST(ReplicationTest, PromoteTurnsFollowerIntoWritablePrimary) {
                 ->entity,
             next.edit.object);
   EXPECT_GT(follower.service->applied_sequence(), head);
+}
+
+// ------------------------------------------------------ terms + fencing ----
+
+/// One raw follower-side round trip against a replication server: connect,
+/// send the poll, return the decoded reply.
+StatusOr<Message> RawPoll(uint16_t port, const PollRequest& poll) {
+  StatusOr<int> fd = net::ConnectLoopback(port);
+  if (!fd.ok()) return fd.status();
+  net::SetIoTimeouts(*fd, 5);
+  const Status sent = replication::SendFrame(*fd, EncodePoll(poll));
+  StatusOr<Message> reply = sent.ok() ? replication::RecvMessage(*fd)
+                                      : StatusOr<Message>(sent);
+  close(*fd);
+  return reply;
+}
+
+TEST(ReplicationTermTest, StalePollIsRejectedWithTheHigherTerm) {
+  Node primary("oneedit_term_stale_p", ReplicationRole::kPrimary);
+  ASSERT_NE(primary.replication_port(), 0);
+  // This primary has won term 3 (as if promoted twice more); a poll still
+  // stamped with an older term must get a typed rejection carrying 3, and
+  // never data journaled under the newer term.
+  primary.durability->BumpTerm();
+  primary.durability->BumpTerm();
+  primary.durability->BumpTerm();
+
+  PollRequest stale;
+  stale.term = 1;
+  const auto reply = RawPoll(primary.replication_port(), stale);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->type, MessageType::kReject);
+  EXPECT_EQ(reply->reject.reason, RejectReason::kStaleTerm);
+  EXPECT_EQ(reply->reject.term, 3u);
+  EXPECT_GE(primary.service->statistics().Get(Ticker::kReplTermRejections),
+            1u);
+  // The stale poll changed nothing about this primary's authority.
+  EXPECT_EQ(primary.service->health(), ServiceHealth::kHealthy);
+  EXPECT_EQ(primary.service->role(), ReplicationRole::kPrimary);
+}
+
+TEST(ReplicationTermTest, HigherTermPollDeposesAndFencesThePrimary) {
+  Node primary("oneedit_term_depose_p", ReplicationRole::kPrimary);
+  ASSERT_NE(primary.replication_port(), 0);
+  const EditCase& before = primary.dataset.cases[0];
+  ASSERT_TRUE(primary.service
+                  ->SubmitAndWait(EditRequest::Edit(before.edit, "alice"))
+                  ->applied());
+
+  // Someone else won term 5: the next poll carrying it must depose this
+  // primary — typed concession on the wire, fenced health off it.
+  PollRequest winner;
+  winner.term = 5;
+  winner.applied_term = 5;
+  const auto reply = RawPoll(primary.replication_port(), winner);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->type, MessageType::kReject);
+  EXPECT_EQ(reply->reject.reason, RejectReason::kDeposed);
+  EXPECT_EQ(reply->reject.term, 5u);
+
+  ASSERT_TRUE(WaitFor([&] {
+    return primary.service->health() == ServiceHealth::kFenced;
+  }));
+  EXPECT_EQ(primary.service->primary_term(), 5u);
+  EXPECT_TRUE(primary.service->replication_server()->deposed());
+
+  // Writes are shed as typed rejections with the fencing tick — not
+  // silently acked into a forked history.
+  const auto fenced = primary.service->SubmitAndWait(
+      EditRequest::Edit(primary.dataset.cases[1].edit, "bob"));
+  ASSERT_TRUE(fenced.ok());
+  EXPECT_EQ(fenced->kind, EditResult::Kind::kRejected);
+  EXPECT_NE(fenced->message.find("fenced"), std::string::npos)
+      << fenced->message;
+  EXPECT_GE(primary.service->statistics().Get(Ticker::kReplFencedWrites), 1u);
+
+  // Exactly one health transition into kFenced, logged once.
+  size_t fenced_transitions = 0;
+  for (const auto& t : primary.service->health_log()) {
+    if (t.to == ServiceHealth::kFenced) ++fenced_transitions;
+  }
+  EXPECT_EQ(fenced_transitions, 1u);
+
+  // Reads keep serving the pre-fence state.
+  EXPECT_EQ(primary.service->GetSnapshot()
+                ->Ask(before.edit.subject, before.edit.relation)
+                ->entity,
+            before.edit.object);
+}
+
+TEST(ReplicationTermTest, PromoteBumpsAndPersistsTheTerm) {
+  auto primary = std::make_unique<Node>("oneedit_term_promo_p",
+                                        ReplicationRole::kPrimary);
+  ASSERT_NE(primary->replication_port(), 0);
+  Node follower("oneedit_term_promo_f", ReplicationRole::kFollower,
+                primary->replication_port());
+  const EditCase& c = primary->dataset.cases[0];
+  ASSERT_TRUE(primary->service
+                  ->SubmitAndWait(EditRequest::Edit(c.edit, "alice"))
+                  ->applied());
+  const uint64_t head = primary->service->applied_sequence();
+  ASSERT_TRUE(WaitFor([&] {
+    return follower.service->applied_sequence() >= head;
+  }));
+  primary->service->Stop();
+  primary.reset();
+
+  EXPECT_EQ(follower.service->primary_term(), 0u);
+  ASSERT_TRUE(follower.service->Promote().ok());
+  EXPECT_EQ(follower.service->primary_term(), 1u);
+  EXPECT_EQ(follower.durability->owned_term(), 1u);
+
+  // The won term rode the promotion seal into the checkpoint header: a
+  // restart recovers it instead of booting back into term 0.
+  const auto peeked = durability::PeekCheckpointState(
+      follower.durability->checkpoint_path(), nullptr);
+  ASSERT_TRUE(peeked.ok()) << peeked.status().ToString();
+  EXPECT_EQ(peeked->primary_term, 1u);
+  EXPECT_EQ(peeked->owned_term, 1u);
+
+  // New writes are journaled under the won term.
+  ASSERT_TRUE(follower.service
+                  ->SubmitAndWait(
+                      EditRequest::Edit(follower.dataset.cases[1].edit, "bob"))
+                  ->applied());
+  EXPECT_EQ(follower.durability->applied_term(), 1u);
+}
+
+// ------------------------------------------------ divergence reconciliation ----
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ReplicationTermTest, DivergedSuffixIsTruncatedAndJournalsReconverge) {
+  // P is the original primary; F tails it through a fault-injecting net so
+  // the test can partition P away at an exact point.
+  net::FaultInjectingNet fnet;
+  auto p = std::make_unique<Node>("oneedit_term_div_p",
+                                  ReplicationRole::kPrimary);
+  ASSERT_NE(p->replication_port(), 0);
+  const uint16_t p_port = p->replication_port();
+  Node f("oneedit_term_div_f", ReplicationRole::kFollower, p_port,
+         /*ack_replicas=*/0, /*checkpoint_interval=*/64,
+         [&](EditServiceOptions* options) {
+           options->replication.net = &fnet;
+         });
+
+  // Shared prefix: 4 edits acknowledged and replicated everywhere.
+  std::vector<EditCase>& cases = p->dataset.cases;
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(p->service
+                    ->SubmitAndWait(EditRequest::Edit(cases[i].edit, "alice"))
+                    ->applied());
+  }
+  const uint64_t shared_head = p->service->applied_sequence();
+  ASSERT_TRUE(WaitFor([&] {
+    return f.service->applied_sequence() >= shared_head;
+  }));
+
+  // Partition: F can no longer reach P (tail drops, reconnects refused).
+  fnet.PartitionPort(p_port);
+
+  // P keeps accepting writes under its old term (0) — the suffix only its
+  // own journal will ever hold.
+  for (size_t i = 4; i < 6; ++i) {
+    ASSERT_TRUE(p->service
+                    ->SubmitAndWait(EditRequest::Edit(cases[i].edit, "mallory"))
+                    ->applied());
+  }
+  EXPECT_EQ(p->service->applied_sequence(), shared_head + 2);
+
+  // F wins term 1 (its fencer cannot reach P through the partition — it
+  // keeps retrying in the background) and takes new writes of its own.
+  ASSERT_TRUE(f.service->Promote().ok());
+  EXPECT_EQ(f.service->primary_term(), 1u);
+  ASSERT_NE(f.replication_port(), 0);
+  std::vector<EditCase>& f_cases = f.dataset.cases;
+  for (size_t i = 6; i < 8; ++i) {
+    ASSERT_TRUE(f.service
+                    ->SubmitAndWait(EditRequest::Edit(f_cases[i].edit, "carol"))
+                    ->applied());
+  }
+
+  // Heal + rejoin: P's applied position (shared_head + 2, under term 0) is
+  // past F's term-1 watermark — the divergence probe must force a
+  // truncate-and-resync snapshot, not a tail.
+  ASSERT_TRUE(p->service->RejoinAsFollower(f.replication_port()).ok());
+  ASSERT_TRUE(WaitFor([&] {
+    return p->service->statistics().Get(
+               Ticker::kReplDivergenceTruncations) >= 1 &&
+           p->service->applied_sequence() >= f.service->applied_sequence() &&
+           p->service->replication_lag_batches() == 0;
+  })) << "P stuck at " << p->service->applied_sequence() << " of "
+      << f.service->applied_sequence();
+  EXPECT_EQ(p->service->primary_term(), 1u);
+
+  // The deposed-term suffix is gone: P answers exactly what F answers,
+  // including for the subjects P edited alone behind the partition.
+  const auto p_view = p->service->GetSnapshot();
+  const auto f_view = f.service->GetSnapshot();
+  ASSERT_TRUE(p_view.ok() && f_view.ok());
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(p_view->Ask(cases[i].edit.subject, cases[i].edit.relation)
+                  ->entity,
+              f_view->Ask(cases[i].edit.subject, cases[i].edit.relation)
+                  ->entity)
+        << cases[i].edit.subject;
+  }
+
+  // Byte-identical journals: the resynced WAL holds exactly the frames the
+  // new primary journaled under term 1 — nothing of the truncated suffix.
+  const std::string p_wal = ReadWholeFile(p->durability->wal_path());
+  const std::string f_wal = ReadWholeFile(f.durability->wal_path());
+  EXPECT_EQ(p_wal, f_wal);
+  EXPECT_FALSE(f_wal.empty());
+}
+
+// ----------------------------------------------- ack policy (silent-ack hole) ----
+
+TEST(ReplicationTest, FailWritePolicyRejectsUnreplicatedWrites) {
+  // ack_replicas=1 with no follower attached: the quorum can never form,
+  // and the default policy must say so instead of acking.
+  Node primary("oneedit_ackpol_fail_p", ReplicationRole::kPrimary,
+               /*primary_port=*/0, /*ack_replicas=*/1,
+               /*checkpoint_interval=*/64, [](EditServiceOptions* options) {
+                 options->replication.ack_timeout =
+                     std::chrono::milliseconds(200);
+               });
+  ASSERT_NE(primary.replication_port(), 0);
+
+  const EditCase& c = primary.dataset.cases[0];
+  const auto result =
+      primary.service->SubmitAndWait(EditRequest::Edit(c.edit, "alice"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->kind, EditResult::Kind::kRejected);
+  EXPECT_NE(result->message.find("quorum"), std::string::npos)
+      << result->message;
+  EXPECT_GE(primary.service->statistics().Get(Ticker::kReplQuorumFailures),
+            1u);
+  EXPECT_EQ(primary.service->statistics().Get(Ticker::kReplAckTimeouts), 0u);
+  // The write IS journaled and applied locally (the documented window that
+  // divergence reconciliation truncates after a failover); only the
+  // client-visible acknowledgement is withheld.
+  EXPECT_GE(primary.service->applied_sequence(), 1u);
+}
+
+TEST(ReplicationTest, AckAnywayWarnPolicyKeepsAvailability) {
+  Node primary("oneedit_ackpol_warn_p", ReplicationRole::kPrimary,
+               /*primary_port=*/0, /*ack_replicas=*/1,
+               /*checkpoint_interval=*/64, [](EditServiceOptions* options) {
+                 options->replication.ack_timeout =
+                     std::chrono::milliseconds(200);
+                 options->replication.ack_policy =
+                     AckPolicy::kAckAnywayWarn;
+               });
+  ASSERT_NE(primary.replication_port(), 0);
+
+  const EditCase& c = primary.dataset.cases[0];
+  const auto result =
+      primary.service->SubmitAndWait(EditRequest::Edit(c.edit, "alice"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->applied());
+  EXPECT_GE(primary.service->statistics().Get(Ticker::kReplAckTimeouts), 1u);
+  EXPECT_EQ(primary.service->statistics().Get(Ticker::kReplQuorumFailures),
+            0u);
+}
+
+// ----------------------------------------- server hygiene + follower backoff ----
+
+TEST(ReplicationServerTest, FollowerCapRejectsTypedAndHandlersAreReaped) {
+  const std::string dir = TempDirFor("oneedit_srv_cap");
+  DurabilityOptions dopts;
+  dopts.dir = dir;
+  auto mgr = DurabilityManager::Open(dopts);
+  ASSERT_TRUE(mgr.ok());
+  Statistics stats;
+  replication::ReplicationServerOptions options;
+  options.max_followers = 1;
+  auto server =
+      replication::ReplicationServer::Start(mgr->get(), &stats, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const uint16_t port = (*server)->port();
+
+  // First follower occupies the only slot.
+  auto first = net::ConnectLoopback(port);
+  ASSERT_TRUE(first.ok());
+  net::SetIoTimeouts(*first, 5);
+  PollRequest poll;
+  ASSERT_TRUE(replication::SendFrame(*first, EncodePoll(poll)).ok());
+  const auto served = replication::RecvMessage(*first);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  // Second connection gets a typed rejection, not a silent hang.
+  auto second = net::ConnectLoopback(port);
+  ASSERT_TRUE(second.ok());
+  net::SetIoTimeouts(*second, 5);
+  const auto rejected = replication::RecvMessage(*second);
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  ASSERT_EQ(rejected->type, MessageType::kReject);
+  EXPECT_EQ(rejected->reject.reason, RejectReason::kTooManyFollowers);
+  EXPECT_EQ(stats.Get(Ticker::kReplFollowerLimitRejects), 1u);
+  close(*second);
+  close(*first);
+
+  // Churn: sequential connect/poll/disconnect cycles must not accumulate
+  // handler threads — finished handlers are reaped on later accepts.
+  for (int i = 0; i < 5; ++i) {
+    auto fd = net::ConnectLoopback(port);
+    ASSERT_TRUE(fd.ok());
+    net::SetIoTimeouts(*fd, 5);
+    ASSERT_TRUE(replication::SendFrame(*fd, EncodePoll(poll)).ok());
+    ASSERT_TRUE(replication::RecvMessage(*fd).ok());
+    close(*fd);
+  }
+  ASSERT_TRUE(WaitFor([&] { return (*server)->followers_connected() == 0; }));
+  // One more accept triggers the reap of everything that finished above.
+  auto last = net::ConnectLoopback(port);
+  ASSERT_TRUE(last.ok());
+  ASSERT_TRUE(WaitFor([&] { return (*server)->handler_threads() <= 1; }))
+      << (*server)->handler_threads() << " handler threads still alive";
+  close(*last);
+  (*server)->Stop();
+}
+
+TEST(ReplicationFollowerTest, ResetStormBacksOffAndStopsPromptly) {
+  // A listener that accepts and instantly closes: every session dies
+  // before a single reply, which must walk the follower up its backoff
+  // ladder instead of busy-spinning the port.
+  auto listener = net::ListenLoopback(0);
+  ASSERT_TRUE(listener.ok());
+  std::atomic<bool> serving{true};
+  std::thread storm([fd = listener->fd, &serving] {
+    while (serving.load()) {
+      const int conn = accept(fd, nullptr, nullptr);
+      if (conn < 0) break;
+      close(conn);
+    }
+  });
+
+  Statistics stats;
+  replication::FollowerOptions options;
+  options.primary_port = listener->port;
+  options.reconnect_backoff = std::chrono::milliseconds(5);
+  options.reconnect_backoff_cap = std::chrono::milliseconds(50);
+  options.backoff_seed = 42;
+  replication::FollowerHooks hooks;
+  hooks.apply_batch = [](const ShippedBatch&) { return Status::OK(); };
+  hooks.install_snapshot = [](uint64_t, const std::string&) {
+    return Status::OK();
+  };
+  hooks.applied_sequence = [] { return uint64_t{0}; };
+  auto follower =
+      replication::Follower::Start(options, std::move(hooks), &stats);
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+  const uint64_t reconnects = stats.Get(Ticker::kReplReconnects);
+  // The ladder is working: it kept retrying (liveness), but far below the
+  // thousands/second an unthrottled spin would log (boundedness). With a
+  // 5ms base doubling to a 50ms cap, 500ms admits at most ~40 attempts.
+  EXPECT_GE(reconnects, 3u);
+  EXPECT_LE(reconnects, 100u);
+
+  // Stop() must return promptly even mid-storm (no wedged sleep).
+  const auto stop_started = std::chrono::steady_clock::now();
+  follower->Stop();
+  EXPECT_LT(std::chrono::steady_clock::now() - stop_started,
+            std::chrono::seconds(2));
+  serving.store(false);
+  shutdown(listener->fd, SHUT_RDWR);
+  close(listener->fd);
+  storm.join();
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <vector>
 #include <sstream>
 #include <thread>
 
@@ -395,6 +397,105 @@ TEST(NetTest, ConnectToClosedPortFails) {
   close(listener->fd);
   const auto client = net::ConnectLoopback(port);
   EXPECT_FALSE(client.ok());
+}
+
+// ------------------------------------------------- fault-injecting net ----
+
+TEST(FaultInjectingNetTest, CountsOpsAndFailsAtTheProgrammedOne) {
+  const auto listener = net::ListenLoopback(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([fd = listener->fd] {
+    for (int i = 0; i < 2; ++i) {
+      const int conn = accept(fd, nullptr, nullptr);
+      if (conn > 0) close(conn);
+    }
+  });
+
+  net::FaultInjectingNet fin;
+  auto first = fin.Connect(listener->port);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(fin.ops_seen(), 1u);
+
+  // Arm the NEXT op (op 2): it must fail without touching the socket layer.
+  fin.FailAt(1, net::FaultInjectingNet::FaultKind::kReset);
+  const auto second = fin.Connect(listener->port);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(fin.ops_seen(), 2u);
+  EXPECT_EQ(fin.faults_injected(), 1u);
+
+  // The fault was one-shot: the op after it succeeds again.
+  const auto third = fin.Connect(listener->port);
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  close(*first);
+  close(*third);
+  server.join();
+  close(listener->fd);
+}
+
+TEST(FaultInjectingNetTest, PartitionBlocksConnectsAndBlackHolesSockets) {
+  const auto listener = net::ListenLoopback(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([fd = listener->fd] {
+    const int conn = accept(fd, nullptr, nullptr);
+    if (conn > 0) {
+      // Hold the connection open until the client side gives up.
+      std::string buffer;
+      (void)net::RecvAll(conn, 1, &buffer);
+      close(conn);
+    }
+  });
+
+  net::FaultInjectingNet fin;
+  const auto before = fin.Connect(listener->port);
+  ASSERT_TRUE(before.ok());
+
+  fin.PartitionPort(listener->port);
+  // New connections are refused...
+  const auto during = fin.Connect(listener->port);
+  ASSERT_FALSE(during.ok());
+  EXPECT_TRUE(during.status().IsUnavailable()) << during.status().ToString();
+  // ...and the socket established before the partition is black-holed in
+  // both directions.
+  EXPECT_FALSE(fin.Send(*before, "x").ok());
+  std::string out;
+  EXPECT_FALSE(fin.Recv(*before, 1, &out).ok());
+
+  fin.HealPort(listener->port);
+  EXPECT_TRUE(fin.Send(*before, "y").ok());
+  close(*before);
+  server.join();
+  close(listener->fd);
+}
+
+TEST(FaultInjectingNetTest, LossyModeIsDeterministicForAFixedSeed) {
+  // No real sockets needed: Send on an fd the injector has no port mapping
+  // for counts as an op and passes through only when no fault fires, so
+  // use kDrop (which swallows the send) to probe the Bernoulli sequence.
+  const auto run = [](uint64_t seed) {
+    net::FaultInjectingNet fin;
+    fin.SetLossy(0.5, seed, net::FaultInjectingNet::FaultKind::kDrop);
+    std::vector<bool> dropped;
+    uint64_t faults_before = 0;
+    for (int i = 0; i < 64; ++i) {
+      // kDrop returns OK while swallowing the payload; the injected-fault
+      // counter is the observable.
+      (void)fin.Send(-1, "probe");
+      const uint64_t faults_now = fin.faults_injected();
+      dropped.push_back(faults_now > faults_before);
+      faults_before = faults_now;
+    }
+    return dropped;
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  const auto c = run(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // a different seed draws a different sequence
+  // ~50% loss: both halves of the Bernoulli process actually occur.
+  const size_t drops = static_cast<size_t>(
+      std::count(a.begin(), a.end(), true));
+  EXPECT_GT(drops, 8u);
+  EXPECT_LT(drops, 56u);
 }
 
 TEST(NetTest, RecvAllZeroBytesIsTrivialOk) {
