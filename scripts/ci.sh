@@ -38,6 +38,12 @@
 #             zero acknowledged-edit loss, no edit acked by two primaries,
 #             deposed-primary demotion, and byte-identical journals after
 #             divergence reconciliation. 10 seeded rounds.
+#   scrub     Storage-fault chaos: the full scrub/repair suite (disk-budget
+#             ENOSPC degradation, bit-flip-at-every-offset scrubbing,
+#             salvage recovery, replica-assisted repair) plus 10 seeded
+#             rounds of random bit-rot + disk-full against a live
+#             primary+follower pair, asserting detection, byte-identical
+#             repair, auto-heal, and zero acknowledged-edit loss.
 #
 # Each matrix entry gets its own build directory (build-ci-<name>) so local
 # `build/` trees are never clobbered.
@@ -85,8 +91,12 @@ case "${matrix}" in
     flags=""
     build_type=Release
     ;;
+  scrub)
+    flags=""
+    build_type=Release
+    ;;
   *)
-    echo "unknown matrix entry: ${matrix} (want default|tsan|asan|snapshot|recovery|chaos|metrics|replication|partition)" >&2
+    echo "unknown matrix entry: ${matrix} (want default|tsan|asan|snapshot|recovery|chaos|metrics|replication|partition|scrub)" >&2
     exit 2
     ;;
 esac
@@ -127,7 +137,7 @@ if [[ "${matrix}" == "tsan" ]]; then
   # TSan slows everything ~10x; run the concurrency tests (the reason this
   # entry exists) plus a smoke slice of the core suite.
   ctest -j "${jobs}" --output-on-failure \
-    -R 'EditServiceTest|EditServiceShutdownTest|ServiceSelfHealTest|ConcurrentOneEditTest|OneEditTest|EditServiceDurabilityTest|TraceRecorderTest|EditServiceObsTest|MetricsServerTest|ReplicationTest|ReplicationWireTest|ReplicationTermTest|ReplicationServerTest|ReplicationFollowerTest|ReplicationPartitionTest|FaultInjectingNetTest|EditWalCursorTest|NetTest|SnapshotHubTest|EditServiceSnapshotTest'
+    -R 'EditServiceTest|EditServiceShutdownTest|ServiceSelfHealTest|ConcurrentOneEditTest|OneEditTest|EditServiceDurabilityTest|TraceRecorderTest|EditServiceObsTest|MetricsServerTest|ReplicationTest|ReplicationWireTest|ReplicationTermTest|ReplicationServerTest|ReplicationFollowerTest|ReplicationPartitionTest|FaultInjectingNetTest|EditWalCursorTest|NetTest|SnapshotHubTest|EditServiceSnapshotTest|ScrubberTest|ReplicaRepairTest|DiskFullServiceTest'
 elif [[ "${matrix}" == "recovery" ]]; then
   # Crash-recovery smoke. A clean run of the workload performs ~20 file ops
   # (WAL appends, fsyncs, checkpoint writes, renames, rotations); kill the
@@ -143,7 +153,8 @@ elif [[ "${matrix}" == "recovery" ]]; then
 
   # Upper-bound the failpoint count from the clean run's wal/checkpoint
   # tickers; iterating past the last real op just yields uneventful runs.
-  crash_points=24
+  # (Includes the directory-fsync ops after checkpoint rename and rotation.)
+  crash_points=28
   echo "--- recovery smoke: kill -9 at each of ${crash_points} file ops"
   for ((op = 0; op < crash_points; ++op)); do
     dir="${workdir}/crash-${op}"
@@ -238,7 +249,9 @@ elif [[ "${matrix}" == "metrics" ]]; then
   # Every ticker family must be present...
   for family in utterances edits_accepted serving_reads serving_submitted \
       serving_batches snapshots_published wal_records wal_commits \
-      wal_failures checkpoints degraded_rejects health_transitions; do
+      wal_failures checkpoints degraded_rejects health_transitions \
+      scrub_passes scrub_corruptions_found repairs_completed \
+      enospc_rejects tmp_files_swept; do
     if ! grep -q "^# TYPE oneedit_${family}_total counter$" "${workdir}/metrics.txt"; then
       echo "METRICS FAILED: missing ticker family oneedit_${family}_total" >&2
       exit 1
@@ -360,7 +373,7 @@ elif [[ "${matrix}" == "replication" ]]; then
   workdir="$(mktemp -d)"
   trap 'rm -rf "${workdir}"' EXIT
   edits=8
-  crash_points=20
+  crash_points=24
 
   echo "--- replication failover: kill -9 primary at each of ${crash_points} file ops"
   for ((op = 0; op < crash_points; ++op)); do
@@ -413,6 +426,15 @@ elif [[ "${matrix}" == "partition" ]]; then
   ONEEDIT_PARTITION_ROUNDS=10 ctest -j "${jobs}" --output-on-failure \
     -R 'ReplicationPartitionTest'
   echo "partition chaos passed: 10 seeded dual-primary rounds, invariants held"
+elif [[ "${matrix}" == "scrub" ]]; then
+  # Storage-fault chaos: the deterministic scrub/repair suites (Env storage
+  # primitives, injected disk budget, ENOSPC ladder, tmp sweeping, salvage
+  # recovery, the bit-flip-at-every-offset scrubber property, and
+  # replica-assisted WAL/checkpoint repair), then 10 seeded rounds of random
+  # bit-rot + disk-full against a live primary+follower pair.
+  ONEEDIT_SCRUB_ROUNDS=10 ctest -j "${jobs}" --output-on-failure \
+    -R 'StorageEnvTest|DiskBudgetTest|DiskFullServiceTest|TmpSweepTest|SalvageRecoveryTest|ScrubberTest|RepairWireTest|ReplicaRepairTest|ScrubChaosTest'
+  echo "scrub chaos passed: detection, repair, auto-heal, zero acknowledged-edit loss"
 else
   ctest -j "${jobs}" --output-on-failure
 fi

@@ -96,6 +96,16 @@ std::string TickerName(Ticker ticker) {
       return "repl_follower_limit_rejects";
     case Ticker::kSnapshotsPublished:
       return "snapshots_published";
+    case Ticker::kScrubPasses:
+      return "scrub_passes";
+    case Ticker::kScrubCorruptionsFound:
+      return "scrub_corruptions_found";
+    case Ticker::kRepairsCompleted:
+      return "repairs_completed";
+    case Ticker::kEnospcRejects:
+      return "enospc_rejects";
+    case Ticker::kTmpFilesSwept:
+      return "tmp_files_swept";
     case Ticker::kTickerCount:
       break;
   }

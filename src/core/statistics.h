@@ -58,6 +58,11 @@ enum class Ticker : size_t {
   kReplQuorumFailures,    ///< writes failed by AckPolicy::kFailWrite
   kReplFollowerLimitRejects,   ///< connections rejected at the follower cap
   kSnapshotsPublished,    ///< immutable read states published by the writer
+  kScrubPasses,           ///< background integrity scrub passes completed
+  kScrubCorruptionsFound, ///< bit-rot findings surfaced by the scrubber
+  kRepairsCompleted,      ///< corrupt regions repaired (peer fetch or local)
+  kEnospcRejects,         ///< writes shed because the disk budget ran out
+  kTmpFilesSwept,         ///< stale *.tmp checkpoint files removed at startup
   kTickerCount,           // sentinel
 };
 

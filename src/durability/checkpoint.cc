@@ -116,6 +116,73 @@ Status RestoreKg(std::string_view data, KnowledgeGraph* kg) {
   return Status::OK();
 }
 
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+struct Section {
+  uint32_t kind;
+  std::string_view bytes;
+};
+
+/// Parses and CRC-validates a whole checkpoint image without touching any
+/// system state: header fields into `*state`, section views into
+/// `*sections`. Shared by the all-or-nothing load and the scrubber's
+/// integrity verification.
+Status ParseCheckpointImage(std::string_view rest, const std::string& path,
+                            CheckpointState* state,
+                            std::vector<Section>* sections) {
+  char magic[4];
+  uint32_t version = 0, num_sections = 0;
+  if (rest.size() < sizeof(magic)) {
+    return Status::Corruption("not a OneEdit system checkpoint: " + path);
+  }
+  std::memcpy(magic, rest.data(), sizeof(magic));
+  rest.remove_prefix(sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a OneEdit system checkpoint: " + path);
+  }
+  if (!ConsumeScalar(&rest, &version) || version < kMinVersion ||
+      version > kVersion) {
+    return Status::Corruption("unsupported system checkpoint version in " +
+                              path);
+  }
+  if (!ConsumeScalar(&rest, &state->last_sequence) ||
+      !ConsumeScalar(&rest, &state->kg_version)) {
+    return Status::Corruption("system checkpoint header truncated: " + path);
+  }
+  if (version >= 2 &&
+      (!ConsumeScalar(&rest, &state->primary_term) ||
+       !ConsumeScalar(&rest, &state->owned_term) ||
+       !ConsumeScalar(&rest, &state->applied_term) ||
+       !ConsumeScalar(&rest, &state->term_start_sequence))) {
+    return Status::Corruption("system checkpoint header truncated: " + path);
+  }
+  if (!ConsumeScalar(&rest, &num_sections)) {
+    return Status::Corruption("system checkpoint header truncated: " + path);
+  }
+  for (uint32_t i = 0; i < num_sections; ++i) {
+    uint32_t kind = 0, size = 0, crc = 0;
+    if (!ConsumeScalar(&rest, &kind) || !ConsumeScalar(&rest, &size) ||
+        !ConsumeScalar(&rest, &crc) || size > kMaxSectionBytes ||
+        rest.size() < size) {
+      return Status::Corruption("system checkpoint section " +
+                                std::to_string(i) + " truncated: " + path);
+    }
+    const std::string_view bytes = rest.substr(0, size);
+    if (Crc32(bytes) != crc) {
+      return Status::Corruption("system checkpoint section " +
+                                std::to_string(i) + " CRC mismatch: " + path);
+    }
+    sections->push_back(Section{kind, bytes});
+    rest.remove_prefix(size);
+  }
+  return Status::OK();
+}
+
 /// GRACE/SERAC codebook entries live in the method's adaptor, not in the
 /// checkpointed weights. A cached adaptor-only delta is live exactly when
 /// the restored KG still asserts its triple, so re-arm those.
@@ -168,7 +235,10 @@ Status SaveSystemCheckpoint(const std::string& path, Env* env,
   ONEEDIT_RETURN_IF_ERROR(file->Append(image));
   ONEEDIT_RETURN_IF_ERROR(file->Sync());
   ONEEDIT_RETURN_IF_ERROR(file->Close());
-  return e->RenameFile(tmp, path);
+  ONEEDIT_RETURN_IF_ERROR(e->RenameFile(tmp, path));
+  // The rename is only power-loss durable once the parent directory's entry
+  // table is on stable storage.
+  return e->SyncDir(ParentDir(path));
 }
 
 StatusOr<CheckpointState> LoadSystemCheckpoint(const std::string& path,
@@ -178,61 +248,12 @@ StatusOr<CheckpointState> LoadSystemCheckpoint(const std::string& path,
   Env* e = env != nullptr ? env : Env::Default();
   std::string data;
   ONEEDIT_RETURN_IF_ERROR(e->ReadFileToString(path, &data));
-  std::string_view rest(data);
-
-  char magic[4];
-  uint32_t version = 0, num_sections = 0;
-  CheckpointState state;
-  if (rest.size() < sizeof(magic)) {
-    return Status::Corruption("not a OneEdit system checkpoint: " + path);
-  }
-  std::memcpy(magic, rest.data(), sizeof(magic));
-  rest.remove_prefix(sizeof(magic));
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("not a OneEdit system checkpoint: " + path);
-  }
-  if (!ConsumeScalar(&rest, &version) || version < kMinVersion ||
-      version > kVersion) {
-    return Status::Corruption("unsupported system checkpoint version in " +
-                              path);
-  }
-  if (!ConsumeScalar(&rest, &state.last_sequence) ||
-      !ConsumeScalar(&rest, &state.kg_version)) {
-    return Status::Corruption("system checkpoint header truncated: " + path);
-  }
-  if (version >= 2 &&
-      (!ConsumeScalar(&rest, &state.primary_term) ||
-       !ConsumeScalar(&rest, &state.owned_term) ||
-       !ConsumeScalar(&rest, &state.applied_term) ||
-       !ConsumeScalar(&rest, &state.term_start_sequence))) {
-    return Status::Corruption("system checkpoint header truncated: " + path);
-  }
-  if (!ConsumeScalar(&rest, &num_sections)) {
-    return Status::Corruption("system checkpoint header truncated: " + path);
-  }
 
   // Validate every section before mutating anything: load is all-or-nothing.
-  struct Section {
-    uint32_t kind;
-    std::string_view bytes;
-  };
+  CheckpointState state;
   std::vector<Section> sections;
-  for (uint32_t i = 0; i < num_sections; ++i) {
-    uint32_t kind = 0, size = 0, crc = 0;
-    if (!ConsumeScalar(&rest, &kind) || !ConsumeScalar(&rest, &size) ||
-        !ConsumeScalar(&rest, &crc) || size > kMaxSectionBytes ||
-        rest.size() < size) {
-      return Status::Corruption("system checkpoint section " +
-                                std::to_string(i) + " truncated: " + path);
-    }
-    const std::string_view bytes = rest.substr(0, size);
-    if (Crc32(bytes) != crc) {
-      return Status::Corruption("system checkpoint section " +
-                                std::to_string(i) + " CRC mismatch: " + path);
-    }
-    sections.push_back(Section{kind, bytes});
-    rest.remove_prefix(size);
-  }
+  ONEEDIT_RETURN_IF_ERROR(
+      ParseCheckpointImage(data, path, &state, &sections));
 
   for (const Section& section : sections) {
     switch (section.kind) {
@@ -255,6 +276,23 @@ StatusOr<CheckpointState> LoadSystemCheckpoint(const std::string& path,
   }
   ONEEDIT_RETURN_IF_ERROR(RearmAdaptors(system));
   return state;
+}
+
+StatusOr<CheckpointState> VerifyCheckpointImage(std::string_view image,
+                                                const std::string& path) {
+  CheckpointState state;
+  std::vector<Section> sections;
+  ONEEDIT_RETURN_IF_ERROR(
+      ParseCheckpointImage(image, path, &state, &sections));
+  return state;
+}
+
+StatusOr<CheckpointState> VerifyCheckpointIntegrity(const std::string& path,
+                                                    Env* env) {
+  Env* e = env != nullptr ? env : Env::Default();
+  std::string data;
+  ONEEDIT_RETURN_IF_ERROR(e->ReadFileToString(path, &data));
+  return VerifyCheckpointImage(data, path);
 }
 
 StatusOr<CheckpointState> PeekCheckpointState(const std::string& path,

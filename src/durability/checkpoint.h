@@ -53,6 +53,17 @@ StatusOr<CheckpointState> LoadSystemCheckpoint(const std::string& path,
                                                Env* env,
                                                OneEditSystem* system);
 
+/// CRC-validates every section of an in-memory checkpoint image without
+/// restoring anything. `path` labels error messages only. The repair path
+/// verifies peer-fetched images with this before installing them.
+StatusOr<CheckpointState> VerifyCheckpointImage(std::string_view image,
+                                                const std::string& path);
+
+/// Reads `path` end-to-end and CRC-validates every section without touching
+/// any system state — the scrubber's bit-rot detector for checkpoints.
+StatusOr<CheckpointState> VerifyCheckpointIntegrity(const std::string& path,
+                                                    Env* env);
+
 /// Reads only the checkpoint header (magic, version, sequence metadata)
 /// without validating or restoring the sections. The replication server
 /// uses this to decide whether a follower behind the WAL head needs a full

@@ -179,7 +179,7 @@ void EditWal::Close() {
 
 StatusOr<WalReplayStats> EditWal::Replay(
     const std::string& path, Env* env,
-    const std::function<Status(const EditWalRecord&)>& apply) {
+    const std::function<Status(const EditWalRecord&)>& apply, bool salvage) {
   Env* e = env != nullptr ? env : Env::Default();
   WalReplayStats stats;
   if (!e->FileExists(path)) return stats;
@@ -202,11 +202,23 @@ StatusOr<WalReplayStats> EditWal::Replay(
         stats.torn_bytes_dropped = rest.size();
         break;
       }
+      if (salvage) {
+        stats.corruption_detected = true;
+        stats.corrupt_offset = data.size() - rest.size();
+        stats.lost_bytes = rest.size();
+        break;
+      }
       return Status::Corruption("edit WAL corrupt at byte offset " +
                                 std::to_string(data.size() - rest.size()) +
                                 " in " + path);
     }
     if (result == FrameResult::kBadRecord) {
+      if (salvage) {
+        stats.corruption_detected = true;
+        stats.corrupt_offset = data.size() - rest.size();
+        stats.lost_bytes = rest.size();
+        break;
+      }
       return Status::Corruption("undecodable edit WAL record at sequence " +
                                 std::to_string(stats.last_sequence + 1) +
                                 " in " + path);

@@ -42,6 +42,12 @@ struct WalReplayStats {
   size_t records = 0;
   uint64_t last_sequence = 0;
   size_t torn_bytes_dropped = 0;
+  /// Salvage mode only: mid-log corruption was hit and replay stopped there
+  /// cleanly instead of erroring. `corrupt_offset` is the byte offset of the
+  /// first bad frame; `lost_bytes` the bytes from there to end-of-file.
+  bool corruption_detected = false;
+  uint64_t corrupt_offset = 0;
+  size_t lost_bytes = 0;
 };
 
 /// The unified edit write-ahead log: a binary, CRC32-framed, sequence-
@@ -90,9 +96,14 @@ class EditWal {
 
   /// Streams every intact record in `path` through `apply`, stopping with
   /// the first non-OK status `apply` returns. Missing file = empty log.
+  /// With `salvage` set, mid-log corruption stops the replay cleanly at the
+  /// last intact record (reported in the stats) instead of failing — the
+  /// recovery path keeps the intact prefix and reports the loss rather than
+  /// refusing to start.
   static StatusOr<WalReplayStats> Replay(
       const std::string& path, Env* env,
-      const std::function<Status(const EditWalRecord&)>& apply);
+      const std::function<Status(const EditWalRecord&)>& apply,
+      bool salvage = false);
 
   /// Encodes `record` as one framed byte string (exposed for tests).
   static std::string Encode(const EditWalRecord& record);

@@ -1,7 +1,9 @@
 #include "durability/env.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
+#include <sys/statvfs.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -34,6 +36,12 @@ class PosixWritableFile : public WritableFile {
       const ssize_t n = ::write(fd_, data.data(), data.size());
       if (n < 0) {
         if (errno == EINTR) continue;
+        if (errno == ENOSPC) {
+          // Typed so callers can shed writes into read-only degradation
+          // instead of burning the generic-IO retry ladder on a full disk.
+          return Status::ResourceExhausted("no space left on device: " +
+                                           path_);
+        }
         return Errno("write failed on", path_);
       }
       data.remove_prefix(static_cast<size_t>(n));
@@ -136,6 +144,51 @@ class PosixEnv : public Env {
   Status CreateDir(const std::string& path) override {
     if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
       return Errno("cannot create directory", path);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Errno("cannot open directory", path);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return Errno("fsync failed on directory", path);
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> FreeDiskSpace(const std::string& path) override {
+    struct statvfs vfs;
+    if (::statvfs(path.c_str(), &vfs) != 0) {
+      return Errno("cannot statvfs", path);
+    }
+    return static_cast<uint64_t>(vfs.f_bavail) *
+           static_cast<uint64_t>(vfs.f_frsize);
+  }
+
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* out) override {
+    out->clear();
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return Errno("cannot open directory", path);
+    errno = 0;
+    while (struct dirent* entry = ::readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") out->push_back(name);
+      errno = 0;
+    }
+    const int saved_errno = errno;
+    ::closedir(dir);
+    if (saved_errno != 0) {
+      errno = saved_errno;
+      return Errno("cannot read directory", path);
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Errno("cannot truncate", path);
     }
     return Status::OK();
   }

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/status.h"
 #include "util/statusor.h"
@@ -63,6 +64,25 @@ class Env {
 
   /// Creates `path` (one level); OK if it already exists.
   virtual Status CreateDir(const std::string& path) = 0;
+
+  /// Fsyncs the directory `path` itself so a preceding rename of an entry
+  /// inside it survives power loss. A temp+rename publish is only durable
+  /// once the parent directory's entry table has hit stable storage.
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  /// Bytes currently available to unprivileged writers on the filesystem
+  /// holding `path`.
+  virtual StatusOr<uint64_t> FreeDiskSpace(const std::string& path) = 0;
+
+  /// Replaces `*out` with the entry names (not paths) in directory `path`,
+  /// excluding "." and "..".
+  virtual Status ListDir(const std::string& path,
+                         std::vector<std::string>* out) = 0;
+
+  /// Truncates `path` to exactly `size` bytes. The splice primitive under
+  /// replica-assisted WAL repair: cut at the corrupt frame, then re-append
+  /// clean bytes fetched from a peer.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
 };
 
 }  // namespace durability

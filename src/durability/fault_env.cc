@@ -29,6 +29,7 @@ class FaultInjectingFile : public WritableFile {
       (void)base_->Append(data.substr(0, data.size() / 2));
       return InjectedCrash();
     }
+    ONEEDIT_RETURN_IF_ERROR(env_->DebitDiskBudget(data.size()));
     return base_->Append(data);
   }
 
@@ -66,6 +67,32 @@ void FaultInjectingEnv::Clear() {
 }
 
 void FaultInjectingEnv::FailNext(long n) { fail_next_.store(n); }
+
+void FaultInjectingEnv::SetDiskBudget(long bytes) {
+  disk_budget_.store(bytes < 0 ? -1 : bytes);
+}
+
+void FaultInjectingEnv::AddDiskBudget(long bytes) {
+  long current = disk_budget_.load();
+  while (current >= 0 &&
+         !disk_budget_.compare_exchange_weak(current, current + bytes)) {
+  }
+}
+
+Status FaultInjectingEnv::DebitDiskBudget(size_t bytes) {
+  const long need = static_cast<long>(bytes);
+  long current = disk_budget_.load();
+  while (current >= 0) {
+    if (current < need) {
+      // Non-latching, like a real full disk: frees (AddDiskBudget) make
+      // subsequent writes succeed again.
+      return Status::ResourceExhausted(
+          "no space left on device (injected disk budget)");
+    }
+    if (disk_budget_.compare_exchange_weak(current, current - need)) break;
+  }
+  return Status::OK();
+}
 
 void FaultInjectingEnv::SetIntermittent(double p, uint64_t seed) {
   std::lock_guard<std::mutex> lock(intermittent_mutex_);
@@ -147,6 +174,32 @@ Status FaultInjectingEnv::RemoveFile(const std::string& path) {
 
 Status FaultInjectingEnv::CreateDir(const std::string& path) {
   return base_->CreateDir(path);
+}
+
+Status FaultInjectingEnv::SyncDir(const std::string& path) {
+  // A directory fsync is a durability sync point exactly like a file fsync,
+  // so it participates in the numbered-failpoint crash schedule.
+  if (crashed_.load() || ShouldFail()) return InjectedCrash();
+  return base_->SyncDir(path);
+}
+
+StatusOr<uint64_t> FaultInjectingEnv::FreeDiskSpace(const std::string& path) {
+  const long budget = disk_budget_.load();
+  if (budget >= 0) return static_cast<uint64_t>(budget);
+  return base_->FreeDiskSpace(path);
+}
+
+Status FaultInjectingEnv::ListDir(const std::string& path,
+                                  std::vector<std::string>* out) {
+  // A read-type op, not a failpoint — keeps crash-schedule numbering stable.
+  return base_->ListDir(path, out);
+}
+
+Status FaultInjectingEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  // Destroys data (the WAL-repair splice), so it is a failpoint.
+  if (crashed_.load() || ShouldFail()) return InjectedCrash();
+  return base_->TruncateFile(path, size);
 }
 
 }  // namespace durability

@@ -13,8 +13,9 @@ namespace oneedit {
 namespace durability {
 
 /// An Env decorator that can fail — or "crash" — at any durability sync
-/// point. Every Append / Sync / rename / truncating open / remove is one
-/// numbered failpoint; arming `CrashAt(k)` makes the k-th such operation
+/// point. Every Append / Sync / rename / truncating open / remove /
+/// directory-fsync / truncate is one numbered failpoint; arming
+/// `CrashAt(k)` makes the k-th such operation
 /// fail (an armed Append writes only a prefix of its bytes first, modelling
 /// a torn page), and every operation after it fails too, as if the process
 /// had died at that instant. The files written so far stay on disk exactly
@@ -48,6 +49,18 @@ class FaultInjectingEnv : public Env {
   /// CI entry drives serving stress through this mode.
   void SetIntermittent(double p, uint64_t seed = 42);
 
+  /// Disk-budget mode: every Append debits its byte count from `bytes`;
+  /// once the budget is exhausted appends fail with ResourceExhausted — a
+  /// deterministic full disk. Non-latching: AddDiskBudget (freed space)
+  /// makes writes succeed again. Pass a negative value to disable.
+  void SetDiskBudget(long bytes);
+
+  /// Frees `bytes` of injected disk space (no-op unless budget mode is on).
+  void AddDiskBudget(long bytes);
+
+  /// Remaining injected budget; negative when budget mode is disabled.
+  long disk_budget() const { return disk_budget_.load(); }
+
   /// Transient failures injected so far (FailNext + intermittent).
   long transient_failures() const { return transient_failures_.load(); }
 
@@ -70,6 +83,11 @@ class FaultInjectingEnv : public Env {
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status RemoveFile(const std::string& path) override;
   Status CreateDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+  StatusOr<uint64_t> FreeDiskSpace(const std::string& path) override;
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* out) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
 
  private:
   friend class FaultInjectingFile;
@@ -78,12 +96,17 @@ class FaultInjectingEnv : public Env {
   /// env crashed when it is the armed one).
   bool ShouldFail();
 
+  /// Charges `bytes` against the injected disk budget; ResourceExhausted
+  /// when the budget cannot cover them. OK when budget mode is off.
+  Status DebitDiskBudget(size_t bytes);
+
   Env* base_;
   std::atomic<long> ops_seen_{0};
   std::atomic<long> crash_at_{-1};
   std::atomic<bool> crashed_{false};
   std::atomic<long> fail_next_{0};
   std::atomic<long> transient_failures_{0};
+  std::atomic<long> disk_budget_{-1};
   bool exit_on_crash_ = false;
 
   /// Guards the intermittent-mode RNG (serving stress hits the env from the

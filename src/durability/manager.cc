@@ -32,6 +32,24 @@ StatusOr<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
   }
   std::unique_ptr<DurabilityManager> manager(new DurabilityManager(options));
   ONEEDIT_RETURN_IF_ERROR(manager->env_->CreateDir(options.dir));
+  // Sweep stale *.tmp files: a crash between checkpoint write and rename
+  // leaks its temp file forever (no later save removes a differently-timed
+  // leftover, and it eats disk budget). Best-effort — a sweep failure must
+  // not stop the service from opening its journal.
+  std::vector<std::string> entries;
+  if (manager->env_->ListDir(options.dir, &entries).ok()) {
+    for (const std::string& name : entries) {
+      constexpr std::string_view kTmpSuffix = ".tmp";
+      if (name.size() < kTmpSuffix.size() ||
+          name.compare(name.size() - kTmpSuffix.size(), kTmpSuffix.size(),
+                       kTmpSuffix) != 0) {
+        continue;
+      }
+      if (manager->env_->RemoveFile(options.dir + "/" + name).ok()) {
+        ++manager->tmp_files_swept_;
+      }
+    }
+  }
   ONEEDIT_RETURN_IF_ERROR(manager->wal_.Open(manager->wal_path_,
                                              manager->env_));
   return manager;
@@ -68,7 +86,8 @@ StatusOr<RecoveryReport> DurabilityManager::Recover(
                           condemned.insert(record.quarantined_sequence);
                         }
                         return Status::OK();
-                      })
+                      },
+                      /*salvage=*/true)
           .status());
 
   // Pass 2: replay the WAL tail, regrouping records into the writer's
@@ -149,8 +168,15 @@ StatusOr<RecoveryReport> DurabilityManager::Recover(
               }
               report.last_sequence = record.sequence;
               return Status::OK();
-            }));
+            },
+            /*salvage=*/true));
     report.torn_bytes_dropped = wal_stats.torn_bytes_dropped;
+    // Mid-log bit-rot: the intact prefix above was salvaged; surface the
+    // loss so the serving layer starts degraded instead of pretending the
+    // abandoned suffix never existed.
+    report.wal_corruption_detected = wal_stats.corruption_detected;
+    report.wal_corrupt_offset = wal_stats.corrupt_offset;
+    report.wal_lost_bytes = wal_stats.lost_bytes;
     return Status::OK();
   }();
   ONEEDIT_RETURN_IF_ERROR(replay_status);
@@ -178,12 +204,26 @@ StatusOr<RecoveryReport> DurabilityManager::Recover(
   return report;
 }
 
+Status DurabilityManager::CheckFreeSpace() {
+  if (options_.min_free_bytes == 0) return Status::OK();
+  const StatusOr<uint64_t> free = env_->FreeDiskSpace(options_.dir);
+  // An unmeasurable filesystem must not block writes — the kernel's own
+  // ENOSPC (mapped to ResourceExhausted by the Env) is the backstop.
+  if (!free.ok()) return Status::OK();
+  if (*free < options_.min_free_bytes) {
+    return Status::ResourceExhausted(
+        "free disk space " + std::to_string(*free) + " below budget " +
+        std::to_string(options_.min_free_bytes) + " in " + options_.dir);
+  }
+  return Status::OK();
+}
+
 Status DurabilityManager::LogBatch(const std::vector<EditRequest>& requests,
                                    EditingMethodKind method,
                                    Statistics* stats) {
   const auto start = std::chrono::steady_clock::now();
-  Status status = Status::OK();
-  {
+  Status status = CheckFreeSpace();
+  if (status.ok()) {
     obs::Span append_span("wal-append");
     bool first = true;
     for (const EditRequest& request : requests) {
@@ -217,6 +257,7 @@ Status DurabilityManager::LogBatch(const std::vector<EditRequest>& requests,
       stats->Record(Histogram::kWalCommitMicros, ElapsedMicros(start));
     } else {
       stats->Add(Ticker::kWalFailures);
+      if (status.IsResourceExhausted()) stats->Add(Ticker::kEnospcRejects);
     }
   }
   return status;
@@ -234,7 +275,8 @@ Status DurabilityManager::LogQuarantine(uint64_t quarantined_sequence,
   record.quarantine = true;
   record.quarantined_sequence = quarantined_sequence;
   record.quarantine_reason = reason;
-  Status status = wal_.Append(record);
+  Status status = CheckFreeSpace();
+  if (status.ok()) status = wal_.Append(record);
   if (status.ok()) {
     ++next_sequence_;
     if (options_.sync_on_commit) status = wal_.Sync();
@@ -249,6 +291,7 @@ Status DurabilityManager::LogQuarantine(uint64_t quarantined_sequence,
       stats->Add(Ticker::kWalCommits);
     } else {
       stats->Add(Ticker::kWalFailures);
+      if (status.IsResourceExhausted()) stats->Add(Ticker::kEnospcRejects);
     }
   }
   return status;
@@ -293,6 +336,9 @@ StatusOr<uint64_t> DurabilityManager::InstallSnapshotBytes(
     ONEEDIT_RETURN_IF_ERROR(file->Close());
   }
   ONEEDIT_RETURN_IF_ERROR(env_->RenameFile(tmp, checkpoint_path_));
+  // As in SaveSystemCheckpoint: the rename is only power-loss durable once
+  // the directory entry itself is fsynced.
+  ONEEDIT_RETURN_IF_ERROR(env_->SyncDir(options_.dir));
   // Snapshot install lands on a WARM system that may hold edits PAST this
   // image (a diverged replica rolling back its truncated suffix), so every
   // piece of editor state bound to the model — the adaptor a method
@@ -348,6 +394,35 @@ Status DurabilityManager::OnBatchApplied(OneEditSystem& system,
   return Checkpoint(system, stats);
 }
 
+Status DurabilityManager::RepairWalRegion(uint64_t corrupt_offset,
+                                          std::string_view frames) {
+  // Splice: cut the journal at the first bad frame, then re-append the
+  // peer's clean bytes. The append handle is closed around the truncate so
+  // no stale kernel file offset survives the cut; a concurrent Cursor that
+  // observes the shrink treats it as a rotation and rewinds — safe.
+  wal_.Close();
+  ONEEDIT_RETURN_IF_ERROR(env_->TruncateFile(wal_path_, corrupt_offset));
+  ONEEDIT_RETURN_IF_ERROR(wal_.Open(wal_path_, env_));
+  ONEEDIT_RETURN_IF_ERROR(wal_.AppendRaw(frames));
+  return wal_.Sync();
+}
+
+Status DurabilityManager::ReplaceCheckpointBytes(const std::string& bytes) {
+  // File-only replacement (the live system is intact; only the on-disk copy
+  // rotted), with the same temp + fsync + rename + dir-fsync publish
+  // discipline as every other checkpoint write.
+  const std::string tmp = checkpoint_path_ + ".tmp";
+  {
+    ONEEDIT_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                             env_->NewWritableFile(tmp, /*truncate=*/true));
+    ONEEDIT_RETURN_IF_ERROR(file->Append(bytes));
+    ONEEDIT_RETURN_IF_ERROR(file->Sync());
+    ONEEDIT_RETURN_IF_ERROR(file->Close());
+  }
+  ONEEDIT_RETURN_IF_ERROR(env_->RenameFile(tmp, checkpoint_path_));
+  return env_->SyncDir(options_.dir);
+}
+
 Status DurabilityManager::Checkpoint(OneEditSystem& system,
                                      Statistics* stats) {
   const auto start = std::chrono::steady_clock::now();
@@ -358,7 +433,10 @@ Status DurabilityManager::Checkpoint(OneEditSystem& system,
   state.owned_term = owned_term_;
   state.applied_term = applied_term_;
   state.term_start_sequence = term_start_sequence_;
-  Status status = SaveSystemCheckpoint(checkpoint_path_, env_, system, state);
+  Status status = CheckFreeSpace();
+  if (status.ok()) {
+    status = SaveSystemCheckpoint(checkpoint_path_, env_, system, state);
+  }
   if (status.ok()) {
     // Everything at or below state.last_sequence is now redundant; rotate.
     // A rotation failure leaves stale-but-skippable records, not data loss.
@@ -371,6 +449,7 @@ Status DurabilityManager::Checkpoint(OneEditSystem& system,
       stats->Record(Histogram::kCheckpointMicros, ElapsedMicros(start));
     } else {
       stats->Add(Ticker::kCheckpointFailures);
+      if (status.IsResourceExhausted()) stats->Add(Ticker::kEnospcRejects);
     }
   }
   return status;

@@ -27,6 +27,13 @@ struct DurabilityOptions {
   /// fsync the WAL once per batch before the batch is applied (group
   /// commit). Turning this off trades the durability guarantee for speed.
   bool sync_on_commit = true;
+  /// Disk-space budget: when the filesystem holding `dir` has fewer free
+  /// bytes than this, journal appends and checkpoints are refused up front
+  /// with ResourceExhausted — a typed rejection the serving layer maps into
+  /// read-only degradation — instead of running the disk to zero and dying
+  /// mid-write. 0 disables the preflight (ENOSPC from the kernel is still
+  /// mapped to ResourceExhausted by the Env).
+  uint64_t min_free_bytes = 0;
 };
 
 /// What startup recovery found and did.
@@ -48,6 +55,13 @@ struct RecoveryReport {
   size_t quarantine_records = 0;
   /// Edit records NOT replayed because a journaled verdict condemned them.
   size_t quarantined_skipped = 0;
+  /// Mid-log WAL corruption was found; the intact prefix was salvaged and
+  /// everything from `wal_corrupt_offset` on (`wal_lost_bytes` bytes, which
+  /// may include acknowledged edits) was abandoned. The service starts
+  /// degraded so the operator — or replica-assisted repair — can react.
+  bool wal_corruption_detected = false;
+  uint64_t wal_corrupt_offset = 0;
+  size_t wal_lost_bytes = 0;
 };
 
 /// One regrouped coalesced batch handed to the replay applier. Records whose
@@ -148,6 +162,25 @@ class DurabilityManager {
   /// Publishes a checkpoint now and rotates the WAL on success.
   Status Checkpoint(OneEditSystem& system, Statistics* stats);
 
+  /// Replica-assisted WAL repair: truncates the journal at `corrupt_offset`
+  /// (the first bad frame) and re-appends `frames` — clean, byte-identical
+  /// bytes fetched from a peer — restoring the journal end-to-end. The
+  /// caller must hold the writer exclusively and must have verified that
+  /// `frames` decode contiguously from the last intact record through the
+  /// commit point. Counters are untouched: committed state never moved.
+  Status RepairWalRegion(uint64_t corrupt_offset, std::string_view frames);
+
+  /// Replica-assisted checkpoint repair: atomically replaces the checkpoint
+  /// FILE with `bytes` (a peer's verified image) without restoring any live
+  /// state — the live system is intact; only the on-disk copy rotted. The
+  /// caller must have verified the image and that its sequence still chains
+  /// with this node's WAL.
+  Status ReplaceCheckpointBytes(const std::string& bytes);
+
+  /// Stale `*.tmp` files swept from the durability dir at Open (a crash
+  /// between checkpoint write and rename leaks them).
+  uint64_t tmp_files_swept() const { return tmp_files_swept_; }
+
   const std::string& wal_path() const { return wal_path_; }
   const std::string& checkpoint_path() const { return checkpoint_path_; }
   /// Sequence number the next logged edit will receive. Advances record by
@@ -191,6 +224,10 @@ class DurabilityManager {
  private:
   explicit DurabilityManager(const DurabilityOptions& options);
 
+  /// ResourceExhausted when the free-space preflight says the budget is
+  /// gone; OK when disabled or unmeasurable.
+  Status CheckFreeSpace();
+
   DurabilityOptions options_;
   Env* env_;
   std::string wal_path_;
@@ -208,6 +245,7 @@ class DurabilityManager {
   std::atomic<uint64_t> owned_term_{0};
   std::atomic<uint64_t> applied_term_{0};
   std::atomic<uint64_t> term_start_sequence_{0};
+  uint64_t tmp_files_swept_ = 0;
 };
 
 }  // namespace durability

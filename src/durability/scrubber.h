@@ -1,0 +1,116 @@
+#ifndef ONEEDIT_DURABILITY_SCRUBBER_H_
+#define ONEEDIT_DURABILITY_SCRUBBER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/statistics.h"
+#include "durability/manager.h"
+
+namespace oneedit {
+namespace durability {
+
+struct ScrubOptions {
+  /// Run the scrubber background thread at all. Off by default: tests and
+  /// single-purpose tools opt in; the serving layer turns it on explicitly.
+  bool enabled = false;
+  /// Pause between verification passes.
+  std::chrono::milliseconds interval{1000};
+  /// Read-rate ceiling for a pass; 0 = unthrottled. The scrubber reads the
+  /// journal in ReadFileRange chunks and sleeps between them so a pass over
+  /// a large log never stalls the writer's I/O.
+  uint64_t max_bytes_per_second = 8u << 20;
+};
+
+/// One piece of bit-rot the scrubber found.
+struct ScrubFinding {
+  enum class Target { kWal, kCheckpoint };
+  Target target = Target::kWal;
+  /// WAL only: byte offset of the first bad frame (the repair splice point).
+  uint64_t corrupt_offset = 0;
+  /// WAL only: highest sequence provably intact below the corruption
+  /// (journal records before the bad frame, or the checkpoint's coverage
+  /// when the journal's own prefix has none). Repair fetches
+  /// [last_intact_sequence + 1 .. committed].
+  uint64_t last_intact_sequence = 0;
+  std::string detail;
+};
+
+/// Background integrity scrubber: periodically re-reads the edit WAL and the
+/// checkpoint, re-verifying frame and section CRCs end-to-end, so bit-rot is
+/// detected while replicas that can supply a clean copy still exist — not at
+/// the next restart, when it is a recovery failure.
+///
+/// The WAL walk reuses EditWal::Cursor (streaming, rotation-aware), so a
+/// concurrent writer is never blocked and a checkpoint rotation mid-pass
+/// just restarts the pass. A *final-frame* bit flip is frame-wise
+/// indistinguishable from a torn tail, so the pass also cross-checks: any
+/// sequence committed before the pass began must be covered by the journal
+/// or the checkpoint at the end of it — a shortfall is tail corruption.
+class Scrubber {
+ public:
+  using CorruptionCallback = std::function<void(const ScrubFinding&)>;
+
+  /// `durability` must outlive the scrubber. `on_corruption` (may be null)
+  /// runs on the scrubber thread once per finding, after the finding has
+  /// been counted — the serving layer hangs replica-assisted repair off it.
+  Scrubber(DurabilityManager* durability, Statistics* stats,
+           ScrubOptions options, CorruptionCallback on_corruption);
+  ~Scrubber();
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  /// Launches the background thread (no-op when already running).
+  void Start();
+
+  /// Stops and joins the background thread. Safe to call repeatedly.
+  void Stop();
+
+  /// One synchronous verification pass (also what the thread runs). Counts
+  /// the pass, counts and reports findings, invokes the callback.
+  std::vector<ScrubFinding> ScrubOnce();
+
+  uint64_t passes() const { return passes_.load(); }
+  uint64_t corruptions_found() const { return corruptions_found_.load(); }
+
+  /// Human-readable detail of the most recent finding; empty while clean.
+  /// Cleared when a later pass comes back clean (e.g. after a repair).
+  std::string last_finding() const;
+
+ private:
+  void Loop();
+  /// Rate limit: charge `bytes` read and sleep when over budget.
+  void Throttle(uint64_t bytes);
+  void ScrubWal(std::vector<ScrubFinding>* findings);
+  void ScrubCheckpoint(std::vector<ScrubFinding>* findings);
+
+  DurabilityManager* durability_;
+  Statistics* stats_;
+  ScrubOptions options_;
+  CorruptionCallback on_corruption_;
+  Env* env_;
+
+  std::atomic<uint64_t> passes_{0};
+  std::atomic<uint64_t> corruptions_found_{0};
+
+  mutable std::mutex mutex_;
+  std::string last_finding_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+  /// Throttle bucket: bytes charged since the last sleep.
+  uint64_t throttle_bytes_ = 0;
+};
+
+}  // namespace durability
+}  // namespace oneedit
+
+#endif  // ONEEDIT_DURABILITY_SCRUBBER_H_

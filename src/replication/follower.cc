@@ -170,6 +170,8 @@ bool Follower::RunSession(int fd, net::Net* net) {
         reply_term = message->reject.term;
         break;
       case MessageType::kPoll:
+      case MessageType::kFetchRange:
+      case MessageType::kRepair:
         return progressed;  // protocol violation; drop the connection
     }
     if (reply_term > poll.term) {
@@ -261,6 +263,8 @@ bool Follower::RunSession(int fd, net::Net* net) {
         break;
       case MessageType::kPoll:
       case MessageType::kReject:
+      case MessageType::kFetchRange:
+      case MessageType::kRepair:
         return progressed;  // handled above; unreachable
     }
 

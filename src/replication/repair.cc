@@ -1,0 +1,43 @@
+#include "replication/repair.h"
+
+#include <unistd.h>
+
+#include <string>
+
+namespace oneedit {
+namespace replication {
+
+StatusOr<RepairReply> FetchFromPeer(uint16_t peer_port,
+                                    const FetchRangeRequest& request,
+                                    net::Net* net, int io_timeout_seconds) {
+  net::Net* n = net != nullptr ? net : net::Net::Default();
+  ONEEDIT_ASSIGN_OR_RETURN(const int fd, n->Connect(peer_port));
+  n->IoTimeouts(fd, io_timeout_seconds);
+  StatusOr<RepairReply> result = [&]() -> StatusOr<RepairReply> {
+    ONEEDIT_RETURN_IF_ERROR(
+        SendFrame(fd, EncodeFetchRange(request), n));
+    ONEEDIT_ASSIGN_OR_RETURN(const Message message, RecvMessage(fd, n));
+    if (message.type == MessageType::kReject) {
+      return Status::FailedPrecondition(
+          "repair fetch fenced by peer (term " +
+          std::to_string(message.reject.term) + ")");
+    }
+    if (message.type != MessageType::kRepair ||
+        message.repair.target != request.target) {
+      return Status::Corruption("unexpected reply to repair fetch");
+    }
+    // Never splice in a deposed peer's bytes: a stale-term reply may carry
+    // an un-reconciled diverged suffix.
+    if (message.repair.term < request.term) {
+      return Status::FailedPrecondition(
+          "repair reply from stale term " +
+          std::to_string(message.repair.term));
+    }
+    return message.repair;
+  }();
+  ::close(fd);
+  return result;
+}
+
+}  // namespace replication
+}  // namespace oneedit

@@ -1,0 +1,33 @@
+#ifndef ONEEDIT_REPLICATION_REPAIR_H_
+#define ONEEDIT_REPLICATION_REPAIR_H_
+
+#include <cstdint>
+
+#include "replication/wire.h"
+#include "util/net.h"
+#include "util/statusor.h"
+
+namespace oneedit {
+namespace replication {
+
+/// Repair client: dials `peer_port` (a primary's replication listener or a
+/// follower's repair listener), sends one kFetchRange, and returns the
+/// kRepair reply. One round trip per call — repair regions are small and a
+/// requester walks its peer list, so no connection is kept.
+///
+/// Failure taxonomy the caller routes on:
+///  - OK with reply.complete == 0: the peer is healthy but cannot serve the
+///    region (rotated away, or its own copy failed verification) — try the
+///    next peer.
+///  - FailedPrecondition: the peer fenced us (kReject); the reply carried
+///    the peer's term, already folded into the message — adopt and stop.
+///  - IoError / Unavailable: the peer is unreachable — try the next peer.
+StatusOr<RepairReply> FetchFromPeer(uint16_t peer_port,
+                                    const FetchRangeRequest& request,
+                                    net::Net* net = nullptr,
+                                    int io_timeout_seconds = 5);
+
+}  // namespace replication
+}  // namespace oneedit
+
+#endif  // ONEEDIT_REPLICATION_REPAIR_H_

@@ -174,7 +174,50 @@ void ReplicationServer::ServeFollower(int fd,
                                           done) {
   while (!stopping_.load()) {
     StatusOr<Message> message = RecvMessage(fd, net_impl());
-    if (!message.ok() || message->type != MessageType::kPoll) break;
+    if (!message.ok() || (message->type != MessageType::kPoll &&
+                          message->type != MessageType::kFetchRange)) {
+      break;
+    }
+
+    if (message->type == MessageType::kFetchRange) {
+      // Repair fetch: term-fenced like a poll, but it never touches the
+      // ack bookkeeping (a repair client is not a replica) and a higher
+      // term only gets adopted, never flips us deposed — fetches also hit
+      // follower-side repair listeners, whose term can trail the
+      // requester's without anyone having been deposed.
+      const FetchRangeRequest& fetch = message->fetch;
+      const uint64_t our_term = durability_->primary_term();
+      if (fetch.term > our_term) durability_->AdoptTerm(fetch.term);
+      if (deposed_.load()) {
+        RejectReply reject;
+        reject.term = durability_->primary_term();
+        reject.reason = RejectReason::kDeposed;
+        if (!SendFrame(fd, EncodeReject(reject), net_impl()).ok()) break;
+        continue;
+      }
+      if (fetch.term < our_term) {
+        if (stats_ != nullptr) stats_->Add(Ticker::kReplTermRejections);
+        RejectReply reject;
+        reject.term = our_term;
+        reject.reason = RejectReason::kStaleTerm;
+        if (!SendFrame(fd, EncodeReject(reject), net_impl()).ok()) break;
+        continue;
+      }
+      StatusOr<std::string> reply = BuildRepairReply(fetch);
+      if (!reply.ok()) {
+        ONEEDIT_LOG(Warning) << "repair fetch for sequences "
+                             << fetch.from_sequence << ".."
+                             << fetch.through_sequence
+                             << " failed: " << reply.status().ToString();
+        break;
+      }
+      if (stats_ != nullptr) {
+        stats_->Add(Ticker::kReplBytesShipped, reply->size());
+      }
+      if (!SendFrame(fd, *reply, net_impl()).ok()) break;
+      continue;
+    }
+
     const PollRequest& poll = message->poll;
 
     // Term fencing, before any bookkeeping trusts the poll. A HIGHER term
@@ -350,6 +393,73 @@ StatusOr<std::string> ReplicationServer::BuildReply(const PollRequest& poll) {
     stats_->Add(Ticker::kReplBatchesShipped, reply.batches.size());
   }
   return EncodeBatches(reply);
+}
+
+StatusOr<std::string> ReplicationServer::BuildRepairReply(
+    const FetchRangeRequest& fetch) {
+  const uint64_t committed = durability_->committed_sequence();
+  durability::Env* env = durability_->options().env != nullptr
+                             ? durability_->options().env
+                             : durability::Env::Default();
+  RepairReply reply;
+  reply.target = fetch.target;
+  reply.term = durability_->primary_term();
+
+  if (fetch.target == RepairTarget::kCheckpoint) {
+    if (env->FileExists(durability_->checkpoint_path())) {
+      std::string bytes;
+      if (env->ReadFileToString(durability_->checkpoint_path(), &bytes)
+              .ok()) {
+        // Never ship rot: a peer whose own copy fails verification answers
+        // complete=0 so the requester moves on.
+        const StatusOr<durability::CheckpointState> state =
+            durability::VerifyCheckpointImage(
+                bytes, durability_->checkpoint_path());
+        if (state.ok()) {
+          reply.complete = 1;
+          reply.first_sequence = 0;
+          reply.last_sequence = state->last_sequence;
+          reply.bytes = std::move(bytes);
+        }
+      }
+    }
+    return EncodeRepair(reply);
+  }
+
+  // WAL region fetch. Only a region this peer fully and contiguously holds
+  // (and has committed — in-flight frames are not history yet) ships;
+  // anything else is useless for a splice, so answer complete=0 instead.
+  if (fetch.from_sequence == 0 || fetch.through_sequence > committed ||
+      fetch.through_sequence < fetch.from_sequence) {
+    return EncodeRepair(reply);
+  }
+  durability::EditWal::Cursor cursor(durability_->wal_path(),
+                                     fetch.from_sequence, env);
+  durability::EditWalRecord record;
+  std::string bytes;
+  uint64_t expect = fetch.from_sequence;
+  for (;;) {
+    const StatusOr<durability::EditWal::Cursor::Poll> poll =
+        cursor.Next(&record);
+    // Corruption in OUR journal, rotation, or end-of-log before the region
+    // is covered all mean the same thing to the requester: incomplete.
+    if (!poll.ok() || *poll != durability::EditWal::Cursor::Poll::kRecord) {
+      break;
+    }
+    if (record.sequence != expect) break;  // prefix rotated away, or a gap
+    // Byte-identical: Encode is deterministic, so the spliced region equals
+    // the frames as they sit in this peer's journal.
+    bytes += durability::EditWal::Encode(record);
+    ++expect;
+    if (record.sequence >= fetch.through_sequence) break;
+  }
+  if (expect > fetch.through_sequence) {
+    reply.complete = 1;
+    reply.first_sequence = fetch.from_sequence;
+    reply.last_sequence = fetch.through_sequence;
+    reply.bytes = std::move(bytes);
+  }
+  return EncodeRepair(reply);
 }
 
 }  // namespace replication

@@ -128,6 +128,12 @@ class ReplicationServer {
   /// diverged), or a heartbeat. Every reply is stamped with our term.
   StatusOr<std::string> BuildReply(const PollRequest& poll);
 
+  /// Builds the kRepair reply to one kFetchRange: the byte-identical
+  /// journal region (WAL target) or the verified checkpoint image. An
+  /// incomplete or rotten local copy answers with complete=0 rather than
+  /// an error — the requester tries its next peer.
+  StatusOr<std::string> BuildRepairReply(const FetchRangeRequest& fetch);
+
   durability::DurabilityManager* durability_;
   Statistics* stats_;
   ReplicationServerOptions options_;

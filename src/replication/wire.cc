@@ -103,6 +103,26 @@ std::string EncodeReject(const RejectReply& reply) {
   return Frame(MessageType::kReject, payload);
 }
 
+std::string EncodeFetchRange(const FetchRangeRequest& request) {
+  std::string payload;
+  payload.push_back(static_cast<char>(request.target));
+  AppendU64(&payload, request.from_sequence);
+  AppendU64(&payload, request.through_sequence);
+  AppendU64(&payload, request.term);
+  return Frame(MessageType::kFetchRange, payload);
+}
+
+std::string EncodeRepair(const RepairReply& reply) {
+  std::string payload;
+  payload.push_back(static_cast<char>(reply.target));
+  payload.push_back(static_cast<char>(reply.complete));
+  AppendU64(&payload, reply.first_sequence);
+  AppendU64(&payload, reply.last_sequence);
+  AppendU64(&payload, reply.term);
+  AppendBytes(&payload, reply.bytes);
+  return Frame(MessageType::kRepair, payload);
+}
+
 StatusOr<Message> DecodeMessage(const std::string& frame) {
   std::string_view rest(frame);
   uint32_t size = 0, crc = 0;
@@ -179,6 +199,33 @@ StatusOr<Message> DecodeMessage(const std::string& frame) {
         return Status::Corruption("malformed reject message");
       }
       message.reject.reason = static_cast<RejectReason>(reason);
+      return message;
+    }
+    case MessageType::kFetchRange: {
+      message.type = MessageType::kFetchRange;
+      uint8_t target = 0;
+      if (!ConsumeScalar(&rest, &target) || target < 1 || target > 2 ||
+          !ConsumeScalar(&rest, &message.fetch.from_sequence) ||
+          !ConsumeScalar(&rest, &message.fetch.through_sequence) ||
+          !ConsumeScalar(&rest, &message.fetch.term) || !rest.empty()) {
+        return Status::Corruption("malformed fetch-range message");
+      }
+      message.fetch.target = static_cast<RepairTarget>(target);
+      return message;
+    }
+    case MessageType::kRepair: {
+      message.type = MessageType::kRepair;
+      uint8_t target = 0;
+      if (!ConsumeScalar(&rest, &target) || target < 1 || target > 2 ||
+          !ConsumeScalar(&rest, &message.repair.complete) ||
+          message.repair.complete > 1 ||
+          !ConsumeScalar(&rest, &message.repair.first_sequence) ||
+          !ConsumeScalar(&rest, &message.repair.last_sequence) ||
+          !ConsumeScalar(&rest, &message.repair.term) ||
+          !ConsumeBytes(&rest, &message.repair.bytes) || !rest.empty()) {
+        return Status::Corruption("malformed repair message");
+      }
+      message.repair.target = static_cast<RepairTarget>(target);
       return message;
     }
   }

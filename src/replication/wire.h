@@ -40,6 +40,14 @@ enum class MessageType : uint8_t {
   /// and a primary that receives a poll with a HIGHER term answers with it
   /// too — conceding that it has been deposed.
   kReject = 5,
+  /// Repair client -> peer: "ship me the byte-identical journal region
+  /// covering [from_sequence, through_sequence]" (or the checkpoint image).
+  /// Sent by a node whose scrubber found bit-rot, to any replication
+  /// endpoint holding a clean copy. Term-fenced like kPoll.
+  kFetchRange = 6,
+  /// Peer -> repair client: the requested bytes (or as much as the peer
+  /// still holds — `complete` says whether the region is whole).
+  kRepair = 7,
 };
 
 /// Why a kReject was sent.
@@ -105,6 +113,42 @@ struct RejectReply {
   RejectReason reason = RejectReason::kStaleTerm;
 };
 
+/// What a kFetchRange / kRepair pair is about.
+enum class RepairTarget : uint8_t {
+  kWal = 1,
+  kCheckpoint = 2,
+};
+
+struct FetchRangeRequest {
+  RepairTarget target = RepairTarget::kWal;
+  /// WAL: first and last sequence of the corrupt region to re-fetch.
+  /// Checkpoint: ignored (the whole image ships).
+  uint64_t from_sequence = 0;
+  uint64_t through_sequence = 0;
+  /// Requester's observed term, fenced exactly like a poll's.
+  uint64_t term = 0;
+};
+
+struct RepairReply {
+  RepairTarget target = RepairTarget::kWal;
+  /// 1 when `bytes` covers the full requested region ([from_sequence,
+  /// through_sequence] for a WAL fetch; a verified whole image for a
+  /// checkpoint fetch). 0 when the peer rotated the region away or holds
+  /// no clean copy — the requester falls back to another peer or to a
+  /// local re-checkpoint.
+  uint8_t complete = 0;
+  /// WAL: sequences actually covered by `bytes`. Checkpoint: last_sequence
+  /// is the image's coverage.
+  uint64_t first_sequence = 0;
+  uint64_t last_sequence = 0;
+  /// The serving peer's term; the requester drops stale-term replies.
+  uint64_t term = 0;
+  /// WAL: verbatim frame bytes as they sit in the peer's journal (same
+  /// CRCs — the splice restores a byte-identical region). Checkpoint: the
+  /// whole verified image.
+  std::string bytes;
+};
+
 /// One decoded protocol message; `type` says which member is live.
 struct Message {
   MessageType type = MessageType::kHeartbeat;
@@ -113,6 +157,8 @@ struct Message {
   SnapshotReply snapshot;
   HeartbeatReply heartbeat;
   RejectReply reject;
+  FetchRangeRequest fetch;
+  RepairReply repair;
 };
 
 std::string EncodePoll(const PollRequest& poll);
@@ -120,6 +166,8 @@ std::string EncodeBatches(const BatchesReply& reply);
 std::string EncodeSnapshot(const SnapshotReply& reply);
 std::string EncodeHeartbeat(const HeartbeatReply& reply);
 std::string EncodeReject(const RejectReply& reply);
+std::string EncodeFetchRange(const FetchRangeRequest& request);
+std::string EncodeRepair(const RepairReply& reply);
 
 /// Decodes one full frame (as produced by the Encode* functions) into a
 /// Message. Corruption on CRC mismatch or a malformed body.

@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "durability/checkpoint.h"
+#include "replication/repair.h"
 #include "util/logging.h"
 #include "util/net.h"
 
@@ -119,6 +121,22 @@ EditService::EditService(std::unique_ptr<OneEditSystem> system,
         durability_->Recover(system_.get(), applier);
     if (recovered.ok()) {
       recovery_report_ = *recovered;
+      if (recovery_report_.wal_corruption_detected) {
+        // Salvage recovery: the intact prefix was replayed but bytes from
+        // the corrupt frame on were abandoned — possibly acknowledged
+        // edits. Start degraded AS a WAL degradation: the auto-heal probe
+        // re-seals the salvaged state into a checkpoint (rotating the
+        // corrupt log away) and promotes back to healthy, while the
+        // scrubber's repair path may pull the lost region from a replica
+        // first.
+        wal_degraded_.store(true, std::memory_order_release);
+        TransitionHealth(
+            ServiceHealth::kReadOnlyDegraded,
+            "recovery salvaged the WAL around corruption at byte " +
+                std::to_string(recovery_report_.wal_corrupt_offset) + " (" +
+                std::to_string(recovery_report_.wal_lost_bytes) +
+                " bytes abandoned)");
+      }
     } else {
       // Serving an unrecovered state could silently drop acknowledged
       // edits; refuse writes instead and let reads answer what we have.
@@ -159,11 +177,30 @@ EditService::EditService(std::unique_ptr<OneEditSystem> system,
               ": this node was deposed before it last stopped");
     }
   }
+  if (durability_ != nullptr && durability_->tmp_files_swept() > 0) {
+    // Open's sweep of stale checkpoint temporaries (leaked by a crash
+    // between write and rename) happened before this service existed;
+    // surface it on this instance's counters.
+    system_->statistics().Add(Ticker::kTmpFilesSwept,
+                              durability_->tmp_files_swept());
+  }
   // First publication: the recovered (or empty) state becomes readable
   // before any concurrent actor exists — readers never see a null hub, and
   // a follower's first shipped batch republishes from here.
   PublishSnapshot(applied_sequence());
   StartReplication();
+  if (durability_ != nullptr && options_.scrub.enabled) {
+    scrubber_ = std::make_unique<durability::Scrubber>(
+        durability_, &system_->statistics(), options_.scrub,
+        [this](const durability::ScrubFinding& finding) {
+          const Status repaired = RepairCorruption(finding);
+          if (!repaired.ok()) {
+            ONEEDIT_LOG(Warning) << "replica-assisted repair failed: "
+                                 << repaired.ToString();
+          }
+        });
+    scrubber_->Start();
+  }
   writer_ = std::thread(&EditService::WriterLoop, this);
   StartMetricsServer();
 }
@@ -355,6 +392,9 @@ void EditService::Drain() {
 }
 
 void EditService::Stop() {
+  // The scrubber's corruption callback re-enters the service (exclusive
+  // lock, peer dials); retire it before anything it touches shuts down.
+  if (scrubber_ != nullptr) scrubber_->Stop();
   // The scrape handler reads through `this`; take the listener down before
   // anything it samples starts shutting down.
   if (metrics_server_ != nullptr) metrics_server_->Stop();
@@ -368,6 +408,7 @@ void EditService::Stop() {
     std::lock_guard<std::mutex> lock(repl_mutex_);
     if (follower_ != nullptr) follower_->Stop();
     if (repl_server_ != nullptr) repl_server_->Stop();
+    if (repair_server_ != nullptr) repair_server_->Stop();
   }
   // Wake GetSnapshot waiters blocked on a min_sequence that will now never
   // arrive; already-pinned handles keep serving.
@@ -452,7 +493,8 @@ Status EditService::LogBatchWithRetry(
       durability_->LogBatch(requests, system_->config().method, stats);
   std::chrono::milliseconds backoff = options_.self_heal.wal_retry_backoff;
   for (size_t attempt = 0;
-       !logged.ok() && attempt < options_.self_heal.wal_retry_limit;
+       !logged.ok() && !logged.IsResourceExhausted() &&
+       attempt < options_.self_heal.wal_retry_limit;
        ++attempt) {
     stats->Add(Ticker::kWalRetries);
     std::this_thread::sleep_for(backoff);
@@ -492,6 +534,231 @@ Status EditService::CheckpointNow() {
   return WithExclusive([this](OneEditSystem& system) {
     return durability_->Checkpoint(system, &system.statistics());
   });
+}
+
+Status EditService::RepairCorruption(
+    const durability::ScrubFinding& finding) {
+  if (durability_ == nullptr) {
+    return Status::FailedPrecondition(
+        "corruption repair requires a durability manager");
+  }
+  std::vector<uint16_t> peers;
+  {
+    std::lock_guard<std::mutex> lock(repl_mutex_);
+    peers = options_.replication.repair_peer_ports;
+  }
+  if (peers.empty() && role() == ReplicationRole::kFollower &&
+      options_.replication.primary_port != 0) {
+    // A follower's natural repair peer is its primary: their journals are
+    // byte-identical, and the primary's main endpoint serves fetches.
+    peers.push_back(options_.replication.primary_port);
+  }
+  const uint64_t term = durability_->primary_term();
+  return WithExclusive([&](OneEditSystem& system) -> Status {
+    const Status repaired =
+        finding.target == durability::ScrubFinding::Target::kWal
+            ? RepairWal(finding, peers, term)
+            : RepairCheckpoint(peers, term);
+    if (repaired.ok()) return repaired;
+    // Fallback: the LIVE state is intact — bit-rot hit only the on-disk
+    // copy of history it already contains — so sealing it into a fresh
+    // checkpoint restores durability end-to-end (and rotates a rotten WAL
+    // away / replaces a rotten checkpoint) with zero acknowledged loss,
+    // just without the byte-identical journal a peer fetch preserves.
+    ONEEDIT_LOG(Warning) << "peer-assisted repair unavailable ("
+                         << repaired.ToString()
+                         << "); sealing live state into a fresh checkpoint";
+    ONEEDIT_RETURN_IF_ERROR(
+        durability_->Checkpoint(system, &system.statistics()));
+    system.statistics().Add(Ticker::kRepairsCompleted);
+    return Status::OK();
+  });
+}
+
+Status EditService::RepairWal(const durability::ScrubFinding& finding,
+                              const std::vector<uint16_t>& peers,
+                              uint64_t term) {
+  durability::Env* env = durability_->options().env != nullptr
+                             ? durability_->options().env
+                             : durability::Env::Default();
+  ONEEDIT_LOG(Warning) << "WAL repair triggered: " << finding.detail;
+  // Re-derive the splice point under the exclusive lock rather than trust
+  // the finding's offsets: between detection and this lock the writer may
+  // have checkpointed (rotating the rot away entirely) or appended more
+  // committed frames past it. The finding is a trigger, not a coordinate.
+  durability::EditWal::Cursor cursor(durability_->wal_path(),
+                                     /*start_sequence=*/0, env);
+  durability::EditWalRecord record;
+  uint64_t last_intact = 0;
+  uint64_t corrupt_offset = 0;
+  bool corrupt_found = false;
+  for (;;) {
+    const StatusOr<durability::EditWal::Cursor::Poll> poll =
+        cursor.Next(&record);
+    if (!poll.ok()) {
+      if (poll.status().code() != StatusCode::kCorruption) {
+        return poll.status();  // transient read error, not rot: try later
+      }
+      corrupt_found = true;
+      corrupt_offset = cursor.offset();
+      break;
+    }
+    if (*poll == durability::EditWal::Cursor::Poll::kRecord) {
+      last_intact = record.sequence;
+      continue;
+    }
+    if (*poll == durability::EditWal::Cursor::Poll::kRotated) {
+      // Rotation under the exclusive lock is impossible; a pre-lock one
+      // means a fresh checkpoint already covers the commit point.
+      return Status::OK();
+    }
+    break;  // kEndOfLog
+  }
+  // What the on-disk pair (checkpoint + intact WAL prefix) still covers.
+  uint64_t covered = last_intact;
+  const StatusOr<durability::CheckpointState> peeked =
+      durability::PeekCheckpointState(durability_->checkpoint_path(), env);
+  if (peeked.ok() && peeked->last_sequence > covered) {
+    covered = peeked->last_sequence;
+  }
+  const uint64_t committed = durability_->committed_sequence();
+  if (!corrupt_found) {
+    if (covered >= committed) return Status::OK();  // healed meanwhile
+    // Clean walk that ends short of the commit point: the final committed
+    // frame(s) rotted in place (frame-wise indistinguishable from a torn
+    // tail). Splice from the end of the intact data.
+    corrupt_offset = cursor.offset();
+  }
+  const uint64_t from = covered + 1;
+  if (committed < from) return Status::OK();
+
+  replication::FetchRangeRequest request;
+  request.target = replication::RepairTarget::kWal;
+  request.from_sequence = from;
+  request.through_sequence = committed;
+  request.term = term;
+  for (uint16_t port : peers) {
+    const StatusOr<replication::RepairReply> reply =
+        replication::FetchFromPeer(port, request,
+                                   options_.replication.net);
+    if (!reply.ok()) {
+      ONEEDIT_LOG(Info) << "repair peer 127.0.0.1:" << port
+                        << " unavailable: " << reply.status().ToString();
+      continue;
+    }
+    if (reply->complete == 0) continue;  // peer cannot serve the region
+    // Validate before splicing: the bytes must decode contiguously from
+    // `from` through `committed` — the same invariant the peer's
+    // BuildRepairReply promises, re-checked here because the network is
+    // not part of the trust boundary.
+    std::string_view rest(reply->bytes);
+    uint64_t expect = from;
+    bool valid = true;
+    while (!rest.empty()) {
+      durability::EditWalRecord fetched;
+      size_t frame_bytes = 0;
+      if (durability::EditWal::DecodeFrame(rest, &fetched, &frame_bytes) !=
+              durability::EditWal::FrameResult::kRecord ||
+          fetched.sequence != expect) {
+        valid = false;
+        break;
+      }
+      ++expect;
+      rest.remove_prefix(frame_bytes);
+    }
+    if (!valid || expect <= committed) {
+      ONEEDIT_LOG(Warning) << "repair peer 127.0.0.1:" << port
+                           << " shipped an invalid region; trying the next";
+      continue;
+    }
+    ONEEDIT_RETURN_IF_ERROR(
+        durability_->RepairWalRegion(corrupt_offset, reply->bytes));
+    system_->statistics().Add(Ticker::kRepairsCompleted);
+    ONEEDIT_LOG(Warning) << "WAL repaired from peer 127.0.0.1:" << port
+                         << ": sequences " << from << ".." << committed
+                         << " respliced at byte offset " << corrupt_offset;
+    return Status::OK();
+  }
+  return Status::Unavailable(
+      "no repair peer could serve WAL sequences " + std::to_string(from) +
+      ".." + std::to_string(committed));
+}
+
+Status EditService::RepairCheckpoint(const std::vector<uint16_t>& peers,
+                                     uint64_t term) {
+  durability::Env* env = durability_->options().env != nullptr
+                             ? durability_->options().env
+                             : durability::Env::Default();
+  if (!env->FileExists(durability_->checkpoint_path())) {
+    return Status::OK();  // no checkpoint: the WAL alone carries history
+  }
+  // Re-verify under the lock: a transient read error, a concurrent
+  // checkpoint publish, or an earlier repair may have cleared the finding.
+  if (durability::VerifyCheckpointIntegrity(durability_->checkpoint_path(),
+                                            env)
+          .ok()) {
+    return Status::OK();
+  }
+  // A replacement image must chain with the local WAL: recovery loads the
+  // image at sequence Q, then replays WAL records with sequence > Q — so
+  // the WAL's first record must be at most Q + 1, and nothing this node
+  // acknowledged may lie beyond what image + WAL jointly cover.
+  uint64_t first_wal = 0;
+  {
+    durability::EditWal::Cursor cursor(durability_->wal_path(),
+                                       /*start_sequence=*/0, env);
+    durability::EditWalRecord record;
+    const StatusOr<durability::EditWal::Cursor::Poll> poll =
+        cursor.Next(&record);
+    if (poll.ok() && *poll == durability::EditWal::Cursor::Poll::kRecord) {
+      first_wal = record.sequence;
+    }
+  }
+  const uint64_t committed = durability_->committed_sequence();
+
+  replication::FetchRangeRequest request;
+  request.target = replication::RepairTarget::kCheckpoint;
+  request.term = term;
+  for (uint16_t port : peers) {
+    const StatusOr<replication::RepairReply> reply =
+        replication::FetchFromPeer(port, request,
+                                   options_.replication.net);
+    if (!reply.ok()) {
+      ONEEDIT_LOG(Info) << "repair peer 127.0.0.1:" << port
+                        << " unavailable: " << reply.status().ToString();
+      continue;
+    }
+    if (reply->complete == 0) continue;
+    // Verify the image locally before it touches disk.
+    const StatusOr<durability::CheckpointState> state =
+        durability::VerifyCheckpointImage(reply->bytes, "peer checkpoint");
+    if (!state.ok()) {
+      ONEEDIT_LOG(Warning) << "repair peer 127.0.0.1:" << port
+                           << " shipped a corrupt checkpoint image; "
+                              "trying the next";
+      continue;
+    }
+    const uint64_t q = state->last_sequence;
+    const bool chains = first_wal != 0
+                            ? (q + 1 >= first_wal && q <= committed)
+                            : (q == committed);
+    if (!chains) {
+      ONEEDIT_LOG(Info) << "repair peer 127.0.0.1:" << port
+                        << " checkpoint at sequence " << q
+                        << " does not chain with the local WAL (first="
+                        << first_wal << ", committed=" << committed << ")";
+      continue;
+    }
+    ONEEDIT_RETURN_IF_ERROR(
+        durability_->ReplaceCheckpointBytes(reply->bytes));
+    system_->statistics().Add(Ticker::kRepairsCompleted);
+    ONEEDIT_LOG(Warning) << "checkpoint repaired from peer 127.0.0.1:"
+                         << port << ": verified image at sequence " << q
+                         << " installed";
+    return Status::OK();
+  }
+  return Status::Unavailable(
+      "no repair peer could serve a chaining checkpoint image");
 }
 
 void EditService::StartReplication() {
@@ -547,6 +814,29 @@ void EditService::StartReplication() {
       };
       follower_ = replication::Follower::Start(
           follower_options, std::move(hooks), &system_->statistics());
+      if (options_.replication.enable_repair_listener &&
+          repair_server_ == nullptr) {
+        // A second shipping endpoint so the PRIMARY can fetch clean journal
+        // bytes back from this replica when its own copy rots. It serves
+        // kFetchRange from this follower's (byte-identical) WAL and
+        // checkpoint; fetch handling never deposes, so trailing the
+        // requester's term is harmless.
+        replication::ReplicationServerOptions repair_options;
+        repair_options.port = options_.replication.repair_listen_port;
+        repair_options.net = options_.replication.net;
+        StatusOr<std::unique_ptr<replication::ReplicationServer>> server =
+            replication::ReplicationServer::Start(
+                durability_, &system_->statistics(), repair_options);
+        if (!server.ok()) {
+          // Repair is an extra safety net; tailing works without it.
+          ONEEDIT_LOG(Warning) << "repair listener failed to start: "
+                               << server.status().ToString();
+          return;
+        }
+        repair_server_ = std::move(*server);
+        ONEEDIT_LOG(Info) << "repair listener on 127.0.0.1:"
+                          << repair_server_->port();
+      }
       return;
     }
   }
@@ -671,6 +961,12 @@ Status EditService::Promote() {
   {
     std::lock_guard<std::mutex> lock(repl_mutex_);
     if (follower_ != nullptr) follower_->Stop();
+    if (repair_server_ != nullptr) {
+      // The promoted primary's main listener serves fetches; the
+      // follower-role repair endpoint is redundant from here.
+      repair_server_->Stop();
+      repair_server_.reset();
+    }
   }
   // 2. Win a new term. Everything this primary journals from here is
   //    stamped with it; the old primary's unreplicated suffix (if any)
@@ -726,6 +1022,10 @@ Status EditService::RejoinAsFollower(uint16_t primary_port) {
     if (repl_server_ != nullptr) {
       repl_server_->Stop();
       repl_server_.reset();
+    }
+    if (repair_server_ != nullptr) {
+      repair_server_->Stop();
+      repair_server_.reset();
     }
   }
   options_.replication.primary_port = primary_port;
@@ -821,6 +1121,16 @@ const replication::ReplicationServer* EditService::replication_server()
 const replication::Follower* EditService::follower() const {
   std::lock_guard<std::mutex> lock(repl_mutex_);
   return follower_.get();
+}
+
+const replication::ReplicationServer* EditService::repair_server() const {
+  std::lock_guard<std::mutex> lock(repl_mutex_);
+  return repair_server_.get();
+}
+
+void EditService::SetRepairPeers(const std::vector<uint16_t>& ports) {
+  std::lock_guard<std::mutex> lock(repl_mutex_);
+  options_.replication.repair_peer_ports = ports;
 }
 
 size_t EditService::followers_connected() const {
@@ -1008,11 +1318,16 @@ void EditService::WriterLoop() {
         const Status logged = LogBatchWithRetry(requests, &stats);
         if (!logged.ok()) {
           wal_degraded_.store(true, std::memory_order_release);
+          // ENOSPC skips the retry ladder entirely: ms-scale backoff cannot
+          // free a full disk, so the message must not claim retries ran.
           TransitionHealth(ServiceHealth::kReadOnlyDegraded,
-                           "edit WAL commit failed after " +
-                               std::to_string(options_.self_heal
-                                                  .wal_retry_limit) +
-                               " retries: " + logged.ToString());
+                           logged.IsResourceExhausted()
+                               ? "edit WAL commit shed without retry (disk "
+                                 "full): " + logged.ToString()
+                               : "edit WAL commit failed after " +
+                                     std::to_string(options_.self_heal
+                                                        .wal_retry_limit) +
+                                     " retries: " + logged.ToString());
           degraded = true;
         } else {
           // LogBatch assigned this batch the sequences
@@ -1257,6 +1572,25 @@ void EditService::ExportMetrics(obs::MetricsRegistry* registry) {
         [durability] {
           return static_cast<double>(durability->options().checkpoint_interval);
         });
+    registry->AddGauge(
+        "disk_free_bytes",
+        "Free bytes on the filesystem holding the durability dir "
+        "(-1 = unmeasurable)",
+        [durability] {
+          durability::Env* env = durability->options().env != nullptr
+                                     ? durability->options().env
+                                     : durability::Env::Default();
+          const StatusOr<uint64_t> free =
+              env->FreeDiskSpace(durability->options().dir);
+          return free.ok() ? static_cast<double>(*free) : -1.0;
+        });
+    registry->AddGauge(
+        "disk_min_free_bytes",
+        "Configured free-space budget below which writes shed "
+        "(0 = preflight disabled)",
+        [durability] {
+          return static_cast<double>(durability->options().min_free_bytes);
+        });
   }
 
   // Replication surface (docs/replication.md): role and lag are exported
@@ -1431,6 +1765,16 @@ obs::MetricsServer::Response EditService::ServeHttp(const std::string& path) {
             " lag_batches=" + std::to_string(replication_lag_batches()) +
             " applied=" + std::to_string(applied_sequence()) + "\n";
         break;
+    }
+    if (scrubber_ != nullptr) {
+      response.body +=
+          "scrub: passes=" + std::to_string(scrubber_->passes()) +
+          " corruptions_found=" +
+          std::to_string(scrubber_->corruptions_found()) + "\n";
+      const std::string finding = scrubber_->last_finding();
+      if (!finding.empty()) {
+        response.body += "scrub_last_finding: " + finding + "\n";
+      }
     }
     return response;
   }

@@ -15,6 +15,7 @@
 
 #include "core/oneedit.h"
 #include "durability/manager.h"
+#include "durability/scrubber.h"
 #include "obs/metrics_registry.h"
 #include "obs/metrics_server.h"
 #include "obs/trace.h"
@@ -107,6 +108,17 @@ struct ReplicationOptions {
   /// tailer and the promotion fencer; Net::Default() when null. Chaos
   /// tests interpose a FaultInjectingNet here.
   net::Net* net = nullptr;
+  /// Follower: also run a repair listener — a second shipping endpoint on
+  /// `repair_listen_port` that answers kFetchRange, so a primary whose
+  /// journal rots can pull the clean bytes back from a replica. (A primary
+  /// needs no extra listener: its main endpoint already serves fetches.)
+  bool enable_repair_listener = false;
+  uint16_t repair_listen_port = 0;
+  /// Ports this node's replica-assisted repair dials when the scrubber (or
+  /// salvage recovery) finds corruption: follower repair listeners and/or
+  /// the primary's main port. A follower with an empty list defaults to
+  /// its primary_port.
+  std::vector<uint16_t> repair_peer_ports;
 };
 
 /// One health-state change, recorded (and logged) exactly once per
@@ -171,6 +183,11 @@ struct EditServiceOptions {
   uint16_t metrics_port = 0;
   /// Replication role and wiring (docs/replication.md).
   ReplicationOptions replication;
+  /// Background integrity scrubbing (docs/durability.md): with a durability
+  /// manager attached and scrub.enabled set, a low-priority thread
+  /// periodically re-verifies WAL frame and checkpoint section CRCs and
+  /// hands each finding to replica-assisted repair.
+  durability::ScrubOptions scrub;
   /// How the deprecated Ask/AskAtLeast shims read (docs/serving.md).
   /// GetSnapshot ignores this and is always lock-free.
   ReadPath read_path = ReadPath::kSnapshot;
@@ -328,6 +345,23 @@ class EditService {
   /// batch is mid-application). FailedPrecondition without a manager.
   Status CheckpointNow();
 
+  /// Replica-assisted corruption repair (docs/durability.md): takes the
+  /// exclusive lock, re-verifies that `finding` still describes the on-disk
+  /// journal (a checkpoint rotation may have already retired the rot), and
+  /// restores it — fetching the byte-identical region (WAL) or a verified
+  /// image (checkpoint) over the replication wire from each configured
+  /// peer in turn, falling back to sealing the intact live state into a
+  /// fresh local checkpoint when no peer can serve it. Either way no
+  /// acknowledged edit is lost: the live state already contains every
+  /// committed edit — only its on-disk durability was at risk. Normally
+  /// invoked by the scrubber's corruption callback; exposed so tests and
+  /// operators can drive it directly. Ticks kRepairsCompleted on success.
+  Status RepairCorruption(const durability::ScrubFinding& finding);
+
+  /// The background scrubber (null unless options.scrub.enabled and a
+  /// durability manager is attached).
+  const durability::Scrubber* scrubber() const { return scrubber_.get(); }
+
   // --- Replication surface ---------------------------------------------------
 
   ReplicationRole role() const {
@@ -388,6 +422,17 @@ class EditService {
   /// The follower-side tailer (null unless role is follower; survives
   /// Promote in its stopped state).
   const replication::Follower* follower() const;
+
+  /// The follower-side repair listener (null unless
+  /// options.replication.enable_repair_listener and the bind succeeded).
+  /// Useful for reading back an ephemeral repair port.
+  const replication::ReplicationServer* repair_server() const;
+
+  /// Re-points replica-assisted repair at `ports` (e.g. after peers joined
+  /// with ephemeral repair ports, or after a topology change). Call while
+  /// no repair is in flight — peers are sampled at the start of each
+  /// RepairCorruption.
+  void SetRepairPeers(const std::vector<uint16_t>& ports);
 
   /// Replication scrape helpers (thread-safe; 0 / empty-state when the
   /// corresponding role surface is absent).
@@ -492,6 +537,18 @@ class EditService {
   /// Joins the fencer thread if one is running. Idempotent.
   void StopFencer();
 
+  /// RepairCorruption's WAL half (caller holds the exclusive lock): checks
+  /// the finding is still live, fetches [last_intact+1 .. committed] from
+  /// each peer, validates the frames decode contiguously, and splices them
+  /// in via DurabilityManager::RepairWalRegion.
+  Status RepairWal(const durability::ScrubFinding& finding,
+                   const std::vector<uint16_t>& peers, uint64_t term);
+
+  /// RepairCorruption's checkpoint half (caller holds the exclusive lock):
+  /// re-verifies the local image, then fetches and verifies a peer's image
+  /// and accepts it only if its sequence still chains with the local WAL.
+  Status RepairCheckpoint(const std::vector<uint16_t>& peers, uint64_t term);
+
   /// Follower hook: journals one shipped batch's raw frames (BEFORE apply,
   /// like the primary's writer), applies its edit records through the same
   /// validated path recovery uses, and advances applied_sequence().
@@ -567,6 +624,14 @@ class EditService {
   mutable std::mutex repl_mutex_;
   std::unique_ptr<replication::ReplicationServer> repl_server_;
   std::unique_ptr<replication::Follower> follower_;
+  /// Follower-side repair listener (see ReplicationOptions
+  /// .enable_repair_listener); guarded by repl_mutex_ like the other two.
+  std::unique_ptr<replication::ReplicationServer> repair_server_;
+
+  /// Background integrity scrubber (null unless enabled); created after
+  /// recovery, stopped first in Stop() — its corruption callback re-enters
+  /// the service via RepairCorruption.
+  std::unique_ptr<durability::Scrubber> scrubber_;
 
   /// Promotion fencer (see FencerLoop). fencer_mutex_ guards the thread
   /// handle; fencer_stop_ is the loop's exit flag, with its own wait

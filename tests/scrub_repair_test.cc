@@ -1,0 +1,981 @@
+// Tests for the storage-fault-tolerance subsystem (docs/durability.md):
+// the Env storage primitives (directory fsync, free-space, listing,
+// truncation), the injected disk budget and the ENOSPC degradation ladder,
+// stale *.tmp sweeping, salvage recovery around mid-file WAL corruption,
+// the background integrity scrubber — including a bit-flip-at-every-byte-
+// offset property test — and replica-assisted repair of a rotten WAL
+// region or checkpoint image over the replication wire.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "durability/checkpoint.h"
+#include "durability/edit_wal.h"
+#include "durability/env.h"
+#include "durability/fault_env.h"
+#include "durability/manager.h"
+#include "durability/scrubber.h"
+#include "replication/repair.h"
+#include "replication/wire.h"
+#include "serving/edit_service.h"
+
+namespace oneedit {
+namespace {
+
+using durability::DurabilityManager;
+using durability::DurabilityOptions;
+using durability::EditWal;
+using durability::EditWalRecord;
+using durability::Env;
+using durability::FaultInjectingEnv;
+using durability::ScrubFinding;
+using durability::ScrubOptions;
+using durability::Scrubber;
+using replication::DecodeMessage;
+using replication::FetchRangeRequest;
+using replication::MessageType;
+using replication::RepairReply;
+using replication::RepairTarget;
+using serving::EditService;
+using serving::EditServiceOptions;
+using serving::ReplicationRole;
+using serving::ServiceHealth;
+using serving::Snapshot;
+
+std::string TempDirFor(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::remove((dir + "/edits.wal").c_str());
+  std::remove((dir + "/checkpoint.oedc").c_str());
+  std::remove((dir + "/checkpoint.oedc.tmp").c_str());
+  return dir;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+bool WaitFor(const std::function<bool()>& done,
+             std::chrono::milliseconds deadline =
+                 std::chrono::milliseconds(15000)) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return done();
+}
+
+DatasetOptions TinyOptions() {
+  DatasetOptions options;
+  options.num_cases = 12;
+  return options;
+}
+
+OneEditConfig GraceConfig() {
+  OneEditConfig config;
+  config.method = EditingMethodKind::kGrace;
+  config.interpreter.extraction_error_rate = 0.0;
+  return config;
+}
+
+/// A pristine pre-edit system (no service): recovery and manager-level
+/// tests drive the DurabilityManager against it directly.
+struct World {
+  World()
+      : dataset(BuildAmericanPoliticians(TinyOptions())),
+        model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                              dataset.vocab)) {
+    model->Pretrain(dataset.pretrain_facts);
+    auto created =
+        OneEditSystem::Create(&dataset.kg, model.get(), GraceConfig());
+    EXPECT_TRUE(created.ok());
+    system = std::move(created).value();
+  }
+
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+  std::unique_ptr<OneEditSystem> system;
+};
+
+/// One service node, optionally replicated; `tweak` adjusts options (heal
+/// cadence, scrub, repair listener) before Create.
+struct Node {
+  Node(const std::string& dir_name, DurabilityManager* durability,
+       const std::function<void(EditServiceOptions*)>& tweak = {})
+      : dataset(BuildAmericanPoliticians(TinyOptions())),
+        model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                              dataset.vocab)) {
+    (void)dir_name;
+    model->Pretrain(dataset.pretrain_facts);
+    EditServiceOptions options;
+    options.durability = durability;
+    options.replication.poll_interval = std::chrono::milliseconds(5);
+    if (tweak) tweak(&options);
+    auto created =
+        EditService::Create(&dataset.kg, model.get(), GraceConfig(), options);
+    EXPECT_TRUE(created.ok());
+    service = std::move(created).value();
+  }
+
+  uint16_t replication_port() const {
+    const auto* server = service->replication_server();
+    return server == nullptr ? 0 : server->port();
+  }
+
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+  std::unique_ptr<EditService> service;
+};
+
+// ------------------------------------------------- Env storage primitives ----
+
+TEST(StorageEnvTest, SyncDirListDirTruncateAndFreeSpace) {
+  const std::string dir = TempDirFor("oneedit_storage_env");
+  Env* env = Env::Default();
+  ASSERT_TRUE(env->CreateDir(dir).ok());
+  std::remove((dir + "/a.dat").c_str());
+  std::remove((dir + "/b.tmp").c_str());
+  WriteFile(dir + "/a.dat", "hello");
+  WriteFile(dir + "/b.tmp", "x");
+
+  std::vector<std::string> entries;
+  ASSERT_TRUE(env->ListDir(dir, &entries).ok());
+  EXPECT_NE(std::find(entries.begin(), entries.end(), "a.dat"),
+            entries.end());
+  EXPECT_NE(std::find(entries.begin(), entries.end(), "b.tmp"),
+            entries.end());
+  for (const std::string& entry : entries) {
+    EXPECT_NE(entry, ".");
+    EXPECT_NE(entry, "..");
+  }
+  EXPECT_FALSE(env->ListDir(dir + "/no_such_dir", &entries).ok());
+
+  EXPECT_TRUE(env->SyncDir(dir).ok());
+  EXPECT_FALSE(env->SyncDir(dir + "/no_such_dir").ok());
+
+  const auto free_bytes = env->FreeDiskSpace(dir);
+  ASSERT_TRUE(free_bytes.ok()) << free_bytes.status().ToString();
+  EXPECT_GT(*free_bytes, 0u);
+
+  ASSERT_TRUE(env->TruncateFile(dir + "/a.dat", 2).ok());
+  const auto size = env->FileSize(dir + "/a.dat");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 2u);
+  EXPECT_EQ(ReadFile(dir + "/a.dat"), "he");
+
+  std::remove((dir + "/a.dat").c_str());
+  std::remove((dir + "/b.tmp").c_str());
+}
+
+// ----------------------------------------------------- injected disk budget ----
+
+TEST(DiskBudgetTest, BudgetExhaustsThenFreesWithoutLatching) {
+  const std::string dir = TempDirFor("oneedit_disk_budget");
+  FaultInjectingEnv fault(Env::Default());
+  ASSERT_TRUE(fault.CreateDir(dir).ok());
+  const std::string path = dir + "/budget.dat";
+  std::remove(path.c_str());
+
+  fault.SetDiskBudget(8);
+  auto file = fault.NewWritableFile(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("12345").ok());
+  EXPECT_EQ(fault.disk_budget(), 3);
+
+  // The injected budget doubles as the reported free space.
+  const auto reported = fault.FreeDiskSpace(dir);
+  ASSERT_TRUE(reported.ok());
+  EXPECT_EQ(*reported, 3u);
+
+  // The next append cannot be covered: a typed, non-latching full disk.
+  const Status full = (*file)->Append("6789");
+  EXPECT_TRUE(full.IsResourceExhausted()) << full.ToString();
+
+  // Freed space makes writes succeed again — no crash latch.
+  fault.AddDiskBudget(64);
+  EXPECT_TRUE((*file)->Append("6789").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  fault.SetDiskBudget(-1);
+  const auto real_free = fault.FreeDiskSpace(dir);
+  ASSERT_TRUE(real_free.ok());
+  EXPECT_GT(*real_free, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(DiskBudgetTest, MinFreeBytesPreflightShedsWritesUpFront) {
+  const std::string dir = TempDirFor("oneedit_min_free");
+  DurabilityOptions opts;
+  opts.dir = dir;
+  // A budget no real filesystem can satisfy: every journal write must be
+  // refused by the preflight, before any byte reaches the WAL.
+  opts.min_free_bytes = ~0ull / 2;
+  auto mgr = DurabilityManager::Open(opts);
+  ASSERT_TRUE(mgr.ok());
+
+  World live;
+  const EditCase& c = live.dataset.cases[0];
+  const Status shed = (*mgr)->LogBatch({EditRequest::Edit(c.edit, "alice")},
+                                       EditingMethodKind::kGrace,
+                                       &live.system->statistics());
+  EXPECT_TRUE(shed.IsResourceExhausted()) << shed.ToString();
+  EXPECT_EQ((*mgr)->committed_sequence(), 0u);
+  EXPECT_GE(live.system->statistics().Get(Ticker::kEnospcRejects), 1u);
+  const auto wal_size = Env::Default()->FileSize((*mgr)->wal_path());
+  ASSERT_TRUE(wal_size.ok());
+  EXPECT_EQ(*wal_size, 0u);
+}
+
+TEST(DiskFullServiceTest, EnospcDegradesServesReadsHealsAndLosesNothing) {
+  const std::string dir = TempDirFor("oneedit_svc_enospc");
+  FaultInjectingEnv fault(Env::Default());
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.env = &fault;
+  auto mgr = DurabilityManager::Open(opts);
+  ASSERT_TRUE(mgr.ok());
+
+  Node node("oneedit_svc_enospc", mgr->get(), [](EditServiceOptions* o) {
+    o->self_heal.heal_probe_interval = std::chrono::milliseconds(10);
+  });
+  ASSERT_EQ(node.service->health(), ServiceHealth::kHealthy);
+  const EditCase& first = node.dataset.cases[0];
+  const EditCase& second = node.dataset.cases[1];
+  const EditCase& third = node.dataset.cases[2];
+
+  const auto acked =
+      node.service->SubmitAndWait(EditRequest::Edit(first.edit, "alice"));
+  ASSERT_TRUE(acked.ok());
+  ASSERT_TRUE(acked->applied());
+
+  // The disk fills: the write is shed as a typed rejection, never an ack.
+  fault.SetDiskBudget(0);
+  const auto shed =
+      node.service->SubmitAndWait(EditRequest::Edit(second.edit, "bob"));
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed->kind, EditResult::Kind::kRejected);
+  // The heal probe may be mid-flight (kHalfOpenProbing); what matters is
+  // that the service is out of full service until the disk frees.
+  EXPECT_NE(node.service->health(), ServiceHealth::kHealthy);
+  EXPECT_GE(node.service->statistics().Get(Ticker::kEnospcRejects), 1u);
+
+  // Reads keep serving the pre-shed state while degraded.
+  const Snapshot degraded_view = *node.service->GetSnapshot();
+  EXPECT_EQ(degraded_view.Ask(first.edit.subject, first.edit.relation)->entity,
+            first.edit.object);
+
+  // Space frees: the heal probe's checkpoint succeeds and the service
+  // climbs back to healthy on its own.
+  fault.SetDiskBudget(-1);
+  ASSERT_TRUE(WaitFor([&] {
+    return node.service->health() == ServiceHealth::kHealthy;
+  })) << "service stuck degraded after the disk freed";
+
+  const auto after =
+      node.service->SubmitAndWait(EditRequest::Edit(third.edit, "carol"));
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->applied());
+  node.service.reset();
+
+  // Zero acknowledged loss: a pristine process recovers both acked edits.
+  DurabilityOptions ropts;
+  ropts.dir = dir;
+  auto rmgr = DurabilityManager::Open(ropts);
+  ASSERT_TRUE(rmgr.ok());
+  World rebooted;
+  const auto report = (*rmgr)->Recover(rebooted.system.get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->wal_corruption_detected);
+  EXPECT_EQ(
+      rebooted.system->Ask(first.edit.subject, first.edit.relation).entity,
+      first.edit.object);
+  EXPECT_EQ(
+      rebooted.system->Ask(third.edit.subject, third.edit.relation).entity,
+      third.edit.object);
+}
+
+// ------------------------------------------------------- stale tmp sweeping ----
+
+TEST(TmpSweepTest, StaleTmpFilesSweptAtOpen) {
+  const std::string dir = TempDirFor("oneedit_tmp_sweep");
+  Env* env = Env::Default();
+  ASSERT_TRUE(env->CreateDir(dir).ok());
+  std::remove((dir + "/old.tmp").c_str());
+  std::remove((dir + "/keep.dat").c_str());
+  WriteFile(dir + "/checkpoint.oedc.tmp", "half-written checkpoint");
+  WriteFile(dir + "/old.tmp", "leaked");
+  WriteFile(dir + "/keep.dat", "not a tmp");
+
+  DurabilityOptions opts;
+  opts.dir = dir;
+  auto mgr = DurabilityManager::Open(opts);
+  ASSERT_TRUE(mgr.ok());
+  EXPECT_EQ((*mgr)->tmp_files_swept(), 2u);
+  EXPECT_FALSE(env->FileExists(dir + "/checkpoint.oedc.tmp"));
+  EXPECT_FALSE(env->FileExists(dir + "/old.tmp"));
+  EXPECT_TRUE(env->FileExists(dir + "/keep.dat"));
+
+  // The serving layer surfaces the sweep as a ticker.
+  Node node("oneedit_tmp_sweep", mgr->get());
+  EXPECT_EQ(node.service->statistics().Get(Ticker::kTmpFilesSwept), 2u);
+  std::remove((dir + "/keep.dat").c_str());
+}
+
+// ------------------------------------------------------- salvage recovery ----
+
+TEST(SalvageRecoveryTest, MidFileCorruptionSalvagesPrefixAndReportsLoss) {
+  const std::string dir = TempDirFor("oneedit_salvage");
+  uint64_t frame1_end = 0;
+  uint64_t frame2_end = 0;
+  {
+    DurabilityOptions opts;
+    opts.dir = dir;
+    opts.checkpoint_interval = 0;  // keep everything in the journal
+    auto mgr = DurabilityManager::Open(opts);
+    ASSERT_TRUE(mgr.ok());
+    World live;
+    for (size_t i = 0; i < 3; ++i) {
+      const EditCase& c = live.dataset.cases[i];
+      ASSERT_TRUE((*mgr)
+                      ->LogBatch({EditRequest::Edit(c.edit, "alice")},
+                                 EditingMethodKind::kGrace,
+                                 &live.system->statistics())
+                      .ok());
+      ASSERT_TRUE(live.system->EditTriple(c.edit, "alice").ok());
+      const auto size = Env::Default()->FileSize((*mgr)->wal_path());
+      ASSERT_TRUE(size.ok());
+      if (i == 0) frame1_end = *size;
+      if (i == 1) frame2_end = *size;
+    }
+  }
+
+  // Bit-rot lands mid-file, inside record 2's frame: recovery must salvage
+  // record 1, abandon the rest, and say so.
+  const std::string wal_path = dir + "/edits.wal";
+  std::string bytes = ReadFile(wal_path);
+  ASSERT_GT(frame2_end, frame1_end);
+  const uint64_t flip_at = frame1_end + (frame2_end - frame1_end) / 2;
+  bytes[flip_at] ^= 0x01;
+  WriteFile(wal_path, bytes);
+
+  DurabilityOptions ropts;
+  ropts.dir = dir;
+  auto rmgr = DurabilityManager::Open(ropts);
+  ASSERT_TRUE(rmgr.ok());
+  World rebooted;
+  const auto report = (*rmgr)->Recover(rebooted.system.get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->wal_corruption_detected);
+  EXPECT_EQ(report->wal_corrupt_offset, frame1_end);
+  EXPECT_GT(report->wal_lost_bytes, 0u);
+  EXPECT_EQ(report->last_sequence, 1u);
+  EXPECT_EQ(report->replayed_records, 1u);
+
+  const EditCase& salvaged = rebooted.dataset.cases[0];
+  const EditCase& lost = rebooted.dataset.cases[1];
+  EXPECT_EQ(
+      rebooted.system->Ask(salvaged.edit.subject, salvaged.edit.relation)
+          .entity,
+      salvaged.edit.object);
+  EXPECT_NE(
+      rebooted.system->Ask(lost.edit.subject, lost.edit.relation).entity,
+      lost.edit.object);
+}
+
+TEST(SalvageRecoveryTest, ServiceStartsDegradedAfterSalvageThenAutoHeals) {
+  const std::string dir = TempDirFor("oneedit_salvage_svc");
+  {
+    DurabilityOptions opts;
+    opts.dir = dir;
+    opts.checkpoint_interval = 0;
+    auto mgr = DurabilityManager::Open(opts);
+    ASSERT_TRUE(mgr.ok());
+    World live;
+    for (size_t i = 0; i < 3; ++i) {
+      const EditCase& c = live.dataset.cases[i];
+      ASSERT_TRUE((*mgr)
+                      ->LogBatch({EditRequest::Edit(c.edit, "alice")},
+                                 EditingMethodKind::kGrace,
+                                 &live.system->statistics())
+                      .ok());
+      ASSERT_TRUE(live.system->EditTriple(c.edit, "alice").ok());
+    }
+  }
+  const std::string wal_path = dir + "/edits.wal";
+  std::string bytes = ReadFile(wal_path);
+  bytes[bytes.size() / 2] ^= 0x20;  // mid-file, inside some frame
+  WriteFile(wal_path, bytes);
+
+  // With auto-heal off the degraded start is observable: the salvage
+  // happened, reads serve the salvaged prefix, writes are shed.
+  {
+    DurabilityOptions opts;
+    opts.dir = dir;
+    auto mgr = DurabilityManager::Open(opts);
+    ASSERT_TRUE(mgr.ok());
+    Node node("oneedit_salvage_svc", mgr->get(), [](EditServiceOptions* o) {
+      o->self_heal.auto_heal = false;
+    });
+    EXPECT_EQ(node.service->health(), ServiceHealth::kReadOnlyDegraded);
+    EXPECT_TRUE(node.service->recovery_report().wal_corruption_detected);
+    const auto shed = node.service->SubmitAndWait(
+        EditRequest::Edit(node.dataset.cases[5].edit, "bob"));
+    ASSERT_TRUE(shed.ok());
+    EXPECT_EQ(shed->kind, EditResult::Kind::kRejected);
+    EXPECT_TRUE(node.service->GetSnapshot().ok());
+  }
+
+  // With auto-heal on, the probe's checkpoint seals the salvaged state and
+  // the service returns to full service: writes accepted, nothing wedged.
+  DurabilityOptions opts;
+  opts.dir = dir;
+  auto mgr = DurabilityManager::Open(opts);
+  ASSERT_TRUE(mgr.ok());
+  Node node("oneedit_salvage_svc", mgr->get(), [](EditServiceOptions* o) {
+    o->self_heal.heal_probe_interval = std::chrono::milliseconds(10);
+  });
+  ASSERT_TRUE(WaitFor([&] {
+    return node.service->health() == ServiceHealth::kHealthy;
+  })) << "salvage-degraded service did not auto-heal";
+  const auto accepted = node.service->SubmitAndWait(
+      EditRequest::Edit(node.dataset.cases[5].edit, "bob"));
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_TRUE(accepted->applied());
+}
+
+// ------------------------------------------------------ integrity scrubber ----
+
+/// Journal three single-record batches through `mgr` and apply them to
+/// `live`; returns the committed head (3).
+uint64_t LogThree(DurabilityManager* mgr, World* live) {
+  for (size_t i = 0; i < 3; ++i) {
+    const EditCase& c = live->dataset.cases[i];
+    EXPECT_TRUE(mgr->LogBatch({EditRequest::Edit(c.edit, "alice")},
+                              EditingMethodKind::kGrace,
+                              &live->system->statistics())
+                    .ok());
+    EXPECT_TRUE(live->system->EditTriple(c.edit, "alice").ok());
+  }
+  return mgr->committed_sequence();
+}
+
+TEST(ScrubberTest, CleanJournalScrubsClean) {
+  const std::string dir = TempDirFor("oneedit_scrub_clean");
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.checkpoint_interval = 0;
+  auto mgr = DurabilityManager::Open(opts);
+  ASSERT_TRUE(mgr.ok());
+  World live;
+  ASSERT_EQ(LogThree(mgr->get(), &live), 3u);
+
+  ScrubOptions sopts;
+  sopts.max_bytes_per_second = 0;  // unthrottled in tests
+  Scrubber scrubber(mgr->get(), &live.system->statistics(), sopts, nullptr);
+  EXPECT_TRUE(scrubber.ScrubOnce().empty());
+  EXPECT_EQ(scrubber.passes(), 1u);
+  EXPECT_EQ(scrubber.corruptions_found(), 0u);
+  EXPECT_EQ(scrubber.last_finding(), "");
+  EXPECT_EQ(live.system->statistics().Get(Ticker::kScrubPasses), 1u);
+  EXPECT_EQ(live.system->statistics().Get(Ticker::kScrubCorruptionsFound),
+            0u);
+}
+
+TEST(ScrubberTest, DetectsBitFlipAtEveryByteOffset) {
+  const std::string dir = TempDirFor("oneedit_scrub_every_offset");
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.checkpoint_interval = 0;  // coverage must come from the journal alone
+  auto mgr = DurabilityManager::Open(opts);
+  ASSERT_TRUE(mgr.ok());
+  World live;
+  ASSERT_EQ(LogThree(mgr->get(), &live), 3u);
+
+  const std::string wal_path = (*mgr)->wal_path();
+  const std::string pristine = ReadFile(wal_path);
+  ASSERT_GT(pristine.size(), 0u);
+
+  ScrubOptions sopts;
+  sopts.max_bytes_per_second = 0;
+  Scrubber scrubber(mgr->get(), nullptr, sopts, nullptr);
+
+  // Property: a byte flipped ANYWHERE in the journal is detected — frame
+  // CRCs catch mid-log rot directly, and a flip in the final frame (which
+  // frames alone cannot tell from a torn tail) is caught by the
+  // committed-coverage cross-check.
+  for (size_t offset = 0; offset < pristine.size(); ++offset) {
+    std::string corrupted = pristine;
+    corrupted[offset] ^= 0x40;
+    WriteFile(wal_path, corrupted);
+    const std::vector<ScrubFinding> findings = scrubber.ScrubOnce();
+    EXPECT_FALSE(findings.empty())
+        << "bit flip at byte " << offset << " of " << pristine.size()
+        << " went undetected";
+    if (!findings.empty()) {
+      EXPECT_EQ(findings.front().target, ScrubFinding::Target::kWal);
+    }
+  }
+  EXPECT_GE(scrubber.corruptions_found(), pristine.size());
+
+  // Restored journal scrubs clean and clears the sticky finding line.
+  WriteFile(wal_path, pristine);
+  EXPECT_TRUE(scrubber.ScrubOnce().empty());
+  EXPECT_EQ(scrubber.last_finding(), "");
+}
+
+TEST(ScrubberTest, DetectsCheckpointRotAfterReRead) {
+  const std::string dir = TempDirFor("oneedit_scrub_ckpt");
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.checkpoint_interval = 0;
+  auto mgr = DurabilityManager::Open(opts);
+  ASSERT_TRUE(mgr.ok());
+  World live;
+  ASSERT_EQ(LogThree(mgr->get(), &live), 3u);
+  ASSERT_TRUE(
+      (*mgr)->Checkpoint(*live.system, &live.system->statistics()).ok());
+
+  const std::string ckpt_path = (*mgr)->checkpoint_path();
+  std::string bytes = ReadFile(ckpt_path);
+  ASSERT_GT(bytes.size(), 16u);
+  bytes[bytes.size() / 2] ^= 0x08;
+  WriteFile(ckpt_path, bytes);
+
+  ScrubOptions sopts;
+  sopts.max_bytes_per_second = 0;
+  Scrubber scrubber(mgr->get(), &live.system->statistics(), sopts, nullptr);
+  const std::vector<ScrubFinding> findings = scrubber.ScrubOnce();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().target, ScrubFinding::Target::kCheckpoint);
+  EXPECT_NE(scrubber.last_finding(), "");
+  EXPECT_GE(live.system->statistics().Get(Ticker::kScrubCorruptionsFound),
+            1u);
+}
+
+TEST(ScrubberTest, BackgroundThreadScrubsOnItsOwnAndReportsViaCallback) {
+  const std::string dir = TempDirFor("oneedit_scrub_thread");
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.checkpoint_interval = 0;
+  auto mgr = DurabilityManager::Open(opts);
+  ASSERT_TRUE(mgr.ok());
+  World live;
+  ASSERT_EQ(LogThree(mgr->get(), &live), 3u);
+
+  // Seed rot BEFORE the thread starts so its first pass must find it.
+  const std::string wal_path = (*mgr)->wal_path();
+  std::string bytes = ReadFile(wal_path);
+  bytes[bytes.size() / 3] ^= 0x01;
+  WriteFile(wal_path, bytes);
+
+  std::atomic<uint64_t> reported{0};
+  ScrubOptions sopts;
+  sopts.enabled = true;
+  sopts.interval = std::chrono::milliseconds(5);
+  sopts.max_bytes_per_second = 0;
+  Scrubber scrubber(mgr->get(), &live.system->statistics(), sopts,
+                    [&](const ScrubFinding& finding) {
+                      EXPECT_EQ(finding.target, ScrubFinding::Target::kWal);
+                      reported.fetch_add(1);
+                    });
+  scrubber.Start();
+  EXPECT_TRUE(WaitFor([&] { return reported.load() >= 2; }))
+      << "background scrubber never reported the seeded rot";
+  scrubber.Stop();
+  EXPECT_GE(scrubber.passes(), 2u);
+  EXPECT_GE(live.system->statistics().Get(Ticker::kScrubPasses), 2u);
+}
+
+// --------------------------------------------------------- repair protocol ----
+
+TEST(RepairWireTest, FetchRangeAndRepairRoundTrip) {
+  FetchRangeRequest fetch;
+  fetch.target = RepairTarget::kWal;
+  fetch.from_sequence = 3;
+  fetch.through_sequence = 9;
+  fetch.term = 2;
+  const auto f = DecodeMessage(EncodeFetchRange(fetch));
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  ASSERT_EQ(f->type, MessageType::kFetchRange);
+  EXPECT_EQ(f->fetch.target, RepairTarget::kWal);
+  EXPECT_EQ(f->fetch.from_sequence, 3u);
+  EXPECT_EQ(f->fetch.through_sequence, 9u);
+  EXPECT_EQ(f->fetch.term, 2u);
+
+  RepairReply reply;
+  reply.target = RepairTarget::kCheckpoint;
+  reply.complete = 1;
+  reply.first_sequence = 1;
+  reply.last_sequence = 12;
+  reply.term = 3;
+  reply.bytes = std::string("raw \x00\xff image", 12);
+  const auto r = DecodeMessage(EncodeRepair(reply));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->type, MessageType::kRepair);
+  EXPECT_EQ(r->repair.target, RepairTarget::kCheckpoint);
+  EXPECT_EQ(r->repair.complete, 1);
+  EXPECT_EQ(r->repair.last_sequence, 12u);
+  EXPECT_EQ(r->repair.term, 3u);
+  EXPECT_EQ(r->repair.bytes, reply.bytes);
+}
+
+TEST(RepairWireTest, RejectsForgedTargetBitFlipAndTruncation) {
+  FetchRangeRequest forged;
+  forged.target = static_cast<RepairTarget>(9);
+  EXPECT_EQ(DecodeMessage(EncodeFetchRange(forged)).status().code(),
+            StatusCode::kCorruption);
+
+  RepairReply reply;
+  reply.complete = 1;
+  reply.bytes = "frames";
+  std::string frame = EncodeRepair(reply);
+  std::string flipped = frame;
+  flipped[frame.size() - 1] ^= 0x10;
+  EXPECT_EQ(DecodeMessage(flipped).status().code(), StatusCode::kCorruption);
+  EXPECT_FALSE(DecodeMessage(frame.substr(0, frame.size() - 2)).ok());
+  EXPECT_FALSE(DecodeMessage(frame + "x").ok());
+}
+
+TEST(ReplicaRepairTest, ServerServesCommittedWalRegionAndFencesStaleTerms) {
+  const std::string dir = TempDirFor("oneedit_repair_server");
+  DurabilityOptions opts;
+  opts.dir = dir;
+  auto mgr = DurabilityManager::Open(opts);
+  ASSERT_TRUE(mgr.ok());
+  Node node("oneedit_repair_server", mgr->get(), [](EditServiceOptions* o) {
+    o->replication.role = ReplicationRole::kPrimary;
+  });
+  ASSERT_NE(node.replication_port(), 0);
+  for (size_t i = 0; i < 4; ++i) {
+    const auto result = node.service->SubmitAndWait(
+        EditRequest::Edit(node.dataset.cases[i].edit, "alice"));
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->applied());
+  }
+  const uint64_t committed = (*mgr)->committed_sequence();
+  ASSERT_GE(committed, 4u);
+
+  // A full in-range fetch ships the byte-identical frame region.
+  FetchRangeRequest fetch;
+  fetch.target = RepairTarget::kWal;
+  fetch.from_sequence = 1;
+  fetch.through_sequence = committed;
+  fetch.term = (*mgr)->primary_term();
+  const auto reply =
+      replication::FetchFromPeer(node.replication_port(), fetch);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->complete, 1);
+  EXPECT_EQ(reply->first_sequence, 1u);
+  EXPECT_EQ(reply->last_sequence, committed);
+  EXPECT_EQ(reply->bytes, ReadFile((*mgr)->wal_path()));
+
+  // Beyond the commit point: refused as incomplete, never half-shipped.
+  FetchRangeRequest beyond = fetch;
+  beyond.through_sequence = committed + 5;
+  const auto refused =
+      replication::FetchFromPeer(node.replication_port(), beyond);
+  ASSERT_TRUE(refused.ok()) << refused.status().ToString();
+  EXPECT_EQ(refused->complete, 0);
+
+  // A requester behind on terms is fenced, exactly like a stale poll.
+  (*mgr)->AdoptTerm(7);
+  FetchRangeRequest stale = fetch;
+  stale.term = 3;
+  const auto fenced =
+      replication::FetchFromPeer(node.replication_port(), stale);
+  EXPECT_FALSE(fenced.ok());
+  EXPECT_EQ(fenced.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------ replica-assisted repair ----
+
+/// A primary+follower pair for repair tests. The large checkpoint interval
+/// keeps the whole history in both journals, so they stay byte-identical —
+/// the strongest possible repair assertion.
+struct Pair {
+  Pair(const std::string& tag, uint64_t checkpoint_interval = 1000,
+       bool follower_repair_listener = false)
+      : primary_dir(TempDirFor(tag + "_p")), follower_dir(TempDirFor(tag + "_f")) {
+    DurabilityOptions popts;
+    popts.dir = primary_dir;
+    popts.checkpoint_interval = checkpoint_interval;
+    auto pmgr = DurabilityManager::Open(popts);
+    EXPECT_TRUE(pmgr.ok());
+    primary_mgr = std::move(*pmgr);
+    primary = std::make_unique<Node>(
+        tag + "_p", primary_mgr.get(), [](EditServiceOptions* o) {
+          o->replication.role = ReplicationRole::kPrimary;
+        });
+
+    DurabilityOptions fopts;
+    fopts.dir = follower_dir;
+    fopts.checkpoint_interval = checkpoint_interval;
+    auto fmgr = DurabilityManager::Open(fopts);
+    EXPECT_TRUE(fmgr.ok());
+    follower_mgr = std::move(*fmgr);
+    const uint16_t port = primary->replication_port();
+    follower = std::make_unique<Node>(
+        tag + "_f", follower_mgr.get(),
+        [port, follower_repair_listener](EditServiceOptions* o) {
+          o->replication.role = ReplicationRole::kFollower;
+          o->replication.primary_port = port;
+          o->replication.enable_repair_listener = follower_repair_listener;
+        });
+  }
+
+  /// Submits `n` edits on the primary and waits for the follower to apply
+  /// them all; returns the committed head.
+  uint64_t Converge(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      const auto result = primary->service->SubmitAndWait(
+          EditRequest::Edit(primary->dataset.cases[i].edit, "alice"));
+      EXPECT_TRUE(result.ok());
+      EXPECT_TRUE(result->applied());
+    }
+    const uint64_t head = primary->service->applied_sequence();
+    EXPECT_TRUE(WaitFor([&] {
+      return follower->service->applied_sequence() >= head;
+    })) << "follower stuck at " << follower->service->applied_sequence();
+    return head;
+  }
+
+  std::string primary_dir;
+  std::string follower_dir;
+  std::unique_ptr<DurabilityManager> primary_mgr;
+  std::unique_ptr<DurabilityManager> follower_mgr;
+  std::unique_ptr<Node> primary;
+  std::unique_ptr<Node> follower;
+};
+
+TEST(ReplicaRepairTest, FollowerWalRepairedByteIdenticalFromPrimary) {
+  Pair pair("oneedit_repair_fwal");
+  const uint64_t head = pair.Converge(6);
+  ASSERT_GE(head, 6u);
+  const std::string primary_wal = ReadFile(pair.primary_mgr->wal_path());
+  const std::string follower_wal = ReadFile(pair.follower_mgr->wal_path());
+  ASSERT_EQ(primary_wal, follower_wal) << "journals diverged before the test";
+
+  // Rot lands mid-journal on the replica.
+  std::string corrupted = follower_wal;
+  corrupted[corrupted.size() / 2] ^= 0x04;
+  WriteFile(pair.follower_mgr->wal_path(), corrupted);
+
+  // The scrubber finds it; the service repairs it from its primary (the
+  // default peer for a follower) — byte-identical, zero acknowledged loss.
+  ScrubOptions sopts;
+  sopts.max_bytes_per_second = 0;
+  Scrubber scrubber(pair.follower_mgr.get(),
+                    &pair.follower->service->statistics(), sopts, nullptr);
+  const std::vector<ScrubFinding> findings = scrubber.ScrubOnce();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().target, ScrubFinding::Target::kWal);
+
+  const Status repaired =
+      pair.follower->service->RepairCorruption(findings.front());
+  ASSERT_TRUE(repaired.ok()) << repaired.ToString();
+  EXPECT_EQ(ReadFile(pair.follower_mgr->wal_path()), primary_wal);
+  EXPECT_TRUE(scrubber.ScrubOnce().empty());
+  EXPECT_GE(
+      pair.follower->service->statistics().Get(Ticker::kRepairsCompleted),
+      1u);
+
+  // The repaired replica restarts cleanly with every acknowledged edit.
+  pair.follower->service.reset();
+  pair.follower_mgr.reset();
+  DurabilityOptions ropts;
+  ropts.dir = pair.follower_dir;
+  auto rmgr = DurabilityManager::Open(ropts);
+  ASSERT_TRUE(rmgr.ok());
+  World rebooted;
+  const auto report = (*rmgr)->Recover(rebooted.system.get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->wal_corruption_detected);
+  EXPECT_EQ(report->last_sequence, head);
+}
+
+TEST(ReplicaRepairTest, PrimaryWalRepairedViaFollowerRepairListener) {
+  Pair pair("oneedit_repair_pwal", /*checkpoint_interval=*/1000,
+            /*follower_repair_listener=*/true);
+  const uint64_t head = pair.Converge(6);
+  ASSERT_GE(head, 6u);
+  ASSERT_NE(pair.follower->service->repair_server(), nullptr);
+  const uint16_t repair_port = pair.follower->service->repair_server()->port();
+  ASSERT_NE(repair_port, 0);
+  pair.primary->service->SetRepairPeers({repair_port});
+
+  const std::string follower_wal = ReadFile(pair.follower_mgr->wal_path());
+  std::string corrupted = ReadFile(pair.primary_mgr->wal_path());
+  ASSERT_EQ(corrupted, follower_wal);
+  corrupted[corrupted.size() / 3] ^= 0x80;
+  WriteFile(pair.primary_mgr->wal_path(), corrupted);
+
+  ScrubOptions sopts;
+  sopts.max_bytes_per_second = 0;
+  Scrubber scrubber(pair.primary_mgr.get(),
+                    &pair.primary->service->statistics(), sopts, nullptr);
+  const std::vector<ScrubFinding> findings = scrubber.ScrubOnce();
+  ASSERT_EQ(findings.size(), 1u);
+
+  const Status repaired =
+      pair.primary->service->RepairCorruption(findings.front());
+  ASSERT_TRUE(repaired.ok()) << repaired.ToString();
+  EXPECT_EQ(ReadFile(pair.primary_mgr->wal_path()), follower_wal);
+  EXPECT_TRUE(scrubber.ScrubOnce().empty());
+
+  // The repaired primary keeps serving writes.
+  const auto after = pair.primary->service->SubmitAndWait(
+      EditRequest::Edit(pair.primary->dataset.cases[7].edit, "bob"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->applied());
+}
+
+TEST(ReplicaRepairTest, FollowerCheckpointRepairedFromPrimary) {
+  // Small interval: the primary checkpoints and the late-joining follower
+  // installs a snapshot, so BOTH sides hold a checkpoint image.
+  const std::string primary_dir = TempDirFor("oneedit_repair_ckpt_p");
+  DurabilityOptions popts;
+  popts.dir = primary_dir;
+  popts.checkpoint_interval = 4;
+  auto pmgr = DurabilityManager::Open(popts);
+  ASSERT_TRUE(pmgr.ok());
+  Node primary("oneedit_repair_ckpt_p", pmgr->get(),
+               [](EditServiceOptions* o) {
+                 o->replication.role = ReplicationRole::kPrimary;
+               });
+  ASSERT_NE(primary.replication_port(), 0);
+  for (size_t i = 0; i < 6; ++i) {
+    const auto result = primary.service->SubmitAndWait(
+        EditRequest::Edit(primary.dataset.cases[i].edit, "alice"));
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->applied());
+  }
+  ASSERT_GT(primary.service->statistics().Get(Ticker::kCheckpoints), 0u);
+
+  const std::string follower_dir = TempDirFor("oneedit_repair_ckpt_f");
+  DurabilityOptions fopts;
+  fopts.dir = follower_dir;
+  fopts.checkpoint_interval = 4;
+  auto fmgr = DurabilityManager::Open(fopts);
+  ASSERT_TRUE(fmgr.ok());
+  const uint16_t port = primary.replication_port();
+  Node follower("oneedit_repair_ckpt_f", fmgr->get(),
+                [port](EditServiceOptions* o) {
+                  o->replication.role = ReplicationRole::kFollower;
+                  o->replication.primary_port = port;
+                });
+  const uint64_t head = primary.service->applied_sequence();
+  ASSERT_TRUE(WaitFor([&] {
+    return follower.service->applied_sequence() >= head;
+  }));
+  ASSERT_TRUE(
+      Env::Default()->FileExists((*fmgr)->checkpoint_path()));
+
+  // Rot lands in the replica's checkpoint image.
+  std::string bytes = ReadFile((*fmgr)->checkpoint_path());
+  ASSERT_GT(bytes.size(), 16u);
+  bytes[bytes.size() / 2] ^= 0x02;
+  WriteFile((*fmgr)->checkpoint_path(), bytes);
+
+  ScrubOptions sopts;
+  sopts.max_bytes_per_second = 0;
+  Scrubber scrubber(fmgr->get(), &follower.service->statistics(), sopts,
+                    nullptr);
+  const std::vector<ScrubFinding> findings = scrubber.ScrubOnce();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().target, ScrubFinding::Target::kCheckpoint);
+
+  const Status repaired =
+      follower.service->RepairCorruption(findings.front());
+  ASSERT_TRUE(repaired.ok()) << repaired.ToString();
+  EXPECT_TRUE(durability::VerifyCheckpointIntegrity((*fmgr)->checkpoint_path(),
+                                                    nullptr)
+                  .ok());
+  EXPECT_TRUE(scrubber.ScrubOnce().empty());
+  EXPECT_GE(follower.service->statistics().Get(Ticker::kRepairsCompleted),
+            1u);
+
+  // The repaired replica restarts with every acknowledged edit.
+  follower.service.reset();
+  fmgr->reset();
+  DurabilityOptions ropts;
+  ropts.dir = follower_dir;
+  auto rmgr = DurabilityManager::Open(ropts);
+  ASSERT_TRUE(rmgr.ok());
+  World rebooted;
+  const auto report = (*rmgr)->Recover(rebooted.system.get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->last_sequence, head);
+}
+
+TEST(ReplicaRepairTest, StandaloneFallsBackToSealingLiveState) {
+  const std::string dir = TempDirFor("oneedit_repair_fallback");
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.checkpoint_interval = 0;
+  auto mgr = DurabilityManager::Open(opts);
+  ASSERT_TRUE(mgr.ok());
+  Node node("oneedit_repair_fallback", mgr->get());
+  for (size_t i = 0; i < 3; ++i) {
+    const auto result = node.service->SubmitAndWait(
+        EditRequest::Edit(node.dataset.cases[i].edit, "alice"));
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->applied());
+  }
+  const uint64_t head = node.service->applied_sequence();
+
+  std::string bytes = ReadFile((*mgr)->wal_path());
+  bytes[bytes.size() / 2] ^= 0x01;
+  WriteFile((*mgr)->wal_path(), bytes);
+
+  ScrubOptions sopts;
+  sopts.max_bytes_per_second = 0;
+  Scrubber scrubber(mgr->get(), &node.service->statistics(), sopts, nullptr);
+  const std::vector<ScrubFinding> findings = scrubber.ScrubOnce();
+  ASSERT_EQ(findings.size(), 1u);
+
+  // No peers anywhere: the live state is still intact, so the repair seals
+  // it into a fresh checkpoint — durable again, zero acknowledged loss.
+  const Status repaired = node.service->RepairCorruption(findings.front());
+  ASSERT_TRUE(repaired.ok()) << repaired.ToString();
+  EXPECT_TRUE(scrubber.ScrubOnce().empty());
+  EXPECT_GE(node.service->statistics().Get(Ticker::kRepairsCompleted), 1u);
+
+  node.service.reset();
+  mgr->reset();
+  DurabilityOptions ropts;
+  ropts.dir = dir;
+  auto rmgr = DurabilityManager::Open(ropts);
+  ASSERT_TRUE(rmgr.ok());
+  World rebooted;
+  const auto report = (*rmgr)->Recover(rebooted.system.get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->wal_corruption_detected);
+  EXPECT_EQ(report->last_sequence, head);
+  for (size_t i = 0; i < 3; ++i) {
+    const EditCase& c = rebooted.dataset.cases[i];
+    EXPECT_EQ(rebooted.system->Ask(c.edit.subject, c.edit.relation).entity,
+              c.edit.object);
+  }
+}
+
+}  // namespace
+}  // namespace oneedit
