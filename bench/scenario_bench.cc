@@ -1,0 +1,841 @@
+// Scenario-matrix harness: seeded workload shapes driven through a LIVE
+// EditService (optionally a primary+follower pair), each asserting its
+// invariants by scraping the service's own /metrics endpoint — the same
+// surface an operator's dashboards read. The point is not throughput; it
+// is proving that the serving invariants (zero acknowledged-edit loss,
+// quarantine trips, health transitions, profiler top-K matching injected
+// skew) hold under every workload shape at once, not just in unit tests.
+//
+// Scenarios (docs/observability.md "Scenario matrix"):
+//   zipf_read_storm  — Zipf-skewed readers; profiler top-K must match the
+//                      injected hot set, every acked edit must decode.
+//   edit_burst       — burst of flip-flop edits; all acked, all durable,
+//                      health stays healthy.
+//   poison_storm     — adversarial MEMIT poison amid innocents; quarantine
+//                      must trip, innocents must all land.
+//   rolling_failover — primary dies mid-traffic; follower promotes; zero
+//                      acknowledged loss across the failover.
+//   disk_full        — disk runs dry mid-traffic; writes shed typed, reads
+//                      keep serving, service heals when space frees.
+//   rule_update      — Horn rule added during an edit stream; profiler
+//                      rule weights pick it up, no edit is lost.
+//
+// Per-scenario rows land in BENCH_scenarios.json (cwd); the process exits
+// nonzero if any invariant fails.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/name_pool.h"
+#include "durability/fault_env.h"
+#include "durability/manager.h"
+#include "editing/editor.h"
+#include "kg/rules.h"
+#include "obs/profiler.h"
+#include "serving/edit_service.h"
+
+namespace oneedit {
+namespace {
+
+using durability::DurabilityManager;
+using durability::DurabilityOptions;
+using durability::Env;
+using durability::FaultInjectingEnv;
+using serving::EditService;
+using serving::EditServiceOptions;
+using serving::ReplicationRole;
+using serving::ServiceHealth;
+using serving::Snapshot;
+
+constexpr uint64_t kSeed = 20260808;
+
+// ------------------------------------------------------------ plumbing ----
+
+DatasetOptions TinyOptions() {
+  DatasetOptions options;
+  options.num_cases = 12;
+  return options;
+}
+
+OneEditConfig GraceConfig() {
+  OneEditConfig config;
+  config.method = EditingMethodKind::kGrace;
+  config.interpreter.extraction_error_rate = 0.0;
+  return config;
+}
+
+OneEditConfig MemitConfig() {
+  OneEditConfig config = GraceConfig();
+  config.method = EditingMethodKind::kMemit;
+  return config;
+}
+
+std::string TempDirFor(const std::string& name) {
+  const std::string dir = "/tmp/oneedit_scenario_" + name;
+  std::remove((dir + "/edits.wal").c_str());
+  std::remove((dir + "/checkpoint.oedc").c_str());
+  std::remove((dir + "/checkpoint.oedc.tmp").c_str());
+  return dir;
+}
+
+bool WaitFor(const std::function<bool()>& done,
+             std::chrono::milliseconds timeout =
+                 std::chrono::milliseconds(10000)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return done();
+}
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+/// Value of the sample line "<name> <value>" in Prometheus text.
+double Scrape(const std::string& text, const std::string& name) {
+  const std::string needle = "\n" + name + " ";
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+/// All members of a labeled family: "<family>{<key>="<label>"} <value>".
+std::vector<std::pair<std::string, double>> ScrapeLabeled(
+    const std::string& text, const std::string& family) {
+  std::vector<std::pair<std::string, double>> out;
+  const std::string needle = "\n" + family + "{";
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    const size_t open = text.find('"', pos);
+    if (open == std::string::npos) break;
+    // Label values are escaped; scenario names here are clean, so a plain
+    // scan to the closing quote is sufficient.
+    const size_t close = text.find('"', open + 1);
+    if (close == std::string::npos) break;
+    const size_t brace = text.find("} ", close);
+    if (brace == std::string::npos) break;
+    out.emplace_back(text.substr(open + 1, close - open - 1),
+                     std::strtod(text.c_str() + brace + 2, nullptr));
+    pos = brace;
+  }
+  return out;
+}
+
+/// The dataset + pretrained model every scenario boots from (the same base
+/// image a fleet node would start with).
+struct World {
+  World()
+      : dataset(BuildAmericanPoliticians(TinyOptions())),
+        model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                              dataset.vocab)) {
+    model->Pretrain(dataset.pretrain_facts);
+  }
+
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+};
+
+/// One scenario verdict: named invariant checks plus free-form detail
+/// fields that land as a JSON row.
+struct ScenarioResult {
+  std::string name;
+  bool pass = true;
+  std::vector<std::string> failures;
+  std::string details;  // "key":value,... (JSON fragment)
+
+  void Check(bool ok, const std::string& invariant) {
+    if (!ok) {
+      pass = false;
+      failures.push_back(invariant);
+    }
+  }
+  void Detail(const std::string& key, const std::string& json_value) {
+    if (!details.empty()) details += ",";
+    details += "\"" + key + "\":" + json_value;
+  }
+  void Detail(const std::string& key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", value);
+    Detail(key, std::string(buf));
+  }
+};
+
+void ResetProfiler() {
+  obs::CostProfiler::Global().ResetForTesting();
+  obs::CostProfiler::Global().SetAggregationIntervalMillis(500);
+}
+
+// --------------------------------------------------- 1. zipf_read_storm ----
+
+ScenarioResult ZipfReadStorm() {
+  ScenarioResult result;
+  result.name = "zipf_read_storm";
+  ResetProfiler();
+
+  World world;
+  EditServiceOptions options;
+  options.expose_metrics = true;
+  auto service = EditService::Create(&world.dataset.kg, world.model.get(),
+                                     GraceConfig(), options);
+  if (!service.ok()) {
+    result.Check(false, "service boots");
+    return result;
+  }
+  const uint16_t port = (*service)->metrics_server()->port();
+
+  // Land every edit first, so the read storm decodes post-edit truth.
+  size_t acked = 0;
+  for (const EditCase& c : world.dataset.cases) {
+    const auto r = (*service)->SubmitAndWait(EditRequest::Edit(c.edit, "zipf"));
+    if (r.ok() && r->applied()) ++acked;
+  }
+  result.Check(acked == world.dataset.cases.size(), "all edits acknowledged");
+
+  // Zipf-skewed read storm: weight 1/(rank+1)^1.5 over the case list, so
+  // case 0's subject is the injected hot entity by a wide margin.
+  std::vector<double> weights;
+  for (size_t r = 0; r < world.dataset.cases.size(); ++r) {
+    weights.push_back(1.0 / std::pow(static_cast<double>(r + 1), 1.5));
+  }
+  constexpr int kReaders = 4;
+  constexpr int kReadsPerThread = 5000;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      std::mt19937_64 rng(kSeed + static_cast<uint64_t>(t));
+      std::discrete_distribution<size_t> zipf(weights.begin(), weights.end());
+      const Snapshot snapshot = *(*service)->GetSnapshot();
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        const EditCase& c = world.dataset.cases[zipf(rng)];
+        (void)snapshot.Ask(c.edit.subject, c.edit.relation);
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+
+  // Freeze one aggregation cycle, then read the ranking off /metrics like
+  // a dashboard would.
+  obs::CostProfiler::Global().SetAggregationIntervalMillis(60000);
+  obs::CostProfiler::Global().Aggregate();
+  const std::string metrics = HttpGet(port, "/metrics");
+  result.Check(metrics.find("HTTP/1.0 200") != std::string::npos,
+               "/metrics scrapes");
+
+  const auto top_reads =
+      ScrapeLabeled(metrics, "oneedit_profiler_hot_entity_reads");
+  result.Check(!top_reads.empty(), "profiler top-K gauges exported");
+  const std::string hot0 = world.dataset.cases[0].edit.subject;
+  const std::string hot1 = world.dataset.cases[1].edit.subject;
+  const std::string hot2 = world.dataset.cases[2].edit.subject;
+  double hot0_reads = -1.0;
+  double max_reads = -1.0;
+  std::string max_name;
+  size_t hot_in_topk = 0;
+  for (const auto& [name, reads] : top_reads) {
+    if (name == hot0) hot0_reads = reads;
+    if (name == hot0 || name == hot1 || name == hot2) ++hot_in_topk;
+    if (reads > max_reads) {
+      max_reads = reads;
+      max_name = name;
+    }
+  }
+  result.Check(max_name == hot0, "injected hot entity ranks #1 by reads");
+  result.Check(hot_in_topk == 3, "injected hot set is inside the top-K");
+  result.Check(Scrape(metrics, "oneedit_profiler_entities_tracked") > 0,
+               "profiler tracked entities");
+  result.Check(Scrape(metrics, "oneedit_profiler_dropped_total") == 0,
+               "no profiler drops at this cardinality");
+
+  // Zero acknowledged loss: every acked edit still decodes.
+  const Snapshot snapshot = *(*service)->GetSnapshot();
+  for (const EditCase& c : world.dataset.cases) {
+    const auto decode = snapshot.Ask(c.edit.subject, c.edit.relation);
+    result.Check(decode.ok() && decode->entity == c.edit.object,
+                 "acked edit decodes: " + c.edit.subject);
+  }
+
+  result.Detail("reads", static_cast<double>(kReaders) * kReadsPerThread);
+  result.Detail("hot_entity", "\"" + hot0 + "\"");
+  result.Detail("hot_entity_reads", hot0_reads);
+  result.Detail("entities_tracked",
+                Scrape(metrics, "oneedit_profiler_entities_tracked"));
+  (*service)->Stop();
+  return result;
+}
+
+// ------------------------------------------------------- 2. edit_burst ----
+
+ScenarioResult EditBurst() {
+  ScenarioResult result;
+  result.name = "edit_burst";
+  ResetProfiler();
+
+  const std::string dir = TempDirFor("edit_burst");
+  DurabilityOptions dopts;
+  dopts.dir = dir;
+  auto mgr = DurabilityManager::Open(dopts);
+  if (!mgr.ok()) {
+    result.Check(false, "durability opens");
+    return result;
+  }
+
+  World world;
+  EditServiceOptions options;
+  options.expose_metrics = true;
+  options.durability = mgr->get();
+  options.max_batch_size = 8;
+  auto service = EditService::Create(&world.dataset.kg, world.model.get(),
+                                     GraceConfig(), options);
+  if (!service.ok()) {
+    result.Check(false, "service boots");
+    return result;
+  }
+  const uint16_t port = (*service)->metrics_server()->port();
+
+  // Burst: two async rounds, flip then flop, all in flight at once.
+  std::vector<std::future<StatusOr<EditResult>>> futures;
+  for (int round = 0; round < 2; ++round) {
+    for (const EditCase& c : world.dataset.cases) {
+      NamedTriple triple = c.edit;
+      if (round == 1) triple.object = c.old_object;
+      futures.push_back((*service)->Submit(EditRequest::Edit(triple, "burst")));
+    }
+  }
+  size_t acked = 0;
+  for (auto& future : futures) {
+    const auto r = future.get();
+    if (r.ok() && r->applied()) ++acked;
+  }
+  (*service)->Drain();
+  result.Check(acked == futures.size(), "every burst edit acknowledged");
+
+  const std::string metrics = HttpGet(port, "/metrics");
+  result.Check(Scrape(metrics, "oneedit_edits_accepted_total") ==
+                   static_cast<double>(acked),
+               "metrics agree with acknowledged count");
+  result.Check(Scrape(metrics, "oneedit_serving_batches_total") >= 1,
+               "writer coalesced batches");
+  result.Check(Scrape(metrics, "oneedit_wal_commits_total") >= 1,
+               "burst reached the journal");
+  result.Check(
+      metrics.find("oneedit_service_health{state=\"healthy\"} 1") !=
+          std::string::npos,
+      "service stays healthy");
+
+  // Zero acknowledged loss: round 2 (the flop) is the final truth.
+  const Snapshot snapshot = *(*service)->GetSnapshot();
+  for (const EditCase& c : world.dataset.cases) {
+    const auto decode = snapshot.Ask(c.edit.subject, c.edit.relation);
+    result.Check(decode.ok() && decode->entity == c.old_object,
+                 "final round decodes: " + c.edit.subject);
+  }
+
+  result.Detail("edits_acked", static_cast<double>(acked));
+  result.Detail("batches", Scrape(metrics, "oneedit_serving_batches_total"));
+  result.Detail("wal_commits", Scrape(metrics, "oneedit_wal_commits_total"));
+  (*service)->Stop();
+  return result;
+}
+
+// ----------------------------------------------------- 3. poison_storm ----
+
+ScenarioResult PoisonStorm() {
+  ScenarioResult result;
+  result.name = "poison_storm";
+  ResetProfiler();
+
+  const std::string dir = TempDirFor("poison_storm");
+  DurabilityOptions dopts;
+  dopts.dir = dir;
+  dopts.checkpoint_interval = 0;  // keep every verdict in the WAL
+  auto mgr = DurabilityManager::Open(dopts);
+  if (!mgr.ok()) {
+    result.Check(false, "durability opens");
+    return result;
+  }
+
+  World world;
+  EditServiceOptions options;
+  options.expose_metrics = true;
+  options.durability = mgr->get();
+  auto service = EditService::Create(&world.dataset.kg, world.model.get(),
+                                     MemitConfig(), options);
+  if (!service.ok()) {
+    result.Check(false, "service boots");
+    return result;
+  }
+  const uint16_t port = (*service)->metrics_server()->port();
+
+  // Make one MEMIT slot toxic: inflate its live-edit ledger so the next
+  // edit against it drags collateral drift past the canary threshold.
+  const NamedTriple poison{names::State(20), "governor", names::Person(42)};
+  (*service)->WithExclusive([&](OneEditSystem& system) {
+    EditingMethod& method = system.editor().method();
+    for (int i = 0; i < 3; ++i) {
+      auto delta = method.ApplyEdit(world.model.get(), poison);
+      if (delta.ok()) ApplyWeightDelta(world.model.get(), *delta, -1.0);
+    }
+    return 0;
+  });
+
+  // Adversarial storm: innocents with the poison woven in, twice.
+  size_t innocents_acked = 0;
+  size_t quarantined = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    const auto r = (*service)->SubmitAndWait(
+        EditRequest::Edit(world.dataset.cases[i].edit, "alice"));
+    if (r.ok() && r->kind == EditResult::Kind::kEdited) ++innocents_acked;
+    if (i == 2 || i == 5) {
+      const auto p = (*service)->SubmitAndWait(
+          EditRequest::Edit(poison, "mallory"));
+      if (p.ok() && p->quarantined()) ++quarantined;
+    }
+  }
+  result.Check(innocents_acked == 8, "every innocent edit landed");
+  result.Check(quarantined >= 1, "poison was quarantined");
+
+  const std::string metrics = HttpGet(port, "/metrics");
+  result.Check(Scrape(metrics, "oneedit_quarantined_edits_total") >= 1,
+               "quarantine counter tripped on /metrics");
+  // Poison applies (ticking accepted) before the canary rolls it back, so
+  // accepted minus quarantined must equal the innocents that stayed.
+  result.Check(Scrape(metrics, "oneedit_edits_accepted_total") -
+                       Scrape(metrics, "oneedit_quarantined_edits_total") ==
+                   static_cast<double>(innocents_acked),
+               "accepted minus quarantined equals surviving innocents");
+  result.Check(Scrape(metrics, "oneedit_rollback_batches_total") >= 1,
+               "poison batch was rolled back");
+  result.Check(
+      metrics.find("oneedit_service_health{state=\"healthy\"} 1") !=
+          std::string::npos,
+      "service stays healthy through the storm");
+
+  // Zero acknowledged loss, and the poison never decodes.
+  const Snapshot snapshot = *(*service)->GetSnapshot();
+  for (size_t i = 0; i < 8; ++i) {
+    const EditCase& c = world.dataset.cases[i];
+    const auto decode = snapshot.Ask(c.edit.subject, c.edit.relation);
+    result.Check(decode.ok() && decode->entity == c.edit.object,
+                 "innocent decodes: " + c.edit.subject);
+  }
+  const auto poisoned = snapshot.Ask(poison.subject, poison.relation);
+  result.Check(poisoned.ok() && poisoned->entity != poison.object,
+               "quarantined poison never decodes");
+
+  result.Detail("quarantined",
+                Scrape(metrics, "oneedit_quarantined_edits_total"));
+  result.Detail("innocents_acked", static_cast<double>(innocents_acked));
+  result.Detail("rollbacks",
+                Scrape(metrics, "oneedit_rollback_batches_total"));
+  (*service)->Stop();
+  return result;
+}
+
+// ------------------------------------------------- 4. rolling_failover ----
+
+/// A durably-backed replication node with its own metrics listener.
+struct Node {
+  Node(const std::string& dir_name, ReplicationRole role,
+       uint16_t primary_port = 0)
+      : dir(TempDirFor(dir_name)) {
+    DurabilityOptions dopts;
+    dopts.dir = dir;
+    auto mgr = DurabilityManager::Open(dopts);
+    if (!mgr.ok()) return;
+    durability = std::move(mgr).value();
+
+    EditServiceOptions options;
+    options.expose_metrics = true;
+    options.durability = durability.get();
+    options.replication.role = role;
+    options.replication.primary_port = primary_port;
+    options.replication.poll_interval = std::chrono::milliseconds(5);
+    auto created = EditService::Create(&world.dataset.kg, world.model.get(),
+                                       GraceConfig(), options);
+    if (created.ok()) service = std::move(created).value();
+  }
+
+  uint16_t replication_port() const {
+    const auto* server = service->replication_server();
+    return server == nullptr ? 0 : server->port();
+  }
+
+  std::string dir;
+  World world;
+  std::unique_ptr<DurabilityManager> durability;
+  std::unique_ptr<EditService> service;
+};
+
+ScenarioResult RollingFailover() {
+  ScenarioResult result;
+  result.name = "rolling_failover";
+  ResetProfiler();
+
+  auto primary = std::make_unique<Node>("failover_p",
+                                        ReplicationRole::kPrimary);
+  if (primary->service == nullptr) {
+    result.Check(false, "primary boots");
+    return result;
+  }
+  Node follower("failover_f", ReplicationRole::kFollower,
+                primary->replication_port());
+  if (follower.service == nullptr) {
+    result.Check(false, "follower boots");
+    return result;
+  }
+
+  // Phase 1: six edits land on the old primary and replicate.
+  const std::vector<EditCase> cases(follower.world.dataset.cases);
+  size_t phase1_acked = 0;
+  for (size_t i = 0; i < 6; ++i) {
+    const auto r = primary->service->SubmitAndWait(
+        EditRequest::Edit(cases[i].edit, "alice"));
+    if (r.ok() && r->applied()) ++phase1_acked;
+  }
+  result.Check(phase1_acked == 6, "phase-1 edits acknowledged");
+  const uint64_t head = primary->service->applied_sequence();
+  result.Check(WaitFor([&] {
+                 return follower.service->applied_sequence() >= head;
+               }),
+               "follower caught up before the failure");
+
+  // Readers keep hammering the follower while the primary dies under them.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::thread reader([&] {
+    std::mt19937_64 rng(kSeed);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const EditCase& c = cases[rng() % 6];
+      const auto snapshot = follower.service->GetSnapshot();
+      if (snapshot.ok()) {
+        (void)snapshot->Ask(c.edit.subject, c.edit.relation);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  // The primary dies; the follower is promoted mid-traffic.
+  primary->service->Stop();
+  primary.reset();
+  const Status promoted = follower.service->Promote();
+  result.Check(promoted.ok(), "follower promotes");
+
+  // Phase 2: the remaining six edits land on the new primary.
+  size_t phase2_acked = 0;
+  for (size_t i = 6; i < cases.size(); ++i) {
+    const auto r = follower.service->SubmitAndWait(
+        EditRequest::Edit(cases[i].edit, "alice"));
+    if (r.ok() && r->applied()) ++phase2_acked;
+  }
+  stop.store(true);
+  reader.join();
+  result.Check(phase2_acked == 6, "phase-2 edits acknowledged post-failover");
+  result.Check(reads.load() > 0, "reads kept flowing through the failover");
+
+  const uint16_t port = follower.service->metrics_server()->port();
+  const std::string metrics = HttpGet(port, "/metrics");
+  result.Check(Scrape(metrics, "oneedit_repl_batches_applied_total") >= 1,
+               "survivor applied shipped batches while following");
+  // Followers tick the accepted counter when applying replicated batches,
+  // so the survivor's count must span both terms.
+  result.Check(Scrape(metrics, "oneedit_edits_accepted_total") ==
+                   static_cast<double>(phase1_acked + phase2_acked),
+               "survivor's accepted counter spans both terms");
+  result.Check(
+      metrics.find("oneedit_service_health{state=\"healthy\"} 1") !=
+          std::string::npos,
+      "survivor is healthy");
+
+  // Zero acknowledged loss across the failover: every edit either term
+  // acknowledged still decodes on the survivor.
+  const Snapshot snapshot = *follower.service->GetSnapshot();
+  for (const EditCase& c : cases) {
+    const auto decode = snapshot.Ask(c.edit.subject, c.edit.relation);
+    result.Check(decode.ok() && decode->entity == c.edit.object,
+                 "acked edit survives failover: " + c.edit.subject);
+  }
+
+  result.Detail("phase1_acked", static_cast<double>(phase1_acked));
+  result.Detail("phase2_acked", static_cast<double>(phase2_acked));
+  result.Detail("reads_during_failover", static_cast<double>(reads.load()));
+  result.Detail("repl_batches_applied",
+                Scrape(metrics, "oneedit_repl_batches_applied_total"));
+  follower.service->Stop();
+  return result;
+}
+
+// -------------------------------------------------------- 5. disk_full ----
+
+ScenarioResult DiskFull() {
+  ScenarioResult result;
+  result.name = "disk_full";
+  ResetProfiler();
+
+  const std::string dir = TempDirFor("disk_full");
+  FaultInjectingEnv fault(Env::Default());
+  DurabilityOptions dopts;
+  dopts.dir = dir;
+  dopts.env = &fault;
+  auto mgr = DurabilityManager::Open(dopts);
+  if (!mgr.ok()) {
+    result.Check(false, "durability opens");
+    return result;
+  }
+
+  World world;
+  EditServiceOptions options;
+  options.expose_metrics = true;
+  options.durability = mgr->get();
+  options.self_heal.heal_probe_interval = std::chrono::milliseconds(10);
+  auto service = EditService::Create(&world.dataset.kg, world.model.get(),
+                                     GraceConfig(), options);
+  if (!service.ok()) {
+    result.Check(false, "service boots");
+    return result;
+  }
+  const uint16_t port = (*service)->metrics_server()->port();
+
+  // Healthy traffic first: four edits acknowledged and durable.
+  size_t acked = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    const auto r = (*service)->SubmitAndWait(
+        EditRequest::Edit(world.dataset.cases[i].edit, "alice"));
+    if (r.ok() && r->applied()) ++acked;
+  }
+  result.Check(acked == 4, "pre-outage edits acknowledged");
+
+  // The disk runs dry mid-traffic: the next write must be shed typed, not
+  // acknowledged-and-lost.
+  fault.SetDiskBudget(0);
+  const auto shed = (*service)->SubmitAndWait(
+      EditRequest::Edit(world.dataset.cases[4].edit, "bob"));
+  result.Check(shed.ok() && shed->kind == EditResult::Kind::kRejected,
+               "full-disk write shed with a typed rejection");
+
+  const std::string degraded_metrics = HttpGet(port, "/metrics");
+  result.Check(
+      Scrape(degraded_metrics, "oneedit_enospc_rejects_total") >= 1,
+      "ENOSPC shed visible on /metrics");
+  result.Check(
+      degraded_metrics.find("oneedit_service_health{state=\"healthy\"} 1") ==
+          std::string::npos,
+      "service left full health during the outage");
+  // Reads must keep serving while degraded.
+  result.Check((*service)->GetSnapshot().ok(), "reads serve while degraded");
+
+  // Space frees; the half-open probe must heal the service, no restart.
+  fault.SetDiskBudget(-1);
+  result.Check(WaitFor([&] {
+                 return (*service)->health() == ServiceHealth::kHealthy;
+               }),
+               "service healed after space freed");
+  const auto retried = (*service)->SubmitAndWait(
+      EditRequest::Edit(world.dataset.cases[4].edit, "bob"));
+  result.Check(retried.ok() && retried->applied(),
+               "shed edit retries successfully after heal");
+
+  const std::string metrics = HttpGet(port, "/metrics");
+  result.Check(Scrape(metrics, "oneedit_health_transitions_total") >= 2,
+               "health ladder recorded the round trip");
+  result.Check(
+      metrics.find("oneedit_service_health{state=\"healthy\"} 1") !=
+          std::string::npos,
+      "service healthy after heal");
+
+  // Zero acknowledged loss: the pre-outage edits never wavered.
+  const Snapshot snapshot = *(*service)->GetSnapshot();
+  for (size_t i = 0; i < 4; ++i) {
+    const EditCase& c = world.dataset.cases[i];
+    const auto decode = snapshot.Ask(c.edit.subject, c.edit.relation);
+    result.Check(decode.ok() && decode->entity == c.edit.object,
+                 "pre-outage edit decodes: " + c.edit.subject);
+  }
+
+  result.Detail("enospc_rejects",
+                Scrape(metrics, "oneedit_enospc_rejects_total"));
+  result.Detail("health_transitions",
+                Scrape(metrics, "oneedit_health_transitions_total"));
+  (*service)->Stop();
+  return result;
+}
+
+// ------------------------------------------------------ 6. rule_update ----
+
+ScenarioResult RuleUpdate() {
+  ScenarioResult result;
+  result.name = "rule_update";
+  ResetProfiler();
+
+  World world;
+  EditServiceOptions options;
+  options.expose_metrics = true;
+  auto service = EditService::Create(&world.dataset.kg, world.model.get(),
+                                     GraceConfig(), options);
+  if (!service.ok()) {
+    result.Check(false, "service boots");
+    return result;
+  }
+  const uint16_t port = (*service)->metrics_server()->port();
+
+  // The "governor" relation's starting rule weight (it anchors the
+  // first-lady rule's body).
+  obs::CostProfiler::Global().SetAggregationIntervalMillis(0);
+  size_t weight_before = 0;
+  {
+    (void)(*service)->SubmitAndWait(
+        EditRequest::Edit(world.dataset.cases[0].edit, "alice"));
+    for (const auto& entry :
+         obs::CostProfiler::Global().ExpensiveRules(16)) {
+      if (entry.name == "governor") weight_before = entry.weight;
+    }
+  }
+
+  // Stream the remaining edits while a rule lands mid-stream under the
+  // exclusive lock — a live config push during writes.
+  size_t acked = 1;  // case 0 above
+  bool rule_added = false;
+  for (size_t i = 1; i < world.dataset.cases.size(); ++i) {
+    if (i == world.dataset.cases.size() / 2) {
+      const Status added =
+          (*service)->WithExclusive([&](OneEditSystem& system) {
+            auto rule = ParseHornRule(
+                "shadow_first_lady(x, z) :- governor(x, y), spouse(y, z)",
+                &system.kg().schema());
+            if (!rule.ok()) return rule.status();
+            system.kg().rules().AddRule(*rule);
+            return Status::OK();
+          });
+      rule_added = added.ok();
+    }
+    const auto r = (*service)->SubmitAndWait(
+        EditRequest::Edit(world.dataset.cases[i].edit, "alice"));
+    if (r.ok() && r->applied()) ++acked;
+  }
+  result.Check(rule_added, "rule landed under the exclusive lock");
+  result.Check(acked == world.dataset.cases.size(),
+               "every edit acknowledged across the rule push");
+
+  // The profiler's relation weights picked up the new rule: "governor" now
+  // anchors one more rule body than before.
+  size_t weight_after = 0;
+  for (const auto& entry : obs::CostProfiler::Global().ExpensiveRules(16)) {
+    if (entry.name == "governor") weight_after = entry.weight;
+  }
+  result.Check(weight_after == weight_before + 1,
+               "profiler rule weight tracks the live rule push");
+
+  obs::CostProfiler::Global().SetAggregationIntervalMillis(60000);
+  obs::CostProfiler::Global().Aggregate();
+  const std::string metrics = HttpGet(port, "/metrics");
+  result.Check(
+      !ScrapeLabeled(metrics, "oneedit_profiler_expensive_rule_cost").empty(),
+      "expensive-rule gauges exported");
+  result.Check(
+      metrics.find("oneedit_service_health{state=\"healthy\"} 1") !=
+          std::string::npos,
+      "service healthy after the rule push");
+
+  const Snapshot snapshot = *(*service)->GetSnapshot();
+  for (const EditCase& c : world.dataset.cases) {
+    const auto decode = snapshot.Ask(c.edit.subject, c.edit.relation);
+    result.Check(decode.ok() && decode->entity == c.edit.object,
+                 "acked edit decodes: " + c.edit.subject);
+  }
+
+  result.Detail("edits_acked", static_cast<double>(acked));
+  result.Detail("governor_weight_before",
+                static_cast<double>(weight_before));
+  result.Detail("governor_weight_after", static_cast<double>(weight_after));
+  (*service)->Stop();
+  return result;
+}
+
+// ------------------------------------------------------------- driver ----
+
+int RunScenarioBench() {
+  std::cout << "Scenario matrix: seeded workload shapes vs live EditService "
+               "invariants (seed " << kSeed << ")\n\n";
+
+  std::vector<ScenarioResult> results;
+  results.push_back(ZipfReadStorm());
+  results.push_back(EditBurst());
+  results.push_back(PoisonStorm());
+  results.push_back(RollingFailover());
+  results.push_back(DiskFull());
+  results.push_back(RuleUpdate());
+  ResetProfiler();
+
+  bool all_pass = true;
+  for (const ScenarioResult& r : results) {
+    std::cout << (r.pass ? "PASS" : "FAIL") << "  " << r.name << "\n";
+    for (const std::string& failure : r.failures) {
+      std::cout << "      invariant violated: " << failure << "\n";
+      all_pass = false;
+    }
+  }
+
+  std::ofstream json("BENCH_scenarios.json");
+  json << "{\"seed\":" << kSeed << ",\"scenarios\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    if (i > 0) json << ",";
+    json << "{\"scenario\":\"" << r.name << "\",\"pass\":"
+         << (r.pass ? "true" : "false") << ",\"failed_invariants\":[";
+    for (size_t f = 0; f < r.failures.size(); ++f) {
+      if (f > 0) json << ",";
+      json << "\"" << r.failures[f] << "\"";
+    }
+    json << "]";
+    if (!r.details.empty()) json << "," << r.details;
+    json << "}";
+  }
+  json << "],\"pass\":" << (all_pass ? "true" : "false") << "}\n";
+  json.close();
+  std::cout << "\nwrote BENCH_scenarios.json ("
+            << results.size() << " scenarios)\n";
+  std::cout << "scenario matrix: " << (all_pass ? "PASS" : "FAIL") << "\n";
+  return all_pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace oneedit
+
+int main() { return oneedit::RunScenarioBench(); }

@@ -38,6 +38,14 @@
 #             zero acknowledged-edit loss, no edit acked by two primaries,
 #             deposed-primary demotion, and byte-identical journals after
 #             divergence reconciliation. 10 seeded rounds.
+#   scenarios Scenario matrix: bench/scenario_bench drives a live
+#             EditService (and a primary+follower pair) through seeded
+#             workload shapes — Zipf read storm, edit burst, poison storm,
+#             rolling failover, disk-full, live rule push — each asserting
+#             its invariants (zero acknowledged loss, quarantine trips,
+#             health transitions, profiler top-K matches injected skew) by
+#             scraping the service's own /metrics, and emits per-scenario
+#             rows into BENCH_scenarios.json.
 #   scrub     Storage-fault chaos: the full scrub/repair suite (disk-budget
 #             ENOSPC degradation, bit-flip-at-every-offset scrubbing,
 #             salvage recovery, replica-assisted repair) plus 10 seeded
@@ -95,8 +103,12 @@ case "${matrix}" in
     flags=""
     build_type=Release
     ;;
+  scenarios)
+    flags=""
+    build_type=Release
+    ;;
   *)
-    echo "unknown matrix entry: ${matrix} (want default|tsan|asan|snapshot|recovery|chaos|metrics|replication|partition|scrub)" >&2
+    echo "unknown matrix entry: ${matrix} (want default|tsan|asan|snapshot|recovery|chaos|metrics|replication|partition|scrub|scenarios)" >&2
     exit 2
     ;;
 esac
@@ -137,7 +149,7 @@ if [[ "${matrix}" == "tsan" ]]; then
   # TSan slows everything ~10x; run the concurrency tests (the reason this
   # entry exists) plus a smoke slice of the core suite.
   ctest -j "${jobs}" --output-on-failure \
-    -R 'EditServiceTest|EditServiceShutdownTest|ServiceSelfHealTest|ConcurrentOneEditTest|OneEditTest|EditServiceDurabilityTest|TraceRecorderTest|EditServiceObsTest|MetricsServerTest|ReplicationTest|ReplicationWireTest|ReplicationTermTest|ReplicationServerTest|ReplicationFollowerTest|ReplicationPartitionTest|FaultInjectingNetTest|EditWalCursorTest|NetTest|SnapshotHubTest|EditServiceSnapshotTest|ScrubberTest|ReplicaRepairTest|DiskFullServiceTest'
+    -R 'EditServiceTest|EditServiceShutdownTest|ServiceSelfHealTest|ConcurrentOneEditTest|OneEditTest|EditServiceDurabilityTest|TraceRecorderTest|EditServiceObsTest|MetricsServerTest|ProfilerTest|ReplicationTest|ReplicationWireTest|ReplicationTermTest|ReplicationServerTest|ReplicationFollowerTest|ReplicationPartitionTest|FaultInjectingNetTest|EditWalCursorTest|NetTest|SnapshotHubTest|EditServiceSnapshotTest|ScrubberTest|ReplicaRepairTest|DiskFullServiceTest'
 elif [[ "${matrix}" == "recovery" ]]; then
   # Crash-recovery smoke. A clean run of the workload performs ~20 file ops
   # (WAL appends, fsyncs, checkpoint writes, renames, rotations); kill the
@@ -271,6 +283,41 @@ elif [[ "${matrix}" == "metrics" ]]; then
   # Health state machine exports as a one-hot gauge family.
   if ! grep -q '^oneedit_service_health{state="healthy"}' "${workdir}/metrics.txt"; then
     echo "METRICS FAILED: missing service_health gauge" >&2
+    exit 1
+  fi
+  # Graph-cost profiler: the service runs with profiling on, so the scalar
+  # gauges/counters must be present, the profiler must report enabled, and
+  # (edits flowed before the scrape) the labeled top-K families must carry
+  # at least one hot entity and relation row.
+  if ! grep -q '^oneedit_profiler_enabled 1' "${workdir}/metrics.txt"; then
+    echo "METRICS FAILED: profiler not enabled on a profiling service" >&2
+    exit 1
+  fi
+  for gauge in profiler_entities_tracked profiler_relations_tracked; do
+    if ! grep -q "^oneedit_${gauge} " "${workdir}/metrics.txt"; then
+      echo "METRICS FAILED: missing gauge oneedit_${gauge}" >&2
+      exit 1
+    fi
+  done
+  for family in profiler_dropped profiler_aggregations; do
+    if ! grep -q "^# TYPE oneedit_${family}_total counter$" "${workdir}/metrics.txt"; then
+      echo "METRICS FAILED: missing counter family oneedit_${family}_total" >&2
+      exit 1
+    fi
+  done
+  for family in profiler_hot_entity_cost profiler_hot_entity_reads \
+      profiler_hot_entity_edits profiler_expensive_rule_cost; do
+    if ! grep -q "^# TYPE oneedit_${family} gauge$" "${workdir}/metrics.txt"; then
+      echo "METRICS FAILED: missing labeled family oneedit_${family}" >&2
+      exit 1
+    fi
+  done
+  if ! grep -q '^oneedit_profiler_hot_entity_cost{entity="' "${workdir}/metrics.txt"; then
+    echo "METRICS FAILED: no hot-entity rows despite applied edits" >&2
+    exit 1
+  fi
+  if ! grep -q '^oneedit_profiler_expensive_rule_cost{relation="' "${workdir}/metrics.txt"; then
+    echo "METRICS FAILED: no expensive-rule rows despite applied edits" >&2
     exit 1
   fi
   # The replication section is exported regardless of topology: a
@@ -426,6 +473,24 @@ elif [[ "${matrix}" == "partition" ]]; then
   ONEEDIT_PARTITION_ROUNDS=10 ctest -j "${jobs}" --output-on-failure \
     -R 'ReplicationPartitionTest'
   echo "partition chaos passed: 10 seeded dual-primary rounds, invariants held"
+elif [[ "${matrix}" == "scenarios" ]]; then
+  # Scenario matrix: every workload shape runs its invariants against the
+  # live /metrics surface; the binary exits nonzero on the first violated
+  # invariant, and the JSON artifact must agree.
+  ./bench/scenario_bench
+  python3 -c "
+import json
+doc = json.load(open('BENCH_scenarios.json'))
+names = {s['scenario'] for s in doc['scenarios']}
+want = {'zipf_read_storm', 'edit_burst', 'poison_storm', 'rolling_failover',
+        'disk_full', 'rule_update'}
+missing = want - names
+assert not missing, f'scenarios missing from artifact: {missing}'
+assert doc['pass'], 'scenario matrix artifact reports failure'
+for s in doc['scenarios']:
+    assert s['pass'] and not s['failed_invariants'], s['scenario']
+"
+  echo "scenario matrix passed: all invariants held (BENCH_scenarios.json)"
 elif [[ "${matrix}" == "scrub" ]]; then
   # Storage-fault chaos: the deterministic scrub/repair suites (Env storage
   # primitives, injected disk budget, ENOSPC ladder, tmp sweeping, salvage

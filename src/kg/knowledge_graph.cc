@@ -35,6 +35,17 @@ std::string KgReadView::Canonical(const std::string& name) const {
   return entities_->Name(it->second);
 }
 
+uint64_t KgReadView::FanOut(const std::string& name) const {
+  if (store_ == nullptr) return 0;
+  auto id = entities_->Lookup(name);
+  if (!id.ok()) return 0;
+  EntityId e = id.value();
+  const auto it = alias_of_->find(e);
+  if (it != alias_of_->end()) e = it->second;
+  return static_cast<uint64_t>(store_->SubjectOutDegree(e) +
+                               store_->ObjectInDegree(e));
+}
+
 KgReadView KnowledgeGraph::SnapshotView() const {
   if (!view_valid_ || view_stamp_ != state_stamp_ ||
       view_schema_size_ != schema_.size()) {

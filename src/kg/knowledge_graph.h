@@ -47,6 +47,12 @@ class KgReadView {
   /// unknown).
   std::string Canonical(const std::string& name) const;
 
+  /// Graph fan-out of `name`'s canonical entity at capture time: triples
+  /// with it as subject plus triples with it as object. Unknown names are 0.
+  /// Cheap (two hash lookups + a small per-relation sum) — the cost
+  /// profiler's aggregator calls this for every tracked entity per cycle.
+  uint64_t FanOut(const std::string& name) const;
+
  private:
   friend class KnowledgeGraph;
 

@@ -70,6 +70,22 @@ std::vector<Triple> TripleStore::AllTriples() const {
   return out;
 }
 
+size_t TripleStore::SubjectOutDegree(EntityId s) const {
+  auto it = by_subject_.find(s);
+  if (it == by_subject_.end()) return 0;
+  size_t degree = 0;
+  for (const auto& [r, objects] : it->second) degree += objects.size();
+  return degree;
+}
+
+size_t TripleStore::ObjectInDegree(EntityId o) const {
+  auto it = by_object_.find(o);
+  if (it == by_object_.end()) return 0;
+  size_t degree = 0;
+  for (const auto& [r, subjects] : it->second) degree += subjects.size();
+  return degree;
+}
+
 void TripleStore::Clear() {
   all_.clear();
   by_subject_.clear();

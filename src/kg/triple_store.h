@@ -43,6 +43,13 @@ class TripleStore {
   /// Every triple, sorted. O(n log n); intended for snapshots and tests.
   std::vector<Triple> AllTriples() const;
 
+  /// Number of triples whose subject is s (the subject-side out-degree).
+  /// O(distinct relations of s) — cheap enough for per-scrape aggregation.
+  size_t SubjectOutDegree(EntityId s) const;
+
+  /// Number of triples whose object is o (the object-side in-degree).
+  size_t ObjectInDegree(EntityId o) const;
+
   size_t size() const { return all_.size(); }
   bool empty() const { return all_.empty(); }
   void Clear();

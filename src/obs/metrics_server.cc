@@ -18,6 +18,8 @@ const char* StatusLine(int status) {
   switch (status) {
     case 200:
       return "200 OK";
+    case 400:
+      return "400 Bad Request";
     case 404:
       return "404 Not Found";
     case 503:

@@ -1,0 +1,316 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace oneedit {
+namespace obs {
+
+namespace {
+
+/// FNV-1a over the key name; 0 is reserved for "empty slot".
+uint64_t Fingerprint(std::string_view name) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h == 0 ? 1 : h;
+}
+
+/// Formats a double the same way for /profile JSON and test comparisons.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+double TotalCost(const CostEntry& e) {
+  return static_cast<double>(e.requests + e.edits + e.read_micros +
+                             e.edit_micros) *
+         static_cast<double>(1 + e.weight);
+}
+
+void SortRanking(std::vector<CostEntry>* entries) {
+  std::sort(entries->begin(), entries->end(),
+            [](const CostEntry& a, const CostEntry& b) {
+              if (a.total_cost != b.total_cost)
+                return a.total_cost > b.total_cost;
+              return a.name < b.name;  // deterministic tiebreak
+            });
+}
+
+void AppendEntryJson(const std::vector<CostEntry>& entries, size_t k,
+                     std::string* out) {
+  *out += "[";
+  const size_t n = std::min(k, entries.size());
+  for (size_t i = 0; i < n; ++i) {
+    const CostEntry& e = entries[i];
+    if (i > 0) *out += ",";
+    *out += "{\"name\":\"" + MetricsRegistry::JsonEscape(e.name) + "\"";
+    *out += ",\"requests\":" + std::to_string(e.requests);
+    *out += ",\"read_micros\":" + std::to_string(e.read_micros);
+    *out += ",\"edits\":" + std::to_string(e.edits);
+    *out += ",\"edit_micros\":" + std::to_string(e.edit_micros);
+    *out += ",\"weight\":" + std::to_string(e.weight);
+    *out += ",\"total_cost\":" + FormatDouble(e.total_cost);
+    *out += "}";
+  }
+  *out += "]";
+}
+
+}  // namespace
+
+CostProfiler& CostProfiler::Global() {
+  static CostProfiler* profiler = new CostProfiler();
+  return *profiler;
+}
+
+void CostProfiler::SetEntityWeightProvider(WeightProvider provider,
+                                           const void* owner) {
+  std::lock_guard<std::mutex> lock(agg_mutex_);
+  entity_weights_ = std::move(provider);
+  entity_weights_owner_ = owner;
+}
+
+void CostProfiler::SetRelationWeightProvider(WeightProvider provider,
+                                             const void* owner) {
+  std::lock_guard<std::mutex> lock(agg_mutex_);
+  relation_weights_ = std::move(provider);
+  relation_weights_owner_ = owner;
+}
+
+void CostProfiler::ClearWeightProviders(const void* owner) {
+  std::lock_guard<std::mutex> lock(agg_mutex_);
+  if (owner == nullptr || entity_weights_owner_ == owner) {
+    entity_weights_ = nullptr;
+    entity_weights_owner_ = nullptr;
+  }
+  if (owner == nullptr || relation_weights_owner_ == owner) {
+    relation_weights_ = nullptr;
+    relation_weights_owner_ = nullptr;
+  }
+}
+
+size_t CostProfiler::ShardForThisThread() {
+  static thread_local const size_t shard =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) % kShards;
+  return shard;
+}
+
+template <size_t N>
+void CostProfiler::Tick(Table<N>& table, std::string_view name,
+                        uint64_t requests, uint64_t read_micros,
+                        uint64_t edits, uint64_t edit_micros) {
+  if (name.empty()) return;
+  const uint64_t fp = Fingerprint(name);
+  size_t idx = static_cast<size_t>(fp % N);
+  for (size_t probe = 0; probe < kMaxProbes; ++probe, idx = (idx + 1) % N) {
+    Slot& slot = table.slots[idx];
+    uint64_t cur = slot.fp.load(std::memory_order_acquire);
+    if (cur == 0) {
+      if (slot.fp.compare_exchange_strong(cur, fp,
+                                          std::memory_order_acq_rel)) {
+        // CAS winner is the slot's sole name writer; the release store of
+        // name_ready publishes the string to the aggregator.
+        slot.name.assign(name.data(), name.size());
+        slot.name_ready.store(true, std::memory_order_release);
+        cur = fp;
+      }
+      // On CAS failure `cur` holds the occupant's fingerprint; fall through.
+    }
+    if (cur == fp) {
+      if (requests != 0)
+        slot.requests.fetch_add(requests, std::memory_order_relaxed);
+      if (read_micros != 0)
+        slot.read_micros.fetch_add(read_micros, std::memory_order_relaxed);
+      if (edits != 0) slot.edits.fetch_add(edits, std::memory_order_relaxed);
+      if (edit_micros != 0)
+        slot.edit_micros.fetch_add(edit_micros, std::memory_order_relaxed);
+      return;
+    }
+  }
+  table.dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CostProfiler::RecordRead(std::string_view entity,
+                              std::string_view relation, uint64_t micros) {
+  if (!enabled()) return;
+  const size_t shard = ShardForThisThread();
+  Tick(entity_shards_[shard], entity, /*requests=*/1, micros, 0, 0);
+  Tick(relation_shards_[shard], relation, /*requests=*/1, micros, 0, 0);
+}
+
+void CostProfiler::RecordEdit(std::string_view subject,
+                              std::string_view relation,
+                              std::string_view object, uint64_t micros) {
+  if (!enabled()) return;
+  const size_t shard = ShardForThisThread();
+  Tick(entity_shards_[shard], subject, 0, 0, /*edits=*/1, micros);
+  if (!object.empty() && object != subject) {
+    // Churn only: the apply micros are already attributed to the subject.
+    Tick(entity_shards_[shard], object, 0, 0, /*edits=*/1, 0);
+  }
+  Tick(relation_shards_[shard], relation, 0, 0, /*edits=*/1, micros);
+}
+
+uint64_t CostProfiler::dropped() const {
+  uint64_t total = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    total += entity_shards_[s].dropped.load(std::memory_order_relaxed);
+    total += relation_shards_[s].dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+namespace {
+
+/// Merges every published slot of `shards` into a per-name map.
+template <typename TableArray>
+void MergeShards(const TableArray& shards,
+                 std::unordered_map<std::string, CostEntry>* merged) {
+  for (const auto& table : shards) {
+    for (const auto& slot : table.slots) {
+      if (slot.fp.load(std::memory_order_acquire) == 0) continue;
+      if (!slot.name_ready.load(std::memory_order_acquire)) continue;
+      CostEntry& e = (*merged)[slot.name];
+      if (e.name.empty()) e.name = slot.name;
+      e.requests += slot.requests.load(std::memory_order_relaxed);
+      e.read_micros += slot.read_micros.load(std::memory_order_relaxed);
+      e.edits += slot.edits.load(std::memory_order_relaxed);
+      e.edit_micros += slot.edit_micros.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<CostEntry> RankMerged(
+    std::unordered_map<std::string, CostEntry> merged,
+    const CostProfiler::WeightProvider& weights) {
+  std::vector<CostEntry> entries;
+  entries.reserve(merged.size());
+  for (auto& [name, entry] : merged) entries.push_back(std::move(entry));
+  if (weights != nullptr && !entries.empty()) {
+    std::vector<std::string> names;
+    names.reserve(entries.size());
+    for (const CostEntry& e : entries) names.push_back(e.name);
+    const std::vector<uint64_t> w = weights(names);
+    for (size_t i = 0; i < entries.size() && i < w.size(); ++i) {
+      entries[i].weight = w[i];
+    }
+  }
+  for (CostEntry& e : entries) e.total_cost = TotalCost(e);
+  SortRanking(&entries);
+  return entries;
+}
+
+}  // namespace
+
+void CostProfiler::AggregateLocked() {
+  std::unordered_map<std::string, CostEntry> entities;
+  std::unordered_map<std::string, CostEntry> relations;
+  MergeShards(entity_shards_, &entities);
+  MergeShards(relation_shards_, &relations);
+  hot_entities_ = RankMerged(std::move(entities), entity_weights_);
+  expensive_rules_ = RankMerged(std::move(relations), relation_weights_);
+  entities_tracked_.store(hot_entities_.size(), std::memory_order_relaxed);
+  relations_tracked_.store(expensive_rules_.size(),
+                           std::memory_order_relaxed);
+  last_aggregate_ns_ = TraceNowNanos();
+  if (last_aggregate_ns_ == 0) last_aggregate_ns_ = 1;
+  aggregations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CostProfiler::MaybeAggregateLocked() {
+  const uint64_t interval_ns =
+      interval_millis_.load(std::memory_order_relaxed) * 1000000ull;
+  if (last_aggregate_ns_ != 0 &&
+      TraceNowNanos() - last_aggregate_ns_ < interval_ns) {
+    return;
+  }
+  AggregateLocked();
+}
+
+void CostProfiler::Aggregate() {
+  std::lock_guard<std::mutex> lock(agg_mutex_);
+  AggregateLocked();
+}
+
+void CostProfiler::RefreshIfStale() {
+  std::lock_guard<std::mutex> lock(agg_mutex_);
+  MaybeAggregateLocked();
+}
+
+std::vector<CostEntry> CostProfiler::HotEntities(size_t k) {
+  std::lock_guard<std::mutex> lock(agg_mutex_);
+  MaybeAggregateLocked();
+  const size_t n = std::min(k, hot_entities_.size());
+  return {hot_entities_.begin(), hot_entities_.begin() + n};
+}
+
+std::vector<CostEntry> CostProfiler::ExpensiveRules(size_t k) {
+  std::lock_guard<std::mutex> lock(agg_mutex_);
+  MaybeAggregateLocked();
+  const size_t n = std::min(k, expensive_rules_.size());
+  return {expensive_rules_.begin(), expensive_rules_.begin() + n};
+}
+
+std::string CostProfiler::ProfileJson(size_t k) {
+  std::lock_guard<std::mutex> lock(agg_mutex_);
+  MaybeAggregateLocked();
+  std::string out = "{";
+  out += "\"enabled\":" + std::string(enabled() ? "true" : "false");
+  out += ",\"k\":" + std::to_string(k);
+  out += ",\"aggregations\":" +
+         std::to_string(aggregations_.load(std::memory_order_relaxed));
+  out += ",\"interval_millis\":" +
+         std::to_string(interval_millis_.load(std::memory_order_relaxed));
+  out += ",\"entities_tracked\":" +
+         std::to_string(entities_tracked_.load(std::memory_order_relaxed));
+  out += ",\"relations_tracked\":" +
+         std::to_string(relations_tracked_.load(std::memory_order_relaxed));
+  out += ",\"dropped\":" + std::to_string(dropped());
+  out += ",\"hot_entities\":";
+  AppendEntryJson(hot_entities_, k, &out);
+  out += ",\"expensive_rules\":";
+  AppendEntryJson(expensive_rules_, k, &out);
+  out += "}";
+  return out;
+}
+
+void CostProfiler::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(agg_mutex_);
+  auto reset_table = [](auto& table) {
+    for (auto& slot : table.slots) {
+      slot.name_ready.store(false, std::memory_order_relaxed);
+      slot.requests.store(0, std::memory_order_relaxed);
+      slot.read_micros.store(0, std::memory_order_relaxed);
+      slot.edits.store(0, std::memory_order_relaxed);
+      slot.edit_micros.store(0, std::memory_order_relaxed);
+      slot.fp.store(0, std::memory_order_relaxed);
+    }
+    table.dropped.store(0, std::memory_order_relaxed);
+  };
+  for (size_t s = 0; s < kShards; ++s) {
+    reset_table(entity_shards_[s]);
+    reset_table(relation_shards_[s]);
+  }
+  entity_weights_ = nullptr;
+  relation_weights_ = nullptr;
+  entity_weights_owner_ = nullptr;
+  relation_weights_owner_ = nullptr;
+  hot_entities_.clear();
+  expensive_rules_.clear();
+  last_aggregate_ns_ = 0;
+  entities_tracked_.store(0, std::memory_order_relaxed);
+  relations_tracked_.store(0, std::memory_order_relaxed);
+  aggregations_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace oneedit

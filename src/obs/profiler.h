@@ -1,0 +1,236 @@
+#ifndef ONEEDIT_OBS_PROFILER_H_
+#define ONEEDIT_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oneedit {
+namespace obs {
+
+/// One ranked row from the cost profiler's aggregator: a named key (entity
+/// or relation) with its accumulated traffic and the graph weight joined in
+/// at aggregation time.
+struct CostEntry {
+  std::string name;
+  /// Ask decodes that touched the key (reads).
+  uint64_t requests = 0;
+  /// Cumulative read micros attributed to the key.
+  uint64_t read_micros = 0;
+  /// Edit-apply operations that touched the key (churn).
+  uint64_t edits = 0;
+  /// Cumulative edit-apply micros attributed to the key.
+  uint64_t edit_micros = 0;
+  /// Graph weight at aggregation time: KG fan-out (entities) or the number
+  /// of Horn rules touching the relation (relations). 0 without a provider.
+  uint64_t weight = 0;
+  /// The includeguardian-style total cost:
+  ///   (requests + edits + read_micros + edit_micros) * (1 + weight)
+  /// i.e. traffic volume-plus-time scaled by how much of the graph hangs
+  /// off the key. The op counts keep the ranking meaningful even when a
+  /// single op is below the clock's microsecond resolution.
+  double total_cost = 0.0;
+
+  uint64_t ops() const { return requests + edits; }
+  uint64_t micros() const { return read_micros + edit_micros; }
+};
+
+/// Process-wide, always-compiled-in cost accounting for the serving hot
+/// paths: which entities and relations are expensive, not just how slow a
+/// request was.
+///
+/// Write side (RecordRead / RecordEdit) is lock-free and designed to sit
+/// directly in the Ask decode and edit-apply paths: the key's 64-bit
+/// fingerprint picks a slot in a fixed-capacity open-addressed table, and
+/// a hit is a handful of relaxed fetch_adds. Tables are sharded by thread
+/// (hash of the thread id picks one of kShards independent tables) so
+/// concurrent writers rarely contend on a cache line; the aggregator sums
+/// shards per key. A table that fills up drops new keys into a counter
+/// instead of blocking or resizing — profiling telemetry must never stall
+/// the serving path.
+///
+/// Read side (HotEntities / ExpensiveRules / ProfileJson) merges the shards
+/// under a mutex, joins each key with a registered graph-weight provider
+/// (KG fan-out for entities, rules-touching counts for relations), computes
+/// the total-cost ranking, and caches it for `aggregation_interval_millis`
+/// so scrapes and admin queries between cycles see a stable top-K.
+///
+/// Mirrors TraceRecorder: a Global() singleton with a runtime enable switch
+/// (default off → every record call is one acquire load), so the hooks stay
+/// compiled into the hot path unconditionally.
+class CostProfiler {
+ public:
+  /// Independent writer shards per key kind (thread id hash picks one).
+  static constexpr size_t kShards = 8;
+  /// Slots per entity shard (total capacity: kShards * kEntitySlots distinct
+  /// writer-thread x entity combinations).
+  static constexpr size_t kEntitySlots = 1024;
+  /// Slots per relation shard (schemas are small).
+  static constexpr size_t kRelationSlots = 256;
+  /// Linear probes before a new key is counted as dropped.
+  static constexpr size_t kMaxProbes = 16;
+
+  static CostProfiler& Global();
+
+  /// Master switch, default off. When disabled every record call is a
+  /// near-free no-op, so the profiler can stay hooked into the hot path.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_release);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// Batch graph-weight provider: given key names, returns one weight per
+  /// name (same order). Registered by the serving layer (obs stays
+  /// dependency-free); called under the aggregation mutex, at most once per
+  /// aggregation cycle, so one provider call can pin one KG snapshot.
+  using WeightProvider =
+      std::function<std::vector<uint64_t>(const std::vector<std::string>&)>;
+
+  /// Provider joining entities with KG fan-out (out-degree + in-degree).
+  /// `owner` tags the registration so ClearWeightProviders(owner) removes
+  /// only a provider this owner still holds (a later registration by
+  /// another service wins and survives the first owner's shutdown).
+  void SetEntityWeightProvider(WeightProvider provider,
+                               const void* owner = nullptr);
+  /// Provider joining relations with how many Horn rules touch them.
+  void SetRelationWeightProvider(WeightProvider provider,
+                                 const void* owner = nullptr);
+  /// Drops providers registered by `owner` (nullptr drops both
+  /// unconditionally). A service shutting down must call this before the
+  /// state its providers capture is destroyed.
+  void ClearWeightProviders(const void* owner = nullptr);
+
+  // --- Hot-path write side ----------------------------------------------------
+
+  /// Ticks one Ask decode: `micros` of read work attributed to both the
+  /// subject entity and the relation. No-op when disabled.
+  void RecordRead(std::string_view entity, std::string_view relation,
+                  uint64_t micros);
+
+  /// Ticks one applied edit: `micros` of apply work attributed to the
+  /// subject and the relation; the object is ticked for churn (edits) only,
+  /// so a batch's micros are not double-counted across entities. No-op when
+  /// disabled.
+  void RecordEdit(std::string_view subject, std::string_view relation,
+                  std::string_view object, uint64_t micros);
+
+  // --- Aggregated read side ---------------------------------------------------
+
+  /// Top `k` entities by total cost (descending, name-ascending tiebreak —
+  /// deterministic). Reaggregates if the cached ranking is older than the
+  /// aggregation interval.
+  std::vector<CostEntry> HotEntities(size_t k);
+
+  /// Top `k` relations by total cost; "which rules/relations are expensive"
+  /// (a relation's weight is the number of Horn rules touching it).
+  std::vector<CostEntry> ExpensiveRules(size_t k);
+
+  /// Forces a reaggregation now, ignoring the interval. Tests and the
+  /// /profile endpoint's refresh path use this.
+  void Aggregate();
+
+  /// Runs the interval-gated reaggregation without reading a ranking, so
+  /// the tracked-count gauges agree with the top-K families within one
+  /// scrape regardless of export order.
+  void RefreshIfStale();
+
+  /// The /profile exposition: enabled flag, aggregate counters, and the two
+  /// top-`k` rankings as one JSON object.
+  std::string ProfileJson(size_t k);
+
+  /// How long a computed ranking is served before the next query
+  /// reaggregates. 0 = reaggregate on every query.
+  void SetAggregationIntervalMillis(uint64_t millis) {
+    interval_millis_.store(millis, std::memory_order_relaxed);
+  }
+  uint64_t aggregation_interval_millis() const {
+    return interval_millis_.load(std::memory_order_relaxed);
+  }
+
+  // --- Gauges -----------------------------------------------------------------
+
+  /// Distinct keys seen by the last aggregation.
+  uint64_t entities_tracked() const {
+    return entities_tracked_.load(std::memory_order_relaxed);
+  }
+  uint64_t relations_tracked() const {
+    return relations_tracked_.load(std::memory_order_relaxed);
+  }
+  /// Ticks lost because a table shard was full (new-key pressure).
+  uint64_t dropped() const;
+  /// Aggregation cycles completed.
+  uint64_t aggregations() const {
+    return aggregations_.load(std::memory_order_relaxed);
+  }
+
+  /// Testing only: zero every slot, counter, cache, and provider. Callers
+  /// must guarantee no concurrent Record* calls (the write side is not
+  /// reset-safe mid-tick).
+  void ResetForTesting();
+
+ private:
+  struct Slot {
+    /// 0 = empty; otherwise the key's nonzero fingerprint. Claimed by CAS.
+    std::atomic<uint64_t> fp{0};
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> read_micros{0};
+    std::atomic<uint64_t> edits{0};
+    std::atomic<uint64_t> edit_micros{0};
+    /// Release-published by the claiming thread after `name` is written;
+    /// the aggregator skips slots whose name is not yet readable.
+    std::atomic<bool> name_ready{false};
+    std::string name;
+  };
+
+  template <size_t N>
+  struct Table {
+    Slot slots[N];
+    std::atomic<uint64_t> dropped{0};
+  };
+
+  CostProfiler() = default;
+
+  /// Finds or claims `name`'s slot in one shard table and applies the
+  /// deltas; bumps the shard's dropped counter when the probe window is
+  /// exhausted.
+  template <size_t N>
+  static void Tick(Table<N>& table, std::string_view name, uint64_t requests,
+                   uint64_t read_micros, uint64_t edits, uint64_t edit_micros);
+
+  /// Which shard this thread writes to.
+  static size_t ShardForThisThread();
+
+  /// Merges shards, joins weights, recomputes both rankings. Caller holds
+  /// agg_mutex_.
+  void AggregateLocked();
+  /// Reaggregates if the cache is stale. Caller holds agg_mutex_.
+  void MaybeAggregateLocked();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> interval_millis_{500};
+
+  Table<kEntitySlots> entity_shards_[kShards];
+  Table<kRelationSlots> relation_shards_[kShards];
+
+  std::mutex agg_mutex_;
+  WeightProvider entity_weights_;              // agg_mutex_
+  WeightProvider relation_weights_;            // agg_mutex_
+  const void* entity_weights_owner_ = nullptr;    // agg_mutex_
+  const void* relation_weights_owner_ = nullptr;  // agg_mutex_
+  std::vector<CostEntry> hot_entities_;     // agg_mutex_
+  std::vector<CostEntry> expensive_rules_;  // agg_mutex_
+  uint64_t last_aggregate_ns_ = 0;          // agg_mutex_; 0 = never
+
+  std::atomic<uint64_t> entities_tracked_{0};
+  std::atomic<uint64_t> relations_tracked_{0};
+  std::atomic<uint64_t> aggregations_{0};
+};
+
+}  // namespace obs
+}  // namespace oneedit
+
+#endif  // ONEEDIT_OBS_PROFILER_H_

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "durability/checkpoint.h"
+#include "obs/profiler.h"
 #include "replication/repair.h"
 #include "util/logging.h"
 #include "util/net.h"
@@ -64,6 +65,67 @@ void FinishTrace(const obs::TraceContext& ctx) {
                                           obs::TraceNowNanos());
 }
 
+/// Rows each profiler_* labeled top-K gauge family exposes per scrape.
+constexpr size_t kProfilerTopK = 10;
+/// /profile?k= upper bound (labeled exposition is O(k) strings per row).
+constexpr size_t kMaxProfileTopK = 64;
+/// /traces?n= upper bound (trace reconstruction is the expensive part).
+constexpr size_t kMaxTraceDump = 100;
+
+/// What a count-valued query parameter ("?n=25") parsed to.
+enum class QueryParse {
+  kAbsent,  ///< parameter not present: use the route's default
+  kOk,      ///< a clean decimal number, clamped into [0, max]
+  kBad,     ///< present but empty or non-numeric: the route must 400
+};
+
+/// Strict parser for `key=<decimal>` in `path`'s query string. Unlike the
+/// old strtoul treatment, junk values ("?n=abc", "?n=") are surfaced as
+/// kBad — the endpoint answers 400 instead of silently serving a default —
+/// and oversized numerics clamp to `max_value` instead of overflowing.
+QueryParse ParseCountParam(const std::string& path, const std::string& key,
+                           size_t max_value, size_t* out) {
+  const size_t qmark = path.find('?');
+  if (qmark == std::string::npos) return QueryParse::kAbsent;
+  const std::string query = path.substr(qmark + 1);
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string param = query.substr(pos, amp - pos);
+    pos = amp + 1;
+    const size_t eq = param.find('=');
+    if (eq == std::string::npos) {
+      if (param == key) return QueryParse::kBad;  // bare "?n" has no value
+      continue;
+    }
+    if (param.compare(0, eq, key) != 0) continue;
+    const std::string value = param.substr(eq + 1);
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+      return QueryParse::kBad;
+    }
+    if (value.size() > 9) {  // numeric but absurd: clamp, don't overflow
+      *out = max_value;
+      return QueryParse::kOk;
+    }
+    *out = std::min<size_t>(std::stoul(value), max_value);
+    return QueryParse::kOk;
+  }
+  return QueryParse::kAbsent;
+}
+
+obs::MetricsServer::Response BadQueryResponse(const std::string& key,
+                                              size_t max_value) {
+  obs::MetricsServer::Response response;
+  response.status = 400;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = "bad query parameter '" + key +
+                  "': expected a decimal count (max " +
+                  std::to_string(max_value) + ")\n";
+  return response;
+}
+
 }  // namespace
 
 std::string ReplicationRoleName(ReplicationRole role) {
@@ -103,6 +165,7 @@ EditService::EditService(std::unique_ptr<OneEditSystem> system,
   // Enable-only: turning the process-wide recorder OFF here would disarm
   // another service (or an overhead A/B harness) that turned it on.
   if (options_.tracing) obs::TraceRecorder::Global().SetEnabled(true);
+  if (options_.profiling) RegisterProfiler();
   if (durability_ != nullptr && options_.recover_on_start) {
     // Recover before the writer exists: the system is still single-threaded
     // here, so replay needs no locks. With validation on, replayed batches
@@ -347,8 +410,62 @@ StatusOr<Snapshot> EditService::GetSnapshot(const ReadOptions& options) const {
 }
 
 void EditService::PublishSnapshot(uint64_t sequence) {
+  RefreshRuleWeights();
   hub_.Publish(system_->SnapshotReadView(), sequence);
   system_->statistics().Add(Ticker::kSnapshotsPublished);
+}
+
+void EditService::RegisterProfiler() {
+  // Enable-only, like tracing: turning the process-wide profiler OFF here
+  // would disarm another service (or an overhead A/B harness).
+  obs::CostProfiler& profiler = obs::CostProfiler::Global();
+  profiler.SetEnabled(true);
+  // Entity weight: KG fan-out sampled from the currently published read
+  // state — one lock-free snapshot pin per aggregation cycle, never a
+  // writer lock.
+  profiler.SetEntityWeightProvider(
+      [this](const std::vector<std::string>& names) {
+        std::vector<uint64_t> weights(names.size(), 0);
+        const std::shared_ptr<const ReadState> state = hub_.Acquire();
+        if (state != nullptr) {
+          for (size_t i = 0; i < names.size(); ++i) {
+            weights[i] = state->view.kg.FanOut(names[i]);
+          }
+        }
+        return weights;
+      },
+      this);
+  // Relation weight: Horn rules touching the relation, from the cache
+  // PublishSnapshot refreshes whenever the rule base grows.
+  profiler.SetRelationWeightProvider(
+      [this](const std::vector<std::string>& names) {
+        std::vector<uint64_t> weights(names.size(), 0);
+        std::lock_guard<std::mutex> lock(profiler_mutex_);
+        for (size_t i = 0; i < names.size(); ++i) {
+          const auto it = rule_weights_.find(names[i]);
+          if (it != rule_weights_.end()) weights[i] = it->second;
+        }
+        return weights;
+      },
+      this);
+}
+
+void EditService::RefreshRuleWeights() {
+  const RuleEngine& rules = system_->kg().rules();
+  if (rules.size() == rule_weight_stamp_) return;
+  std::unordered_map<std::string, uint64_t> weights;
+  const RelationSchema& schema = system_->kg().schema();
+  for (const HornRule& rule : rules.rules()) {
+    for (const RelationId relation : {rule.body1, rule.body2, rule.head}) {
+      if (relation == kInvalidId) continue;
+      ++weights[schema.Name(relation)];
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(profiler_mutex_);
+    rule_weights_ = std::move(weights);
+  }
+  rule_weight_stamp_ = rules.size();
 }
 
 Decode EditService::Ask(const std::string& subject,
@@ -376,12 +493,20 @@ Decode EditService::Ask(const std::string& subject,
     const std::shared_ptr<const ReadState> state = hub_.Acquire();
     decode = state->view.Ask(subject, relation);
   }
+  const uint64_t read_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
   stats.Add(Ticker::kServingReads);
-  stats.Record(Histogram::kServingReadMicros,
-               static_cast<uint64_t>(
-                   std::chrono::duration_cast<std::chrono::microseconds>(
-                       std::chrono::steady_clock::now() - start)
-                       .count()));
+  stats.Record(Histogram::kServingReadMicros, read_micros);
+  // Both shim branches read the view directly (never through
+  // Snapshot::Ask's hook), so the decode is cost-accounted here.
+  {
+    obs::CostProfiler& profiler = obs::CostProfiler::Global();
+    if (profiler.enabled()) {
+      profiler.RecordRead(subject, relation, read_micros);
+    }
+  }
   tracer.RecordRoot(trace, "ask", obs::TraceNowNanos());
   return decode;
 }
@@ -398,6 +523,10 @@ void EditService::Stop() {
   // The scrape handler reads through `this`; take the listener down before
   // anything it samples starts shutting down.
   if (metrics_server_ != nullptr) metrics_server_->Stop();
+  // The profiler's weight providers sample this service's snapshot hub and
+  // rule-weight cache; retire them (ours only — a newer registration by
+  // another service survives) before any of that shuts down.
+  obs::CostProfiler::Global().ClearWeightProviders(this);
   // The fencer dials out on its own thread; retire it before the endpoints
   // it might still be poking go away.
   StopFencer();
@@ -911,6 +1040,22 @@ Status EditService::ApplyReplicatedBatch(
     PublishSnapshot(batch.last_sequence);
     applied_sequence_.store(batch.last_sequence, std::memory_order_release);
   }
+  obs::CostProfiler& profiler = obs::CostProfiler::Global();
+  if (profiler.enabled() && !requests.empty()) {
+    // Follower-side edit churn: the shipped batch's apply micros, shared
+    // equally across its requests, mirror the primary's accounting.
+    const uint64_t share =
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()) /
+        requests.size();
+    for (const EditRequest& request : requests) {
+      if (request.op == EditRequest::Op::kUtterance) continue;
+      profiler.RecordEdit(request.triple.subject, request.triple.relation,
+                          request.triple.object, share);
+    }
+  }
   stats.Record(Histogram::kReplApplyMicros,
                static_cast<uint64_t>(
                    std::chrono::duration_cast<std::chrono::microseconds>(
@@ -1339,10 +1484,26 @@ void EditService::WriterLoop() {
         first_sequence = ++nodur_seed_;
       }
       if (!degraded) {
+        const uint64_t apply_start_ns = obs::TraceNowNanos();
         SelfHealer healer(system_.get(), options_.self_heal);
         HealedBatch healed = healer.ApplyValidated(requests, first_sequence);
         results = std::move(healed.results);
         results_valid = true;
+        obs::CostProfiler& profiler = obs::CostProfiler::Global();
+        if (profiler.enabled()) {
+          // Edit churn: each request is charged an equal share of the
+          // validated-apply micros against its subject, object and
+          // relation. Utterances are skipped (their footprint is only
+          // known post-interpretation).
+          const uint64_t share = (obs::TraceNowNanos() - apply_start_ns) /
+                                 1000 / requests.size();
+          for (const EditRequest& request : requests) {
+            if (request.op == EditRequest::Op::kUtterance) continue;
+            profiler.RecordEdit(request.triple.subject,
+                                request.triple.relation,
+                                request.triple.object, share);
+          }
+        }
         if (durability_ != nullptr && !healed.quarantined.empty()) {
           // Journal the verdicts so replay skips the poison up front
           // instead of re-running the whole heal loop.
@@ -1691,6 +1852,83 @@ void EditService::ExportMetrics(obs::MetricsRegistry* registry) {
       "Retired states kept alive solely by pinned reader handles",
       [this] { return static_cast<double>(hub_.reader_held_states()); });
 
+  // Graph-cost profiler surface (docs/observability.md): aggregate gauges
+  // plus the top-K total-cost rankings as labeled families. Exported
+  // unconditionally (the profiler is process-wide): with profiling off the
+  // rankings are empty and profiler_enabled reads 0, so dashboards and the
+  // CI scrape can assert the families exist regardless of configuration.
+  obs::CostProfiler* profiler = &obs::CostProfiler::Global();
+  registry->AddGauge("profiler_enabled",
+                     "1 while the process-wide cost profiler is recording",
+                     [profiler] { return profiler->enabled() ? 1.0 : 0.0; });
+  registry->AddGauge(
+      "profiler_entities_tracked",
+      "Distinct entities seen by the last profiler aggregation",
+      [profiler] {
+        // Interval-gated refresh keeps this count consistent with the
+        // labeled top-K families in the same scrape (export order would
+        // otherwise sample it one aggregation behind).
+        profiler->RefreshIfStale();
+        return static_cast<double>(profiler->entities_tracked());
+      });
+  registry->AddGauge(
+      "profiler_relations_tracked",
+      "Distinct relations seen by the last profiler aggregation",
+      [profiler] {
+        profiler->RefreshIfStale();
+        return static_cast<double>(profiler->relations_tracked());
+      });
+  registry->AddCounter(
+      "profiler_dropped",
+      "Profiler ticks lost because a counter table shard was full",
+      [profiler] { return profiler->dropped(); });
+  registry->AddCounter("profiler_aggregations",
+                       "Profiler aggregation cycles completed",
+                       [profiler] { return profiler->aggregations(); });
+  registry->AddLabeledGauge(
+      "profiler_hot_entity_cost",
+      "Top-K entities by total cost: (reads+edits+micros) * (1 + fan-out)",
+      [profiler] {
+        std::vector<std::pair<obs::MetricLabel, double>> out;
+        for (const obs::CostEntry& e : profiler->HotEntities(kProfilerTopK)) {
+          out.push_back({obs::MetricLabel{"entity", e.name}, e.total_cost});
+        }
+        return out;
+      });
+  registry->AddLabeledGauge(
+      "profiler_hot_entity_reads",
+      "Ask decodes that touched each top-K entity",
+      [profiler] {
+        std::vector<std::pair<obs::MetricLabel, double>> out;
+        for (const obs::CostEntry& e : profiler->HotEntities(kProfilerTopK)) {
+          out.push_back({obs::MetricLabel{"entity", e.name},
+                         static_cast<double>(e.requests)});
+        }
+        return out;
+      });
+  registry->AddLabeledGauge(
+      "profiler_hot_entity_edits",
+      "Edit churn (applied-edit ticks) on each top-K entity",
+      [profiler] {
+        std::vector<std::pair<obs::MetricLabel, double>> out;
+        for (const obs::CostEntry& e : profiler->HotEntities(kProfilerTopK)) {
+          out.push_back({obs::MetricLabel{"entity", e.name},
+                         static_cast<double>(e.edits)});
+        }
+        return out;
+      });
+  registry->AddLabeledGauge(
+      "profiler_expensive_rule_cost",
+      "Top-K relations by total cost, weighted by Horn rules touching them",
+      [profiler] {
+        std::vector<std::pair<obs::MetricLabel, double>> out;
+        for (const obs::CostEntry& e :
+             profiler->ExpensiveRules(kProfilerTopK)) {
+          out.push_back({obs::MetricLabel{"relation", e.name}, e.total_cost});
+        }
+        return out;
+      });
+
   registry->AddInfo("health_transitions", [this] {
     std::string json = "[";
     bool first = true;
@@ -1778,22 +2016,29 @@ obs::MetricsServer::Response EditService::ServeHttp(const std::string& path) {
     }
     return response;
   }
-  if (path.rfind("/traces", 0) == 0) {
+  if (path == "/traces" || path.rfind("/traces?", 0) == 0) {
     size_t n = 10;
-    const size_t q = path.find("n=");
-    if (q != std::string::npos) {
-      const unsigned long parsed =
-          std::strtoul(path.c_str() + q + 2, nullptr, 10);
-      if (parsed > 0) n = std::min<size_t>(parsed, 100);
+    if (ParseCountParam(path, "n", kMaxTraceDump, &n) == QueryParse::kBad) {
+      return BadQueryResponse("n", kMaxTraceDump);
     }
     response.content_type = "text/plain; charset=utf-8";
     response.body = DumpTraces(n);
     return response;
   }
+  if (path == "/profile" || path.rfind("/profile?", 0) == 0) {
+    size_t k = kProfilerTopK;
+    if (ParseCountParam(path, "k", kMaxProfileTopK, &k) == QueryParse::kBad) {
+      return BadQueryResponse("k", kMaxProfileTopK);
+    }
+    response.content_type = "application/json";
+    response.body = obs::CostProfiler::Global().ProfileJson(k);
+    return response;
+  }
   response.status = 404;
   response.content_type = "text/plain; charset=utf-8";
   response.body =
-      "not found — try /metrics, /metrics.json, /health, /traces?n=10\n";
+      "not found — try /metrics, /metrics.json, /health, /traces?n=10, "
+      "/profile?k=10\n";
   return response;
 }
 

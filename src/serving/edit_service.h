@@ -11,6 +11,7 @@
 #include <shared_mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/oneedit.h"
@@ -18,6 +19,7 @@
 #include "durability/scrubber.h"
 #include "obs/metrics_registry.h"
 #include "obs/metrics_server.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "replication/follower.h"
 #include "replication/server.h"
@@ -175,8 +177,17 @@ struct EditServiceOptions {
   /// to leave the recorder's state alone (e.g. for overhead A/B runs that
   /// toggle it directly).
   bool tracing = true;
+  /// Graph-cost profiling (docs/observability.md): enables the process-wide
+  /// CostProfiler — per-entity / per-relation cost accounting in the Ask
+  /// decode and edit-apply hot paths — and registers this service's KG
+  /// fan-out and Horn-rule weight providers, so the total-cost rankings
+  /// behind HotEntities/ExpensiveRules, GET /profile, and the profiler_*
+  /// gauges are live. Enable-only, like `tracing`: set false to leave the
+  /// global profiler's state alone (e.g. for overhead A/B runs).
+  bool profiling = true;
   /// Start a loopback HTTP/1.0 metrics listener owned by the service:
-  /// GET /metrics (Prometheus text), /metrics.json, /health, /traces?n=N.
+  /// GET /metrics (Prometheus text), /metrics.json, /health, /traces?n=N,
+  /// /profile?k=K.
   bool expose_metrics = false;
   /// Port for the metrics listener; 0 picks an ephemeral port (read it back
   /// via metrics_server()->port()).
@@ -479,6 +490,19 @@ class EditService {
   /// leaves the service fully functional (scraping is best-effort).
   void StartMetricsServer();
 
+  /// Enables the global CostProfiler and registers this service's graph
+  /// weight providers: KG fan-out sampled from the published snapshot
+  /// (entities) and the Horn-rule weight cache (relations). Constructor,
+  /// when options_.profiling is set; Stop() retires the providers.
+  void RegisterProfiler();
+
+  /// Rebuilds the relation -> rules-touching-it weight cache when the rule
+  /// base grew (it is append-only, so its size is a version). Called from
+  /// PublishSnapshot, i.e. under the exclusive lock or pre-writer; the
+  /// profiler's aggregator samples the cache from the scrape thread under
+  /// profiler_mutex_.
+  void RefreshRuleWeights();
+
   /// Routes one HTTP request path (metrics server thread).
   obs::MetricsServer::Response ServeHttp(const std::string& path);
 
@@ -615,6 +639,14 @@ class EditService {
   /// capture `this`, so the server is stopped first in Stop().
   std::unique_ptr<obs::MetricsRegistry> registry_;
   std::unique_ptr<obs::MetricsServer> metrics_server_;
+
+  /// Relation weights for the cost profiler: how many Horn rules touch
+  /// each relation. profiler_mutex_ guards the map (the aggregator samples
+  /// it from the scrape thread); the stamp is writer-side only and keys the
+  /// cache on the append-only rule count.
+  mutable std::mutex profiler_mutex_;
+  std::unordered_map<std::string, uint64_t> rule_weights_;
+  size_t rule_weight_stamp_ = static_cast<size_t>(-1);
 
   /// Replication (docs/replication.md). repl_mutex_ guards the two
   /// pointers' lifecycle (Promote swaps them while the scrape thread

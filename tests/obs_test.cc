@@ -27,6 +27,7 @@
 #include "data/dataset.h"
 #include "obs/metrics_registry.h"
 #include "obs/metrics_server.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "serving/edit_service.h"
 
@@ -360,6 +361,33 @@ TEST(MetricsRegistryTest, JsonEscapeHandlesControlCharacters) {
   EXPECT_EQ(MetricsRegistry::JsonEscape(std::string(1, '\x01')), "\\u0001");
 }
 
+TEST(MetricsRegistryTest, LabelValuesEscapeHostileCharacters) {
+  // Prometheus text exposition 0.0.4: label values escape backslash, quote,
+  // and newline. A hostile entity name (they flow straight from user edits
+  // into profiler top-K labels) must not break the exposition.
+  MetricsRegistry registry;
+  registry.AddLabeledGauge("hostile", "Hostile label values", [] {
+    return std::vector<std::pair<obs::MetricLabel, double>>{
+        {obs::MetricLabel{"entity", "back\\slash"}, 1.0},
+        {obs::MetricLabel{"entity", "quo\"te"}, 2.0},
+        {obs::MetricLabel{"entity", "new\nline"}, 3.0}};
+  });
+  const std::string text = registry.ExposeText();
+  EXPECT_NE(text.find("oneedit_hostile{entity=\"back\\\\slash\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("oneedit_hostile{entity=\"quo\\\"te\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("oneedit_hostile{entity=\"new\\nline\"} 3"),
+            std::string::npos)
+      << text;
+  // No raw newline may survive inside a sample line: every '\n' in the
+  // exposition must start a fresh "name{...}" / "# " / blank line, never a
+  // continuation of a label value.
+  EXPECT_EQ(text.find("new\nline"), std::string::npos) << text;
+}
+
 // --- MetricsServer ---------------------------------------------------------
 
 std::string HttpGet(uint16_t port, const std::string& path) {
@@ -660,6 +688,76 @@ TEST(EditServiceObsTest, MetricsEndpointServesConsistentPrometheusText) {
   // The listener dies with the service.
   EXPECT_EQ(HttpGet(port, "/metrics").find("HTTP/1.0 200"),
             std::string::npos);
+}
+
+TEST(EditServiceObsTest, HostileEntityNamesSurviveTheLabeledGaugePath) {
+  // End-to-end regression: an entity name carrying every escaped character
+  // reaches the profiler's top-K labeled gauges, and the /metrics scrape
+  // stays parseable.
+  obs::CostProfiler::Global().ResetForTesting();
+  EditServiceOptions options;
+  options.expose_metrics = true;
+  ObsWorld world(options);
+  ASSERT_NE(world.service->metrics_server(), nullptr);
+  const uint16_t port = world.service->metrics_server()->port();
+
+  const std::string hostile = "evil\\entity\"with\nnewline";
+  obs::CostProfiler::Global().RecordRead(hostile, "hostile_relation", 7);
+  obs::CostProfiler::Global().SetAggregationIntervalMillis(60000);
+  obs::CostProfiler::Global().Aggregate();
+
+  const std::string response = HttpGet(port, "/metrics");
+  ASSERT_NE(response.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(
+      response.find("oneedit_profiler_hot_entity_cost{entity="
+                    "\"evil\\\\entity\\\"with\\nnewline\"}"),
+      std::string::npos)
+      << response;
+  EXPECT_EQ(response.find("with\nnewline"), std::string::npos) << response;
+
+  // The JSON twin escapes it too.
+  const std::string profile = HttpGet(port, "/profile?k=10");
+  ASSERT_NE(profile.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(profile.find("evil\\\\entity\\\"with\\nnewline"),
+            std::string::npos)
+      << profile;
+
+  world.service->Stop();
+  obs::CostProfiler::Global().SetAggregationIntervalMillis(500);
+  obs::CostProfiler::Global().ResetForTesting();
+}
+
+TEST(EditServiceObsTest, CountQueryParamsRejectJunkWith400) {
+  EditServiceOptions options;
+  options.expose_metrics = true;
+  ObsWorld world(options);
+  ASSERT_NE(world.service->metrics_server(), nullptr);
+  const uint16_t port = world.service->metrics_server()->port();
+
+  // Well-formed requests succeed.
+  EXPECT_NE(HttpGet(port, "/traces?n=5").find("HTTP/1.0 200"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(port, "/profile").find("HTTP/1.0 200"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(port, "/profile?k=5").find("HTTP/1.0 200"),
+            std::string::npos);
+
+  // Numeric-but-absurd values clamp instead of erroring.
+  EXPECT_NE(HttpGet(port, "/traces?n=99999999999999").find("HTTP/1.0 200"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(port, "/profile?k=99999999999999").find("HTTP/1.0 200"),
+            std::string::npos);
+
+  // Junk is a 400, not a silent default.
+  for (const std::string path :
+       {"/traces?n=abc", "/traces?n=", "/traces?n", "/traces?n=-1",
+        "/traces?n=5x", "/profile?k=abc", "/profile?k=", "/profile?k=1.5"}) {
+    const std::string response = HttpGet(port, path);
+    EXPECT_NE(response.find("HTTP/1.0 400"), std::string::npos)
+        << path << " -> " << response;
+  }
+
+  world.service->Stop();
 }
 
 TEST(EditServiceObsTest, DumpTracesSurfacesSlowRequests) {

@@ -1,0 +1,373 @@
+// Cost-profiler coverage (docs/observability.md "Graph-cost profiling"):
+// sharded-counter correctness under racing writers, ranking math against a
+// hand-built KG with known fan-out, top-K stability across aggregation
+// cycles, and /profile endpoint self-consistency with the /metrics gauge
+// families. The racing-writer tests are part of the TSan matrix.
+
+#include "obs/profiler.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "kg/knowledge_graph.h"
+#include "serving/edit_service.h"
+
+namespace oneedit {
+namespace {
+
+using obs::CostEntry;
+using obs::CostProfiler;
+using serving::EditService;
+using serving::EditServiceOptions;
+using serving::ReadOptions;
+
+/// Every test starts from a quiescent, empty profiler (it is process-wide
+/// state shared across the whole test binary).
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CostProfiler::Global().ResetForTesting();
+    CostProfiler::Global().SetEnabled(true);
+    CostProfiler::Global().SetAggregationIntervalMillis(0);
+  }
+  void TearDown() override {
+    CostProfiler::Global().SetEnabled(false);
+    CostProfiler::Global().SetAggregationIntervalMillis(500);
+    CostProfiler::Global().ResetForTesting();
+  }
+};
+
+CostEntry FindEntry(const std::vector<CostEntry>& entries,
+                    const std::string& name) {
+  for (const CostEntry& e : entries) {
+    if (e.name == name) return e;
+  }
+  return CostEntry{};
+}
+
+// --- Sharded counters under racing writers ---------------------------------
+
+TEST_F(ProfilerTest, ShardedCountersSumExactlyUnderFourRacingWriters) {
+  CostProfiler& profiler = CostProfiler::Global();
+  constexpr int kThreads = 4;
+  constexpr int kTicksPerThread = 5000;
+  constexpr int kEntities = 8;
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&profiler, t] {
+      const std::string object = "object_" + std::to_string(t);
+      for (int i = 0; i < kTicksPerThread; ++i) {
+        const std::string entity = "entity_" + std::to_string(i % kEntities);
+        profiler.RecordRead(entity, "reads", 2);
+        profiler.RecordEdit(entity, "edits", object, 3);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+
+  EXPECT_EQ(profiler.dropped(), 0u);
+  const std::vector<CostEntry> entities = profiler.HotEntities(64);
+  // Every tick records one read (2 us) and one edit (3 us), spread evenly
+  // over kEntities subjects. Exact sums — no tick may be lost or doubled.
+  constexpr uint64_t kPerEntity =
+      static_cast<uint64_t>(kThreads) * kTicksPerThread / kEntities;
+  uint64_t total_requests = 0;
+  uint64_t total_edits = 0;
+  for (int e = 0; e < kEntities; ++e) {
+    const CostEntry entry = FindEntry(entities, "entity_" + std::to_string(e));
+    EXPECT_EQ(entry.requests, kPerEntity) << entry.name;
+    EXPECT_EQ(entry.read_micros, kPerEntity * 2) << entry.name;
+    EXPECT_EQ(entry.edits, kPerEntity) << entry.name;
+    EXPECT_EQ(entry.edit_micros, kPerEntity * 3) << entry.name;
+    total_requests += entry.requests;
+    total_edits += entry.edits;
+  }
+  EXPECT_EQ(total_requests,
+            static_cast<uint64_t>(kThreads) * kTicksPerThread);
+  EXPECT_EQ(total_edits, total_requests);
+
+  // The relation table saw every tick too.
+  const std::vector<CostEntry> relations = profiler.ExpensiveRules(16);
+  const CostEntry reads = FindEntry(relations, "reads");
+  EXPECT_EQ(reads.requests, total_requests);
+  EXPECT_EQ(reads.read_micros, total_requests * 2);
+  const CostEntry edits = FindEntry(relations, "edits");
+  EXPECT_EQ(edits.edits, total_edits);
+  EXPECT_EQ(edits.edit_micros, total_edits * 3);
+
+  // Edit objects are charged churn only (count, no micros).
+  for (int t = 0; t < kThreads; ++t) {
+    const CostEntry object = FindEntry(entities, "object_" + std::to_string(t));
+    EXPECT_EQ(object.edits, static_cast<uint64_t>(kTicksPerThread));
+    EXPECT_EQ(object.edit_micros, 0u);
+    EXPECT_EQ(object.requests, 0u);
+  }
+}
+
+// --- Ranking math against a hand-built KG ----------------------------------
+
+TEST_F(ProfilerTest, TotalCostJoinsTrafficWithKnownKgFanOut) {
+  // hub: out-degree 3 + in-degree 1 = fan-out 4. leaf: in-degree 1.
+  KnowledgeGraph kg;
+  const EntityId hub = kg.InternEntity("hub");
+  const EntityId leaf = kg.InternEntity("leaf");
+  const EntityId a = kg.InternEntity("a");
+  const EntityId b = kg.InternEntity("b");
+  const RelationId likes = kg.schema().Define("likes", /*functional=*/false);
+  ASSERT_TRUE(kg.Add(Triple{hub, likes, a}).ok());
+  ASSERT_TRUE(kg.Add(Triple{hub, likes, b}).ok());
+  ASSERT_TRUE(kg.Add(Triple{hub, likes, leaf}).ok());
+  ASSERT_TRUE(kg.Add(Triple{a, likes, hub}).ok());
+  const KgReadView view = kg.SnapshotView();
+  ASSERT_EQ(view.FanOut("hub"), 4u);
+  ASSERT_EQ(view.FanOut("leaf"), 1u);
+  ASSERT_EQ(view.FanOut("no_such_entity"), 0u);
+
+  CostProfiler& profiler = CostProfiler::Global();
+  profiler.SetEntityWeightProvider(
+      [view](const std::vector<std::string>& names) {
+        std::vector<uint64_t> weights;
+        weights.reserve(names.size());
+        for (const std::string& name : names) {
+          weights.push_back(view.FanOut(name));
+        }
+        return weights;
+      });
+  profiler.SetRelationWeightProvider(
+      [](const std::vector<std::string>& names) {
+        // Pretend two Horn rules touch every relation.
+        return std::vector<uint64_t>(names.size(), 2);
+      });
+
+  // Identical traffic on both entities: only the fan-out separates them.
+  for (int i = 0; i < 10; ++i) {
+    profiler.RecordRead("hub", "likes", 3);
+    profiler.RecordRead("leaf", "likes", 3);
+  }
+
+  const std::vector<CostEntry> entities = profiler.HotEntities(8);
+  const CostEntry hub_entry = FindEntry(entities, "hub");
+  const CostEntry leaf_entry = FindEntry(entities, "leaf");
+  // cost = (requests + edits + read_micros + edit_micros) * (1 + weight)
+  EXPECT_EQ(hub_entry.weight, 4u);
+  EXPECT_DOUBLE_EQ(hub_entry.total_cost, (10 + 30) * (1 + 4.0));
+  EXPECT_EQ(leaf_entry.weight, 1u);
+  EXPECT_DOUBLE_EQ(leaf_entry.total_cost, (10 + 30) * (1 + 1.0));
+  ASSERT_FALSE(entities.empty());
+  EXPECT_EQ(entities.front().name, "hub");  // fan-out decides the ranking
+
+  const std::vector<CostEntry> rules = profiler.ExpensiveRules(8);
+  const CostEntry likes_entry = FindEntry(rules, "likes");
+  EXPECT_EQ(likes_entry.requests, 20u);
+  EXPECT_EQ(likes_entry.weight, 2u);
+  EXPECT_DOUBLE_EQ(likes_entry.total_cost, (20 + 60) * (1 + 2.0));
+}
+
+// --- Top-K stability across aggregation cycles ------------------------------
+
+TEST_F(ProfilerTest, TopKIsStableAcrossAggregationCycles) {
+  CostProfiler& profiler = CostProfiler::Global();
+  for (int e = 0; e < 20; ++e) {
+    for (int i = 0; i <= e; ++i) {
+      profiler.RecordRead("entity_" + std::to_string(e), "rel", 1);
+    }
+  }
+  profiler.Aggregate();
+  const std::vector<CostEntry> first = profiler.HotEntities(10);
+  ASSERT_EQ(first.size(), 10u);
+  EXPECT_EQ(first.front().name, "entity_19");
+
+  // No new traffic: further cycles must reproduce the identical ranking
+  // (deterministic sort with a name tiebreak, stable totals).
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    profiler.Aggregate();
+    const std::vector<CostEntry> again = profiler.HotEntities(10);
+    ASSERT_EQ(again.size(), first.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(again[i].name, first[i].name) << "rank " << i;
+      EXPECT_DOUBLE_EQ(again[i].total_cost, first[i].total_cost) << i;
+    }
+  }
+
+  // A cached ranking (long interval) is also stable across queries even
+  // when new traffic arrives between them.
+  profiler.SetAggregationIntervalMillis(60000);
+  const std::vector<CostEntry> cached = profiler.HotEntities(10);
+  profiler.RecordRead("entity_0", "rel", 1000);
+  const std::vector<CostEntry> still_cached = profiler.HotEntities(10);
+  ASSERT_EQ(cached.size(), still_cached.size());
+  for (size_t i = 0; i < cached.size(); ++i) {
+    EXPECT_EQ(cached[i].name, still_cached[i].name) << i;
+  }
+}
+
+TEST_F(ProfilerTest, DisabledProfilerRecordsNothing) {
+  CostProfiler& profiler = CostProfiler::Global();
+  profiler.SetEnabled(false);
+  profiler.RecordRead("ghost", "rel", 5);
+  profiler.RecordEdit("ghost", "rel", "other", 5);
+  profiler.SetEnabled(true);
+  EXPECT_TRUE(profiler.HotEntities(8).empty());
+  EXPECT_TRUE(profiler.ExpensiveRules(8).empty());
+}
+
+TEST_F(ProfilerTest, TableOverflowCountsDropsInsteadOfBlocking) {
+  CostProfiler& profiler = CostProfiler::Global();
+  // One thread writes far more distinct relation names than one shard's
+  // table holds: the tail must land in `dropped`, and the write path must
+  // keep returning (never block, never resize).
+  const size_t kNames = CostProfiler::kRelationSlots * 4;
+  for (size_t i = 0; i < kNames; ++i) {
+    profiler.RecordRead("entity", "relation_" + std::to_string(i), 1);
+  }
+  EXPECT_GT(profiler.dropped(), 0u);
+  const CostEntry entity = FindEntry(profiler.HotEntities(4), "entity");
+  EXPECT_EQ(entity.requests, static_cast<uint64_t>(kNames));
+}
+
+TEST_F(ProfilerTest, OwnerTokenProtectsNewerProviderRegistrations) {
+  CostProfiler& profiler = CostProfiler::Global();
+  int owner_a = 0;
+  int owner_b = 0;
+  profiler.SetEntityWeightProvider(
+      [](const std::vector<std::string>& names) {
+        return std::vector<uint64_t>(names.size(), 7);
+      },
+      &owner_a);
+  // A newer service takes over the registration...
+  profiler.SetEntityWeightProvider(
+      [](const std::vector<std::string>& names) {
+        return std::vector<uint64_t>(names.size(), 9);
+      },
+      &owner_b);
+  // ...and the older one's teardown must not clear it.
+  profiler.ClearWeightProviders(&owner_a);
+  profiler.RecordRead("survivor", "rel", 1);
+  EXPECT_EQ(FindEntry(profiler.HotEntities(4), "survivor").weight, 9u);
+}
+
+// --- /profile endpoint self-consistency with /metrics ----------------------
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(ProfilerTest, ProfileEndpointIsSelfConsistentWithMetricsGauges) {
+  DatasetOptions dataset_options;
+  dataset_options.num_cases = 12;
+  Dataset dataset = BuildAmericanPoliticians(dataset_options);
+  auto model =
+      std::make_unique<LanguageModel>(Gpt2XlSimConfig(), dataset.vocab);
+  model->Pretrain(dataset.pretrain_facts);
+  OneEditConfig config;
+  config.method = EditingMethodKind::kGrace;
+  config.interpreter.extraction_error_rate = 0.0;
+  EditServiceOptions options;
+  options.expose_metrics = true;
+  auto created =
+      EditService::Create(&dataset.kg, model.get(), config, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<EditService> service = std::move(created).value();
+  ASSERT_NE(service->metrics_server(), nullptr);
+  const uint16_t port = service->metrics_server()->port();
+
+  // Traffic: a few edits and a skewed read set on one subject.
+  for (size_t i = 0; i < 4; ++i) {
+    const auto result = service->SubmitAndWait(
+        EditRequest::Edit(dataset.cases[i].edit, "alice"));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  auto snapshot = service->GetSnapshot(ReadOptions{});
+  ASSERT_TRUE(snapshot.ok());
+  const std::string hot_subject = dataset.cases[0].edit.subject;
+  const std::string hot_relation = dataset.cases[0].edit.relation;
+  for (int i = 0; i < 50; ++i) {
+    (void)snapshot->Ask(hot_subject, hot_relation);
+  }
+
+  // Freeze one aggregation cycle so both expositions serve the same cache.
+  CostProfiler::Global().SetAggregationIntervalMillis(60000);
+  CostProfiler::Global().Aggregate();
+
+  const std::string metrics = HttpGet(port, "/metrics");
+  const std::string profile = HttpGet(port, "/profile?k=10");
+  ASSERT_NE(metrics.find("HTTP/1.0 200"), std::string::npos);
+  ASSERT_NE(profile.find("HTTP/1.0 200"), std::string::npos);
+  ASSERT_NE(profile.find("application/json"), std::string::npos);
+
+  // The hot keys show up on both surfaces.
+  EXPECT_NE(metrics.find("oneedit_profiler_hot_entity_cost{entity=\"" +
+                         hot_subject + "\"}"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(profile.find("\"name\":\"" + hot_subject + "\""),
+            std::string::npos)
+      << profile;
+  EXPECT_NE(profile.find("\"name\":\"" + hot_relation + "\""),
+            std::string::npos)
+      << profile;
+
+  // Scalar gauges match the JSON's aggregate counters.
+  const auto scrape_gauge = [&metrics](const std::string& name) {
+    const std::string needle = "\n" + name + " ";
+    const size_t pos = metrics.find(needle);
+    EXPECT_NE(pos, std::string::npos) << name;
+    if (pos == std::string::npos) return std::string();
+    const size_t start = pos + needle.size();
+    return metrics.substr(start, metrics.find('\n', start) - start);
+  };
+  EXPECT_EQ(scrape_gauge("oneedit_profiler_enabled"), "1");
+  const std::string tracked = scrape_gauge("oneedit_profiler_entities_tracked");
+  EXPECT_NE(profile.find("\"entities_tracked\":" + tracked), std::string::npos)
+      << "gauge says " << tracked << " but /profile disagrees: " << profile;
+
+  // The admin API agrees with what the endpoint served: the hot entity's
+  // read count covers at least the 50 pinned-snapshot asks, and the JSON
+  // row carries the same number.
+  const CostEntry hot =
+      FindEntry(CostProfiler::Global().HotEntities(10), hot_subject);
+  EXPECT_GE(hot.requests, 50u);
+  EXPECT_NE(profile.find("\"requests\":" + std::to_string(hot.requests)),
+            std::string::npos)
+      << profile;
+
+  // Weight comes from the live KG: the subject exists, so its fan-out after
+  // four applied edits is at least 1.
+  EXPECT_GE(hot.weight, 1u);
+
+  service->Stop();
+}
+
+}  // namespace
+}  // namespace oneedit
