@@ -1,0 +1,209 @@
+// Horizontal-scaling benchmark for the shard router (docs/sharding.md).
+//
+// For fleets of 1, 2 and 4 in-memory shards (no durability — the bench
+// isolates routing + per-shard writer parallelism, not fsync), measures:
+//
+//   - read QPS: a fixed reader pool scatter-asks the fleet through
+//     ShardRouter::Ask, which fans out across per-shard epoch snapshots;
+//   - edit EPS: rounds of toggled counterfactual edits submitted through
+//     the router, which lands each on its owning shard's writer.
+//
+// The acceptance gate — QPS(4)/QPS(1) >= 2.0 and EPS(4)/EPS(1) >= 2.0 —
+// demands better-than-half-linear scaling, but only where the hardware can
+// express it: on hosts with fewer than 8 hardware threads the fleet's
+// writers share cores and the gate is report-only (the JSON still records
+// the ratios and whether the gate was enforced).
+//
+// Results land in BENCH_shard.json (cwd).
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "serving/edit_service.h"
+#include "shard/shard_router.h"
+#include "util/timer.h"
+
+namespace oneedit {
+namespace {
+
+using serving::EditService;
+using serving::EditServiceOptions;
+using shard::ShardRouter;
+using shard::ShardRouterOptions;
+using shard::ShardSpec;
+
+constexpr int kReaderThreads = 8;
+constexpr double kReadSeconds = 1.5;
+constexpr double kEditSeconds = 1.5;
+
+OneEditConfig GraceConfig() {
+  OneEditConfig config;
+  config.method = EditingMethodKind::kGrace;
+  config.interpreter.extraction_error_rate = 0.0;
+  return config;
+}
+
+struct ShardWorld {
+  ShardWorld()
+      : dataset(BuildAmericanPoliticians(DatasetOptions{})),
+        model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                              dataset.vocab)) {
+    model->Pretrain(dataset.pretrain_facts);
+    auto created = EditService::Create(&dataset.kg, model.get(),
+                                       GraceConfig(), EditServiceOptions{});
+    if (!created.ok()) {
+      std::fprintf(stderr, "shard world create failed: %s\n",
+                   created.status().ToString().c_str());
+      std::abort();
+    }
+    service = std::move(created).value();
+  }
+
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+  std::unique_ptr<EditService> service;
+};
+
+struct Fleet {
+  explicit Fleet(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      shards.push_back(std::make_unique<ShardWorld>());
+    }
+    ShardRouterOptions options;
+    options.vocab = &shards[0]->dataset.vocab;
+    std::vector<ShardSpec> specs;
+    for (size_t i = 0; i < n; ++i) {
+      specs.push_back(ShardSpec{"shard-" + std::to_string(i),
+                                shards[i]->service.get(), nullptr, 1.0});
+    }
+    router = std::make_unique<ShardRouter>(std::move(specs), options);
+  }
+
+  std::vector<std::unique_ptr<ShardWorld>> shards;
+  std::unique_ptr<ShardRouter> router;
+};
+
+double MeasureReadQps(const Fleet& fleet) {
+  const Dataset& dataset = fleet.shards[0]->dataset;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaderThreads);
+  for (int t = 0; t < kReaderThreads; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t local = 0;
+      size_t i = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const EditCase& c = dataset.cases[i % dataset.cases.size()];
+        const auto decode =
+            fleet.router->Ask(c.edit.subject, c.edit.relation);
+        if (decode.ok()) ++local;
+        ++i;
+      }
+      reads.fetch_add(local);
+    });
+  }
+  WallTimer timer;
+  while (timer.ElapsedSeconds() < kReadSeconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true);
+  const double seconds = timer.ElapsedSeconds();
+  for (std::thread& reader : readers) reader.join();
+  return static_cast<double>(reads.load()) / seconds;
+}
+
+double MeasureEditEps(const Fleet& fleet) {
+  const Dataset& dataset = fleet.shards[0]->dataset;
+  size_t applied = 0;
+  WallTimer timer;
+  size_t round = 0;
+  while (timer.ElapsedSeconds() < kEditSeconds) {
+    std::vector<std::future<StatusOr<EditResult>>> futures;
+    futures.reserve(dataset.cases.size());
+    for (const EditCase& edit_case : dataset.cases) {
+      NamedTriple triple = edit_case.edit;
+      if (round % 2 == 1) triple.object = edit_case.old_object;
+      futures.push_back(
+          fleet.router->Submit(EditRequest::Edit(triple, "bench")));
+    }
+    for (auto& future : futures) {
+      const auto result = future.get();
+      if (result.ok() && result->applied()) ++applied;
+    }
+    ++round;
+  }
+  const double seconds = timer.ElapsedSeconds();
+  return seconds > 0.0 ? static_cast<double>(applied) / seconds : 0.0;
+}
+
+}  // namespace
+}  // namespace oneedit
+
+int main() {
+  using namespace oneedit;
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool enforce = cores >= 8;
+
+  struct Row {
+    size_t shards;
+    double read_qps;
+    double edit_eps;
+  };
+  std::vector<Row> rows;
+  for (const size_t n : {1, 2, 4}) {
+    Fleet fleet(n);
+    const double qps = MeasureReadQps(fleet);
+    const double eps = MeasureEditEps(fleet);
+    rows.push_back({n, qps, eps});
+    std::printf("shards=%zu  read_qps=%.1f  edit_eps=%.1f\n", n, qps, eps);
+  }
+
+  const double qps_ratio = rows[0].read_qps > 0.0
+                               ? rows[2].read_qps / rows[0].read_qps
+                               : 0.0;
+  const double eps_ratio = rows[0].edit_eps > 0.0
+                               ? rows[2].edit_eps / rows[0].edit_eps
+                               : 0.0;
+  std::printf("scaling 4v1: read %.2fx, edit %.2fx (cores=%u, gate %s)\n",
+              qps_ratio, eps_ratio, cores,
+              enforce ? "enforced" : "report-only");
+
+  {
+    std::ofstream out("BENCH_shard.json");
+    out << "{\"fleets\":[";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"shards\":" << rows[i].shards
+          << ",\"read_qps\":" << rows[i].read_qps
+          << ",\"edit_eps\":" << rows[i].edit_eps << "}";
+    }
+    out << "],\"qps_ratio_4v1\":" << qps_ratio
+        << ",\"eps_ratio_4v1\":" << eps_ratio
+        << ",\"reader_threads\":" << kReaderThreads
+        << ",\"cores\":" << cores
+        << ",\"linearity_gate_enforced\":" << (enforce ? "true" : "false")
+        << "}\n";
+  }
+
+  bool ok = true;
+  if (enforce) {
+    if (qps_ratio < 2.0) {
+      std::fprintf(stderr, "GATE FAIL: read QPS 4v1 %.2fx < 2.0x\n",
+                   qps_ratio);
+      ok = false;
+    }
+    if (eps_ratio < 2.0) {
+      std::fprintf(stderr, "GATE FAIL: edit EPS 4v1 %.2fx < 2.0x\n",
+                   eps_ratio);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

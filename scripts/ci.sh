@@ -52,6 +52,12 @@
 #             rounds of random bit-rot + disk-full against a live
 #             primary+follower pair, asserting detection, byte-identical
 #             repair, auto-heal, and zero acknowledged-edit loss.
+#   shard     Horizontal sharding: rendezvous-hash properties, the shard
+#             router suite (routing, tenants, quotas, 2PC happy/refusal
+#             paths, metrics export), the kill-at-every-failpoint 2PC
+#             crash sweep, and 10 seeded chaos rounds of mixed
+#             single/cross-shard edits under mid-workload crashes —
+#             asserting atomicity and zero acknowledged-edit loss.
 #
 # Each matrix entry gets its own build directory (build-ci-<name>) so local
 # `build/` trees are never clobbered.
@@ -107,8 +113,12 @@ case "${matrix}" in
     flags=""
     build_type=Release
     ;;
+  shard)
+    flags=""
+    build_type=Release
+    ;;
   *)
-    echo "unknown matrix entry: ${matrix} (want default|tsan|asan|snapshot|recovery|chaos|metrics|replication|partition|scrub|scenarios)" >&2
+    echo "unknown matrix entry: ${matrix} (want default|tsan|asan|snapshot|recovery|chaos|metrics|replication|partition|scrub|scenarios|shard)" >&2
     exit 2
     ;;
 esac
@@ -149,7 +159,7 @@ if [[ "${matrix}" == "tsan" ]]; then
   # TSan slows everything ~10x; run the concurrency tests (the reason this
   # entry exists) plus a smoke slice of the core suite.
   ctest -j "${jobs}" --output-on-failure \
-    -R 'EditServiceTest|EditServiceShutdownTest|ServiceSelfHealTest|ConcurrentOneEditTest|OneEditTest|EditServiceDurabilityTest|TraceRecorderTest|EditServiceObsTest|MetricsServerTest|ProfilerTest|ReplicationTest|ReplicationWireTest|ReplicationTermTest|ReplicationServerTest|ReplicationFollowerTest|ReplicationPartitionTest|FaultInjectingNetTest|EditWalCursorTest|NetTest|SnapshotHubTest|EditServiceSnapshotTest|ScrubberTest|ReplicaRepairTest|DiskFullServiceTest'
+    -R 'EditServiceTest|EditServiceShutdownTest|ServiceSelfHealTest|ConcurrentOneEditTest|OneEditTest|EditServiceDurabilityTest|TraceRecorderTest|EditServiceObsTest|MetricsServerTest|ProfilerTest|ReplicationTest|ReplicationWireTest|ReplicationTermTest|ReplicationServerTest|ReplicationFollowerTest|ReplicationPartitionTest|FaultInjectingNetTest|EditWalCursorTest|NetTest|SnapshotHubTest|EditServiceSnapshotTest|ScrubberTest|ReplicaRepairTest|DiskFullServiceTest|RendezvousHashTest|ShardRouterTest|Shard2pcTest'
 elif [[ "${matrix}" == "recovery" ]]; then
   # Crash-recovery smoke. A clean run of the workload performs ~20 file ops
   # (WAL appends, fsyncs, checkpoint writes, renames, rotations); kill the
@@ -405,7 +415,84 @@ assert doc['histograms']['serving_latency_micros']['count'] >= 1, 'no latency sa
   fi
   # The storm's durability property must still hold with metrics on.
   "${demo}" --dir="${dir}" --verify
-  echo "metrics smoke passed: full ticker/percentile export, consistent counters"
+
+  # --- shard fleet export surface: examples/shard_demo drives a 3-shard
+  # router (cross-shard 2PC + a tenant flood) and holds its listener up.
+  shard_demo="${build_dir}/examples/shard_demo"
+  shard_dir="${workdir}/shards"
+  mkdir -p "${shard_dir}"
+  "${shard_demo}" --dir="${shard_dir}" --shards=3 --metrics-port=0 \
+    --hold-ms=8000 > "${workdir}/shard_run.log" 2>&1 &
+  shard_pid=$!
+  for _ in $(seq 1 300); do
+    [[ -s "${shard_dir}/metrics.port" ]] && break
+    sleep 0.1
+  done
+  if [[ ! -s "${shard_dir}/metrics.port" ]]; then
+    echo "METRICS FAILED: shard_demo published no metrics.port" >&2
+    cat "${workdir}/shard_run.log" >&2
+    exit 1
+  fi
+  shard_port="$(cat "${shard_dir}/metrics.port")"
+  shard_scrape() {
+    curl -sf --max-time 5 "http://127.0.0.1:${shard_port}$1"
+  }
+  # Wait until the workload's cross-shard txns show up, then scrape.
+  for _ in $(seq 1 300); do
+    shard_text="$(shard_scrape /metrics || true)"
+    txns="$(printf '%s\n' "${shard_text}" | awk '$1 == "oneedit_cross_shard_txns_total" {print $2}')"
+    [[ -n "${txns:-}" && "${txns}" -ge 1 ]] && break
+    sleep 0.1
+  done
+  printf '%s\n' "${shard_text}" > "${workdir}/shard_metrics.txt"
+  shard_scrape /metrics.json > "${workdir}/shard_metrics.json"
+  # Per-shard labeled families cover every shard; the tenant family carries
+  # the flooded tenant; the 2PC counters are present and the workload
+  # committed at least one cross-shard transaction.
+  for shard in shard-0 shard-1 shard-2; do
+    for family in shard_requests_total shard_edits_total shard_health; do
+      if ! grep -q "^oneedit_${family}{shard=\"${shard}\"}" "${workdir}/shard_metrics.txt"; then
+        echo "METRICS FAILED: missing oneedit_${family}{shard=\"${shard}\"}" >&2
+        exit 1
+      fi
+    done
+  done
+  for family in cross_shard_txns_total cross_shard_aborts_total; do
+    if ! grep -q "^# TYPE oneedit_${family} counter$" "${workdir}/shard_metrics.txt"; then
+      echo "METRICS FAILED: missing counter family oneedit_${family}" >&2
+      exit 1
+    fi
+  done
+  if ! grep -q '^oneedit_tenant_quota_rejects_total{tenant="acme"}' "${workdir}/shard_metrics.txt"; then
+    echo "METRICS FAILED: missing tenant_quota_rejects row for flooded tenant" >&2
+    exit 1
+  fi
+  if [[ -z "${txns:-}" || "${txns}" -lt 1 ]]; then
+    echo "METRICS FAILED: no cross-shard transactions recorded" >&2
+    exit 1
+  fi
+  # The aggregate /health JSON and the placement join answer too.
+  shard_scrape /health > "${workdir}/shard_health.json"
+  if ! grep -q '"shards":\[' "${workdir}/shard_health.json"; then
+    echo "METRICS FAILED: shard /health missing per-shard section" >&2
+    cat "${workdir}/shard_health.json" >&2
+    exit 1
+  fi
+  shard_scrape "/placement?k=4" > "${workdir}/shard_placement.json"
+  python3 -c "
+import json
+doc = json.load(open('${workdir}/shard_placement.json'))
+assert doc['version'] == 1, 'unexpected placement schema version'
+assert len(doc['shards']) == 3, 'placement must list every shard'
+doc2 = json.load(open('${workdir}/shard_metrics.json'))
+assert 'counters' in doc2, 'shard metrics.json missing counters'
+"
+  if ! wait "${shard_pid}"; then
+    echo "METRICS FAILED: shard_demo exited nonzero" >&2
+    cat "${workdir}/shard_run.log" >&2
+    exit 1
+  fi
+  echo "metrics smoke passed: full ticker/percentile export, consistent counters, shard fleet surface"
 elif [[ "${matrix}" == "replication" ]]; then
   # Failover chaos: kill -9 the primary at every durability file operation
   # and prove a promoted follower serves every acknowledged edit. Each
@@ -500,6 +587,14 @@ elif [[ "${matrix}" == "scrub" ]]; then
   ONEEDIT_SCRUB_ROUNDS=10 ctest -j "${jobs}" --output-on-failure \
     -R 'StorageEnvTest|DiskBudgetTest|DiskFullServiceTest|TmpSweepTest|SalvageRecoveryTest|ScrubberTest|RepairWireTest|ReplicaRepairTest|ScrubChaosTest'
   echo "scrub chaos passed: detection, repair, auto-heal, zero acknowledged-edit loss"
+elif [[ "${matrix}" == "shard" ]]; then
+  # Horizontal sharding: deterministic rendezvous/router/2PC suites, then
+  # the seeded mixed-workload crash rounds. A failing round prints its
+  # round index in the SCOPED_TRACE and replays exactly with
+  # ONEEDIT_SHARD_ROUNDS pinned locally.
+  ONEEDIT_SHARD_ROUNDS=10 ctest -j "${jobs}" --output-on-failure \
+    -R 'RendezvousHashTest|ShardRouterTest|Shard2pcTest|ShardChaosTest'
+  echo "shard suite passed: routing, quotas, 2PC failpoint sweep, 10 chaos rounds"
 else
   ctest -j "${jobs}" --output-on-failure
 fi

@@ -75,6 +75,12 @@ struct EditRequest {
   NamedTriple triple;     ///< kEdit / kErase payload
   std::string utterance;  ///< kUtterance payload
   std::string user = "anonymous";
+  /// Cross-shard 2PC tag (docs/sharding.md): nonzero when this request is
+  /// one half of a distributed transaction. Persisted to the WAL — replay
+  /// and recovery resolution use the tag to tell "this half was applied"
+  /// from "this half is still in doubt". 0 for ordinary edits; the tag has
+  /// no effect on how the edit itself is applied.
+  uint64_t txn_id = 0;
   /// Optional deadline: a request still waiting (queued, or blocked at
   /// admission) past this instant resolves DeadlineExceeded without ever
   /// occupying the writer. Not persisted to the WAL — a request is only

@@ -106,6 +106,18 @@ std::string TickerName(Ticker ticker) {
       return "enospc_rejects";
     case Ticker::kTmpFilesSwept:
       return "tmp_files_swept";
+    case Ticker::kTxnPrepares:
+      return "txn_prepares";
+    case Ticker::kTxnDecisions:
+      return "txn_decisions";
+    case Ticker::kCrossShardTxns:
+      return "cross_shard_txns";
+    case Ticker::kCrossShardAborts:
+      return "cross_shard_aborts";
+    case Ticker::kTxnInDoubtResolved:
+      return "txn_in_doubt_resolved";
+    case Ticker::kTenantQuotaRejects:
+      return "tenant_quota_rejects";
     case Ticker::kTickerCount:
       break;
   }

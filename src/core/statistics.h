@@ -63,6 +63,12 @@ enum class Ticker : size_t {
   kRepairsCompleted,      ///< corrupt regions repaired (peer fetch or local)
   kEnospcRejects,         ///< writes shed because the disk budget ran out
   kTmpFilesSwept,         ///< stale *.tmp checkpoint files removed at startup
+  kTxnPrepares,           ///< cross-shard 2PC prepare markers journaled
+  kTxnDecisions,          ///< cross-shard 2PC decision markers journaled
+  kCrossShardTxns,        ///< cross-shard edits committed through 2PC
+  kCrossShardAborts,      ///< cross-shard edits aborted (any phase)
+  kTxnInDoubtResolved,    ///< in-doubt 2PC halves settled at recovery
+  kTenantQuotaRejects,    ///< writes shed by a tenant's admission quota
   kTickerCount,           // sentinel
 };
 

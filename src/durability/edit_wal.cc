@@ -11,13 +11,21 @@ namespace {
 // Payload layout (little-endian):
 //   u64 sequence
 //   u64 term (primary election epoch the record was journaled under)
-//   u8  flags (bit 0: first_in_batch, bit 1: quarantine verdict)
+//   u8  flags (bit 0: first_in_batch, bit 1: quarantine verdict,
+//              bit 2: 2PC marker record, bit 3: txn-tagged edit record)
 //   u8  op (EditRequest::Op)
 //   u8  method (EditingMethodKind)
 //   5 length-prefixed strings: subject, relation, object, utterance, user
 // Quarantine verdict records (flag bit 1) append:
 //   u64 quarantined_sequence
 //   1 length-prefixed string: reason
+// 2PC marker records (flag bit 2) append:
+//   u8  marker kind (TxnMarker, 1..3)
+//   u64 txn_id
+//   u32 coordinator shard (meaningful for kPrepare)
+// Txn-tagged edit records (flag bit 3, one half of a cross-shard edit)
+// append:
+//   u64 txn_id
 constexpr size_t kFrameHeaderBytes = 2 * sizeof(uint32_t);
 constexpr uint32_t kMaxPayloadBytes = 1u << 24;
 
@@ -74,6 +82,21 @@ bool DecodePayload(std::string_view payload, EditWalRecord* record) {
        !ConsumeString(&payload, &record->quarantine_reason))) {
     return false;
   }
+  record->txn_marker = TxnMarker::kNone;
+  record->txn_id = 0;
+  record->txn_coordinator = 0;
+  if ((flags & 4u) != 0) {
+    uint8_t marker = 0;
+    if (!ConsumeScalar(&payload, &marker) || marker < 1 || marker > 3 ||
+        !ConsumeScalar(&payload, &record->txn_id) ||
+        !ConsumeScalar(&payload, &record->txn_coordinator)) {
+      return false;
+    }
+    record->txn_marker = static_cast<TxnMarker>(marker);
+  } else if ((flags & 8u) != 0) {
+    if (!ConsumeScalar(&payload, &record->txn_id)) return false;
+  }
+  record->request.txn_id = record->txn_id;
   return payload.empty();
 }
 
@@ -83,8 +106,11 @@ std::string EditWal::Encode(const EditWalRecord& record) {
   std::string payload;
   AppendU64(&payload, record.sequence);
   AppendU64(&payload, record.term);
+  const bool marker = record.txn_marker != TxnMarker::kNone;
+  const bool tagged = !marker && record.txn_id != 0;
   const uint8_t flags = (record.first_in_batch ? 1u : 0u) |
-                        (record.quarantine ? 2u : 0u);
+                        (record.quarantine ? 2u : 0u) | (marker ? 4u : 0u) |
+                        (tagged ? 8u : 0u);
   payload.push_back(static_cast<char>(flags));
   payload.push_back(static_cast<char>(record.request.op));
   payload.push_back(static_cast<char>(record.method));
@@ -96,6 +122,13 @@ std::string EditWal::Encode(const EditWalRecord& record) {
   if (record.quarantine) {
     AppendU64(&payload, record.quarantined_sequence);
     AppendString(&payload, record.quarantine_reason);
+  }
+  if (marker) {
+    payload.push_back(static_cast<char>(record.txn_marker));
+    AppendU64(&payload, record.txn_id);
+    AppendU32(&payload, record.txn_coordinator);
+  } else if (tagged) {
+    AppendU64(&payload, record.txn_id);
   }
 
   std::string frame;

@@ -23,6 +23,22 @@ namespace durability {
 /// record so a poison edit is never resurrected. Verdict records consume a
 /// sequence number of their own, keeping the log's contiguity check intact,
 /// and never open a batch.
+/// Cross-shard two-phase-commit marker kinds (docs/sharding.md). Marker
+/// records — like quarantine verdicts — consume a sequence number, never
+/// open a batch, and are never applied by replay; they exist so recovery
+/// can resolve a transaction that crashed between its phases.
+enum class TxnMarker : uint8_t {
+  kNone = 0,
+  /// A participant durably promises it can apply its half; carries the half
+  /// itself (in `request`) and the coordinator's shard id.
+  kPrepare = 1,
+  /// The coordinator's commit decision for `txn_id` — the 2PC commit point.
+  kCommitDecision = 2,
+  /// An abort decision (coordinator abort, or a participant settling a
+  /// presumed-abort prepare at recovery).
+  kAbortDecision = 3,
+};
+
 struct EditWalRecord {
   uint64_t sequence = 0;
   /// Primary term (election epoch) the record was journaled under. Replay
@@ -34,6 +50,14 @@ struct EditWalRecord {
   bool quarantine = false;
   uint64_t quarantined_sequence = 0;
   std::string quarantine_reason;
+  /// kNone for ordinary records. Marker records carry `txn_id` (and, for
+  /// kPrepare, `txn_coordinator` + the half in `request`).
+  TxnMarker txn_marker = TxnMarker::kNone;
+  /// Nonzero for marker records AND for applied records that are one half
+  /// of a cross-shard transaction (mirrors request.txn_id on decode).
+  uint64_t txn_id = 0;
+  /// kPrepare only: shard index of the transaction's coordinator.
+  uint32_t txn_coordinator = 0;
 };
 
 /// What a replay saw: how many intact records, the highest sequence, and

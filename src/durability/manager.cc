@@ -144,8 +144,24 @@ StatusOr<RecoveryReport> DurabilityManager::Recover(
               // the terms its records carry are part of the durable state.
               applied_term_ = record.term;
               AdoptTerm(record.term);
+              // 2PC bookkeeping runs for EVERY record in order — including
+              // ones the checkpoint already covers (a crash between the
+              // checkpoint rename and the WAL rotation leaves markers below
+              // the checkpoint sequence that still name live transactions).
+              if (record.txn_marker != TxnMarker::kNone ||
+                  record.txn_id != 0) {
+                std::lock_guard<std::mutex> lock(txn_mutex_);
+                TxnBookkeepingLocked(record);
+              }
               if (record.sequence <= report.checkpoint_sequence) {
                 ++report.skipped_records;
+                return Status::OK();
+              }
+              if (record.txn_marker != TxnMarker::kNone) {
+                // Markers consume a sequence but are never applied; the
+                // pending batch stays pending, as with verdicts.
+                ++report.txn_markers;
+                report.last_sequence = record.sequence;
                 return Status::OK();
               }
               if (record.quarantine) {
@@ -182,6 +198,21 @@ StatusOr<RecoveryReport> DurabilityManager::Recover(
   ONEEDIT_RETURN_IF_ERROR(replay_status);
   flush();
 
+  // A torn tail is a clean end of log — but only while it stays the tail.
+  // The append handle sits at end-of-file, so leaving the torn bytes in
+  // place would entomb every future record behind garbage that the next
+  // replay abandons as mid-log corruption. Cut the tail off now, with the
+  // same splice discipline as RepairWal: close the handle around the
+  // truncate so no stale kernel file offset survives the cut.
+  if (wal_stats.torn_bytes_dropped > 0) {
+    ONEEDIT_ASSIGN_OR_RETURN(const uint64_t wal_size,
+                             env_->FileSize(wal_path_));
+    wal_.Close();
+    ONEEDIT_RETURN_IF_ERROR(env_->TruncateFile(
+        wal_path_, wal_size - wal_stats.torn_bytes_dropped));
+    ONEEDIT_RETURN_IF_ERROR(wal_.Open(wal_path_, env_));
+  }
+
   // Integrity check: the recovered commit point must equal the highest
   // durable sequence, cross-checked against the replayer's own independent
   // accounting of the last intact record.
@@ -202,6 +233,157 @@ StatusOr<RecoveryReport> DurabilityManager::Recover(
   system->statistics().Add(Ticker::kRecoveredRecords,
                            report.replayed_records);
   return report;
+}
+
+void DurabilityManager::TxnBookkeepingLocked(const EditWalRecord& record) {
+  if (record.txn_id != 0 && record.txn_id > max_txn_id_) {
+    max_txn_id_ = record.txn_id;
+  }
+  switch (record.txn_marker) {
+    case TxnMarker::kPrepare: {
+      PreparedTxn txn;
+      txn.txn_id = record.txn_id;
+      txn.coordinator_shard = record.txn_coordinator;
+      txn.half = record.request;
+      txn.half.txn_id = record.txn_id;
+      outstanding_[record.txn_id] = std::move(txn);
+      return;
+    }
+    case TxnMarker::kCommitDecision:
+      committed_txns_.insert(record.txn_id);
+      return;
+    case TxnMarker::kAbortDecision:
+      outstanding_.erase(record.txn_id);
+      return;
+    case TxnMarker::kNone:
+      // A txn-tagged apply record settles its prepare: the half is durable
+      // in sequence order and will replay as a normal edit.
+      if (record.txn_id != 0) outstanding_.erase(record.txn_id);
+      return;
+  }
+}
+
+Status DurabilityManager::AppendMarkerLocked(TxnMarker marker,
+                                             uint64_t txn_id,
+                                             uint32_t coordinator_shard,
+                                             const EditRequest* half,
+                                             EditingMethodKind method) {
+  EditWalRecord record;
+  record.sequence = next_sequence_;
+  record.term = owned_term_;
+  record.first_in_batch = false;
+  record.method = method;
+  record.txn_marker = marker;
+  record.txn_id = txn_id;
+  record.txn_coordinator = coordinator_shard;
+  if (half != nullptr) {
+    record.request = *half;
+    record.request.txn_id = txn_id;
+  }
+  ONEEDIT_RETURN_IF_ERROR(wal_.Append(record));
+  ++next_sequence_;
+  return Status::OK();
+}
+
+Status DurabilityManager::LogPrepare(uint64_t txn_id,
+                                     uint32_t coordinator_shard,
+                                     const EditRequest& half,
+                                     EditingMethodKind method,
+                                     Statistics* stats) {
+  std::lock_guard<std::mutex> lock(txn_mutex_);
+  Status status = CheckFreeSpace();
+  if (status.ok()) {
+    status = AppendMarkerLocked(TxnMarker::kPrepare, txn_id, coordinator_shard,
+                                &half, method);
+  }
+  // The prepare MUST be fsynced before the coordinator may decide commit:
+  // the promise has to survive a participant crash.
+  if (status.ok()) status = wal_.Sync();
+  if (status.ok()) {
+    committed_sequence_ = next_sequence_ - 1;
+    applied_term_ = owned_term_.load();
+    PreparedTxn txn;
+    txn.txn_id = txn_id;
+    txn.coordinator_shard = coordinator_shard;
+    txn.half = half;
+    txn.half.txn_id = txn_id;
+    outstanding_[txn_id] = std::move(txn);
+    if (txn_id > max_txn_id_) max_txn_id_ = txn_id;
+  }
+  if (stats != nullptr) {
+    if (status.ok()) {
+      stats->Add(Ticker::kWalRecords);
+      stats->Add(Ticker::kWalCommits);
+      stats->Add(Ticker::kTxnPrepares);
+    } else {
+      stats->Add(Ticker::kWalFailures);
+      if (status.IsResourceExhausted()) stats->Add(Ticker::kEnospcRejects);
+    }
+  }
+  return status;
+}
+
+Status DurabilityManager::LogTxnDecision(uint64_t txn_id, bool commit,
+                                         EditingMethodKind method,
+                                         Statistics* stats) {
+  std::lock_guard<std::mutex> lock(txn_mutex_);
+  Status status = CheckFreeSpace();
+  if (status.ok()) {
+    status = AppendMarkerLocked(
+        commit ? TxnMarker::kCommitDecision : TxnMarker::kAbortDecision,
+        txn_id, /*coordinator_shard=*/0, /*half=*/nullptr, method);
+  }
+  if (status.ok()) status = wal_.Sync();
+  if (status.ok()) {
+    committed_sequence_ = next_sequence_ - 1;
+    applied_term_ = owned_term_.load();
+    if (commit) {
+      committed_txns_.insert(txn_id);
+    } else {
+      outstanding_.erase(txn_id);
+    }
+    if (txn_id > max_txn_id_) max_txn_id_ = txn_id;
+  }
+  if (stats != nullptr) {
+    if (status.ok()) {
+      stats->Add(Ticker::kWalRecords);
+      stats->Add(Ticker::kWalCommits);
+      stats->Add(Ticker::kTxnDecisions);
+    } else {
+      stats->Add(Ticker::kWalFailures);
+      if (status.IsResourceExhausted()) stats->Add(Ticker::kEnospcRejects);
+    }
+  }
+  return status;
+}
+
+void DurabilityManager::ForgetTxn(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(txn_mutex_);
+  committed_txns_.erase(txn_id);
+  outstanding_.erase(txn_id);
+}
+
+std::vector<PreparedTxn> DurabilityManager::outstanding_txns() const {
+  std::lock_guard<std::mutex> lock(txn_mutex_);
+  std::vector<PreparedTxn> out;
+  out.reserve(outstanding_.size());
+  for (const auto& [id, txn] : outstanding_) out.push_back(txn);
+  return out;
+}
+
+bool DurabilityManager::txn_committed(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(txn_mutex_);
+  return committed_txns_.count(txn_id) > 0;
+}
+
+std::vector<uint64_t> DurabilityManager::retained_decisions() const {
+  std::lock_guard<std::mutex> lock(txn_mutex_);
+  return std::vector<uint64_t>(committed_txns_.begin(), committed_txns_.end());
+}
+
+uint64_t DurabilityManager::max_txn_id() const {
+  std::lock_guard<std::mutex> lock(txn_mutex_);
+  return max_txn_id_;
 }
 
 Status DurabilityManager::CheckFreeSpace() {
@@ -236,6 +418,7 @@ Status DurabilityManager::LogBatch(const std::vector<EditRequest>& requests,
       record.first_in_batch = first;
       record.method = method;
       record.request = request;
+      record.txn_id = request.txn_id;
       status = wal_.Append(record);
       if (!status.ok()) break;
       ++next_sequence_;
@@ -249,6 +432,12 @@ Status DurabilityManager::LogBatch(const std::vector<EditRequest>& requests,
   if (status.ok()) {
     committed_sequence_ = next_sequence_ - 1;
     applied_term_ = owned_term_.load();
+    // Txn-tagged halves are now durable in sequence order; their prepares
+    // are settled and stop being re-journaled across rotations.
+    std::lock_guard<std::mutex> lock(txn_mutex_);
+    for (const EditRequest& request : requests) {
+      if (request.txn_id != 0) outstanding_.erase(request.txn_id);
+    }
   }
   if (stats != nullptr) {
     if (status.ok()) {
@@ -309,6 +498,22 @@ Status DurabilityManager::AppendReplicated(std::string_view frames,
     committed_sequence_ = last_sequence;
     applied_term_ = last_term;
     AdoptTerm(last_term);
+    // Keep the follower's 2PC tables current: a promoted follower must know
+    // which prepares are outstanding and which commit decisions it retains.
+    std::string_view rest = frames;
+    std::lock_guard<std::mutex> lock(txn_mutex_);
+    while (!rest.empty()) {
+      EditWalRecord record;
+      size_t frame_bytes = 0;
+      if (EditWal::DecodeFrame(rest, &record, &frame_bytes) !=
+          EditWal::FrameResult::kRecord) {
+        break;  // the caller verified these frames; never split a decode
+      }
+      if (record.txn_marker != TxnMarker::kNone || record.txn_id != 0) {
+        TxnBookkeepingLocked(record);
+      }
+      rest.remove_prefix(frame_bytes);
+    }
   }
   if (stats != nullptr) {
     if (status.ok()) {
@@ -360,6 +565,14 @@ StatusOr<uint64_t> DurabilityManager::InstallSnapshotBytes(
   next_sequence_ = state.last_sequence + 1;
   committed_sequence_ = state.last_sequence;
   edits_since_checkpoint_ = 0;
+  {
+    // The installed image replaces this journal wholesale; live 2PC state
+    // is re-learned from the primary's re-journaled markers as the follower
+    // tails the post-rotation WAL.
+    std::lock_guard<std::mutex> lock(txn_mutex_);
+    outstanding_.clear();
+    committed_txns_.clear();
+  }
   // The image carries the shipping primary's term view; adopt it (but not
   // its term OWNERSHIP — installing a snapshot never makes us a primary).
   applied_term_ = state.applied_term;
@@ -442,6 +655,35 @@ Status DurabilityManager::Checkpoint(OneEditSystem& system,
     // A rotation failure leaves stale-but-skippable records, not data loss.
     status = wal_.Reset();
     edits_since_checkpoint_ = 0;
+  }
+  if (status.ok()) {
+    // Carry live 2PC state across the rotation: undecided prepares and
+    // retained commit decisions are NOT redundant with the checkpoint (the
+    // image holds applied state only) and would otherwise be destroyed by
+    // the Reset. Re-journal them with fresh sequence numbers.
+    std::lock_guard<std::mutex> lock(txn_mutex_);
+    const EditingMethodKind method = system.config().method;
+    bool appended = false;
+    for (const auto& [id, txn] : outstanding_) {
+      status = AppendMarkerLocked(TxnMarker::kPrepare, txn.txn_id,
+                                  txn.coordinator_shard, &txn.half, method);
+      if (!status.ok()) break;
+      appended = true;
+    }
+    if (status.ok()) {
+      for (const uint64_t id : committed_txns_) {
+        status = AppendMarkerLocked(TxnMarker::kCommitDecision, id,
+                                    /*coordinator_shard=*/0, /*half=*/nullptr,
+                                    method);
+        if (!status.ok()) break;
+        appended = true;
+      }
+    }
+    if (status.ok() && appended) status = wal_.Sync();
+    if (status.ok() && appended) {
+      committed_sequence_ = next_sequence_ - 1;
+      applied_term_ = owned_term_.load();
+    }
   }
   if (stats != nullptr) {
     if (status.ok()) {

@@ -4,7 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -53,6 +56,8 @@ struct RecoveryReport {
   uint64_t checkpoint_kg_version = 0;
   /// Quarantine verdict records found in the log.
   size_t quarantine_records = 0;
+  /// 2PC marker records (prepare/decision) found in the log.
+  size_t txn_markers = 0;
   /// Edit records NOT replayed because a journaled verdict condemned them.
   size_t quarantined_skipped = 0;
   /// Mid-log WAL corruption was found; the intact prefix was salvaged and
@@ -74,6 +79,20 @@ struct ReplayBatch {
   std::vector<EditRequest> requests;
   std::vector<uint64_t> sequences;
   uint64_t first_sequence = 0;
+};
+
+/// One outstanding cross-shard transaction half: a journaled prepare whose
+/// edit has not yet been applied (no txn-tagged apply record follows it in
+/// this journal) and that no abort decision has settled. Recovery hands
+/// these to the ShardRouter, which consults the coordinator's retained
+/// decision to resolve commit vs presumed abort (docs/sharding.md).
+struct PreparedTxn {
+  uint64_t txn_id = 0;
+  /// Shard index of the coordinator (the subject shard) — where the commit
+  /// decision, if any, is journaled.
+  uint32_t coordinator_shard = 0;
+  /// This shard's half of the cross-shard edit, txn-tagged.
+  EditRequest half;
 };
 
 /// Replay hook: applies one batch during recovery. Null = plain
@@ -134,6 +153,55 @@ class DurabilityManager {
   Status LogQuarantine(uint64_t quarantined_sequence,
                        const std::string& reason, EditingMethodKind method,
                        Statistics* stats);
+
+  // --- Cross-shard 2PC surface (docs/sharding.md) ----------------------------
+  //
+  // Marker records ride in the same CRC-framed WAL as edits: they consume
+  // sequence numbers (keeping the contiguity check intact), never open a
+  // batch, and are never applied by replay. The commit protocol:
+  //
+  //   1. LogPrepare on every participant (fsynced) — the promise.
+  //   2. LogTxnDecision(commit) on the coordinator (fsynced) — the commit
+  //      point. Commit decisions are RETAINED: re-journaled across WAL
+  //      rotations until ForgetTxn, so a participant that crashed before
+  //      applying can still learn the outcome from the coordinator.
+  //   3. Each half is then applied through a normal txn-tagged LogBatch
+  //      record, which replays in sequence order and marks the prepare
+  //      settled. Abort decisions settle the prepare without retention —
+  //      recovery presumes abort when no commit decision exists anywhere.
+
+  /// Journals (and group-commits) a prepare marker carrying `half`. On
+  /// success the transaction is tracked as outstanding: re-journaled across
+  /// Checkpoint rotations until a txn-tagged apply or an abort settles it.
+  Status LogPrepare(uint64_t txn_id, uint32_t coordinator_shard,
+                    const EditRequest& half, EditingMethodKind method,
+                    Statistics* stats);
+
+  /// Journals (and group-commits) a decision marker. `commit` retains the
+  /// decision until ForgetTxn; abort erases the outstanding prepare and
+  /// retains nothing (presumed abort).
+  Status LogTxnDecision(uint64_t txn_id, bool commit, EditingMethodKind method,
+                        Statistics* stats);
+
+  /// Drops a retained commit decision (and any outstanding prepare) once
+  /// the router has confirmed every participant applied its half. Journals
+  /// nothing — the decision simply stops being re-journaled at the next
+  /// rotation.
+  void ForgetTxn(uint64_t txn_id);
+
+  /// Snapshot of the outstanding (prepared, unapplied, unaborted) halves —
+  /// what recovery resolution iterates.
+  std::vector<PreparedTxn> outstanding_txns() const;
+
+  /// True if a commit decision for `txn_id` is retained in this journal.
+  bool txn_committed(uint64_t txn_id) const;
+
+  /// Retained commit decisions (coordinator journal), ascending.
+  std::vector<uint64_t> retained_decisions() const;
+
+  /// Highest transaction id seen in this journal — seeds the router's
+  /// txn-id counter past anything already durable.
+  uint64_t max_txn_id() const;
 
   /// Replication follower path: journals frames shipped from the primary
   /// verbatim (byte-identical — same CRCs, same torn-tail semantics) and
@@ -228,6 +296,18 @@ class DurabilityManager {
   /// gone; OK when disabled or unmeasurable.
   Status CheckFreeSpace();
 
+  /// Applies one record's effect on the txn tables (insert prepare, retain
+  /// commit, settle on abort or tagged apply). Called with txn_mutex_ held,
+  /// for every journaled/replicated/replayed record in order.
+  void TxnBookkeepingLocked(const EditWalRecord& record);
+
+  /// Appends one marker record with a fresh sequence (no sync; caller
+  /// groups). Advances next_sequence_ on success.
+  Status AppendMarkerLocked(TxnMarker marker, uint64_t txn_id,
+                            uint32_t coordinator_shard,
+                            const EditRequest* half,
+                            EditingMethodKind method);
+
   DurabilityOptions options_;
   Env* env_;
   std::string wal_path_;
@@ -246,6 +326,15 @@ class DurabilityManager {
   std::atomic<uint64_t> applied_term_{0};
   std::atomic<uint64_t> term_start_sequence_{0};
   uint64_t tmp_files_swept_ = 0;
+
+  /// 2PC state (guarded by txn_mutex_; the WAL itself is guarded by the
+  /// caller's exclusive lock, as for every other append path).
+  mutable std::mutex txn_mutex_;
+  /// txn_id -> unapplied prepared half.
+  std::map<uint64_t, PreparedTxn> outstanding_;
+  /// Retained commit decisions (coordinator journal) until ForgetTxn.
+  std::set<uint64_t> committed_txns_;
+  uint64_t max_txn_id_ = 0;
 };
 
 }  // namespace durability

@@ -105,6 +105,12 @@ void MetricsRegistry::AddLabeledGauge(
   labeled_gauges_.push_back(LabeledGauge{name, help, std::move(values)});
 }
 
+void MetricsRegistry::AddLabeledCounter(
+    const std::string& name, const std::string& help,
+    std::function<std::vector<std::pair<MetricLabel, uint64_t>>()> values) {
+  labeled_counters_.push_back(LabeledCounter{name, help, std::move(values)});
+}
+
 void MetricsRegistry::AddHistogram(
     const std::string& name, const std::string& help,
     std::function<HistogramExposition()> value) {
@@ -137,6 +143,15 @@ std::string MetricsRegistry::ExposeText() const {
     for (const auto& [label, value] : family.values()) {
       out += full + "{" + label.key + "=\"" + LabelEscape(label.value) +
              "\"} " + FormatDouble(value) + "\n";
+    }
+  }
+  for (const LabeledCounter& family : labeled_counters_) {
+    const std::string full = prefix_ + family.name + "_total";
+    out += "# HELP " + full + " " + family.help + "\n";
+    out += "# TYPE " + full + " counter\n";
+    for (const auto& [label, value] : family.values()) {
+      out += full + "{" + label.key + "=\"" + LabelEscape(label.value) +
+             "\"} " + std::to_string(value) + "\n";
     }
   }
   for (const HistogramFamily& family : histograms_) {
@@ -184,6 +199,12 @@ std::string MetricsRegistry::ExposeJson() const {
   for (const Counter& counter : counters_) {
     key(counter.name);
     out += std::to_string(counter.value());
+  }
+  for (const LabeledCounter& family : labeled_counters_) {
+    for (const auto& [label, value] : family.values()) {
+      key(family.name + "{" + label.key + "=" + label.value + "}");
+      out += std::to_string(value);
+    }
   }
   out += "},";
   first = true;

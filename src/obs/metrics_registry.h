@@ -55,6 +55,13 @@ class MetricsRegistry {
       const std::string& name, const std::string& help,
       std::function<std::vector<std::pair<MetricLabel, double>>()> values);
 
+  /// A counter family with labels per member (e.g. per-shard request
+  /// totals). Exposed as `<prefix><name>_total{key="value"}`; the provider
+  /// returns every member each scrape, like AddLabeledGauge.
+  void AddLabeledCounter(
+      const std::string& name, const std::string& help,
+      std::function<std::vector<std::pair<MetricLabel, uint64_t>>()> values);
+
   /// Value distribution. Text exposition emits a summary family (quantile
   /// labels + _sum/_count), a `<name>_max` gauge, and a `<name>_buckets`
   /// cumulative histogram family.
@@ -92,6 +99,10 @@ class MetricsRegistry {
     std::string name, help;
     std::function<std::vector<std::pair<MetricLabel, double>>()> values;
   };
+  struct LabeledCounter {
+    std::string name, help;
+    std::function<std::vector<std::pair<MetricLabel, uint64_t>>()> values;
+  };
   struct HistogramFamily {
     std::string name, help;
     std::function<HistogramExposition()> value;
@@ -105,6 +116,7 @@ class MetricsRegistry {
   std::vector<Counter> counters_;
   std::vector<Gauge> gauges_;
   std::vector<LabeledGauge> labeled_gauges_;
+  std::vector<LabeledCounter> labeled_counters_;
   std::vector<HistogramFamily> histograms_;
   std::vector<Info> infos_;
 };

@@ -665,6 +665,78 @@ Status EditService::CheckpointNow() {
   });
 }
 
+namespace {
+
+/// Shared admission check for the 2PC participant surface: markers are
+/// durability promises, so every state that sheds writes also refuses them.
+Status Check2pcWritable(const EditService& service,
+                        const durability::DurabilityManager* durability) {
+  if (durability == nullptr) {
+    return Status::FailedPrecondition(
+        "two-phase commit requires a durability manager");
+  }
+  if (service.role() == ReplicationRole::kFollower) {
+    return Status::FailedPrecondition(
+        "a follower cannot participate in two-phase commit");
+  }
+  if (durability->primary_term() > durability->owned_term()) {
+    // Fenced: a newer primary owns the term. A deposed coordinator must not
+    // promise or decide — its journal suffix may be truncated at rejoin.
+    return Status::FailedPrecondition(
+        "deposed: observed term " +
+        std::to_string(durability->primary_term()) + " > owned term " +
+        std::to_string(durability->owned_term()));
+  }
+  if (service.read_only()) {
+    return Status::Unavailable("service is not accepting writes (" +
+                               ServiceHealthName(service.health()) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EditService::Prepare2pc(uint64_t txn_id, uint32_t coordinator_shard,
+                               const EditRequest& half) {
+  Status writable = Check2pcWritable(*this, durability_);
+  if (!writable.ok()) {
+    if (health() == ServiceHealth::kFenced ||
+        (durability_ != nullptr &&
+         durability_->primary_term() > durability_->owned_term())) {
+      statistics().Add(Ticker::kReplFencedWrites);
+    }
+    return writable;
+  }
+  return WithExclusive([&](OneEditSystem& system) {
+    return durability_->LogPrepare(txn_id, coordinator_shard, half,
+                                   system.config().method,
+                                   &system.statistics());
+  });
+}
+
+Status EditService::Decide2pc(uint64_t txn_id, bool commit) {
+  Status writable = Check2pcWritable(*this, durability_);
+  if (!writable.ok()) {
+    if (health() == ServiceHealth::kFenced ||
+        (durability_ != nullptr &&
+         durability_->primary_term() > durability_->owned_term())) {
+      statistics().Add(Ticker::kReplFencedWrites);
+    }
+    return writable;
+  }
+  return WithExclusive([&](OneEditSystem& system) {
+    return durability_->LogTxnDecision(txn_id, commit, system.config().method,
+                                       &system.statistics());
+  });
+}
+
+void EditService::Forget2pc(uint64_t txn_id) {
+  if (durability_ == nullptr) return;
+  // Pure table maintenance — no journal write, so no lock or health gate:
+  // the retained decision simply stops being re-journaled at rotations.
+  durability_->ForgetTxn(txn_id);
+}
+
 Status EditService::RepairCorruption(
     const durability::ScrubFinding& finding) {
   if (durability_ == nullptr) {
@@ -1022,6 +1094,10 @@ Status EditService::ApplyReplicatedBatch(
   requests.reserve(records.size());
   for (const durability::EditWalRecord& record : records) {
     if (record.quarantine || condemned.count(record.sequence) > 0) continue;
+    // 2PC markers (prepares / decisions the primary re-journaled or logged
+    // live) are journal-only state: AppendReplicated above already folded
+    // them into the txn tables; they are never applied.
+    if (record.txn_marker != durability::TxnMarker::kNone) continue;
     requests.push_back(record.request);
   }
   {

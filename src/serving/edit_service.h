@@ -356,6 +356,35 @@ class EditService {
   /// batch is mid-application). FailedPrecondition without a manager.
   Status CheckpointNow();
 
+  // --- Cross-shard two-phase commit (docs/sharding.md) -----------------------
+  //
+  // The participant surface ShardRouter drives. Each call takes the
+  // exclusive lock (so it never interleaves with a writer batch) and
+  // journals a fsynced marker record through the durability manager; no
+  // in-memory edit state changes, so nothing is republished. All three
+  // refuse without a durability manager (markers ARE the protocol's
+  // durability), on a follower, while degraded, and — like Submit — when
+  // this node has been deposed (primary_term() > the term it owns), so a
+  // fenced ex-coordinator can neither promise nor decide.
+
+  /// Phase 1: durably promise that `half` (this shard's slice of
+  /// transaction `txn_id`, coordinated by shard `coordinator_shard`) can be
+  /// applied. The prepare marker is fsynced before this returns; after a
+  /// crash, recovery re-surfaces it via
+  /// DurabilityManager::outstanding_txns() until a decision settles it.
+  Status Prepare2pc(uint64_t txn_id, uint32_t coordinator_shard,
+                    const EditRequest& half);
+
+  /// Phase 2: journal the coordinator's decision. `commit` is the 2PC
+  /// commit point — the decision marker is fsynced and retained (re-journaled
+  /// across WAL rotations) until Forget2pc. An abort settles the local
+  /// prepare and is not retained (presumed abort).
+  Status Decide2pc(uint64_t txn_id, bool commit);
+
+  /// End of transaction: the router confirmed every participant applied its
+  /// half, so the retained commit decision can stop being re-journaled.
+  void Forget2pc(uint64_t txn_id);
+
   /// Replica-assisted corruption repair (docs/durability.md): takes the
   /// exclusive lock, re-verifies that `finding` still describes the on-disk
   /// journal (a checkpoint rotation may have already retired the rot), and

@@ -1,0 +1,505 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "obs/profiler.h"
+#include "util/logging.h"
+
+namespace oneedit {
+namespace shard {
+namespace {
+
+/// A ready future carrying one result — the router's immediate-resolution
+/// path (quota shedding, cross-shard transactions run inline).
+std::future<StatusOr<EditResult>> Ready(StatusOr<EditResult> result) {
+  std::promise<StatusOr<EditResult>> promise;
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
+EditResult Rejection(std::string message) {
+  EditResult result;
+  result.kind = EditResult::Kind::kRejected;
+  result.message = std::move(message);
+  return result;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::vector<ShardSpec> shards,
+                         const ShardRouterOptions& options)
+    : shards_(std::move(shards)), options_(options) {
+  for (const ShardSpec& shard : shards_) {
+    placement_.AddNode(shard.name, shard.weight);
+    requests_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+    edits_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+  if (options_.vocab != nullptr) {
+    entity_set_.insert(options_.vocab->entities.begin(),
+                       options_.vocab->entities.end());
+  }
+  // Seed the transaction-id counter past every id already durable anywhere,
+  // so a restarted router never reuses an id a journal still remembers.
+  uint64_t max_seen = 0;
+  for (const ShardSpec& shard : shards_) {
+    if (shard.durability != nullptr) {
+      max_seen = std::max(max_seen, shard.durability->max_txn_id());
+    }
+  }
+  next_txn_id_.store(max_seen + 1, std::memory_order_relaxed);
+
+  if (options_.expose_metrics) {
+    registry_ = std::make_unique<obs::MetricsRegistry>();
+    ExportMetrics(registry_.get());
+    auto server = obs::MetricsServer::Start(
+        options_.metrics_port,
+        [this](const std::string& path) { return ServeHttp(path); });
+    if (server.ok()) {
+      metrics_server_ = std::move(*server);
+    } else {
+      ONEEDIT_LOG(Warning) << "shard router metrics listener failed to start: "
+                           << server.status().ToString();
+    }
+  }
+}
+
+ShardRouter::~ShardRouter() {
+  // The server's handler captures `this`; stop it before anything else dies.
+  metrics_server_.reset();
+}
+
+std::string ShardRouter::RoutingKey(const std::string& entity,
+                                    const std::string& tenant) const {
+  const std::string& canonical =
+      options_.vocab != nullptr ? options_.vocab->Canonical(entity) : entity;
+  return tenant + '\x1f' + canonical;
+}
+
+size_t ShardRouter::ShardFor(const std::string& entity,
+                             const std::string& tenant) const {
+  return placement_.IndexFor(RoutingKey(entity, TenantOrDefault(tenant)));
+}
+
+const std::string& ShardRouter::RoutingEntity(const EditRequest& request) {
+  // Utterances hash on their text: the subject is unknown until the owning
+  // shard's Interpreter runs (docs/sharding.md documents the limitation).
+  return request.op == EditRequest::Op::kUtterance ? request.utterance
+                                                   : request.triple.subject;
+}
+
+bool ShardRouter::ObjectRoutable(const std::string& object) const {
+  if (object.empty() || options_.vocab == nullptr) return false;
+  return entity_set_.count(options_.vocab->Canonical(object)) > 0;
+}
+
+bool ShardRouter::AdmitTenant(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(tenant_mutex_);
+  auto it = tenant_buckets_.find(tenant);
+  if (it == tenant_buckets_.end()) return true;
+  TenantBucket& bucket = it->second;
+  const auto now = std::chrono::steady_clock::now();
+  const double capacity = std::max(bucket.quota.burst, 1.0);
+  const double elapsed =
+      std::chrono::duration<double>(now - bucket.last_refill).count();
+  bucket.tokens = std::min(
+      capacity, bucket.tokens + elapsed * bucket.quota.edits_per_sec);
+  bucket.last_refill = now;
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return true;
+  }
+  ++tenant_rejects_[tenant];
+  return false;
+}
+
+void ShardRouter::SetTenantQuota(const std::string& tenant,
+                                 TenantQuota quota) {
+  std::lock_guard<std::mutex> lock(tenant_mutex_);
+  if (quota.edits_per_sec <= 0.0) {
+    tenant_buckets_.erase(tenant);
+    return;
+  }
+  TenantBucket bucket;
+  bucket.quota = quota;
+  bucket.tokens = std::max(quota.burst, 1.0);
+  bucket.last_refill = std::chrono::steady_clock::now();
+  tenant_buckets_[tenant] = bucket;
+  // Seed the reject counter so the labeled family has a member for every
+  // quota-limited tenant from the moment the quota exists.
+  tenant_rejects_.emplace(tenant, 0);
+}
+
+uint64_t ShardRouter::tenant_quota_rejects(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(tenant_mutex_);
+  auto it = tenant_rejects_.find(tenant);
+  return it == tenant_rejects_.end() ? 0 : it->second;
+}
+
+std::future<StatusOr<EditResult>> ShardRouter::Submit(
+    EditRequest request, const std::string& tenant) {
+  const std::string& resolved = TenantOrDefault(tenant);
+  const std::string& entity = RoutingEntity(request);
+  const size_t subject_shard = placement_.IndexFor(RoutingKey(entity, resolved));
+  if (!AdmitTenant(resolved)) {
+    shards_[subject_shard].service->statistics().Add(
+        Ticker::kTenantQuotaRejects);
+    return Ready(Rejection("tenant '" + resolved +
+                           "' is over its edit quota (load shed)"));
+  }
+  // Tenant-scoped audit identity: rollback and the audit log see
+  // "tenant \x1f user", so tenants can never touch each other's edits.
+  request.user = ScopedUser(resolved, request.user);
+  edits_[subject_shard]->fetch_add(1, std::memory_order_relaxed);
+
+  if (request.op == EditRequest::Op::kEdit && options_.cross_shard_edits &&
+      ObjectRoutable(request.triple.object) &&
+      !options_.vocab->InverseOf(request.triple.relation).empty()) {
+    const size_t object_shard =
+        placement_.IndexFor(RoutingKey(request.triple.object, resolved));
+    if (object_shard != subject_shard &&
+        shards_[subject_shard].durability != nullptr &&
+        shards_[object_shard].durability != nullptr) {
+      return Ready(
+          SubmitCrossShard(std::move(request), subject_shard, object_shard));
+    }
+  }
+  return shards_[subject_shard].service->Submit(std::move(request));
+}
+
+StatusOr<EditResult> ShardRouter::SubmitCrossShard(EditRequest request,
+                                                   size_t subject_shard,
+                                                   size_t object_shard) {
+  serving::EditService& coordinator = *shards_[subject_shard].service;
+  serving::EditService& participant = *shards_[object_shard].service;
+  const uint64_t txn = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+
+  EditRequest subject_half = request;
+  subject_half.txn_id = txn;
+  // The object shard's half: the INVERSE slot under the object ("governs"
+  // for "governor"), so the shard that owns the object entity serves the
+  // reverse association exactly — the cross-shard analogue of the
+  // bidirectional-generalization leakage a single-shard edit gets for free.
+  // (The relation vocabulary is closed; only reversible relations reach
+  // this path — Submit checked InverseOf already.)
+  EditRequest object_half = EditRequest::Edit(
+      {request.triple.object,
+       options_.vocab->InverseOf(request.triple.relation),
+       request.triple.subject},
+      request.user);
+  object_half.txn_id = txn;
+
+  // Phase 1: fsynced prepares, coordinator first. A refusal before any
+  // marker exists needs no abort; after the coordinator prepared, its
+  // prepare must be settled with a journaled abort so recovery does not
+  // find a dangling promise.
+  Status prepared = coordinator.Prepare2pc(
+      txn, static_cast<uint32_t>(subject_shard), subject_half);
+  if (!prepared.ok()) {
+    cross_shard_aborts_.fetch_add(1, std::memory_order_relaxed);
+    coordinator.statistics().Add(Ticker::kCrossShardAborts);
+    return Rejection("cross-shard prepare refused by coordinator: " +
+                     prepared.ToString());
+  }
+  prepared = participant.Prepare2pc(txn, static_cast<uint32_t>(subject_shard),
+                                    object_half);
+  if (!prepared.ok()) {
+    coordinator.Decide2pc(txn, /*commit=*/false);
+    cross_shard_aborts_.fetch_add(1, std::memory_order_relaxed);
+    coordinator.statistics().Add(Ticker::kCrossShardAborts);
+    return Rejection("cross-shard prepare refused by participant: " +
+                     prepared.ToString());
+  }
+
+  // Phase 2: the commit point. A failed decision write must NOT be
+  // contradicted with an abort — the decision may have reached disk before
+  // the error — so the transaction is left in doubt for RecoverInDoubt.
+  const Status decided = coordinator.Decide2pc(txn, /*commit=*/true);
+  if (!decided.ok()) {
+    return Rejection("cross-shard commit decision failed (" +
+                     decided.ToString() +
+                     "); transaction " + std::to_string(txn) +
+                     " left for recovery resolution");
+  }
+
+  // Apply both txn-tagged halves through each shard's normal writer. The
+  // tagged journal records settle the prepares; a half that fails to apply
+  // here stays outstanding and RecoverInDoubt re-applies it — the commit
+  // decision already made the outcome non-negotiable.
+  auto subject_future = coordinator.Submit(subject_half);
+  auto object_future = participant.Submit(object_half);
+  StatusOr<EditResult> subject_result = subject_future.get();
+  StatusOr<EditResult> object_result = object_future.get();
+
+  cross_shard_txns_.fetch_add(1, std::memory_order_relaxed);
+  coordinator.statistics().Add(Ticker::kCrossShardTxns);
+  const bool subject_settled =
+      subject_result.ok() && !(*subject_result).rejected();
+  const bool object_settled =
+      object_result.ok() && !(*object_result).rejected();
+  if (subject_settled && object_settled) {
+    coordinator.Forget2pc(txn);
+  }
+  // else: the decision stays retained; the next RecoverInDoubt pass
+  // re-applies the unsettled half and forgets the decision.
+  return subject_result;
+}
+
+StatusOr<serving::Snapshot> ShardRouter::GetSnapshot(
+    const std::string& subject, const std::string& tenant,
+    const serving::ReadOptions& read_options) const {
+  const size_t shard = ShardFor(subject, tenant);
+  requests_[shard]->fetch_add(1, std::memory_order_relaxed);
+  return shards_[shard].service->GetSnapshot(read_options);
+}
+
+StatusOr<Decode> ShardRouter::Ask(const std::string& subject,
+                                  const std::string& relation,
+                                  const std::string& tenant) const {
+  StatusOr<serving::Snapshot> snapshot = GetSnapshot(subject, tenant);
+  if (!snapshot.ok()) return snapshot.status();
+  return snapshot->Ask(subject, relation);
+}
+
+std::vector<ScatterAnswer> ShardRouter::ScatterAsk(
+    const std::vector<std::pair<std::string, std::string>>& queries,
+    const std::string& tenant) const {
+  std::vector<ScatterAnswer> answers(queries.size());
+  // Group by owning shard so each shard pins exactly one snapshot and all
+  // its answers observe the same instant.
+  std::unordered_map<size_t, std::vector<size_t>> by_shard;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    answers[i].subject = queries[i].first;
+    answers[i].relation = queries[i].second;
+    answers[i].shard = ShardFor(queries[i].first, tenant);
+    by_shard[answers[i].shard].push_back(i);
+  }
+  for (const auto& [shard, indexes] : by_shard) {
+    requests_[shard]->fetch_add(indexes.size(), std::memory_order_relaxed);
+    StatusOr<serving::Snapshot> snapshot =
+        shards_[shard].service->GetSnapshot();
+    for (const size_t i : indexes) {
+      answers[i].decode = snapshot.ok()
+                              ? snapshot->Ask(answers[i].subject,
+                                              answers[i].relation)
+                              : StatusOr<Decode>(snapshot.status());
+    }
+  }
+  return answers;
+}
+
+Status ShardRouter::RollbackTenant(const std::string& tenant,
+                                   const std::string& user) {
+  const std::string scoped = ScopedUser(TenantOrDefault(tenant), user);
+  Status first_error = Status::OK();
+  for (const ShardSpec& shard : shards_) {
+    const Status rolled = shard.service->WithExclusive(
+        [&](OneEditSystem& system) { return system.RollbackUserEdits(scoped); });
+    if (!rolled.ok() && first_error.ok()) first_error = rolled;
+  }
+  return first_error;
+}
+
+StatusOr<InDoubtReport> ShardRouter::RecoverInDoubt() {
+  InDoubtReport report;
+  const auto committed_anywhere = [&](uint64_t txn_id) {
+    for (const ShardSpec& shard : shards_) {
+      if (shard.durability != nullptr &&
+          shard.durability->txn_committed(txn_id)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (ShardSpec& shard : shards_) {
+    if (shard.durability == nullptr) continue;
+    for (const durability::PreparedTxn& txn :
+         shard.durability->outstanding_txns()) {
+      if (committed_anywhere(txn.txn_id)) {
+        // The decision exists: the half MUST apply. The tagged journal
+        // record the submit writes settles the prepare.
+        StatusOr<EditResult> applied = shard.service->SubmitAndWait(txn.half);
+        if (applied.ok() && !(*applied).rejected()) {
+          ++report.committed_applied;
+          shard.service->statistics().Add(Ticker::kTxnInDoubtResolved);
+        }
+      } else {
+        // Presumed abort: no commit decision anywhere means the
+        // coordinator never reached its commit point.
+        const Status aborted =
+            shard.service->Decide2pc(txn.txn_id, /*commit=*/false);
+        if (aborted.ok()) {
+          ++report.presumed_aborts;
+          shard.service->statistics().Add(Ticker::kTxnInDoubtResolved);
+        }
+      }
+    }
+  }
+
+  // Retained decisions whose every half is applied can stop being
+  // re-journaled. (A decision with an unsettled half stays retained.)
+  const auto outstanding_anywhere = [&](uint64_t txn_id) {
+    for (const ShardSpec& shard : shards_) {
+      if (shard.durability == nullptr) continue;
+      for (const durability::PreparedTxn& txn :
+           shard.durability->outstanding_txns()) {
+        if (txn.txn_id == txn_id) return true;
+      }
+    }
+    return false;
+  };
+  for (ShardSpec& shard : shards_) {
+    if (shard.durability == nullptr) continue;
+    for (const uint64_t txn_id : shard.durability->retained_decisions()) {
+      if (!outstanding_anywhere(txn_id)) {
+        shard.service->Forget2pc(txn_id);
+        ++report.decisions_forgotten;
+      }
+    }
+  }
+  return report;
+}
+
+std::string ShardRouter::PlacementHints(size_t k) const {
+  std::vector<obs::CostEntry> hot = obs::CostProfiler::Global().HotEntities(k);
+  std::string out = "{\"version\":1,\"shards\":[";
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + obs::MetricsRegistry::JsonEscape(shards_[i].name) +
+           "\",\"weight\":" + FormatDouble(shards_[i].weight) + "}";
+  }
+  out += "],\"entities\":[";
+  bool first = true;
+  for (const obs::CostEntry& entry : hot) {
+    const size_t shard = ShardFor(entry.name);
+    if (!first) out += ",";
+    first = false;
+    out += "{\"entity\":\"" + obs::MetricsRegistry::JsonEscape(entry.name) +
+           "\",\"shard\":\"" +
+           obs::MetricsRegistry::JsonEscape(shards_[shard].name) +
+           "\",\"shard_index\":" + std::to_string(shard) +
+           ",\"requests\":" + std::to_string(entry.requests) +
+           ",\"edits\":" + std::to_string(entry.edits) +
+           ",\"weight\":" + std::to_string(entry.weight) +
+           ",\"total_cost\":" + FormatDouble(entry.total_cost) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ShardRouter::HealthJson() const {
+  bool all_healthy = true;
+  std::string out = "{\"shards\":[";
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const serving::EditService& service = *shards_[i].service;
+    const serving::ServiceHealth health = service.health();
+    if (health != serving::ServiceHealth::kHealthy) all_healthy = false;
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + obs::MetricsRegistry::JsonEscape(shards_[i].name) +
+           "\",\"health\":\"" + serving::ServiceHealthName(health) +
+           "\",\"role\":\"" + serving::ReplicationRoleName(service.role()) +
+           "\",\"applied_sequence\":" +
+           std::to_string(service.applied_sequence()) +
+           ",\"requests\":" + std::to_string(shard_requests(i)) +
+           ",\"edits\":" + std::to_string(shard_edits(i)) + "}";
+  }
+  out += "],\"healthy\":";
+  out += all_healthy ? "true" : "false";
+  out += ",\"cross_shard_txns\":" + std::to_string(cross_shard_txns()) +
+         ",\"cross_shard_aborts\":" + std::to_string(cross_shard_aborts()) +
+         "}";
+  return out;
+}
+
+void ShardRouter::ExportMetrics(obs::MetricsRegistry* registry) {
+  registry->AddLabeledCounter(
+      "shard_requests", "Reads routed to each shard", [this] {
+        std::vector<std::pair<obs::MetricLabel, uint64_t>> values;
+        for (size_t i = 0; i < shards_.size(); ++i) {
+          values.push_back({{"shard", shards_[i].name}, shard_requests(i)});
+        }
+        return values;
+      });
+  registry->AddLabeledCounter(
+      "shard_edits", "Edits routed to each shard", [this] {
+        std::vector<std::pair<obs::MetricLabel, uint64_t>> values;
+        for (size_t i = 0; i < shards_.size(); ++i) {
+          values.push_back({{"shard", shards_[i].name}, shard_edits(i)});
+        }
+        return values;
+      });
+  registry->AddLabeledGauge(
+      "shard_health", "1 when the shard accepts writes, else 0", [this] {
+        std::vector<std::pair<obs::MetricLabel, double>> values;
+        for (size_t i = 0; i < shards_.size(); ++i) {
+          const bool healthy = shards_[i].service->health() ==
+                               serving::ServiceHealth::kHealthy;
+          values.push_back({{"shard", shards_[i].name}, healthy ? 1.0 : 0.0});
+        }
+        return values;
+      });
+  registry->AddCounter("cross_shard_txns",
+                       "Cross-shard transactions committed through 2PC",
+                       [this] { return cross_shard_txns(); });
+  registry->AddCounter("cross_shard_aborts",
+                       "Cross-shard transactions aborted before commit",
+                       [this] { return cross_shard_aborts(); });
+  registry->AddLabeledCounter(
+      "tenant_quota_rejects", "Edits shed at admission per tenant quota",
+      [this] {
+        std::vector<std::pair<obs::MetricLabel, uint64_t>> values;
+        std::lock_guard<std::mutex> lock(tenant_mutex_);
+        for (const auto& [tenant, rejects] : tenant_rejects_) {
+          values.push_back({{"tenant", tenant}, rejects});
+        }
+        return values;
+      });
+  registry->AddGauge("shard_count", "Shards behind this router",
+                     [this] { return static_cast<double>(shards_.size()); });
+  registry->AddInfo("placement", [this] { return PlacementHints(16); });
+  registry->AddInfo("shard_health_detail", [this] { return HealthJson(); });
+}
+
+obs::MetricsServer::Response ShardRouter::ServeHttp(const std::string& path) {
+  obs::MetricsServer::Response response;
+  if (path == "/metrics" || path == "/") {
+    response.body = registry_->ExposeText();
+    return response;
+  }
+  if (path == "/metrics.json") {
+    response.content_type = "application/json";
+    response.body = registry_->ExposeJson();
+    return response;
+  }
+  if (path == "/health") {
+    response.content_type = "application/json";
+    response.body = HealthJson();
+    return response;
+  }
+  if (path == "/placement" || path.rfind("/placement?", 0) == 0) {
+    size_t k = 16;
+    const size_t query = path.find("?k=");
+    if (query != std::string::npos) {
+      k = static_cast<size_t>(
+          std::max(1L, std::atol(path.c_str() + query + 3)));
+    }
+    response.content_type = "application/json";
+    response.body = PlacementHints(k);
+    return response;
+  }
+  response.status = 404;
+  response.body = "not found\n";
+  return response;
+}
+
+}  // namespace shard
+}  // namespace oneedit

@@ -1,0 +1,286 @@
+#ifndef ONEEDIT_SHARD_SHARD_ROUTER_H_
+#define ONEEDIT_SHARD_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/oneedit.h"
+#include "model/vocab.h"
+#include "obs/metrics_registry.h"
+#include "obs/metrics_server.h"
+#include "serving/edit_service.h"
+#include "util/rendezvous_hash.h"
+
+namespace oneedit {
+namespace shard {
+
+/// One shard behind the router: an independent EditService (its own writer,
+/// WAL, checkpoint directory and optional replicas). Non-owning — the shards
+/// must outlive the router.
+struct ShardSpec {
+  /// Stable shard id — the rendezvous-hash node id. Renaming a shard moves
+  /// its whole keyspace, so treat the name as part of the data layout.
+  std::string name;
+  serving::EditService* service = nullptr;
+  /// The shard's durability manager (the same one its service uses). Null
+  /// for an in-memory shard, which then cannot participate in cross-shard
+  /// two-phase commit (such edits fall back to subject-shard-only routing).
+  durability::DurabilityManager* durability = nullptr;
+  /// Rendezvous weight: a shard with weight 2 owns ~twice the keyspace.
+  double weight = 1.0;
+};
+
+/// Token-bucket write quota for one tenant, applied at router admission.
+struct TenantQuota {
+  /// Sustained edit admissions per second; 0 disables the quota.
+  double edits_per_sec = 0.0;
+  /// Bucket capacity (instantaneous burst); clamped to >= 1 when limited.
+  double burst = 1.0;
+};
+
+struct ShardRouterOptions {
+  /// Alias canonicalization for routing keys ("Mrs. Smith" and "Jane Smith"
+  /// must land on the same shard) and the entity set that decides whether
+  /// an edit's object is routable (cross-shard) or a literal. Optional;
+  /// without it routing keys are the raw names and no edit is cross-shard.
+  const Vocab* vocab = nullptr;
+  /// Tenant assumed when a call does not name one.
+  std::string default_tenant = "default";
+  /// Allow cross-shard two-phase commit (subject and object on different
+  /// shards). When false such edits route by subject only — the object
+  /// shard never learns the reverse reference.
+  bool cross_shard_edits = true;
+  /// Start a loopback HTTP listener owned by the router: GET /metrics,
+  /// /metrics.json, /health, /placement.
+  bool expose_metrics = false;
+  /// 0 picks an ephemeral port (read back via metrics_server()->port()).
+  uint16_t metrics_port = 0;
+};
+
+/// One scatter-gather answer; `shard` is the shard that served it.
+struct ScatterAnswer {
+  std::string subject;
+  std::string relation;
+  size_t shard = 0;
+  StatusOr<Decode> decode = Status::Internal("unanswered");
+};
+
+/// What RecoverInDoubt did across the fleet (docs/sharding.md).
+struct InDoubtReport {
+  /// Prepared halves whose transaction had a retained commit decision
+  /// somewhere: re-applied through the normal submit path.
+  size_t committed_applied = 0;
+  /// Prepared halves with no commit decision anywhere: settled with a local
+  /// abort marker (presumed abort).
+  size_t presumed_aborts = 0;
+  /// Retained commit decisions whose every half is now applied: forgotten.
+  size_t decisions_forgotten = 0;
+};
+
+/// ShardRouter: horizontal scale-out over N independent EditService shards
+/// (docs/sharding.md).
+///
+///  - Placement is weighted rendezvous hashing over tenant-scoped routing
+///    keys (`tenant \x1f canonical(entity)`), so adding a shard moves an
+///    expected 1/N of the keyspace and nothing else.
+///  - Single-shard requests (the common case) are routed and forwarded —
+///    the router adds one hash and two counter ticks to the hot path.
+///  - An edit whose subject and object live on different shards runs
+///    cross-shard two-phase commit: prepare markers fsynced on both
+///    participants, the commit decision journaled on the coordinator (the
+///    subject shard), then both txn-tagged halves applied through each
+///    shard's normal writer. RecoverInDoubt resolves transactions a crash
+///    left between phases.
+///  - Tenants share the fleet: routing keys are tenant-prefixed (two
+///    tenants' "Paris" usually land on different shards), audit identities
+///    are tenant-scoped (per-tenant rollback), and per-tenant token buckets
+///    shed write floods at admission as typed kRejected results.
+///
+/// Thread-safe: Submit/reads may be called from any thread; the tenant
+/// buckets and counters take short internal locks. Topology is fixed at
+/// construction.
+class ShardRouter {
+ public:
+  ShardRouter(std::vector<ShardSpec> shards,
+              const ShardRouterOptions& options = {});
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  size_t shard_count() const { return shards_.size(); }
+  const ShardSpec& shard(size_t index) const { return shards_[index]; }
+  const ShardRouterOptions& options() const { return options_; }
+
+  /// Index of the shard owning `entity` for `tenant` (default tenant when
+  /// empty). Deterministic: a pure function of (tenant, canonical entity,
+  /// shard names/weights).
+  size_t ShardFor(const std::string& entity,
+                  const std::string& tenant = "") const;
+
+  // --- Writes ----------------------------------------------------------------
+
+  /// Routes `request` to its subject's shard (utterances hash on the
+  /// utterance text — see docs/sharding.md for the limitation) and submits
+  /// it there. The tenant is folded into the audit identity
+  /// (`tenant \x1f user`), so rollback and quota stay tenant-scoped. A
+  /// tenant over its token-bucket quota resolves kRejected immediately
+  /// (kTenantQuotaRejects). An edit whose object lives on another shard
+  /// runs two-phase commit inline and resolves once both halves applied.
+  std::future<StatusOr<EditResult>> Submit(EditRequest request,
+                                           const std::string& tenant = "");
+
+  StatusOr<EditResult> SubmitAndWait(EditRequest request,
+                                     const std::string& tenant = "") {
+    return Submit(std::move(request), tenant).get();
+  }
+
+  // --- Reads -----------------------------------------------------------------
+
+  /// Pins a snapshot on the shard owning `subject`. All reads for entities
+  /// co-located on that shard may share the handle.
+  StatusOr<serving::Snapshot> GetSnapshot(
+      const std::string& subject, const std::string& tenant = "",
+      const serving::ReadOptions& read_options = {}) const;
+
+  /// One-shot read: route, pin, ask.
+  StatusOr<Decode> Ask(const std::string& subject, const std::string& relation,
+                       const std::string& tenant = "") const;
+
+  /// Scatter-gather: groups (subject, relation) queries by owning shard,
+  /// pins ONE snapshot per touched shard (each shard's answers are mutually
+  /// consistent; cross-shard answers may straddle edits, as documented),
+  /// and answers in input order.
+  std::vector<ScatterAnswer> ScatterAsk(
+      const std::vector<std::pair<std::string, std::string>>& queries,
+      const std::string& tenant = "") const;
+
+  // --- Tenant administration -------------------------------------------------
+
+  /// Installs (or, with a zero rate, removes) `tenant`'s write quota.
+  void SetTenantQuota(const std::string& tenant, TenantQuota quota);
+
+  /// Reverts every accepted edit by `tenant`'s `user` across the fleet —
+  /// each shard only touches its own audit log, so the revert is naturally
+  /// scoped to the shards that hold the tenant's entities.
+  Status RollbackTenant(const std::string& tenant, const std::string& user);
+
+  // --- Cross-shard recovery --------------------------------------------------
+
+  /// Resolves every in-doubt transaction a crash left behind: a prepared
+  /// half whose transaction has a retained commit decision on ANY shard is
+  /// re-applied; one with no decision anywhere is settled with a local
+  /// abort (presumed abort); fully-applied decisions are forgotten.
+  /// Idempotent — a second pass finds nothing and journals nothing.
+  StatusOr<InDoubtReport> RecoverInDoubt();
+
+  // --- Placement / observability ---------------------------------------------
+
+  /// JSON placement hints joining CostProfiler::HotEntities(k) with the
+  /// routing map (schema in docs/observability.md): which shard owns each
+  /// hot entity and what it costs — the operator's rebalancing signal.
+  std::string PlacementHints(size_t k = 16) const;
+
+  /// Aggregate + per-shard health as JSON (served as GET /health).
+  std::string HealthJson() const;
+
+  /// Registers the router surface on `registry`: per-shard labeled counter
+  /// families (shard_requests, shard_edits), shard_health labeled gauges,
+  /// cross_shard_txns / cross_shard_aborts counters, per-tenant
+  /// tenant_quota_rejects, and the placement info blob.
+  void ExportMetrics(obs::MetricsRegistry* registry);
+
+  /// The owned metrics listener (null unless options.expose_metrics and the
+  /// bind succeeded).
+  const obs::MetricsServer* metrics_server() const {
+    return metrics_server_.get();
+  }
+
+  // --- Counters (tests / scrapes) --------------------------------------------
+
+  uint64_t shard_requests(size_t shard) const {
+    return requests_[shard]->load(std::memory_order_relaxed);
+  }
+  uint64_t shard_edits(size_t shard) const {
+    return edits_[shard]->load(std::memory_order_relaxed);
+  }
+  uint64_t cross_shard_txns() const {
+    return cross_shard_txns_.load(std::memory_order_relaxed);
+  }
+  uint64_t cross_shard_aborts() const {
+    return cross_shard_aborts_.load(std::memory_order_relaxed);
+  }
+  uint64_t tenant_quota_rejects(const std::string& tenant) const;
+
+ private:
+  struct TenantBucket {
+    TenantQuota quota;
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last_refill;
+  };
+
+  /// `tenant \x1f canonical(entity)` — the rendezvous key. The separator
+  /// cannot appear in entity names, so tenants can never alias each other.
+  std::string RoutingKey(const std::string& entity,
+                         const std::string& tenant) const;
+  const std::string& TenantOrDefault(const std::string& tenant) const {
+    return tenant.empty() ? options_.default_tenant : tenant;
+  }
+  static std::string ScopedUser(const std::string& tenant,
+                                const std::string& user) {
+    return tenant + '\x1f' + user;
+  }
+
+  /// The entity whose shard owns `request` (subject for edits/erases, the
+  /// utterance text as a pseudo-entity for utterances).
+  static const std::string& RoutingEntity(const EditRequest& request);
+
+  /// True when the edit's object is a routable entity (in the vocab's
+  /// decode set) rather than a literal.
+  bool ObjectRoutable(const std::string& object) const;
+
+  /// Token-bucket admission; false = over quota (caller rejects).
+  bool AdmitTenant(const std::string& tenant);
+
+  /// The 2PC coordinator path, run inline in the caller's thread.
+  StatusOr<EditResult> SubmitCrossShard(EditRequest request, size_t subject_shard,
+                                        size_t object_shard);
+
+  obs::MetricsServer::Response ServeHttp(const std::string& path);
+
+  std::vector<ShardSpec> shards_;
+  ShardRouterOptions options_;
+  util::RendezvousMap placement_;
+  std::unordered_set<std::string> entity_set_;
+
+  /// Fleet-unique transaction ids, seeded past every id already durable in
+  /// any shard's journal so a restart never reuses one.
+  std::atomic<uint64_t> next_txn_id_{1};
+
+  /// Per-shard traffic counters (unique_ptr: atomics are not movable).
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> requests_;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> edits_;
+  std::atomic<uint64_t> cross_shard_txns_{0};
+  std::atomic<uint64_t> cross_shard_aborts_{0};
+
+  mutable std::mutex tenant_mutex_;
+  std::map<std::string, TenantBucket> tenant_buckets_;
+  std::map<std::string, uint64_t> tenant_rejects_;
+
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::MetricsServer> metrics_server_;
+};
+
+}  // namespace shard
+}  // namespace oneedit
+
+#endif  // ONEEDIT_SHARD_SHARD_ROUTER_H_

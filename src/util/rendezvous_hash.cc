@@ -1,0 +1,71 @@
+#include "util/rendezvous_hash.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace oneedit {
+namespace util {
+
+uint64_t RendezvousMap::Fnv1a(std::string_view data) {
+  uint64_t hash = 14695981039346656037ull;
+  for (const char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t RendezvousMap::Mix(uint64_t a, uint64_t b) {
+  uint64_t z = a + 0x9e3779b97f4a7c15ull + (b << 1 | b >> 63);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double RendezvousMap::Score(uint64_t key_hash, const Node& node) {
+  const uint64_t mixed = Mix(key_hash, node.seed);
+  // Uniform in (0, 1): the +1 / +2 offsets keep u strictly inside the open
+  // interval so log(u) is finite and nonzero.
+  const double u = (static_cast<double>(mixed >> 11) + 1.0) /
+                   (9007199254740992.0 + 2.0);  // 2^53
+  return -node.weight / std::log(u);
+}
+
+void RendezvousMap::AddNode(const std::string& id, double weight) {
+  if (weight <= 0.0) weight = 1.0;
+  for (Node& node : nodes_) {
+    if (node.id == id) {
+      node.weight = weight;
+      return;
+    }
+  }
+  nodes_.push_back(Node{id, weight, Fnv1a(id)});
+}
+
+bool RendezvousMap::RemoveNode(const std::string& id) {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].id == id) {
+      nodes_.erase(nodes_.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t RendezvousMap::IndexFor(std::string_view key) const {
+  const uint64_t key_hash = Fnv1a(key);
+  size_t best = 0;
+  double best_score = -1.0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const double score = Score(key_hash, nodes_[i]);
+    if (score > best_score ||
+        (score == best_score && nodes_[i].id < nodes_[best].id)) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace util
+}  // namespace oneedit

@@ -1,0 +1,76 @@
+#ifndef ONEEDIT_UTIL_RENDEZVOUS_HASH_H_
+#define ONEEDIT_UTIL_RENDEZVOUS_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oneedit {
+namespace util {
+
+/// Weighted rendezvous (highest-random-weight) hashing: every (key, node)
+/// pair gets a deterministic pseudo-random score and the key lives on the
+/// node with the highest score. The property that makes it the shard
+/// placement map (docs/sharding.md): adding or removing one node moves ONLY
+/// the keys whose top score involved that node — an expected 1/N of the
+/// keyspace on add, and exactly the removed node's keys on remove. No ring,
+/// no virtual-node table, no rebalancing state: placement is a pure
+/// function of (key, node set).
+///
+/// Weighted scores use the standard -weight / log(u) transform (u uniform
+/// in (0,1) derived from the 64-bit mix), so a node with weight 2 owns
+/// ~twice the keyspace of a node with weight 1, and weight changes move
+/// only the proportional slice.
+///
+/// Deterministic across processes and platforms: node seeds are FNV-1a of
+/// the node id, the mixer is splitmix64, and no std::hash is involved.
+/// Not thread-safe for mutation; const lookups are safe to share.
+class RendezvousMap {
+ public:
+  struct Node {
+    std::string id;
+    double weight = 1.0;
+    /// FNV-1a of `id` — the per-node seed mixed into every key score.
+    uint64_t seed = 0;
+  };
+
+  /// Adds a node (weight clamped to > 0; duplicates update the weight).
+  void AddNode(const std::string& id, double weight = 1.0);
+
+  /// Removes a node; false if absent.
+  bool RemoveNode(const std::string& id);
+
+  bool empty() const { return nodes_.empty(); }
+  size_t size() const { return nodes_.size(); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Index (into nodes()) of the winning node for `key`. The map must be
+  /// non-empty. Ties (astronomically unlikely) break toward the smaller
+  /// node id, so the answer is total-order deterministic.
+  size_t IndexFor(std::string_view key) const;
+
+  /// The winning node's id. The map must be non-empty.
+  const std::string& NodeFor(std::string_view key) const {
+    return nodes_[IndexFor(key)].id;
+  }
+
+  /// The (key, node) score — exposed so tests can assert the 1/N key-move
+  /// bound from first principles.
+  static double Score(uint64_t key_hash, const Node& node);
+
+  /// FNV-1a 64-bit over `data` — the key/node hash everything here uses.
+  static uint64_t Fnv1a(std::string_view data);
+
+  /// splitmix64 finalizer — mixes (key_hash, node_seed) into the uniform
+  /// draw behind Score.
+  static uint64_t Mix(uint64_t a, uint64_t b);
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace util
+}  // namespace oneedit
+
+#endif  // ONEEDIT_UTIL_RENDEZVOUS_HASH_H_

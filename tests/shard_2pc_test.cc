@@ -1,0 +1,369 @@
+// Crash-safety property tests for cross-shard two-phase commit
+// (docs/sharding.md): a fault-injecting Env kills the protocol at EVERY
+// journal failpoint on either participant, the fleet restarts, recovery plus
+// ShardRouter::RecoverInDoubt resolve the in-doubt transaction, and the
+// suite asserts the three contracted properties — atomicity (never a
+// half-applied cross-shard edit once recovery settles), zero acknowledged
+// loss (an acked edit survives any crash), and resolution idempotence (a
+// second recovery pass changes nothing, byte-for-byte, in any journal).
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "durability/edit_wal.h"
+#include "durability/env.h"
+#include "durability/fault_env.h"
+#include "durability/manager.h"
+#include "shard/shard_router.h"
+
+namespace oneedit {
+namespace {
+
+using durability::DurabilityManager;
+using durability::DurabilityOptions;
+using durability::EditWal;
+using durability::EditWalRecord;
+using durability::Env;
+using durability::FaultInjectingEnv;
+using durability::TxnMarker;
+using serving::EditService;
+using serving::EditServiceOptions;
+using shard::InDoubtReport;
+using shard::ShardRouter;
+using shard::ShardRouterOptions;
+using shard::ShardSpec;
+
+DatasetOptions TinyOptions() {
+  DatasetOptions options;
+  options.num_cases = 12;
+  return options;
+}
+
+OneEditConfig GraceConfig() {
+  OneEditConfig config;
+  config.method = EditingMethodKind::kGrace;
+  config.interpreter.extraction_error_rate = 0.0;
+  return config;
+}
+
+std::string TempDirFor(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::remove((dir + "/edits.wal").c_str());
+  std::remove((dir + "/checkpoint.oedc").c_str());
+  std::remove((dir + "/checkpoint.oedc.tmp").c_str());
+  return dir;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Bare system image (no service) for manager-level checkpointing.
+struct World {
+  World()
+      : dataset(BuildAmericanPoliticians(TinyOptions())),
+        model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                              dataset.vocab)) {
+    model->Pretrain(dataset.pretrain_facts);
+    auto created =
+        OneEditSystem::Create(&dataset.kg, model.get(), GraceConfig());
+    EXPECT_TRUE(created.ok());
+    system = std::move(created).value();
+  }
+
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+  std::unique_ptr<OneEditSystem> system;
+};
+
+struct ShardWorld {
+  explicit ShardWorld(DurabilityManager* durability)
+      : dataset(BuildAmericanPoliticians(TinyOptions())),
+        model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                              dataset.vocab)) {
+    model->Pretrain(dataset.pretrain_facts);
+    EditServiceOptions options;
+    options.durability = durability;
+    auto created = EditService::Create(&dataset.kg, model.get(),
+                                       GraceConfig(), options);
+    EXPECT_TRUE(created.ok());
+    service = std::move(created).value();
+  }
+
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+  std::unique_ptr<EditService> service;
+};
+
+/// Two durable shards (each journaling through its own injectable Env)
+/// fronted by a router. Rebuild on the same dirs = a process restart.
+struct Fleet {
+  Fleet(const std::string& dir0, const std::string& dir1, Env* env0,
+        Env* env1) {
+    const std::string dirs[2] = {dir0, dir1};
+    Env* envs[2] = {env0, env1};
+    for (size_t i = 0; i < 2; ++i) {
+      DurabilityOptions opts;
+      opts.dir = dirs[i];
+      opts.env = envs[i];
+      auto mgr = DurabilityManager::Open(opts);
+      EXPECT_TRUE(mgr.ok());
+      managers.push_back(std::move(*mgr));
+      shards.push_back(std::make_unique<ShardWorld>(managers.back().get()));
+    }
+    ShardRouterOptions options;
+    options.vocab = &shards[0]->dataset.vocab;
+    std::vector<ShardSpec> specs;
+    for (size_t i = 0; i < 2; ++i) {
+      specs.push_back(ShardSpec{"shard-" + std::to_string(i),
+                                shards[i]->service.get(), managers[i].get(),
+                                1.0});
+    }
+    router = std::make_unique<ShardRouter>(std::move(specs), options);
+  }
+
+  /// First reversible-relation case whose subject and object live on
+  /// different shards.
+  const EditCase* CrossShardCase() const {
+    for (const EditCase& c : shards[0]->dataset.cases) {
+      if (router->ShardFor(c.edit.subject) !=
+              router->ShardFor(c.edit.object) &&
+          !shards[0]->dataset.vocab.InverseOf(c.edit.relation).empty()) {
+        return &c;
+      }
+    }
+    return nullptr;
+  }
+
+  bool SubjectApplied(const EditCase& c) const {
+    const auto decode = router->Ask(c.edit.subject, c.edit.relation);
+    return decode.ok() && decode->entity == c.edit.object;
+  }
+
+  bool ObjectApplied(const EditCase& c) const {
+    const std::string inverse =
+        shards[0]->dataset.vocab.InverseOf(c.edit.relation);
+    const auto decode = router->Ask(c.edit.object, inverse);
+    return decode.ok() && decode->entity == c.edit.subject;
+  }
+
+  std::vector<std::unique_ptr<DurabilityManager>> managers;
+  std::vector<std::unique_ptr<ShardWorld>> shards;
+  std::unique_ptr<ShardRouter> router;
+};
+
+// --------------------------------------------- kill at every failpoint ----
+
+TEST(Shard2pcTest, CrashAtEveryFailpointNeverHalfApplies) {
+  const std::string dir0 = testing::TempDir() + "/oneedit_2pc_kill_0";
+  const std::string dir1 = testing::TempDir() + "/oneedit_2pc_kill_1";
+
+  // Baseline pass: count each shard's journal failpoints for one
+  // cross-shard edit (the workload is deterministic, so the counts hold
+  // for every iteration).
+  long ops[2] = {0, 0};
+  {
+    TempDirFor("oneedit_2pc_kill_0");
+    TempDirFor("oneedit_2pc_kill_1");
+    FaultInjectingEnv fault0(Env::Default());
+    FaultInjectingEnv fault1(Env::Default());
+    Fleet fleet(dir0, dir1, &fault0, &fault1);
+    const EditCase* specimen = fleet.CrossShardCase();
+    ASSERT_NE(specimen, nullptr);
+    ASSERT_FALSE(fleet.SubjectApplied(*specimen));
+    ASSERT_FALSE(fleet.ObjectApplied(*specimen));
+    fault0.Clear();
+    fault1.Clear();
+    const auto result =
+        fleet.router->SubmitAndWait(EditRequest::Edit(specimen->edit, "al"));
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->kind, EditResult::Kind::kEdited);
+    ops[0] = fault0.ops_seen();
+    ops[1] = fault1.ops_seen();
+  }
+  ASSERT_GT(ops[0], 0);
+  ASSERT_GT(ops[1], 0);
+
+  size_t acked_runs = 0, committed_runs = 0, aborted_runs = 0;
+  for (size_t victim = 0; victim < 2; ++victim) {
+    for (long k = 0; k < ops[victim]; ++k) {
+      SCOPED_TRACE("victim shard " + std::to_string(victim) + ", failpoint " +
+                   std::to_string(k));
+      TempDirFor("oneedit_2pc_kill_0");
+      TempDirFor("oneedit_2pc_kill_1");
+      EditCase specimen;  // copied out: the crashed fleet's dataset dies
+      bool acked = false;
+      {
+        FaultInjectingEnv fault0(Env::Default());
+        FaultInjectingEnv fault1(Env::Default());
+        Fleet fleet(dir0, dir1, &fault0, &fault1);
+        const EditCase* found = fleet.CrossShardCase();
+        ASSERT_NE(found, nullptr);
+        specimen = *found;
+        (victim == 0 ? fault0 : fault1).CrashAt(k);
+        const auto result = fleet.router->SubmitAndWait(
+            EditRequest::Edit(specimen.edit, "al"));
+        acked = result.ok() && result->kind == EditResult::Kind::kEdited;
+        // Process "dies" here: services and managers torn down with state
+        // only on disk, mid-protocol.
+      }
+
+      // Restart on the same journals with a healthy disk; resolve.
+      Fleet fleet(dir0, dir1, nullptr, nullptr);
+      ASSERT_TRUE(fleet.shards[0]->service->recovery_status().ok());
+      ASSERT_TRUE(fleet.shards[1]->service->recovery_status().ok());
+      const auto resolved = fleet.router->RecoverInDoubt();
+      ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+
+      // Atomicity: once recovery settles, both halves or neither.
+      const bool subject_applied = fleet.SubjectApplied(specimen);
+      const bool object_applied = fleet.ObjectApplied(specimen);
+      EXPECT_EQ(subject_applied, object_applied);
+      // Zero acknowledged loss: an acked edit survives the crash.
+      if (acked) {
+        ++acked_runs;
+        EXPECT_TRUE(subject_applied) << "acked cross-shard edit lost";
+      }
+      (subject_applied ? committed_runs : aborted_runs) += 1;
+
+      // Nothing is left in doubt anywhere.
+      for (const auto& mgr : fleet.managers) {
+        EXPECT_TRUE(mgr->outstanding_txns().empty());
+      }
+
+      // Resolution idempotence: a second restart + pass changes no journal
+      // byte on either shard.
+      const std::string wal0 = ReadFile(dir0 + "/edits.wal");
+      const std::string wal1 = ReadFile(dir1 + "/edits.wal");
+      fleet.router.reset();
+      fleet.shards.clear();
+      fleet.managers.clear();
+      Fleet again(dir0, dir1, nullptr, nullptr);
+      const auto second = again.router->RecoverInDoubt();
+      ASSERT_TRUE(second.ok());
+      EXPECT_EQ(second->committed_applied, 0u);
+      EXPECT_EQ(second->presumed_aborts, 0u);
+      EXPECT_EQ(ReadFile(dir0 + "/edits.wal"), wal0)
+          << "second recovery mutated shard 0's journal";
+      EXPECT_EQ(ReadFile(dir1 + "/edits.wal"), wal1)
+          << "second recovery mutated shard 1's journal";
+      EXPECT_EQ(again.SubjectApplied(specimen), subject_applied);
+      EXPECT_EQ(again.ObjectApplied(specimen), object_applied);
+    }
+  }
+  // The sweep exercised both outcomes: early failpoints abort, late ones
+  // (after the commit decision is durable) commit.
+  EXPECT_GT(committed_runs, 0u);
+  EXPECT_GT(aborted_runs, 0u);
+  EXPECT_GT(acked_runs, 0u);
+}
+
+// --------------------------------------------------- targeted properties ----
+
+TEST(Shard2pcTest, PrepareWithoutDecisionPresumesAbort) {
+  const std::string dir0 = TempDirFor("oneedit_2pc_pa_0");
+  const std::string dir1 = TempDirFor("oneedit_2pc_pa_1");
+  // Journal a lone prepare on shard 1 — a coordinator that died before its
+  // decision — directly at the manager layer.
+  {
+    DurabilityOptions opts;
+    opts.dir = dir1;
+    auto mgr = DurabilityManager::Open(opts);
+    ASSERT_TRUE(mgr.ok());
+    Statistics stats;
+    EditRequest half =
+        EditRequest::Edit({"Elmsworth", "governor", "Mara Norwood"}, "al");
+    half.txn_id = 42;
+    ASSERT_TRUE((*mgr)
+                    ->LogPrepare(42, 0, half, EditingMethodKind::kGrace,
+                                 &stats)
+                    .ok());
+    ASSERT_EQ((*mgr)->outstanding_txns().size(), 1u);
+  }
+
+  Fleet fleet(dir0, dir1, nullptr, nullptr);
+  ASSERT_EQ(fleet.managers[1]->outstanding_txns().size(), 1u);
+  const auto resolved = fleet.router->RecoverInDoubt();
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->presumed_aborts, 1u);
+  EXPECT_EQ(resolved->committed_applied, 0u);
+  EXPECT_TRUE(fleet.managers[1]->outstanding_txns().empty());
+  EXPECT_GE(fleet.shards[1]->service->statistics().Get(
+                Ticker::kTxnInDoubtResolved),
+            1u);
+
+  // The abort marker is journaled: a restart does not resurrect the doubt.
+  size_t aborts = 0;
+  const auto stats = EditWal::Replay(
+      dir1 + "/edits.wal", nullptr, [&](const EditWalRecord& record) {
+        if (record.txn_marker == TxnMarker::kAbortDecision) ++aborts;
+        return Status::OK();
+      });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(aborts, 1u);
+  const auto second = fleet.router->RecoverInDoubt();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->presumed_aborts, 0u);
+}
+
+TEST(Shard2pcTest, RetainedDecisionSurvivesWalRotation) {
+  const std::string dir = TempDirFor("oneedit_2pc_rot");
+  DurabilityOptions opts;
+  opts.dir = dir;
+  opts.checkpoint_interval = 0;
+  {
+    auto mgr = DurabilityManager::Open(opts);
+    ASSERT_TRUE(mgr.ok());
+    Statistics stats;
+    EditRequest half =
+        EditRequest::Edit({"Elmsworth", "governor", "Mara Norwood"}, "al");
+    half.txn_id = 7;
+    ASSERT_TRUE(
+        (*mgr)
+            ->LogPrepare(7, 0, half, EditingMethodKind::kGrace, &stats)
+            .ok());
+    ASSERT_TRUE((*mgr)
+                    ->LogTxnDecision(7, /*commit=*/true,
+                                     EditingMethodKind::kGrace, &stats)
+                    .ok());
+
+    // A checkpoint rotates the WAL clean; the 2PC state must be
+    // re-journaled into the fresh log or a crash right after would forget
+    // a decided transaction.
+    World world;
+    ASSERT_TRUE((*mgr)->Checkpoint(*world.system, &stats).ok());
+  }
+
+  // The rotated journal still carries both markers...
+  size_t prepares = 0, commits = 0;
+  const auto stats = EditWal::Replay(
+      dir + "/edits.wal", nullptr, [&](const EditWalRecord& record) {
+        if (record.txn_marker == TxnMarker::kPrepare) ++prepares;
+        if (record.txn_marker == TxnMarker::kCommitDecision) ++commits;
+        return Status::OK();
+      });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(prepares, 1u);
+  EXPECT_EQ(commits, 1u);
+
+  // ...so a reopened manager still knows the transaction committed.
+  auto reopened = DurabilityManager::Open(opts);
+  ASSERT_TRUE(reopened.ok());
+  World world;
+  ASSERT_TRUE((*reopened)->Recover(world.system.get()).ok());
+  EXPECT_TRUE((*reopened)->txn_committed(7));
+  ASSERT_EQ((*reopened)->outstanding_txns().size(), 1u);
+  EXPECT_EQ((*reopened)->outstanding_txns().front().txn_id, 7u);
+}
+
+}  // namespace
+}  // namespace oneedit

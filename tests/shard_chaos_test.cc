@@ -1,0 +1,244 @@
+// Randomized crash rounds for the sharded fleet (docs/sharding.md): each
+// seeded round drives a mix of single-shard and cross-shard edits into a
+// two-shard fleet, kills one shard's disk at a random journal failpoint
+// mid-workload, restarts the fleet on the surviving journals, and resolves
+// in-doubt transactions. Invariants checked every round:
+//
+//   1. Atomicity — no cross-shard edit is ever half-applied once recovery
+//      and resolution settle (subject half applied ⟺ inverse half applied).
+//   2. Zero acknowledged loss — every edit acknowledged before the crash is
+//      present after recovery, single-shard and cross-shard alike.
+//   3. Resolution idempotence — a second RecoverInDoubt pass is a no-op.
+//
+// Rounds default to 2 for local runs; CI sets ONEEDIT_SHARD_ROUNDS=10.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "durability/env.h"
+#include "durability/fault_env.h"
+#include "durability/manager.h"
+#include "shard/shard_router.h"
+#include "util/rng.h"
+
+namespace oneedit {
+namespace {
+
+using durability::DurabilityManager;
+using durability::DurabilityOptions;
+using durability::Env;
+using durability::FaultInjectingEnv;
+using serving::EditService;
+using serving::EditServiceOptions;
+using shard::ShardRouter;
+using shard::ShardRouterOptions;
+using shard::ShardSpec;
+
+DatasetOptions TinyOptions() {
+  DatasetOptions options;
+  options.num_cases = 12;
+  return options;
+}
+
+OneEditConfig GraceConfig() {
+  OneEditConfig config;
+  config.method = EditingMethodKind::kGrace;
+  config.interpreter.extraction_error_rate = 0.0;
+  return config;
+}
+
+std::string TempDirFor(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::remove((dir + "/edits.wal").c_str());
+  std::remove((dir + "/checkpoint.oedc").c_str());
+  std::remove((dir + "/checkpoint.oedc.tmp").c_str());
+  return dir;
+}
+
+size_t Rounds() {
+  const char* env = std::getenv("ONEEDIT_SHARD_ROUNDS");
+  if (env == nullptr) return 2;
+  const long parsed = std::atol(env);
+  return parsed > 0 ? static_cast<size_t>(parsed) : 2;
+}
+
+struct ShardWorld {
+  explicit ShardWorld(DurabilityManager* durability)
+      : dataset(BuildAmericanPoliticians(TinyOptions())),
+        model(std::make_unique<LanguageModel>(Gpt2XlSimConfig(),
+                                              dataset.vocab)) {
+    model->Pretrain(dataset.pretrain_facts);
+    EditServiceOptions options;
+    options.durability = durability;
+    auto created = EditService::Create(&dataset.kg, model.get(),
+                                       GraceConfig(), options);
+    EXPECT_TRUE(created.ok());
+    service = std::move(created).value();
+  }
+
+  Dataset dataset;
+  std::unique_ptr<LanguageModel> model;
+  std::unique_ptr<EditService> service;
+};
+
+struct Fleet {
+  Fleet(const std::string& dir0, const std::string& dir1, Env* env0,
+        Env* env1) {
+    const std::string dirs[2] = {dir0, dir1};
+    Env* envs[2] = {env0, env1};
+    for (size_t i = 0; i < 2; ++i) {
+      DurabilityOptions opts;
+      opts.dir = dirs[i];
+      opts.env = envs[i];
+      auto mgr = DurabilityManager::Open(opts);
+      EXPECT_TRUE(mgr.ok());
+      managers.push_back(std::move(*mgr));
+      shards.push_back(std::make_unique<ShardWorld>(managers.back().get()));
+    }
+    ShardRouterOptions options;
+    options.vocab = &shards[0]->dataset.vocab;
+    std::vector<ShardSpec> specs;
+    for (size_t i = 0; i < 2; ++i) {
+      specs.push_back(ShardSpec{"shard-" + std::to_string(i),
+                                shards[i]->service.get(), managers[i].get(),
+                                1.0});
+    }
+    router = std::make_unique<ShardRouter>(std::move(specs), options);
+  }
+
+  bool SubjectApplied(const EditCase& c) const {
+    const auto decode = router->Ask(c.edit.subject, c.edit.relation);
+    return decode.ok() && decode->entity == c.edit.object;
+  }
+
+  bool ObjectApplied(const EditCase& c) const {
+    const std::string inverse =
+        shards[0]->dataset.vocab.InverseOf(c.edit.relation);
+    const auto decode = router->Ask(c.edit.object, inverse);
+    return decode.ok() && decode->entity == c.edit.subject;
+  }
+
+  bool IsCrossShard(const EditCase& c) const {
+    return router->ShardFor(c.edit.subject) !=
+               router->ShardFor(c.edit.object) &&
+           !shards[0]->dataset.vocab.InverseOf(c.edit.relation).empty();
+  }
+
+  std::vector<std::unique_ptr<DurabilityManager>> managers;
+  std::vector<std::unique_ptr<ShardWorld>> shards;
+  std::unique_ptr<ShardRouter> router;
+};
+
+/// Cases whose subject/object entity sets are pairwise disjoint, so each
+/// edit owns its KG slots and post-crash presence checks cannot be
+/// overwritten by a neighbouring edit in the same round.
+std::vector<EditCase> DisjointCases(const Fleet& fleet) {
+  std::vector<EditCase> picked;
+  std::set<std::string> used;
+  for (const EditCase& c : fleet.shards[0]->dataset.cases) {
+    if (used.count(c.edit.subject) > 0 || used.count(c.edit.object) > 0) {
+      continue;
+    }
+    used.insert(c.edit.subject);
+    used.insert(c.edit.object);
+    picked.push_back(c);
+  }
+  return picked;
+}
+
+TEST(ShardChaosTest, SeededCrashRoundsPreserveAtomicityAndAckedEdits) {
+  const std::string dir0 = testing::TempDir() + "/oneedit_chaos_0";
+  const std::string dir1 = testing::TempDir() + "/oneedit_chaos_1";
+  const size_t rounds = Rounds();
+  size_t total_acked = 0, total_cross = 0, total_crashed_mid_workload = 0;
+
+  for (size_t round = 0; round < rounds; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    Rng rng(/*seed=*/0xC0FFEE ^ (round * 2654435761ULL));
+    TempDirFor("oneedit_chaos_0");
+    TempDirFor("oneedit_chaos_1");
+
+    std::vector<EditCase> workload;
+    std::vector<bool> acked;
+    std::vector<bool> cross;
+    {
+      FaultInjectingEnv fault0(Env::Default());
+      FaultInjectingEnv fault1(Env::Default());
+      Fleet fleet(dir0, dir1, &fault0, &fault1);
+      workload = DisjointCases(fleet);
+      ASSERT_GE(workload.size(), 4u);
+      acked.assign(workload.size(), false);
+      cross.assign(workload.size(), false);
+
+      // Arm one shard's disk to die at a random failpoint somewhere in the
+      // middle of the workload (~a handful of journal ops per edit).
+      FaultInjectingEnv& victim = rng.NextBool(0.5) ? fault0 : fault1;
+      victim.CrashAt(static_cast<long>(
+          rng.NextBelow(4 * workload.size()) + 1));
+
+      for (size_t i = 0; i < workload.size(); ++i) {
+        cross[i] = fleet.IsCrossShard(workload[i]);
+        const auto result = fleet.router->SubmitAndWait(
+            EditRequest::Edit(workload[i].edit, "chaos"));
+        acked[i] = result.ok() &&
+                   (*result).kind == EditResult::Kind::kEdited;
+      }
+      if (victim.crashed()) ++total_crashed_mid_workload;
+      // Fleet torn down mid-protocol: the crash leaves whatever the
+      // journals happened to hold.
+    }
+
+    // Restart on healthy disks; recover and resolve.
+    Fleet fleet(dir0, dir1, nullptr, nullptr);
+    ASSERT_TRUE(fleet.shards[0]->service->recovery_status().ok());
+    ASSERT_TRUE(fleet.shards[1]->service->recovery_status().ok());
+    const auto resolved = fleet.router->RecoverInDoubt();
+    ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+
+    for (size_t i = 0; i < workload.size(); ++i) {
+      SCOPED_TRACE("edit " + std::to_string(i) + " (" +
+                   workload[i].edit.subject + ", " +
+                   workload[i].edit.relation + ") -> " +
+                   workload[i].edit.object +
+                   (cross[i] ? " [cross-shard]" : " [single-shard]"));
+      const bool subject_applied = fleet.SubjectApplied(workload[i]);
+      if (cross[i]) {
+        // Atomicity: both halves or neither, never a torn edit.
+        EXPECT_EQ(subject_applied, fleet.ObjectApplied(workload[i]));
+        ++total_cross;
+      }
+      // Zero acknowledged loss.
+      if (acked[i]) {
+        EXPECT_TRUE(subject_applied) << "acknowledged edit lost in crash";
+        ++total_acked;
+      }
+    }
+
+    // Nothing stays in doubt, and a second pass is a no-op.
+    for (const auto& mgr : fleet.managers) {
+      EXPECT_TRUE(mgr->outstanding_txns().empty());
+    }
+    const auto second = fleet.router->RecoverInDoubt();
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second->committed_applied, 0u);
+    EXPECT_EQ(second->presumed_aborts, 0u);
+  }
+
+  // The harness only proves something if rounds actually exercised the
+  // interesting paths.
+  EXPECT_GT(total_acked, 0u);
+  EXPECT_GT(total_cross, 0u);
+  EXPECT_GT(total_crashed_mid_workload, 0u);
+  std::printf("[shard-chaos] rounds=%zu acked=%zu cross_checks=%zu crashes=%zu\n",
+              rounds, total_acked, total_cross, total_crashed_mid_workload);
+}
+
+}  // namespace
+}  // namespace oneedit

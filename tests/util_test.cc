@@ -12,6 +12,7 @@
 
 #include "util/math.h"
 #include "util/net.h"
+#include "util/rendezvous_hash.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -514,6 +515,113 @@ TEST(NetTest, RecvAllZeroBytesIsTrivialOk) {
   server.join();
   close(*client);
   close(listener->fd);
+}
+
+// ------------------------------------------------------- rendezvous hash ----
+
+std::vector<std::string> RendezvousKeys(size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back("entity-" + std::to_string(i));
+  }
+  return keys;
+}
+
+TEST(RendezvousHashTest, DeterministicAcrossInstances) {
+  util::RendezvousMap a, b;
+  for (const char* node : {"alpha", "beta", "gamma"}) {
+    a.AddNode(node);
+    b.AddNode(node);
+  }
+  for (const std::string& key : RendezvousKeys(200)) {
+    EXPECT_EQ(a.NodeFor(key), b.NodeFor(key)) << key;
+  }
+}
+
+TEST(RendezvousHashTest, SpreadsKeysRoughlyEvenly) {
+  util::RendezvousMap map;
+  const size_t nodes = 4;
+  for (size_t i = 0; i < nodes; ++i) map.AddNode("node-" + std::to_string(i));
+  std::vector<size_t> counts(nodes, 0);
+  const size_t keys = 4000;
+  for (const std::string& key : RendezvousKeys(keys)) {
+    ++counts[map.IndexFor(key)];
+  }
+  // Expected 1000 per node; allow a generous +/-30% band.
+  for (size_t i = 0; i < nodes; ++i) {
+    EXPECT_GT(counts[i], keys / nodes * 7 / 10) << "node " << i;
+    EXPECT_LT(counts[i], keys / nodes * 13 / 10) << "node " << i;
+  }
+}
+
+TEST(RendezvousHashTest, WeightBiasesOwnership) {
+  util::RendezvousMap map;
+  map.AddNode("small", 1.0);
+  map.AddNode("big", 3.0);
+  size_t big = 0;
+  const size_t keys = 4000;
+  for (const std::string& key : RendezvousKeys(keys)) {
+    if (map.NodeFor(key) == "big") ++big;
+  }
+  // Expected share 3/4; assert it is clearly past an even split.
+  EXPECT_GT(big, keys * 6 / 10);
+  EXPECT_LT(big, keys * 9 / 10);
+}
+
+TEST(RendezvousHashTest, AddingANodeMovesAtMostItsShare) {
+  util::RendezvousMap before;
+  for (size_t i = 0; i < 3; ++i) before.AddNode("node-" + std::to_string(i));
+  util::RendezvousMap after;
+  for (size_t i = 0; i < 4; ++i) after.AddNode("node-" + std::to_string(i));
+
+  const size_t keys = 4000;
+  size_t moved = 0;
+  for (const std::string& key : RendezvousKeys(keys)) {
+    const std::string& was = before.NodeFor(key);
+    const std::string& now = after.NodeFor(key);
+    if (was != now) {
+      // The defining invariant: a key may only move TO the new node —
+      // never between surviving nodes.
+      EXPECT_EQ(now, "node-3") << key << " moved " << was << " -> " << now;
+      ++moved;
+    }
+  }
+  // Expected move fraction 1/4; allow up to 35%.
+  EXPECT_LT(moved, keys * 35 / 100);
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(RendezvousHashTest, RemovingANodeMovesOnlyItsKeys) {
+  util::RendezvousMap before;
+  for (size_t i = 0; i < 4; ++i) before.AddNode("node-" + std::to_string(i));
+  util::RendezvousMap after = before;
+  ASSERT_TRUE(after.RemoveNode("node-2"));
+  EXPECT_FALSE(after.RemoveNode("node-2"));  // already gone
+
+  for (const std::string& key : RendezvousKeys(2000)) {
+    const std::string& was = before.NodeFor(key);
+    if (was == "node-2") {
+      EXPECT_NE(after.NodeFor(key), "node-2");
+    } else {
+      // Keys on surviving nodes never move.
+      EXPECT_EQ(after.NodeFor(key), was) << key;
+    }
+  }
+}
+
+TEST(RendezvousHashTest, DuplicateAddUpdatesWeight) {
+  util::RendezvousMap map;
+  map.AddNode("only", 1.0);
+  map.AddNode("other", 1.0);
+  map.AddNode("only", 5.0);
+  ASSERT_EQ(map.size(), 2u);
+  size_t only = 0;
+  const size_t keys = 2000;
+  for (const std::string& key : RendezvousKeys(keys)) {
+    if (map.NodeFor(key) == "only") ++only;
+  }
+  EXPECT_GT(only, keys / 2);  // weight 5 vs 1 clearly dominates
 }
 
 }  // namespace
